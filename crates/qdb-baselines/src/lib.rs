@@ -1,0 +1,14 @@
+//! # qdb-baselines
+//!
+//! Comparison substrates for the evaluation: Chou–Fasman secondary
+//! structure, the deterministic synthetic "X-ray" reference generator
+//! (PDBbind-crystal substitute), and the AlphaFold2/AlphaFold3 surrogate
+//! predictors with a calibrated prior-bias error model (DESIGN.md §1).
+
+pub mod alphafold;
+pub mod reference;
+pub mod secondary;
+
+pub use alphafold::{predict, predict_with, AfConfig, AfModel, AfPrediction};
+pub use reference::{generate_reference, pdb_id_seed, ReferenceStructure};
+pub use secondary::{assign_secondary, Secondary};

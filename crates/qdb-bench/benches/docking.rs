@@ -1,0 +1,43 @@
+//! Docking throughput: one full Vina-style run (grids + MC + clustering)
+//! and the raw scoring kernel.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use qdb_baselines::reference::generate_reference;
+use qdb_dock::engine::{dock, DockParams};
+use qdb_dock::scoring::intermolecular;
+use qdb_dock::types::{type_ligand, type_receptor};
+use qdb_lattice::sequence::ProteinSequence;
+use qdb_mol::ligand::generate_ligand;
+use std::hint::black_box;
+
+fn setup() -> (qdb_mol::structure::Structure, qdb_mol::ligand::Ligand) {
+    let seq = ProteinSequence::parse("LLDTGADDTV").unwrap();
+    let receptor = generate_reference("1zsf", &seq, 23).structure;
+    let mut ligand = generate_ligand(1234, 18);
+    let c = ligand.centroid();
+    ligand.translate(-c);
+    (receptor, ligand)
+}
+
+fn bench_scoring_kernel(c: &mut Criterion) {
+    let (receptor, ligand) = setup();
+    let rec = type_receptor(&receptor);
+    let lig = type_ligand(&ligand);
+    c.bench_function("scoring_intermolecular", |b| {
+        b.iter(|| black_box(intermolecular(black_box(&lig), black_box(&rec))))
+    });
+}
+
+fn bench_single_dock_run(c: &mut Criterion) {
+    let (receptor, ligand) = setup();
+    let mut group = c.benchmark_group("dock_run");
+    group.sample_size(10);
+    let params = DockParams::fast();
+    group.bench_function("fast_preset", |b| {
+        b.iter(|| black_box(dock(&receptor, &ligand, &params, 7).best_affinity()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_scoring_kernel, bench_single_dock_run);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Receptor grid construction scaling (spacing sweep) — the
+//! rayon-parallel precompute that backs every docking run.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qdb_baselines::reference::generate_reference;
+use qdb_dock::grid::GridMaps;
+use qdb_dock::types::{type_ligand, type_receptor, AtomClass};
+use qdb_lattice::sequence::ProteinSequence;
+use qdb_mol::geometry::Vec3;
+use qdb_mol::ligand::generate_ligand;
+use std::hint::black_box;
+
+fn bench_grid_build(c: &mut Criterion) {
+    let seq = ProteinSequence::parse("MIITEYMENGA").unwrap();
+    let receptor = generate_reference("5nkd", &seq, 689).structure;
+    let rec_atoms = type_receptor(&receptor);
+    let ligand = generate_ligand(9, 18);
+    let classes: Vec<AtomClass> =
+        type_ligand(&ligand).iter().map(|a| a.class()).collect();
+
+    let mut group = c.benchmark_group("grid_build");
+    group.sample_size(10);
+    for spacing in [0.75f64, 0.5, 0.375] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{spacing}A")),
+            &spacing,
+            |b, &s| {
+                b.iter(|| {
+                    let g = GridMaps::build(
+                        black_box(&rec_atoms),
+                        &classes,
+                        Vec3::ZERO,
+                        Vec3::new(22.0, 22.0, 22.0),
+                        s,
+                    );
+                    black_box(g.dims())
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_grid_build);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! Transpilation cost and the §5.3 margin effect as a Criterion bench:
+//! routing a fragment-sized ansatz at margins 0 / 5 / 10.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qdb_quantum::ansatz::{efficient_su2, Entanglement};
+use qdb_transpile::coupling::CouplingMap;
+use qdb_transpile::margin::transpile_with_margin;
+use std::hint::black_box;
+
+fn bench_margin(c: &mut Criterion) {
+    let eagle = CouplingMap::eagle127();
+    let circuit = efficient_su2(16, 2, Entanglement::Circular);
+    let mut group = c.benchmark_group("transpile_with_margin");
+    group.sample_size(10);
+    for margin in [0usize, 5, 10] {
+        group.bench_with_input(BenchmarkId::from_parameter(margin), &margin, |b, &m| {
+            b.iter(|| {
+                let t = transpile_with_margin(black_box(&circuit), &eagle, 60, m);
+                black_box(t.report.swap_count)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_margin);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Optimizer comparison on a fixed VQE landscape with a fixed budget:
+//! wall-clock per full minimization for COBYLA / Nelder–Mead / SPSA.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use qdb_lattice::hamiltonian::FoldingHamiltonian;
+use qdb_lattice::sequence::ProteinSequence;
+use qdb_optimize::{Cobyla, NelderMead, Optimizer, Spsa};
+use qdb_quantum::statevector::Statevector;
+use qdb_vqe::runner::build_ansatz;
+use std::hint::black_box;
+
+fn bench_optimizers(c: &mut Criterion) {
+    let ham = FoldingHamiltonian::with_unit_scale(ProteinSequence::parse("IQFHFH").unwrap());
+    let ansatz = build_ansatz(&ham, 2);
+    let diag = ham.dense_diagonal();
+    let n = ham.num_qubits();
+    let x0 = vec![0.2; ansatz.num_params()];
+    let budget = 80usize;
+
+    let mut group = c.benchmark_group("optimizer_80_evals");
+    group.sample_size(10);
+    let run = |opt: &dyn Optimizer| {
+        let mut objective = |x: &[f64]| {
+            let mut sv = Statevector::zero(n);
+            sv.apply_parametric(&ansatz, x);
+            sv.expectation_diagonal(&diag)
+        };
+        opt.minimize(&mut objective, &x0).fx
+    };
+    let cobyla = Cobyla::with_budget(budget);
+    group.bench_function("cobyla", |b| b.iter(|| black_box(run(&cobyla))));
+    let nm = NelderMead::with_budget(budget);
+    group.bench_function("nelder_mead", |b| b.iter(|| black_box(run(&nm))));
+    let spsa = Spsa::with_budget(budget, 3);
+    group.bench_function("spsa", |b| b.iter(|| black_box(run(&spsa))));
+    group.finish();
+}
+
+criterion_group!(benches, bench_optimizers);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Statevector simulator performance: gate application and diagonal
+//! expectation scaling with register width (the VQE hot path).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qdb_quantum::ansatz::{efficient_su2, Entanglement};
+use qdb_quantum::statevector::Statevector;
+use std::hint::black_box;
+
+fn bench_ansatz_evolution(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ansatz_evolution");
+    group.sample_size(10);
+    for qubits in [10usize, 14, 18, 22] {
+        let circuit = efficient_su2(qubits, 2, Entanglement::Linear);
+        let params: Vec<f64> =
+            (0..circuit.num_params()).map(|i| 0.1 + 0.01 * i as f64).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(qubits), &qubits, |b, _| {
+            b.iter(|| {
+                let mut sv = Statevector::zero(qubits);
+                sv.apply_parametric(black_box(&circuit), black_box(&params));
+                black_box(sv.norm_sqr())
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_diagonal_expectation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("diagonal_expectation");
+    group.sample_size(10);
+    for qubits in [14usize, 18, 22] {
+        let circuit = efficient_su2(qubits, 1, Entanglement::Linear);
+        let params: Vec<f64> = (0..circuit.num_params()).map(|i| 0.05 * i as f64).collect();
+        let mut sv = Statevector::zero(qubits);
+        sv.apply_parametric(&circuit, &params);
+        let diag: Vec<f64> = (0..1u64 << qubits).map(|i| (i % 997) as f64).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(qubits), &qubits, |b, _| {
+            b.iter(|| black_box(sv.expectation_diagonal(black_box(&diag))))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ansatz_evolution, bench_diagonal_expectation);
+criterion_main!(benches);

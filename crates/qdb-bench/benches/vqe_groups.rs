@@ -1,0 +1,49 @@
+//! VQE cost per group: one full energy evaluation (circuit evolution +
+//! diagonal expectation) at S/M/L register widths, plus Hamiltonian
+//! diagonal construction.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use qdb_lattice::hamiltonian::FoldingHamiltonian;
+use qdb_lattice::sequence::ProteinSequence;
+use qdb_quantum::statevector::Statevector;
+use qdb_vqe::runner::build_ansatz;
+use std::hint::black_box;
+
+/// One representative fragment per group (S: 3ckz, M: 1zsf, L: 4jpy).
+const REPRESENTATIVES: [(&str, &str); 3] =
+    [("3ckz-S", "VKDRS"), ("1zsf-M", "LLDTGADDTV"), ("4jpy-L", "DYLEAYGKGGVKAK")];
+
+fn bench_energy_evaluation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("vqe_energy_evaluation");
+    group.sample_size(10);
+    for (label, seq) in REPRESENTATIVES {
+        let ham = FoldingHamiltonian::with_unit_scale(ProteinSequence::parse(seq).unwrap());
+        let ansatz = build_ansatz(&ham, 2);
+        let diag = ham.dense_diagonal();
+        let params: Vec<f64> = (0..ansatz.num_params()).map(|i| 0.03 * i as f64).collect();
+        let n = ham.num_qubits();
+        group.bench_with_input(BenchmarkId::from_parameter(label), &label, |b, _| {
+            b.iter(|| {
+                let mut sv = Statevector::zero(n);
+                sv.apply_parametric(black_box(&ansatz), black_box(&params));
+                black_box(sv.expectation_diagonal(&diag))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_diagonal_construction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hamiltonian_diagonal");
+    group.sample_size(10);
+    for (label, seq) in REPRESENTATIVES {
+        let ham = FoldingHamiltonian::with_unit_scale(ProteinSequence::parse(seq).unwrap());
+        group.bench_with_input(BenchmarkId::from_parameter(label), &label, |b, _| {
+            b.iter(|| black_box(ham.dense_diagonal().len()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_energy_evaluation, bench_diagonal_construction);
+criterion_main!(benches);

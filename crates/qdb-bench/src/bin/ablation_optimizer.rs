@@ -1,0 +1,42 @@
+//! Ablation C: classical optimizer choice (COBYLA vs Nelder–Mead vs SPSA)
+//! on the same VQE energy landscape with an identical evaluation budget.
+//!
+//! ```text
+//! cargo run --release -p qdb-bench --bin ablation_optimizer
+//! ```
+
+use qdb_lattice::hamiltonian::FoldingHamiltonian;
+use qdb_lattice::sequence::ProteinSequence;
+use qdb_optimize::{Cobyla, NelderMead, Optimizer, Spsa};
+use qdb_quantum::statevector::Statevector;
+use qdb_vqe::runner::build_ansatz;
+
+fn main() {
+    let budget = 200usize;
+    let fragments = ["VKDRS", "IQFHFH", "PWWERYQP", "AQITMGMPY"];
+    println!("optimizer ablation: best VQE expectation after {budget} evaluations");
+    println!("{:<12} {:>12} {:>12} {:>12}", "sequence", "COBYLA", "Nelder-Mead", "SPSA");
+    for s in fragments {
+        let seq = ProteinSequence::parse(s).unwrap();
+        let ham = FoldingHamiltonian::with_unit_scale(seq);
+        let ansatz = build_ansatz(&ham, 2);
+        let diag = ham.dense_diagonal();
+        let n = ham.num_qubits();
+        let x0 = vec![0.2; ansatz.num_params()];
+
+        let mut objective = |x: &[f64]| -> f64 {
+            let mut sv = Statevector::zero(n);
+            sv.apply_parametric(&ansatz, x);
+            sv.expectation_diagonal(&diag)
+        };
+
+        let cobyla = Cobyla::with_budget(budget).minimize(&mut objective, &x0).fx;
+        let nm = NelderMead::with_budget(budget).minimize(&mut objective, &x0).fx;
+        let spsa = Spsa::with_budget(budget, 7).minimize(&mut objective, &x0).fx;
+        let (_, ground) = ham.ground_state();
+        println!(
+            "{:<12} {:>12.4} {:>12.4} {:>12.4}   (exact ground {:.4})",
+            s, cobyla, nm, spsa, ground
+        );
+    }
+}

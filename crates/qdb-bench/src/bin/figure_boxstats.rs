@@ -1,0 +1,17 @@
+//! Regenerates the Figure 4 aggregate statistics: affinity and RMSD
+//! distributions for QDock, AF2 and AF3, overall and per group.
+//!
+//! ```text
+//! cargo run --release -p qdb-bench --bin figure_boxstats -- all
+//! ```
+
+use qdb_bench::{preset_from_env, run_comparisons, select_records};
+use qdockbank::report::render_box_stats;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let records = select_records(&args, "all");
+    let config = preset_from_env();
+    let comparisons = run_comparisons(&records, &config);
+    print!("{}", render_box_stats(&comparisons));
+}

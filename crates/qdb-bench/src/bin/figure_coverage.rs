@@ -1,0 +1,15 @@
+//! Regenerates Figure 5: amino-acid interaction coverage across the 55
+//! fragment sequences (paper: 395/400 ordered pair types).
+//!
+//! ```text
+//! cargo run --release -p qdb-bench --bin figure_coverage
+//! ```
+
+use qdockbank::evaluation::interaction_coverage;
+use qdockbank::fragments::all_fragments;
+use qdockbank::report::render_coverage;
+
+fn main() {
+    let report = interaction_coverage(&all_fragments());
+    print!("{}", render_coverage(&report));
+}

@@ -1,0 +1,31 @@
+//! Regenerates the Figure 2 / Figure 3 scatter data: per-fragment QDock
+//! vs baseline affinity and RMSD, as CSV (group column included so the
+//! All/L/M/S panels can be filtered downstream).
+//!
+//! ```text
+//! cargo run --release -p qdb-bench --bin figure_scatter -- af2 all
+//! cargo run --release -p qdb-bench --bin figure_scatter -- af3 M
+//! ```
+
+use qdb_baselines::alphafold::AfModel;
+use qdb_bench::{preset_from_env, run_comparisons, select_records};
+use qdockbank::report::render_scatter;
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let model = match args.first().map(String::as_str) {
+        Some("af3") => {
+            args.remove(0);
+            AfModel::Af3
+        }
+        Some("af2") => {
+            args.remove(0);
+            AfModel::Af2
+        }
+        _ => AfModel::Af2,
+    };
+    let records = select_records(&args, "all");
+    let config = preset_from_env();
+    let comparisons = run_comparisons(&records, &config);
+    print!("{}", render_scatter(&comparisons, model));
+}

@@ -1,0 +1,65 @@
+//! One-shot driver: runs the complete 55-fragment evaluation once and
+//! emits every table and figure of the paper into an output directory
+//! (and to stdout). This is the recommended way to regenerate the whole
+//! evaluation — the per-table binaries recompute from scratch.
+//!
+//! ```text
+//! QDB_PRESET=fast cargo run --release -p qdb-bench --bin full_evaluation -- out_dir
+//! ```
+
+use qdb_baselines::alphafold::AfModel;
+use qdb_bench::{group_rows, preset_from_env, preset_name, run_comparisons};
+use qdockbank::evaluation::{interaction_coverage, win_rates};
+use qdockbank::fragments::{all_fragments, Group};
+use qdockbank::report::{
+    render_box_stats, render_coverage, render_group_table, render_scatter, render_win_rates,
+};
+use std::path::PathBuf;
+
+fn main() {
+    let out_dir: PathBuf = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "evaluation_output".to_string())
+        .into();
+    std::fs::create_dir_all(&out_dir).expect("create output dir");
+    let config = preset_from_env();
+    eprintln!(
+        "running the full 55-fragment evaluation (preset: {})",
+        preset_name(&config)
+    );
+
+    let records = all_fragments();
+    let comparisons = run_comparisons(&records, &config);
+
+    let emit = |name: &str, body: String| {
+        println!("==== {name} ====\n{body}");
+        std::fs::write(out_dir.join(name), body).expect("write output file");
+    };
+
+    // Tables 1–3.
+    for (group, file) in [
+        (Group::L, "table1_L_group.txt"),
+        (Group::M, "table2_M_group.txt"),
+        (Group::S, "table3_S_group.txt"),
+    ] {
+        emit(file, render_group_table(group, &group_rows(&comparisons, group)));
+    }
+
+    // Figures 2 and 3 (scatter series).
+    emit("figure2_qdock_vs_af2.csv", render_scatter(&comparisons, AfModel::Af2));
+    emit("figure3_qdock_vs_af3.csv", render_scatter(&comparisons, AfModel::Af3));
+
+    // Figure 4 (distribution summaries).
+    emit("figure4_box_stats.txt", render_box_stats(&comparisons));
+
+    // §6.2 headline win rates.
+    let mut winrate_text = String::new();
+    winrate_text.push_str(&render_win_rates(&win_rates(&comparisons, AfModel::Af2)));
+    winrate_text.push_str(&render_win_rates(&win_rates(&comparisons, AfModel::Af3)));
+    emit("winrates.txt", winrate_text);
+
+    // Figure 5 (interaction coverage).
+    emit("figure5_coverage.txt", render_coverage(&interaction_coverage(&records)));
+
+    eprintln!("all outputs written to {}", out_dir.display());
+}

@@ -1,0 +1,24 @@
+//! Regenerates Table 4: average docking metrics for QDockBank vs
+//! AlphaFold3 on 4jpy (paper: affinity −4.3 vs −3.9 kcal/mol, RMSD l.b.
+//! 1.4 vs 2.0 Å, u.b. 1.9 vs 3.2 Å).
+//!
+//! ```text
+//! cargo run --release -p qdb-bench --bin table_case_4jpy
+//! ```
+
+use qdb_bench::preset_from_env;
+use qdockbank::evaluation::FragmentComparison;
+use qdockbank::fragments::fragment;
+use qdockbank::report::render_case_table;
+
+fn main() {
+    let record = fragment("4jpy").expect("4jpy is in the manifest");
+    let config = preset_from_env();
+    eprintln!("docking 4jpy ({}) under QDock and AF3…", record.sequence);
+    let c = FragmentComparison::run(record, &config);
+    print!("{}", render_case_table("4jpy", &c.qdock.qdock, &c.af3));
+    println!(
+        "\nstructure RMSD vs reference: QDock {:.2} Å, AF3 {:.2} Å",
+        c.qdock.qdock.ca_rmsd, c.af3.ca_rmsd
+    );
+}

@@ -1,0 +1,24 @@
+//! Regenerates Table 1 (L), Table 2 (M) or Table 3 (S): per-fragment
+//! quantum metrics, paper-reported vs measured.
+//!
+//! ```text
+//! cargo run --release -p qdb-bench --bin table_groups -- S
+//! ```
+
+use qdb_bench::{group_rows, preset_from_env, run_comparisons, select_records};
+use qdockbank::fragments::Group;
+use qdockbank::report::render_group_table;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let records = select_records(&args, "S");
+    let config = preset_from_env();
+    let comparisons = run_comparisons(&records, &config);
+    for group in [Group::L, Group::M, Group::S] {
+        let rows = group_rows(&comparisons, group);
+        if !rows.is_empty() {
+            print!("{}", render_group_table(group, &rows));
+            println!();
+        }
+    }
+}

@@ -1,0 +1,23 @@
+//! Regenerates the §6.2 headline statistics: QDock win rates against AF2
+//! and AF3 on affinity and RMSD, overall and per group.
+//!
+//! Paper reference: vs AF2 — affinity 53/55 (96.4%), RMSD 51/55 (92.7%);
+//! vs AF3 — affinity 50/55 (90.9%), RMSD 44/55 (80.0%).
+//!
+//! ```text
+//! cargo run --release -p qdb-bench --bin winrates -- all
+//! ```
+
+use qdb_baselines::alphafold::AfModel;
+use qdb_bench::{preset_from_env, run_comparisons, select_records};
+use qdockbank::evaluation::win_rates;
+use qdockbank::report::render_win_rates;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let records = select_records(&args, "all");
+    let config = preset_from_env();
+    let comparisons = run_comparisons(&records, &config);
+    print!("{}", render_win_rates(&win_rates(&comparisons, AfModel::Af2)));
+    print!("{}", render_win_rates(&win_rates(&comparisons, AfModel::Af3)));
+}

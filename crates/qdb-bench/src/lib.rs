@@ -1,0 +1,80 @@
+//! # qdb-bench
+//!
+//! The experiment harness: one binary per paper table/figure (see
+//! DESIGN.md §4) plus Criterion performance benches. This library holds
+//! the shared driver code.
+
+use qdockbank::evaluation::FragmentComparison;
+use qdockbank::fragments::{all_fragments, fragment, fragments_in, FragmentRecord, Group};
+use qdockbank::pipeline::{PipelineConfig, Preset};
+use qdockbank::report::GroupTableRow;
+
+/// Reads the preset from `QDB_PRESET` (`paper` or `fast`, default fast).
+pub fn preset_from_env() -> PipelineConfig {
+    match std::env::var("QDB_PRESET").as_deref() {
+        Ok("paper") => PipelineConfig::paper(),
+        _ => PipelineConfig::fast(),
+    }
+}
+
+/// Human-readable preset tag.
+pub fn preset_name(config: &PipelineConfig) -> &'static str {
+    match config.preset {
+        Preset::Paper => "paper",
+        Preset::Fast => "fast",
+    }
+}
+
+/// Resolves CLI selectors into manifest records: each argument is a group
+/// (`S`/`M`/`L`/`all`) or a PDB id; no arguments = `default`.
+pub fn select_records(args: &[String], default: &str) -> Vec<&'static FragmentRecord> {
+    let tokens: Vec<String> =
+        if args.is_empty() { vec![default.to_string()] } else { args.to_vec() };
+    let mut out: Vec<&'static FragmentRecord> = Vec::new();
+    for token in tokens {
+        match token.as_str() {
+            "all" => out.extend(all_fragments()),
+            "S" => out.extend(fragments_in(Group::S)),
+            "M" => out.extend(fragments_in(Group::M)),
+            "L" => out.extend(fragments_in(Group::L)),
+            id => match fragment(id) {
+                Some(r) => out.push(r),
+                None => {
+                    eprintln!("unknown selector {id:?} (use S, M, L, all, or a PDB id)");
+                    std::process::exit(1);
+                }
+            },
+        }
+    }
+    out.dedup_by_key(|r| r.pdb_id);
+    out
+}
+
+/// Runs comparisons with progress logging on stderr.
+pub fn run_comparisons(
+    records: &[&'static FragmentRecord],
+    config: &PipelineConfig,
+) -> Vec<FragmentComparison> {
+    let mut out = Vec::with_capacity(records.len());
+    for (i, record) in records.iter().enumerate() {
+        eprintln!(
+            "[{}/{}] {} ({}, {} aa)…",
+            i + 1,
+            records.len(),
+            record.pdb_id,
+            record.group().name(),
+            record.len()
+        );
+        out.push(FragmentComparison::run(record, config));
+    }
+    out
+}
+
+/// Converts comparisons into Tables 1–3 rows.
+pub fn group_rows(comparisons: &[FragmentComparison], group: Group) -> Vec<GroupTableRow> {
+    comparisons
+        .iter()
+        .filter(|c| c.record.group() == group)
+        .map(|c| GroupTableRow { record: c.record, quantum: c.qdock.quantum.clone() })
+        .collect()
+}

@@ -1,0 +1,145 @@
+//! Pose clustering and inter-pose RMSD bounds.
+//!
+//! Vina reports each pose's `RMSD l.b.` and `RMSD u.b.` relative to the
+//! best pose: the upper bound is the identity-mapping RMSD; the lower
+//! bound allows each atom to match the *nearest* atom of the other pose
+//! (symmetry-tolerant). Table 4 of the paper compares exactly these
+//! statistics between QDockBank and AlphaFold3 receptors.
+
+use qdb_mol::geometry::Vec3;
+
+/// Identity-mapping RMSD between two equal-length poses.
+pub fn rmsd_upper_bound(a: &[Vec3], b: &[Vec3]) -> f64 {
+    assert_eq!(a.len(), b.len(), "pose size mismatch");
+    assert!(!a.is_empty());
+    let ss: f64 = a.iter().zip(b).map(|(x, y)| (*x - *y).norm_sq()).sum();
+    (ss / a.len() as f64).sqrt()
+}
+
+/// Nearest-atom-matching RMSD (symmetrized): for each atom of `a` take the
+/// closest atom of `b` and vice versa, averaging both directions.
+pub fn rmsd_lower_bound(a: &[Vec3], b: &[Vec3]) -> f64 {
+    assert!(!a.is_empty() && !b.is_empty());
+    let dir = |from: &[Vec3], to: &[Vec3]| -> f64 {
+        from.iter()
+            .map(|x| {
+                to.iter()
+                    .map(|y| (*x - *y).norm_sq())
+                    .fold(f64::INFINITY, f64::min)
+            })
+            .sum::<f64>()
+            / from.len() as f64
+    };
+    (0.5 * (dir(a, b) + dir(b, a))).sqrt()
+}
+
+/// A docking pose with its score.
+#[derive(Clone, Debug)]
+pub struct ScoredPose {
+    /// Ligand atom positions.
+    pub coords: Vec<Vec3>,
+    /// Reported affinity (kcal/mol).
+    pub affinity: f64,
+    /// RMSD lower bound vs the run's best pose (filled by clustering).
+    pub rmsd_lb: f64,
+    /// RMSD upper bound vs the run's best pose.
+    pub rmsd_ub: f64,
+}
+
+/// Deduplicates poses: keeps the best-scoring representative of every
+/// cluster (clusters = poses within `min_rmsd` u.b. of a kept pose),
+/// sorts by affinity, truncates to `max_poses`, and fills the lb/ub
+/// columns relative to the top pose.
+pub fn cluster_poses(
+    mut candidates: Vec<(Vec<Vec3>, f64)>,
+    min_rmsd: f64,
+    max_poses: usize,
+) -> Vec<ScoredPose> {
+    candidates.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+    let mut kept: Vec<(Vec<Vec3>, f64)> = Vec::new();
+    for (coords, affinity) in candidates {
+        let dup = kept
+            .iter()
+            .any(|(kc, _)| rmsd_upper_bound(kc, &coords) < min_rmsd);
+        if !dup {
+            kept.push((coords, affinity));
+            if kept.len() == max_poses {
+                break;
+            }
+        }
+    }
+    let best = kept.first().map(|(c, _)| c.clone());
+    kept.into_iter()
+        .map(|(coords, affinity)| {
+            let (lb, ub) = match &best {
+                Some(b) => (rmsd_lower_bound(b, &coords), rmsd_upper_bound(b, &coords)),
+                None => (0.0, 0.0),
+            };
+            ScoredPose { coords, affinity, rmsd_lb: lb, rmsd_ub: ub }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pose(shift: f64) -> Vec<Vec3> {
+        (0..5)
+            .map(|i| Vec3::new(i as f64 * 1.5 + shift, 0.0, 0.0))
+            .collect()
+    }
+
+    #[test]
+    fn bounds_ordering() {
+        let a = pose(0.0);
+        let b = pose(0.8);
+        let lb = rmsd_lower_bound(&a, &b);
+        let ub = rmsd_upper_bound(&a, &b);
+        assert!(lb <= ub + 1e-12, "lb {lb} must not exceed ub {ub}");
+        assert!(ub > 0.0);
+    }
+
+    #[test]
+    fn lower_bound_forgives_permutation() {
+        let a = pose(0.0);
+        let mut b = a.clone();
+        b.reverse(); // same atom cloud, different order
+        assert!(rmsd_upper_bound(&a, &b) > 1.0, "identity mapping sees a big change");
+        assert!(rmsd_lower_bound(&a, &b) < 1e-9, "nearest matching sees none");
+    }
+
+    #[test]
+    fn identical_poses_zero() {
+        let a = pose(1.0);
+        assert_eq!(rmsd_upper_bound(&a, &a), 0.0);
+        assert_eq!(rmsd_lower_bound(&a, &a), 0.0);
+    }
+
+    #[test]
+    fn clustering_dedupes_and_sorts() {
+        let candidates = vec![
+            (pose(0.0), -5.0),
+            (pose(0.05), -4.9), // duplicate of the first (rmsd 0.05)
+            (pose(3.0), -4.0),
+            (pose(6.0), -3.0),
+            (pose(6.02), -2.9), // duplicate
+        ];
+        let out = cluster_poses(candidates, 1.0, 10);
+        assert_eq!(out.len(), 3, "two duplicates removed");
+        assert_eq!(out[0].affinity, -5.0);
+        assert!(out.windows(2).all(|w| w[0].affinity <= w[1].affinity));
+        // Best pose has zero self-RMSD.
+        assert_eq!(out[0].rmsd_lb, 0.0);
+        assert_eq!(out[0].rmsd_ub, 0.0);
+        assert!(out[1].rmsd_ub > 0.0);
+    }
+
+    #[test]
+    fn clustering_truncates() {
+        let candidates: Vec<(Vec<Vec3>, f64)> =
+            (0..20).map(|i| (pose(i as f64 * 2.0), -(i as f64))).collect();
+        let out = cluster_poses(candidates, 0.5, 7);
+        assert_eq!(out.len(), 7);
+    }
+}

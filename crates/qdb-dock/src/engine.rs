@@ -1,0 +1,395 @@
+//! The top-level docking engine (paper §4.3.3 / §6.1.2).
+//!
+//! `dock` runs one Vina-style docking: precompute receptor grids, run
+//! `exhaustiveness` Monte-Carlo chains (rayon-parallel), cluster candidate
+//! poses, report the top poses with affinity and lb/ub RMSD. The paper's
+//! protocol — 20 independent runs per structure, each returning 10 poses —
+//! is [`dock_replicates`].
+
+use crate::cluster::{cluster_poses, ScoredPose};
+use crate::grid::{GridMaps, DEFAULT_SPACING};
+use crate::scoring::{affinity, intermolecular, intramolecular};
+use crate::search::{mc_chain, SearchParams};
+use crate::types::{retype_positions, type_ligand, type_receptor, AtomClass, TypedAtom};
+use qdb_mol::geometry::Vec3;
+use qdb_mol::ligand::Ligand;
+use qdb_mol::structure::Structure;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use rayon::prelude::*;
+
+/// Docking configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct DockParams {
+    /// Search-box center (usually the receptor pocket centroid).
+    pub center: Vec3,
+    /// Box edge lengths (Å).
+    pub box_size: Vec3,
+    /// Independent Monte-Carlo chains per run (Vina's `exhaustiveness`).
+    pub exhaustiveness: usize,
+    /// MC steps per chain.
+    pub mc_steps: usize,
+    /// Objective evaluations per local refinement.
+    pub refine_evals: usize,
+    /// Poses reported per run (the paper uses 10).
+    pub poses_per_run: usize,
+    /// Cluster radius (Å) for pose deduplication.
+    pub min_rmsd: f64,
+    /// Grid spacing; set `use_grids` false to score directly.
+    pub spacing: f64,
+    /// Use precomputed grids (Vina behaviour) or direct pairwise sums.
+    pub use_grids: bool,
+    /// Local-only mode (Vina's `local_only` rescoring protocol): every
+    /// Monte-Carlo chain starts from the ligand's *input* pose with a
+    /// small seeded perturbation instead of a random placement in the
+    /// box. Used to rescore a known (native) binding pose against
+    /// alternative receptor conformations.
+    pub local_only: bool,
+}
+
+impl Default for DockParams {
+    fn default() -> Self {
+        Self {
+            center: Vec3::ZERO,
+            box_size: Vec3::new(22.0, 22.0, 22.0),
+            exhaustiveness: 8,
+            mc_steps: 60,
+            refine_evals: 120,
+            poses_per_run: 10,
+            min_rmsd: 1.0,
+            spacing: DEFAULT_SPACING,
+            use_grids: true,
+            local_only: false,
+        }
+    }
+}
+
+impl DockParams {
+    /// Reduced-budget settings for tests.
+    pub fn fast() -> Self {
+        Self { exhaustiveness: 3, mc_steps: 20, refine_evals: 60, ..Default::default() }
+    }
+}
+
+/// One docking run's output.
+#[derive(Clone, Debug)]
+pub struct DockRun {
+    /// Run seed (recorded for reproducibility, as the paper does).
+    pub seed: u64,
+    /// Ranked poses (best first).
+    pub poses: Vec<ScoredPose>,
+}
+
+impl DockRun {
+    /// Affinity of the best pose.
+    pub fn best_affinity(&self) -> f64 {
+        self.poses.first().map(|p| p.affinity).unwrap_or(0.0)
+    }
+
+    /// Mean affinity over the reported poses.
+    pub fn mean_affinity(&self) -> f64 {
+        if self.poses.is_empty() {
+            return 0.0;
+        }
+        self.poses.iter().map(|p| p.affinity).sum::<f64>() / self.poses.len() as f64
+    }
+
+    /// Mean RMSD lower bound over non-best poses.
+    pub fn mean_rmsd_lb(&self) -> f64 {
+        mean(self.poses.iter().skip(1).map(|p| p.rmsd_lb))
+    }
+
+    /// Mean RMSD upper bound over non-best poses.
+    pub fn mean_rmsd_ub(&self) -> f64 {
+        mean(self.poses.iter().skip(1).map(|p| p.rmsd_ub))
+    }
+}
+
+fn mean(values: impl Iterator<Item = f64>) -> f64 {
+    let v: Vec<f64> = values.collect();
+    if v.is_empty() {
+        0.0
+    } else {
+        v.iter().sum::<f64>() / v.len() as f64
+    }
+}
+
+/// Replicated docking (the paper's 20-seed protocol).
+#[derive(Clone, Debug)]
+pub struct DockOutcome {
+    /// All runs, in seed order.
+    pub runs: Vec<DockRun>,
+}
+
+impl DockOutcome {
+    /// Grand mean of each run's best affinity — the per-structure score
+    /// the paper's figures plot.
+    pub fn mean_best_affinity(&self) -> f64 {
+        mean(self.runs.iter().map(|r| r.best_affinity()))
+    }
+
+    /// Best affinity over all runs.
+    pub fn best_affinity(&self) -> f64 {
+        self.runs
+            .iter()
+            .map(|r| r.best_affinity())
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// Mean pose-RMSD lower bound over all runs (Table 4 column).
+    pub fn mean_rmsd_lb(&self) -> f64 {
+        mean(self.runs.iter().map(|r| r.mean_rmsd_lb()))
+    }
+
+    /// Mean pose-RMSD upper bound over all runs (Table 4 column).
+    pub fn mean_rmsd_ub(&self) -> f64 {
+        mean(self.runs.iter().map(|r| r.mean_rmsd_ub()))
+    }
+}
+
+/// Bond-path distances ≥ 4 pairs for the intramolecular term.
+fn intra_pairs(ligand: &Ligand) -> Vec<(usize, usize)> {
+    let n = ligand.num_atoms();
+    // BFS bond-path distances over the tree.
+    let mut adj = vec![Vec::new(); n];
+    for &(a, b) in &ligand.bonds {
+        adj[a].push(b);
+        adj[b].push(a);
+    }
+    let mut pairs = Vec::new();
+    for start in 0..n {
+        let mut dist = vec![usize::MAX; n];
+        dist[start] = 0;
+        let mut queue = std::collections::VecDeque::from([start]);
+        while let Some(u) = queue.pop_front() {
+            for &v in &adj[u] {
+                if dist[v] == usize::MAX {
+                    dist[v] = dist[u] + 1;
+                    queue.push_back(v);
+                }
+            }
+        }
+        for (other, &d) in dist.iter().enumerate().skip(start + 1) {
+            if d >= 4 {
+                pairs.push((start, other));
+            }
+        }
+    }
+    pairs
+}
+
+/// Runs one docking with a single seed.
+pub fn dock(receptor: &Structure, ligand: &Ligand, params: &DockParams, seed: u64) -> DockRun {
+    let receptor_atoms = type_receptor(receptor);
+    let ligand_template = type_ligand(ligand);
+    let pairs = intra_pairs(ligand);
+    let n_rot = ligand.num_rotatable();
+
+    let classes: Vec<AtomClass> = ligand_template.iter().map(|a| a.class()).collect();
+    let grids = params.use_grids.then(|| {
+        GridMaps::build(&receptor_atoms, &classes, params.center, params.box_size, params.spacing)
+    });
+
+    let search = SearchParams {
+        center: params.center,
+        box_size: params.box_size,
+        steps: params.mc_steps,
+        refine_evals: params.refine_evals,
+        temperature: 1.2,
+    };
+
+    // Energy closures share read-only state; chains run in parallel.
+    let eval_inter = |atoms: &[TypedAtom]| -> f64 {
+        match &grids {
+            Some(g) => g.ligand_energy(atoms),
+            None => intermolecular(atoms, &receptor_atoms),
+        }
+    };
+
+    let candidates: Vec<(Vec<Vec3>, f64)> = (0..params.exhaustiveness as u64)
+        .into_par_iter()
+        .flat_map_iter(|chain| {
+            let mut rng = ChaCha8Rng::seed_from_u64(seed ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(chain + 1)));
+            let energy_of = |pose: &crate::pose::Pose| {
+                let coords = pose.apply(ligand);
+                let atoms = retype_positions(&ligand_template, &coords);
+                eval_inter(&atoms) + intramolecular(&atoms, &pairs)
+            };
+            let accepted = if params.local_only {
+                crate::search::local_chain(&search, ligand.centroid(), n_rot, energy_of, &mut rng)
+            } else {
+                mc_chain(
+                &search,
+                n_rot,
+                energy_of,
+                &mut rng,
+            )
+            };
+            accepted.into_iter().map(|(pose, _)| {
+                let coords = pose.apply(ligand);
+                let atoms = retype_positions(&ligand_template, &coords);
+                // Score with the *direct* intermolecular energy so reported
+                // affinities are free of interpolation error.
+                let e_inter = intermolecular(&atoms, &receptor_atoms);
+                (coords, affinity(e_inter, n_rot))
+            })
+        })
+        .collect();
+
+    let poses = cluster_poses(candidates, params.min_rmsd, params.poses_per_run);
+    DockRun { seed, poses }
+}
+
+/// The paper's protocol: `num_runs` independent runs with distinct seeds
+/// derived from `base_seed` (each run's seed is recorded).
+pub fn dock_replicates(
+    receptor: &Structure,
+    ligand: &Ligand,
+    params: &DockParams,
+    base_seed: u64,
+    num_runs: usize,
+) -> DockOutcome {
+    let runs: Vec<DockRun> = (0..num_runs as u64)
+        .map(|i| dock(receptor, ligand, params, base_seed.wrapping_add(i * 0x1000_0000_0001)))
+        .collect();
+    DockOutcome { runs }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qdb_mol::builder::{build_peptide, classify_side_chain, ResidueSpec};
+    use qdb_mol::ligand::generate_ligand;
+
+    fn receptor(seq: &str) -> Structure {
+        let s = 3.8 / (3.0f64).sqrt();
+        let dirs = [
+            Vec3::new(1.0, 1.0, 1.0),
+            Vec3::new(1.0, -1.0, -1.0),
+            Vec3::new(-1.0, 1.0, -1.0),
+        ];
+        let mut p = Vec3::ZERO;
+        let mut trace = vec![p];
+        for i in 0..seq.len() - 1 {
+            let d = dirs[i % 3] * if i % 2 == 0 { 1.0 } else { -1.0 };
+            p += d * s;
+            trace.push(p);
+        }
+        let specs: Vec<ResidueSpec> = seq
+            .chars()
+            .enumerate()
+            .map(|(i, c)| ResidueSpec {
+                name: "UNK".into(),
+                seq_num: i as i32 + 1,
+                side_chain: classify_side_chain(c),
+            })
+            .collect();
+        let mut s = build_peptide(&trace, &specs);
+        s.center();
+        s
+    }
+
+    #[test]
+    fn docking_produces_negative_affinities() {
+        let rec = receptor("LKDSVI");
+        let lig = generate_ligand(42, 14);
+        let run = dock(&rec, &lig, &DockParams::fast(), 7);
+        assert!(!run.poses.is_empty());
+        assert!(
+            run.best_affinity() < -1.0,
+            "a pocket-sized ligand should bind, got {}",
+            run.best_affinity()
+        );
+        // Poses sorted best-first.
+        for w in run.poses.windows(2) {
+            assert!(w[0].affinity <= w[1].affinity);
+        }
+    }
+
+    #[test]
+    fn docking_is_seed_reproducible() {
+        let rec = receptor("LKDSV");
+        let lig = generate_ligand(9, 12);
+        let a = dock(&rec, &lig, &DockParams::fast(), 3);
+        let b = dock(&rec, &lig, &DockParams::fast(), 3);
+        assert_eq!(a.poses.len(), b.poses.len());
+        assert_eq!(a.best_affinity(), b.best_affinity());
+        let c = dock(&rec, &lig, &DockParams::fast(), 4);
+        // Different seed explores differently (affinities may rarely tie).
+        assert!(
+            (a.best_affinity() - c.best_affinity()).abs() > 1e-12
+                || a.poses.len() != c.poses.len()
+        );
+    }
+
+    #[test]
+    fn replicates_record_distinct_seeds() {
+        let rec = receptor("LKDS");
+        let lig = generate_ligand(5, 10);
+        let mut params = DockParams::fast();
+        params.exhaustiveness = 2;
+        params.mc_steps = 8;
+        let outcome = dock_replicates(&rec, &lig, &params, 100, 3);
+        assert_eq!(outcome.runs.len(), 3);
+        let seeds: std::collections::HashSet<u64> =
+            outcome.runs.iter().map(|r| r.seed).collect();
+        assert_eq!(seeds.len(), 3);
+        assert!(outcome.mean_best_affinity() <= outcome.runs[0].best_affinity() + 5.0);
+        assert!(outcome.best_affinity() <= outcome.mean_best_affinity());
+    }
+
+    #[test]
+    fn grid_and_direct_agree_on_ranking() {
+        let rec = receptor("LKDSVI");
+        let lig = generate_ligand(13, 12);
+        let mut direct = DockParams::fast();
+        direct.use_grids = false;
+        let with_grids = dock(&rec, &lig, &DockParams::fast(), 11);
+        let without = dock(&rec, &lig, &direct, 11);
+        // Same search seed; affinities should land in the same energy
+        // regime even though interpolation perturbs the trajectory.
+        let d = (with_grids.best_affinity() - without.best_affinity()).abs();
+        assert!(d < 2.0, "grid vs direct best affinity differ by {d}");
+    }
+
+    #[test]
+    fn local_only_stays_near_input_pose() {
+        let rec = receptor("LKDSVI");
+        let mut lig = generate_ligand(42, 14);
+        let c = lig.centroid();
+        lig.translate(-c);
+        // Put the ligand at a known surface offset.
+        lig.translate(Vec3::new(6.0, 0.0, 0.0));
+        let mut params = DockParams::fast();
+        params.local_only = true;
+        params.center = lig.centroid();
+        let run = dock(&rec, &lig, &params, 5);
+        assert!(!run.poses.is_empty());
+        // Every reported pose's centroid stays within a few Å of the input
+        // site (local refinement, not global search).
+        for pose in &run.poses {
+            let centroid = pose
+                .coords
+                .iter()
+                .fold(Vec3::ZERO, |acc, &p| acc + p / pose.coords.len() as f64);
+            assert!(
+                centroid.distance(lig.centroid()) < 6.0,
+                "local-only pose wandered {:.1} Å",
+                centroid.distance(lig.centroid())
+            );
+        }
+        // Deterministic.
+        let again = dock(&rec, &lig, &params, 5);
+        assert_eq!(run.best_affinity(), again.best_affinity());
+    }
+
+    #[test]
+    fn rmsd_bounds_consistent() {
+        let rec = receptor("LKDSV");
+        let lig = generate_ligand(21, 14);
+        let run = dock(&rec, &lig, &DockParams::fast(), 5);
+        for p in &run.poses {
+            assert!(p.rmsd_lb <= p.rmsd_ub + 1e-9, "lb {} > ub {}", p.rmsd_lb, p.rmsd_ub);
+        }
+    }
+}

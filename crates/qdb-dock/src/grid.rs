@@ -1,0 +1,270 @@
+//! Precomputed receptor affinity grids with trilinear interpolation.
+//!
+//! Like AutoDock Vina, the engine precomputes — per ligand *atom class* —
+//! the receptor interaction energy on a regular grid over the search box,
+//! then evaluates poses by interpolation. Grid construction is
+//! rayon-parallel over z-slabs; lookups outside the box fall back to the
+//! direct pairwise sum (plus a soft wall that pushes the search back into
+//! the box).
+
+use crate::scoring::{pair_energy, CUTOFF};
+use crate::types::{AtomClass, TypedAtom};
+use qdb_mol::geometry::Vec3;
+use rayon::prelude::*;
+use std::collections::HashMap;
+
+/// Default grid spacing (Å) — Vina's value.
+pub const DEFAULT_SPACING: f64 = 0.375;
+
+/// One scalar field over the box for a single atom class.
+#[derive(Clone, Debug)]
+struct Field {
+    values: Vec<f64>,
+}
+
+/// The set of per-class receptor grids over a search box.
+#[derive(Clone, Debug)]
+pub struct GridMaps {
+    origin: Vec3,
+    spacing: f64,
+    nx: usize,
+    ny: usize,
+    nz: usize,
+    fields: HashMap<AtomClass, Field>,
+    /// Receptor atoms kept for out-of-box fallback.
+    receptor: Vec<TypedAtom>,
+}
+
+impl GridMaps {
+    /// Builds grids for every class in `classes` over the box centered at
+    /// `center` with edge lengths `size`, padded by the scoring cutoff.
+    pub fn build(
+        receptor: &[TypedAtom],
+        classes: &[AtomClass],
+        center: Vec3,
+        size: Vec3,
+        spacing: f64,
+    ) -> GridMaps {
+        assert!(spacing > 0.0);
+        let half = size / 2.0;
+        let origin = center - half;
+        let nx = (size.x / spacing).ceil() as usize + 1;
+        let ny = (size.y / spacing).ceil() as usize + 1;
+        let nz = (size.z / spacing).ceil() as usize + 1;
+
+        let mut fields = HashMap::new();
+        for &class in classes {
+            if fields.contains_key(&class) {
+                continue;
+            }
+            let probe_template = TypedAtom {
+                pos: Vec3::ZERO,
+                radius: class.radius(),
+                hydrophobic: class.hydrophobic,
+                donor: class.donor,
+                acceptor: class.acceptor,
+            };
+            // Parallel over z-slabs.
+            let values: Vec<f64> = (0..nz)
+                .into_par_iter()
+                .flat_map_iter(|iz| {
+                    let receptor = receptor.to_vec();
+                    (0..ny).flat_map(move |iy| {
+                        let receptor = receptor.clone();
+                        (0..nx).map(move |ix| {
+                            let pos = Vec3::new(
+                                origin.x + ix as f64 * spacing,
+                                origin.y + iy as f64 * spacing,
+                                origin.z + iz as f64 * spacing,
+                            );
+                            let probe = TypedAtom { pos, ..probe_template };
+                            receptor
+                                .iter()
+                                .filter(|r| r.pos.distance(pos) <= CUTOFF)
+                                .map(|r| pair_energy(&probe, r))
+                                .sum::<f64>()
+                        })
+                    })
+                })
+                .collect();
+            fields.insert(class, Field { values });
+        }
+        GridMaps { origin, spacing, nx, ny, nz, fields, receptor: receptor.to_vec() }
+    }
+
+    /// Grid dimensions `(nx, ny, nz)`.
+    pub fn dims(&self) -> (usize, usize, usize) {
+        (self.nx, self.ny, self.nz)
+    }
+
+    /// True when `pos` lies inside the interpolation volume.
+    pub fn contains(&self, pos: Vec3) -> bool {
+        let rel = pos - self.origin;
+        let max_x = (self.nx - 1) as f64 * self.spacing;
+        let max_y = (self.ny - 1) as f64 * self.spacing;
+        let max_z = (self.nz - 1) as f64 * self.spacing;
+        rel.x >= 0.0 && rel.y >= 0.0 && rel.z >= 0.0 && rel.x <= max_x && rel.y <= max_y && rel.z <= max_z
+    }
+
+    #[inline]
+    fn index(&self, ix: usize, iy: usize, iz: usize) -> usize {
+        (iz * self.ny + iy) * self.nx + ix
+    }
+
+    /// Interpolated energy of an atom of `class` at `pos`; atoms outside
+    /// the box are scored directly against the receptor plus a quadratic
+    /// wall steering the search back inside.
+    pub fn energy_at(&self, class: AtomClass, pos: Vec3) -> f64 {
+        if !self.contains(pos) {
+            let probe = TypedAtom {
+                pos,
+                radius: class.radius(),
+                hydrophobic: class.hydrophobic,
+                donor: class.donor,
+                acceptor: class.acceptor,
+            };
+            let direct: f64 = self
+                .receptor
+                .iter()
+                .map(|r| pair_energy(&probe, r))
+                .sum();
+            return direct + self.wall_penalty(pos);
+        }
+        let field = &self.fields[&class];
+        let rel = (pos - self.origin) / self.spacing;
+        let (fx, fy, fz) = (rel.x, rel.y, rel.z);
+        let ix = (fx.floor() as usize).min(self.nx - 2);
+        let iy = (fy.floor() as usize).min(self.ny - 2);
+        let iz = (fz.floor() as usize).min(self.nz - 2);
+        let (tx, ty, tz) = (fx - ix as f64, fy - iy as f64, fz - iz as f64);
+        let mut acc = 0.0;
+        for (dz, wz) in [(0usize, 1.0 - tz), (1, tz)] {
+            for (dy, wy) in [(0usize, 1.0 - ty), (1, ty)] {
+                for (dx, wx) in [(0usize, 1.0 - tx), (1, tx)] {
+                    let v = field.values[self.index(ix + dx, iy + dy, iz + dz)];
+                    acc += v * wx * wy * wz;
+                }
+            }
+        }
+        acc
+    }
+
+    fn wall_penalty(&self, pos: Vec3) -> f64 {
+        let max = self.origin
+            + Vec3::new(
+                (self.nx - 1) as f64 * self.spacing,
+                (self.ny - 1) as f64 * self.spacing,
+                (self.nz - 1) as f64 * self.spacing,
+            );
+        let mut pen = 0.0;
+        for (p, lo, hi) in [
+            (pos.x, self.origin.x, max.x),
+            (pos.y, self.origin.y, max.y),
+            (pos.z, self.origin.z, max.z),
+        ] {
+            if p < lo {
+                pen += (lo - p) * (lo - p);
+            } else if p > hi {
+                pen += (p - hi) * (p - hi);
+            }
+        }
+        pen
+    }
+
+    /// Total grid energy of a ligand pose (per-atom class lookup).
+    pub fn ligand_energy(&self, atoms: &[TypedAtom]) -> f64 {
+        atoms.iter().map(|a| self.energy_at(a.class(), a.pos)).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scoring::intermolecular;
+
+    fn receptor_cluster() -> Vec<TypedAtom> {
+        // A little blob of typed atoms around the origin.
+        let mk = |x: f64, y: f64, z: f64, h: bool, d: bool, a: bool| TypedAtom {
+            pos: Vec3::new(x, y, z),
+            radius: 1.9,
+            hydrophobic: h,
+            donor: d,
+            acceptor: a,
+        };
+        vec![
+            mk(0.0, 0.0, 0.0, true, false, false),
+            mk(1.5, 1.0, 0.0, false, true, false),
+            mk(-1.0, 2.0, 1.0, false, false, true),
+            mk(2.0, -1.5, -1.0, true, false, false),
+        ]
+    }
+
+    fn lig_atom(pos: Vec3) -> TypedAtom {
+        TypedAtom { pos, radius: 1.9, hydrophobic: true, donor: false, acceptor: true }
+    }
+
+    #[test]
+    fn interpolation_matches_direct_evaluation() {
+        let receptor = receptor_cluster();
+        let class = lig_atom(Vec3::ZERO).class();
+        let grids = GridMaps::build(
+            &receptor,
+            &[class],
+            Vec3::ZERO,
+            Vec3::new(16.0, 16.0, 16.0),
+            0.25,
+        );
+        // Probe a few interior points: grid vs direct pairwise.
+        for pos in [
+            Vec3::new(3.7, 0.2, 0.1),
+            Vec3::new(-2.0, 3.0, 1.0),
+            Vec3::new(0.5, -4.0, 2.5),
+        ] {
+            let atom = lig_atom(pos);
+            let direct = intermolecular(&[atom], &receptor);
+            let via_grid = grids.energy_at(class, pos);
+            assert!(
+                (direct - via_grid).abs() < 0.05,
+                "grid {via_grid} vs direct {direct} at {pos:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn outside_box_falls_back_with_wall() {
+        let receptor = receptor_cluster();
+        let class = lig_atom(Vec3::ZERO).class();
+        let grids = GridMaps::build(&receptor, &[class], Vec3::ZERO, Vec3::new(8.0, 8.0, 8.0), 0.5);
+        let outside = Vec3::new(10.0, 0.0, 0.0);
+        assert!(!grids.contains(outside));
+        let e = grids.energy_at(class, outside);
+        // Wall adds (10-4)² = 36 on top of the (tiny) direct term.
+        assert!(e > 30.0, "wall should dominate, got {e}");
+    }
+
+    #[test]
+    fn dims_cover_box() {
+        let receptor = receptor_cluster();
+        let class = lig_atom(Vec3::ZERO).class();
+        let grids =
+            GridMaps::build(&receptor, &[class], Vec3::ZERO, Vec3::new(12.0, 9.0, 6.0), 0.75);
+        let (nx, ny, nz) = grids.dims();
+        assert_eq!(nx, 17);
+        assert_eq!(ny, 13);
+        assert_eq!(nz, 9);
+        assert!(grids.contains(Vec3::new(5.9, 4.4, 2.9)));
+        assert!(!grids.contains(Vec3::new(6.8, 0.0, 0.0)));
+    }
+
+    #[test]
+    fn ligand_energy_sums_atoms() {
+        let receptor = receptor_cluster();
+        let atoms = vec![lig_atom(Vec3::new(3.5, 0.0, 0.0)), lig_atom(Vec3::new(0.0, 3.5, 0.5))];
+        let classes: Vec<AtomClass> = atoms.iter().map(|a| a.class()).collect();
+        let grids =
+            GridMaps::build(&receptor, &classes, Vec3::ZERO, Vec3::new(14.0, 14.0, 14.0), 0.25);
+        let total = grids.ligand_energy(&atoms);
+        let manual: f64 = atoms.iter().map(|a| grids.energy_at(a.class(), a.pos)).sum();
+        assert!((total - manual).abs() < 1e-12);
+    }
+}

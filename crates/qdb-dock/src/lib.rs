@@ -1,0 +1,24 @@
+//! # qdb-dock
+//!
+//! A from-scratch AutoDock-Vina-style docking engine (the paper's §4.3.3
+//! docking substrate): Vina atom typing, the published five-term scoring
+//! function, precomputed receptor grids with trilinear interpolation,
+//! Monte-Carlo search with compass-search local refinement, pose
+//! clustering, and the paper's 20-seed replicated protocol with per-pose
+//! affinity and lb/ub RMSD reporting.
+
+pub mod cluster;
+pub mod engine;
+pub mod grid;
+pub mod local;
+pub mod pdbqt;
+pub mod pose;
+pub mod scoring;
+pub mod search;
+pub mod types;
+
+pub use cluster::{cluster_poses, rmsd_lower_bound, rmsd_upper_bound, ScoredPose};
+pub use engine::{dock, dock_replicates, DockOutcome, DockParams, DockRun};
+pub use grid::GridMaps;
+pub use pose::Pose;
+pub use types::{type_ligand, type_receptor, TypedAtom};

@@ -1,0 +1,437 @@
+//! PDBQT export (paper §7.1): "structures can be readily converted into
+//! the PDBQT format required by docking software such as AutoDock and
+//! AutoDock Vina". This module performs that conversion directly —
+//! AutoDock atom typing, approximate partial charges, and the
+//! ROOT/BRANCH/TORSDOF torsion tree for ligands.
+
+use qdb_mol::element::Element;
+use qdb_mol::ligand::Ligand;
+use qdb_mol::structure::Structure;
+use std::fmt::Write as _;
+
+/// AutoDock atom types used by this exporter.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AdType {
+    /// Aliphatic carbon.
+    C,
+    /// Aromatic carbon.
+    A,
+    /// Nitrogen (non-acceptor).
+    N,
+    /// Nitrogen acceptor.
+    NA,
+    /// Oxygen acceptor.
+    OA,
+    /// Sulfur acceptor.
+    SA,
+    /// Sulfur (non-acceptor).
+    S,
+    /// Phosphorus.
+    P,
+    /// Fluorine.
+    F,
+    /// Chlorine.
+    Cl,
+    /// Bromine.
+    Br,
+    /// Iodine.
+    I,
+    /// Polar hydrogen.
+    HD,
+}
+
+impl AdType {
+    /// PDBQT column string.
+    pub fn label(self) -> &'static str {
+        match self {
+            AdType::C => "C",
+            AdType::A => "A",
+            AdType::N => "N",
+            AdType::NA => "NA",
+            AdType::OA => "OA",
+            AdType::SA => "SA",
+            AdType::S => "S",
+            AdType::P => "P",
+            AdType::F => "F",
+            AdType::Cl => "Cl",
+            AdType::Br => "Br",
+            AdType::I => "I",
+            AdType::HD => "HD",
+        }
+    }
+}
+
+/// AutoDock type of a receptor atom (united-atom protein heuristics,
+/// matching `types::type_receptor`).
+pub fn receptor_ad_type(atom_name: &str, element: Element) -> AdType {
+    match element {
+        Element::C => AdType::C,
+        Element::N => {
+            if atom_name == "N" {
+                AdType::N // backbone amide N (donor, not acceptor)
+            } else {
+                AdType::NA // side-chain N
+            }
+        }
+        Element::O => AdType::OA,
+        Element::S => AdType::SA,
+        Element::P => AdType::P,
+        Element::F => AdType::F,
+        Element::Cl => AdType::Cl,
+        Element::Br => AdType::Br,
+        Element::I => AdType::I,
+        Element::H => AdType::HD,
+    }
+}
+
+/// Approximate Gasteiger-magnitude partial charge for a receptor atom.
+/// These are the textbook peptide charges used when a full charge model
+/// is unavailable; docking scores in this workspace do not consume them
+/// (they exist for interoperability of the exported files).
+pub fn receptor_charge(atom_name: &str, element: Element) -> f64 {
+    match (atom_name, element) {
+        ("N", Element::N) => -0.347,
+        ("CA", Element::C) => 0.177,
+        ("C", Element::C) => 0.241,
+        ("O", Element::O) => -0.271,
+        ("CB", Element::C) => 0.038,
+        (_, Element::O) => -0.393,
+        (_, Element::N) => -0.338,
+        (_, Element::S) => -0.108,
+        (_, Element::C) => 0.02,
+        _ => 0.0,
+    }
+}
+
+fn format_pdbqt_atom(
+    serial: usize,
+    name: &str,
+    res_name: &str,
+    chain: char,
+    res_seq: i32,
+    pos: [f64; 3],
+    charge: f64,
+    ad_type: AdType,
+) -> String {
+    let name_field = if name.len() >= 4 {
+        format!("{name:<4}")
+    } else {
+        format!(" {name:<3}")
+    };
+    format!(
+        "ATOM  {serial:>5} {name_field}{alt}{res:<3} {chain}{seq:>4}{icode}   {x:>8.3}{y:>8.3}{z:>8.3}{occ:>6.2}{b:>6.2}    {q:>6.3} {t:<2}",
+        serial = serial,
+        name_field = name_field,
+        alt = ' ',
+        res = res_name,
+        chain = chain,
+        seq = res_seq,
+        icode = ' ',
+        x = pos[0],
+        y = pos[1],
+        z = pos[2],
+        occ = 1.0,
+        b = 0.0,
+        q = charge,
+        t = ad_type.label(),
+    )
+}
+
+/// Serializes a rigid receptor to PDBQT.
+pub fn write_receptor_pdbqt(receptor: &Structure) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "REMARK  QDockBank-rs rigid receptor");
+    let mut serial = 1usize;
+    for res in &receptor.residues {
+        for atom in &res.atoms {
+            let ad = receptor_ad_type(&atom.name, atom.element);
+            let q = receptor_charge(&atom.name, atom.element);
+            let _ = writeln!(
+                out,
+                "{}",
+                format_pdbqt_atom(
+                    serial,
+                    &atom.name,
+                    &res.name,
+                    receptor.chain_id,
+                    res.seq_num,
+                    atom.pos.to_array(),
+                    q,
+                    ad,
+                )
+            );
+            serial += 1;
+        }
+    }
+    out.push_str("TER\n");
+    out
+}
+
+/// AutoDock type of a ligand atom.
+fn ligand_ad_type(atom: &qdb_mol::ligand::LigandAtom) -> AdType {
+    match atom.element {
+        Element::C => AdType::C,
+        Element::N => {
+            if atom.acceptor {
+                AdType::NA
+            } else {
+                AdType::N
+            }
+        }
+        Element::O => AdType::OA,
+        Element::S => AdType::SA,
+        Element::P => AdType::P,
+        Element::F => AdType::F,
+        Element::Cl => AdType::Cl,
+        Element::Br => AdType::Br,
+        Element::I => AdType::I,
+        Element::H => AdType::HD,
+    }
+}
+
+fn ligand_charge(atom: &qdb_mol::ligand::LigandAtom) -> f64 {
+    match atom.element {
+        Element::O => -0.35,
+        Element::N => -0.30,
+        Element::S => -0.10,
+        Element::F => -0.22,
+        _ => 0.03,
+    }
+}
+
+/// Serializes a ligand to PDBQT with its ROOT/BRANCH torsion tree and
+/// `TORSDOF` record.
+///
+/// The branch nesting mirrors the generator's torsion tree: an atom
+/// belongs to the innermost branch whose moving set contains it; atoms in
+/// no moving set form the ROOT block.
+pub fn write_ligand_pdbqt(ligand: &Ligand) -> String {
+    let n = ligand.num_atoms();
+    // innermost containing torsion per atom (smallest moving set wins)
+    let mut owner: Vec<Option<usize>> = vec![None; n];
+    for (t, torsion) in ligand.torsions.iter().enumerate() {
+        for &m in &torsion.moving {
+            let better = match owner[m] {
+                None => true,
+                Some(prev) => torsion.moving.len() < ligand.torsions[prev].moving.len(),
+            };
+            if better {
+                owner[m] = Some(t);
+            }
+        }
+    }
+    // direct parent torsion of each torsion: the innermost torsion owning
+    // its anchor atom `b`'s parent side... equivalently, the innermost
+    // *other* torsion whose moving set strictly contains this one's.
+    let parent_of = |t: usize| -> Option<usize> {
+        let mine = &ligand.torsions[t].moving;
+        ligand
+            .torsions
+            .iter()
+            .enumerate()
+            .filter(|(o, tor)| {
+                *o != t
+                    && tor.moving.len() > mine.len()
+                    && mine.iter().all(|m| tor.moving.contains(m))
+            })
+            .min_by_key(|(_, tor)| tor.moving.len())
+            .map(|(o, _)| o)
+    };
+    let children: Vec<Vec<usize>> = {
+        let mut c = vec![Vec::new(); ligand.torsions.len() + 1];
+        for t in 0..ligand.torsions.len() {
+            match parent_of(t) {
+                Some(p) => c[p + 1].push(t),
+                None => c[0].push(t), // child of ROOT
+            }
+        }
+        c
+    };
+
+    let mut out = String::new();
+    let _ = writeln!(out, "REMARK  QDockBank-rs ligand, {} active torsions", ligand.num_rotatable());
+    let mut serial = 1usize;
+    let mut atom_serial: Vec<usize> = vec![0; n];
+    let emit_atoms = |out: &mut String, serial: &mut usize, atom_serial: &mut Vec<usize>, atoms: &[usize]| {
+        let mut counters = std::collections::HashMap::new();
+        for &i in atoms {
+            let atom = &ligand.atoms[i];
+            let k = counters.entry(atom.element).or_insert(0usize);
+            *k += 1;
+            let name = format!("{}{}", atom.element.symbol(), i + 1);
+            let _ = writeln!(
+                out,
+                "{}",
+                format_pdbqt_atom(
+                    *serial,
+                    &name,
+                    "LIG",
+                    'L',
+                    1,
+                    atom.pos.to_array(),
+                    ligand_charge(atom),
+                    ligand_ad_type(atom),
+                )
+            );
+            atom_serial[i] = *serial;
+            *serial += 1;
+        }
+    };
+
+    // ROOT block.
+    let root_atoms: Vec<usize> = (0..n).filter(|&i| owner[i].is_none()).collect();
+    let _ = writeln!(out, "ROOT");
+    emit_atoms(&mut out, &mut serial, &mut atom_serial, &root_atoms);
+    let _ = writeln!(out, "ENDROOT");
+
+    // Recursive branches (iterative DFS with explicit close markers).
+    #[derive(Clone, Copy)]
+    enum Step {
+        Open(usize),
+        Close(usize),
+    }
+    let mut stack: Vec<Step> = children[0].iter().rev().map(|&t| Step::Open(t)).collect();
+    while let Some(step) = stack.pop() {
+        match step {
+            Step::Open(t) => {
+                let torsion = &ligand.torsions[t];
+                // Anchor serials may not exist yet for the moving-side atom
+                // (it is emitted inside the branch), so emit the branch
+                // header with atom indices resolved afterwards; PDBQT uses
+                // serials, so emit atoms first in our ordering: the `a`
+                // side is always already emitted (root or outer branch).
+                let exclusive: Vec<usize> = torsion
+                    .moving
+                    .iter()
+                    .copied()
+                    .filter(|&m| owner[m] == Some(t))
+                    .collect();
+                let a_serial = atom_serial[torsion.a];
+                // The `b` atom is the first of this branch's exclusive set
+                // by construction of the generator's subtrees.
+                let _ = writeln!(out, "BRANCH {a_serial:>3} {b_serial:>3}", b_serial = serial);
+                emit_atoms(&mut out, &mut serial, &mut atom_serial, &exclusive);
+                stack.push(Step::Close(t));
+                for &child in children[t + 1].iter().rev() {
+                    stack.push(Step::Open(child));
+                }
+            }
+            Step::Close(t) => {
+                let torsion = &ligand.torsions[t];
+                let _ = writeln!(
+                    out,
+                    "ENDBRANCH {:>3} {:>3}",
+                    atom_serial[torsion.a], atom_serial[torsion.b]
+                );
+            }
+        }
+    }
+    let _ = writeln!(out, "TORSDOF {}", ligand.num_rotatable());
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qdb_mol::builder::{build_peptide, classify_side_chain, ResidueSpec};
+    use qdb_mol::geometry::Vec3;
+    use qdb_mol::ligand::generate_ligand;
+
+    fn receptor() -> Structure {
+        let trace = vec![
+            Vec3::new(0.0, 0.0, 0.0),
+            Vec3::new(3.8, 0.0, 0.0),
+            Vec3::new(5.0, 3.4, 0.8),
+            Vec3::new(8.2, 5.0, 1.2),
+        ];
+        let specs: Vec<ResidueSpec> = "LKDS"
+            .chars()
+            .enumerate()
+            .map(|(i, c)| ResidueSpec {
+                name: "UNK".into(),
+                seq_num: i as i32 + 1,
+                side_chain: classify_side_chain(c),
+            })
+            .collect();
+        build_peptide(&trace, &specs)
+    }
+
+    #[test]
+    fn receptor_pdbqt_has_types_and_charges() {
+        let text = write_receptor_pdbqt(&receptor());
+        assert!(text.starts_with("REMARK"));
+        assert!(text.trim_end().ends_with("TER"));
+        let atom_lines: Vec<&str> = text.lines().filter(|l| l.starts_with("ATOM")).collect();
+        assert_eq!(atom_lines.len(), receptor().num_atoms());
+        // Every ATOM line carries a parseable charge and a known type.
+        for line in atom_lines {
+            let charge: f64 = line[70..76].trim().parse().expect("charge field");
+            assert!(charge.abs() < 1.0);
+            let t = line[77..].trim();
+            assert!(
+                ["C", "A", "N", "NA", "OA", "SA", "S", "HD"].contains(&t),
+                "unexpected type {t:?} in {line}"
+            );
+        }
+        // Backbone N typed as donor N, carbonyl O as OA.
+        assert!(text.contains(" N   UNK"));
+        let n_line = text.lines().find(|l| l.contains(" N   UNK")).unwrap();
+        assert!(n_line.trim_end().ends_with(" N"));
+    }
+
+    #[test]
+    fn ligand_pdbqt_torsion_tree_is_balanced() {
+        for seed in [1u64, 9, 42, 77] {
+            let lig = generate_ligand(seed, 18);
+            let text = write_ligand_pdbqt(&lig);
+            assert_eq!(text.lines().filter(|l| *l == "ROOT").count(), 1);
+            assert_eq!(text.lines().filter(|l| *l == "ENDROOT").count(), 1);
+            let open = text.lines().filter(|l| l.starts_with("BRANCH")).count();
+            let close = text.lines().filter(|l| l.starts_with("ENDBRANCH")).count();
+            assert_eq!(open, close, "seed {seed}: unbalanced branches");
+            assert_eq!(open, lig.num_rotatable(), "one BRANCH per torsion");
+            assert!(text.contains(&format!("TORSDOF {}", lig.num_rotatable())));
+            // All atoms emitted exactly once.
+            let atoms = text.lines().filter(|l| l.starts_with("ATOM")).count();
+            assert_eq!(atoms, lig.num_atoms());
+        }
+    }
+
+    #[test]
+    fn ligand_pdbqt_branch_serials_are_valid() {
+        let lig = generate_ligand(5, 16);
+        let text = write_ligand_pdbqt(&lig);
+        let atom_count = text.lines().filter(|l| l.starts_with("ATOM")).count();
+        for line in text.lines() {
+            if let Some(rest) = line.strip_prefix("BRANCH") {
+                let parts: Vec<usize> = rest
+                    .split_whitespace()
+                    .map(|s| s.parse().expect("serial"))
+                    .collect();
+                assert_eq!(parts.len(), 2);
+                for s in parts {
+                    assert!(s >= 1 && s <= atom_count, "serial {s} out of range");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn coordinates_match_source_structures() {
+        let lig = generate_ligand(3, 12);
+        let text = write_ligand_pdbqt(&lig);
+        // Coordinates in column 31..54, one line per atom; compare the
+        // multiset of x-coordinates.
+        let mut xs_pdbqt: Vec<f64> = text
+            .lines()
+            .filter(|l| l.starts_with("ATOM"))
+            .map(|l| l[30..38].trim().parse::<f64>().unwrap())
+            .collect();
+        let mut xs_src: Vec<f64> = lig.atoms.iter().map(|a| (a.pos.x * 1000.0).round() / 1000.0).collect();
+        xs_pdbqt.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        xs_src.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        for (a, b) in xs_pdbqt.iter().zip(&xs_src) {
+            assert!((a - b).abs() < 1e-3);
+        }
+    }
+}

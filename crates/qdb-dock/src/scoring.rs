@@ -1,0 +1,201 @@
+//! The AutoDock Vina empirical scoring function (Trott & Olson 2010).
+//!
+//! Five terms over the surface distance `d = r − R_i − R_j`, truncated at
+//! 8 Å center distance, with the published weights; the reported affinity
+//! divides the intermolecular energy by `1 + w_rot·N_rot`.
+
+use crate::types::TypedAtom;
+
+/// Published Vina weights.
+pub mod weights {
+    /// gauss1 weight.
+    pub const GAUSS1: f64 = -0.035579;
+    /// gauss2 weight.
+    pub const GAUSS2: f64 = -0.005156;
+    /// repulsion weight.
+    pub const REPULSION: f64 = 0.840245;
+    /// hydrophobic weight.
+    pub const HYDROPHOBIC: f64 = -0.035069;
+    /// hydrogen-bond weight.
+    pub const HBOND: f64 = -0.587439;
+    /// N_rot penalty weight.
+    pub const ROT: f64 = 0.05846;
+}
+
+/// Interaction cutoff on center-to-center distance (Å).
+pub const CUTOFF: f64 = 8.0;
+
+/// The five raw term values for one atom pair at surface distance `d`.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct Terms {
+    /// exp(−(d/0.5)²).
+    pub gauss1: f64,
+    /// exp(−((d−3)/2)²).
+    pub gauss2: f64,
+    /// d² for d < 0.
+    pub repulsion: f64,
+    /// Hydrophobic ramp.
+    pub hydrophobic: f64,
+    /// H-bond ramp.
+    pub hbond: f64,
+}
+
+impl Terms {
+    /// Weighted sum.
+    pub fn weighted(&self) -> f64 {
+        weights::GAUSS1 * self.gauss1
+            + weights::GAUSS2 * self.gauss2
+            + weights::REPULSION * self.repulsion
+            + weights::HYDROPHOBIC * self.hydrophobic
+            + weights::HBOND * self.hbond
+    }
+}
+
+/// Evaluates the raw terms for an atom pair (0 beyond the cutoff).
+#[inline]
+pub fn pair_terms(a: &TypedAtom, b: &TypedAtom) -> Terms {
+    let r = a.pos.distance(b.pos);
+    if r > CUTOFF {
+        return Terms::default();
+    }
+    // Parenthesized so the score is *exactly* symmetric in (a, b).
+    let d = r - (a.radius + b.radius);
+    let mut t = Terms {
+        gauss1: (-(d / 0.5) * (d / 0.5)).exp(),
+        gauss2: (-((d - 3.0) / 2.0) * ((d - 3.0) / 2.0)).exp(),
+        repulsion: if d < 0.0 { d * d } else { 0.0 },
+        hydrophobic: 0.0,
+        hbond: 0.0,
+    };
+    if a.hydrophobic && b.hydrophobic {
+        t.hydrophobic = ramp(d, 0.5, 1.5);
+    }
+    let hb_pair = (a.donor && b.acceptor) || (a.acceptor && b.donor);
+    if hb_pair {
+        t.hbond = ramp(d, -0.7, 0.0);
+    }
+    t
+}
+
+/// Linear ramp: 1 below `lo`, 0 above `hi`.
+#[inline]
+fn ramp(d: f64, lo: f64, hi: f64) -> f64 {
+    if d <= lo {
+        1.0
+    } else if d >= hi {
+        0.0
+    } else {
+        (hi - d) / (hi - lo)
+    }
+}
+
+/// Weighted interaction energy of one pair.
+#[inline]
+pub fn pair_energy(a: &TypedAtom, b: &TypedAtom) -> f64 {
+    pair_terms(a, b).weighted()
+}
+
+/// Total intermolecular energy between a ligand pose and the receptor.
+pub fn intermolecular(ligand: &[TypedAtom], receptor: &[TypedAtom]) -> f64 {
+    ligand
+        .iter()
+        .map(|la| receptor.iter().map(|ra| pair_energy(la, ra)).sum::<f64>())
+        .sum()
+}
+
+/// Intramolecular ligand energy over pairs at bond-path distance ≥ 4
+/// (`pairs` precomputed by the engine).
+pub fn intramolecular(ligand: &[TypedAtom], pairs: &[(usize, usize)]) -> f64 {
+    pairs
+        .iter()
+        .map(|&(i, j)| pair_energy(&ligand[i], &ligand[j]))
+        .sum()
+}
+
+/// Converts intermolecular energy to the reported affinity (kcal/mol):
+/// `e_inter / (1 + w_rot·N_rot)`.
+pub fn affinity(e_inter: f64, n_rot: usize) -> f64 {
+    e_inter / (1.0 + weights::ROT * n_rot as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qdb_mol::geometry::Vec3;
+
+    fn atom(x: f64, hydrophobic: bool, donor: bool, acceptor: bool) -> TypedAtom {
+        TypedAtom { pos: Vec3::new(x, 0.0, 0.0), radius: 1.9, hydrophobic, donor, acceptor }
+    }
+
+    #[test]
+    fn contact_distance_is_attractive_overlap_repulsive() {
+        let a = atom(0.0, false, false, false);
+        // Surface contact: d = 0 → gauss1 = 1 (max attraction).
+        let at_contact = atom(3.8, false, false, false);
+        let e_contact = pair_energy(&a, &at_contact);
+        assert!(e_contact < 0.0, "contact should attract, got {e_contact}");
+        // Deep overlap: repulsion dominates.
+        let overlapping = atom(1.0, false, false, false);
+        let e_overlap = pair_energy(&a, &overlapping);
+        assert!(e_overlap > 1.0, "overlap should strongly repel, got {e_overlap}");
+    }
+
+    #[test]
+    fn cutoff_zeroes_energy() {
+        let a = atom(0.0, true, true, true);
+        let far = atom(8.1, true, true, true);
+        assert_eq!(pair_energy(&a, &far), 0.0);
+        let near = atom(7.9, true, true, true);
+        assert!(pair_energy(&a, &near).abs() > 0.0);
+    }
+
+    #[test]
+    fn hydrophobic_term_requires_both() {
+        let d = 3.8 + 0.3; // d = 0.3, inside the hydrophobic ramp
+        let hh = pair_terms(&atom(0.0, true, false, false), &atom(d, true, false, false));
+        let hp = pair_terms(&atom(0.0, true, false, false), &atom(d, false, false, false));
+        assert!(hh.hydrophobic > 0.0);
+        assert_eq!(hp.hydrophobic, 0.0);
+    }
+
+    #[test]
+    fn hbond_term_requires_complementary_pair() {
+        let x = 3.8 - 0.3; // d = -0.3, partial H-bond ramp
+        let da = pair_terms(&atom(0.0, false, true, false), &atom(x, false, false, true));
+        let dd = pair_terms(&atom(0.0, false, true, false), &atom(x, false, true, false));
+        assert!(da.hbond > 0.0 && da.hbond < 1.0);
+        assert_eq!(dd.hbond, 0.0);
+        // Full strength below -0.7.
+        let tight = pair_terms(&atom(0.0, false, true, false), &atom(2.9, false, false, true));
+        assert_eq!(tight.hbond, 1.0);
+    }
+
+    #[test]
+    fn gauss_terms_peak_at_expected_distances() {
+        let probe = |sep: f64| pair_terms(&atom(0.0, false, false, false), &atom(sep, false, false, false));
+        // gauss1 peaks at d=0 (sep = 3.8).
+        assert!(probe(3.8).gauss1 > probe(4.3).gauss1);
+        assert!(probe(3.8).gauss1 > probe(3.3).gauss1);
+        // gauss2 peaks at d=3 (sep = 6.8).
+        assert!(probe(6.8).gauss2 > probe(5.8).gauss2);
+        assert!(probe(6.8).gauss2 > probe(7.8).gauss2);
+    }
+
+    #[test]
+    fn affinity_divides_by_rotor_penalty() {
+        let e = -7.0;
+        assert!((affinity(e, 0) - e).abs() < 1e-12);
+        let a5 = affinity(e, 5);
+        assert!(a5 > e, "penalty should shrink magnitude");
+        assert!((a5 - e / (1.0 + 0.05846 * 5.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn intermolecular_sums_pairs() {
+        let lig = vec![atom(0.0, true, false, false), atom(1.5, true, false, false)];
+        let rec = vec![atom(5.0, true, false, false)];
+        let total = intermolecular(&lig, &rec);
+        let manual = pair_energy(&lig[0], &rec[0]) + pair_energy(&lig[1], &rec[0]);
+        assert!((total - manual).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,211 @@
+//! Vina-style atom typing for receptors and ligands.
+
+use qdb_mol::element::Element;
+use qdb_mol::geometry::Vec3;
+use qdb_mol::ligand::Ligand;
+use qdb_mol::structure::Structure;
+
+/// An atom prepared for scoring: position plus the Vina-relevant traits.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TypedAtom {
+    /// Position (Å).
+    pub pos: Vec3,
+    /// Vina atom radius (Å) — note these differ from Bondi vdW radii.
+    pub radius: f64,
+    /// Participates in the hydrophobic term.
+    pub hydrophobic: bool,
+    /// Hydrogen-bond donor.
+    pub donor: bool,
+    /// Hydrogen-bond acceptor.
+    pub acceptor: bool,
+}
+
+impl TypedAtom {
+    /// The scoring "class" of an atom — everything except its position.
+    /// Atoms in the same class share precomputed grids.
+    pub fn class(&self) -> AtomClass {
+        AtomClass {
+            radius_centi: (self.radius * 100.0).round() as u32,
+            hydrophobic: self.hydrophobic,
+            donor: self.donor,
+            acceptor: self.acceptor,
+        }
+    }
+}
+
+/// Hashable scoring class (see [`TypedAtom::class`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct AtomClass {
+    /// Radius in centi-Å (exact for table radii).
+    pub radius_centi: u32,
+    /// Hydrophobic flag.
+    pub hydrophobic: bool,
+    /// Donor flag.
+    pub donor: bool,
+    /// Acceptor flag.
+    pub acceptor: bool,
+}
+
+impl AtomClass {
+    /// Radius in Å.
+    pub fn radius(&self) -> f64 {
+        self.radius_centi as f64 / 100.0
+    }
+}
+
+/// Vina's per-element radii (united-atom; hydrogens are implicit).
+pub fn vina_radius(element: Element) -> f64 {
+    match element {
+        Element::C => 1.9,
+        Element::N => 1.8,
+        Element::O => 1.7,
+        Element::S => 2.0,
+        Element::P => 2.1,
+        Element::F => 1.5,
+        Element::Cl => 1.8,
+        Element::Br => 2.0,
+        Element::I => 2.2,
+        Element::H => 1.0,
+    }
+}
+
+/// Types every heavy atom of a receptor structure.
+///
+/// Heuristics follow AutoDockTools' united-atom assignment: carbons are
+/// hydrophobic; backbone N is a donor; backbone/carbonyl O are acceptors;
+/// side-chain polar tips (`OG`/`NG` from the peptide builder, or any
+/// O/N side-chain atom) are donor+acceptor.
+pub fn type_receptor(receptor: &Structure) -> Vec<TypedAtom> {
+    let mut out = Vec::with_capacity(receptor.num_atoms());
+    for residue in &receptor.residues {
+        for atom in &residue.atoms {
+            if atom.element == Element::H {
+                continue;
+            }
+            let radius = vina_radius(atom.element);
+            let (hydrophobic, donor, acceptor) = match atom.element {
+                Element::C => (true, false, false),
+                Element::N => {
+                    if atom.name == "N" {
+                        (false, true, false) // backbone amide
+                    } else {
+                        (false, true, true) // side-chain N
+                    }
+                }
+                Element::O => {
+                    if atom.name == "O" {
+                        (false, false, true) // carbonyl
+                    } else {
+                        (false, true, true) // hydroxyl-like
+                    }
+                }
+                Element::S => (true, false, false),
+                _ => (false, false, false),
+            };
+            out.push(TypedAtom { pos: atom.pos, radius, hydrophobic, donor, acceptor });
+        }
+    }
+    out
+}
+
+/// Types every atom of a ligand (flags carried from generation).
+pub fn type_ligand(ligand: &Ligand) -> Vec<TypedAtom> {
+    ligand
+        .atoms
+        .iter()
+        .map(|a| TypedAtom {
+            pos: a.pos,
+            radius: vina_radius(a.element),
+            hydrophobic: matches!(a.element, Element::C | Element::S),
+            donor: a.donor,
+            acceptor: a.acceptor,
+        })
+        .collect()
+}
+
+/// Re-types a ligand at new positions (same order as `type_ligand`).
+pub fn retype_positions(template: &[TypedAtom], positions: &[Vec3]) -> Vec<TypedAtom> {
+    debug_assert_eq!(template.len(), positions.len());
+    template
+        .iter()
+        .zip(positions)
+        .map(|(t, &pos)| TypedAtom { pos, ..*t })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qdb_mol::builder::{build_peptide, classify_side_chain, ResidueSpec};
+    use qdb_mol::ligand::generate_ligand;
+
+    fn toy_receptor() -> Structure {
+        let s = 3.8 / (3.0f64).sqrt();
+        let trace: Vec<Vec3> = (0..4)
+            .scan(Vec3::ZERO, |p, i| {
+                let out = *p;
+                let d = if i % 2 == 0 {
+                    Vec3::new(1.0, 1.0, 1.0)
+                } else {
+                    Vec3::new(-1.0, 1.0, 1.0)
+                };
+                *p += d * s;
+                Some(out)
+            })
+            .collect();
+        let specs: Vec<ResidueSpec> = "LKDS"
+            .chars()
+            .enumerate()
+            .map(|(i, c)| ResidueSpec {
+                name: "UNK".into(),
+                seq_num: i as i32 + 1,
+                side_chain: classify_side_chain(c),
+            })
+            .collect();
+        build_peptide(&trace, &specs)
+    }
+
+    #[test]
+    fn receptor_typing_covers_all_heavy_atoms() {
+        let r = toy_receptor();
+        let typed = type_receptor(&r);
+        assert_eq!(typed.len(), r.num_atoms(), "no hydrogens in the builder output");
+        assert!(typed.iter().any(|a| a.hydrophobic), "carbons present");
+        assert!(typed.iter().any(|a| a.donor), "backbone N present");
+        assert!(typed.iter().any(|a| a.acceptor), "carbonyl O present");
+    }
+
+    #[test]
+    fn ligand_typing_preserves_flags() {
+        let l = generate_ligand(9, 16);
+        let typed = type_ligand(&l);
+        assert_eq!(typed.len(), l.num_atoms());
+        for (t, a) in typed.iter().zip(&l.atoms) {
+            assert_eq!(t.donor, a.donor);
+            assert_eq!(t.acceptor, a.acceptor);
+            assert_eq!(t.radius, vina_radius(a.element));
+        }
+    }
+
+    #[test]
+    fn class_groups_by_traits() {
+        let a = TypedAtom { pos: Vec3::ZERO, radius: 1.9, hydrophobic: true, donor: false, acceptor: false };
+        let b = TypedAtom { pos: Vec3::new(1.0, 0.0, 0.0), ..a };
+        assert_eq!(a.class(), b.class());
+        let c = TypedAtom { radius: 1.8, ..a };
+        assert_ne!(a.class(), c.class());
+        assert!((c.class().radius() - 1.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn retype_moves_positions_only() {
+        let l = generate_ligand(4, 12);
+        let typed = type_ligand(&l);
+        let moved: Vec<Vec3> = l.positions().iter().map(|&p| p + Vec3::new(1.0, 2.0, 3.0)).collect();
+        let retyped = retype_positions(&typed, &moved);
+        for (a, b) in typed.iter().zip(&retyped) {
+            assert_eq!(a.radius, b.radius);
+            assert!((b.pos - a.pos - Vec3::new(1.0, 2.0, 3.0)).norm() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,131 @@
+//! Property-based tests for the docking engine's scoring and clustering
+//! invariants.
+
+use proptest::prelude::*;
+use qdb_dock::cluster::{cluster_poses, rmsd_lower_bound, rmsd_upper_bound};
+use qdb_dock::pose::Pose;
+use qdb_dock::scoring::{affinity, pair_energy, pair_terms, CUTOFF};
+use qdb_dock::types::TypedAtom;
+use qdb_mol::geometry::Vec3;
+use qdb_mol::ligand::generate_ligand;
+
+fn arb_atom() -> impl Strategy<Value = TypedAtom> {
+    (
+        (-8.0f64..8.0, -8.0f64..8.0, -8.0f64..8.0),
+        prop_oneof![Just(1.7f64), Just(1.8), Just(1.9), Just(2.0)],
+        any::<bool>(),
+        any::<bool>(),
+        any::<bool>(),
+    )
+        .prop_map(|((x, y, z), radius, hydrophobic, donor, acceptor)| TypedAtom {
+            pos: Vec3::new(x, y, z),
+            radius,
+            hydrophobic,
+            donor,
+            acceptor,
+        })
+}
+
+fn arb_cloud(n: usize) -> impl Strategy<Value = Vec<Vec3>> {
+    proptest::collection::vec(
+        (-10.0f64..10.0, -10.0f64..10.0, -10.0f64..10.0).prop_map(|(x, y, z)| Vec3::new(x, y, z)),
+        n..=n,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Pair scoring is symmetric in its arguments.
+    #[test]
+    fn pair_energy_symmetric(a in arb_atom(), b in arb_atom()) {
+        prop_assert_eq!(pair_energy(&a, &b), pair_energy(&b, &a));
+    }
+
+    /// All raw terms are non-negative and vanish beyond the cutoff.
+    #[test]
+    fn terms_nonnegative_and_cut(a in arb_atom(), b in arb_atom()) {
+        let t = pair_terms(&a, &b);
+        prop_assert!(t.gauss1 >= 0.0 && t.gauss1 <= 1.0);
+        prop_assert!(t.gauss2 >= 0.0 && t.gauss2 <= 1.0);
+        prop_assert!(t.repulsion >= 0.0);
+        prop_assert!((0.0..=1.0).contains(&t.hydrophobic));
+        prop_assert!((0.0..=1.0).contains(&t.hbond));
+        if a.pos.distance(b.pos) > CUTOFF {
+            prop_assert_eq!(t, Default::default());
+        }
+    }
+
+    /// The rotor penalty shrinks the magnitude but never flips the sign.
+    #[test]
+    fn affinity_penalty_monotone(e in -12.0f64..0.0, n1 in 0usize..10, n2 in 0usize..10) {
+        let (lo, hi) = (n1.min(n2), n1.max(n2));
+        let a_lo = affinity(e, lo);
+        let a_hi = affinity(e, hi);
+        prop_assert!(a_lo <= a_hi + 1e-12, "more rotors must weaken binding");
+        prop_assert!(a_hi <= 0.0);
+    }
+
+    /// Pose-RMSD lower bound never exceeds the upper bound, and both are
+    /// zero exactly on identical poses.
+    #[test]
+    fn rmsd_bounds_ordering(a in arb_cloud(6), b in arb_cloud(6)) {
+        let lb = rmsd_lower_bound(&a, &b);
+        let ub = rmsd_upper_bound(&a, &b);
+        prop_assert!(lb <= ub + 1e-9);
+        prop_assert!(rmsd_upper_bound(&a, &a) < 1e-12);
+        prop_assert!(rmsd_lower_bound(&a, &a) < 1e-12);
+    }
+
+    /// Clustering output is sorted, deduplicated (pairwise u.b. RMSD ≥
+    /// threshold) and bounded in size.
+    #[test]
+    fn clustering_invariants(
+        shifts in proptest::collection::vec(0.0f64..30.0, 1..20),
+        max_poses in 1usize..8,
+    ) {
+        let candidates: Vec<(Vec<Vec3>, f64)> = shifts
+            .iter()
+            .map(|&s| {
+                let coords: Vec<Vec3> =
+                    (0..5).map(|i| Vec3::new(i as f64 * 1.5 + s, 0.0, 0.0)).collect();
+                (coords, -s)
+            })
+            .collect();
+        let out = cluster_poses(candidates, 1.0, max_poses);
+        prop_assert!(out.len() <= max_poses);
+        prop_assert!(!out.is_empty());
+        for w in out.windows(2) {
+            prop_assert!(w[0].affinity <= w[1].affinity);
+        }
+        for i in 0..out.len() {
+            for j in (i + 1)..out.len() {
+                prop_assert!(
+                    rmsd_upper_bound(&out[i].coords, &out[j].coords) >= 1.0 - 1e-9,
+                    "kept poses too similar"
+                );
+            }
+        }
+    }
+
+    /// Pose application is deterministic and rigid DOFs preserve internal
+    /// geometry for any orientation.
+    #[test]
+    fn pose_rigidity(seed in any::<u64>(), dof in 0usize..6, delta in -2.0f64..2.0) {
+        let lig = generate_ligand(seed, 12);
+        let base = Pose::at(Vec3::new(1.0, -2.0, 0.5), lig.num_rotatable());
+        let moved = base.nudge(dof, delta);
+        let a = moved.apply(&lig);
+        let b = moved.apply(&lig);
+        prop_assert_eq!(&a, &b, "pose application must be deterministic");
+        // Rigid DOFs (0-5) keep all pairwise distances.
+        let orig = base.apply(&lig);
+        for i in 0..orig.len() {
+            for j in (i + 1)..orig.len() {
+                prop_assert!(
+                    (orig[i].distance(orig[j]) - a[i].distance(a[j])).abs() < 1e-9
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,288 @@
+//! The twenty standard amino acids and their coarse-grained properties.
+
+use std::fmt;
+
+/// One of the 20 standard amino acids.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum AminoAcid {
+    Ala,
+    Arg,
+    Asn,
+    Asp,
+    Cys,
+    Gln,
+    Glu,
+    Gly,
+    His,
+    Ile,
+    Leu,
+    Lys,
+    Met,
+    Phe,
+    Pro,
+    Ser,
+    Thr,
+    Trp,
+    Tyr,
+    Val,
+}
+
+/// All 20 amino acids in enum order.
+pub const ALL_AMINO_ACIDS: [AminoAcid; 20] = [
+    AminoAcid::Ala,
+    AminoAcid::Arg,
+    AminoAcid::Asn,
+    AminoAcid::Asp,
+    AminoAcid::Cys,
+    AminoAcid::Gln,
+    AminoAcid::Glu,
+    AminoAcid::Gly,
+    AminoAcid::His,
+    AminoAcid::Ile,
+    AminoAcid::Leu,
+    AminoAcid::Lys,
+    AminoAcid::Met,
+    AminoAcid::Phe,
+    AminoAcid::Pro,
+    AminoAcid::Ser,
+    AminoAcid::Thr,
+    AminoAcid::Trp,
+    AminoAcid::Tyr,
+    AminoAcid::Val,
+];
+
+impl AminoAcid {
+    /// Index 0..20 (enum order).
+    #[inline]
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
+    /// Parses a one-letter code (case-insensitive).
+    pub fn from_one_letter(c: char) -> Option<AminoAcid> {
+        Some(match c.to_ascii_uppercase() {
+            'A' => AminoAcid::Ala,
+            'R' => AminoAcid::Arg,
+            'N' => AminoAcid::Asn,
+            'D' => AminoAcid::Asp,
+            'C' => AminoAcid::Cys,
+            'Q' => AminoAcid::Gln,
+            'E' => AminoAcid::Glu,
+            'G' => AminoAcid::Gly,
+            'H' => AminoAcid::His,
+            'I' => AminoAcid::Ile,
+            'L' => AminoAcid::Leu,
+            'K' => AminoAcid::Lys,
+            'M' => AminoAcid::Met,
+            'F' => AminoAcid::Phe,
+            'P' => AminoAcid::Pro,
+            'S' => AminoAcid::Ser,
+            'T' => AminoAcid::Thr,
+            'W' => AminoAcid::Trp,
+            'Y' => AminoAcid::Tyr,
+            'V' => AminoAcid::Val,
+            _ => return None,
+        })
+    }
+
+    /// One-letter code.
+    pub fn one_letter(self) -> char {
+        match self {
+            AminoAcid::Ala => 'A',
+            AminoAcid::Arg => 'R',
+            AminoAcid::Asn => 'N',
+            AminoAcid::Asp => 'D',
+            AminoAcid::Cys => 'C',
+            AminoAcid::Gln => 'Q',
+            AminoAcid::Glu => 'E',
+            AminoAcid::Gly => 'G',
+            AminoAcid::His => 'H',
+            AminoAcid::Ile => 'I',
+            AminoAcid::Leu => 'L',
+            AminoAcid::Lys => 'K',
+            AminoAcid::Met => 'M',
+            AminoAcid::Phe => 'F',
+            AminoAcid::Pro => 'P',
+            AminoAcid::Ser => 'S',
+            AminoAcid::Thr => 'T',
+            AminoAcid::Trp => 'W',
+            AminoAcid::Tyr => 'Y',
+            AminoAcid::Val => 'V',
+        }
+    }
+
+    /// Three-letter code (PDB residue name).
+    pub fn three_letter(self) -> &'static str {
+        match self {
+            AminoAcid::Ala => "ALA",
+            AminoAcid::Arg => "ARG",
+            AminoAcid::Asn => "ASN",
+            AminoAcid::Asp => "ASP",
+            AminoAcid::Cys => "CYS",
+            AminoAcid::Gln => "GLN",
+            AminoAcid::Glu => "GLU",
+            AminoAcid::Gly => "GLY",
+            AminoAcid::His => "HIS",
+            AminoAcid::Ile => "ILE",
+            AminoAcid::Leu => "LEU",
+            AminoAcid::Lys => "LYS",
+            AminoAcid::Met => "MET",
+            AminoAcid::Phe => "PHE",
+            AminoAcid::Pro => "PRO",
+            AminoAcid::Ser => "SER",
+            AminoAcid::Thr => "THR",
+            AminoAcid::Trp => "TRP",
+            AminoAcid::Tyr => "TYR",
+            AminoAcid::Val => "VAL",
+        }
+    }
+
+    /// Parses a three-letter code (case-insensitive).
+    pub fn from_three_letter(s: &str) -> Option<AminoAcid> {
+        let up = s.to_ascii_uppercase();
+        ALL_AMINO_ACIDS.into_iter().find(|a| a.three_letter() == up)
+    }
+
+    /// Kyte–Doolittle hydropathy index.
+    pub fn hydropathy(self) -> f64 {
+        match self {
+            AminoAcid::Ile => 4.5,
+            AminoAcid::Val => 4.2,
+            AminoAcid::Leu => 3.8,
+            AminoAcid::Phe => 2.8,
+            AminoAcid::Cys => 2.5,
+            AminoAcid::Met => 1.9,
+            AminoAcid::Ala => 1.8,
+            AminoAcid::Gly => -0.4,
+            AminoAcid::Thr => -0.7,
+            AminoAcid::Ser => -0.8,
+            AminoAcid::Trp => -0.9,
+            AminoAcid::Tyr => -1.3,
+            AminoAcid::Pro => -1.6,
+            AminoAcid::His => -3.2,
+            AminoAcid::Glu => -3.5,
+            AminoAcid::Gln => -3.5,
+            AminoAcid::Asp => -3.5,
+            AminoAcid::Asn => -3.5,
+            AminoAcid::Lys => -3.9,
+            AminoAcid::Arg => -4.5,
+        }
+    }
+
+    /// Net side-chain charge at physiological pH.
+    pub fn charge(self) -> i8 {
+        match self {
+            AminoAcid::Arg | AminoAcid::Lys => 1,
+            AminoAcid::His => 1, // partially protonated; coarse-grained as +1
+            AminoAcid::Asp | AminoAcid::Glu => -1,
+            _ => 0,
+        }
+    }
+
+    /// True for polar (hydrogen-bonding) side chains.
+    pub fn is_polar(self) -> bool {
+        matches!(
+            self,
+            AminoAcid::Arg
+                | AminoAcid::Asn
+                | AminoAcid::Asp
+                | AminoAcid::Gln
+                | AminoAcid::Glu
+                | AminoAcid::His
+                | AminoAcid::Lys
+                | AminoAcid::Ser
+                | AminoAcid::Thr
+                | AminoAcid::Tyr
+        )
+    }
+
+    /// True for hydrophobic side chains (positive hydropathy).
+    pub fn is_hydrophobic(self) -> bool {
+        self.hydropathy() > 0.0
+    }
+
+    /// Average side-chain volume in Å³ (Zamyatnin), used by the peptide
+    /// builder to size coarse side-chain spheres.
+    pub fn side_chain_volume(self) -> f64 {
+        match self {
+            AminoAcid::Gly => 60.1,
+            AminoAcid::Ala => 88.6,
+            AminoAcid::Ser => 89.0,
+            AminoAcid::Cys => 108.5,
+            AminoAcid::Asp => 111.1,
+            AminoAcid::Pro => 112.7,
+            AminoAcid::Asn => 114.1,
+            AminoAcid::Thr => 116.1,
+            AminoAcid::Glu => 138.4,
+            AminoAcid::Val => 140.0,
+            AminoAcid::Gln => 143.8,
+            AminoAcid::His => 153.2,
+            AminoAcid::Met => 162.9,
+            AminoAcid::Ile => 166.7,
+            AminoAcid::Leu => 166.7,
+            AminoAcid::Lys => 168.6,
+            AminoAcid::Arg => 173.4,
+            AminoAcid::Phe => 189.9,
+            AminoAcid::Tyr => 193.6,
+            AminoAcid::Trp => 227.8,
+        }
+    }
+}
+
+impl fmt::Display for AminoAcid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.one_letter())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_letter_round_trip() {
+        for aa in ALL_AMINO_ACIDS {
+            assert_eq!(AminoAcid::from_one_letter(aa.one_letter()), Some(aa));
+            assert_eq!(
+                AminoAcid::from_one_letter(aa.one_letter().to_ascii_lowercase()),
+                Some(aa)
+            );
+        }
+        assert_eq!(AminoAcid::from_one_letter('B'), None);
+        assert_eq!(AminoAcid::from_one_letter('Z'), None);
+    }
+
+    #[test]
+    fn three_letter_round_trip() {
+        for aa in ALL_AMINO_ACIDS {
+            assert_eq!(AminoAcid::from_three_letter(aa.three_letter()), Some(aa));
+        }
+        assert_eq!(AminoAcid::from_three_letter("XYZ"), None);
+    }
+
+    #[test]
+    fn indices_are_dense() {
+        for (i, aa) in ALL_AMINO_ACIDS.into_iter().enumerate() {
+            assert_eq!(aa.index(), i);
+        }
+    }
+
+    #[test]
+    fn charges_and_polarity() {
+        assert_eq!(AminoAcid::Arg.charge(), 1);
+        assert_eq!(AminoAcid::Asp.charge(), -1);
+        assert_eq!(AminoAcid::Leu.charge(), 0);
+        assert!(AminoAcid::Ser.is_polar());
+        assert!(!AminoAcid::Leu.is_polar());
+        assert!(AminoAcid::Ile.is_hydrophobic());
+        assert!(!AminoAcid::Lys.is_hydrophobic());
+    }
+
+    #[test]
+    fn hydropathy_ordering_sane() {
+        assert!(AminoAcid::Ile.hydropathy() > AminoAcid::Ala.hydropathy());
+        assert!(AminoAcid::Ala.hydropathy() > AminoAcid::Gly.hydropathy());
+        assert!(AminoAcid::Gly.hydropathy() > AminoAcid::Arg.hydropathy());
+    }
+}

@@ -1,0 +1,280 @@
+//! Decoded lattice conformations and their energy breakdown.
+
+use crate::mj::ContactMatrix;
+use crate::sequence::ProteinSequence;
+use crate::tetra::{dist_sq, in_contact, walk, LatticePoint, Turn, BOND_LEN_SQ};
+
+/// A residue chain placed on the diamond lattice.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Conformation {
+    turns: Vec<Turn>,
+    positions: Vec<LatticePoint>,
+}
+
+/// Per-term energy decomposition `H = λc·Hc + λg·Hg + λd·Hd + λi·Hi`
+/// (paper §4.3.1), in the Hamiltonian's dimensionless units *before*
+/// applying λ weights and the hardware energy scale.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct EnergyBreakdown {
+    /// Chirality violations: count of reversed bonds (equal consecutive
+    /// turns).
+    pub chirality: f64,
+    /// Geometric constraint violations. Identically zero under the dense
+    /// turn encoding (every bitstring decodes to a valid tetrahedral
+    /// geometry); kept for fidelity to the paper's four-term Hamiltonian.
+    pub geometry: f64,
+    /// Excluded-volume violations: residue pairs occupying one lattice
+    /// site.
+    pub overlap: f64,
+    /// Miyazawa–Jernigan contact energy over non-bonded lattice contacts.
+    pub interaction: f64,
+}
+
+impl EnergyBreakdown {
+    /// Weighted total with unit hardware scale.
+    pub fn total(&self, lambda: &Lambdas) -> f64 {
+        lambda.chirality * self.chirality
+            + lambda.geometry * self.geometry
+            + lambda.overlap * self.overlap
+            + lambda.interaction * self.interaction
+    }
+}
+
+/// The λ weights of the total Hamiltonian. The paper sets all four to 1.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Lambdas {
+    /// λc.
+    pub chirality: f64,
+    /// λg.
+    pub geometry: f64,
+    /// λd.
+    pub overlap: f64,
+    /// λi.
+    pub interaction: f64,
+}
+
+impl Default for Lambdas {
+    fn default() -> Self {
+        Self { chirality: 1.0, geometry: 1.0, overlap: 1.0, interaction: 1.0 }
+    }
+}
+
+impl Conformation {
+    /// Builds a conformation from a full turn sequence.
+    pub fn from_turns(turns: Vec<Turn>) -> Self {
+        let positions = walk(&turns);
+        Self { turns, positions }
+    }
+
+    /// The turn sequence (length = residues − 1).
+    pub fn turns(&self) -> &[Turn] {
+        &self.turns
+    }
+
+    /// Lattice positions (length = residues).
+    pub fn positions(&self) -> &[LatticePoint] {
+        &self.positions
+    }
+
+    /// Number of residues.
+    pub fn len(&self) -> usize {
+        self.positions.len()
+    }
+
+    /// True for the degenerate empty chain (never constructed in practice).
+    pub fn is_empty(&self) -> bool {
+        self.positions.is_empty()
+    }
+
+    /// Count of reversed bonds (`t_i == t_{i+1}`) — the `H_c` violations.
+    pub fn chirality_violations(&self) -> usize {
+        self.turns.windows(2).filter(|w| w[0] == w[1]).count()
+    }
+
+    /// Count of overlapping residue pairs with sequence separation ≥ 4
+    /// (separation-2 overlaps are exactly the chirality violations and are
+    /// charged by `H_c` instead) — the `H_d` violations.
+    pub fn overlap_violations(&self) -> usize {
+        let n = self.positions.len();
+        let mut count = 0;
+        for i in 0..n {
+            for j in (i + 4)..n {
+                if (j - i) % 2 == 0 && self.positions[i] == self.positions[j] {
+                    count += 1;
+                }
+            }
+        }
+        count
+    }
+
+    /// True when no two residues share a lattice site.
+    pub fn is_self_avoiding(&self) -> bool {
+        self.chirality_violations() == 0 && self.overlap_violations() == 0
+    }
+
+    /// Non-bonded lattice contacts `(i, j)` with `j − i ≥ 3` at one bond
+    /// length — the pairs that contribute `H_i` energy.
+    pub fn contacts(&self) -> Vec<(usize, usize)> {
+        let n = self.positions.len();
+        let mut out = Vec::new();
+        for i in 0..n {
+            for j in (i + 3)..n {
+                if in_contact(self.positions[i], self.positions[j]) {
+                    out.push((i, j));
+                }
+            }
+        }
+        out
+    }
+
+    /// Radius of gyration in lattice units (compactness measure).
+    pub fn radius_of_gyration(&self) -> f64 {
+        let n = self.positions.len() as f64;
+        let mean: [f64; 3] = self.positions.iter().fold([0.0; 3], |acc, p| {
+            [acc[0] + p[0] as f64 / n, acc[1] + p[1] as f64 / n, acc[2] + p[2] as f64 / n]
+        });
+        let msq: f64 = self
+            .positions
+            .iter()
+            .map(|p| {
+                (p[0] as f64 - mean[0]).powi(2)
+                    + (p[1] as f64 - mean[1]).powi(2)
+                    + (p[2] as f64 - mean[2]).powi(2)
+            })
+            .sum::<f64>()
+            / n;
+        msq.sqrt()
+    }
+
+    /// End-to-end squared distance in lattice units.
+    pub fn end_to_end_sq(&self) -> i64 {
+        dist_sq(self.positions[0], *self.positions.last().expect("non-empty"))
+    }
+
+    /// Computes the per-term energy breakdown against a sequence.
+    ///
+    /// # Panics
+    /// Panics if the sequence length does not match.
+    pub fn energy_breakdown(
+        &self,
+        seq: &ProteinSequence,
+        matrix: &ContactMatrix,
+    ) -> EnergyBreakdown {
+        assert_eq!(seq.len(), self.len(), "sequence/conformation length mismatch");
+        let interaction: f64 = self
+            .contacts()
+            .iter()
+            .map(|&(i, j)| matrix.energy(seq.residue(i), seq.residue(j)))
+            .sum();
+        EnergyBreakdown {
+            chirality: self.chirality_violations() as f64,
+            geometry: 0.0,
+            overlap: self.overlap_violations() as f64,
+            interaction,
+        }
+    }
+
+    /// Sanity invariant: all bonds have the lattice bond length.
+    pub fn bonds_valid(&self) -> bool {
+        self.positions
+            .windows(2)
+            .all(|w| dist_sq(w[0], w[1]) == BOND_LEN_SQ as i64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seq(s: &str) -> ProteinSequence {
+        ProteinSequence::parse(s).unwrap()
+    }
+
+    #[test]
+    fn straight_zigzag_is_self_avoiding() {
+        let c = Conformation::from_turns(vec![0, 1, 0, 1, 0]);
+        assert!(c.is_self_avoiding());
+        assert!(c.bonds_valid());
+        assert_eq!(c.len(), 6);
+        assert!(c.contacts().is_empty(), "extended chain has no contacts");
+    }
+
+    #[test]
+    fn reversal_detected_as_chirality_violation() {
+        let c = Conformation::from_turns(vec![0, 0, 1, 2]);
+        assert_eq!(c.chirality_violations(), 1);
+        assert!(!c.is_self_avoiding());
+    }
+
+    #[test]
+    fn folded_chain_has_contacts() {
+        // Search a small space for a self-avoiding conformation with ≥1
+        // contact to prove the contact machinery fires.
+        let enc = crate::encoding::TurnEncoding::new(7);
+        let mut found = false;
+        for bits in 0..enc.search_space() {
+            let c = Conformation::from_turns(enc.decode(bits));
+            if c.is_self_avoiding() && !c.contacts().is_empty() {
+                for &(i, j) in &c.contacts() {
+                    assert!(j - i >= 3);
+                    assert_eq!((j - i) % 2, 1, "diamond-lattice contacts are odd-separation");
+                }
+                found = true;
+                break;
+            }
+        }
+        assert!(found, "7-residue space must contain folded conformations");
+    }
+
+    #[test]
+    fn interaction_energy_uses_mj_matrix() {
+        let enc = crate::encoding::TurnEncoding::new(7);
+        let matrix = ContactMatrix::miyazawa_jernigan();
+        let hydrophobic = seq("IIIIIII");
+        let polar = seq("SSSSSSS");
+        // Find a contact-bearing conformation; hydrophobic sequence must
+        // score lower (more negative) than polar on the same geometry.
+        for bits in 0..enc.search_space() {
+            let c = Conformation::from_turns(enc.decode(bits));
+            if c.is_self_avoiding() && !c.contacts().is_empty() {
+                let eh = c.energy_breakdown(&hydrophobic, matrix).interaction;
+                let ep = c.energy_breakdown(&polar, matrix).interaction;
+                assert!(eh < ep, "hydrophobic contacts must be stronger: {eh} vs {ep}");
+                return;
+            }
+        }
+        panic!("no folded conformation found");
+    }
+
+    #[test]
+    fn breakdown_total_weights() {
+        let b = EnergyBreakdown { chirality: 2.0, geometry: 0.0, overlap: 1.0, interaction: -3.0 };
+        let total = b.total(&Lambdas::default());
+        assert_eq!(total, 0.0);
+        let heavy = Lambdas { overlap: 10.0, ..Default::default() };
+        assert_eq!(b.total(&heavy), 2.0 + 10.0 - 3.0);
+    }
+
+    #[test]
+    fn compactness_measures() {
+        let extended = Conformation::from_turns(vec![0, 1, 0, 1, 0, 1]);
+        let enc = crate::encoding::TurnEncoding::new(7);
+        // Find the most compact self-avoiding 7-mer.
+        let mut best: Option<Conformation> = None;
+        for bits in 0..enc.search_space() {
+            let c = Conformation::from_turns(enc.decode(bits));
+            if c.is_self_avoiding() {
+                let better = match &best {
+                    None => true,
+                    Some(b) => c.radius_of_gyration() < b.radius_of_gyration(),
+                };
+                if better {
+                    best = Some(c);
+                }
+            }
+        }
+        let compact = best.unwrap();
+        assert!(compact.radius_of_gyration() < extended.radius_of_gyration());
+        assert!(compact.end_to_end_sq() < extended.end_to_end_sq());
+    }
+}

@@ -1,0 +1,101 @@
+//! Lattice → Cartesian coordinate export.
+//!
+//! Converts decoded conformations into Cα traces in Å (3.8 Å virtual
+//! bonds), centered for docking-box placement (paper §4.3.3: "structures
+//! are subsequently centered to facilitate docking procedures").
+
+use crate::conformation::Conformation;
+use crate::tetra::{lattice_scale, CA_CA_ANGSTROM};
+
+/// A Cα trace in Å.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CaTrace {
+    coords: Vec<[f64; 3]>,
+}
+
+impl CaTrace {
+    /// Builds the trace of a conformation (uncentered).
+    pub fn from_conformation(c: &Conformation) -> Self {
+        let s = lattice_scale();
+        let coords = c
+            .positions()
+            .iter()
+            .map(|p| [p[0] as f64 * s, p[1] as f64 * s, p[2] as f64 * s])
+            .collect();
+        Self { coords }
+    }
+
+    /// Builds from raw coordinates.
+    pub fn from_coords(coords: Vec<[f64; 3]>) -> Self {
+        Self { coords }
+    }
+
+    /// The coordinates.
+    pub fn coords(&self) -> &[[f64; 3]] {
+        &self.coords
+    }
+
+    /// Number of residues.
+    pub fn len(&self) -> usize {
+        self.coords.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.coords.is_empty()
+    }
+
+    /// Geometric centroid.
+    pub fn centroid(&self) -> [f64; 3] {
+        let n = self.coords.len().max(1) as f64;
+        self.coords.iter().fold([0.0; 3], |acc, c| {
+            [acc[0] + c[0] / n, acc[1] + c[1] / n, acc[2] + c[2] / n]
+        })
+    }
+
+    /// Returns a copy translated so the centroid is at the origin.
+    pub fn centered(&self) -> CaTrace {
+        let c = self.centroid();
+        CaTrace {
+            coords: self
+                .coords
+                .iter()
+                .map(|p| [p[0] - c[0], p[1] - c[1], p[2] - c[2]])
+                .collect(),
+        }
+    }
+
+    /// Checks the virtual-bond invariant (all consecutive distances =
+    /// 3.8 Å) within `tol`.
+    pub fn bonds_ok(&self, tol: f64) -> bool {
+        self.coords.windows(2).all(|w| {
+            let d: f64 = (0..3).map(|k| (w[1][k] - w[0][k]).powi(2)).sum::<f64>().sqrt();
+            (d - CA_CA_ANGSTROM).abs() <= tol
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::conformation::Conformation;
+
+    #[test]
+    fn trace_preserves_bond_lengths() {
+        let c = Conformation::from_turns(vec![0, 1, 2, 3, 0, 2]);
+        let t = CaTrace::from_conformation(&c);
+        assert_eq!(t.len(), 7);
+        assert!(t.bonds_ok(1e-9));
+    }
+
+    #[test]
+    fn centering_zeroes_centroid() {
+        let c = Conformation::from_turns(vec![0, 1, 0, 2]);
+        let t = CaTrace::from_conformation(&c).centered();
+        let centroid = t.centroid();
+        for k in 0..3 {
+            assert!(centroid[k].abs() < 1e-12);
+        }
+        assert!(t.bonds_ok(1e-9), "centering must not distort geometry");
+    }
+}

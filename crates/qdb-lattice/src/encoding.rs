@@ -1,0 +1,176 @@
+//! Turn-based qubit encoding of lattice conformations (paper §4.3.1).
+//!
+//! An `N`-residue fragment has `N−1` bonds. Each turn takes 2 qubits
+//! (4 directions). Global rotation/reflection symmetry of the diamond
+//! lattice lets us fix the first turn to `0` and the second to `1`
+//! (gauge fixing, as in Robert et al. 2021), leaving
+//!
+//! `logical qubits = 2·(N − 3)`
+//!
+//! conformation qubits — at most 22 for the longest (14-residue) fragments,
+//! which is what makes exact statevector simulation of the paper's logical
+//! circuits tractable (DESIGN.md §3.1).
+
+use crate::tetra::Turn;
+
+/// Maps bitstrings ↔ turn sequences for an `N`-residue fragment.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TurnEncoding {
+    num_residues: usize,
+}
+
+impl TurnEncoding {
+    /// Encoding for an `N`-residue fragment.
+    ///
+    /// # Panics
+    /// Panics below 4 residues (no free turns) or above 30.
+    pub fn new(num_residues: usize) -> Self {
+        assert!((4..=30).contains(&num_residues), "unsupported length {num_residues}");
+        Self { num_residues }
+    }
+
+    /// Number of residues `N`.
+    pub fn num_residues(&self) -> usize {
+        self.num_residues
+    }
+
+    /// Number of bonds `N − 1`.
+    pub fn num_bonds(&self) -> usize {
+        self.num_residues - 1
+    }
+
+    /// Free (qubit-encoded) turns: `N − 3`.
+    pub fn num_free_turns(&self) -> usize {
+        self.num_residues - 3
+    }
+
+    /// Logical qubit count `2·(N − 3)`.
+    pub fn num_qubits(&self) -> usize {
+        2 * self.num_free_turns()
+    }
+
+    /// Size of the conformation search space, `4^(N−3)`.
+    pub fn search_space(&self) -> u64 {
+        1u64 << self.num_qubits()
+    }
+
+    /// Decodes a basis-state index into the full turn sequence
+    /// (gauge turns `[0, 1]` prepended). Bits `2k, 2k+1` hold free turn `k`.
+    pub fn decode(&self, bits: u64) -> Vec<Turn> {
+        let mut turns = Vec::with_capacity(self.num_bonds());
+        turns.push(0);
+        if self.num_bonds() > 1 {
+            turns.push(1);
+        }
+        for k in 0..self.num_free_turns() {
+            let t = ((bits >> (2 * k)) & 0b11) as Turn;
+            turns.push(t);
+        }
+        turns
+    }
+
+    /// Canonicalizes the residual reflection gauge. Fixing the first two
+    /// turns to `[0, 1]` still leaves one lattice symmetry: reflection
+    /// through the plane of the first two bonds, which swaps directions
+    /// 2 ↔ 3 in every remaining turn and leaves every energy term
+    /// invariant. The canonical representative is the twin whose first
+    /// free turn from `{2, 3}` is a `2` — the chirality convention the
+    /// paper's `H_c` term pins down on hardware.
+    pub fn canonicalize(&self, bits: u64) -> u64 {
+        let mut swap = false;
+        for k in 0..self.num_free_turns() {
+            let t = (bits >> (2 * k)) & 0b11;
+            if t == 2 {
+                break;
+            }
+            if t == 3 {
+                swap = true;
+                break;
+            }
+        }
+        if !swap {
+            return bits;
+        }
+        let mut out = 0u64;
+        for k in 0..self.num_free_turns() {
+            let t = (bits >> (2 * k)) & 0b11;
+            let t = match t {
+                2 => 3,
+                3 => 2,
+                other => other,
+            };
+            out |= t << (2 * k);
+        }
+        out
+    }
+
+    /// Encodes a full turn sequence back into a basis-state index.
+    ///
+    /// # Panics
+    /// Panics if the sequence length is wrong or the gauge turns are not
+    /// `[0, 1]`.
+    pub fn encode(&self, turns: &[Turn]) -> u64 {
+        assert_eq!(turns.len(), self.num_bonds(), "turn count mismatch");
+        assert_eq!(turns[0], 0, "gauge: first turn must be 0");
+        if self.num_bonds() > 1 {
+            assert_eq!(turns[1], 1, "gauge: second turn must be 1");
+        }
+        let mut bits = 0u64;
+        for (k, &t) in turns[2.min(turns.len())..].iter().enumerate() {
+            assert!(t < 4);
+            bits |= (t as u64) << (2 * k);
+        }
+        bits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn qubit_counts_match_design() {
+        // (N, logical qubits): the conformation registers behind the
+        // paper's physical allocations.
+        for (n, q) in [(5, 4), (8, 10), (10, 14), (14, 22)] {
+            assert_eq!(TurnEncoding::new(n).num_qubits(), q);
+        }
+    }
+
+    #[test]
+    fn decode_prepends_gauge() {
+        let enc = TurnEncoding::new(6);
+        let turns = enc.decode(0);
+        assert_eq!(turns, vec![0, 1, 0, 0, 0]);
+        assert_eq!(turns.len(), enc.num_bonds());
+    }
+
+    #[test]
+    fn encode_decode_round_trip() {
+        let enc = TurnEncoding::new(7);
+        for bits in 0..enc.search_space() {
+            assert_eq!(enc.encode(&enc.decode(bits)), bits);
+        }
+    }
+
+    #[test]
+    fn decode_extracts_two_bit_fields() {
+        let enc = TurnEncoding::new(6);
+        // free turns: k=0 → bits 0-1, k=1 → bits 2-3, k=2 → bits 4-5
+        let bits = 0b11_10_01u64;
+        assert_eq!(enc.decode(bits), vec![0, 1, 1, 2, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "gauge")]
+    fn encode_rejects_bad_gauge() {
+        let enc = TurnEncoding::new(5);
+        enc.encode(&[1, 1, 0, 0]);
+    }
+
+    #[test]
+    fn search_space_sizes() {
+        assert_eq!(TurnEncoding::new(5).search_space(), 16);
+        assert_eq!(TurnEncoding::new(14).search_space(), 1 << 22);
+    }
+}

@@ -1,0 +1,281 @@
+//! The folding Hamiltonian `H = λc·Hc + λg·Hg + λd·Hd + λi·Hi` (§4.3.1).
+//!
+//! The Hamiltonian is diagonal in the computational basis: every basis
+//! state decodes (via [`TurnEncoding`]) to a lattice conformation whose
+//! energy is a classical function. VQE therefore only needs the dense
+//! diagonal (built in parallel) or per-bitstring evaluation.
+//!
+//! ## Energy scale
+//!
+//! The paper reports absolute energies that grow steeply with fragment
+//! size (Tables 1–3: ~10 for 5-mers up to ~24,000 for 14-mers) because the
+//! authors scale penalty and offset terms with the qubit count. We
+//! reproduce that with the calibrated scale
+//!
+//! `S(q) = 10.4 · (q / 12)^3.6`
+//!
+//! fit to the `Lowest Energy` column across all ten fragment lengths
+//! (q = physical qubits from the Eagle-profile allocation). The
+//! *physics* (which conformation is the ground state) is unaffected by the
+//! scale — it multiplies every term.
+
+use crate::conformation::{Conformation, EnergyBreakdown, Lambdas};
+use crate::encoding::TurnEncoding;
+use crate::mj::ContactMatrix;
+use crate::sequence::ProteinSequence;
+use qdb_quantum::pauli::SparsePauliOp;
+use rayon::prelude::*;
+
+/// Absolute energy coefficients applied to the breakdown terms.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct EnergyScale {
+    /// Constant offset added to every conformation (the paper's large
+    /// baseline).
+    pub offset: f64,
+    /// Energy per constraint violation (chirality or overlap).
+    pub penalty: f64,
+    /// Multiplier on the Miyazawa–Jernigan interaction sum.
+    pub interaction: f64,
+}
+
+impl EnergyScale {
+    /// Unit scale: no offset, penalty 10, interaction 1 — used by tests and
+    /// anywhere absolute calibration is irrelevant.
+    pub fn unit() -> Self {
+        Self { offset: 0.0, penalty: 10.0, interaction: 1.0 }
+    }
+
+    /// Paper-calibrated scale for a fragment allocated `physical_qubits`
+    /// on hardware: `S(q) = 10.4 · (q/12)^3.6`, with penalties at 12% of S
+    /// and the interaction signal at 0.5% of S per MJ unit (reproducing the
+    /// ≈30–40% optimization energy ranges of Tables 1–3).
+    pub fn calibrated(physical_qubits: usize) -> Self {
+        let s = 10.4 * (physical_qubits as f64 / 12.0).powf(3.6);
+        Self { offset: s, penalty: 0.12 * s, interaction: 0.005 * s }
+    }
+
+    /// Applies the scale to a raw breakdown under λ weights.
+    pub fn apply(&self, b: &EnergyBreakdown, lambda: &Lambdas) -> f64 {
+        self.offset
+            + self.penalty * (lambda.chirality * b.chirality + lambda.overlap * b.overlap)
+            + self.penalty * lambda.geometry * b.geometry
+            + self.interaction * lambda.interaction * b.interaction
+    }
+}
+
+/// The diagonal folding Hamiltonian of one fragment.
+#[derive(Clone, Debug)]
+pub struct FoldingHamiltonian {
+    seq: ProteinSequence,
+    encoding: TurnEncoding,
+    lambdas: Lambdas,
+    scale: EnergyScale,
+}
+
+impl FoldingHamiltonian {
+    /// Builds the Hamiltonian with explicit weights and scale.
+    pub fn new(seq: ProteinSequence, lambdas: Lambdas, scale: EnergyScale) -> Self {
+        let encoding = TurnEncoding::new(seq.len());
+        Self { seq, encoding, lambdas, scale }
+    }
+
+    /// Paper defaults: all λ = 1, unit scale.
+    pub fn with_unit_scale(seq: ProteinSequence) -> Self {
+        Self::new(seq, Lambdas::default(), EnergyScale::unit())
+    }
+
+    /// The sequence being folded.
+    pub fn sequence(&self) -> &ProteinSequence {
+        &self.seq
+    }
+
+    /// The turn encoding.
+    pub fn encoding(&self) -> TurnEncoding {
+        self.encoding
+    }
+
+    /// Number of logical qubits.
+    pub fn num_qubits(&self) -> usize {
+        self.encoding.num_qubits()
+    }
+
+    /// λ weights.
+    pub fn lambdas(&self) -> &Lambdas {
+        &self.lambdas
+    }
+
+    /// Energy scale.
+    pub fn scale(&self) -> &EnergyScale {
+        &self.scale
+    }
+
+    /// Decodes a basis state into its conformation.
+    pub fn conformation_of(&self, bits: u64) -> Conformation {
+        Conformation::from_turns(self.encoding.decode(bits))
+    }
+
+    /// Scaled energy of one basis state.
+    pub fn energy_of_bits(&self, bits: u64) -> f64 {
+        let c = self.conformation_of(bits);
+        let b = c.energy_breakdown(&self.seq, ContactMatrix::miyazawa_jernigan());
+        self.scale.apply(&b, &self.lambdas)
+    }
+
+    /// Raw (unscaled) breakdown of one basis state.
+    pub fn breakdown_of_bits(&self, bits: u64) -> EnergyBreakdown {
+        self.conformation_of(bits)
+            .energy_breakdown(&self.seq, ContactMatrix::miyazawa_jernigan())
+    }
+
+    /// Expands the full diagonal `2^n` energies in parallel — the VQE hot
+    /// path input.
+    pub fn dense_diagonal(&self) -> Vec<f64> {
+        let dim = 1u64 << self.num_qubits();
+        (0..dim)
+            .into_par_iter()
+            .map(|bits| self.energy_of_bits(bits))
+            .collect()
+    }
+
+    /// Exact ground state by exhaustive parallel search: `(bits, energy)`.
+    /// Feasible for the entire QDockBank range (≤ 22 qubits = 4M states).
+    /// The returned bitstring is reflection-canonicalized (ties broken by
+    /// canonical index), so the same geometry is returned no matter which
+    /// gauge twin scores first.
+    pub fn ground_state(&self) -> (u64, f64) {
+        let dim = 1u64 << self.num_qubits();
+        let enc = self.encoding;
+        let (bits, e) = (0..dim)
+            .into_par_iter()
+            .map(|bits| (enc.canonicalize(bits), self.energy_of_bits(bits)))
+            .reduce(
+                || (0, f64::INFINITY),
+                |a, b| {
+                    if b.1 < a.1 || (b.1 == a.1 && b.0 < a.0) {
+                        b
+                    } else {
+                        a
+                    }
+                },
+            );
+        (bits, e)
+    }
+
+    /// Pauli-operator form (Z-strings) — exact but exponentially many
+    /// terms; intended for small fragments and cross-checking.
+    ///
+    /// # Panics
+    /// Panics above 16 qubits.
+    pub fn to_sparse_pauli(&self) -> SparsePauliOp {
+        assert!(self.num_qubits() <= 16, "Pauli form limited to 16 qubits");
+        SparsePauliOp::from_diagonal(&self.dense_diagonal(), 1e-12)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ham(s: &str) -> FoldingHamiltonian {
+        FoldingHamiltonian::with_unit_scale(ProteinSequence::parse(s).unwrap())
+    }
+
+    #[test]
+    fn ground_state_is_self_avoiding() {
+        for s in ["VKDRS", "IQFHFH", "PWWERYQP"] {
+            let h = ham(s);
+            let (bits, energy) = h.ground_state();
+            let c = h.conformation_of(bits);
+            assert!(
+                c.is_self_avoiding(),
+                "{s}: ground state must not pay penalties"
+            );
+            assert!(energy <= 0.0, "{s}: ground energy {energy} should be ≤ 0 (contacts or none)");
+        }
+    }
+
+    #[test]
+    fn hydrophobic_sequences_fold_lower() {
+        // Same length, same geometry space: hydrophobic chain must reach a
+        // lower interaction energy than a polar one.
+        let (_, e_hydro) = ham("IIIIII").ground_state();
+        let (_, e_polar) = ham("SSSSSS").ground_state();
+        assert!(e_hydro < e_polar, "{e_hydro} !< {e_polar}");
+    }
+
+    #[test]
+    fn penalties_push_energy_up() {
+        let h = ham("VKDRS");
+        // bits decoding to an immediate reversal (free turn 0 == gauge turn 1)
+        let enc = h.encoding();
+        let reversal_bits = enc.encode(&[0, 1, 1, 3]); // t2==t3? no: [0,1,1,..] has t1==t2
+        let b = h.breakdown_of_bits(reversal_bits);
+        assert!(b.chirality >= 1.0);
+        let clean_bits = enc.encode(&[0, 1, 0, 1]);
+        assert!(h.energy_of_bits(reversal_bits) > h.energy_of_bits(clean_bits));
+    }
+
+    #[test]
+    fn dense_diagonal_matches_pointwise() {
+        let h = ham("VKDRS");
+        let diag = h.dense_diagonal();
+        assert_eq!(diag.len(), 16);
+        for bits in 0..16u64 {
+            assert_eq!(diag[bits as usize], h.energy_of_bits(bits));
+        }
+    }
+
+    #[test]
+    fn pauli_form_agrees_with_diagonal() {
+        let h = ham("RYRDV");
+        let op = h.to_sparse_pauli();
+        let diag = h.dense_diagonal();
+        for bits in 0..diag.len() as u64 {
+            assert!(
+                (op.energy_of_bitstring(bits) - diag[bits as usize]).abs() < 1e-9,
+                "mismatch at {bits}"
+            );
+        }
+    }
+
+    #[test]
+    fn geometry_term_identically_zero() {
+        // Invariant documented in EnergyBreakdown: the dense encoding
+        // satisfies H_g for every bitstring.
+        let h = ham("DGPHGM");
+        for bits in (0..h.encoding().search_space()).step_by(7) {
+            assert_eq!(h.breakdown_of_bits(bits).geometry, 0.0);
+        }
+    }
+
+    #[test]
+    fn calibrated_scale_reproduces_paper_magnitudes() {
+        // Lowest-energy magnitudes from Tables 1–3, by physical qubit count.
+        let cases = [
+            (12, 10.4, 2.0),    // 5-mers: ~10.4
+            (63, 4200.0, 2.0),  // 10-mers: ~3800–4700
+            (102, 23000.0, 1.3),// 14-mers: ~21000–24200
+        ];
+        for (q, expect, tol) in cases {
+            let s = EnergyScale::calibrated(q).offset;
+            assert!(
+                s / expect < tol && expect / s < tol,
+                "scale({q}) = {s}, paper ≈ {expect}"
+            );
+        }
+    }
+
+    #[test]
+    fn calibrated_energies_positive_and_ordered() {
+        let seq = ProteinSequence::parse("LLDTGADDTV").unwrap();
+        let h = FoldingHamiltonian::new(seq, Lambdas::default(), EnergyScale::calibrated(63));
+        let (bits, e) = h.ground_state();
+        assert!(e > 0.0, "calibrated ground energy is offset-dominated");
+        // Ground state still the physically right one: no violations.
+        assert!(h.conformation_of(bits).is_self_avoiding());
+        // A violating state costs more.
+        let enc = h.encoding();
+        let bad = enc.encode(&[0, 1, 1, 1, 1, 1, 1, 1, 1]);
+        assert!(h.energy_of_bits(bad) > e);
+    }
+}

@@ -1,0 +1,24 @@
+//! # qdb-lattice
+//!
+//! Coarse-grained tetrahedral-lattice protein model and the diagonal
+//! folding Hamiltonian `H = λc·Hc + λg·Hg + λd·Hd + λi·Hi` of the paper's
+//! §4.3.1: amino-acid properties, Miyazawa–Jernigan-style contact energies,
+//! turn-based qubit encoding (2·(N−3) logical qubits), conformation
+//! decoding, energy evaluation, and Cartesian export of Cα traces.
+
+pub mod amino;
+pub mod conformation;
+pub mod coords;
+pub mod encoding;
+pub mod hamiltonian;
+pub mod mj;
+pub mod sequence;
+pub mod tetra;
+
+pub use amino::{AminoAcid, ALL_AMINO_ACIDS};
+pub use conformation::{Conformation, EnergyBreakdown, Lambdas};
+pub use coords::CaTrace;
+pub use encoding::TurnEncoding;
+pub use hamiltonian::{EnergyScale, FoldingHamiltonian};
+pub use mj::ContactMatrix;
+pub use sequence::{ProteinSequence, SequenceError};

@@ -1,0 +1,163 @@
+//! Protein fragment sequences.
+
+use crate::amino::AminoAcid;
+use std::fmt;
+use std::str::FromStr;
+
+/// Errors from sequence parsing/validation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SequenceError {
+    /// A character outside the 20 one-letter codes.
+    InvalidResidue(char),
+    /// Too short to fold on the lattice (need ≥ 4 residues).
+    TooShort(usize),
+    /// Longer than the 64-bit turn encoding supports.
+    TooLong(usize),
+}
+
+impl fmt::Display for SequenceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SequenceError::InvalidResidue(c) => write!(f, "invalid residue character {c:?}"),
+            SequenceError::TooShort(n) => write!(f, "sequence of {n} residues is too short (min 4)"),
+            SequenceError::TooLong(n) => write!(f, "sequence of {n} residues is too long (max 30)"),
+        }
+    }
+}
+
+impl std::error::Error for SequenceError {}
+
+/// A validated amino-acid sequence (4–30 residues — the lattice/VQE range).
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct ProteinSequence {
+    residues: Vec<AminoAcid>,
+}
+
+impl ProteinSequence {
+    /// Validates and wraps a residue list.
+    pub fn new(residues: Vec<AminoAcid>) -> Result<Self, SequenceError> {
+        if residues.len() < 4 {
+            return Err(SequenceError::TooShort(residues.len()));
+        }
+        if residues.len() > 30 {
+            return Err(SequenceError::TooLong(residues.len()));
+        }
+        Ok(Self { residues })
+    }
+
+    /// Parses one-letter codes, e.g. `"DYLEAYGKGGVKAK"`.
+    pub fn parse(s: &str) -> Result<Self, SequenceError> {
+        let residues = s
+            .chars()
+            .map(|c| AminoAcid::from_one_letter(c).ok_or(SequenceError::InvalidResidue(c)))
+            .collect::<Result<Vec<_>, _>>()?;
+        Self::new(residues)
+    }
+
+    /// Number of residues.
+    pub fn len(&self) -> usize {
+        self.residues.len()
+    }
+
+    /// Never true (validated ≥ 4), present for API completeness.
+    pub fn is_empty(&self) -> bool {
+        self.residues.is_empty()
+    }
+
+    /// Residue at `i`.
+    pub fn residue(&self, i: usize) -> AminoAcid {
+        self.residues[i]
+    }
+
+    /// All residues.
+    pub fn residues(&self) -> &[AminoAcid] {
+        &self.residues
+    }
+
+    /// Fraction of residues that are hydrophobic.
+    pub fn hydrophobic_fraction(&self) -> f64 {
+        let h = self.residues.iter().filter(|r| r.is_hydrophobic()).count();
+        h as f64 / self.len() as f64
+    }
+
+    /// Net formal charge of the fragment.
+    pub fn net_charge(&self) -> i32 {
+        self.residues.iter().map(|r| r.charge() as i32).sum()
+    }
+
+    /// A stable 64-bit hash of the sequence (FNV-1a over one-letter codes);
+    /// used to derive per-fragment RNG seeds.
+    pub fn stable_hash(&self) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for r in &self.residues {
+            h ^= r.one_letter() as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        h
+    }
+}
+
+impl FromStr for ProteinSequence {
+    type Err = SequenceError;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Self::parse(s)
+    }
+}
+
+impl fmt::Display for ProteinSequence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for r in &self.residues {
+            write!(f, "{}", r.one_letter())?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_and_display_round_trip() {
+        for s in ["DYLEAYGKGGVKAK", "VKDRS", "EDACQGDSGG", "LLDTGADDTV"] {
+            let seq = ProteinSequence::parse(s).unwrap();
+            assert_eq!(seq.to_string(), s);
+            assert_eq!(seq.len(), s.len());
+        }
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert_eq!(
+            ProteinSequence::parse("AXB"),
+            Err(SequenceError::InvalidResidue('X')).map_err(|e| e)
+        );
+        assert!(matches!(
+            ProteinSequence::parse("AAA"),
+            Err(SequenceError::TooShort(3))
+        ));
+        let long = "A".repeat(31);
+        assert!(matches!(
+            ProteinSequence::parse(&long),
+            Err(SequenceError::TooLong(31))
+        ));
+    }
+
+    #[test]
+    fn properties() {
+        let seq = ProteinSequence::parse("ILVK").unwrap();
+        assert!(seq.hydrophobic_fraction() > 0.7);
+        assert_eq!(seq.net_charge(), 1);
+        let acidic = ProteinSequence::parse("DDEE").unwrap();
+        assert_eq!(acidic.net_charge(), -4);
+    }
+
+    #[test]
+    fn stable_hash_distinguishes_and_repeats() {
+        let a = ProteinSequence::parse("VKDRS").unwrap();
+        let b = ProteinSequence::parse("VKDRS").unwrap();
+        let c = ProteinSequence::parse("RYRDV").unwrap();
+        assert_eq!(a.stable_hash(), b.stable_hash());
+        assert_ne!(a.stable_hash(), c.stable_hash());
+    }
+}

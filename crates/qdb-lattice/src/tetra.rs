@@ -1,0 +1,159 @@
+//! Tetrahedral (diamond) lattice geometry (paper §4.3.1).
+//!
+//! Each residue is a node with four possible extension directions and a
+//! fixed ~109.47° bond angle. The diamond lattice has two sublattices: even
+//! residues step along `+v[t]`, odd residues along `-v[t]`, where
+//!
+//! ```text
+//! v = {(1,1,1), (1,-1,-1), (-1,1,-1), (-1,-1,1)}
+//! ```
+//!
+//! Consecutive distinct turns give `cos θ = v[a]·(-v[b]) / 3 = -1/3`,
+//! i.e. θ = 109.47°; equal consecutive turns mean bond reversal (the
+//! chirality violation penalized by `H_c`).
+
+/// Integer lattice coordinates (unit-step frame; one bond = √3 units).
+pub type LatticePoint = [i32; 3];
+
+/// The four tetrahedral direction vectors.
+pub const DIRECTIONS: [LatticePoint; 4] = [
+    [1, 1, 1],
+    [1, -1, -1],
+    [-1, 1, -1],
+    [-1, -1, 1],
+];
+
+/// A turn choice t ∈ {0,1,2,3}.
+pub type Turn = u8;
+
+/// Squared bond length in lattice units (√3 per step).
+pub const BOND_LEN_SQ: i32 = 3;
+
+/// Step vector for bond `i` (0-based) taking turn `t`: sublattice parity
+/// alternates the sign.
+#[inline]
+pub fn step(bond_index: usize, t: Turn) -> LatticePoint {
+    let v = DIRECTIONS[t as usize];
+    if bond_index % 2 == 0 {
+        v
+    } else {
+        [-v[0], -v[1], -v[2]]
+    }
+}
+
+/// Walks a turn sequence from the origin; returns `turns.len() + 1`
+/// positions.
+pub fn walk(turns: &[Turn]) -> Vec<LatticePoint> {
+    let mut pos = Vec::with_capacity(turns.len() + 1);
+    let mut p: LatticePoint = [0, 0, 0];
+    pos.push(p);
+    for (i, &t) in turns.iter().enumerate() {
+        let s = step(i, t);
+        p = [p[0] + s[0], p[1] + s[1], p[2] + s[2]];
+        pos.push(p);
+    }
+    pos
+}
+
+/// Squared Euclidean distance between lattice points.
+#[inline]
+pub fn dist_sq(a: LatticePoint, b: LatticePoint) -> i64 {
+    let dx = (a[0] - b[0]) as i64;
+    let dy = (a[1] - b[1]) as i64;
+    let dz = (a[2] - b[2]) as i64;
+    dx * dx + dy * dy + dz * dz
+}
+
+/// True when two non-bonded residues sit at contact distance (one lattice
+/// bond length apart — the nearest possible non-bonded approach on the
+/// diamond lattice, only achievable for odd sequence separation).
+#[inline]
+pub fn in_contact(a: LatticePoint, b: LatticePoint) -> bool {
+    dist_sq(a, b) == BOND_LEN_SQ as i64
+}
+
+/// Cα–Cα virtual bond length in Å.
+pub const CA_CA_ANGSTROM: f64 = 3.8;
+
+/// Scale factor from lattice units to Å.
+pub fn lattice_scale() -> f64 {
+    CA_CA_ANGSTROM / (BOND_LEN_SQ as f64).sqrt()
+}
+
+/// Converts a lattice point to Cartesian Å coordinates.
+pub fn to_angstrom(p: LatticePoint) -> [f64; 3] {
+    let s = lattice_scale();
+    [p[0] as f64 * s, p[1] as f64 * s, p[2] as f64 * s]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn directions_have_equal_length() {
+        for v in DIRECTIONS {
+            assert_eq!(dist_sq(v, [0, 0, 0]), 3);
+        }
+    }
+
+    #[test]
+    fn tetrahedral_angle() {
+        // Bond angle at the shared residue between bonds v[a] and -v[b]:
+        // cos θ = (-v[a]) · (-v[b]) / 3 ... with the vertex convention
+        // cos θ = (p_{i-1}-p_i)·(p_{i+1}-p_i)/|…|² = (v[a]·v[b]) / 3 = -1/3.
+        for a in 0..4u8 {
+            for b in 0..4u8 {
+                if a == b {
+                    continue;
+                }
+                let va = DIRECTIONS[a as usize];
+                let vb = DIRECTIONS[b as usize];
+                let dot = (va[0] * vb[0] + va[1] * vb[1] + va[2] * vb[2]) as f64;
+                let cos = dot / 3.0;
+                let angle = cos.acos().to_degrees();
+                assert!((angle - 109.47).abs() < 0.01, "angle {angle}");
+            }
+        }
+    }
+
+    #[test]
+    fn equal_turns_reverse_the_bond() {
+        // Two equal consecutive turns return to the same position.
+        let pos = walk(&[0, 0]);
+        assert_eq!(pos[0], pos[2]);
+    }
+
+    #[test]
+    fn walk_lengths_and_bonds() {
+        let turns = [0u8, 1, 2, 3, 1, 2];
+        let pos = walk(&turns);
+        assert_eq!(pos.len(), 7);
+        for w in pos.windows(2) {
+            assert_eq!(dist_sq(w[0], w[1]), BOND_LEN_SQ as i64);
+        }
+    }
+
+    #[test]
+    fn contact_requires_odd_separation() {
+        // A simple folded walk: check any contact pair has odd separation.
+        let turns = [0u8, 1, 0, 2, 0, 3, 1, 2];
+        let pos = walk(&turns);
+        for i in 0..pos.len() {
+            for j in (i + 2)..pos.len() {
+                if in_contact(pos[i], pos[j]) {
+                    assert_eq!((j - i) % 2, 1, "contact at even separation {i},{j}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn angstrom_scaling() {
+        let pos = walk(&[0, 1]);
+        let a0 = to_angstrom(pos[0]);
+        let a1 = to_angstrom(pos[1]);
+        let d: f64 = (0..3).map(|k| (a1[k] - a0[k]).powi(2)).sum::<f64>().sqrt();
+        assert!((d - CA_CA_ANGSTROM).abs() < 1e-12);
+    }
+}

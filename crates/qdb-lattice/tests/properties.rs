@@ -1,0 +1,115 @@
+//! Property-based tests for lattice-model invariants.
+
+use proptest::prelude::*;
+use qdb_lattice::amino::ALL_AMINO_ACIDS;
+use qdb_lattice::conformation::Conformation;
+use qdb_lattice::encoding::TurnEncoding;
+use qdb_lattice::hamiltonian::{EnergyScale, FoldingHamiltonian};
+use qdb_lattice::mj::ContactMatrix;
+use qdb_lattice::sequence::ProteinSequence;
+use qdb_lattice::tetra::{dist_sq, walk, BOND_LEN_SQ};
+
+fn arb_sequence(len: std::ops::Range<usize>) -> impl Strategy<Value = ProteinSequence> {
+    proptest::collection::vec(0usize..20, len)
+        .prop_map(|idx| {
+            ProteinSequence::new(idx.into_iter().map(|i| ALL_AMINO_ACIDS[i]).collect()).unwrap()
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Every turn sequence walks with constant bond length.
+    #[test]
+    fn all_bonds_have_lattice_length(turns in proptest::collection::vec(0u8..4, 1..16)) {
+        let pos = walk(&turns);
+        for w in pos.windows(2) {
+            prop_assert_eq!(dist_sq(w[0], w[1]), BOND_LEN_SQ as i64);
+        }
+    }
+
+    /// Encode/decode is a bijection on the search space.
+    #[test]
+    fn encoding_bijective(n in 4usize..12, bits_seed in any::<u64>()) {
+        let enc = TurnEncoding::new(n);
+        let bits = bits_seed & (enc.search_space() - 1);
+        let turns = enc.decode(bits);
+        prop_assert_eq!(turns.len(), enc.num_bonds());
+        prop_assert_eq!(enc.encode(&turns), bits);
+    }
+
+    /// Residue overlaps can only happen at even sequence separation
+    /// (sublattice parity), so contacts are always odd-separation.
+    #[test]
+    fn overlaps_only_at_even_separation(turns in proptest::collection::vec(0u8..4, 3..14)) {
+        let pos = walk(&turns);
+        for i in 0..pos.len() {
+            for j in (i + 1)..pos.len() {
+                if pos[i] == pos[j] {
+                    prop_assert_eq!((j - i) % 2, 0);
+                }
+                if dist_sq(pos[i], pos[j]) == BOND_LEN_SQ as i64 && j > i + 1 {
+                    prop_assert_eq!((j - i) % 2, 1);
+                }
+            }
+        }
+    }
+
+    /// The scaled energy decomposes exactly as
+    /// offset + penalty·(violations) + interaction·E_MJ, and self-avoiding
+    /// states pay zero penalty.
+    #[test]
+    fn energy_composition_exact(seq in arb_sequence(5..9), bits_seed in any::<u64>()) {
+        let h = FoldingHamiltonian::new(
+            seq,
+            Default::default(),
+            EnergyScale::calibrated(46),
+        );
+        let bits = bits_seed & ((1u64 << h.num_qubits()) - 1);
+        let c = h.conformation_of(bits);
+        let b = h.breakdown_of_bits(bits);
+        let s = h.scale();
+        let expect = s.offset
+            + s.penalty * (b.chirality + b.overlap)
+            + s.interaction * b.interaction;
+        prop_assert!((h.energy_of_bits(bits) - expect).abs() < 1e-9);
+        if c.is_self_avoiding() {
+            prop_assert_eq!(b.chirality + b.overlap, 0.0);
+        } else {
+            prop_assert!(b.chirality + b.overlap >= 1.0);
+        }
+    }
+
+    /// The breakdown terms are consistent with the conformation's own
+    /// counts.
+    #[test]
+    fn breakdown_matches_counts(seq in arb_sequence(5..10), bits_seed in any::<u64>()) {
+        let h = FoldingHamiltonian::with_unit_scale(seq);
+        let bits = bits_seed & ((1u64 << h.num_qubits()) - 1);
+        let c = h.conformation_of(bits);
+        let b = h.breakdown_of_bits(bits);
+        prop_assert_eq!(b.chirality as usize, c.chirality_violations());
+        prop_assert_eq!(b.overlap as usize, c.overlap_violations());
+        prop_assert_eq!(b.geometry, 0.0);
+    }
+
+    /// Contact energies are symmetric and finite for every pair.
+    #[test]
+    fn contact_matrix_total_function(a in 0usize..20, b in 0usize..20) {
+        let m = ContactMatrix::miyazawa_jernigan();
+        let (x, y) = (ALL_AMINO_ACIDS[a], ALL_AMINO_ACIDS[b]);
+        prop_assert!(m.energy(x, y).is_finite());
+        prop_assert_eq!(m.energy(x, y), m.energy(y, x));
+    }
+
+    /// Radius of gyration of any conformation is bounded by the extended
+    /// chain's.
+    #[test]
+    fn gyration_bounded_by_extension(turns in proptest::collection::vec(0u8..4, 4..12)) {
+        let c = Conformation::from_turns(turns.clone());
+        let extended = Conformation::from_turns(
+            (0..turns.len()).map(|i| (i % 2) as u8).collect(),
+        );
+        prop_assert!(c.radius_of_gyration() <= extended.radius_of_gyration() + 1e-9);
+    }
+}

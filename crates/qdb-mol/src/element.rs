@@ -1,0 +1,146 @@
+//! Chemical elements relevant to proteins and drug-like ligands.
+
+/// Supported elements.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Element {
+    /// Hydrogen (mostly implicit — united-atom treatment).
+    H,
+    /// Carbon.
+    C,
+    /// Nitrogen.
+    N,
+    /// Oxygen.
+    O,
+    /// Sulfur.
+    S,
+    /// Phosphorus.
+    P,
+    /// Fluorine.
+    F,
+    /// Chlorine.
+    Cl,
+    /// Bromine.
+    Br,
+    /// Iodine.
+    I,
+}
+
+impl Element {
+    /// Van der Waals radius in Å (Bondi).
+    pub fn vdw_radius(self) -> f64 {
+        match self {
+            Element::H => 1.20,
+            Element::C => 1.70,
+            Element::N => 1.55,
+            Element::O => 1.52,
+            Element::S => 1.80,
+            Element::P => 1.80,
+            Element::F => 1.47,
+            Element::Cl => 1.75,
+            Element::Br => 1.85,
+            Element::I => 1.98,
+        }
+    }
+
+    /// Covalent radius in Å.
+    pub fn covalent_radius(self) -> f64 {
+        match self {
+            Element::H => 0.31,
+            Element::C => 0.76,
+            Element::N => 0.71,
+            Element::O => 0.66,
+            Element::S => 1.05,
+            Element::P => 1.07,
+            Element::F => 0.57,
+            Element::Cl => 1.02,
+            Element::Br => 1.20,
+            Element::I => 1.39,
+        }
+    }
+
+    /// Atomic mass (u).
+    pub fn mass(self) -> f64 {
+        match self {
+            Element::H => 1.008,
+            Element::C => 12.011,
+            Element::N => 14.007,
+            Element::O => 15.999,
+            Element::S => 32.06,
+            Element::P => 30.974,
+            Element::F => 18.998,
+            Element::Cl => 35.45,
+            Element::Br => 79.904,
+            Element::I => 126.904,
+        }
+    }
+
+    /// PDB element symbol (right-justified two characters).
+    pub fn symbol(self) -> &'static str {
+        match self {
+            Element::H => "H",
+            Element::C => "C",
+            Element::N => "N",
+            Element::O => "O",
+            Element::S => "S",
+            Element::P => "P",
+            Element::F => "F",
+            Element::Cl => "CL",
+            Element::Br => "BR",
+            Element::I => "I",
+        }
+    }
+
+    /// Parses a PDB element symbol.
+    pub fn from_symbol(s: &str) -> Option<Element> {
+        Some(match s.trim().to_ascii_uppercase().as_str() {
+            "H" => Element::H,
+            "C" => Element::C,
+            "N" => Element::N,
+            "O" => Element::O,
+            "S" => Element::S,
+            "P" => Element::P,
+            "F" => Element::F,
+            "CL" => Element::Cl,
+            "BR" => Element::Br,
+            "I" => Element::I,
+            _ => return None,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ALL: [Element; 10] = [
+        Element::H,
+        Element::C,
+        Element::N,
+        Element::O,
+        Element::S,
+        Element::P,
+        Element::F,
+        Element::Cl,
+        Element::Br,
+        Element::I,
+    ];
+
+    #[test]
+    fn symbol_round_trip() {
+        for e in ALL {
+            assert_eq!(Element::from_symbol(e.symbol()), Some(e));
+        }
+        assert_eq!(Element::from_symbol("XX"), None);
+        assert_eq!(Element::from_symbol(" c "), Some(Element::C));
+    }
+
+    #[test]
+    fn radii_ordering_sane() {
+        assert!(Element::H.vdw_radius() < Element::C.vdw_radius());
+        assert!(Element::O.vdw_radius() < Element::S.vdw_radius());
+        for e in ALL {
+            assert!(e.covalent_radius() < e.vdw_radius());
+            assert!(e.mass() > 0.0);
+        }
+    }
+}

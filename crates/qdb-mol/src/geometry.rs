@@ -1,0 +1,318 @@
+//! 3-D vectors, quaternion rotations, and rigid transforms.
+
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub};
+
+/// A 3-D vector / point in Å.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct Vec3 {
+    /// X component.
+    pub x: f64,
+    /// Y component.
+    pub y: f64,
+    /// Z component.
+    pub z: f64,
+}
+
+impl Vec3 {
+    /// The origin.
+    pub const ZERO: Vec3 = Vec3 { x: 0.0, y: 0.0, z: 0.0 };
+
+    /// Creates a vector.
+    pub const fn new(x: f64, y: f64, z: f64) -> Self {
+        Self { x, y, z }
+    }
+
+    /// From an array.
+    pub const fn from_array(a: [f64; 3]) -> Self {
+        Self { x: a[0], y: a[1], z: a[2] }
+    }
+
+    /// To an array.
+    pub const fn to_array(self) -> [f64; 3] {
+        [self.x, self.y, self.z]
+    }
+
+    /// Dot product.
+    #[inline]
+    pub fn dot(self, o: Vec3) -> f64 {
+        self.x * o.x + self.y * o.y + self.z * o.z
+    }
+
+    /// Cross product.
+    #[inline]
+    pub fn cross(self, o: Vec3) -> Vec3 {
+        Vec3::new(
+            self.y * o.z - self.z * o.y,
+            self.z * o.x - self.x * o.z,
+            self.x * o.y - self.y * o.x,
+        )
+    }
+
+    /// Euclidean norm.
+    #[inline]
+    pub fn norm(self) -> f64 {
+        self.dot(self).sqrt()
+    }
+
+    /// Squared norm.
+    #[inline]
+    pub fn norm_sq(self) -> f64 {
+        self.dot(self)
+    }
+
+    /// Distance to another point.
+    #[inline]
+    pub fn distance(self, o: Vec3) -> f64 {
+        (self - o).norm()
+    }
+
+    /// Unit vector in this direction.
+    ///
+    /// # Panics
+    /// Panics on the zero vector (debug builds).
+    pub fn normalized(self) -> Vec3 {
+        let n = self.norm();
+        debug_assert!(n > 1e-12, "normalizing a zero vector");
+        self / n
+    }
+
+    /// Any unit vector perpendicular to this one (deterministic choice).
+    pub fn any_perpendicular(self) -> Vec3 {
+        let probe = if self.x.abs() < 0.9 {
+            Vec3::new(1.0, 0.0, 0.0)
+        } else {
+            Vec3::new(0.0, 1.0, 0.0)
+        };
+        self.cross(probe).normalized()
+    }
+
+    /// Angle to another vector in radians.
+    pub fn angle_to(self, o: Vec3) -> f64 {
+        let c = (self.dot(o) / (self.norm() * o.norm())).clamp(-1.0, 1.0);
+        c.acos()
+    }
+
+    /// Componentwise minimum.
+    pub fn min(self, o: Vec3) -> Vec3 {
+        Vec3::new(self.x.min(o.x), self.y.min(o.y), self.z.min(o.z))
+    }
+
+    /// Componentwise maximum.
+    pub fn max(self, o: Vec3) -> Vec3 {
+        Vec3::new(self.x.max(o.x), self.y.max(o.y), self.z.max(o.z))
+    }
+}
+
+impl Add for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn add(self, o: Vec3) -> Vec3 {
+        Vec3::new(self.x + o.x, self.y + o.y, self.z + o.z)
+    }
+}
+
+impl AddAssign for Vec3 {
+    #[inline]
+    fn add_assign(&mut self, o: Vec3) {
+        *self = *self + o;
+    }
+}
+
+impl Sub for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn sub(self, o: Vec3) -> Vec3 {
+        Vec3::new(self.x - o.x, self.y - o.y, self.z - o.z)
+    }
+}
+
+impl Mul<f64> for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn mul(self, s: f64) -> Vec3 {
+        Vec3::new(self.x * s, self.y * s, self.z * s)
+    }
+}
+
+impl Mul<Vec3> for f64 {
+    type Output = Vec3;
+    #[inline]
+    fn mul(self, v: Vec3) -> Vec3 {
+        v * self
+    }
+}
+
+impl Div<f64> for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn div(self, s: f64) -> Vec3 {
+        Vec3::new(self.x / s, self.y / s, self.z / s)
+    }
+}
+
+impl Neg for Vec3 {
+    type Output = Vec3;
+    #[inline]
+    fn neg(self) -> Vec3 {
+        Vec3::new(-self.x, -self.y, -self.z)
+    }
+}
+
+/// A unit quaternion rotation.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Quat {
+    /// Scalar part.
+    pub w: f64,
+    /// Vector part x.
+    pub x: f64,
+    /// Vector part y.
+    pub y: f64,
+    /// Vector part z.
+    pub z: f64,
+}
+
+impl Quat {
+    /// The identity rotation.
+    pub const IDENTITY: Quat = Quat { w: 1.0, x: 0.0, y: 0.0, z: 0.0 };
+
+    /// Rotation of `angle` radians about `axis` (normalized internally).
+    pub fn from_axis_angle(axis: Vec3, angle: f64) -> Quat {
+        let a = axis.normalized();
+        let (s, c) = (angle / 2.0).sin_cos();
+        Quat { w: c, x: a.x * s, y: a.y * s, z: a.z * s }
+    }
+
+    /// Builds from raw components, normalizing to a unit quaternion.
+    pub fn from_components(w: f64, x: f64, y: f64, z: f64) -> Quat {
+        let n = (w * w + x * x + y * y + z * z).sqrt();
+        debug_assert!(n > 1e-12);
+        Quat { w: w / n, x: x / n, y: y / n, z: z / n }
+    }
+
+    /// Hamilton product (compose rotations: `self` after `o`).
+    pub fn mul(self, o: Quat) -> Quat {
+        Quat {
+            w: self.w * o.w - self.x * o.x - self.y * o.y - self.z * o.z,
+            x: self.w * o.x + self.x * o.w + self.y * o.z - self.z * o.y,
+            y: self.w * o.y - self.x * o.z + self.y * o.w + self.z * o.x,
+            z: self.w * o.z + self.x * o.y - self.y * o.x + self.z * o.w,
+        }
+    }
+
+    /// Inverse (conjugate, for unit quaternions).
+    pub fn conjugate(self) -> Quat {
+        Quat { w: self.w, x: -self.x, y: -self.y, z: -self.z }
+    }
+
+    /// Rotates a vector.
+    pub fn rotate(self, v: Vec3) -> Vec3 {
+        // v' = v + 2·q×(q×v + w·v) with q = (x,y,z)
+        let q = Vec3::new(self.x, self.y, self.z);
+        let t = q.cross(v) * 2.0;
+        v + t * self.w + q.cross(t)
+    }
+
+    /// The 3×3 rotation matrix (row-major).
+    pub fn to_matrix(self) -> [[f64; 3]; 3] {
+        let (w, x, y, z) = (self.w, self.x, self.y, self.z);
+        [
+            [1.0 - 2.0 * (y * y + z * z), 2.0 * (x * y - w * z), 2.0 * (x * z + w * y)],
+            [2.0 * (x * y + w * z), 1.0 - 2.0 * (x * x + z * z), 2.0 * (y * z - w * x)],
+            [2.0 * (x * z - w * y), 2.0 * (y * z + w * x), 1.0 - 2.0 * (x * x + y * y)],
+        ]
+    }
+}
+
+/// Rotates `point` about the axis through `origin` with direction `axis`.
+pub fn rotate_about_axis(point: Vec3, origin: Vec3, axis: Vec3, angle: f64) -> Vec3 {
+    let q = Quat::from_axis_angle(axis, angle);
+    origin + q.rotate(point - origin)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::{FRAC_PI_2, PI};
+
+    const EPS: f64 = 1e-12;
+
+    fn close(a: Vec3, b: Vec3) -> bool {
+        (a - b).norm() < 1e-9
+    }
+
+    #[test]
+    fn vector_algebra() {
+        let a = Vec3::new(1.0, 2.0, 3.0);
+        let b = Vec3::new(-1.0, 0.5, 2.0);
+        assert!((a.dot(b) - (-1.0 + 1.0 + 6.0)).abs() < EPS);
+        assert!(close(a + b, Vec3::new(0.0, 2.5, 5.0)));
+        assert!(close(a - b, Vec3::new(2.0, 1.5, 1.0)));
+        assert!(close(a * 2.0, Vec3::new(2.0, 4.0, 6.0)));
+        assert!((a.cross(b).dot(a)).abs() < EPS, "cross ⊥ a");
+        assert!((a.cross(b).dot(b)).abs() < EPS, "cross ⊥ b");
+    }
+
+    #[test]
+    fn norms_and_angles() {
+        let v = Vec3::new(3.0, 4.0, 0.0);
+        assert!((v.norm() - 5.0).abs() < EPS);
+        assert!((v.normalized().norm() - 1.0).abs() < EPS);
+        let x = Vec3::new(1.0, 0.0, 0.0);
+        let y = Vec3::new(0.0, 1.0, 0.0);
+        assert!((x.angle_to(y) - FRAC_PI_2).abs() < EPS);
+        assert!((x.angle_to(x)).abs() < 1e-7);
+    }
+
+    #[test]
+    fn perpendicular_is_perpendicular() {
+        for v in [Vec3::new(1.0, 2.0, 3.0), Vec3::new(0.99, 0.0, 0.0), Vec3::new(0.0, 0.0, 1.0)] {
+            let p = v.any_perpendicular();
+            assert!((p.norm() - 1.0).abs() < 1e-9);
+            assert!(v.dot(p).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn quaternion_rotation_basics() {
+        let q = Quat::from_axis_angle(Vec3::new(0.0, 0.0, 1.0), FRAC_PI_2);
+        let v = Vec3::new(1.0, 0.0, 0.0);
+        assert!(close(q.rotate(v), Vec3::new(0.0, 1.0, 0.0)));
+        // Full turn = identity.
+        let full = Quat::from_axis_angle(Vec3::new(1.0, 1.0, 0.0), 2.0 * PI);
+        assert!(close(full.rotate(v), v));
+    }
+
+    #[test]
+    fn rotation_preserves_lengths_and_composition() {
+        let q1 = Quat::from_axis_angle(Vec3::new(1.0, 2.0, -1.0), 0.7);
+        let q2 = Quat::from_axis_angle(Vec3::new(0.0, 1.0, 1.0), -1.3);
+        let v = Vec3::new(0.3, -2.0, 1.7);
+        assert!((q1.rotate(v).norm() - v.norm()).abs() < 1e-9);
+        // (q1∘q2)(v) == q1(q2(v))
+        let composed = q1.mul(q2).rotate(v);
+        let sequential = q1.rotate(q2.rotate(v));
+        assert!(close(composed, sequential));
+        // conjugate inverts
+        assert!(close(q1.conjugate().rotate(q1.rotate(v)), v));
+    }
+
+    #[test]
+    fn matrix_agrees_with_rotate() {
+        let q = Quat::from_axis_angle(Vec3::new(0.2, -1.0, 0.5), 1.1);
+        let m = q.to_matrix();
+        let v = Vec3::new(1.0, 2.0, 3.0);
+        let mv = Vec3::new(
+            m[0][0] * v.x + m[0][1] * v.y + m[0][2] * v.z,
+            m[1][0] * v.x + m[1][1] * v.y + m[1][2] * v.z,
+            m[2][0] * v.x + m[2][1] * v.y + m[2][2] * v.z,
+        );
+        assert!(close(mv, q.rotate(v)));
+    }
+
+    #[test]
+    fn axis_rotation_about_origin_point() {
+        let p = Vec3::new(2.0, 0.0, 0.0);
+        let rotated = rotate_about_axis(p, Vec3::new(1.0, 0.0, 0.0), Vec3::new(0.0, 0.0, 1.0), PI);
+        assert!(close(rotated, Vec3::new(0.0, 0.0, 0.0)));
+    }
+}

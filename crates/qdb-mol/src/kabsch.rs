@@ -1,0 +1,246 @@
+//! Optimal superposition (Kabsch/Horn) and RMSD (paper §6.1.1).
+//!
+//! Uses Horn's quaternion method: the optimal rotation is the eigenvector
+//! of a symmetric 4×4 matrix built from the cross-covariance of the two
+//! centered point sets. The dominant eigenvector is found with a shifted
+//! power iteration — no external linear-algebra dependency.
+
+use crate::geometry::{Quat, Vec3};
+
+/// Result of an optimal superposition.
+#[derive(Clone, Debug)]
+pub struct Superposition {
+    /// Rotation applied to the (centered) mobile set.
+    pub rotation: Quat,
+    /// Centroid of the mobile set.
+    pub mobile_centroid: Vec3,
+    /// Centroid of the reference set.
+    pub reference_centroid: Vec3,
+    /// RMSD after superposition (Å).
+    pub rmsd: f64,
+}
+
+impl Superposition {
+    /// Maps a mobile-frame point into the reference frame.
+    pub fn apply(&self, p: Vec3) -> Vec3 {
+        self.rotation.rotate(p - self.mobile_centroid) + self.reference_centroid
+    }
+}
+
+/// Cyclic Jacobi eigendecomposition of a symmetric 4×4: returns
+/// `(eigenvalues, eigenvectors)` with eigenvectors in columns.
+fn jacobi_eigen4(mut a: [[f64; 4]; 4]) -> ([f64; 4], [[f64; 4]; 4]) {
+    let mut v = [[0.0f64; 4]; 4];
+    for (i, row) in v.iter_mut().enumerate() {
+        row[i] = 1.0;
+    }
+    for _sweep in 0..32 {
+        let mut off = 0.0;
+        for p in 0..4 {
+            for q in (p + 1)..4 {
+                off += a[p][q] * a[p][q];
+            }
+        }
+        if off < 1e-24 {
+            break;
+        }
+        for p in 0..4 {
+            for q in (p + 1)..4 {
+                if a[p][q].abs() < 1e-18 {
+                    continue;
+                }
+                let theta = (a[q][q] - a[p][p]) / (2.0 * a[p][q]);
+                let t = theta.signum() / (theta.abs() + (theta * theta + 1.0).sqrt());
+                let c = 1.0 / (t * t + 1.0).sqrt();
+                let s = t * c;
+                // Apply the Givens rotation G(p,q) on both sides.
+                for k in 0..4 {
+                    let (akp, akq) = (a[k][p], a[k][q]);
+                    a[k][p] = c * akp - s * akq;
+                    a[k][q] = s * akp + c * akq;
+                }
+                for k in 0..4 {
+                    let (apk, aqk) = (a[p][k], a[q][k]);
+                    a[p][k] = c * apk - s * aqk;
+                    a[q][k] = s * apk + c * aqk;
+                }
+                for k in 0..4 {
+                    let (vkp, vkq) = (v[k][p], v[k][q]);
+                    v[k][p] = c * vkp - s * vkq;
+                    v[k][q] = s * vkp + c * vkq;
+                }
+            }
+        }
+    }
+    ([a[0][0], a[1][1], a[2][2], a[3][3]], v)
+}
+
+fn centroid(points: &[Vec3]) -> Vec3 {
+    let n = points.len().max(1) as f64;
+    points.iter().fold(Vec3::ZERO, |acc, &p| acc + p / n)
+}
+
+/// RMSD without any alignment.
+pub fn rmsd_raw(a: &[Vec3], b: &[Vec3]) -> f64 {
+    assert_eq!(a.len(), b.len(), "point count mismatch");
+    assert!(!a.is_empty(), "empty point sets");
+    let ss: f64 = a.iter().zip(b).map(|(x, y)| (*x - *y).norm_sq()).sum();
+    (ss / a.len() as f64).sqrt()
+}
+
+/// Optimal superposition of `mobile` onto `reference` (Horn's method) and
+/// the resulting RMSD — the metric used throughout the paper's evaluation.
+///
+/// # Panics
+/// Panics on length mismatch or fewer than 3 points.
+pub fn superpose(mobile: &[Vec3], reference: &[Vec3]) -> Superposition {
+    assert_eq!(mobile.len(), reference.len(), "point count mismatch");
+    assert!(mobile.len() >= 3, "need at least 3 points for superposition");
+    let mc = centroid(mobile);
+    let rc = centroid(reference);
+
+    // Cross-covariance of centered sets.
+    let mut s = [[0.0f64; 3]; 3];
+    for (m, r) in mobile.iter().zip(reference) {
+        let a = *m - mc;
+        let b = *r - rc;
+        let av = a.to_array();
+        let bv = b.to_array();
+        for i in 0..3 {
+            for j in 0..3 {
+                s[i][j] += av[i] * bv[j];
+            }
+        }
+    }
+
+    // Horn's symmetric 4×4 key matrix.
+    let (sxx, sxy, sxz) = (s[0][0], s[0][1], s[0][2]);
+    let (syx, syy, syz) = (s[1][0], s[1][1], s[1][2]);
+    let (szx, szy, szz) = (s[2][0], s[2][1], s[2][2]);
+    let k = [
+        [sxx + syy + szz, syz - szy, szx - sxz, sxy - syx],
+        [syz - szy, sxx - syy - szz, sxy + syx, szx + sxz],
+        [szx - sxz, sxy + syx, -sxx + syy - szz, syz + szy],
+        [sxy - syx, szx + sxz, syz + szy, -sxx - syy + szz],
+    ];
+
+    // Dominant eigenvector via cyclic Jacobi — exact for a symmetric 4×4.
+    let (eigenvalues, eigenvectors) = jacobi_eigen4(k);
+    let top = (0..4)
+        .max_by(|&i, &j| eigenvalues[i].partial_cmp(&eigenvalues[j]).unwrap())
+        .unwrap();
+    let v = [
+        eigenvectors[0][top],
+        eigenvectors[1][top],
+        eigenvectors[2][top],
+        eigenvectors[3][top],
+    ];
+    let rotation = Quat::from_components(v[0], v[1], v[2], v[3]);
+
+    // RMSD after applying the rotation.
+    let ss: f64 = mobile
+        .iter()
+        .zip(reference)
+        .map(|(m, r)| {
+            let mapped = rotation.rotate(*m - mc) + rc;
+            (mapped - *r).norm_sq()
+        })
+        .sum();
+    let rmsd = (ss / mobile.len() as f64).sqrt();
+
+    Superposition { rotation, mobile_centroid: mc, reference_centroid: rc, rmsd }
+}
+
+/// Cα RMSD between two equal-length coordinate sets after optimal
+/// superposition — the paper's headline structural metric.
+pub fn ca_rmsd(predicted: &[Vec3], experimental: &[Vec3]) -> f64 {
+    superpose(predicted, experimental).rmsd
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::geometry::Quat;
+
+    fn cloud() -> Vec<Vec3> {
+        vec![
+            Vec3::new(0.0, 0.0, 0.0),
+            Vec3::new(3.8, 0.0, 0.0),
+            Vec3::new(5.0, 3.2, 0.5),
+            Vec3::new(7.7, 4.4, 2.8),
+            Vec3::new(9.0, 7.6, 3.1),
+            Vec3::new(12.0, 8.8, 5.0),
+        ]
+    }
+
+    #[test]
+    fn identical_sets_have_zero_rmsd() {
+        let a = cloud();
+        let sup = superpose(&a, &a);
+        assert!(sup.rmsd < 1e-9);
+        assert!(rmsd_raw(&a, &a) < 1e-12);
+    }
+
+    #[test]
+    fn recovers_known_rigid_motion() {
+        let a = cloud();
+        let q = Quat::from_axis_angle(Vec3::new(0.4, -1.0, 0.7), 1.234);
+        let shift = Vec3::new(5.0, -3.0, 2.0);
+        let b: Vec<Vec3> = a.iter().map(|&p| q.rotate(p) + shift).collect();
+        // Raw RMSD is large, aligned RMSD ≈ 0.
+        assert!(rmsd_raw(&a, &b) > 1.0);
+        let sup = superpose(&a, &b);
+        assert!(sup.rmsd < 1e-6, "rmsd = {}", sup.rmsd);
+        // apply() maps mobile points onto the reference.
+        for (m, r) in a.iter().zip(&b) {
+            assert!((sup.apply(*m) - *r).norm() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn detects_genuine_deviation() {
+        let a = cloud();
+        let mut b = a.clone();
+        b[2] += Vec3::new(2.0, 0.0, 0.0); // one displaced residue
+        let r = ca_rmsd(&a, &b);
+        assert!(r > 0.3 && r < 2.0, "rmsd = {r}");
+    }
+
+    #[test]
+    fn rmsd_is_symmetric() {
+        let a = cloud();
+        let q = Quat::from_axis_angle(Vec3::new(1.0, 1.0, 0.0), 0.5);
+        let b: Vec<Vec3> = a
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| q.rotate(p) + Vec3::new(0.1 * i as f64, 0.0, 0.2))
+            .collect();
+        let ab = ca_rmsd(&a, &b);
+        let ba = ca_rmsd(&b, &a);
+        assert!((ab - ba).abs() < 1e-6, "{ab} vs {ba}");
+    }
+
+    #[test]
+    fn handles_reflection_free_optimum() {
+        // Mirrored set: proper-rotation optimum must stay worse than 0 —
+        // Horn's method never returns an improper rotation.
+        let a = cloud();
+        let b: Vec<Vec3> = a.iter().map(|p| Vec3::new(-p.x, p.y, p.z)).collect();
+        let sup = superpose(&a, &b);
+        assert!(sup.rmsd > 0.5, "a mirror image must not superpose perfectly");
+        // Rotation must be proper: det(R) = +1.
+        let m = sup.rotation.to_matrix();
+        let det = m[0][0] * (m[1][1] * m[2][2] - m[1][2] * m[2][1])
+            - m[0][1] * (m[1][0] * m[2][2] - m[1][2] * m[2][0])
+            + m[0][2] * (m[1][0] * m[2][1] - m[1][1] * m[2][0]);
+        assert!((det - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn translation_only_case() {
+        let a = cloud();
+        let b: Vec<Vec3> = a.iter().map(|&p| p + Vec3::new(10.0, 20.0, 30.0)).collect();
+        let sup = superpose(&a, &b);
+        assert!(sup.rmsd < 1e-9);
+    }
+}

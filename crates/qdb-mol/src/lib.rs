@@ -1,0 +1,26 @@
+//! # qdb-mol
+//!
+//! Molecular structures and IO for QDockBank-rs: 3-D geometry primitives,
+//! protein structures with PDB read/write, full-backbone peptide
+//! reconstruction from Cα traces (the paper's §4.3.3 atomic
+//! reconstruction), Kabsch/Horn superposition and Cα RMSD (§6.1.1), and
+//! drug-like synthetic ligands with torsion trees (the PDBbind-ligand
+//! substitute of DESIGN.md §1).
+
+pub mod builder;
+pub mod element;
+pub mod geometry;
+pub mod kabsch;
+pub mod ligand;
+pub mod pdb;
+pub mod structure;
+pub mod templates;
+
+pub use builder::{build_peptide, classify_side_chain, ResidueSpec, SideChainClass};
+pub use element::Element;
+pub use geometry::{Quat, Vec3};
+pub use kabsch::{ca_rmsd, rmsd_raw, superpose, Superposition};
+pub use ligand::{generate_ligand, Ligand, LigandAtom, Torsion};
+pub use pdb::{parse_pdb, write_pdb, PdbError};
+pub use structure::{Atom, Residue, Structure};
+pub use templates::{template_for, three_letter, validate_residue, ResidueTemplate};

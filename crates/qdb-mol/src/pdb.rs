@@ -1,0 +1,217 @@
+//! PDB format reading and writing (paper §7.1: "All PDB files in QDockBank
+//! adhere strictly to the PDB format specification").
+
+use crate::element::Element;
+use crate::geometry::Vec3;
+use crate::structure::{Atom, Residue, Structure};
+use std::fmt::Write as _;
+
+/// Errors from PDB parsing.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum PdbError {
+    /// A line was shorter than the fixed-column format requires.
+    ShortLine(usize),
+    /// A numeric field failed to parse.
+    BadNumber { line: usize, field: &'static str },
+}
+
+impl std::fmt::Display for PdbError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PdbError::ShortLine(n) => write!(f, "line {n}: ATOM record too short"),
+            PdbError::BadNumber { line, field } => {
+                write!(f, "line {line}: cannot parse {field}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PdbError {}
+
+/// Formats an atom name into PDB columns 13–16 (element-aligned).
+fn format_atom_name(name: &str) -> String {
+    // One/two-letter element names start in column 14 when the name is
+    // ≤ 3 characters (standard convention).
+    if name.len() >= 4 {
+        format!("{name:<4}")
+    } else {
+        format!(" {name:<3}")
+    }
+}
+
+/// Serializes a structure to PDB text (ATOM records + TER + END).
+pub fn write_pdb(s: &Structure) -> String {
+    let mut out = String::new();
+    let mut serial = 1usize;
+    for res in &s.residues {
+        for atom in &res.atoms {
+            let p = atom.pos;
+            let _ = writeln!(
+                out,
+                "ATOM  {serial:>5} {name}{alt}{res:<3} {chain}{seq:>4}{icode}   {x:>8.3}{y:>8.3}{z:>8.3}{occ:>6.2}{b:>6.2}          {el:>2}",
+                serial = serial,
+                name = format_atom_name(&atom.name),
+                alt = ' ',
+                res = res.name,
+                chain = s.chain_id,
+                seq = res.seq_num,
+                icode = ' ',
+                x = p.x,
+                y = p.y,
+                z = p.z,
+                occ = 1.0,
+                b = 0.0,
+                el = atom.element.symbol(),
+            );
+            serial += 1;
+        }
+    }
+    if let Some(last) = s.residues.last() {
+        let _ = writeln!(
+            out,
+            "TER   {serial:>5}      {res:<3} {chain}{seq:>4}",
+            serial = serial,
+            res = last.name,
+            chain = s.chain_id,
+            seq = last.seq_num,
+        );
+    }
+    out.push_str("END\n");
+    out
+}
+
+fn parse_f64(line: &str, range: std::ops::Range<usize>, lineno: usize, field: &'static str) -> Result<f64, PdbError> {
+    line.get(range)
+        .map(str::trim)
+        .and_then(|s| s.parse::<f64>().ok())
+        .ok_or(PdbError::BadNumber { line: lineno, field })
+}
+
+/// Parses ATOM/HETATM records into a structure (single chain assumed; the
+/// chain id of the first record wins).
+pub fn parse_pdb(text: &str) -> Result<Structure, PdbError> {
+    let mut structure = Structure::new();
+    let mut chain_set = false;
+    for (lineno, line) in text.lines().enumerate() {
+        let is_atom = line.starts_with("ATOM  ") || line.starts_with("HETATM");
+        if !is_atom {
+            continue;
+        }
+        if line.len() < 54 {
+            return Err(PdbError::ShortLine(lineno + 1));
+        }
+        let name = line[12..16].trim().to_string();
+        let res_name = line[17..20].trim().to_string();
+        let chain = line.as_bytes()[21] as char;
+        let seq_num = line
+            .get(22..26)
+            .map(str::trim)
+            .and_then(|s| s.parse::<i32>().ok())
+            .ok_or(PdbError::BadNumber { line: lineno + 1, field: "resSeq" })?;
+        let x = parse_f64(line, 30..38, lineno + 1, "x")?;
+        let y = parse_f64(line, 38..46, lineno + 1, "y")?;
+        let z = parse_f64(line, 46..54, lineno + 1, "z")?;
+        let element = line
+            .get(76..78)
+            .and_then(Element::from_symbol)
+            .or_else(|| Element::from_symbol(&name[..1]))
+            .unwrap_or(Element::C);
+
+        if !chain_set {
+            structure.chain_id = chain;
+            chain_set = true;
+        }
+        let need_new = structure
+            .residues
+            .last()
+            .map(|r| r.seq_num != seq_num || r.name != res_name)
+            .unwrap_or(true);
+        if need_new {
+            structure.residues.push(Residue::new(&res_name, seq_num));
+        }
+        structure
+            .residues
+            .last_mut()
+            .expect("just pushed")
+            .atoms
+            .push(Atom::new(&name, element, Vec3::new(x, y, z)));
+    }
+    Ok(structure)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> Structure {
+        let mut s = Structure::new();
+        let mut r = Residue::new("LEU", 47);
+        r.atoms.push(Atom::new("N", Element::N, Vec3::new(1.234, -5.678, 9.012)));
+        r.atoms.push(Atom::new("CA", Element::C, Vec3::new(2.5, 0.0, -1.75)));
+        r.atoms.push(Atom::new("CB", Element::C, Vec3::new(3.125, 1.0, -2.0)));
+        s.residues.push(r);
+        let mut r2 = Residue::new("ASP", 48);
+        r2.atoms.push(Atom::new("N", Element::N, Vec3::new(0.0, 0.0, 0.0)));
+        r2.atoms.push(Atom::new("CA", Element::C, Vec3::new(1.1, 2.2, 3.3)));
+        s.residues.push(r2);
+        s
+    }
+
+    #[test]
+    fn write_format_columns() {
+        let text = write_pdb(&toy());
+        let first = text.lines().next().unwrap();
+        assert!(first.starts_with("ATOM      1  N   LEU A  47"));
+        // Coordinates occupy fixed columns 31–54.
+        assert_eq!(&first[30..38], "   1.234");
+        assert_eq!(&first[38..46], "  -5.678");
+        assert_eq!(&first[46..54], "   9.012");
+        assert!(text.contains("TER"));
+        assert!(text.trim_end().ends_with("END"));
+    }
+
+    #[test]
+    fn round_trip() {
+        let original = toy();
+        let parsed = parse_pdb(&write_pdb(&original)).unwrap();
+        assert_eq!(parsed.len(), original.len());
+        assert_eq!(parsed.chain_id, original.chain_id);
+        for (a, b) in original.residues.iter().zip(&parsed.residues) {
+            assert_eq!(a.name, b.name);
+            assert_eq!(a.seq_num, b.seq_num);
+            assert_eq!(a.atoms.len(), b.atoms.len());
+            for (x, y) in a.atoms.iter().zip(&b.atoms) {
+                assert_eq!(x.name, y.name);
+                assert_eq!(x.element, y.element);
+                assert!((x.pos - y.pos).norm() < 1e-3, "coords preserved to 3 decimals");
+            }
+        }
+    }
+
+    #[test]
+    fn parse_rejects_garbage_numbers() {
+        let bad = "ATOM      1  N   LEU A  47     abcdefgh  -5.678   9.012\n";
+        assert!(matches!(parse_pdb(bad), Err(PdbError::BadNumber { field: "x", .. })));
+    }
+
+    #[test]
+    fn parse_skips_non_atom_records() {
+        let text = format!(
+            "HEADER    QDOCKBANK TEST\nREMARK 1  blah\n{}CONECT    1    2\n",
+            write_pdb(&toy())
+        );
+        let parsed = parse_pdb(&text).unwrap();
+        assert_eq!(parsed.len(), 2);
+    }
+
+    #[test]
+    fn four_char_atom_names() {
+        let mut s = Structure::new();
+        let mut r = Residue::new("LIG", 1);
+        r.atoms.push(Atom::new("HD11", Element::H, Vec3::ZERO));
+        s.residues.push(r);
+        let text = write_pdb(&s);
+        let parsed = parse_pdb(&text).unwrap();
+        assert_eq!(parsed.residues[0].atoms[0].name, "HD11");
+    }
+}

@@ -1,0 +1,184 @@
+//! Protein structures: atoms, residues, and whole fragments.
+
+use crate::element::Element;
+use crate::geometry::Vec3;
+
+/// One atom of a protein structure.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Atom {
+    /// PDB atom name, e.g. `"CA"`, `"N"`, `"C"`, `"O"`, `"CB"`.
+    pub name: String,
+    /// Element.
+    pub element: Element,
+    /// Position in Å.
+    pub pos: Vec3,
+}
+
+impl Atom {
+    /// Creates an atom.
+    pub fn new(name: &str, element: Element, pos: Vec3) -> Self {
+        Self { name: name.to_string(), element, pos }
+    }
+}
+
+/// One residue: a named group of atoms.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Residue {
+    /// Three-letter residue name (e.g. `"LEU"`).
+    pub name: String,
+    /// PDB residue sequence number.
+    pub seq_num: i32,
+    /// Atoms, in PDB order.
+    pub atoms: Vec<Atom>,
+}
+
+impl Residue {
+    /// Creates an empty residue.
+    pub fn new(name: &str, seq_num: i32) -> Self {
+        Self { name: name.to_string(), seq_num, atoms: Vec::new() }
+    }
+
+    /// Finds an atom by name.
+    pub fn atom(&self, name: &str) -> Option<&Atom> {
+        self.atoms.iter().find(|a| a.name == name)
+    }
+
+    /// The Cα position, if present.
+    pub fn ca(&self) -> Option<Vec3> {
+        self.atom("CA").map(|a| a.pos)
+    }
+}
+
+/// A single-chain protein fragment.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Structure {
+    /// Chain identifier (defaults to `'A'`).
+    pub chain_id: char,
+    /// Residues in sequence order.
+    pub residues: Vec<Residue>,
+}
+
+impl Structure {
+    /// An empty chain-A structure.
+    pub fn new() -> Self {
+        Self { chain_id: 'A', residues: Vec::new() }
+    }
+
+    /// Number of residues.
+    pub fn len(&self) -> usize {
+        self.residues.len()
+    }
+
+    /// True when there are no residues.
+    pub fn is_empty(&self) -> bool {
+        self.residues.is_empty()
+    }
+
+    /// Total atom count.
+    pub fn num_atoms(&self) -> usize {
+        self.residues.iter().map(|r| r.atoms.len()).sum()
+    }
+
+    /// All atoms in PDB order.
+    pub fn atoms(&self) -> impl Iterator<Item = &Atom> {
+        self.residues.iter().flat_map(|r| r.atoms.iter())
+    }
+
+    /// Cα trace, one point per residue that has a Cα.
+    pub fn ca_coords(&self) -> Vec<Vec3> {
+        self.residues.iter().filter_map(|r| r.ca()).collect()
+    }
+
+    /// Backbone (N, CA, C, O) coordinates in order.
+    pub fn backbone_coords(&self) -> Vec<Vec3> {
+        self.residues
+            .iter()
+            .flat_map(|r| {
+                ["N", "CA", "C", "O"]
+                    .into_iter()
+                    .filter_map(|n| r.atom(n).map(|a| a.pos))
+            })
+            .collect()
+    }
+
+    /// Geometric centroid over all atoms.
+    pub fn centroid(&self) -> Vec3 {
+        let n = self.num_atoms().max(1) as f64;
+        self.atoms().fold(Vec3::ZERO, |acc, a| acc + a.pos / n)
+    }
+
+    /// Translates every atom.
+    pub fn translate(&mut self, delta: Vec3) {
+        for r in &mut self.residues {
+            for a in &mut r.atoms {
+                a.pos += delta;
+            }
+        }
+    }
+
+    /// Centers the structure on its centroid.
+    pub fn center(&mut self) {
+        let c = self.centroid();
+        self.translate(-c);
+    }
+
+    /// Axis-aligned bounding box `(min, max)`.
+    pub fn bounding_box(&self) -> (Vec3, Vec3) {
+        let mut lo = Vec3::new(f64::INFINITY, f64::INFINITY, f64::INFINITY);
+        let mut hi = Vec3::new(f64::NEG_INFINITY, f64::NEG_INFINITY, f64::NEG_INFINITY);
+        for a in self.atoms() {
+            lo = lo.min(a.pos);
+            hi = hi.max(a.pos);
+        }
+        (lo, hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> Structure {
+        let mut s = Structure::new();
+        let mut r1 = Residue::new("GLY", 1);
+        r1.atoms.push(Atom::new("N", Element::N, Vec3::new(0.0, 0.0, 0.0)));
+        r1.atoms.push(Atom::new("CA", Element::C, Vec3::new(1.5, 0.0, 0.0)));
+        r1.atoms.push(Atom::new("C", Element::C, Vec3::new(2.0, 1.4, 0.0)));
+        r1.atoms.push(Atom::new("O", Element::O, Vec3::new(1.5, 2.5, 0.0)));
+        let mut r2 = Residue::new("ALA", 2);
+        r2.atoms.push(Atom::new("N", Element::N, Vec3::new(3.3, 1.4, 0.0)));
+        r2.atoms.push(Atom::new("CA", Element::C, Vec3::new(4.2, 2.5, 0.0)));
+        s.residues.push(r1);
+        s.residues.push(r2);
+        s
+    }
+
+    #[test]
+    fn accessors() {
+        let s = toy();
+        assert_eq!(s.len(), 2);
+        assert_eq!(s.num_atoms(), 6);
+        assert_eq!(s.ca_coords().len(), 2);
+        assert_eq!(s.backbone_coords().len(), 6);
+        assert!(s.residues[0].atom("CA").is_some());
+        assert!(s.residues[0].atom("CB").is_none());
+    }
+
+    #[test]
+    fn center_moves_centroid_to_origin() {
+        let mut s = toy();
+        s.center();
+        assert!(s.centroid().norm() < 1e-12);
+    }
+
+    #[test]
+    fn translate_shifts_bbox() {
+        let mut s = toy();
+        let (lo0, hi0) = s.bounding_box();
+        s.translate(Vec3::new(10.0, 0.0, 0.0));
+        let (lo1, hi1) = s.bounding_box();
+        assert!((lo1.x - lo0.x - 10.0).abs() < 1e-12);
+        assert!((hi1.x - hi0.x - 10.0).abs() < 1e-12);
+        assert!((lo1.y - lo0.y).abs() < 1e-12);
+    }
+}

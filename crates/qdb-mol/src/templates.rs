@@ -1,0 +1,229 @@
+//! Standard amino-acid templates (paper §4.3.3: "refined by applying
+//! standard amino acid templates").
+//!
+//! One template per residue type: the atoms the coarse-grained builder
+//! emits, ideal backbone internal coordinates, and validation helpers the
+//! pipeline uses to check reconstructed structures.
+
+use crate::builder::{classify_side_chain, SideChainClass};
+use crate::element::Element;
+use crate::structure::Residue;
+
+/// Ideal backbone geometry shared by all residues.
+pub mod ideal {
+    /// N–CA bond (Å).
+    pub const N_CA: f64 = 1.458;
+    /// CA–C bond (Å).
+    pub const CA_C: f64 = 1.525;
+    /// C–N peptide bond (Å).
+    pub const C_N: f64 = 1.329;
+    /// C=O carbonyl (Å).
+    pub const C_O: f64 = 1.231;
+    /// CA–CB bond (Å).
+    pub const CA_CB: f64 = 1.53;
+    /// N–CA–C angle (degrees).
+    pub const N_CA_C_DEG: f64 = 111.0;
+    /// CA–C–N angle (degrees).
+    pub const CA_C_N_DEG: f64 = 116.2;
+    /// C–N–CA angle (degrees).
+    pub const C_N_CA_DEG: f64 = 121.7;
+}
+
+/// The coarse-grained template of one residue type.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ResidueTemplate {
+    /// One-letter code.
+    pub code: char,
+    /// Three-letter PDB name.
+    pub name: &'static str,
+    /// Side-chain class driving atom emission.
+    pub side_chain: SideChainClass,
+    /// Atom names the builder emits, in order.
+    pub atom_names: Vec<&'static str>,
+    /// Elements matching `atom_names`.
+    pub elements: Vec<Element>,
+}
+
+/// Three-letter name for a one-letter code.
+pub fn three_letter(code: char) -> &'static str {
+    match code.to_ascii_uppercase() {
+        'A' => "ALA",
+        'R' => "ARG",
+        'N' => "ASN",
+        'D' => "ASP",
+        'C' => "CYS",
+        'Q' => "GLN",
+        'E' => "GLU",
+        'G' => "GLY",
+        'H' => "HIS",
+        'I' => "ILE",
+        'L' => "LEU",
+        'K' => "LYS",
+        'M' => "MET",
+        'F' => "PHE",
+        'P' => "PRO",
+        'S' => "SER",
+        'T' => "THR",
+        'W' => "TRP",
+        'Y' => "TYR",
+        'V' => "VAL",
+        _ => "UNK",
+    }
+}
+
+/// Builds the template for a one-letter residue code.
+pub fn template_for(code: char) -> ResidueTemplate {
+    let side_chain = classify_side_chain(code);
+    let mut atom_names = vec!["N", "CA", "C", "O"];
+    let mut elements = vec![Element::N, Element::C, Element::C, Element::O];
+    if side_chain != SideChainClass::None {
+        atom_names.push("CB");
+        elements.push(Element::C);
+    }
+    let tip = match side_chain {
+        SideChainClass::Hydrophobic => Some(("CG", Element::C)),
+        SideChainClass::PolarN => Some(("NG", Element::N)),
+        SideChainClass::PolarO => Some(("OG", Element::O)),
+        SideChainClass::Sulfur => Some(("SG", Element::S)),
+        _ => None,
+    };
+    if let Some((name, el)) = tip {
+        atom_names.push(name);
+        elements.push(el);
+    }
+    ResidueTemplate {
+        code: code.to_ascii_uppercase(),
+        name: three_letter(code),
+        side_chain,
+        atom_names,
+        elements,
+    }
+}
+
+/// Validates a reconstructed residue against its template: atom names,
+/// order, elements, and backbone bond lengths within `tol` Å.
+pub fn validate_residue(residue: &Residue, code: char, tol: f64) -> Result<(), String> {
+    let template = template_for(code);
+    if residue.atoms.len() != template.atom_names.len() {
+        return Err(format!(
+            "{}: expected {} atoms, found {}",
+            residue.name,
+            template.atom_names.len(),
+            residue.atoms.len()
+        ));
+    }
+    for ((atom, want_name), want_el) in
+        residue.atoms.iter().zip(&template.atom_names).zip(&template.elements)
+    {
+        if atom.name != *want_name {
+            return Err(format!("{}: expected atom {want_name}, found {}", residue.name, atom.name));
+        }
+        if atom.element != *want_el {
+            return Err(format!("{}: atom {} has wrong element", residue.name, atom.name));
+        }
+    }
+    let dist = |a: &str, b: &str| -> Option<f64> {
+        Some(residue.atom(a)?.pos.distance(residue.atom(b)?.pos))
+    };
+    for (a, b, want) in [("N", "CA", ideal::N_CA), ("CA", "C", ideal::CA_C), ("C", "O", ideal::C_O)]
+    {
+        if let Some(d) = dist(a, b) {
+            if (d - want).abs() > tol {
+                return Err(format!("{}: {a}-{b} bond {d:.3} vs ideal {want:.3}", residue.name));
+            }
+        }
+    }
+    if template.side_chain != SideChainClass::None {
+        if let Some(d) = dist("CA", "CB") {
+            if (d - ideal::CA_CB).abs() > tol {
+                return Err(format!("{}: CA-CB bond {d:.3}", residue.name));
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::{build_peptide, ResidueSpec};
+    use crate::geometry::Vec3;
+
+    #[test]
+    fn twenty_templates_well_formed() {
+        for code in "ARNDCQEGHILKMFPSTWYV".chars() {
+            let t = template_for(code);
+            assert_eq!(t.atom_names.len(), t.elements.len());
+            assert!(t.atom_names.len() >= 4, "{code}: at least a backbone");
+            assert_eq!(t.atom_names[..4], ["N", "CA", "C", "O"]);
+            assert_eq!(t.name.len(), 3);
+        }
+        // Glycine is backbone-only; tryptophan has a nitrogen tip.
+        assert_eq!(template_for('G').atom_names.len(), 4);
+        assert!(template_for('W').atom_names.contains(&"NG"));
+        assert!(template_for('M').atom_names.contains(&"SG"));
+    }
+
+    #[test]
+    fn three_letter_codes_match_standard() {
+        assert_eq!(three_letter('A'), "ALA");
+        assert_eq!(three_letter('w'), "TRP");
+        assert_eq!(three_letter('X'), "UNK");
+    }
+
+    #[test]
+    fn builder_output_validates_against_templates() {
+        let s = 3.8 / (3.0f64).sqrt();
+        let dirs = [
+            Vec3::new(1.0, 1.0, 1.0),
+            Vec3::new(1.0, -1.0, -1.0),
+            Vec3::new(-1.0, 1.0, -1.0),
+        ];
+        let seq = "GLKDCMW";
+        let mut p = Vec3::ZERO;
+        let mut trace = vec![p];
+        for i in 0..seq.len() - 1 {
+            p += dirs[i % 3] * s * if i % 2 == 0 { 1.0 } else { -1.0 };
+            trace.push(p);
+        }
+        let specs: Vec<ResidueSpec> = seq
+            .chars()
+            .enumerate()
+            .map(|(i, c)| ResidueSpec {
+                name: three_letter(c).to_string(),
+                seq_num: i as i32 + 1,
+                side_chain: classify_side_chain(c),
+            })
+            .collect();
+        let structure = build_peptide(&trace, &specs);
+        for (residue, code) in structure.residues.iter().zip(seq.chars()) {
+            validate_residue(residue, code, 1e-6)
+                .unwrap_or_else(|e| panic!("validation failed: {e}"));
+        }
+    }
+
+    #[test]
+    fn validation_rejects_wrong_residue() {
+        let s = 3.8 / (3.0f64).sqrt();
+        let trace = vec![
+            Vec3::ZERO,
+            Vec3::new(s, s, s),
+            Vec3::new(2.0 * s, 0.0, 0.0),
+            Vec3::new(3.0 * s, s, -s),
+        ];
+        let specs: Vec<ResidueSpec> = "GGGG"
+            .chars()
+            .enumerate()
+            .map(|(i, c)| ResidueSpec {
+                name: "GLY".to_string(),
+                seq_num: i as i32 + 1,
+                side_chain: classify_side_chain(c),
+            })
+            .collect();
+        let structure = build_peptide(&trace, &specs);
+        // Validating a glycine against a leucine template must fail
+        // (missing CB).
+        assert!(validate_residue(&structure.residues[0], 'L', 1e-6).is_err());
+        assert!(validate_residue(&structure.residues[0], 'G', 1e-6).is_ok());
+    }
+}

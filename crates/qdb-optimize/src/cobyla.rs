@@ -1,0 +1,211 @@
+//! COBYLA-style linear-approximation trust-region optimizer.
+//!
+//! Powell's COBYLA maintains a non-degenerate simplex of `n+1` points,
+//! interpolates a linear model of the objective through them, and steps
+//! the trust-region radius ρ against the model gradient, shrinking ρ when
+//! progress stalls. This implementation covers the unconstrained case used
+//! by VQE (the paper's Hamiltonian has no side constraints — all four
+//! terms live inside the objective) and reproduces COBYLA's characteristic
+//! ρ_beg → ρ_end staircase behaviour.
+
+use crate::linalg::{axpy, norm, solve};
+use crate::{OptResult, Optimizer, Tracker};
+
+/// Configuration for [`Cobyla`].
+#[derive(Clone, Copy, Debug)]
+pub struct Cobyla {
+    /// Initial trust-region radius ρ_beg.
+    pub rho_begin: f64,
+    /// Final radius ρ_end; the run stops once ρ shrinks below it.
+    pub rho_end: f64,
+    /// Maximum objective evaluations (the paper runs >200 VQE iterations;
+    /// each iteration is one evaluation here).
+    pub max_evals: usize,
+}
+
+impl Default for Cobyla {
+    fn default() -> Self {
+        Self { rho_begin: 0.5, rho_end: 1e-4, max_evals: 200 }
+    }
+}
+
+impl Cobyla {
+    /// COBYLA with the paper's default evaluation budget.
+    pub fn with_budget(max_evals: usize) -> Self {
+        Self { max_evals, ..Default::default() }
+    }
+}
+
+impl Optimizer for Cobyla {
+    fn minimize(&self, f: &mut dyn FnMut(&[f64]) -> f64, x0: &[f64]) -> OptResult {
+        let n = x0.len();
+        assert!(n > 0, "empty parameter vector");
+        let mut tracker = Tracker::new(f, n);
+        let mut rho = self.rho_begin;
+
+        // Initial simplex: x0 plus rho steps along each axis.
+        let mut simplex: Vec<Vec<f64>> = Vec::with_capacity(n + 1);
+        let mut values: Vec<f64> = Vec::with_capacity(n + 1);
+        simplex.push(x0.to_vec());
+        values.push(tracker.eval(x0));
+        for i in 0..n {
+            if tracker.evals >= self.max_evals {
+                break;
+            }
+            let mut xi = x0.to_vec();
+            xi[i] += rho;
+            values.push(tracker.eval(&xi));
+            simplex.push(xi);
+        }
+
+        'outer: while rho > self.rho_end && tracker.evals < self.max_evals {
+            if simplex.len() < n + 1 {
+                break;
+            }
+            // Identify best vertex.
+            let best = (0..values.len())
+                .min_by(|&i, &j| values[i].partial_cmp(&values[j]).unwrap())
+                .unwrap();
+            // Linear model through the simplex: g solves
+            // (x_i - x_best)·g = f_i - f_best for the n non-best vertices.
+            let mut rows: Vec<Vec<f64>> = Vec::with_capacity(n);
+            let mut rhs: Vec<f64> = Vec::with_capacity(n);
+            for i in 0..simplex.len() {
+                if i == best {
+                    continue;
+                }
+                rows.push(
+                    simplex[i]
+                        .iter()
+                        .zip(&simplex[best])
+                        .map(|(a, b)| a - b)
+                        .collect(),
+                );
+                rhs.push(values[i] - values[best]);
+            }
+            let gradient = match solve(&mut rows, &mut rhs) {
+                Some(g) if norm(&g) > 1e-14 => g,
+                _ => {
+                    // Degenerate simplex: rebuild around the best vertex at
+                    // the current radius.
+                    let center = simplex[best].clone();
+                    let fc = values[best];
+                    simplex.clear();
+                    values.clear();
+                    simplex.push(center.clone());
+                    values.push(fc);
+                    for i in 0..n {
+                        if tracker.evals >= self.max_evals {
+                            break 'outer;
+                        }
+                        let mut xi = center.clone();
+                        xi[i] += rho;
+                        values.push(tracker.eval(&xi));
+                        simplex.push(xi);
+                    }
+                    continue;
+                }
+            };
+
+            // Trust-region step against the model gradient.
+            let g_norm = norm(&gradient);
+            let step: Vec<f64> = gradient.iter().map(|g| -rho * g / g_norm).collect();
+            let candidate = axpy(&simplex[best], 1.0, &step);
+            if tracker.evals >= self.max_evals {
+                break;
+            }
+            let fc = tracker.eval(&candidate);
+
+            // Replace the worst vertex if we improved on it.
+            let worst = (0..values.len())
+                .max_by(|&i, &j| values[i].partial_cmp(&values[j]).unwrap())
+                .unwrap();
+            if fc < values[worst] {
+                simplex[worst] = candidate;
+                values[worst] = fc;
+            }
+            if fc < values[best] {
+                // Successful step: cautiously re-expand the radius so the
+                // optimizer can track long curved valleys.
+                rho = (rho * 1.3).min(self.rho_begin);
+            } else {
+                // Shrink when the candidate fails to beat the best vertex.
+                rho *= 0.5;
+            }
+        }
+        tracker.finish()
+    }
+
+    fn name(&self) -> &'static str {
+        "COBYLA"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_functions::{rosenbrock, shifted_sphere};
+
+    #[test]
+    fn solves_quadratic() {
+        let opt = Cobyla { rho_begin: 0.5, rho_end: 1e-7, max_evals: 500 };
+        let r = opt.minimize(&mut |x| shifted_sphere(x), &[0.0, 0.0, 0.0]);
+        assert!(r.fx < 1e-3, "fx = {}", r.fx);
+        assert!((r.x[0] - 1.0).abs() < 0.05);
+        assert!((r.x[1] + 2.0).abs() < 0.05);
+        assert!((r.x[2] - 3.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn makes_progress_on_rosenbrock() {
+        let opt = Cobyla { rho_begin: 0.25, rho_end: 1e-8, max_evals: 2000 };
+        let start = [-1.2, 1.0];
+        let r = opt.minimize(&mut |x| rosenbrock(x), &start);
+        assert!(
+            r.fx < rosenbrock(&start) * 0.05,
+            "should descend the valley, fx = {}",
+            r.fx
+        );
+    }
+
+    #[test]
+    fn history_is_monotone_best_so_far() {
+        let opt = Cobyla::with_budget(120);
+        let r = opt.minimize(&mut |x| shifted_sphere(x), &[5.0, 5.0]);
+        for w in r.history.windows(2) {
+            assert!(w[1] <= w[0] + 1e-15);
+        }
+        assert_eq!(r.history.len(), r.evals);
+        assert!(r.evals <= 120);
+    }
+
+    #[test]
+    fn respects_budget_exactly_under_pressure() {
+        let opt = Cobyla::with_budget(10);
+        let mut calls = 0usize;
+        let _ = opt.minimize(
+            &mut |x| {
+                calls += 1;
+                shifted_sphere(x)
+            },
+            &[0.0; 6],
+        );
+        assert!(calls <= 10, "called {calls} times");
+    }
+
+    #[test]
+    fn deterministic() {
+        let opt = Cobyla::with_budget(100);
+        let a = opt.minimize(&mut |x| rosenbrock(x), &[0.5, 0.5]);
+        let b = opt.minimize(&mut |x| rosenbrock(x), &[0.5, 0.5]);
+        assert_eq!(a.x, b.x);
+        assert_eq!(a.fx, b.fx);
+    }
+
+    #[test]
+    fn single_parameter_problem() {
+        let opt = Cobyla { rho_begin: 0.5, rho_end: 1e-8, max_evals: 200 };
+        let r = opt.minimize(&mut |x| (x[0] - 2.5).powi(2), &[0.0]);
+        assert!((r.x[0] - 2.5).abs() < 1e-2, "x = {}", r.x[0]);
+    }
+}

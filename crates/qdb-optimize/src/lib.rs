@@ -1,0 +1,101 @@
+//! # qdb-optimize
+//!
+//! Gradient-free classical optimizers for the hybrid VQE loop (§4.3.2):
+//! a COBYLA-style linear-approximation trust-region method (the paper's
+//! optimizer), Nelder–Mead, and SPSA for ablations. All optimizers are
+//! deterministic given their inputs (SPSA takes an explicit seed).
+
+pub mod cobyla;
+pub mod linalg;
+pub mod neldermead;
+pub mod spsa;
+
+pub use cobyla::Cobyla;
+pub use neldermead::NelderMead;
+pub use spsa::Spsa;
+
+/// Result of a minimization run.
+#[derive(Clone, Debug)]
+pub struct OptResult {
+    /// Best parameter vector found.
+    pub x: Vec<f64>,
+    /// Objective value at `x`.
+    pub fx: f64,
+    /// Total objective evaluations used.
+    pub evals: usize,
+    /// Best-so-far objective value after each evaluation (monotone
+    /// non-increasing); drives the paper's energy-range statistics.
+    pub history: Vec<f64>,
+}
+
+impl OptResult {
+    /// Minimum observed objective value.
+    pub fn lowest(&self) -> f64 {
+        self.fx
+    }
+
+    /// The first best-so-far entry — the optimizer's starting energy.
+    pub fn initial(&self) -> f64 {
+        self.history.first().copied().unwrap_or(self.fx)
+    }
+}
+
+/// A common interface over the optimizers.
+pub trait Optimizer {
+    /// Minimizes `f` starting from `x0` within the evaluation budget
+    /// configured on the optimizer.
+    fn minimize(&self, f: &mut dyn FnMut(&[f64]) -> f64, x0: &[f64]) -> OptResult;
+
+    /// Human-readable name for reports.
+    fn name(&self) -> &'static str;
+}
+
+/// Tracks best-so-far while delegating to the raw objective.
+pub(crate) struct Tracker<'a> {
+    f: &'a mut dyn FnMut(&[f64]) -> f64,
+    pub evals: usize,
+    pub best_x: Vec<f64>,
+    pub best_fx: f64,
+    pub history: Vec<f64>,
+}
+
+impl<'a> Tracker<'a> {
+    pub fn new(f: &'a mut dyn FnMut(&[f64]) -> f64, dim: usize) -> Self {
+        Self { f, evals: 0, best_x: vec![0.0; dim], best_fx: f64::INFINITY, history: Vec::new() }
+    }
+
+    pub fn eval(&mut self, x: &[f64]) -> f64 {
+        let v = (self.f)(x);
+        self.evals += 1;
+        if v < self.best_fx {
+            self.best_fx = v;
+            self.best_x.clear();
+            self.best_x.extend_from_slice(x);
+        }
+        self.history.push(self.best_fx);
+        v
+    }
+
+    pub fn finish(self) -> OptResult {
+        OptResult { x: self.best_x, fx: self.best_fx, evals: self.evals, history: self.history }
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod test_functions {
+    /// Convex quadratic with minimum at (1, -2, 3, …).
+    pub fn shifted_sphere(x: &[f64]) -> f64 {
+        x.iter()
+            .enumerate()
+            .map(|(i, &v)| {
+                let target = (i as f64 + 1.0) * if i % 2 == 0 { 1.0 } else { -1.0 };
+                (v - target).powi(2)
+            })
+            .sum()
+    }
+
+    /// The classic banana valley, minimum 0 at (1, 1).
+    pub fn rosenbrock(x: &[f64]) -> f64 {
+        100.0 * (x[1] - x[0] * x[0]).powi(2) + (1.0 - x[0]).powi(2)
+    }
+}

@@ -1,0 +1,100 @@
+//! Tiny dense linear algebra: just enough for COBYLA's linear models.
+
+/// Solves `A·x = b` in place via Gaussian elimination with partial
+/// pivoting. Returns `None` when `A` is (numerically) singular.
+///
+/// `a` is row-major `n×n`; `b` has length `n`.
+pub fn solve(a: &mut [Vec<f64>], b: &mut [f64]) -> Option<Vec<f64>> {
+    let n = b.len();
+    assert_eq!(a.len(), n, "matrix/vector size mismatch");
+    for row in a.iter() {
+        assert_eq!(row.len(), n, "matrix must be square");
+    }
+    for col in 0..n {
+        // Pivot
+        let pivot = (col..n)
+            .max_by(|&i, &j| a[i][col].abs().partial_cmp(&a[j][col].abs()).unwrap())
+            .unwrap();
+        if a[pivot][col].abs() < 1e-12 {
+            return None;
+        }
+        a.swap(col, pivot);
+        b.swap(col, pivot);
+        // Eliminate below
+        for row in (col + 1)..n {
+            let factor = a[row][col] / a[col][col];
+            if factor == 0.0 {
+                continue;
+            }
+            for k in col..n {
+                a[row][k] -= factor * a[col][k];
+            }
+            b[row] -= factor * b[col];
+        }
+    }
+    // Back substitution
+    let mut x = vec![0.0; n];
+    for row in (0..n).rev() {
+        let mut acc = b[row];
+        for k in (row + 1)..n {
+            acc -= a[row][k] * x[k];
+        }
+        x[row] = acc / a[row][row];
+    }
+    Some(x)
+}
+
+/// Euclidean norm.
+pub fn norm(x: &[f64]) -> f64 {
+    x.iter().map(|v| v * v).sum::<f64>().sqrt()
+}
+
+/// `a + s·b` elementwise.
+pub fn axpy(a: &[f64], s: f64, b: &[f64]) -> Vec<f64> {
+    a.iter().zip(b).map(|(x, y)| x + s * y).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solves_identity() {
+        let mut a = vec![vec![1.0, 0.0], vec![0.0, 1.0]];
+        let mut b = vec![3.0, -4.0];
+        let x = solve(&mut a, &mut b).unwrap();
+        assert_eq!(x, vec![3.0, -4.0]);
+    }
+
+    #[test]
+    fn solves_general_system() {
+        // [2 1; 1 3] x = [5; 10] → x = [1; 3]
+        let mut a = vec![vec![2.0, 1.0], vec![1.0, 3.0]];
+        let mut b = vec![5.0, 10.0];
+        let x = solve(&mut a, &mut b).unwrap();
+        assert!((x[0] - 1.0).abs() < 1e-12);
+        assert!((x[1] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pivoting_handles_zero_leading() {
+        let mut a = vec![vec![0.0, 1.0], vec![1.0, 0.0]];
+        let mut b = vec![2.0, 7.0];
+        let x = solve(&mut a, &mut b).unwrap();
+        assert!((x[0] - 7.0).abs() < 1e-12);
+        assert!((x[1] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn singular_returns_none() {
+        let mut a = vec![vec![1.0, 2.0], vec![2.0, 4.0]];
+        let mut b = vec![1.0, 2.0];
+        assert!(solve(&mut a, &mut b).is_none());
+    }
+
+    #[test]
+    fn norm_and_axpy() {
+        assert!((norm(&[3.0, 4.0]) - 5.0).abs() < 1e-12);
+        assert_eq!(axpy(&[1.0, 2.0], 2.0, &[0.5, -1.0]), vec![2.0, 0.0]);
+    }
+}

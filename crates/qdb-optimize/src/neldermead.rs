@@ -1,0 +1,183 @@
+//! The Nelder–Mead downhill simplex method (ablation baseline).
+
+use crate::{OptResult, Optimizer, Tracker};
+
+/// Standard Nelder–Mead with adaptive-free classic coefficients
+/// (reflection 1, expansion 2, contraction ½, shrink ½).
+#[derive(Clone, Copy, Debug)]
+pub struct NelderMead {
+    /// Initial simplex edge length.
+    pub initial_step: f64,
+    /// Maximum objective evaluations.
+    pub max_evals: usize,
+    /// Stop when the simplex value spread drops below this.
+    pub f_tolerance: f64,
+}
+
+impl Default for NelderMead {
+    fn default() -> Self {
+        Self { initial_step: 0.5, max_evals: 200, f_tolerance: 1e-10 }
+    }
+}
+
+impl NelderMead {
+    /// Nelder–Mead with the given evaluation budget.
+    pub fn with_budget(max_evals: usize) -> Self {
+        Self { max_evals, ..Default::default() }
+    }
+}
+
+fn centroid(simplex: &[Vec<f64>], exclude: usize) -> Vec<f64> {
+    let n = simplex[0].len();
+    let m = (simplex.len() - 1) as f64;
+    let mut c = vec![0.0; n];
+    for (i, v) in simplex.iter().enumerate() {
+        if i == exclude {
+            continue;
+        }
+        for k in 0..n {
+            c[k] += v[k] / m;
+        }
+    }
+    c
+}
+
+fn blend(a: &[f64], b: &[f64], t: f64) -> Vec<f64> {
+    // a + t·(a − b)
+    a.iter().zip(b).map(|(x, y)| x + t * (x - y)).collect()
+}
+
+impl Optimizer for NelderMead {
+    fn minimize(&self, f: &mut dyn FnMut(&[f64]) -> f64, x0: &[f64]) -> OptResult {
+        let n = x0.len();
+        assert!(n > 0, "empty parameter vector");
+        let mut tracker = Tracker::new(f, n);
+
+        let mut simplex: Vec<Vec<f64>> = vec![x0.to_vec()];
+        let mut values = vec![tracker.eval(x0)];
+        for i in 0..n {
+            if tracker.evals >= self.max_evals {
+                break;
+            }
+            let mut xi = x0.to_vec();
+            xi[i] += self.initial_step;
+            values.push(tracker.eval(&xi));
+            simplex.push(xi);
+        }
+
+        while tracker.evals < self.max_evals && simplex.len() == n + 1 {
+            // Order: find best, worst, second worst.
+            let mut order: Vec<usize> = (0..values.len()).collect();
+            order.sort_by(|&i, &j| values[i].partial_cmp(&values[j]).unwrap());
+            let (best, worst) = (order[0], order[n]);
+            let second_worst = order[n - 1];
+            if (values[worst] - values[best]).abs() < self.f_tolerance {
+                break;
+            }
+            let c = centroid(&simplex, worst);
+
+            // Reflection.
+            let xr = blend(&c, &simplex[worst], 1.0);
+            let fr = tracker.eval(&xr);
+            if fr < values[best] {
+                // Expansion.
+                if tracker.evals >= self.max_evals {
+                    simplex[worst] = xr;
+                    values[worst] = fr;
+                    break;
+                }
+                let xe = blend(&c, &simplex[worst], 2.0);
+                let fe = tracker.eval(&xe);
+                if fe < fr {
+                    simplex[worst] = xe;
+                    values[worst] = fe;
+                } else {
+                    simplex[worst] = xr;
+                    values[worst] = fr;
+                }
+            } else if fr < values[second_worst] {
+                simplex[worst] = xr;
+                values[worst] = fr;
+            } else {
+                // Contraction (outside if reflected better than worst).
+                if tracker.evals >= self.max_evals {
+                    break;
+                }
+                let toward = if fr < values[worst] { &xr } else { &simplex[worst] };
+                let xc: Vec<f64> = c.iter().zip(toward).map(|(a, b)| 0.5 * (a + b)).collect();
+                let fc = tracker.eval(&xc);
+                if fc < values[worst].min(fr) {
+                    simplex[worst] = xc;
+                    values[worst] = fc;
+                } else {
+                    // Shrink toward the best vertex.
+                    let best_point = simplex[best].clone();
+                    for i in 0..simplex.len() {
+                        if i == best {
+                            continue;
+                        }
+                        if tracker.evals >= self.max_evals {
+                            break;
+                        }
+                        simplex[i] = simplex[i]
+                            .iter()
+                            .zip(&best_point)
+                            .map(|(a, b)| 0.5 * (a + b))
+                            .collect();
+                        values[i] = tracker.eval(&simplex[i]);
+                    }
+                }
+            }
+        }
+        tracker.finish()
+    }
+
+    fn name(&self) -> &'static str {
+        "Nelder-Mead"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_functions::{rosenbrock, shifted_sphere};
+
+    #[test]
+    fn solves_quadratic() {
+        let opt = NelderMead { max_evals: 600, ..Default::default() };
+        let r = opt.minimize(&mut |x| shifted_sphere(x), &[0.0, 0.0]);
+        assert!(r.fx < 1e-6, "fx = {}", r.fx);
+    }
+
+    #[test]
+    fn reaches_rosenbrock_minimum() {
+        let opt = NelderMead { max_evals: 2000, f_tolerance: 1e-14, ..Default::default() };
+        let r = opt.minimize(&mut |x| rosenbrock(x), &[-1.2, 1.0]);
+        assert!(r.fx < 1e-4, "fx = {}", r.fx);
+        assert!((r.x[0] - 1.0).abs() < 0.05);
+        assert!((r.x[1] - 1.0).abs() < 0.05);
+    }
+
+    #[test]
+    fn respects_budget() {
+        let opt = NelderMead::with_budget(25);
+        let mut calls = 0;
+        let r = opt.minimize(
+            &mut |x| {
+                calls += 1;
+                shifted_sphere(x)
+            },
+            &[3.0; 4],
+        );
+        assert!(calls <= 25);
+        assert_eq!(r.evals, calls);
+    }
+
+    #[test]
+    fn deterministic() {
+        let opt = NelderMead::with_budget(300);
+        let a = opt.minimize(&mut |x| rosenbrock(x), &[0.0, 0.0]);
+        let b = opt.minimize(&mut |x| rosenbrock(x), &[0.0, 0.0]);
+        assert_eq!(a.x, b.x);
+    }
+}

@@ -1,0 +1,75 @@
+//! Property-based tests for the optimizer suite.
+
+use proptest::prelude::*;
+use qdb_optimize::{Cobyla, NelderMead, Optimizer, Spsa};
+
+fn quadratic(center: Vec<f64>) -> impl FnMut(&[f64]) -> f64 {
+    move |x: &[f64]| {
+        x.iter().zip(&center).map(|(a, b)| (a - b) * (a - b)).sum()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Every optimizer improves (or at least never worsens) the starting
+    /// value of a convex quadratic within its budget.
+    #[test]
+    fn optimizers_never_worsen(
+        center in proptest::collection::vec(-3.0f64..3.0, 2..5),
+        start_offset in 0.5f64..4.0,
+    ) {
+        let start: Vec<f64> = center.iter().map(|c| c + start_offset).collect();
+        let f0: f64 = start.iter().zip(&center).map(|(a, b)| (a - b) * (a - b)).sum();
+
+        let optimizers: Vec<Box<dyn Optimizer>> = vec![
+            Box::new(Cobyla::with_budget(150)),
+            Box::new(NelderMead::with_budget(150)),
+            Box::new(Spsa::with_budget(150, 11)),
+        ];
+        for opt in optimizers {
+            let mut f = quadratic(center.clone());
+            let r = opt.minimize(&mut f, &start);
+            prop_assert!(r.fx <= f0 + 1e-9, "{} worsened: {} > {f0}", opt.name(), r.fx);
+            prop_assert!(r.evals <= 150);
+            prop_assert_eq!(r.history.len(), r.evals);
+        }
+    }
+
+    /// History is best-so-far: monotone non-increasing, final entry = fx.
+    #[test]
+    fn history_monotone(center in proptest::collection::vec(-2.0f64..2.0, 3..4)) {
+        let start = vec![5.0; center.len()];
+        let mut f = quadratic(center);
+        let r = Cobyla::with_budget(100).minimize(&mut f, &start);
+        for w in r.history.windows(2) {
+            prop_assert!(w[1] <= w[0] + 1e-15);
+        }
+        prop_assert_eq!(*r.history.last().unwrap(), r.fx);
+    }
+
+    /// COBYLA and Nelder–Mead reach near the optimum of well-conditioned
+    /// quadratics from any nearby start.
+    #[test]
+    fn convex_convergence(center in proptest::collection::vec(-2.0f64..2.0, 2..4)) {
+        let start = vec![0.0; center.len()];
+        let mut f1 = quadratic(center.clone());
+        let r1 = Cobyla { rho_end: 1e-8, max_evals: 600, ..Default::default() }
+            .minimize(&mut f1, &start);
+        prop_assert!(r1.fx < 0.05, "COBYLA fx = {}", r1.fx);
+
+        let mut f2 = quadratic(center.clone());
+        let r2 = NelderMead { max_evals: 600, ..Default::default() }.minimize(&mut f2, &start);
+        prop_assert!(r2.fx < 0.05, "NM fx = {}", r2.fx);
+    }
+
+    /// The reported x actually attains the reported fx.
+    #[test]
+    fn reported_point_consistent(center in proptest::collection::vec(-2.0f64..2.0, 2..4)) {
+        let start = vec![1.0; center.len()];
+        let mut f = quadratic(center.clone());
+        let r = NelderMead::with_budget(200).minimize(&mut f, &start);
+        let check: f64 = r.x.iter().zip(&center).map(|(a, b)| (a - b) * (a - b)).sum();
+        prop_assert!((check - r.fx).abs() < 1e-9);
+    }
+}

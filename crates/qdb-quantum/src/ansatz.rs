@@ -1,0 +1,153 @@
+//! Hardware-efficient variational ansatz circuits.
+//!
+//! The paper (§4.3.2) uses Qiskit's `EfficientSU2`: alternating layers of
+//! parameterized Ry·Rz rotations with linear nearest-neighbour entanglement.
+//! We reproduce that construction exactly, plus the lighter `RealAmplitudes`
+//! variant used in ablations.
+
+use crate::circuit::Circuit;
+
+/// Entanglement topology of the two-qubit layer.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Entanglement {
+    /// `cx(q, q+1)` for q = 0..n-1 — the paper's choice ("entangling gates
+    /// among adjacent qubits", §4.3.2).
+    Linear,
+    /// Linear plus the closing `cx(n-1, 0)`.
+    Circular,
+    /// All ordered pairs (i < j) — expensive, used only in small ablations.
+    Full,
+}
+
+fn entangle(c: &mut Circuit, n: u32, ent: Entanglement) {
+    match ent {
+        Entanglement::Linear => {
+            for q in 0..n.saturating_sub(1) {
+                c.cx(q, q + 1);
+            }
+        }
+        Entanglement::Circular => {
+            for q in 0..n.saturating_sub(1) {
+                c.cx(q, q + 1);
+            }
+            if n > 2 {
+                c.cx(n - 1, 0);
+            }
+        }
+        Entanglement::Full => {
+            for i in 0..n {
+                for j in (i + 1)..n {
+                    c.cx(i, j);
+                }
+            }
+        }
+    }
+}
+
+/// Builds an `EfficientSU2(n, reps)` circuit: `reps + 1` rotation layers of
+/// Ry then Rz on every qubit, with an entanglement block between consecutive
+/// rotation layers. Parameter count is `2 · n · (reps + 1)`.
+pub fn efficient_su2(num_qubits: usize, reps: usize, ent: Entanglement) -> Circuit {
+    let n = num_qubits as u32;
+    let mut c = Circuit::new(num_qubits);
+    for layer in 0..=reps {
+        for q in 0..n {
+            c.ry_param(q);
+        }
+        for q in 0..n {
+            c.rz_param(q);
+        }
+        if layer < reps {
+            entangle(&mut c, n, ent);
+        }
+    }
+    c
+}
+
+/// Builds a `RealAmplitudes(n, reps)` circuit: Ry layers only (keeps
+/// amplitudes real), `n · (reps + 1)` parameters.
+pub fn real_amplitudes(num_qubits: usize, reps: usize, ent: Entanglement) -> Circuit {
+    let n = num_qubits as u32;
+    let mut c = Circuit::new(num_qubits);
+    for layer in 0..=reps {
+        for q in 0..n {
+            c.ry_param(q);
+        }
+        if layer < reps {
+            entangle(&mut c, n, ent);
+        }
+    }
+    c
+}
+
+/// Logical depth of `efficient_su2` under greedy leveling; useful for
+/// resource estimates before transpilation.
+pub fn efficient_su2_logical_depth(num_qubits: usize, reps: usize) -> usize {
+    efficient_su2(num_qubits, reps, Entanglement::Linear).depth()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::statevector::Statevector;
+
+    #[test]
+    fn parameter_counts() {
+        for (n, reps) in [(2, 1), (4, 2), (7, 3), (12, 3)] {
+            let c = efficient_su2(n, reps, Entanglement::Linear);
+            assert_eq!(c.num_params(), 2 * n * (reps + 1));
+            let r = real_amplitudes(n, reps, Entanglement::Linear);
+            assert_eq!(r.num_params(), n * (reps + 1));
+        }
+    }
+
+    #[test]
+    fn entanglement_gate_counts() {
+        let lin = efficient_su2(5, 2, Entanglement::Linear);
+        assert_eq!(lin.two_qubit_gate_count(), 2 * 4);
+        let circ = efficient_su2(5, 2, Entanglement::Circular);
+        assert_eq!(circ.two_qubit_gate_count(), 2 * 5);
+        let full = efficient_su2(5, 1, Entanglement::Full);
+        assert_eq!(full.two_qubit_gate_count(), 10);
+    }
+
+    #[test]
+    fn zero_params_give_identity_distribution() {
+        // All-zero angles: Ry(0)=Rz(0)=I, so the state stays |0…0⟩.
+        let c = efficient_su2(4, 2, Entanglement::Linear);
+        let params = vec![0.0; c.num_params()];
+        let mut sv = Statevector::zero(4);
+        sv.apply_parametric(&c, &params);
+        assert!((sv.probabilities()[0] - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn nonzero_params_spread_probability() {
+        let c = efficient_su2(4, 2, Entanglement::Linear);
+        let params: Vec<f64> = (0..c.num_params()).map(|i| 0.1 + 0.07 * i as f64).collect();
+        let mut sv = Statevector::zero(4);
+        sv.apply_parametric(&c, &params);
+        let p = sv.probabilities();
+        let support = p.iter().filter(|&&x| x > 1e-6).count();
+        assert!(support > 4, "expressive ansatz should spread support, got {support}");
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn real_amplitudes_state_is_real() {
+        let c = real_amplitudes(3, 2, Entanglement::Linear);
+        let params: Vec<f64> = (0..c.num_params()).map(|i| 0.3 * (i as f64 + 1.0)).collect();
+        let mut sv = Statevector::zero(3);
+        sv.apply_parametric(&c, &params);
+        for a in sv.amplitudes() {
+            assert!(a.im.abs() < 1e-12, "RealAmplitudes must keep amplitudes real");
+        }
+    }
+
+    #[test]
+    fn single_qubit_edge_case() {
+        let c = efficient_su2(1, 2, Entanglement::Linear);
+        assert_eq!(c.two_qubit_gate_count(), 0);
+        assert_eq!(c.num_params(), 6);
+    }
+}

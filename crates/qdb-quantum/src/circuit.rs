@@ -1,0 +1,356 @@
+//! Parameterized quantum circuits.
+//!
+//! A [`Circuit`] is an ordered list of [`Instruction`]s over `n` qubits plus a
+//! declared parameter count. Ansatz circuits keep [`Angle::Param`] references
+//! so VQE can re-evaluate the same circuit under hundreds of parameter
+//! bindings without reallocation.
+
+use crate::gate::{Angle, GateKind};
+
+/// One gate application.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Instruction {
+    /// Which gate.
+    pub kind: GateKind,
+    /// First operand qubit (control for `Cx`).
+    pub q0: u32,
+    /// Second operand qubit (`u32::MAX` for single-qubit gates).
+    pub q1: u32,
+    /// Rotation angle, if the gate takes one.
+    pub angle: Option<Angle>,
+}
+
+impl Instruction {
+    /// The qubits this instruction touches (1 or 2 entries).
+    pub fn qubits(&self) -> impl Iterator<Item = u32> + '_ {
+        let second = if self.kind.arity() == 2 { Some(self.q1) } else { None };
+        std::iter::once(self.q0).chain(second)
+    }
+}
+
+/// A quantum circuit over `num_qubits` qubits with `num_params` free
+/// parameters.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Circuit {
+    num_qubits: usize,
+    num_params: usize,
+    instructions: Vec<Instruction>,
+}
+
+impl Circuit {
+    /// Creates an empty circuit.
+    pub fn new(num_qubits: usize) -> Self {
+        Self { num_qubits, num_params: 0, instructions: Vec::new() }
+    }
+
+    /// Rebuilds a circuit from raw parts (used by the transpiler, which
+    /// rewrites instruction lists while preserving the parameter space).
+    ///
+    /// # Panics
+    /// Panics if any instruction references an out-of-range qubit or
+    /// parameter.
+    pub fn from_parts(
+        num_qubits: usize,
+        num_params: usize,
+        instructions: Vec<Instruction>,
+    ) -> Self {
+        for instr in &instructions {
+            for q in instr.qubits() {
+                assert!((q as usize) < num_qubits, "qubit {q} out of range");
+            }
+            if let Some(Angle::Param { index, .. }) = instr.angle {
+                assert!((index as usize) < num_params, "parameter {index} out of range");
+            }
+        }
+        Self { num_qubits, num_params, instructions }
+    }
+
+    /// Number of qubits.
+    pub fn num_qubits(&self) -> usize {
+        self.num_qubits
+    }
+
+    /// Number of declared free parameters.
+    pub fn num_params(&self) -> usize {
+        self.num_params
+    }
+
+    /// The instruction list, in program order.
+    pub fn instructions(&self) -> &[Instruction] {
+        &self.instructions
+    }
+
+    /// Total gate count.
+    pub fn len(&self) -> usize {
+        self.instructions.len()
+    }
+
+    /// True if the circuit has no gates.
+    pub fn is_empty(&self) -> bool {
+        self.instructions.is_empty()
+    }
+
+    /// Declares a fresh free parameter and returns its index.
+    pub fn new_param(&mut self) -> u32 {
+        let idx = self.num_params as u32;
+        self.num_params += 1;
+        idx
+    }
+
+    fn check_qubit(&self, q: u32) {
+        assert!(
+            (q as usize) < self.num_qubits,
+            "qubit {q} out of range for {}-qubit circuit",
+            self.num_qubits
+        );
+    }
+
+    /// Appends a single-qubit gate.
+    ///
+    /// # Panics
+    /// Panics if the qubit is out of range or the gate arity is wrong.
+    pub fn push1(&mut self, kind: GateKind, q: u32, angle: Option<Angle>) -> &mut Self {
+        assert_eq!(kind.arity(), 1, "{kind:?} is not single-qubit");
+        assert_eq!(kind.takes_angle(), angle.is_some(), "angle mismatch for {kind:?}");
+        self.check_qubit(q);
+        self.instructions.push(Instruction { kind, q0: q, q1: u32::MAX, angle });
+        self
+    }
+
+    /// Appends a two-qubit gate.
+    ///
+    /// # Panics
+    /// Panics if a qubit is out of range, the qubits coincide, or arity is wrong.
+    pub fn push2(&mut self, kind: GateKind, q0: u32, q1: u32, angle: Option<Angle>) -> &mut Self {
+        assert_eq!(kind.arity(), 2, "{kind:?} is not two-qubit");
+        assert_eq!(kind.takes_angle(), angle.is_some(), "angle mismatch for {kind:?}");
+        assert_ne!(q0, q1, "two-qubit gate on identical qubits");
+        self.check_qubit(q0);
+        self.check_qubit(q1);
+        self.instructions.push(Instruction { kind, q0, q1, angle });
+        self
+    }
+
+    // -- convenience builders -------------------------------------------------
+
+    /// Pauli-X on `q`.
+    pub fn x(&mut self, q: u32) -> &mut Self {
+        self.push1(GateKind::X, q, None)
+    }
+
+    /// Hadamard on `q`.
+    pub fn h(&mut self, q: u32) -> &mut Self {
+        self.push1(GateKind::H, q, None)
+    }
+
+    /// √X on `q`.
+    pub fn sx(&mut self, q: u32) -> &mut Self {
+        self.push1(GateKind::Sx, q, None)
+    }
+
+    /// Fixed-angle Ry.
+    pub fn ry(&mut self, q: u32, theta: f64) -> &mut Self {
+        self.push1(GateKind::Ry, q, Some(Angle::Fixed(theta)))
+    }
+
+    /// Fixed-angle Rz.
+    pub fn rz(&mut self, q: u32, theta: f64) -> &mut Self {
+        self.push1(GateKind::Rz, q, Some(Angle::Fixed(theta)))
+    }
+
+    /// Fixed-angle Rx.
+    pub fn rx(&mut self, q: u32, theta: f64) -> &mut Self {
+        self.push1(GateKind::Rx, q, Some(Angle::Fixed(theta)))
+    }
+
+    /// Ry bound to a fresh parameter; returns the parameter index.
+    pub fn ry_param(&mut self, q: u32) -> u32 {
+        let p = self.new_param();
+        self.push1(GateKind::Ry, q, Some(Angle::param(p)));
+        p
+    }
+
+    /// Rz bound to a fresh parameter; returns the parameter index.
+    pub fn rz_param(&mut self, q: u32) -> u32 {
+        let p = self.new_param();
+        self.push1(GateKind::Rz, q, Some(Angle::param(p)));
+        p
+    }
+
+    /// CNOT with control `c`, target `t`.
+    pub fn cx(&mut self, c: u32, t: u32) -> &mut Self {
+        self.push2(GateKind::Cx, c, t, None)
+    }
+
+    /// Controlled-Z.
+    pub fn cz(&mut self, a: u32, b: u32) -> &mut Self {
+        self.push2(GateKind::Cz, a, b, None)
+    }
+
+    /// SWAP.
+    pub fn swap(&mut self, a: u32, b: u32) -> &mut Self {
+        self.push2(GateKind::Swap, a, b, None)
+    }
+
+    /// Echoed cross resonance.
+    pub fn ecr(&mut self, a: u32, b: u32) -> &mut Self {
+        self.push2(GateKind::Ecr, a, b, None)
+    }
+
+    /// Appends all instructions of `other` (same width required).
+    ///
+    /// Parameter indices of `other` are shifted past this circuit's
+    /// parameters so both parameter sets stay distinct.
+    ///
+    /// # Panics
+    /// Panics if widths differ.
+    pub fn compose(&mut self, other: &Circuit) -> &mut Self {
+        assert_eq!(self.num_qubits, other.num_qubits, "width mismatch in compose");
+        let shift = self.num_params as u32;
+        for instr in &other.instructions {
+            let angle = instr.angle.map(|a| match a {
+                Angle::Fixed(v) => Angle::Fixed(v),
+                Angle::Param { index, scale, offset } => {
+                    Angle::Param { index: index + shift, scale, offset }
+                }
+            });
+            self.instructions.push(Instruction { angle, ..*instr });
+        }
+        self.num_params += other.num_params;
+        self
+    }
+
+    /// Returns a copy with every parametric angle replaced by its bound value.
+    ///
+    /// # Panics
+    /// Panics if `params.len() != self.num_params()`.
+    pub fn bind(&self, params: &[f64]) -> Circuit {
+        assert_eq!(
+            params.len(),
+            self.num_params,
+            "expected {} parameters, got {}",
+            self.num_params,
+            params.len()
+        );
+        let instructions = self
+            .instructions
+            .iter()
+            .map(|instr| Instruction {
+                angle: instr.angle.map(|a| Angle::Fixed(a.resolve(params))),
+                ..*instr
+            })
+            .collect();
+        Circuit { num_qubits: self.num_qubits, num_params: 0, instructions }
+    }
+
+    /// Circuit depth: the length of the longest qubit-occupancy chain,
+    /// computed by greedy ASAP leveling (identical to Qiskit's `depth()`).
+    pub fn depth(&self) -> usize {
+        let mut level = vec![0usize; self.num_qubits];
+        let mut depth = 0;
+        for instr in &self.instructions {
+            let l = instr.qubits().map(|q| level[q as usize]).max().unwrap_or(0) + 1;
+            for q in instr.qubits() {
+                level[q as usize] = l;
+            }
+            depth = depth.max(l);
+        }
+        depth
+    }
+
+    /// Counts gates of each kind, as `(mnemonic, count)` sorted by mnemonic.
+    pub fn gate_counts(&self) -> Vec<(&'static str, usize)> {
+        let mut counts = std::collections::BTreeMap::new();
+        for instr in &self.instructions {
+            *counts.entry(instr.kind.mnemonic()).or_insert(0) += 1;
+        }
+        counts.into_iter().collect()
+    }
+
+    /// Number of two-qubit gates (the error-dominating resource on hardware).
+    pub fn two_qubit_gate_count(&self) -> usize {
+        self.instructions.iter().filter(|i| i.kind.arity() == 2).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_and_counts() {
+        let mut c = Circuit::new(3);
+        c.h(0).cx(0, 1).cx(1, 2).ry(2, 0.3);
+        assert_eq!(c.len(), 4);
+        assert_eq!(c.two_qubit_gate_count(), 2);
+        assert_eq!(c.gate_counts(), vec![("cx", 2), ("h", 1), ("ry", 1)]);
+    }
+
+    #[test]
+    fn depth_greedy_leveling() {
+        let mut c = Circuit::new(3);
+        // h(0) and h(1) are level 1; cx(0,1) level 2; x(2) level 1.
+        c.h(0).h(1).x(2).cx(0, 1);
+        assert_eq!(c.depth(), 2);
+        // Serial chain grows depth linearly.
+        let mut chain = Circuit::new(1);
+        for _ in 0..7 {
+            chain.x(0);
+        }
+        assert_eq!(chain.depth(), 7);
+    }
+
+    #[test]
+    fn parametric_binding() {
+        let mut c = Circuit::new(2);
+        let p0 = c.ry_param(0);
+        let p1 = c.rz_param(1);
+        c.cx(0, 1);
+        assert_eq!(c.num_params(), 2);
+        assert_eq!((p0, p1), (0, 1));
+
+        let bound = c.bind(&[0.5, -0.25]);
+        assert_eq!(bound.num_params(), 0);
+        let angles: Vec<f64> = bound
+            .instructions()
+            .iter()
+            .filter_map(|i| i.angle.map(|a| a.resolve(&[])))
+            .collect();
+        assert_eq!(angles, vec![0.5, -0.25]);
+    }
+
+    #[test]
+    #[should_panic(expected = "expected 2 parameters")]
+    fn bind_wrong_arity_panics() {
+        let mut c = Circuit::new(1);
+        c.ry_param(0);
+        c.rz_param(0);
+        let _ = c.bind(&[1.0]);
+    }
+
+    #[test]
+    fn compose_shifts_params() {
+        let mut a = Circuit::new(2);
+        a.ry_param(0);
+        let mut b = Circuit::new(2);
+        b.ry_param(1);
+        a.compose(&b);
+        assert_eq!(a.num_params(), 2);
+        let last = a.instructions().last().unwrap();
+        assert_eq!(last.angle, Some(Angle::param(1)));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn qubit_bounds_checked() {
+        let mut c = Circuit::new(2);
+        c.x(2);
+    }
+
+    #[test]
+    #[should_panic(expected = "identical qubits")]
+    fn two_qubit_distinct() {
+        let mut c = Circuit::new(2);
+        c.cx(1, 1);
+    }
+}

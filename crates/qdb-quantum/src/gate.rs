@@ -1,0 +1,405 @@
+//! Gate definitions and their unitary matrices.
+//!
+//! Angles are either fixed values or references into a circuit-level parameter
+//! vector, which is what makes ansatz circuits (EfficientSU2) re-bindable
+//! during VQE optimization without rebuilding the instruction list.
+
+use crate::complex::C64;
+use std::f64::consts::FRAC_1_SQRT_2;
+
+/// A 2×2 complex matrix acting on one qubit, row-major.
+pub type Mat2 = [[C64; 2]; 2];
+/// A 4×4 complex matrix acting on two qubits, row-major,
+/// basis order `|q1 q0⟩ ∈ {00, 01, 10, 11}` (little-endian: q0 is bit 0).
+pub type Mat4 = [[C64; 4]; 4];
+
+/// A rotation angle: fixed, or an affine function of a bound parameter.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Angle {
+    /// A constant angle in radians.
+    Fixed(f64),
+    /// `scale * θ[index] + offset` where `θ` is the parameter vector bound
+    /// at run time. The affine form lets basis lowering rewrite e.g.
+    /// `Ry(θ)` into `RZ(θ + π)` without binding early.
+    Param { index: u32, scale: f64, offset: f64 },
+}
+
+impl Angle {
+    /// A plain parameter reference with unit scale and zero offset.
+    pub fn param(index: u32) -> Self {
+        Angle::Param { index, scale: 1.0, offset: 0.0 }
+    }
+
+    /// Resolves the angle against a bound parameter vector.
+    ///
+    /// # Panics
+    /// Panics if a parameter index is out of bounds.
+    #[inline]
+    pub fn resolve(self, params: &[f64]) -> f64 {
+        match self {
+            Angle::Fixed(v) => v,
+            Angle::Param { index, scale, offset } => scale * params[index as usize] + offset,
+        }
+    }
+
+    /// True if this angle references a run-time parameter.
+    pub fn is_parametric(self) -> bool {
+        matches!(self, Angle::Param { .. })
+    }
+}
+
+/// The gate alphabet of the simulator.
+///
+/// Includes the common textbook set plus IBM Eagle's native gates
+/// (`Ecr`, `Sx`, `X`, `Rz`, `Id` — see paper §5.1).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum GateKind {
+    /// Identity (a timing placeholder on hardware).
+    Id,
+    /// Pauli-X.
+    X,
+    /// Pauli-Y.
+    Y,
+    /// Pauli-Z.
+    Z,
+    /// Hadamard.
+    H,
+    /// Phase gate S = diag(1, i).
+    S,
+    /// S† = diag(1, -i).
+    Sdg,
+    /// T = diag(1, e^{iπ/4}).
+    T,
+    /// T†.
+    Tdg,
+    /// √X — native on IBM Eagle.
+    Sx,
+    /// (√X)†.
+    Sxdg,
+    /// Rotation about X.
+    Rx,
+    /// Rotation about Y.
+    Ry,
+    /// Rotation about Z (virtual/zero-duration on IBM hardware).
+    Rz,
+    /// Phase gate P(λ) = diag(1, e^{iλ}).
+    P,
+    /// Controlled-X.
+    Cx,
+    /// Controlled-Z.
+    Cz,
+    /// SWAP.
+    Swap,
+    /// Echoed cross-resonance — the native IBM Eagle entangler.
+    Ecr,
+    /// ZZ rotation exp(-i θ/2 Z⊗Z).
+    Rzz,
+}
+
+impl GateKind {
+    /// Number of qubits the gate acts on.
+    pub fn arity(self) -> usize {
+        match self {
+            GateKind::Cx
+            | GateKind::Cz
+            | GateKind::Swap
+            | GateKind::Ecr
+            | GateKind::Rzz => 2,
+            _ => 1,
+        }
+    }
+
+    /// Whether the gate takes an angle.
+    pub fn takes_angle(self) -> bool {
+        matches!(
+            self,
+            GateKind::Rx | GateKind::Ry | GateKind::Rz | GateKind::P | GateKind::Rzz
+        )
+    }
+
+    /// Lowercase OpenQASM-style mnemonic.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            GateKind::Id => "id",
+            GateKind::X => "x",
+            GateKind::Y => "y",
+            GateKind::Z => "z",
+            GateKind::H => "h",
+            GateKind::S => "s",
+            GateKind::Sdg => "sdg",
+            GateKind::T => "t",
+            GateKind::Tdg => "tdg",
+            GateKind::Sx => "sx",
+            GateKind::Sxdg => "sxdg",
+            GateKind::Rx => "rx",
+            GateKind::Ry => "ry",
+            GateKind::Rz => "rz",
+            GateKind::P => "p",
+            GateKind::Cx => "cx",
+            GateKind::Cz => "cz",
+            GateKind::Swap => "swap",
+            GateKind::Ecr => "ecr",
+            GateKind::Rzz => "rzz",
+        }
+    }
+}
+
+/// Returns the 2×2 unitary for a single-qubit gate.
+///
+/// `theta` is ignored for non-parameterized gates.
+///
+/// # Panics
+/// Panics if called with a two-qubit gate kind.
+pub fn single_qubit_matrix(kind: GateKind, theta: f64) -> Mat2 {
+    let z = C64::ZERO;
+    let o = C64::ONE;
+    match kind {
+        GateKind::Id => [[o, z], [z, o]],
+        GateKind::X => [[z, o], [o, z]],
+        GateKind::Y => [[z, -C64::I], [C64::I, z]],
+        GateKind::Z => [[o, z], [z, -o]],
+        GateKind::H => {
+            let h = C64::real(FRAC_1_SQRT_2);
+            [[h, h], [h, -h]]
+        }
+        GateKind::S => [[o, z], [z, C64::I]],
+        GateKind::Sdg => [[o, z], [z, -C64::I]],
+        GateKind::T => [[o, z], [z, C64::cis(std::f64::consts::FRAC_PI_4)]],
+        GateKind::Tdg => [[o, z], [z, C64::cis(-std::f64::consts::FRAC_PI_4)]],
+        GateKind::Sx => {
+            // 1/2 [[1+i, 1-i], [1-i, 1+i]]
+            let p = C64::new(0.5, 0.5);
+            let m = C64::new(0.5, -0.5);
+            [[p, m], [m, p]]
+        }
+        GateKind::Sxdg => {
+            let p = C64::new(0.5, 0.5);
+            let m = C64::new(0.5, -0.5);
+            [[m, p], [p, m]]
+        }
+        GateKind::Rx => {
+            let (s, c) = (theta / 2.0).sin_cos();
+            let ms = C64::new(0.0, -s);
+            [[C64::real(c), ms], [ms, C64::real(c)]]
+        }
+        GateKind::Ry => {
+            let (s, c) = (theta / 2.0).sin_cos();
+            [[C64::real(c), C64::real(-s)], [C64::real(s), C64::real(c)]]
+        }
+        GateKind::Rz => [
+            [C64::cis(-theta / 2.0), z],
+            [z, C64::cis(theta / 2.0)],
+        ],
+        GateKind::P => [[o, z], [z, C64::cis(theta)]],
+        _ => panic!("{kind:?} is not a single-qubit gate"),
+    }
+}
+
+/// Returns the 4×4 unitary for a two-qubit gate in the little-endian basis
+/// `|q1 q0⟩` where `q0` is the *first* operand (control for `Cx`).
+///
+/// # Panics
+/// Panics if called with a single-qubit gate kind.
+pub fn two_qubit_matrix(kind: GateKind, theta: f64) -> Mat4 {
+    let z = C64::ZERO;
+    let o = C64::ONE;
+    match kind {
+        // Basis index = q1*2 + q0, control = q0 (first operand), target = q1.
+        GateKind::Cx => [
+            [o, z, z, z],
+            [z, z, z, o],
+            [z, z, o, z],
+            [z, o, z, z],
+        ],
+        GateKind::Cz => [
+            [o, z, z, z],
+            [z, o, z, z],
+            [z, z, o, z],
+            [z, z, z, -o],
+        ],
+        GateKind::Swap => [
+            [o, z, z, z],
+            [z, z, o, z],
+            [z, o, z, z],
+            [z, z, z, o],
+        ],
+        GateKind::Ecr => {
+            // ECR = (IX - YX)/√2 with q0 = control-like operand (IBM convention).
+            let k = C64::real(FRAC_1_SQRT_2);
+            let ik = C64::new(0.0, FRAC_1_SQRT_2);
+            [
+                [z, k, z, ik],
+                [k, z, -ik, z],
+                [z, ik, z, k],
+                [-ik, z, k, z],
+            ]
+        }
+        GateKind::Rzz => {
+            let e = C64::cis(-theta / 2.0);
+            let ep = C64::cis(theta / 2.0);
+            [
+                [e, z, z, z],
+                [z, ep, z, z],
+                [z, z, ep, z],
+                [z, z, z, e],
+            ]
+        }
+        _ => panic!("{kind:?} is not a two-qubit gate"),
+    }
+}
+
+/// Checks that `m` is unitary within `eps` (used by tests and the transpiler's
+/// equivalence checks).
+pub fn is_unitary2(m: &Mat2, eps: f64) -> bool {
+    // m * m† == I
+    for i in 0..2 {
+        for j in 0..2 {
+            let mut s = C64::ZERO;
+            for k in 0..2 {
+                s += m[i][k] * m[j][k].conj();
+            }
+            let expect = if i == j { C64::ONE } else { C64::ZERO };
+            if !s.approx_eq(expect, eps) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Checks that a 4×4 matrix is unitary within `eps`.
+pub fn is_unitary4(m: &Mat4, eps: f64) -> bool {
+    for i in 0..4 {
+        for j in 0..4 {
+            let mut s = C64::ZERO;
+            for k in 0..4 {
+                s += m[i][k] * m[j][k].conj();
+            }
+            let expect = if i == j { C64::ONE } else { C64::ZERO };
+            if !s.approx_eq(expect, eps) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ALL_SINGLE: [GateKind; 15] = [
+        GateKind::Id,
+        GateKind::X,
+        GateKind::Y,
+        GateKind::Z,
+        GateKind::H,
+        GateKind::S,
+        GateKind::Sdg,
+        GateKind::T,
+        GateKind::Tdg,
+        GateKind::Sx,
+        GateKind::Sxdg,
+        GateKind::Rx,
+        GateKind::Ry,
+        GateKind::Rz,
+        GateKind::P,
+    ];
+
+    const ALL_TWO: [GateKind; 5] = [
+        GateKind::Cx,
+        GateKind::Cz,
+        GateKind::Swap,
+        GateKind::Ecr,
+        GateKind::Rzz,
+    ];
+
+    #[test]
+    fn all_single_qubit_gates_are_unitary() {
+        for kind in ALL_SINGLE {
+            for theta in [0.0, 0.3, 1.7, -2.2, std::f64::consts::PI] {
+                let m = single_qubit_matrix(kind, theta);
+                assert!(is_unitary2(&m, 1e-12), "{kind:?}({theta}) not unitary");
+            }
+        }
+    }
+
+    #[test]
+    fn all_two_qubit_gates_are_unitary() {
+        for kind in ALL_TWO {
+            for theta in [0.0, 0.9, -1.3] {
+                let m = two_qubit_matrix(kind, theta);
+                assert!(is_unitary4(&m, 1e-12), "{kind:?}({theta}) not unitary");
+            }
+        }
+    }
+
+    #[test]
+    fn arity_and_angle_flags() {
+        for kind in ALL_SINGLE {
+            assert_eq!(kind.arity(), 1);
+        }
+        for kind in ALL_TWO {
+            assert_eq!(kind.arity(), 2);
+        }
+        assert!(GateKind::Ry.takes_angle());
+        assert!(GateKind::Rzz.takes_angle());
+        assert!(!GateKind::H.takes_angle());
+        assert!(!GateKind::Ecr.takes_angle());
+    }
+
+    #[test]
+    fn sx_squared_is_x() {
+        let sx = single_qubit_matrix(GateKind::Sx, 0.0);
+        let x = single_qubit_matrix(GateKind::X, 0.0);
+        // (Sx)^2 == X
+        for i in 0..2 {
+            for j in 0..2 {
+                let mut s = C64::ZERO;
+                for k in 0..2 {
+                    s += sx[i][k] * sx[k][j];
+                }
+                assert!(s.approx_eq(x[i][j], 1e-12));
+            }
+        }
+    }
+
+    #[test]
+    fn rz_is_diagonal_phase() {
+        let m = single_qubit_matrix(GateKind::Rz, 1.0);
+        assert!(m[0][1].approx_eq(C64::ZERO, 1e-15));
+        assert!(m[1][0].approx_eq(C64::ZERO, 1e-15));
+        assert!((m[0][0] * m[1][1]).approx_eq(C64::ONE, 1e-12));
+    }
+
+    #[test]
+    fn ry_pi_maps_zero_to_one() {
+        let m = single_qubit_matrix(GateKind::Ry, std::f64::consts::PI);
+        // Ry(π)|0> = |1>
+        assert!(m[0][0].approx_eq(C64::ZERO, 1e-12));
+        assert!(m[1][0].approx_eq(C64::ONE, 1e-12));
+    }
+
+    #[test]
+    fn angle_resolution() {
+        let params = [0.5, -1.5];
+        assert_eq!(Angle::Fixed(2.0).resolve(&params), 2.0);
+        assert_eq!(Angle::param(1).resolve(&params), -1.5);
+        assert_eq!(
+            (Angle::Param { index: 0, scale: 2.0, offset: 0.5 }).resolve(&params),
+            1.5
+        );
+        assert!(Angle::param(0).is_parametric());
+        assert!(!Angle::Fixed(0.0).is_parametric());
+    }
+
+    #[test]
+    fn mnemonics_are_lowercase_unique() {
+        let mut seen = std::collections::HashSet::new();
+        for kind in ALL_SINGLE.iter().chain(ALL_TWO.iter()) {
+            let m = kind.mnemonic();
+            assert_eq!(m, m.to_lowercase());
+            assert!(seen.insert(m), "duplicate mnemonic {m}");
+        }
+    }
+}

@@ -1,0 +1,131 @@
+//! Parameter-shift gradients for variational circuits.
+//!
+//! Every parametric gate in the ansatz alphabet is a Pauli rotation
+//! (`Ry`, `Rz`, `Rx`, generator eigenvalues ±½), so the exact gradient of
+//! any expectation value follows the two-point parameter-shift rule
+//!
+//! `∂E/∂θᵢ = ½ [E(θᵢ + π/2) − E(θᵢ − π/2)]`
+//!
+//! evaluated with the same machinery hardware uses — no finite-difference
+//! error, compatible with shot-based estimation. The paper's pipeline is
+//! gradient-free (COBYLA); this module supports gradient-based ablations
+//! and downstream users who want them.
+
+use crate::circuit::Circuit;
+use crate::statevector::Statevector;
+use std::f64::consts::FRAC_PI_2;
+
+/// Evaluates `E(θ) = ⟨ψ(θ)| diag |ψ(θ)⟩` for a parametric circuit.
+pub fn expectation(circuit: &Circuit, params: &[f64], diagonal: &[f64]) -> f64 {
+    let mut sv = Statevector::zero(circuit.num_qubits());
+    sv.apply_parametric(circuit, params);
+    sv.expectation_diagonal(diagonal)
+}
+
+/// Exact gradient of the diagonal expectation by the parameter-shift rule
+/// (2 evaluations per parameter).
+pub fn parameter_shift_gradient(
+    circuit: &Circuit,
+    params: &[f64],
+    diagonal: &[f64],
+) -> Vec<f64> {
+    assert_eq!(circuit.num_params(), params.len(), "parameter count mismatch");
+    let mut gradient = Vec::with_capacity(params.len());
+    let mut shifted = params.to_vec();
+    for i in 0..params.len() {
+        shifted[i] = params[i] + FRAC_PI_2;
+        let plus = expectation(circuit, &shifted, diagonal);
+        shifted[i] = params[i] - FRAC_PI_2;
+        let minus = expectation(circuit, &shifted, diagonal);
+        shifted[i] = params[i];
+        gradient.push(0.5 * (plus - minus));
+    }
+    gradient
+}
+
+/// Simple gradient descent on a diagonal expectation — the minimal
+/// gradient-based VQE loop enabled by [`parameter_shift_gradient`].
+pub fn gradient_descent(
+    circuit: &Circuit,
+    x0: &[f64],
+    diagonal: &[f64],
+    learning_rate: f64,
+    steps: usize,
+) -> (Vec<f64>, f64) {
+    let mut x = x0.to_vec();
+    for _ in 0..steps {
+        let g = parameter_shift_gradient(circuit, &x, diagonal);
+        for (xi, gi) in x.iter_mut().zip(&g) {
+            *xi -= learning_rate * gi;
+        }
+    }
+    let e = expectation(circuit, &x, diagonal);
+    (x, e)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ansatz::{efficient_su2, Entanglement};
+
+    fn test_diag(n: usize) -> Vec<f64> {
+        (0..1usize << n).map(|i| (i as f64) * 0.3 - (i % 3) as f64).collect()
+    }
+
+    #[test]
+    fn matches_finite_differences() {
+        let c = efficient_su2(3, 1, Entanglement::Linear);
+        let diag = test_diag(3);
+        let params: Vec<f64> = (0..c.num_params()).map(|i| 0.3 + 0.11 * i as f64).collect();
+        let analytic = parameter_shift_gradient(&c, &params, &diag);
+        let h = 1e-5;
+        for i in 0..params.len() {
+            let mut p = params.clone();
+            p[i] += h;
+            let plus = expectation(&c, &p, &diag);
+            p[i] = params[i] - h;
+            let minus = expectation(&c, &p, &diag);
+            let numeric = (plus - minus) / (2.0 * h);
+            assert!(
+                (analytic[i] - numeric).abs() < 1e-6,
+                "param {i}: shift {} vs fd {numeric}",
+                analytic[i]
+            );
+        }
+    }
+
+    #[test]
+    fn gradient_zero_at_symmetric_point() {
+        // All-zero angles on a symmetric diagonal: Ry(0) stationary for
+        // the identity-state expectation of diag whose first derivative
+        // cancels. Use a diag symmetric under bit flips of qubit 0.
+        let c = efficient_su2(2, 1, Entanglement::Linear);
+        let diag = vec![1.0, 1.0, 5.0, 5.0]; // independent of qubit 0
+        let params = vec![0.0; c.num_params()];
+        let g = parameter_shift_gradient(&c, &params, &diag);
+        // Parameters on qubit 0 have zero gradient.
+        assert!(g.iter().any(|v| v.abs() < 1e-12));
+    }
+
+    #[test]
+    fn descent_reduces_energy() {
+        let c = efficient_su2(3, 1, Entanglement::Linear);
+        let diag = test_diag(3);
+        let x0: Vec<f64> = (0..c.num_params()).map(|i| 0.2 + 0.05 * i as f64).collect();
+        let e0 = expectation(&c, &x0, &diag);
+        let (_, e) = gradient_descent(&c, &x0, &diag, 0.1, 30);
+        assert!(e < e0, "descent should reduce energy: {e} vs {e0}");
+        let min = diag.iter().copied().fold(f64::INFINITY, f64::min);
+        assert!(e >= min - 1e-9, "cannot beat the diagonal minimum");
+    }
+
+    #[test]
+    fn rejects_wrong_parameter_count() {
+        let c = efficient_su2(2, 1, Entanglement::Linear);
+        let diag = test_diag(2);
+        let result = std::panic::catch_unwind(|| {
+            parameter_shift_gradient(&c, &[0.0], &diag)
+        });
+        assert!(result.is_err());
+    }
+}

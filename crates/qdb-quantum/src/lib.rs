@@ -1,0 +1,47 @@
+//! # qdb-quantum
+//!
+//! Gate-level quantum computing substrate for QDockBank-rs: complex
+//! arithmetic, parameterized circuits, a rayon-parallel statevector
+//! simulator, Pauli-sum operators with a diagonal fast path, shot sampling,
+//! and a trajectory noise model calibrated to IBM Eagle-class hardware.
+//!
+//! This crate replaces the IBM Quantum + Qiskit execution layer used by the
+//! paper (see DESIGN.md §1): the *logical* circuits of all 55 fragments fit
+//! in ≤ 22 simulated qubits, while physical-hardware resources are modelled
+//! by the companion `qdb-transpile` crate.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use qdb_quantum::prelude::*;
+//!
+//! // Bell state energy under H = Z0 Z1.
+//! let mut c = Circuit::new(2);
+//! c.h(0).cx(0, 1);
+//! let mut sv = Statevector::zero(2);
+//! sv.apply_circuit(&c);
+//! let h = SparsePauliOp::from_terms(2, vec![(PauliString::zz(0, 1), 1.0)]);
+//! assert!((h.expectation(&sv) - 1.0).abs() < 1e-10);
+//! ```
+
+pub mod ansatz;
+pub mod circuit;
+pub mod complex;
+pub mod gate;
+pub mod gradient;
+pub mod noise;
+pub mod pauli;
+pub mod sampler;
+pub mod statevector;
+
+/// One-stop import for the common types.
+pub mod prelude {
+    pub use crate::ansatz::{efficient_su2, real_amplitudes, Entanglement};
+    pub use crate::circuit::{Circuit, Instruction};
+    pub use crate::complex::C64;
+    pub use crate::gate::{Angle, GateKind};
+    pub use crate::noise::{apply_noisy, noisy_expectation, NoiseModel};
+    pub use crate::pauli::{PauliString, SparsePauliOp};
+    pub use crate::sampler::{sample_counts, Counts};
+    pub use crate::statevector::Statevector;
+}

@@ -1,0 +1,232 @@
+//! Stochastic (trajectory) noise model for utility-level hardware.
+//!
+//! The paper argues (§5.2) that moderate quantum noise acts as a stochastic
+//! perturbation that can help VQE escape local minima. We model the IBM
+//! Eagle error channels that matter at the circuit level:
+//!
+//! * depolarizing error after every 1- and 2-qubit gate (Pauli twirl
+//!   trajectory: with probability `p`, insert a uniformly random non-identity
+//!   Pauli on the touched qubits);
+//! * a thermal-relaxation proxy derived from gate duration and T1/T2
+//!   (converted to an equivalent per-gate Pauli error rate);
+//! * readout bit-flips, applied to sampled counts.
+//!
+//! A trajectory run is one stochastic realization; averaging energies over
+//! trajectories converges to the channel expectation.
+
+use crate::circuit::Circuit;
+use crate::gate::GateKind;
+use crate::statevector::Statevector;
+use rand::Rng;
+
+/// Calibration-style description of a noisy processor.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct NoiseModel {
+    /// Depolarizing probability after each single-qubit gate.
+    pub p1: f64,
+    /// Depolarizing probability after each two-qubit gate.
+    pub p2: f64,
+    /// Per-bit readout flip probability.
+    pub readout: f64,
+    /// Median T1 (µs) — used by [`NoiseModel::eagle_like`] scaling.
+    pub t1_us: f64,
+    /// Median T2 (µs).
+    pub t2_us: f64,
+}
+
+impl NoiseModel {
+    /// The ideal (noiseless) model.
+    pub const IDEAL: NoiseModel = NoiseModel {
+        p1: 0.0,
+        p2: 0.0,
+        readout: 0.0,
+        t1_us: f64::INFINITY,
+        t2_us: f64::INFINITY,
+    };
+
+    /// A model with the error rates and coherence times of IBM Eagle r3
+    /// (§5.2 cites T1 ≈ 60–120 µs, T2 ≈ 40–100 µs; typical ECR error ≈ 1e-2,
+    /// SX error ≈ 2.5e-4, readout ≈ 1e-2).
+    pub fn eagle_like() -> NoiseModel {
+        NoiseModel {
+            p1: 2.5e-4,
+            p2: 1.0e-2,
+            readout: 1.0e-2,
+            t1_us: 90.0,
+            t2_us: 70.0,
+        }
+    }
+
+    /// Uniformly scales all gate-error probabilities (for noise ablations).
+    pub fn scaled(self, factor: f64) -> NoiseModel {
+        NoiseModel {
+            p1: (self.p1 * factor).min(0.75),
+            p2: (self.p2 * factor).min(0.75),
+            readout: (self.readout * factor).min(0.5),
+            ..self
+        }
+    }
+
+    /// True when every channel is off.
+    pub fn is_ideal(&self) -> bool {
+        self.p1 == 0.0 && self.p2 == 0.0 && self.readout == 0.0
+    }
+}
+
+fn random_pauli<R: Rng>(rng: &mut R) -> GateKind {
+    match rng.gen_range(0..3) {
+        0 => GateKind::X,
+        1 => GateKind::Y,
+        _ => GateKind::Z,
+    }
+}
+
+/// Applies `circuit` (bound via `params`) to `sv`, inserting trajectory
+/// noise after each gate according to `model`.
+///
+/// With `NoiseModel::IDEAL` this is exactly `apply_parametric`.
+pub fn apply_noisy<R: Rng>(
+    sv: &mut Statevector,
+    circuit: &Circuit,
+    params: &[f64],
+    model: &NoiseModel,
+    rng: &mut R,
+) {
+    assert_eq!(circuit.num_params(), params.len(), "parameter count mismatch");
+    for instr in circuit.instructions() {
+        let theta = instr.angle.map(|a| a.resolve(params)).unwrap_or(0.0);
+        match instr.kind.arity() {
+            1 => {
+                sv.apply_single(instr.kind, instr.q0 as usize, theta);
+                if model.p1 > 0.0 && rng.gen::<f64>() < model.p1 {
+                    sv.apply_single(random_pauli(rng), instr.q0 as usize, 0.0);
+                }
+            }
+            _ => {
+                sv.apply_two(instr.kind, instr.q0 as usize, instr.q1 as usize, theta);
+                if model.p2 > 0.0 && rng.gen::<f64>() < model.p2 {
+                    // Uniform non-identity two-qubit Pauli: pick a random
+                    // non-(I,I) pair.
+                    loop {
+                        let a = rng.gen_range(0..4);
+                        let b = rng.gen_range(0..4);
+                        if a == 0 && b == 0 {
+                            continue;
+                        }
+                        if a > 0 {
+                            sv.apply_single(
+                                [GateKind::X, GateKind::Y, GateKind::Z][a - 1],
+                                instr.q0 as usize,
+                                0.0,
+                            );
+                        }
+                        if b > 0 {
+                            sv.apply_single(
+                                [GateKind::X, GateKind::Y, GateKind::Z][b - 1],
+                                instr.q1 as usize,
+                                0.0,
+                            );
+                        }
+                        break;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Averages the diagonal-operator energy over `trajectories` noisy runs.
+pub fn noisy_expectation<R: Rng>(
+    circuit: &Circuit,
+    params: &[f64],
+    diag: &[f64],
+    model: &NoiseModel,
+    trajectories: usize,
+    rng: &mut R,
+) -> f64 {
+    if model.is_ideal() || trajectories == 0 {
+        let mut sv = Statevector::zero(circuit.num_qubits());
+        sv.apply_parametric(circuit, params);
+        return sv.expectation_diagonal(diag);
+    }
+    let mut acc = 0.0;
+    for _ in 0..trajectories {
+        let mut sv = Statevector::zero(circuit.num_qubits());
+        apply_noisy(&mut sv, circuit, params, model, rng);
+        acc += sv.expectation_diagonal(diag);
+    }
+    acc / trajectories as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn test_circuit(n: usize) -> (Circuit, Vec<f64>) {
+        let c = crate::ansatz::efficient_su2(n, 1, crate::ansatz::Entanglement::Linear);
+        let params: Vec<f64> = (0..c.num_params()).map(|i| 0.2 + 0.13 * i as f64).collect();
+        (c, params)
+    }
+
+    #[test]
+    fn ideal_model_matches_clean_run() {
+        let (c, params) = test_circuit(4);
+        let mut a = Statevector::zero(4);
+        a.apply_parametric(&c, &params);
+        let mut b = Statevector::zero(4);
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        apply_noisy(&mut b, &c, &params, &NoiseModel::IDEAL, &mut rng);
+        assert!(a.inner(&b).abs() > 1.0 - 1e-10);
+    }
+
+    #[test]
+    fn noise_preserves_norm() {
+        let (c, params) = test_circuit(4);
+        let model = NoiseModel::eagle_like().scaled(20.0);
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let mut sv = Statevector::zero(4);
+        apply_noisy(&mut sv, &c, &params, &model, &mut rng);
+        assert!((sv.norm_sqr() - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn strong_noise_changes_the_state() {
+        let (c, params) = test_circuit(4);
+        let model = NoiseModel { p1: 0.5, p2: 0.5, readout: 0.0, t1_us: 1.0, t2_us: 1.0 };
+        let mut clean = Statevector::zero(4);
+        clean.apply_parametric(&c, &params);
+        // With p=0.5 on every gate, at least one trajectory out of a few
+        // must deviate.
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        let mut deviated = false;
+        for _ in 0..5 {
+            let mut sv = Statevector::zero(4);
+            apply_noisy(&mut sv, &c, &params, &model, &mut rng);
+            if clean.inner(&sv).abs() < 1.0 - 1e-6 {
+                deviated = true;
+                break;
+            }
+        }
+        assert!(deviated);
+    }
+
+    #[test]
+    fn trajectory_average_reproducible() {
+        let (c, params) = test_circuit(3);
+        let diag: Vec<f64> = (0..8).map(|i| i as f64).collect();
+        let model = NoiseModel::eagle_like().scaled(10.0);
+        let e1 = noisy_expectation(&c, &params, &diag, &model, 20, &mut ChaCha8Rng::seed_from_u64(11));
+        let e2 = noisy_expectation(&c, &params, &diag, &model, 20, &mut ChaCha8Rng::seed_from_u64(11));
+        assert_eq!(e1, e2);
+    }
+
+    #[test]
+    fn scaled_clamps_probabilities() {
+        let m = NoiseModel::eagle_like().scaled(1e6);
+        assert!(m.p1 <= 0.75 && m.p2 <= 0.75 && m.readout <= 0.5);
+        assert!(NoiseModel::IDEAL.is_ideal());
+        assert!(!NoiseModel::eagle_like().is_ideal());
+    }
+}

@@ -1,0 +1,537 @@
+//! Pauli strings and sparse Pauli-sum operators.
+//!
+//! Strings use the symplectic `(x_mask, z_mask)` representation: bit `q` of
+//! `x_mask` set means an X (or Y) factor on qubit `q`; bit `q` of `z_mask`
+//! means a Z (or Y) factor; both set means Y. This makes multiplication and
+//! expectation values cheap bit arithmetic.
+
+use crate::complex::C64;
+use crate::statevector::Statevector;
+use rayon::prelude::*;
+use std::fmt;
+
+/// A single tensor product of Pauli factors over up to 64 qubits.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct PauliString {
+    /// X component bits (X or Y positions).
+    pub x_mask: u64,
+    /// Z component bits (Z or Y positions).
+    pub z_mask: u64,
+}
+
+impl PauliString {
+    /// The identity string.
+    pub const IDENTITY: PauliString = PauliString { x_mask: 0, z_mask: 0 };
+
+    /// A single Z factor on qubit `q`.
+    pub fn z(q: usize) -> Self {
+        Self { x_mask: 0, z_mask: 1 << q }
+    }
+
+    /// A single X factor on qubit `q`.
+    pub fn x(q: usize) -> Self {
+        Self { x_mask: 1 << q, z_mask: 0 }
+    }
+
+    /// A single Y factor on qubit `q`.
+    pub fn y(q: usize) -> Self {
+        Self { x_mask: 1 << q, z_mask: 1 << q }
+    }
+
+    /// Z⊗Z on two qubits.
+    pub fn zz(a: usize, b: usize) -> Self {
+        Self { x_mask: 0, z_mask: (1 << a) | (1 << b) }
+    }
+
+    /// Parses a Qiskit-style label, leftmost character = highest qubit.
+    ///
+    /// # Panics
+    /// Panics on characters outside `IXYZ` or labels longer than 64.
+    pub fn from_label(label: &str) -> Self {
+        assert!(label.len() <= 64, "label too long");
+        let mut x_mask = 0u64;
+        let mut z_mask = 0u64;
+        let n = label.len();
+        for (i, ch) in label.chars().enumerate() {
+            let q = n - 1 - i;
+            match ch {
+                'I' => {}
+                'X' => x_mask |= 1 << q,
+                'Y' => {
+                    x_mask |= 1 << q;
+                    z_mask |= 1 << q;
+                }
+                'Z' => z_mask |= 1 << q,
+                _ => panic!("invalid Pauli character {ch:?}"),
+            }
+        }
+        Self { x_mask, z_mask }
+    }
+
+    /// Renders the label over `n` qubits (leftmost = highest qubit).
+    pub fn to_label(self, n: usize) -> String {
+        (0..n)
+            .rev()
+            .map(|q| {
+                let x = self.x_mask >> q & 1 != 0;
+                let z = self.z_mask >> q & 1 != 0;
+                match (x, z) {
+                    (false, false) => 'I',
+                    (true, false) => 'X',
+                    (true, true) => 'Y',
+                    (false, true) => 'Z',
+                }
+            })
+            .collect()
+    }
+
+    /// True when the string contains no X/Y factor (diagonal in the
+    /// computational basis).
+    pub fn is_diagonal(self) -> bool {
+        self.x_mask == 0
+    }
+
+    /// Number of non-identity factors.
+    pub fn weight(self) -> u32 {
+        (self.x_mask | self.z_mask).count_ones()
+    }
+
+    /// Number of Y factors.
+    pub fn y_count(self) -> u32 {
+        (self.x_mask & self.z_mask).count_ones()
+    }
+
+    /// The phase `P|j⟩ = phase(j) |j ⊕ x_mask⟩`.
+    #[inline]
+    pub fn phase_on(self, j: u64) -> C64 {
+        let sign = if (j & self.z_mask).count_ones() & 1 == 0 { 1.0 } else { -1.0 };
+        match self.y_count() % 4 {
+            0 => C64::real(sign),
+            1 => C64::new(0.0, sign),
+            2 => C64::real(-sign),
+            _ => C64::new(0.0, -sign),
+        }
+    }
+
+    /// Multiplies two strings, returning `(phase, product)` with
+    /// `A · B = phase · product`.
+    pub fn mul(self, other: PauliString) -> (C64, PauliString) {
+        // Using P = i^{y} X^{x} Z^{z} normal form:
+        // A·B picks up (-1)^{|z_A & x_B|} when commuting Z_A past X_B,
+        // and the i^{y} prefactors recombine.
+        let x = self.x_mask ^ other.x_mask;
+        let z = self.z_mask ^ other.z_mask;
+        let prod = PauliString { x_mask: x, z_mask: z };
+        // phase = i^{yA + yB - yAB} * (-1)^{|zA & xB|}
+        let ya = self.y_count() as i32;
+        let yb = other.y_count() as i32;
+        let yab = prod.y_count() as i32;
+        let mut ipow = (ya + yb - yab).rem_euclid(4);
+        if (self.z_mask & other.x_mask).count_ones() & 1 == 1 {
+            ipow = (ipow + 2) % 4;
+        }
+        let phase = match ipow {
+            0 => C64::ONE,
+            1 => C64::I,
+            2 => -C64::ONE,
+            _ => -C64::I,
+        };
+        (phase, prod)
+    }
+
+    /// True when the two strings commute.
+    pub fn commutes_with(self, other: PauliString) -> bool {
+        let anti = (self.x_mask & other.z_mask).count_ones()
+            + (self.z_mask & other.x_mask).count_ones();
+        anti % 2 == 0
+    }
+
+    /// ⟨ψ|P|ψ⟩ for this string alone.
+    pub fn expectation(self, sv: &Statevector) -> f64 {
+        expectation_term(sv, self)
+    }
+}
+
+impl fmt::Display for PauliString {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let n = 64 - (self.x_mask | self.z_mask | 1).leading_zeros() as usize;
+        write!(f, "{}", self.to_label(n.max(1)))
+    }
+}
+
+fn expectation_term(sv: &Statevector, p: PauliString) -> f64 {
+    let amps = sv.amplitudes();
+    let x = p.x_mask as usize;
+    let acc = |j: usize| -> f64 {
+        let contrib = amps[j ^ x].conj() * p.phase_on(j as u64) * amps[j];
+        contrib.re
+    };
+    if amps.len() >= (1 << 12) {
+        (0..amps.len()).into_par_iter().map(acc).sum()
+    } else {
+        (0..amps.len()).map(acc).sum()
+    }
+}
+
+/// A real-coefficient (Hermitian) sum of Pauli strings.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct SparsePauliOp {
+    num_qubits: usize,
+    terms: Vec<(PauliString, f64)>,
+}
+
+impl SparsePauliOp {
+    /// The zero operator over `n` qubits.
+    pub fn zero(num_qubits: usize) -> Self {
+        assert!(num_qubits <= 64);
+        Self { num_qubits, terms: Vec::new() }
+    }
+
+    /// Builds from raw `(string, coefficient)` pairs.
+    pub fn from_terms(num_qubits: usize, terms: Vec<(PauliString, f64)>) -> Self {
+        let mut op = Self { num_qubits, terms };
+        op.simplify();
+        op
+    }
+
+    /// Number of qubits.
+    pub fn num_qubits(&self) -> usize {
+        self.num_qubits
+    }
+
+    /// The term list.
+    pub fn terms(&self) -> &[(PauliString, f64)] {
+        &self.terms
+    }
+
+    /// Number of terms after simplification.
+    pub fn len(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// True if the operator has no terms.
+    pub fn is_empty(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// Adds `coeff · P` to the sum.
+    pub fn add_term(&mut self, p: PauliString, coeff: f64) {
+        if coeff != 0.0 {
+            self.terms.push((p, coeff));
+        }
+    }
+
+    /// Adds a constant (identity) offset.
+    pub fn add_constant(&mut self, c: f64) {
+        self.add_term(PauliString::IDENTITY, c);
+    }
+
+    /// Adds every term of `other` scaled by `scale`.
+    pub fn add_scaled(&mut self, other: &SparsePauliOp, scale: f64) {
+        assert_eq!(self.num_qubits, other.num_qubits, "qubit count mismatch");
+        for &(p, c) in &other.terms {
+            self.add_term(p, c * scale);
+        }
+        self.simplify();
+    }
+
+    /// Merges duplicate strings and drops negligible coefficients.
+    pub fn simplify(&mut self) {
+        let mut map: std::collections::HashMap<PauliString, f64> =
+            std::collections::HashMap::with_capacity(self.terms.len());
+        for &(p, c) in &self.terms {
+            *map.entry(p).or_insert(0.0) += c;
+        }
+        self.terms = map
+            .into_iter()
+            .filter(|&(_, c)| c.abs() > 1e-14)
+            .collect();
+        // Deterministic order for reproducible iteration.
+        self.terms
+            .sort_by_key(|&(p, _)| (p.weight(), p.z_mask, p.x_mask));
+    }
+
+    /// True when every term is diagonal (Z/I only).
+    pub fn is_diagonal(&self) -> bool {
+        self.terms.iter().all(|(p, _)| p.is_diagonal())
+    }
+
+    /// Expands a diagonal operator into its dense diagonal of length `2^n`.
+    ///
+    /// # Panics
+    /// Panics if the operator has off-diagonal terms or is too wide.
+    pub fn to_diagonal(&self) -> Vec<f64> {
+        assert!(self.is_diagonal(), "operator has off-diagonal terms");
+        assert!(self.num_qubits <= 30, "diagonal expansion limited to 30 qubits");
+        let dim = 1usize << self.num_qubits;
+        let terms = &self.terms;
+        let eval = |i: usize| -> f64 {
+            terms
+                .iter()
+                .map(|&(p, c)| {
+                    if (i as u64 & p.z_mask).count_ones() & 1 == 0 {
+                        c
+                    } else {
+                        -c
+                    }
+                })
+                .sum()
+        };
+        if dim >= (1 << 12) {
+            (0..dim).into_par_iter().map(eval).collect()
+        } else {
+            (0..dim).map(eval).collect()
+        }
+    }
+
+    /// Decomposes a dense diagonal into a Z-string Pauli sum via the
+    /// Walsh–Hadamard transform: `diag[x] = Σ_m c_m (−1)^{popcount(x & m)}`
+    /// with `c_m = 2^{−n} Σ_x diag[x] (−1)^{popcount(x & m)}`.
+    ///
+    /// Coefficients below `eps` in magnitude are dropped. Exact inverse of
+    /// [`SparsePauliOp::to_diagonal`] for diagonal operators.
+    ///
+    /// # Panics
+    /// Panics if the length is not a power of two or exceeds 2^20.
+    pub fn from_diagonal(diag: &[f64], eps: f64) -> SparsePauliOp {
+        assert!(diag.len().is_power_of_two(), "diagonal length must be 2^n");
+        assert!(diag.len() <= 1 << 20, "diagonal too large for Pauli decomposition");
+        let n = diag.len().trailing_zeros() as usize;
+        let mut a = diag.to_vec();
+        let mut h = 1usize;
+        while h < a.len() {
+            for chunk in a.chunks_mut(2 * h) {
+                let (lo, hi) = chunk.split_at_mut(h);
+                for i in 0..h {
+                    let (x, y) = (lo[i], hi[i]);
+                    lo[i] = x + y;
+                    hi[i] = x - y;
+                }
+            }
+            h *= 2;
+        }
+        let norm = 1.0 / diag.len() as f64;
+        let terms: Vec<(PauliString, f64)> = a
+            .into_iter()
+            .enumerate()
+            .filter_map(|(m, c)| {
+                let coeff = c * norm;
+                (coeff.abs() > eps)
+                    .then_some((PauliString { x_mask: 0, z_mask: m as u64 }, coeff))
+            })
+            .collect();
+        SparsePauliOp::from_terms(n, terms)
+    }
+
+    /// ⟨ψ|H|ψ⟩, term by term (works for non-diagonal operators too).
+    pub fn expectation(&self, sv: &Statevector) -> f64 {
+        assert!(
+            self.num_qubits <= sv.num_qubits(),
+            "operator wider than state"
+        );
+        self.terms
+            .iter()
+            .map(|&(p, c)| c * expectation_term(sv, p))
+            .sum()
+    }
+
+    /// Evaluates the diagonal energy of a single basis state without
+    /// expanding the full diagonal (used by shot post-processing on wide
+    /// registers).
+    ///
+    /// # Panics
+    /// Panics if the operator has off-diagonal terms.
+    pub fn energy_of_bitstring(&self, bits: u64) -> f64 {
+        assert!(self.is_diagonal(), "operator has off-diagonal terms");
+        self.terms
+            .iter()
+            .map(|&(p, c)| {
+                if (bits & p.z_mask).count_ones() & 1 == 0 {
+                    c
+                } else {
+                    -c
+                }
+            })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::circuit::Circuit;
+
+    const EPS: f64 = 1e-10;
+
+    #[test]
+    fn label_round_trip() {
+        for label in ["IXYZ", "ZZII", "YYYY", "IIII", "XIZI"] {
+            let p = PauliString::from_label(label);
+            assert_eq!(p.to_label(4), label);
+        }
+    }
+
+    #[test]
+    fn weight_and_diagonality() {
+        assert_eq!(PauliString::from_label("IXYZ").weight(), 3);
+        assert!(PauliString::from_label("ZIZ").is_diagonal());
+        assert!(!PauliString::from_label("XII").is_diagonal());
+        assert_eq!(PauliString::from_label("YIY").y_count(), 2);
+    }
+
+    #[test]
+    fn single_qubit_expectations() {
+        // |0⟩: ⟨Z⟩=1, ⟨X⟩=0, ⟨Y⟩=0
+        let sv = Statevector::zero(1);
+        assert!((PauliString::z(0).expectation(&sv) - 1.0).abs() < EPS);
+        assert!(PauliString::x(0).expectation(&sv).abs() < EPS);
+        assert!(PauliString::y(0).expectation(&sv).abs() < EPS);
+
+        // |+⟩: ⟨X⟩=1
+        let mut plus = Statevector::zero(1);
+        plus.apply_single(crate::gate::GateKind::H, 0, 0.0);
+        assert!((PauliString::x(0).expectation(&plus) - 1.0).abs() < EPS);
+        assert!(PauliString::z(0).expectation(&plus).abs() < EPS);
+    }
+
+    #[test]
+    fn y_expectation_on_ry_state() {
+        // Ry(θ)|0⟩ has ⟨Y⟩ = 0, ⟨Z⟩ = cosθ, ⟨X⟩ = sinθ
+        let theta = 0.6;
+        let mut sv = Statevector::zero(1);
+        sv.apply_single(crate::gate::GateKind::Ry, 0, theta);
+        assert!((PauliString::z(0).expectation(&sv) - theta.cos()).abs() < EPS);
+        assert!((PauliString::x(0).expectation(&sv) - theta.sin()).abs() < EPS);
+        assert!(PauliString::y(0).expectation(&sv).abs() < EPS);
+    }
+
+    #[test]
+    fn zz_on_bell_state() {
+        let mut c = Circuit::new(2);
+        c.h(0).cx(0, 1);
+        let mut sv = Statevector::zero(2);
+        sv.apply_circuit(&c);
+        assert!((PauliString::zz(0, 1).expectation(&sv) - 1.0).abs() < EPS);
+        assert!((PauliString::from_label("XX").expectation(&sv) - 1.0).abs() < EPS);
+        assert!((PauliString::from_label("YY").expectation(&sv) + 1.0).abs() < EPS);
+    }
+
+    #[test]
+    fn multiplication_phases() {
+        let x = PauliString::x(0);
+        let y = PauliString::y(0);
+        let z = PauliString::z(0);
+        // XY = iZ
+        let (ph, p) = x.mul(y);
+        assert_eq!(p, z);
+        assert!(ph.approx_eq(C64::I, EPS));
+        // YX = -iZ
+        let (ph, p) = y.mul(x);
+        assert_eq!(p, z);
+        assert!(ph.approx_eq(-C64::I, EPS));
+        // ZZ = I
+        let (ph, p) = z.mul(z);
+        assert_eq!(p, PauliString::IDENTITY);
+        assert!(ph.approx_eq(C64::ONE, EPS));
+        // XZ = -iY
+        let (ph, p) = x.mul(z);
+        assert_eq!(p, y);
+        assert!(ph.approx_eq(-C64::I, EPS));
+    }
+
+    #[test]
+    fn commutation() {
+        let xi = PauliString::from_label("XI");
+        let ix = PauliString::from_label("IX");
+        let zi = PauliString::from_label("ZI");
+        assert!(xi.commutes_with(ix));
+        assert!(!xi.commutes_with(zi));
+        assert!(PauliString::from_label("XX")
+            .commutes_with(PauliString::from_label("ZZ")));
+    }
+
+    #[test]
+    fn sparse_op_simplify_merges() {
+        let mut op = SparsePauliOp::zero(2);
+        op.add_term(PauliString::z(0), 1.5);
+        op.add_term(PauliString::z(0), 0.5);
+        op.add_term(PauliString::z(1), -2.0);
+        op.add_term(PauliString::z(1), 2.0);
+        op.simplify();
+        assert_eq!(op.len(), 1);
+        assert_eq!(op.terms()[0], (PauliString::z(0), 2.0));
+    }
+
+    #[test]
+    fn diagonal_expansion_matches_bitstring_energy() {
+        let mut op = SparsePauliOp::zero(3);
+        op.add_constant(4.0);
+        op.add_term(PauliString::z(0), 1.0);
+        op.add_term(PauliString::zz(1, 2), -2.0);
+        op.simplify();
+        let diag = op.to_diagonal();
+        for i in 0..8u64 {
+            assert!((diag[i as usize] - op.energy_of_bitstring(i)).abs() < EPS);
+        }
+        // Spot check: |000⟩ → 4 + 1 - 2 = 3
+        assert!((diag[0] - 3.0).abs() < EPS);
+        // |001⟩ → 4 - 1 - 2 = 1
+        assert!((diag[1] - 1.0).abs() < EPS);
+        // |010⟩ → 4 + 1 + 2 = 7
+        assert!((diag[2] - 7.0).abs() < EPS);
+    }
+
+    #[test]
+    fn diagonal_expectation_agrees_with_general_path() {
+        let mut op = SparsePauliOp::zero(3);
+        op.add_constant(1.0);
+        op.add_term(PauliString::z(0), 0.7);
+        op.add_term(PauliString::zz(0, 2), -1.3);
+
+        let mut c = Circuit::new(3);
+        c.ry(0, 0.4).ry(1, 1.2).ry(2, -0.8).cx(0, 1).cx(1, 2);
+        let mut sv = Statevector::zero(3);
+        sv.apply_circuit(&c);
+
+        let via_terms = op.expectation(&sv);
+        let via_diag = sv.expectation_diagonal(&op.to_diagonal());
+        assert!((via_terms - via_diag).abs() < EPS);
+    }
+
+    #[test]
+    fn from_diagonal_round_trips() {
+        let diag = vec![3.0, -1.5, 0.25, 7.0, 2.0, 2.0, -4.0, 0.0];
+        let op = SparsePauliOp::from_diagonal(&diag, 1e-12);
+        assert!(op.is_diagonal());
+        let back = op.to_diagonal();
+        for (a, b) in diag.iter().zip(&back) {
+            assert!((a - b).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn from_diagonal_of_single_z() {
+        // diag = [1, -1] is exactly Z.
+        let op = SparsePauliOp::from_diagonal(&[1.0, -1.0], 1e-12);
+        assert_eq!(op.terms(), &[(PauliString::z(0), 1.0)]);
+        // Constant diagonal is the identity term.
+        let c = SparsePauliOp::from_diagonal(&[2.5, 2.5, 2.5, 2.5], 1e-12);
+        assert_eq!(c.terms(), &[(PauliString::IDENTITY, 2.5)]);
+    }
+
+    #[test]
+    fn hermitian_expectation_is_real_for_mixed_terms() {
+        let mut op = SparsePauliOp::zero(2);
+        op.add_term(PauliString::from_label("XY"), 0.9);
+        op.add_term(PauliString::from_label("YX"), 0.9);
+        op.add_term(PauliString::from_label("ZI"), -0.4);
+
+        let mut c = Circuit::new(2);
+        c.h(0).cx(0, 1).rz(1, 0.3).ry(0, 1.1);
+        let mut sv = Statevector::zero(2);
+        sv.apply_circuit(&c);
+        let e = op.expectation(&sv);
+        assert!(e.is_finite());
+        assert!(e.abs() <= 2.2 + EPS, "bounded by sum of |coeffs|");
+    }
+}

@@ -1,0 +1,211 @@
+//! Shot sampling from a statevector.
+//!
+//! The paper's second execution stage fixes the optimized circuit and draws
+//! 100,000 shots (§5.2). Sampling uses the sorted-uniforms merge: draw all
+//! shot positions, sort them, and sweep the probability mass once — O(D +
+//! S·log S) with no cumulative array allocation.
+
+use crate::statevector::Statevector;
+use rand::Rng;
+use std::collections::HashMap;
+
+/// Measurement outcomes: basis-state index → count.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Counts {
+    shots: u64,
+    counts: HashMap<u64, u64>,
+}
+
+impl Counts {
+    /// Builds from a raw map.
+    pub fn from_map(counts: HashMap<u64, u64>) -> Self {
+        let shots = counts.values().sum();
+        Self { shots, counts }
+    }
+
+    /// Total number of shots.
+    pub fn shots(&self) -> u64 {
+        self.shots
+    }
+
+    /// Count for a specific outcome.
+    pub fn get(&self, outcome: u64) -> u64 {
+        self.counts.get(&outcome).copied().unwrap_or(0)
+    }
+
+    /// Iterates `(outcome, count)`.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.counts.iter().map(|(&k, &v)| (k, v))
+    }
+
+    /// Number of distinct outcomes observed.
+    pub fn num_outcomes(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Outcomes sorted by decreasing count (ties broken by outcome index for
+    /// determinism).
+    pub fn sorted_by_count(&self) -> Vec<(u64, u64)> {
+        let mut v: Vec<(u64, u64)> = self.iter().collect();
+        v.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        v
+    }
+
+    /// The most frequent outcome, if any shots were taken.
+    pub fn most_common(&self) -> Option<(u64, u64)> {
+        self.sorted_by_count().into_iter().next()
+    }
+
+    /// Empirical probability of an outcome.
+    pub fn probability(&self, outcome: u64) -> f64 {
+        if self.shots == 0 {
+            0.0
+        } else {
+            self.get(outcome) as f64 / self.shots as f64
+        }
+    }
+
+    /// Applies an independent per-bit readout flip with probability
+    /// `flip_prob` to every shot, redistributing counts (models readout
+    /// error after sampling).
+    pub fn with_readout_error<R: Rng>(
+        &self,
+        num_bits: usize,
+        flip_prob: f64,
+        rng: &mut R,
+    ) -> Counts {
+        if flip_prob <= 0.0 {
+            return self.clone();
+        }
+        let mut out: HashMap<u64, u64> = HashMap::with_capacity(self.counts.len());
+        // Iterate in sorted outcome order: HashMap order varies across
+        // processes and would desynchronize the RNG stream, breaking
+        // cross-process determinism.
+        let mut ordered: Vec<(u64, u64)> = self.iter().collect();
+        ordered.sort_unstable();
+        for (outcome, count) in ordered {
+            for _ in 0..count {
+                let mut v = outcome;
+                for b in 0..num_bits {
+                    if rng.gen::<f64>() < flip_prob {
+                        v ^= 1 << b;
+                    }
+                }
+                *out.entry(v).or_insert(0) += 1;
+            }
+        }
+        Counts::from_map(out)
+    }
+}
+
+/// Samples `shots` measurement outcomes from the state's Born distribution.
+pub fn sample_counts<R: Rng>(sv: &Statevector, shots: u64, rng: &mut R) -> Counts {
+    let mut positions: Vec<f64> = (0..shots).map(|_| rng.gen::<f64>()).collect();
+    positions.sort_by(|a, b| a.partial_cmp(b).unwrap());
+
+    let mut counts: HashMap<u64, u64> = HashMap::new();
+    let mut cumulative = 0.0f64;
+    let mut shot_idx = 0usize;
+    for (state, amp) in sv.amplitudes().iter().enumerate() {
+        cumulative += amp.norm_sqr();
+        let mut here = 0u64;
+        while shot_idx < positions.len() && positions[shot_idx] < cumulative {
+            here += 1;
+            shot_idx += 1;
+        }
+        if here > 0 {
+            *counts.entry(state as u64).or_insert(0) += here;
+        }
+        if shot_idx == positions.len() {
+            break;
+        }
+    }
+    // Floating-point slack: any stragglers beyond total mass land on the
+    // last nonzero-probability state.
+    if shot_idx < positions.len() {
+        if let Some((state, _)) = sv
+            .amplitudes()
+            .iter()
+            .enumerate()
+            .rev()
+            .find(|(_, a)| a.norm_sqr() > 0.0)
+        {
+            *counts.entry(state as u64).or_insert(0) += (positions.len() - shot_idx) as u64;
+        }
+    }
+    Counts::from_map(counts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::circuit::Circuit;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    #[test]
+    fn deterministic_state_sampling() {
+        let mut sv = Statevector::zero(3);
+        sv.apply_single(crate::gate::GateKind::X, 1, 0.0);
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let counts = sample_counts(&sv, 1000, &mut rng);
+        assert_eq!(counts.shots(), 1000);
+        assert_eq!(counts.get(0b010), 1000);
+        assert_eq!(counts.num_outcomes(), 1);
+    }
+
+    #[test]
+    fn bell_sampling_is_balanced() {
+        let mut c = Circuit::new(2);
+        c.h(0).cx(0, 1);
+        let mut sv = Statevector::zero(2);
+        sv.apply_circuit(&c);
+        let mut rng = ChaCha8Rng::seed_from_u64(42);
+        let counts = sample_counts(&sv, 20_000, &mut rng);
+        assert_eq!(counts.get(0b01) + counts.get(0b10), 0);
+        let p0 = counts.probability(0b00);
+        assert!((p0 - 0.5).abs() < 0.02, "p(00)={p0}");
+    }
+
+    #[test]
+    fn sampling_is_seed_reproducible() {
+        let mut c = Circuit::new(4);
+        for q in 0..4 {
+            c.ry(q, 0.3 + q as f64);
+        }
+        c.cx(0, 1).cx(2, 3);
+        let mut sv = Statevector::zero(4);
+        sv.apply_circuit(&c);
+        let a = sample_counts(&sv, 5000, &mut ChaCha8Rng::seed_from_u64(1));
+        let b = sample_counts(&sv, 5000, &mut ChaCha8Rng::seed_from_u64(1));
+        assert_eq!(a, b);
+        let cdiff = sample_counts(&sv, 5000, &mut ChaCha8Rng::seed_from_u64(2));
+        assert_ne!(a, cdiff);
+    }
+
+    #[test]
+    fn readout_error_perturbs_counts() {
+        let sv = Statevector::zero(4);
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let clean = sample_counts(&sv, 2000, &mut rng);
+        assert_eq!(clean.get(0), 2000);
+        let noisy = clean.with_readout_error(4, 0.05, &mut rng);
+        assert_eq!(noisy.shots(), 2000);
+        assert!(noisy.get(0) < 2000, "readout error should flip some shots");
+        assert!(noisy.get(0) > 1400, "5% per-bit flip keeps most shots intact");
+    }
+
+    #[test]
+    fn most_common_and_sorting() {
+        let mut m = HashMap::new();
+        m.insert(5u64, 10u64);
+        m.insert(2u64, 30u64);
+        m.insert(9u64, 10u64);
+        let counts = Counts::from_map(m);
+        assert_eq!(counts.most_common(), Some((2, 30)));
+        let sorted = counts.sorted_by_count();
+        assert_eq!(sorted[0], (2, 30));
+        assert_eq!(sorted[1], (5, 10)); // tie broken by outcome index
+        assert_eq!(sorted[2], (9, 10));
+    }
+}

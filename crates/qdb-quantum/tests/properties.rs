@@ -1,0 +1,162 @@
+//! Property-based tests for the quantum substrate invariants.
+
+use proptest::prelude::*;
+use qdb_quantum::prelude::*;
+
+/// Strategy: a random small circuit over `n` qubits.
+fn arb_circuit(n: usize, max_gates: usize) -> impl Strategy<Value = Circuit> {
+    let gate = (0..8u8, 0..n as u32, 0..n as u32, -3.2f64..3.2);
+    proptest::collection::vec(gate, 1..max_gates).prop_map(move |gates| {
+        let mut c = Circuit::new(n);
+        for (kind, q0, q1, theta) in gates {
+            match kind {
+                0 => {
+                    c.h(q0);
+                }
+                1 => {
+                    c.x(q0);
+                }
+                2 => {
+                    c.ry(q0, theta);
+                }
+                3 => {
+                    c.rz(q0, theta);
+                }
+                4 => {
+                    c.rx(q0, theta);
+                }
+                5 if q0 != q1 => {
+                    c.cx(q0, q1);
+                }
+                6 if q0 != q1 => {
+                    c.cz(q0, q1);
+                }
+                7 if q0 != q1 => {
+                    c.ecr(q0, q1);
+                }
+                _ => {
+                    c.sx(q0);
+                }
+            }
+        }
+        c
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Any circuit evolution preserves the state norm.
+    #[test]
+    fn circuits_preserve_norm(c in arb_circuit(5, 24)) {
+        let mut sv = Statevector::zero(5);
+        sv.apply_circuit(&c);
+        prop_assert!((sv.norm_sqr() - 1.0).abs() < 1e-9);
+    }
+
+    /// Probabilities are a valid distribution.
+    #[test]
+    fn probabilities_sum_to_one(c in arb_circuit(4, 20)) {
+        let mut sv = Statevector::zero(4);
+        sv.apply_circuit(&c);
+        let p = sv.probabilities();
+        prop_assert!(p.iter().all(|&x| (-1e-12..=1.0 + 1e-12).contains(&x)));
+        prop_assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+    }
+
+    /// Sampling frequencies converge to Born probabilities.
+    #[test]
+    fn sampling_matches_born_rule(c in arb_circuit(3, 12), seed in any::<u64>()) {
+        use rand::SeedableRng;
+        let mut sv = Statevector::zero(3);
+        sv.apply_circuit(&c);
+        let p = sv.probabilities();
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+        let counts = sample_counts(&sv, 50_000, &mut rng);
+        for (i, &prob) in p.iter().enumerate() {
+            let emp = counts.probability(i as u64);
+            prop_assert!((emp - prob).abs() < 0.03,
+                "state {i}: empirical {emp} vs exact {prob}");
+        }
+    }
+
+    /// Pauli multiplication is associative (phases included).
+    #[test]
+    fn pauli_mul_associative(a in 0u64..16, b in 0u64..16, c in 0u64..16) {
+        let mk = |bits: u64| PauliString { x_mask: bits & 3, z_mask: bits >> 2 };
+        let (pa, pb, pc) = (mk(a), mk(b), mk(c));
+        let (ph1, ab) = pa.mul(pb);
+        let (ph2, ab_c) = ab.mul(pc);
+        let left_phase = ph1 * ph2;
+        let (ph3, bc) = pb.mul(pc);
+        let (ph4, a_bc) = pa.mul(bc);
+        let right_phase = ph3 * ph4;
+        prop_assert_eq!(ab_c, a_bc);
+        prop_assert!(left_phase.approx_eq(right_phase, 1e-12));
+    }
+
+    /// Commutation is symmetric and consistent with multiplication order.
+    #[test]
+    fn commutation_consistent_with_mul(a in 0u64..256, b in 0u64..256) {
+        let mk = |bits: u64| PauliString { x_mask: bits & 15, z_mask: bits >> 4 };
+        let (pa, pb) = (mk(a), mk(b));
+        prop_assert_eq!(pa.commutes_with(pb), pb.commutes_with(pa));
+        let (ph_ab, p_ab) = pa.mul(pb);
+        let (ph_ba, p_ba) = pb.mul(pa);
+        prop_assert_eq!(p_ab, p_ba);
+        if pa.commutes_with(pb) {
+            prop_assert!(ph_ab.approx_eq(ph_ba, 1e-12));
+        } else {
+            prop_assert!(ph_ab.approx_eq(-ph_ba, 1e-12));
+        }
+    }
+
+    /// Diagonal expansion agrees with per-bitstring evaluation.
+    #[test]
+    fn diagonal_paths_agree(coeffs in proptest::collection::vec(-2.0f64..2.0, 1..6)) {
+        let n = 4;
+        let mut op = SparsePauliOp::zero(n);
+        for (i, &c) in coeffs.iter().enumerate() {
+            let z = ((i * 7 + 3) % 15 + 1) as u64; // nonzero z-mask in range
+            op.add_term(PauliString { x_mask: 0, z_mask: z }, c);
+        }
+        op.simplify();
+        let diag = op.to_diagonal();
+        for bits in 0..(1u64 << n) {
+            prop_assert!((diag[bits as usize] - op.energy_of_bitstring(bits)).abs() < 1e-10);
+        }
+    }
+
+    /// Expectation of a diagonal op through the Pauli path equals the dense
+    /// diagonal path on random product states.
+    #[test]
+    fn expectation_paths_agree(angles in proptest::collection::vec(-3.0f64..3.0, 4)) {
+        let mut c = Circuit::new(4);
+        for (q, &a) in angles.iter().enumerate() {
+            c.ry(q as u32, a);
+        }
+        c.cx(0, 1).cx(2, 3);
+        let mut sv = Statevector::zero(4);
+        sv.apply_circuit(&c);
+        let mut op = SparsePauliOp::zero(4);
+        op.add_constant(0.5);
+        op.add_term(PauliString::z(1), -1.25);
+        op.add_term(PauliString::zz(0, 3), 2.0);
+        let via_pauli = op.expectation(&sv);
+        let via_diag = sv.expectation_diagonal(&op.to_diagonal());
+        prop_assert!((via_pauli - via_diag).abs() < 1e-9);
+    }
+
+    /// EfficientSU2 binding is linear in the instruction list: binding then
+    /// applying equals parametric application.
+    #[test]
+    fn ansatz_bind_equivalence(params in proptest::collection::vec(-3.0f64..3.0, 16)) {
+        let c = efficient_su2(2, 3, Entanglement::Linear);
+        prop_assume!(params.len() == c.num_params());
+        let mut a = Statevector::zero(2);
+        a.apply_parametric(&c, &params);
+        let mut b = Statevector::zero(2);
+        b.apply_circuit(&c.bind(&params));
+        prop_assert!(a.inner(&b).abs() > 1.0 - 1e-9);
+    }
+}

@@ -1,0 +1,360 @@
+//! Physical qubit connectivity graphs.
+//!
+//! IBM's Eagle r3 processors (paper §5.1) use a *heavy-hex* lattice: rows of
+//! degree-2 qubits joined by bridge qubits, keeping the maximum degree at 3
+//! to limit crosstalk. [`CouplingMap::eagle127`] reproduces the 127-qubit
+//! Eagle topology: 7 qubit rows (14 + 5×15 + 14) plus 24 bridge qubits.
+
+use std::collections::VecDeque;
+
+/// An undirected connectivity graph over physical qubits.
+#[derive(Clone, Debug)]
+pub struct CouplingMap {
+    num_qubits: usize,
+    adjacency: Vec<Vec<u32>>,
+    edges: Vec<(u32, u32)>,
+}
+
+impl CouplingMap {
+    /// Builds a map from undirected edges.
+    ///
+    /// # Panics
+    /// Panics on out-of-range or self-loop edges.
+    pub fn from_edges(num_qubits: usize, raw_edges: &[(u32, u32)]) -> Self {
+        let mut adjacency = vec![Vec::new(); num_qubits];
+        let mut edges = Vec::with_capacity(raw_edges.len());
+        for &(a, b) in raw_edges {
+            assert!((a as usize) < num_qubits && (b as usize) < num_qubits, "edge out of range");
+            assert_ne!(a, b, "self loop");
+            if !adjacency[a as usize].contains(&b) {
+                adjacency[a as usize].push(b);
+                adjacency[b as usize].push(a);
+                edges.push((a.min(b), a.max(b)));
+            }
+        }
+        for n in &mut adjacency {
+            n.sort_unstable();
+        }
+        edges.sort_unstable();
+        Self { num_qubits, adjacency, edges }
+    }
+
+    /// A 1-D chain `0 — 1 — … — n-1`.
+    pub fn line(n: usize) -> Self {
+        let edges: Vec<(u32, u32)> = (0..n.saturating_sub(1) as u32).map(|i| (i, i + 1)).collect();
+        Self::from_edges(n, &edges)
+    }
+
+    /// A ring.
+    pub fn ring(n: usize) -> Self {
+        let mut edges: Vec<(u32, u32)> =
+            (0..n.saturating_sub(1) as u32).map(|i| (i, i + 1)).collect();
+        if n > 2 {
+            edges.push((n as u32 - 1, 0));
+        }
+        Self::from_edges(n, &edges)
+    }
+
+    /// A fully connected graph (idealized all-to-all device).
+    pub fn full(n: usize) -> Self {
+        let mut edges = Vec::new();
+        for i in 0..n as u32 {
+            for j in (i + 1)..n as u32 {
+                edges.push((i, j));
+            }
+        }
+        Self::from_edges(n, &edges)
+    }
+
+    /// The IBM Eagle 127-qubit heavy-hex lattice.
+    ///
+    /// Layout: 7 horizontal rows (row 0 has columns 0–13, rows 1–5 have
+    /// columns 0–14, row 6 has columns 1–14) with 4 bridge qubits per row
+    /// gap. Even gaps bridge columns {0, 4, 8, 12}; odd gaps {2, 6, 10, 14}.
+    pub fn eagle127() -> Self {
+        // Assign ids row by row, with each gap's bridges following the row
+        // above them.
+        let row_cols: [(usize, usize); 7] =
+            [(0, 13), (0, 14), (0, 14), (0, 14), (0, 14), (0, 14), (1, 14)];
+        let mut id = 0u32;
+        // qubit id of (row, col)
+        let mut grid = vec![[u32::MAX; 15]; 7];
+        let mut edges = Vec::new();
+        for (r, &(lo, hi)) in row_cols.iter().enumerate() {
+            for c in lo..=hi {
+                grid[r][c] = id;
+                if c > lo {
+                    edges.push((grid[r][c - 1], id));
+                }
+                id += 1;
+            }
+            if r < 6 {
+                // bridge qubits for the gap below row r
+                let cols: [usize; 4] = if r % 2 == 0 { [0, 4, 8, 12] } else { [2, 6, 10, 14] };
+                for &c in &cols {
+                    // bridge id connects grid[r][c] now; the row below is
+                    // connected after it is assigned, so remember bridges.
+                    edges.push((grid[r][c], id));
+                    // store bridge id in a side channel keyed by (gap, col)
+                    // using negative trick: we instead push placeholder and
+                    // fix after; simpler: record for later.
+                    bridge_later(&mut edges, r, c, id);
+                    id += 1;
+                }
+            }
+        }
+        // Second pass: connect each bridge to the row below it.
+        // bridge_later encoded (gap, col, id) into `edges` via sentinel pairs;
+        // decode them now that all rows have ids.
+        let mut real_edges = Vec::with_capacity(edges.len());
+        for (a, b) in edges {
+            if a == SENTINEL {
+                // b packs gap row (3 bits), col (4 bits), id (rest)
+                let r = (b & 0b111) as usize;
+                let c = ((b >> 3) & 0b1111) as usize;
+                let bridge = b >> 7;
+                real_edges.push((bridge, grid[r + 1][c]));
+            } else {
+                real_edges.push((a, b));
+            }
+        }
+        let map = Self::from_edges(id as usize, &real_edges);
+        debug_assert_eq!(map.num_qubits(), 127);
+        map
+    }
+
+    /// Number of physical qubits.
+    pub fn num_qubits(&self) -> usize {
+        self.num_qubits
+    }
+
+    /// Undirected edge list, each edge once with `(min, max)`.
+    pub fn edges(&self) -> &[(u32, u32)] {
+        &self.edges
+    }
+
+    /// Neighbours of `q`, sorted.
+    pub fn neighbors(&self, q: u32) -> &[u32] {
+        &self.adjacency[q as usize]
+    }
+
+    /// Degree of `q`.
+    pub fn degree(&self, q: u32) -> usize {
+        self.adjacency[q as usize].len()
+    }
+
+    /// True when `a` and `b` share an edge.
+    pub fn connected(&self, a: u32, b: u32) -> bool {
+        self.adjacency[a as usize].binary_search(&b).is_ok()
+    }
+
+    /// BFS shortest-path distances from `src` (u32::MAX = unreachable).
+    pub fn distances_from(&self, src: u32) -> Vec<u32> {
+        let mut dist = vec![u32::MAX; self.num_qubits];
+        let mut queue = VecDeque::new();
+        dist[src as usize] = 0;
+        queue.push_back(src);
+        while let Some(u) = queue.pop_front() {
+            for &v in &self.adjacency[u as usize] {
+                if dist[v as usize] == u32::MAX {
+                    dist[v as usize] = dist[u as usize] + 1;
+                    queue.push_back(v);
+                }
+            }
+        }
+        dist
+    }
+
+    /// Full all-pairs distance matrix.
+    pub fn distance_matrix(&self) -> Vec<Vec<u32>> {
+        (0..self.num_qubits as u32).map(|q| self.distances_from(q)).collect()
+    }
+
+    /// BFS ball: the `k` qubits closest to `seed` (ties by id), always
+    /// containing `seed`; returns fewer if the component is smaller.
+    pub fn bfs_region(&self, seed: u32, k: usize) -> Vec<u32> {
+        let dist = self.distances_from(seed);
+        let mut ids: Vec<u32> = (0..self.num_qubits as u32)
+            .filter(|&q| dist[q as usize] != u32::MAX)
+            .collect();
+        ids.sort_by_key(|&q| (dist[q as usize], q));
+        ids.truncate(k);
+        ids
+    }
+
+    /// Finds a simple path of `len` qubits starting at `seed` via bounded
+    /// backtracking DFS (neighbours tried in min-degree order); used to seat
+    /// linear-entanglement circuits. Returns the longest path found if the
+    /// exact length is unreachable within the step budget.
+    pub fn greedy_path(&self, seed: u32, len: usize) -> Vec<u32> {
+        let mut path = vec![seed];
+        let mut used = vec![false; self.num_qubits];
+        used[seed as usize] = true;
+        let mut best = path.clone();
+        // Stack of per-node candidate lists with a cursor.
+        let mut frames: Vec<(Vec<u32>, usize)> = Vec::new();
+        let candidates = |m: &Self, q: u32, used: &[bool]| -> Vec<u32> {
+            let mut c: Vec<u32> = m.adjacency[q as usize]
+                .iter()
+                .filter(|&&v| !used[v as usize])
+                .copied()
+                .collect();
+            c.sort_by_key(|&v| (m.degree(v), v));
+            c
+        };
+        frames.push((candidates(self, seed, &used), 0));
+        let mut steps = 0usize;
+        while path.len() < len && steps < 200_000 {
+            steps += 1;
+            let (cands, cursor) = frames.last_mut().expect("frame stack never empty here");
+            if *cursor < cands.len() {
+                let v = cands[*cursor];
+                *cursor += 1;
+                used[v as usize] = true;
+                path.push(v);
+                if path.len() > best.len() {
+                    best = path.clone();
+                }
+                frames.push((candidates(self, v, &used), 0));
+            } else {
+                frames.pop();
+                let v = path.pop().expect("path matches frames");
+                used[v as usize] = false;
+                if frames.is_empty() {
+                    break;
+                }
+            }
+        }
+        if path.len() >= len {
+            path
+        } else {
+            best
+        }
+    }
+
+    /// Restricts the map to a subset of qubits, relabelling them
+    /// `0..subset.len()` in the given order. Returns the submap.
+    pub fn subgraph(&self, subset: &[u32]) -> CouplingMap {
+        let mut rename = vec![u32::MAX; self.num_qubits];
+        for (new, &old) in subset.iter().enumerate() {
+            rename[old as usize] = new as u32;
+        }
+        let edges: Vec<(u32, u32)> = self
+            .edges
+            .iter()
+            .filter_map(|&(a, b)| {
+                let (na, nb) = (rename[a as usize], rename[b as usize]);
+                (na != u32::MAX && nb != u32::MAX).then_some((na, nb))
+            })
+            .collect();
+        CouplingMap::from_edges(subset.len(), &edges)
+    }
+
+    /// True if the whole graph is one connected component.
+    pub fn is_connected(&self) -> bool {
+        if self.num_qubits == 0 {
+            return true;
+        }
+        self.distances_from(0).iter().all(|&d| d != u32::MAX)
+    }
+}
+
+const SENTINEL: u32 = u32::MAX - 1;
+
+/// Encodes a bridge-to-lower-row connection that can only be resolved after
+/// the next row's ids are assigned.
+fn bridge_later(edges: &mut Vec<(u32, u32)>, gap_row: usize, col: usize, bridge_id: u32) {
+    let packed = (gap_row as u32) | ((col as u32) << 3) | (bridge_id << 7);
+    edges.push((SENTINEL, packed));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_and_ring() {
+        let line = CouplingMap::line(5);
+        assert_eq!(line.edges().len(), 4);
+        assert!(line.connected(0, 1));
+        assert!(!line.connected(0, 4));
+        assert_eq!(line.distances_from(0)[4], 4);
+
+        let ring = CouplingMap::ring(5);
+        assert_eq!(ring.edges().len(), 5);
+        assert_eq!(ring.distances_from(0)[4], 1);
+        assert_eq!(ring.distances_from(0)[2], 2);
+    }
+
+    #[test]
+    fn eagle127_shape() {
+        let eagle = CouplingMap::eagle127();
+        assert_eq!(eagle.num_qubits(), 127);
+        assert!(eagle.is_connected());
+        // Heavy-hex: max degree 3.
+        let max_deg = (0..127u32).map(|q| eagle.degree(q)).max().unwrap();
+        assert_eq!(max_deg, 3);
+        // 7 rows contribute (14-1) + 5*(15-1) + (14-1) = 96 row edges,
+        // 24 bridges contribute 2 edges each = 48; total 144.
+        assert_eq!(eagle.edges().len(), 144);
+        // Bridge qubits have degree exactly 2.
+        let deg2 = (0..127u32).filter(|&q| eagle.degree(q) == 2).count();
+        assert!(deg2 >= 24, "expected at least the 24 bridges at degree 2, got {deg2}");
+    }
+
+    #[test]
+    fn eagle_contains_long_paths() {
+        let eagle = CouplingMap::eagle127();
+        // The margin strategy relies on long simple paths existing: a
+        // 14-residue fragment needs a 22-qubit logical line.
+        let path = eagle.greedy_path(0, 22);
+        assert!(path.len() >= 22, "greedy path too short: {}", path.len());
+        for w in path.windows(2) {
+            assert!(eagle.connected(w[0], w[1]));
+        }
+    }
+
+    #[test]
+    fn bfs_region_is_local_and_sized() {
+        let eagle = CouplingMap::eagle127();
+        let region = eagle.bfs_region(60, 30);
+        assert_eq!(region.len(), 30);
+        assert!(region.contains(&60));
+        let dist = eagle.distances_from(60);
+        let max_in = region.iter().map(|&q| dist[q as usize]).max().unwrap();
+        assert!(max_in <= 8, "region should be a tight ball, radius {max_in}");
+    }
+
+    #[test]
+    fn subgraph_relabels() {
+        let line = CouplingMap::line(6);
+        let sub = line.subgraph(&[2, 3, 4]);
+        assert_eq!(sub.num_qubits(), 3);
+        assert!(sub.connected(0, 1));
+        assert!(sub.connected(1, 2));
+        assert!(!sub.connected(0, 2));
+    }
+
+    #[test]
+    fn distance_matrix_symmetric() {
+        let eagle = CouplingMap::eagle127();
+        let d = eagle.distance_matrix();
+        for a in (0..127).step_by(13) {
+            for b in (0..127).step_by(17) {
+                assert_eq!(d[a][b], d[b][a]);
+            }
+        }
+        assert_eq!(d[0][0], 0);
+    }
+
+    #[test]
+    fn full_graph_diameter_one() {
+        let full = CouplingMap::full(6);
+        let d = full.distance_matrix();
+        for a in 0..6 {
+            for b in 0..6 {
+                assert_eq!(d[a][b], u32::from(a != b));
+            }
+        }
+    }
+}

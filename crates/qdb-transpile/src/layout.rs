@@ -1,0 +1,163 @@
+//! Logical→physical qubit placement.
+
+use crate::coupling::CouplingMap;
+
+/// A bijective partial map from logical qubits to physical qubits.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Layout {
+    log2phys: Vec<u32>,
+    phys2log: Vec<u32>,
+}
+
+impl Layout {
+    /// Builds a layout from a logical→physical assignment over
+    /// `num_physical` device qubits.
+    ///
+    /// # Panics
+    /// Panics on duplicate or out-of-range physical qubits.
+    pub fn new(log2phys: Vec<u32>, num_physical: usize) -> Self {
+        let mut phys2log = vec![u32::MAX; num_physical];
+        for (l, &p) in log2phys.iter().enumerate() {
+            assert!((p as usize) < num_physical, "physical qubit {p} out of range");
+            assert_eq!(phys2log[p as usize], u32::MAX, "physical qubit {p} used twice");
+            phys2log[p as usize] = l as u32;
+        }
+        Self { log2phys, phys2log }
+    }
+
+    /// Identity layout over the first `num_logical` physical qubits.
+    pub fn trivial(num_logical: usize, num_physical: usize) -> Self {
+        assert!(num_logical <= num_physical);
+        Self::new((0..num_logical as u32).collect(), num_physical)
+    }
+
+    /// Seats `num_logical` qubits along a device path starting from `seed`
+    /// — the natural layout for linear-entanglement ansatz circuits.
+    /// Falls back to a BFS ball if the greedy path is too short.
+    pub fn along_path(coupling: &CouplingMap, seed: u32, num_logical: usize) -> Self {
+        let path = coupling.greedy_path(seed, num_logical);
+        if path.len() >= num_logical {
+            return Self::new(path[..num_logical].to_vec(), coupling.num_qubits());
+        }
+        Self::dense(coupling, seed, num_logical)
+    }
+
+    /// Seats `num_logical` qubits on the BFS ball around `seed`, assigning
+    /// logical indices in BFS order.
+    ///
+    /// # Panics
+    /// Panics if the connected component around `seed` is too small.
+    pub fn dense(coupling: &CouplingMap, seed: u32, num_logical: usize) -> Self {
+        let region = coupling.bfs_region(seed, num_logical);
+        assert!(
+            region.len() >= num_logical,
+            "device region too small: {} < {num_logical}",
+            region.len()
+        );
+        Self::new(region, coupling.num_qubits())
+    }
+
+    /// Number of mapped logical qubits.
+    pub fn num_logical(&self) -> usize {
+        self.log2phys.len()
+    }
+
+    /// Number of device qubits.
+    pub fn num_physical(&self) -> usize {
+        self.phys2log.len()
+    }
+
+    /// Physical qubit hosting logical `l`.
+    #[inline]
+    pub fn phys(&self, l: u32) -> u32 {
+        self.log2phys[l as usize]
+    }
+
+    /// Logical qubit on physical `p`, if any.
+    #[inline]
+    pub fn logical(&self, p: u32) -> Option<u32> {
+        let l = self.phys2log[p as usize];
+        (l != u32::MAX).then_some(l)
+    }
+
+    /// The set of physical qubits currently in use.
+    pub fn used_physical(&self) -> &[u32] {
+        &self.log2phys
+    }
+
+    /// Applies a SWAP between two physical qubits (either may be an
+    /// unoccupied ancilla).
+    pub fn swap_physical(&mut self, a: u32, b: u32) {
+        let la = self.phys2log[a as usize];
+        let lb = self.phys2log[b as usize];
+        if la != u32::MAX {
+            self.log2phys[la as usize] = b;
+        }
+        if lb != u32::MAX {
+            self.log2phys[lb as usize] = a;
+        }
+        self.phys2log.swap(a as usize, b as usize);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trivial_round_trip() {
+        let l = Layout::trivial(3, 5);
+        for q in 0..3u32 {
+            assert_eq!(l.phys(q), q);
+            assert_eq!(l.logical(q), Some(q));
+        }
+        assert_eq!(l.logical(4), None);
+    }
+
+    #[test]
+    fn swap_updates_both_maps() {
+        let mut l = Layout::trivial(2, 4);
+        l.swap_physical(1, 3); // logical 1 moves to physical 3
+        assert_eq!(l.phys(1), 3);
+        assert_eq!(l.logical(3), Some(1));
+        assert_eq!(l.logical(1), None);
+        // Swap two ancillas: no-op on logical side.
+        l.swap_physical(1, 2);
+        assert_eq!(l.phys(0), 0);
+        assert_eq!(l.phys(1), 3);
+    }
+
+    #[test]
+    fn along_path_is_adjacent_chain() {
+        let eagle = CouplingMap::eagle127();
+        let l = Layout::along_path(&eagle, 0, 10);
+        for q in 0..9u32 {
+            assert!(
+                eagle.connected(l.phys(q), l.phys(q + 1)),
+                "path layout must seat neighbours adjacently"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "used twice")]
+    fn duplicate_assignment_panics() {
+        let _ = Layout::new(vec![1, 1], 4);
+    }
+
+    #[test]
+    fn dense_layout_contiguous() {
+        let eagle = CouplingMap::eagle127();
+        let l = Layout::dense(&eagle, 30, 12);
+        assert_eq!(l.num_logical(), 12);
+        // Every seated qubit has at least one seated neighbour (connected blob).
+        for q in 0..12u32 {
+            let p = l.phys(q);
+            let has_neighbor = eagle
+                .neighbors(p)
+                .iter()
+                .any(|&n| l.logical(n).is_some());
+            assert!(has_neighbor, "qubit {q} isolated in dense layout");
+        }
+    }
+}

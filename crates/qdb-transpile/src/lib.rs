@@ -1,0 +1,25 @@
+//! # qdb-transpile
+//!
+//! Hardware model and compilation pipeline for IBM Eagle-class processors:
+//! heavy-hex coupling maps, logical→physical layout, deterministic
+//! SABRE-style SWAP routing, lowering to the native `{ECR, RZ, SX, X, ID}`
+//! basis, the §5.3 ancilla-margin strategy, and calibrated/measured
+//! resource metrics (depth, ECR count, schedule duration).
+//!
+//! Together with `qdb-quantum` this crate substitutes for the IBM Quantum +
+//! Qiskit stack the paper executed on (DESIGN.md §1): circuits are routed
+//! on the real Eagle-127 topology even though only the logical register is
+//! simulated.
+
+pub mod basis;
+pub mod coupling;
+pub mod layout;
+pub mod margin;
+pub mod metrics;
+pub mod routing;
+
+pub use coupling::CouplingMap;
+pub use layout::Layout;
+pub use margin::{margin_sweep, transpile_with_margin, Transpiled, TranspileReport};
+pub use metrics::{circuit_duration_ns, ecr_count, hardware_depth, EagleProfile, GateDurations};
+pub use routing::{respects_coupling, route, Routed};

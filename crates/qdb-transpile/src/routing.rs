@@ -1,0 +1,242 @@
+//! SWAP routing of logical circuits onto constrained couplings.
+//!
+//! A lightweight deterministic SABRE-style router: gates are processed in
+//! program order; when a two-qubit gate spans non-adjacent physical qubits,
+//! we insert SWAPs chosen among the moves that strictly shorten the gate's
+//! endpoint distance (guaranteeing termination), breaking ties with a
+//! lookahead score over the next few two-qubit gates — the mechanism whose
+//! routing overhead the paper's ancilla-margin strategy (§5.3) attacks.
+
+use crate::coupling::CouplingMap;
+use crate::layout::Layout;
+use qdb_quantum::circuit::{Circuit, Instruction};
+use qdb_quantum::gate::GateKind;
+
+/// Result of routing a circuit.
+#[derive(Clone, Debug)]
+pub struct Routed {
+    /// The physical circuit (width = device size), SWAPs included.
+    pub circuit: Circuit,
+    /// Layout after the final instruction.
+    pub final_layout: Layout,
+    /// Number of inserted SWAP gates.
+    pub swap_count: usize,
+}
+
+/// How many upcoming two-qubit gates the tie-break heuristic inspects.
+const LOOKAHEAD: usize = 8;
+/// Weight of the lookahead term relative to the current gate.
+const LOOKAHEAD_WEIGHT: f64 = 0.5;
+
+/// Routes `circuit` onto `coupling` starting from `layout`.
+///
+/// # Panics
+/// Panics if the layout is narrower than the circuit or the device region
+/// is disconnected for some required pair.
+pub fn route(circuit: &Circuit, coupling: &CouplingMap, layout: Layout) -> Routed {
+    assert!(
+        layout.num_logical() >= circuit.num_qubits(),
+        "layout maps {} logical qubits, circuit needs {}",
+        layout.num_logical(),
+        circuit.num_qubits()
+    );
+    assert_eq!(layout.num_physical(), coupling.num_qubits());
+
+    let dist = coupling.distance_matrix();
+    let mut layout = layout;
+    let mut out: Vec<Instruction> = Vec::with_capacity(circuit.len() * 2);
+    let mut swap_count = 0usize;
+
+    // Pre-extract the positions of two-qubit gates for lookahead scoring.
+    let twoq_positions: Vec<usize> = circuit
+        .instructions()
+        .iter()
+        .enumerate()
+        .filter(|(_, i)| i.kind.arity() == 2)
+        .map(|(idx, _)| idx)
+        .collect();
+    let mut twoq_cursor = 0usize;
+
+    for (idx, instr) in circuit.instructions().iter().enumerate() {
+        if instr.kind.arity() == 1 {
+            out.push(Instruction { q0: layout.phys(instr.q0), ..*instr });
+            continue;
+        }
+        // advance the lookahead cursor past this gate
+        while twoq_cursor < twoq_positions.len() && twoq_positions[twoq_cursor] <= idx {
+            twoq_cursor += 1;
+        }
+
+        loop {
+            let pa = layout.phys(instr.q0);
+            let pb = layout.phys(instr.q1);
+            let d = dist[pa as usize][pb as usize];
+            assert!(d != u32::MAX, "qubits {pa} and {pb} are disconnected on this device");
+            if d == 1 {
+                out.push(Instruction { q0: pa, q1: pb, ..*instr });
+                break;
+            }
+
+            // Candidate swaps: edges incident to either endpoint that
+            // strictly decrease the endpoint distance.
+            let mut best: Option<((u32, u32), f64)> = None;
+            for (active, other) in [(pa, pb), (pb, pa)] {
+                for &n in coupling.neighbors(active) {
+                    let new_d = dist[n as usize][other as usize];
+                    if new_d + 1 > d {
+                        continue; // not strictly closer after moving active → n
+                    }
+                    if new_d >= d {
+                        continue;
+                    }
+                    // Lookahead: how does this swap affect upcoming gates?
+                    let mut trial = layout.clone();
+                    trial.swap_physical(active, n);
+                    let mut score = new_d as f64;
+                    let horizon =
+                        &twoq_positions[twoq_cursor..twoq_positions.len().min(twoq_cursor + LOOKAHEAD)];
+                    for &pos in horizon {
+                        let g = &circuit.instructions()[pos];
+                        let fa = trial.phys(g.q0);
+                        let fb = trial.phys(g.q1);
+                        score += LOOKAHEAD_WEIGHT * dist[fa as usize][fb as usize] as f64;
+                    }
+                    let key = (active.min(n), active.max(n));
+                    let better = match best {
+                        None => true,
+                        Some((bk, bs)) => score < bs - 1e-12 || (score <= bs + 1e-12 && key < bk),
+                    };
+                    if better {
+                        best = Some((key, score));
+                    }
+                }
+            }
+            let ((sa, sb), _) = best.expect("shortest-path swap always exists");
+            layout.swap_physical(sa, sb);
+            out.push(Instruction { kind: GateKind::Swap, q0: sa, q1: sb, angle: None });
+            swap_count += 1;
+        }
+    }
+
+    Routed {
+        circuit: Circuit::from_parts(coupling.num_qubits(), circuit.num_params(), out),
+        final_layout: layout,
+        swap_count,
+    }
+}
+
+/// Checks that every two-qubit gate in `circuit` respects `coupling`.
+pub fn respects_coupling(circuit: &Circuit, coupling: &CouplingMap) -> bool {
+    circuit
+        .instructions()
+        .iter()
+        .filter(|i| i.kind.arity() == 2)
+        .all(|i| coupling.connected(i.q0, i.q1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qdb_quantum::ansatz::{efficient_su2, Entanglement};
+    use qdb_quantum::statevector::Statevector;
+
+    /// Routing must preserve circuit semantics: simulate logical circuit vs
+    /// routed circuit (un-permuting via the final layout).
+    fn assert_equivalent(logical: &Circuit, routed: &Routed, params: &[f64]) {
+        let mut ideal = Statevector::zero(logical.num_qubits());
+        ideal.apply_parametric(logical, params);
+        let p_ideal = ideal.probabilities();
+
+        let mut phys = Statevector::zero(routed.circuit.num_qubits());
+        phys.apply_parametric(&routed.circuit, params);
+        let p_phys = phys.probabilities();
+
+        // Marginalize the physical distribution onto logical bit order.
+        let n = logical.num_qubits();
+        let mut p_mapped = vec![0.0; 1 << n];
+        for (state, &p) in p_phys.iter().enumerate() {
+            if p < 1e-15 {
+                continue;
+            }
+            let mut logical_state = 0usize;
+            for l in 0..n as u32 {
+                let pq = routed.final_layout.phys(l);
+                if state >> pq & 1 == 1 {
+                    logical_state |= 1 << l;
+                }
+            }
+            p_mapped[logical_state] += p;
+        }
+        for i in 0..(1 << n) {
+            assert!(
+                (p_ideal[i] - p_mapped[i]).abs() < 1e-9,
+                "probability mismatch at state {i}: {} vs {}",
+                p_ideal[i],
+                p_mapped[i]
+            );
+        }
+    }
+
+    #[test]
+    fn adjacent_gates_route_without_swaps() {
+        let mut c = Circuit::new(3);
+        c.h(0).cx(0, 1).cx(1, 2);
+        let line = CouplingMap::line(3);
+        let routed = route(&c, &line, Layout::trivial(3, 3));
+        assert_eq!(routed.swap_count, 0);
+        assert!(respects_coupling(&routed.circuit, &line));
+    }
+
+    #[test]
+    fn distant_gate_needs_swaps_on_line() {
+        let mut c = Circuit::new(4);
+        c.h(0).cx(0, 3);
+        let line = CouplingMap::line(4);
+        let routed = route(&c, &line, Layout::trivial(4, 4));
+        assert_eq!(routed.swap_count, 2, "distance 3 needs exactly 2 swaps");
+        assert!(respects_coupling(&routed.circuit, &line));
+        assert_equivalent(&c, &routed, &[]);
+    }
+
+    #[test]
+    fn full_entanglement_on_line_is_correct() {
+        let c = efficient_su2(4, 1, Entanglement::Full);
+        let line = CouplingMap::line(4);
+        let routed = route(&c, &line, Layout::trivial(4, 4));
+        assert!(routed.swap_count > 0);
+        assert!(respects_coupling(&routed.circuit, &line));
+        let params: Vec<f64> = (0..c.num_params()).map(|i| 0.2 + 0.1 * i as f64).collect();
+        assert_equivalent(&c, &routed, &params);
+    }
+
+    #[test]
+    fn linear_ansatz_on_eagle_path_layout_is_swap_free() {
+        let eagle = CouplingMap::eagle127();
+        let c = efficient_su2(10, 3, Entanglement::Linear);
+        let layout = Layout::along_path(&eagle, 0, 10);
+        let routed = route(&c, &eagle, layout);
+        assert_eq!(routed.swap_count, 0, "path layout should avoid all swaps");
+        assert!(respects_coupling(&routed.circuit, &eagle));
+    }
+
+    #[test]
+    fn circular_ansatz_on_line_needs_swaps_and_stays_correct() {
+        let c = efficient_su2(5, 2, Entanglement::Circular);
+        let line = CouplingMap::line(5);
+        let routed = route(&c, &line, Layout::trivial(5, 5));
+        assert!(routed.swap_count > 0);
+        assert!(respects_coupling(&routed.circuit, &line));
+        let params: Vec<f64> = (0..c.num_params()).map(|i| -0.15 * i as f64).collect();
+        assert_equivalent(&c, &routed, &params);
+    }
+
+    #[test]
+    fn routing_is_deterministic() {
+        let c = efficient_su2(6, 2, Entanglement::Full);
+        let line = CouplingMap::line(6);
+        let a = route(&c, &line, Layout::trivial(6, 6));
+        let b = route(&c, &line, Layout::trivial(6, 6));
+        assert_eq!(a.swap_count, b.swap_count);
+        assert_eq!(a.circuit, b.circuit);
+    }
+}

@@ -1,0 +1,142 @@
+//! Property-based tests: routing and lowering preserve circuit semantics
+//! on arbitrary random circuits and devices.
+
+use proptest::prelude::*;
+use qdb_quantum::circuit::Circuit;
+use qdb_quantum::statevector::Statevector;
+use qdb_transpile::basis::{is_native_circuit, lower_to_native};
+use qdb_transpile::coupling::CouplingMap;
+use qdb_transpile::layout::Layout;
+use qdb_transpile::routing::{respects_coupling, route};
+
+/// Random circuit over `n` qubits mixing 1q rotations and CX/CZ.
+fn arb_circuit(n: usize, max_gates: usize) -> impl Strategy<Value = Circuit> {
+    proptest::collection::vec((0..5u8, 0..n as u32, 0..n as u32, -3.0f64..3.0), 1..max_gates)
+        .prop_map(move |gates| {
+            let mut c = Circuit::new(n);
+            for (kind, q0, q1, theta) in gates {
+                match kind {
+                    0 => {
+                        c.ry(q0, theta);
+                    }
+                    1 => {
+                        c.rz(q0, theta);
+                    }
+                    2 => {
+                        c.h(q0);
+                    }
+                    3 if q0 != q1 => {
+                        c.cx(q0, q1);
+                    }
+                    4 if q0 != q1 => {
+                        c.cz(q0, q1);
+                    }
+                    _ => {
+                        c.sx(q0);
+                    }
+                }
+            }
+            c
+        })
+}
+
+/// Compares a logical circuit's distribution with a routed+lowered
+/// physical realization, marginalized through the final layout.
+fn distributions_match(logical: &Circuit, coupling: &CouplingMap, lower: bool) -> bool {
+    let n = logical.num_qubits();
+    let routed = route(logical, coupling, Layout::trivial(n, coupling.num_qubits()));
+    if !respects_coupling(&routed.circuit, coupling) {
+        return false;
+    }
+    let physical = if lower { lower_to_native(&routed.circuit) } else { routed.circuit.clone() };
+    if lower && !is_native_circuit(&physical) {
+        return false;
+    }
+
+    let mut ideal = Statevector::zero(n);
+    ideal.apply_circuit(logical);
+    let p_ideal = ideal.probabilities();
+
+    let mut phys = Statevector::zero(coupling.num_qubits());
+    phys.apply_circuit(&physical);
+    let p_phys = phys.probabilities();
+
+    let mut p_mapped = vec![0.0; 1 << n];
+    for (state, &p) in p_phys.iter().enumerate() {
+        if p < 1e-15 {
+            continue;
+        }
+        let mut logical_state = 0usize;
+        for l in 0..n as u32 {
+            if state >> routed.final_layout.phys(l) & 1 == 1 {
+                logical_state |= 1 << l;
+            }
+        }
+        p_mapped[logical_state] += p;
+    }
+    p_ideal
+        .iter()
+        .zip(&p_mapped)
+        .all(|(a, b)| (a - b).abs() < 1e-8)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Routing on a line device preserves the measurement distribution.
+    #[test]
+    fn routing_preserves_distribution(c in arb_circuit(4, 14)) {
+        let line = CouplingMap::line(6);
+        prop_assert!(distributions_match(&c, &line, false));
+    }
+
+    /// Routing plus native lowering preserves the distribution.
+    #[test]
+    fn routing_and_lowering_preserve_distribution(c in arb_circuit(3, 10)) {
+        let line = CouplingMap::line(5);
+        prop_assert!(distributions_match(&c, &line, true));
+    }
+
+    /// Lowering alone is exactly unitary-equivalent (overlap 1 up to
+    /// global phase) on any circuit.
+    #[test]
+    fn lowering_is_equivalent(c in arb_circuit(4, 16)) {
+        let native = lower_to_native(&c);
+        prop_assert!(is_native_circuit(&native));
+        let mut a = Statevector::zero(4);
+        a.apply_circuit(&c);
+        let mut b = Statevector::zero(4);
+        b.apply_circuit(&native);
+        prop_assert!(a.inner(&b).abs() > 1.0 - 1e-8);
+    }
+
+    /// Routed circuits never contain a two-qubit gate on disconnected
+    /// physical qubits, on any connected random device.
+    #[test]
+    fn routed_respects_any_device(
+        c in arb_circuit(4, 12),
+        extra_edges in proptest::collection::vec((0u32..8, 0u32..8), 0..6),
+    ) {
+        // Random device: a spanning line plus random chords.
+        let mut edges: Vec<(u32, u32)> = (0..7).map(|i| (i, i + 1)).collect();
+        for (a, b) in extra_edges {
+            if a != b {
+                edges.push((a.min(b), a.max(b)));
+            }
+        }
+        let device = CouplingMap::from_edges(8, &edges);
+        let routed = route(&c, &device, Layout::trivial(4, 8));
+        prop_assert!(respects_coupling(&routed.circuit, &device));
+    }
+
+    /// BFS distances satisfy the triangle inequality on heavy-hex.
+    #[test]
+    fn eagle_distances_triangle_inequality(a in 0u32..127, b in 0u32..127, c in 0u32..127) {
+        let eagle = CouplingMap::eagle127();
+        let d = eagle.distance_matrix();
+        prop_assert!(
+            d[a as usize][c as usize] <= d[a as usize][b as usize] + d[b as usize][c as usize]
+        );
+        prop_assert_eq!(d[a as usize][b as usize], d[b as usize][a as usize]);
+    }
+}

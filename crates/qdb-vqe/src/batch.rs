@@ -1,0 +1,108 @@
+//! Batch execution architecture (paper §5.2).
+//!
+//! The paper batches all 55 fragments through the QPU as queued jobs. We
+//! reproduce the architecture with a crossbeam work queue drained by a
+//! bounded worker pool: each worker owns one fragment job at a time and
+//! the inner VQE still uses rayon data-parallelism, so `workers` should
+//! stay small (the default is 2) to avoid oversubscription.
+
+use crate::runner::{run_vqe, VqeConfig, VqeOutcome};
+use qdb_lattice::hamiltonian::FoldingHamiltonian;
+use std::sync::Mutex;
+
+/// A named VQE job.
+#[derive(Clone, Debug)]
+pub struct VqeJob {
+    /// Job label (QDockBank uses the PDB id).
+    pub id: String,
+    /// The fragment Hamiltonian.
+    pub hamiltonian: FoldingHamiltonian,
+    /// Run configuration.
+    pub config: VqeConfig,
+}
+
+/// A finished job.
+#[derive(Clone, Debug)]
+pub struct VqeBatchResult {
+    /// Job label.
+    pub id: String,
+    /// The VQE outcome.
+    pub outcome: VqeOutcome,
+}
+
+/// Runs all jobs through a fixed-size worker pool; results are returned in
+/// submission order.
+pub fn run_batch(jobs: Vec<VqeJob>, workers: usize) -> Vec<VqeBatchResult> {
+    assert!(workers >= 1, "need at least one worker");
+    let (tx, rx) = crossbeam::channel::unbounded::<(usize, VqeJob)>();
+    for item in jobs.into_iter().enumerate() {
+        tx.send(item).expect("queue open");
+    }
+    drop(tx);
+
+    let results: Mutex<Vec<Option<VqeBatchResult>>> = Mutex::new(Vec::new());
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            let rx = rx.clone();
+            let results = &results;
+            scope.spawn(move || {
+                while let Ok((index, job)) = rx.recv() {
+                    let outcome = run_vqe(&job.hamiltonian, &job.config);
+                    let mut guard = results.lock().expect("no poisoned workers");
+                    if guard.len() <= index {
+                        guard.resize_with(index + 1, || None);
+                    }
+                    guard[index] = Some(VqeBatchResult { id: job.id, outcome });
+                }
+            });
+        }
+    });
+
+    results
+        .into_inner()
+        .expect("workers joined")
+        .into_iter()
+        .map(|r| r.expect("every job completed"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qdb_lattice::sequence::ProteinSequence;
+
+    fn job(id: &str, seq: &str, seed: u64) -> VqeJob {
+        VqeJob {
+            id: id.to_string(),
+            hamiltonian: FoldingHamiltonian::with_unit_scale(
+                ProteinSequence::parse(seq).unwrap(),
+            ),
+            config: VqeConfig { max_iters: 25, shots: 500, ..VqeConfig::fast(seed) },
+        }
+    }
+
+    #[test]
+    fn batch_preserves_order_and_ids() {
+        let jobs = vec![job("3ckz", "VKDRS", 1), job("3eax", "RYRDV", 2), job("4mo4", "NIGGF", 3)];
+        let results = run_batch(jobs, 2);
+        assert_eq!(results.len(), 3);
+        assert_eq!(results[0].id, "3ckz");
+        assert_eq!(results[1].id, "3eax");
+        assert_eq!(results[2].id, "4mo4");
+    }
+
+    #[test]
+    fn batch_matches_sequential_execution() {
+        let j = job("3ckz", "VKDRS", 7);
+        let sequential = run_vqe(&j.hamiltonian, &j.config);
+        let batched = run_batch(vec![j], 2);
+        assert_eq!(batched[0].outcome.best_bitstring, sequential.best_bitstring);
+        assert_eq!(batched[0].outcome.history, sequential.history);
+    }
+
+    #[test]
+    fn single_worker_works() {
+        let results = run_batch(vec![job("a", "VKDRS", 1), job("b", "NIGGF", 2)], 1);
+        assert_eq!(results.len(), 2);
+    }
+}

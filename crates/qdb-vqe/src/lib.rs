@@ -1,0 +1,16 @@
+//! # qdb-vqe
+//!
+//! The paper's hybrid quantum–classical prediction engine: the two-stage
+//! VQE workflow (optimize, then freeze-and-sample 100k shots), the §5.2
+//! batch-processing architecture over many fragments, and the hardware
+//! execution-time model behind the `Exec. Time` columns of Tables 1–3.
+
+pub mod batch;
+pub mod problem;
+pub mod runner;
+pub mod timing;
+
+pub use batch::{run_batch, VqeBatchResult, VqeJob};
+pub use problem::{solve_diagonal, DiagonalProblem, MaxCut, ProblemOutcome};
+pub use runner::{build_ansatz, run_vqe, VqeConfig, VqeOutcome};
+pub use timing::{ExecTime, ExecutionTimeModel};

@@ -1,0 +1,149 @@
+//! Hardware execution-time model.
+//!
+//! The `Exec. Time` column of Tables 1–3 mixes three components: quantum
+//! execution proper (shots × circuit duration), per-job classical/IBM-cloud
+//! overhead (hundreds of jobs per VQE run), and an occasional long queue
+//! delay — visible as extreme outliers (4y79: 207,445 s; 5c28: 114,029 s)
+//! that are an order of magnitude above their group's typical times. The
+//! model reproduces exactly that structure: a deterministic base plus a
+//! seeded heavy-tail queue component.
+
+use qdb_quantum::circuit::Circuit;
+use qdb_transpile::metrics::{circuit_duration_ns, GateDurations};
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Execution-time model parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct ExecutionTimeModel {
+    /// Gate/readout durations.
+    pub durations: GateDurations,
+    /// Shots used per energy estimation during optimization.
+    pub shots_per_iteration: u64,
+    /// Per-job overhead (compilation, transfer, scheduling) in seconds.
+    pub job_overhead_s: f64,
+    /// Probability that a run hits a long queue delay.
+    pub queue_tail_prob: f64,
+    /// Scale of the exponential queue-delay tail, seconds.
+    pub queue_tail_scale_s: f64,
+}
+
+impl Default for ExecutionTimeModel {
+    fn default() -> Self {
+        Self {
+            durations: GateDurations::eagle(),
+            shots_per_iteration: 4_000,
+            job_overhead_s: 20.0,
+            queue_tail_prob: 0.12,
+            queue_tail_scale_s: 60_000.0,
+        }
+    }
+}
+
+/// Breakdown of one run's estimated wall-clock time.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ExecTime {
+    /// Time spent executing quantum circuits (s).
+    pub quantum_s: f64,
+    /// Per-job classical overhead (s).
+    pub classical_s: f64,
+    /// Queue delay (s) — zero for most runs, huge for tail events.
+    pub queue_s: f64,
+}
+
+impl ExecTime {
+    /// Total wall-clock seconds.
+    pub fn total_s(&self) -> f64 {
+        self.quantum_s + self.classical_s + self.queue_s
+    }
+}
+
+impl ExecutionTimeModel {
+    /// Estimates the wall-clock time of a two-stage VQE run of `iterations`
+    /// energy evaluations plus `final_shots` sampling shots of the given
+    /// physical circuit. `seed` drives only the queue-tail draw.
+    pub fn estimate(
+        &self,
+        physical_circuit: &Circuit,
+        iterations: usize,
+        final_shots: u64,
+        seed: u64,
+    ) -> ExecTime {
+        let circuit_s = (circuit_duration_ns(physical_circuit, &self.durations)
+            + self.durations.readout_ns
+            + self.durations.reset_ns)
+            * 1e-9;
+        let total_shots = self.shots_per_iteration * iterations as u64 + final_shots;
+        let quantum_s = circuit_s * total_shots as f64;
+        // One hardware job per iteration plus the final sampling job.
+        let classical_s = self.job_overhead_s * (iterations as f64 + 1.0);
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let queue_s = if rng.gen::<f64>() < self.queue_tail_prob {
+            // Exponential tail via inverse CDF.
+            let u: f64 = rng.gen::<f64>().max(1e-12);
+            self.queue_tail_scale_s * (-u.ln())
+        } else {
+            0.0
+        };
+        ExecTime { quantum_s, classical_s, queue_s }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qdb_quantum::ansatz::{efficient_su2, Entanglement};
+    use qdb_transpile::basis::lower_to_native;
+
+    fn native(n: usize) -> Circuit {
+        lower_to_native(&efficient_su2(n, 2, Entanglement::Linear))
+    }
+
+    #[test]
+    fn base_time_in_paper_band() {
+        // Typical S-group fragments without queue delay: ~4,000–5,000 s
+        // (e.g. 1e2k 4,425 s; 6czf 4,310 s with 220 iterations).
+        let model = ExecutionTimeModel::default();
+        let c = native(10);
+        // Seed chosen so the tail does not fire (checked below).
+        let t = model.estimate(&c, 220, 100_000, 4);
+        assert_eq!(t.queue_s, 0.0, "seed 4 must avoid the tail for this test");
+        let total = t.total_s();
+        assert!(
+            (2_000.0..20_000.0).contains(&total),
+            "base exec time {total} outside the paper's typical band"
+        );
+    }
+
+    #[test]
+    fn tail_events_match_outlier_magnitudes() {
+        let model = ExecutionTimeModel::default();
+        let c = native(10);
+        // Scan seeds to find a tail event; verify magnitude is outlier-like.
+        let mut saw_tail = false;
+        for seed in 0..50 {
+            let t = model.estimate(&c, 220, 100_000, seed);
+            if t.queue_s > 0.0 {
+                saw_tail = true;
+                assert!(t.queue_s < 1_000_000.0);
+            }
+        }
+        assert!(saw_tail, "12% tail probability must fire within 50 seeds");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let model = ExecutionTimeModel::default();
+        let c = native(8);
+        assert_eq!(model.estimate(&c, 100, 1000, 9), model.estimate(&c, 100, 1000, 9));
+    }
+
+    #[test]
+    fn longer_circuits_cost_more() {
+        let model = ExecutionTimeModel::default();
+        let small = model.estimate(&native(6), 200, 100_000, 4).quantum_s;
+        let large = model.estimate(&native(22), 200, 100_000, 4).quantum_s;
+        assert!(large > small);
+    }
+}

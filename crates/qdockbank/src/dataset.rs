@@ -1,0 +1,400 @@
+//! Dataset serialization (paper §4.2): the `S/`, `M/`, `L/` folder layout
+//! with, per fragment, the predicted structure in PDB format, the quantum
+//! prediction metadata as JSON, and the docking results as JSON —
+//! exactly the three dataset components the paper describes, plus the
+//! reference structure and ligand so every evaluation is replayable.
+
+use crate::fragments::FragmentRecord;
+use crate::pipeline::FragmentResult;
+#[cfg(test)]
+use qdb_mol::element::Element;
+use qdb_mol::pdb::write_pdb;
+use qdb_mol::structure::{Atom, Residue, Structure};
+use serde::{Deserialize, Serialize};
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// The quantum metadata JSON schema (one per fragment).
+#[derive(Clone, Debug, Serialize, Deserialize, PartialEq)]
+pub struct MetadataJson {
+    /// PDB id.
+    pub pdb_id: String,
+    /// Fragment sequence (one-letter).
+    pub sequence: String,
+    /// Residue range in the source protein.
+    pub residue_start: i32,
+    /// Residue range end.
+    pub residue_end: i32,
+    /// Length group (S/M/L).
+    pub group: String,
+    /// Conformation-register qubits simulated.
+    pub logical_qubits: usize,
+    /// Physical qubits of the hardware allocation.
+    pub physical_qubits: usize,
+    /// Paper-law transpiled depth.
+    pub paper_depth: usize,
+    /// Depth measured by this repository's transpiler.
+    pub measured_depth: usize,
+    /// SWAPs inserted by routing.
+    pub measured_swaps: usize,
+    /// Lowest optimization energy.
+    pub lowest_energy: f64,
+    /// Highest optimization energy.
+    pub highest_energy: f64,
+    /// Energy range.
+    pub energy_range: f64,
+    /// Modelled execution time (s).
+    pub exec_time_s: f64,
+    /// VQE iterations.
+    pub iterations: usize,
+    /// Stage-2 shots.
+    pub shots: u64,
+    /// Cα RMSD vs the reference (Å).
+    pub ca_rmsd: f64,
+}
+
+/// One docking pose in the JSON output.
+#[derive(Clone, Debug, Serialize, Deserialize, PartialEq)]
+pub struct PoseJson {
+    /// Pose rank within its run (0 = best).
+    pub rank: usize,
+    /// Affinity (kcal/mol).
+    pub affinity: f64,
+    /// RMSD lower bound vs the run's best pose.
+    pub rmsd_lb: f64,
+    /// RMSD upper bound vs the run's best pose.
+    pub rmsd_ub: f64,
+}
+
+/// One docking run (one seed) in the JSON output.
+#[derive(Clone, Debug, Serialize, Deserialize, PartialEq)]
+pub struct RunJson {
+    /// The recorded random seed (paper: "we record the random seed
+    /// utilized in each docking simulation").
+    pub seed: u64,
+    /// Ranked poses.
+    pub poses: Vec<PoseJson>,
+}
+
+/// The docking-results JSON schema (one per fragment).
+#[derive(Clone, Debug, Serialize, Deserialize, PartialEq)]
+pub struct DockingJson {
+    /// PDB id.
+    pub pdb_id: String,
+    /// Number of independent runs.
+    pub num_runs: usize,
+    /// Mean best affinity over runs.
+    pub mean_best_affinity: f64,
+    /// Best affinity over all runs.
+    pub best_affinity: f64,
+    /// Mean pose-RMSD lower bound.
+    pub mean_rmsd_lb: f64,
+    /// Mean pose-RMSD upper bound.
+    pub mean_rmsd_ub: f64,
+    /// Per-run details.
+    pub runs: Vec<RunJson>,
+}
+
+/// Builds the metadata JSON for a fragment result.
+pub fn metadata_json(record: &FragmentRecord, result: &FragmentResult) -> MetadataJson {
+    MetadataJson {
+        pdb_id: record.pdb_id.to_string(),
+        sequence: record.sequence.to_string(),
+        residue_start: record.residue_start,
+        residue_end: record.residue_end,
+        group: record.group().name().to_string(),
+        logical_qubits: result.quantum.logical_qubits,
+        physical_qubits: result.quantum.physical_qubits,
+        paper_depth: result.quantum.paper_depth,
+        measured_depth: result.quantum.measured_depth,
+        measured_swaps: result.quantum.measured_swaps,
+        lowest_energy: result.quantum.lowest_energy,
+        highest_energy: result.quantum.highest_energy,
+        energy_range: result.quantum.highest_energy - result.quantum.lowest_energy,
+        exec_time_s: result.quantum.exec_time_s,
+        iterations: result.quantum.iterations,
+        shots: result.quantum.shots,
+        ca_rmsd: result.qdock.ca_rmsd,
+    }
+}
+
+/// Builds the docking JSON for a fragment result.
+pub fn docking_json(record: &FragmentRecord, result: &FragmentResult) -> DockingJson {
+    let outcome = &result.qdock.docking;
+    DockingJson {
+        pdb_id: record.pdb_id.to_string(),
+        num_runs: outcome.runs.len(),
+        mean_best_affinity: outcome.mean_best_affinity(),
+        best_affinity: outcome.best_affinity(),
+        mean_rmsd_lb: outcome.mean_rmsd_lb(),
+        mean_rmsd_ub: outcome.mean_rmsd_ub(),
+        runs: outcome
+            .runs
+            .iter()
+            .map(|run| RunJson {
+                seed: run.seed,
+                poses: run
+                    .poses
+                    .iter()
+                    .enumerate()
+                    .map(|(rank, p)| PoseJson {
+                        rank,
+                        affinity: p.affinity,
+                        rmsd_lb: p.rmsd_lb,
+                        rmsd_ub: p.rmsd_ub,
+                    })
+                    .collect(),
+            })
+            .collect(),
+    }
+}
+
+/// Renders a ligand as a single-residue HETATM structure for PDB export.
+pub fn ligand_to_structure(ligand: &qdb_mol::ligand::Ligand) -> Structure {
+    let mut residue = Residue::new("LIG", 1);
+    let mut counters = std::collections::HashMap::new();
+    for atom in &ligand.atoms {
+        let n = counters.entry(atom.element).or_insert(0usize);
+        *n += 1;
+        let name = format!("{}{}", atom.element.symbol(), n);
+        residue.atoms.push(Atom::new(&name, atom.element, atom.pos));
+    }
+    let mut s = Structure::new();
+    s.chain_id = 'L';
+    s.residues.push(residue);
+    s
+}
+
+/// Files written for one fragment.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FragmentFiles {
+    /// Directory `out/<group>/<pdb_id>/`.
+    pub dir: PathBuf,
+    /// Predicted structure PDB.
+    pub structure_pdb: PathBuf,
+    /// Quantum metadata JSON.
+    pub metadata_json: PathBuf,
+    /// Docking results JSON.
+    pub docking_json: PathBuf,
+    /// Reference ("X-ray" substitute) PDB.
+    pub reference_pdb: PathBuf,
+    /// Ligand PDB.
+    pub ligand_pdb: PathBuf,
+}
+
+/// Writes one fragment's dataset entry under `root`.
+pub fn write_fragment_entry(
+    root: &Path,
+    record: &FragmentRecord,
+    result: &FragmentResult,
+) -> io::Result<FragmentFiles> {
+    let dir = root.join(record.group().name()).join(record.pdb_id);
+    std::fs::create_dir_all(&dir)?;
+
+    let structure_pdb = dir.join("structure.pdb");
+    std::fs::write(&structure_pdb, write_pdb(&result.qdock.structure))?;
+
+    let metadata_path = dir.join("metadata.json");
+    let metadata = metadata_json(record, result);
+    std::fs::write(&metadata_path, serde_json::to_string_pretty(&metadata)?)?;
+
+    let docking_path = dir.join("docking.json");
+    let docking = docking_json(record, result);
+    std::fs::write(&docking_path, serde_json::to_string_pretty(&docking)?)?;
+
+    let reference_pdb = dir.join("reference.pdb");
+    std::fs::write(&reference_pdb, write_pdb(&result.reference.structure))?;
+
+    let ligand_pdb = dir.join("ligand.pdb");
+    std::fs::write(&ligand_pdb, write_pdb(&ligand_to_structure(&result.ligand)))?;
+
+    Ok(FragmentFiles {
+        dir,
+        structure_pdb,
+        metadata_json: metadata_path,
+        docking_json: docking_path,
+        reference_pdb,
+        ligand_pdb,
+    })
+}
+
+/// A dataset entry loaded back from disk.
+#[derive(Clone, Debug)]
+pub struct LoadedEntry {
+    /// Quantum metadata.
+    pub metadata: MetadataJson,
+    /// Docking results.
+    pub docking: DockingJson,
+    /// Predicted structure.
+    pub structure: Structure,
+    /// Reference structure.
+    pub reference: Structure,
+    /// Ligand (as a parsed HETATM structure).
+    pub ligand: Structure,
+}
+
+/// Loads one fragment entry from a dataset directory.
+pub fn load_fragment_entry(root: &Path, group: &str, pdb_id: &str) -> io::Result<LoadedEntry> {
+    let dir = root.join(group).join(pdb_id);
+    let read_pdb = |name: &str| -> io::Result<Structure> {
+        let text = std::fs::read_to_string(dir.join(name))?;
+        qdb_mol::pdb::parse_pdb(&text)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
+    };
+    let metadata: MetadataJson =
+        serde_json::from_str(&std::fs::read_to_string(dir.join("metadata.json"))?)?;
+    let docking: DockingJson =
+        serde_json::from_str(&std::fs::read_to_string(dir.join("docking.json"))?)?;
+    Ok(LoadedEntry {
+        metadata,
+        docking,
+        structure: read_pdb("structure.pdb")?,
+        reference: read_pdb("reference.pdb")?,
+        ligand: read_pdb("ligand.pdb")?,
+    })
+}
+
+/// Scans a dataset directory and returns `(group, pdb_id)` pairs found.
+pub fn list_entries(root: &Path) -> io::Result<Vec<(String, String)>> {
+    let mut out = Vec::new();
+    for group in ["S", "M", "L"] {
+        let gdir = root.join(group);
+        if !gdir.is_dir() {
+            continue;
+        }
+        let mut ids: Vec<String> = std::fs::read_dir(&gdir)?
+            .filter_map(|e| e.ok())
+            .filter(|e| e.path().is_dir())
+            .map(|e| e.file_name().to_string_lossy().into_owned())
+            .collect();
+        ids.sort();
+        out.extend(ids.into_iter().map(|id| (group.to_string(), id)));
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fragments::fragment;
+    use crate::pipeline::{run_fragment, PipelineConfig};
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("qdockbank-test-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn writes_paper_layout() {
+        let record = fragment("3ckz").unwrap();
+        let result = run_fragment(record, &PipelineConfig::fast());
+        let root = tmpdir("layout");
+        let files = write_fragment_entry(&root, record, &result).unwrap();
+        assert!(files.dir.ends_with("S/3ckz"));
+        for path in [
+            &files.structure_pdb,
+            &files.metadata_json,
+            &files.docking_json,
+            &files.reference_pdb,
+            &files.ligand_pdb,
+        ] {
+            assert!(path.exists(), "{path:?} missing");
+            assert!(std::fs::metadata(path).unwrap().len() > 50);
+        }
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn write_then_load_round_trip() {
+        let record = fragment("3eax").unwrap();
+        let result = run_fragment(record, &PipelineConfig::fast());
+        let root = tmpdir("load");
+        write_fragment_entry(&root, record, &result).unwrap();
+
+        let listed = list_entries(&root).unwrap();
+        assert_eq!(listed, vec![("S".to_string(), "3eax".to_string())]);
+
+        let loaded = load_fragment_entry(&root, "S", "3eax").unwrap();
+        assert_eq!(loaded.metadata.pdb_id, "3eax");
+        assert_eq!(loaded.structure.len(), record.len());
+        assert_eq!(loaded.reference.len(), record.len());
+        assert_eq!(loaded.ligand.num_atoms(), result.ligand.num_atoms());
+        assert_eq!(loaded.docking.runs.len(), result.qdock.docking.runs.len());
+        // Coordinates survive to PDB precision.
+        for (orig, back) in result.qdock.structure.atoms().zip(loaded.structure.atoms()) {
+            assert!((orig.pos - back.pos).norm() < 2e-3);
+        }
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn metadata_round_trips_through_json() {
+        let record = fragment("3eax").unwrap();
+        let result = run_fragment(record, &PipelineConfig::fast());
+        let metadata = metadata_json(record, &result);
+        let text = serde_json::to_string(&metadata).unwrap();
+        let back: MetadataJson = serde_json::from_str(&text).unwrap();
+        assert_eq!(metadata, back);
+        assert_eq!(back.pdb_id, "3eax");
+        assert_eq!(back.sequence, "RYRDV");
+        assert_eq!(back.physical_qubits, 12);
+        assert!(back.energy_range > 0.0);
+    }
+
+    #[test]
+    fn docking_json_consistent_with_outcome() {
+        let record = fragment("4mo4").unwrap();
+        let result = run_fragment(record, &PipelineConfig::fast());
+        let dock = docking_json(record, &result);
+        let expected_runs = PipelineConfig::fast().docking_runs;
+        assert_eq!(dock.num_runs, expected_runs);
+        assert_eq!(dock.runs.len(), expected_runs);
+        for run in &dock.runs {
+            assert!(!run.poses.is_empty());
+            // Ranked by affinity.
+            for w in run.poses.windows(2) {
+                assert!(w[0].affinity <= w[1].affinity);
+            }
+        }
+        assert!(dock.best_affinity <= dock.mean_best_affinity);
+    }
+
+    #[test]
+    fn structure_pdb_parses_back() {
+        let record = fragment("3ckz").unwrap();
+        let result = run_fragment(record, &PipelineConfig::fast());
+        let text = write_pdb(&result.qdock.structure);
+        let parsed = qdb_mol::pdb::parse_pdb(&text).unwrap();
+        assert_eq!(parsed.len(), 5);
+        assert_eq!(parsed.residues[0].seq_num, record.residue_start);
+    }
+
+    #[test]
+    fn ligand_structure_has_all_atoms() {
+        let record = fragment("3eax").unwrap();
+        let result = run_fragment(record, &PipelineConfig::fast());
+        let s = ligand_to_structure(&result.ligand);
+        assert_eq!(s.num_atoms(), result.ligand.num_atoms());
+        assert_eq!(s.residues[0].name, "LIG");
+        // Unique atom names.
+        let names: std::collections::HashSet<&str> =
+            s.residues[0].atoms.iter().map(|a| a.name.as_str()).collect();
+        assert_eq!(names.len(), s.num_atoms());
+    }
+
+    #[test]
+    fn elements_survive_name_roundtrip() {
+        // The generated names (C1, O2, …) must parse back to elements.
+        let record = fragment("4mo4").unwrap();
+        let result = run_fragment(record, &PipelineConfig::fast());
+        let s = ligand_to_structure(&result.ligand);
+        let text = write_pdb(&s);
+        let parsed = qdb_mol::pdb::parse_pdb(&text).unwrap();
+        let orig: Vec<Element> = result.ligand.atoms.iter().map(|a| a.element).collect();
+        let back: Vec<Element> =
+            parsed.residues[0].atoms.iter().map(|a| a.element).collect();
+        assert_eq!(orig, back);
+    }
+}

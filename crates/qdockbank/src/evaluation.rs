@@ -1,0 +1,413 @@
+//! The paper's evaluation framework (§6): per-fragment QDock-vs-baseline
+//! comparisons, win-rate accounting, distribution summaries (Figure 4),
+//! and amino-acid interaction coverage (Figure 5).
+
+use crate::fragments::{FragmentRecord, Group};
+use crate::pipeline::{
+    run_baseline, run_fragment, FragmentResult, PipelineConfig, PredictionEval,
+};
+use qdb_baselines::alphafold::AfModel;
+use qdb_lattice::amino::ALL_AMINO_ACIDS;
+use std::collections::BTreeMap;
+
+/// One fragment evaluated under QDock and both baselines.
+#[derive(Clone, Debug)]
+pub struct FragmentComparison {
+    /// The manifest entry.
+    pub record: &'static FragmentRecord,
+    /// Full QDock result (prediction + metadata + reference + ligand).
+    pub qdock: FragmentResult,
+    /// AF2 surrogate evaluation.
+    pub af2: PredictionEval,
+    /// AF3 surrogate evaluation.
+    pub af3: PredictionEval,
+}
+
+impl FragmentComparison {
+    /// Runs the whole comparison for one fragment.
+    pub fn run(record: &'static FragmentRecord, config: &PipelineConfig) -> Self {
+        let qdock = run_fragment(record, config);
+        let af2 = run_baseline(record, AfModel::Af2, &qdock.reference, &qdock.ligand, config);
+        let af3 = run_baseline(record, AfModel::Af3, &qdock.reference, &qdock.ligand, config);
+        Self { record, qdock, af2, af3 }
+    }
+
+    /// The baseline evaluation for a model.
+    pub fn baseline(&self, model: AfModel) -> &PredictionEval {
+        match model {
+            AfModel::Af2 => &self.af2,
+            AfModel::Af3 => &self.af3,
+        }
+    }
+}
+
+/// Runs the comparison over a set of fragments (sequential; each
+/// fragment's VQE and docking already use data parallelism internally).
+pub fn compare_fragments(
+    records: &[&'static FragmentRecord],
+    config: &PipelineConfig,
+) -> Vec<FragmentComparison> {
+    records.iter().map(|r| FragmentComparison::run(r, config)).collect()
+}
+
+/// Win counts for one group (lower metric wins).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct GroupWins {
+    /// Fragments compared.
+    pub total: usize,
+    /// QDock better affinity.
+    pub affinity_wins: usize,
+    /// QDock better RMSD.
+    pub rmsd_wins: usize,
+}
+
+impl GroupWins {
+    /// Affinity win rate in percent.
+    pub fn affinity_rate(&self) -> f64 {
+        100.0 * self.affinity_wins as f64 / self.total.max(1) as f64
+    }
+
+    /// RMSD win rate in percent.
+    pub fn rmsd_rate(&self) -> f64 {
+        100.0 * self.rmsd_wins as f64 / self.total.max(1) as f64
+    }
+}
+
+/// The §6.2 headline statistics: overall and per-group win rates of QDock
+/// against one baseline.
+#[derive(Clone, Debug)]
+pub struct WinRates {
+    /// Which baseline.
+    pub baseline: AfModel,
+    /// Overall counts.
+    pub overall: GroupWins,
+    /// Per-group counts.
+    pub per_group: BTreeMap<Group, GroupWins>,
+}
+
+/// Computes win rates of QDock vs `model` over comparisons.
+pub fn win_rates(comparisons: &[FragmentComparison], model: AfModel) -> WinRates {
+    let mut overall = GroupWins::default();
+    let mut per_group: BTreeMap<Group, GroupWins> = BTreeMap::new();
+    for c in comparisons {
+        let base = c.baseline(model);
+        let entry = per_group.entry(c.record.group()).or_default();
+        entry.total += 1;
+        overall.total += 1;
+        if c.qdock.qdock.affinity() < base.affinity() {
+            entry.affinity_wins += 1;
+            overall.affinity_wins += 1;
+        }
+        if c.qdock.qdock.ca_rmsd < base.ca_rmsd {
+            entry.rmsd_wins += 1;
+            overall.rmsd_wins += 1;
+        }
+    }
+    WinRates { baseline: model, overall, per_group }
+}
+
+/// Five-number summary plus mean (the Figure 4 box statistics).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DistributionSummary {
+    /// Minimum.
+    pub min: f64,
+    /// First quartile.
+    pub q1: f64,
+    /// Median.
+    pub median: f64,
+    /// Third quartile.
+    pub q3: f64,
+    /// Maximum.
+    pub max: f64,
+    /// Mean.
+    pub mean: f64,
+}
+
+/// Computes the summary of a non-empty sample.
+///
+/// # Panics
+/// Panics on an empty slice.
+pub fn summarize(values: &[f64]) -> DistributionSummary {
+    assert!(!values.is_empty(), "empty sample");
+    let mut v = values.to_vec();
+    v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let quantile = |q: f64| -> f64 {
+        let pos = q * (v.len() - 1) as f64;
+        let lo = pos.floor() as usize;
+        let hi = pos.ceil() as usize;
+        let t = pos - lo as f64;
+        v[lo] * (1.0 - t) + v[hi] * t
+    };
+    DistributionSummary {
+        min: v[0],
+        q1: quantile(0.25),
+        median: quantile(0.5),
+        q3: quantile(0.75),
+        max: *v.last().expect("non-empty"),
+        mean: v.iter().sum::<f64>() / v.len() as f64,
+    }
+}
+
+/// A named metric series extracted from comparisons.
+pub fn metric_series(
+    comparisons: &[FragmentComparison],
+    group: Option<Group>,
+    extract: impl Fn(&FragmentComparison) -> f64,
+) -> Vec<f64> {
+    comparisons
+        .iter()
+        .filter(|c| group.is_none_or(|g| c.record.group() == g))
+        .map(extract)
+        .collect()
+}
+
+/// Amino-acid interaction coverage over the dataset (Figure 5): counts of
+/// ordered residue-type pairs co-occurring within a fragment.
+#[derive(Clone, Debug)]
+pub struct CoverageReport {
+    /// 20×20 ordered-pair frequency matrix (enum-index order).
+    pub counts: [[u64; 20]; 20],
+}
+
+impl CoverageReport {
+    /// Number of pair types with nonzero frequency (paper: 395/400).
+    pub fn covered_types(&self) -> usize {
+        self.counts.iter().flatten().filter(|&&c| c > 0).count()
+    }
+
+    /// Total interactions counted.
+    pub fn total_interactions(&self) -> u64 {
+        self.counts.iter().flatten().sum()
+    }
+
+    /// The most frequent pairs, `(a, b, count)` sorted descending.
+    pub fn top_pairs(&self, k: usize) -> Vec<(char, char, u64)> {
+        let mut pairs = Vec::new();
+        for (i, row) in self.counts.iter().enumerate() {
+            for (j, &c) in row.iter().enumerate() {
+                if c > 0 {
+                    pairs.push((
+                        ALL_AMINO_ACIDS[i].one_letter(),
+                        ALL_AMINO_ACIDS[j].one_letter(),
+                        c,
+                    ));
+                }
+            }
+        }
+        pairs.sort_by(|a, b| b.2.cmp(&a.2).then(a.0.cmp(&b.0)).then(a.1.cmp(&b.1)));
+        pairs.truncate(k);
+        pairs
+    }
+}
+
+/// Group-level resource statistics (the §4.2 dataset analysis: qubit
+/// counts, circuit depths, energy ranges, execution times per group).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct GroupResourceStats {
+    /// Number of fragments in the group.
+    pub count: usize,
+    /// Minimum physical qubits.
+    pub qubits_min: usize,
+    /// Maximum physical qubits.
+    pub qubits_max: usize,
+    /// Mean physical qubits.
+    pub qubits_mean: f64,
+    /// Mean transpiled depth.
+    pub depth_mean: f64,
+    /// Mean energy range (highest − lowest during optimization).
+    pub energy_range_mean: f64,
+    /// Maximum energy range in the group.
+    pub energy_range_max: f64,
+    /// Median execution time (s) — the paper discusses typical times
+    /// because of heavy queue-delay outliers.
+    pub exec_time_median_s: f64,
+    /// Maximum execution time (s).
+    pub exec_time_max_s: f64,
+}
+
+/// Computes the §4.2 statistics for one group from the paper-reported
+/// manifest columns.
+pub fn group_resource_stats(group: Group) -> GroupResourceStats {
+    let records = crate::fragments::fragments_in(group);
+    let count = records.len();
+    assert!(count > 0);
+    let qubits: Vec<usize> = records.iter().map(|r| r.paper.qubits).collect();
+    let depths: Vec<f64> = records.iter().map(|r| r.paper.depth as f64).collect();
+    let ranges: Vec<f64> = records.iter().map(|r| r.paper.energy_range()).collect();
+    let mut times: Vec<f64> = records.iter().map(|r| r.paper.exec_time_s).collect();
+    times.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    GroupResourceStats {
+        count,
+        qubits_min: *qubits.iter().min().expect("non-empty"),
+        qubits_max: *qubits.iter().max().expect("non-empty"),
+        qubits_mean: qubits.iter().sum::<usize>() as f64 / count as f64,
+        depth_mean: depths.iter().sum::<f64>() / count as f64,
+        energy_range_mean: ranges.iter().sum::<f64>() / count as f64,
+        energy_range_max: ranges.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+        exec_time_median_s: times[count / 2],
+        exec_time_max_s: *times.last().expect("non-empty"),
+    }
+}
+
+/// Per-residue Cα deviation after optimal superposition — the quantity
+/// behind the paper's Figure 7 green/red coloring.
+pub fn per_residue_deviation(
+    predicted: &[qdb_mol::geometry::Vec3],
+    reference: &[qdb_mol::geometry::Vec3],
+) -> Vec<f64> {
+    let sup = qdb_mol::kabsch::superpose(predicted, reference);
+    predicted
+        .iter()
+        .zip(reference)
+        .map(|(p, r)| (sup.apply(*p) - *r).norm())
+        .collect()
+}
+
+/// Counts ordered residue-pair co-occurrences across fragment sequences.
+pub fn interaction_coverage(records: &[&FragmentRecord]) -> CoverageReport {
+    let mut counts = [[0u64; 20]; 20];
+    for record in records {
+        let seq = record.sequence();
+        let rs = seq.residues();
+        for (i, &a) in rs.iter().enumerate() {
+            for (j, &b) in rs.iter().enumerate() {
+                if i != j {
+                    counts[a.index()][b.index()] += 1;
+                }
+            }
+        }
+    }
+    CoverageReport { counts }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fragments::all_fragments;
+
+    #[test]
+    fn summarize_basic() {
+        let s = summarize(&[1.0, 2.0, 3.0, 4.0, 5.0]);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.median, 3.0);
+        assert_eq!(s.max, 5.0);
+        assert_eq!(s.mean, 3.0);
+        assert_eq!(s.q1, 2.0);
+        assert_eq!(s.q3, 4.0);
+    }
+
+    #[test]
+    fn summarize_single_value() {
+        let s = summarize(&[2.5]);
+        assert_eq!(s.min, 2.5);
+        assert_eq!(s.max, 2.5);
+        assert_eq!(s.median, 2.5);
+    }
+
+    #[test]
+    fn coverage_matches_paper_scale() {
+        // Figure 5: "QDockBank covers 395 out of the 400 possible amino
+        // acid interaction types". Our synthetic world uses the same 55
+        // sequences, so coverage must land in the same high-300s band.
+        let report = interaction_coverage(&all_fragments());
+        let covered = report.covered_types();
+        assert!(
+            (350..=400).contains(&covered),
+            "coverage {covered} far from the paper's 395/400"
+        );
+        assert!(report.total_interactions() > 3000);
+        // Diagonal pairs from repeated residues exist (e.g. G–G in GDSGG).
+        let gly = qdb_lattice::amino::AminoAcid::Gly.index();
+        assert!(report.counts[gly][gly] > 0);
+        // Common pairs appear with high frequency.
+        let top = report.top_pairs(5);
+        assert!(top[0].2 >= 20, "top pair should be frequent: {top:?}");
+    }
+
+    #[test]
+    fn coverage_is_symmetric_by_construction() {
+        let report = interaction_coverage(&all_fragments());
+        for i in 0..20 {
+            for j in 0..20 {
+                assert_eq!(report.counts[i][j], report.counts[j][i]);
+            }
+        }
+    }
+
+    #[test]
+    fn group_stats_match_paper_section_4_2() {
+        // §4.2: "In terms of qubit count, the L group ranged from 92 to
+        // 102 (avg. 98.2), the M group from 54 to 102 (avg. 79.4), and
+        // the S group from 12 to 46 (typical value: 23). Circuit depth
+        // followed a similar trend: S averaged 127, M 262, and L 396."
+        // Note: the paper's prose is slightly inconsistent with its own
+        // tables — Table 1 averages to 99.5 qubits (prose: 98.2) and
+        // Table 2's maximum is 82 (prose: 102). We verify against the
+        // tables, with tolerances wide enough to note the prose values.
+        let l = group_resource_stats(Group::L);
+        assert_eq!((l.qubits_min, l.qubits_max), (92, 102));
+        assert!((l.qubits_mean - 98.2).abs() < 1.5, "L mean {}", l.qubits_mean);
+        assert!((l.depth_mean - 396.0).abs() < 8.0, "L depth {}", l.depth_mean);
+
+        let m = group_resource_stats(Group::M);
+        assert_eq!(m.qubits_min, 54);
+        assert!((m.qubits_mean - 79.4).abs() < 14.0, "M mean {}", m.qubits_mean);
+        assert!((m.depth_mean - 262.0).abs() < 8.0, "M depth {}", m.depth_mean);
+
+        let s = group_resource_stats(Group::S);
+        assert_eq!((s.qubits_min, s.qubits_max), (12, 46));
+        assert!((s.depth_mean - 127.0).abs() < 25.0, "S depth {}", s.depth_mean);
+        // §4.2: L energy range avg 6883.6, max 9200.3 (5nkb).
+        assert!((l.energy_range_mean - 6883.6).abs() < 600.0, "{}", l.energy_range_mean);
+        assert!((l.energy_range_max - 9200.3).abs() < 40.0, "{}", l.energy_range_max);
+        // §4.2: most S-group fragments fell between 4,000 and 20,000 s.
+        assert!(s.exec_time_median_s > 4_000.0 && s.exec_time_median_s < 20_000.0);
+        // The M-group outlier 4y79 at 207,445 s.
+        assert!((m.exec_time_max_s - 207_445.7).abs() < 1.0);
+    }
+
+    #[test]
+    fn per_residue_deviation_localizes_errors() {
+        use qdb_mol::geometry::Vec3;
+        let reference: Vec<Vec3> =
+            (0..6).map(|i| Vec3::new(i as f64 * 3.8, 0.0, 0.0)).collect();
+        let mut predicted = reference.clone();
+        predicted[3] += Vec3::new(0.0, 2.5, 0.0); // one displaced residue
+        let dev = per_residue_deviation(&predicted, &reference);
+        assert_eq!(dev.len(), 6);
+        let worst = dev
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
+        assert_eq!(worst, 3, "deviation should localize at the displaced residue");
+    }
+
+    #[test]
+    fn win_rate_accounting() {
+        use crate::fragments::fragment;
+        let config = PipelineConfig::fast();
+        let comparisons = compare_fragments(&[fragment("3eax").unwrap()], &config);
+        let rates = win_rates(&comparisons, AfModel::Af2);
+        assert_eq!(rates.overall.total, 1);
+        assert!(rates.overall.rmsd_wins <= 1);
+        assert!(rates.per_group.contains_key(&Group::S));
+        let g = rates.per_group[&Group::S];
+        assert_eq!(g.total, 1);
+        assert!(g.rmsd_rate() == 0.0 || g.rmsd_rate() == 100.0);
+    }
+
+    #[test]
+    fn metric_series_filters_by_group() {
+        use crate::fragments::fragment;
+        let config = PipelineConfig::fast();
+        let comparisons = compare_fragments(&[fragment("4mo4").unwrap()], &config);
+        let all = metric_series(&comparisons, None, |c| c.qdock.qdock.ca_rmsd);
+        assert_eq!(all.len(), 1);
+        let s_only = metric_series(&comparisons, Some(Group::S), |c| c.qdock.qdock.ca_rmsd);
+        assert_eq!(s_only.len(), 1);
+        let l_only = metric_series(&comparisons, Some(Group::L), |c| c.qdock.qdock.ca_rmsd);
+        assert!(l_only.is_empty());
+    }
+}

@@ -1,0 +1,364 @@
+//! The QDockBank fragment manifest: all 55 entries of the paper's
+//! Tables 1–3, including the reported per-fragment quantum metrics
+//! (qubits, transpiled depth, energy band, execution time) used as the
+//! paper-side reference when regenerating each table.
+
+use qdb_lattice::sequence::ProteinSequence;
+
+/// Fragment length group (paper §4.2).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Group {
+    /// 5–8 residues.
+    S,
+    /// 9–12 residues.
+    M,
+    /// 13–14 residues.
+    L,
+}
+
+impl Group {
+    /// Group of a fragment length.
+    ///
+    /// # Panics
+    /// Panics outside 5–14.
+    pub fn of_len(len: usize) -> Group {
+        match len {
+            5..=8 => Group::S,
+            9..=12 => Group::M,
+            13..=14 => Group::L,
+            _ => panic!("length {len} outside QDockBank range"),
+        }
+    }
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Group::S => "S",
+            Group::M => "M",
+            Group::L => "L",
+        }
+    }
+}
+
+/// Functional protein class (paper §6.2 "Protein types").
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ProteinClass {
+    /// Viral enzymes.
+    ViralEnzyme,
+    /// Kinases.
+    Kinase,
+    /// Digestive and metabolic enzymes.
+    MetabolicEnzyme,
+    /// Receptors and ligand-binding proteins.
+    Receptor,
+    /// Chaperones and regulatory proteins.
+    Chaperone,
+    /// Proteases.
+    Protease,
+    /// Miscellaneous.
+    Miscellaneous,
+}
+
+impl ProteinClass {
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            ProteinClass::ViralEnzyme => "viral enzyme",
+            ProteinClass::Kinase => "kinase",
+            ProteinClass::MetabolicEnzyme => "metabolic enzyme",
+            ProteinClass::Receptor => "receptor",
+            ProteinClass::Chaperone => "chaperone",
+            ProteinClass::Protease => "protease",
+            ProteinClass::Miscellaneous => "miscellaneous",
+        }
+    }
+}
+
+/// The paper-reported quantum metrics of one fragment (Tables 1–3).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PaperMetrics {
+    /// Physical qubits.
+    pub qubits: usize,
+    /// Transpiled circuit depth.
+    pub depth: usize,
+    /// Lowest energy during optimization.
+    pub lowest_energy: f64,
+    /// Highest energy during optimization.
+    pub highest_energy: f64,
+    /// Execution time (s).
+    pub exec_time_s: f64,
+}
+
+impl PaperMetrics {
+    /// Highest − lowest.
+    pub fn energy_range(&self) -> f64 {
+        self.highest_energy - self.lowest_energy
+    }
+}
+
+/// One manifest entry.
+#[derive(Clone, Debug)]
+pub struct FragmentRecord {
+    /// PDB id of the source protein.
+    pub pdb_id: &'static str,
+    /// One-letter fragment sequence.
+    pub sequence: &'static str,
+    /// First residue number within the full protein.
+    pub residue_start: i32,
+    /// Last residue number.
+    pub residue_end: i32,
+    /// Paper-reported quantum metrics.
+    pub paper: PaperMetrics,
+}
+
+impl FragmentRecord {
+    /// Parsed sequence.
+    pub fn sequence(&self) -> ProteinSequence {
+        ProteinSequence::parse(self.sequence).expect("manifest sequences are valid")
+    }
+
+    /// Fragment length in residues.
+    pub fn len(&self) -> usize {
+        self.sequence.len()
+    }
+
+    /// Never empty.
+    pub fn is_empty(&self) -> bool {
+        self.sequence.is_empty()
+    }
+
+    /// Length group.
+    pub fn group(&self) -> Group {
+        Group::of_len(self.len())
+    }
+
+    /// Functional class (paper §6.2 lists representatives; unlisted
+    /// entries are enzymes of mixed character → miscellaneous).
+    pub fn protein_class(&self) -> ProteinClass {
+        match self.pdb_id {
+            "1e2k" | "1e2l" | "1zsf" | "2avo" | "3vf7" | "4mc1" | "4y79" => {
+                ProteinClass::ViralEnzyme
+            }
+            "3d7z" | "4aoi" | "4tmk" | "5cqu" | "5nkb" | "5nkc" | "5nkd" | "4clj" => {
+                ProteinClass::Kinase
+            }
+            "1hdq" | "1m7y" | "3ibi" | "5cxa" | "1ppi" => ProteinClass::MetabolicEnzyme,
+            "1gx8" | "3s0b" | "4xaq" | "4f5y" => ProteinClass::Receptor,
+            "1yc4" | "6udv" | "3b26" => ProteinClass::Chaperone,
+            "5kqx" | "5kr2" | "2bok" | "2vwo" => ProteinClass::Protease,
+            _ => ProteinClass::Miscellaneous,
+        }
+    }
+}
+
+macro_rules! rec {
+    ($id:literal, $seq:literal, $rs:literal, $re:literal, $q:literal, $d:literal,
+     $lo:literal, $hi:literal, $t:literal) => {
+        FragmentRecord {
+            pdb_id: $id,
+            sequence: $seq,
+            residue_start: $rs,
+            residue_end: $re,
+            paper: PaperMetrics {
+                qubits: $q,
+                depth: $d,
+                lowest_energy: $lo,
+                highest_energy: $hi,
+                exec_time_s: $t,
+            },
+        }
+    };
+}
+
+/// Table 1: the L group (13–14 residues).
+pub const L_GROUP: [FragmentRecord; 12] = [
+    rec!("1yc4", "ELISNSSDALDKI", 47, 59, 92, 373, 16129.383, 20745.807, 15777.29),
+    rec!("3d7z", "YLVTHLMGADLNNI", 103, 116, 102, 413, 22979.863, 29707.296, 156289.48),
+    rec!("4aoi", "VVLPYMKHGDLRNF", 1155, 1168, 102, 413, 23245.373, 32378.950, 13328.65),
+    rec!("4cig", "VRDQAEHLKTAVQM", 165, 178, 102, 413, 21375.594, 29846.536, 17293.54),
+    rec!("4clj", "ILMELMAGGDLKSF", 1194, 1207, 102, 413, 23968.789, 30839.148, 56855.98),
+    rec!("4fp1", "PVHTAVGTVGTAPL", 21, 34, 102, 413, 22564.107, 30593.710, 9301.82),
+    rec!("4jpx", "DYLEAYGKGGVKA", 154, 166, 92, 373, 16962.095, 22231.950, 90422.62),
+    rec!("4jpy", "DYLEAYGKGGVKAK", 154, 167, 102, 413, 23332.068, 30779.295, 12918.78),
+    rec!("4tmk", "IEGLEGAGKTTARN", 8, 21, 102, 413, 22590.207, 29135.420, 199292.66),
+    rec!("5cqu", "RKLGRGKYSEVFE", 43, 55, 92, 373, 17865.392, 22801.515, 7620.94),
+    rec!("5nkb", "MIITEYMENGALDK", 689, 702, 102, 413, 22570.674, 31770.986, 9311.28),
+    rec!("6udv", "SLSRVMIHVFSDGV", 245, 258, 102, 413, 24186.062, 33350.850, 188397.35),
+];
+
+/// Table 2: the M group (9–12 residues).
+pub const M_GROUP: [FragmentRecord; 23] = [
+    rec!("1e2l", "AQITMGMPY", 124, 132, 54, 221, 1509.665, 2837.818, 12951.69),
+    rec!("1gx8", "SAPLRVYVE", 36, 44, 54, 221, 1626.015, 3053.529, 14080.77),
+    rec!("1m7y", "TAGATSANE", 117, 125, 54, 221, 1420.378, 2714.983, 12918.04),
+    rec!("1zsf", "LLDTGADDTV", 23, 32, 63, 257, 4283.258, 6023.888, 5674.54),
+    rec!("2avo", "LIDTGADDTV", 23, 32, 63, 257, 4711.417, 6788.627, 5709.81),
+    rec!("2bfq", "AFPAVSAGIYGC", 136, 147, 82, 333, 11784.906, 16384.379, 10361.37),
+    rec!("2bok", "EDACQGDSGG", 188, 197, 63, 257, 4365.802, 6164.745, 6145.18),
+    rec!("2qbs", "HCSAGIGRSGT", 214, 224, 72, 293, 6691.571, 9356.871, 13899.11),
+    rec!("2vwo", "EDACQGDSGG", 188, 197, 63, 257, 4175.516, 6533.564, 5812.72),
+    rec!("2xxx", "GAVEDGATMTFF", 683, 694, 82, 333, 14199.993, 18862.515, 14962.26),
+    rec!("3b26", "ELISNSSDAL", 47, 56, 63, 257, 3768.807, 6015.566, 5546.94),
+    rec!("3d83", "YLVTHLMGAD", 103, 112, 63, 257, 4235.343, 6119.164, 19833.57),
+    rec!("3vf7", "LLDTGADDTV", 23, 32, 63, 257, 3975.024, 6162.421, 5348.25),
+    rec!("4f5y", "GLAWSYYIGYL", 158, 168, 72, 293, 6408.497, 8858.596, 6157.46),
+    rec!("4mc1", "LLDTGADDTV", 23, 32, 63, 257, 4092.236, 6199.231, 5609.02),
+    rec!("4y79", "DACQGDSGG", 189, 197, 54, 221, 1549.162, 2874.211, 207445.70),
+    rec!("5cxa", "FDGKGGILAHA", 174, 184, 72, 293, 6946.425, 9298.822, 5638.71),
+    rec!("5kqx", "LLNTGADDTV", 23, 32, 63, 257, 4336.777, 6158.301, 21706.78),
+    rec!("5kr2", "LLNTGADDTV", 23, 32, 63, 257, 4113.621, 6383.194, 5687.63),
+    rec!("5nkc", "MIITEYMENGAL", 689, 700, 82, 333, 12919.795, 16929.422, 6363.43),
+    rec!("5nkd", "MIITEYMENGA", 689, 699, 72, 293, 7192.774, 10425.425, 5997.07),
+    rec!("6ezq", "AKQRLKCASL", 194, 203, 63, 257, 4178.824, 6002.270, 23591.38),
+    rec!("6g98", "RNNGHSVQLTL", 60, 70, 72, 293, 7254.135, 9951.906, 7080.74),
+];
+
+/// Table 3: the S group (5–8 residues).
+pub const S_GROUP: [FragmentRecord; 20] = [
+    rec!("1e2k", "DGPHGM", 55, 60, 23, 97, 97.347, 392.073, 4425.19),
+    rec!("1hdq", "SIHSYS", 194, 199, 23, 97, 135.525, 400.060, 4352.49),
+    rec!("1ppi", "PWWERYQP", 57, 64, 46, 189, 1843.649, 2795.853, 13305.89),
+    rec!("1qin", "QQTMLRV", 32, 38, 38, 157, 258.484, 775.731, 19567.41),
+    rec!("2v25", "ATFTIT", 81, 86, 23, 97, 100.416, 340.832, 22356.46),
+    rec!("3ckz", "VKDRS", 149, 153, 12, 53, 10.433, 14.651, 5763.36),
+    rec!("3dx3", "HNDPGWI", 90, 96, 38, 157, 339.992, 962.620, 4661.24),
+    rec!("3eax", "RYRDV", 45, 49, 12, 53, 10.357, 16.021, 4028.72),
+    rec!("3ibi", "IQFHFH", 91, 96, 23, 97, 120.664, 455.422, 4486.62),
+    rec!("3nxq", "VCHASAWD", 329, 336, 46, 189, 1815.928, 2836.486, 14496.99),
+    rec!("3s0b", "GIKAVM", 67, 72, 23, 97, 162.239, 431.986, 51428.83),
+    rec!("3tcg", "IEGVPESN", 57, 64, 46, 189, 1660.359, 2492.704, 4331.88),
+    rec!("4mo4", "NIGGF", 162, 166, 12, 53, 10.636, 16.117, 25834.89),
+    rec!("4q87", "SLTTPPLL", 197, 204, 46, 189, 1659.516, 2928.576, 4565.00),
+    rec!("4xaq", "GSYSDVSI", 142, 149, 46, 189, 1486.347, 2716.796, 4497.95),
+    rec!("4zb8", "GGPNGWKV", 14, 21, 46, 189, 1791.084, 2876.999, 16029.02),
+    rec!("5c28", "CDLCSVT", 663, 669, 38, 157, 386.810, 792.776, 114029.96),
+    rec!("5tya", "SLTTPPLL", 197, 204, 46, 189, 1719.112, 2594.339, 9870.15),
+    rec!("6czf", "LRKANG", 44, 49, 23, 97, 114.701, 376.059, 4309.82),
+    rec!("6p86", "VYSSGIPL", 300, 307, 46, 189, 1486.200, 3008.481, 4290.98),
+];
+
+/// All 55 fragments, L then M then S (paper table order).
+pub fn all_fragments() -> Vec<&'static FragmentRecord> {
+    L_GROUP.iter().chain(M_GROUP.iter()).chain(S_GROUP.iter()).collect()
+}
+
+/// Fragments of one group.
+pub fn fragments_in(group: Group) -> Vec<&'static FragmentRecord> {
+    all_fragments().into_iter().filter(|r| r.group() == group).collect()
+}
+
+/// Looks up a fragment by PDB id.
+pub fn fragment(pdb_id: &str) -> Option<&'static FragmentRecord> {
+    all_fragments().into_iter().find(|r| r.pdb_id == pdb_id)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qdb_transpile::metrics::EagleProfile;
+
+    #[test]
+    fn manifest_has_55_entries() {
+        let all = all_fragments();
+        assert_eq!(all.len(), 55);
+        assert_eq!(fragments_in(Group::L).len(), 12);
+        assert_eq!(fragments_in(Group::M).len(), 23);
+        assert_eq!(fragments_in(Group::S).len(), 20);
+    }
+
+    #[test]
+    fn pdb_ids_unique_and_lowercase() {
+        let all = all_fragments();
+        let ids: std::collections::HashSet<&str> = all.iter().map(|r| r.pdb_id).collect();
+        assert_eq!(ids.len(), 55);
+        for r in all {
+            assert_eq!(r.pdb_id, r.pdb_id.to_lowercase());
+            assert_eq!(r.pdb_id.len(), 4);
+        }
+    }
+
+    #[test]
+    fn sequences_parse_and_match_residue_ranges() {
+        for r in all_fragments() {
+            let seq = r.sequence();
+            assert_eq!(
+                seq.len() as i32,
+                r.residue_end - r.residue_start + 1,
+                "{}: sequence length vs residue range",
+                r.pdb_id
+            );
+            assert_eq!(seq.len(), r.len());
+        }
+    }
+
+    #[test]
+    fn groups_match_lengths() {
+        for r in all_fragments() {
+            let expect = match r.len() {
+                5..=8 => Group::S,
+                9..=12 => Group::M,
+                _ => Group::L,
+            };
+            assert_eq!(r.group(), expect, "{}", r.pdb_id);
+        }
+    }
+
+    #[test]
+    fn paper_qubits_and_depth_follow_eagle_profile() {
+        // Every row obeys qubits = profile(len) and depth = 4·qubits + 5.
+        for r in all_fragments() {
+            assert_eq!(
+                r.paper.qubits,
+                EagleProfile::physical_qubits(r.len()),
+                "{}: qubits",
+                r.pdb_id
+            );
+            assert_eq!(
+                r.paper.depth,
+                EagleProfile::paper_depth(r.paper.qubits),
+                "{}: depth",
+                r.pdb_id
+            );
+        }
+    }
+
+    #[test]
+    fn energy_bands_sane() {
+        for r in all_fragments() {
+            assert!(r.paper.lowest_energy > 0.0, "{}", r.pdb_id);
+            assert!(r.paper.highest_energy > r.paper.lowest_energy, "{}", r.pdb_id);
+            assert!(r.paper.energy_range() > 0.0);
+            assert!(r.paper.exec_time_s > 1000.0, "{}", r.pdb_id);
+        }
+    }
+
+    #[test]
+    fn lookup_by_id() {
+        let r = fragment("4jpy").unwrap();
+        assert_eq!(r.sequence, "DYLEAYGKGGVKAK");
+        assert_eq!(r.residue_start, 154);
+        assert!(fragment("zzzz").is_none());
+    }
+
+    #[test]
+    fn repeated_sequences_span_contexts() {
+        // §4.1: certain sequences appear across multiple protein contexts.
+        let lldt: Vec<_> = all_fragments()
+            .into_iter()
+            .filter(|r| r.sequence == "LLDTGADDTV")
+            .collect();
+        assert!(lldt.len() >= 3, "LLDTGADDTV appears in 1zsf, 3vf7, 4mc1");
+        let edac: Vec<_> = all_fragments()
+            .into_iter()
+            .filter(|r| r.sequence == "EDACQGDSGG")
+            .collect();
+        assert_eq!(edac.len(), 2, "EDACQGDSGG appears in 2bok, 2vwo");
+    }
+
+    #[test]
+    fn protein_classes_cover_all_seven_kinds() {
+        let classes: std::collections::HashSet<_> =
+            all_fragments().into_iter().map(|r| r.protein_class()).collect();
+        assert_eq!(classes.len(), 7, "all functional classes represented");
+    }
+}

@@ -1,0 +1,33 @@
+//! # qdockbank
+//!
+//! The paper's primary contribution as a reusable library: the QDockBank
+//! dataset pipeline (sequence → lattice encoding → two-stage VQE → atomic
+//! reconstruction → docking + RMSD evaluation), the 55-fragment manifest
+//! of Tables 1–3, the §4.2 dataset writer (S/M/L folders with PDB + JSON),
+//! the §6 evaluation framework (win rates, distribution summaries,
+//! interaction coverage), and text renderers that regenerate every table
+//! and figure.
+//!
+//! ## Quickstart
+//!
+//! ```no_run
+//! use qdockbank::fragments::fragment;
+//! use qdockbank::pipeline::{run_fragment, PipelineConfig};
+//!
+//! let record = fragment("3ckz").unwrap(); // VKDRS, 5 residues
+//! let result = run_fragment(record, &PipelineConfig::fast());
+//! println!("Cα RMSD vs reference: {:.2} Å", result.qdock.ca_rmsd);
+//! println!("mean best affinity:   {:.2} kcal/mol", result.qdock.affinity());
+//! ```
+
+pub mod dataset;
+pub mod evaluation;
+pub mod fragments;
+pub mod pipeline;
+pub mod report;
+
+pub use evaluation::{
+    compare_fragments, interaction_coverage, win_rates, FragmentComparison,
+};
+pub use fragments::{all_fragments, fragment, fragments_in, FragmentRecord, Group};
+pub use pipeline::{run_fragment, FragmentResult, PipelineConfig, Preset};

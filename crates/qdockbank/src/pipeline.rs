@@ -1,0 +1,420 @@
+//! The end-to-end QDockBank pipeline (paper Figure 1): sequence → lattice
+//! encoding → Hamiltonian → two-stage VQE → atomic reconstruction →
+//! docking + RMSD evaluation, plus the AF2/AF3 baseline path.
+
+use crate::fragments::{FragmentRecord, Group};
+use qdb_baselines::alphafold::{predict, AfModel};
+use qdb_baselines::reference::{generate_reference, pdb_id_seed, specs_for, ReferenceStructure};
+use qdb_dock::engine::{dock_replicates, DockOutcome, DockParams};
+use qdb_lattice::coords::CaTrace;
+use qdb_lattice::hamiltonian::{EnergyScale, FoldingHamiltonian};
+use qdb_lattice::Lambdas;
+use qdb_mol::builder::build_peptide;
+use qdb_mol::geometry::Vec3;
+use qdb_mol::kabsch::superpose;
+use qdb_mol::ligand::{generate_ligand, Ligand};
+use qdb_mol::structure::Structure;
+use qdb_quantum::noise::NoiseModel;
+use qdb_transpile::basis::lower_to_native;
+use qdb_transpile::coupling::CouplingMap;
+use qdb_transpile::margin::transpile_with_margin;
+use qdb_transpile::metrics::EagleProfile;
+use qdb_vqe::runner::{build_ansatz, run_vqe, VqeConfig};
+use qdb_vqe::timing::ExecutionTimeModel;
+
+/// Pipeline effort level.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Preset {
+    /// The paper's budgets: 220 VQE iterations, 100k shots, Eagle noise,
+    /// 20 docking runs × 10 poses.
+    Paper,
+    /// Reduced budgets for tests/CI and quick sweeps.
+    Fast,
+}
+
+/// Pipeline configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct PipelineConfig {
+    /// Effort preset.
+    pub preset: Preset,
+    /// Independent docking runs per structure (paper: 20).
+    pub docking_runs: usize,
+    /// Whether VQE runs under the Eagle noise model.
+    pub noisy: bool,
+}
+
+impl PipelineConfig {
+    /// The paper's configuration.
+    pub fn paper() -> Self {
+        Self { preset: Preset::Paper, docking_runs: 20, noisy: true }
+    }
+
+    /// Test/CI configuration.
+    pub fn fast() -> Self {
+        Self { preset: Preset::Fast, docking_runs: 5, noisy: false }
+    }
+
+    /// VQE configuration for a fragment (budgets scale down for the
+    /// widest registers under `Fast`).
+    pub fn vqe_config(&self, record: &FragmentRecord) -> VqeConfig {
+        let seed = pdb_id_seed(record.pdb_id);
+        let mut cfg = match self.preset {
+            Preset::Paper => VqeConfig::paper(seed),
+            Preset::Fast => VqeConfig::fast(seed),
+        };
+        if self.preset == Preset::Fast {
+            match record.len() {
+                // Mid-size registers (12–18 qubits) need the extra budget
+                // to escape optimizer local minima reliably.
+                9..=12 => {
+                    cfg.max_iters = 110;
+                    cfg.shots = 40_000;
+                }
+                // The widest registers get a larger budget but remain
+                // under-sampled relative to their 4M-state space: exactly
+                // the regime where the paper's own win rates drop.
+                13.. => {
+                    cfg.max_iters = 70;
+                    cfg.shots = 40_000;
+                    cfg.sample_trajectories = 20;
+                }
+                _ => {}
+            }
+        }
+        if !self.noisy {
+            // Stage-1 optimization noise off; the stage-2 sampling noise is
+            // integral to the method and stays on.
+            cfg.noise = NoiseModel::IDEAL;
+        }
+        cfg
+    }
+
+    /// Docking parameters.
+    pub fn dock_params(&self) -> DockParams {
+        let mut p = match self.preset {
+            Preset::Paper => DockParams::default(),
+            Preset::Fast => DockParams::fast(),
+        };
+        p.center = Vec3::ZERO;
+        p.box_size = Vec3::new(24.0, 24.0, 24.0);
+        p
+    }
+}
+
+/// Quantum resource + run metadata for one fragment (the dataset's
+/// per-entry JSON and the Tables 1–3 columns).
+#[derive(Clone, Debug)]
+pub struct QuantumMetadata {
+    /// Conformation-register qubits actually simulated.
+    pub logical_qubits: usize,
+    /// Physical qubits of the paper's allocation (Eagle profile).
+    pub physical_qubits: usize,
+    /// Paper-law transpiled depth (4·q + 5).
+    pub paper_depth: usize,
+    /// Depth measured from our own transpile pipeline (native basis,
+    /// routed on Eagle-127 with the §5.3 margin).
+    pub measured_depth: usize,
+    /// SWAPs inserted by routing.
+    pub measured_swaps: usize,
+    /// Lowest energy seen during optimization.
+    pub lowest_energy: f64,
+    /// Highest energy seen during optimization.
+    pub highest_energy: f64,
+    /// Modelled wall-clock execution time (s).
+    pub exec_time_s: f64,
+    /// Optimizer iterations used.
+    pub iterations: usize,
+    /// Stage-2 shots.
+    pub shots: u64,
+}
+
+/// One predictor's evaluated output for a fragment.
+#[derive(Clone, Debug)]
+pub struct PredictionEval {
+    /// Predicted Cα trace (centered).
+    pub trace: Vec<Vec3>,
+    /// Reconstructed full-backbone structure (centered).
+    pub structure: Structure,
+    /// Cα RMSD vs the reference structure (Å).
+    pub ca_rmsd: f64,
+    /// Replicated docking outcome.
+    pub docking: DockOutcome,
+}
+
+impl PredictionEval {
+    /// The per-structure affinity score the figures plot.
+    pub fn affinity(&self) -> f64 {
+        self.docking.mean_best_affinity()
+    }
+}
+
+/// Everything produced for one fragment.
+#[derive(Clone, Debug)]
+pub struct FragmentResult {
+    /// PDB id.
+    pub pdb_id: String,
+    /// Length group.
+    pub group: Group,
+    /// The quantum prediction + evaluation.
+    pub qdock: PredictionEval,
+    /// Quantum metadata.
+    pub quantum: QuantumMetadata,
+    /// The synthetic crystal reference.
+    pub reference: ReferenceStructure,
+    /// The synthetic native ligand.
+    pub ligand: Ligand,
+}
+
+/// Deterministic per-target ligand: seeded by the PDB id, sized with the
+/// pocket (10 + length heavy atoms, clamped by the generator), then
+/// *native-fitted*: docked once against the reference structure and kept
+/// in its best-bound conformation. This mirrors PDBbind, whose ligands
+/// are crystallographic binders of the reference — the complementarity
+/// between ligand and native pocket is what makes docking affinity a
+/// structure-quality signal in the paper's evaluation.
+pub fn ligand_for(record: &FragmentRecord, reference: &ReferenceStructure) -> Ligand {
+    // Memoized: the native fit is the most expensive deterministic step
+    // and tests/pipelines ask for the same ligand repeatedly.
+    use std::collections::HashMap;
+    use std::sync::{Mutex, OnceLock};
+    static CACHE: OnceLock<Mutex<HashMap<String, Ligand>>> = OnceLock::new();
+    if let Some(hit) = CACHE
+        .get_or_init(|| Mutex::new(HashMap::new()))
+        .lock()
+        .expect("ligand cache lock")
+        .get(record.pdb_id)
+    {
+        return hit.clone();
+    }
+    let fresh = ligand_for_uncached(record, reference);
+    CACHE
+        .get_or_init(|| Mutex::new(HashMap::new()))
+        .lock()
+        .expect("ligand cache lock")
+        .insert(record.pdb_id.to_string(), fresh.clone());
+    fresh
+}
+
+fn ligand_for_uncached(record: &FragmentRecord, reference: &ReferenceStructure) -> Ligand {
+    let seed = pdb_id_seed(record.pdb_id) ^ 0x11AA_77DD_55CC_33EEu64;
+    let mut ligand = generate_ligand(seed, 10 + record.len());
+    let c = ligand.centroid();
+    ligand.translate(-c);
+    // Native fitting: a single well-budgeted docking against the
+    // reference; the best pose becomes the ligand's native conformation.
+    let fit_params = DockParams {
+        center: Vec3::ZERO,
+        box_size: Vec3::new(24.0, 24.0, 24.0),
+        exhaustiveness: 16,
+        mc_steps: 90,
+        refine_evals: 300,
+        poses_per_run: 1,
+        ..DockParams::default()
+    };
+    let run = qdb_dock::engine::dock(&reference.structure, &ligand, &fit_params, seed ^ 0xF17);
+    if let Some(best) = run.poses.first() {
+        for (atom, &pos) in ligand.atoms.iter_mut().zip(&best.coords) {
+            atom.pos = pos;
+        }
+    }
+    ligand
+}
+
+/// Runs the quantum prediction for a fragment: VQE on the calibrated
+/// folding Hamiltonian, decode the best sampled bitstring, reconstruct the
+/// backbone, and collect the quantum metadata.
+pub fn run_qdock(
+    record: &FragmentRecord,
+    config: &PipelineConfig,
+) -> (Vec<Vec3>, Structure, QuantumMetadata) {
+    let seq = record.sequence();
+    let physical = EagleProfile::physical_qubits(record.len());
+    let hamiltonian = FoldingHamiltonian::new(
+        seq.clone(),
+        Lambdas::default(),
+        EnergyScale::calibrated(physical),
+    );
+    let vqe_cfg = config.vqe_config(record);
+    let outcome = run_vqe(&hamiltonian, &vqe_cfg);
+
+    // Decode the best sampled conformation into a centered Cα trace.
+    let conformation = hamiltonian.conformation_of(outcome.best_bitstring);
+    let trace_obj = CaTrace::from_conformation(&conformation).centered();
+    let trace: Vec<Vec3> = trace_obj.coords().iter().map(|&c| Vec3::from_array(c)).collect();
+    let mut structure = build_peptide(&trace, &specs_for(&seq, record.residue_start));
+    structure.center();
+
+    // Hardware resource accounting: route the logical ansatz on Eagle-127
+    // with the §5.3 ancilla margin, lower to the native basis, measure.
+    let ansatz = build_ansatz(&hamiltonian, vqe_cfg.reps);
+    let eagle = CouplingMap::eagle127();
+    let transpiled = transpile_with_margin(&ansatz, &eagle, 0, 7);
+    let native = lower_to_native(&transpiled.routed.circuit);
+    let exec = ExecutionTimeModel::default().estimate(
+        &native,
+        outcome.evals,
+        vqe_cfg.shots,
+        pdb_id_seed(record.pdb_id) ^ 0x7133,
+    );
+
+    let quantum = QuantumMetadata {
+        logical_qubits: hamiltonian.num_qubits(),
+        physical_qubits: physical,
+        paper_depth: EagleProfile::paper_depth(physical),
+        measured_depth: transpiled.report.hardware_depth,
+        measured_swaps: transpiled.report.swap_count,
+        lowest_energy: outcome.lowest_energy,
+        highest_energy: outcome.highest_energy,
+        exec_time_s: exec.total_s(),
+        iterations: outcome.evals,
+        shots: vqe_cfg.shots,
+    };
+    (trace, structure, quantum)
+}
+
+/// Docks a predicted structure against the fragment's native ligand and
+/// computes its Cα RMSD vs the reference.
+///
+/// Protocol (mirroring the paper's §4.3.3/§6.1.2): the predicted
+/// structure is superposed onto the reference frame, then rigid-receptor
+/// docking runs in a box centered on the *native binding site* (the
+/// fitted ligand's location). Site-focused docking is what makes the
+/// affinity score a structure-quality signal: an accurate prediction
+/// recreates the native pocket where the ligand expects it.
+pub fn evaluate_structure(
+    trace: Vec<Vec3>,
+    structure: Structure,
+    reference: &ReferenceStructure,
+    ligand: &Ligand,
+    config: &PipelineConfig,
+    seed: u64,
+) -> PredictionEval {
+    let sup = superpose(&trace, &reference.trace);
+    let rmsd = sup.rmsd;
+    // Map the prediction into the reference frame.
+    let trace: Vec<Vec3> = trace.iter().map(|&p| sup.apply(p)).collect();
+    let mut structure = structure;
+    for residue in &mut structure.residues {
+        for atom in &mut residue.atoms {
+            atom.pos = sup.apply(atom.pos);
+        }
+    }
+    let mut params = config.dock_params();
+    params.center = ligand.centroid();
+    params.box_size = Vec3::new(16.0, 16.0, 16.0);
+    params.local_only = true;
+    let docking = dock_replicates(&structure, ligand, &params, seed, config.docking_runs);
+    PredictionEval { trace, structure, ca_rmsd: rmsd, docking }
+}
+
+/// Runs a baseline predictor for a fragment.
+pub fn run_baseline(
+    record: &FragmentRecord,
+    model: AfModel,
+    reference: &ReferenceStructure,
+    ligand: &Ligand,
+    config: &PipelineConfig,
+) -> PredictionEval {
+    let seq = record.sequence();
+    let prediction = predict(model, record.pdb_id, &seq, record.residue_start, reference);
+    let seed = pdb_id_seed(record.pdb_id)
+        ^ match model {
+            AfModel::Af2 => 0xA2,
+            AfModel::Af3 => 0xA3,
+        };
+    evaluate_structure(prediction.trace, prediction.structure, reference, ligand, config, seed)
+}
+
+/// Runs the full QDock pipeline for one fragment.
+pub fn run_fragment(record: &FragmentRecord, config: &PipelineConfig) -> FragmentResult {
+    let seq = record.sequence();
+    let reference = generate_reference(record.pdb_id, &seq, record.residue_start);
+    let ligand = ligand_for(record, &reference);
+    let (trace, structure, quantum) = run_qdock(record, config);
+    let qdock = evaluate_structure(
+        trace,
+        structure,
+        &reference,
+        &ligand,
+        config,
+        pdb_id_seed(record.pdb_id) ^ 0x0D0C,
+    );
+    FragmentResult {
+        pdb_id: record.pdb_id.to_string(),
+        group: record.group(),
+        qdock,
+        quantum,
+        reference,
+        ligand,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fragments::fragment;
+
+    #[test]
+    fn full_pipeline_on_smallest_fragment() {
+        let record = fragment("3ckz").unwrap(); // VKDRS, 5 residues
+        let config = PipelineConfig::fast();
+        let result = run_fragment(record, &config);
+        assert_eq!(result.pdb_id, "3ckz");
+        assert_eq!(result.group, Group::S);
+        // Structure sanity.
+        assert_eq!(result.qdock.structure.len(), 5);
+        assert!(result.qdock.ca_rmsd > 0.0 && result.qdock.ca_rmsd < 15.0);
+        // Docking produced runs with poses.
+        assert_eq!(result.qdock.docking.runs.len(), config.docking_runs);
+        assert!(result.qdock.affinity() < 0.0, "binding should be favourable");
+        // Quantum metadata coherent.
+        assert_eq!(result.quantum.logical_qubits, 4);
+        assert_eq!(result.quantum.physical_qubits, 12);
+        assert_eq!(result.quantum.paper_depth, 53);
+        assert!(result.quantum.measured_depth > 0);
+        assert!(result.quantum.lowest_energy < result.quantum.highest_energy);
+        assert!(result.quantum.exec_time_s > 100.0);
+    }
+
+    #[test]
+    fn pipeline_is_deterministic() {
+        let record = fragment("3eax").unwrap(); // RYRDV
+        let config = PipelineConfig::fast();
+        let a = run_fragment(record, &config);
+        let b = run_fragment(record, &config);
+        assert_eq!(a.qdock.trace, b.qdock.trace);
+        assert_eq!(a.qdock.ca_rmsd, b.qdock.ca_rmsd);
+        assert_eq!(a.qdock.affinity(), b.qdock.affinity());
+    }
+
+    #[test]
+    fn baselines_run_on_same_reference_and_ligand() {
+        let record = fragment("3eax").unwrap();
+        let config = PipelineConfig::fast();
+        let seq = record.sequence();
+        let reference = generate_reference(record.pdb_id, &seq, record.residue_start);
+        let ligand = ligand_for(record, &reference);
+        let af2 = run_baseline(record, AfModel::Af2, &reference, &ligand, &config);
+        let af3 = run_baseline(record, AfModel::Af3, &reference, &ligand, &config);
+        assert!(af2.ca_rmsd > 0.0);
+        assert!(af3.ca_rmsd > 0.0);
+        assert_ne!(af2.ca_rmsd, af3.ca_rmsd);
+        assert!(af2.affinity() < 0.0);
+    }
+
+    #[test]
+    fn ligands_deterministic_and_native_fitted() {
+        let record = fragment("4mo4").unwrap();
+        let seq = record.sequence();
+        let reference = generate_reference(record.pdb_id, &seq, record.residue_start);
+        let a = ligand_for(record, &reference);
+        let b = ligand_for(record, &reference);
+        assert_eq!(a, b);
+        assert!(a.num_atoms() >= 8);
+        // Native fitting binds the ligand against the reference surface.
+        let rec_atoms = qdb_dock::types::type_receptor(&reference.structure);
+        let lig_atoms = qdb_dock::types::type_ligand(&a);
+        let e = qdb_dock::scoring::intermolecular(&lig_atoms, &rec_atoms);
+        assert!(e < -1.0, "fitted ligand should contact the pocket, e = {e}");
+    }
+}

@@ -1,0 +1,281 @@
+//! Text renderers that regenerate the paper's tables and figures
+//! (as aligned plain text / CSV series, consumed by the bench binaries).
+
+use crate::evaluation::{
+    metric_series, summarize, CoverageReport, FragmentComparison, WinRates,
+};
+use crate::fragments::{FragmentRecord, Group};
+use crate::pipeline::{PredictionEval, QuantumMetadata};
+use qdb_baselines::alphafold::AfModel;
+use std::fmt::Write as _;
+
+/// One row of a Tables 1–3 regeneration.
+#[derive(Clone, Debug)]
+pub struct GroupTableRow {
+    /// Manifest entry.
+    pub record: &'static FragmentRecord,
+    /// Measured quantum metadata from our pipeline.
+    pub quantum: QuantumMetadata,
+}
+
+/// Renders the Table 1/2/3 regeneration for a group: paper columns and
+/// our measured equivalents side by side.
+pub fn render_group_table(group: Group, rows: &[GroupTableRow]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Table ({} group): paper-reported vs measured per-fragment quantum metrics",
+        group.name()
+    );
+    let _ = writeln!(
+        out,
+        "{:<6} {:<15} {:>3} | {:>6} {:>5} {:>12} {:>12} {:>11} | {:>6} {:>6} {:>5} {:>12} {:>12} {:>11}",
+        "PDB", "Sequence", "Len",
+        "qub", "dep", "lowE", "highE", "time(s)",
+        "log-q", "phys-q", "dep", "lowE", "highE", "time(s)"
+    );
+    let _ = writeln!(out, "{}", "-".repeat(150));
+    for row in rows {
+        let r = row.record;
+        let q = &row.quantum;
+        let _ = writeln!(
+            out,
+            "{:<6} {:<15} {:>3} | {:>6} {:>5} {:>12.3} {:>12.3} {:>11.2} | {:>6} {:>6} {:>5} {:>12.3} {:>12.3} {:>11.2}",
+            r.pdb_id,
+            r.sequence,
+            r.len(),
+            r.paper.qubits,
+            r.paper.depth,
+            r.paper.lowest_energy,
+            r.paper.highest_energy,
+            r.paper.exec_time_s,
+            q.logical_qubits,
+            q.physical_qubits,
+            q.measured_depth,
+            q.lowest_energy,
+            q.highest_energy,
+            q.exec_time_s,
+        );
+    }
+    out
+}
+
+/// Renders the §6.2 headline win-rate block for one baseline.
+pub fn render_win_rates(rates: &WinRates) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "QDock vs {}: affinity wins {}/{} ({:.1}%), RMSD wins {}/{} ({:.1}%)",
+        rates.baseline.name(),
+        rates.overall.affinity_wins,
+        rates.overall.total,
+        rates.overall.affinity_rate(),
+        rates.overall.rmsd_wins,
+        rates.overall.total,
+        rates.overall.rmsd_rate(),
+    );
+    for (group, wins) in &rates.per_group {
+        let _ = writeln!(
+            out,
+            "  group {}: affinity {}/{} ({:.1}%), RMSD {}/{} ({:.1}%)",
+            group.name(),
+            wins.affinity_wins,
+            wins.total,
+            wins.affinity_rate(),
+            wins.rmsd_wins,
+            wins.total,
+            wins.rmsd_rate(),
+        );
+    }
+    out
+}
+
+/// Renders the Figure 2/3 scatter series as CSV: one row per fragment
+/// with both predictors' affinity and RMSD (the paper plots QDock on one
+/// axis and the baseline on the other, per group).
+pub fn render_scatter(comparisons: &[FragmentComparison], model: AfModel) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "pdb_id,group,qdock_affinity,{m}_affinity,qdock_rmsd,{m}_rmsd",
+        m = model.name().to_lowercase()
+    );
+    for c in comparisons {
+        let base = c.baseline(model);
+        let _ = writeln!(
+            out,
+            "{},{},{:.3},{:.3},{:.3},{:.3}",
+            c.record.pdb_id,
+            c.record.group().name(),
+            c.qdock.qdock.affinity(),
+            base.affinity(),
+            c.qdock.qdock.ca_rmsd,
+            base.ca_rmsd,
+        );
+    }
+    out
+}
+
+/// Renders the Figure 4 box statistics: affinity and RMSD distributions
+/// for QDock, AF2, AF3 over all fragments (and per group).
+pub fn render_box_stats(comparisons: &[FragmentComparison]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<10} {:<9} {:<6} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8}",
+        "metric", "predictor", "group", "min", "q1", "median", "q3", "max", "mean"
+    );
+    let _ = writeln!(out, "{}", "-".repeat(80));
+    let mut emit = |metric: &str, predictor: &str, group: Option<Group>, values: Vec<f64>| {
+        if values.is_empty() {
+            return;
+        }
+        let s = summarize(&values);
+        let gname = group.map(|g| g.name()).unwrap_or("All");
+        let _ = writeln!(
+            out,
+            "{:<10} {:<9} {:<6} {:>8.3} {:>8.3} {:>8.3} {:>8.3} {:>8.3} {:>8.3}",
+            metric, predictor, gname, s.min, s.q1, s.median, s.q3, s.max, s.mean
+        );
+    };
+    type Extract = fn(&FragmentComparison) -> f64;
+    let extractors: [(&str, &str, Extract); 6] = [
+        ("affinity", "QDock", |c| c.qdock.qdock.affinity()),
+        ("affinity", "AF2", |c| c.af2.affinity()),
+        ("affinity", "AF3", |c| c.af3.affinity()),
+        ("rmsd", "QDock", |c| c.qdock.qdock.ca_rmsd),
+        ("rmsd", "AF2", |c| c.af2.ca_rmsd),
+        ("rmsd", "AF3", |c| c.af3.ca_rmsd),
+    ];
+    for group in [None, Some(Group::L), Some(Group::M), Some(Group::S)] {
+        for (metric, predictor, extract) in extractors {
+            emit(metric, predictor, group, metric_series(comparisons, group, extract));
+        }
+    }
+    out
+}
+
+/// Renders the Figure 5 coverage report.
+pub fn render_coverage(report: &CoverageReport) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "Amino-acid interaction coverage: {}/400 ordered pair types (paper: 395/400)",
+        report.covered_types()
+    );
+    let _ = writeln!(out, "total pair observations: {}", report.total_interactions());
+    let _ = writeln!(out, "most frequent pairs:");
+    for (a, b, count) in report.top_pairs(12) {
+        let _ = writeln!(out, "  {a}-{b}: {count}");
+    }
+    out
+}
+
+/// Renders the Table 4 case study (average docking metrics, QDock vs AF3
+/// on one fragment).
+pub fn render_case_table(
+    pdb_id: &str,
+    qdock: &PredictionEval,
+    af3: &PredictionEval,
+) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "Average docking metrics for QDockBank vs AlphaFold3 on {pdb_id}");
+    let _ = writeln!(out, "{:<38} {:>10} {:>12}", "Metric", "QDockBank", "AlphaFold3");
+    let _ = writeln!(
+        out,
+        "{:<38} {:>10.2} {:>12.2}",
+        "Affinity (kcal/mol)(Low is better)",
+        qdock.docking.mean_best_affinity(),
+        af3.docking.mean_best_affinity()
+    );
+    let _ = writeln!(
+        out,
+        "{:<38} {:>10.2} {:>12.2}",
+        "RMSD l.b. (A)(Low is better)",
+        qdock.docking.mean_rmsd_lb(),
+        af3.docking.mean_rmsd_lb()
+    );
+    let _ = writeln!(
+        out,
+        "{:<38} {:>10.2} {:>12.2}",
+        "RMSD u.b. (A)(Low is better)",
+        qdock.docking.mean_rmsd_ub(),
+        af3.docking.mean_rmsd_ub()
+    );
+    out
+}
+
+/// Renders the §6.2 "Protein types" inventory: fragments per functional
+/// class with their PDB ids.
+pub fn render_protein_classes() -> String {
+    use crate::fragments::{all_fragments, ProteinClass};
+    let classes = [
+        ProteinClass::ViralEnzyme,
+        ProteinClass::Kinase,
+        ProteinClass::MetabolicEnzyme,
+        ProteinClass::Receptor,
+        ProteinClass::Chaperone,
+        ProteinClass::Protease,
+        ProteinClass::Miscellaneous,
+    ];
+    let mut out = String::new();
+    let _ = writeln!(out, "Functional protein classes across the 55 fragments (§6.2):");
+    for class in classes {
+        let members: Vec<&str> = all_fragments()
+            .into_iter()
+            .filter(|r| r.protein_class() == class)
+            .map(|r| r.pdb_id)
+            .collect();
+        let _ = writeln!(out, "  {:<18} {:>2}  [{}]", class.name(), members.len(), members.join(", "));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::evaluation::{compare_fragments, interaction_coverage, win_rates};
+    use crate::fragments::{all_fragments, fragment};
+    use crate::pipeline::PipelineConfig;
+
+    #[test]
+    fn coverage_report_renders() {
+        let report = interaction_coverage(&all_fragments());
+        let text = render_coverage(&report);
+        assert!(text.contains("/400 ordered pair types"));
+        assert!(text.contains("most frequent pairs"));
+    }
+
+    #[test]
+    fn protein_class_inventory_renders() {
+        let text = render_protein_classes();
+        assert!(text.contains("viral enzyme"));
+        assert!(text.contains("kinase"));
+        assert!(text.contains("1zsf"));
+        // All 55 fragments appear exactly once.
+        let ids: usize = text.lines().skip(1).map(|l| l.matches(", ").count() + usize::from(l.contains('['))).sum();
+        assert_eq!(ids, 55);
+    }
+
+    #[test]
+    fn scatter_and_stats_render() {
+        let config = PipelineConfig::fast();
+        let comparisons = compare_fragments(&[fragment("3ckz").unwrap()], &config);
+        let scatter = render_scatter(&comparisons, AfModel::Af2);
+        assert!(scatter.lines().count() == 2, "header + one row");
+        assert!(scatter.contains("3ckz,S,"));
+
+        let stats = render_box_stats(&comparisons);
+        assert!(stats.contains("QDock"));
+        assert!(stats.contains("AF3"));
+
+        let rates = win_rates(&comparisons, AfModel::Af3);
+        let text = render_win_rates(&rates);
+        assert!(text.contains("QDock vs AF3"));
+        assert!(text.contains("group S"));
+
+        let case = render_case_table("3ckz", &comparisons[0].qdock.qdock, &comparisons[0].af3);
+        assert!(case.contains("Affinity"));
+        assert!(case.contains("RMSD l.b."));
+    }
+}

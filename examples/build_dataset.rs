@@ -1,0 +1,45 @@
+//! Build (a slice of) the QDockBank dataset on disk in the paper's §4.2
+//! layout: `out/<S|M|L>/<pdb_id>/{structure.pdb, metadata.json,
+//! docking.json, reference.pdb, ligand.pdb}`.
+//!
+//! ```text
+//! cargo run --release --example build_dataset -- S out_dir     # one group
+//! cargo run --release --example build_dataset -- all out_dir   # all 55
+//! ```
+
+use qdockbank::dataset::write_fragment_entry;
+use qdockbank::fragments::{all_fragments, fragments_in, Group};
+use qdockbank::pipeline::{run_fragment, PipelineConfig};
+use std::path::PathBuf;
+
+fn main() {
+    let which = std::env::args().nth(1).unwrap_or_else(|| "S".to_string());
+    let out: PathBuf =
+        std::env::args().nth(2).unwrap_or_else(|| "qdockbank_dataset".to_string()).into();
+    let records = match which.as_str() {
+        "S" => fragments_in(Group::S),
+        "M" => fragments_in(Group::M),
+        "L" => fragments_in(Group::L),
+        "all" => all_fragments(),
+        other => {
+            eprintln!("unknown selector {other:?}: use S, M, L, or all");
+            std::process::exit(1);
+        }
+    };
+    let config = PipelineConfig::fast();
+    println!("building {} fragments into {}", records.len(), out.display());
+    for (i, record) in records.iter().enumerate() {
+        let result = run_fragment(record, &config);
+        let files = write_fragment_entry(&out, record, &result).expect("write dataset entry");
+        println!(
+            "[{}/{}] {} → {} (RMSD {:.2} Å, affinity {:.2} kcal/mol)",
+            i + 1,
+            records.len(),
+            record.pdb_id,
+            files.dir.display(),
+            result.qdock.ca_rmsd,
+            result.qdock.affinity()
+        );
+    }
+    println!("done.");
+}

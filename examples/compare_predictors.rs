@@ -1,0 +1,48 @@
+//! QDock vs AlphaFold2/AlphaFold3 surrogates on a handful of fragments —
+//! a miniature of the paper's §6.2 evaluation.
+//!
+//! ```text
+//! cargo run --release --example compare_predictors -- 3ckz 3eax 4mo4 1ppi
+//! ```
+
+use qdb_baselines::alphafold::AfModel;
+use qdockbank::evaluation::{compare_fragments, win_rates};
+use qdockbank::fragments::fragment;
+use qdockbank::pipeline::PipelineConfig;
+use qdockbank::report::render_win_rates;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let ids: Vec<&str> = if args.is_empty() {
+        vec!["3ckz", "3eax", "4mo4", "6czf"]
+    } else {
+        args.iter().map(String::as_str).collect()
+    };
+    let records: Vec<_> = ids
+        .iter()
+        .map(|id| fragment(id).unwrap_or_else(|| panic!("unknown PDB id {id}")))
+        .collect();
+
+    let config = PipelineConfig::fast();
+    let comparisons = compare_fragments(&records, &config);
+
+    println!(
+        "{:<6} {:>11} {:>9} {:>9} | {:>11} {:>9} {:>9}",
+        "PDB", "QDock-RMSD", "AF2-RMSD", "AF3-RMSD", "QDock-aff", "AF2-aff", "AF3-aff"
+    );
+    for c in &comparisons {
+        println!(
+            "{:<6} {:>11.2} {:>9.2} {:>9.2} | {:>11.2} {:>9.2} {:>9.2}",
+            c.record.pdb_id,
+            c.qdock.qdock.ca_rmsd,
+            c.af2.ca_rmsd,
+            c.af3.ca_rmsd,
+            c.qdock.qdock.affinity(),
+            c.af2.affinity(),
+            c.af3.affinity(),
+        );
+    }
+    println!();
+    print!("{}", render_win_rates(&win_rates(&comparisons, AfModel::Af2)));
+    print!("{}", render_win_rates(&win_rates(&comparisons, AfModel::Af3)));
+}

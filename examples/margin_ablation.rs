@@ -1,0 +1,39 @@
+//! The §5.3 quantum-circuit margin strategy, reproduced end to end:
+//! route the paper's ansatz on the Eagle-127 heavy-hex lattice with 0–10
+//! ancilla qubits of margin and watch SWAP count and hardware depth drop.
+//!
+//! ```text
+//! cargo run --release --example margin_ablation
+//! ```
+
+use qdb_quantum::ansatz::{efficient_su2, Entanglement};
+use qdb_transpile::coupling::CouplingMap;
+use qdb_transpile::margin::margin_sweep;
+
+fn main() {
+    let eagle = CouplingMap::eagle127();
+    println!("routing EfficientSU2 circuits on the Eagle-127 heavy-hex lattice\n");
+    for (qubits, reps) in [(10usize, 2usize), (14, 2), (18, 2), (22, 2)] {
+        let circuit = efficient_su2(qubits, reps, Entanglement::Linear);
+        println!(
+            "{} logical qubits (reps {reps}, linear entanglement):",
+            qubits
+        );
+        println!(
+            "{:>7} {:>8} {:>7} {:>7} {:>9} {:>13}",
+            "margin", "region", "swaps", "depth", "ECRs", "duration(us)"
+        );
+        for report in margin_sweep(&circuit, &eagle, 7, &[0, 2, 5, 7, 10]) {
+            println!(
+                "{:>7} {:>8} {:>7} {:>7} {:>9} {:>13.2}",
+                report.margin,
+                report.region_size,
+                report.swap_count,
+                report.hardware_depth,
+                report.ecr_count,
+                report.duration_ns / 1000.0
+            );
+        }
+        println!();
+    }
+}

@@ -1,0 +1,92 @@
+//! Dataset writer integration: the §4.2 on-disk layout round-trips
+//! through the PDB and JSON parsers.
+
+use qdockbank::dataset::{write_fragment_entry, DockingJson, MetadataJson};
+use qdockbank::fragments::fragment;
+use qdockbank::pipeline::{run_fragment, PipelineConfig};
+use std::path::PathBuf;
+
+fn tmp_root(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("qdb-int-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn dataset_entries_replayable_from_disk() {
+    let root = tmp_root("replay");
+    let config = PipelineConfig::fast();
+
+    for id in ["3ckz", "3eax"] {
+        let record = fragment(id).unwrap();
+        let result = run_fragment(record, &config);
+        let files = write_fragment_entry(&root, record, &result).unwrap();
+
+        // Group folder layout.
+        assert!(files.dir.starts_with(root.join("S")));
+
+        // The predicted structure parses and has the right residues.
+        let text = std::fs::read_to_string(&files.structure_pdb).unwrap();
+        let parsed = qdb_mol::pdb::parse_pdb(&text).unwrap();
+        assert_eq!(parsed.len(), record.len());
+        assert_eq!(parsed.residues[0].seq_num, record.residue_start);
+        let expected_names: Vec<&str> = record
+            .sequence()
+            .residues()
+            .iter()
+            .map(|a| a.three_letter())
+            .collect();
+        let actual: Vec<String> =
+            parsed.residues.iter().map(|r| r.name.clone()).collect();
+        assert_eq!(actual, expected_names);
+
+        // Metadata JSON parses and matches the manifest.
+        let metadata: MetadataJson =
+            serde_json::from_str(&std::fs::read_to_string(&files.metadata_json).unwrap())
+                .unwrap();
+        assert_eq!(metadata.pdb_id, id);
+        assert_eq!(metadata.physical_qubits, record.paper.qubits);
+        assert_eq!(metadata.paper_depth, record.paper.depth);
+        assert!(metadata.ca_rmsd > 0.0);
+
+        // Docking JSON parses; seeds are recorded and distinct.
+        let docking: DockingJson =
+            serde_json::from_str(&std::fs::read_to_string(&files.docking_json).unwrap())
+                .unwrap();
+        assert_eq!(docking.num_runs, config.docking_runs);
+        let seeds: std::collections::HashSet<u64> =
+            docking.runs.iter().map(|r| r.seed).collect();
+        assert_eq!(seeds.len(), config.docking_runs);
+        for run in &docking.runs {
+            assert!(!run.poses.is_empty());
+            assert!(run.poses[0].affinity <= run.poses.last().unwrap().affinity);
+        }
+
+        // Reference and ligand PDB files parse too.
+        let reference =
+            qdb_mol::pdb::parse_pdb(&std::fs::read_to_string(&files.reference_pdb).unwrap())
+                .unwrap();
+        assert_eq!(reference.len(), record.len());
+        let ligand =
+            qdb_mol::pdb::parse_pdb(&std::fs::read_to_string(&files.ligand_pdb).unwrap())
+                .unwrap();
+        assert_eq!(ligand.len(), 1);
+        assert!(ligand.num_atoms() >= 8);
+    }
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn rewriting_same_fragment_is_idempotent() {
+    let root = tmp_root("idem");
+    let record = fragment("4mo4").unwrap();
+    let config = PipelineConfig::fast();
+    let result = run_fragment(record, &config);
+    let first = write_fragment_entry(&root, record, &result).unwrap();
+    let before = std::fs::read_to_string(&first.metadata_json).unwrap();
+    let second = write_fragment_entry(&root, record, &result).unwrap();
+    let after = std::fs::read_to_string(&second.metadata_json).unwrap();
+    assert_eq!(first, second);
+    assert_eq!(before, after);
+    let _ = std::fs::remove_dir_all(&root);
+}

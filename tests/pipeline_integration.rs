@@ -1,0 +1,89 @@
+//! End-to-end pipeline integration: manifest → reference → VQE → atomic
+//! reconstruction → docking → evaluation, across crate boundaries.
+
+use qdb_baselines::alphafold::AfModel;
+use qdockbank::evaluation::{compare_fragments, win_rates};
+use qdockbank::fragments::{fragment, Group};
+use qdockbank::pipeline::{run_fragment, PipelineConfig};
+
+#[test]
+fn small_fragment_end_to_end() {
+    let record = fragment("3eax").expect("manifest entry");
+    let config = PipelineConfig::fast();
+    let result = run_fragment(record, &config);
+
+    // Structure integrity: 5 residues, full backbone, centered.
+    assert_eq!(result.qdock.structure.len(), 5);
+    assert!(result.qdock.structure.centroid().norm() < 1e-6);
+    for residue in &result.qdock.structure.residues {
+        for atom in ["N", "CA", "C", "O"] {
+            assert!(residue.atom(atom).is_some(), "missing backbone atom {atom}");
+        }
+    }
+    // The trace respects lattice geometry (3.8 Å virtual bonds).
+    for w in result.qdock.trace.windows(2) {
+        assert!((w[0].distance(w[1]) - 3.8).abs() < 1e-6);
+    }
+    // Metrics are in physically sensible bands.
+    assert!(result.qdock.ca_rmsd > 0.0 && result.qdock.ca_rmsd < 10.0);
+    assert!(result.qdock.affinity() < 0.0, "ligand should bind");
+    assert!(result.qdock.affinity() > -15.0, "affinity should be Vina-scale");
+}
+
+#[test]
+fn quantum_metadata_consistent_with_manifest() {
+    let record = fragment("4mo4").expect("manifest entry");
+    let result = run_fragment(record, &PipelineConfig::fast());
+    // The paper-side numbers must match the manifest row exactly.
+    assert_eq!(result.quantum.physical_qubits, record.paper.qubits);
+    assert_eq!(result.quantum.paper_depth, record.paper.depth);
+    // Logical register: 2(N-3).
+    assert_eq!(result.quantum.logical_qubits, 2 * (record.len() - 3));
+    // Measured transpile results exist and the routed depth exceeds the
+    // logical circuit depth (routing + lowering overhead).
+    assert!(result.quantum.measured_depth >= 10);
+    // Energy band ordered; modelled execution in the paper's magnitude
+    // range (thousands of seconds).
+    assert!(result.quantum.lowest_energy < result.quantum.highest_energy);
+    assert!(result.quantum.exec_time_s > 100.0);
+    assert!(result.quantum.exec_time_s < 1e7);
+}
+
+#[test]
+fn comparison_and_win_rates_machinery() {
+    let records = vec![
+        fragment("3ckz").unwrap(),
+        fragment("6czf").unwrap(),
+    ];
+    let config = PipelineConfig::fast();
+    let comparisons = compare_fragments(&records, &config);
+    assert_eq!(comparisons.len(), 2);
+
+    for c in &comparisons {
+        // All three predictors produce valid evaluations on the same
+        // reference and ligand.
+        for eval in [&c.qdock.qdock, &c.af2, &c.af3] {
+            assert!(eval.ca_rmsd.is_finite() && eval.ca_rmsd > 0.0);
+            assert!(eval.affinity() < 0.0);
+            assert_eq!(eval.trace.len(), c.record.len());
+        }
+    }
+
+    let rates = win_rates(&comparisons, AfModel::Af2);
+    assert_eq!(rates.overall.total, 2);
+    assert!(rates.overall.rmsd_wins <= 2);
+    assert!(rates.per_group.contains_key(&Group::S));
+}
+
+#[test]
+fn pipeline_fully_deterministic_across_calls() {
+    let record = fragment("3ckz").unwrap();
+    let config = PipelineConfig::fast();
+    let a = run_fragment(record, &config);
+    let b = run_fragment(record, &config);
+    assert_eq!(a.qdock.trace, b.qdock.trace);
+    assert_eq!(a.qdock.ca_rmsd, b.qdock.ca_rmsd);
+    assert_eq!(a.qdock.affinity(), b.qdock.affinity());
+    assert_eq!(a.quantum.lowest_energy, b.quantum.lowest_energy);
+    assert_eq!(a.quantum.exec_time_s, b.quantum.exec_time_s);
+}

@@ -1,0 +1,118 @@
+//! Quantum-stack integration: lattice Hamiltonians through the simulator,
+//! the VQE runner, and the transpiler agree with each other.
+
+use qdb_lattice::hamiltonian::FoldingHamiltonian;
+use qdb_lattice::sequence::ProteinSequence;
+use qdb_quantum::prelude::*;
+use qdb_transpile::basis::{is_native_circuit, lower_to_native};
+use qdb_transpile::coupling::CouplingMap;
+use qdb_transpile::layout::Layout;
+use qdb_transpile::metrics::EagleProfile;
+use qdb_transpile::routing::{respects_coupling, route};
+use qdb_vqe::runner::{build_ansatz, run_vqe, VqeConfig};
+
+#[test]
+fn pauli_and_diagonal_hamiltonians_agree_under_ansatz_states() {
+    let seq = ProteinSequence::parse("RYRDV").unwrap();
+    let ham = FoldingHamiltonian::with_unit_scale(seq);
+    let op = ham.to_sparse_pauli();
+    let diag = ham.dense_diagonal();
+
+    let ansatz = build_ansatz(&ham, 1);
+    let params: Vec<f64> = (0..ansatz.num_params()).map(|i| 0.17 * (i as f64 - 2.0)).collect();
+    let mut sv = Statevector::zero(ham.num_qubits());
+    sv.apply_parametric(&ansatz, &params);
+
+    let via_pauli = op.expectation(&sv);
+    let via_diag = sv.expectation_diagonal(&diag);
+    assert!(
+        (via_pauli - via_diag).abs() < 1e-8,
+        "pauli path {via_pauli} vs diagonal path {via_diag}"
+    );
+}
+
+#[test]
+fn vqe_energy_lower_bounded_by_exhaustive_ground_state() {
+    let seq = ProteinSequence::parse("DGPHGM").unwrap();
+    let ham = FoldingHamiltonian::with_unit_scale(seq);
+    let (_, ground) = ham.ground_state();
+    let out = run_vqe(&ham, &VqeConfig::fast(13));
+    assert!(out.best_bitstring_energy >= ground - 1e-9);
+    assert!(out.lowest_energy >= ground - 1e-9, "expectation can never beat the ground state");
+}
+
+#[test]
+fn fragment_ansatz_routes_onto_eagle_and_stays_equivalent() {
+    // A fragment-sized logical circuit routed on the device graph keeps
+    // its distribution (checked on a simulable sub-device).
+    let seq = ProteinSequence::parse("VKDRS").unwrap(); // 4 qubits
+    let ham = FoldingHamiltonian::with_unit_scale(seq);
+    let ansatz = build_ansatz(&ham, 2);
+    let params: Vec<f64> = (0..ansatz.num_params()).map(|i| 0.1 + 0.07 * i as f64).collect();
+
+    // Logical distribution.
+    let mut ideal = Statevector::zero(4);
+    ideal.apply_parametric(&ansatz, &params);
+    let p_ideal = ideal.probabilities();
+
+    // Route onto an 8-qubit line (a path inside the heavy-hex lattice).
+    let line = CouplingMap::line(8);
+    let routed = route(&ansatz, &line, Layout::trivial(4, 8));
+    assert!(respects_coupling(&routed.circuit, &line));
+    let native = lower_to_native(&routed.circuit);
+    assert!(is_native_circuit(&native));
+
+    let mut phys = Statevector::zero(8);
+    phys.apply_parametric(&native, &params);
+    let p_phys = phys.probabilities();
+
+    // Marginalize onto the logical qubits via the final layout.
+    let mut p_mapped = vec![0.0; 16];
+    for (state, &p) in p_phys.iter().enumerate() {
+        if p < 1e-15 {
+            continue;
+        }
+        let mut logical = 0usize;
+        for l in 0..4u32 {
+            if state >> routed.final_layout.phys(l) & 1 == 1 {
+                logical |= 1 << l;
+            }
+        }
+        p_mapped[logical] += p;
+    }
+    for i in 0..16 {
+        assert!(
+            (p_ideal[i] - p_mapped[i]).abs() < 1e-9,
+            "distribution mismatch at {i}"
+        );
+    }
+}
+
+#[test]
+fn eagle_profile_covers_every_manifest_length() {
+    for record in qdockbank::fragments::all_fragments() {
+        let q = EagleProfile::physical_qubits(record.len());
+        assert_eq!(q, record.paper.qubits, "{}", record.pdb_id);
+        assert_eq!(EagleProfile::paper_depth(q), record.paper.depth, "{}", record.pdb_id);
+        // Logical register always fits the simulator.
+        assert!(2 * (record.len() - 3) <= 22);
+    }
+}
+
+#[test]
+fn sampling_under_noise_still_normalizes() {
+    let seq = ProteinSequence::parse("NIGGF").unwrap();
+    let ham = FoldingHamiltonian::with_unit_scale(seq);
+    let cfg = VqeConfig {
+        noise: NoiseModel::eagle_like(),
+        trajectories: 2,
+        ..VqeConfig::fast(5)
+    };
+    let out = run_vqe(&ham, &cfg);
+    assert_eq!(out.counts.shots(), cfg.shots);
+    // Sampled conformations decode without panicking and the best one has
+    // finite energy.
+    let c = ham.conformation_of(out.best_bitstring);
+    assert_eq!(c.len(), 5);
+    assert!(out.best_bitstring_energy.is_finite());
+}
