@@ -18,12 +18,12 @@
 //! rates land near the paper's (AF2 worse than AF3; QDock ahead of both);
 //! EXPERIMENTS.md reports which numbers are calibrated vs measured.
 
+#[cfg(test)]
+use crate::reference::CA_SPACING;
 use crate::reference::{
     blend_angle, extract_internal, gaussian, pdb_id_seed, rebuild_from_internal, specs_for,
     ReferenceStructure,
 };
-#[cfg(test)]
-use crate::reference::CA_SPACING;
 use qdb_lattice::sequence::ProteinSequence;
 use qdb_mol::builder::build_peptide;
 use qdb_mol::geometry::Vec3;
@@ -72,12 +72,16 @@ impl AfConfig {
     /// land near the paper's §6.2 values (92.7% / 80.0% on RMSD).
     pub fn for_model(model: AfModel) -> AfConfig {
         match model {
-            AfModel::Af2 => {
-                AfConfig { helix_bias: 0.45, dihedral_sigma_deg: 88.0, angle_sigma_deg: 18.0 }
-            }
-            AfModel::Af3 => {
-                AfConfig { helix_bias: 0.28, dihedral_sigma_deg: 48.0, angle_sigma_deg: 12.0 }
-            }
+            AfModel::Af2 => AfConfig {
+                helix_bias: 0.45,
+                dihedral_sigma_deg: 88.0,
+                angle_sigma_deg: 18.0,
+            },
+            AfModel::Af3 => AfConfig {
+                helix_bias: 0.28,
+                dihedral_sigma_deg: 48.0,
+                angle_sigma_deg: 12.0,
+            },
         }
     }
 }
@@ -90,10 +94,6 @@ pub struct AfPrediction {
     /// Rebuilt full-backbone structure, centered.
     pub structure: Structure,
 }
-
-
-
-
 
 /// Runs the surrogate predictor for a fragment.
 pub fn predict(
@@ -122,8 +122,7 @@ pub fn predict_with(
         AfModel::Af2 => 0xAF2u64,
         AfModel::Af3 => 0xAF3u64,
     };
-    let mut rng =
-        ChaCha8Rng::seed_from_u64(pdb_id_seed(pdb_id) ^ seq.stable_hash() ^ model_salt);
+    let mut rng = ChaCha8Rng::seed_from_u64(pdb_id_seed(pdb_id) ^ seq.stable_hash() ^ model_salt);
 
     // Work in internal-coordinate (pseudo-dihedral) space: deep models'
     // errors are torsion errors, and this keeps the 3.8 Å geometry exact.

@@ -120,7 +120,14 @@ pub fn rebuild_from_internal(n: usize, theta2: f64, internal: &[(f64, f64)]) -> 
     }
     for i in 3..n {
         let (theta, phi) = internal[i - 3];
-        let p = place_next(trace[i - 3], trace[i - 2], trace[i - 1], CA_SPACING, theta, phi);
+        let p = place_next(
+            trace[i - 3],
+            trace[i - 2],
+            trace[i - 1],
+            CA_SPACING,
+            theta,
+            phi,
+        );
         trace.push(p);
     }
     trace.truncate(n);
@@ -136,8 +143,8 @@ pub fn gaussian(rng: &mut ChaCha8Rng) -> f64 {
 
 /// Circular blend of angle `a` toward angle `b` by fraction `alpha`.
 pub fn blend_angle(a: f64, b: f64, alpha: f64) -> f64 {
-    let diff = (b - a + std::f64::consts::PI).rem_euclid(std::f64::consts::TAU)
-        - std::f64::consts::PI;
+    let diff =
+        (b - a + std::f64::consts::PI).rem_euclid(std::f64::consts::TAU) - std::f64::consts::PI;
     a + alpha * diff
 }
 
@@ -151,11 +158,7 @@ const JITTER_PHI_DEG: f64 = 7.0;
 /// Generates the reference Cα trace for a sequence: exact lattice ground
 /// state, relaxed in internal coordinates toward the per-residue
 /// secondary-structure ideal with a small seeded jitter.
-pub fn generate_trace(
-    seq: &ProteinSequence,
-    secondary: &[Secondary],
-    seed: u64,
-) -> Vec<Vec3> {
+pub fn generate_trace(seq: &ProteinSequence, secondary: &[Secondary], seed: u64) -> Vec<Vec3> {
     let n = seq.len();
     assert!(n >= 4);
     // 1. Exact MJ lattice ground state (exhaustive, parallel). The scale
@@ -165,7 +168,11 @@ pub fn generate_trace(
     let hamiltonian = FoldingHamiltonian::new(
         seq.clone(),
         Default::default(),
-        qdb_lattice::hamiltonian::EnergyScale { offset: 0.0, penalty: 24.0, interaction: 1.0 },
+        qdb_lattice::hamiltonian::EnergyScale {
+            offset: 0.0,
+            penalty: 24.0,
+            interaction: 1.0,
+        },
     );
     let (ground_bits, _) = hamiltonian.ground_state();
     let conformation = hamiltonian.conformation_of(ground_bits);
@@ -193,8 +200,8 @@ pub fn generate_trace(
                 let (ideal_theta, ideal_phi) = class_geometry(ss);
                 let t = blend_angle(theta, ideal_theta, blend)
                     + gaussian(&mut rng) * JITTER_THETA_DEG * deg;
-                let p = blend_angle(phi, ideal_phi, blend)
-                    + gaussian(&mut rng) * JITTER_PHI_DEG * deg;
+                let p =
+                    blend_angle(phi, ideal_phi, blend) + gaussian(&mut rng) * JITTER_PHI_DEG * deg;
                 (t.clamp(0.35, std::f64::consts::PI - 0.05), p)
             })
             .collect();
@@ -204,9 +211,7 @@ pub fn generate_trace(
 
         // 3. Rebuild with exact spacing and accept if clash-free.
         let trace = rebuild_from_internal(n, theta2_r, &relaxed);
-        let clash = (0..n).any(|i| {
-            ((i + 2)..n).any(|j| trace[i].distance(trace[j]) < 2.9)
-        });
+        let clash = (0..n).any(|i| ((i + 2)..n).any(|j| trace[i].distance(trace[j]) < 2.9));
         if !clash || attempt == 9 {
             return trace;
         }
@@ -273,7 +278,11 @@ fn generate_reference_uncached(
     let trace: Vec<Vec3> = raw_trace.into_iter().map(|p| p - centroid).collect();
     let mut structure = build_peptide(&trace, &specs_for(seq, start_res));
     structure.center();
-    ReferenceStructure { trace, structure, secondary }
+    ReferenceStructure {
+        trace,
+        structure,
+        secondary,
+    }
 }
 
 #[cfg(test)]
@@ -323,8 +332,7 @@ mod tests {
             internal
                 .iter()
                 .map(|&(_, phi)| {
-                    (phi - target + std::f64::consts::PI)
-                        .rem_euclid(std::f64::consts::TAU)
+                    (phi - target + std::f64::consts::PI).rem_euclid(std::f64::consts::TAU)
                         - std::f64::consts::PI
                 })
                 .map(f64::abs)

@@ -15,8 +15,7 @@ fn bench_grid_build(c: &mut Criterion) {
     let receptor = generate_reference("5nkd", &seq, 689).structure;
     let rec_atoms = type_receptor(&receptor);
     let ligand = generate_ligand(9, 18);
-    let classes: Vec<AtomClass> =
-        type_ligand(&ligand).iter().map(|a| a.class()).collect();
+    let classes: Vec<AtomClass> = type_ligand(&ligand).iter().map(|a| a.class()).collect();
 
     let mut group = c.benchmark_group("grid_build");
     group.sample_size(10);

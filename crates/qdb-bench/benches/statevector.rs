@@ -3,6 +3,8 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use qdb_quantum::ansatz::{efficient_su2, Entanglement};
+use qdb_quantum::compile::CompiledCircuit;
+use qdb_quantum::exec::SimWorkspace;
 use qdb_quantum::statevector::Statevector;
 use std::hint::black_box;
 
@@ -11,8 +13,9 @@ fn bench_ansatz_evolution(c: &mut Criterion) {
     group.sample_size(10);
     for qubits in [10usize, 14, 18, 22] {
         let circuit = efficient_su2(qubits, 2, Entanglement::Linear);
-        let params: Vec<f64> =
-            (0..circuit.num_params()).map(|i| 0.1 + 0.01 * i as f64).collect();
+        let params: Vec<f64> = (0..circuit.num_params())
+            .map(|i| 0.1 + 0.01 * i as f64)
+            .collect();
         group.bench_with_input(BenchmarkId::from_parameter(qubits), &qubits, |b, _| {
             b.iter(|| {
                 let mut sv = Statevector::zero(qubits);
@@ -40,5 +43,37 @@ fn bench_diagonal_expectation(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_ansatz_evolution, bench_diagonal_expectation);
+fn bench_energy_engines(c: &mut Criterion) {
+    // Direct gate-by-gate evolution vs the compiled plan + workspace: the
+    // full VQE objective (ansatz evolution + diagonal expectation).
+    let mut group = c.benchmark_group("energy_evaluation_engine");
+    group.sample_size(10);
+    for qubits in [10usize, 16, 22] {
+        let circuit = efficient_su2(qubits, 2, Entanglement::Linear);
+        let params: Vec<f64> = (0..circuit.num_params())
+            .map(|i| 0.1 + 0.01 * i as f64)
+            .collect();
+        let diag: Vec<f64> = (0..1u64 << qubits).map(|i| (i % 997) as f64).collect();
+        group.bench_with_input(BenchmarkId::new("direct", qubits), &qubits, |b, _| {
+            b.iter(|| {
+                let mut sv = Statevector::zero(qubits);
+                sv.apply_parametric(black_box(&circuit), black_box(&params));
+                black_box(sv.expectation_diagonal(&diag))
+            })
+        });
+        let compiled = CompiledCircuit::compile(&circuit);
+        let mut ws = SimWorkspace::new(qubits);
+        group.bench_with_input(BenchmarkId::new("compiled", qubits), &qubits, |b, _| {
+            b.iter(|| black_box(ws.energy(black_box(&compiled), black_box(&params), &diag)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_ansatz_evolution,
+    bench_diagonal_expectation,
+    bench_energy_engines
+);
 criterion_main!(benches);

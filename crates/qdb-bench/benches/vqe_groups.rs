@@ -5,13 +5,18 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use qdb_lattice::hamiltonian::FoldingHamiltonian;
 use qdb_lattice::sequence::ProteinSequence;
+use qdb_quantum::compile::CompiledCircuit;
+use qdb_quantum::exec::SimWorkspace;
 use qdb_quantum::statevector::Statevector;
 use qdb_vqe::runner::build_ansatz;
 use std::hint::black_box;
 
 /// One representative fragment per group (S: 3ckz, M: 1zsf, L: 4jpy).
-const REPRESENTATIVES: [(&str, &str); 3] =
-    [("3ckz-S", "VKDRS"), ("1zsf-M", "LLDTGADDTV"), ("4jpy-L", "DYLEAYGKGGVKAK")];
+const REPRESENTATIVES: [(&str, &str); 3] = [
+    ("3ckz-S", "VKDRS"),
+    ("1zsf-M", "LLDTGADDTV"),
+    ("4jpy-L", "DYLEAYGKGGVKAK"),
+];
 
 fn bench_energy_evaluation(c: &mut Criterion) {
     let mut group = c.benchmark_group("vqe_energy_evaluation");
@@ -33,6 +38,26 @@ fn bench_energy_evaluation(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_energy_evaluation_compiled(c: &mut Criterion) {
+    // Same objective through the compiled execution engine: the plan is
+    // built once per fragment and every iteration reuses the workspace,
+    // matching what `run_vqe` actually does per optimizer step.
+    let mut group = c.benchmark_group("vqe_energy_evaluation_compiled");
+    group.sample_size(10);
+    for (label, seq) in REPRESENTATIVES {
+        let ham = FoldingHamiltonian::with_unit_scale(ProteinSequence::parse(seq).unwrap());
+        let ansatz = build_ansatz(&ham, 2);
+        let compiled = CompiledCircuit::compile(&ansatz);
+        let diag = ham.dense_diagonal();
+        let params: Vec<f64> = (0..ansatz.num_params()).map(|i| 0.03 * i as f64).collect();
+        let mut ws = SimWorkspace::new(ham.num_qubits());
+        group.bench_with_input(BenchmarkId::from_parameter(label), &label, |b, _| {
+            b.iter(|| black_box(ws.energy(black_box(&compiled), black_box(&params), &diag)))
+        });
+    }
+    group.finish();
+}
+
 fn bench_diagonal_construction(c: &mut Criterion) {
     let mut group = c.benchmark_group("hamiltonian_diagonal");
     group.sample_size(10);
@@ -45,5 +70,10 @@ fn bench_diagonal_construction(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_energy_evaluation, bench_diagonal_construction);
+criterion_group!(
+    benches,
+    bench_energy_evaluation,
+    bench_energy_evaluation_compiled,
+    bench_diagonal_construction
+);
 criterion_main!(benches);

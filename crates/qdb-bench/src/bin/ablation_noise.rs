@@ -18,7 +18,10 @@ use qdockbank::Group;
 
 fn main() {
     let records: Vec<_> = fragments_in(Group::S).into_iter().take(8).collect();
-    println!("noise-as-perturbation ablation over {} S-group fragments", records.len());
+    println!(
+        "noise-as-perturbation ablation over {} S-group fragments",
+        records.len()
+    );
     println!(
         "{:>12} {:>14} {:>16} {:>14}",
         "noise scale", "ground found", "mean gap", "mean range"

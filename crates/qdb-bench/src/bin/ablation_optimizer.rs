@@ -15,7 +15,10 @@ fn main() {
     let budget = 200usize;
     let fragments = ["VKDRS", "IQFHFH", "PWWERYQP", "AQITMGMPY"];
     println!("optimizer ablation: best VQE expectation after {budget} evaluations");
-    println!("{:<12} {:>12} {:>12} {:>12}", "sequence", "COBYLA", "Nelder-Mead", "SPSA");
+    println!(
+        "{:<12} {:>12} {:>12} {:>12}",
+        "sequence", "COBYLA", "Nelder-Mead", "SPSA"
+    );
     for s in fragments {
         let seq = ProteinSequence::parse(s).unwrap();
         let ham = FoldingHamiltonian::with_unit_scale(seq);
@@ -31,8 +34,12 @@ fn main() {
         };
 
         let cobyla = Cobyla::with_budget(budget).minimize(&mut objective, &x0).fx;
-        let nm = NelderMead::with_budget(budget).minimize(&mut objective, &x0).fx;
-        let spsa = Spsa::with_budget(budget, 7).minimize(&mut objective, &x0).fx;
+        let nm = NelderMead::with_budget(budget)
+            .minimize(&mut objective, &x0)
+            .fx;
+        let spsa = Spsa::with_budget(budget, 7)
+            .minimize(&mut objective, &x0)
+            .fx;
         let (_, ground) = ham.ground_state();
         println!(
             "{:<12} {:>12.4} {:>12.4} {:>12.4}   (exact ground {:.4})",

@@ -28,8 +28,10 @@ fn main() {
     let classify = |d: &f64| if *d < 2.0 { 'G' } else { 'R' };
     let qdev = per_residue_deviation(&c.qdock.qdock.trace, &c.qdock.reference.trace);
     let adev = per_residue_deviation(&c.af3.trace, &c.qdock.reference.trace);
-    println!("\n  per-residue deviation (G = <2 Å, R = ≥2 Å), residues {}..{}:",
-        record.residue_start, record.residue_end);
+    println!(
+        "\n  per-residue deviation (G = <2 Å, R = ≥2 Å), residues {}..{}:",
+        record.residue_start, record.residue_end
+    );
     let qcolors: String = qdev.iter().map(&classify).collect();
     let acolors: String = adev.iter().map(&classify).collect();
     println!("    QDock: {qcolors}");

@@ -12,7 +12,14 @@ fn main() {
     println!("QDockBank §4.2 dataset statistics (from the Tables 1-3 manifest)");
     println!(
         "{:>5} {:>6} {:>11} {:>11} {:>11} {:>13} {:>13} {:>13}",
-        "group", "count", "qubits", "mean-qubits", "mean-depth", "mean-E-range", "median-t(s)", "max-t(s)"
+        "group",
+        "count",
+        "qubits",
+        "mean-qubits",
+        "mean-depth",
+        "mean-E-range",
+        "median-t(s)",
+        "max-t(s)"
     );
     for group in [Group::L, Group::M, Group::S] {
         let s = group_resource_stats(group);

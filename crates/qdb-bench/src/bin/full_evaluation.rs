@@ -42,12 +42,21 @@ fn main() {
         (Group::M, "table2_M_group.txt"),
         (Group::S, "table3_S_group.txt"),
     ] {
-        emit(file, render_group_table(group, &group_rows(&comparisons, group)));
+        emit(
+            file,
+            render_group_table(group, &group_rows(&comparisons, group)),
+        );
     }
 
     // Figures 2 and 3 (scatter series).
-    emit("figure2_qdock_vs_af2.csv", render_scatter(&comparisons, AfModel::Af2));
-    emit("figure3_qdock_vs_af3.csv", render_scatter(&comparisons, AfModel::Af3));
+    emit(
+        "figure2_qdock_vs_af2.csv",
+        render_scatter(&comparisons, AfModel::Af2),
+    );
+    emit(
+        "figure3_qdock_vs_af3.csv",
+        render_scatter(&comparisons, AfModel::Af3),
+    );
 
     // Figure 4 (distribution summaries).
     emit("figure4_box_stats.txt", render_box_stats(&comparisons));
@@ -59,7 +68,10 @@ fn main() {
     emit("winrates.txt", winrate_text);
 
     // Figure 5 (interaction coverage).
-    emit("figure5_coverage.txt", render_coverage(&interaction_coverage(&records)));
+    emit(
+        "figure5_coverage.txt",
+        render_coverage(&interaction_coverage(&records)),
+    );
 
     eprintln!("all outputs written to {}", out_dir.display());
 }

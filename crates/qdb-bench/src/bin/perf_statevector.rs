@@ -1,0 +1,87 @@
+//! Headline numbers for the compiled execution engine: median wall time of
+//! one full VQE energy evaluation (EfficientSU2 reps 2, linear entanglement,
+//! diagonal expectation) through the direct gate-by-gate simulator and
+//! through the compiled plan + workspace, at 10/16/22 qubits.
+//!
+//! Writes `BENCH_statevector.json` to the current directory.
+//!
+//! ```text
+//! cargo run --release -p qdb-bench --bin perf_statevector
+//! ```
+
+use qdb_quantum::ansatz::{efficient_su2, Entanglement};
+use qdb_quantum::compile::CompiledCircuit;
+use qdb_quantum::exec::SimWorkspace;
+use qdb_quantum::statevector::Statevector;
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Median of per-evaluation times (ns) over `reps` timed runs of `f`,
+/// after `warmup` untimed runs.
+fn median_ns(warmup: usize, reps: usize, mut f: impl FnMut() -> f64) -> f64 {
+    for _ in 0..warmup {
+        black_box(f());
+    }
+    let mut samples: Vec<f64> = (0..reps)
+        .map(|_| {
+            let t0 = Instant::now();
+            black_box(f());
+            t0.elapsed().as_nanos() as f64
+        })
+        .collect();
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    samples[samples.len() / 2]
+}
+
+fn main() {
+    let mut rows = Vec::new();
+    println!(
+        "{:>7} {:>15} {:>15} {:>9}",
+        "qubits", "direct(ns)", "compiled(ns)", "speedup"
+    );
+    for qubits in [10usize, 16, 22] {
+        let circuit = efficient_su2(qubits, 2, Entanglement::Linear);
+        let params: Vec<f64> = (0..circuit.num_params())
+            .map(|i| 0.1 + 0.01 * i as f64)
+            .collect();
+        let diag: Vec<f64> = (0..1u64 << qubits).map(|i| (i % 997) as f64).collect();
+        // Fewer reps at the widest register — one 22-qubit evaluation
+        // moves 4M amplitudes through every pass.
+        let (warmup, reps) = if qubits >= 20 { (2, 9) } else { (5, 31) };
+
+        let direct = median_ns(warmup, reps, || {
+            let mut sv = Statevector::zero(qubits);
+            sv.apply_parametric(&circuit, &params);
+            sv.expectation_diagonal(&diag)
+        });
+
+        let compiled = CompiledCircuit::compile(&circuit);
+        let mut ws = SimWorkspace::new(qubits);
+        let fused = median_ns(warmup, reps, || ws.energy(&compiled, &params, &diag));
+
+        let speedup = direct / fused;
+        println!("{qubits:>7} {direct:>15.0} {fused:>15.0} {speedup:>8.2}x");
+        rows.push(serde_json::json!({
+            "qubits": qubits,
+            "direct_median_ns": direct,
+            "compiled_median_ns": fused,
+            "speedup": speedup,
+            "passes_direct": circuit.instructions().len(),
+            "passes_compiled": compiled.num_passes(),
+        }));
+    }
+
+    let report = serde_json::json!({
+        "benchmark": "energy_evaluation_engine",
+        "ansatz": "efficient_su2(reps=2, linear)",
+        "threads": rayon::current_num_threads(),
+        "rows": rows,
+    });
+    let path = "BENCH_statevector.json";
+    std::fs::write(
+        path,
+        serde_json::to_string_pretty(&report).expect("serializable"),
+    )
+    .expect("writable working directory");
+    println!("wrote {path}");
+}

@@ -18,6 +18,12 @@ fn main() {
     let records = select_records(&args, "all");
     let config = preset_from_env();
     let comparisons = run_comparisons(&records, &config);
-    print!("{}", render_win_rates(&win_rates(&comparisons, AfModel::Af2)));
-    print!("{}", render_win_rates(&win_rates(&comparisons, AfModel::Af3)));
+    print!(
+        "{}",
+        render_win_rates(&win_rates(&comparisons, AfModel::Af2))
+    );
+    print!(
+        "{}",
+        render_win_rates(&win_rates(&comparisons, AfModel::Af3))
+    );
 }

@@ -28,8 +28,11 @@ pub fn preset_name(config: &PipelineConfig) -> &'static str {
 /// Resolves CLI selectors into manifest records: each argument is a group
 /// (`S`/`M`/`L`/`all`) or a PDB id; no arguments = `default`.
 pub fn select_records(args: &[String], default: &str) -> Vec<&'static FragmentRecord> {
-    let tokens: Vec<String> =
-        if args.is_empty() { vec![default.to_string()] } else { args.to_vec() };
+    let tokens: Vec<String> = if args.is_empty() {
+        vec![default.to_string()]
+    } else {
+        args.to_vec()
+    };
     let mut out: Vec<&'static FragmentRecord> = Vec::new();
     for token in tokens {
         match token.as_str() {
@@ -75,6 +78,9 @@ pub fn group_rows(comparisons: &[FragmentComparison], group: Group) -> Vec<Group
     comparisons
         .iter()
         .filter(|c| c.record.group() == group)
-        .map(|c| GroupTableRow { record: c.record, quantum: c.qdock.quantum.clone() })
+        .map(|c| GroupTableRow {
+            record: c.record,
+            quantum: c.qdock.quantum.clone(),
+        })
         .collect()
 }

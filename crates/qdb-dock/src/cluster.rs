@@ -75,7 +75,12 @@ pub fn cluster_poses(
                 Some(b) => (rmsd_lower_bound(b, &coords), rmsd_upper_bound(b, &coords)),
                 None => (0.0, 0.0),
             };
-            ScoredPose { coords, affinity, rmsd_lb: lb, rmsd_ub: ub }
+            ScoredPose {
+                coords,
+                affinity,
+                rmsd_lb: lb,
+                rmsd_ub: ub,
+            }
         })
         .collect()
 }
@@ -105,8 +110,14 @@ mod tests {
         let a = pose(0.0);
         let mut b = a.clone();
         b.reverse(); // same atom cloud, different order
-        assert!(rmsd_upper_bound(&a, &b) > 1.0, "identity mapping sees a big change");
-        assert!(rmsd_lower_bound(&a, &b) < 1e-9, "nearest matching sees none");
+        assert!(
+            rmsd_upper_bound(&a, &b) > 1.0,
+            "identity mapping sees a big change"
+        );
+        assert!(
+            rmsd_lower_bound(&a, &b) < 1e-9,
+            "nearest matching sees none"
+        );
     }
 
     #[test]
@@ -137,8 +148,9 @@ mod tests {
 
     #[test]
     fn clustering_truncates() {
-        let candidates: Vec<(Vec<Vec3>, f64)> =
-            (0..20).map(|i| (pose(i as f64 * 2.0), -(i as f64))).collect();
+        let candidates: Vec<(Vec<Vec3>, f64)> = (0..20)
+            .map(|i| (pose(i as f64 * 2.0), -(i as f64)))
+            .collect();
         let out = cluster_poses(candidates, 0.5, 7);
         assert_eq!(out.len(), 7);
     }

@@ -67,7 +67,12 @@ impl Default for DockParams {
 impl DockParams {
     /// Reduced-budget settings for tests.
     pub fn fast() -> Self {
-        Self { exhaustiveness: 3, mc_steps: 20, refine_evals: 60, ..Default::default() }
+        Self {
+            exhaustiveness: 3,
+            mc_steps: 20,
+            refine_evals: 60,
+            ..Default::default()
+        }
     }
 }
 
@@ -187,7 +192,13 @@ pub fn dock(receptor: &Structure, ligand: &Ligand, params: &DockParams, seed: u6
 
     let classes: Vec<AtomClass> = ligand_template.iter().map(|a| a.class()).collect();
     let grids = params.use_grids.then(|| {
-        GridMaps::build(&receptor_atoms, &classes, params.center, params.box_size, params.spacing)
+        GridMaps::build(
+            &receptor_atoms,
+            &classes,
+            params.center,
+            params.box_size,
+            params.spacing,
+        )
     });
 
     let search = SearchParams {
@@ -209,7 +220,9 @@ pub fn dock(receptor: &Structure, ligand: &Ligand, params: &DockParams, seed: u6
     let candidates: Vec<(Vec<Vec3>, f64)> = (0..params.exhaustiveness as u64)
         .into_par_iter()
         .flat_map_iter(|chain| {
-            let mut rng = ChaCha8Rng::seed_from_u64(seed ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(chain + 1)));
+            let mut rng = ChaCha8Rng::seed_from_u64(
+                seed ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(chain + 1)),
+            );
             let energy_of = |pose: &crate::pose::Pose| {
                 let coords = pose.apply(ligand);
                 let atoms = retype_positions(&ligand_template, &coords);
@@ -218,12 +231,7 @@ pub fn dock(receptor: &Structure, ligand: &Ligand, params: &DockParams, seed: u6
             let accepted = if params.local_only {
                 crate::search::local_chain(&search, ligand.centroid(), n_rot, energy_of, &mut rng)
             } else {
-                mc_chain(
-                &search,
-                n_rot,
-                energy_of,
-                &mut rng,
-            )
+                mc_chain(&search, n_rot, energy_of, &mut rng)
             };
             accepted.into_iter().map(|(pose, _)| {
                 let coords = pose.apply(ligand);
@@ -250,7 +258,14 @@ pub fn dock_replicates(
     num_runs: usize,
 ) -> DockOutcome {
     let runs: Vec<DockRun> = (0..num_runs as u64)
-        .map(|i| dock(receptor, ligand, params, base_seed.wrapping_add(i * 0x1000_0000_0001)))
+        .map(|i| {
+            dock(
+                receptor,
+                ligand,
+                params,
+                base_seed.wrapping_add(i * 0x1000_0000_0001),
+            )
+        })
         .collect();
     DockOutcome { runs }
 }
@@ -317,8 +332,7 @@ mod tests {
         let c = dock(&rec, &lig, &DockParams::fast(), 4);
         // Different seed explores differently (affinities may rarely tie).
         assert!(
-            (a.best_affinity() - c.best_affinity()).abs() > 1e-12
-                || a.poses.len() != c.poses.len()
+            (a.best_affinity() - c.best_affinity()).abs() > 1e-12 || a.poses.len() != c.poses.len()
         );
     }
 
@@ -331,8 +345,7 @@ mod tests {
         params.mc_steps = 8;
         let outcome = dock_replicates(&rec, &lig, &params, 100, 3);
         assert_eq!(outcome.runs.len(), 3);
-        let seeds: std::collections::HashSet<u64> =
-            outcome.runs.iter().map(|r| r.seed).collect();
+        let seeds: std::collections::HashSet<u64> = outcome.runs.iter().map(|r| r.seed).collect();
         assert_eq!(seeds.len(), 3);
         assert!(outcome.mean_best_affinity() <= outcome.runs[0].best_affinity() + 5.0);
         assert!(outcome.best_affinity() <= outcome.mean_best_affinity());
@@ -389,7 +402,12 @@ mod tests {
         let lig = generate_ligand(21, 14);
         let run = dock(&rec, &lig, &DockParams::fast(), 5);
         for p in &run.poses {
-            assert!(p.rmsd_lb <= p.rmsd_ub + 1e-9, "lb {} > ub {}", p.rmsd_lb, p.rmsd_ub);
+            assert!(
+                p.rmsd_lb <= p.rmsd_ub + 1e-9,
+                "lb {} > ub {}",
+                p.rmsd_lb,
+                p.rmsd_ub
+            );
         }
     }
 }

@@ -77,7 +77,10 @@ impl GridMaps {
                                 origin.y + iy as f64 * spacing,
                                 origin.z + iz as f64 * spacing,
                             );
-                            let probe = TypedAtom { pos, ..probe_template };
+                            let probe = TypedAtom {
+                                pos,
+                                ..probe_template
+                            };
                             receptor
                                 .iter()
                                 .filter(|r| r.pos.distance(pos) <= CUTOFF)
@@ -89,7 +92,15 @@ impl GridMaps {
                 .collect();
             fields.insert(class, Field { values });
         }
-        GridMaps { origin, spacing, nx, ny, nz, fields, receptor: receptor.to_vec() }
+        GridMaps {
+            origin,
+            spacing,
+            nx,
+            ny,
+            nz,
+            fields,
+            receptor: receptor.to_vec(),
+        }
     }
 
     /// Grid dimensions `(nx, ny, nz)`.
@@ -103,7 +114,12 @@ impl GridMaps {
         let max_x = (self.nx - 1) as f64 * self.spacing;
         let max_y = (self.ny - 1) as f64 * self.spacing;
         let max_z = (self.nz - 1) as f64 * self.spacing;
-        rel.x >= 0.0 && rel.y >= 0.0 && rel.z >= 0.0 && rel.x <= max_x && rel.y <= max_y && rel.z <= max_z
+        rel.x >= 0.0
+            && rel.y >= 0.0
+            && rel.z >= 0.0
+            && rel.x <= max_x
+            && rel.y <= max_y
+            && rel.z <= max_z
     }
 
     #[inline]
@@ -123,11 +139,7 @@ impl GridMaps {
                 donor: class.donor,
                 acceptor: class.acceptor,
             };
-            let direct: f64 = self
-                .receptor
-                .iter()
-                .map(|r| pair_energy(&probe, r))
-                .sum();
+            let direct: f64 = self.receptor.iter().map(|r| pair_energy(&probe, r)).sum();
             return direct + self.wall_penalty(pos);
         }
         let field = &self.fields[&class];
@@ -200,7 +212,13 @@ mod tests {
     }
 
     fn lig_atom(pos: Vec3) -> TypedAtom {
-        TypedAtom { pos, radius: 1.9, hydrophobic: true, donor: false, acceptor: true }
+        TypedAtom {
+            pos,
+            radius: 1.9,
+            hydrophobic: true,
+            donor: false,
+            acceptor: true,
+        }
     }
 
     #[test]
@@ -234,7 +252,13 @@ mod tests {
     fn outside_box_falls_back_with_wall() {
         let receptor = receptor_cluster();
         let class = lig_atom(Vec3::ZERO).class();
-        let grids = GridMaps::build(&receptor, &[class], Vec3::ZERO, Vec3::new(8.0, 8.0, 8.0), 0.5);
+        let grids = GridMaps::build(
+            &receptor,
+            &[class],
+            Vec3::ZERO,
+            Vec3::new(8.0, 8.0, 8.0),
+            0.5,
+        );
         let outside = Vec3::new(10.0, 0.0, 0.0);
         assert!(!grids.contains(outside));
         let e = grids.energy_at(class, outside);
@@ -246,8 +270,13 @@ mod tests {
     fn dims_cover_box() {
         let receptor = receptor_cluster();
         let class = lig_atom(Vec3::ZERO).class();
-        let grids =
-            GridMaps::build(&receptor, &[class], Vec3::ZERO, Vec3::new(12.0, 9.0, 6.0), 0.75);
+        let grids = GridMaps::build(
+            &receptor,
+            &[class],
+            Vec3::ZERO,
+            Vec3::new(12.0, 9.0, 6.0),
+            0.75,
+        );
         let (nx, ny, nz) = grids.dims();
         assert_eq!(nx, 17);
         assert_eq!(ny, 13);
@@ -259,12 +288,23 @@ mod tests {
     #[test]
     fn ligand_energy_sums_atoms() {
         let receptor = receptor_cluster();
-        let atoms = vec![lig_atom(Vec3::new(3.5, 0.0, 0.0)), lig_atom(Vec3::new(0.0, 3.5, 0.5))];
+        let atoms = vec![
+            lig_atom(Vec3::new(3.5, 0.0, 0.0)),
+            lig_atom(Vec3::new(0.0, 3.5, 0.5)),
+        ];
         let classes: Vec<AtomClass> = atoms.iter().map(|a| a.class()).collect();
-        let grids =
-            GridMaps::build(&receptor, &classes, Vec3::ZERO, Vec3::new(14.0, 14.0, 14.0), 0.25);
+        let grids = GridMaps::build(
+            &receptor,
+            &classes,
+            Vec3::ZERO,
+            Vec3::new(14.0, 14.0, 14.0),
+            0.25,
+        );
         let total = grids.ligand_energy(&atoms);
-        let manual: f64 = atoms.iter().map(|a| grids.energy_at(a.class(), a.pos)).sum();
+        let manual: f64 = atoms
+            .iter()
+            .map(|a| grids.energy_at(a.class(), a.pos))
+            .sum();
         assert!((total - manual).abs() < 1e-12);
     }
 }

@@ -9,11 +9,7 @@ use crate::pose::Pose;
 
 /// Refines `pose` against `energy`, returning the improved pose and its
 /// energy. `max_evals` bounds objective calls.
-pub fn refine<F: FnMut(&Pose) -> f64>(
-    pose: &Pose,
-    mut energy: F,
-    max_evals: usize,
-) -> (Pose, f64) {
+pub fn refine<F: FnMut(&Pose) -> f64>(pose: &Pose, mut energy: F, max_evals: usize) -> (Pose, f64) {
     let mut best = pose.clone();
     let mut best_e = energy(&best);
     let mut evals = 1usize;

@@ -249,34 +249,39 @@ pub fn write_ligand_pdbqt(ligand: &Ligand) -> String {
     };
 
     let mut out = String::new();
-    let _ = writeln!(out, "REMARK  QDockBank-rs ligand, {} active torsions", ligand.num_rotatable());
+    let _ = writeln!(
+        out,
+        "REMARK  QDockBank-rs ligand, {} active torsions",
+        ligand.num_rotatable()
+    );
     let mut serial = 1usize;
     let mut atom_serial: Vec<usize> = vec![0; n];
-    let emit_atoms = |out: &mut String, serial: &mut usize, atom_serial: &mut Vec<usize>, atoms: &[usize]| {
-        let mut counters = std::collections::HashMap::new();
-        for &i in atoms {
-            let atom = &ligand.atoms[i];
-            let k = counters.entry(atom.element).or_insert(0usize);
-            *k += 1;
-            let name = format!("{}{}", atom.element.symbol(), i + 1);
-            let _ = writeln!(
-                out,
-                "{}",
-                format_pdbqt_atom(
-                    *serial,
-                    &name,
-                    "LIG",
-                    'L',
-                    1,
-                    atom.pos.to_array(),
-                    ligand_charge(atom),
-                    ligand_ad_type(atom),
-                )
-            );
-            atom_serial[i] = *serial;
-            *serial += 1;
-        }
-    };
+    let emit_atoms =
+        |out: &mut String, serial: &mut usize, atom_serial: &mut Vec<usize>, atoms: &[usize]| {
+            let mut counters = std::collections::HashMap::new();
+            for &i in atoms {
+                let atom = &ligand.atoms[i];
+                let k = counters.entry(atom.element).or_insert(0usize);
+                *k += 1;
+                let name = format!("{}{}", atom.element.symbol(), i + 1);
+                let _ = writeln!(
+                    out,
+                    "{}",
+                    format_pdbqt_atom(
+                        *serial,
+                        &name,
+                        "LIG",
+                        'L',
+                        1,
+                        atom.pos.to_array(),
+                        ligand_charge(atom),
+                        ligand_ad_type(atom),
+                    )
+                );
+                atom_serial[i] = *serial;
+                *serial += 1;
+            }
+        };
 
     // ROOT block.
     let root_atoms: Vec<usize> = (0..n).filter(|&i| owner[i].is_none()).collect();
@@ -427,7 +432,11 @@ mod tests {
             .filter(|l| l.starts_with("ATOM"))
             .map(|l| l[30..38].trim().parse::<f64>().unwrap())
             .collect();
-        let mut xs_src: Vec<f64> = lig.atoms.iter().map(|a| (a.pos.x * 1000.0).round() / 1000.0).collect();
+        let mut xs_src: Vec<f64> = lig
+            .atoms
+            .iter()
+            .map(|a| (a.pos.x * 1000.0).round() / 1000.0)
+            .collect();
         xs_pdbqt.sort_by(|a, b| a.partial_cmp(b).unwrap());
         xs_src.sort_by(|a, b| a.partial_cmp(b).unwrap());
         for (a, b) in xs_pdbqt.iter().zip(&xs_src) {

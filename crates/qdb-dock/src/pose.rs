@@ -18,7 +18,11 @@ pub struct Pose {
 impl Pose {
     /// The identity pose at a given position.
     pub fn at(position: Vec3, num_torsions: usize) -> Pose {
-        Pose { position, orientation: Quat::IDENTITY, torsions: vec![0.0; num_torsions] }
+        Pose {
+            position,
+            orientation: Quat::IDENTITY,
+            torsions: vec![0.0; num_torsions],
+        }
     }
 
     /// Total degrees of freedom (3 translation + 3 rotation + torsions).
@@ -79,7 +83,9 @@ mod tests {
         let target = Vec3::new(5.0, -2.0, 1.0);
         let pose = Pose::at(target, lig.num_rotatable());
         let coords = pose.apply(&lig);
-        let centroid = coords.iter().fold(Vec3::ZERO, |acc, &p| acc + p / coords.len() as f64);
+        let centroid = coords
+            .iter()
+            .fold(Vec3::ZERO, |acc, &p| acc + p / coords.len() as f64);
         assert!((centroid - target).norm() < 1e-9);
     }
 
@@ -124,7 +130,11 @@ mod tests {
         let pose = Pose::at(Vec3::ZERO, lig.num_rotatable());
         for dof in 0..pose.dof() {
             let nudged = pose.nudge(dof, 0.3);
-            assert_ne!(nudged.apply(&lig), pose.apply(&lig), "DOF {dof} had no effect");
+            assert_ne!(
+                nudged.apply(&lig),
+                pose.apply(&lig),
+                "DOF {dof} had no effect"
+            );
         }
     }
 }

@@ -124,7 +124,13 @@ mod tests {
     use qdb_mol::geometry::Vec3;
 
     fn atom(x: f64, hydrophobic: bool, donor: bool, acceptor: bool) -> TypedAtom {
-        TypedAtom { pos: Vec3::new(x, 0.0, 0.0), radius: 1.9, hydrophobic, donor, acceptor }
+        TypedAtom {
+            pos: Vec3::new(x, 0.0, 0.0),
+            radius: 1.9,
+            hydrophobic,
+            donor,
+            acceptor,
+        }
     }
 
     #[test]
@@ -137,7 +143,10 @@ mod tests {
         // Deep overlap: repulsion dominates.
         let overlapping = atom(1.0, false, false, false);
         let e_overlap = pair_energy(&a, &overlapping);
-        assert!(e_overlap > 1.0, "overlap should strongly repel, got {e_overlap}");
+        assert!(
+            e_overlap > 1.0,
+            "overlap should strongly repel, got {e_overlap}"
+        );
     }
 
     #[test]
@@ -153,7 +162,10 @@ mod tests {
     fn hydrophobic_term_requires_both() {
         let d = 3.8 + 0.3; // d = 0.3, inside the hydrophobic ramp
         let hh = pair_terms(&atom(0.0, true, false, false), &atom(d, true, false, false));
-        let hp = pair_terms(&atom(0.0, true, false, false), &atom(d, false, false, false));
+        let hp = pair_terms(
+            &atom(0.0, true, false, false),
+            &atom(d, false, false, false),
+        );
         assert!(hh.hydrophobic > 0.0);
         assert_eq!(hp.hydrophobic, 0.0);
     }
@@ -166,13 +178,21 @@ mod tests {
         assert!(da.hbond > 0.0 && da.hbond < 1.0);
         assert_eq!(dd.hbond, 0.0);
         // Full strength below -0.7.
-        let tight = pair_terms(&atom(0.0, false, true, false), &atom(2.9, false, false, true));
+        let tight = pair_terms(
+            &atom(0.0, false, true, false),
+            &atom(2.9, false, false, true),
+        );
         assert_eq!(tight.hbond, 1.0);
     }
 
     #[test]
     fn gauss_terms_peak_at_expected_distances() {
-        let probe = |sep: f64| pair_terms(&atom(0.0, false, false, false), &atom(sep, false, false, false));
+        let probe = |sep: f64| {
+            pair_terms(
+                &atom(0.0, false, false, false),
+                &atom(sep, false, false, false),
+            )
+        };
         // gauss1 peaks at d=0 (sep = 3.8).
         assert!(probe(3.8).gauss1 > probe(4.3).gauss1);
         assert!(probe(3.8).gauss1 > probe(3.3).gauss1);

@@ -134,7 +134,11 @@ pub fn local_chain<F: FnMut(&Pose) -> f64>(
     for _ in 0..params.steps.min(12) {
         let dof = current.dof();
         let which = rng.gen_range(0..dof);
-        let delta = if which < 3 { rng.gen_range(-0.5..0.5) } else { rng.gen_range(-0.3..0.3) };
+        let delta = if which < 3 {
+            rng.gen_range(-0.5..0.5)
+        } else {
+            rng.gen_range(-0.3..0.3)
+        };
         let proposal = current.nudge(which, delta);
         let (candidate, cand_e) = refine(&proposal, &mut energy, params.refine_evals / 2);
         let accept = cand_e <= current_e
@@ -183,25 +187,39 @@ mod tests {
     fn chain_descends_toward_minimum() {
         // Simple bowl: energy = distance² to a target inside the box.
         let target = Vec3::new(2.0, -3.0, 1.0);
-        let params = SearchParams { steps: 30, ..Default::default() };
+        let params = SearchParams {
+            steps: 30,
+            ..Default::default()
+        };
         let mut rng = ChaCha8Rng::seed_from_u64(3);
         let accepted = mc_chain(&params, 0, |p| (p.position - target).norm_sq(), &mut rng);
         let best = accepted
             .iter()
             .map(|(_, e)| *e)
             .fold(f64::INFINITY, f64::min);
-        assert!(best < 0.5, "chain should find the bowl minimum, best {best}");
+        assert!(
+            best < 0.5,
+            "chain should find the bowl minimum, best {best}"
+        );
     }
 
     #[test]
     fn chain_is_seed_deterministic() {
-        let params = SearchParams { steps: 10, ..Default::default() };
+        let params = SearchParams {
+            steps: 10,
+            ..Default::default()
+        };
         let run = |seed: u64| {
             let mut rng = ChaCha8Rng::seed_from_u64(seed);
-            mc_chain(&params, 1, |p| p.position.norm_sq() + p.torsions[0].powi(2), &mut rng)
-                .last()
-                .map(|(_, e)| *e)
-                .unwrap()
+            mc_chain(
+                &params,
+                1,
+                |p| p.position.norm_sq() + p.torsions[0].powi(2),
+                &mut rng,
+            )
+            .last()
+            .map(|(_, e)| *e)
+            .unwrap()
         };
         assert_eq!(run(7), run(7));
         assert_ne!(run(7), run(8));

@@ -102,7 +102,13 @@ pub fn type_receptor(receptor: &Structure) -> Vec<TypedAtom> {
                 Element::S => (true, false, false),
                 _ => (false, false, false),
             };
-            out.push(TypedAtom { pos: atom.pos, radius, hydrophobic, donor, acceptor });
+            out.push(TypedAtom {
+                pos: atom.pos,
+                radius,
+                hydrophobic,
+                donor,
+                acceptor,
+            });
         }
     }
     out
@@ -169,7 +175,11 @@ mod tests {
     fn receptor_typing_covers_all_heavy_atoms() {
         let r = toy_receptor();
         let typed = type_receptor(&r);
-        assert_eq!(typed.len(), r.num_atoms(), "no hydrogens in the builder output");
+        assert_eq!(
+            typed.len(),
+            r.num_atoms(),
+            "no hydrogens in the builder output"
+        );
         assert!(typed.iter().any(|a| a.hydrophobic), "carbons present");
         assert!(typed.iter().any(|a| a.donor), "backbone N present");
         assert!(typed.iter().any(|a| a.acceptor), "carbonyl O present");
@@ -189,8 +199,17 @@ mod tests {
 
     #[test]
     fn class_groups_by_traits() {
-        let a = TypedAtom { pos: Vec3::ZERO, radius: 1.9, hydrophobic: true, donor: false, acceptor: false };
-        let b = TypedAtom { pos: Vec3::new(1.0, 0.0, 0.0), ..a };
+        let a = TypedAtom {
+            pos: Vec3::ZERO,
+            radius: 1.9,
+            hydrophobic: true,
+            donor: false,
+            acceptor: false,
+        };
+        let b = TypedAtom {
+            pos: Vec3::new(1.0, 0.0, 0.0),
+            ..a
+        };
         assert_eq!(a.class(), b.class());
         let c = TypedAtom { radius: 1.8, ..a };
         assert_ne!(a.class(), c.class());
@@ -201,7 +220,11 @@ mod tests {
     fn retype_moves_positions_only() {
         let l = generate_ligand(4, 12);
         let typed = type_ligand(&l);
-        let moved: Vec<Vec3> = l.positions().iter().map(|&p| p + Vec3::new(1.0, 2.0, 3.0)).collect();
+        let moved: Vec<Vec3> = l
+            .positions()
+            .iter()
+            .map(|&p| p + Vec3::new(1.0, 2.0, 3.0))
+            .collect();
         let retyped = retype_positions(&typed, &moved);
         for (a, b) in typed.iter().zip(&retyped) {
             assert_eq!(a.radius, b.radius);

@@ -17,13 +17,15 @@ fn arb_atom() -> impl Strategy<Value = TypedAtom> {
         any::<bool>(),
         any::<bool>(),
     )
-        .prop_map(|((x, y, z), radius, hydrophobic, donor, acceptor)| TypedAtom {
-            pos: Vec3::new(x, y, z),
-            radius,
-            hydrophobic,
-            donor,
-            acceptor,
-        })
+        .prop_map(
+            |((x, y, z), radius, hydrophobic, donor, acceptor)| TypedAtom {
+                pos: Vec3::new(x, y, z),
+                radius,
+                hydrophobic,
+                donor,
+                acceptor,
+            },
+        )
 }
 
 fn arb_cloud(n: usize) -> impl Strategy<Value = Vec<Vec3>> {

@@ -55,7 +55,12 @@ pub struct Lambdas {
 
 impl Default for Lambdas {
     fn default() -> Self {
-        Self { chirality: 1.0, geometry: 1.0, overlap: 1.0, interaction: 1.0 }
+        Self {
+            chirality: 1.0,
+            geometry: 1.0,
+            overlap: 1.0,
+            interaction: 1.0,
+        }
     }
 }
 
@@ -131,7 +136,11 @@ impl Conformation {
     pub fn radius_of_gyration(&self) -> f64 {
         let n = self.positions.len() as f64;
         let mean: [f64; 3] = self.positions.iter().fold([0.0; 3], |acc, p| {
-            [acc[0] + p[0] as f64 / n, acc[1] + p[1] as f64 / n, acc[2] + p[2] as f64 / n]
+            [
+                acc[0] + p[0] as f64 / n,
+                acc[1] + p[1] as f64 / n,
+                acc[2] + p[2] as f64 / n,
+            ]
         });
         let msq: f64 = self
             .positions
@@ -148,7 +157,10 @@ impl Conformation {
 
     /// End-to-end squared distance in lattice units.
     pub fn end_to_end_sq(&self) -> i64 {
-        dist_sq(self.positions[0], *self.positions.last().expect("non-empty"))
+        dist_sq(
+            self.positions[0],
+            *self.positions.last().expect("non-empty"),
+        )
     }
 
     /// Computes the per-term energy breakdown against a sequence.
@@ -160,7 +172,11 @@ impl Conformation {
         seq: &ProteinSequence,
         matrix: &ContactMatrix,
     ) -> EnergyBreakdown {
-        assert_eq!(seq.len(), self.len(), "sequence/conformation length mismatch");
+        assert_eq!(
+            seq.len(),
+            self.len(),
+            "sequence/conformation length mismatch"
+        );
         let interaction: f64 = self
             .contacts()
             .iter()
@@ -217,7 +233,11 @@ mod tests {
             if c.is_self_avoiding() && !c.contacts().is_empty() {
                 for &(i, j) in &c.contacts() {
                     assert!(j - i >= 3);
-                    assert_eq!((j - i) % 2, 1, "diamond-lattice contacts are odd-separation");
+                    assert_eq!(
+                        (j - i) % 2,
+                        1,
+                        "diamond-lattice contacts are odd-separation"
+                    );
                 }
                 found = true;
                 break;
@@ -239,7 +259,10 @@ mod tests {
             if c.is_self_avoiding() && !c.contacts().is_empty() {
                 let eh = c.energy_breakdown(&hydrophobic, matrix).interaction;
                 let ep = c.energy_breakdown(&polar, matrix).interaction;
-                assert!(eh < ep, "hydrophobic contacts must be stronger: {eh} vs {ep}");
+                assert!(
+                    eh < ep,
+                    "hydrophobic contacts must be stronger: {eh} vs {ep}"
+                );
                 return;
             }
         }
@@ -248,10 +271,18 @@ mod tests {
 
     #[test]
     fn breakdown_total_weights() {
-        let b = EnergyBreakdown { chirality: 2.0, geometry: 0.0, overlap: 1.0, interaction: -3.0 };
+        let b = EnergyBreakdown {
+            chirality: 2.0,
+            geometry: 0.0,
+            overlap: 1.0,
+            interaction: -3.0,
+        };
         let total = b.total(&Lambdas::default());
         assert_eq!(total, 0.0);
-        let heavy = Lambdas { overlap: 10.0, ..Default::default() };
+        let heavy = Lambdas {
+            overlap: 10.0,
+            ..Default::default()
+        };
         assert_eq!(b.total(&heavy), 2.0 + 10.0 - 3.0);
     }
 

@@ -69,7 +69,10 @@ impl CaTrace {
     /// 3.8 Å) within `tol`.
     pub fn bonds_ok(&self, tol: f64) -> bool {
         self.coords.windows(2).all(|w| {
-            let d: f64 = (0..3).map(|k| (w[1][k] - w[0][k]).powi(2)).sum::<f64>().sqrt();
+            let d: f64 = (0..3)
+                .map(|k| (w[1][k] - w[0][k]).powi(2))
+                .sum::<f64>()
+                .sqrt();
             (d - CA_CA_ANGSTROM).abs() <= tol
         })
     }

@@ -25,7 +25,10 @@ impl TurnEncoding {
     /// # Panics
     /// Panics below 4 residues (no free turns) or above 30.
     pub fn new(num_residues: usize) -> Self {
-        assert!((4..=30).contains(&num_residues), "unsupported length {num_residues}");
+        assert!(
+            (4..=30).contains(&num_residues),
+            "unsupported length {num_residues}"
+        );
         Self { num_residues }
     }
 

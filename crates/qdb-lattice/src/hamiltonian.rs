@@ -42,7 +42,11 @@ impl EnergyScale {
     /// Unit scale: no offset, penalty 10, interaction 1 — used by tests and
     /// anywhere absolute calibration is irrelevant.
     pub fn unit() -> Self {
-        Self { offset: 0.0, penalty: 10.0, interaction: 1.0 }
+        Self {
+            offset: 0.0,
+            penalty: 10.0,
+            interaction: 1.0,
+        }
     }
 
     /// Paper-calibrated scale for a fragment allocated `physical_qubits`
@@ -51,7 +55,11 @@ impl EnergyScale {
     /// ≈30–40% optimization energy ranges of Tables 1–3).
     pub fn calibrated(physical_qubits: usize) -> Self {
         let s = 10.4 * (physical_qubits as f64 / 12.0).powf(3.6);
-        Self { offset: s, penalty: 0.12 * s, interaction: 0.005 * s }
+        Self {
+            offset: s,
+            penalty: 0.12 * s,
+            interaction: 0.005 * s,
+        }
     }
 
     /// Applies the scale to a raw breakdown under λ weights.
@@ -76,7 +84,12 @@ impl FoldingHamiltonian {
     /// Builds the Hamiltonian with explicit weights and scale.
     pub fn new(seq: ProteinSequence, lambdas: Lambdas, scale: EnergyScale) -> Self {
         let encoding = TurnEncoding::new(seq.len());
-        Self { seq, encoding, lambdas, scale }
+        Self {
+            seq,
+            encoding,
+            lambdas,
+            scale,
+        }
     }
 
     /// Paper defaults: all λ = 1, unit scale.
@@ -190,7 +203,10 @@ mod tests {
                 c.is_self_avoiding(),
                 "{s}: ground state must not pay penalties"
             );
-            assert!(energy <= 0.0, "{s}: ground energy {energy} should be ≤ 0 (contacts or none)");
+            assert!(
+                energy <= 0.0,
+                "{s}: ground energy {energy} should be ≤ 0 (contacts or none)"
+            );
         }
     }
 
@@ -252,9 +268,9 @@ mod tests {
     fn calibrated_scale_reproduces_paper_magnitudes() {
         // Lowest-energy magnitudes from Tables 1–3, by physical qubit count.
         let cases = [
-            (12, 10.4, 2.0),    // 5-mers: ~10.4
-            (63, 4200.0, 2.0),  // 10-mers: ~3800–4700
-            (102, 23000.0, 1.3),// 14-mers: ~21000–24200
+            (12, 10.4, 2.0),     // 5-mers: ~10.4
+            (63, 4200.0, 2.0),   // 10-mers: ~3800–4700
+            (102, 23000.0, 1.3), // 14-mers: ~21000–24200
         ];
         for (q, expect, tol) in cases {
             let s = EnergyScale::calibrated(q).offset;

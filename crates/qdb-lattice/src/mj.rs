@@ -108,12 +108,17 @@ mod tests {
     fn hydrophobic_pairs_attract_most() {
         let m = ContactMatrix::miyazawa_jernigan();
         let (a, b, e) = m.strongest_pair();
-        assert!(a.is_hydrophobic() && b.is_hydrophobic(), "strongest pair {a}{b}");
-        assert!(e < -4.0, "hydrophobic core should be strongly attractive, got {e}");
+        assert!(
+            a.is_hydrophobic() && b.is_hydrophobic(),
+            "strongest pair {a}{b}"
+        );
+        assert!(
+            e < -4.0,
+            "hydrophobic core should be strongly attractive, got {e}"
+        );
         // Ile–Ile stronger than Ser–Ser.
         assert!(
-            m.energy(AminoAcid::Ile, AminoAcid::Ile)
-                < m.energy(AminoAcid::Ser, AminoAcid::Ser)
+            m.energy(AminoAcid::Ile, AminoAcid::Ile) < m.energy(AminoAcid::Ser, AminoAcid::Ser)
         );
     }
 
@@ -141,7 +146,10 @@ mod tests {
             }
         }
         let mean = m.mean();
-        assert!((-5.0..=-1.0).contains(&mean), "mean {mean} should be attractive");
+        assert!(
+            (-5.0..=-1.0).contains(&mean),
+            "mean {mean} should be attractive"
+        );
     }
 
     #[test]

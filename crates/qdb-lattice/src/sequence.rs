@@ -19,7 +19,9 @@ impl fmt::Display for SequenceError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             SequenceError::InvalidResidue(c) => write!(f, "invalid residue character {c:?}"),
-            SequenceError::TooShort(n) => write!(f, "sequence of {n} residues is too short (min 4)"),
+            SequenceError::TooShort(n) => {
+                write!(f, "sequence of {n} residues is too short (min 4)")
+            }
             SequenceError::TooLong(n) => write!(f, "sequence of {n} residues is too long (max 30)"),
         }
     }

@@ -16,12 +16,7 @@
 pub type LatticePoint = [i32; 3];
 
 /// The four tetrahedral direction vectors.
-pub const DIRECTIONS: [LatticePoint; 4] = [
-    [1, 1, 1],
-    [1, -1, -1],
-    [-1, 1, -1],
-    [-1, -1, 1],
-];
+pub const DIRECTIONS: [LatticePoint; 4] = [[1, 1, 1], [1, -1, -1], [-1, 1, -1], [-1, -1, 1]];
 
 /// A turn choice t ∈ {0,1,2,3}.
 pub type Turn = u8;

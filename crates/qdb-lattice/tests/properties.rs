@@ -10,10 +10,9 @@ use qdb_lattice::sequence::ProteinSequence;
 use qdb_lattice::tetra::{dist_sq, walk, BOND_LEN_SQ};
 
 fn arb_sequence(len: std::ops::Range<usize>) -> impl Strategy<Value = ProteinSequence> {
-    proptest::collection::vec(0usize..20, len)
-        .prop_map(|idx| {
-            ProteinSequence::new(idx.into_iter().map(|i| ALL_AMINO_ACIDS[i]).collect()).unwrap()
-        })
+    proptest::collection::vec(0usize..20, len).prop_map(|idx| {
+        ProteinSequence::new(idx.into_iter().map(|i| ALL_AMINO_ACIDS[i]).collect()).unwrap()
+    })
 }
 
 proptest! {

@@ -30,7 +30,10 @@ fn solve_height(ca_ca: f64) -> f64 {
     let target = ca_ca - C_N;
     let f = |h: f64| (CA_C * CA_C - h * h).sqrt() + (N_CA * N_CA - h * h).sqrt() - target;
     let (mut lo, mut hi) = (0.0f64, N_CA - 1e-9);
-    assert!(f(lo) > 0.0, "trace spacing {ca_ca} too long for peptide geometry");
+    assert!(
+        f(lo) > 0.0,
+        "trace spacing {ca_ca} too long for peptide geometry"
+    );
     for _ in 0..80 {
         let mid = 0.5 * (lo + hi);
         if f(mid) > 0.0 {
@@ -135,8 +138,14 @@ pub fn build_peptide(trace: &[Vec3], specs: &[ResidueSpec]) -> Structure {
     let nb = t.len();
     let lens: Vec<f64> = ext.windows(2).map(|w| (w[1] - w[0]).norm()).collect();
     let heights: Vec<f64> = lens.iter().map(|&l| solve_height(l)).collect();
-    let xns: Vec<f64> = heights.iter().map(|&h| (N_CA * N_CA - h * h).sqrt()).collect();
-    let xcs: Vec<f64> = heights.iter().map(|&h| (CA_C * CA_C - h * h).sqrt()).collect();
+    let xns: Vec<f64> = heights
+        .iter()
+        .map(|&h| (N_CA * N_CA - h * h).sqrt())
+        .collect();
+    let xcs: Vec<f64> = heights
+        .iter()
+        .map(|&h| (CA_C * CA_C - h * h).sqrt())
+        .collect();
 
     let mut up: Vec<Vec3> = Vec::with_capacity(nb);
     // Virtual first bond: seed with any perpendicular (its offset only
@@ -151,8 +160,8 @@ pub fn build_peptide(trace: &[Vec3], specs: &[ResidueSpec]) -> Structure {
         // bond j (being placed).
         let ca = ext[j];
         let n_pos = ca - t[j - 1] * xns[j - 1] + up[j - 1] * heights[j - 1];
-        let base = perpendicular_component(up[j - 1], t[j])
-            .unwrap_or_else(|| t[j].any_perpendicular());
+        let base =
+            perpendicular_component(up[j - 1], t[j]).unwrap_or_else(|| t[j].any_perpendicular());
         let other = t[j].cross(base);
         let mut best = base;
         let mut best_err = f64::INFINITY;
@@ -334,7 +343,10 @@ mod tests {
         let trace = lattice_trace(5);
         let s = build_peptide(&trace, &specs("LKDCG"));
         assert!(s.residues[0].atom("CG").is_some(), "Leu gets a carbon tip");
-        assert!(s.residues[1].atom("NG").is_some(), "Lys gets a nitrogen tip");
+        assert!(
+            s.residues[1].atom("NG").is_some(),
+            "Lys gets a nitrogen tip"
+        );
         assert!(s.residues[2].atom("OG").is_some(), "Asp gets an oxygen tip");
         assert!(s.residues[3].atom("SG").is_some(), "Cys gets a sulfur tip");
         assert_eq!(s.residues[4].atoms.len(), 4, "Gly is backbone-only");

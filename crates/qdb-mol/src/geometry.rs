@@ -15,7 +15,11 @@ pub struct Vec3 {
 
 impl Vec3 {
     /// The origin.
-    pub const ZERO: Vec3 = Vec3 { x: 0.0, y: 0.0, z: 0.0 };
+    pub const ZERO: Vec3 = Vec3 {
+        x: 0.0,
+        y: 0.0,
+        z: 0.0,
+    };
 
     /// Creates a vector.
     pub const fn new(x: f64, y: f64, z: f64) -> Self {
@@ -24,7 +28,11 @@ impl Vec3 {
 
     /// From an array.
     pub const fn from_array(a: [f64; 3]) -> Self {
-        Self { x: a[0], y: a[1], z: a[2] }
+        Self {
+            x: a[0],
+            y: a[1],
+            z: a[2],
+        }
     }
 
     /// To an array.
@@ -173,20 +181,35 @@ pub struct Quat {
 
 impl Quat {
     /// The identity rotation.
-    pub const IDENTITY: Quat = Quat { w: 1.0, x: 0.0, y: 0.0, z: 0.0 };
+    pub const IDENTITY: Quat = Quat {
+        w: 1.0,
+        x: 0.0,
+        y: 0.0,
+        z: 0.0,
+    };
 
     /// Rotation of `angle` radians about `axis` (normalized internally).
     pub fn from_axis_angle(axis: Vec3, angle: f64) -> Quat {
         let a = axis.normalized();
         let (s, c) = (angle / 2.0).sin_cos();
-        Quat { w: c, x: a.x * s, y: a.y * s, z: a.z * s }
+        Quat {
+            w: c,
+            x: a.x * s,
+            y: a.y * s,
+            z: a.z * s,
+        }
     }
 
     /// Builds from raw components, normalizing to a unit quaternion.
     pub fn from_components(w: f64, x: f64, y: f64, z: f64) -> Quat {
         let n = (w * w + x * x + y * y + z * z).sqrt();
         debug_assert!(n > 1e-12);
-        Quat { w: w / n, x: x / n, y: y / n, z: z / n }
+        Quat {
+            w: w / n,
+            x: x / n,
+            y: y / n,
+            z: z / n,
+        }
     }
 
     /// Hamilton product (compose rotations: `self` after `o`).
@@ -201,7 +224,12 @@ impl Quat {
 
     /// Inverse (conjugate, for unit quaternions).
     pub fn conjugate(self) -> Quat {
-        Quat { w: self.w, x: -self.x, y: -self.y, z: -self.z }
+        Quat {
+            w: self.w,
+            x: -self.x,
+            y: -self.y,
+            z: -self.z,
+        }
     }
 
     /// Rotates a vector.
@@ -216,9 +244,21 @@ impl Quat {
     pub fn to_matrix(self) -> [[f64; 3]; 3] {
         let (w, x, y, z) = (self.w, self.x, self.y, self.z);
         [
-            [1.0 - 2.0 * (y * y + z * z), 2.0 * (x * y - w * z), 2.0 * (x * z + w * y)],
-            [2.0 * (x * y + w * z), 1.0 - 2.0 * (x * x + z * z), 2.0 * (y * z - w * x)],
-            [2.0 * (x * z - w * y), 2.0 * (y * z + w * x), 1.0 - 2.0 * (x * x + y * y)],
+            [
+                1.0 - 2.0 * (y * y + z * z),
+                2.0 * (x * y - w * z),
+                2.0 * (x * z + w * y),
+            ],
+            [
+                2.0 * (x * y + w * z),
+                1.0 - 2.0 * (x * x + z * z),
+                2.0 * (y * z - w * x),
+            ],
+            [
+                2.0 * (x * z - w * y),
+                2.0 * (y * z + w * x),
+                1.0 - 2.0 * (x * x + y * y),
+            ],
         ]
     }
 }
@@ -265,7 +305,11 @@ mod tests {
 
     #[test]
     fn perpendicular_is_perpendicular() {
-        for v in [Vec3::new(1.0, 2.0, 3.0), Vec3::new(0.99, 0.0, 0.0), Vec3::new(0.0, 0.0, 1.0)] {
+        for v in [
+            Vec3::new(1.0, 2.0, 3.0),
+            Vec3::new(0.99, 0.0, 0.0),
+            Vec3::new(0.0, 0.0, 1.0),
+        ] {
             let p = v.any_perpendicular();
             assert!((p.norm() - 1.0).abs() < 1e-9);
             assert!(v.dot(p).abs() < 1e-9);

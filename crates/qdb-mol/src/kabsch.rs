@@ -95,7 +95,10 @@ pub fn rmsd_raw(a: &[Vec3], b: &[Vec3]) -> f64 {
 /// Panics on length mismatch or fewer than 3 points.
 pub fn superpose(mobile: &[Vec3], reference: &[Vec3]) -> Superposition {
     assert_eq!(mobile.len(), reference.len(), "point count mismatch");
-    assert!(mobile.len() >= 3, "need at least 3 points for superposition");
+    assert!(
+        mobile.len() >= 3,
+        "need at least 3 points for superposition"
+    );
     let mc = centroid(mobile);
     let rc = centroid(reference);
 
@@ -148,7 +151,12 @@ pub fn superpose(mobile: &[Vec3], reference: &[Vec3]) -> Superposition {
         .sum();
     let rmsd = (ss / mobile.len() as f64).sqrt();
 
-    Superposition { rotation, mobile_centroid: mc, reference_centroid: rc, rmsd }
+    Superposition {
+        rotation,
+        mobile_centroid: mc,
+        reference_centroid: rc,
+        rmsd,
+    }
 }
 
 /// Cα RMSD between two equal-length coordinate sets after optimal
@@ -227,7 +235,10 @@ mod tests {
         let a = cloud();
         let b: Vec<Vec3> = a.iter().map(|p| Vec3::new(-p.x, p.y, p.z)).collect();
         let sup = superpose(&a, &b);
-        assert!(sup.rmsd > 0.5, "a mirror image must not superpose perfectly");
+        assert!(
+            sup.rmsd > 0.5,
+            "a mirror image must not superpose perfectly"
+        );
         // Rotation must be proper: det(R) = +1.
         let m = sup.rotation.to_matrix();
         let det = m[0][0] * (m[1][1] * m[2][2] - m[1][2] * m[2][1])

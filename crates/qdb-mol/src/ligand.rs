@@ -112,9 +112,9 @@ impl Ligand {
 
     /// Checks that every bond has a plausible length.
     pub fn bonds_ok(&self, tol: f64) -> bool {
-        self.bonds.iter().all(|&(a, b)| {
-            (self.atoms[a].pos.distance(self.atoms[b].pos) - BOND_LEN).abs() <= tol
-        })
+        self.bonds
+            .iter()
+            .all(|&(a, b)| (self.atoms[a].pos.distance(self.atoms[b].pos) - BOND_LEN).abs() <= tol)
     }
 }
 
@@ -156,14 +156,20 @@ pub fn generate_ligand(seed: u64, heavy_atoms: usize) -> Ligand {
 
     let root_el = Element::C;
     let (donor, acceptor) = hb_flags(root_el);
-    atoms.push(LigandAtom { element: root_el, pos: Vec3::ZERO, donor, acceptor });
+    atoms.push(LigandAtom {
+        element: root_el,
+        pos: Vec3::ZERO,
+        donor,
+        acceptor,
+    });
     children.push(Vec::new());
 
     while atoms.len() < target {
         // Prefer extending chain ends (fewer children) for drug-like shapes.
         let parent = {
-            let mut candidates: Vec<usize> =
-                (0..atoms.len()).filter(|&i| children[i].len() < 3).collect();
+            let mut candidates: Vec<usize> = (0..atoms.len())
+                .filter(|&i| children[i].len() < 3)
+                .collect();
             if candidates.is_empty() {
                 candidates = (0..atoms.len()).collect();
             }
@@ -188,7 +194,12 @@ pub fn generate_ligand(seed: u64, heavy_atoms: usize) -> Ligand {
                 let element = pick_element(&mut rng);
                 let (donor, acceptor) = hb_flags(element);
                 let idx = atoms.len();
-                atoms.push(LigandAtom { element, pos, donor, acceptor });
+                atoms.push(LigandAtom {
+                    element,
+                    pos,
+                    donor,
+                    acceptor,
+                });
                 children.push(Vec::new());
                 children[parent].push(idx);
                 bonds.push((parent, idx));
@@ -208,7 +219,13 @@ pub fn generate_ligand(seed: u64, heavy_atoms: usize) -> Ligand {
         let mut seen = vec![start];
         while let Some(u) = stack.pop() {
             for &(a, b) in &bonds {
-                let next = if a == u { b } else if b == u { a } else { continue };
+                let next = if a == u {
+                    b
+                } else if b == u {
+                    a
+                } else {
+                    continue;
+                };
                 if next == blocked || seen.contains(&next) {
                     continue;
                 }
@@ -229,7 +246,11 @@ pub fn generate_ligand(seed: u64, heavy_atoms: usize) -> Ligand {
         }
     }
 
-    Ligand { atoms, bonds, torsions }
+    Ligand {
+        atoms,
+        bonds,
+        torsions,
+    }
 }
 
 #[cfg(test)]

@@ -80,11 +80,19 @@ pub fn write_pdb(s: &Structure) -> String {
     out
 }
 
-fn parse_f64(line: &str, range: std::ops::Range<usize>, lineno: usize, field: &'static str) -> Result<f64, PdbError> {
+fn parse_f64(
+    line: &str,
+    range: std::ops::Range<usize>,
+    lineno: usize,
+    field: &'static str,
+) -> Result<f64, PdbError> {
     line.get(range)
         .map(str::trim)
         .and_then(|s| s.parse::<f64>().ok())
-        .ok_or(PdbError::BadNumber { line: lineno, field })
+        .ok_or(PdbError::BadNumber {
+            line: lineno,
+            field,
+        })
 }
 
 /// Parses ATOM/HETATM records into a structure (single chain assumed; the
@@ -107,7 +115,10 @@ pub fn parse_pdb(text: &str) -> Result<Structure, PdbError> {
             .get(22..26)
             .map(str::trim)
             .and_then(|s| s.parse::<i32>().ok())
-            .ok_or(PdbError::BadNumber { line: lineno + 1, field: "resSeq" })?;
+            .ok_or(PdbError::BadNumber {
+                line: lineno + 1,
+                field: "resSeq",
+            })?;
         let x = parse_f64(line, 30..38, lineno + 1, "x")?;
         let y = parse_f64(line, 38..46, lineno + 1, "y")?;
         let z = parse_f64(line, 46..54, lineno + 1, "z")?;
@@ -146,13 +157,18 @@ mod tests {
     fn toy() -> Structure {
         let mut s = Structure::new();
         let mut r = Residue::new("LEU", 47);
-        r.atoms.push(Atom::new("N", Element::N, Vec3::new(1.234, -5.678, 9.012)));
-        r.atoms.push(Atom::new("CA", Element::C, Vec3::new(2.5, 0.0, -1.75)));
-        r.atoms.push(Atom::new("CB", Element::C, Vec3::new(3.125, 1.0, -2.0)));
+        r.atoms
+            .push(Atom::new("N", Element::N, Vec3::new(1.234, -5.678, 9.012)));
+        r.atoms
+            .push(Atom::new("CA", Element::C, Vec3::new(2.5, 0.0, -1.75)));
+        r.atoms
+            .push(Atom::new("CB", Element::C, Vec3::new(3.125, 1.0, -2.0)));
         s.residues.push(r);
         let mut r2 = Residue::new("ASP", 48);
-        r2.atoms.push(Atom::new("N", Element::N, Vec3::new(0.0, 0.0, 0.0)));
-        r2.atoms.push(Atom::new("CA", Element::C, Vec3::new(1.1, 2.2, 3.3)));
+        r2.atoms
+            .push(Atom::new("N", Element::N, Vec3::new(0.0, 0.0, 0.0)));
+        r2.atoms
+            .push(Atom::new("CA", Element::C, Vec3::new(1.1, 2.2, 3.3)));
         s.residues.push(r2);
         s
     }
@@ -183,7 +199,10 @@ mod tests {
             for (x, y) in a.atoms.iter().zip(&b.atoms) {
                 assert_eq!(x.name, y.name);
                 assert_eq!(x.element, y.element);
-                assert!((x.pos - y.pos).norm() < 1e-3, "coords preserved to 3 decimals");
+                assert!(
+                    (x.pos - y.pos).norm() < 1e-3,
+                    "coords preserved to 3 decimals"
+                );
             }
         }
     }
@@ -191,7 +210,10 @@ mod tests {
     #[test]
     fn parse_rejects_garbage_numbers() {
         let bad = "ATOM      1  N   LEU A  47     abcdefgh  -5.678   9.012\n";
-        assert!(matches!(parse_pdb(bad), Err(PdbError::BadNumber { field: "x", .. })));
+        assert!(matches!(
+            parse_pdb(bad),
+            Err(PdbError::BadNumber { field: "x", .. })
+        ));
     }
 
     #[test]

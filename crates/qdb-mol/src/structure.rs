@@ -17,7 +17,11 @@ pub struct Atom {
 impl Atom {
     /// Creates an atom.
     pub fn new(name: &str, element: Element, pos: Vec3) -> Self {
-        Self { name: name.to_string(), element, pos }
+        Self {
+            name: name.to_string(),
+            element,
+            pos,
+        }
     }
 }
 
@@ -35,7 +39,11 @@ pub struct Residue {
 impl Residue {
     /// Creates an empty residue.
     pub fn new(name: &str, seq_num: i32) -> Self {
-        Self { name: name.to_string(), seq_num, atoms: Vec::new() }
+        Self {
+            name: name.to_string(),
+            seq_num,
+            atoms: Vec::new(),
+        }
     }
 
     /// Finds an atom by name.
@@ -61,7 +69,10 @@ pub struct Structure {
 impl Structure {
     /// An empty chain-A structure.
     pub fn new() -> Self {
-        Self { chain_id: 'A', residues: Vec::new() }
+        Self {
+            chain_id: 'A',
+            residues: Vec::new(),
+        }
     }
 
     /// Number of residues.
@@ -141,13 +152,19 @@ mod tests {
     fn toy() -> Structure {
         let mut s = Structure::new();
         let mut r1 = Residue::new("GLY", 1);
-        r1.atoms.push(Atom::new("N", Element::N, Vec3::new(0.0, 0.0, 0.0)));
-        r1.atoms.push(Atom::new("CA", Element::C, Vec3::new(1.5, 0.0, 0.0)));
-        r1.atoms.push(Atom::new("C", Element::C, Vec3::new(2.0, 1.4, 0.0)));
-        r1.atoms.push(Atom::new("O", Element::O, Vec3::new(1.5, 2.5, 0.0)));
+        r1.atoms
+            .push(Atom::new("N", Element::N, Vec3::new(0.0, 0.0, 0.0)));
+        r1.atoms
+            .push(Atom::new("CA", Element::C, Vec3::new(1.5, 0.0, 0.0)));
+        r1.atoms
+            .push(Atom::new("C", Element::C, Vec3::new(2.0, 1.4, 0.0)));
+        r1.atoms
+            .push(Atom::new("O", Element::O, Vec3::new(1.5, 2.5, 0.0)));
         let mut r2 = Residue::new("ALA", 2);
-        r2.atoms.push(Atom::new("N", Element::N, Vec3::new(3.3, 1.4, 0.0)));
-        r2.atoms.push(Atom::new("CA", Element::C, Vec3::new(4.2, 2.5, 0.0)));
+        r2.atoms
+            .push(Atom::new("N", Element::N, Vec3::new(3.3, 1.4, 0.0)));
+        r2.atoms
+            .push(Atom::new("CA", Element::C, Vec3::new(4.2, 2.5, 0.0)));
         s.residues.push(r1);
         s.residues.push(r2);
         s

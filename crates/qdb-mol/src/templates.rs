@@ -112,24 +112,39 @@ pub fn validate_residue(residue: &Residue, code: char, tol: f64) -> Result<(), S
             residue.atoms.len()
         ));
     }
-    for ((atom, want_name), want_el) in
-        residue.atoms.iter().zip(&template.atom_names).zip(&template.elements)
+    for ((atom, want_name), want_el) in residue
+        .atoms
+        .iter()
+        .zip(&template.atom_names)
+        .zip(&template.elements)
     {
         if atom.name != *want_name {
-            return Err(format!("{}: expected atom {want_name}, found {}", residue.name, atom.name));
+            return Err(format!(
+                "{}: expected atom {want_name}, found {}",
+                residue.name, atom.name
+            ));
         }
         if atom.element != *want_el {
-            return Err(format!("{}: atom {} has wrong element", residue.name, atom.name));
+            return Err(format!(
+                "{}: atom {} has wrong element",
+                residue.name, atom.name
+            ));
         }
     }
     let dist = |a: &str, b: &str| -> Option<f64> {
         Some(residue.atom(a)?.pos.distance(residue.atom(b)?.pos))
     };
-    for (a, b, want) in [("N", "CA", ideal::N_CA), ("CA", "C", ideal::CA_C), ("C", "O", ideal::C_O)]
-    {
+    for (a, b, want) in [
+        ("N", "CA", ideal::N_CA),
+        ("CA", "C", ideal::CA_C),
+        ("C", "O", ideal::C_O),
+    ] {
         if let Some(d) = dist(a, b) {
             if (d - want).abs() > tol {
-                return Err(format!("{}: {a}-{b} bond {d:.3} vs ideal {want:.3}", residue.name));
+                return Err(format!(
+                    "{}: {a}-{b} bond {d:.3} vs ideal {want:.3}",
+                    residue.name
+                ));
             }
         }
     }

@@ -25,14 +25,21 @@ pub struct Cobyla {
 
 impl Default for Cobyla {
     fn default() -> Self {
-        Self { rho_begin: 0.5, rho_end: 1e-4, max_evals: 200 }
+        Self {
+            rho_begin: 0.5,
+            rho_end: 1e-4,
+            max_evals: 200,
+        }
     }
 }
 
 impl Cobyla {
     /// COBYLA with the paper's default evaluation budget.
     pub fn with_budget(max_evals: usize) -> Self {
-        Self { max_evals, ..Default::default() }
+        Self {
+            max_evals,
+            ..Default::default()
+        }
     }
 }
 
@@ -148,7 +155,11 @@ mod tests {
 
     #[test]
     fn solves_quadratic() {
-        let opt = Cobyla { rho_begin: 0.5, rho_end: 1e-7, max_evals: 500 };
+        let opt = Cobyla {
+            rho_begin: 0.5,
+            rho_end: 1e-7,
+            max_evals: 500,
+        };
         let r = opt.minimize(&mut |x| shifted_sphere(x), &[0.0, 0.0, 0.0]);
         assert!(r.fx < 1e-3, "fx = {}", r.fx);
         assert!((r.x[0] - 1.0).abs() < 0.05);
@@ -158,7 +169,11 @@ mod tests {
 
     #[test]
     fn makes_progress_on_rosenbrock() {
-        let opt = Cobyla { rho_begin: 0.25, rho_end: 1e-8, max_evals: 2000 };
+        let opt = Cobyla {
+            rho_begin: 0.25,
+            rho_end: 1e-8,
+            max_evals: 2000,
+        };
         let start = [-1.2, 1.0];
         let r = opt.minimize(&mut |x| rosenbrock(x), &start);
         assert!(
@@ -204,7 +219,11 @@ mod tests {
 
     #[test]
     fn single_parameter_problem() {
-        let opt = Cobyla { rho_begin: 0.5, rho_end: 1e-8, max_evals: 200 };
+        let opt = Cobyla {
+            rho_begin: 0.5,
+            rho_end: 1e-8,
+            max_evals: 200,
+        };
         let r = opt.minimize(&mut |x| (x[0] - 2.5).powi(2), &[0.0]);
         assert!((r.x[0] - 2.5).abs() < 1e-2, "x = {}", r.x[0]);
     }

@@ -61,7 +61,13 @@ pub(crate) struct Tracker<'a> {
 
 impl<'a> Tracker<'a> {
     pub fn new(f: &'a mut dyn FnMut(&[f64]) -> f64, dim: usize) -> Self {
-        Self { f, evals: 0, best_x: vec![0.0; dim], best_fx: f64::INFINITY, history: Vec::new() }
+        Self {
+            f,
+            evals: 0,
+            best_x: vec![0.0; dim],
+            best_fx: f64::INFINITY,
+            history: Vec::new(),
+        }
     }
 
     pub fn eval(&mut self, x: &[f64]) -> f64 {
@@ -77,7 +83,12 @@ impl<'a> Tracker<'a> {
     }
 
     pub fn finish(self) -> OptResult {
-        OptResult { x: self.best_x, fx: self.best_fx, evals: self.evals, history: self.history }
+        OptResult {
+            x: self.best_x,
+            fx: self.best_fx,
+            evals: self.evals,
+            history: self.history,
+        }
     }
 }
 

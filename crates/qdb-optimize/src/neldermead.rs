@@ -16,14 +16,21 @@ pub struct NelderMead {
 
 impl Default for NelderMead {
     fn default() -> Self {
-        Self { initial_step: 0.5, max_evals: 200, f_tolerance: 1e-10 }
+        Self {
+            initial_step: 0.5,
+            max_evals: 200,
+            f_tolerance: 1e-10,
+        }
     }
 }
 
 impl NelderMead {
     /// Nelder–Mead with the given evaluation budget.
     pub fn with_budget(max_evals: usize) -> Self {
-        Self { max_evals, ..Default::default() }
+        Self {
+            max_evals,
+            ..Default::default()
+        }
     }
 }
 
@@ -103,7 +110,11 @@ impl Optimizer for NelderMead {
                 if tracker.evals >= self.max_evals {
                     break;
                 }
-                let toward = if fr < values[worst] { &xr } else { &simplex[worst] };
+                let toward = if fr < values[worst] {
+                    &xr
+                } else {
+                    &simplex[worst]
+                };
                 let xc: Vec<f64> = c.iter().zip(toward).map(|(a, b)| 0.5 * (a + b)).collect();
                 let fc = tracker.eval(&xc);
                 if fc < values[worst].min(fr) {
@@ -144,14 +155,21 @@ mod tests {
 
     #[test]
     fn solves_quadratic() {
-        let opt = NelderMead { max_evals: 600, ..Default::default() };
+        let opt = NelderMead {
+            max_evals: 600,
+            ..Default::default()
+        };
         let r = opt.minimize(&mut |x| shifted_sphere(x), &[0.0, 0.0]);
         assert!(r.fx < 1e-6, "fx = {}", r.fx);
     }
 
     #[test]
     fn reaches_rosenbrock_minimum() {
-        let opt = NelderMead { max_evals: 2000, f_tolerance: 1e-14, ..Default::default() };
+        let opt = NelderMead {
+            max_evals: 2000,
+            f_tolerance: 1e-14,
+            ..Default::default()
+        };
         let r = opt.minimize(&mut |x| rosenbrock(x), &[-1.2, 1.0]);
         assert!(r.fx < 1e-4, "fx = {}", r.fx);
         assert!((r.x[0] - 1.0).abs() < 0.05);

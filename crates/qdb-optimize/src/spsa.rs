@@ -46,7 +46,11 @@ impl Default for Spsa {
 impl Spsa {
     /// SPSA with a budget and seed.
     pub fn with_budget(max_evals: usize, seed: u64) -> Self {
-        Self { max_evals, seed, ..Default::default() }
+        Self {
+            max_evals,
+            seed,
+            ..Default::default()
+        }
     }
 }
 
@@ -62,8 +66,9 @@ impl Optimizer for Spsa {
             let ak = self.a / (k as f64 + 1.0 + self.stability).powf(self.alpha);
             let ck = self.c / (k as f64 + 1.0).powf(self.gamma);
             // Rademacher perturbation.
-            let delta: Vec<f64> =
-                (0..n).map(|_| if rng.gen::<bool>() { 1.0 } else { -1.0 }).collect();
+            let delta: Vec<f64> = (0..n)
+                .map(|_| if rng.gen::<bool>() { 1.0 } else { -1.0 })
+                .collect();
             let xp: Vec<f64> = x.iter().zip(&delta).map(|(v, d)| v + ck * d).collect();
             let xm: Vec<f64> = x.iter().zip(&delta).map(|(v, d)| v - ck * d).collect();
             let fp = tracker.eval(&xp);
@@ -93,7 +98,12 @@ mod tests {
 
     #[test]
     fn descends_quadratic() {
-        let opt = Spsa { a: 0.5, max_evals: 2000, seed: 7, ..Default::default() };
+        let opt = Spsa {
+            a: 0.5,
+            max_evals: 2000,
+            seed: 7,
+            ..Default::default()
+        };
         let start = [4.0, 4.0];
         let r = opt.minimize(&mut |x| shifted_sphere(x), &start);
         assert!(
@@ -130,7 +140,12 @@ mod tests {
     #[test]
     fn works_in_high_dimension() {
         // SPSA's 2-evals-per-step shines when n is large.
-        let opt = Spsa { a: 0.4, max_evals: 3000, seed: 1, ..Default::default() };
+        let opt = Spsa {
+            a: 0.4,
+            max_evals: 3000,
+            seed: 1,
+            ..Default::default()
+        };
         let start = vec![2.0; 24];
         let r = opt.minimize(&mut |x| shifted_sphere(x), &start);
         assert!(r.fx < shifted_sphere(&start) * 0.3, "fx = {}", r.fx);

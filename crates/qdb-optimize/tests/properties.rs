@@ -4,9 +4,7 @@ use proptest::prelude::*;
 use qdb_optimize::{Cobyla, NelderMead, Optimizer, Spsa};
 
 fn quadratic(center: Vec<f64>) -> impl FnMut(&[f64]) -> f64 {
-    move |x: &[f64]| {
-        x.iter().zip(&center).map(|(a, b)| (a - b) * (a - b)).sum()
-    }
+    move |x: &[f64]| x.iter().zip(&center).map(|(a, b)| (a - b) * (a - b)).sum()
 }
 
 proptest! {

@@ -129,18 +129,26 @@ mod tests {
         sv.apply_parametric(&c, &params);
         let p = sv.probabilities();
         let support = p.iter().filter(|&&x| x > 1e-6).count();
-        assert!(support > 4, "expressive ansatz should spread support, got {support}");
+        assert!(
+            support > 4,
+            "expressive ansatz should spread support, got {support}"
+        );
         assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-10);
     }
 
     #[test]
     fn real_amplitudes_state_is_real() {
         let c = real_amplitudes(3, 2, Entanglement::Linear);
-        let params: Vec<f64> = (0..c.num_params()).map(|i| 0.3 * (i as f64 + 1.0)).collect();
+        let params: Vec<f64> = (0..c.num_params())
+            .map(|i| 0.3 * (i as f64 + 1.0))
+            .collect();
         let mut sv = Statevector::zero(3);
         sv.apply_parametric(&c, &params);
         for a in sv.amplitudes() {
-            assert!(a.im.abs() < 1e-12, "RealAmplitudes must keep amplitudes real");
+            assert!(
+                a.im.abs() < 1e-12,
+                "RealAmplitudes must keep amplitudes real"
+            );
         }
     }
 

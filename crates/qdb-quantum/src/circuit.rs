@@ -23,7 +23,11 @@ pub struct Instruction {
 impl Instruction {
     /// The qubits this instruction touches (1 or 2 entries).
     pub fn qubits(&self) -> impl Iterator<Item = u32> + '_ {
-        let second = if self.kind.arity() == 2 { Some(self.q1) } else { None };
+        let second = if self.kind.arity() == 2 {
+            Some(self.q1)
+        } else {
+            None
+        };
         std::iter::once(self.q0).chain(second)
     }
 }
@@ -40,7 +44,11 @@ pub struct Circuit {
 impl Circuit {
     /// Creates an empty circuit.
     pub fn new(num_qubits: usize) -> Self {
-        Self { num_qubits, num_params: 0, instructions: Vec::new() }
+        Self {
+            num_qubits,
+            num_params: 0,
+            instructions: Vec::new(),
+        }
     }
 
     /// Rebuilds a circuit from raw parts (used by the transpiler, which
@@ -59,10 +67,17 @@ impl Circuit {
                 assert!((q as usize) < num_qubits, "qubit {q} out of range");
             }
             if let Some(Angle::Param { index, .. }) = instr.angle {
-                assert!((index as usize) < num_params, "parameter {index} out of range");
+                assert!(
+                    (index as usize) < num_params,
+                    "parameter {index} out of range"
+                );
             }
         }
-        Self { num_qubits, num_params, instructions }
+        Self {
+            num_qubits,
+            num_params,
+            instructions,
+        }
     }
 
     /// Number of qubits.
@@ -111,9 +126,18 @@ impl Circuit {
     /// Panics if the qubit is out of range or the gate arity is wrong.
     pub fn push1(&mut self, kind: GateKind, q: u32, angle: Option<Angle>) -> &mut Self {
         assert_eq!(kind.arity(), 1, "{kind:?} is not single-qubit");
-        assert_eq!(kind.takes_angle(), angle.is_some(), "angle mismatch for {kind:?}");
+        assert_eq!(
+            kind.takes_angle(),
+            angle.is_some(),
+            "angle mismatch for {kind:?}"
+        );
         self.check_qubit(q);
-        self.instructions.push(Instruction { kind, q0: q, q1: u32::MAX, angle });
+        self.instructions.push(Instruction {
+            kind,
+            q0: q,
+            q1: u32::MAX,
+            angle,
+        });
         self
     }
 
@@ -123,11 +147,20 @@ impl Circuit {
     /// Panics if a qubit is out of range, the qubits coincide, or arity is wrong.
     pub fn push2(&mut self, kind: GateKind, q0: u32, q1: u32, angle: Option<Angle>) -> &mut Self {
         assert_eq!(kind.arity(), 2, "{kind:?} is not two-qubit");
-        assert_eq!(kind.takes_angle(), angle.is_some(), "angle mismatch for {kind:?}");
+        assert_eq!(
+            kind.takes_angle(),
+            angle.is_some(),
+            "angle mismatch for {kind:?}"
+        );
         assert_ne!(q0, q1, "two-qubit gate on identical qubits");
         self.check_qubit(q0);
         self.check_qubit(q1);
-        self.instructions.push(Instruction { kind, q0, q1, angle });
+        self.instructions.push(Instruction {
+            kind,
+            q0,
+            q1,
+            angle,
+        });
         self
     }
 
@@ -205,14 +238,23 @@ impl Circuit {
     /// # Panics
     /// Panics if widths differ.
     pub fn compose(&mut self, other: &Circuit) -> &mut Self {
-        assert_eq!(self.num_qubits, other.num_qubits, "width mismatch in compose");
+        assert_eq!(
+            self.num_qubits, other.num_qubits,
+            "width mismatch in compose"
+        );
         let shift = self.num_params as u32;
         for instr in &other.instructions {
             let angle = instr.angle.map(|a| match a {
                 Angle::Fixed(v) => Angle::Fixed(v),
-                Angle::Param { index, scale, offset } => {
-                    Angle::Param { index: index + shift, scale, offset }
-                }
+                Angle::Param {
+                    index,
+                    scale,
+                    offset,
+                } => Angle::Param {
+                    index: index + shift,
+                    scale,
+                    offset,
+                },
             });
             self.instructions.push(Instruction { angle, ..*instr });
         }
@@ -240,7 +282,11 @@ impl Circuit {
                 ..*instr
             })
             .collect();
-        Circuit { num_qubits: self.num_qubits, num_params: 0, instructions }
+        Circuit {
+            num_qubits: self.num_qubits,
+            num_params: 0,
+            instructions,
+        }
     }
 
     /// Circuit depth: the length of the longest qubit-occupancy chain,
@@ -269,7 +315,10 @@ impl Circuit {
 
     /// Number of two-qubit gates (the error-dominating resource on hardware).
     pub fn two_qubit_gate_count(&self) -> usize {
-        self.instructions.iter().filter(|i| i.kind.arity() == 2).count()
+        self.instructions
+            .iter()
+            .filter(|i| i.kind.arity() == 2)
+            .count()
     }
 }
 

@@ -1,0 +1,991 @@
+//! Circuit compilation: gate fusion, diagonal coalescing, and permutation
+//! composition.
+//!
+//! The VQE hot loop evaluates the same ansatz under hundreds of parameter
+//! bindings. Applied gate-by-gate, every instruction is a separate O(2ⁿ)
+//! sweep over the statevector, and at 22 qubits each sweep streams ~67 MB
+//! through memory — the simulator is bandwidth-bound, so the pass count *is*
+//! the cost model. [`CompiledCircuit`] rewrites the instruction list once
+//! into a short plan of fat passes:
+//!
+//! * **Single-qubit fusion** — maximal runs of adjacent single-qubit gates
+//!   on the same qubit collapse into one dense 2×2 unitary. Parametric
+//!   gates stay symbolic in the plan; each parameter binding re-multiplies
+//!   the affected 2×2 products (O(gates) scalar work, no statevector
+//!   traffic).
+//! * **Diagonal coalescing** — consecutive runs of diagonal gates (`Rz`,
+//!   `P`, `Z`, `S`, `T`, `Cz`, `Rzz`, …) merge into a single phase pass:
+//!   one sweep multiplies every amplitude by the product of per-qubit and
+//!   per-pair phases instead of N separate sweeps.
+//! * **Permutation composition** — runs of basis-permutation gates (`Cx`,
+//!   `Swap`) compose into one bit-linear map over F₂; a full linear
+//!   entanglement layer of n−1 CNOTs becomes a single gather pass through
+//!   a reusable scratch buffer.
+//!
+//! * **Pair merging** — a final peephole joins adjacent fused single-qubit
+//!   passes on distinct qubits into one dense 4×4 sweep (their Kronecker
+//!   product): same arithmetic, half the memory traffic per rotation layer.
+//! * **Product-state initialization** — when the plan opens with a rotation
+//!   layer (independent single-qubit unitaries, each qubit at most once),
+//!   executing from `|0…0⟩` reduces that whole layer to a product of first
+//!   columns: [`crate::exec::SimWorkspace::run`] replaces the reset *and*
+//!   the leading passes with a single recursive-doubling fill.
+//!
+//! Only genuinely dense two-qubit unitaries (`Ecr`) remain as individual
+//! passes, executed in place with no allocation. For `EfficientSU2(n,
+//! reps=2)` the plan shrinks from `8n−2` sweeps to `3·⌈n/2⌉+2`.
+//!
+//! Compilation itself is exact: the plan applies the same unitary as the
+//! original instruction list. Fused matrix products round differently at
+//! the last ulp than sequential application, so energies agree to ~1e-13
+//! but are not bit-identical with the direct path (see DESIGN.md
+//! §"Execution engine").
+//!
+//! Trajectory noise inserts stochastic Paulis *between* gates, so every
+//! noise insertion point is a fusion barrier; the noisy path therefore
+//! executes gate-by-gate (see [`crate::noise`]) and fusion serves the
+//! noiseless majority of evaluations.
+
+use crate::circuit::Circuit;
+use crate::complex::C64;
+use crate::gate::{
+    diagonal_phases, mat2_identity, mat2_mul, single_qubit_matrix, two_qubit_matrix, Angle,
+    GateKind, Mat2, Mat4,
+};
+use std::ops::Range;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Monotonic source for [`CompiledCircuit::plan_id`] — lets a
+/// [`crate::exec::SimWorkspace`] detect that its bound tables belong to a
+/// different plan and re-prepare them.
+static NEXT_PLAN_ID: AtomicU64 = AtomicU64::new(1);
+
+/// A gate reference kept by the plan for per-binding re-specialization.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct GateRef {
+    pub kind: GateKind,
+    pub angle: Option<Angle>,
+}
+
+impl GateRef {
+    fn resolve(self, params: &[f64]) -> f64 {
+        self.angle.map(|a| a.resolve(params)).unwrap_or(0.0)
+    }
+
+    fn is_parametric(self) -> bool {
+        matches!(self.angle, Some(a) if a.is_parametric())
+    }
+}
+
+/// One pass of the compiled execution plan.
+#[derive(Clone, Debug)]
+pub(crate) enum PlanOp {
+    /// Dense fused single-qubit unitary; matrix in `BoundTables::mats[slot]`.
+    Fused1 { q: u32, slot: u32 },
+    /// Coalesced diagonal phase pass; phases in the bound tables at `slot`.
+    Diag { slot: u32 },
+    /// Composed bit-linear basis permutation (`perms[slot]`).
+    Perm { slot: u32 },
+    /// A lone CNOT (cheaper in place than a one-gate permutation pass).
+    Cx { control: u32, target: u32 },
+    /// A lone SWAP.
+    Swap { a: u32, b: u32 },
+    /// Dense two-qubit unitary; matrix in `BoundTables::mats4[slot]`.
+    Dense2 { q0: u32, q1: u32, slot: u32 },
+}
+
+/// A fused run of single-qubit gates on one qubit.
+#[derive(Clone, Debug)]
+pub(crate) struct FusedSpec {
+    /// Target qubit (redundant with the plan op; kept for diagnostics).
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub q: u32,
+    /// Range into `CompiledCircuit::run_gates`, program order.
+    pub gates: Range<usize>,
+    pub parametric: bool,
+}
+
+/// Per-qubit contribution to a diagonal pass.
+#[derive(Clone, Debug)]
+pub(crate) struct DiagSingleSpec {
+    pub mask: usize,
+    /// Range into `CompiledCircuit::diag_gates`.
+    pub gates: Range<usize>,
+}
+
+/// Per-qubit-pair contribution (`Cz`, `Rzz`) to a diagonal pass.
+#[derive(Clone, Debug)]
+pub(crate) struct DiagPairSpec {
+    pub mask0: usize,
+    pub mask1: usize,
+    /// Range into `CompiledCircuit::diag_gates`.
+    pub gates: Range<usize>,
+}
+
+/// A coalesced diagonal pass: one sweep applying all accumulated phases.
+#[derive(Clone, Debug)]
+pub(crate) struct DiagSpec {
+    pub singles: Vec<DiagSingleSpec>,
+    pub pairs: Vec<DiagPairSpec>,
+    /// Offsets into the flattened bound-table phase arrays.
+    pub single_off: usize,
+    pub pair_off: usize,
+    pub parametric: bool,
+}
+
+/// A composed run of basis-permutation gates as a bit-linear inverse map:
+/// output amplitude `j` gathers from input index `G(j)` where bit `t` of
+/// `G(j)` is `parity(j & masks[t])`.
+#[derive(Clone, Debug)]
+pub(crate) struct PermSpec {
+    pub masks: Vec<usize>,
+    /// Number of source gates composed into this pass (diagnostics).
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub gate_count: usize,
+}
+
+/// Where a dense two-qubit pass takes its 4×4 matrix from.
+#[derive(Clone, Debug)]
+pub(crate) enum Dense2Source {
+    /// A genuinely dense two-qubit gate (`Ecr`).
+    Gate(GateRef),
+    /// Two fused single-qubit runs merged into one sweep: the 4×4 is
+    /// `mats[run1] ⊗ mats[run0]`, with `run0` acting on the pass's `q0`.
+    Kron { run0: u32, run1: u32 },
+}
+
+/// A dense two-qubit pass.
+#[derive(Clone, Debug)]
+pub(crate) struct Dense2Spec {
+    pub source: Dense2Source,
+    pub parametric: bool,
+}
+
+/// Per-binding matrices and phases for a [`CompiledCircuit`], kept in a
+/// reusable buffer so re-specialization performs zero heap allocations.
+///
+/// A `BoundTables` belongs to the plan it was last [`prepared`] for
+/// ([`CompiledCircuit::plan_id`]); [`crate::exec::SimWorkspace`] re-prepares
+/// automatically when the plan changes.
+///
+/// [`prepared`]: BoundTables::prepare
+#[derive(Clone, Debug, Default)]
+pub struct BoundTables {
+    /// One fused 2×2 per `FusedSpec`.
+    pub(crate) mats: Vec<Mat2>,
+    /// One 4×4 per `Dense2Spec`.
+    pub(crate) mats4: Vec<Mat4>,
+    /// Flattened `(mask, lo, hi)` per-qubit phases across all diag passes.
+    pub(crate) diag_singles: Vec<(usize, C64, C64)>,
+    /// Flattened `(mask0, mask1, table)` pair phases across all diag passes.
+    pub(crate) diag_pairs: Vec<(usize, usize, [C64; 4])>,
+    /// Which plan these tables were prepared for (0 = none).
+    plan_id: u64,
+}
+
+impl BoundTables {
+    /// Fresh, unprepared tables.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// True if the tables are currently sized and constant-filled for `cc`.
+    pub fn prepared_for(&self, cc: &CompiledCircuit) -> bool {
+        self.plan_id == cc.plan_id
+    }
+
+    /// Sizes the tables for `cc` and fills every non-parametric entry.
+    /// Called once per (workspace, plan) pair; later bindings only rewrite
+    /// parametric entries via [`CompiledCircuit::specialize`].
+    pub fn prepare(&mut self, cc: &CompiledCircuit) {
+        self.mats.clear();
+        self.mats.resize(cc.runs.len(), mat2_identity());
+        self.mats4.clear();
+        self.mats4.resize(cc.dense2.len(), [[C64::ZERO; 4]; 4]);
+        self.diag_singles.clear();
+        self.diag_singles
+            .resize(cc.diag_single_count, (0, C64::ONE, C64::ONE));
+        self.diag_pairs.clear();
+        self.diag_pairs
+            .resize(cc.diag_pair_count, (0, 0, [C64::ONE; 4]));
+        // Masks are binding-independent; fill them once here.
+        for spec in &cc.diags {
+            for (i, s) in spec.singles.iter().enumerate() {
+                self.diag_singles[spec.single_off + i].0 = s.mask;
+            }
+            for (i, p) in spec.pairs.iter().enumerate() {
+                let entry = &mut self.diag_pairs[spec.pair_off + i];
+                entry.0 = p.mask0;
+                entry.1 = p.mask1;
+            }
+        }
+        self.plan_id = cc.plan_id;
+        // Constants resolve against the empty parameter vector.
+        cc.fill_tables(&[], self, true);
+    }
+}
+
+/// A circuit lowered to a fused execution plan. Build once per ansatz with
+/// [`CompiledCircuit::compile`], then evaluate many parameter bindings
+/// through [`crate::exec::SimWorkspace::run`].
+#[derive(Clone, Debug)]
+pub struct CompiledCircuit {
+    num_qubits: usize,
+    num_params: usize,
+    source_gates: usize,
+    plan_id: u64,
+    pub(crate) ops: Vec<PlanOp>,
+    pub(crate) runs: Vec<FusedSpec>,
+    pub(crate) run_gates: Vec<GateRef>,
+    pub(crate) diags: Vec<DiagSpec>,
+    pub(crate) diag_gates: Vec<GateRef>,
+    pub(crate) perms: Vec<PermSpec>,
+    pub(crate) dense2: Vec<Dense2Spec>,
+    /// Leading ops coverable by a product-state fill when executing from
+    /// `|0…0⟩`: `(qubit, run slot)` pairs, one per qubit touched by the
+    /// prefix. Empty when the plan does not start with a rotation layer.
+    pub(crate) init_cols: Vec<(u32, u32)>,
+    /// How many leading `ops` the product fill replaces.
+    pub(crate) init_ops: usize,
+    diag_single_count: usize,
+    diag_pair_count: usize,
+}
+
+impl CompiledCircuit {
+    /// Compiles `circuit` into a fused execution plan.
+    pub fn compile(circuit: &Circuit) -> Self {
+        Compiler::new(circuit).run()
+    }
+
+    /// Number of qubits.
+    pub fn num_qubits(&self) -> usize {
+        self.num_qubits
+    }
+
+    /// Number of free parameters of the source circuit.
+    pub fn num_params(&self) -> usize {
+        self.num_params
+    }
+
+    /// Number of statevector passes the plan executes.
+    pub fn num_passes(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Number of gates in the source circuit (excluding `Id`).
+    pub fn source_gate_count(&self) -> usize {
+        self.source_gates
+    }
+
+    /// Unique identity of this plan (for bound-table cache validation).
+    pub fn plan_id(&self) -> u64 {
+        self.plan_id
+    }
+
+    /// Re-specializes `tables` for a parameter binding, rewriting only the
+    /// parametric entries. Zero allocations.
+    ///
+    /// # Panics
+    /// Panics if `params` has the wrong length or `tables` was prepared
+    /// for a different plan.
+    pub fn specialize(&self, params: &[f64], tables: &mut BoundTables) {
+        assert_eq!(params.len(), self.num_params, "parameter count mismatch");
+        assert!(
+            tables.prepared_for(self),
+            "tables prepared for a different plan"
+        );
+        self.fill_tables(params, tables, false);
+    }
+
+    /// Writes fused matrices and diagonal phases into `tables`.
+    /// `constants` selects whether the non-parametric (`true`) or the
+    /// parametric (`false`) entries are recomputed.
+    fn fill_tables(&self, params: &[f64], tables: &mut BoundTables, constants: bool) {
+        for (slot, run) in self.runs.iter().enumerate() {
+            if run.parametric == constants {
+                continue;
+            }
+            let mut m = mat2_identity();
+            for g in &self.run_gates[run.gates.clone()] {
+                m = mat2_mul(&single_qubit_matrix(g.kind, g.resolve(params)), &m);
+            }
+            tables.mats[slot] = m;
+        }
+        // Runs first, dense2 second: a Kron pass reads the fused 2×2s
+        // written above (constant runs at prepare, parametric at
+        // specialize — both are current by the time the product is taken).
+        for (slot, spec) in self.dense2.iter().enumerate() {
+            if spec.parametric == constants {
+                continue;
+            }
+            tables.mats4[slot] = match spec.source {
+                Dense2Source::Gate(g) => two_qubit_matrix(g.kind, g.resolve(params)),
+                Dense2Source::Kron { run0, run1 } => {
+                    kron_mat2(&tables.mats[run1 as usize], &tables.mats[run0 as usize])
+                }
+            };
+        }
+        for spec in &self.diags {
+            if spec.parametric == constants {
+                continue;
+            }
+            for (i, s) in spec.singles.iter().enumerate() {
+                let (mut lo, mut hi) = (C64::ONE, C64::ONE);
+                for g in &self.diag_gates[s.gates.clone()] {
+                    let (d0, d1) = diagonal_phases(g.kind, g.resolve(params))
+                        .expect("diag pass holds only diagonal 1q gates");
+                    lo = lo * d0;
+                    hi = hi * d1;
+                }
+                let entry = &mut tables.diag_singles[spec.single_off + i];
+                entry.1 = lo;
+                entry.2 = hi;
+            }
+            for (i, p) in spec.pairs.iter().enumerate() {
+                let mut table = [C64::ONE; 4];
+                for g in &self.diag_gates[p.gates.clone()] {
+                    match g.kind {
+                        GateKind::Cz => table[3] = table[3] * -C64::ONE,
+                        GateKind::Rzz => {
+                            let theta = g.resolve(params);
+                            let even = C64::cis(-theta / 2.0);
+                            let odd = C64::cis(theta / 2.0);
+                            table[0] = table[0] * even;
+                            table[1] = table[1] * odd;
+                            table[2] = table[2] * odd;
+                            table[3] = table[3] * even;
+                        }
+                        other => panic!("{other:?} is not a diagonal pair gate"),
+                    }
+                }
+                tables.diag_pairs[spec.pair_off + i].2 = table;
+            }
+        }
+    }
+}
+
+impl DiagSpec {
+    fn any_parametric(gates: &[GateRef]) -> bool {
+        gates.iter().any(|g| g.is_parametric())
+    }
+}
+
+/// `hi ⊗ lo` in the `|q1 q0⟩` basis of [`two_qubit_matrix`]: row/column
+/// index `(b1 << 1) | b0` with `lo` acting on `q0` and `hi` on `q1`.
+fn kron_mat2(hi: &Mat2, lo: &Mat2) -> Mat4 {
+    let mut m = [[C64::ZERO; 4]; 4];
+    for r1 in 0..2 {
+        for r0 in 0..2 {
+            for c1 in 0..2 {
+                for c0 in 0..2 {
+                    m[(r1 << 1) | r0][(c1 << 1) | c0] = hi[r1][c1] * lo[r0][c0];
+                }
+            }
+        }
+    }
+    m
+}
+
+// ---------------------------------------------------------------------------
+// Compilation
+// ---------------------------------------------------------------------------
+
+/// Scan state: what kind of coalescible construct is currently open at the
+/// tail of the op stream.
+enum Open {
+    None,
+    /// A permutation run: `ops[start..]` conceptually; the composed map and
+    /// touched-qubit mask accumulate here until the run closes.
+    Perm {
+        start: usize,
+        masks: Vec<usize>,
+        touched: usize,
+        gate_count: usize,
+    },
+    /// A diagonal pass under construction (not yet in the op stream).
+    Diag {
+        singles: Vec<(u32, Range<usize>)>,
+        pairs: Vec<(u32, u32, Range<usize>)>,
+    },
+}
+
+struct Compiler<'c> {
+    circuit: &'c Circuit,
+    ops: Vec<PlanOp>,
+    runs: Vec<FusedSpec>,
+    run_gates: Vec<GateRef>,
+    diags: Vec<DiagSpec>,
+    diag_gates: Vec<GateRef>,
+    perms: Vec<PermSpec>,
+    dense2: Vec<Dense2Spec>,
+    /// Per-qubit pending run of single-qubit gates. Buffered per qubit
+    /// (runs on different qubits interleave in program order) and copied
+    /// into `run_gates` contiguously when the run flushes.
+    pending: Vec<Vec<GateRef>>,
+    open: Open,
+    source_gates: usize,
+    diag_single_count: usize,
+    diag_pair_count: usize,
+}
+
+impl<'c> Compiler<'c> {
+    fn new(circuit: &'c Circuit) -> Self {
+        Self {
+            circuit,
+            ops: Vec::new(),
+            runs: Vec::new(),
+            run_gates: Vec::new(),
+            diags: Vec::new(),
+            diag_gates: Vec::new(),
+            perms: Vec::new(),
+            dense2: Vec::new(),
+            pending: vec![Vec::new(); circuit.num_qubits()],
+            open: Open::None,
+            source_gates: 0,
+            diag_single_count: 0,
+            diag_pair_count: 0,
+        }
+    }
+
+    fn run(mut self) -> CompiledCircuit {
+        for instr in self.circuit.instructions() {
+            if instr.kind == GateKind::Id {
+                continue;
+            }
+            self.source_gates += 1;
+            let gate = GateRef {
+                kind: instr.kind,
+                angle: instr.angle,
+            };
+            match instr.kind.arity() {
+                1 => self.on_single(instr.q0, gate),
+                _ => self.on_double(instr.q0, instr.q1, gate),
+            }
+        }
+        for q in 0..self.pending.len() {
+            self.flush_pending(q as u32);
+        }
+        self.close_open();
+        self.merge_fused_pairs();
+        let (init_cols, init_ops) = self.detect_init_prefix();
+        CompiledCircuit {
+            num_qubits: self.circuit.num_qubits(),
+            num_params: self.circuit.num_params(),
+            source_gates: self.source_gates,
+            plan_id: NEXT_PLAN_ID.fetch_add(1, Ordering::Relaxed),
+            ops: self.ops,
+            runs: self.runs,
+            run_gates: self.run_gates,
+            diags: self.diags,
+            diag_gates: self.diag_gates,
+            perms: self.perms,
+            dense2: self.dense2,
+            init_cols,
+            init_ops,
+            diag_single_count: self.diag_single_count,
+            diag_pair_count: self.diag_pair_count,
+        }
+    }
+
+    /// Finds the longest leading stretch of ops that applies independent
+    /// single-qubit unitaries — fused passes or pair-merged Kronecker
+    /// sweeps, each qubit at most once. Started from `|0…0⟩`, that entire
+    /// stretch equals a product state of the runs' first columns, so
+    /// [`crate::exec::SimWorkspace::run`] replaces it (and the reset) with
+    /// one [`fill_product`] sweep. The ops stay in the plan: applying the
+    /// circuit to an arbitrary state still executes them normally.
+    ///
+    /// [`fill_product`]: crate::statevector::Statevector::fill_product
+    fn detect_init_prefix(&self) -> (Vec<(u32, u32)>, usize) {
+        let mut seen = 0usize;
+        let mut cols = Vec::new();
+        let mut len = 0;
+        for op in &self.ops {
+            match *op {
+                PlanOp::Fused1 { q, slot } if seen & (1usize << q) == 0 => {
+                    seen |= 1usize << q;
+                    cols.push((q, slot));
+                }
+                PlanOp::Dense2 { q0, q1, slot }
+                    if seen & ((1usize << q0) | (1usize << q1)) == 0 =>
+                {
+                    let Dense2Source::Kron { run0, run1 } = self.dense2[slot as usize].source
+                    else {
+                        break;
+                    };
+                    seen |= (1usize << q0) | (1usize << q1);
+                    cols.push((q0, run0));
+                    cols.push((q1, run1));
+                }
+                _ => break,
+            }
+            len += 1;
+        }
+        (cols, len)
+    }
+
+    fn on_single(&mut self, q: u32, gate: GateRef) {
+        if !self.pending[q as usize].is_empty() {
+            // Extend the open run on this qubit; diagonal gates fold into
+            // the dense 2×2 product like any other single-qubit gate.
+            self.pending[q as usize].push(gate);
+            return;
+        }
+        if gate.kind.is_diagonal() {
+            // No dense run to join: contribute to a diagonal pass instead
+            // (a phase multiply is cheaper than a dense 2×2 sweep).
+            self.add_diag_single(q, gate);
+            return;
+        }
+        self.pending[q as usize].push(gate);
+    }
+
+    fn on_double(&mut self, q0: u32, q1: u32, gate: GateRef) {
+        self.flush_pending(q0);
+        self.flush_pending(q1);
+        if gate.kind.is_diagonal() {
+            self.add_diag_pair(q0, q1, gate);
+        } else if gate.kind.is_permutation() {
+            self.add_perm(q0, q1, gate.kind);
+        } else {
+            self.close_open();
+            let slot = self.dense2.len() as u32;
+            self.dense2.push(Dense2Spec {
+                source: Dense2Source::Gate(gate),
+                parametric: gate.is_parametric(),
+            });
+            self.ops.push(PlanOp::Dense2 { q0, q1, slot });
+        }
+    }
+
+    /// Emits the pending single-qubit run on `q` (if any) as a fused op.
+    /// When a permutation run is open and does not touch `q`, the fused op
+    /// commutes with the whole run and is hoisted in front of it, keeping
+    /// the permutation run alive across interleaved rotation flushes.
+    fn flush_pending(&mut self, q: u32) {
+        if self.pending[q as usize].is_empty() {
+            return;
+        }
+        let start = self.run_gates.len();
+        self.run_gates.extend(self.pending[q as usize].drain(..));
+        let gates = start..self.run_gates.len();
+        let parametric = self.run_gates[gates.clone()]
+            .iter()
+            .any(|g| g.is_parametric());
+        let slot = self.runs.len() as u32;
+        self.runs.push(FusedSpec {
+            q,
+            gates,
+            parametric,
+        });
+        let op = PlanOp::Fused1 { q, slot };
+        match &mut self.open {
+            Open::Perm { start, touched, .. } if *touched & (1usize << q) == 0 => {
+                let at = *start;
+                self.ops.insert(at, op);
+                *start += 1;
+            }
+            Open::Perm { .. } => {
+                self.close_open();
+                self.ops.push(op);
+            }
+            Open::Diag { .. } => {
+                self.close_open();
+                self.ops.push(op);
+            }
+            Open::None => self.ops.push(op),
+        }
+    }
+
+    fn add_diag_single(&mut self, q: u32, gate: GateRef) {
+        self.ensure_diag_open();
+        let idx = self.diag_gates.len();
+        self.diag_gates.push(gate);
+        let Open::Diag { singles, .. } = &mut self.open else {
+            unreachable!("ensure_diag_open leaves a diag pass open");
+        };
+        // Gate ranges must stay contiguous in `diag_gates`, so a repeat
+        // contribution to a qubit extends its entry only when that entry is
+        // tail-adjacent; otherwise a second entry for the same qubit is
+        // opened (correct — the executed phase is the product over entries).
+        match singles.iter_mut().rev().find(|(sq, _)| *sq == q) {
+            Some((_, range)) if range.end == idx => range.end = idx + 1,
+            _ => singles.push((q, idx..idx + 1)),
+        }
+    }
+
+    fn add_diag_pair(&mut self, q0: u32, q1: u32, gate: GateRef) {
+        self.ensure_diag_open();
+        let idx = self.diag_gates.len();
+        self.diag_gates.push(gate);
+        let (a, b) = if q0 <= q1 { (q0, q1) } else { (q1, q0) };
+        // Cz is symmetric; Rzz depends only on parity — both are invariant
+        // under operand order, so pairs are keyed on the sorted qubits.
+        let Open::Diag { pairs, .. } = &mut self.open else {
+            unreachable!("ensure_diag_open leaves a diag pass open");
+        };
+        match pairs
+            .iter_mut()
+            .rev()
+            .find(|(pa, pb, _)| *pa == a && *pb == b)
+        {
+            Some((_, _, range)) if range.end == idx => range.end = idx + 1,
+            _ => pairs.push((a, b, idx..idx + 1)),
+        }
+    }
+
+    fn add_perm(&mut self, q0: u32, q1: u32, kind: GateKind) {
+        let n = self.circuit.num_qubits();
+        if !matches!(self.open, Open::Perm { .. }) {
+            self.close_open();
+            self.open = Open::Perm {
+                start: self.ops.len(),
+                masks: (0..n).map(|t| 1usize << t).collect(),
+                touched: 0,
+                gate_count: 0,
+            };
+        }
+        let Open::Perm {
+            masks,
+            touched,
+            gate_count,
+            ..
+        } = &mut self.open
+        else {
+            unreachable!("perm run opened above");
+        };
+        *touched |= (1usize << q0) | (1usize << q1);
+        *gate_count += 1;
+        // Compose the gate's inverse on the right of the gather map G:
+        // G_new(j) = G_old(g(j)).
+        match kind {
+            GateKind::Cx => {
+                // g: bit t ^= bit c  (self-inverse).
+                let (c, t) = (q0 as usize, q1 as usize);
+                for mask in masks.iter_mut() {
+                    if *mask & (1 << t) != 0 {
+                        *mask ^= 1 << c;
+                    }
+                }
+            }
+            GateKind::Swap => {
+                let (a, b) = (q0 as usize, q1 as usize);
+                for mask in masks.iter_mut() {
+                    let ba = (*mask >> a) & 1;
+                    let bb = (*mask >> b) & 1;
+                    if ba != bb {
+                        *mask ^= (1 << a) | (1 << b);
+                    }
+                }
+            }
+            other => panic!("{other:?} is not a permutation gate"),
+        }
+    }
+
+    fn ensure_diag_open(&mut self) {
+        if !matches!(self.open, Open::Diag { .. }) {
+            self.close_open();
+            self.open = Open::Diag {
+                singles: Vec::new(),
+                pairs: Vec::new(),
+            };
+        }
+    }
+
+    /// Closes whatever construct is open, emitting its plan op.
+    fn close_open(&mut self) {
+        match std::mem::replace(&mut self.open, Open::None) {
+            Open::None => {}
+            Open::Perm {
+                masks, gate_count, ..
+            } => {
+                if gate_count == 1 {
+                    // A lone permutation gate is cheaper in place; recover
+                    // it from the composed map rather than one gather pass.
+                    self.emit_single_perm(&masks);
+                } else {
+                    let slot = self.perms.len() as u32;
+                    self.perms.push(PermSpec { masks, gate_count });
+                    self.ops.push(PlanOp::Perm { slot });
+                }
+            }
+            Open::Diag { singles, pairs } => {
+                let single_off = self.diag_single_count;
+                let pair_off = self.diag_pair_count;
+                let spec_singles: Vec<DiagSingleSpec> = singles
+                    .into_iter()
+                    .map(|(q, gates)| DiagSingleSpec {
+                        mask: 1usize << q,
+                        gates,
+                    })
+                    .collect();
+                let spec_pairs: Vec<DiagPairSpec> = pairs
+                    .into_iter()
+                    .map(|(a, b, gates)| DiagPairSpec {
+                        mask0: 1usize << a,
+                        mask1: 1usize << b,
+                        gates,
+                    })
+                    .collect();
+                self.diag_single_count += spec_singles.len();
+                self.diag_pair_count += spec_pairs.len();
+                let parametric = spec_singles
+                    .iter()
+                    .map(|s| &self.diag_gates[s.gates.clone()])
+                    .chain(spec_pairs.iter().map(|p| &self.diag_gates[p.gates.clone()]))
+                    .any(DiagSpec::any_parametric);
+                let slot = self.diags.len() as u32;
+                self.diags.push(DiagSpec {
+                    singles: spec_singles,
+                    pairs: spec_pairs,
+                    single_off,
+                    pair_off,
+                    parametric,
+                });
+                self.ops.push(PlanOp::Diag { slot });
+            }
+        }
+    }
+
+    /// Final peephole: adjacent fused single-qubit passes on distinct
+    /// qubits merge into one dense 4×4 sweep (their Kronecker product).
+    /// The flop count is unchanged but the statevector is streamed once
+    /// instead of twice, which halves the memory traffic of every rotation
+    /// layer — the dominant pass kind in a hardware-efficient ansatz.
+    fn merge_fused_pairs(&mut self) {
+        let mut merged = Vec::with_capacity(self.ops.len());
+        let mut i = 0;
+        while i < self.ops.len() {
+            let pair = match (self.ops.get(i), self.ops.get(i + 1)) {
+                (
+                    Some(&PlanOp::Fused1 { q: qa, slot: sa }),
+                    Some(&PlanOp::Fused1 { q: qb, slot: sb }),
+                ) if qa != qb => Some((qa, sa, qb, sb)),
+                _ => None,
+            };
+            if let Some((qa, sa, qb, sb)) = pair {
+                let parametric =
+                    self.runs[sa as usize].parametric || self.runs[sb as usize].parametric;
+                let slot = self.dense2.len() as u32;
+                self.dense2.push(Dense2Spec {
+                    source: Dense2Source::Kron { run0: sa, run1: sb },
+                    parametric,
+                });
+                merged.push(PlanOp::Dense2 {
+                    q0: qa,
+                    q1: qb,
+                    slot,
+                });
+                i += 2;
+            } else {
+                merged.push(self.ops[i].clone());
+                i += 1;
+            }
+        }
+        self.ops = merged;
+    }
+
+    /// Decomposes a single-gate permutation map back into its plan op.
+    fn emit_single_perm(&mut self, masks: &[usize]) {
+        // Exactly one of: CX (one row gained one extra bit) or SWAP (two
+        // rows exchanged).
+        let mut changed: Vec<usize> = masks
+            .iter()
+            .enumerate()
+            .filter(|&(t, &m)| m != 1usize << t)
+            .map(|(t, _)| t)
+            .collect();
+        match changed.len() {
+            1 => {
+                let t = changed.pop().expect("one changed row");
+                let c = (masks[t] ^ (1usize << t)).trailing_zeros();
+                self.ops.push(PlanOp::Cx {
+                    control: c,
+                    target: t as u32,
+                });
+            }
+            2 => {
+                let (a, b) = (changed[0] as u32, changed[1] as u32);
+                self.ops.push(PlanOp::Swap { a, b });
+            }
+            _ => unreachable!("single permutation gate touches at most two rows"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ansatz::{efficient_su2, Entanglement};
+    use crate::gate::Angle;
+
+    #[test]
+    fn efficient_su2_plan_shape() {
+        // reps=2 linear: 3 rotation layers fuse to n single-qubit passes
+        // each, then pair-merge to ⌈n/2⌉ dense sweeps; the two entanglement
+        // layers compose to one permutation pass each.
+        for n in [2usize, 4, 5, 8] {
+            let c = efficient_su2(n, 2, Entanglement::Linear);
+            let cc = CompiledCircuit::compile(&c);
+            let expected_perm = if n > 2 { 2 } else { 0 }; // n=2: lone CX stays a Cx op
+            let expected = 3 * n.div_ceil(2) + 2;
+            assert_eq!(cc.num_passes(), expected, "n={n}");
+            assert_eq!(cc.perms.len(), expected_perm, "n={n}");
+            assert_eq!(cc.runs.len(), 3 * n, "n={n}");
+            assert_eq!(cc.dense2.len(), 3 * (n / 2), "n={n}");
+            assert!(cc.diags.is_empty());
+        }
+    }
+
+    #[test]
+    fn adjacent_fused_passes_merge_into_dense_pairs() {
+        // Three H's flush as three fused passes; the first two merge into
+        // one Kronecker sweep, the odd one out stays single-qubit.
+        let mut c = Circuit::new(3);
+        c.h(0).h(1).h(2);
+        let cc = CompiledCircuit::compile(&c);
+        assert_eq!(cc.num_passes(), 2);
+        assert_eq!(cc.dense2.len(), 1);
+        assert!(matches!(cc.ops[0], PlanOp::Dense2 { q0: 0, q1: 1, .. }));
+        assert!(matches!(cc.ops[1], PlanOp::Fused1 { q: 2, .. }));
+    }
+
+    #[test]
+    fn init_prefix_covers_leading_rotation_layer() {
+        // EfficientSU2's first rotation layer (pair-merged) is absorbed
+        // into the product fill; a mid-circuit layer is not.
+        for n in [4usize, 5, 8] {
+            let c = efficient_su2(n, 2, Entanglement::Linear);
+            let cc = CompiledCircuit::compile(&c);
+            assert_eq!(cc.init_ops, n.div_ceil(2), "n={n}");
+            assert_eq!(cc.init_cols.len(), n, "n={n}");
+            let mut qubits: Vec<u32> = cc.init_cols.iter().map(|&(q, _)| q).collect();
+            qubits.sort_unstable();
+            assert_eq!(qubits, (0..n as u32).collect::<Vec<_>>(), "n={n}");
+        }
+    }
+
+    #[test]
+    fn init_prefix_stops_at_repeated_qubit_or_entangler() {
+        // A circuit opening with an entangler has no coverable prefix.
+        let mut c = Circuit::new(3);
+        c.cx(0, 1);
+        c.h(2);
+        let cc = CompiledCircuit::compile(&c);
+        // h(2) commutes over the perm run and is hoisted in front of it,
+        // so exactly that one pass is coverable.
+        assert_eq!(cc.init_ops, 1);
+        assert_eq!(cc.init_cols, vec![(2, 0)]);
+
+        let mut d = Circuit::new(2);
+        d.ecr(0, 1);
+        let cd = CompiledCircuit::compile(&d);
+        assert_eq!(cd.init_ops, 0);
+        assert!(cd.init_cols.is_empty());
+    }
+
+    #[test]
+    fn diagonal_chain_coalesces_to_one_pass() {
+        let mut c = Circuit::new(3);
+        c.rz(0, 0.3);
+        c.push1(GateKind::S, 1, None);
+        c.cz(0, 1);
+        c.push2(GateKind::Rzz, 1, 2, Some(Angle::Fixed(0.7)));
+        c.push1(GateKind::T, 2, None);
+        let cc = CompiledCircuit::compile(&c);
+        assert_eq!(cc.num_passes(), 1);
+        assert_eq!(cc.diags.len(), 1);
+        assert_eq!(cc.diags[0].singles.len(), 3);
+        assert_eq!(cc.diags[0].pairs.len(), 2);
+    }
+
+    #[test]
+    fn cx_chain_composes_to_one_permutation() {
+        let mut c = Circuit::new(6);
+        for q in 0..5u32 {
+            c.cx(q, q + 1);
+        }
+        c.swap(0, 5);
+        let cc = CompiledCircuit::compile(&c);
+        assert_eq!(cc.num_passes(), 1);
+        assert_eq!(cc.perms.len(), 1);
+        assert_eq!(cc.perms[0].gate_count, 6);
+    }
+
+    #[test]
+    fn lone_cx_and_swap_stay_in_place() {
+        // h(1) sits on a qubit the first run touched, so its flush closes
+        // the run; each permutation run then holds one gate and lowers to
+        // a plain in-place op.
+        let mut c = Circuit::new(3);
+        c.cx(0, 1);
+        c.h(1);
+        c.swap(1, 2);
+        let cc = CompiledCircuit::compile(&c);
+        assert!(cc.perms.is_empty());
+        assert_eq!(cc.num_passes(), 3);
+        assert!(cc.ops.iter().any(|op| matches!(
+            op,
+            PlanOp::Cx {
+                control: 0,
+                target: 1
+            }
+        )));
+        assert!(cc.ops.iter().any(|op| matches!(op, PlanOp::Swap { .. })));
+    }
+
+    #[test]
+    fn commuting_gate_floats_over_permutation_run() {
+        // h(2) commutes with cx(0,1); the run stays open and absorbs the
+        // following swap, with the fused h hoisted in front.
+        let mut c = Circuit::new(3);
+        c.cx(0, 1);
+        c.h(2);
+        c.swap(1, 2);
+        let cc = CompiledCircuit::compile(&c);
+        assert_eq!(cc.perms.len(), 1);
+        assert_eq!(cc.perms[0].gate_count, 2);
+        assert_eq!(cc.num_passes(), 2);
+        assert!(matches!(cc.ops[0], PlanOp::Fused1 { q: 2, .. }));
+    }
+
+    #[test]
+    fn rotation_flush_keeps_permutation_run_alive() {
+        // ry layer + linear CX chain: flushed rotations on untouched qubits
+        // hoist before the open permutation run instead of splitting it,
+        // and the hoisted passes pair-merge into two dense sweeps.
+        let mut c = Circuit::new(4);
+        for q in 0..4u32 {
+            c.ry(q, 0.1 * (q + 1) as f64);
+        }
+        for q in 0..3u32 {
+            c.cx(q, q + 1);
+        }
+        let cc = CompiledCircuit::compile(&c);
+        assert_eq!(cc.perms.len(), 1);
+        assert_eq!(cc.num_passes(), 2 + 1);
+    }
+
+    #[test]
+    fn ecr_is_a_dense_pass() {
+        let mut c = Circuit::new(2);
+        c.h(0);
+        c.ecr(0, 1);
+        let cc = CompiledCircuit::compile(&c);
+        assert_eq!(cc.dense2.len(), 1);
+        assert_eq!(cc.num_passes(), 2);
+    }
+
+    #[test]
+    fn parametric_flags_are_tracked() {
+        let mut c = Circuit::new(2);
+        c.ry_param(0);
+        c.rz(0, 0.4);
+        c.h(1);
+        let cc = CompiledCircuit::compile(&c);
+        assert_eq!(cc.runs.len(), 2);
+        let by_qubit = |q: u32| cc.runs.iter().find(|r| r.q == q).expect("run");
+        assert!(by_qubit(0).parametric);
+        assert!(!by_qubit(1).parametric);
+    }
+}

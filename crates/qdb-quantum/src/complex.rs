@@ -47,7 +47,10 @@ impl C64 {
     /// Complex conjugate.
     #[inline(always)]
     pub fn conj(self) -> Self {
-        Self { re: self.re, im: -self.im }
+        Self {
+            re: self.re,
+            im: -self.im,
+        }
     }
 
     /// Squared magnitude `|z|²` — the measurement probability of an amplitude.
@@ -71,19 +74,28 @@ impl C64 {
     /// Multiplies by the imaginary unit (cheaper than a full complex multiply).
     #[inline(always)]
     pub fn mul_i(self) -> Self {
-        Self { re: -self.im, im: self.re }
+        Self {
+            re: -self.im,
+            im: self.re,
+        }
     }
 
     /// Multiplies by `-i`.
     #[inline(always)]
     pub fn mul_neg_i(self) -> Self {
-        Self { re: self.im, im: -self.re }
+        Self {
+            re: self.im,
+            im: -self.re,
+        }
     }
 
     /// Scales by a real factor.
     #[inline(always)]
     pub fn scale(self, k: f64) -> Self {
-        Self { re: self.re * k, im: self.im * k }
+        Self {
+            re: self.re * k,
+            im: self.im * k,
+        }
     }
 
     /// True when both components are finite.
@@ -278,8 +290,10 @@ mod tests {
             let theta = k as f64 * std::f64::consts::PI / 8.0;
             let z = C64::cis(theta);
             assert!((z.norm_sqr() - 1.0).abs() < EPS);
-            assert!((z.arg() - theta).rem_euclid(2.0 * std::f64::consts::PI) < 1e-9
-                || (theta - z.arg()).rem_euclid(2.0 * std::f64::consts::PI) < 1e-9);
+            assert!(
+                (z.arg() - theta).rem_euclid(2.0 * std::f64::consts::PI) < 1e-9
+                    || (theta - z.arg()).rem_euclid(2.0 * std::f64::consts::PI) < 1e-9
+            );
         }
     }
 

@@ -1,0 +1,288 @@
+//! Reusable execution workspace for compiled circuits.
+//!
+//! [`SimWorkspace`] owns everything a repeated circuit evaluation needs —
+//! the statevector, the permutation scratch buffer, and the per-binding
+//! [`BoundTables`] — so the VQE objective can stream hundreds of parameter
+//! bindings through [`SimWorkspace::run`] with **zero heap allocations
+//! after the first evaluation**: the statevector is [`reset`] in place, the
+//! tables are re-specialized into pre-sized storage, and the gather scratch
+//! is swapped back and forth with the amplitude buffer.
+//!
+//! [`reset`]: crate::statevector::Statevector::reset_zero
+
+use crate::compile::{BoundTables, CompiledCircuit, PlanOp};
+use crate::complex::C64;
+use crate::statevector::Statevector;
+
+/// A reusable simulation workspace: statevector + scratch + bound tables.
+///
+/// One workspace serves any number of compiled circuits; buffers reallocate
+/// only when the register width changes, and the bound tables re-prepare
+/// automatically when a different plan is run.
+#[derive(Clone, Debug)]
+pub struct SimWorkspace {
+    sv: Statevector,
+    scratch: Vec<C64>,
+    tables: BoundTables,
+    /// Per-qubit `(lo, hi)` columns for the product-state fill that replaces
+    /// a plan's leading rotation layer. Reused across evaluations.
+    cols: Vec<(C64, C64)>,
+}
+
+impl SimWorkspace {
+    /// A workspace sized for `num_qubits` qubits.
+    pub fn new(num_qubits: usize) -> Self {
+        Self {
+            sv: Statevector::zero(num_qubits),
+            scratch: Vec::new(),
+            tables: BoundTables::new(),
+            cols: Vec::new(),
+        }
+    }
+
+    /// Current register width.
+    pub fn num_qubits(&self) -> usize {
+        self.sv.num_qubits()
+    }
+
+    /// The state left by the most recent [`run`](Self::run).
+    pub fn statevector(&self) -> &Statevector {
+        &self.sv
+    }
+
+    /// Mutable access to the held state (for gate-by-gate callers that
+    /// still want buffer reuse, e.g. the noisy trajectory path).
+    pub fn statevector_mut(&mut self) -> &mut Statevector {
+        &mut self.sv
+    }
+
+    /// Resizes the workspace to `n` qubits. Reallocates only when the
+    /// width actually changes.
+    pub fn ensure_qubits(&mut self, n: usize) {
+        if self.sv.num_qubits() != n {
+            self.sv = Statevector::zero(n);
+            self.scratch = Vec::new();
+        }
+    }
+
+    /// Evolves `|0…0⟩` through `cc` under `params`, leaving the result in
+    /// [`statevector`](Self::statevector) and returning a reference to it.
+    ///
+    /// When the plan opens with a rotation layer (independent single-qubit
+    /// unitaries), that layer *and* the reset collapse into one
+    /// product-state fill — about one sweep of traffic replacing a reset
+    /// plus up to ⌈n/2⌉ dense passes.
+    ///
+    /// The first call against a given plan prepares the bound tables (and
+    /// the permutation scratch, if the plan has a permutation pass); every
+    /// later call is allocation-free.
+    pub fn run(&mut self, cc: &CompiledCircuit, params: &[f64]) -> &Statevector {
+        self.ensure_qubits(cc.num_qubits());
+        if !self.tables.prepared_for(cc) {
+            self.tables.prepare(cc);
+        }
+        cc.specialize(params, &mut self.tables);
+        if cc.init_ops == 0 {
+            self.sv.reset_zero();
+            self.apply_ops(cc, 0);
+        } else {
+            self.cols.clear();
+            self.cols.resize(cc.num_qubits(), (C64::ONE, C64::ZERO));
+            for &(q, slot) in &cc.init_cols {
+                let m = &self.tables.mats[slot as usize];
+                self.cols[q as usize] = (m[0][0], m[1][0]);
+            }
+            self.sv.fill_product(&self.cols);
+            self.apply_ops(cc, cc.init_ops);
+        }
+        &self.sv
+    }
+
+    /// Applies a compiled circuit to the *current* workspace state without
+    /// resetting it (used when a caller prepares the state separately).
+    pub fn apply(&mut self, cc: &CompiledCircuit, params: &[f64]) -> &Statevector {
+        assert_eq!(cc.num_qubits(), self.sv.num_qubits(), "width mismatch");
+        if !self.tables.prepared_for(cc) {
+            self.tables.prepare(cc);
+        }
+        cc.specialize(params, &mut self.tables);
+        self.apply_ops(cc, 0);
+        &self.sv
+    }
+
+    /// `⟨ψ(θ)| D |ψ(θ)⟩` for a diagonal Hamiltonian — the VQE hot loop in
+    /// one call: run the compiled ansatz, then reduce.
+    pub fn energy(&mut self, cc: &CompiledCircuit, params: &[f64], diag: &[f64]) -> f64 {
+        self.run(cc, params).expectation_diagonal(diag)
+    }
+
+    /// Executes `cc.ops[start..]` against the current state. `start` is
+    /// non-zero only on the [`run`](Self::run) path, where the leading ops
+    /// were absorbed into the product-state fill.
+    fn apply_ops(&mut self, cc: &CompiledCircuit, start: usize) {
+        for op in &cc.ops[start..] {
+            match *op {
+                PlanOp::Fused1 { q, slot } => {
+                    self.sv
+                        .apply_mat2(q as usize, &self.tables.mats[slot as usize]);
+                }
+                PlanOp::Diag { slot } => {
+                    let spec = &cc.diags[slot as usize];
+                    let singles = &self.tables.diag_singles
+                        [spec.single_off..spec.single_off + spec.singles.len()];
+                    let pairs =
+                        &self.tables.diag_pairs[spec.pair_off..spec.pair_off + spec.pairs.len()];
+                    self.sv.apply_phase_product(singles, pairs);
+                }
+                PlanOp::Perm { slot } => {
+                    self.sv
+                        .apply_bit_linear_perm(&cc.perms[slot as usize].masks, &mut self.scratch);
+                }
+                PlanOp::Cx { control, target } => {
+                    self.sv.apply_cx(control as usize, target as usize);
+                }
+                PlanOp::Swap { a, b } => self.sv.apply_swap(a as usize, b as usize),
+                PlanOp::Dense2 { q0, q1, slot } => {
+                    self.sv
+                        .apply_mat4(q0 as usize, q1 as usize, &self.tables.mats4[slot as usize]);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ansatz::{efficient_su2, Entanglement};
+    use crate::circuit::Circuit;
+    use crate::gate::{Angle, GateKind};
+
+    /// Largest |compiled - direct| amplitude difference.
+    fn max_amp_diff(ws: &SimWorkspace, direct: &Statevector) -> f64 {
+        ws.statevector()
+            .amplitudes()
+            .iter()
+            .zip(direct.amplitudes())
+            .map(|(a, b)| (*a - *b).norm_sqr().sqrt())
+            .fold(0.0, f64::max)
+    }
+
+    fn assert_matches_direct(c: &Circuit, params: &[f64]) {
+        let cc = CompiledCircuit::compile(c);
+        let mut ws = SimWorkspace::new(c.num_qubits());
+        ws.run(&cc, params);
+        let mut direct = Statevector::zero(c.num_qubits());
+        direct.apply_parametric(c, params);
+        let diff = max_amp_diff(&ws, &direct);
+        assert!(diff < 1e-12, "compiled deviates from direct by {diff}");
+    }
+
+    #[test]
+    fn bell_state_matches() {
+        let mut c = Circuit::new(2);
+        c.h(0).cx(0, 1);
+        assert_matches_direct(&c, &[]);
+    }
+
+    #[test]
+    fn efficient_su2_matches_direct() {
+        for n in [2usize, 3, 5, 8] {
+            let c = efficient_su2(n, 2, Entanglement::Linear);
+            let params: Vec<f64> = (0..c.num_params()).map(|i| 0.1 + 0.37 * i as f64).collect();
+            assert_matches_direct(&c, &params);
+        }
+    }
+
+    #[test]
+    fn mixed_gate_soup_matches_direct() {
+        let mut c = Circuit::new(4);
+        c.h(0).sx(1).x(2);
+        c.ry(3, 0.81);
+        c.rz(0, -0.4);
+        c.push1(GateKind::T, 1, None);
+        c.cz(0, 2);
+        c.push2(GateKind::Rzz, 1, 3, Some(Angle::Fixed(0.9)));
+        c.cx(2, 3).cx(0, 1);
+        c.swap(1, 2);
+        c.ecr(0, 3);
+        c.rx(2, 1.3);
+        c.cx(3, 0);
+        assert_matches_direct(&c, &[]);
+    }
+
+    #[test]
+    fn rebinding_reuses_tables() {
+        let c = efficient_su2(4, 2, Entanglement::Linear);
+        let cc = CompiledCircuit::compile(&c);
+        let mut ws = SimWorkspace::new(4);
+        for trial in 0..3 {
+            let params: Vec<f64> = (0..c.num_params())
+                .map(|i| 0.05 * (trial + 1) as f64 * (i as f64 + 1.0))
+                .collect();
+            ws.run(&cc, &params);
+            let mut direct = Statevector::zero(4);
+            direct.apply_parametric(&c, &params);
+            let diff = max_amp_diff(&ws, &direct);
+            assert!(diff < 1e-12, "trial {trial}: deviation {diff}");
+        }
+    }
+
+    #[test]
+    fn workspace_survives_plan_and_width_changes() {
+        let mut ws = SimWorkspace::new(2);
+        let mut bell = Circuit::new(2);
+        bell.h(0).cx(0, 1);
+        let cc_bell = CompiledCircuit::compile(&bell);
+        ws.run(&cc_bell, &[]);
+        assert!((ws.statevector().probabilities()[3] - 0.5).abs() < 1e-12);
+
+        let ghz_width = 3;
+        let mut ghz = Circuit::new(ghz_width);
+        ghz.h(0).cx(0, 1).cx(1, 2);
+        let cc_ghz = CompiledCircuit::compile(&ghz);
+        ws.run(&cc_ghz, &[]);
+        assert_eq!(ws.num_qubits(), ghz_width);
+        let p = ws.statevector().probabilities();
+        assert!((p[0] - 0.5).abs() < 1e-12);
+        assert!((p[7] - 0.5).abs() < 1e-12);
+
+        // Back to the first plan: tables re-prepare transparently.
+        ws.run(&cc_bell, &[]);
+        assert!((ws.statevector().probabilities()[3] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn energy_matches_direct_expectation() {
+        let c = efficient_su2(3, 1, Entanglement::Linear);
+        let cc = CompiledCircuit::compile(&c);
+        let params: Vec<f64> = (0..c.num_params()).map(|i| 0.2 * i as f64 - 0.5).collect();
+        let diag: Vec<f64> = (0..8).map(|i| i as f64 * 0.75 - 2.0).collect();
+        let mut ws = SimWorkspace::new(3);
+        let compiled = ws.energy(&cc, &params, &diag);
+        let mut direct = Statevector::zero(3);
+        direct.apply_parametric(&c, &params);
+        let expected = direct.expectation_diagonal(&diag);
+        assert!((compiled - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn large_register_crosses_parallel_threshold() {
+        // 13 qubits = 8192 amplitudes > PAR_THRESHOLD: exercises the rayon
+        // branches of every pass kind.
+        let n = 13;
+        let mut c = Circuit::new(n);
+        for q in 0..n as u32 {
+            c.ry(q, 0.1 + 0.2 * q as f64);
+        }
+        for q in 0..(n - 1) as u32 {
+            c.cx(q, q + 1);
+        }
+        for q in 0..n as u32 {
+            c.rz(q, -0.3 + 0.1 * q as f64);
+        }
+        c.ecr(0, (n - 1) as u32);
+        c.cz(1, 5);
+        assert_matches_direct(&c, &[]);
+    }
+}

@@ -27,7 +27,11 @@ pub enum Angle {
 impl Angle {
     /// A plain parameter reference with unit scale and zero offset.
     pub fn param(index: u32) -> Self {
-        Angle::Param { index, scale: 1.0, offset: 0.0 }
+        Angle::Param {
+            index,
+            scale: 1.0,
+            offset: 0.0,
+        }
     }
 
     /// Resolves the angle against a bound parameter vector.
@@ -38,7 +42,11 @@ impl Angle {
     pub fn resolve(self, params: &[f64]) -> f64 {
         match self {
             Angle::Fixed(v) => v,
-            Angle::Param { index, scale, offset } => scale * params[index as usize] + offset,
+            Angle::Param {
+                index,
+                scale,
+                offset,
+            } => scale * params[index as usize] + offset,
         }
     }
 
@@ -100,11 +108,7 @@ impl GateKind {
     /// Number of qubits the gate acts on.
     pub fn arity(self) -> usize {
         match self {
-            GateKind::Cx
-            | GateKind::Cz
-            | GateKind::Swap
-            | GateKind::Ecr
-            | GateKind::Rzz => 2,
+            GateKind::Cx | GateKind::Cz | GateKind::Swap | GateKind::Ecr | GateKind::Rzz => 2,
             _ => 1,
         }
     }
@@ -115,6 +119,34 @@ impl GateKind {
             self,
             GateKind::Rx | GateKind::Ry | GateKind::Rz | GateKind::P | GateKind::Rzz
         )
+    }
+
+    /// True for gates whose unitary is diagonal in the computational basis.
+    ///
+    /// Diagonal gates commute with each other, which is what lets the
+    /// compiler coalesce runs of them into a single phase pass
+    /// (see [`crate::compile`]).
+    pub fn is_diagonal(self) -> bool {
+        matches!(
+            self,
+            GateKind::Id
+                | GateKind::Z
+                | GateKind::S
+                | GateKind::Sdg
+                | GateKind::T
+                | GateKind::Tdg
+                | GateKind::P
+                | GateKind::Rz
+                | GateKind::Cz
+                | GateKind::Rzz
+        )
+    }
+
+    /// True for two-qubit gates that permute basis states without touching
+    /// amplitudes (`Cx`, `Swap`) — the compiler composes runs of these into
+    /// one bit-linear permutation pass.
+    pub fn is_permutation(self) -> bool {
+        matches!(self, GateKind::Cx | GateKind::Swap)
     }
 
     /// Lowercase OpenQASM-style mnemonic.
@@ -186,10 +218,7 @@ pub fn single_qubit_matrix(kind: GateKind, theta: f64) -> Mat2 {
             let (s, c) = (theta / 2.0).sin_cos();
             [[C64::real(c), C64::real(-s)], [C64::real(s), C64::real(c)]]
         }
-        GateKind::Rz => [
-            [C64::cis(-theta / 2.0), z],
-            [z, C64::cis(theta / 2.0)],
-        ],
+        GateKind::Rz => [[C64::cis(-theta / 2.0), z], [z, C64::cis(theta / 2.0)]],
         GateKind::P => [[o, z], [z, C64::cis(theta)]],
         _ => panic!("{kind:?} is not a single-qubit gate"),
     }
@@ -205,46 +234,60 @@ pub fn two_qubit_matrix(kind: GateKind, theta: f64) -> Mat4 {
     let o = C64::ONE;
     match kind {
         // Basis index = q1*2 + q0, control = q0 (first operand), target = q1.
-        GateKind::Cx => [
-            [o, z, z, z],
-            [z, z, z, o],
-            [z, z, o, z],
-            [z, o, z, z],
-        ],
-        GateKind::Cz => [
-            [o, z, z, z],
-            [z, o, z, z],
-            [z, z, o, z],
-            [z, z, z, -o],
-        ],
-        GateKind::Swap => [
-            [o, z, z, z],
-            [z, z, o, z],
-            [z, o, z, z],
-            [z, z, z, o],
-        ],
+        GateKind::Cx => [[o, z, z, z], [z, z, z, o], [z, z, o, z], [z, o, z, z]],
+        GateKind::Cz => [[o, z, z, z], [z, o, z, z], [z, z, o, z], [z, z, z, -o]],
+        GateKind::Swap => [[o, z, z, z], [z, z, o, z], [z, o, z, z], [z, z, z, o]],
         GateKind::Ecr => {
             // ECR = (IX - YX)/√2 with q0 = control-like operand (IBM convention).
             let k = C64::real(FRAC_1_SQRT_2);
             let ik = C64::new(0.0, FRAC_1_SQRT_2);
-            [
-                [z, k, z, ik],
-                [k, z, -ik, z],
-                [z, ik, z, k],
-                [-ik, z, k, z],
-            ]
+            [[z, k, z, ik], [k, z, -ik, z], [z, ik, z, k], [-ik, z, k, z]]
         }
         GateKind::Rzz => {
             let e = C64::cis(-theta / 2.0);
             let ep = C64::cis(theta / 2.0);
-            [
-                [e, z, z, z],
-                [z, ep, z, z],
-                [z, z, ep, z],
-                [z, z, z, e],
-            ]
+            [[e, z, z, z], [z, ep, z, z], [z, z, ep, z], [z, z, z, e]]
         }
         _ => panic!("{kind:?} is not a two-qubit gate"),
+    }
+}
+
+/// The 2×2 identity matrix.
+pub fn mat2_identity() -> Mat2 {
+    [[C64::ONE, C64::ZERO], [C64::ZERO, C64::ONE]]
+}
+
+/// Matrix product `a · b` of two 2×2 complex matrices.
+///
+/// Gate fusion composes a run `g₁, g₂, …, gₖ` (program order) into the
+/// single unitary `Mₖ ··· M₂ · M₁`, built by left-multiplying each new
+/// gate matrix onto the accumulator.
+pub fn mat2_mul(a: &Mat2, b: &Mat2) -> Mat2 {
+    let mut out = [[C64::ZERO; 2]; 2];
+    for (i, row) in out.iter_mut().enumerate() {
+        for (j, entry) in row.iter_mut().enumerate() {
+            *entry = a[i][0] * b[0][j] + a[i][1] * b[1][j];
+        }
+    }
+    out
+}
+
+/// The `(⟨0|U|0⟩, ⟨1|U|1⟩)` phases of a diagonal single-qubit gate, or
+/// `None` if the gate is not single-qubit diagonal.
+///
+/// `theta` is ignored for non-parameterized gates.
+pub fn diagonal_phases(kind: GateKind, theta: f64) -> Option<(C64, C64)> {
+    let o = C64::ONE;
+    match kind {
+        GateKind::Id => Some((o, o)),
+        GateKind::Z => Some((o, -o)),
+        GateKind::S => Some((o, C64::I)),
+        GateKind::Sdg => Some((o, -C64::I)),
+        GateKind::T => Some((o, C64::cis(std::f64::consts::FRAC_PI_4))),
+        GateKind::Tdg => Some((o, C64::cis(-std::f64::consts::FRAC_PI_4))),
+        GateKind::P => Some((o, C64::cis(theta))),
+        GateKind::Rz => Some((C64::cis(-theta / 2.0), C64::cis(theta / 2.0))),
+        _ => None,
     }
 }
 
@@ -386,7 +429,12 @@ mod tests {
         assert_eq!(Angle::Fixed(2.0).resolve(&params), 2.0);
         assert_eq!(Angle::param(1).resolve(&params), -1.5);
         assert_eq!(
-            (Angle::Param { index: 0, scale: 2.0, offset: 0.5 }).resolve(&params),
+            (Angle::Param {
+                index: 0,
+                scale: 2.0,
+                offset: 0.5
+            })
+            .resolve(&params),
             1.5
         );
         assert!(Angle::param(0).is_parametric());

@@ -12,10 +12,15 @@
 //! and downstream users who want them.
 
 use crate::circuit::Circuit;
+use crate::compile::CompiledCircuit;
+use crate::exec::SimWorkspace;
 use crate::statevector::Statevector;
 use std::f64::consts::FRAC_PI_2;
 
 /// Evaluates `E(θ) = ⟨ψ(θ)| diag |ψ(θ)⟩` for a parametric circuit.
+///
+/// One-shot reference path (direct gate-by-gate application). Repeated
+/// evaluation should compile once and go through [`SimWorkspace::energy`].
 pub fn expectation(circuit: &Circuit, params: &[f64], diagonal: &[f64]) -> f64 {
     let mut sv = Statevector::zero(circuit.num_qubits());
     sv.apply_parametric(circuit, params);
@@ -23,20 +28,35 @@ pub fn expectation(circuit: &Circuit, params: &[f64], diagonal: &[f64]) -> f64 {
 }
 
 /// Exact gradient of the diagonal expectation by the parameter-shift rule
-/// (2 evaluations per parameter).
-pub fn parameter_shift_gradient(
-    circuit: &Circuit,
+/// (2 evaluations per parameter), compiling the circuit once and streaming
+/// all `2P` evaluations through one fresh workspace.
+pub fn parameter_shift_gradient(circuit: &Circuit, params: &[f64], diagonal: &[f64]) -> Vec<f64> {
+    let compiled = CompiledCircuit::compile(circuit);
+    let mut ws = SimWorkspace::new(circuit.num_qubits());
+    parameter_shift_gradient_ws(&compiled, params, diagonal, &mut ws)
+}
+
+/// [`parameter_shift_gradient`] against a pre-compiled circuit and caller
+/// workspace — allocation-free after warmup (the shifted parameter vector
+/// is mutated in place).
+pub fn parameter_shift_gradient_ws(
+    compiled: &CompiledCircuit,
     params: &[f64],
     diagonal: &[f64],
+    ws: &mut SimWorkspace,
 ) -> Vec<f64> {
-    assert_eq!(circuit.num_params(), params.len(), "parameter count mismatch");
+    assert_eq!(
+        compiled.num_params(),
+        params.len(),
+        "parameter count mismatch"
+    );
     let mut gradient = Vec::with_capacity(params.len());
     let mut shifted = params.to_vec();
     for i in 0..params.len() {
         shifted[i] = params[i] + FRAC_PI_2;
-        let plus = expectation(circuit, &shifted, diagonal);
+        let plus = ws.energy(compiled, &shifted, diagonal);
         shifted[i] = params[i] - FRAC_PI_2;
-        let minus = expectation(circuit, &shifted, diagonal);
+        let minus = ws.energy(compiled, &shifted, diagonal);
         shifted[i] = params[i];
         gradient.push(0.5 * (plus - minus));
     }
@@ -44,7 +64,9 @@ pub fn parameter_shift_gradient(
 }
 
 /// Simple gradient descent on a diagonal expectation — the minimal
-/// gradient-based VQE loop enabled by [`parameter_shift_gradient`].
+/// gradient-based VQE loop enabled by [`parameter_shift_gradient`]. The
+/// circuit is compiled once and every evaluation of every step reuses the
+/// same workspace.
 pub fn gradient_descent(
     circuit: &Circuit,
     x0: &[f64],
@@ -52,14 +74,16 @@ pub fn gradient_descent(
     learning_rate: f64,
     steps: usize,
 ) -> (Vec<f64>, f64) {
+    let compiled = CompiledCircuit::compile(circuit);
+    let mut ws = SimWorkspace::new(circuit.num_qubits());
     let mut x = x0.to_vec();
     for _ in 0..steps {
-        let g = parameter_shift_gradient(circuit, &x, diagonal);
+        let g = parameter_shift_gradient_ws(&compiled, &x, diagonal, &mut ws);
         for (xi, gi) in x.iter_mut().zip(&g) {
             *xi -= learning_rate * gi;
         }
     }
-    let e = expectation(circuit, &x, diagonal);
+    let e = ws.energy(&compiled, &x, diagonal);
     (x, e)
 }
 
@@ -69,7 +93,9 @@ mod tests {
     use crate::ansatz::{efficient_su2, Entanglement};
 
     fn test_diag(n: usize) -> Vec<f64> {
-        (0..1usize << n).map(|i| (i as f64) * 0.3 - (i % 3) as f64).collect()
+        (0..1usize << n)
+            .map(|i| (i as f64) * 0.3 - (i % 3) as f64)
+            .collect()
     }
 
     #[test]
@@ -123,9 +149,7 @@ mod tests {
     fn rejects_wrong_parameter_count() {
         let c = efficient_su2(2, 1, Entanglement::Linear);
         let diag = test_diag(2);
-        let result = std::panic::catch_unwind(|| {
-            parameter_shift_gradient(&c, &[0.0], &diag)
-        });
+        let result = std::panic::catch_unwind(|| parameter_shift_gradient(&c, &[0.0], &diag));
         assert!(result.is_err());
     }
 }

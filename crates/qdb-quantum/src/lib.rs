@@ -26,7 +26,9 @@
 
 pub mod ansatz;
 pub mod circuit;
+pub mod compile;
 pub mod complex;
+pub mod exec;
 pub mod gate;
 pub mod gradient;
 pub mod noise;
@@ -38,9 +40,11 @@ pub mod statevector;
 pub mod prelude {
     pub use crate::ansatz::{efficient_su2, real_amplitudes, Entanglement};
     pub use crate::circuit::{Circuit, Instruction};
+    pub use crate::compile::{BoundTables, CompiledCircuit};
     pub use crate::complex::C64;
+    pub use crate::exec::SimWorkspace;
     pub use crate::gate::{Angle, GateKind};
-    pub use crate::noise::{apply_noisy, noisy_expectation, NoiseModel};
+    pub use crate::noise::{apply_noisy, noisy_expectation, noisy_expectation_ws, NoiseModel};
     pub use crate::pauli::{PauliString, SparsePauliOp};
     pub use crate::sampler::{sample_counts, Counts};
     pub use crate::statevector::Statevector;

@@ -15,6 +15,8 @@
 //! trajectories converges to the channel expectation.
 
 use crate::circuit::Circuit;
+use crate::compile::CompiledCircuit;
+use crate::exec::SimWorkspace;
 use crate::gate::GateKind;
 use crate::statevector::Statevector;
 use rand::Rng;
@@ -92,7 +94,11 @@ pub fn apply_noisy<R: Rng>(
     model: &NoiseModel,
     rng: &mut R,
 ) {
-    assert_eq!(circuit.num_params(), params.len(), "parameter count mismatch");
+    assert_eq!(
+        circuit.num_params(),
+        params.len(),
+        "parameter count mismatch"
+    );
     for instr in circuit.instructions() {
         let theta = instr.angle.map(|a| a.resolve(params)).unwrap_or(0.0);
         match instr.kind.arity() {
@@ -136,6 +142,11 @@ pub fn apply_noisy<R: Rng>(
 }
 
 /// Averages the diagonal-operator energy over `trajectories` noisy runs.
+///
+/// Allocates one statevector and reuses it across trajectories; repeated
+/// callers should hold a [`SimWorkspace`] and use
+/// [`noisy_expectation_ws`] instead, which also takes the compiled fast
+/// path when the model is ideal.
 pub fn noisy_expectation<R: Rng>(
     circuit: &Circuit,
     params: &[f64],
@@ -144,15 +155,51 @@ pub fn noisy_expectation<R: Rng>(
     trajectories: usize,
     rng: &mut R,
 ) -> f64 {
+    let mut sv = Statevector::zero(circuit.num_qubits());
     if model.is_ideal() || trajectories == 0 {
-        let mut sv = Statevector::zero(circuit.num_qubits());
         sv.apply_parametric(circuit, params);
         return sv.expectation_diagonal(diag);
     }
     let mut acc = 0.0;
-    for _ in 0..trajectories {
-        let mut sv = Statevector::zero(circuit.num_qubits());
+    for t in 0..trajectories {
+        if t > 0 {
+            sv.reset_zero();
+        }
         apply_noisy(&mut sv, circuit, params, model, rng);
+        acc += sv.expectation_diagonal(diag);
+    }
+    acc / trajectories as f64
+}
+
+/// [`noisy_expectation`] through a reusable [`SimWorkspace`] — the form the
+/// VQE objective calls every iteration.
+///
+/// The ideal-model path runs the fused [`CompiledCircuit`] plan and is
+/// allocation-free after warmup. Trajectory noise inserts stochastic Paulis
+/// *between* gates, so under a noisy model every insertion point is a
+/// fusion barrier and the circuit is applied gate-by-gate from `circuit`;
+/// the workspace still amortizes the statevector buffer across
+/// trajectories.
+#[allow(clippy::too_many_arguments)]
+pub fn noisy_expectation_ws<R: Rng>(
+    circuit: &Circuit,
+    compiled: &CompiledCircuit,
+    params: &[f64],
+    diag: &[f64],
+    model: &NoiseModel,
+    trajectories: usize,
+    rng: &mut R,
+    ws: &mut SimWorkspace,
+) -> f64 {
+    if model.is_ideal() || trajectories == 0 {
+        return ws.energy(compiled, params, diag);
+    }
+    ws.ensure_qubits(circuit.num_qubits());
+    let mut acc = 0.0;
+    for _ in 0..trajectories {
+        let sv = ws.statevector_mut();
+        sv.reset_zero();
+        apply_noisy(sv, circuit, params, model, rng);
         acc += sv.expectation_diagonal(diag);
     }
     acc / trajectories as f64
@@ -194,7 +241,13 @@ mod tests {
     #[test]
     fn strong_noise_changes_the_state() {
         let (c, params) = test_circuit(4);
-        let model = NoiseModel { p1: 0.5, p2: 0.5, readout: 0.0, t1_us: 1.0, t2_us: 1.0 };
+        let model = NoiseModel {
+            p1: 0.5,
+            p2: 0.5,
+            readout: 0.0,
+            t1_us: 1.0,
+            t2_us: 1.0,
+        };
         let mut clean = Statevector::zero(4);
         clean.apply_parametric(&c, &params);
         // With p=0.5 on every gate, at least one trajectory out of a few
@@ -213,12 +266,78 @@ mod tests {
     }
 
     #[test]
+    fn workspace_path_matches_plain_path() {
+        let (c, params) = test_circuit(3);
+        let diag: Vec<f64> = (0..8).map(|i| i as f64 * 0.5 - 1.0).collect();
+        let cc = CompiledCircuit::compile(&c);
+        let mut ws = SimWorkspace::new(3);
+
+        // Ideal model: compiled path vs direct path.
+        let plain = noisy_expectation(
+            &c,
+            &params,
+            &diag,
+            &NoiseModel::IDEAL,
+            4,
+            &mut ChaCha8Rng::seed_from_u64(3),
+        );
+        let via_ws = noisy_expectation_ws(
+            &c,
+            &cc,
+            &params,
+            &diag,
+            &NoiseModel::IDEAL,
+            4,
+            &mut ChaCha8Rng::seed_from_u64(3),
+            &mut ws,
+        );
+        assert!((plain - via_ws).abs() < 1e-12);
+
+        // Noisy model: both apply gate-by-gate with the same RNG stream, so
+        // the trajectory averages are bit-identical.
+        let model = NoiseModel::eagle_like().scaled(10.0);
+        let plain = noisy_expectation(
+            &c,
+            &params,
+            &diag,
+            &model,
+            16,
+            &mut ChaCha8Rng::seed_from_u64(7),
+        );
+        let via_ws = noisy_expectation_ws(
+            &c,
+            &cc,
+            &params,
+            &diag,
+            &model,
+            16,
+            &mut ChaCha8Rng::seed_from_u64(7),
+            &mut ws,
+        );
+        assert_eq!(plain, via_ws);
+    }
+
+    #[test]
     fn trajectory_average_reproducible() {
         let (c, params) = test_circuit(3);
         let diag: Vec<f64> = (0..8).map(|i| i as f64).collect();
         let model = NoiseModel::eagle_like().scaled(10.0);
-        let e1 = noisy_expectation(&c, &params, &diag, &model, 20, &mut ChaCha8Rng::seed_from_u64(11));
-        let e2 = noisy_expectation(&c, &params, &diag, &model, 20, &mut ChaCha8Rng::seed_from_u64(11));
+        let e1 = noisy_expectation(
+            &c,
+            &params,
+            &diag,
+            &model,
+            20,
+            &mut ChaCha8Rng::seed_from_u64(11),
+        );
+        let e2 = noisy_expectation(
+            &c,
+            &params,
+            &diag,
+            &model,
+            20,
+            &mut ChaCha8Rng::seed_from_u64(11),
+        );
         assert_eq!(e1, e2);
     }
 

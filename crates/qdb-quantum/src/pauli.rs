@@ -21,26 +21,41 @@ pub struct PauliString {
 
 impl PauliString {
     /// The identity string.
-    pub const IDENTITY: PauliString = PauliString { x_mask: 0, z_mask: 0 };
+    pub const IDENTITY: PauliString = PauliString {
+        x_mask: 0,
+        z_mask: 0,
+    };
 
     /// A single Z factor on qubit `q`.
     pub fn z(q: usize) -> Self {
-        Self { x_mask: 0, z_mask: 1 << q }
+        Self {
+            x_mask: 0,
+            z_mask: 1 << q,
+        }
     }
 
     /// A single X factor on qubit `q`.
     pub fn x(q: usize) -> Self {
-        Self { x_mask: 1 << q, z_mask: 0 }
+        Self {
+            x_mask: 1 << q,
+            z_mask: 0,
+        }
     }
 
     /// A single Y factor on qubit `q`.
     pub fn y(q: usize) -> Self {
-        Self { x_mask: 1 << q, z_mask: 1 << q }
+        Self {
+            x_mask: 1 << q,
+            z_mask: 1 << q,
+        }
     }
 
     /// Z⊗Z on two qubits.
     pub fn zz(a: usize, b: usize) -> Self {
-        Self { x_mask: 0, z_mask: (1 << a) | (1 << b) }
+        Self {
+            x_mask: 0,
+            z_mask: (1 << a) | (1 << b),
+        }
     }
 
     /// Parses a Qiskit-style label, leftmost character = highest qubit.
@@ -104,7 +119,11 @@ impl PauliString {
     /// The phase `P|j⟩ = phase(j) |j ⊕ x_mask⟩`.
     #[inline]
     pub fn phase_on(self, j: u64) -> C64 {
-        let sign = if (j & self.z_mask).count_ones() & 1 == 0 { 1.0 } else { -1.0 };
+        let sign = if (j & self.z_mask).count_ones() & 1 == 0 {
+            1.0
+        } else {
+            -1.0
+        };
         match self.y_count() % 4 {
             0 => C64::real(sign),
             1 => C64::new(0.0, sign),
@@ -121,7 +140,10 @@ impl PauliString {
         // and the i^{y} prefactors recombine.
         let x = self.x_mask ^ other.x_mask;
         let z = self.z_mask ^ other.z_mask;
-        let prod = PauliString { x_mask: x, z_mask: z };
+        let prod = PauliString {
+            x_mask: x,
+            z_mask: z,
+        };
         // phase = i^{yA + yB - yAB} * (-1)^{|zA & xB|}
         let ya = self.y_count() as i32;
         let yb = other.y_count() as i32;
@@ -141,8 +163,8 @@ impl PauliString {
 
     /// True when the two strings commute.
     pub fn commutes_with(self, other: PauliString) -> bool {
-        let anti = (self.x_mask & other.z_mask).count_ones()
-            + (self.z_mask & other.x_mask).count_ones();
+        let anti =
+            (self.x_mask & other.z_mask).count_ones() + (self.z_mask & other.x_mask).count_ones();
         anti % 2 == 0
     }
 
@@ -184,7 +206,10 @@ impl SparsePauliOp {
     /// The zero operator over `n` qubits.
     pub fn zero(num_qubits: usize) -> Self {
         assert!(num_qubits <= 64);
-        Self { num_qubits, terms: Vec::new() }
+        Self {
+            num_qubits,
+            terms: Vec::new(),
+        }
     }
 
     /// Builds from raw `(string, coefficient)` pairs.
@@ -242,10 +267,7 @@ impl SparsePauliOp {
         for &(p, c) in &self.terms {
             *map.entry(p).or_insert(0.0) += c;
         }
-        self.terms = map
-            .into_iter()
-            .filter(|&(_, c)| c.abs() > 1e-14)
-            .collect();
+        self.terms = map.into_iter().filter(|&(_, c)| c.abs() > 1e-14).collect();
         // Deterministic order for reproducible iteration.
         self.terms
             .sort_by_key(|&(p, _)| (p.weight(), p.z_mask, p.x_mask));
@@ -262,7 +284,10 @@ impl SparsePauliOp {
     /// Panics if the operator has off-diagonal terms or is too wide.
     pub fn to_diagonal(&self) -> Vec<f64> {
         assert!(self.is_diagonal(), "operator has off-diagonal terms");
-        assert!(self.num_qubits <= 30, "diagonal expansion limited to 30 qubits");
+        assert!(
+            self.num_qubits <= 30,
+            "diagonal expansion limited to 30 qubits"
+        );
         let dim = 1usize << self.num_qubits;
         let terms = &self.terms;
         let eval = |i: usize| -> f64 {
@@ -295,7 +320,10 @@ impl SparsePauliOp {
     /// Panics if the length is not a power of two or exceeds 2^20.
     pub fn from_diagonal(diag: &[f64], eps: f64) -> SparsePauliOp {
         assert!(diag.len().is_power_of_two(), "diagonal length must be 2^n");
-        assert!(diag.len() <= 1 << 20, "diagonal too large for Pauli decomposition");
+        assert!(
+            diag.len() <= 1 << 20,
+            "diagonal too large for Pauli decomposition"
+        );
         let n = diag.len().trailing_zeros() as usize;
         let mut a = diag.to_vec();
         let mut h = 1usize;
@@ -316,8 +344,13 @@ impl SparsePauliOp {
             .enumerate()
             .filter_map(|(m, c)| {
                 let coeff = c * norm;
-                (coeff.abs() > eps)
-                    .then_some((PauliString { x_mask: 0, z_mask: m as u64 }, coeff))
+                (coeff.abs() > eps).then_some((
+                    PauliString {
+                        x_mask: 0,
+                        z_mask: m as u64,
+                    },
+                    coeff,
+                ))
             })
             .collect();
         SparsePauliOp::from_terms(n, terms)
@@ -446,8 +479,7 @@ mod tests {
         let zi = PauliString::from_label("ZI");
         assert!(xi.commutes_with(ix));
         assert!(!xi.commutes_with(zi));
-        assert!(PauliString::from_label("XX")
-            .commutes_with(PauliString::from_label("ZZ")));
+        assert!(PauliString::from_label("XX").commutes_with(PauliString::from_label("ZZ")));
     }
 
     #[test]

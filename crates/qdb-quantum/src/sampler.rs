@@ -192,7 +192,10 @@ mod tests {
         let noisy = clean.with_readout_error(4, 0.05, &mut rng);
         assert_eq!(noisy.shots(), 2000);
         assert!(noisy.get(0) < 2000, "readout error should flip some shots");
-        assert!(noisy.get(0) > 1400, "5% per-bit flip keeps most shots intact");
+        assert!(
+            noisy.get(0) > 1400,
+            "5% per-bit flip keeps most shots intact"
+        );
     }
 
     #[test]

@@ -14,7 +14,7 @@
 
 use crate::circuit::Circuit;
 use crate::complex::C64;
-use crate::gate::{single_qubit_matrix, two_qubit_matrix, GateKind, Mat2};
+use crate::gate::{single_qubit_matrix, two_qubit_matrix, GateKind, Mat2, Mat4};
 use rayon::prelude::*;
 
 /// Number of amplitudes below which we do not bother spawning rayon tasks.
@@ -119,7 +119,11 @@ impl Statevector {
 
     /// Evaluates a parametric circuit: binds `params` and applies.
     pub fn apply_parametric(&mut self, circuit: &Circuit, params: &[f64]) {
-        assert_eq!(circuit.num_params(), params.len(), "parameter count mismatch");
+        assert_eq!(
+            circuit.num_params(),
+            params.len(),
+            "parameter count mismatch"
+        );
         for instr in circuit.instructions() {
             let theta = instr.angle.map(|a| a.resolve(params)).unwrap_or(0.0);
             match instr.kind.arity() {
@@ -164,42 +168,19 @@ impl Statevector {
             GateKind::Rzz => {
                 let m0 = 1usize << q0;
                 let m1 = 1usize << q1;
-                let even = C64::cis(-theta / 2.0);
-                let odd = C64::cis(theta / 2.0);
+                // Phase selected by parity from a precomputed table — the
+                // per-amplitude closure stays branch- and trig-free.
+                let phases = [C64::cis(-theta / 2.0), C64::cis(theta / 2.0)];
                 self.map_amplitudes(move |i, a| {
-                    let parity = ((i & m0 != 0) as u8) ^ ((i & m1 != 0) as u8);
-                    if parity == 0 { a * even } else { a * odd }
+                    let parity = ((i & m0 != 0) ^ (i & m1 != 0)) as usize;
+                    a * phases[parity]
                 });
             }
             GateKind::Swap => self.apply_swap(q0, q1),
             _ => {
+                // Dense 4×4 in place (ECR and future dense gates).
                 let m = two_qubit_matrix(kind, theta);
-                // Dense 4×4 gather pass (ECR and future dense gates).
-                let bit0 = 1usize << q0;
-                let bit1 = 1usize << q1;
-                let old = std::mem::take(&mut self.amps);
-                let gather = |i: usize| -> C64 {
-                    let b0 = (i & bit0 != 0) as usize;
-                    let b1 = (i & bit1 != 0) as usize;
-                    let row = (b1 << 1) | b0;
-                    let base = i & !(bit0 | bit1);
-                    let mut acc = C64::ZERO;
-                    for (col, &mij) in m[row].iter().enumerate() {
-                        if mij == C64::ZERO {
-                            continue;
-                        }
-                        let j = base
-                            | if col & 1 != 0 { bit0 } else { 0 }
-                            | if col & 2 != 0 { bit1 } else { 0 };
-                        acc += mij * old[j];
-                    }
-                    acc
-                };
-                self.amps = if old.len() >= PAR_THRESHOLD {
-                    (0..old.len()).into_par_iter().map(gather).collect()
-                } else {
-                    (0..old.len()).map(gather).collect()
-                };
+                self.apply_mat4(q0, q1, &m);
             }
         }
     }
@@ -234,7 +215,7 @@ impl Statevector {
     }
 
     /// Dense 2×2 application using the block/stride decomposition.
-    fn apply_mat2(&mut self, q: usize, m: &Mat2) {
+    pub(crate) fn apply_mat2(&mut self, q: usize, m: &Mat2) {
         let step = 1usize << q;
         let (m00, m01, m10, m11) = (m[0][0], m[0][1], m[1][0], m[1][1]);
         let kernel = |lo: &mut [C64], hi: &mut [C64]| {
@@ -269,9 +250,253 @@ impl Statevector {
         }
     }
 
+    /// In-place dense 4×4 two-qubit application. `q0` is the first operand
+    /// and the matrix uses the `|q1 q0⟩` basis of [`two_qubit_matrix`].
+    ///
+    /// The four coupled amplitudes of every group sit at fixed offsets
+    /// inside a `2·2^hi` chunk, so the update runs in place over disjoint
+    /// chunks: no gather buffer, no allocation (see
+    /// [`Self::apply_quad_groups`] for the traversal).
+    pub(crate) fn apply_mat4(&mut self, q0: usize, q1: usize, m: &Mat4) {
+        debug_assert!(q0 != q1 && q0 < self.num_qubits && q1 < self.num_qubits);
+        let (l, h) = if q0 < q1 { (q0, q1) } else { (q1, q0) };
+        // Reindex the matrix from |q1 q0⟩ to |bit_h bit_l⟩ order once so the
+        // kernel below is position-uniform regardless of operand order.
+        let map = |pos: usize| -> usize {
+            if q0 == l {
+                pos
+            } else {
+                ((pos & 1) << 1) | (pos >> 1)
+            }
+        };
+        let mut w = [[C64::ZERO; 4]; 4];
+        for (r, row) in w.iter_mut().enumerate() {
+            for (c, entry) in row.iter_mut().enumerate() {
+                *entry = m[map(r)][map(c)];
+            }
+        }
+        let quad = move |x0: C64, x1: C64, x2: C64, x3: C64| -> (C64, C64, C64, C64) {
+            (
+                w[0][0] * x0 + w[0][1] * x1 + w[0][2] * x2 + w[0][3] * x3,
+                w[1][0] * x0 + w[1][1] * x1 + w[1][2] * x2 + w[1][3] * x3,
+                w[2][0] * x0 + w[2][1] * x1 + w[2][2] * x2 + w[2][3] * x3,
+                w[3][0] * x0 + w[3][1] * x1 + w[3][2] * x2 + w[3][3] * x3,
+            )
+        };
+        self.apply_quad_groups(l, h, quad);
+    }
+
+    /// Overwrites the state with the product state `⊗_q (lo_q|0⟩ + hi_q|1⟩)`
+    /// by recursive doubling: amplitude blocks double qubit by qubit, so the
+    /// total work is `Σ_q 2^q ≈ 2^n` complex multiplies — about one sweep of
+    /// traffic, regardless of how many qubits carry a non-trivial column.
+    ///
+    /// This replaces `reset_zero` *plus* an entire leading rotation layer of
+    /// a compiled plan (see [`crate::compile`]): applying independent
+    /// single-qubit unitaries to `|0…0⟩` yields exactly the product of their
+    /// first columns. Every amplitude is written before it is read, so no
+    /// prior reset is needed.
+    pub(crate) fn fill_product(&mut self, cols: &[(C64, C64)]) {
+        debug_assert_eq!(cols.len(), self.num_qubits);
+        self.amps[0] = C64::ONE;
+        for (q, &(lo, hi)) in cols.iter().enumerate() {
+            let half = 1usize << q;
+            let (a, b) = self.amps[..2 * half].split_at_mut(half);
+            let kernel = |x: &mut C64, y: &mut C64| {
+                let v = *x;
+                *x = v * lo;
+                *y = v * hi;
+            };
+            if half >= PAR_THRESHOLD {
+                a.par_iter_mut()
+                    .zip(b.par_iter_mut())
+                    .for_each(|(x, y)| kernel(x, y));
+            } else {
+                for (x, y) in a.iter_mut().zip(b.iter_mut()) {
+                    kernel(x, y);
+                }
+            }
+        }
+    }
+
+    /// Shared traversal for two-qubit group updates: applies `quad` to every
+    /// coupled 4-amplitude group `(l‑bit, h‑bit) ∈ {0,1}²` with `l < h`.
+    /// Parallelism mirrors [`Self::apply_mat2`]: across chunks when there
+    /// are many, across the paired sub-chunks when chunks are huge, and
+    /// elementwise across the four strands when both qubits are at the top
+    /// of the register.
+    fn apply_quad_groups<F>(&mut self, l: usize, h: usize, quad: F)
+    where
+        F: Fn(C64, C64, C64, C64) -> (C64, C64, C64, C64) + Copy + Send + Sync,
+    {
+        let step_l = 1usize << l;
+        let step_h = 1usize << h;
+        // clo/chi are paired `2·step_l` slices with h-bit 0 and 1.
+        let pair_kernel = move |clo: &mut [C64], chi: &mut [C64]| {
+            let (a0, a1) = clo.split_at_mut(step_l);
+            let (a2, a3) = chi.split_at_mut(step_l);
+            for k in 0..step_l {
+                let (y0, y1, y2, y3) = quad(a0[k], a1[k], a2[k], a3[k]);
+                a0[k] = y0;
+                a1[k] = y1;
+                a2[k] = y2;
+                a3[k] = y3;
+            }
+        };
+        let chunk_kernel = move |chunk: &mut [C64]| {
+            let (lo, hi) = chunk.split_at_mut(step_h);
+            for (clo, chi) in lo
+                .chunks_exact_mut(2 * step_l)
+                .zip(hi.chunks_exact_mut(2 * step_l))
+            {
+                pair_kernel(clo, chi);
+            }
+        };
+        let chunks = self.amps.len() / (2 * step_h);
+        let sub_pairs = step_h / (2 * step_l);
+        if self.amps.len() < PAR_THRESHOLD {
+            self.amps
+                .chunks_exact_mut(2 * step_h)
+                .for_each(chunk_kernel);
+        } else if chunks >= 8 {
+            // Many chunks: parallelize across them.
+            self.amps
+                .par_chunks_exact_mut(2 * step_h)
+                .for_each(chunk_kernel);
+        } else if sub_pairs >= 8 {
+            // Few huge chunks (high `h`): parallelize the paired sub-chunks.
+            for chunk in self.amps.chunks_exact_mut(2 * step_h) {
+                let (lo, hi) = chunk.split_at_mut(step_h);
+                lo.par_chunks_exact_mut(2 * step_l)
+                    .zip(hi.par_chunks_exact_mut(2 * step_l))
+                    .for_each(|(clo, chi)| pair_kernel(clo, chi));
+            }
+        } else {
+            // Both qubits at the top: zip the four strands elementwise.
+            for chunk in self.amps.chunks_exact_mut(2 * step_h) {
+                let (lo, hi) = chunk.split_at_mut(step_h);
+                for (clo, chi) in lo
+                    .chunks_exact_mut(2 * step_l)
+                    .zip(hi.chunks_exact_mut(2 * step_l))
+                {
+                    let (a0, a1) = clo.split_at_mut(step_l);
+                    let (a2, a3) = chi.split_at_mut(step_l);
+                    a0.par_iter_mut()
+                        .zip(a1.par_iter_mut())
+                        .zip(a2.par_iter_mut())
+                        .zip(a3.par_iter_mut())
+                        .for_each(|(((x0, x1), x2), x3)| {
+                            let (y0, y1, y2, y3) = quad(*x0, *x1, *x2, *x3);
+                            *x0 = y0;
+                            *x1 = y1;
+                            *x2 = y2;
+                            *x3 = y3;
+                        });
+                }
+            }
+        }
+    }
+
+    /// Multiplies every amplitude by a product of per-qubit and per-pair
+    /// diagonal phases — one sweep executes an entire coalesced diagonal
+    /// pass (see [`crate::compile`]).
+    ///
+    /// `singles` entries are `(mask, lo, hi)`: amplitude `i` picks `lo` when
+    /// `i & mask == 0`, else `hi`. `pairs` entries are `(mask0, mask1,
+    /// table)` with the table indexed by `(bit1 << 1) | bit0`.
+    pub(crate) fn apply_phase_product(
+        &mut self,
+        singles: &[(usize, C64, C64)],
+        pairs: &[(usize, usize, [C64; 4])],
+    ) {
+        self.map_amplitudes(move |i, a| {
+            let mut phase = C64::ONE;
+            for &(mask, lo, hi) in singles {
+                phase = phase * if i & mask == 0 { lo } else { hi };
+            }
+            for &(m0, m1, table) in pairs {
+                let idx = (((i & m1 != 0) as usize) << 1) | ((i & m0 != 0) as usize);
+                phase = phase * table[idx];
+            }
+            a * phase
+        });
+    }
+
+    /// Applies a composed basis permutation given as a bit-linear gather
+    /// map: `amps'[j] = amps[G(j)]` where bit `t` of `G(j)` is
+    /// `parity(j & masks[t])` (see [`crate::compile`]).
+    ///
+    /// The gather writes into `scratch` (contiguous writes, scattered
+    /// reads — safe to parallelize) and the buffers are swapped; `scratch`
+    /// reallocates only when the register width changes.
+    ///
+    /// Evaluating `G` from the masks costs n popcounts per amplitude, which
+    /// makes the gather compute-bound. Instead the kernel walks the indices
+    /// in order and updates `G` incrementally: `j` and `j+1` differ by the
+    /// mask `2^(k+1)−1` with `k = trailing_ones(j)`, and `G` is linear over
+    /// F₂, so `G(j+1) = G(j) ^ steps[k]` where `steps[k] = G(2^(k+1)−1)` —
+    /// one table lookup and one XOR per amplitude.
+    pub(crate) fn apply_bit_linear_perm(&mut self, masks: &[usize], scratch: &mut Vec<C64>) {
+        debug_assert_eq!(masks.len(), self.num_qubits);
+        scratch.resize(self.amps.len(), C64::ZERO);
+        let n = self.num_qubits;
+        // Column images G(2^b) — bit t of G(2^b) is bit b of masks[t] —
+        // and their prefix XORs steps[k] = G(2^(k+1)−1). Stack arrays: the
+        // register is capped at 30 qubits and the pass must not allocate.
+        let mut cols = [0usize; 32];
+        for (b, col) in cols.iter_mut().enumerate().take(n) {
+            for (t, &mask) in masks.iter().enumerate() {
+                *col |= ((mask >> b) & 1) << t;
+            }
+        }
+        let mut steps = [0usize; 33];
+        let mut acc = 0usize;
+        for k in 0..n {
+            acc ^= cols[k];
+            steps[k] = acc;
+        }
+        let g_of = |j: usize| -> usize {
+            let mut src = 0usize;
+            for (t, &mask) in masks.iter().enumerate() {
+                src |= (((j & mask).count_ones() as usize) & 1) << t;
+            }
+            src
+        };
+        let amps = &self.amps;
+        // steps[n] stays 0: it is touched only by the dead final update of
+        // the last chunk (index 2^n) and never affects an output value.
+        let kernel = |j0: usize, out: &mut [C64]| {
+            let mut src = g_of(j0);
+            for (off, s) in out.iter_mut().enumerate() {
+                *s = amps[src];
+                src ^= steps[(j0 + off + 1).trailing_zeros() as usize];
+            }
+        };
+        const CHUNK: usize = 1 << 11;
+        if scratch.len() >= PAR_THRESHOLD {
+            scratch
+                .par_chunks_mut(CHUNK)
+                .enumerate()
+                .for_each(|(ci, out)| kernel(ci * CHUNK, out));
+        } else {
+            kernel(0, scratch.as_mut_slice());
+        }
+        std::mem::swap(&mut self.amps, scratch);
+    }
+
+    /// Resets the state to `|0…0⟩` in place, without reallocating.
+    pub fn reset_zero(&mut self) {
+        if self.amps.len() >= PAR_THRESHOLD {
+            self.amps.par_iter_mut().for_each(|a| *a = C64::ZERO);
+        } else {
+            self.amps.fill(C64::ZERO);
+        }
+        self.amps[0] = C64::ONE;
+    }
+
     /// In-place CX: within the target-qubit block decomposition, swap the
     /// paired amplitudes whose control bit is set.
-    fn apply_cx(&mut self, control: usize, target: usize) {
+    pub(crate) fn apply_cx(&mut self, control: usize, target: usize) {
         let step = 1usize << target;
         let cmask = 1usize << control;
         let block = 2 * step;
@@ -295,8 +520,8 @@ impl Statevector {
     }
 
     /// In-place SWAP via the higher-bit block decomposition.
-    fn apply_swap(&mut self, q0: usize, q1: usize) {
-        let (l, h) = if q0 < q1 { (q0, q1) } else { (q0.min(q1), q0.max(q1)) };
+    pub(crate) fn apply_swap(&mut self, q0: usize, q1: usize) {
+        let (l, h) = if q0 < q1 { (q0, q1) } else { (q1, q0) };
         let step = 1usize << h;
         let lmask = 1usize << l;
         let block = 2 * step;
@@ -359,6 +584,29 @@ mod tests {
         assert_eq!(sv.dim(), 8);
         assert_close(sv.norm_sqr(), 1.0);
         assert!(sv.amplitudes()[0].approx_eq(C64::ONE, EPS));
+    }
+
+    #[test]
+    fn fill_product_matches_gate_application() {
+        // The product fill must equal reset + one single-qubit unitary per
+        // qubit, below and above the parallel threshold, including on a
+        // state holding stale amplitudes from a previous run.
+        for n in [3usize, 13] {
+            let mats: Vec<Mat2> = (0..n)
+                .map(|q| single_qubit_matrix(GateKind::Ry, 0.3 + 0.17 * q as f64))
+                .collect();
+            let cols: Vec<(C64, C64)> = mats.iter().map(|m| (m[0][0], m[1][0])).collect();
+            let mut filled = Statevector::zero(n);
+            filled.apply_single(GateKind::H, 0, 0.0); // leave non-trivial state
+            filled.fill_product(&cols);
+            let mut expected = Statevector::zero(n);
+            for (q, m) in mats.iter().enumerate() {
+                expected.apply_mat2(q, m);
+            }
+            for (a, b) in filled.amplitudes().iter().zip(expected.amplitudes()) {
+                assert!(a.approx_eq(*b, 1e-12), "n={n}: {a:?} != {b:?}");
+            }
+        }
     }
 
     #[test]
@@ -427,8 +675,12 @@ mod tests {
 
     #[test]
     fn cx_truth_table() {
-        for (input, expected) in [(0b00usize, 0b00usize), (0b01, 0b11), (0b10, 0b10), (0b11, 0b01)]
-        {
+        for (input, expected) in [
+            (0b00usize, 0b00usize),
+            (0b01, 0b11),
+            (0b10, 0b10),
+            (0b11, 0b01),
+        ] {
             let mut sv = Statevector::zero(2);
             if input & 1 != 0 {
                 sv.apply_single(GateKind::X, 0, 0.0);
@@ -464,7 +716,7 @@ mod tests {
     }
 
     #[test]
-    fn ecr_equivalent_to_cx_up_to_local_rotations(){
+    fn ecr_equivalent_to_cx_up_to_local_rotations() {
         // ECR is locally equivalent to CX; check it is entangling and unitary
         // by evolving |00⟩ and verifying the reduced purity < 1.
         let mut sv = Statevector::zero(2);
@@ -488,7 +740,10 @@ mod tests {
         let purity: f64 = (0..2)
             .map(|i| (0..2).map(|j| rho[i][j].norm_sqr()).sum::<f64>())
             .sum();
-        assert!(purity < 0.75, "ECR should entangle H|0⟩⊗|0⟩, purity={purity}");
+        assert!(
+            purity < 0.75,
+            "ECR should entangle H|0⟩⊗|0⟩, purity={purity}"
+        );
     }
 
     #[test]

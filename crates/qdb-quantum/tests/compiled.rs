@@ -1,0 +1,172 @@
+//! Property-based equivalence: the compiled execution engine must match
+//! direct gate-by-gate application to 1e-12 on random circuits drawn from
+//! the full gate alphabet (fused rotations, coalesced diagonals, composed
+//! permutations, dense two-qubit gates, parametric bindings).
+
+use proptest::prelude::*;
+use qdb_quantum::prelude::*;
+
+/// Strategy: a random circuit over `n` qubits mixing every compilation
+/// path — single-qubit runs, diagonal gates, permutation gates, dense
+/// two-qubit gates, and parametric rotations (`ry_param`/`rz_param`).
+fn arb_circuit(n: usize, max_gates: usize) -> impl Strategy<Value = Circuit> {
+    let gate = (0..14u8, 0..n as u32, 0..n as u32, -3.2f64..3.2);
+    proptest::collection::vec(gate, 1..max_gates).prop_map(move |gates| {
+        let mut c = Circuit::new(n);
+        for (kind, q0, q1, theta) in gates {
+            match kind {
+                0 => {
+                    c.h(q0);
+                }
+                1 => {
+                    c.x(q0);
+                }
+                2 => {
+                    c.sx(q0);
+                }
+                3 => {
+                    c.ry(q0, theta);
+                }
+                4 => {
+                    c.rz(q0, theta);
+                }
+                5 => {
+                    c.rx(q0, theta);
+                }
+                6 => {
+                    c.ry_param(q0);
+                }
+                7 => {
+                    c.rz_param(q0);
+                }
+                8 => {
+                    c.push1(GateKind::S, q0, None);
+                }
+                9 => {
+                    c.push1(GateKind::T, q0, None);
+                }
+                10 => {
+                    c.push1(GateKind::P, q0, Some(Angle::Fixed(theta)));
+                }
+                11 if q0 != q1 => {
+                    c.cx(q0, q1);
+                }
+                12 if q0 != q1 => {
+                    c.cz(q0, q1);
+                }
+                13 if q0 != q1 => {
+                    c.swap(q0, q1);
+                }
+                _ if q0 != q1 => {
+                    if theta > 0.0 {
+                        c.push2(GateKind::Rzz, q0, q1, Some(Angle::Fixed(theta)));
+                    } else {
+                        c.ecr(q0, q1);
+                    }
+                }
+                _ => {
+                    c.push1(GateKind::Sdg, q0, None);
+                }
+            }
+        }
+        c
+    })
+}
+
+/// Maximum amplitude difference between the compiled engine and direct
+/// gate-by-gate application, both evaluated on the same binding.
+fn engine_divergence(c: &Circuit, pool: &[f64]) -> f64 {
+    let params = &pool[..c.num_params()];
+    let mut direct = Statevector::zero(c.num_qubits());
+    direct.apply_parametric(c, params);
+    let compiled = CompiledCircuit::compile(c);
+    let mut ws = SimWorkspace::new(c.num_qubits());
+    ws.run(&compiled, params);
+    ws.statevector()
+        .amplitudes()
+        .iter()
+        .zip(direct.amplitudes())
+        .map(|(a, b)| (*a - *b).norm_sqr().sqrt())
+        .fold(0.0, f64::max)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Compiled execution matches direct application to 1e-12 on random
+    /// narrow circuits (all compilation paths, dense bindings).
+    #[test]
+    fn compiled_matches_direct_small(
+        (c, pool) in (1usize..=6).prop_flat_map(|n| (
+            arb_circuit(n, 40),
+            proptest::collection::vec(-3.2f64..3.2, 48),
+        )),
+    ) {
+        prop_assume!(c.num_params() <= pool.len());
+        let d = engine_divergence(&c, &pool);
+        prop_assert!(d < 1e-12, "max amplitude divergence {d}");
+    }
+
+    /// Same property on wider registers (up to 12 qubits), shorter runs.
+    #[test]
+    fn compiled_matches_direct_wide(
+        (c, pool) in (7usize..=12).prop_flat_map(|n| (
+            arb_circuit(n, 28),
+            proptest::collection::vec(-3.2f64..3.2, 32),
+        )),
+    ) {
+        prop_assume!(c.num_params() <= pool.len());
+        let d = engine_divergence(&c, &pool);
+        prop_assert!(d < 1e-12, "max amplitude divergence {d}");
+    }
+
+    /// Re-binding a compiled circuit (specialize-only path) agrees with a
+    /// fresh direct evaluation for every binding in a sequence.
+    #[test]
+    fn rebinding_matches_direct(
+        (c, pools) in (2usize..=5).prop_flat_map(|n| (
+            arb_circuit(n, 24),
+            proptest::collection::vec(proptest::collection::vec(-3.2f64..3.2, 32), 3),
+        )),
+    ) {
+        prop_assume!(pools.iter().all(|p| c.num_params() <= p.len()));
+        let compiled = CompiledCircuit::compile(&c);
+        let mut ws = SimWorkspace::new(c.num_qubits());
+        for pool in &pools {
+            let params = &pool[..c.num_params()];
+            ws.run(&compiled, params);
+            let mut direct = Statevector::zero(c.num_qubits());
+            direct.apply_parametric(&c, params);
+            let d = ws
+                .statevector()
+                .amplitudes()
+                .iter()
+                .zip(direct.amplitudes())
+                .map(|(a, b)| (*a - *b).norm_sqr().sqrt())
+                .fold(0.0, f64::max);
+            prop_assert!(d < 1e-12, "max amplitude divergence {d} after rebind");
+        }
+    }
+
+    /// The engines agree on the physical observable the VQE loop actually
+    /// consumes: the diagonal expectation.
+    #[test]
+    fn energy_matches_direct(
+        (c, pool) in (2usize..=8).prop_flat_map(|n| (
+            arb_circuit(n, 32),
+            proptest::collection::vec(-3.2f64..3.2, 40),
+        )),
+    ) {
+        prop_assume!(c.num_params() <= pool.len());
+        let n = c.num_qubits();
+        let params = &pool[..c.num_params()];
+        let diag: Vec<f64> = (0..1usize << n).map(|i| (i % 17) as f64 - 4.0).collect();
+        let mut direct = Statevector::zero(n);
+        direct.apply_parametric(&c, params);
+        let expected = direct.expectation_diagonal(&diag);
+        let compiled = CompiledCircuit::compile(&c);
+        let mut ws = SimWorkspace::new(n);
+        let got = ws.energy(&compiled, params, &diag);
+        prop_assert!((got - expected).abs() < 1e-10, "energy {got} vs {expected}");
+    }
+}

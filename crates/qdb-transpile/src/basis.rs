@@ -11,8 +11,13 @@ use qdb_quantum::gate::{Angle, GateKind};
 use std::f64::consts::{FRAC_PI_2, FRAC_PI_4, PI};
 
 /// The Eagle native set.
-pub const NATIVE_GATES: [GateKind; 5] =
-    [GateKind::Ecr, GateKind::Rz, GateKind::Sx, GateKind::X, GateKind::Id];
+pub const NATIVE_GATES: [GateKind; 5] = [
+    GateKind::Ecr,
+    GateKind::Rz,
+    GateKind::Sx,
+    GateKind::X,
+    GateKind::Id,
+];
 
 /// True if `kind` is native on Eagle.
 pub fn is_native(kind: GateKind) -> bool {
@@ -20,21 +25,44 @@ pub fn is_native(kind: GateKind) -> bool {
 }
 
 fn rz(q: u32, angle: Angle) -> Instruction {
-    Instruction { kind: GateKind::Rz, q0: q, q1: u32::MAX, angle: Some(angle) }
+    Instruction {
+        kind: GateKind::Rz,
+        q0: q,
+        q1: u32::MAX,
+        angle: Some(angle),
+    }
 }
 
 fn sx(q: u32) -> Instruction {
-    Instruction { kind: GateKind::Sx, q0: q, q1: u32::MAX, angle: None }
+    Instruction {
+        kind: GateKind::Sx,
+        q0: q,
+        q1: u32::MAX,
+        angle: None,
+    }
 }
 
 fn x(q: u32) -> Instruction {
-    Instruction { kind: GateKind::X, q0: q, q1: u32::MAX, angle: None }
+    Instruction {
+        kind: GateKind::X,
+        q0: q,
+        q1: u32::MAX,
+        angle: None,
+    }
 }
 
 fn shifted(angle: Angle, delta: f64) -> Angle {
     match angle {
         Angle::Fixed(v) => Angle::Fixed(v + delta),
-        Angle::Param { index, scale, offset } => Angle::Param { index, scale, offset: offset + delta },
+        Angle::Param {
+            index,
+            scale,
+            offset,
+        } => Angle::Param {
+            index,
+            scale,
+            offset: offset + delta,
+        },
     }
 }
 
@@ -85,9 +113,13 @@ fn lower_instr(out: &mut Vec<Instruction>, instr: &Instruction) {
         // Ry(θ) = U3(θ, 0, 0)
         GateKind::Ry => u3_theta(out, q, instr.angle.expect("Ry takes an angle"), 0.0, 0.0),
         // Rx(θ) = U3(θ, -π/2, π/2)
-        GateKind::Rx => {
-            u3_theta(out, q, instr.angle.expect("Rx takes an angle"), -FRAC_PI_2, FRAC_PI_2)
-        }
+        GateKind::Rx => u3_theta(
+            out,
+            q,
+            instr.angle.expect("Rx takes an angle"),
+            -FRAC_PI_2,
+            FRAC_PI_2,
+        ),
         // CX(c, t): native Eagle realization around one ECR
         // (verified numerically up to global phase):
         //   cx c,t ≡ rz(-π/2) c · sx t · ecr c,t · x c · x t
@@ -95,7 +127,12 @@ fn lower_instr(out: &mut Vec<Instruction>, instr: &Instruction) {
             let (c, t) = (instr.q0, instr.q1);
             out.push(rz(c, Angle::Fixed(-FRAC_PI_2)));
             out.push(sx(t));
-            out.push(Instruction { kind: GateKind::Ecr, q0: c, q1: t, angle: None });
+            out.push(Instruction {
+                kind: GateKind::Ecr,
+                q0: c,
+                q1: t,
+                angle: None,
+            });
             out.push(x(c));
             out.push(x(t));
         }
@@ -103,22 +140,54 @@ fn lower_instr(out: &mut Vec<Instruction>, instr: &Instruction) {
         GateKind::Cz => {
             let (a, b) = (instr.q0, instr.q1);
             u3_fixed(out, b, FRAC_PI_2, 0.0, PI);
-            lower_instr(out, &Instruction { kind: GateKind::Cx, q0: a, q1: b, angle: None });
+            lower_instr(
+                out,
+                &Instruction {
+                    kind: GateKind::Cx,
+                    q0: a,
+                    q1: b,
+                    angle: None,
+                },
+            );
             u3_fixed(out, b, FRAC_PI_2, 0.0, PI);
         }
         // SWAP = 3 CX
         GateKind::Swap => {
             let (a, b) = (instr.q0, instr.q1);
             for (c, t) in [(a, b), (b, a), (a, b)] {
-                lower_instr(out, &Instruction { kind: GateKind::Cx, q0: c, q1: t, angle: None });
+                lower_instr(
+                    out,
+                    &Instruction {
+                        kind: GateKind::Cx,
+                        q0: c,
+                        q1: t,
+                        angle: None,
+                    },
+                );
             }
         }
         // RZZ(θ) = CX · RZ(θ) on target · CX
         GateKind::Rzz => {
             let (a, b) = (instr.q0, instr.q1);
-            lower_instr(out, &Instruction { kind: GateKind::Cx, q0: a, q1: b, angle: None });
+            lower_instr(
+                out,
+                &Instruction {
+                    kind: GateKind::Cx,
+                    q0: a,
+                    q1: b,
+                    angle: None,
+                },
+            );
             out.push(rz(b, instr.angle.expect("Rzz takes an angle")));
-            lower_instr(out, &Instruction { kind: GateKind::Cx, q0: a, q1: b, angle: None });
+            lower_instr(
+                out,
+                &Instruction {
+                    kind: GateKind::Cx,
+                    q0: a,
+                    q1: b,
+                    angle: None,
+                },
+            );
         }
     }
 }
@@ -228,7 +297,9 @@ mod tests {
         let lowered = lower_to_native(&c);
         assert_eq!(lowered.num_params(), c.num_params());
         assert!(is_native_circuit(&lowered));
-        let params: Vec<f64> = (0..c.num_params()).map(|i| 0.1 * (i as f64 - 3.0)).collect();
+        let params: Vec<f64> = (0..c.num_params())
+            .map(|i| 0.1 * (i as f64 - 3.0))
+            .collect();
         let bound_logical = c.bind(&params);
         let bound_native = lowered.bind(&params);
         assert_same_action(&bound_logical, &bound_native, 3);

@@ -24,7 +24,10 @@ impl CouplingMap {
         let mut adjacency = vec![Vec::new(); num_qubits];
         let mut edges = Vec::with_capacity(raw_edges.len());
         for &(a, b) in raw_edges {
-            assert!((a as usize) < num_qubits && (b as usize) < num_qubits, "edge out of range");
+            assert!(
+                (a as usize) < num_qubits && (b as usize) < num_qubits,
+                "edge out of range"
+            );
             assert_ne!(a, b, "self loop");
             if !adjacency[a as usize].contains(&b) {
                 adjacency[a as usize].push(b);
@@ -36,19 +39,26 @@ impl CouplingMap {
             n.sort_unstable();
         }
         edges.sort_unstable();
-        Self { num_qubits, adjacency, edges }
+        Self {
+            num_qubits,
+            adjacency,
+            edges,
+        }
     }
 
     /// A 1-D chain `0 — 1 — … — n-1`.
     pub fn line(n: usize) -> Self {
-        let edges: Vec<(u32, u32)> = (0..n.saturating_sub(1) as u32).map(|i| (i, i + 1)).collect();
+        let edges: Vec<(u32, u32)> = (0..n.saturating_sub(1) as u32)
+            .map(|i| (i, i + 1))
+            .collect();
         Self::from_edges(n, &edges)
     }
 
     /// A ring.
     pub fn ring(n: usize) -> Self {
-        let mut edges: Vec<(u32, u32)> =
-            (0..n.saturating_sub(1) as u32).map(|i| (i, i + 1)).collect();
+        let mut edges: Vec<(u32, u32)> = (0..n.saturating_sub(1) as u32)
+            .map(|i| (i, i + 1))
+            .collect();
         if n > 2 {
             edges.push((n as u32 - 1, 0));
         }
@@ -74,8 +84,15 @@ impl CouplingMap {
     pub fn eagle127() -> Self {
         // Assign ids row by row, with each gap's bridges following the row
         // above them.
-        let row_cols: [(usize, usize); 7] =
-            [(0, 13), (0, 14), (0, 14), (0, 14), (0, 14), (0, 14), (1, 14)];
+        let row_cols: [(usize, usize); 7] = [
+            (0, 13),
+            (0, 14),
+            (0, 14),
+            (0, 14),
+            (0, 14),
+            (0, 14),
+            (1, 14),
+        ];
         let mut id = 0u32;
         // qubit id of (row, col)
         let mut grid = vec![[u32::MAX; 15]; 7];
@@ -90,7 +107,11 @@ impl CouplingMap {
             }
             if r < 6 {
                 // bridge qubits for the gap below row r
-                let cols: [usize; 4] = if r % 2 == 0 { [0, 4, 8, 12] } else { [2, 6, 10, 14] };
+                let cols: [usize; 4] = if r % 2 == 0 {
+                    [0, 4, 8, 12]
+                } else {
+                    [2, 6, 10, 14]
+                };
                 for &c in &cols {
                     // bridge id connects grid[r][c] now; the row below is
                     // connected after it is assigned, so remember bridges.
@@ -167,7 +188,9 @@ impl CouplingMap {
 
     /// Full all-pairs distance matrix.
     pub fn distance_matrix(&self) -> Vec<Vec<u32>> {
-        (0..self.num_qubits as u32).map(|q| self.distances_from(q)).collect()
+        (0..self.num_qubits as u32)
+            .map(|q| self.distances_from(q))
+            .collect()
     }
 
     /// BFS ball: the `k` qubits closest to `seed` (ties by id), always
@@ -299,7 +322,10 @@ mod tests {
         assert_eq!(eagle.edges().len(), 144);
         // Bridge qubits have degree exactly 2.
         let deg2 = (0..127u32).filter(|&q| eagle.degree(q) == 2).count();
-        assert!(deg2 >= 24, "expected at least the 24 bridges at degree 2, got {deg2}");
+        assert!(
+            deg2 >= 24,
+            "expected at least the 24 bridges at degree 2, got {deg2}"
+        );
     }
 
     #[test]
@@ -322,7 +348,10 @@ mod tests {
         assert!(region.contains(&60));
         let dist = eagle.distances_from(60);
         let max_in = region.iter().map(|&q| dist[q as usize]).max().unwrap();
-        assert!(max_in <= 8, "region should be a tight ball, radius {max_in}");
+        assert!(
+            max_in <= 8,
+            "region should be a tight ball, radius {max_in}"
+        );
     }
 
     #[test]

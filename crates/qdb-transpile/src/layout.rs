@@ -18,8 +18,15 @@ impl Layout {
     pub fn new(log2phys: Vec<u32>, num_physical: usize) -> Self {
         let mut phys2log = vec![u32::MAX; num_physical];
         for (l, &p) in log2phys.iter().enumerate() {
-            assert!((p as usize) < num_physical, "physical qubit {p} out of range");
-            assert_eq!(phys2log[p as usize], u32::MAX, "physical qubit {p} used twice");
+            assert!(
+                (p as usize) < num_physical,
+                "physical qubit {p} out of range"
+            );
+            assert_eq!(
+                phys2log[p as usize],
+                u32::MAX,
+                "physical qubit {p} used twice"
+            );
             phys2log[p as usize] = l as u32;
         }
         Self { log2phys, phys2log }
@@ -153,10 +160,7 @@ mod tests {
         // Every seated qubit has at least one seated neighbour (connected blob).
         for q in 0..12u32 {
             let p = l.phys(q);
-            let has_neighbor = eagle
-                .neighbors(p)
-                .iter()
-                .any(|&n| l.logical(n).is_some());
+            let has_neighbor = eagle.neighbors(p).iter().any(|&n| l.logical(n).is_some());
             assert!(has_neighbor, "qubit {q} isolated in dense layout");
         }
     }

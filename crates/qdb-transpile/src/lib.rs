@@ -20,6 +20,6 @@ pub mod routing;
 
 pub use coupling::CouplingMap;
 pub use layout::Layout;
-pub use margin::{margin_sweep, transpile_with_margin, Transpiled, TranspileReport};
+pub use margin::{margin_sweep, transpile_with_margin, TranspileReport, Transpiled};
 pub use metrics::{circuit_duration_ns, ecr_count, hardware_depth, EagleProfile, GateDurations};
 pub use routing::{respects_coupling, route, Routed};

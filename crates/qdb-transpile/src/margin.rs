@@ -90,7 +90,12 @@ pub fn transpile_with_margin(
         ecr_count: ecr_count(&native),
         duration_ns: circuit_duration_ns(&native, &durations),
     };
-    Transpiled { circuit: native, region, routed, report }
+    Transpiled {
+        circuit: native,
+        region,
+        routed,
+        report,
+    }
 }
 
 /// Runs the §5.3 ablation: sweep `margins` and report resources for each.

@@ -83,10 +83,7 @@ pub fn circuit_duration_ns(circuit: &Circuit, durations: &GateDurations) -> f64 
     let mut t = vec![0.0f64; circuit.num_qubits()];
     for instr in circuit.instructions() {
         let d = durations.of(instr.kind);
-        let start = instr
-            .qubits()
-            .map(|q| t[q as usize])
-            .fold(0.0f64, f64::max);
+        let start = instr.qubits().map(|q| t[q as usize]).fold(0.0f64, f64::max);
         for q in instr.qubits() {
             t[q as usize] = start + d;
         }
@@ -214,8 +211,14 @@ mod tests {
         let d24 = depth_at(24);
         let slope1 = (d16 - d8) as f64 / 8.0;
         let slope2 = (d24 - d16) as f64 / 8.0;
-        assert!((slope1 - slope2).abs() < 0.5, "depth not linear: {slope1} vs {slope2}");
-        assert!(slope1 > 1.0, "entanglement chain must make depth grow with width");
+        assert!(
+            (slope1 - slope2).abs() < 0.5,
+            "depth not linear: {slope1} vs {slope2}"
+        );
+        assert!(
+            slope1 > 1.0,
+            "entanglement chain must make depth grow with width"
+        );
     }
 
     #[test]

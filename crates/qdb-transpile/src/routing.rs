@@ -59,7 +59,10 @@ pub fn route(circuit: &Circuit, coupling: &CouplingMap, layout: Layout) -> Route
 
     for (idx, instr) in circuit.instructions().iter().enumerate() {
         if instr.kind.arity() == 1 {
-            out.push(Instruction { q0: layout.phys(instr.q0), ..*instr });
+            out.push(Instruction {
+                q0: layout.phys(instr.q0),
+                ..*instr
+            });
             continue;
         }
         // advance the lookahead cursor past this gate
@@ -71,9 +74,16 @@ pub fn route(circuit: &Circuit, coupling: &CouplingMap, layout: Layout) -> Route
             let pa = layout.phys(instr.q0);
             let pb = layout.phys(instr.q1);
             let d = dist[pa as usize][pb as usize];
-            assert!(d != u32::MAX, "qubits {pa} and {pb} are disconnected on this device");
+            assert!(
+                d != u32::MAX,
+                "qubits {pa} and {pb} are disconnected on this device"
+            );
             if d == 1 {
-                out.push(Instruction { q0: pa, q1: pb, ..*instr });
+                out.push(Instruction {
+                    q0: pa,
+                    q1: pb,
+                    ..*instr
+                });
                 break;
             }
 
@@ -93,8 +103,8 @@ pub fn route(circuit: &Circuit, coupling: &CouplingMap, layout: Layout) -> Route
                     let mut trial = layout.clone();
                     trial.swap_physical(active, n);
                     let mut score = new_d as f64;
-                    let horizon =
-                        &twoq_positions[twoq_cursor..twoq_positions.len().min(twoq_cursor + LOOKAHEAD)];
+                    let horizon = &twoq_positions
+                        [twoq_cursor..twoq_positions.len().min(twoq_cursor + LOOKAHEAD)];
                     for &pos in horizon {
                         let g = &circuit.instructions()[pos];
                         let fa = trial.phys(g.q0);
@@ -113,7 +123,12 @@ pub fn route(circuit: &Circuit, coupling: &CouplingMap, layout: Layout) -> Route
             }
             let ((sa, sb), _) = best.expect("shortest-path swap always exists");
             layout.swap_physical(sa, sb);
-            out.push(Instruction { kind: GateKind::Swap, q0: sa, q1: sb, angle: None });
+            out.push(Instruction {
+                kind: GateKind::Swap,
+                q0: sa,
+                q1: sb,
+                angle: None,
+            });
             swap_count += 1;
         }
     }

@@ -11,33 +11,36 @@ use qdb_transpile::routing::{respects_coupling, route};
 
 /// Random circuit over `n` qubits mixing 1q rotations and CX/CZ.
 fn arb_circuit(n: usize, max_gates: usize) -> impl Strategy<Value = Circuit> {
-    proptest::collection::vec((0..5u8, 0..n as u32, 0..n as u32, -3.0f64..3.0), 1..max_gates)
-        .prop_map(move |gates| {
-            let mut c = Circuit::new(n);
-            for (kind, q0, q1, theta) in gates {
-                match kind {
-                    0 => {
-                        c.ry(q0, theta);
-                    }
-                    1 => {
-                        c.rz(q0, theta);
-                    }
-                    2 => {
-                        c.h(q0);
-                    }
-                    3 if q0 != q1 => {
-                        c.cx(q0, q1);
-                    }
-                    4 if q0 != q1 => {
-                        c.cz(q0, q1);
-                    }
-                    _ => {
-                        c.sx(q0);
-                    }
+    proptest::collection::vec(
+        (0..5u8, 0..n as u32, 0..n as u32, -3.0f64..3.0),
+        1..max_gates,
+    )
+    .prop_map(move |gates| {
+        let mut c = Circuit::new(n);
+        for (kind, q0, q1, theta) in gates {
+            match kind {
+                0 => {
+                    c.ry(q0, theta);
+                }
+                1 => {
+                    c.rz(q0, theta);
+                }
+                2 => {
+                    c.h(q0);
+                }
+                3 if q0 != q1 => {
+                    c.cx(q0, q1);
+                }
+                4 if q0 != q1 => {
+                    c.cz(q0, q1);
+                }
+                _ => {
+                    c.sx(q0);
                 }
             }
-            c
-        })
+        }
+        c
+    })
 }
 
 /// Compares a logical circuit's distribution with a routed+lowered
@@ -48,7 +51,11 @@ fn distributions_match(logical: &Circuit, coupling: &CouplingMap, lower: bool) -
     if !respects_coupling(&routed.circuit, coupling) {
         return false;
     }
-    let physical = if lower { lower_to_native(&routed.circuit) } else { routed.circuit.clone() };
+    let physical = if lower {
+        lower_to_native(&routed.circuit)
+    } else {
+        routed.circuit.clone()
+    };
     if lower && !is_native_circuit(&physical) {
         return false;
     }

@@ -6,8 +6,9 @@
 //! the inner VQE still uses rayon data-parallelism, so `workers` should
 //! stay small (the default is 2) to avoid oversubscription.
 
-use crate::runner::{run_vqe, VqeConfig, VqeOutcome};
+use crate::runner::{run_vqe_with_workspace, VqeConfig, VqeOutcome};
 use qdb_lattice::hamiltonian::FoldingHamiltonian;
+use qdb_quantum::exec::SimWorkspace;
 use std::sync::Mutex;
 
 /// A named VQE job.
@@ -34,25 +35,32 @@ pub struct VqeBatchResult {
 /// submission order.
 pub fn run_batch(jobs: Vec<VqeJob>, workers: usize) -> Vec<VqeBatchResult> {
     assert!(workers >= 1, "need at least one worker");
+    let num_jobs = jobs.len();
     let (tx, rx) = crossbeam::channel::unbounded::<(usize, VqeJob)>();
     for item in jobs.into_iter().enumerate() {
         tx.send(item).expect("queue open");
     }
     drop(tx);
 
-    let results: Mutex<Vec<Option<VqeBatchResult>>> = Mutex::new(Vec::new());
+    // Pre-sized from the job count: workers only write their slot, never
+    // grow the vector while holding the lock.
+    let results: Mutex<Vec<Option<VqeBatchResult>>> =
+        Mutex::new(std::iter::repeat_with(|| None).take(num_jobs).collect());
     std::thread::scope(|scope| {
         for _ in 0..workers {
             let rx = rx.clone();
             let results = &results;
             scope.spawn(move || {
+                // One simulation workspace per worker, reused across jobs:
+                // buffers only reallocate when the register width changes.
+                let mut ws = SimWorkspace::new(0);
                 while let Ok((index, job)) = rx.recv() {
-                    let outcome = run_vqe(&job.hamiltonian, &job.config);
+                    let outcome = run_vqe_with_workspace(&job.hamiltonian, &job.config, &mut ws);
                     let mut guard = results.lock().expect("no poisoned workers");
-                    if guard.len() <= index {
-                        guard.resize_with(index + 1, || None);
-                    }
-                    guard[index] = Some(VqeBatchResult { id: job.id, outcome });
+                    guard[index] = Some(VqeBatchResult {
+                        id: job.id,
+                        outcome,
+                    });
                 }
             });
         }
@@ -69,21 +77,28 @@ pub fn run_batch(jobs: Vec<VqeJob>, workers: usize) -> Vec<VqeBatchResult> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::runner::run_vqe;
     use qdb_lattice::sequence::ProteinSequence;
 
     fn job(id: &str, seq: &str, seed: u64) -> VqeJob {
         VqeJob {
             id: id.to_string(),
-            hamiltonian: FoldingHamiltonian::with_unit_scale(
-                ProteinSequence::parse(seq).unwrap(),
-            ),
-            config: VqeConfig { max_iters: 25, shots: 500, ..VqeConfig::fast(seed) },
+            hamiltonian: FoldingHamiltonian::with_unit_scale(ProteinSequence::parse(seq).unwrap()),
+            config: VqeConfig {
+                max_iters: 25,
+                shots: 500,
+                ..VqeConfig::fast(seed)
+            },
         }
     }
 
     #[test]
     fn batch_preserves_order_and_ids() {
-        let jobs = vec![job("3ckz", "VKDRS", 1), job("3eax", "RYRDV", 2), job("4mo4", "NIGGF", 3)];
+        let jobs = vec![
+            job("3ckz", "VKDRS", 1),
+            job("3eax", "RYRDV", 2),
+            job("4mo4", "NIGGF", 3),
+        ];
         let results = run_batch(jobs, 2);
         assert_eq!(results.len(), 3);
         assert_eq!(results[0].id, "3ckz");

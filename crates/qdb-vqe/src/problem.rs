@@ -9,8 +9,9 @@
 use qdb_optimize::{Cobyla, Optimizer};
 use qdb_quantum::ansatz::{efficient_su2, Entanglement};
 use qdb_quantum::circuit::Circuit;
+use qdb_quantum::compile::CompiledCircuit;
+use qdb_quantum::exec::SimWorkspace;
 use qdb_quantum::sampler::sample_counts;
-use qdb_quantum::statevector::Statevector;
 use rand::Rng;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -25,7 +26,9 @@ pub trait DiagonalProblem {
 
     /// Dense cost vector (override when a faster path exists).
     fn dense_costs(&self) -> Vec<f64> {
-        (0..1u64 << self.num_qubits()).map(|b| self.cost(b)).collect()
+        (0..1u64 << self.num_qubits())
+            .map(|b| self.cost(b))
+            .collect()
     }
 }
 
@@ -47,7 +50,10 @@ impl MaxCut {
         for &(a, b, _) in &edges {
             assert!(a < num_vertices && b < num_vertices && a != b, "bad edge");
         }
-        Self { num_vertices, edges }
+        Self {
+            num_vertices,
+            edges,
+        }
     }
 
     /// The cut weight of a partition given as a bitmask.
@@ -100,27 +106,33 @@ pub fn solve_diagonal<P: DiagonalProblem>(
     let n = problem.num_qubits();
     assert!(n <= 24, "diagonal solver limited to 24 qubits");
     let ansatz: Circuit = efficient_su2(n, reps, Entanglement::Linear);
+    let compiled = CompiledCircuit::compile(&ansatz);
     let costs = problem.dense_costs();
 
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
-    let x0: Vec<f64> = (0..ansatz.num_params()).map(|_| rng.gen_range(-0.4..0.4)).collect();
-    let mut objective = |params: &[f64]| -> f64 {
-        let mut sv = Statevector::zero(n);
-        sv.apply_parametric(&ansatz, params);
-        sv.expectation_diagonal(&costs)
-    };
+    let x0: Vec<f64> = (0..ansatz.num_params())
+        .map(|_| rng.gen_range(-0.4..0.4))
+        .collect();
+    // Compiled plan + reusable workspace: every objective evaluation after
+    // the first is allocation-free.
+    let mut ws = SimWorkspace::new(n);
+    let mut objective = |params: &[f64]| -> f64 { ws.energy(&compiled, params, &costs) };
     let result = Cobyla::with_budget(max_iters).minimize(&mut objective, &x0);
 
-    let mut sv = Statevector::zero(n);
-    sv.apply_parametric(&ansatz, &result.x);
-    let counts = sample_counts(&sv, shots, &mut rng);
+    ws.run(&compiled, &result.x);
+    let counts = sample_counts(ws.statevector(), shots, &mut rng);
     let (best_bits, best_cost) = counts
         .iter()
         .map(|(bits, _)| (bits, costs[bits as usize]))
         .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap().then(a.0.cmp(&b.0)))
         .expect("at least one shot");
 
-    ProblemOutcome { best_bits, best_cost, final_expectation: result.fx, evals: result.evals }
+    ProblemOutcome {
+        best_bits,
+        best_cost,
+        final_expectation: result.fx,
+        evals: result.evals,
+    }
 }
 
 #[cfg(test)]
@@ -178,10 +190,13 @@ mod tests {
             }
         }
         let seq = qdb_lattice::sequence::ProteinSequence::parse("VKDRS").unwrap();
-        let problem =
-            Folding(qdb_lattice::hamiltonian::FoldingHamiltonian::with_unit_scale(seq));
+        let problem = Folding(qdb_lattice::hamiltonian::FoldingHamiltonian::with_unit_scale(seq));
         let (_, exact) = problem.0.ground_state();
         let out = solve_diagonal(&problem, 2, 100, 10_000, 5);
-        assert!((out.best_cost - exact).abs() < 1e-9, "sampled {} vs ground {exact}", out.best_cost);
+        assert!(
+            (out.best_cost - exact).abs() < 1e-9,
+            "sampled {} vs ground {exact}",
+            out.best_cost
+        );
     }
 }

@@ -14,12 +14,31 @@ use qdb_lattice::hamiltonian::FoldingHamiltonian;
 use qdb_optimize::{Cobyla, Optimizer};
 use qdb_quantum::ansatz::{efficient_su2, Entanglement};
 use qdb_quantum::circuit::Circuit;
-use qdb_quantum::noise::{apply_noisy, noisy_expectation, NoiseModel};
+use qdb_quantum::compile::CompiledCircuit;
+use qdb_quantum::exec::SimWorkspace;
+use qdb_quantum::noise::{apply_noisy, noisy_expectation_ws, NoiseModel};
 use qdb_quantum::sampler::{sample_counts, Counts};
-use qdb_quantum::statevector::Statevector;
 use rand::Rng;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
+
+/// How stage-1 energies (and stage-2 state preparation) are evaluated.
+///
+/// The engines implement the same unitary; they differ only in the order
+/// of floating-point operations. Fused matrix products round differently
+/// in the last ulp, so per-iteration energies agree to ~1e-13 relative but
+/// are not bit-identical between engines (see DESIGN.md §"Execution
+/// engine"). Each engine is individually deterministic for a fixed seed.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum EnergyEngine {
+    /// Fused compiled-circuit plan streamed through a reusable workspace —
+    /// the fast path, and the default.
+    #[default]
+    Compiled,
+    /// Reference gate-by-gate application, kept for regression comparison
+    /// and debugging.
+    Direct,
+}
 
 /// Configuration of one VQE run.
 #[derive(Clone, Debug)]
@@ -53,6 +72,8 @@ pub struct VqeConfig {
     /// "approximates the ground-state energy without requiring
     /// high-precision measurements").
     pub estimator_shots: Option<u64>,
+    /// Execution engine for state evolution (default: compiled).
+    pub engine: EnergyEngine,
 }
 
 impl VqeConfig {
@@ -69,6 +90,7 @@ impl VqeConfig {
             sample_noise: NoiseModel::eagle_like().scaled(10.0),
             sample_trajectories: 25,
             estimator_shots: None,
+            engine: EnergyEngine::Compiled,
         }
     }
 
@@ -87,6 +109,7 @@ impl VqeConfig {
             sample_noise: NoiseModel::eagle_like().scaled(10.0),
             sample_trajectories: 16,
             estimator_shots: None,
+            engine: EnergyEngine::Compiled,
         }
     }
 }
@@ -125,11 +148,27 @@ pub fn build_ansatz(ham: &FoldingHamiltonian, reps: usize) -> Circuit {
     efficient_su2(ham.num_qubits(), reps, Entanglement::Linear)
 }
 
-/// Runs the full two-stage workflow.
+/// Runs the full two-stage workflow with a fresh [`SimWorkspace`].
 pub fn run_vqe(ham: &FoldingHamiltonian, config: &VqeConfig) -> VqeOutcome {
+    let mut ws = SimWorkspace::new(ham.num_qubits());
+    run_vqe_with_workspace(ham, config, &mut ws)
+}
+
+/// Runs the full two-stage workflow through a caller-owned workspace, so a
+/// batch worker amortizes its statevector, scratch, and bound-table buffers
+/// across jobs. After the first objective evaluation warms the workspace,
+/// the ideal-noise compiled hot loop performs zero heap allocations per
+/// evaluation.
+pub fn run_vqe_with_workspace(
+    ham: &FoldingHamiltonian,
+    config: &VqeConfig,
+    ws: &mut SimWorkspace,
+) -> VqeOutcome {
     let ansatz = build_ansatz(ham, config.reps);
+    let compiled = CompiledCircuit::compile(&ansatz);
     let diagonal = ham.dense_diagonal();
     let n = ansatz.num_qubits();
+    let engine = config.engine;
 
     let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
     // Small random initial angles: spreads amplitude beyond |0…0⟩ without
@@ -150,31 +189,44 @@ pub fn run_vqe(ham: &FoldingHamiltonian, config: &VqeConfig) -> VqeOutcome {
             // Shot-based estimation: evolve (noisily if configured), draw
             // k shots, average the sampled conformation energies.
             Some(k) => {
-                let mut sv = Statevector::zero(n);
-                if noise.is_ideal() {
-                    sv.apply_parametric(&ansatz, params);
+                ws.ensure_qubits(n);
+                if !noise.is_ideal() {
+                    let sv = ws.statevector_mut();
+                    sv.reset_zero();
+                    apply_noisy(sv, &ansatz, params, &noise, &mut energy_rng);
+                } else if engine == EnergyEngine::Compiled {
+                    ws.run(&compiled, params);
                 } else {
-                    apply_noisy(&mut sv, &ansatz, params, &noise, &mut energy_rng);
+                    let sv = ws.statevector_mut();
+                    sv.reset_zero();
+                    sv.apply_parametric(&ansatz, params);
                 }
-                let counts = sample_counts(&sv, k, &mut energy_rng);
+                let counts = sample_counts(ws.statevector(), k, &mut energy_rng);
                 let total: f64 = counts
                     .iter()
                     .map(|(bits, c)| diagonal[bits as usize] * c as f64)
                     .sum();
                 total / counts.shots() as f64
             }
+            None if noise.is_ideal() && engine == EnergyEngine::Compiled => {
+                ws.energy(&compiled, params, &diagonal)
+            }
             None if noise.is_ideal() => {
-                let mut sv = Statevector::zero(n);
+                ws.ensure_qubits(n);
+                let sv = ws.statevector_mut();
+                sv.reset_zero();
                 sv.apply_parametric(&ansatz, params);
                 sv.expectation_diagonal(&diagonal)
             }
-            None => noisy_expectation(
+            None => noisy_expectation_ws(
                 &ansatz,
+                &compiled,
                 params,
                 &diagonal,
                 &noise,
                 trajectories,
                 &mut energy_rng,
+                ws,
             ),
         };
         raw_history.push(e);
@@ -184,7 +236,10 @@ pub fn run_vqe(ham: &FoldingHamiltonian, config: &VqeConfig) -> VqeOutcome {
     let result = optimizer.minimize(&mut objective, &x0);
 
     let lowest = raw_history.iter().copied().fold(f64::INFINITY, f64::min);
-    let highest = raw_history.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let highest = raw_history
+        .iter()
+        .copied()
+        .fold(f64::NEG_INFINITY, f64::max);
 
     // Stage 2: freeze θ*, sample. Under noise, the shot budget splits
     // across independent trajectories — on hardware each shot sees a
@@ -192,21 +247,28 @@ pub fn run_vqe(ham: &FoldingHamiltonian, config: &VqeConfig) -> VqeOutcome {
     let mut sample_rng = ChaCha8Rng::seed_from_u64(config.seed.wrapping_add(2));
     let sample_noise = config.sample_noise;
     let counts = if sample_noise.is_ideal() {
-        let mut sv = Statevector::zero(n);
-        sv.apply_parametric(&ansatz, &result.x);
-        sample_counts(&sv, config.shots, &mut sample_rng)
+        if engine == EnergyEngine::Compiled {
+            ws.run(&compiled, &result.x);
+        } else {
+            ws.ensure_qubits(n);
+            let sv = ws.statevector_mut();
+            sv.reset_zero();
+            sv.apply_parametric(&ansatz, &result.x);
+        }
+        sample_counts(ws.statevector(), config.shots, &mut sample_rng)
     } else {
         let batches = config.sample_trajectories.max(1) as u64;
         let mut merged: std::collections::HashMap<u64, u64> = std::collections::HashMap::new();
+        ws.ensure_qubits(n);
         for batch in 0..batches {
-            let shots = config.shots / batches
-                + if batch < config.shots % batches { 1 } else { 0 };
+            let shots = config.shots / batches + if batch < config.shots % batches { 1 } else { 0 };
             if shots == 0 {
                 continue;
             }
-            let mut sv = Statevector::zero(n);
-            apply_noisy(&mut sv, &ansatz, &result.x, &sample_noise, &mut sample_rng);
-            let mut c = sample_counts(&sv, shots, &mut sample_rng);
+            let sv = ws.statevector_mut();
+            sv.reset_zero();
+            apply_noisy(sv, &ansatz, &result.x, &sample_noise, &mut sample_rng);
+            let mut c = sample_counts(ws.statevector(), shots, &mut sample_rng);
             if sample_noise.readout > 0.0 {
                 c = c.with_readout_error(n, sample_noise.readout, &mut sample_rng);
             }
@@ -266,7 +328,10 @@ mod tests {
     fn vqe_approaches_ground_state_energy() {
         let h = ham("IQFHFH");
         let (_, e_ground) = h.ground_state();
-        let cfg = VqeConfig { max_iters: 150, ..VqeConfig::fast(3) };
+        let cfg = VqeConfig {
+            max_iters: 150,
+            ..VqeConfig::fast(3)
+        };
         let out = run_vqe(&h, &cfg);
         // Stage-2 best sampled energy must land at the true ground state
         // for this small register (sampling explores broadly even if
@@ -277,7 +342,10 @@ mod tests {
             out.best_bitstring_energy,
             e_ground
         );
-        assert!(out.best_bitstring_energy >= e_ground - 1e-9, "cannot beat the ground state");
+        assert!(
+            out.best_bitstring_energy >= e_ground - 1e-9,
+            "cannot beat the ground state"
+        );
     }
 
     #[test]
@@ -325,14 +393,20 @@ mod tests {
         let exact = run_vqe(&h, &VqeConfig::fast(31));
         // With many estimator shots the optimization trace stays close to
         // the exact-expectation trace at the start (same x0).
-        let cfg = VqeConfig { estimator_shots: Some(50_000), ..VqeConfig::fast(31) };
+        let cfg = VqeConfig {
+            estimator_shots: Some(50_000),
+            ..VqeConfig::fast(31)
+        };
         let shot_based = run_vqe(&h, &cfg);
         let d0 = (shot_based.history[0] - exact.history[0]).abs();
         assert!(d0 < 0.5, "first-evaluation estimate off by {d0}");
         // And the run still ends with a valid prediction.
         assert!(shot_based.best_bitstring_energy.is_finite());
         // Fewer shots → noisier estimates (statistical sanity).
-        let cfg_small = VqeConfig { estimator_shots: Some(64), ..VqeConfig::fast(31) };
+        let cfg_small = VqeConfig {
+            estimator_shots: Some(64),
+            ..VqeConfig::fast(31)
+        };
         let noisy = run_vqe(&h, &cfg_small);
         let dev_small = (noisy.history[0] - exact.history[0]).abs();
         assert!(dev_small.is_finite());

@@ -86,7 +86,11 @@ impl ExecutionTimeModel {
         } else {
             0.0
         };
-        ExecTime { quantum_s, classical_s, queue_s }
+        ExecTime {
+            quantum_s,
+            classical_s,
+            queue_s,
+        }
     }
 }
 
@@ -136,7 +140,10 @@ mod tests {
     fn deterministic_per_seed() {
         let model = ExecutionTimeModel::default();
         let c = native(8);
-        assert_eq!(model.estimate(&c, 100, 1000, 9), model.estimate(&c, 100, 1000, 9));
+        assert_eq!(
+            model.estimate(&c, 100, 1000, 9),
+            model.estimate(&c, 100, 1000, 9)
+        );
     }
 
     #[test]

@@ -1,0 +1,90 @@
+//! Regression guarantees for the compiled execution engine in the VQE
+//! runner:
+//!
+//! 1. Each engine is individually deterministic — a fixed seed reproduces
+//!    the full optimization trace and the structure prediction bit for bit.
+//! 2. The engines agree with each other on everything physical: the same
+//!    initial energy (to 1e-9 — fused matrix products round differently in
+//!    the last ulp, so traces are not bit-identical across engines; see
+//!    DESIGN.md §"Execution engine") and the same predicted bitstring and
+//!    conformation energy.
+
+use qdb_lattice::hamiltonian::FoldingHamiltonian;
+use qdb_lattice::sequence::ProteinSequence;
+use qdb_quantum::exec::SimWorkspace;
+use qdb_vqe::runner::{run_vqe, run_vqe_with_workspace, EnergyEngine, VqeConfig};
+
+fn ham(s: &str) -> FoldingHamiltonian {
+    FoldingHamiltonian::with_unit_scale(ProteinSequence::parse(s).unwrap())
+}
+
+const FRAGMENTS: [(&str, u64); 3] = [("VKDRS", 7), ("RYRDV", 13), ("NIGGF", 29)];
+
+#[test]
+fn compiled_engine_is_deterministic() {
+    for (seq, seed) in FRAGMENTS {
+        let h = ham(seq);
+        let cfg = VqeConfig::fast(seed); // engine: Compiled is the default
+        let a = run_vqe(&h, &cfg);
+        let b = run_vqe(&h, &cfg);
+        assert_eq!(a.history, b.history, "{seq}: trace must reproduce exactly");
+        assert_eq!(a.best_params, b.best_params, "{seq}");
+        assert_eq!(a.best_bitstring, b.best_bitstring, "{seq}");
+        assert_eq!(a.best_bitstring_energy, b.best_bitstring_energy, "{seq}");
+    }
+}
+
+#[test]
+fn direct_engine_is_deterministic() {
+    for (seq, seed) in FRAGMENTS {
+        let h = ham(seq);
+        let cfg = VqeConfig {
+            engine: EnergyEngine::Direct,
+            ..VqeConfig::fast(seed)
+        };
+        let a = run_vqe(&h, &cfg);
+        let b = run_vqe(&h, &cfg);
+        assert_eq!(a.history, b.history, "{seq}: trace must reproduce exactly");
+        assert_eq!(a.best_bitstring, b.best_bitstring, "{seq}");
+    }
+}
+
+#[test]
+fn engines_agree_on_predictions() {
+    for (seq, seed) in FRAGMENTS {
+        let h = ham(seq);
+        let compiled = run_vqe(&h, &VqeConfig::fast(seed));
+        let direct = run_vqe(
+            &h,
+            &VqeConfig {
+                engine: EnergyEngine::Direct,
+                ..VqeConfig::fast(seed)
+            },
+        );
+        // Same x0, same unitary: the first evaluation agrees to rounding.
+        let d0 = (compiled.history[0] - direct.history[0]).abs();
+        assert!(d0 < 1e-9, "{seq}: initial energies diverge by {d0}");
+        // The structure prediction — the dataset-facing output — matches.
+        assert_eq!(
+            compiled.best_bitstring, direct.best_bitstring,
+            "{seq}: engines must predict the same conformation"
+        );
+        let de = (compiled.best_bitstring_energy - direct.best_bitstring_energy).abs();
+        assert!(de < 1e-9, "{seq}: prediction energies diverge by {de}");
+    }
+}
+
+#[test]
+fn workspace_reuse_matches_fresh_workspace() {
+    // A batch worker reuses one workspace across jobs of different widths;
+    // results must be identical to fresh-workspace runs.
+    let mut ws = SimWorkspace::new(0);
+    for (seq, seed) in FRAGMENTS {
+        let h = ham(seq);
+        let cfg = VqeConfig::fast(seed);
+        let reused = run_vqe_with_workspace(&h, &cfg, &mut ws);
+        let fresh = run_vqe(&h, &cfg);
+        assert_eq!(reused.history, fresh.history, "{seq}");
+        assert_eq!(reused.best_bitstring, fresh.best_bitstring, "{seq}");
+    }
+}

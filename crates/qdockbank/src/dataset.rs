@@ -379,8 +379,11 @@ mod tests {
         assert_eq!(s.num_atoms(), result.ligand.num_atoms());
         assert_eq!(s.residues[0].name, "LIG");
         // Unique atom names.
-        let names: std::collections::HashSet<&str> =
-            s.residues[0].atoms.iter().map(|a| a.name.as_str()).collect();
+        let names: std::collections::HashSet<&str> = s.residues[0]
+            .atoms
+            .iter()
+            .map(|a| a.name.as_str())
+            .collect();
         assert_eq!(names.len(), s.num_atoms());
     }
 
@@ -393,8 +396,7 @@ mod tests {
         let text = write_pdb(&s);
         let parsed = qdb_mol::pdb::parse_pdb(&text).unwrap();
         let orig: Vec<Element> = result.ligand.atoms.iter().map(|a| a.element).collect();
-        let back: Vec<Element> =
-            parsed.residues[0].atoms.iter().map(|a| a.element).collect();
+        let back: Vec<Element> = parsed.residues[0].atoms.iter().map(|a| a.element).collect();
         assert_eq!(orig, back);
     }
 }

@@ -3,9 +3,7 @@
 //! and amino-acid interaction coverage (Figure 5).
 
 use crate::fragments::{FragmentRecord, Group};
-use crate::pipeline::{
-    run_baseline, run_fragment, FragmentResult, PipelineConfig, PredictionEval,
-};
+use crate::pipeline::{run_baseline, run_fragment, FragmentResult, PipelineConfig, PredictionEval};
 use qdb_baselines::alphafold::AfModel;
 use qdb_lattice::amino::ALL_AMINO_ACIDS;
 use std::collections::BTreeMap;
@@ -27,9 +25,26 @@ impl FragmentComparison {
     /// Runs the whole comparison for one fragment.
     pub fn run(record: &'static FragmentRecord, config: &PipelineConfig) -> Self {
         let qdock = run_fragment(record, config);
-        let af2 = run_baseline(record, AfModel::Af2, &qdock.reference, &qdock.ligand, config);
-        let af3 = run_baseline(record, AfModel::Af3, &qdock.reference, &qdock.ligand, config);
-        Self { record, qdock, af2, af3 }
+        let af2 = run_baseline(
+            record,
+            AfModel::Af2,
+            &qdock.reference,
+            &qdock.ligand,
+            config,
+        );
+        let af3 = run_baseline(
+            record,
+            AfModel::Af3,
+            &qdock.reference,
+            &qdock.ligand,
+            config,
+        );
+        Self {
+            record,
+            qdock,
+            af2,
+            af3,
+        }
     }
 
     /// The baseline evaluation for a model.
@@ -47,7 +62,10 @@ pub fn compare_fragments(
     records: &[&'static FragmentRecord],
     config: &PipelineConfig,
 ) -> Vec<FragmentComparison> {
-    records.iter().map(|r| FragmentComparison::run(r, config)).collect()
+    records
+        .iter()
+        .map(|r| FragmentComparison::run(r, config))
+        .collect()
 }
 
 /// Win counts for one group (lower metric wins).
@@ -103,7 +121,11 @@ pub fn win_rates(comparisons: &[FragmentComparison], model: AfModel) -> WinRates
             overall.rmsd_wins += 1;
         }
     }
-    WinRates { baseline: model, overall, per_group }
+    WinRates {
+        baseline: model,
+        overall,
+        per_group,
+    }
 }
 
 /// Five-number summary plus mean (the Figure 4 box statistics).
@@ -346,20 +368,48 @@ mod tests {
         // tables, with tolerances wide enough to note the prose values.
         let l = group_resource_stats(Group::L);
         assert_eq!((l.qubits_min, l.qubits_max), (92, 102));
-        assert!((l.qubits_mean - 98.2).abs() < 1.5, "L mean {}", l.qubits_mean);
-        assert!((l.depth_mean - 396.0).abs() < 8.0, "L depth {}", l.depth_mean);
+        assert!(
+            (l.qubits_mean - 98.2).abs() < 1.5,
+            "L mean {}",
+            l.qubits_mean
+        );
+        assert!(
+            (l.depth_mean - 396.0).abs() < 8.0,
+            "L depth {}",
+            l.depth_mean
+        );
 
         let m = group_resource_stats(Group::M);
         assert_eq!(m.qubits_min, 54);
-        assert!((m.qubits_mean - 79.4).abs() < 14.0, "M mean {}", m.qubits_mean);
-        assert!((m.depth_mean - 262.0).abs() < 8.0, "M depth {}", m.depth_mean);
+        assert!(
+            (m.qubits_mean - 79.4).abs() < 14.0,
+            "M mean {}",
+            m.qubits_mean
+        );
+        assert!(
+            (m.depth_mean - 262.0).abs() < 8.0,
+            "M depth {}",
+            m.depth_mean
+        );
 
         let s = group_resource_stats(Group::S);
         assert_eq!((s.qubits_min, s.qubits_max), (12, 46));
-        assert!((s.depth_mean - 127.0).abs() < 25.0, "S depth {}", s.depth_mean);
+        assert!(
+            (s.depth_mean - 127.0).abs() < 25.0,
+            "S depth {}",
+            s.depth_mean
+        );
         // §4.2: L energy range avg 6883.6, max 9200.3 (5nkb).
-        assert!((l.energy_range_mean - 6883.6).abs() < 600.0, "{}", l.energy_range_mean);
-        assert!((l.energy_range_max - 9200.3).abs() < 40.0, "{}", l.energy_range_max);
+        assert!(
+            (l.energy_range_mean - 6883.6).abs() < 600.0,
+            "{}",
+            l.energy_range_mean
+        );
+        assert!(
+            (l.energy_range_max - 9200.3).abs() < 40.0,
+            "{}",
+            l.energy_range_max
+        );
         // §4.2: most S-group fragments fell between 4,000 and 20,000 s.
         assert!(s.exec_time_median_s > 4_000.0 && s.exec_time_median_s < 20_000.0);
         // The M-group outlier 4y79 at 207,445 s.
@@ -369,8 +419,9 @@ mod tests {
     #[test]
     fn per_residue_deviation_localizes_errors() {
         use qdb_mol::geometry::Vec3;
-        let reference: Vec<Vec3> =
-            (0..6).map(|i| Vec3::new(i as f64 * 3.8, 0.0, 0.0)).collect();
+        let reference: Vec<Vec3> = (0..6)
+            .map(|i| Vec3::new(i as f64 * 3.8, 0.0, 0.0))
+            .collect();
         let mut predicted = reference.clone();
         predicted[3] += Vec3::new(0.0, 2.5, 0.0); // one displaced residue
         let dev = per_residue_deviation(&predicted, &reference);
@@ -381,7 +432,10 @@ mod tests {
             .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
             .unwrap()
             .0;
-        assert_eq!(worst, 3, "deviation should localize at the displaced residue");
+        assert_eq!(
+            worst, 3,
+            "deviation should localize at the displaced residue"
+        );
     }
 
     #[test]

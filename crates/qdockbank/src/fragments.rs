@@ -172,45 +172,395 @@ macro_rules! rec {
 
 /// Table 1: the L group (13–14 residues).
 pub const L_GROUP: [FragmentRecord; 12] = [
-    rec!("1yc4", "ELISNSSDALDKI", 47, 59, 92, 373, 16129.383, 20745.807, 15777.29),
-    rec!("3d7z", "YLVTHLMGADLNNI", 103, 116, 102, 413, 22979.863, 29707.296, 156289.48),
-    rec!("4aoi", "VVLPYMKHGDLRNF", 1155, 1168, 102, 413, 23245.373, 32378.950, 13328.65),
-    rec!("4cig", "VRDQAEHLKTAVQM", 165, 178, 102, 413, 21375.594, 29846.536, 17293.54),
-    rec!("4clj", "ILMELMAGGDLKSF", 1194, 1207, 102, 413, 23968.789, 30839.148, 56855.98),
-    rec!("4fp1", "PVHTAVGTVGTAPL", 21, 34, 102, 413, 22564.107, 30593.710, 9301.82),
-    rec!("4jpx", "DYLEAYGKGGVKA", 154, 166, 92, 373, 16962.095, 22231.950, 90422.62),
-    rec!("4jpy", "DYLEAYGKGGVKAK", 154, 167, 102, 413, 23332.068, 30779.295, 12918.78),
-    rec!("4tmk", "IEGLEGAGKTTARN", 8, 21, 102, 413, 22590.207, 29135.420, 199292.66),
-    rec!("5cqu", "RKLGRGKYSEVFE", 43, 55, 92, 373, 17865.392, 22801.515, 7620.94),
-    rec!("5nkb", "MIITEYMENGALDK", 689, 702, 102, 413, 22570.674, 31770.986, 9311.28),
-    rec!("6udv", "SLSRVMIHVFSDGV", 245, 258, 102, 413, 24186.062, 33350.850, 188397.35),
+    rec!(
+        "1yc4",
+        "ELISNSSDALDKI",
+        47,
+        59,
+        92,
+        373,
+        16129.383,
+        20745.807,
+        15777.29
+    ),
+    rec!(
+        "3d7z",
+        "YLVTHLMGADLNNI",
+        103,
+        116,
+        102,
+        413,
+        22979.863,
+        29707.296,
+        156289.48
+    ),
+    rec!(
+        "4aoi",
+        "VVLPYMKHGDLRNF",
+        1155,
+        1168,
+        102,
+        413,
+        23245.373,
+        32378.950,
+        13328.65
+    ),
+    rec!(
+        "4cig",
+        "VRDQAEHLKTAVQM",
+        165,
+        178,
+        102,
+        413,
+        21375.594,
+        29846.536,
+        17293.54
+    ),
+    rec!(
+        "4clj",
+        "ILMELMAGGDLKSF",
+        1194,
+        1207,
+        102,
+        413,
+        23968.789,
+        30839.148,
+        56855.98
+    ),
+    rec!(
+        "4fp1",
+        "PVHTAVGTVGTAPL",
+        21,
+        34,
+        102,
+        413,
+        22564.107,
+        30593.710,
+        9301.82
+    ),
+    rec!(
+        "4jpx",
+        "DYLEAYGKGGVKA",
+        154,
+        166,
+        92,
+        373,
+        16962.095,
+        22231.950,
+        90422.62
+    ),
+    rec!(
+        "4jpy",
+        "DYLEAYGKGGVKAK",
+        154,
+        167,
+        102,
+        413,
+        23332.068,
+        30779.295,
+        12918.78
+    ),
+    rec!(
+        "4tmk",
+        "IEGLEGAGKTTARN",
+        8,
+        21,
+        102,
+        413,
+        22590.207,
+        29135.420,
+        199292.66
+    ),
+    rec!(
+        "5cqu",
+        "RKLGRGKYSEVFE",
+        43,
+        55,
+        92,
+        373,
+        17865.392,
+        22801.515,
+        7620.94
+    ),
+    rec!(
+        "5nkb",
+        "MIITEYMENGALDK",
+        689,
+        702,
+        102,
+        413,
+        22570.674,
+        31770.986,
+        9311.28
+    ),
+    rec!(
+        "6udv",
+        "SLSRVMIHVFSDGV",
+        245,
+        258,
+        102,
+        413,
+        24186.062,
+        33350.850,
+        188397.35
+    ),
 ];
 
 /// Table 2: the M group (9–12 residues).
 pub const M_GROUP: [FragmentRecord; 23] = [
-    rec!("1e2l", "AQITMGMPY", 124, 132, 54, 221, 1509.665, 2837.818, 12951.69),
-    rec!("1gx8", "SAPLRVYVE", 36, 44, 54, 221, 1626.015, 3053.529, 14080.77),
-    rec!("1m7y", "TAGATSANE", 117, 125, 54, 221, 1420.378, 2714.983, 12918.04),
-    rec!("1zsf", "LLDTGADDTV", 23, 32, 63, 257, 4283.258, 6023.888, 5674.54),
-    rec!("2avo", "LIDTGADDTV", 23, 32, 63, 257, 4711.417, 6788.627, 5709.81),
-    rec!("2bfq", "AFPAVSAGIYGC", 136, 147, 82, 333, 11784.906, 16384.379, 10361.37),
-    rec!("2bok", "EDACQGDSGG", 188, 197, 63, 257, 4365.802, 6164.745, 6145.18),
-    rec!("2qbs", "HCSAGIGRSGT", 214, 224, 72, 293, 6691.571, 9356.871, 13899.11),
-    rec!("2vwo", "EDACQGDSGG", 188, 197, 63, 257, 4175.516, 6533.564, 5812.72),
-    rec!("2xxx", "GAVEDGATMTFF", 683, 694, 82, 333, 14199.993, 18862.515, 14962.26),
-    rec!("3b26", "ELISNSSDAL", 47, 56, 63, 257, 3768.807, 6015.566, 5546.94),
-    rec!("3d83", "YLVTHLMGAD", 103, 112, 63, 257, 4235.343, 6119.164, 19833.57),
-    rec!("3vf7", "LLDTGADDTV", 23, 32, 63, 257, 3975.024, 6162.421, 5348.25),
-    rec!("4f5y", "GLAWSYYIGYL", 158, 168, 72, 293, 6408.497, 8858.596, 6157.46),
-    rec!("4mc1", "LLDTGADDTV", 23, 32, 63, 257, 4092.236, 6199.231, 5609.02),
-    rec!("4y79", "DACQGDSGG", 189, 197, 54, 221, 1549.162, 2874.211, 207445.70),
-    rec!("5cxa", "FDGKGGILAHA", 174, 184, 72, 293, 6946.425, 9298.822, 5638.71),
-    rec!("5kqx", "LLNTGADDTV", 23, 32, 63, 257, 4336.777, 6158.301, 21706.78),
-    rec!("5kr2", "LLNTGADDTV", 23, 32, 63, 257, 4113.621, 6383.194, 5687.63),
-    rec!("5nkc", "MIITEYMENGAL", 689, 700, 82, 333, 12919.795, 16929.422, 6363.43),
-    rec!("5nkd", "MIITEYMENGA", 689, 699, 72, 293, 7192.774, 10425.425, 5997.07),
-    rec!("6ezq", "AKQRLKCASL", 194, 203, 63, 257, 4178.824, 6002.270, 23591.38),
-    rec!("6g98", "RNNGHSVQLTL", 60, 70, 72, 293, 7254.135, 9951.906, 7080.74),
+    rec!(
+        "1e2l",
+        "AQITMGMPY",
+        124,
+        132,
+        54,
+        221,
+        1509.665,
+        2837.818,
+        12951.69
+    ),
+    rec!(
+        "1gx8",
+        "SAPLRVYVE",
+        36,
+        44,
+        54,
+        221,
+        1626.015,
+        3053.529,
+        14080.77
+    ),
+    rec!(
+        "1m7y",
+        "TAGATSANE",
+        117,
+        125,
+        54,
+        221,
+        1420.378,
+        2714.983,
+        12918.04
+    ),
+    rec!(
+        "1zsf",
+        "LLDTGADDTV",
+        23,
+        32,
+        63,
+        257,
+        4283.258,
+        6023.888,
+        5674.54
+    ),
+    rec!(
+        "2avo",
+        "LIDTGADDTV",
+        23,
+        32,
+        63,
+        257,
+        4711.417,
+        6788.627,
+        5709.81
+    ),
+    rec!(
+        "2bfq",
+        "AFPAVSAGIYGC",
+        136,
+        147,
+        82,
+        333,
+        11784.906,
+        16384.379,
+        10361.37
+    ),
+    rec!(
+        "2bok",
+        "EDACQGDSGG",
+        188,
+        197,
+        63,
+        257,
+        4365.802,
+        6164.745,
+        6145.18
+    ),
+    rec!(
+        "2qbs",
+        "HCSAGIGRSGT",
+        214,
+        224,
+        72,
+        293,
+        6691.571,
+        9356.871,
+        13899.11
+    ),
+    rec!(
+        "2vwo",
+        "EDACQGDSGG",
+        188,
+        197,
+        63,
+        257,
+        4175.516,
+        6533.564,
+        5812.72
+    ),
+    rec!(
+        "2xxx",
+        "GAVEDGATMTFF",
+        683,
+        694,
+        82,
+        333,
+        14199.993,
+        18862.515,
+        14962.26
+    ),
+    rec!(
+        "3b26",
+        "ELISNSSDAL",
+        47,
+        56,
+        63,
+        257,
+        3768.807,
+        6015.566,
+        5546.94
+    ),
+    rec!(
+        "3d83",
+        "YLVTHLMGAD",
+        103,
+        112,
+        63,
+        257,
+        4235.343,
+        6119.164,
+        19833.57
+    ),
+    rec!(
+        "3vf7",
+        "LLDTGADDTV",
+        23,
+        32,
+        63,
+        257,
+        3975.024,
+        6162.421,
+        5348.25
+    ),
+    rec!(
+        "4f5y",
+        "GLAWSYYIGYL",
+        158,
+        168,
+        72,
+        293,
+        6408.497,
+        8858.596,
+        6157.46
+    ),
+    rec!(
+        "4mc1",
+        "LLDTGADDTV",
+        23,
+        32,
+        63,
+        257,
+        4092.236,
+        6199.231,
+        5609.02
+    ),
+    rec!(
+        "4y79",
+        "DACQGDSGG",
+        189,
+        197,
+        54,
+        221,
+        1549.162,
+        2874.211,
+        207445.70
+    ),
+    rec!(
+        "5cxa",
+        "FDGKGGILAHA",
+        174,
+        184,
+        72,
+        293,
+        6946.425,
+        9298.822,
+        5638.71
+    ),
+    rec!(
+        "5kqx",
+        "LLNTGADDTV",
+        23,
+        32,
+        63,
+        257,
+        4336.777,
+        6158.301,
+        21706.78
+    ),
+    rec!(
+        "5kr2",
+        "LLNTGADDTV",
+        23,
+        32,
+        63,
+        257,
+        4113.621,
+        6383.194,
+        5687.63
+    ),
+    rec!(
+        "5nkc",
+        "MIITEYMENGAL",
+        689,
+        700,
+        82,
+        333,
+        12919.795,
+        16929.422,
+        6363.43
+    ),
+    rec!(
+        "5nkd",
+        "MIITEYMENGA",
+        689,
+        699,
+        72,
+        293,
+        7192.774,
+        10425.425,
+        5997.07
+    ),
+    rec!(
+        "6ezq",
+        "AKQRLKCASL",
+        194,
+        203,
+        63,
+        257,
+        4178.824,
+        6002.270,
+        23591.38
+    ),
+    rec!(
+        "6g98",
+        "RNNGHSVQLTL",
+        60,
+        70,
+        72,
+        293,
+        7254.135,
+        9951.906,
+        7080.74
+    ),
 ];
 
 /// Table 3: the S group (5–8 residues).
@@ -239,12 +589,19 @@ pub const S_GROUP: [FragmentRecord; 20] = [
 
 /// All 55 fragments, L then M then S (paper table order).
 pub fn all_fragments() -> Vec<&'static FragmentRecord> {
-    L_GROUP.iter().chain(M_GROUP.iter()).chain(S_GROUP.iter()).collect()
+    L_GROUP
+        .iter()
+        .chain(M_GROUP.iter())
+        .chain(S_GROUP.iter())
+        .collect()
 }
 
 /// Fragments of one group.
 pub fn fragments_in(group: Group) -> Vec<&'static FragmentRecord> {
-    all_fragments().into_iter().filter(|r| r.group() == group).collect()
+    all_fragments()
+        .into_iter()
+        .filter(|r| r.group() == group)
+        .collect()
 }
 
 /// Looks up a fragment by PDB id.
@@ -326,7 +683,11 @@ mod tests {
     fn energy_bands_sane() {
         for r in all_fragments() {
             assert!(r.paper.lowest_energy > 0.0, "{}", r.pdb_id);
-            assert!(r.paper.highest_energy > r.paper.lowest_energy, "{}", r.pdb_id);
+            assert!(
+                r.paper.highest_energy > r.paper.lowest_energy,
+                "{}",
+                r.pdb_id
+            );
             assert!(r.paper.energy_range() > 0.0);
             assert!(r.paper.exec_time_s > 1000.0, "{}", r.pdb_id);
         }
@@ -357,8 +718,10 @@ mod tests {
 
     #[test]
     fn protein_classes_cover_all_seven_kinds() {
-        let classes: std::collections::HashSet<_> =
-            all_fragments().into_iter().map(|r| r.protein_class()).collect();
+        let classes: std::collections::HashSet<_> = all_fragments()
+            .into_iter()
+            .map(|r| r.protein_class())
+            .collect();
         assert_eq!(classes.len(), 7, "all functional classes represented");
     }
 }

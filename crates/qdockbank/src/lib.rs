@@ -26,8 +26,6 @@ pub mod fragments;
 pub mod pipeline;
 pub mod report;
 
-pub use evaluation::{
-    compare_fragments, interaction_coverage, win_rates, FragmentComparison,
-};
+pub use evaluation::{compare_fragments, interaction_coverage, win_rates, FragmentComparison};
 pub use fragments::{all_fragments, fragment, fragments_in, FragmentRecord, Group};
 pub use pipeline::{run_fragment, FragmentResult, PipelineConfig, Preset};

@@ -46,12 +46,20 @@ pub struct PipelineConfig {
 impl PipelineConfig {
     /// The paper's configuration.
     pub fn paper() -> Self {
-        Self { preset: Preset::Paper, docking_runs: 20, noisy: true }
+        Self {
+            preset: Preset::Paper,
+            docking_runs: 20,
+            noisy: true,
+        }
     }
 
     /// Test/CI configuration.
     pub fn fast() -> Self {
-        Self { preset: Preset::Fast, docking_runs: 5, noisy: false }
+        Self {
+            preset: Preset::Fast,
+            docking_runs: 5,
+            noisy: false,
+        }
     }
 
     /// VQE configuration for a fragment (budgets scale down for the
@@ -240,7 +248,11 @@ pub fn run_qdock(
     // Decode the best sampled conformation into a centered Cα trace.
     let conformation = hamiltonian.conformation_of(outcome.best_bitstring);
     let trace_obj = CaTrace::from_conformation(&conformation).centered();
-    let trace: Vec<Vec3> = trace_obj.coords().iter().map(|&c| Vec3::from_array(c)).collect();
+    let trace: Vec<Vec3> = trace_obj
+        .coords()
+        .iter()
+        .map(|&c| Vec3::from_array(c))
+        .collect();
     let mut structure = build_peptide(&trace, &specs_for(&seq, record.residue_start));
     structure.center();
 
@@ -304,7 +316,12 @@ pub fn evaluate_structure(
     params.box_size = Vec3::new(16.0, 16.0, 16.0);
     params.local_only = true;
     let docking = dock_replicates(&structure, ligand, &params, seed, config.docking_runs);
-    PredictionEval { trace, structure, ca_rmsd: rmsd, docking }
+    PredictionEval {
+        trace,
+        structure,
+        ca_rmsd: rmsd,
+        docking,
+    }
 }
 
 /// Runs a baseline predictor for a fragment.
@@ -322,7 +339,14 @@ pub fn run_baseline(
             AfModel::Af2 => 0xA2,
             AfModel::Af3 => 0xA3,
         };
-    evaluate_structure(prediction.trace, prediction.structure, reference, ligand, config, seed)
+    evaluate_structure(
+        prediction.trace,
+        prediction.structure,
+        reference,
+        ligand,
+        config,
+        seed,
+    )
 }
 
 /// Runs the full QDock pipeline for one fragment.
@@ -366,7 +390,10 @@ mod tests {
         assert!(result.qdock.ca_rmsd > 0.0 && result.qdock.ca_rmsd < 15.0);
         // Docking produced runs with poses.
         assert_eq!(result.qdock.docking.runs.len(), config.docking_runs);
-        assert!(result.qdock.affinity() < 0.0, "binding should be favourable");
+        assert!(
+            result.qdock.affinity() < 0.0,
+            "binding should be favourable"
+        );
         // Quantum metadata coherent.
         assert_eq!(result.quantum.logical_qubits, 4);
         assert_eq!(result.quantum.physical_qubits, 12);

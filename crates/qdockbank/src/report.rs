@@ -1,9 +1,7 @@
 //! Text renderers that regenerate the paper's tables and figures
 //! (as aligned plain text / CSV series, consumed by the bench binaries).
 
-use crate::evaluation::{
-    metric_series, summarize, CoverageReport, FragmentComparison, WinRates,
-};
+use crate::evaluation::{metric_series, summarize, CoverageReport, FragmentComparison, WinRates};
 use crate::fragments::{FragmentRecord, Group};
 use crate::pipeline::{PredictionEval, QuantumMetadata};
 use qdb_baselines::alphafold::AfModel;
@@ -149,7 +147,12 @@ pub fn render_box_stats(comparisons: &[FragmentComparison]) -> String {
     ];
     for group in [None, Some(Group::L), Some(Group::M), Some(Group::S)] {
         for (metric, predictor, extract) in extractors {
-            emit(metric, predictor, group, metric_series(comparisons, group, extract));
+            emit(
+                metric,
+                predictor,
+                group,
+                metric_series(comparisons, group, extract),
+            );
         }
     }
     out
@@ -163,7 +166,11 @@ pub fn render_coverage(report: &CoverageReport) -> String {
         "Amino-acid interaction coverage: {}/400 ordered pair types (paper: 395/400)",
         report.covered_types()
     );
-    let _ = writeln!(out, "total pair observations: {}", report.total_interactions());
+    let _ = writeln!(
+        out,
+        "total pair observations: {}",
+        report.total_interactions()
+    );
     let _ = writeln!(out, "most frequent pairs:");
     for (a, b, count) in report.top_pairs(12) {
         let _ = writeln!(out, "  {a}-{b}: {count}");
@@ -173,14 +180,17 @@ pub fn render_coverage(report: &CoverageReport) -> String {
 
 /// Renders the Table 4 case study (average docking metrics, QDock vs AF3
 /// on one fragment).
-pub fn render_case_table(
-    pdb_id: &str,
-    qdock: &PredictionEval,
-    af3: &PredictionEval,
-) -> String {
+pub fn render_case_table(pdb_id: &str, qdock: &PredictionEval, af3: &PredictionEval) -> String {
     let mut out = String::new();
-    let _ = writeln!(out, "Average docking metrics for QDockBank vs AlphaFold3 on {pdb_id}");
-    let _ = writeln!(out, "{:<38} {:>10} {:>12}", "Metric", "QDockBank", "AlphaFold3");
+    let _ = writeln!(
+        out,
+        "Average docking metrics for QDockBank vs AlphaFold3 on {pdb_id}"
+    );
+    let _ = writeln!(
+        out,
+        "{:<38} {:>10} {:>12}",
+        "Metric", "QDockBank", "AlphaFold3"
+    );
     let _ = writeln!(
         out,
         "{:<38} {:>10.2} {:>12.2}",
@@ -219,14 +229,23 @@ pub fn render_protein_classes() -> String {
         ProteinClass::Miscellaneous,
     ];
     let mut out = String::new();
-    let _ = writeln!(out, "Functional protein classes across the 55 fragments (§6.2):");
+    let _ = writeln!(
+        out,
+        "Functional protein classes across the 55 fragments (§6.2):"
+    );
     for class in classes {
         let members: Vec<&str> = all_fragments()
             .into_iter()
             .filter(|r| r.protein_class() == class)
             .map(|r| r.pdb_id)
             .collect();
-        let _ = writeln!(out, "  {:<18} {:>2}  [{}]", class.name(), members.len(), members.join(", "));
+        let _ = writeln!(
+            out,
+            "  {:<18} {:>2}  [{}]",
+            class.name(),
+            members.len(),
+            members.join(", ")
+        );
     }
     out
 }
@@ -253,7 +272,11 @@ mod tests {
         assert!(text.contains("kinase"));
         assert!(text.contains("1zsf"));
         // All 55 fragments appear exactly once.
-        let ids: usize = text.lines().skip(1).map(|l| l.matches(", ").count() + usize::from(l.contains('['))).sum();
+        let ids: usize = text
+            .lines()
+            .skip(1)
+            .map(|l| l.matches(", ").count() + usize::from(l.contains('[')))
+            .sum();
         assert_eq!(ids, 55);
     }
 

@@ -14,8 +14,10 @@ use std::path::PathBuf;
 
 fn main() {
     let which = std::env::args().nth(1).unwrap_or_else(|| "S".to_string());
-    let out: PathBuf =
-        std::env::args().nth(2).unwrap_or_else(|| "qdockbank_dataset".to_string()).into();
+    let out: PathBuf = std::env::args()
+        .nth(2)
+        .unwrap_or_else(|| "qdockbank_dataset".to_string())
+        .into();
     let records = match which.as_str() {
         "S" => fragments_in(Group::S),
         "M" => fragments_in(Group::M),
@@ -27,7 +29,11 @@ fn main() {
         }
     };
     let config = PipelineConfig::fast();
-    println!("building {} fragments into {}", records.len(), out.display());
+    println!(
+        "building {} fragments into {}",
+        records.len(),
+        out.display()
+    );
     for (i, record) in records.iter().enumerate() {
         let result = run_fragment(record, &config);
         let files = write_fragment_entry(&out, record, &result).expect("write dataset entry");

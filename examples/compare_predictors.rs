@@ -43,6 +43,12 @@ fn main() {
         );
     }
     println!();
-    print!("{}", render_win_rates(&win_rates(&comparisons, AfModel::Af2)));
-    print!("{}", render_win_rates(&win_rates(&comparisons, AfModel::Af3)));
+    print!(
+        "{}",
+        render_win_rates(&win_rates(&comparisons, AfModel::Af2))
+    );
+    print!(
+        "{}",
+        render_win_rates(&win_rates(&comparisons, AfModel::Af3))
+    );
 }

@@ -9,7 +9,9 @@ use qdockbank::fragments::fragment;
 use qdockbank::pipeline::{run_fragment, PipelineConfig};
 
 fn main() {
-    let id = std::env::args().nth(1).unwrap_or_else(|| "4mo4".to_string());
+    let id = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "4mo4".to_string());
     let record = match fragment(&id) {
         Some(r) => r,
         None => {
@@ -25,7 +27,10 @@ fn main() {
     let result = run_fragment(record, &PipelineConfig::fast());
     for run in &result.qdock.docking.runs {
         println!("\nrun seed {}:", run.seed);
-        println!("{:>4} {:>12} {:>10} {:>10}", "mode", "affinity", "rmsd l.b.", "rmsd u.b.");
+        println!(
+            "{:>4} {:>12} {:>10} {:>10}",
+            "mode", "affinity", "rmsd l.b.", "rmsd u.b."
+        );
         for (i, pose) in run.poses.iter().enumerate() {
             println!(
                 "{:>4} {:>12.2} {:>10.2} {:>10.2}",

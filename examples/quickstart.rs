@@ -40,12 +40,18 @@ fn main() {
     println!("modelled exec    : {:.1} s", result.quantum.exec_time_s);
 
     println!("\n-- evaluation ----------------------------------------");
-    println!("Cα RMSD vs X-ray substitute : {:.2} Å", result.qdock.ca_rmsd);
+    println!(
+        "Cα RMSD vs X-ray substitute : {:.2} Å",
+        result.qdock.ca_rmsd
+    );
     println!(
         "docking ({} runs)            : mean best affinity {:.2} kcal/mol",
         result.qdock.docking.runs.len(),
         result.qdock.affinity()
     );
     let best = &result.qdock.docking.runs[0].poses[0];
-    println!("top pose affinity           : {:.2} kcal/mol", best.affinity);
+    println!(
+        "top pose affinity           : {:.2} kcal/mol",
+        best.affinity
+    );
 }

@@ -36,14 +36,12 @@ fn dataset_entries_replayable_from_disk() {
             .iter()
             .map(|a| a.three_letter())
             .collect();
-        let actual: Vec<String> =
-            parsed.residues.iter().map(|r| r.name.clone()).collect();
+        let actual: Vec<String> = parsed.residues.iter().map(|r| r.name.clone()).collect();
         assert_eq!(actual, expected_names);
 
         // Metadata JSON parses and matches the manifest.
         let metadata: MetadataJson =
-            serde_json::from_str(&std::fs::read_to_string(&files.metadata_json).unwrap())
-                .unwrap();
+            serde_json::from_str(&std::fs::read_to_string(&files.metadata_json).unwrap()).unwrap();
         assert_eq!(metadata.pdb_id, id);
         assert_eq!(metadata.physical_qubits, record.paper.qubits);
         assert_eq!(metadata.paper_depth, record.paper.depth);
@@ -51,11 +49,9 @@ fn dataset_entries_replayable_from_disk() {
 
         // Docking JSON parses; seeds are recorded and distinct.
         let docking: DockingJson =
-            serde_json::from_str(&std::fs::read_to_string(&files.docking_json).unwrap())
-                .unwrap();
+            serde_json::from_str(&std::fs::read_to_string(&files.docking_json).unwrap()).unwrap();
         assert_eq!(docking.num_runs, config.docking_runs);
-        let seeds: std::collections::HashSet<u64> =
-            docking.runs.iter().map(|r| r.seed).collect();
+        let seeds: std::collections::HashSet<u64> = docking.runs.iter().map(|r| r.seed).collect();
         assert_eq!(seeds.len(), config.docking_runs);
         for run in &docking.runs {
             assert!(!run.poses.is_empty());
@@ -68,8 +64,7 @@ fn dataset_entries_replayable_from_disk() {
                 .unwrap();
         assert_eq!(reference.len(), record.len());
         let ligand =
-            qdb_mol::pdb::parse_pdb(&std::fs::read_to_string(&files.ligand_pdb).unwrap())
-                .unwrap();
+            qdb_mol::pdb::parse_pdb(&std::fs::read_to_string(&files.ligand_pdb).unwrap()).unwrap();
         assert_eq!(ligand.len(), 1);
         assert!(ligand.num_atoms() >= 8);
     }

@@ -92,8 +92,11 @@ fn bigger_pocket_contact_scores_better_than_clash() {
     let template = type_ligand(&lig);
 
     let centered: Vec<Vec3> = lig.positions(); // dead center: clashes
-    let offset: Vec<Vec3> =
-        lig.positions().iter().map(|&p| p + Vec3::new(9.0, 0.0, 0.0)).collect();
+    let offset: Vec<Vec3> = lig
+        .positions()
+        .iter()
+        .map(|&p| p + Vec3::new(9.0, 0.0, 0.0))
+        .collect();
     let e_clash = intermolecular(&retype_positions(&template, &centered), &receptor_atoms);
     let e_contact = intermolecular(&retype_positions(&template, &offset), &receptor_atoms);
     assert!(

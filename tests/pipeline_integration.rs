@@ -27,7 +27,10 @@ fn small_fragment_end_to_end() {
     // Metrics are in physically sensible bands.
     assert!(result.qdock.ca_rmsd > 0.0 && result.qdock.ca_rmsd < 10.0);
     assert!(result.qdock.affinity() < 0.0, "ligand should bind");
-    assert!(result.qdock.affinity() > -15.0, "affinity should be Vina-scale");
+    assert!(
+        result.qdock.affinity() > -15.0,
+        "affinity should be Vina-scale"
+    );
 }
 
 #[test]
@@ -51,10 +54,7 @@ fn quantum_metadata_consistent_with_manifest() {
 
 #[test]
 fn comparison_and_win_rates_machinery() {
-    let records = vec![
-        fragment("3ckz").unwrap(),
-        fragment("6czf").unwrap(),
-    ];
+    let records = vec![fragment("3ckz").unwrap(), fragment("6czf").unwrap()];
     let config = PipelineConfig::fast();
     let comparisons = compare_fragments(&records, &config);
     assert_eq!(comparisons.len(), 2);

@@ -19,7 +19,9 @@ fn pauli_and_diagonal_hamiltonians_agree_under_ansatz_states() {
     let diag = ham.dense_diagonal();
 
     let ansatz = build_ansatz(&ham, 1);
-    let params: Vec<f64> = (0..ansatz.num_params()).map(|i| 0.17 * (i as f64 - 2.0)).collect();
+    let params: Vec<f64> = (0..ansatz.num_params())
+        .map(|i| 0.17 * (i as f64 - 2.0))
+        .collect();
     let mut sv = Statevector::zero(ham.num_qubits());
     sv.apply_parametric(&ansatz, &params);
 
@@ -38,7 +40,10 @@ fn vqe_energy_lower_bounded_by_exhaustive_ground_state() {
     let (_, ground) = ham.ground_state();
     let out = run_vqe(&ham, &VqeConfig::fast(13));
     assert!(out.best_bitstring_energy >= ground - 1e-9);
-    assert!(out.lowest_energy >= ground - 1e-9, "expectation can never beat the ground state");
+    assert!(
+        out.lowest_energy >= ground - 1e-9,
+        "expectation can never beat the ground state"
+    );
 }
 
 #[test]
@@ -48,7 +53,9 @@ fn fragment_ansatz_routes_onto_eagle_and_stays_equivalent() {
     let seq = ProteinSequence::parse("VKDRS").unwrap(); // 4 qubits
     let ham = FoldingHamiltonian::with_unit_scale(seq);
     let ansatz = build_ansatz(&ham, 2);
-    let params: Vec<f64> = (0..ansatz.num_params()).map(|i| 0.1 + 0.07 * i as f64).collect();
+    let params: Vec<f64> = (0..ansatz.num_params())
+        .map(|i| 0.1 + 0.07 * i as f64)
+        .collect();
 
     // Logical distribution.
     let mut ideal = Statevector::zero(4);
@@ -93,7 +100,12 @@ fn eagle_profile_covers_every_manifest_length() {
     for record in qdockbank::fragments::all_fragments() {
         let q = EagleProfile::physical_qubits(record.len());
         assert_eq!(q, record.paper.qubits, "{}", record.pdb_id);
-        assert_eq!(EagleProfile::paper_depth(q), record.paper.depth, "{}", record.pdb_id);
+        assert_eq!(
+            EagleProfile::paper_depth(q),
+            record.paper.depth,
+            "{}",
+            record.pdb_id
+        );
         // Logical register always fits the simulator.
         assert!(2 * (record.len() - 3) <= 22);
     }
