@@ -44,7 +44,7 @@ fn main() {
             } else {
                 NoiseModel::eagle_like().scaled(scale)
             };
-            let out = run_vqe(&ham, &cfg);
+            let out = run_vqe(&ham, &cfg).expect("fault-free run");
             if (out.best_bitstring_energy - ground).abs() < 1e-6 {
                 found += 1;
             }

@@ -13,7 +13,7 @@ fn main() {
     let record = fragment("2qbs").expect("2qbs is in the manifest");
     let config = preset_from_env();
     eprintln!("predicting 2qbs ({})…", record.sequence);
-    let c = FragmentComparison::run(record, &config);
+    let c = FragmentComparison::run(record, &config).expect("fault-free run");
     println!("RMSD-based structural comparison for PDB entry 2qbs");
     println!("  paper   : QDock 2.428 Å   AF3 4.234 Å");
     println!(

@@ -15,7 +15,7 @@ fn main() {
     let record = fragment("4jpy").expect("4jpy is in the manifest");
     let config = preset_from_env();
     eprintln!("docking 4jpy ({}) under QDock and AF3…", record.sequence);
-    let c = FragmentComparison::run(record, &config);
+    let c = FragmentComparison::run(record, &config).expect("fault-free run");
     print!("{}", render_case_table("4jpy", &c.qdock.qdock, &c.af3));
     println!(
         "\nstructure RMSD vs reference: QDock {:.2} Å, AF3 {:.2} Å",

@@ -68,7 +68,7 @@ pub fn run_comparisons(
             record.group().name(),
             record.len()
         );
-        out.push(FragmentComparison::run(record, config));
+        out.push(FragmentComparison::run(record, config).expect("fault-free run"));
     }
     out
 }

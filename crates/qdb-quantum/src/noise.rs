@@ -73,6 +73,38 @@ impl NoiseModel {
     pub fn is_ideal(&self) -> bool {
         self.p1 == 0.0 && self.p2 == 0.0 && self.readout == 0.0
     }
+
+    /// A deterministic calibration-drift perturbation of this model.
+    ///
+    /// Utility-level backends drift between calibration cycles: gate and
+    /// readout error rates grow by a few × and coherence times shrink
+    /// (Kirsopp et al. report exactly this failure class dominating long
+    /// hardware campaigns). The drifted model is what a fault-injection
+    /// layer hands the simulator for the evaluations between drift onset
+    /// and detection. Drift on an ideal model *introduces* error at the
+    /// Eagle floor rates — a perfectly calibrated backend cannot stay
+    /// perfect through a drift event.
+    pub fn drifted(self, seed: u64) -> NoiseModel {
+        // splitmix64 steps: cheap, deterministic, no rand dependency.
+        let mut state = seed;
+        let mut next = move || -> f64 {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            (z >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        };
+        let floor = NoiseModel::eagle_like();
+        let grow = |p: f64, lo: f64, r: f64| ((p.max(lo)) * (2.0 + 4.0 * r)).min(0.75);
+        NoiseModel {
+            p1: grow(self.p1, floor.p1, next()),
+            p2: grow(self.p2, floor.p2, next()),
+            readout: grow(self.readout, floor.readout, next()).min(0.5),
+            t1_us: self.t1_us.min(floor.t1_us) * (0.3 + 0.5 * next()),
+            t2_us: self.t2_us.min(floor.t2_us) * (0.3 + 0.5 * next()),
+        }
+    }
 }
 
 fn random_pauli<R: Rng>(rng: &mut R) -> GateKind {
@@ -339,6 +371,25 @@ mod tests {
             &mut ChaCha8Rng::seed_from_u64(11),
         );
         assert_eq!(e1, e2);
+    }
+
+    #[test]
+    fn drift_is_deterministic_and_degrades_calibration() {
+        let base = NoiseModel::eagle_like();
+        let a = base.drifted(42);
+        let b = base.drifted(42);
+        assert_eq!(a, b, "same seed → same drifted model");
+        let c = base.drifted(43);
+        assert_ne!(a, c, "different seed → different drift");
+        // Drift always worsens error rates and coherence.
+        assert!(a.p1 >= base.p1 && a.p2 >= base.p2 && a.readout >= base.readout);
+        assert!(a.t1_us < base.t1_us && a.t2_us < base.t2_us);
+        assert!(a.p1 <= 0.75 && a.p2 <= 0.75 && a.readout <= 0.5);
+        // Drift on an ideal model introduces error: the drifted model is
+        // never ideal, so a drift event is always observable.
+        let drifted_ideal = NoiseModel::IDEAL.drifted(7);
+        assert!(!drifted_ideal.is_ideal());
+        assert!(drifted_ideal.t1_us.is_finite());
     }
 
     #[test]

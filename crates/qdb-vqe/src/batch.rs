@@ -5,10 +5,19 @@
 //! bounded worker pool: each worker owns one fragment job at a time and
 //! the inner VQE still uses rayon data-parallelism, so `workers` should
 //! stay small (the default is 2) to avoid oversubscription.
+//!
+//! Jobs are failure-isolated: a panicking or erroring job yields an
+//! `Err(VqeError)` in its result slot — it can neither take down the
+//! worker pool nor poison state shared with later jobs. Fault injection
+//! threads through via [`run_batch_injected`], which consults a seeded
+//! [`FaultPlan`] per job.
 
-use crate::runner::{run_vqe_with_workspace, VqeConfig, VqeOutcome};
+use crate::error::{panic_message, VqeError};
+use crate::fault::FaultPlan;
+use crate::runner::{run_vqe_injected, VqeConfig, VqeOutcome};
 use qdb_lattice::hamiltonian::FoldingHamiltonian;
 use qdb_quantum::exec::SimWorkspace;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Mutex;
 
 /// A named VQE job.
@@ -27,13 +36,25 @@ pub struct VqeJob {
 pub struct VqeBatchResult {
     /// Job label.
     pub id: String,
-    /// The VQE outcome.
-    pub outcome: VqeOutcome,
+    /// The VQE outcome, or the typed failure that stopped this job (other
+    /// jobs in the batch are unaffected).
+    pub outcome: Result<VqeOutcome, VqeError>,
 }
 
 /// Runs all jobs through a fixed-size worker pool; results are returned in
 /// submission order.
 pub fn run_batch(jobs: Vec<VqeJob>, workers: usize) -> Vec<VqeBatchResult> {
+    run_batch_injected(jobs, workers, &FaultPlan::none())
+}
+
+/// [`run_batch`] under a fault plan: each job's injector is drawn from
+/// `plan` (attempt 0 — the batch layer itself does not retry; retry policy
+/// belongs to the supervisor driving it).
+pub fn run_batch_injected(
+    jobs: Vec<VqeJob>,
+    workers: usize,
+    plan: &FaultPlan,
+) -> Vec<VqeBatchResult> {
     assert!(workers >= 1, "need at least one worker");
     let num_jobs = jobs.len();
     let (tx, rx) = crossbeam::channel::unbounded::<(usize, VqeJob)>();
@@ -55,8 +76,22 @@ pub fn run_batch(jobs: Vec<VqeJob>, workers: usize) -> Vec<VqeBatchResult> {
                 // buffers only reallocate when the register width changes.
                 let mut ws = SimWorkspace::new(0);
                 while let Ok((index, job)) = rx.recv() {
-                    let outcome = run_vqe_with_workspace(&job.hamiltonian, &job.config, &mut ws);
-                    let mut guard = results.lock().expect("no poisoned workers");
+                    let mut injector = plan.injector(&job.id, 0);
+                    let outcome = match catch_unwind(AssertUnwindSafe(|| {
+                        run_vqe_injected(&job.hamiltonian, &job.config, &mut ws, &mut injector)
+                    })) {
+                        Ok(result) => result,
+                        Err(payload) => {
+                            // The workspace may hold a half-evolved state;
+                            // rebuild it so later jobs start clean.
+                            ws = SimWorkspace::new(0);
+                            Err(VqeError::Panicked(panic_message(payload.as_ref())))
+                        }
+                    };
+                    // A panicked job cannot poison the results lock: the
+                    // panic was caught above, so the guard below is only
+                    // ever dropped on the normal path.
+                    let mut guard = results.lock().unwrap_or_else(|e| e.into_inner());
                     guard[index] = Some(VqeBatchResult {
                         id: job.id,
                         outcome,
@@ -68,7 +103,7 @@ pub fn run_batch(jobs: Vec<VqeJob>, workers: usize) -> Vec<VqeBatchResult> {
 
     results
         .into_inner()
-        .expect("workers joined")
+        .unwrap_or_else(|e| e.into_inner())
         .into_iter()
         .map(|r| r.expect("every job completed"))
         .collect()
@@ -77,6 +112,7 @@ pub fn run_batch(jobs: Vec<VqeJob>, workers: usize) -> Vec<VqeBatchResult> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fault::FaultKind;
     use crate::runner::run_vqe;
     use qdb_lattice::sequence::ProteinSequence;
 
@@ -104,20 +140,60 @@ mod tests {
         assert_eq!(results[0].id, "3ckz");
         assert_eq!(results[1].id, "3eax");
         assert_eq!(results[2].id, "4mo4");
+        assert!(results.iter().all(|r| r.outcome.is_ok()));
     }
 
     #[test]
     fn batch_matches_sequential_execution() {
         let j = job("3ckz", "VKDRS", 7);
-        let sequential = run_vqe(&j.hamiltonian, &j.config);
+        let sequential = run_vqe(&j.hamiltonian, &j.config).unwrap();
         let batched = run_batch(vec![j], 2);
-        assert_eq!(batched[0].outcome.best_bitstring, sequential.best_bitstring);
-        assert_eq!(batched[0].outcome.history, sequential.history);
+        let outcome = batched[0].outcome.as_ref().unwrap();
+        assert_eq!(outcome.best_bitstring, sequential.best_bitstring);
+        assert_eq!(outcome.history, sequential.history);
     }
 
     #[test]
     fn single_worker_works() {
         let results = run_batch(vec![job("a", "VKDRS", 1), job("b", "NIGGF", 2)], 1);
         assert_eq!(results.len(), 2);
+    }
+
+    #[test]
+    fn panicking_job_is_isolated_from_the_rest() {
+        let plan = FaultPlan::none().with_target("bad", FaultKind::Panic, usize::MAX);
+        let jobs = vec![
+            job("good-1", "VKDRS", 1),
+            job("bad", "RYRDV", 2),
+            job("good-2", "NIGGF", 3),
+        ];
+        let results = run_batch_injected(jobs, 2, &plan);
+        assert_eq!(results.len(), 3);
+        assert!(results[0].outcome.is_ok());
+        assert!(
+            matches!(results[1].outcome, Err(VqeError::Panicked(_))),
+            "{:?}",
+            results[1].outcome
+        );
+        assert!(results[2].outcome.is_ok(), "later jobs must still run");
+        // The surviving jobs match their sequential outcomes exactly: the
+        // panic did not leak state into the shared worker pool.
+        let j = job("good-2", "NIGGF", 3);
+        let clean = run_vqe(&j.hamiltonian, &j.config).unwrap();
+        assert_eq!(
+            results[2].outcome.as_ref().unwrap().best_bitstring,
+            clean.best_bitstring
+        );
+    }
+
+    #[test]
+    fn rejected_job_reports_typed_error() {
+        let plan = FaultPlan::none().with_target("r", FaultKind::Reject, usize::MAX);
+        let results = run_batch_injected(vec![job("r", "VKDRS", 5)], 1, &plan);
+        assert!(
+            matches!(results[0].outcome, Err(VqeError::JobRejected)),
+            "{:?}",
+            results[0].outcome
+        );
     }
 }

@@ -1,0 +1,151 @@
+//! Typed failure taxonomy for the VQE execution layer.
+//!
+//! The paper's pipeline ran on shared IBM Eagle hardware where jobs are
+//! rejected at the queue, drift out of calibration mid-run, and come back
+//! with short shot counts. Kirsopp et al. report this class of transient
+//! failure dominating wall-clock on utility-level campaigns. The runner
+//! surfaces each of these as a typed [`VqeError`] instead of panicking, so
+//! a supervisor can decide per failure class whether to retry, shift the
+//! seed, degrade the budget, or give up.
+
+use std::fmt;
+
+/// Everything that can go wrong while executing one VQE job.
+#[derive(Clone, Debug, PartialEq)]
+pub enum VqeError {
+    /// The backend refused the job at submission (queue-level rejection).
+    JobRejected,
+    /// The backend drifted out of calibration mid-run and the attempt was
+    /// aborted at objective evaluation `at_eval` (evaluations from drift
+    /// onset until detection ran under a perturbed noise model and are
+    /// discarded with the attempt).
+    CalibrationDrift {
+        /// Evaluation index at which the drift was detected.
+        at_eval: usize,
+    },
+    /// Stage-2 sampling returned fewer shots than the configured budget.
+    ShotShortfall {
+        /// Shots the backend actually delivered.
+        delivered: u64,
+        /// Shots the configuration requested.
+        requested: u64,
+    },
+    /// The optimizer produced a non-finite energy (NaN/∞ divergence) at
+    /// evaluation `eval`. Deterministic for a fixed seed: retrying with
+    /// the same seed reproduces it, so supervisors should seed-shift.
+    NonFiniteEnergy {
+        /// Evaluation index of the first non-finite energy.
+        eval: usize,
+    },
+    /// Stage-2 sampling produced no usable (finite-energy) bitstring.
+    NoSamples,
+    /// The job panicked; the payload carries the panic message. Produced
+    /// by `catch_unwind` isolation in the batch pool and the supervisor.
+    Panicked(String),
+}
+
+impl VqeError {
+    /// Short stable identifier used in manifests and logs.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            VqeError::JobRejected => "job-rejected",
+            VqeError::CalibrationDrift { .. } => "calibration-drift",
+            VqeError::ShotShortfall { .. } => "shot-shortfall",
+            VqeError::NonFiniteEnergy { .. } => "non-finite-energy",
+            VqeError::NoSamples => "no-samples",
+            VqeError::Panicked(_) => "panic",
+        }
+    }
+
+    /// Whether a plain retry (same seed, same budget) can plausibly
+    /// succeed. Injected backend faults are transient; a non-finite
+    /// energy or a panic is deterministic for a fixed seed and needs a
+    /// seed shift or a degraded configuration instead.
+    pub fn is_transient(&self) -> bool {
+        matches!(
+            self,
+            VqeError::JobRejected
+                | VqeError::CalibrationDrift { .. }
+                | VqeError::ShotShortfall { .. }
+        )
+    }
+}
+
+impl fmt::Display for VqeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VqeError::JobRejected => write!(f, "backend rejected the job at submission"),
+            VqeError::CalibrationDrift { at_eval } => {
+                write!(f, "calibration drift detected at evaluation {at_eval}")
+            }
+            VqeError::ShotShortfall {
+                delivered,
+                requested,
+            } => write!(
+                f,
+                "backend delivered {delivered} of {requested} requested shots"
+            ),
+            VqeError::NonFiniteEnergy { eval } => {
+                write!(
+                    f,
+                    "optimizer produced a non-finite energy at evaluation {eval}"
+                )
+            }
+            VqeError::NoSamples => write!(f, "sampling produced no finite-energy bitstring"),
+            VqeError::Panicked(msg) => write!(f, "job panicked: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for VqeError {}
+
+/// Extracts a human-readable message from a `catch_unwind` payload
+/// (panics raised via `panic!("...")` carry `&str` or `String`).
+pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transience_classification() {
+        assert!(VqeError::JobRejected.is_transient());
+        assert!(VqeError::CalibrationDrift { at_eval: 3 }.is_transient());
+        assert!(VqeError::ShotShortfall {
+            delivered: 10,
+            requested: 100
+        }
+        .is_transient());
+        assert!(!VqeError::NonFiniteEnergy { eval: 0 }.is_transient());
+        assert!(!VqeError::NoSamples.is_transient());
+        assert!(!VqeError::Panicked("boom".into()).is_transient());
+    }
+
+    #[test]
+    fn kinds_are_stable_and_distinct() {
+        let all = [
+            VqeError::JobRejected,
+            VqeError::CalibrationDrift { at_eval: 1 },
+            VqeError::ShotShortfall {
+                delivered: 1,
+                requested: 2,
+            },
+            VqeError::NonFiniteEnergy { eval: 1 },
+            VqeError::NoSamples,
+            VqeError::Panicked(String::new()),
+        ];
+        let kinds: std::collections::HashSet<&str> = all.iter().map(|e| e.kind()).collect();
+        assert_eq!(kinds.len(), all.len());
+        for e in &all {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,445 @@
+//! Deterministic fault injection for utility-level backend flakiness.
+//!
+//! The paper's 55-fragment campaign ran on shared IBM Eagle hardware; the
+//! companion framework paper restarts failed fragment jobs by hand after
+//! queue rejections, calibration drift, and short shot counts. This module
+//! models that environment *deterministically*: a seeded [`FaultPlan`]
+//! decides, per `(job, attempt)`, whether and how an attempt fails, so a
+//! faulted build is exactly replayable and recovery properties can be
+//! asserted in tests (a plan whose faults are exhausted before the retry
+//! budget yields outputs byte-identical to a fault-free run).
+//!
+//! The runner consumes faults through the [`FaultInjector`] trait. The
+//! default [`NoFaults`] implementation is a zero-sized type whose hooks
+//! compile to nothing — production runs pay nothing for the layer.
+
+use crate::error::VqeError;
+use qdb_quantum::noise::NoiseModel;
+use rand::Rng;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Hooks the VQE runner calls at each backend interaction point.
+///
+/// Implementations may perturb what the "hardware" returns or abort the
+/// attempt with a typed error. All hooks default to transparent pass-through.
+pub trait FaultInjector {
+    /// Called once before the job starts; `Err` models queue-level
+    /// rejection (the job never consumes compute).
+    fn on_submit(&mut self) -> Result<(), VqeError> {
+        Ok(())
+    }
+
+    /// Called before each stage-1 objective evaluation with the configured
+    /// noise model. May return a perturbed model (calibration drift in
+    /// progress) or abort the attempt (drift detected).
+    fn stage1_noise(&mut self, eval: usize, base: NoiseModel) -> Result<NoiseModel, VqeError> {
+        let _ = eval;
+        Ok(base)
+    }
+
+    /// Called with each measured stage-1 energy; may corrupt it (a backend
+    /// returning garbage estimates). The runner's divergence guard turns a
+    /// non-finite corrupted energy into [`VqeError::NonFiniteEnergy`].
+    fn observe_energy(&mut self, eval: usize, energy: f64) -> f64 {
+        let _ = eval;
+        energy
+    }
+
+    /// Called before stage-2 sampling with the requested shot budget;
+    /// returns the number of shots the backend will actually deliver.
+    fn stage2_shots(&mut self, requested: u64) -> u64 {
+        requested
+    }
+}
+
+/// The production injector: every hook is a transparent pass-through that
+/// the optimizer inlines away.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NoFaults;
+
+impl FaultInjector for NoFaults {}
+
+/// The failure classes a [`FaultPlan`] can schedule.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Queue-level job rejection at submission.
+    Reject,
+    /// Mid-run calibration drift: a few evaluations run under a perturbed
+    /// noise model, then the attempt aborts when the drift is detected.
+    Drift,
+    /// Stage-2 sampling delivers fewer shots than requested.
+    Shortfall,
+    /// One stage-1 energy estimate comes back non-finite (garbage readout).
+    NanEnergy,
+    /// The backend client panics outright (models a crash bug; used to
+    /// exercise panic isolation in the batch pool and supervisor).
+    Panic,
+}
+
+impl FaultKind {
+    /// Stable identifier for logs and manifests.
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultKind::Reject => "reject",
+            FaultKind::Drift => "drift",
+            FaultKind::Shortfall => "shortfall",
+            FaultKind::NanEnergy => "nan-energy",
+            FaultKind::Panic => "panic",
+        }
+    }
+}
+
+/// An explicit per-job fault override: `job` fails with `kind` on every
+/// attempt below `attempts`.
+#[derive(Clone, Debug)]
+pub struct TargetedFault {
+    /// Job id the fault applies to.
+    pub job: String,
+    /// Failure class.
+    pub kind: FaultKind,
+    /// Attempts affected: attempt indices `0..attempts` fail. Use
+    /// `usize::MAX` for a permanent fault.
+    pub attempts: usize,
+}
+
+/// A seeded, deterministic schedule of backend faults.
+///
+/// Probabilistic rates draw per `(job, attempt)` from a stream keyed by
+/// `(plan seed, job id, attempt)` — the *deterministic seed-shift on
+/// retry*: each retry rolls fresh (but reproducible) fault dice rather
+/// than replaying the identical environment. Attempts at or beyond
+/// `faulty_attempts` are always clean, which bounds how long a job can be
+/// starved and is what makes recovery properties provable.
+#[derive(Clone, Debug)]
+pub struct FaultPlan {
+    /// Master seed for all fault decisions.
+    pub seed: u64,
+    /// Per-attempt probability of queue rejection.
+    pub rejection: f64,
+    /// Per-attempt probability of mid-run calibration drift.
+    pub drift: f64,
+    /// Per-attempt probability of a stage-2 shot shortfall.
+    pub shortfall: f64,
+    /// Per-attempt probability of a corrupted (non-finite) energy estimate.
+    pub nan_energy: f64,
+    /// Attempt indices `0..faulty_attempts` may fault; later attempts are
+    /// guaranteed clean.
+    pub faulty_attempts: usize,
+    /// Explicit per-job overrides, checked before the probabilistic draw.
+    pub targets: Vec<TargetedFault>,
+}
+
+impl FaultPlan {
+    /// A plan that injects nothing (the supervisor's default environment).
+    pub fn none() -> Self {
+        FaultPlan {
+            seed: 0,
+            rejection: 0.0,
+            drift: 0.0,
+            shortfall: 0.0,
+            nan_energy: 0.0,
+            faulty_attempts: 0,
+            targets: Vec::new(),
+        }
+    }
+
+    /// A moderately hostile utility-level backend: transient faults only
+    /// (rejection, drift, shortfall), at most the first two attempts of
+    /// each job affected.
+    pub fn flaky(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            rejection: 0.25,
+            drift: 0.15,
+            shortfall: 0.15,
+            nan_energy: 0.0,
+            faulty_attempts: 2,
+            targets: Vec::new(),
+        }
+    }
+
+    /// Adds an explicit per-job fault override.
+    pub fn with_target(mut self, job: &str, kind: FaultKind, attempts: usize) -> Self {
+        self.targets.push(TargetedFault {
+            job: job.to_string(),
+            kind,
+            attempts,
+        });
+        self
+    }
+
+    /// The fault (if any) this plan schedules for `(job, attempt)`.
+    pub fn scheduled(&self, job: &str, attempt: usize) -> Option<FaultKind> {
+        for t in &self.targets {
+            if t.job == job {
+                return (attempt < t.attempts).then_some(t.kind);
+            }
+        }
+        if attempt >= self.faulty_attempts {
+            return None;
+        }
+        let mut rng = self.rng_for(job, attempt);
+        let u: f64 = rng.gen();
+        let mut edge = self.rejection;
+        if u < edge {
+            return Some(FaultKind::Reject);
+        }
+        edge += self.drift;
+        if u < edge {
+            return Some(FaultKind::Drift);
+        }
+        edge += self.shortfall;
+        if u < edge {
+            return Some(FaultKind::Shortfall);
+        }
+        edge += self.nan_energy;
+        if u < edge {
+            return Some(FaultKind::NanEnergy);
+        }
+        None
+    }
+
+    /// Builds the injector for one attempt of one job.
+    pub fn injector(&self, job: &str, attempt: usize) -> PlanInjector {
+        let kind = self.scheduled(job, attempt);
+        // Burn the scheduling draw so fault parameters are independent of
+        // the accept/reject decision.
+        let mut rng = self.rng_for(job, attempt);
+        let _: f64 = rng.gen();
+        let scheduled = match kind {
+            None => Scheduled::None,
+            Some(FaultKind::Reject) => Scheduled::Reject,
+            Some(FaultKind::Drift) => Scheduled::Drift {
+                at_eval: rng.gen_range(1..12),
+                window: rng.gen_range(2..5),
+                drift_seed: rng.gen(),
+            },
+            Some(FaultKind::Shortfall) => Scheduled::Shortfall {
+                fraction: rng.gen_range(0.2..0.9),
+            },
+            Some(FaultKind::NanEnergy) => Scheduled::NanEnergy {
+                at_eval: rng.gen_range(1..12),
+            },
+            Some(FaultKind::Panic) => Scheduled::Panic,
+        };
+        PlanInjector { scheduled }
+    }
+
+    fn rng_for(&self, job: &str, attempt: usize) -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(splitmix(
+            self.seed ^ fnv1a(job) ^ (attempt as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        ))
+    }
+}
+
+#[derive(Clone, Debug)]
+enum Scheduled {
+    None,
+    Reject,
+    Drift {
+        at_eval: usize,
+        window: usize,
+        drift_seed: u64,
+    },
+    Shortfall {
+        fraction: f64,
+    },
+    NanEnergy {
+        at_eval: usize,
+    },
+    Panic,
+}
+
+/// The injector a [`FaultPlan`] issues for one `(job, attempt)` pair.
+#[derive(Clone, Debug)]
+pub struct PlanInjector {
+    scheduled: Scheduled,
+}
+
+impl PlanInjector {
+    /// An injector that never faults (equivalent to [`NoFaults`]).
+    pub fn clean() -> Self {
+        PlanInjector {
+            scheduled: Scheduled::None,
+        }
+    }
+
+    /// The fault class this injector will deliver, if any.
+    pub fn kind(&self) -> Option<FaultKind> {
+        match self.scheduled {
+            Scheduled::None => None,
+            Scheduled::Reject => Some(FaultKind::Reject),
+            Scheduled::Drift { .. } => Some(FaultKind::Drift),
+            Scheduled::Shortfall { .. } => Some(FaultKind::Shortfall),
+            Scheduled::NanEnergy { .. } => Some(FaultKind::NanEnergy),
+            Scheduled::Panic => Some(FaultKind::Panic),
+        }
+    }
+}
+
+impl FaultInjector for PlanInjector {
+    fn on_submit(&mut self) -> Result<(), VqeError> {
+        match self.scheduled {
+            Scheduled::Reject => Err(VqeError::JobRejected),
+            Scheduled::Panic => panic!("injected backend client crash"),
+            _ => Ok(()),
+        }
+    }
+
+    fn stage1_noise(&mut self, eval: usize, base: NoiseModel) -> Result<NoiseModel, VqeError> {
+        if let Scheduled::Drift {
+            at_eval,
+            window,
+            drift_seed,
+        } = self.scheduled
+        {
+            if eval >= at_eval + window {
+                return Err(VqeError::CalibrationDrift { at_eval: eval });
+            }
+            if eval >= at_eval {
+                return Ok(base.drifted(drift_seed));
+            }
+        }
+        Ok(base)
+    }
+
+    fn observe_energy(&mut self, eval: usize, energy: f64) -> f64 {
+        if let Scheduled::NanEnergy { at_eval } = self.scheduled {
+            if eval == at_eval {
+                return f64::NAN;
+            }
+        }
+        energy
+    }
+
+    fn stage2_shots(&mut self, requested: u64) -> u64 {
+        if let Scheduled::Shortfall { fraction } = self.scheduled {
+            return ((requested as f64) * fraction) as u64;
+        }
+        requested
+    }
+}
+
+fn fnv1a(s: &str) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for b in s.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+fn splitmix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plans_are_deterministic_per_job_and_attempt() {
+        let plan = FaultPlan::flaky(99);
+        for job in ["3ckz", "3eax", "5nkb"] {
+            for attempt in 0..4 {
+                assert_eq!(
+                    plan.scheduled(job, attempt),
+                    plan.scheduled(job, attempt),
+                    "schedule must be a pure function of (seed, job, attempt)"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn attempts_beyond_faulty_window_are_clean() {
+        let plan = FaultPlan {
+            rejection: 1.0,
+            ..FaultPlan::flaky(7)
+        };
+        for job in ["a", "b", "c"] {
+            assert_eq!(plan.scheduled(job, 0), Some(FaultKind::Reject));
+            assert_eq!(plan.scheduled(job, 1), Some(FaultKind::Reject));
+            assert_eq!(plan.scheduled(job, 2), None, "faulty_attempts = 2");
+            assert_eq!(plan.scheduled(job, 9), None);
+        }
+    }
+
+    #[test]
+    fn seed_shift_on_retry_rolls_fresh_dice() {
+        // With a partial rate, some job must fault on attempt 0 but not
+        // attempt 1 (or vice versa): retries see a shifted stream, not a
+        // replay of the same draw.
+        let plan = FaultPlan {
+            rejection: 0.5,
+            drift: 0.0,
+            shortfall: 0.0,
+            faulty_attempts: 2,
+            ..FaultPlan::flaky(3)
+        };
+        let differs = (0..64).any(|i| {
+            let job = format!("job{i}");
+            plan.scheduled(&job, 0) != plan.scheduled(&job, 1)
+        });
+        assert!(differs, "attempt index must shift the fault stream");
+    }
+
+    #[test]
+    fn targets_override_rates() {
+        let plan = FaultPlan::none().with_target("3eax", FaultKind::Shortfall, 2);
+        assert_eq!(plan.scheduled("3eax", 0), Some(FaultKind::Shortfall));
+        assert_eq!(plan.scheduled("3eax", 1), Some(FaultKind::Shortfall));
+        assert_eq!(plan.scheduled("3eax", 2), None);
+        assert_eq!(plan.scheduled("3ckz", 0), None);
+    }
+
+    #[test]
+    fn injector_hooks_deliver_the_scheduled_fault() {
+        let plan = FaultPlan::none()
+            .with_target("r", FaultKind::Reject, 1)
+            .with_target("s", FaultKind::Shortfall, 1)
+            .with_target("n", FaultKind::NanEnergy, 1);
+
+        let mut rej = plan.injector("r", 0);
+        assert_eq!(rej.on_submit(), Err(VqeError::JobRejected));
+
+        let mut short = plan.injector("s", 0);
+        assert!(short.on_submit().is_ok());
+        let delivered = short.stage2_shots(10_000);
+        assert!(delivered < 10_000, "shortfall must cut the budget");
+
+        let mut nan = plan.injector("n", 0);
+        let corrupted = (0..12).any(|e| !nan.observe_energy(e, 1.0).is_finite());
+        assert!(corrupted, "NaN fault must corrupt one energy");
+
+        let mut clean = plan.injector("r", 1);
+        assert!(clean.on_submit().is_ok());
+        assert_eq!(clean.stage2_shots(10_000), 10_000);
+    }
+
+    #[test]
+    fn drift_injector_perturbs_then_aborts() {
+        let plan = FaultPlan::none().with_target("d", FaultKind::Drift, 1);
+        let mut inj = plan.injector("d", 0);
+        let base = NoiseModel::IDEAL;
+        let mut saw_perturbed = false;
+        let mut aborted_at = None;
+        for eval in 0..40 {
+            match inj.stage1_noise(eval, base) {
+                Ok(m) if !m.is_ideal() => saw_perturbed = true,
+                Ok(_) => {}
+                Err(VqeError::CalibrationDrift { at_eval }) => {
+                    aborted_at = Some(at_eval);
+                    break;
+                }
+                Err(other) => panic!("unexpected error {other:?}"),
+            }
+        }
+        assert!(saw_perturbed, "drift window must perturb the noise model");
+        assert!(aborted_at.is_some(), "drift must eventually be detected");
+    }
+}

@@ -4,13 +4,23 @@
 //! VQE workflow (optimize, then freeze-and-sample 100k shots), the §5.2
 //! batch-processing architecture over many fragments, and the hardware
 //! execution-time model behind the `Exec. Time` columns of Tables 1–3.
+//!
+//! Execution is failure-aware: every run returns `Result<_, VqeError>`
+//! (see [`error`]), and utility-level backend flakiness — queue
+//! rejections, calibration drift, shot shortfalls — can be rehearsed
+//! deterministically through the seeded fault-injection layer in
+//! [`fault`].
 
 pub mod batch;
+pub mod error;
+pub mod fault;
 pub mod problem;
 pub mod runner;
 pub mod timing;
 
-pub use batch::{run_batch, VqeBatchResult, VqeJob};
+pub use batch::{run_batch, run_batch_injected, VqeBatchResult, VqeJob};
+pub use error::VqeError;
+pub use fault::{FaultInjector, FaultKind, FaultPlan, NoFaults, PlanInjector};
 pub use problem::{solve_diagonal, DiagonalProblem, MaxCut, ProblemOutcome};
-pub use runner::{build_ansatz, run_vqe, VqeConfig, VqeOutcome};
+pub use runner::{build_ansatz, run_vqe, run_vqe_injected, VqeConfig, VqeOutcome};
 pub use timing::{ExecTime, ExecutionTimeModel};

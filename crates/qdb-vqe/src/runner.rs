@@ -9,7 +9,14 @@
 //! large shot count (100,000 in the paper), and every observed bitstring
 //! is mapped back to a conformation energy; the lowest-energy sampled
 //! bitstring is the structure prediction.
+//!
+//! Every entry point returns `Result<VqeOutcome, VqeError>`: backend
+//! faults (queue rejection, calibration drift, shot shortfall — see
+//! [`crate::fault`]) and optimizer divergence (non-finite energies) are
+//! typed errors, never panics, so a supervisor can retry or degrade.
 
+use crate::error::VqeError;
+use crate::fault::{FaultInjector, NoFaults};
 use qdb_lattice::hamiltonian::FoldingHamiltonian;
 use qdb_optimize::{Cobyla, Optimizer};
 use qdb_quantum::ansatz::{efficient_su2, Entanglement};
@@ -149,7 +156,7 @@ pub fn build_ansatz(ham: &FoldingHamiltonian, reps: usize) -> Circuit {
 }
 
 /// Runs the full two-stage workflow with a fresh [`SimWorkspace`].
-pub fn run_vqe(ham: &FoldingHamiltonian, config: &VqeConfig) -> VqeOutcome {
+pub fn run_vqe(ham: &FoldingHamiltonian, config: &VqeConfig) -> Result<VqeOutcome, VqeError> {
     let mut ws = SimWorkspace::new(ham.num_qubits());
     run_vqe_with_workspace(ham, config, &mut ws)
 }
@@ -163,7 +170,25 @@ pub fn run_vqe_with_workspace(
     ham: &FoldingHamiltonian,
     config: &VqeConfig,
     ws: &mut SimWorkspace,
-) -> VqeOutcome {
+) -> Result<VqeOutcome, VqeError> {
+    run_vqe_injected(ham, config, ws, &mut NoFaults)
+}
+
+/// [`run_vqe_with_workspace`] with an explicit backend [`FaultInjector`].
+///
+/// The injector is consulted at each backend interaction point (job
+/// submission, per-evaluation noise model, measured energies, stage-2
+/// shot delivery). Production callers pass [`NoFaults`], whose hooks
+/// inline to nothing; supervised builds thread a seeded
+/// [`crate::fault::PlanInjector`] to rehearse utility-level flakiness.
+pub fn run_vqe_injected<F: FaultInjector>(
+    ham: &FoldingHamiltonian,
+    config: &VqeConfig,
+    ws: &mut SimWorkspace,
+    injector: &mut F,
+) -> Result<VqeOutcome, VqeError> {
+    injector.on_submit()?;
+
     let ansatz = build_ansatz(ham, config.reps);
     let compiled = CompiledCircuit::compile(&ansatz);
     let diagonal = ham.dense_diagonal();
@@ -178,13 +203,30 @@ pub fn run_vqe_with_workspace(
         .collect();
 
     // Stage 1: optimization. Record *raw* energies (not best-so-far) —
-    // Tables 1–3 report the min/max energy the system visited.
+    // Tables 1–3 report the min/max energy the system visited. A fault
+    // (injected or a genuine divergence) is latched in `fault`: the
+    // objective then degenerates to a constant so the optimizer winds down
+    // cheaply, and the latched error is returned after `minimize`.
     let mut raw_history: Vec<f64> = Vec::with_capacity(config.max_iters);
-    let noise = config.noise;
+    let base_noise = config.noise;
     let trajectories = config.trajectories;
     let mut energy_rng = ChaCha8Rng::seed_from_u64(config.seed.wrapping_add(1));
     let estimator_shots = config.estimator_shots;
+    let mut fault: Option<VqeError> = None;
+    let mut eval_idx = 0usize;
     let mut objective = |params: &[f64]| -> f64 {
+        if fault.is_some() {
+            return 0.0;
+        }
+        let eval = eval_idx;
+        eval_idx += 1;
+        let noise = match injector.stage1_noise(eval, base_noise) {
+            Ok(model) => model,
+            Err(e) => {
+                fault = Some(e);
+                return 0.0;
+            }
+        };
         let e = match estimator_shots {
             // Shot-based estimation: evolve (noisily if configured), draw
             // k shots, average the sampled conformation energies.
@@ -229,11 +271,22 @@ pub fn run_vqe_with_workspace(
                 ws,
             ),
         };
+        let e = injector.observe_energy(eval, e);
+        // Divergence guard: a NaN/∞ energy must never leak into the
+        // history (and from there into `lowest_energy`/`highest_energy`
+        // or the optimizer's trust region).
+        if !e.is_finite() {
+            fault = Some(VqeError::NonFiniteEnergy { eval });
+            return 0.0;
+        }
         raw_history.push(e);
         e
     };
     let optimizer = Cobyla::with_budget(config.max_iters);
     let result = optimizer.minimize(&mut objective, &x0);
+    if let Some(e) = fault {
+        return Err(e);
+    }
 
     let lowest = raw_history.iter().copied().fold(f64::INFINITY, f64::min);
     let highest = raw_history
@@ -241,9 +294,20 @@ pub fn run_vqe_with_workspace(
         .copied()
         .fold(f64::NEG_INFINITY, f64::max);
 
-    // Stage 2: freeze θ*, sample. Under noise, the shot budget splits
-    // across independent trajectories — on hardware each shot sees a
-    // fresh error pattern, the stochastic perturbation §5.2 leans on.
+    // Stage 2: freeze θ*, sample. The backend commits to a shot budget up
+    // front; delivering less than the configuration asked for voids the
+    // attempt (the paper's campaign saw exactly such short counts).
+    let delivered = injector.stage2_shots(config.shots);
+    if delivered < config.shots {
+        return Err(VqeError::ShotShortfall {
+            delivered,
+            requested: config.shots,
+        });
+    }
+
+    // Under noise, the shot budget splits across independent trajectories —
+    // on hardware each shot sees a fresh error pattern, the stochastic
+    // perturbation §5.2 leans on.
     let mut sample_rng = ChaCha8Rng::seed_from_u64(config.seed.wrapping_add(2));
     let sample_noise = config.sample_noise;
     let counts = if sample_noise.is_ideal() {
@@ -279,17 +343,19 @@ pub fn run_vqe_with_workspace(
         Counts::from_map(merged)
     };
 
-    // Map sampled bitstrings to conformation energies; take the minimum.
-    // Bitstrings are reflection-canonicalized (chirality gauge) so the
-    // prediction is stable across degenerate mirror twins.
+    // Map sampled bitstrings to conformation energies; take the minimum
+    // over *finite* energies (total order, no NaN panic). Bitstrings are
+    // reflection-canonicalized (chirality gauge) so the prediction is
+    // stable across degenerate mirror twins.
     let enc = ham.encoding();
     let (best_bitstring, best_bitstring_energy) = counts
         .iter()
         .map(|(bits, _)| (enc.canonicalize(bits), ham.energy_of_bits(bits)))
-        .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap().then(a.0.cmp(&b.0)))
-        .expect("at least one shot");
+        .filter(|(_, e)| e.is_finite())
+        .min_by(|a, b| a.1.total_cmp(&b.1).then(a.0.cmp(&b.0)))
+        .ok_or(VqeError::NoSamples)?;
 
-    VqeOutcome {
+    Ok(VqeOutcome {
         best_params: result.x,
         lowest_energy: lowest,
         highest_energy: highest,
@@ -298,17 +364,22 @@ pub fn run_vqe_with_workspace(
         best_bitstring,
         best_bitstring_energy,
         evals: result.evals,
-    }
+    })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fault::{FaultKind, FaultPlan};
     use qdb_lattice::hamiltonian::EnergyScale;
     use qdb_lattice::sequence::ProteinSequence;
 
     fn ham(s: &str) -> FoldingHamiltonian {
         FoldingHamiltonian::with_unit_scale(ProteinSequence::parse(s).unwrap())
+    }
+
+    fn run_vqe(h: &FoldingHamiltonian, cfg: &VqeConfig) -> VqeOutcome {
+        super::run_vqe(h, cfg).expect("fault-free run succeeds")
     }
 
     #[test]
@@ -426,5 +497,102 @@ mod tests {
             out.lowest_energy
         );
         assert!(out.highest_energy > out.lowest_energy);
+    }
+
+    #[test]
+    fn injected_rejection_surfaces_as_typed_error() {
+        let h = ham("VKDRS");
+        let plan = FaultPlan::none().with_target("job", FaultKind::Reject, 1);
+        let mut ws = SimWorkspace::new(h.num_qubits());
+        let err = run_vqe_injected(
+            &h,
+            &VqeConfig::fast(4),
+            &mut ws,
+            &mut plan.injector("job", 0),
+        )
+        .unwrap_err();
+        assert_eq!(err, VqeError::JobRejected);
+        // Retry (attempt 1) is clean and matches the uninjected run exactly.
+        let retried = run_vqe_injected(
+            &h,
+            &VqeConfig::fast(4),
+            &mut ws,
+            &mut plan.injector("job", 1),
+        )
+        .unwrap();
+        let clean = run_vqe(&h, &VqeConfig::fast(4));
+        assert_eq!(retried.best_bitstring, clean.best_bitstring);
+        assert_eq!(retried.history, clean.history);
+    }
+
+    #[test]
+    fn injected_drift_aborts_the_attempt() {
+        let h = ham("VKDRS");
+        let plan = FaultPlan::none().with_target("job", FaultKind::Drift, 1);
+        let mut ws = SimWorkspace::new(h.num_qubits());
+        let err = run_vqe_injected(
+            &h,
+            &VqeConfig::fast(4),
+            &mut ws,
+            &mut plan.injector("job", 0),
+        )
+        .unwrap_err();
+        assert!(
+            matches!(err, VqeError::CalibrationDrift { .. }),
+            "got {err:?}"
+        );
+    }
+
+    #[test]
+    fn injected_shortfall_reports_delivered_and_requested() {
+        let h = ham("VKDRS");
+        let plan = FaultPlan::none().with_target("job", FaultKind::Shortfall, 1);
+        let cfg = VqeConfig::fast(4);
+        let mut ws = SimWorkspace::new(h.num_qubits());
+        let err = run_vqe_injected(&h, &cfg, &mut ws, &mut plan.injector("job", 0)).unwrap_err();
+        match err {
+            VqeError::ShotShortfall {
+                delivered,
+                requested,
+            } => {
+                assert_eq!(requested, cfg.shots);
+                assert!(delivered < requested);
+            }
+            other => panic!("expected shortfall, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn nan_guard_rejects_corrupted_energies() {
+        let h = ham("VKDRS");
+        let plan = FaultPlan::none().with_target("job", FaultKind::NanEnergy, 1);
+        let mut ws = SimWorkspace::new(h.num_qubits());
+        let err = run_vqe_injected(
+            &h,
+            &VqeConfig::fast(4),
+            &mut ws,
+            &mut plan.injector("job", 0),
+        )
+        .unwrap_err();
+        assert!(matches!(err, VqeError::NonFiniteEnergy { .. }), "{err:?}");
+        // The guard fires at the corrupted evaluation, not at the end:
+        // no non-finite value ever reaches a history the caller could see.
+        if let VqeError::NonFiniteEnergy { eval } = err {
+            assert!(
+                eval < 12,
+                "corruption was scheduled in the first dozen evals"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_shot_budget_is_no_samples_not_a_panic() {
+        let h = ham("VKDRS");
+        let cfg = VqeConfig {
+            shots: 0,
+            sample_noise: qdb_quantum::noise::NoiseModel::IDEAL,
+            ..VqeConfig::fast(4)
+        };
+        assert_eq!(super::run_vqe(&h, &cfg).unwrap_err(), VqeError::NoSamples);
     }
 }

@@ -12,10 +12,15 @@
 use qdb_lattice::hamiltonian::FoldingHamiltonian;
 use qdb_lattice::sequence::ProteinSequence;
 use qdb_quantum::exec::SimWorkspace;
-use qdb_vqe::runner::{run_vqe, run_vqe_with_workspace, EnergyEngine, VqeConfig};
+use qdb_vqe::runner::{run_vqe_with_workspace, EnergyEngine, VqeConfig};
 
 fn ham(s: &str) -> FoldingHamiltonian {
     FoldingHamiltonian::with_unit_scale(ProteinSequence::parse(s).unwrap())
+}
+
+/// All runs in this file are fault-free, so the `Result` unwraps.
+fn run_vqe(h: &FoldingHamiltonian, cfg: &VqeConfig) -> qdb_vqe::VqeOutcome {
+    qdb_vqe::runner::run_vqe(h, cfg).expect("fault-free run")
 }
 
 const FRAGMENTS: [(&str, u64); 3] = [("VKDRS", 7), ("RYRDV", 13), ("NIGGF", 29)];
@@ -82,7 +87,7 @@ fn workspace_reuse_matches_fresh_workspace() {
     for (seq, seed) in FRAGMENTS {
         let h = ham(seq);
         let cfg = VqeConfig::fast(seed);
-        let reused = run_vqe_with_workspace(&h, &cfg, &mut ws);
+        let reused = run_vqe_with_workspace(&h, &cfg, &mut ws).expect("fault-free run");
         let fresh = run_vqe(&h, &cfg);
         assert_eq!(reused.history, fresh.history, "{seq}");
         assert_eq!(reused.best_bitstring, fresh.best_bitstring, "{seq}");

@@ -4,6 +4,7 @@
 //! exactly the three dataset components the paper describes, plus the
 //! reference structure and ligand so every evaluation is replayable.
 
+use crate::error::PipelineError;
 use crate::fragments::FragmentRecord;
 use crate::pipeline::FragmentResult;
 #[cfg(test)]
@@ -187,7 +188,7 @@ pub fn write_fragment_entry(
     root: &Path,
     record: &FragmentRecord,
     result: &FragmentResult,
-) -> io::Result<FragmentFiles> {
+) -> Result<FragmentFiles, PipelineError> {
     let dir = root.join(record.group().name()).join(record.pdb_id);
     std::fs::create_dir_all(&dir)?;
 
@@ -234,12 +235,16 @@ pub struct LoadedEntry {
 }
 
 /// Loads one fragment entry from a dataset directory.
-pub fn load_fragment_entry(root: &Path, group: &str, pdb_id: &str) -> io::Result<LoadedEntry> {
+pub fn load_fragment_entry(
+    root: &Path,
+    group: &str,
+    pdb_id: &str,
+) -> Result<LoadedEntry, PipelineError> {
     let dir = root.join(group).join(pdb_id);
-    let read_pdb = |name: &str| -> io::Result<Structure> {
+    let read_pdb = |name: &str| -> Result<Structure, PipelineError> {
         let text = std::fs::read_to_string(dir.join(name))?;
         qdb_mol::pdb::parse_pdb(&text)
-            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
+            .map_err(|e| PipelineError::Decode(format!("{}: {e}", dir.join(name).display())))
     };
     let metadata: MetadataJson =
         serde_json::from_str(&std::fs::read_to_string(dir.join("metadata.json"))?)?;
@@ -273,6 +278,38 @@ pub fn list_entries(root: &Path) -> io::Result<Vec<(String, String)>> {
     Ok(out)
 }
 
+/// Validates one on-disk entry against its fragment record: every file
+/// decodes and the metadata agrees with the manifest. This is the
+/// checkpoint-acceptance test — a resumed build only skips a fragment
+/// whose entry passes, so a torn write (partial entry from a killed
+/// build) is recomputed instead of silently shipped.
+pub fn validate_entry(root: &Path, record: &FragmentRecord) -> Result<(), PipelineError> {
+    let group = record.group().name();
+    let entry = load_fragment_entry(root, group, record.pdb_id)?;
+    let mismatch = |what: &str| {
+        Err(PipelineError::Decode(format!(
+            "checkpoint {group}/{}: {what}",
+            record.pdb_id
+        )))
+    };
+    if entry.metadata.pdb_id != record.pdb_id {
+        return mismatch("metadata names a different fragment");
+    }
+    if entry.metadata.sequence != record.sequence {
+        return mismatch("metadata sequence differs from the manifest");
+    }
+    if entry.structure.len() != record.len() {
+        return mismatch("predicted structure has the wrong residue count");
+    }
+    if entry.docking.runs.len() != entry.docking.num_runs || entry.docking.runs.is_empty() {
+        return mismatch("docking results are empty or inconsistent");
+    }
+    if !entry.metadata.ca_rmsd.is_finite() || !entry.docking.mean_best_affinity.is_finite() {
+        return mismatch("non-finite evaluation metrics");
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -289,7 +326,7 @@ mod tests {
     #[test]
     fn writes_paper_layout() {
         let record = fragment("3ckz").unwrap();
-        let result = run_fragment(record, &PipelineConfig::fast());
+        let result = run_fragment(record, &PipelineConfig::fast()).expect("fault-free run");
         let root = tmpdir("layout");
         let files = write_fragment_entry(&root, record, &result).unwrap();
         assert!(files.dir.ends_with("S/3ckz"));
@@ -309,7 +346,7 @@ mod tests {
     #[test]
     fn write_then_load_round_trip() {
         let record = fragment("3eax").unwrap();
-        let result = run_fragment(record, &PipelineConfig::fast());
+        let result = run_fragment(record, &PipelineConfig::fast()).expect("fault-free run");
         let root = tmpdir("load");
         write_fragment_entry(&root, record, &result).unwrap();
 
@@ -332,7 +369,7 @@ mod tests {
     #[test]
     fn metadata_round_trips_through_json() {
         let record = fragment("3eax").unwrap();
-        let result = run_fragment(record, &PipelineConfig::fast());
+        let result = run_fragment(record, &PipelineConfig::fast()).expect("fault-free run");
         let metadata = metadata_json(record, &result);
         let text = serde_json::to_string(&metadata).unwrap();
         let back: MetadataJson = serde_json::from_str(&text).unwrap();
@@ -346,7 +383,7 @@ mod tests {
     #[test]
     fn docking_json_consistent_with_outcome() {
         let record = fragment("4mo4").unwrap();
-        let result = run_fragment(record, &PipelineConfig::fast());
+        let result = run_fragment(record, &PipelineConfig::fast()).expect("fault-free run");
         let dock = docking_json(record, &result);
         let expected_runs = PipelineConfig::fast().docking_runs;
         assert_eq!(dock.num_runs, expected_runs);
@@ -364,7 +401,7 @@ mod tests {
     #[test]
     fn structure_pdb_parses_back() {
         let record = fragment("3ckz").unwrap();
-        let result = run_fragment(record, &PipelineConfig::fast());
+        let result = run_fragment(record, &PipelineConfig::fast()).expect("fault-free run");
         let text = write_pdb(&result.qdock.structure);
         let parsed = qdb_mol::pdb::parse_pdb(&text).unwrap();
         assert_eq!(parsed.len(), 5);
@@ -374,7 +411,7 @@ mod tests {
     #[test]
     fn ligand_structure_has_all_atoms() {
         let record = fragment("3eax").unwrap();
-        let result = run_fragment(record, &PipelineConfig::fast());
+        let result = run_fragment(record, &PipelineConfig::fast()).expect("fault-free run");
         let s = ligand_to_structure(&result.ligand);
         assert_eq!(s.num_atoms(), result.ligand.num_atoms());
         assert_eq!(s.residues[0].name, "LIG");
@@ -391,7 +428,7 @@ mod tests {
     fn elements_survive_name_roundtrip() {
         // The generated names (C1, O2, …) must parse back to elements.
         let record = fragment("4mo4").unwrap();
-        let result = run_fragment(record, &PipelineConfig::fast());
+        let result = run_fragment(record, &PipelineConfig::fast()).expect("fault-free run");
         let s = ligand_to_structure(&result.ligand);
         let text = write_pdb(&s);
         let parsed = qdb_mol::pdb::parse_pdb(&text).unwrap();

@@ -1,0 +1,155 @@
+//! The pipeline-level error taxonomy.
+//!
+//! Every fallible step of the dataset build — VQE execution, dataset
+//! I/O, JSON/PDB decoding, checkpoint validation — maps into one
+//! [`PipelineError`] so the supervisor can make a per-class decision:
+//! transient failures are retried in place, deterministic ones are
+//! retried once and then seed-shifted or degraded, and exhausted jobs
+//! become diagnosable `manifest.json` entries instead of panics.
+
+use qdb_vqe::error::VqeError;
+use std::fmt;
+use std::io;
+
+/// Everything that can go wrong while building one dataset entry.
+#[derive(Debug)]
+pub enum PipelineError {
+    /// The quantum stage failed (see [`VqeError`] for the sub-taxonomy).
+    Vqe(VqeError),
+    /// Filesystem I/O failed while writing or reading a dataset entry.
+    Io(io::Error),
+    /// An on-disk artifact exists but does not decode (corrupt JSON/PDB)
+    /// or does not validate against the fragment manifest.
+    Decode(String),
+    /// The fragment job panicked (isolated via `catch_unwind`).
+    Panicked(String),
+    /// The fragment exceeded its wall-clock deadline.
+    DeadlineExceeded {
+        /// Elapsed time when the deadline check fired (ms).
+        elapsed_ms: u64,
+    },
+    /// Every attempt — including the degradation ladder — failed; the
+    /// boxed error is the final attempt's cause.
+    RetriesExhausted {
+        /// Total attempts spent.
+        attempts: usize,
+        /// The last attempt's failure.
+        last: Box<PipelineError>,
+    },
+}
+
+impl PipelineError {
+    /// Short stable identifier used as the manifest `cause` field.
+    pub fn kind(&self) -> String {
+        match self {
+            PipelineError::Vqe(e) => format!("vqe/{}", e.kind()),
+            PipelineError::Io(_) => "io".to_string(),
+            PipelineError::Decode(_) => "decode".to_string(),
+            PipelineError::Panicked(_) => "panic".to_string(),
+            PipelineError::DeadlineExceeded { .. } => "deadline-exceeded".to_string(),
+            PipelineError::RetriesExhausted { .. } => "retries-exhausted".to_string(),
+        }
+    }
+
+    /// Whether a plain retry (same seed, same budget) can plausibly
+    /// succeed: injected/queue-level backend faults and I/O hiccups are
+    /// transient; panics, decode failures, and divergence are
+    /// deterministic for a fixed seed.
+    pub fn is_transient(&self) -> bool {
+        match self {
+            PipelineError::Vqe(e) => e.is_transient(),
+            PipelineError::Io(_) => true,
+            PipelineError::Decode(_) => false,
+            PipelineError::Panicked(_) => false,
+            PipelineError::DeadlineExceeded { .. } => false,
+            PipelineError::RetriesExhausted { .. } => false,
+        }
+    }
+}
+
+impl fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PipelineError::Vqe(e) => write!(f, "quantum stage failed: {e}"),
+            PipelineError::Io(e) => write!(f, "dataset I/O failed: {e}"),
+            PipelineError::Decode(msg) => write!(f, "artifact failed to decode: {msg}"),
+            PipelineError::Panicked(msg) => write!(f, "fragment job panicked: {msg}"),
+            PipelineError::DeadlineExceeded { elapsed_ms } => {
+                write!(f, "fragment deadline exceeded after {elapsed_ms} ms")
+            }
+            PipelineError::RetriesExhausted { attempts, last } => {
+                write!(f, "all {attempts} attempts failed; last: {last}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PipelineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PipelineError::Vqe(e) => Some(e),
+            PipelineError::Io(e) => Some(e),
+            PipelineError::RetriesExhausted { last, .. } => Some(last.as_ref()),
+            _ => None,
+        }
+    }
+}
+
+impl From<VqeError> for PipelineError {
+    fn from(e: VqeError) -> Self {
+        PipelineError::Vqe(e)
+    }
+}
+
+impl From<io::Error> for PipelineError {
+    fn from(e: io::Error) -> Self {
+        PipelineError::Io(e)
+    }
+}
+
+impl From<serde_json::Error> for PipelineError {
+    fn from(e: serde_json::Error) -> Self {
+        PipelineError::Decode(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transience_follows_the_vqe_classification() {
+        assert!(PipelineError::from(VqeError::JobRejected).is_transient());
+        assert!(!PipelineError::from(VqeError::NonFiniteEnergy { eval: 2 }).is_transient());
+        assert!(PipelineError::Io(io::Error::new(io::ErrorKind::Other, "disk")).is_transient());
+        assert!(!PipelineError::Decode("bad json".into()).is_transient());
+        assert!(!PipelineError::Panicked("boom".into()).is_transient());
+    }
+
+    #[test]
+    fn kinds_are_hierarchical_for_vqe_causes() {
+        assert_eq!(
+            PipelineError::from(VqeError::JobRejected).kind(),
+            "vqe/job-rejected"
+        );
+        assert_eq!(
+            PipelineError::RetriesExhausted {
+                attempts: 5,
+                last: Box::new(PipelineError::Decode("x".into())),
+            }
+            .kind(),
+            "retries-exhausted"
+        );
+    }
+
+    #[test]
+    fn display_chains_the_final_cause() {
+        let e = PipelineError::RetriesExhausted {
+            attempts: 3,
+            last: Box::new(PipelineError::from(VqeError::JobRejected)),
+        };
+        let text = e.to_string();
+        assert!(text.contains("3 attempts"));
+        assert!(text.contains("rejected"));
+    }
+}

@@ -2,6 +2,7 @@
 //! comparisons, win-rate accounting, distribution summaries (Figure 4),
 //! and amino-acid interaction coverage (Figure 5).
 
+use crate::error::PipelineError;
 use crate::fragments::{FragmentRecord, Group};
 use crate::pipeline::{run_baseline, run_fragment, FragmentResult, PipelineConfig, PredictionEval};
 use qdb_baselines::alphafold::AfModel;
@@ -23,8 +24,11 @@ pub struct FragmentComparison {
 
 impl FragmentComparison {
     /// Runs the whole comparison for one fragment.
-    pub fn run(record: &'static FragmentRecord, config: &PipelineConfig) -> Self {
-        let qdock = run_fragment(record, config);
+    pub fn run(
+        record: &'static FragmentRecord,
+        config: &PipelineConfig,
+    ) -> Result<Self, PipelineError> {
+        let qdock = run_fragment(record, config)?;
         let af2 = run_baseline(
             record,
             AfModel::Af2,
@@ -39,12 +43,12 @@ impl FragmentComparison {
             &qdock.ligand,
             config,
         );
-        Self {
+        Ok(Self {
             record,
             qdock,
             af2,
             af3,
-        }
+        })
     }
 
     /// The baseline evaluation for a model.
@@ -61,7 +65,7 @@ impl FragmentComparison {
 pub fn compare_fragments(
     records: &[&'static FragmentRecord],
     config: &PipelineConfig,
-) -> Vec<FragmentComparison> {
+) -> Result<Vec<FragmentComparison>, PipelineError> {
     records
         .iter()
         .map(|r| FragmentComparison::run(r, config))
@@ -145,14 +149,16 @@ pub struct DistributionSummary {
     pub mean: f64,
 }
 
-/// Computes the summary of a non-empty sample.
-///
-/// # Panics
-/// Panics on an empty slice.
-pub fn summarize(values: &[f64]) -> DistributionSummary {
-    assert!(!values.is_empty(), "empty sample");
-    let mut v = values.to_vec();
-    v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+/// Computes the summary of a sample, ignoring non-finite values (a failed
+/// fragment can legitimately leave a NaN in a metric series). Returns
+/// `None` when no finite values remain, so callers decide how to render a
+/// missing distribution instead of inheriting a panic.
+pub fn summarize(values: &[f64]) -> Option<DistributionSummary> {
+    let mut v: Vec<f64> = values.iter().copied().filter(|x| x.is_finite()).collect();
+    if v.is_empty() {
+        return None;
+    }
+    v.sort_by(|a, b| a.total_cmp(b));
     let quantile = |q: f64| -> f64 {
         let pos = q * (v.len() - 1) as f64;
         let lo = pos.floor() as usize;
@@ -160,14 +166,14 @@ pub fn summarize(values: &[f64]) -> DistributionSummary {
         let t = pos - lo as f64;
         v[lo] * (1.0 - t) + v[hi] * t
     };
-    DistributionSummary {
+    Some(DistributionSummary {
         min: v[0],
         q1: quantile(0.25),
         median: quantile(0.5),
         q3: quantile(0.75),
-        max: *v.last().expect("non-empty"),
+        max: v[v.len() - 1],
         mean: v.iter().sum::<f64>() / v.len() as f64,
-    }
+    })
 }
 
 /// A named metric series extracted from comparisons.
@@ -257,7 +263,7 @@ pub fn group_resource_stats(group: Group) -> GroupResourceStats {
     let depths: Vec<f64> = records.iter().map(|r| r.paper.depth as f64).collect();
     let ranges: Vec<f64> = records.iter().map(|r| r.paper.energy_range()).collect();
     let mut times: Vec<f64> = records.iter().map(|r| r.paper.exec_time_s).collect();
-    times.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    times.sort_by(|a, b| a.total_cmp(b));
     GroupResourceStats {
         count,
         qubits_min: *qubits.iter().min().expect("non-empty"),
@@ -309,7 +315,7 @@ mod tests {
 
     #[test]
     fn summarize_basic() {
-        let s = summarize(&[1.0, 2.0, 3.0, 4.0, 5.0]);
+        let s = summarize(&[1.0, 2.0, 3.0, 4.0, 5.0]).unwrap();
         assert_eq!(s.min, 1.0);
         assert_eq!(s.median, 3.0);
         assert_eq!(s.max, 5.0);
@@ -320,10 +326,23 @@ mod tests {
 
     #[test]
     fn summarize_single_value() {
-        let s = summarize(&[2.5]);
+        let s = summarize(&[2.5]).unwrap();
         assert_eq!(s.min, 2.5);
         assert_eq!(s.max, 2.5);
         assert_eq!(s.median, 2.5);
+    }
+
+    #[test]
+    fn summarize_is_nan_safe_and_empty_safe() {
+        assert_eq!(summarize(&[]), None);
+        assert_eq!(summarize(&[f64::NAN, f64::INFINITY]), None);
+        // Non-finite values are excluded, not propagated: a single failed
+        // fragment must not poison a whole Figure-4 panel.
+        let s = summarize(&[3.0, f64::NAN, 1.0, f64::NEG_INFINITY, 2.0]).unwrap();
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 3.0);
+        assert_eq!(s.median, 2.0);
+        assert_eq!(s.mean, 2.0);
     }
 
     #[test]
@@ -442,7 +461,7 @@ mod tests {
     fn win_rate_accounting() {
         use crate::fragments::fragment;
         let config = PipelineConfig::fast();
-        let comparisons = compare_fragments(&[fragment("3eax").unwrap()], &config);
+        let comparisons = compare_fragments(&[fragment("3eax").unwrap()], &config).unwrap();
         let rates = win_rates(&comparisons, AfModel::Af2);
         assert_eq!(rates.overall.total, 1);
         assert!(rates.overall.rmsd_wins <= 1);
@@ -456,7 +475,7 @@ mod tests {
     fn metric_series_filters_by_group() {
         use crate::fragments::fragment;
         let config = PipelineConfig::fast();
-        let comparisons = compare_fragments(&[fragment("4mo4").unwrap()], &config);
+        let comparisons = compare_fragments(&[fragment("4mo4").unwrap()], &config).unwrap();
         let all = metric_series(&comparisons, None, |c| c.qdock.qdock.ca_rmsd);
         assert_eq!(all.len(), 1);
         let s_only = metric_series(&comparisons, Some(Group::S), |c| c.qdock.qdock.ca_rmsd);

@@ -15,17 +15,30 @@
 //! use qdockbank::pipeline::{run_fragment, PipelineConfig};
 //!
 //! let record = fragment("3ckz").unwrap(); // VKDRS, 5 residues
-//! let result = run_fragment(record, &PipelineConfig::fast());
+//! let result = run_fragment(record, &PipelineConfig::fast()).expect("fault-free run");
 //! println!("Cα RMSD vs reference: {:.2} Å", result.qdock.ca_rmsd);
 //! println!("mean best affinity:   {:.2} kcal/mol", result.qdock.affinity());
 //! ```
+//!
+//! Dataset builds go through the fault-tolerant [`supervisor`]: every
+//! fragment job is panic-isolated, retried with exponential backoff,
+//! degraded when retries keep failing, checkpointed on disk, and
+//! journaled in `manifest.json` — so a killed or faulted build resumes
+//! instead of restarting.
 
 pub mod dataset;
+pub mod error;
 pub mod evaluation;
 pub mod fragments;
 pub mod pipeline;
 pub mod report;
+pub mod supervisor;
 
+pub use error::PipelineError;
 pub use evaluation::{compare_fragments, interaction_coverage, win_rates, FragmentComparison};
 pub use fragments::{all_fragments, fragment, fragments_in, FragmentRecord, Group};
 pub use pipeline::{run_fragment, FragmentResult, PipelineConfig, Preset};
+pub use supervisor::{
+    build_dataset, load_manifest, AttemptRecord, BuildSummary, FragmentReport, Manifest, RunRecord,
+    SupervisorConfig,
+};

@@ -2,6 +2,7 @@
 //! encoding → Hamiltonian → two-stage VQE → atomic reconstruction →
 //! docking + RMSD evaluation, plus the AF2/AF3 baseline path.
 
+use crate::error::PipelineError;
 use crate::fragments::{FragmentRecord, Group};
 use qdb_baselines::alphafold::{predict, AfModel};
 use qdb_baselines::reference::{generate_reference, pdb_id_seed, specs_for, ReferenceStructure};
@@ -14,12 +15,14 @@ use qdb_mol::geometry::Vec3;
 use qdb_mol::kabsch::superpose;
 use qdb_mol::ligand::{generate_ligand, Ligand};
 use qdb_mol::structure::Structure;
+use qdb_quantum::exec::SimWorkspace;
 use qdb_quantum::noise::NoiseModel;
 use qdb_transpile::basis::lower_to_native;
 use qdb_transpile::coupling::CouplingMap;
 use qdb_transpile::margin::transpile_with_margin;
 use qdb_transpile::metrics::EagleProfile;
-use qdb_vqe::runner::{build_ansatz, run_vqe, VqeConfig};
+use qdb_vqe::fault::{FaultInjector, NoFaults};
+use qdb_vqe::runner::{build_ansatz, run_vqe_injected, VqeConfig};
 use qdb_vqe::timing::ExecutionTimeModel;
 
 /// Pipeline effort level.
@@ -182,23 +185,21 @@ pub struct FragmentResult {
 /// structure-quality signal in the paper's evaluation.
 pub fn ligand_for(record: &FragmentRecord, reference: &ReferenceStructure) -> Ligand {
     // Memoized: the native fit is the most expensive deterministic step
-    // and tests/pipelines ask for the same ligand repeatedly.
+    // and tests/pipelines ask for the same ligand repeatedly. The cache
+    // uses a parking_lot mutex: it cannot be poisoned, so a fragment job
+    // that panics mid-fit (and is caught by the supervisor) never bricks
+    // the cache for every subsequent fragment.
+    use parking_lot::Mutex;
     use std::collections::HashMap;
-    use std::sync::{Mutex, OnceLock};
+    use std::sync::OnceLock;
     static CACHE: OnceLock<Mutex<HashMap<String, Ligand>>> = OnceLock::new();
-    if let Some(hit) = CACHE
-        .get_or_init(|| Mutex::new(HashMap::new()))
-        .lock()
-        .expect("ligand cache lock")
-        .get(record.pdb_id)
-    {
+    let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
+    if let Some(hit) = cache.lock().get(record.pdb_id) {
         return hit.clone();
     }
     let fresh = ligand_for_uncached(record, reference);
-    CACHE
-        .get_or_init(|| Mutex::new(HashMap::new()))
+    cache
         .lock()
-        .expect("ligand cache lock")
         .insert(record.pdb_id.to_string(), fresh.clone());
     fresh
 }
@@ -234,7 +235,20 @@ fn ligand_for_uncached(record: &FragmentRecord, reference: &ReferenceStructure) 
 pub fn run_qdock(
     record: &FragmentRecord,
     config: &PipelineConfig,
-) -> (Vec<Vec3>, Structure, QuantumMetadata) {
+) -> Result<(Vec<Vec3>, Structure, QuantumMetadata), PipelineError> {
+    run_qdock_with(record, config, &config.vqe_config(record), &mut NoFaults)
+}
+
+/// [`run_qdock`] with an explicit VQE configuration and fault injector —
+/// the supervisor's entry point, where retries swap in degraded configs
+/// and rehearsed faults.
+pub fn run_qdock_with<F: FaultInjector>(
+    record: &FragmentRecord,
+    config: &PipelineConfig,
+    vqe_cfg: &VqeConfig,
+    injector: &mut F,
+) -> Result<(Vec<Vec3>, Structure, QuantumMetadata), PipelineError> {
+    let _ = config;
     let seq = record.sequence();
     let physical = EagleProfile::physical_qubits(record.len());
     let hamiltonian = FoldingHamiltonian::new(
@@ -242,8 +256,8 @@ pub fn run_qdock(
         Lambdas::default(),
         EnergyScale::calibrated(physical),
     );
-    let vqe_cfg = config.vqe_config(record);
-    let outcome = run_vqe(&hamiltonian, &vqe_cfg);
+    let mut ws = SimWorkspace::new(0);
+    let outcome = run_vqe_injected(&hamiltonian, vqe_cfg, &mut ws, injector)?;
 
     // Decode the best sampled conformation into a centered Cα trace.
     let conformation = hamiltonian.conformation_of(outcome.best_bitstring);
@@ -281,7 +295,7 @@ pub fn run_qdock(
         iterations: outcome.evals,
         shots: vqe_cfg.shots,
     };
-    (trace, structure, quantum)
+    Ok((trace, structure, quantum))
 }
 
 /// Docks a predicted structure against the fragment's native ligand and
@@ -350,11 +364,24 @@ pub fn run_baseline(
 }
 
 /// Runs the full QDock pipeline for one fragment.
-pub fn run_fragment(record: &FragmentRecord, config: &PipelineConfig) -> FragmentResult {
+pub fn run_fragment(
+    record: &FragmentRecord,
+    config: &PipelineConfig,
+) -> Result<FragmentResult, PipelineError> {
+    run_fragment_with(record, config, &config.vqe_config(record), &mut NoFaults)
+}
+
+/// [`run_fragment`] with an explicit VQE configuration and fault injector.
+pub fn run_fragment_with<F: FaultInjector>(
+    record: &FragmentRecord,
+    config: &PipelineConfig,
+    vqe_cfg: &VqeConfig,
+    injector: &mut F,
+) -> Result<FragmentResult, PipelineError> {
     let seq = record.sequence();
     let reference = generate_reference(record.pdb_id, &seq, record.residue_start);
     let ligand = ligand_for(record, &reference);
-    let (trace, structure, quantum) = run_qdock(record, config);
+    let (trace, structure, quantum) = run_qdock_with(record, config, vqe_cfg, injector)?;
     let qdock = evaluate_structure(
         trace,
         structure,
@@ -363,14 +390,14 @@ pub fn run_fragment(record: &FragmentRecord, config: &PipelineConfig) -> Fragmen
         config,
         pdb_id_seed(record.pdb_id) ^ 0x0D0C,
     );
-    FragmentResult {
+    Ok(FragmentResult {
         pdb_id: record.pdb_id.to_string(),
         group: record.group(),
         qdock,
         quantum,
         reference,
         ligand,
-    }
+    })
 }
 
 #[cfg(test)]
@@ -382,7 +409,7 @@ mod tests {
     fn full_pipeline_on_smallest_fragment() {
         let record = fragment("3ckz").unwrap(); // VKDRS, 5 residues
         let config = PipelineConfig::fast();
-        let result = run_fragment(record, &config);
+        let result = run_fragment(record, &config).expect("fault-free run");
         assert_eq!(result.pdb_id, "3ckz");
         assert_eq!(result.group, Group::S);
         // Structure sanity.
@@ -407,8 +434,8 @@ mod tests {
     fn pipeline_is_deterministic() {
         let record = fragment("3eax").unwrap(); // RYRDV
         let config = PipelineConfig::fast();
-        let a = run_fragment(record, &config);
-        let b = run_fragment(record, &config);
+        let a = run_fragment(record, &config).expect("fault-free run");
+        let b = run_fragment(record, &config).expect("fault-free run");
         assert_eq!(a.qdock.trace, b.qdock.trace);
         assert_eq!(a.qdock.ca_rmsd, b.qdock.ca_rmsd);
         assert_eq!(a.qdock.affinity(), b.qdock.affinity());
@@ -427,6 +454,19 @@ mod tests {
         assert!(af3.ca_rmsd > 0.0);
         assert_ne!(af2.ca_rmsd, af3.ca_rmsd);
         assert!(af2.affinity() < 0.0);
+    }
+
+    #[test]
+    fn injected_fault_surfaces_as_pipeline_error() {
+        use qdb_vqe::fault::{FaultKind, FaultPlan};
+        let record = fragment("3ckz").unwrap();
+        let config = PipelineConfig::fast();
+        let plan = FaultPlan::none().with_target("3ckz", FaultKind::Reject, usize::MAX);
+        let mut injector = plan.injector("3ckz", 0);
+        let err = run_fragment_with(record, &config, &config.vqe_config(record), &mut injector)
+            .unwrap_err();
+        assert_eq!(err.kind(), "vqe/job-rejected");
+        assert!(err.is_transient());
     }
 
     #[test]

@@ -125,10 +125,11 @@ pub fn render_box_stats(comparisons: &[FragmentComparison]) -> String {
     );
     let _ = writeln!(out, "{}", "-".repeat(80));
     let mut emit = |metric: &str, predictor: &str, group: Option<Group>, values: Vec<f64>| {
-        if values.is_empty() {
+        // An empty or all-non-finite series renders nothing rather than
+        // aborting the whole report.
+        let Some(s) = summarize(&values) else {
             return;
-        }
-        let s = summarize(&values);
+        };
         let gname = group.map(|g| g.name()).unwrap_or("All");
         let _ = writeln!(
             out,
@@ -283,7 +284,7 @@ mod tests {
     #[test]
     fn scatter_and_stats_render() {
         let config = PipelineConfig::fast();
-        let comparisons = compare_fragments(&[fragment("3ckz").unwrap()], &config);
+        let comparisons = compare_fragments(&[fragment("3ckz").unwrap()], &config).unwrap();
         let scatter = render_scatter(&comparisons, AfModel::Af2);
         assert!(scatter.lines().count() == 2, "header + one row");
         assert!(scatter.contains("3ckz,S,"));

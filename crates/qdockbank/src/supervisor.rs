@@ -1,0 +1,566 @@
+//! Fault-tolerant dataset-build supervisor.
+//!
+//! The paper's 55-fragment campaign ran for weeks on shared utility-level
+//! hardware, where jobs are rejected, drift out of calibration, and die
+//! mid-run; a build that restarts from scratch on every hiccup never
+//! finishes. This module wraps each fragment job in a supervised runtime:
+//!
+//! * **panic isolation** — a crashing job is caught (`catch_unwind`) and
+//!   becomes a typed [`PipelineError::Panicked`], never a dead build;
+//! * **bounded retry with exponential backoff** — transient failures
+//!   (queue rejection, drift, shot shortfall, I/O) are retried with the
+//!   *same* seed, so a recovered fragment is byte-identical to a
+//!   fault-free build;
+//! * **escalation for deterministic failures** — a failure that repeats
+//!   under plain retry is first seed-shifted, then walked down a
+//!   degradation ladder (Compiled → Direct engine, then a reduced shot
+//!   budget), trading fidelity for completion;
+//! * **per-fragment deadlines** — a runaway fragment is cut off at the
+//!   attempt boundary and recorded as failed, not hung;
+//! * **checkpoint/resume** — the dataset entry layout *is* the
+//!   checkpoint: a resumed build lists what is on disk, validates each
+//!   entry against the manifest, and recomputes nothing that passes;
+//! * **journaling** — every attempt (cause, backoff, degradation
+//!   decision, final status) is appended to `manifest.json` under the
+//!   dataset root, so a post-mortem never depends on scrollback.
+
+use crate::dataset::{validate_entry, write_fragment_entry, FragmentFiles};
+use crate::error::PipelineError;
+use crate::fragments::FragmentRecord;
+use crate::pipeline::{run_fragment_with, PipelineConfig};
+use qdb_vqe::error::panic_message;
+use qdb_vqe::fault::FaultPlan;
+use qdb_vqe::runner::{EnergyEngine, VqeConfig};
+use serde::{Deserialize, Serialize};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+/// Retry/degradation policy for a supervised build.
+#[derive(Clone, Copy, Debug)]
+pub struct SupervisorConfig {
+    /// Attempt budget per fragment (including degraded attempts).
+    pub max_attempts: usize,
+    /// First retry delay; doubles per subsequent retry.
+    pub base_backoff_ms: u64,
+    /// Backoff ceiling.
+    pub max_backoff_ms: u64,
+    /// Wall-clock budget per fragment, checked at attempt boundaries
+    /// (`None` = unbounded).
+    pub fragment_deadline_ms: Option<u64>,
+    /// Whether repeated deterministic failures may degrade the run
+    /// configuration (engine downgrade, reduced shots) instead of failing.
+    pub degrade: bool,
+}
+
+impl Default for SupervisorConfig {
+    fn default() -> Self {
+        Self {
+            max_attempts: 5,
+            base_backoff_ms: 10,
+            max_backoff_ms: 2_000,
+            fragment_deadline_ms: None,
+            degrade: true,
+        }
+    }
+}
+
+impl SupervisorConfig {
+    /// Policy for tests: same shape, but no real sleeping.
+    pub fn fast() -> Self {
+        Self {
+            base_backoff_ms: 0,
+            ..Self::default()
+        }
+    }
+}
+
+/// One attempt at one fragment, as journaled in `manifest.json`.
+#[derive(Clone, Debug, Serialize, Deserialize, PartialEq)]
+pub struct AttemptRecord {
+    /// 0-based attempt index.
+    pub attempt: usize,
+    /// Execution engine used ("compiled" or "direct").
+    pub engine: String,
+    /// Stage-2 shot budget used.
+    pub shots: u64,
+    /// Whether the VQE seed was shifted off the canonical per-fragment
+    /// seed for this attempt.
+    pub seed_shifted: bool,
+    /// Degradation rung applied, if any ("seed-shift", "engine-direct",
+    /// "reduced-shots").
+    pub degradation: Option<String>,
+    /// Failure cause (`PipelineError::kind`), or `None` if the attempt
+    /// succeeded.
+    pub cause: Option<String>,
+    /// Whether that failure was classified transient.
+    pub transient: bool,
+    /// Backoff slept after this attempt (ms).
+    pub backoff_ms: u64,
+}
+
+/// Final per-fragment journal entry for one run.
+#[derive(Clone, Debug, Serialize, Deserialize, PartialEq)]
+pub struct FragmentReport {
+    /// PDB id.
+    pub pdb_id: String,
+    /// Length group (S/M/L).
+    pub group: String,
+    /// "completed", "completed-degraded", "failed", or "checkpointed"
+    /// (valid entry already on disk; recomputed nothing).
+    pub status: String,
+    /// Every attempt this run spent on the fragment (empty when
+    /// checkpointed).
+    pub attempts: Vec<AttemptRecord>,
+    /// Wall-clock spent on the fragment this run (ms).
+    pub elapsed_ms: u64,
+    /// Free-form diagnostic (e.g. why a checkpoint was rejected).
+    pub note: Option<String>,
+}
+
+/// One `build_dataset` invocation.
+#[derive(Clone, Debug, Serialize, Deserialize, PartialEq)]
+pub struct RunRecord {
+    /// Whether this run found and reused prior on-disk state.
+    pub resumed: bool,
+    /// Per-fragment journal, in build order.
+    pub fragments: Vec<FragmentReport>,
+}
+
+/// The `manifest.json` journal: one record per build run, append-only
+/// across resumes.
+#[derive(Clone, Debug, Default, Serialize, Deserialize, PartialEq)]
+pub struct Manifest {
+    /// All runs against this dataset root, oldest first.
+    pub runs: Vec<RunRecord>,
+}
+
+/// Aggregate counts for one `build_dataset` call.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct BuildSummary {
+    /// Fragments built cleanly at the canonical configuration.
+    pub completed: usize,
+    /// Fragments that needed a seed shift or degradation rung.
+    pub degraded: usize,
+    /// Fragments that exhausted their budget (entry absent).
+    pub failed: usize,
+    /// Fragments skipped because a valid entry was already on disk.
+    pub checkpointed: usize,
+    /// Path of the journal.
+    pub manifest_path: PathBuf,
+}
+
+impl BuildSummary {
+    /// Fragments with a usable entry on disk after this run.
+    pub fn usable(&self) -> usize {
+        self.completed + self.degraded + self.checkpointed
+    }
+}
+
+fn manifest_path(root: &Path) -> PathBuf {
+    root.join("manifest.json")
+}
+
+/// Loads the build journal under `root` (empty if none exists yet).
+pub fn load_manifest(root: &Path) -> Result<Manifest, PipelineError> {
+    let path = manifest_path(root);
+    if !path.exists() {
+        return Ok(Manifest::default());
+    }
+    Ok(serde_json::from_str(&std::fs::read_to_string(path)?)?)
+}
+
+fn save_manifest(root: &Path, manifest: &Manifest) -> Result<(), PipelineError> {
+    std::fs::create_dir_all(root)?;
+    std::fs::write(manifest_path(root), serde_json::to_string_pretty(manifest)?)?;
+    Ok(())
+}
+
+fn splitmix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// What one attempt runs with. Escalation `0..=1` keeps the canonical
+/// configuration (a deterministic *injected* fault is keyed to the
+/// attempt index, so a plain retry clears it without forfeiting
+/// byte-identity); escalation 2 shifts the seed; 3+ walks the
+/// degradation ladder.
+fn attempt_config(
+    canonical: &VqeConfig,
+    escalation: usize,
+    attempt: usize,
+    degrade: bool,
+) -> (VqeConfig, bool, Option<String>) {
+    let mut cfg = canonical.clone();
+    match escalation {
+        0 | 1 => (cfg, false, None),
+        2 => {
+            cfg.seed ^= splitmix(attempt as u64 + 1);
+            (cfg, true, Some("seed-shift".to_string()))
+        }
+        3 if degrade => {
+            cfg.engine = EnergyEngine::Direct;
+            (cfg, false, Some("engine-direct".to_string()))
+        }
+        _ => {
+            if degrade {
+                cfg.engine = EnergyEngine::Direct;
+                cfg.shots = (canonical.shots / 4).max(1_000);
+                cfg.sample_trajectories = canonical.sample_trajectories.min(10).max(1);
+                (cfg, false, Some("reduced-shots".to_string()))
+            } else {
+                // Degradation disabled: keep seed-shifting with fresh salt.
+                cfg.seed ^= splitmix(attempt as u64 + 1);
+                (cfg, true, Some("seed-shift".to_string()))
+            }
+        }
+    }
+}
+
+/// Runs one fragment under the retry/escalation policy, journaling every
+/// attempt. On success the dataset entry is already written under `root`.
+fn run_supervised(
+    root: &Path,
+    record: &FragmentRecord,
+    pipeline_cfg: &PipelineConfig,
+    sup: &SupervisorConfig,
+    plan: &FaultPlan,
+) -> (Result<FragmentFiles, PipelineError>, Vec<AttemptRecord>) {
+    let canonical = pipeline_cfg.vqe_config(record);
+    let started = Instant::now();
+    let mut attempts: Vec<AttemptRecord> = Vec::new();
+    // Consecutive deterministic (non-transient) failures; transient
+    // failures retry in place without escalating.
+    let mut escalation = 0usize;
+    let mut last_err: Option<PipelineError> = None;
+
+    for attempt in 0..sup.max_attempts {
+        if attempt > 0 {
+            if let Some(deadline) = sup.fragment_deadline_ms {
+                let elapsed_ms = started.elapsed().as_millis() as u64;
+                if elapsed_ms > deadline {
+                    return (
+                        Err(PipelineError::DeadlineExceeded { elapsed_ms }),
+                        attempts,
+                    );
+                }
+            }
+        }
+        let (vqe_cfg, seed_shifted, degradation) =
+            attempt_config(&canonical, escalation, attempt, sup.degrade);
+        let mut injector = plan.injector(record.pdb_id, attempt);
+        // The whole attempt — VQE, docking, entry write — is one
+        // isolated unit: a panic anywhere inside becomes a typed error
+        // and a torn entry is overwritten by the next attempt.
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            let result = run_fragment_with(record, pipeline_cfg, &vqe_cfg, &mut injector)?;
+            write_fragment_entry(root, record, &result)
+        }))
+        .unwrap_or_else(|payload| Err(PipelineError::Panicked(panic_message(payload.as_ref()))));
+
+        let mut rec = AttemptRecord {
+            attempt,
+            engine: match vqe_cfg.engine {
+                EnergyEngine::Compiled => "compiled".to_string(),
+                EnergyEngine::Direct => "direct".to_string(),
+            },
+            shots: vqe_cfg.shots,
+            seed_shifted,
+            degradation,
+            cause: None,
+            transient: false,
+            backoff_ms: 0,
+        };
+        match outcome {
+            Ok(files) => {
+                attempts.push(rec);
+                return (Ok(files), attempts);
+            }
+            Err(e) => {
+                rec.cause = Some(e.kind());
+                rec.transient = e.is_transient();
+                if !e.is_transient() {
+                    escalation += 1;
+                }
+                // Exponential backoff, capped; journaled even when the
+                // budget is exhausted so the manifest shows the full story.
+                let backoff = sup
+                    .base_backoff_ms
+                    .saturating_mul(1u64 << attempt.min(16))
+                    .min(sup.max_backoff_ms);
+                rec.backoff_ms = backoff;
+                attempts.push(rec);
+                last_err = Some(e);
+                if backoff > 0 && attempt + 1 < sup.max_attempts {
+                    std::thread::sleep(std::time::Duration::from_millis(backoff));
+                }
+            }
+        }
+    }
+    let last = last_err.unwrap_or(PipelineError::Decode(
+        "supervisor configured with max_attempts = 0".to_string(),
+    ));
+    (
+        Err(PipelineError::RetriesExhausted {
+            attempts: attempts.len(),
+            last: Box::new(last),
+        }),
+        attempts,
+    )
+}
+
+/// Builds (or resumes) a dataset under `root` for `records`.
+///
+/// Completed entries found on disk are validated and skipped; everything
+/// else runs under the supervised retry policy. The journal is rewritten
+/// after every fragment, so a kill at any point leaves both the dataset
+/// and the manifest consistent for the next resume. One fragment
+/// exhausting its budget does not stop the build — it is journaled as
+/// failed and the remaining fragments proceed.
+pub fn build_dataset(
+    root: &Path,
+    records: &[&FragmentRecord],
+    pipeline_cfg: &PipelineConfig,
+    sup: &SupervisorConfig,
+    plan: &FaultPlan,
+) -> Result<BuildSummary, PipelineError> {
+    let mut manifest = load_manifest(root)?;
+    let resumed = !manifest.runs.is_empty();
+    manifest.runs.push(RunRecord {
+        resumed,
+        fragments: Vec::new(),
+    });
+    let mut summary = BuildSummary {
+        manifest_path: manifest_path(root),
+        ..BuildSummary::default()
+    };
+
+    for record in records {
+        let started = Instant::now();
+        let entry_dir = root.join(record.group().name()).join(record.pdb_id);
+        let mut note = None;
+        let report = if entry_dir.is_dir() {
+            match validate_entry(root, record) {
+                Ok(()) => {
+                    summary.checkpointed += 1;
+                    FragmentReport {
+                        pdb_id: record.pdb_id.to_string(),
+                        group: record.group().name().to_string(),
+                        status: "checkpointed".to_string(),
+                        attempts: Vec::new(),
+                        elapsed_ms: started.elapsed().as_millis() as u64,
+                        note: None,
+                    }
+                }
+                Err(e) => {
+                    // Torn or corrupt checkpoint: rebuild it, and say why.
+                    note = Some(format!("checkpoint rejected: {e}"));
+                    build_one(
+                        root,
+                        record,
+                        pipeline_cfg,
+                        sup,
+                        plan,
+                        &mut summary,
+                        started,
+                        note,
+                    )
+                }
+            }
+        } else {
+            build_one(
+                root,
+                record,
+                pipeline_cfg,
+                sup,
+                plan,
+                &mut summary,
+                started,
+                note,
+            )
+        };
+        let run = manifest.runs.last_mut().expect("run pushed above");
+        run.fragments.push(report);
+        save_manifest(root, &manifest)?;
+    }
+    Ok(summary)
+}
+
+#[allow(clippy::too_many_arguments)]
+fn build_one(
+    root: &Path,
+    record: &FragmentRecord,
+    pipeline_cfg: &PipelineConfig,
+    sup: &SupervisorConfig,
+    plan: &FaultPlan,
+    summary: &mut BuildSummary,
+    started: Instant,
+    note: Option<String>,
+) -> FragmentReport {
+    let (outcome, attempts) = run_supervised(root, record, pipeline_cfg, sup, plan);
+    let status = match &outcome {
+        Ok(_) => {
+            let winning = attempts.last().expect("success recorded an attempt");
+            if winning.seed_shifted || winning.degradation.is_some() {
+                summary.degraded += 1;
+                "completed-degraded"
+            } else {
+                summary.completed += 1;
+                "completed"
+            }
+        }
+        Err(_) => {
+            summary.failed += 1;
+            "failed"
+        }
+    };
+    let note = match (&outcome, note) {
+        (Err(e), Some(n)) => Some(format!("{n}; {e}")),
+        (Err(e), None) => Some(e.to_string()),
+        (Ok(_), n) => n,
+    };
+    FragmentReport {
+        pdb_id: record.pdb_id.to_string(),
+        group: record.group().name().to_string(),
+        status: status.to_string(),
+        attempts,
+        elapsed_ms: started.elapsed().as_millis() as u64,
+        note,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fragments::fragment;
+    use qdb_vqe::fault::FaultKind;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("qdb-supervisor-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn manifest_round_trips_through_json() {
+        let root = tmpdir("manifest");
+        let manifest = Manifest {
+            runs: vec![RunRecord {
+                resumed: false,
+                fragments: vec![FragmentReport {
+                    pdb_id: "3ckz".into(),
+                    group: "S".into(),
+                    status: "completed".into(),
+                    attempts: vec![AttemptRecord {
+                        attempt: 0,
+                        engine: "compiled".into(),
+                        shots: 40_000,
+                        seed_shifted: false,
+                        degradation: None,
+                        cause: None,
+                        transient: false,
+                        backoff_ms: 0,
+                    }],
+                    elapsed_ms: 12,
+                    note: None,
+                }],
+            }],
+        };
+        save_manifest(&root, &manifest).unwrap();
+        let back = load_manifest(&root).unwrap();
+        assert_eq!(back, manifest);
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn missing_manifest_loads_empty() {
+        let root = tmpdir("empty");
+        assert_eq!(load_manifest(&root).unwrap(), Manifest::default());
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn escalation_ladder_shapes_the_attempt_config() {
+        let canonical = VqeConfig::fast(42);
+        let (c0, s0, d0) = attempt_config(&canonical, 0, 0, true);
+        assert_eq!(c0.seed, canonical.seed);
+        assert!(!s0 && d0.is_none());
+        let (c1, s1, d1) = attempt_config(&canonical, 1, 1, true);
+        assert_eq!(c1.seed, canonical.seed);
+        assert!(
+            !s1 && d1.is_none(),
+            "first deterministic failure retries plainly"
+        );
+        let (c2, s2, d2) = attempt_config(&canonical, 2, 2, true);
+        assert_ne!(c2.seed, canonical.seed);
+        assert!(s2);
+        assert_eq!(d2.as_deref(), Some("seed-shift"));
+        let (c3, _, d3) = attempt_config(&canonical, 3, 3, true);
+        assert_eq!(c3.engine, EnergyEngine::Direct);
+        assert_eq!(c3.shots, canonical.shots);
+        assert_eq!(d3.as_deref(), Some("engine-direct"));
+        let (c4, _, d4) = attempt_config(&canonical, 4, 4, true);
+        assert_eq!(c4.engine, EnergyEngine::Direct);
+        assert!(c4.shots < canonical.shots);
+        assert_eq!(d4.as_deref(), Some("reduced-shots"));
+        // With degradation off, escalation keeps seed-shifting instead.
+        let (c4n, s4n, d4n) = attempt_config(&canonical, 4, 4, false);
+        assert_eq!(c4n.engine, canonical.engine);
+        assert!(s4n);
+        assert_eq!(d4n.as_deref(), Some("seed-shift"));
+    }
+
+    #[test]
+    fn transient_fault_recovers_without_escalation() {
+        let root = tmpdir("transient");
+        let record = fragment("3ckz").unwrap();
+        let plan = FaultPlan::none().with_target("3ckz", FaultKind::Reject, 2);
+        let summary = build_dataset(
+            &root,
+            &[record],
+            &PipelineConfig::fast(),
+            &SupervisorConfig::fast(),
+            &plan,
+        )
+        .unwrap();
+        assert_eq!(summary.completed, 1);
+        assert_eq!(summary.failed, 0);
+        let manifest = load_manifest(&root).unwrap();
+        let frag = &manifest.runs[0].fragments[0];
+        assert_eq!(frag.status, "completed");
+        assert_eq!(frag.attempts.len(), 3, "two rejections, then success");
+        assert_eq!(frag.attempts[0].cause.as_deref(), Some("vqe/job-rejected"));
+        assert!(frag.attempts[0].transient);
+        assert!(!frag.attempts[2].seed_shifted, "seed stays canonical");
+        assert!(frag.attempts[2].degradation.is_none());
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn exhausted_fragment_fails_without_stopping_the_build() {
+        let root = tmpdir("exhausted");
+        let records = [fragment("3ckz").unwrap(), fragment("3eax").unwrap()];
+        // 3eax is rejected on every attempt it can get.
+        let plan = FaultPlan::none().with_target("3eax", FaultKind::Reject, usize::MAX);
+        let sup = SupervisorConfig {
+            max_attempts: 3,
+            ..SupervisorConfig::fast()
+        };
+        let summary = build_dataset(&root, &records, &PipelineConfig::fast(), &sup, &plan).unwrap();
+        assert_eq!(summary.completed, 1);
+        assert_eq!(summary.failed, 1);
+        let manifest = load_manifest(&root).unwrap();
+        let bad = &manifest.runs[0].fragments[1];
+        assert_eq!(bad.pdb_id, "3eax");
+        assert_eq!(bad.status, "failed");
+        assert_eq!(bad.attempts.len(), 3);
+        assert!(bad.note.as_deref().unwrap().contains("attempts failed"));
+        // The failed fragment left no dataset entry behind.
+        assert!(!root.join("S/3eax").is_dir());
+        let _ = std::fs::remove_dir_all(&root);
+    }
+}

@@ -1,24 +1,53 @@
 //! Build (a slice of) the QDockBank dataset on disk in the paper's §4.2
 //! layout: `out/<S|M|L>/<pdb_id>/{structure.pdb, metadata.json,
-//! docking.json, reference.pdb, ligand.pdb}`.
+//! docking.json, reference.pdb, ligand.pdb}`, under the fault-tolerant
+//! supervisor (checkpoint/resume, retry with backoff, degradation,
+//! `manifest.json` journaling).
 //!
 //! ```text
-//! cargo run --release --example build_dataset -- S out_dir     # one group
-//! cargo run --release --example build_dataset -- all out_dir   # all 55
+//! cargo run --release --example build_dataset -- S out_dir      # one group
+//! cargo run --release --example build_dataset -- all out_dir    # all 55
+//! # kill it, then pick up where it left off (completed entries validate
+//! # and skip; the manifest records them as "checkpointed"):
+//! cargo run --release --example build_dataset -- all out_dir --resume
+//! # rehearse utility-level backend flakiness deterministically:
+//! cargo run --release --example build_dataset -- S out_dir --inject-faults 7
 //! ```
 
-use qdockbank::dataset::write_fragment_entry;
+use qdb_vqe::fault::FaultPlan;
 use qdockbank::fragments::{all_fragments, fragments_in, Group};
-use qdockbank::pipeline::{run_fragment, PipelineConfig};
+use qdockbank::pipeline::PipelineConfig;
+use qdockbank::supervisor::{build_dataset, load_manifest, SupervisorConfig};
 use std::path::PathBuf;
 
 fn main() {
-    let which = std::env::args().nth(1).unwrap_or_else(|| "S".to_string());
-    let out: PathBuf = std::env::args()
-        .nth(2)
-        .unwrap_or_else(|| "qdockbank_dataset".to_string())
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut positional: Vec<&str> = Vec::new();
+    let mut resume = false;
+    let mut fault_seed: Option<u64> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--resume" => resume = true,
+            "--inject-faults" => {
+                i += 1;
+                let seed = args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--inject-faults needs a numeric seed");
+                    std::process::exit(1);
+                });
+                fault_seed = Some(seed);
+            }
+            other => positional.push(other),
+        }
+        i += 1;
+    }
+    let which = positional.first().copied().unwrap_or("S");
+    let out: PathBuf = positional
+        .get(1)
+        .copied()
+        .unwrap_or("qdockbank_dataset")
         .into();
-    let records = match which.as_str() {
+    let records = match which {
         "S" => fragments_in(Group::S),
         "M" => fragments_in(Group::M),
         "L" => fragments_in(Group::L),
@@ -28,24 +57,66 @@ fn main() {
             std::process::exit(1);
         }
     };
-    let config = PipelineConfig::fast();
-    println!(
-        "building {} fragments into {}",
-        records.len(),
-        out.display()
-    );
-    for (i, record) in records.iter().enumerate() {
-        let result = run_fragment(record, &config);
-        let files = write_fragment_entry(&out, record, &result).expect("write dataset entry");
-        println!(
-            "[{}/{}] {} → {} (RMSD {:.2} Å, affinity {:.2} kcal/mol)",
-            i + 1,
-            records.len(),
-            record.pdb_id,
-            files.dir.display(),
-            result.qdock.ca_rmsd,
-            result.qdock.affinity()
+
+    // A fresh (non-resume) build refuses to silently absorb prior state:
+    // what's on disk might be from a different configuration.
+    if !resume && out.join("manifest.json").exists() {
+        eprintln!(
+            "{} already holds a build journal; pass --resume to continue it \
+             or choose a fresh output directory",
+            out.display()
         );
+        std::process::exit(1);
     }
-    println!("done.");
+
+    let plan = match fault_seed {
+        Some(seed) => {
+            println!("injecting rehearsed faults (seed {seed})");
+            FaultPlan::flaky(seed)
+        }
+        None => FaultPlan::none(),
+    };
+    let config = PipelineConfig::fast();
+    let sup = SupervisorConfig::default();
+    println!(
+        "building {} fragments into {}{}",
+        records.len(),
+        out.display(),
+        if resume { " (resume)" } else { "" }
+    );
+    let summary = match build_dataset(&out, &records, &config, &sup, &plan) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("build aborted: {e}");
+            std::process::exit(1);
+        }
+    };
+
+    // Per-fragment outcome lines come from the journal of the run that
+    // just finished.
+    let manifest = load_manifest(&out).expect("journal just written");
+    if let Some(run) = manifest.runs.last() {
+        for f in &run.fragments {
+            let detail = match f.status.as_str() {
+                "checkpointed" => "already on disk".to_string(),
+                _ => format!(
+                    "{} attempt(s), {} ms",
+                    f.attempts.len().max(1),
+                    f.elapsed_ms
+                ),
+            };
+            println!("  {}/{} — {} ({detail})", f.group, f.pdb_id, f.status);
+        }
+    }
+    println!(
+        "done: {} completed, {} degraded, {} checkpointed, {} failed — journal at {}",
+        summary.completed,
+        summary.degraded,
+        summary.checkpointed,
+        summary.failed,
+        summary.manifest_path.display()
+    );
+    if summary.failed > 0 {
+        std::process::exit(2);
+    }
 }

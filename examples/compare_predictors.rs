@@ -24,7 +24,7 @@ fn main() {
         .collect();
 
     let config = PipelineConfig::fast();
-    let comparisons = compare_fragments(&records, &config);
+    let comparisons = compare_fragments(&records, &config).expect("fault-free run");
 
     println!(
         "{:<6} {:>11} {:>9} {:>9} | {:>11} {:>9} {:>9}",

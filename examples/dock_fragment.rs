@@ -24,7 +24,7 @@ fn main() {
         record.pdb_id, record.sequence
     );
 
-    let result = run_fragment(record, &PipelineConfig::fast());
+    let result = run_fragment(record, &PipelineConfig::fast()).expect("fault-free run");
     for run in &result.qdock.docking.runs {
         println!("\nrun seed {}:", run.seed);
         println!(

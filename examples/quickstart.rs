@@ -21,7 +21,7 @@ fn main() {
     );
 
     let config = PipelineConfig::fast();
-    let result = run_fragment(record, &config);
+    let result = run_fragment(record, &config).expect("fault-free run");
 
     println!("\n-- quantum prediction --------------------------------");
     println!("logical qubits   : {}", result.quantum.logical_qubits);

@@ -19,7 +19,7 @@ fn dataset_entries_replayable_from_disk() {
 
     for id in ["3ckz", "3eax"] {
         let record = fragment(id).unwrap();
-        let result = run_fragment(record, &config);
+        let result = run_fragment(record, &config).expect("fault-free run");
         let files = write_fragment_entry(&root, record, &result).unwrap();
 
         // Group folder layout.
@@ -76,7 +76,7 @@ fn rewriting_same_fragment_is_idempotent() {
     let root = tmp_root("idem");
     let record = fragment("4mo4").unwrap();
     let config = PipelineConfig::fast();
-    let result = run_fragment(record, &config);
+    let result = run_fragment(record, &config).expect("fault-free run");
     let first = write_fragment_entry(&root, record, &result).unwrap();
     let before = std::fs::read_to_string(&first.metadata_json).unwrap();
     let second = write_fragment_entry(&root, record, &result).unwrap();

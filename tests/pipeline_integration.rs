@@ -10,7 +10,7 @@ use qdockbank::pipeline::{run_fragment, PipelineConfig};
 fn small_fragment_end_to_end() {
     let record = fragment("3eax").expect("manifest entry");
     let config = PipelineConfig::fast();
-    let result = run_fragment(record, &config);
+    let result = run_fragment(record, &config).expect("fault-free run");
 
     // Structure integrity: 5 residues, full backbone, centered.
     assert_eq!(result.qdock.structure.len(), 5);
@@ -36,7 +36,7 @@ fn small_fragment_end_to_end() {
 #[test]
 fn quantum_metadata_consistent_with_manifest() {
     let record = fragment("4mo4").expect("manifest entry");
-    let result = run_fragment(record, &PipelineConfig::fast());
+    let result = run_fragment(record, &PipelineConfig::fast()).expect("fault-free run");
     // The paper-side numbers must match the manifest row exactly.
     assert_eq!(result.quantum.physical_qubits, record.paper.qubits);
     assert_eq!(result.quantum.paper_depth, record.paper.depth);
@@ -56,7 +56,7 @@ fn quantum_metadata_consistent_with_manifest() {
 fn comparison_and_win_rates_machinery() {
     let records = vec![fragment("3ckz").unwrap(), fragment("6czf").unwrap()];
     let config = PipelineConfig::fast();
-    let comparisons = compare_fragments(&records, &config);
+    let comparisons = compare_fragments(&records, &config).expect("fault-free run");
     assert_eq!(comparisons.len(), 2);
 
     for c in &comparisons {
@@ -79,8 +79,8 @@ fn comparison_and_win_rates_machinery() {
 fn pipeline_fully_deterministic_across_calls() {
     let record = fragment("3ckz").unwrap();
     let config = PipelineConfig::fast();
-    let a = run_fragment(record, &config);
-    let b = run_fragment(record, &config);
+    let a = run_fragment(record, &config).expect("fault-free run");
+    let b = run_fragment(record, &config).expect("fault-free run");
     assert_eq!(a.qdock.trace, b.qdock.trace);
     assert_eq!(a.qdock.ca_rmsd, b.qdock.ca_rmsd);
     assert_eq!(a.qdock.affinity(), b.qdock.affinity());

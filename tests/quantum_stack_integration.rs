@@ -38,7 +38,7 @@ fn vqe_energy_lower_bounded_by_exhaustive_ground_state() {
     let seq = ProteinSequence::parse("DGPHGM").unwrap();
     let ham = FoldingHamiltonian::with_unit_scale(seq);
     let (_, ground) = ham.ground_state();
-    let out = run_vqe(&ham, &VqeConfig::fast(13));
+    let out = run_vqe(&ham, &VqeConfig::fast(13)).expect("fault-free run");
     assert!(out.best_bitstring_energy >= ground - 1e-9);
     assert!(
         out.lowest_energy >= ground - 1e-9,
@@ -120,7 +120,7 @@ fn sampling_under_noise_still_normalizes() {
         trajectories: 2,
         ..VqeConfig::fast(5)
     };
-    let out = run_vqe(&ham, &cfg);
+    let out = run_vqe(&ham, &cfg).expect("fault-free run");
     assert_eq!(out.counts.shots(), cfg.shots);
     // Sampled conformations decode without panicking and the best one has
     // finite energy.

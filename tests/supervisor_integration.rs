@@ -1,0 +1,310 @@
+//! Integration tests for the fault-tolerant dataset-build supervisor:
+//! kill-and-resume checkpointing, deterministic recovery from injected
+//! faults (byte-identical outputs), panic isolation, the degradation
+//! ladder, and manifest journaling.
+
+use proptest::prelude::*;
+use qdb_vqe::fault::{FaultKind, FaultPlan};
+use qdockbank::fragments::fragment;
+use qdockbank::pipeline::PipelineConfig;
+use qdockbank::supervisor::{build_dataset, load_manifest, SupervisorConfig};
+use std::path::{Path, PathBuf};
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("qdb-supervise-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Every artifact of one dataset entry, as raw bytes.
+fn entry_bytes(root: &Path, group: &str, pdb_id: &str) -> Vec<(String, Vec<u8>)> {
+    let dir = root.join(group).join(pdb_id);
+    let mut out = Vec::new();
+    for name in [
+        "structure.pdb",
+        "metadata.json",
+        "docking.json",
+        "reference.pdb",
+        "ligand.pdb",
+    ] {
+        out.push((
+            name.to_string(),
+            std::fs::read(dir.join(name)).unwrap_or_else(|e| panic!("{name}: {e}")),
+        ));
+    }
+    out
+}
+
+fn assert_entries_identical(a: &Path, b: &Path, group: &str, pdb_id: &str) {
+    for ((name, bytes_a), (_, bytes_b)) in entry_bytes(a, group, pdb_id)
+        .into_iter()
+        .zip(entry_bytes(b, group, pdb_id))
+    {
+        assert!(
+            bytes_a == bytes_b,
+            "{group}/{pdb_id}/{name} differs between builds"
+        );
+    }
+}
+
+#[test]
+fn kill_and_resume_recomputes_nothing_and_is_byte_identical() {
+    let config = PipelineConfig::fast();
+    let sup = SupervisorConfig::fast();
+    let clean = FaultPlan::none();
+    let records = [fragment("3ckz").unwrap(), fragment("3eax").unwrap()];
+
+    // Reference: both fragments in one uninterrupted build.
+    let full = tmpdir("resume-full");
+    build_dataset(&full, &records, &config, &sup, &clean).unwrap();
+
+    // "Killed" build: only the first fragment got done before the kill.
+    let partial = tmpdir("resume-partial");
+    build_dataset(&partial, &records[..1], &config, &sup, &clean).unwrap();
+    assert!(partial.join("S/3ckz").is_dir());
+    assert!(!partial.join("S/3eax").is_dir());
+
+    // Resume with the full fragment list.
+    let summary = build_dataset(&partial, &records, &config, &sup, &clean).unwrap();
+    assert_eq!(summary.checkpointed, 1, "3ckz must be reused, not rebuilt");
+    assert_eq!(summary.completed, 1, "3eax is the only fragment computed");
+
+    // The journal proves zero recomputation: the resumed run spent zero
+    // attempts on the checkpointed fragment.
+    let manifest = load_manifest(&partial).unwrap();
+    assert_eq!(manifest.runs.len(), 2);
+    assert!(manifest.runs[1].resumed);
+    let resumed_run = &manifest.runs[1];
+    let ckz = resumed_run
+        .fragments
+        .iter()
+        .find(|f| f.pdb_id == "3ckz")
+        .unwrap();
+    assert_eq!(ckz.status, "checkpointed");
+    assert!(ckz.attempts.is_empty());
+    let eax = resumed_run
+        .fragments
+        .iter()
+        .find(|f| f.pdb_id == "3eax")
+        .unwrap();
+    assert_eq!(eax.status, "completed");
+    assert_eq!(eax.attempts.len(), 1);
+
+    // Interrupted-then-resumed output is byte-identical to one clean pass.
+    assert_entries_identical(&full, &partial, "S", "3ckz");
+    assert_entries_identical(&full, &partial, "S", "3eax");
+
+    let _ = std::fs::remove_dir_all(&full);
+    let _ = std::fs::remove_dir_all(&partial);
+}
+
+#[test]
+fn corrupt_checkpoint_is_rejected_and_rebuilt() {
+    let config = PipelineConfig::fast();
+    let sup = SupervisorConfig::fast();
+    let clean = FaultPlan::none();
+    let records = [fragment("3ckz").unwrap()];
+
+    let root = tmpdir("torn");
+    build_dataset(&root, &records, &config, &sup, &clean).unwrap();
+    let reference = entry_bytes(&root, "S", "3ckz");
+
+    // Simulate a torn write from a kill mid-entry.
+    std::fs::write(root.join("S/3ckz/metadata.json"), b"{ torn").unwrap();
+
+    let summary = build_dataset(&root, &records, &config, &sup, &clean).unwrap();
+    assert_eq!(summary.checkpointed, 0, "torn entry must not be trusted");
+    assert_eq!(summary.completed, 1);
+    let manifest = load_manifest(&root).unwrap();
+    let frag = &manifest.runs[1].fragments[0];
+    assert_eq!(frag.status, "completed");
+    assert!(
+        frag.note
+            .as_deref()
+            .unwrap()
+            .contains("checkpoint rejected"),
+        "note: {:?}",
+        frag.note
+    );
+    // The rebuilt entry matches the original bytes (determinism).
+    assert_eq!(entry_bytes(&root, "S", "3ckz"), reference);
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn transiently_faulted_build_matches_fault_free_byte_for_byte() {
+    let config = PipelineConfig::fast();
+    // Non-zero backoff so the journal shows real delays.
+    let sup = SupervisorConfig {
+        base_backoff_ms: 1,
+        ..SupervisorConfig::fast()
+    };
+    let records = [
+        fragment("3ckz").unwrap(),
+        fragment("3eax").unwrap(),
+        fragment("4mo4").unwrap(),
+    ];
+
+    let clean_root = tmpdir("dr-clean");
+    build_dataset(&clean_root, &records, &config, &sup, &FaultPlan::none()).unwrap();
+
+    // Three fragments, three transient fault classes.
+    let plan = FaultPlan::none()
+        .with_target("3ckz", FaultKind::Reject, 2)
+        .with_target("3eax", FaultKind::Shortfall, 1)
+        .with_target("4mo4", FaultKind::Drift, 1);
+    let faulted_root = tmpdir("dr-faulted");
+    let summary = build_dataset(&faulted_root, &records, &config, &sup, &plan).unwrap();
+    assert_eq!(summary.completed, 3);
+    assert_eq!(summary.failed + summary.degraded, 0);
+
+    // Byte-identical recovery: transient retries reuse the canonical seed.
+    for r in &records {
+        assert_entries_identical(&clean_root, &faulted_root, "S", r.pdb_id);
+    }
+
+    // The journal records every attempt with its cause and backoff.
+    let manifest = load_manifest(&faulted_root).unwrap();
+    let frags = &manifest.runs[0].fragments;
+    let by_id = |id: &str| frags.iter().find(|f| f.pdb_id == id).unwrap();
+    let ckz = by_id("3ckz");
+    assert_eq!(ckz.attempts.len(), 3);
+    assert_eq!(ckz.attempts[0].cause.as_deref(), Some("vqe/job-rejected"));
+    assert_eq!(ckz.attempts[1].cause.as_deref(), Some("vqe/job-rejected"));
+    assert!(ckz.attempts[0].transient && ckz.attempts[1].transient);
+    assert!(ckz.attempts[0].backoff_ms >= 1);
+    assert!(ckz.attempts[1].backoff_ms >= ckz.attempts[0].backoff_ms);
+    assert_eq!(ckz.attempts[2].cause, None);
+    assert_eq!(
+        by_id("3eax").attempts[0].cause.as_deref(),
+        Some("vqe/shot-shortfall")
+    );
+    assert_eq!(
+        by_id("4mo4").attempts[0].cause.as_deref(),
+        Some("vqe/calibration-drift")
+    );
+    // No attempt left the canonical configuration.
+    for f in frags {
+        for a in &f.attempts {
+            assert!(!a.seed_shifted);
+            assert!(a.degradation.is_none());
+            assert_eq!(a.engine, "compiled");
+        }
+    }
+
+    let _ = std::fs::remove_dir_all(&clean_root);
+    let _ = std::fs::remove_dir_all(&faulted_root);
+}
+
+#[test]
+fn panicking_fragment_is_isolated_and_journaled() {
+    let config = PipelineConfig::fast();
+    let sup = SupervisorConfig {
+        max_attempts: 2,
+        ..SupervisorConfig::fast()
+    };
+    // 3eax panics on every attempt; its neighbours must be untouched.
+    let plan = FaultPlan::none().with_target("3eax", FaultKind::Panic, usize::MAX);
+    let records = [fragment("3ckz").unwrap(), fragment("3eax").unwrap()];
+    let root = tmpdir("panic");
+    let summary = build_dataset(&root, &records, &config, &sup, &plan).unwrap();
+    assert_eq!(summary.completed, 1);
+    assert_eq!(summary.failed, 1);
+    assert!(root.join("S/3ckz").is_dir());
+    assert!(!root.join("S/3eax").is_dir());
+
+    let manifest = load_manifest(&root).unwrap();
+    let bad = manifest.runs[0]
+        .fragments
+        .iter()
+        .find(|f| f.pdb_id == "3eax")
+        .unwrap();
+    assert_eq!(bad.status, "failed");
+    assert_eq!(bad.attempts.len(), 2);
+    for a in &bad.attempts {
+        assert_eq!(a.cause.as_deref(), Some("panic"));
+        assert!(!a.transient);
+    }
+    assert!(bad.note.as_deref().unwrap().contains("attempts failed"));
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn persistent_deterministic_fault_walks_the_degradation_ladder() {
+    let config = PipelineConfig::fast();
+    let sup = SupervisorConfig::fast();
+    // NaN on attempts 0–2: survives the plain retry and the seed shift,
+    // clears only once the ladder reaches the Direct engine.
+    let plan = FaultPlan::none().with_target("3ckz", FaultKind::NanEnergy, 3);
+    let records = [fragment("3ckz").unwrap()];
+    let root = tmpdir("ladder");
+    let summary = build_dataset(&root, &records, &config, &sup, &plan).unwrap();
+    assert_eq!(summary.degraded, 1);
+    assert_eq!(summary.failed, 0);
+
+    let manifest = load_manifest(&root).unwrap();
+    let frag = &manifest.runs[0].fragments[0];
+    assert_eq!(frag.status, "completed-degraded");
+    assert_eq!(frag.attempts.len(), 4);
+    let degradations: Vec<Option<&str>> = frag
+        .attempts
+        .iter()
+        .map(|a| a.degradation.as_deref())
+        .collect();
+    assert_eq!(
+        degradations,
+        vec![None, None, Some("seed-shift"), Some("engine-direct")],
+        "canonical, plain retry, seed shift, then engine downgrade"
+    );
+    for a in &frag.attempts[..3] {
+        assert_eq!(a.cause.as_deref(), Some("vqe/non-finite-energy"));
+        assert!(!a.transient);
+    }
+    assert_eq!(frag.attempts[3].cause, None);
+    assert_eq!(frag.attempts[3].engine, "direct");
+    // The degraded entry still validates: resuming checkpoints it.
+    let resume = build_dataset(&root, &records, &config, &sup, &FaultPlan::none()).unwrap();
+    assert_eq!(resume.checkpointed, 1);
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(3))]
+
+    /// Any schedule of fewer-than-budget transient faults recovers to the
+    /// exact fault-free bytes: the retry path must not perturb seeds.
+    #[test]
+    fn prop_transient_faults_recover_byte_identically(
+        kind_sel in 0usize..3,
+        faulted_attempts in 1usize..3,
+    ) {
+        let kind = [FaultKind::Reject, FaultKind::Shortfall, FaultKind::Drift][kind_sel];
+        let config = PipelineConfig::fast();
+        let sup = SupervisorConfig::fast();
+        let records = [fragment("3ckz").unwrap()];
+
+        let clean_root = tmpdir(&format!("prop-clean-{kind_sel}-{faulted_attempts}"));
+        build_dataset(&clean_root, &records, &config, &sup, &FaultPlan::none()).unwrap();
+
+        let plan = FaultPlan::none().with_target("3ckz", kind, faulted_attempts);
+        let faulted_root = tmpdir(&format!("prop-faulted-{kind_sel}-{faulted_attempts}"));
+        let summary = build_dataset(&faulted_root, &records, &config, &sup, &plan).unwrap();
+        prop_assert_eq!(summary.completed, 1);
+
+        let manifest = load_manifest(&faulted_root).unwrap();
+        let frag = &manifest.runs[0].fragments[0];
+        prop_assert_eq!(frag.attempts.len(), faulted_attempts + 1);
+        for a in &frag.attempts[..faulted_attempts] {
+            prop_assert!(a.transient);
+            prop_assert!(a.cause.is_some());
+        }
+
+        let a = entry_bytes(&clean_root, "S", "3ckz");
+        let b = entry_bytes(&faulted_root, "S", "3ckz");
+        prop_assert_eq!(a, b);
+
+        let _ = std::fs::remove_dir_all(&clean_root);
+        let _ = std::fs::remove_dir_all(&faulted_root);
+    }
+}
