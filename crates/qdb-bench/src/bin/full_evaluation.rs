@@ -5,6 +5,8 @@
 //!
 //! ```text
 //! QDB_PRESET=fast cargo run --release -p qdb-bench --bin full_evaluation -- out_dir
+//! # with a pipeline telemetry snapshot alongside the tables:
+//! ... --bin full_evaluation -- out_dir --telemetry out_dir/telemetry.json
 //! ```
 
 use qdb_baselines::alphafold::AfModel;
@@ -17,9 +19,28 @@ use qdockbank::report::{
 use std::path::PathBuf;
 
 fn main() {
-    let out_dir: PathBuf = std::env::args()
-        .nth(1)
-        .unwrap_or_else(|| "evaluation_output".to_string())
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut positional: Vec<&str> = Vec::new();
+    let mut telemetry_path: Option<PathBuf> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--telemetry" => {
+                i += 1;
+                let path = args.get(i).unwrap_or_else(|| {
+                    eprintln!("--telemetry needs an output path");
+                    std::process::exit(1);
+                });
+                telemetry_path = Some(PathBuf::from(path));
+            }
+            other => positional.push(other),
+        }
+        i += 1;
+    }
+    let out_dir: PathBuf = positional
+        .first()
+        .copied()
+        .unwrap_or("evaluation_output")
         .into();
     std::fs::create_dir_all(&out_dir).expect("create output dir");
     let config = preset_from_env();
@@ -73,5 +94,11 @@ fn main() {
         render_coverage(&interaction_coverage(&records)),
     );
 
+    if let Some(path) = telemetry_path {
+        let snap = qdb_telemetry::global().snapshot();
+        qdb_telemetry::export::json::write_snapshot(&path, &snap)
+            .expect("write telemetry snapshot");
+        eprintln!("telemetry snapshot written to {}", path.display());
+    }
     eprintln!("all outputs written to {}", out_dir.display());
 }

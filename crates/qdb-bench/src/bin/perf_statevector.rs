@@ -1,7 +1,10 @@
-//! Headline numbers for the compiled execution engine: median wall time of
-//! one full VQE energy evaluation (EfficientSU2 reps 2, linear entanglement,
-//! diagonal expectation) through the direct gate-by-gate simulator and
-//! through the compiled plan + workspace, at 10/16/22 qubits.
+//! Headline numbers for the compiled execution engine: wall-time
+//! distribution of one full VQE energy evaluation (EfficientSU2 reps 2,
+//! linear entanglement, diagonal expectation) through the direct
+//! gate-by-gate simulator and through the compiled plan + workspace, at
+//! 10/16/22 qubits. Samples go through a [`qdb_telemetry::Histogram`], so
+//! the reported p50/p99/max carry the same ≤1/32 bucket error as every
+//! other duration in a pipeline telemetry snapshot.
 //!
 //! Writes `BENCH_statevector.json` to the current directory.
 //!
@@ -13,24 +16,23 @@ use qdb_quantum::ansatz::{efficient_su2, Entanglement};
 use qdb_quantum::compile::CompiledCircuit;
 use qdb_quantum::exec::SimWorkspace;
 use qdb_quantum::statevector::Statevector;
+use qdb_telemetry::HistogramSnapshot;
 use std::hint::black_box;
 use std::time::Instant;
 
-/// Median of per-evaluation times (ns) over `reps` timed runs of `f`,
-/// after `warmup` untimed runs.
-fn median_ns(warmup: usize, reps: usize, mut f: impl FnMut() -> f64) -> f64 {
+/// Distribution of per-evaluation times (ns) over `reps` timed runs of
+/// `f` after `warmup` untimed runs, accumulated in a telemetry histogram.
+fn timing_hist(warmup: usize, reps: usize, mut f: impl FnMut() -> f64) -> HistogramSnapshot {
     for _ in 0..warmup {
         black_box(f());
     }
-    let mut samples: Vec<f64> = (0..reps)
-        .map(|_| {
-            let t0 = Instant::now();
-            black_box(f());
-            t0.elapsed().as_nanos() as f64
-        })
-        .collect();
-    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
-    samples[samples.len() / 2]
+    let hist = qdb_telemetry::Histogram::new();
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        black_box(f());
+        hist.record(t0.elapsed().as_nanos() as u64);
+    }
+    hist.snapshot()
 }
 
 fn main() {
@@ -49,7 +51,7 @@ fn main() {
         // moves 4M amplitudes through every pass.
         let (warmup, reps) = if qubits >= 20 { (2, 9) } else { (5, 31) };
 
-        let direct = median_ns(warmup, reps, || {
+        let direct = timing_hist(warmup, reps, || {
             let mut sv = Statevector::zero(qubits);
             sv.apply_parametric(&circuit, &params);
             sv.expectation_diagonal(&diag)
@@ -57,14 +59,21 @@ fn main() {
 
         let compiled = CompiledCircuit::compile(&circuit);
         let mut ws = SimWorkspace::new(qubits);
-        let fused = median_ns(warmup, reps, || ws.energy(&compiled, &params, &diag));
+        let fused = timing_hist(warmup, reps, || ws.energy(&compiled, &params, &diag));
 
-        let speedup = direct / fused;
-        println!("{qubits:>7} {direct:>15.0} {fused:>15.0} {speedup:>8.2}x");
+        let speedup = direct.p50 as f64 / fused.p50 as f64;
+        println!(
+            "{qubits:>7} {:>15} {:>15} {speedup:>8.2}x",
+            direct.p50, fused.p50
+        );
         rows.push(serde_json::json!({
             "qubits": qubits,
-            "direct_median_ns": direct,
-            "compiled_median_ns": fused,
+            "direct_median_ns": direct.p50,
+            "direct_p99_ns": direct.p99,
+            "direct_max_ns": direct.max,
+            "compiled_median_ns": fused.p50,
+            "compiled_p99_ns": fused.p99,
+            "compiled_max_ns": fused.max,
             "speedup": speedup,
             "passes_direct": circuit.instructions().len(),
             "passes_compiled": compiled.num_passes(),
@@ -75,6 +84,7 @@ fn main() {
         "benchmark": "energy_evaluation_engine",
         "ansatz": "efficient_su2(reps=2, linear)",
         "threads": rayon::current_num_threads(),
+        "quantiles": "qdb-telemetry log-linear histogram, <=1/32 relative error",
         "rows": rows,
     });
     let path = "BENCH_statevector.json";

@@ -1,0 +1,199 @@
+//! CI gate for pipeline telemetry snapshots: reads the JSON written by
+//! `build_dataset --telemetry <path>`, checks the schema version, and
+//! fails unless every metric the pipeline declares it emits is present
+//! and consistent — all six stage spans recorded, counters non-zero,
+//! histogram quantiles ordered. A refactor that silently drops an
+//! instrumentation site breaks this binary, not a dashboard three weeks
+//! later.
+//!
+//! ```text
+//! cargo run --release -p qdb-bench --bin validate_telemetry -- out.json
+//! ```
+
+use qdb_telemetry::export::json::read_snapshot;
+use qdb_telemetry::Snapshot;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+/// Counters every dataset build must tick at least once.
+const REQUIRED_COUNTERS: &[&str] = &[
+    "exec.runs",
+    "exec.gate_ops",
+    "vqe.runs",
+    "vqe.energy_evals",
+    "vqe.iterations",
+    "vqe.shots_sampled",
+    "dock.runs",
+    "dock.chains",
+    "dock.energy_evals",
+    "dock.poses_generated",
+    "dock.poses_reported",
+    "supervisor.attempts",
+    "supervisor.fragments_completed",
+];
+
+/// Duration histograms every dataset build must record: the six pipeline
+/// stage spans, the whole-fragment span, and the VQE objective timer.
+const REQUIRED_HISTOGRAMS: &[&str] = &[
+    "pipeline.encode",
+    "pipeline.hamiltonian",
+    "pipeline.vqe",
+    "pipeline.reconstruct",
+    "pipeline.dock",
+    "pipeline.rmsd",
+    "pipeline.fragment",
+    "vqe.energy_eval",
+];
+
+/// Gauges every dataset build must set.
+const REQUIRED_GAUGES: &[&str] = &["exec.workspace_qubits"];
+
+fn validate(snap: &Snapshot) -> Vec<String> {
+    let mut problems = Vec::new();
+    for name in REQUIRED_COUNTERS {
+        match snap.counters.get(*name) {
+            None => problems.push(format!("counter {name} missing")),
+            Some(0) => problems.push(format!("counter {name} present but never incremented")),
+            Some(_) => {}
+        }
+    }
+    for name in REQUIRED_GAUGES {
+        if !snap.gauges.contains_key(*name) {
+            problems.push(format!("gauge {name} missing"));
+        }
+    }
+    for name in REQUIRED_HISTOGRAMS {
+        let Some(h) = snap.histograms.get(*name) else {
+            problems.push(format!("histogram {name} missing"));
+            continue;
+        };
+        if h.count == 0 {
+            problems.push(format!("histogram {name} present but empty"));
+            continue;
+        }
+        if !(h.min <= h.p50 && h.p50 <= h.p90 && h.p90 <= h.p99 && h.p99 <= h.max) {
+            problems.push(format!(
+                "histogram {name} quantiles out of order: min={} p50={} p90={} p99={} max={}",
+                h.min, h.p50, h.p90, h.p99, h.max
+            ));
+        }
+        let bucket_total: u64 = h.buckets.iter().map(|(_, n)| n).sum();
+        if bucket_total != h.count {
+            problems.push(format!(
+                "histogram {name} buckets sum to {bucket_total}, count says {}",
+                h.count
+            ));
+        }
+    }
+    // Cross-metric consistency: the fragment span brackets the stage spans,
+    // so no stage can have run more often than fragments did.
+    if let (Some(frag), Some(vqe)) = (
+        snap.histograms.get("pipeline.fragment"),
+        snap.histograms.get("pipeline.vqe"),
+    ) {
+        if vqe.count < frag.count {
+            problems.push(format!(
+                "pipeline.vqe ran {} times for {} fragments",
+                vqe.count, frag.count
+            ));
+        }
+    }
+    problems
+}
+
+fn main() -> ExitCode {
+    let path: PathBuf = match std::env::args().nth(1) {
+        Some(p) => p.into(),
+        None => {
+            eprintln!("usage: validate_telemetry <snapshot.json>");
+            return ExitCode::FAILURE;
+        }
+    };
+    let snap = match read_snapshot(&path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("FAIL: snapshot unreadable: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let problems = validate(&snap);
+    if problems.is_empty() {
+        println!(
+            "OK: {} — schema v{}, {} counters, {} gauges, {} histograms, all declared pipeline metrics present",
+            path.display(),
+            snap.version,
+            snap.counters.len(),
+            snap.gauges.len(),
+            snap.histograms.len()
+        );
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("FAIL: {} problem(s) in {}:", problems.len(), path.display());
+        for p in &problems {
+            eprintln!("  - {p}");
+        }
+        ExitCode::FAILURE
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qdb_telemetry::Registry;
+
+    fn full_registry() -> Registry {
+        let r = Registry::new();
+        for name in REQUIRED_COUNTERS {
+            r.counter(name).inc();
+        }
+        for name in REQUIRED_GAUGES {
+            r.gauge(name).set(22);
+        }
+        for name in REQUIRED_HISTOGRAMS {
+            r.histogram(name).record(1_000);
+        }
+        r
+    }
+
+    #[test]
+    fn complete_snapshot_passes() {
+        assert!(validate(&full_registry().snapshot()).is_empty());
+    }
+
+    #[test]
+    fn missing_stage_span_is_flagged() {
+        let r = Registry::new();
+        for name in REQUIRED_COUNTERS {
+            r.counter(name).inc();
+        }
+        for name in REQUIRED_GAUGES {
+            r.gauge(name).set(22);
+        }
+        for name in REQUIRED_HISTOGRAMS
+            .iter()
+            .filter(|n| **n != "pipeline.dock")
+        {
+            r.histogram(name).record(1_000);
+        }
+        let problems = validate(&r.snapshot());
+        assert!(
+            problems.iter().any(|p| p.contains("pipeline.dock missing")),
+            "{problems:?}"
+        );
+    }
+
+    #[test]
+    fn zero_counter_is_flagged() {
+        let r = full_registry();
+        let snap = {
+            let mut s = r.snapshot();
+            s.counters.insert("vqe.runs".into(), 0);
+            s
+        };
+        let problems = validate(&snap);
+        assert!(
+            problems.iter().any(|p| p.contains("vqe.runs")),
+            "{problems:?}"
+        );
+    }
+}

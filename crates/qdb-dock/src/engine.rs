@@ -185,6 +185,15 @@ fn intra_pairs(ligand: &Ligand) -> Vec<(usize, usize)> {
 
 /// Runs one docking with a single seed.
 pub fn dock(receptor: &Structure, ligand: &Ligand, params: &DockParams, seed: u64) -> DockRun {
+    // Shared atomic counters; the per-evaluation add is negligible next to
+    // a pose scoring pass, and rayon chains may share them freely.
+    let telemetry = qdb_telemetry::global();
+    telemetry.counter("dock.runs").inc();
+    telemetry
+        .counter("dock.chains")
+        .add(params.exhaustiveness as u64);
+    let m_energy_evals = telemetry.counter("dock.energy_evals");
+
     let receptor_atoms = type_receptor(receptor);
     let ligand_template = type_ligand(ligand);
     let pairs = intra_pairs(ligand);
@@ -224,6 +233,7 @@ pub fn dock(receptor: &Structure, ligand: &Ligand, params: &DockParams, seed: u6
                 seed ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(chain + 1)),
             );
             let energy_of = |pose: &crate::pose::Pose| {
+                m_energy_evals.inc();
                 let coords = pose.apply(ligand);
                 let atoms = retype_positions(&ligand_template, &coords);
                 eval_inter(&atoms) + intramolecular(&atoms, &pairs)
@@ -244,7 +254,13 @@ pub fn dock(receptor: &Structure, ligand: &Ligand, params: &DockParams, seed: u6
         })
         .collect();
 
+    telemetry
+        .counter("dock.poses_generated")
+        .add(candidates.len() as u64);
     let poses = cluster_poses(candidates, params.min_rmsd, params.poses_per_run);
+    telemetry
+        .counter("dock.poses_reported")
+        .add(poses.len() as u64);
     DockRun { seed, poses }
 }
 

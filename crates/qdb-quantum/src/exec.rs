@@ -13,6 +13,35 @@
 use crate::compile::{BoundTables, CompiledCircuit, PlanOp};
 use crate::complex::C64;
 use crate::statevector::Statevector;
+use qdb_telemetry::{Counter, Gauge};
+use std::sync::Arc;
+
+/// Telemetry handles a workspace fetches once at construction so the hot
+/// loop pays only relaxed atomic adds — the zero-allocation contract of
+/// [`SimWorkspace::energy`] holds with instrumentation on.
+#[derive(Clone, Debug)]
+struct ExecMetrics {
+    /// `exec.runs`: compiled-circuit executions.
+    runs: Arc<Counter>,
+    /// `exec.gate_ops`: plan ops applied (fused passes count once).
+    gate_ops: Arc<Counter>,
+    /// `exec.table_rebinds`: bound-table re-preparations (plan switches).
+    table_rebinds: Arc<Counter>,
+    /// `exec.workspace_qubits`: current register width.
+    workspace_qubits: Arc<Gauge>,
+}
+
+impl ExecMetrics {
+    fn new() -> Self {
+        let t = qdb_telemetry::global();
+        Self {
+            runs: t.counter("exec.runs"),
+            gate_ops: t.counter("exec.gate_ops"),
+            table_rebinds: t.counter("exec.table_rebinds"),
+            workspace_qubits: t.gauge("exec.workspace_qubits"),
+        }
+    }
+}
 
 /// A reusable simulation workspace: statevector + scratch + bound tables.
 ///
@@ -27,16 +56,20 @@ pub struct SimWorkspace {
     /// Per-qubit `(lo, hi)` columns for the product-state fill that replaces
     /// a plan's leading rotation layer. Reused across evaluations.
     cols: Vec<(C64, C64)>,
+    metrics: ExecMetrics,
 }
 
 impl SimWorkspace {
     /// A workspace sized for `num_qubits` qubits.
     pub fn new(num_qubits: usize) -> Self {
+        let metrics = ExecMetrics::new();
+        metrics.workspace_qubits.set(num_qubits as i64);
         Self {
             sv: Statevector::zero(num_qubits),
             scratch: Vec::new(),
             tables: BoundTables::new(),
             cols: Vec::new(),
+            metrics,
         }
     }
 
@@ -62,6 +95,7 @@ impl SimWorkspace {
         if self.sv.num_qubits() != n {
             self.sv = Statevector::zero(n);
             self.scratch = Vec::new();
+            self.metrics.workspace_qubits.set(n as i64);
         }
     }
 
@@ -80,7 +114,9 @@ impl SimWorkspace {
         self.ensure_qubits(cc.num_qubits());
         if !self.tables.prepared_for(cc) {
             self.tables.prepare(cc);
+            self.metrics.table_rebinds.inc();
         }
+        self.metrics.runs.inc();
         cc.specialize(params, &mut self.tables);
         if cc.init_ops == 0 {
             self.sv.reset_zero();
@@ -104,7 +140,9 @@ impl SimWorkspace {
         assert_eq!(cc.num_qubits(), self.sv.num_qubits(), "width mismatch");
         if !self.tables.prepared_for(cc) {
             self.tables.prepare(cc);
+            self.metrics.table_rebinds.inc();
         }
+        self.metrics.runs.inc();
         cc.specialize(params, &mut self.tables);
         self.apply_ops(cc, 0);
         &self.sv
@@ -120,6 +158,7 @@ impl SimWorkspace {
     /// non-zero only on the [`run`](Self::run) path, where the leading ops
     /// were absorbed into the product-state fill.
     fn apply_ops(&mut self, cc: &CompiledCircuit, start: usize) {
+        self.metrics.gate_ops.add((cc.ops.len() - start) as u64);
         for op in &cc.ops[start..] {
             match *op {
                 PlanOp::Fused1 { q, slot } => {

@@ -1,0 +1,118 @@
+//! Human-readable console tree.
+//!
+//! Metric names use dotted `stage.op` paths (DESIGN.md §9); the tree
+//! groups them by their first segment so one glance shows where a run
+//! spent its events and its time:
+//!
+//! ```text
+//! pipeline
+//! ├─ dock            hist  count 4  p50 1.2ms  p99 3.4ms  max 3.5ms
+//! └─ vqe             hist  count 4  p50 310ms  p99 340ms  max 341ms
+//! supervisor
+//! ├─ attempts        count 6
+//! └─ retries         count 2
+//! ```
+
+use crate::snapshot::Snapshot;
+use std::collections::BTreeMap;
+use std::fmt::Write;
+
+/// Formats nanoseconds with a readable unit.
+fn fmt_ns(ns: u64) -> String {
+    match ns {
+        0..=9_999 => format!("{ns}ns"),
+        10_000..=9_999_999 => format!("{:.1}µs", ns as f64 / 1e3),
+        10_000_000..=999_999_999 => format!("{:.1}ms", ns as f64 / 1e6),
+        _ => format!("{:.2}s", ns as f64 / 1e9),
+    }
+}
+
+enum Line {
+    Counter(u64),
+    Gauge(i64),
+    Hist(String),
+}
+
+/// Renders `snapshot` as a tree grouped by the leading name segment.
+pub fn render_tree(snapshot: &Snapshot) -> String {
+    // group → (rest-of-name → line)
+    let mut groups: BTreeMap<&str, BTreeMap<&str, Line>> = BTreeMap::new();
+    fn split(name: &str) -> (&str, &str) {
+        match name.split_once('.') {
+            Some((g, rest)) => (g, rest),
+            None => (name, name),
+        }
+    }
+    for (name, v) in &snapshot.counters {
+        let (g, rest) = split(name);
+        groups.entry(g).or_default().insert(rest, Line::Counter(*v));
+    }
+    for (name, v) in &snapshot.gauges {
+        let (g, rest) = split(name);
+        groups.entry(g).or_default().insert(rest, Line::Gauge(*v));
+    }
+    for (name, h) in &snapshot.histograms {
+        let (g, rest) = split(name);
+        let detail = format!(
+            "count {}  p50 {}  p99 {}  max {}",
+            h.count,
+            fmt_ns(h.p50),
+            fmt_ns(h.p99),
+            fmt_ns(h.max)
+        );
+        groups
+            .entry(g)
+            .or_default()
+            .insert(rest, Line::Hist(detail));
+    }
+
+    let mut out = String::new();
+    for (group, entries) in &groups {
+        let _ = writeln!(out, "{group}");
+        let last = entries.len().saturating_sub(1);
+        for (i, (name, line)) in entries.iter().enumerate() {
+            let branch = if i == last { "└─" } else { "├─" };
+            match line {
+                Line::Counter(v) => {
+                    let _ = writeln!(out, "{branch} {name:<24} count {v}");
+                }
+                Line::Gauge(v) => {
+                    let _ = writeln!(out, "{branch} {name:<24} gauge {v}");
+                }
+                Line::Hist(detail) => {
+                    let _ = writeln!(out, "{branch} {name:<24} hist  {detail}");
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::Registry;
+
+    #[test]
+    fn groups_by_leading_segment() {
+        let r = Registry::new();
+        r.counter("supervisor.attempts").add(6);
+        r.counter("supervisor.retries").add(2);
+        r.histogram("pipeline.vqe").record(310_000_000);
+        let tree = render_tree(&r.snapshot());
+        assert!(tree.contains("supervisor\n"));
+        assert!(tree.contains("pipeline\n"));
+        assert!(tree.contains("attempts"));
+        assert!(tree.contains("310.0ms"));
+        // Exactly one last-branch glyph per group.
+        assert_eq!(tree.matches("└─").count(), 2);
+    }
+
+    #[test]
+    fn duration_units_scale() {
+        assert_eq!(fmt_ns(900), "900ns");
+        assert_eq!(fmt_ns(45_000), "45.0µs");
+        assert_eq!(fmt_ns(12_000_000), "12.0ms");
+        assert_eq!(fmt_ns(3_200_000_000), "3.20s");
+    }
+}

@@ -1,0 +1,39 @@
+//! JSON snapshot exporter — the `--telemetry <path>` format.
+
+use crate::snapshot::Snapshot;
+use std::path::Path;
+
+/// Writes `snapshot` as pretty, key-sorted JSON to `path`.
+pub fn write_snapshot(path: &Path, snapshot: &Snapshot) -> std::io::Result<()> {
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    std::fs::write(path, snapshot.to_json())
+}
+
+/// Reads a snapshot back from `path`, validating the schema version.
+pub fn read_snapshot(path: &Path) -> Result<Snapshot, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    Snapshot::from_json(&text)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::Registry;
+
+    #[test]
+    fn write_then_read_round_trips() {
+        let r = Registry::new();
+        r.counter("io.test").add(5);
+        r.histogram("io.lat").record(42);
+        let snap = r.snapshot();
+        let path =
+            std::env::temp_dir().join(format!("qdb-telemetry-json-{}.json", std::process::id()));
+        write_snapshot(&path, &snap).unwrap();
+        assert_eq!(read_snapshot(&path).unwrap(), snap);
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -1,0 +1,6 @@
+//! Snapshot exporters: JSON (machine, CI-diffable), Prometheus text
+//! exposition (scrapers), and a console tree (humans running examples).
+
+pub mod console;
+pub mod json;
+pub mod prometheus;

@@ -1,0 +1,72 @@
+//! Prometheus text-exposition exporter.
+//!
+//! Dotted metric names become underscore-separated (`vqe.energy_evals` →
+//! `qdb_vqe_energy_evals`); histograms export as summaries with
+//! `quantile` labels plus `_sum`/`_count`/`_min`/`_max` series.
+
+use crate::snapshot::Snapshot;
+use std::fmt::Write;
+
+/// Sanitizes a dotted metric name into a Prometheus identifier.
+fn prom_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 4);
+    out.push_str("qdb_");
+    for ch in name.chars() {
+        if ch.is_ascii_alphanumeric() {
+            out.push(ch);
+        } else {
+            out.push('_');
+        }
+    }
+    out
+}
+
+/// Renders `snapshot` in the Prometheus text exposition format.
+pub fn render(snapshot: &Snapshot) -> String {
+    let mut out = String::new();
+    for (name, value) in &snapshot.counters {
+        let p = prom_name(name);
+        let _ = writeln!(out, "# TYPE {p} counter");
+        let _ = writeln!(out, "{p} {value}");
+    }
+    for (name, value) in &snapshot.gauges {
+        let p = prom_name(name);
+        let _ = writeln!(out, "# TYPE {p} gauge");
+        let _ = writeln!(out, "{p} {value}");
+    }
+    for (name, h) in &snapshot.histograms {
+        let p = prom_name(name);
+        let _ = writeln!(out, "# TYPE {p} summary");
+        for (q, v) in [(0.5, h.p50), (0.9, h.p90), (0.99, h.p99)] {
+            let _ = writeln!(out, "{p}{{quantile=\"{q}\"}} {v}");
+        }
+        let _ = writeln!(out, "{p}_sum {}", h.sum);
+        let _ = writeln!(out, "{p}_count {}", h.count);
+        let _ = writeln!(out, "{p}_min {}", h.min);
+        let _ = writeln!(out, "{p}_max {}", h.max);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::Registry;
+
+    #[test]
+    fn renders_all_metric_kinds() {
+        let r = Registry::new();
+        r.counter("vqe.energy_evals").add(12);
+        r.gauge("exec.workspace_qubits").set(22);
+        for v in [10u64, 20, 30] {
+            r.histogram("pipeline.vqe").record(v);
+        }
+        let text = render(&r.snapshot());
+        assert!(text.contains("# TYPE qdb_vqe_energy_evals counter"));
+        assert!(text.contains("qdb_vqe_energy_evals 12"));
+        assert!(text.contains("qdb_exec_workspace_qubits 22"));
+        assert!(text.contains("qdb_pipeline_vqe{quantile=\"0.5\"}"));
+        assert!(text.contains("qdb_pipeline_vqe_count 3"));
+        assert!(text.contains("qdb_pipeline_vqe_sum 60"));
+    }
+}

@@ -1,0 +1,336 @@
+//! Fixed-bucket log₂-scale histograms with per-thread sharding.
+//!
+//! Values land in log-linear buckets: a log₂ major bucket subdivided into
+//! 32 linear sub-buckets, so any recorded value is reconstructed from its
+//! bucket bound with ≤ 1/32 (~3%) relative error across the full `u64`
+//! range — tight enough to report benchmark percentiles, coarse enough to
+//! stay fixed-size (1920 buckets, no reallocation ever).
+//!
+//! Recording is lock-free and rayon-friendly: each OS thread writes to one
+//! of a small set of shards (relaxed atomic adds, no CAS loops, no locks),
+//! so parallel workers do not contend on one cache line. A scrape merges
+//! the shards into an immutable [`HistogramSnapshot`] carrying count, sum,
+//! exact min/max, and p50/p90/p99 estimates.
+
+use serde::{Deserialize, Serialize};
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+
+/// Linear sub-buckets per power of two (2⁵).
+const SUB_BITS: u32 = 5;
+const SUB: usize = 1 << SUB_BITS; // 32
+
+/// Total buckets: values `0..32` exactly, then 32 sub-buckets for each of
+/// the 59 remaining powers of two.
+pub const NUM_BUCKETS: usize = SUB * 60;
+
+/// Shards threads spread their writes over.
+const SHARDS: usize = 8;
+
+/// Bucket index of a value.
+#[inline]
+fn bucket_index(v: u64) -> usize {
+    if v < SUB as u64 {
+        v as usize
+    } else {
+        let h = 63 - v.leading_zeros(); // ≥ SUB_BITS
+        let m = (v >> (h - SUB_BITS)) as usize; // SUB..2·SUB
+        SUB * (h as usize - SUB_BITS as usize + 1) + (m - SUB)
+    }
+}
+
+/// Largest value a bucket can hold.
+fn bucket_upper(i: usize) -> u64 {
+    if i < SUB {
+        i as u64
+    } else {
+        let g = (i / SUB) as u32; // ≥ 1
+        let sub = (i % SUB) as u128;
+        let h = g + SUB_BITS - 1; // ≥ SUB_BITS
+        let ub = ((sub + SUB as u128 + 1) << (h - SUB_BITS)) - 1;
+        ub.min(u64::MAX as u128) as u64
+    }
+}
+
+static NEXT_THREAD: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    /// Process-wide thread ordinal, assigned on first record. Const-initialized,
+    /// so reading it never allocates (the hot loop stays allocation-free).
+    static THREAD_ORDINAL: Cell<usize> = const { Cell::new(usize::MAX) };
+}
+
+#[inline]
+fn shard_of(n: usize) -> usize {
+    THREAD_ORDINAL.with(|c| {
+        let mut i = c.get();
+        if i == usize::MAX {
+            i = NEXT_THREAD.fetch_add(1, Ordering::Relaxed);
+            c.set(i);
+        }
+        i % n
+    })
+}
+
+#[derive(Debug)]
+struct Shard {
+    buckets: Box<[AtomicU64]>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    /// `u64::MAX` while the shard is empty.
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Shard {
+    fn new() -> Self {
+        Self {
+            buckets: (0..NUM_BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+}
+
+/// A concurrent log₂-scale histogram.
+///
+/// [`record`](Histogram::record) takes a raw `u64`; by convention the
+/// workspace records durations in **nanoseconds** and counts as plain
+/// values (the metric name documents the unit — see DESIGN.md §9).
+#[derive(Debug)]
+pub struct Histogram {
+    shards: Box<[Shard]>,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self {
+            shards: (0..SHARDS).map(|_| Shard::new()).collect(),
+        }
+    }
+
+    /// Records one value. Lock- and allocation-free.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        let s = &self.shards[shard_of(self.shards.len())];
+        s.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        s.count.fetch_add(1, Ordering::Relaxed);
+        s.sum.fetch_add(v, Ordering::Relaxed);
+        s.min.fetch_min(v, Ordering::Relaxed);
+        s.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Total recordings so far (cheap; does not merge buckets).
+    pub fn count(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| s.count.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// Merges all shards into an immutable snapshot.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut dense = vec![0u64; NUM_BUCKETS];
+        let (mut count, mut sum) = (0u64, 0u64);
+        let (mut min, mut max) = (u64::MAX, 0u64);
+        for s in self.shards.iter() {
+            for (d, b) in dense.iter_mut().zip(s.buckets.iter()) {
+                *d += b.load(Ordering::Relaxed);
+            }
+            count += s.count.load(Ordering::Relaxed);
+            sum = sum.wrapping_add(s.sum.load(Ordering::Relaxed));
+            min = min.min(s.min.load(Ordering::Relaxed));
+            max = max.max(s.max.load(Ordering::Relaxed));
+        }
+        let buckets: Vec<(u32, u64)> = dense
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(i, &c)| (i as u32, c))
+            .collect();
+        HistogramSnapshot::assemble(count, sum, if count == 0 { 0 } else { min }, max, buckets)
+    }
+}
+
+/// An immutable merged view of a [`Histogram`]: exact count/sum/min/max
+/// plus bucket-bound percentile estimates. Serializes with sparse buckets
+/// (only non-empty ones), so snapshots stay diffable and compact.
+#[derive(Clone, Debug, Serialize, Deserialize, PartialEq, Eq)]
+pub struct HistogramSnapshot {
+    /// Values recorded.
+    pub count: u64,
+    /// Sum of recorded values (wrapping in the astronomically unlikely
+    /// case a sum exceeds `u64::MAX`).
+    pub sum: u64,
+    /// Smallest recorded value (0 when empty).
+    pub min: u64,
+    /// Largest recorded value.
+    pub max: u64,
+    /// Estimated median.
+    pub p50: u64,
+    /// Estimated 90th percentile.
+    pub p90: u64,
+    /// Estimated 99th percentile.
+    pub p99: u64,
+    /// `(bucket index, count)` for every non-empty bucket, ascending.
+    pub buckets: Vec<(u32, u64)>,
+}
+
+impl HistogramSnapshot {
+    /// An empty snapshot.
+    pub fn empty() -> Self {
+        Self::assemble(0, 0, 0, 0, Vec::new())
+    }
+
+    fn assemble(count: u64, sum: u64, min: u64, max: u64, buckets: Vec<(u32, u64)>) -> Self {
+        let mut snap = Self {
+            count,
+            sum,
+            min,
+            max,
+            p50: 0,
+            p90: 0,
+            p99: 0,
+            buckets,
+        };
+        snap.p50 = snap.quantile(0.50);
+        snap.p90 = snap.quantile(0.90);
+        snap.p99 = snap.quantile(0.99);
+        snap
+    }
+
+    /// Estimated value at quantile `q ∈ [0, 1]`: the upper bound of the
+    /// bucket holding the rank-`⌈q·count⌉` value, clamped to the exact
+    /// observed `[min, max]`. Monotone in `q` by construction.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut cum = 0u64;
+        for &(i, c) in &self.buckets {
+            cum += c;
+            if cum >= rank {
+                return bucket_upper(i as usize).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Mean of recorded values (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Merges two snapshots (commutative and associative; percentiles are
+    /// recomputed from the combined buckets).
+    pub fn merge(&self, other: &Self) -> Self {
+        let mut dense = std::collections::BTreeMap::new();
+        for &(i, c) in self.buckets.iter().chain(&other.buckets) {
+            *dense.entry(i).or_insert(0u64) += c;
+        }
+        let count = self.count + other.count;
+        let min = match (self.count, other.count) {
+            (0, _) => other.min,
+            (_, 0) => self.min,
+            _ => self.min.min(other.min),
+        };
+        Self::assemble(
+            count,
+            self.sum.wrapping_add(other.sum),
+            min,
+            self.max.max(other.max),
+            dense.into_iter().collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_bounds_bracket_every_value() {
+        for v in [
+            0u64,
+            1,
+            31,
+            32,
+            33,
+            63,
+            64,
+            100,
+            1 << 20,
+            u64::MAX - 1,
+            u64::MAX,
+        ] {
+            let i = bucket_index(v);
+            assert!(bucket_upper(i) >= v, "upper({i}) < {v}");
+            if i > 0 {
+                assert!(bucket_upper(i - 1) < v, "value {v} fits an earlier bucket");
+            }
+        }
+    }
+
+    #[test]
+    fn relative_error_within_one_thirty_second() {
+        for v in [100u64, 999, 12_345, 1 << 30, (1 << 40) + 7] {
+            let ub = bucket_upper(bucket_index(v));
+            let err = (ub - v) as f64 / v as f64;
+            assert!(err <= 1.0 / 32.0 + 1e-12, "v={v} ub={ub} err={err}");
+        }
+    }
+
+    #[test]
+    fn snapshot_of_known_values() {
+        let h = Histogram::new();
+        for v in [1u64, 2, 3, 4, 5, 6, 7, 8, 9, 10] {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 10);
+        assert_eq!(s.sum, 55);
+        assert_eq!(s.min, 1);
+        assert_eq!(s.max, 10);
+        // Values < 32 land in exact buckets, so percentiles are exact.
+        assert_eq!(s.p50, 5);
+        assert_eq!(s.p90, 9);
+        assert_eq!(s.p99, 10);
+    }
+
+    #[test]
+    fn empty_snapshot_is_all_zero() {
+        let s = Histogram::new().snapshot();
+        assert_eq!(s, HistogramSnapshot::empty());
+        assert_eq!(s.quantile(0.5), 0);
+        assert_eq!(s.mean(), 0.0);
+    }
+
+    #[test]
+    fn merge_matches_combined_recording() {
+        let (a, b, c) = (Histogram::new(), Histogram::new(), Histogram::new());
+        for v in 1..=100u64 {
+            c.record(v * 17);
+            if v % 2 == 0 {
+                a.record(v * 17);
+            } else {
+                b.record(v * 17);
+            }
+        }
+        let merged = a.snapshot().merge(&b.snapshot());
+        assert_eq!(merged, c.snapshot());
+    }
+}

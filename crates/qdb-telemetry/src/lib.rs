@@ -1,0 +1,79 @@
+//! # qdb-telemetry
+//!
+//! Zero-dependency observability for the QDockBank pipeline. The paper's
+//! headline tables are telemetry — qubit counts, circuit depth, execution
+//! time per fragment — and its own campaign hit queue-delay outliers
+//! (4y79: 207,445 s) that only a distribution, not a mean, can surface.
+//! This crate gives every stage a shared vocabulary for that data:
+//!
+//! * **metrics registry** ([`Registry`]) — named atomic [`Counter`]s and
+//!   [`Gauge`]s plus sharded log₂-scale [`Histogram`]s with p50/p90/p99
+//!   estimation; recording is lock-free, rayon workers shard writes,
+//!   scrapes merge.
+//! * **hierarchical spans** ([`span!`], [`span_sampled!`]) — thread-local
+//!   span stacks with a cheap RAII guard recording durations into registry
+//!   histograms; sampling-capable for compiled-engine hot loops.
+//! * **clock abstraction** ([`Clock`]) — [`MonotonicClock`] in production,
+//!   [`ManualClock`] in tests, so deadline/backoff logic never needs a
+//!   real sleep to be tested.
+//! * **exporters** ([`export`]) — schema-stable JSON snapshots (diffable
+//!   in CI), Prometheus text exposition, and a console tree.
+//!
+//! Metric names are dotted `stage.op` paths (`vqe.energy_evals`,
+//! `pipeline.dock`); histogram values are **nanoseconds** unless the name
+//! carries another unit (`supervisor.backoff_ms`). See DESIGN.md §9.
+
+pub mod clock;
+pub mod counter;
+pub mod export;
+pub mod gauge;
+pub mod histogram;
+pub mod registry;
+pub mod snapshot;
+pub mod span;
+
+pub use clock::{Clock, ManualClock, MonotonicClock};
+pub use counter::Counter;
+pub use gauge::Gauge;
+pub use histogram::{Histogram, HistogramSnapshot};
+pub use registry::Registry;
+pub use snapshot::Snapshot;
+pub use span::{current_span, span_depth, SpanGuard};
+
+use std::sync::OnceLock;
+
+static GLOBAL: OnceLock<Registry> = OnceLock::new();
+
+/// The process-global registry every built-in instrumentation site records
+/// into. Created on first use, on real time.
+pub fn global() -> &'static Registry {
+    GLOBAL.get_or_init(Registry::new)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn global_registry_is_one_instance() {
+        global().counter("lib.test.global").inc();
+        assert!(global().snapshot().counters["lib.test.global"] >= 1);
+    }
+
+    #[test]
+    fn span_macro_records_into_global() {
+        {
+            let _g = span!("lib.test.span");
+        }
+        assert!(global().snapshot().histograms["lib.test.span"].count >= 1);
+    }
+
+    #[test]
+    fn sampled_span_skips_off_cycle_hits() {
+        for _ in 0..10 {
+            let _g = span_sampled!("lib.test.sampled", 5);
+        }
+        let count = global().snapshot().histograms["lib.test.sampled"].count;
+        assert_eq!(count, 2, "10 hits at 1-in-5 sampling record twice");
+    }
+}

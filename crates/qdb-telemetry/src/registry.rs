@@ -1,0 +1,161 @@
+//! The metrics registry: named counters, gauges, and histograms.
+//!
+//! Registration (name → metric) takes a short `parking_lot` lock once per
+//! name; every *recording* after that is a lock-free atomic operation on a
+//! cached [`Arc`] handle. Hot paths fetch their handles up front (e.g. in a
+//! constructor) and pay only relaxed atomic adds per event.
+//!
+//! Most code records into the process-global registry ([`crate::global`]);
+//! tests build private [`Registry`] instances — usually with a
+//! [`ManualClock`](crate::clock::ManualClock) — so assertions never race
+//! against other tests.
+
+use crate::clock::{Clock, MonotonicClock};
+use crate::counter::Counter;
+use crate::gauge::Gauge;
+use crate::histogram::Histogram;
+use crate::snapshot::Snapshot;
+use crate::span::SpanGuard;
+use parking_lot::RwLock;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+#[derive(Debug, Default)]
+struct Maps {
+    counters: HashMap<String, Arc<Counter>>,
+    gauges: HashMap<String, Arc<Gauge>>,
+    histograms: HashMap<String, Arc<Histogram>>,
+}
+
+/// A self-contained metrics registry with its own time source.
+#[derive(Debug)]
+pub struct Registry {
+    clock: Arc<dyn Clock>,
+    maps: RwLock<Maps>,
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Registry {
+    /// A registry on real time.
+    pub fn new() -> Self {
+        Self::with_clock(Arc::new(MonotonicClock::new()))
+    }
+
+    /// A registry on an explicit clock (tests pass a
+    /// [`ManualClock`](crate::clock::ManualClock)).
+    pub fn with_clock(clock: Arc<dyn Clock>) -> Self {
+        Self {
+            clock,
+            maps: RwLock::new(Maps::default()),
+        }
+    }
+
+    /// The registry's time source.
+    pub fn clock(&self) -> &Arc<dyn Clock> {
+        &self.clock
+    }
+
+    /// The counter named `name`, created on first use. Cache the handle
+    /// on hot paths.
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        if let Some(c) = self.maps.read().counters.get(name) {
+            return c.clone();
+        }
+        self.maps
+            .write()
+            .counters
+            .entry(name.to_string())
+            .or_default()
+            .clone()
+    }
+
+    /// The gauge named `name`, created on first use.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        if let Some(g) = self.maps.read().gauges.get(name) {
+            return g.clone();
+        }
+        self.maps
+            .write()
+            .gauges
+            .entry(name.to_string())
+            .or_default()
+            .clone()
+    }
+
+    /// The histogram named `name`, created on first use.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        if let Some(h) = self.maps.read().histograms.get(name) {
+            return h.clone();
+        }
+        self.maps
+            .write()
+            .histograms
+            .entry(name.to_string())
+            .or_default()
+            .clone()
+    }
+
+    /// Opens a span named `name`: an RAII guard that, on drop, records the
+    /// elapsed nanoseconds into the histogram of the same name. Spans nest
+    /// through a thread-local stack (see [`crate::span`]).
+    pub fn span(&self, name: &'static str) -> SpanGuard<'_> {
+        SpanGuard::enter(self, name)
+    }
+
+    /// Merges every metric into one point-in-time [`Snapshot`], sorted by
+    /// name (stable, diffable output).
+    pub fn snapshot(&self) -> Snapshot {
+        let maps = self.maps.read();
+        Snapshot {
+            version: Snapshot::VERSION,
+            counters: maps
+                .counters
+                .iter()
+                .map(|(k, v)| (k.clone(), v.get()))
+                .collect(),
+            gauges: maps
+                .gauges
+                .iter()
+                .map(|(k, v)| (k.clone(), v.get()))
+                .collect(),
+            histograms: maps
+                .histograms
+                .iter()
+                .map(|(k, v)| (k.clone(), v.snapshot()))
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handles_are_shared_per_name() {
+        let r = Registry::new();
+        let a = r.counter("x");
+        let b = r.counter("x");
+        a.inc();
+        b.add(2);
+        assert_eq!(r.counter("x").get(), 3);
+        assert_eq!(r.counter("y").get(), 0);
+    }
+
+    #[test]
+    fn snapshot_collects_all_kinds() {
+        let r = Registry::new();
+        r.counter("c.one").inc();
+        r.gauge("g.one").set(-7);
+        r.histogram("h.one").record(5);
+        let s = r.snapshot();
+        assert_eq!(s.counters["c.one"], 1);
+        assert_eq!(s.gauges["g.one"], -7);
+        assert_eq!(s.histograms["h.one"].count, 1);
+    }
+}

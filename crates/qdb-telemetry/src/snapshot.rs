@@ -1,0 +1,86 @@
+//! The serializable point-in-time view of a registry.
+//!
+//! Snapshots are the contract between the pipeline and its consumers: the
+//! `--telemetry` flags write them as JSON, CI validates them against the
+//! schema documented in DESIGN.md §9, and two snapshots of the same run
+//! diff cleanly because every map is sorted (`BTreeMap`) and histogram
+//! buckets are sparse.
+
+use crate::histogram::HistogramSnapshot;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Everything a registry held at one instant.
+#[derive(Clone, Debug, Default, Serialize, Deserialize, PartialEq, Eq)]
+pub struct Snapshot {
+    /// Schema version ([`Snapshot::VERSION`]); bumped on any
+    /// backwards-incompatible layout change.
+    pub version: u32,
+    /// Monotone event totals, by metric name.
+    pub counters: BTreeMap<String, u64>,
+    /// Last-value readings, by metric name.
+    pub gauges: BTreeMap<String, i64>,
+    /// Distribution summaries (durations in nanoseconds unless the name
+    /// says otherwise), by metric name.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+impl Snapshot {
+    /// Current schema version.
+    pub const VERSION: u32 = 1;
+
+    /// Parses a snapshot from its JSON form, rejecting unknown versions.
+    pub fn from_json(json: &str) -> Result<Self, String> {
+        let snap: Snapshot = serde_json::from_str(json).map_err(|e| e.to_string())?;
+        if snap.version != Self::VERSION {
+            return Err(format!(
+                "snapshot version {} unsupported (expected {})",
+                snap.version,
+                Self::VERSION
+            ));
+        }
+        Ok(snap)
+    }
+
+    /// Pretty JSON, keys sorted — stable across runs of identical builds.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("snapshot serializes")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::Registry;
+
+    #[test]
+    fn json_round_trip() {
+        let r = Registry::new();
+        r.counter("a.b").add(3);
+        r.gauge("c.d").set(9);
+        r.histogram("e.f").record(1234);
+        let snap = r.snapshot();
+        let back = Snapshot::from_json(&snap.to_json()).unwrap();
+        assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn unknown_version_is_rejected() {
+        let mut snap = Snapshot::default();
+        snap.version = 999;
+        let err = Snapshot::from_json(&snap.to_json()).unwrap_err();
+        assert!(err.contains("999"));
+    }
+
+    #[test]
+    fn identical_registries_serialize_identically() {
+        let build = || {
+            let r = Registry::new();
+            r.counter("z").inc();
+            r.counter("a").add(2);
+            r.histogram("m").record(77);
+            r.snapshot().to_json()
+        };
+        assert_eq!(build(), build());
+    }
+}

@@ -1,0 +1,139 @@
+//! Hierarchical timing spans.
+//!
+//! A span is an RAII guard: entering pushes its name onto a thread-local
+//! stack, dropping pops it and records the elapsed nanoseconds into the
+//! registry histogram of the same name. Nesting is free — a parent span's
+//! duration naturally includes its children's — and the stack gives any
+//! code its current attribution context ([`current_span`], [`span_depth`]).
+//!
+//! Cost per span: two clock reads, one histogram record, two thread-local
+//! vector operations — tens of nanoseconds. For loops hot enough that even
+//! that matters, [`span_sampled!`](crate::span_sampled) times every Nth
+//! entry per call site and skips the rest at the price of one relaxed
+//! atomic increment.
+
+use crate::histogram::Histogram;
+use crate::registry::Registry;
+use std::cell::RefCell;
+use std::marker::PhantomData;
+use std::sync::Arc;
+
+thread_local! {
+    static SPAN_STACK: RefCell<Vec<&'static str>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Name of the innermost open span on this thread, if any.
+pub fn current_span() -> Option<&'static str> {
+    SPAN_STACK.with(|s| s.borrow().last().copied())
+}
+
+/// Number of open spans on this thread.
+pub fn span_depth() -> usize {
+    SPAN_STACK.with(|s| s.borrow().len())
+}
+
+/// RAII guard for one span. Created by [`Registry::span`]; records on drop.
+///
+/// Deliberately `!Send`: the guard belongs to the thread whose span stack
+/// it sits on.
+#[derive(Debug)]
+pub struct SpanGuard<'r> {
+    registry: &'r Registry,
+    hist: Arc<Histogram>,
+    start_ns: u64,
+    _not_send: PhantomData<*const ()>,
+}
+
+impl<'r> SpanGuard<'r> {
+    pub(crate) fn enter(registry: &'r Registry, name: &'static str) -> Self {
+        let hist = registry.histogram(name);
+        SPAN_STACK.with(|s| s.borrow_mut().push(name));
+        Self {
+            registry,
+            hist,
+            start_ns: registry.clock().now_ns(),
+            _not_send: PhantomData,
+        }
+    }
+}
+
+impl Drop for SpanGuard<'_> {
+    fn drop(&mut self) {
+        let elapsed = self.registry.clock().now_ns().saturating_sub(self.start_ns);
+        self.hist.record(elapsed);
+        SPAN_STACK.with(|s| {
+            s.borrow_mut().pop();
+        });
+    }
+}
+
+/// Opens a span on the global registry: `let _g = span!("stage.op");`.
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {
+        $crate::global().span($name)
+    };
+}
+
+/// Opens a span on the global registry for every `$every`-th hit of this
+/// call site (per-site counter, shared across threads); other hits cost a
+/// single relaxed atomic increment. Binds an `Option<SpanGuard>`.
+#[macro_export]
+macro_rules! span_sampled {
+    ($name:expr, $every:expr) => {{
+        static SITE_HITS: ::std::sync::atomic::AtomicU64 = ::std::sync::atomic::AtomicU64::new(0);
+        let hit = SITE_HITS.fetch_add(1, ::std::sync::atomic::Ordering::Relaxed);
+        if hit % ($every as u64) == 0 {
+            Some($crate::global().span($name))
+        } else {
+            None
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::ManualClock;
+
+    #[test]
+    fn nested_spans_attribute_parent_and_child_durations() {
+        let clock = Arc::new(ManualClock::new());
+        let r = Registry::with_clock(clock.clone());
+        {
+            let _outer = r.span("test.outer");
+            assert_eq!(current_span(), Some("test.outer"));
+            clock.advance_ms(10);
+            {
+                let _inner = r.span("test.inner");
+                assert_eq!(span_depth(), 2);
+                assert_eq!(current_span(), Some("test.inner"));
+                clock.advance_ms(5);
+            }
+            assert_eq!(current_span(), Some("test.outer"));
+        }
+        assert_eq!(span_depth(), 0);
+        let snap = r.snapshot();
+        let outer = &snap.histograms["test.outer"];
+        let inner = &snap.histograms["test.inner"];
+        // The child saw exactly its own 5 ms; the parent's 15 ms includes
+        // the child — correct hierarchical attribution.
+        assert_eq!(inner.sum, 5_000_000);
+        assert_eq!(outer.sum, 15_000_000);
+        assert_eq!(inner.count, 1);
+        assert_eq!(outer.count, 1);
+    }
+
+    #[test]
+    fn repeated_spans_accumulate_into_one_histogram() {
+        let clock = Arc::new(ManualClock::new());
+        let r = Registry::with_clock(clock.clone());
+        for _ in 0..4 {
+            let _g = r.span("test.loop");
+            clock.advance_ns(1_000);
+        }
+        let h = r.snapshot().histograms["test.loop"].clone();
+        assert_eq!(h.count, 4);
+        assert_eq!(h.sum, 4_000);
+    }
+}

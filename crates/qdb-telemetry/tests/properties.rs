@@ -1,0 +1,113 @@
+//! Property tests for the telemetry histogram: merge commutativity,
+//! percentile monotonicity and bracketing, and no-loss recording under
+//! sharded concurrency.
+
+use proptest::prelude::*;
+use qdb_telemetry::{Histogram, HistogramSnapshot};
+use std::sync::Arc;
+
+fn snapshot_of(values: &[u64]) -> HistogramSnapshot {
+    let h = Histogram::new();
+    for &v in values {
+        h.record(v);
+    }
+    h.snapshot()
+}
+
+proptest! {
+    /// Merging snapshots is commutative, and merging partitions of a
+    /// record stream equals recording the stream whole.
+    #[test]
+    fn prop_merge_commutes_and_matches_combined(
+        a in proptest::collection::vec(any::<u64>(), 0..200),
+        b in proptest::collection::vec(any::<u64>(), 0..200),
+    ) {
+        let (sa, sb) = (snapshot_of(&a), snapshot_of(&b));
+        let ab = sa.merge(&sb);
+        let ba = sb.merge(&sa);
+        prop_assert_eq!(&ab, &ba);
+
+        let mut all = a.clone();
+        all.extend_from_slice(&b);
+        prop_assert_eq!(&ab, &snapshot_of(&all));
+    }
+
+    /// p50 ≤ p90 ≤ p99 ≤ max, and every percentile stays inside the exact
+    /// observed [min, max] band.
+    #[test]
+    fn prop_percentiles_monotone_and_bracketed(
+        values in proptest::collection::vec(0u64..u64::MAX / 2, 1..300),
+    ) {
+        let s = snapshot_of(&values);
+        prop_assert!(s.p50 <= s.p90);
+        prop_assert!(s.p90 <= s.p99);
+        prop_assert!(s.p99 <= s.max);
+        prop_assert!(s.p50 >= s.min);
+        let exact_min = *values.iter().min().unwrap();
+        let exact_max = *values.iter().max().unwrap();
+        prop_assert_eq!(s.min, exact_min);
+        prop_assert_eq!(s.max, exact_max);
+        prop_assert_eq!(s.count, values.len() as u64);
+        // Generic quantile stays monotone in q as well.
+        let mut last = 0u64;
+        for q in [0.0, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0] {
+            let v = s.quantile(q);
+            prop_assert!(v >= last, "quantile({q}) = {v} < {last}");
+            last = v;
+        }
+    }
+
+    /// A percentile estimate overshoots its exact counterpart by at most
+    /// the bucket's 1/32 relative width.
+    #[test]
+    fn prop_median_estimate_within_bucket_error(
+        values in proptest::collection::vec(1u64..1_000_000_000, 1..200),
+    ) {
+        let s = snapshot_of(&values);
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        let exact_p50 = sorted[(values.len() - 1) / 2];
+        prop_assert!(s.p50 >= exact_p50, "estimate below exact median");
+        let bound = exact_p50 + exact_p50 / 32 + 1;
+        prop_assert!(
+            s.p50 <= bound,
+            "p50 estimate {} above error bound {} (exact {})",
+            s.p50, bound, exact_p50
+        );
+    }
+
+    /// Concurrent recording across threads (each landing in a per-thread
+    /// shard) loses nothing: count and sum are exact.
+    #[test]
+    fn prop_sharded_concurrent_recording_is_lossless(
+        per_thread in proptest::collection::vec(
+            proptest::collection::vec(0u64..1_000_000, 1..50),
+            1..6,
+        ),
+    ) {
+        let h = Arc::new(Histogram::new());
+        let handles: Vec<_> = per_thread
+            .iter()
+            .cloned()
+            .map(|values| {
+                let h = h.clone();
+                std::thread::spawn(move || {
+                    for v in values {
+                        h.record(v);
+                    }
+                })
+            })
+            .collect();
+        for handle in handles {
+            handle.join().unwrap();
+        }
+        let s = h.snapshot();
+        let expected_count: u64 = per_thread.iter().map(|v| v.len() as u64).sum();
+        let expected_sum: u64 = per_thread.iter().flatten().sum();
+        prop_assert_eq!(s.count, expected_count);
+        prop_assert_eq!(s.sum, expected_sum);
+        // And equals the single-threaded recording of the same values.
+        let flat: Vec<u64> = per_thread.iter().flatten().copied().collect();
+        prop_assert_eq!(s, snapshot_of(&flat));
+    }
+}

@@ -189,6 +189,14 @@ pub fn run_vqe_injected<F: FaultInjector>(
 ) -> Result<VqeOutcome, VqeError> {
     injector.on_submit()?;
 
+    // Telemetry handles fetched once per run; inside the hot loop each
+    // evaluation costs two clock reads and two relaxed atomic adds.
+    let telemetry = qdb_telemetry::global();
+    telemetry.counter("vqe.runs").inc();
+    let m_energy_evals = telemetry.counter("vqe.energy_evals");
+    let h_energy_eval = telemetry.histogram("vqe.energy_eval");
+    let tel_clock = telemetry.clock().clone();
+
     let ansatz = build_ansatz(ham, config.reps);
     let compiled = CompiledCircuit::compile(&ansatz);
     let diagonal = ham.dense_diagonal();
@@ -220,6 +228,7 @@ pub fn run_vqe_injected<F: FaultInjector>(
         }
         let eval = eval_idx;
         eval_idx += 1;
+        let eval_start_ns = tel_clock.now_ns();
         let noise = match injector.stage1_noise(eval, base_noise) {
             Ok(model) => model,
             Err(e) => {
@@ -271,6 +280,8 @@ pub fn run_vqe_injected<F: FaultInjector>(
                 ws,
             ),
         };
+        m_energy_evals.inc();
+        h_energy_eval.record(tel_clock.now_ns().saturating_sub(eval_start_ns));
         let e = injector.observe_energy(eval, e);
         // Divergence guard: a NaN/∞ energy must never leak into the
         // history (and from there into `lowest_energy`/`highest_energy`
@@ -284,6 +295,7 @@ pub fn run_vqe_injected<F: FaultInjector>(
     };
     let optimizer = Cobyla::with_budget(config.max_iters);
     let result = optimizer.minimize(&mut objective, &x0);
+    telemetry.counter("vqe.iterations").add(result.evals as u64);
     if let Some(e) = fault {
         return Err(e);
     }
@@ -342,6 +354,8 @@ pub fn run_vqe_injected<F: FaultInjector>(
         }
         Counts::from_map(merged)
     };
+
+    telemetry.counter("vqe.shots_sampled").add(counts.shots());
 
     // Map sampled bitstrings to conformation energies; take the minimum
     // over *finite* energies (total order, no NaN panic). Bitstrings are

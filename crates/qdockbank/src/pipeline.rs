@@ -249,17 +249,30 @@ pub fn run_qdock_with<F: FaultInjector>(
     injector: &mut F,
 ) -> Result<(Vec<Vec3>, Structure, QuantumMetadata), PipelineError> {
     let _ = config;
-    let seq = record.sequence();
+    // Stage spans (DESIGN.md §9): each records wall time into the
+    // histogram of the same name; nesting under `pipeline.fragment` is
+    // handled by the thread-local span stack.
+    let seq = {
+        let _s = qdb_telemetry::span!("pipeline.encode");
+        record.sequence()
+    };
     let physical = EagleProfile::physical_qubits(record.len());
-    let hamiltonian = FoldingHamiltonian::new(
-        seq.clone(),
-        Lambdas::default(),
-        EnergyScale::calibrated(physical),
-    );
+    let hamiltonian = {
+        let _s = qdb_telemetry::span!("pipeline.hamiltonian");
+        FoldingHamiltonian::new(
+            seq.clone(),
+            Lambdas::default(),
+            EnergyScale::calibrated(physical),
+        )
+    };
     let mut ws = SimWorkspace::new(0);
-    let outcome = run_vqe_injected(&hamiltonian, vqe_cfg, &mut ws, injector)?;
+    let outcome = {
+        let _s = qdb_telemetry::span!("pipeline.vqe");
+        run_vqe_injected(&hamiltonian, vqe_cfg, &mut ws, injector)?
+    };
 
     // Decode the best sampled conformation into a centered Cα trace.
+    let reconstruct_span = qdb_telemetry::span!("pipeline.reconstruct");
     let conformation = hamiltonian.conformation_of(outcome.best_bitstring);
     let trace_obj = CaTrace::from_conformation(&conformation).centered();
     let trace: Vec<Vec3> = trace_obj
@@ -269,6 +282,7 @@ pub fn run_qdock_with<F: FaultInjector>(
         .collect();
     let mut structure = build_peptide(&trace, &specs_for(&seq, record.residue_start));
     structure.center();
+    drop(reconstruct_span);
 
     // Hardware resource accounting: route the logical ansatz on Eagle-127
     // with the §5.3 ancilla margin, lower to the native basis, measure.
@@ -315,6 +329,7 @@ pub fn evaluate_structure(
     config: &PipelineConfig,
     seed: u64,
 ) -> PredictionEval {
+    let rmsd_span = qdb_telemetry::span!("pipeline.rmsd");
     let sup = superpose(&trace, &reference.trace);
     let rmsd = sup.rmsd;
     // Map the prediction into the reference frame.
@@ -325,11 +340,15 @@ pub fn evaluate_structure(
             atom.pos = sup.apply(atom.pos);
         }
     }
+    drop(rmsd_span);
     let mut params = config.dock_params();
     params.center = ligand.centroid();
     params.box_size = Vec3::new(16.0, 16.0, 16.0);
     params.local_only = true;
-    let docking = dock_replicates(&structure, ligand, &params, seed, config.docking_runs);
+    let docking = {
+        let _s = qdb_telemetry::span!("pipeline.dock");
+        dock_replicates(&structure, ligand, &params, seed, config.docking_runs)
+    };
     PredictionEval {
         trace,
         structure,
@@ -378,6 +397,7 @@ pub fn run_fragment_with<F: FaultInjector>(
     vqe_cfg: &VqeConfig,
     injector: &mut F,
 ) -> Result<FragmentResult, PipelineError> {
+    let _fragment_span = qdb_telemetry::span!("pipeline.fragment");
     let seq = record.sequence();
     let reference = generate_reference(record.pdb_id, &seq, record.residue_start);
     let ligand = ligand_for(record, &reference);

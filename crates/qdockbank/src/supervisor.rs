@@ -28,13 +28,13 @@ use crate::dataset::{validate_entry, write_fragment_entry, FragmentFiles};
 use crate::error::PipelineError;
 use crate::fragments::FragmentRecord;
 use crate::pipeline::{run_fragment_with, PipelineConfig};
+use qdb_telemetry::{Clock, MonotonicClock};
 use qdb_vqe::error::panic_message;
 use qdb_vqe::fault::FaultPlan;
 use qdb_vqe::runner::{EnergyEngine, VqeConfig};
 use serde::{Deserialize, Serialize};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
-use std::time::Instant;
 
 /// Retry/degradation policy for a supervised build.
 #[derive(Clone, Copy, Debug)]
@@ -228,9 +228,11 @@ fn run_supervised(
     pipeline_cfg: &PipelineConfig,
     sup: &SupervisorConfig,
     plan: &FaultPlan,
+    clock: &dyn Clock,
 ) -> (Result<FragmentFiles, PipelineError>, Vec<AttemptRecord>) {
+    let telemetry = qdb_telemetry::global();
     let canonical = pipeline_cfg.vqe_config(record);
-    let started = Instant::now();
+    let started_ns = clock.now_ns();
     let mut attempts: Vec<AttemptRecord> = Vec::new();
     // Consecutive deterministic (non-transient) failures; transient
     // failures retry in place without escalating.
@@ -239,9 +241,11 @@ fn run_supervised(
 
     for attempt in 0..sup.max_attempts {
         if attempt > 0 {
+            telemetry.counter("supervisor.retries").inc();
             if let Some(deadline) = sup.fragment_deadline_ms {
-                let elapsed_ms = started.elapsed().as_millis() as u64;
+                let elapsed_ms = clock.elapsed_ms(started_ns);
                 if elapsed_ms > deadline {
+                    telemetry.counter("supervisor.deadline_hits").inc();
                     return (
                         Err(PipelineError::DeadlineExceeded { elapsed_ms }),
                         attempts,
@@ -249,8 +253,12 @@ fn run_supervised(
                 }
             }
         }
+        telemetry.counter("supervisor.attempts").inc();
         let (vqe_cfg, seed_shifted, degradation) =
             attempt_config(&canonical, escalation, attempt, sup.degrade);
+        if degradation.is_some() {
+            telemetry.counter("supervisor.degradations").inc();
+        }
         let mut injector = plan.injector(record.pdb_id, attempt);
         // The whole attempt — VQE, docking, entry write — is one
         // isolated unit: a panic anywhere inside becomes a typed error
@@ -295,7 +303,9 @@ fn run_supervised(
                 attempts.push(rec);
                 last_err = Some(e);
                 if backoff > 0 && attempt + 1 < sup.max_attempts {
-                    std::thread::sleep(std::time::Duration::from_millis(backoff));
+                    telemetry.counter("supervisor.backoff_waits").inc();
+                    telemetry.histogram("supervisor.backoff_ms").record(backoff);
+                    clock.sleep_ms(backoff);
                 }
             }
         }
@@ -327,6 +337,30 @@ pub fn build_dataset(
     sup: &SupervisorConfig,
     plan: &FaultPlan,
 ) -> Result<BuildSummary, PipelineError> {
+    build_dataset_with_clock(
+        root,
+        records,
+        pipeline_cfg,
+        sup,
+        plan,
+        &MonotonicClock::new(),
+    )
+}
+
+/// [`build_dataset`] on an explicit [`Clock`]: every deadline check,
+/// backoff sleep, and elapsed-time figure goes through it, so tests drive
+/// the whole retry policy on a
+/// [`ManualClock`](qdb_telemetry::ManualClock) — virtual backoffs, real
+/// coverage, zero wall-clock waiting.
+pub fn build_dataset_with_clock(
+    root: &Path,
+    records: &[&FragmentRecord],
+    pipeline_cfg: &PipelineConfig,
+    sup: &SupervisorConfig,
+    plan: &FaultPlan,
+    clock: &dyn Clock,
+) -> Result<BuildSummary, PipelineError> {
+    let telemetry = qdb_telemetry::global();
     let mut manifest = load_manifest(root)?;
     let resumed = !manifest.runs.is_empty();
     manifest.runs.push(RunRecord {
@@ -339,19 +373,20 @@ pub fn build_dataset(
     };
 
     for record in records {
-        let started = Instant::now();
+        let started_ns = clock.now_ns();
         let entry_dir = root.join(record.group().name()).join(record.pdb_id);
         let mut note = None;
         let report = if entry_dir.is_dir() {
             match validate_entry(root, record) {
                 Ok(()) => {
                     summary.checkpointed += 1;
+                    telemetry.counter("supervisor.fragments_checkpointed").inc();
                     FragmentReport {
                         pdb_id: record.pdb_id.to_string(),
                         group: record.group().name().to_string(),
                         status: "checkpointed".to_string(),
                         attempts: Vec::new(),
-                        elapsed_ms: started.elapsed().as_millis() as u64,
+                        elapsed_ms: clock.elapsed_ms(started_ns),
                         note: None,
                     }
                 }
@@ -365,8 +400,9 @@ pub fn build_dataset(
                         sup,
                         plan,
                         &mut summary,
-                        started,
+                        started_ns,
                         note,
+                        clock,
                     )
                 }
             }
@@ -378,8 +414,9 @@ pub fn build_dataset(
                 sup,
                 plan,
                 &mut summary,
-                started,
+                started_ns,
                 note,
+                clock,
             )
         };
         let run = manifest.runs.last_mut().expect("run pushed above");
@@ -397,23 +434,28 @@ fn build_one(
     sup: &SupervisorConfig,
     plan: &FaultPlan,
     summary: &mut BuildSummary,
-    started: Instant,
+    started_ns: u64,
     note: Option<String>,
+    clock: &dyn Clock,
 ) -> FragmentReport {
-    let (outcome, attempts) = run_supervised(root, record, pipeline_cfg, sup, plan);
+    let telemetry = qdb_telemetry::global();
+    let (outcome, attempts) = run_supervised(root, record, pipeline_cfg, sup, plan, clock);
     let status = match &outcome {
         Ok(_) => {
             let winning = attempts.last().expect("success recorded an attempt");
             if winning.seed_shifted || winning.degradation.is_some() {
                 summary.degraded += 1;
+                telemetry.counter("supervisor.fragments_degraded").inc();
                 "completed-degraded"
             } else {
                 summary.completed += 1;
+                telemetry.counter("supervisor.fragments_completed").inc();
                 "completed"
             }
         }
         Err(_) => {
             summary.failed += 1;
+            telemetry.counter("supervisor.fragments_failed").inc();
             "failed"
         }
     };
@@ -427,7 +469,7 @@ fn build_one(
         group: record.group().name().to_string(),
         status: status.to_string(),
         attempts,
-        elapsed_ms: started.elapsed().as_millis() as u64,
+        elapsed_ms: clock.elapsed_ms(started_ns),
         note,
     }
 }

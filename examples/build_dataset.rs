@@ -12,6 +12,8 @@
 //! cargo run --release --example build_dataset -- all out_dir --resume
 //! # rehearse utility-level backend flakiness deterministically:
 //! cargo run --release --example build_dataset -- S out_dir --inject-faults 7
+//! # build only the first 2 fragments and dump a telemetry snapshot:
+//! cargo run --release --example build_dataset -- --fragments 2 --telemetry out.json
 //! ```
 
 use qdb_vqe::fault::FaultPlan;
@@ -25,6 +27,8 @@ fn main() {
     let mut positional: Vec<&str> = Vec::new();
     let mut resume = false;
     let mut fault_seed: Option<u64> = None;
+    let mut fragment_cap: Option<usize> = None;
+    let mut telemetry_path: Option<PathBuf> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -37,6 +41,22 @@ fn main() {
                 });
                 fault_seed = Some(seed);
             }
+            "--fragments" => {
+                i += 1;
+                let n = args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--fragments needs a count");
+                    std::process::exit(1);
+                });
+                fragment_cap = Some(n);
+            }
+            "--telemetry" => {
+                i += 1;
+                let path = args.get(i).unwrap_or_else(|| {
+                    eprintln!("--telemetry needs an output path");
+                    std::process::exit(1);
+                });
+                telemetry_path = Some(PathBuf::from(path));
+            }
             other => positional.push(other),
         }
         i += 1;
@@ -47,7 +67,7 @@ fn main() {
         .copied()
         .unwrap_or("qdockbank_dataset")
         .into();
-    let records = match which {
+    let mut records = match which {
         "S" => fragments_in(Group::S),
         "M" => fragments_in(Group::M),
         "L" => fragments_in(Group::L),
@@ -57,6 +77,9 @@ fn main() {
             std::process::exit(1);
         }
     };
+    if let Some(cap) = fragment_cap {
+        records.truncate(cap);
+    }
 
     // A fresh (non-resume) build refuses to silently absorb prior state:
     // what's on disk might be from a different configuration.
@@ -116,6 +139,20 @@ fn main() {
         summary.failed,
         summary.manifest_path.display()
     );
+    if let Some(path) = telemetry_path {
+        let snap = qdb_telemetry::global().snapshot();
+        if let Err(e) = qdb_telemetry::export::json::write_snapshot(&path, &snap) {
+            eprintln!("telemetry snapshot failed: {e}");
+            std::process::exit(1);
+        }
+        println!(
+            "telemetry: {} counters, {} gauges, {} histograms → {}",
+            snap.counters.len(),
+            snap.gauges.len(),
+            snap.histograms.len(),
+            path.display()
+        );
+    }
     if summary.failed > 0 {
         std::process::exit(2);
     }

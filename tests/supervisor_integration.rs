@@ -4,10 +4,13 @@
 //! ladder, and manifest journaling.
 
 use proptest::prelude::*;
+use qdb_telemetry::{Clock, ManualClock};
 use qdb_vqe::fault::{FaultKind, FaultPlan};
 use qdockbank::fragments::fragment;
 use qdockbank::pipeline::PipelineConfig;
-use qdockbank::supervisor::{build_dataset, load_manifest, SupervisorConfig};
+use qdockbank::supervisor::{
+    build_dataset, build_dataset_with_clock, load_manifest, SupervisorConfig,
+};
 use std::path::{Path, PathBuf};
 
 fn tmpdir(tag: &str) -> PathBuf {
@@ -54,19 +57,23 @@ fn kill_and_resume_recomputes_nothing_and_is_byte_identical() {
     let sup = SupervisorConfig::fast();
     let clean = FaultPlan::none();
     let records = [fragment("3ckz").unwrap(), fragment("3eax").unwrap()];
+    // The whole scenario runs on virtual time: outputs must not depend on
+    // the clock the supervisor is handed.
+    let clock = ManualClock::new();
 
     // Reference: both fragments in one uninterrupted build.
     let full = tmpdir("resume-full");
-    build_dataset(&full, &records, &config, &sup, &clean).unwrap();
+    build_dataset_with_clock(&full, &records, &config, &sup, &clean, &clock).unwrap();
 
     // "Killed" build: only the first fragment got done before the kill.
     let partial = tmpdir("resume-partial");
-    build_dataset(&partial, &records[..1], &config, &sup, &clean).unwrap();
+    build_dataset_with_clock(&partial, &records[..1], &config, &sup, &clean, &clock).unwrap();
     assert!(partial.join("S/3ckz").is_dir());
     assert!(!partial.join("S/3eax").is_dir());
 
     // Resume with the full fragment list.
-    let summary = build_dataset(&partial, &records, &config, &sup, &clean).unwrap();
+    let summary =
+        build_dataset_with_clock(&partial, &records, &config, &sup, &clean, &clock).unwrap();
     assert_eq!(summary.checkpointed, 1, "3ckz must be reused, not rebuilt");
     assert_eq!(summary.completed, 1, "3eax is the only fragment computed");
 
@@ -135,9 +142,11 @@ fn corrupt_checkpoint_is_rejected_and_rebuilt() {
 #[test]
 fn transiently_faulted_build_matches_fault_free_byte_for_byte() {
     let config = PipelineConfig::fast();
-    // Non-zero backoff so the journal shows real delays.
+    // Substantial backoffs — affordable because they are virtual: the
+    // ManualClock advances instead of sleeping, so the journal shows real
+    // exponential delays while the test never waits.
     let sup = SupervisorConfig {
-        base_backoff_ms: 1,
+        base_backoff_ms: 500,
         ..SupervisorConfig::fast()
     };
     let records = [
@@ -145,9 +154,18 @@ fn transiently_faulted_build_matches_fault_free_byte_for_byte() {
         fragment("3eax").unwrap(),
         fragment("4mo4").unwrap(),
     ];
+    let clock = ManualClock::new();
 
     let clean_root = tmpdir("dr-clean");
-    build_dataset(&clean_root, &records, &config, &sup, &FaultPlan::none()).unwrap();
+    build_dataset_with_clock(
+        &clean_root,
+        &records,
+        &config,
+        &sup,
+        &FaultPlan::none(),
+        &clock,
+    )
+    .unwrap();
 
     // Three fragments, three transient fault classes.
     let plan = FaultPlan::none()
@@ -155,9 +173,20 @@ fn transiently_faulted_build_matches_fault_free_byte_for_byte() {
         .with_target("3eax", FaultKind::Shortfall, 1)
         .with_target("4mo4", FaultKind::Drift, 1);
     let faulted_root = tmpdir("dr-faulted");
-    let summary = build_dataset(&faulted_root, &records, &config, &sup, &plan).unwrap();
+    let wall_start = std::time::Instant::now();
+    let summary =
+        build_dataset_with_clock(&faulted_root, &records, &config, &sup, &plan, &clock).unwrap();
     assert_eq!(summary.completed, 3);
     assert_eq!(summary.failed + summary.degraded, 0);
+    // 4 retries × ≥500 ms of journaled backoff never actually slept.
+    assert!(
+        clock.now_ns() >= 2 * 500 * 1_000_000,
+        "virtual time must have accumulated the backoffs"
+    );
+    assert!(
+        wall_start.elapsed() < std::time::Duration::from_secs(60),
+        "faulted build must not sleep through its backoffs for real"
+    );
 
     // Byte-identical recovery: transient retries reuse the canonical seed.
     for r in &records {
@@ -266,6 +295,43 @@ fn persistent_deterministic_fault_walks_the_degradation_ladder() {
     // The degraded entry still validates: resuming checkpoints it.
     let resume = build_dataset(&root, &records, &config, &sup, &FaultPlan::none()).unwrap();
     assert_eq!(resume.checkpointed, 1);
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn fragment_deadline_cuts_off_on_virtual_time() {
+    let config = PipelineConfig::fast();
+    // Backoff (800 ms) alone blows the 500 ms deadline: the second attempt
+    // boundary must observe elapsed > deadline purely from virtual sleeps.
+    let sup = SupervisorConfig {
+        max_attempts: 5,
+        base_backoff_ms: 800,
+        fragment_deadline_ms: Some(500),
+        ..SupervisorConfig::fast()
+    };
+    let plan = FaultPlan::none().with_target("3ckz", FaultKind::Reject, usize::MAX);
+    let records = [fragment("3ckz").unwrap()];
+    let root = tmpdir("deadline");
+    let clock = ManualClock::new();
+    let summary = build_dataset_with_clock(&root, &records, &config, &sup, &plan, &clock).unwrap();
+    assert_eq!(summary.failed, 1);
+    assert_eq!(summary.usable(), 0);
+
+    let manifest = load_manifest(&root).unwrap();
+    let frag = &manifest.runs[0].fragments[0];
+    assert_eq!(frag.status, "failed");
+    assert_eq!(
+        frag.attempts.len(),
+        1,
+        "the deadline fires at the second attempt boundary"
+    );
+    assert!(
+        frag.note.as_deref().unwrap().contains("deadline"),
+        "note: {:?}",
+        frag.note
+    );
+    // The journaled elapsed time is virtual-clock time, not wall time.
+    assert!(frag.elapsed_ms >= 800, "elapsed_ms: {}", frag.elapsed_ms);
     let _ = std::fs::remove_dir_all(&root);
 }
 
