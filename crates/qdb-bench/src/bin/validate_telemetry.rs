@@ -30,10 +30,19 @@ const REQUIRED_COUNTERS: &[&str] = &[
     "dock.poses_reported",
     "supervisor.attempts",
     "supervisor.fragments_completed",
+    // Artifact store: every build persists entries through the atomic
+    // checksummed write path, so these tick on any successful fragment.
+    // (store.checksum_failures / recoveries / quarantines are legitimately
+    // zero on a healthy build and are deliberately not required.)
+    "store.writes",
+    "store.bytes",
+    "store.fsyncs",
+    "store.renames",
 ];
 
 /// Duration histograms every dataset build must record: the six pipeline
-/// stage spans, the whole-fragment span, and the VQE objective timer.
+/// stage spans, the whole-fragment span, the VQE objective timer, and
+/// the artifact store's per-write latency.
 const REQUIRED_HISTOGRAMS: &[&str] = &[
     "pipeline.encode",
     "pipeline.hamiltonian",
@@ -43,6 +52,7 @@ const REQUIRED_HISTOGRAMS: &[&str] = &[
     "pipeline.rmsd",
     "pipeline.fragment",
     "vqe.energy_eval",
+    "store.write_us",
 ];
 
 /// Gauges every dataset build must set.

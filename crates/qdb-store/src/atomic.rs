@@ -1,0 +1,303 @@
+//! Atomic durable writes and the per-entry `CHECKSUMS` sidecar.
+//!
+//! Write protocol, per artifact file:
+//!
+//! 1. write the full payload to `<name>.tmp`
+//! 2. fsync the tmp file (data hits the platter before any rename)
+//! 3. rename `<name>.tmp` → `<name>` (atomic replace on POSIX)
+//! 4. fsync the parent directory (the rename itself becomes durable)
+//!
+//! A crash at any point leaves either the old file, no file, or a torn
+//! `*.tmp` that no reader ever trusts — never a torn `<name>`. On top of
+//! that, an [`EntryWriter`] accumulates the CRC32C of every payload it
+//! writes and commits them (via the same protocol) as a `CHECKSUMS`
+//! sidecar. The sidecar is written *last*, so it doubles as the entry's
+//! commit record: [`verify_dir`] refuses any entry whose sidecar is
+//! absent, unparseable, incomplete, or disagrees with the bytes on disk.
+
+use crate::checksum::{crc32c, format_crc, parse_crc};
+use crate::error::StoreError;
+use crate::vfs::Vfs;
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+/// Name of the per-entry checksum sidecar.
+pub const SIDECAR: &str = "CHECKSUMS";
+
+/// Suffix of in-flight temporary files (never trusted by readers).
+pub const TMP_SUFFIX: &str = ".tmp";
+
+fn tmp_path(path: &Path) -> PathBuf {
+    let mut name = path
+        .file_name()
+        .map(|n| n.to_string_lossy().into_owned())
+        .unwrap_or_default();
+    name.push_str(TMP_SUFFIX);
+    path.with_file_name(name)
+}
+
+/// Writes `bytes` to `path` with the full atomic durable protocol and
+/// returns the payload's CRC32C.
+pub fn write_atomic(vfs: &dyn Vfs, path: &Path, bytes: &[u8]) -> Result<u32, StoreError> {
+    let telemetry = qdb_telemetry::global();
+    let started = Instant::now();
+    let tmp = tmp_path(path);
+    vfs.write_all(&tmp, bytes)?;
+    vfs.fsync_file(&tmp)?;
+    vfs.rename(&tmp, path)?;
+    telemetry.counter("store.renames").inc();
+    if let Some(parent) = path.parent() {
+        vfs.fsync_dir(parent)?;
+    }
+    telemetry.counter("store.writes").inc();
+    telemetry.counter("store.bytes").add(bytes.len() as u64);
+    telemetry.counter("store.fsyncs").add(2);
+    telemetry
+        .histogram("store.write_us")
+        .record(started.elapsed().as_micros() as u64);
+    Ok(crc32c(bytes))
+}
+
+/// Transactional writer for one artifact directory.
+///
+/// `put` each file, then `commit` — the sidecar lands last, making the
+/// whole entry visible to validators in one atomic step.
+pub struct EntryWriter<'a> {
+    vfs: &'a dyn Vfs,
+    dir: PathBuf,
+    sums: Vec<(String, u32)>,
+}
+
+impl<'a> EntryWriter<'a> {
+    /// Starts an entry under `dir`, creating it (and parents) if needed.
+    pub fn begin(vfs: &'a dyn Vfs, dir: &Path) -> Result<Self, StoreError> {
+        vfs.create_dir_all(dir)?;
+        Ok(Self {
+            vfs,
+            dir: dir.to_path_buf(),
+            sums: Vec::new(),
+        })
+    }
+
+    /// Atomically writes one named file and records its checksum.
+    pub fn put(&mut self, name: &str, bytes: &[u8]) -> Result<PathBuf, StoreError> {
+        let path = self.dir.join(name);
+        let crc = write_atomic(self.vfs, &path, bytes)?;
+        self.sums.retain(|(n, _)| n != name);
+        self.sums.push((name.to_string(), crc));
+        Ok(path)
+    }
+
+    /// Commits the entry by writing the `CHECKSUMS` sidecar.
+    pub fn commit(self) -> Result<PathBuf, StoreError> {
+        let path = self.dir.join(SIDECAR);
+        write_atomic(self.vfs, &path, render_sidecar(&self.sums).as_bytes())?;
+        Ok(path)
+    }
+}
+
+fn render_sidecar(sums: &[(String, u32)]) -> String {
+    let mut out = String::new();
+    for (name, crc) in sums {
+        out.push_str("crc32c ");
+        out.push_str(&format_crc(*crc));
+        out.push(' ');
+        out.push_str(name);
+        out.push('\n');
+    }
+    out
+}
+
+/// Parses a `CHECKSUMS` sidecar into `(name, crc)` pairs.
+pub fn read_sidecar(vfs: &dyn Vfs, dir: &Path) -> Result<Vec<(String, u32)>, StoreError> {
+    let path = dir.join(SIDECAR);
+    if !vfs.exists(&path) {
+        return Err(StoreError::MissingChecksum { path });
+    }
+    let bytes = vfs.read(&path)?;
+    let text = String::from_utf8(bytes).map_err(|_| StoreError::CorruptSidecar {
+        path: path.clone(),
+        detail: "not valid UTF-8".to_string(),
+    })?;
+    let mut out = Vec::new();
+    for line in text.lines() {
+        let mut parts = line.splitn(3, ' ');
+        let (algo, crc, name) = (parts.next(), parts.next(), parts.next());
+        match (algo, crc.and_then(parse_crc), name) {
+            (Some("crc32c"), Some(crc), Some(name)) if !name.is_empty() => {
+                out.push((name.to_string(), crc));
+            }
+            _ => {
+                return Err(StoreError::CorruptSidecar {
+                    path,
+                    detail: format!("unparseable line {line:?}"),
+                })
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Verifies an entry directory: the sidecar must exist and parse, every
+/// `required` file must be listed, and every listed file's bytes must
+/// match its recorded CRC32C.
+pub fn verify_dir(vfs: &dyn Vfs, dir: &Path, required: &[&str]) -> Result<(), StoreError> {
+    let telemetry = qdb_telemetry::global();
+    let sums = read_sidecar(vfs, dir)?;
+    for name in required {
+        if !sums.iter().any(|(n, _)| n == name) {
+            return Err(StoreError::MissingChecksum {
+                path: dir.join(name),
+            });
+        }
+    }
+    for (name, expected) in &sums {
+        let path = dir.join(name);
+        let bytes = vfs.read(&path)?;
+        let actual = crc32c(&bytes);
+        if actual != *expected {
+            telemetry.counter("store.checksum_failures").inc();
+            return Err(StoreError::ChecksumMismatch {
+                path,
+                expected: *expected,
+                actual,
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Deletes stray `*.tmp` files under `dir` (left by a crash mid-write);
+/// returns how many were removed.
+pub fn sweep_tmp_files(vfs: &dyn Vfs, dir: &Path) -> Result<usize, StoreError> {
+    let mut removed = 0;
+    for path in vfs.read_dir(dir)? {
+        let is_tmp = path
+            .file_name()
+            .map(|n| n.to_string_lossy().ends_with(TMP_SUFFIX))
+            .unwrap_or(false);
+        if is_tmp && !vfs.is_dir(&path) {
+            vfs.remove_file(&path)?;
+            removed += 1;
+        }
+    }
+    Ok(removed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vfs::{CrashVfs, StdVfs};
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("qdb-atomic-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn entry_write_verify_round_trip() {
+        let dir = tmpdir("entry");
+        let mut w = EntryWriter::begin(&StdVfs, &dir).unwrap();
+        w.put("a.json", b"{\"k\":1}").unwrap();
+        w.put("b.pdb", b"ATOM").unwrap();
+        w.commit().unwrap();
+        verify_dir(&StdVfs, &dir, &["a.json", "b.pdb"]).unwrap();
+        // No tmp residue after a clean commit.
+        assert_eq!(sweep_tmp_files(&StdVfs, &dir).unwrap(), 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_sidecar_fails_verification() {
+        let dir = tmpdir("nosidecar");
+        StdVfs.write_all(&dir.join("a.json"), b"{}").unwrap();
+        let err = verify_dir(&StdVfs, &dir, &["a.json"]).unwrap_err();
+        assert_eq!(err.kind(), "missing-checksum");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn unlisted_required_file_fails_verification() {
+        let dir = tmpdir("unlisted");
+        let mut w = EntryWriter::begin(&StdVfs, &dir).unwrap();
+        w.put("a.json", b"{}").unwrap();
+        w.commit().unwrap();
+        let err = verify_dir(&StdVfs, &dir, &["a.json", "b.json"]).unwrap_err();
+        assert_eq!(err.kind(), "missing-checksum");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn flipped_byte_fails_verification() {
+        let dir = tmpdir("flip");
+        let mut w = EntryWriter::begin(&StdVfs, &dir).unwrap();
+        w.put("a.json", b"{\"k\":12345}").unwrap();
+        w.commit().unwrap();
+        let path = dir.join("a.json");
+        let mut bytes = StdVfs.read(&path).unwrap();
+        bytes[3] ^= 0x40;
+        StdVfs.write_all(&path, &bytes).unwrap();
+        let err = verify_dir(&StdVfs, &dir, &["a.json"]).unwrap_err();
+        assert_eq!(err.kind(), "checksum-mismatch");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_sidecar_is_rejected_not_trusted() {
+        let dir = tmpdir("sidecar");
+        let mut w = EntryWriter::begin(&StdVfs, &dir).unwrap();
+        w.put("a.json", b"{}").unwrap();
+        w.commit().unwrap();
+        StdVfs
+            .write_all(&dir.join(SIDECAR), b"crc32c zzzzzzzz a.json\n")
+            .unwrap();
+        let err = verify_dir(&StdVfs, &dir, &["a.json"]).unwrap_err();
+        assert_eq!(err.kind(), "corrupt-sidecar");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn crash_mid_write_never_leaves_a_torn_visible_file() {
+        // Sweep every crash point of a 2-file entry write; at each point
+        // the final files either do not exist or carry exact bytes.
+        let total = {
+            let dir = tmpdir("probe");
+            let v = CrashVfs::new(usize::MAX);
+            let mut w = EntryWriter::begin(&v, &dir).unwrap();
+            w.put("a.json", b"payload-a").unwrap();
+            w.put("b.json", b"payload-b").unwrap();
+            w.commit().unwrap();
+            let n = v.ops_used();
+            let _ = std::fs::remove_dir_all(&dir);
+            n
+        };
+        for budget in 0..total {
+            let dir = tmpdir(&format!("cut{budget}"));
+            let v = CrashVfs::new(budget);
+            let outcome = EntryWriter::begin(&v, &dir).and_then(|mut w| {
+                w.put("a.json", b"payload-a")?;
+                w.put("b.json", b"payload-b")?;
+                w.commit()
+            });
+            assert!(outcome.is_err(), "budget {budget} must crash");
+            for (name, payload) in [("a.json", b"payload-a"), ("b.json", b"payload-b")] {
+                let path = dir.join(name);
+                if path.exists() {
+                    assert_eq!(
+                        StdVfs.read(&path).unwrap(),
+                        payload,
+                        "torn visible file at budget {budget}"
+                    );
+                }
+            }
+            // And verification only ever passes on a complete entry.
+            if verify_dir(&StdVfs, &dir, &["a.json", "b.json"]).is_ok() {
+                assert_eq!(StdVfs.read(&dir.join("a.json")).unwrap(), b"payload-a");
+                assert_eq!(StdVfs.read(&dir.join("b.json")).unwrap(), b"payload-b");
+            }
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+    }
+}

@@ -1,0 +1,94 @@
+//! CRC32C (Castagnoli) implemented in-crate.
+//!
+//! The store needs a content checksum that is cheap, well-specified, and
+//! available without pulling a dependency into the no-network build.
+//! CRC32C fits: the polynomial (0x1EDC6F41, reflected 0x82F63B78) has
+//! better error-detection properties than CRC32 for short messages, it is
+//! the checksum iSCSI/ext4/LevelDB settled on for exactly this job, and a
+//! slice-by-one table implementation is fast enough for dataset entries
+//! that are a few kilobytes each.
+
+const POLY: u32 = 0x82F6_3B78;
+
+const fn make_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ POLY
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+}
+
+static TABLE: [u32; 256] = make_table();
+
+/// CRC32C of `bytes` (standard init/finalize: `!0` both ways).
+pub fn crc32c(bytes: &[u8]) -> u32 {
+    let mut crc = !0u32;
+    for &b in bytes {
+        crc = TABLE[((crc ^ b as u32) & 0xFF) as usize] ^ (crc >> 8);
+    }
+    !crc
+}
+
+/// Renders a checksum the way sidecars and journal lines store it.
+pub fn format_crc(crc: u32) -> String {
+    format!("{crc:08x}")
+}
+
+/// Parses the 8-hex-digit form written by [`format_crc`].
+pub fn parse_crc(text: &str) -> Option<u32> {
+    if text.len() != 8 {
+        return None;
+    }
+    u32::from_str_radix(text, 16).ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // The RFC 3720 check value for "123456789".
+        assert_eq!(crc32c(b"123456789"), 0xE306_9283);
+        assert_eq!(crc32c(b""), 0);
+        // iSCSI test vector: 32 bytes of zeros.
+        assert_eq!(crc32c(&[0u8; 32]), 0x8A91_36AA);
+        // 32 bytes of 0xFF.
+        assert_eq!(crc32c(&[0xFFu8; 32]), 0x62A8_AB43);
+    }
+
+    #[test]
+    fn sensitive_to_any_single_byte_flip() {
+        let base = b"QDockBank fragment entry payload".to_vec();
+        let reference = crc32c(&base);
+        for i in 0..base.len() {
+            for bit in 0..8 {
+                let mut flipped = base.clone();
+                flipped[i] ^= 1 << bit;
+                assert_ne!(crc32c(&flipped), reference, "flip at byte {i} bit {bit}");
+            }
+        }
+    }
+
+    #[test]
+    fn format_parse_round_trip() {
+        for crc in [0u32, 1, 0xDEAD_BEEF, u32::MAX] {
+            assert_eq!(parse_crc(&format_crc(crc)), Some(crc));
+        }
+        assert_eq!(parse_crc("xyz"), None);
+        assert_eq!(parse_crc("123"), None);
+        assert_eq!(parse_crc("0123456789"), None);
+    }
+}

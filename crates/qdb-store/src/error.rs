@@ -1,0 +1,127 @@
+//! The store's error taxonomy.
+//!
+//! Two families matter to callers: I/O failures (plausibly transient —
+//! a retry may see a healthy disk) and integrity failures (deterministic
+//! — the bytes on disk are wrong and will stay wrong until someone
+//! rebuilds them). [`StoreError::is_transient`] encodes that split so the
+//! build supervisor can reuse its retry-vs-escalate policy unchanged.
+
+use std::fmt;
+use std::io;
+use std::path::PathBuf;
+
+/// Everything the artifact store can report.
+#[derive(Debug)]
+pub enum StoreError {
+    /// Underlying filesystem operation failed.
+    Io(io::Error),
+    /// A file's bytes disagree with the checksum recorded for it.
+    ChecksumMismatch {
+        /// Offending file.
+        path: PathBuf,
+        /// CRC32C the sidecar/journal recorded.
+        expected: u32,
+        /// CRC32C of the bytes actually on disk.
+        actual: u32,
+    },
+    /// A file has no recorded checksum (sidecar absent, or the file is
+    /// not listed in it): the entry was never committed.
+    MissingChecksum {
+        /// File (or sidecar) that has no checksum coverage.
+        path: PathBuf,
+    },
+    /// The sidecar itself does not parse.
+    CorruptSidecar {
+        /// Sidecar path.
+        path: PathBuf,
+        /// What failed to parse.
+        detail: String,
+    },
+}
+
+impl StoreError {
+    /// Short stable identifier (journal/manifest `cause` vocabulary).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            StoreError::Io(_) => "io",
+            StoreError::ChecksumMismatch { .. } => "checksum-mismatch",
+            StoreError::MissingChecksum { .. } => "missing-checksum",
+            StoreError::CorruptSidecar { .. } => "corrupt-sidecar",
+        }
+    }
+
+    /// Whether a plain retry can plausibly succeed (I/O yes; integrity
+    /// failures are deterministic until the entry is rebuilt).
+    pub fn is_transient(&self) -> bool {
+        matches!(self, StoreError::Io(_))
+    }
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "store I/O failed: {e}"),
+            StoreError::ChecksumMismatch {
+                path,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "checksum mismatch at {}: recorded {expected:08x}, on-disk {actual:08x}",
+                path.display()
+            ),
+            StoreError::MissingChecksum { path } => {
+                write!(f, "no checksum recorded for {}", path.display())
+            }
+            StoreError::CorruptSidecar { path, detail } => {
+                write!(f, "corrupt checksum sidecar {}: {detail}", path.display())
+            }
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for StoreError {
+    fn from(e: io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transience_split_is_io_vs_integrity() {
+        assert!(StoreError::from(io::Error::other("disk")).is_transient());
+        assert!(!StoreError::ChecksumMismatch {
+            path: "x".into(),
+            expected: 1,
+            actual: 2
+        }
+        .is_transient());
+        assert!(!StoreError::MissingChecksum { path: "x".into() }.is_transient());
+        assert!(!StoreError::CorruptSidecar {
+            path: "x".into(),
+            detail: "bad".into()
+        }
+        .is_transient());
+    }
+
+    #[test]
+    fn kinds_are_stable() {
+        assert_eq!(StoreError::from(io::Error::other("d")).kind(), "io");
+        assert_eq!(
+            StoreError::MissingChecksum { path: "x".into() }.kind(),
+            "missing-checksum"
+        );
+    }
+}

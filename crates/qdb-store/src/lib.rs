@@ -1,0 +1,40 @@
+//! # qdb-store
+//!
+//! Crash-consistent artifact store for the QDockBank dataset pipeline.
+//! Zero external dependencies; everything a durable checkpoint layer
+//! needs is in-crate:
+//!
+//! * [`checksum`] — CRC32C (Castagnoli), const-table, no deps;
+//! * [`vfs`] — the filesystem seam: [`StdVfs`] in production,
+//!   [`CrashVfs`] for the deterministic crash-point sweep harness;
+//! * [`atomic`] — the write protocol (tmp → fsync → rename → fsync dir)
+//!   plus the per-entry `CHECKSUMS` sidecar that commits an entry;
+//! * [`journal`] — append-only self-checksummed line journal whose
+//!   recovery truncates to the longest valid prefix;
+//! * [`quarantine`] — corrupt entries are moved aside with a reason
+//!   file, never deleted.
+//!
+//! The invariant the whole crate exists for: **at every filesystem-
+//! operation boundary, a reader either sees no artifact or a complete,
+//! checksum-valid one** — a crash can cost work, never integrity.
+//!
+//! Telemetry: `store.writes`, `store.bytes`, `store.fsyncs`,
+//! `store.renames`, `store.checksum_failures`, `store.recoveries`,
+//! `store.quarantines` counters and the `store.write_us` histogram, all
+//! on the global [`qdb_telemetry`] registry.
+
+pub mod atomic;
+pub mod checksum;
+pub mod error;
+pub mod journal;
+pub mod quarantine;
+pub mod vfs;
+
+pub use atomic::{
+    read_sidecar, sweep_tmp_files, verify_dir, write_atomic, EntryWriter, SIDECAR, TMP_SUFFIX,
+};
+pub use checksum::crc32c;
+pub use error::StoreError;
+pub use journal::{Journal, Replay};
+pub use quarantine::{quarantine_entry, QUARANTINE_DIR};
+pub use vfs::{CrashVfs, StdVfs, Vfs};

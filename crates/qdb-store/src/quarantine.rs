@@ -1,0 +1,106 @@
+//! Quarantine for corrupt entries.
+//!
+//! A dataset entry that fails validation is *evidence* — of a torn write,
+//! bad disk, or a bug in the writer — so it is moved aside, not deleted:
+//! the directory is renamed into `quarantine/` under the dataset root and
+//! a `REASON.txt` (written with the atomic protocol) records why. The
+//! rebuild then starts from an empty slot, and a post-mortem still has
+//! the corpse.
+
+use crate::atomic::write_atomic;
+use crate::error::StoreError;
+use crate::vfs::Vfs;
+use std::path::{Path, PathBuf};
+
+/// Directory name under the dataset root holding quarantined entries.
+pub const QUARANTINE_DIR: &str = "quarantine";
+
+/// Moves `entry_dir` into `root/quarantine/` and records `reason`.
+///
+/// The quarantine slot is named after the entry's path relative to the
+/// root (`S/3ckz` → `S-3ckz`), with a numeric suffix if that entry has
+/// been quarantined before. Returns the quarantine directory.
+pub fn quarantine_entry(
+    vfs: &dyn Vfs,
+    root: &Path,
+    entry_dir: &Path,
+    reason: &str,
+) -> Result<PathBuf, StoreError> {
+    let qroot = root.join(QUARANTINE_DIR);
+    vfs.create_dir_all(&qroot)?;
+    let base = entry_dir
+        .strip_prefix(root)
+        .unwrap_or(entry_dir)
+        .components()
+        .map(|c| c.as_os_str().to_string_lossy().into_owned())
+        .collect::<Vec<_>>()
+        .join("-");
+    let mut slot = qroot.join(&base);
+    let mut n = 1;
+    while vfs.exists(&slot) {
+        n += 1;
+        slot = qroot.join(format!("{base}-{n}"));
+    }
+    vfs.rename(entry_dir, &slot)?;
+    vfs.fsync_dir(root)?;
+    write_atomic(vfs, &slot.join("REASON.txt"), reason.as_bytes())?;
+    qdb_telemetry::global().counter("store.quarantines").inc();
+    Ok(slot)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vfs::StdVfs;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("qdb-quar-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn quarantine_moves_the_entry_and_writes_a_reason() {
+        let root = tmpdir("move");
+        let entry = root.join("S").join("3ckz");
+        StdVfs.create_dir_all(&entry).unwrap();
+        StdVfs
+            .write_all(&entry.join("metadata.json"), b"{ torn")
+            .unwrap();
+
+        let slot = quarantine_entry(&StdVfs, &root, &entry, "checksum mismatch").unwrap();
+        assert!(!entry.exists(), "original slot must be empty for rebuild");
+        assert!(slot.ends_with("quarantine/S-3ckz"));
+        assert_eq!(
+            StdVfs.read(&slot.join("metadata.json")).unwrap(),
+            b"{ torn",
+            "the corpse is preserved byte-for-byte"
+        );
+        assert_eq!(
+            StdVfs.read(&slot.join("REASON.txt")).unwrap(),
+            b"checksum mismatch"
+        );
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn repeated_quarantines_get_distinct_slots() {
+        let root = tmpdir("repeat");
+        for i in 0..3 {
+            let entry = root.join("S").join("3ckz");
+            StdVfs.create_dir_all(&entry).unwrap();
+            StdVfs
+                .write_all(&entry.join("f"), format!("gen {i}").as_bytes())
+                .unwrap();
+            quarantine_entry(&StdVfs, &root, &entry, &format!("round {i}")).unwrap();
+        }
+        let qroot = root.join(QUARANTINE_DIR);
+        let mut slots = StdVfs.read_dir(&qroot).unwrap();
+        slots.sort();
+        assert_eq!(slots.len(), 3);
+        assert_eq!(StdVfs.read(&slots[0].join("f")).unwrap(), b"gen 0");
+        assert_eq!(StdVfs.read(&slots[2].join("f")).unwrap(), b"gen 2");
+        let _ = std::fs::remove_dir_all(&root);
+    }
+}

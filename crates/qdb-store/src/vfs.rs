@@ -1,0 +1,341 @@
+//! The filesystem seam.
+//!
+//! Every filesystem operation the store performs goes through [`Vfs`], so
+//! the crash-point sweep harness can substitute [`CrashVfs`] and kill the
+//! process-model at the N-th operation. [`StdVfs`] is the production
+//! implementation; it adds nothing on top of `std::fs` beyond the fsync
+//! entry points the atomic-write protocol needs.
+
+use std::fs;
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+/// Filesystem operations the store needs, as one mockable surface.
+///
+/// Implementations must be usable from the supervisor's panic-isolated
+/// job closures, hence `Sync`.
+pub trait Vfs: Sync {
+    /// Reads a whole file.
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>>;
+    /// Creates (or truncates) `path` and writes all of `bytes`.
+    fn write_all(&self, path: &Path, bytes: &[u8]) -> io::Result<()>;
+    /// Appends `bytes` to `path`, creating it if absent.
+    fn append(&self, path: &Path, bytes: &[u8]) -> io::Result<()>;
+    /// Flushes a file's data and metadata to stable storage.
+    fn fsync_file(&self, path: &Path) -> io::Result<()>;
+    /// Flushes a directory, making renames within it durable.
+    fn fsync_dir(&self, path: &Path) -> io::Result<()>;
+    /// Atomically renames a file or directory.
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()>;
+    /// Recursively creates a directory.
+    fn create_dir_all(&self, path: &Path) -> io::Result<()>;
+    /// Removes a file.
+    fn remove_file(&self, path: &Path) -> io::Result<()>;
+    /// Truncates (or extends) a file to `len` bytes.
+    fn set_len(&self, path: &Path, len: u64) -> io::Result<()>;
+    /// Whether a path exists (any kind).
+    fn exists(&self, path: &Path) -> bool;
+    /// Whether a path is a directory.
+    fn is_dir(&self, path: &Path) -> bool;
+    /// Lists the entries of a directory, sorted for determinism.
+    fn read_dir(&self, path: &Path) -> io::Result<Vec<PathBuf>>;
+}
+
+/// Production [`Vfs`]: plain `std::fs` plus real fsyncs.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct StdVfs;
+
+impl Vfs for StdVfs {
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        fs::read(path)
+    }
+
+    fn write_all(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        fs::write(path, bytes)
+    }
+
+    fn append(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        let mut f = fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)?;
+        f.write_all(bytes)
+    }
+
+    fn fsync_file(&self, path: &Path) -> io::Result<()> {
+        fs::File::open(path)?.sync_all()
+    }
+
+    fn fsync_dir(&self, path: &Path) -> io::Result<()> {
+        // Directory fds are an fsync target on unix; elsewhere the rename
+        // durability guarantee has to come from the platform.
+        #[cfg(unix)]
+        {
+            fs::File::open(path)?.sync_all()
+        }
+        #[cfg(not(unix))]
+        {
+            let _ = path;
+            Ok(())
+        }
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        fs::rename(from, to)
+    }
+
+    fn create_dir_all(&self, path: &Path) -> io::Result<()> {
+        fs::create_dir_all(path)
+    }
+
+    fn remove_file(&self, path: &Path) -> io::Result<()> {
+        fs::remove_file(path)
+    }
+
+    fn set_len(&self, path: &Path, len: u64) -> io::Result<()> {
+        fs::OpenOptions::new().write(true).open(path)?.set_len(len)
+    }
+
+    fn exists(&self, path: &Path) -> bool {
+        path.exists()
+    }
+
+    fn is_dir(&self, path: &Path) -> bool {
+        path.is_dir()
+    }
+
+    fn read_dir(&self, path: &Path) -> io::Result<Vec<PathBuf>> {
+        let mut out: Vec<PathBuf> = fs::read_dir(path)?
+            .filter_map(|e| e.ok())
+            .map(|e| e.path())
+            .collect();
+        out.sort();
+        Ok(out)
+    }
+}
+
+/// Deterministic kill-switch [`Vfs`] for the crash-point sweep.
+///
+/// The first `budget` operations pass through to [`StdVfs`]; the
+/// `budget+1`-th operation "crashes": if it is a write or append, half of
+/// its bytes reach the disk first (a torn write, exactly what a power
+/// loss mid-`write(2)` produces), then it and **every subsequent
+/// operation** fail — the process-model is dead, nothing it tries after
+/// the crash point can touch the filesystem. Sweeping `budget` over
+/// `0..total_ops` therefore enumerates every crash state one build can
+/// leave behind.
+#[derive(Debug)]
+pub struct CrashVfs {
+    inner: StdVfs,
+    budget: usize,
+    ops: AtomicUsize,
+    dead: AtomicBool,
+}
+
+impl CrashVfs {
+    /// A vfs that dies on the operation after `budget` successes.
+    pub fn new(budget: usize) -> Self {
+        Self {
+            inner: StdVfs,
+            budget,
+            ops: AtomicUsize::new(0),
+            dead: AtomicBool::new(false),
+        }
+    }
+
+    /// Operations attempted so far (including the fatal one).
+    pub fn ops_used(&self) -> usize {
+        self.ops.load(Ordering::Relaxed)
+    }
+
+    /// Whether the crash point has been reached.
+    pub fn crashed(&self) -> bool {
+        self.dead.load(Ordering::Relaxed)
+    }
+
+    fn crash_error(&self) -> io::Error {
+        io::Error::other(format!(
+            "simulated crash: process killed at filesystem op {}",
+            self.budget + 1
+        ))
+    }
+
+    /// Charges one operation; `Err` means the process is dead.
+    fn charge(&self) -> io::Result<()> {
+        if self.dead.load(Ordering::Relaxed) {
+            return Err(self.crash_error());
+        }
+        let n = self.ops.fetch_add(1, Ordering::Relaxed);
+        if n >= self.budget {
+            self.dead.store(true, Ordering::Relaxed);
+            return Err(self.crash_error());
+        }
+        Ok(())
+    }
+
+    /// Charges a write-shaped op: on the fatal op a half-length prefix of
+    /// `bytes` still lands (torn write), then the error.
+    fn charge_write(
+        &self,
+        path: &Path,
+        bytes: &[u8],
+        apply: impl Fn(&StdVfs, &Path, &[u8]) -> io::Result<()>,
+    ) -> io::Result<()> {
+        if self.dead.load(Ordering::Relaxed) {
+            return Err(self.crash_error());
+        }
+        let n = self.ops.fetch_add(1, Ordering::Relaxed);
+        if n >= self.budget {
+            self.dead.store(true, Ordering::Relaxed);
+            let torn = &bytes[..bytes.len() / 2];
+            if !torn.is_empty() {
+                let _ = apply(&self.inner, path, torn);
+            }
+            return Err(self.crash_error());
+        }
+        apply(&self.inner, path, bytes)
+    }
+}
+
+impl Vfs for CrashVfs {
+    fn read(&self, path: &Path) -> io::Result<Vec<u8>> {
+        self.charge()?;
+        self.inner.read(path)
+    }
+
+    fn write_all(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        self.charge_write(path, bytes, |v, p, b| v.write_all(p, b))
+    }
+
+    fn append(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        self.charge_write(path, bytes, |v, p, b| v.append(p, b))
+    }
+
+    fn fsync_file(&self, path: &Path) -> io::Result<()> {
+        self.charge()?;
+        self.inner.fsync_file(path)
+    }
+
+    fn fsync_dir(&self, path: &Path) -> io::Result<()> {
+        self.charge()?;
+        self.inner.fsync_dir(path)
+    }
+
+    fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
+        self.charge()?;
+        self.inner.rename(from, to)
+    }
+
+    fn create_dir_all(&self, path: &Path) -> io::Result<()> {
+        self.charge()?;
+        self.inner.create_dir_all(path)
+    }
+
+    fn remove_file(&self, path: &Path) -> io::Result<()> {
+        self.charge()?;
+        self.inner.remove_file(path)
+    }
+
+    fn set_len(&self, path: &Path, len: u64) -> io::Result<()> {
+        self.charge()?;
+        self.inner.set_len(path, len)
+    }
+
+    fn exists(&self, path: &Path) -> bool {
+        // Metadata probes cannot tear state and carry no budget: a doomed
+        // run may still *observe* the filesystem, every attempt to touch
+        // or read it fails above.
+        if self.dead.load(Ordering::Relaxed) {
+            return false;
+        }
+        self.inner.exists(path)
+    }
+
+    fn is_dir(&self, path: &Path) -> bool {
+        if self.dead.load(Ordering::Relaxed) {
+            return false;
+        }
+        self.inner.is_dir(path)
+    }
+
+    fn read_dir(&self, path: &Path) -> io::Result<Vec<PathBuf>> {
+        self.charge()?;
+        self.inner.read_dir(path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("qdb-vfs-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn std_vfs_round_trips() {
+        let dir = tmpdir("std");
+        let v = StdVfs;
+        let p = dir.join("a.txt");
+        v.write_all(&p, b"hello").unwrap();
+        v.append(&p, b" world").unwrap();
+        v.fsync_file(&p).unwrap();
+        v.fsync_dir(&dir).unwrap();
+        assert_eq!(v.read(&p).unwrap(), b"hello world");
+        v.set_len(&p, 5).unwrap();
+        assert_eq!(v.read(&p).unwrap(), b"hello");
+        let q = dir.join("b.txt");
+        v.rename(&p, &q).unwrap();
+        assert!(!v.exists(&p) && v.exists(&q));
+        assert_eq!(v.read_dir(&dir).unwrap(), vec![q.clone()]);
+        v.remove_file(&q).unwrap();
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn crash_vfs_kills_at_the_budget_and_stays_dead() {
+        let dir = tmpdir("crash");
+        let v = CrashVfs::new(2);
+        let a = dir.join("a");
+        let b = dir.join("b");
+        let c = dir.join("c");
+        v.write_all(&a, b"one").unwrap();
+        v.write_all(&b, b"two").unwrap();
+        // Third op crashes and everything after it fails too.
+        assert!(v.write_all(&c, b"three").is_err());
+        assert!(v.crashed());
+        assert!(v.read(&a).is_err());
+        assert!(v.fsync_file(&a).is_err());
+        assert!(v.rename(&a, &c).is_err());
+        assert!(!v.exists(&a), "a dead process observes nothing");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn fatal_write_tears_to_a_half_prefix() {
+        let dir = tmpdir("torn");
+        let v = CrashVfs::new(0);
+        let p = dir.join("torn.bin");
+        assert!(v.write_all(&p, b"0123456789").is_err());
+        // The torn prefix is visible to a *later* (recovered) process.
+        assert_eq!(StdVfs.read(&p).unwrap(), b"01234");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn huge_budget_never_crashes_and_counts_ops() {
+        let dir = tmpdir("count");
+        let v = CrashVfs::new(usize::MAX);
+        let p = dir.join("x");
+        v.write_all(&p, b"x").unwrap();
+        v.fsync_file(&p).unwrap();
+        v.remove_file(&p).unwrap();
+        assert_eq!(v.ops_used(), 3);
+        assert!(!v.crashed());
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -3,6 +3,13 @@
 //! prediction metadata as JSON, and the docking results as JSON —
 //! exactly the three dataset components the paper describes, plus the
 //! reference structure and ligand so every evaluation is replayable.
+//!
+//! Every byte goes through `qdb-store`: each file is written atomically
+//! (tmp → fsync → rename → fsync dir) and a `CHECKSUMS` sidecar —
+//! written last, as the entry's commit record — carries the CRC32C of
+//! every artifact. [`validate_entry`] verifies those checksums before any
+//! semantic check, so a flipped bit anywhere in an entry is caught at
+//! resume/fsck time, not shipped to a docking user.
 
 use crate::error::PipelineError;
 use crate::fragments::FragmentRecord;
@@ -11,9 +18,20 @@ use crate::pipeline::FragmentResult;
 use qdb_mol::element::Element;
 use qdb_mol::pdb::write_pdb;
 use qdb_mol::structure::{Atom, Residue, Structure};
+use qdb_store::{verify_dir, EntryWriter, StdVfs, Vfs};
 use serde::{Deserialize, Serialize};
 use std::io;
 use std::path::{Path, PathBuf};
+
+/// The artifact files every complete dataset entry must carry, with a
+/// valid checksum for each.
+pub const ENTRY_FILES: [&str; 5] = [
+    "structure.pdb",
+    "metadata.json",
+    "docking.json",
+    "reference.pdb",
+    "ligand.pdb",
+];
 
 /// The quantum metadata JSON schema (one per fragment).
 #[derive(Clone, Debug, Serialize, Deserialize, PartialEq)]
@@ -183,31 +201,53 @@ pub struct FragmentFiles {
     pub ligand_pdb: PathBuf,
 }
 
-/// Writes one fragment's dataset entry under `root`.
+/// Writes one fragment's dataset entry under `root` (production vfs).
 pub fn write_fragment_entry(
     root: &Path,
     record: &FragmentRecord,
     result: &FragmentResult,
 ) -> Result<FragmentFiles, PipelineError> {
+    write_fragment_entry_vfs(&StdVfs, root, record, result)
+}
+
+/// Writes one fragment's dataset entry through an explicit [`Vfs`].
+///
+/// Every file lands via the atomic protocol and the `CHECKSUMS` sidecar
+/// commits the entry last — a crash at any filesystem operation leaves
+/// either no trusted entry or a complete one, never a torn file that
+/// [`validate_entry`] would accept.
+pub fn write_fragment_entry_vfs(
+    vfs: &dyn Vfs,
+    root: &Path,
+    record: &FragmentRecord,
+    result: &FragmentResult,
+) -> Result<FragmentFiles, PipelineError> {
     let dir = root.join(record.group().name()).join(record.pdb_id);
-    std::fs::create_dir_all(&dir)?;
+    let mut entry = EntryWriter::begin(vfs, &dir)?;
 
-    let structure_pdb = dir.join("structure.pdb");
-    std::fs::write(&structure_pdb, write_pdb(&result.qdock.structure))?;
-
-    let metadata_path = dir.join("metadata.json");
+    let structure_pdb = entry.put(
+        "structure.pdb",
+        write_pdb(&result.qdock.structure).as_bytes(),
+    )?;
     let metadata = metadata_json(record, result);
-    std::fs::write(&metadata_path, serde_json::to_string_pretty(&metadata)?)?;
-
-    let docking_path = dir.join("docking.json");
+    let metadata_path = entry.put(
+        "metadata.json",
+        serde_json::to_string_pretty(&metadata)?.as_bytes(),
+    )?;
     let docking = docking_json(record, result);
-    std::fs::write(&docking_path, serde_json::to_string_pretty(&docking)?)?;
-
-    let reference_pdb = dir.join("reference.pdb");
-    std::fs::write(&reference_pdb, write_pdb(&result.reference.structure))?;
-
-    let ligand_pdb = dir.join("ligand.pdb");
-    std::fs::write(&ligand_pdb, write_pdb(&ligand_to_structure(&result.ligand)))?;
+    let docking_path = entry.put(
+        "docking.json",
+        serde_json::to_string_pretty(&docking)?.as_bytes(),
+    )?;
+    let reference_pdb = entry.put(
+        "reference.pdb",
+        write_pdb(&result.reference.structure).as_bytes(),
+    )?;
+    let ligand_pdb = entry.put(
+        "ligand.pdb",
+        write_pdb(&ligand_to_structure(&result.ligand)).as_bytes(),
+    )?;
+    entry.commit()?;
 
     Ok(FragmentFiles {
         dir,
@@ -240,16 +280,28 @@ pub fn load_fragment_entry(
     group: &str,
     pdb_id: &str,
 ) -> Result<LoadedEntry, PipelineError> {
+    load_fragment_entry_vfs(&StdVfs, root, group, pdb_id)
+}
+
+/// [`load_fragment_entry`] through an explicit [`Vfs`].
+pub fn load_fragment_entry_vfs(
+    vfs: &dyn Vfs,
+    root: &Path,
+    group: &str,
+    pdb_id: &str,
+) -> Result<LoadedEntry, PipelineError> {
     let dir = root.join(group).join(pdb_id);
+    let read_text = |name: &str| -> Result<String, PipelineError> {
+        let bytes = vfs.read(&dir.join(name))?;
+        String::from_utf8(bytes)
+            .map_err(|_| PipelineError::Decode(format!("{}: not UTF-8", dir.join(name).display())))
+    };
     let read_pdb = |name: &str| -> Result<Structure, PipelineError> {
-        let text = std::fs::read_to_string(dir.join(name))?;
-        qdb_mol::pdb::parse_pdb(&text)
+        qdb_mol::pdb::parse_pdb(&read_text(name)?)
             .map_err(|e| PipelineError::Decode(format!("{}: {e}", dir.join(name).display())))
     };
-    let metadata: MetadataJson =
-        serde_json::from_str(&std::fs::read_to_string(dir.join("metadata.json"))?)?;
-    let docking: DockingJson =
-        serde_json::from_str(&std::fs::read_to_string(dir.join("docking.json"))?)?;
+    let metadata: MetadataJson = serde_json::from_str(&read_text("metadata.json")?)?;
+    let docking: DockingJson = serde_json::from_str(&read_text("docking.json")?)?;
     Ok(LoadedEntry {
         metadata,
         docking,
@@ -278,14 +330,28 @@ pub fn list_entries(root: &Path) -> io::Result<Vec<(String, String)>> {
     Ok(out)
 }
 
-/// Validates one on-disk entry against its fragment record: every file
-/// decodes and the metadata agrees with the manifest. This is the
-/// checkpoint-acceptance test — a resumed build only skips a fragment
-/// whose entry passes, so a torn write (partial entry from a killed
-/// build) is recomputed instead of silently shipped.
+/// Validates one on-disk entry against its fragment record: every file's
+/// bytes match the `CHECKSUMS` sidecar, every file decodes, and the
+/// metadata agrees with the manifest. This is the checkpoint-acceptance
+/// test — a resumed build only skips a fragment whose entry passes, so a
+/// torn write (partial entry from a killed build) or a flipped bit is
+/// recomputed instead of silently shipped.
 pub fn validate_entry(root: &Path, record: &FragmentRecord) -> Result<(), PipelineError> {
+    validate_entry_vfs(&StdVfs, root, record)
+}
+
+/// [`validate_entry`] through an explicit [`Vfs`].
+pub fn validate_entry_vfs(
+    vfs: &dyn Vfs,
+    root: &Path,
+    record: &FragmentRecord,
+) -> Result<(), PipelineError> {
     let group = record.group().name();
-    let entry = load_fragment_entry(root, group, record.pdb_id)?;
+    let dir = root.join(group).join(record.pdb_id);
+    // Integrity first: checksums catch torn writes and bit rot before the
+    // decoders ever see the bytes.
+    verify_dir(vfs, &dir, &ENTRY_FILES)?;
+    let entry = load_fragment_entry_vfs(vfs, root, group, record.pdb_id)?;
     let mismatch = |what: &str| {
         Err(PipelineError::Decode(format!(
             "checkpoint {group}/{}: {what}",
@@ -340,6 +406,51 @@ mod tests {
             assert!(path.exists(), "{path:?} missing");
             assert!(std::fs::metadata(path).unwrap().len() > 50);
         }
+        // The sidecar commits the entry and covers every artifact.
+        let sums = qdb_store::read_sidecar(&StdVfs, &files.dir).unwrap();
+        assert_eq!(sums.len(), ENTRY_FILES.len());
+        for name in ENTRY_FILES {
+            assert!(sums.iter().any(|(n, _)| n == name), "{name} unchecksummed");
+        }
+        validate_entry(&root, record).unwrap();
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn validate_rejects_a_flipped_byte_even_when_json_still_parses() {
+        let record = fragment("3ckz").unwrap();
+        let result = run_fragment(record, &PipelineConfig::fast()).expect("fault-free run");
+        let root = tmpdir("flip");
+        let files = write_fragment_entry(&root, record, &result).unwrap();
+        // Corrupt one digit of a number: the JSON stays parseable and all
+        // semantic checks would still pass — only the checksum knows.
+        let text = std::fs::read_to_string(&files.metadata_json).unwrap();
+        let pos = text.find("\"exec_time_s\"").unwrap();
+        let digit = text[pos..]
+            .char_indices()
+            .find(|(_, c)| c.is_ascii_digit())
+            .map(|(i, _)| pos + i)
+            .unwrap();
+        let mut bytes = text.into_bytes();
+        bytes[digit] = if bytes[digit] == b'9' { b'8' } else { b'9' };
+        std::fs::write(&files.metadata_json, &bytes).unwrap();
+
+        let err = validate_entry(&root, record).unwrap_err();
+        assert_eq!(err.kind(), "store/checksum-mismatch");
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn validate_rejects_an_uncommitted_entry() {
+        let record = fragment("3ckz").unwrap();
+        let result = run_fragment(record, &PipelineConfig::fast()).expect("fault-free run");
+        let root = tmpdir("uncommitted");
+        let files = write_fragment_entry(&root, record, &result).unwrap();
+        // Simulate a crash between the artifact renames and the sidecar
+        // commit: all five files are whole, the commit record is absent.
+        std::fs::remove_file(files.dir.join(qdb_store::SIDECAR)).unwrap();
+        let err = validate_entry(&root, record).unwrap_err();
+        assert_eq!(err.kind(), "store/missing-checksum");
         let _ = std::fs::remove_dir_all(&root);
     }
 

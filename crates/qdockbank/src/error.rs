@@ -7,6 +7,7 @@
 //! retried once and then seed-shifted or degraded, and exhausted jobs
 //! become diagnosable `manifest.json` entries instead of panics.
 
+use qdb_store::StoreError;
 use qdb_vqe::error::VqeError;
 use std::fmt;
 use std::io;
@@ -18,6 +19,9 @@ pub enum PipelineError {
     Vqe(VqeError),
     /// Filesystem I/O failed while writing or reading a dataset entry.
     Io(io::Error),
+    /// The artifact store refused an entry: torn write, checksum
+    /// mismatch, missing or corrupt `CHECKSUMS` sidecar.
+    Store(StoreError),
     /// An on-disk artifact exists but does not decode (corrupt JSON/PDB)
     /// or does not validate against the fragment manifest.
     Decode(String),
@@ -44,6 +48,7 @@ impl PipelineError {
         match self {
             PipelineError::Vqe(e) => format!("vqe/{}", e.kind()),
             PipelineError::Io(_) => "io".to_string(),
+            PipelineError::Store(e) => format!("store/{}", e.kind()),
             PipelineError::Decode(_) => "decode".to_string(),
             PipelineError::Panicked(_) => "panic".to_string(),
             PipelineError::DeadlineExceeded { .. } => "deadline-exceeded".to_string(),
@@ -59,6 +64,7 @@ impl PipelineError {
         match self {
             PipelineError::Vqe(e) => e.is_transient(),
             PipelineError::Io(_) => true,
+            PipelineError::Store(e) => e.is_transient(),
             PipelineError::Decode(_) => false,
             PipelineError::Panicked(_) => false,
             PipelineError::DeadlineExceeded { .. } => false,
@@ -72,6 +78,7 @@ impl fmt::Display for PipelineError {
         match self {
             PipelineError::Vqe(e) => write!(f, "quantum stage failed: {e}"),
             PipelineError::Io(e) => write!(f, "dataset I/O failed: {e}"),
+            PipelineError::Store(e) => write!(f, "artifact store rejected the entry: {e}"),
             PipelineError::Decode(msg) => write!(f, "artifact failed to decode: {msg}"),
             PipelineError::Panicked(msg) => write!(f, "fragment job panicked: {msg}"),
             PipelineError::DeadlineExceeded { elapsed_ms } => {
@@ -89,6 +96,7 @@ impl std::error::Error for PipelineError {
         match self {
             PipelineError::Vqe(e) => Some(e),
             PipelineError::Io(e) => Some(e),
+            PipelineError::Store(e) => Some(e),
             PipelineError::RetriesExhausted { last, .. } => Some(last.as_ref()),
             _ => None,
         }
@@ -104,6 +112,12 @@ impl From<VqeError> for PipelineError {
 impl From<io::Error> for PipelineError {
     fn from(e: io::Error) -> Self {
         PipelineError::Io(e)
+    }
+}
+
+impl From<StoreError> for PipelineError {
+    fn from(e: StoreError) -> Self {
+        PipelineError::Store(e)
     }
 }
 
@@ -124,6 +138,23 @@ mod tests {
         assert!(PipelineError::Io(io::Error::new(io::ErrorKind::Other, "disk")).is_transient());
         assert!(!PipelineError::Decode("bad json".into()).is_transient());
         assert!(!PipelineError::Panicked("boom".into()).is_transient());
+    }
+
+    #[test]
+    fn store_errors_split_transience_like_the_store() {
+        let io_backed = PipelineError::from(StoreError::from(io::Error::new(
+            io::ErrorKind::Other,
+            "disk",
+        )));
+        assert!(io_backed.is_transient());
+        assert_eq!(io_backed.kind(), "store/io");
+        let integrity = PipelineError::from(StoreError::ChecksumMismatch {
+            path: "S/3ckz/metadata.json".into(),
+            expected: 1,
+            actual: 2,
+        });
+        assert!(!integrity.is_transient());
+        assert_eq!(integrity.kind(), "store/checksum-mismatch");
     }
 
     #[test]

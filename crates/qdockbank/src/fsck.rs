@@ -1,0 +1,220 @@
+//! Offline dataset integrity check (`build_dataset --fsck`).
+//!
+//! Walks the expected fragment set against a dataset root and classifies
+//! every entry as **ok** (checksums and semantics pass), **missing**
+//! (no entry directory), or **corrupt** (validation failed). Corrupt
+//! entries are moved to `quarantine/` with a reason file so the evidence
+//! survives and the slot is clean for the next build; stray `*.tmp`
+//! files left by a killed build are swept. The report is pure data — the
+//! CLI renders it and turns "anything not ok" into a non-zero exit.
+
+use crate::dataset::validate_entry_vfs;
+use crate::error::PipelineError;
+use crate::fragments::FragmentRecord;
+use qdb_store::{quarantine_entry, sweep_tmp_files, StdVfs, Vfs};
+use std::path::{Path, PathBuf};
+
+/// Outcome of checking one fragment's dataset entry.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FsckStatus {
+    /// Entry present, every checksum matches, semantics validate.
+    Ok,
+    /// No entry directory on disk (never built, or already failed).
+    Missing,
+    /// Entry present but rejected by validation.
+    Corrupt {
+        /// Why validation rejected it (checksum mismatch, torn commit, …).
+        reason: String,
+        /// Where the rejected entry was moved, if quarantine succeeded.
+        quarantined: Option<PathBuf>,
+    },
+}
+
+impl FsckStatus {
+    /// Short label for report rendering: "ok", "missing", or "corrupt".
+    pub fn label(&self) -> &'static str {
+        match self {
+            FsckStatus::Ok => "ok",
+            FsckStatus::Missing => "missing",
+            FsckStatus::Corrupt { .. } => "corrupt",
+        }
+    }
+}
+
+/// One fragment's line in the fsck report.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FsckEntry {
+    /// PDB id.
+    pub pdb_id: String,
+    /// Length group (S/M/L).
+    pub group: String,
+    /// What fsck found.
+    pub status: FsckStatus,
+}
+
+/// The whole fsck run.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FsckReport {
+    /// One entry per expected fragment, in the order given.
+    pub entries: Vec<FsckEntry>,
+    /// Stray `*.tmp` files removed from the dataset tree.
+    pub swept_tmp: usize,
+}
+
+impl FsckReport {
+    /// Entries that passed.
+    pub fn ok(&self) -> usize {
+        self.count(|s| matches!(s, FsckStatus::Ok))
+    }
+
+    /// Entries with no directory on disk.
+    pub fn missing(&self) -> usize {
+        self.count(|s| matches!(s, FsckStatus::Missing))
+    }
+
+    /// Entries rejected by validation.
+    pub fn corrupt(&self) -> usize {
+        self.count(|s| matches!(s, FsckStatus::Corrupt { .. }))
+    }
+
+    /// Whether every expected entry is present and valid.
+    pub fn clean(&self) -> bool {
+        self.ok() == self.entries.len()
+    }
+
+    fn count(&self, pred: impl Fn(&FsckStatus) -> bool) -> usize {
+        self.entries.iter().filter(|e| pred(&e.status)).count()
+    }
+}
+
+/// Checks `records` against the dataset under `root` (production vfs).
+pub fn fsck_dataset(root: &Path, records: &[&FragmentRecord]) -> Result<FsckReport, PipelineError> {
+    fsck_dataset_vfs(&StdVfs, root, records)
+}
+
+/// [`fsck_dataset`] through an explicit [`Vfs`].
+///
+/// Corrupt entries are quarantined (never deleted); a quarantine that
+/// itself fails is folded into the entry's reason rather than aborting
+/// the scan — fsck always produces a full report.
+pub fn fsck_dataset_vfs(
+    vfs: &dyn Vfs,
+    root: &Path,
+    records: &[&FragmentRecord],
+) -> Result<FsckReport, PipelineError> {
+    let telemetry = qdb_telemetry::global();
+    let mut report = FsckReport::default();
+    for record in records {
+        let group = record.group().name();
+        let entry_dir = root.join(group).join(record.pdb_id);
+        let status = if !vfs.is_dir(&entry_dir) {
+            FsckStatus::Missing
+        } else {
+            match validate_entry_vfs(vfs, root, record) {
+                Ok(()) => {
+                    report.swept_tmp += sweep_tmp_files(vfs, &entry_dir)?;
+                    FsckStatus::Ok
+                }
+                Err(e) => {
+                    telemetry.counter("fsck.corrupt_entries").inc();
+                    let mut reason = e.to_string();
+                    let quarantined = match quarantine_entry(vfs, root, &entry_dir, &reason) {
+                        Ok(slot) => Some(slot),
+                        Err(qe) => {
+                            reason = format!("{reason}; quarantine failed: {qe}");
+                            None
+                        }
+                    };
+                    FsckStatus::Corrupt {
+                        reason,
+                        quarantined,
+                    }
+                }
+            }
+        };
+        report.entries.push(FsckEntry {
+            pdb_id: record.pdb_id.to_string(),
+            group: group.to_string(),
+            status,
+        });
+    }
+    // Stray tmp files can also sit beside entries (group dirs, root).
+    for dir in
+        std::iter::once(root.to_path_buf()).chain(["S", "M", "L"].iter().map(|g| root.join(g)))
+    {
+        if vfs.is_dir(&dir) {
+            report.swept_tmp += sweep_tmp_files(vfs, &dir)?;
+        }
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::write_fragment_entry;
+    use crate::fragments::fragment;
+    use crate::pipeline::{run_fragment, PipelineConfig};
+    use qdb_store::QUARANTINE_DIR;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("qdb-fsck-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn classifies_ok_missing_and_corrupt() {
+        let root = tmpdir("classify");
+        let good = fragment("3ckz").unwrap();
+        let bad = fragment("3eax").unwrap();
+        let absent = fragment("4mo4").unwrap();
+        let cfg = PipelineConfig::fast();
+        write_fragment_entry(&root, good, &run_fragment(good, &cfg).unwrap()).unwrap();
+        let files = write_fragment_entry(&root, bad, &run_fragment(bad, &cfg).unwrap()).unwrap();
+        // Flip a byte in the corrupt one.
+        let mut bytes = std::fs::read(&files.structure_pdb).unwrap();
+        bytes[40] ^= 0x01;
+        std::fs::write(&files.structure_pdb, &bytes).unwrap();
+        // And leave a stray tmp from a "killed build".
+        std::fs::write(root.join("S").join("stray.pdb.tmp"), b"torn").unwrap();
+
+        let report = fsck_dataset(&root, &[good, bad, absent]).unwrap();
+        assert_eq!(report.ok(), 1);
+        assert_eq!(report.corrupt(), 1);
+        assert_eq!(report.missing(), 1);
+        assert!(!report.clean());
+        assert_eq!(report.swept_tmp, 1);
+
+        let corrupt = &report.entries[1];
+        assert_eq!(corrupt.pdb_id, "3eax");
+        let FsckStatus::Corrupt {
+            reason,
+            quarantined,
+        } = &corrupt.status
+        else {
+            panic!("expected corrupt, got {:?}", corrupt.status);
+        };
+        assert!(reason.contains("checksum"), "reason: {reason}");
+        let slot = quarantined.as_ref().expect("quarantine succeeded");
+        assert!(slot.starts_with(root.join(QUARANTINE_DIR)));
+        assert!(slot.join("REASON.txt").exists());
+        // The corrupt slot is clean for the next build.
+        assert!(!root.join("S/3eax").exists());
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn clean_dataset_reports_clean() {
+        let root = tmpdir("clean");
+        let record = fragment("3ckz").unwrap();
+        let cfg = PipelineConfig::fast();
+        write_fragment_entry(&root, record, &run_fragment(record, &cfg).unwrap()).unwrap();
+        let report = fsck_dataset(&root, &[record]).unwrap();
+        assert!(report.clean());
+        assert_eq!(report.entries[0].status.label(), "ok");
+        assert_eq!(report.swept_tmp, 0);
+        let _ = std::fs::remove_dir_all(&root);
+    }
+}

@@ -23,13 +23,17 @@
 //! Dataset builds go through the fault-tolerant [`supervisor`]: every
 //! fragment job is panic-isolated, retried with exponential backoff,
 //! degraded when retries keep failing, checkpointed on disk, and
-//! journaled in `manifest.json` — so a killed or faulted build resumes
-//! instead of restarting.
+//! journaled in the `manifest.journal` write-ahead log — so a killed or
+//! faulted build resumes instead of restarting. Persistence itself goes
+//! through the crash-consistent `qdb-store` layer: atomic checksummed
+//! writes, a per-entry `CHECKSUMS` commit record, quarantine for
+//! anything that fails validation, and an offline [`fsck`] scan.
 
 pub mod dataset;
 pub mod error;
 pub mod evaluation;
 pub mod fragments;
+pub mod fsck;
 pub mod pipeline;
 pub mod report;
 pub mod supervisor;
@@ -37,8 +41,9 @@ pub mod supervisor;
 pub use error::PipelineError;
 pub use evaluation::{compare_fragments, interaction_coverage, win_rates, FragmentComparison};
 pub use fragments::{all_fragments, fragment, fragments_in, FragmentRecord, Group};
+pub use fsck::{fsck_dataset, FsckEntry, FsckReport, FsckStatus};
 pub use pipeline::{run_fragment, FragmentResult, PipelineConfig, Preset};
 pub use supervisor::{
-    build_dataset, load_manifest, AttemptRecord, BuildSummary, FragmentReport, Manifest, RunRecord,
-    SupervisorConfig,
+    build_dataset, build_dataset_with, has_manifest, journal_path, load_manifest, AttemptRecord,
+    BuildSummary, FragmentReport, Manifest, RunRecord, SupervisorConfig,
 };

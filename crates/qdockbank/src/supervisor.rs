@@ -19,15 +19,25 @@
 //!   attempt boundary and recorded as failed, not hung;
 //! * **checkpoint/resume** — the dataset entry layout *is* the
 //!   checkpoint: a resumed build lists what is on disk, validates each
-//!   entry against the manifest, and recomputes nothing that passes;
+//!   entry (checksums first) against the manifest, and recomputes
+//!   nothing that passes;
+//! * **quarantine** — an entry that fails validation is moved to
+//!   `quarantine/` with a reason file (evidence, not garbage) and its
+//!   slot is rebuilt;
 //! * **journaling** — every attempt (cause, backoff, degradation
-//!   decision, final status) is appended to `manifest.json` under the
-//!   dataset root, so a post-mortem never depends on scrollback.
+//!   decision, final status) is appended to the `manifest.journal`
+//!   write-ahead log under the dataset root: one self-checksummed JSON
+//!   record per line, recovered to the longest valid prefix after a
+//!   crash instead of rewriting (and risking tearing) one big
+//!   `manifest.json`. Legacy `manifest.json` roots are migrated — and
+//!   torn ones recovered to their longest valid run prefix — on the
+//!   first journaled build.
 
-use crate::dataset::{validate_entry, write_fragment_entry, FragmentFiles};
+use crate::dataset::{validate_entry_vfs, write_fragment_entry_vfs, FragmentFiles};
 use crate::error::PipelineError;
 use crate::fragments::FragmentRecord;
 use crate::pipeline::{run_fragment_with, PipelineConfig};
+use qdb_store::{quarantine_entry, Journal, StdVfs, Vfs};
 use qdb_telemetry::{Clock, MonotonicClock};
 use qdb_vqe::error::panic_message;
 use qdb_vqe::fault::FaultPlan;
@@ -127,12 +137,62 @@ pub struct RunRecord {
     pub fragments: Vec<FragmentReport>,
 }
 
-/// The `manifest.json` journal: one record per build run, append-only
-/// across resumes.
-#[derive(Clone, Debug, Default, Serialize, Deserialize, PartialEq)]
+/// The build journal's replayed state: one record per build run,
+/// append-only across resumes, plus any recovery notes.
+#[derive(Clone, Debug, Default, PartialEq)]
 pub struct Manifest {
     /// All runs against this dataset root, oldest first.
     pub runs: Vec<RunRecord>,
+    /// Recovery/migration notes journaled against this root (e.g.
+    /// `manifest-recovered: …` after a torn journal was truncated).
+    pub notes: Vec<String>,
+}
+
+/// Legacy whole-file `manifest.json` schema (pre-journal datasets).
+#[derive(Deserialize, Serialize)]
+struct LegacyManifest {
+    runs: Vec<RunRecord>,
+}
+
+/// One line of the `manifest.journal` write-ahead log. A flat struct
+/// rather than an enum so each line is a self-describing JSON object;
+/// exactly one of the payload fields is set, selected by `kind`
+/// (`"run"`, `"fragment"`, or `"note"`).
+#[derive(Serialize, Deserialize)]
+struct ManifestEvent {
+    kind: String,
+    resumed: Option<bool>,
+    fragment: Option<FragmentReport>,
+    note: Option<String>,
+}
+
+impl ManifestEvent {
+    fn run(resumed: bool) -> Self {
+        Self {
+            kind: "run".to_string(),
+            resumed: Some(resumed),
+            fragment: None,
+            note: None,
+        }
+    }
+
+    fn fragment(report: &FragmentReport) -> Self {
+        Self {
+            kind: "fragment".to_string(),
+            resumed: None,
+            fragment: Some(report.clone()),
+            note: None,
+        }
+    }
+
+    fn note(text: String) -> Self {
+        Self {
+            kind: "note".to_string(),
+            resumed: None,
+            fragment: None,
+            note: Some(text),
+        }
+    }
 }
 
 /// Aggregate counts for one `build_dataset` call.
@@ -157,23 +217,212 @@ impl BuildSummary {
     }
 }
 
-fn manifest_path(root: &Path) -> PathBuf {
+/// Path of the write-ahead build journal under a dataset root.
+pub fn journal_path(root: &Path) -> PathBuf {
+    root.join("manifest.journal")
+}
+
+/// Path of the legacy whole-file journal (read-only fallback).
+pub fn legacy_manifest_path(root: &Path) -> PathBuf {
     root.join("manifest.json")
 }
 
-/// Loads the build journal under `root` (empty if none exists yet).
-pub fn load_manifest(root: &Path) -> Result<Manifest, PipelineError> {
-    let path = manifest_path(root);
-    if !path.exists() {
-        return Ok(Manifest::default());
-    }
-    Ok(serde_json::from_str(&std::fs::read_to_string(path)?)?)
+/// Whether `root` already carries build state in either journal format.
+pub fn has_manifest(root: &Path) -> bool {
+    journal_path(root).exists() || legacy_manifest_path(root).exists()
 }
 
-fn save_manifest(root: &Path, manifest: &Manifest) -> Result<(), PipelineError> {
-    std::fs::create_dir_all(root)?;
-    std::fs::write(manifest_path(root), serde_json::to_string_pretty(manifest)?)?;
+fn append_event(journal: &Journal<'_>, ev: &ManifestEvent) -> Result<(), PipelineError> {
+    journal.append(&serde_json::to_string(ev)?)?;
     Ok(())
+}
+
+/// Replays journal event payloads into a [`Manifest`]. A crc-valid line
+/// whose JSON does not decode (a schema from a future version, say) is
+/// skipped rather than fatal: the journal's job is to never brick a
+/// resume.
+fn manifest_from_events(payloads: &[String]) -> Manifest {
+    let mut manifest = Manifest::default();
+    for payload in payloads {
+        let Ok(ev) = serde_json::from_str::<ManifestEvent>(payload) else {
+            continue;
+        };
+        match ev.kind.as_str() {
+            "run" => manifest.runs.push(RunRecord {
+                resumed: ev.resumed.unwrap_or(false),
+                fragments: Vec::new(),
+            }),
+            "fragment" => {
+                if let Some(report) = ev.fragment {
+                    if manifest.runs.is_empty() {
+                        manifest.runs.push(RunRecord {
+                            resumed: false,
+                            fragments: Vec::new(),
+                        });
+                    }
+                    let run = manifest.runs.last_mut().expect("pushed above");
+                    run.fragments.push(report);
+                }
+            }
+            "note" => {
+                if let Some(text) = ev.note {
+                    manifest.notes.push(text);
+                }
+            }
+            _ => {}
+        }
+    }
+    manifest
+}
+
+/// Byte offsets just past each complete run object of a legacy
+/// `{"runs": [ {...}, {...} ]}` document, string- and escape-aware.
+fn legacy_run_boundaries(text: &str) -> Vec<usize> {
+    let mut out = Vec::new();
+    let mut depth = 0usize;
+    let mut in_string = false;
+    let mut escaped = false;
+    for (i, b) in text.bytes().enumerate() {
+        if in_string {
+            if escaped {
+                escaped = false;
+            } else if b == b'\\' {
+                escaped = true;
+            } else if b == b'"' {
+                in_string = false;
+            }
+            continue;
+        }
+        match b {
+            b'"' => in_string = true,
+            b'{' | b'[' => depth += 1,
+            b'}' | b']' => {
+                depth = depth.saturating_sub(1);
+                // Top object is depth 1, the runs array is depth 2: a
+                // closer landing back on 2 ends one run element.
+                if b == b'}' && depth == 2 {
+                    out.push(i + 1);
+                }
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+/// Parses a legacy `manifest.json`, recovering a torn/corrupt file to
+/// its longest valid prefix of complete runs. Returns the runs and a
+/// `manifest-recovered` note when recovery had to drop anything.
+fn recover_legacy_manifest(text: &str) -> (Vec<RunRecord>, Option<String>) {
+    if let Ok(m) = serde_json::from_str::<LegacyManifest>(text) {
+        return (m.runs, None);
+    }
+    for cut in legacy_run_boundaries(text).iter().rev() {
+        let candidate = format!("{}]}}", &text[..*cut]);
+        if let Ok(m) = serde_json::from_str::<LegacyManifest>(&candidate) {
+            let note = format!(
+                "manifest-recovered: legacy manifest.json torn at byte {} of {}; \
+                 kept the first {} run(s)",
+                cut,
+                text.len(),
+                m.runs.len()
+            );
+            return (m.runs, Some(note));
+        }
+    }
+    (
+        Vec::new(),
+        Some(
+            "manifest-recovered: legacy manifest.json unreadable; starting an empty journal"
+                .to_string(),
+        ),
+    )
+}
+
+/// Loads the build journal under `root` (empty if none exists yet).
+///
+/// Read-only: a torn journal tail or corrupt legacy file is recovered to
+/// the longest valid prefix in memory (with a note in
+/// [`Manifest::notes`]) without modifying the disk.
+pub fn load_manifest(root: &Path) -> Result<Manifest, PipelineError> {
+    load_manifest_vfs(&StdVfs, root)
+}
+
+/// [`load_manifest`] through an explicit [`Vfs`].
+pub fn load_manifest_vfs(vfs: &dyn Vfs, root: &Path) -> Result<Manifest, PipelineError> {
+    let journal = Journal::open(vfs, journal_path(root));
+    if vfs.exists(journal.path()) {
+        let replay = journal.replay(false)?;
+        let mut manifest = manifest_from_events(&replay.records);
+        if replay.recovered() {
+            manifest.notes.push(format!(
+                "manifest-recovered: ignored {} torn byte(s) at the journal tail",
+                replay.torn_bytes
+            ));
+        }
+        return Ok(manifest);
+    }
+    let legacy = legacy_manifest_path(root);
+    if vfs.exists(&legacy) {
+        let text = String::from_utf8_lossy(&vfs.read(&legacy)?).into_owned();
+        let (runs, note) = recover_legacy_manifest(&text);
+        return Ok(Manifest {
+            runs,
+            notes: note.into_iter().collect(),
+        });
+    }
+    Ok(Manifest::default())
+}
+
+/// Opens the journal for a build: repairs a torn tail in place, migrates
+/// a legacy `manifest.json` root onto the journal, and journals every
+/// recovery as a `manifest-recovered` note.
+fn open_build_journal<'a>(
+    vfs: &'a dyn Vfs,
+    root: &Path,
+) -> Result<(Manifest, Journal<'a>), PipelineError> {
+    vfs.create_dir_all(root)?;
+    let journal = Journal::open(vfs, journal_path(root));
+    if vfs.exists(journal.path()) {
+        let replay = journal.replay(true)?;
+        let mut manifest = manifest_from_events(&replay.records);
+        if replay.recovered() {
+            let note = format!(
+                "manifest-recovered: truncated {} torn byte(s) from the journal tail",
+                replay.torn_bytes
+            );
+            append_event(&journal, &ManifestEvent::note(note.clone()))?;
+            manifest.notes.push(note);
+        }
+        return Ok((manifest, journal));
+    }
+    let legacy = legacy_manifest_path(root);
+    if vfs.exists(&legacy) {
+        let text = String::from_utf8_lossy(&vfs.read(&legacy)?).into_owned();
+        let (runs, recovery_note) = recover_legacy_manifest(&text);
+        // Materialize the journal from the legacy state so the WAL is the
+        // complete record from here on; the legacy file stays behind as a
+        // read-only artifact of the pre-journal era.
+        for run in &runs {
+            append_event(&journal, &ManifestEvent::run(run.resumed))?;
+            for fragment in &run.fragments {
+                append_event(&journal, &ManifestEvent::fragment(fragment))?;
+            }
+        }
+        let mut notes = Vec::new();
+        if let Some(note) = recovery_note {
+            append_event(&journal, &ManifestEvent::note(note.clone()))?;
+            notes.push(note);
+        }
+        let migrated = format!(
+            "manifest-migrated: {} run(s) from legacy manifest.json",
+            runs.len()
+        );
+        append_event(&journal, &ManifestEvent::note(migrated.clone()))?;
+        notes.push(migrated);
+        return Ok((Manifest { runs, notes }, journal));
+    }
+    Ok((Manifest::default(), journal))
 }
 
 fn splitmix(mut x: u64) -> u64 {
@@ -222,6 +471,7 @@ fn attempt_config(
 
 /// Runs one fragment under the retry/escalation policy, journaling every
 /// attempt. On success the dataset entry is already written under `root`.
+#[allow(clippy::too_many_arguments)]
 fn run_supervised(
     root: &Path,
     record: &FragmentRecord,
@@ -229,6 +479,7 @@ fn run_supervised(
     sup: &SupervisorConfig,
     plan: &FaultPlan,
     clock: &dyn Clock,
+    vfs: &dyn Vfs,
 ) -> (Result<FragmentFiles, PipelineError>, Vec<AttemptRecord>) {
     let telemetry = qdb_telemetry::global();
     let canonical = pipeline_cfg.vqe_config(record);
@@ -265,7 +516,7 @@ fn run_supervised(
         // and a torn entry is overwritten by the next attempt.
         let outcome = catch_unwind(AssertUnwindSafe(|| {
             let result = run_fragment_with(record, pipeline_cfg, &vqe_cfg, &mut injector)?;
-            write_fragment_entry(root, record, &result)
+            write_fragment_entry_vfs(vfs, root, record, &result)
         }))
         .unwrap_or_else(|payload| Err(PipelineError::Panicked(panic_message(payload.as_ref()))));
 
@@ -360,24 +611,43 @@ pub fn build_dataset_with_clock(
     plan: &FaultPlan,
     clock: &dyn Clock,
 ) -> Result<BuildSummary, PipelineError> {
+    build_dataset_with(root, records, pipeline_cfg, sup, plan, clock, &StdVfs)
+}
+
+/// [`build_dataset`] on an explicit [`Clock`] *and* [`Vfs`]: every
+/// filesystem operation of the build — entry writes, fsyncs, renames,
+/// journal appends, checkpoint validation reads — goes through the vfs,
+/// so the crash-point sweep harness can substitute a
+/// [`CrashVfs`](qdb_store::CrashVfs) and kill the build at the N-th
+/// operation, for every N.
+#[allow(clippy::too_many_arguments)]
+pub fn build_dataset_with(
+    root: &Path,
+    records: &[&FragmentRecord],
+    pipeline_cfg: &PipelineConfig,
+    sup: &SupervisorConfig,
+    plan: &FaultPlan,
+    clock: &dyn Clock,
+    vfs: &dyn Vfs,
+) -> Result<BuildSummary, PipelineError> {
     let telemetry = qdb_telemetry::global();
-    let mut manifest = load_manifest(root)?;
+    let (mut manifest, journal) = open_build_journal(vfs, root)?;
     let resumed = !manifest.runs.is_empty();
+    append_event(&journal, &ManifestEvent::run(resumed))?;
     manifest.runs.push(RunRecord {
         resumed,
         fragments: Vec::new(),
     });
     let mut summary = BuildSummary {
-        manifest_path: manifest_path(root),
+        manifest_path: journal.path().to_path_buf(),
         ..BuildSummary::default()
     };
 
     for record in records {
         let started_ns = clock.now_ns();
         let entry_dir = root.join(record.group().name()).join(record.pdb_id);
-        let mut note = None;
-        let report = if entry_dir.is_dir() {
-            match validate_entry(root, record) {
+        let report = if vfs.is_dir(&entry_dir) {
+            match validate_entry_vfs(vfs, root, record) {
                 Ok(()) => {
                     summary.checkpointed += 1;
                     telemetry.counter("supervisor.fragments_checkpointed").inc();
@@ -391,8 +661,18 @@ pub fn build_dataset_with_clock(
                     }
                 }
                 Err(e) => {
-                    // Torn or corrupt checkpoint: rebuild it, and say why.
-                    note = Some(format!("checkpoint rejected: {e}"));
+                    // Torn or corrupt checkpoint: preserve the evidence in
+                    // quarantine, rebuild the slot, and say why.
+                    let reason = format!("checkpoint rejected: {e}");
+                    let note = match quarantine_entry(vfs, root, &entry_dir, &reason) {
+                        Ok(slot) => {
+                            telemetry
+                                .counter("supervisor.checkpoints_quarantined")
+                                .inc();
+                            format!("{reason}; quarantined to {}", slot.display())
+                        }
+                        Err(qe) => format!("{reason}; quarantine failed: {qe}"),
+                    };
                     build_one(
                         root,
                         record,
@@ -401,8 +681,9 @@ pub fn build_dataset_with_clock(
                         plan,
                         &mut summary,
                         started_ns,
-                        note,
+                        Some(note),
                         clock,
+                        vfs,
                     )
                 }
             }
@@ -415,13 +696,14 @@ pub fn build_dataset_with_clock(
                 plan,
                 &mut summary,
                 started_ns,
-                note,
+                None,
                 clock,
+                vfs,
             )
         };
+        append_event(&journal, &ManifestEvent::fragment(&report))?;
         let run = manifest.runs.last_mut().expect("run pushed above");
         run.fragments.push(report);
-        save_manifest(root, &manifest)?;
     }
     Ok(summary)
 }
@@ -437,9 +719,10 @@ fn build_one(
     started_ns: u64,
     note: Option<String>,
     clock: &dyn Clock,
+    vfs: &dyn Vfs,
 ) -> FragmentReport {
     let telemetry = qdb_telemetry::global();
-    let (outcome, attempts) = run_supervised(root, record, pipeline_cfg, sup, plan, clock);
+    let (outcome, attempts) = run_supervised(root, record, pipeline_cfg, sup, plan, clock, vfs);
     let status = match &outcome {
         Ok(_) => {
             let winning = attempts.last().expect("success recorded an attempt");
@@ -488,7 +771,7 @@ mod tests {
     }
 
     #[test]
-    fn manifest_round_trips_through_json() {
+    fn manifest_round_trips_through_the_journal() {
         let root = tmpdir("manifest");
         let manifest = Manifest {
             runs: vec![RunRecord {
@@ -511,10 +794,95 @@ mod tests {
                     note: None,
                 }],
             }],
+            notes: vec!["manifest-migrated: 0 run(s) from legacy manifest.json".into()],
         };
-        save_manifest(&root, &manifest).unwrap();
+        let journal = Journal::open(&StdVfs, journal_path(&root));
+        for run in &manifest.runs {
+            append_event(&journal, &ManifestEvent::run(run.resumed)).unwrap();
+            for fragment in &run.fragments {
+                append_event(&journal, &ManifestEvent::fragment(fragment)).unwrap();
+            }
+        }
+        for note in &manifest.notes {
+            append_event(&journal, &ManifestEvent::note(note.clone())).unwrap();
+        }
         let back = load_manifest(&root).unwrap();
         assert_eq!(back, manifest);
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn torn_journal_tail_recovers_to_the_valid_prefix() {
+        let root = tmpdir("torn-tail");
+        let journal = Journal::open(&StdVfs, journal_path(&root));
+        append_event(&journal, &ManifestEvent::run(false)).unwrap();
+        append_event(&journal, &ManifestEvent::note("first note".to_string())).unwrap();
+        // Tear the tail: chop the last line mid-record.
+        let bytes = std::fs::read(journal.path()).unwrap();
+        std::fs::write(journal.path(), &bytes[..bytes.len() - 7]).unwrap();
+
+        let manifest = load_manifest(&root).unwrap();
+        assert_eq!(manifest.runs.len(), 1);
+        assert!(
+            manifest
+                .notes
+                .iter()
+                .any(|n| n.starts_with("manifest-recovered:")),
+            "recovery must be visible in the notes: {:?}",
+            manifest.notes
+        );
+        // Read-only load left the torn bytes on disk.
+        assert_eq!(
+            std::fs::read(journal.path()).unwrap().len(),
+            bytes.len() - 7
+        );
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn legacy_manifest_recovery_keeps_the_longest_valid_run_prefix() {
+        let full = concat!(
+            "{\"runs\": [",
+            "{\"resumed\": false, \"fragments\": []}, ",
+            "{\"resumed\": true, \"fragments\": []}",
+            "]}"
+        );
+        let (runs, note) = recover_legacy_manifest(full);
+        assert_eq!(runs.len(), 2);
+        assert!(note.is_none(), "intact manifest needs no recovery note");
+
+        // Torn mid-way through the second run: keep the first.
+        let torn = &full[..full.len() - 10];
+        let (runs, note) = recover_legacy_manifest(torn);
+        assert_eq!(runs.len(), 1);
+        assert!(!runs[0].resumed);
+        assert!(note.unwrap().starts_with("manifest-recovered:"));
+
+        // Garbage: empty manifest, explicit note.
+        let (runs, note) = recover_legacy_manifest("not json at all");
+        assert!(runs.is_empty());
+        assert!(note.unwrap().contains("unreadable"));
+    }
+
+    #[test]
+    fn legacy_manifest_migrates_onto_the_journal_on_first_build_open() {
+        let root = tmpdir("migrate");
+        std::fs::write(
+            legacy_manifest_path(&root),
+            "{\"runs\": [{\"resumed\": false, \"fragments\": []}]}",
+        )
+        .unwrap();
+        let (manifest, journal) = open_build_journal(&StdVfs, &root).unwrap();
+        assert_eq!(manifest.runs.len(), 1);
+        assert!(manifest
+            .notes
+            .iter()
+            .any(|n| n.starts_with("manifest-migrated:")));
+        assert!(journal.path().exists(), "journal materialized");
+        drop(journal);
+        // Subsequent loads read the journal, not the legacy file.
+        let back = load_manifest(&root).unwrap();
+        assert_eq!(back.runs, manifest.runs);
         let _ = std::fs::remove_dir_all(&root);
     }
 

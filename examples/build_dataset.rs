@@ -2,7 +2,7 @@
 //! layout: `out/<S|M|L>/<pdb_id>/{structure.pdb, metadata.json,
 //! docking.json, reference.pdb, ligand.pdb}`, under the fault-tolerant
 //! supervisor (checkpoint/resume, retry with backoff, degradation,
-//! `manifest.json` journaling).
+//! `manifest.journal` write-ahead journaling, checksummed atomic writes).
 //!
 //! ```text
 //! cargo run --release --example build_dataset -- S out_dir      # one group
@@ -14,18 +14,23 @@
 //! cargo run --release --example build_dataset -- S out_dir --inject-faults 7
 //! # build only the first 2 fragments and dump a telemetry snapshot:
 //! cargo run --release --example build_dataset -- --fragments 2 --telemetry out.json
+//! # offline integrity check: verify every checksum, quarantine anything
+//! # corrupt, sweep stray tmp files, exit non-zero unless all entries pass:
+//! cargo run --release --example build_dataset -- S out_dir --fsck
 //! ```
 
 use qdb_vqe::fault::FaultPlan;
 use qdockbank::fragments::{all_fragments, fragments_in, Group};
+use qdockbank::fsck::{fsck_dataset, FsckStatus};
 use qdockbank::pipeline::PipelineConfig;
-use qdockbank::supervisor::{build_dataset, load_manifest, SupervisorConfig};
+use qdockbank::supervisor::{build_dataset, has_manifest, load_manifest, SupervisorConfig};
 use std::path::PathBuf;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut positional: Vec<&str> = Vec::new();
     let mut resume = false;
+    let mut fsck = false;
     let mut fault_seed: Option<u64> = None;
     let mut fragment_cap: Option<usize> = None;
     let mut telemetry_path: Option<PathBuf> = None;
@@ -33,6 +38,7 @@ fn main() {
     while i < args.len() {
         match args[i].as_str() {
             "--resume" => resume = true,
+            "--fsck" => fsck = true,
             "--inject-faults" => {
                 i += 1;
                 let seed = args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| {
@@ -81,9 +87,56 @@ fn main() {
         records.truncate(cap);
     }
 
+    // --fsck: pure integrity scan, no building.
+    if fsck {
+        println!(
+            "fsck: checking {} fragments under {}",
+            records.len(),
+            out.display()
+        );
+        let report = match fsck_dataset(&out, &records) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("fsck aborted: {e}");
+                std::process::exit(1);
+            }
+        };
+        for entry in &report.entries {
+            match &entry.status {
+                FsckStatus::Ok => {
+                    println!("  {}/{} — ok", entry.group, entry.pdb_id);
+                }
+                FsckStatus::Missing => {
+                    println!("  {}/{} — missing", entry.group, entry.pdb_id);
+                }
+                FsckStatus::Corrupt {
+                    reason,
+                    quarantined,
+                } => {
+                    let dest = quarantined
+                        .as_ref()
+                        .map(|p| format!("; quarantined to {}", p.display()))
+                        .unwrap_or_default();
+                    println!(
+                        "  {}/{} — corrupt ({reason}{dest})",
+                        entry.group, entry.pdb_id
+                    );
+                }
+            }
+        }
+        println!(
+            "fsck: {} ok, {} corrupt, {} missing, {} stray tmp file(s) swept",
+            report.ok(),
+            report.corrupt(),
+            report.missing(),
+            report.swept_tmp
+        );
+        std::process::exit(if report.clean() { 0 } else { 2 });
+    }
+
     // A fresh (non-resume) build refuses to silently absorb prior state:
     // what's on disk might be from a different configuration.
-    if !resume && out.join("manifest.json").exists() {
+    if !resume && has_manifest(&out) {
         eprintln!(
             "{} already holds a build journal; pass --resume to continue it \
              or choose a fresh output directory",

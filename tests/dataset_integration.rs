@@ -1,10 +1,13 @@
 //! Dataset writer integration: the §4.2 on-disk layout round-trips
-//! through the PDB and JSON parsers.
+//! through the PDB and JSON parsers, and the checksummed store catches
+//! arbitrary single-byte corruption anywhere in an entry.
 
-use qdockbank::dataset::{write_fragment_entry, DockingJson, MetadataJson};
+use proptest::prelude::*;
+use qdockbank::dataset::{validate_entry, write_fragment_entry, DockingJson, MetadataJson};
 use qdockbank::fragments::fragment;
 use qdockbank::pipeline::{run_fragment, PipelineConfig};
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
+use std::sync::OnceLock;
 
 fn tmp_root(tag: &str) -> PathBuf {
     let dir = std::env::temp_dir().join(format!("qdb-int-{tag}-{}", std::process::id()));
@@ -84,4 +87,74 @@ fn rewriting_same_fragment_is_idempotent() {
     assert_eq!(first, second);
     assert_eq!(before, after);
     let _ = std::fs::remove_dir_all(&root);
+}
+
+/// Every file of one committed dataset entry, built once and reused by
+/// the corruption property below (the pipeline run dominates the cost).
+fn pristine_entry() -> &'static (PathBuf, Vec<(String, Vec<u8>)>) {
+    static ENTRY: OnceLock<(PathBuf, Vec<(String, Vec<u8>)>)> = OnceLock::new();
+    ENTRY.get_or_init(|| {
+        let root = tmp_root("pristine");
+        let record = fragment("3ckz").unwrap();
+        let result = run_fragment(record, &PipelineConfig::fast()).expect("fault-free run");
+        let files = write_fragment_entry(&root, record, &result).unwrap();
+        let mut bytes = Vec::new();
+        for entry in std::fs::read_dir(&files.dir).unwrap() {
+            let path = entry.unwrap().path();
+            bytes.push((
+                path.file_name().unwrap().to_string_lossy().into_owned(),
+                std::fs::read(&path).unwrap(),
+            ));
+        }
+        bytes.sort();
+        (root, bytes)
+    })
+}
+
+fn copy_entry(dst_root: &Path, files: &[(String, Vec<u8>)]) {
+    let dir = dst_root.join("S/3ckz");
+    std::fs::create_dir_all(&dir).unwrap();
+    for (name, bytes) in files {
+        std::fs::write(dir.join(name), bytes).unwrap();
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// A single flipped byte anywhere in a committed entry — any of the
+    /// five artifacts or the `CHECKSUMS` sidecar itself — is caught by
+    /// `validate_entry`, regardless of whether the damaged file still
+    /// parses.
+    #[test]
+    fn prop_any_single_byte_flip_is_detected(
+        file_pick in any::<u64>(),
+        byte_pick in any::<u64>(),
+        flip_mask in 1u8..=255,
+        case in 0u64..1_000_000,
+    ) {
+        let (_, files) = pristine_entry();
+        let record = fragment("3ckz").unwrap();
+        let root = tmp_root(&format!("flip-{case}"));
+        copy_entry(&root, files);
+        prop_assert!(validate_entry(&root, record).is_ok(), "pristine copy must pass");
+
+        let (name, bytes) = &files[(file_pick % files.len() as u64) as usize];
+        let mut damaged = bytes.clone();
+        let idx = (byte_pick % damaged.len() as u64) as usize;
+        damaged[idx] ^= flip_mask;
+        std::fs::write(root.join("S/3ckz").join(name), &damaged).unwrap();
+
+        let err = validate_entry(&root, record);
+        prop_assert!(
+            err.is_err(),
+            "flip of byte {idx} (mask {flip_mask:#04x}) in {name} went undetected"
+        );
+        let kind = err.unwrap_err().kind();
+        prop_assert!(
+            kind.starts_with("store/"),
+            "corruption must be caught by checksums, not decoders: {kind}"
+        );
+        let _ = std::fs::remove_dir_all(&root);
+    }
 }

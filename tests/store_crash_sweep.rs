@@ -1,0 +1,158 @@
+//! Deterministic crash-point sweep over a real dataset build.
+//!
+//! The harness builds a 2-fragment dataset through a [`CrashVfs`] that
+//! kills the "process" at the N-th filesystem operation, for a sweep of
+//! N covering the whole build — every entry write, fsync, rename,
+//! journal append, and checkpoint-validation read. After each simulated
+//! crash, a plain [`StdVfs`] build resumes against the same root and
+//! must converge to a dataset byte-identical to an uninterrupted
+//! reference build, with every entry checksum-valid and the journal
+//! replayable. That is the store's invariant, demonstrated end-to-end:
+//! a crash can cost work, never integrity.
+//!
+//! By default the sweep samples ~12 evenly-spaced crash points so the
+//! test stays CI-cheap; set `QDB_CRASH_SWEEP=full` to sweep every
+//! operation (the nightly/CI release configuration).
+
+use qdb_store::{CrashVfs, StdVfs};
+use qdb_telemetry::ManualClock;
+use qdb_vqe::fault::FaultPlan;
+use qdockbank::dataset::{validate_entry, ENTRY_FILES};
+use qdockbank::fragments::fragment;
+use qdockbank::fsck::fsck_dataset;
+use qdockbank::pipeline::PipelineConfig;
+use qdockbank::supervisor::{build_dataset_with, load_manifest, SupervisorConfig};
+use std::path::{Path, PathBuf};
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("qdb-sweep-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn entry_bytes(root: &Path, group: &str, pdb_id: &str) -> Vec<(String, Vec<u8>)> {
+    let dir = root.join(group).join(pdb_id);
+    ENTRY_FILES
+        .iter()
+        .map(|name| {
+            (
+                name.to_string(),
+                std::fs::read(dir.join(name)).unwrap_or_else(|e| panic!("{name}: {e}")),
+            )
+        })
+        .collect()
+}
+
+#[test]
+fn every_crash_point_recovers_to_the_reference_dataset() {
+    let config = PipelineConfig {
+        docking_runs: 2,
+        ..PipelineConfig::fast()
+    };
+    // One attempt per fragment: a dead vfs must not be retried against —
+    // the process-model is gone; recovery belongs to the *next* build.
+    let sup = SupervisorConfig {
+        max_attempts: 1,
+        ..SupervisorConfig::fast()
+    };
+    let clean = FaultPlan::none();
+    let records = [fragment("3ckz").unwrap(), fragment("3eax").unwrap()];
+    let clock = ManualClock::new();
+
+    // Uninterrupted reference build.
+    let ref_root = tmpdir("reference");
+    let ref_summary =
+        build_dataset_with(&ref_root, &records, &config, &sup, &clean, &clock, &StdVfs).unwrap();
+    assert_eq!(ref_summary.usable(), 2);
+    let reference: Vec<_> = records
+        .iter()
+        .map(|r| entry_bytes(&ref_root, "S", r.pdb_id))
+        .collect();
+
+    // Probe: how many filesystem operations does one full build spend?
+    let total = {
+        let root = tmpdir("probe");
+        let vfs = CrashVfs::new(usize::MAX);
+        build_dataset_with(&root, &records, &config, &sup, &clean, &clock, &vfs).unwrap();
+        let n = vfs.ops_used();
+        let _ = std::fs::remove_dir_all(&root);
+        n
+    };
+    assert!(total > 20, "a 2-fragment build must span many fs ops");
+
+    // Crash points: every op under QDB_CRASH_SWEEP=full, a ~12-point
+    // stride (always including the first and last op) otherwise.
+    let full = std::env::var("QDB_CRASH_SWEEP").as_deref() == Ok("full");
+    let points: Vec<usize> = if full {
+        (0..total).collect()
+    } else {
+        let stride = (total / 12).max(1);
+        let mut pts: Vec<usize> = (0..total).step_by(stride).collect();
+        if *pts.last().unwrap() != total - 1 {
+            pts.push(total - 1);
+        }
+        pts
+    };
+    println!("crash sweep: {} of {total} filesystem ops", points.len());
+
+    for &budget in &points {
+        let root = tmpdir(&format!("kill-{budget}"));
+
+        // The doomed build: dies at filesystem op `budget + 1`.
+        let vfs = CrashVfs::new(budget);
+        let crashed = build_dataset_with(&root, &records, &config, &sup, &clean, &clock, &vfs);
+        assert!(vfs.crashed(), "budget {budget} < {total} must crash");
+        // Whether the doomed run reported Err or limped to a summary with
+        // failures is incidental; what matters is the disk it left behind.
+        drop(crashed);
+
+        // Recovery: a fresh process resumes on the real filesystem.
+        let summary = build_dataset_with(&root, &records, &config, &sup, &clean, &clock, &StdVfs)
+            .unwrap_or_else(|e| panic!("resume after crash at op {budget} failed: {e}"));
+        assert_eq!(
+            summary.failed, 0,
+            "crash at op {budget}: resume left failures"
+        );
+        assert_eq!(summary.usable(), 2, "crash at op {budget}: entries missing");
+
+        for (record, reference) in records.iter().zip(&reference) {
+            validate_entry(&root, record)
+                .unwrap_or_else(|e| panic!("crash at op {budget}: {} invalid: {e}", record.pdb_id));
+            assert_eq!(
+                &entry_bytes(&root, "S", record.pdb_id),
+                reference,
+                "crash at op {budget}: {} differs from the reference build",
+                record.pdb_id
+            );
+        }
+
+        // The journal survived the crash too: it replays, and the final
+        // run it records is the successful resume.
+        let manifest = load_manifest(&root)
+            .unwrap_or_else(|e| panic!("crash at op {budget}: journal unreadable: {e}"));
+        assert!(
+            !manifest.runs.is_empty(),
+            "crash at op {budget}: resume journaled no run"
+        );
+        let last = manifest.runs.last().unwrap();
+        assert_eq!(
+            last.fragments.len(),
+            2,
+            "crash at op {budget}: resumed run journaled {} fragment(s)",
+            last.fragments.len()
+        );
+
+        // And fsck agrees the recovered dataset is clean.
+        let report = fsck_dataset(&root, &records).unwrap();
+        assert!(
+            report.clean(),
+            "crash at op {budget}: fsck found {} corrupt / {} missing",
+            report.corrupt(),
+            report.missing()
+        );
+
+        let _ = std::fs::remove_dir_all(&root);
+    }
+    let _ = std::fs::remove_dir_all(&ref_root);
+}

@@ -126,16 +126,74 @@ fn corrupt_checkpoint_is_rejected_and_rebuilt() {
     let manifest = load_manifest(&root).unwrap();
     let frag = &manifest.runs[1].fragments[0];
     assert_eq!(frag.status, "completed");
-    assert!(
-        frag.note
-            .as_deref()
-            .unwrap()
-            .contains("checkpoint rejected"),
-        "note: {:?}",
-        frag.note
+    let note = frag.note.as_deref().unwrap();
+    assert!(note.contains("checkpoint rejected"), "note: {note:?}");
+    // The torn entry was preserved as evidence, not deleted.
+    assert!(note.contains("quarantined"), "note: {note:?}");
+    let qroot = root.join(qdb_store::QUARANTINE_DIR);
+    assert!(qroot.is_dir(), "quarantine dir missing");
+    let slot = std::fs::read_dir(&qroot)
+        .unwrap()
+        .next()
+        .unwrap()
+        .unwrap()
+        .path();
+    assert_eq!(
+        std::fs::read(slot.join("metadata.json")).unwrap(),
+        b"{ torn"
     );
+    assert!(slot.join("REASON.txt").exists());
     // The rebuilt entry matches the original bytes (determinism).
     assert_eq!(entry_bytes(&root, "S", "3ckz"), reference);
+    let _ = std::fs::remove_dir_all(&root);
+}
+
+#[test]
+fn legacy_manifest_root_migrates_onto_the_journal_and_still_checkpoints() {
+    let config = PipelineConfig::fast();
+    let sup = SupervisorConfig::fast();
+    let clean = FaultPlan::none();
+    let records = [fragment("3ckz").unwrap()];
+
+    let root = tmpdir("legacy");
+    build_dataset(&root, &records, &config, &sup, &clean).unwrap();
+
+    // Rewrite history: replace the journal with a pre-journal
+    // `manifest.json`, as an old dataset root would carry.
+    let manifest = load_manifest(&root).unwrap();
+    let legacy_runs: Vec<String> = manifest
+        .runs
+        .iter()
+        .map(|r| serde_json::to_string(r).unwrap())
+        .collect();
+    std::fs::write(
+        root.join("manifest.json"),
+        format!("{{\"runs\": [{}]}}", legacy_runs.join(", ")),
+    )
+    .unwrap();
+    std::fs::remove_file(root.join("manifest.journal")).unwrap();
+
+    // Read-only load sees the legacy state without touching the disk.
+    let loaded = load_manifest(&root).unwrap();
+    assert_eq!(loaded.runs.len(), 1);
+    assert!(!root.join("manifest.journal").exists());
+
+    // A resumed build migrates the legacy runs onto the journal and still
+    // reuses the on-disk entry.
+    let summary = build_dataset(&root, &records, &config, &sup, &clean).unwrap();
+    assert_eq!(summary.checkpointed, 1);
+    assert!(root.join("manifest.journal").exists());
+    let migrated = load_manifest(&root).unwrap();
+    assert_eq!(migrated.runs.len(), 2, "legacy run + resumed run");
+    assert!(migrated.runs[1].resumed);
+    assert!(
+        migrated
+            .notes
+            .iter()
+            .any(|n| n.starts_with("manifest-migrated:")),
+        "notes: {:?}",
+        migrated.notes
+    );
     let _ = std::fs::remove_dir_all(&root);
 }
 
