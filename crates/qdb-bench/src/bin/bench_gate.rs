@@ -1,0 +1,106 @@
+//! Perf-regression gate: reruns the engine benchmark sweep of
+//! `perf_statevector` and compares the fresh medians (direct and
+//! compiled, per qubit count) against the committed
+//! `BENCH_statevector.json`. Any median more than the tolerance (default
+//! +25%) above its baseline fails the gate with exit code 1 — CI runs
+//! this so an accidental slowdown of the VQE hot loop can't land silently.
+//!
+//! ```text
+//! cargo run --release -p qdb-bench --bin bench_gate
+//! cargo run --release -p qdb-bench --bin bench_gate -- --tolerance 0.40
+//! # refresh the baseline after an intentional perf change:
+//! cargo run --release -p qdb-bench --bin bench_gate -- --update
+//! ```
+
+use qdb_bench::perf::{gate_checks, read_report, run_engine_bench, write_report};
+use std::path::PathBuf;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut baseline_path = PathBuf::from("BENCH_statevector.json");
+    let mut tolerance = 0.25;
+    let mut update = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--baseline" => {
+                i += 1;
+                let path = args.get(i).unwrap_or_else(|| {
+                    eprintln!("--baseline needs a path");
+                    std::process::exit(1);
+                });
+                baseline_path = PathBuf::from(path);
+            }
+            "--tolerance" => {
+                i += 1;
+                tolerance = args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--tolerance needs a fraction (e.g. 0.25)");
+                    std::process::exit(1);
+                });
+            }
+            "--update" => update = true,
+            other => {
+                eprintln!("unknown argument {other:?} (use --baseline, --tolerance, --update)");
+                std::process::exit(1);
+            }
+        }
+        i += 1;
+    }
+
+    eprintln!(
+        "bench_gate: fresh engine sweep vs {} (tolerance +{:.0}%)",
+        baseline_path.display(),
+        tolerance * 100.0
+    );
+    let fresh = run_engine_bench();
+    if update {
+        write_report(&baseline_path, &fresh).expect("write baseline");
+        println!("baseline refreshed at {}", baseline_path.display());
+        return;
+    }
+
+    let baseline = match read_report(&baseline_path) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("bench_gate: cannot read baseline: {e}");
+            std::process::exit(1);
+        }
+    };
+    let checks = match gate_checks(&baseline, &fresh) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("bench_gate: {e}");
+            std::process::exit(1);
+        }
+    };
+
+    println!(
+        "{:>7} {:>9} {:>15} {:>15} {:>8}  verdict",
+        "qubits", "engine", "baseline(ns)", "fresh(ns)", "ratio"
+    );
+    let mut regressions = 0;
+    for check in &checks {
+        let regressed = check.regressed(tolerance);
+        if regressed {
+            regressions += 1;
+        }
+        println!(
+            "{:>7} {:>9} {:>15} {:>15} {:>7.2}x  {}",
+            check.qubits,
+            check.engine,
+            check.baseline_ns,
+            check.fresh_ns,
+            check.ratio,
+            if regressed { "REGRESSED" } else { "ok" }
+        );
+    }
+    if regressions > 0 {
+        eprintln!(
+            "bench_gate: {regressions} median(s) regressed more than {:.0}% — \
+             investigate, or rerun with --update after an intentional change",
+            tolerance * 100.0
+        );
+        std::process::exit(1);
+    }
+    println!("bench_gate: all medians within +{:.0}%", tolerance * 100.0);
+}

@@ -7,6 +7,9 @@
 //! QDB_PRESET=fast cargo run --release -p qdb-bench --bin full_evaluation -- out_dir
 //! # with a pipeline telemetry snapshot alongside the tables:
 //! ... --bin full_evaluation -- out_dir --telemetry out_dir/telemetry.json
+//! # with a flight-recorder timeline (Perfetto-loadable; the raw dump
+//! # lands next to it as *.raw.json):
+//! ... --bin full_evaluation -- out_dir --trace out_dir/trace.json
 //! ```
 
 use qdb_baselines::alphafold::AfModel;
@@ -22,6 +25,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut positional: Vec<&str> = Vec::new();
     let mut telemetry_path: Option<PathBuf> = None;
+    let mut trace_path: Option<PathBuf> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -32,6 +36,14 @@ fn main() {
                     std::process::exit(1);
                 });
                 telemetry_path = Some(PathBuf::from(path));
+            }
+            "--trace" => {
+                i += 1;
+                let path = args.get(i).unwrap_or_else(|| {
+                    eprintln!("--trace needs an output path");
+                    std::process::exit(1);
+                });
+                trace_path = Some(PathBuf::from(path));
             }
             other => positional.push(other),
         }
@@ -48,6 +60,12 @@ fn main() {
         "running the full 55-fragment evaluation (preset: {})",
         preset_name(&config)
     );
+
+    if trace_path.is_some() {
+        qdb_telemetry::global()
+            .install_recorder(std::sync::Arc::new(qdb_telemetry::TraceRecorder::default()));
+        eprintln!("flight recorder armed");
+    }
 
     let records = all_fragments();
     let comparisons = run_comparisons(&records, &config);
@@ -99,6 +117,22 @@ fn main() {
         qdb_telemetry::export::json::write_snapshot(&path, &snap)
             .expect("write telemetry snapshot");
         eprintln!("telemetry snapshot written to {}", path.display());
+    }
+    if let Some(path) = trace_path {
+        let rec = qdb_telemetry::global()
+            .take_recorder()
+            .expect("recorder installed above");
+        let dump = rec.dump();
+        qdb_telemetry::export::chrome::write_chrome_trace(&path, &dump)
+            .expect("write chrome trace");
+        dump.write(&path.with_extension("raw.json"))
+            .expect("write raw trace dump");
+        eprintln!(
+            "trace written to {} ({} events, {} dropped)",
+            path.display(),
+            dump.num_events(),
+            dump.dropped()
+        );
     }
     eprintln!("all outputs written to {}", out_dir.display());
 }

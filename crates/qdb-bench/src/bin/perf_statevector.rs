@@ -1,10 +1,8 @@
 //! Headline numbers for the compiled execution engine: wall-time
-//! distribution of one full VQE energy evaluation (EfficientSU2 reps 2,
-//! linear entanglement, diagonal expectation) through the direct
+//! distribution of one full VQE energy evaluation through the direct
 //! gate-by-gate simulator and through the compiled plan + workspace, at
-//! 10/16/22 qubits. Samples go through a [`qdb_telemetry::Histogram`], so
-//! the reported p50/p99/max carry the same ≤1/32 bucket error as every
-//! other duration in a pipeline telemetry snapshot.
+//! 10/16/22 qubits. The measurement loop lives in [`qdb_bench::perf`] so
+//! `bench_gate` runs the identical sweep when it checks for regressions.
 //!
 //! Writes `BENCH_statevector.json` to the current directory.
 //!
@@ -12,86 +10,22 @@
 //! cargo run --release -p qdb-bench --bin perf_statevector
 //! ```
 
-use qdb_quantum::ansatz::{efficient_su2, Entanglement};
-use qdb_quantum::compile::CompiledCircuit;
-use qdb_quantum::exec::SimWorkspace;
-use qdb_quantum::statevector::Statevector;
-use qdb_telemetry::HistogramSnapshot;
-use std::hint::black_box;
-use std::time::Instant;
-
-/// Distribution of per-evaluation times (ns) over `reps` timed runs of
-/// `f` after `warmup` untimed runs, accumulated in a telemetry histogram.
-fn timing_hist(warmup: usize, reps: usize, mut f: impl FnMut() -> f64) -> HistogramSnapshot {
-    for _ in 0..warmup {
-        black_box(f());
-    }
-    let hist = qdb_telemetry::Histogram::new();
-    for _ in 0..reps {
-        let t0 = Instant::now();
-        black_box(f());
-        hist.record(t0.elapsed().as_nanos() as u64);
-    }
-    hist.snapshot()
-}
+use qdb_bench::perf::{run_engine_bench, write_report};
+use std::path::Path;
 
 fn main() {
-    let mut rows = Vec::new();
+    let report = run_engine_bench();
     println!(
         "{:>7} {:>15} {:>15} {:>9}",
         "qubits", "direct(ns)", "compiled(ns)", "speedup"
     );
-    for qubits in [10usize, 16, 22] {
-        let circuit = efficient_su2(qubits, 2, Entanglement::Linear);
-        let params: Vec<f64> = (0..circuit.num_params())
-            .map(|i| 0.1 + 0.01 * i as f64)
-            .collect();
-        let diag: Vec<f64> = (0..1u64 << qubits).map(|i| (i % 997) as f64).collect();
-        // Fewer reps at the widest register — one 22-qubit evaluation
-        // moves 4M amplitudes through every pass.
-        let (warmup, reps) = if qubits >= 20 { (2, 9) } else { (5, 31) };
-
-        let direct = timing_hist(warmup, reps, || {
-            let mut sv = Statevector::zero(qubits);
-            sv.apply_parametric(&circuit, &params);
-            sv.expectation_diagonal(&diag)
-        });
-
-        let compiled = CompiledCircuit::compile(&circuit);
-        let mut ws = SimWorkspace::new(qubits);
-        let fused = timing_hist(warmup, reps, || ws.energy(&compiled, &params, &diag));
-
-        let speedup = direct.p50 as f64 / fused.p50 as f64;
+    for row in &report.rows {
         println!(
-            "{qubits:>7} {:>15} {:>15} {speedup:>8.2}x",
-            direct.p50, fused.p50
+            "{:>7} {:>15} {:>15} {:>8.2}x",
+            row.qubits, row.direct_median_ns, row.compiled_median_ns, row.speedup
         );
-        rows.push(serde_json::json!({
-            "qubits": qubits,
-            "direct_median_ns": direct.p50,
-            "direct_p99_ns": direct.p99,
-            "direct_max_ns": direct.max,
-            "compiled_median_ns": fused.p50,
-            "compiled_p99_ns": fused.p99,
-            "compiled_max_ns": fused.max,
-            "speedup": speedup,
-            "passes_direct": circuit.instructions().len(),
-            "passes_compiled": compiled.num_passes(),
-        }));
     }
-
-    let report = serde_json::json!({
-        "benchmark": "energy_evaluation_engine",
-        "ansatz": "efficient_su2(reps=2, linear)",
-        "threads": rayon::current_num_threads(),
-        "quantiles": "qdb-telemetry log-linear histogram, <=1/32 relative error",
-        "rows": rows,
-    });
-    let path = "BENCH_statevector.json";
-    std::fs::write(
-        path,
-        serde_json::to_string_pretty(&report).expect("serializable"),
-    )
-    .expect("writable working directory");
-    println!("wrote {path}");
+    let path = Path::new("BENCH_statevector.json");
+    write_report(path, &report).expect("writable working directory");
+    println!("wrote {}", path.display());
 }

@@ -1,0 +1,71 @@
+//! Critical-path and occupancy analysis of a flight-recorder trace:
+//! reads the Chrome trace-event JSON written by `--trace`, validates its
+//! structure (balanced begin/end, monotone per-lane timestamps, drop
+//! accounting), and prints per-stage self times, per-worker occupancy,
+//! and the serial critical path across the per-fragment lanes with its
+//! encode→hamiltonian→vqe→reconstruct→dock→rmsd breakdown.
+//!
+//! Exits 1 on structural problems or impossible timings (critical path
+//! longer than the wall, or shorter than its own slowest fragment), so
+//! CI can run it as a gate on a real traced build.
+//!
+//! ```text
+//! cargo run --release --example build_dataset -- S out --fragments 2 --trace trace.json
+//! cargo run --release -p qdb-bench --bin trace_report -- trace.json
+//! ```
+
+use qdb_bench::trace::{analyze, check_invariants, render_report, validate_trace};
+use qdb_telemetry::export::chrome::read_chrome_trace;
+use std::path::PathBuf;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let path = match args.as_slice() {
+        [p] => PathBuf::from(p),
+        _ => {
+            eprintln!("usage: trace_report <trace.json>");
+            std::process::exit(1);
+        }
+    };
+
+    let file = match read_chrome_trace(&path) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("trace_report: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!(
+        "trace_report: {} (schema v{}, {} events)",
+        path.display(),
+        file.qdb.version,
+        file.traceEvents.len()
+    );
+
+    let problems = validate_trace(&file);
+    if !problems.is_empty() {
+        for p in &problems {
+            eprintln!("  structural problem: {p}");
+        }
+        eprintln!("trace_report: {} structural problem(s)", problems.len());
+        std::process::exit(1);
+    }
+
+    let report = match analyze(&file) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("trace_report: analysis failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    print!("{}", render_report(&report));
+
+    let violations = check_invariants(&report);
+    if !violations.is_empty() {
+        for v in &violations {
+            eprintln!("  invariant violated: {v}");
+        }
+        std::process::exit(1);
+    }
+    println!("invariants hold: critical path <= wall, >= slowest fragment");
+}

@@ -6,10 +6,18 @@
 //! instrumentation site breaks this binary, not a dashboard three weeks
 //! later.
 //!
+//! With `--trace <trace.json>` it additionally validates a flight-recorder
+//! export from the same run: schema version, balanced begin/end per lane,
+//! monotone per-lane timestamps, and drop accounting (see
+//! [`qdb_bench::trace::validate_trace`]).
+//!
 //! ```text
 //! cargo run --release -p qdb-bench --bin validate_telemetry -- out.json
+//! cargo run --release -p qdb-bench --bin validate_telemetry -- out.json --trace trace.json
 //! ```
 
+use qdb_bench::trace::validate_trace;
+use qdb_telemetry::export::chrome::read_chrome_trace;
 use qdb_telemetry::export::json::read_snapshot;
 use qdb_telemetry::Snapshot;
 use std::path::PathBuf;
@@ -52,6 +60,9 @@ const REQUIRED_HISTOGRAMS: &[&str] = &[
     "pipeline.rmsd",
     "pipeline.fragment",
     "vqe.energy_eval",
+    "vqe.optimize",
+    "vqe.sample",
+    "dock.chain",
     "store.write_us",
 ];
 
@@ -108,16 +119,49 @@ fn validate(snap: &Snapshot) -> Vec<String> {
             ));
         }
     }
+    // Sampled spans: a `<name>.skipped` counter only exists because a
+    // `span_sampled!` site fired, so the histogram it samples must exist.
+    for name in snap.counters.keys() {
+        if let Some(base) = name.strip_suffix(".skipped") {
+            if !snap.histograms.contains_key(base) {
+                problems.push(format!(
+                    "counter {name} has no matching histogram {base} — \
+                     sampled span site records nothing"
+                ));
+            }
+        }
+    }
     problems
 }
 
 fn main() -> ExitCode {
-    let path: PathBuf = match std::env::args().nth(1) {
-        Some(p) => p.into(),
-        None => {
-            eprintln!("usage: validate_telemetry <snapshot.json>");
-            return ExitCode::FAILURE;
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut snapshot_path: Option<PathBuf> = None;
+    let mut trace_arg: Option<PathBuf> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--trace" => {
+                i += 1;
+                match args.get(i) {
+                    Some(p) => trace_arg = Some(PathBuf::from(p)),
+                    None => {
+                        eprintln!("--trace needs a path");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            other if snapshot_path.is_none() => snapshot_path = Some(PathBuf::from(other)),
+            other => {
+                eprintln!("unexpected argument {other:?}");
+                return ExitCode::FAILURE;
+            }
         }
+        i += 1;
+    }
+    let Some(path) = snapshot_path else {
+        eprintln!("usage: validate_telemetry <snapshot.json> [--trace <trace.json>]");
+        return ExitCode::FAILURE;
     };
     let snap = match read_snapshot(&path) {
         Ok(s) => s,
@@ -126,7 +170,19 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let problems = validate(&snap);
+    let mut problems = validate(&snap);
+    if let Some(trace_path) = &trace_arg {
+        match read_chrome_trace(trace_path) {
+            Ok(file) => {
+                problems.extend(
+                    validate_trace(&file)
+                        .into_iter()
+                        .map(|p| format!("trace: {p}")),
+                );
+            }
+            Err(e) => problems.push(format!("trace unreadable: {e}")),
+        }
+    }
     if problems.is_empty() {
         println!(
             "OK: {} — schema v{}, {} counters, {} gauges, {} histograms, all declared pipeline metrics present",
@@ -136,6 +192,12 @@ fn main() -> ExitCode {
             snap.gauges.len(),
             snap.histograms.len()
         );
+        if let Some(trace_path) = &trace_arg {
+            println!(
+                "OK: {} — trace structurally valid (balanced spans, monotone lanes, drops accounted)",
+                trace_path.display()
+            );
+        }
         ExitCode::SUCCESS
     } else {
         eprintln!("FAIL: {} problem(s) in {}:", problems.len(), path.display());

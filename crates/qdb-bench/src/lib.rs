@@ -4,6 +4,9 @@
 //! DESIGN.md §4) plus Criterion performance benches. This library holds
 //! the shared driver code.
 
+pub mod perf;
+pub mod trace;
+
 use qdockbank::evaluation::FragmentComparison;
 use qdockbank::fragments::{all_fragments, fragment, fragments_in, FragmentRecord, Group};
 use qdockbank::pipeline::{PipelineConfig, Preset};
@@ -60,6 +63,9 @@ pub fn run_comparisons(
 ) -> Vec<FragmentComparison> {
     let mut out = Vec::with_capacity(records.len());
     for (i, record) in records.iter().enumerate() {
+        // 1-based correlation id, mirrored by the flight recorder onto a
+        // per-fragment track when one is installed.
+        let _corr = qdb_telemetry::trace::correlate(i as u64 + 1);
         eprintln!(
             "[{}/{}] {} ({}, {} aa)…",
             i + 1,

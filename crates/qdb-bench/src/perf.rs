@@ -1,0 +1,268 @@
+//! Shared engine-benchmark driver: one full VQE energy evaluation
+//! (EfficientSU2 reps 2, linear entanglement, diagonal expectation)
+//! through the direct gate-by-gate simulator and through the compiled
+//! plan + workspace, at 10/16/22 qubits. Samples go through a
+//! [`qdb_telemetry::Histogram`], so the reported p50/p99/max carry the
+//! same ≤1/32 bucket error as every other duration in a telemetry
+//! snapshot.
+//!
+//! Two consumers: `perf_statevector` (runs it and commits the report as
+//! `BENCH_statevector.json`) and `bench_gate` (runs it fresh and fails
+//! CI when the fresh medians regress past tolerance against that
+//! committed baseline).
+
+use qdb_quantum::ansatz::{efficient_su2, Entanglement};
+use qdb_quantum::compile::CompiledCircuit;
+use qdb_quantum::exec::SimWorkspace;
+use qdb_quantum::statevector::Statevector;
+use qdb_telemetry::HistogramSnapshot;
+use serde::{Deserialize, Serialize};
+use std::hint::black_box;
+use std::path::Path;
+use std::time::Instant;
+
+/// Qubit widths the engine benchmark sweeps.
+pub const BENCH_QUBITS: [usize; 3] = [10, 16, 22];
+
+/// Distribution of per-evaluation times (ns) over `reps` timed runs of
+/// `f` after `warmup` untimed runs, accumulated in a telemetry histogram.
+pub fn timing_hist(warmup: usize, reps: usize, mut f: impl FnMut() -> f64) -> HistogramSnapshot {
+    for _ in 0..warmup {
+        black_box(f());
+    }
+    let hist = qdb_telemetry::Histogram::new();
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        black_box(f());
+        hist.record(t0.elapsed().as_nanos() as u64);
+    }
+    hist.snapshot()
+}
+
+/// One qubit-width's engine comparison.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct EngineRow {
+    /// Register width.
+    pub qubits: usize,
+    /// Direct gate-by-gate evaluation, median ns.
+    pub direct_median_ns: u64,
+    /// Direct evaluation, p99 ns.
+    pub direct_p99_ns: u64,
+    /// Direct evaluation, max ns.
+    pub direct_max_ns: u64,
+    /// Compiled-plan evaluation, median ns.
+    pub compiled_median_ns: u64,
+    /// Compiled evaluation, p99 ns.
+    pub compiled_p99_ns: u64,
+    /// Compiled evaluation, max ns.
+    pub compiled_max_ns: u64,
+    /// direct/compiled median ratio.
+    pub speedup: f64,
+    /// Instruction count of the direct circuit.
+    pub passes_direct: usize,
+    /// Pass count of the compiled plan.
+    pub passes_compiled: usize,
+}
+
+/// The whole benchmark report (the `BENCH_statevector.json` schema).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct BenchReport {
+    /// Benchmark identifier.
+    pub benchmark: String,
+    /// Circuit family measured.
+    pub ansatz: String,
+    /// Rayon worker count at measurement time.
+    pub threads: usize,
+    /// Quantile estimation caveat.
+    pub quantiles: String,
+    /// Per-width rows.
+    pub rows: Vec<EngineRow>,
+}
+
+/// Measures one row of the engine comparison at `qubits` wide.
+pub fn measure_row(qubits: usize) -> EngineRow {
+    let circuit = efficient_su2(qubits, 2, Entanglement::Linear);
+    let params: Vec<f64> = (0..circuit.num_params())
+        .map(|i| 0.1 + 0.01 * i as f64)
+        .collect();
+    let diag: Vec<f64> = (0..1u64 << qubits).map(|i| (i % 997) as f64).collect();
+    // Fewer reps at the widest register — one 22-qubit evaluation moves
+    // 4M amplitudes through every pass.
+    let (warmup, reps) = if qubits >= 20 { (2, 9) } else { (5, 31) };
+
+    let direct = timing_hist(warmup, reps, || {
+        let mut sv = Statevector::zero(qubits);
+        sv.apply_parametric(&circuit, &params);
+        sv.expectation_diagonal(&diag)
+    });
+
+    let compiled = CompiledCircuit::compile(&circuit);
+    let mut ws = SimWorkspace::new(qubits);
+    let fused = timing_hist(warmup, reps, || ws.energy(&compiled, &params, &diag));
+
+    EngineRow {
+        qubits,
+        direct_median_ns: direct.p50,
+        direct_p99_ns: direct.p99,
+        direct_max_ns: direct.max,
+        compiled_median_ns: fused.p50,
+        compiled_p99_ns: fused.p99,
+        compiled_max_ns: fused.max,
+        speedup: direct.p50 as f64 / fused.p50 as f64,
+        passes_direct: circuit.instructions().len(),
+        passes_compiled: compiled.num_passes(),
+    }
+}
+
+/// Runs the full sweep and assembles a report.
+pub fn run_engine_bench() -> BenchReport {
+    BenchReport {
+        benchmark: "energy_evaluation_engine".to_string(),
+        ansatz: "efficient_su2(reps=2, linear)".to_string(),
+        threads: rayon::current_num_threads(),
+        quantiles: "qdb-telemetry log-linear histogram, <=1/32 relative error".to_string(),
+        rows: BENCH_QUBITS.iter().map(|&q| measure_row(q)).collect(),
+    }
+}
+
+/// Writes `report` as pretty JSON to `path`.
+pub fn write_report(path: &Path, report: &BenchReport) -> std::io::Result<()> {
+    std::fs::write(
+        path,
+        serde_json::to_string_pretty(report).expect("bench report serializes"),
+    )
+}
+
+/// Reads a committed report back.
+pub fn read_report(path: &Path) -> Result<BenchReport, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    serde_json::from_str(&text).map_err(|e| format!("{}: {e}", path.display()))
+}
+
+/// One gate comparison: a fresh median vs the committed baseline median.
+#[derive(Clone, Debug)]
+pub struct GateCheck {
+    /// Register width.
+    pub qubits: usize,
+    /// Which engine's median this row gates.
+    pub engine: &'static str,
+    /// Committed baseline median, ns.
+    pub baseline_ns: u64,
+    /// Freshly measured median, ns.
+    pub fresh_ns: u64,
+    /// fresh/baseline.
+    pub ratio: f64,
+}
+
+impl GateCheck {
+    /// Whether this row regressed past `tolerance` (e.g. `0.25` = +25%).
+    pub fn regressed(&self, tolerance: f64) -> bool {
+        self.ratio > 1.0 + tolerance
+    }
+}
+
+/// Pairs fresh rows against baseline rows by qubit count, yielding one
+/// check per (width, engine). A width present in the baseline but not in
+/// the fresh run (or vice versa) is an error — the sweep definitions
+/// drifted apart.
+pub fn gate_checks(baseline: &BenchReport, fresh: &BenchReport) -> Result<Vec<GateCheck>, String> {
+    let mut checks = Vec::new();
+    for fresh_row in &fresh.rows {
+        let base_row = baseline
+            .rows
+            .iter()
+            .find(|r| r.qubits == fresh_row.qubits)
+            .ok_or_else(|| format!("baseline has no {}-qubit row", fresh_row.qubits))?;
+        for (engine, base_ns, fresh_ns) in [
+            (
+                "compiled",
+                base_row.compiled_median_ns,
+                fresh_row.compiled_median_ns,
+            ),
+            (
+                "direct",
+                base_row.direct_median_ns,
+                fresh_row.direct_median_ns,
+            ),
+        ] {
+            checks.push(GateCheck {
+                qubits: fresh_row.qubits,
+                engine,
+                baseline_ns: base_ns,
+                fresh_ns,
+                ratio: fresh_ns as f64 / base_ns.max(1) as f64,
+            });
+        }
+    }
+    for base_row in &baseline.rows {
+        if !fresh.rows.iter().any(|r| r.qubits == base_row.qubits) {
+            return Err(format!("fresh run has no {}-qubit row", base_row.qubits));
+        }
+    }
+    Ok(checks)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report_with(medians: &[(usize, u64, u64)]) -> BenchReport {
+        BenchReport {
+            benchmark: "energy_evaluation_engine".to_string(),
+            ansatz: "test".to_string(),
+            threads: 1,
+            quantiles: "test".to_string(),
+            rows: medians
+                .iter()
+                .map(|&(qubits, direct, compiled)| EngineRow {
+                    qubits,
+                    direct_median_ns: direct,
+                    direct_p99_ns: direct,
+                    direct_max_ns: direct,
+                    compiled_median_ns: compiled,
+                    compiled_p99_ns: compiled,
+                    compiled_max_ns: compiled,
+                    speedup: direct as f64 / compiled as f64,
+                    passes_direct: 10,
+                    passes_compiled: 3,
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn gate_passes_within_tolerance_and_fails_past_it() {
+        let baseline = report_with(&[(10, 1_000, 400)]);
+        let ok = report_with(&[(10, 1_200, 480)]); // +20%
+        let bad = report_with(&[(10, 1_000, 520)]); // compiled +30%
+        let checks = gate_checks(&baseline, &ok).unwrap();
+        assert!(checks.iter().all(|c| !c.regressed(0.25)));
+        let checks = gate_checks(&baseline, &bad).unwrap();
+        assert!(checks
+            .iter()
+            .any(|c| c.engine == "compiled" && c.regressed(0.25)));
+        // A faster fresh run never trips the gate.
+        let fast = report_with(&[(10, 500, 200)]);
+        assert!(gate_checks(&baseline, &fast)
+            .unwrap()
+            .iter()
+            .all(|c| !c.regressed(0.25)));
+    }
+
+    #[test]
+    fn mismatched_sweeps_are_an_error() {
+        let baseline = report_with(&[(10, 1_000, 400), (16, 2_000, 800)]);
+        let fresh = report_with(&[(10, 1_000, 400)]);
+        assert!(gate_checks(&baseline, &fresh).is_err());
+        assert!(gate_checks(&fresh, &baseline).is_err());
+    }
+
+    #[test]
+    fn report_round_trips_through_json() {
+        let report = report_with(&[(10, 1_000, 400)]);
+        let text = serde_json::to_string_pretty(&report).unwrap();
+        let back: BenchReport = serde_json::from_str(&text).unwrap();
+        assert_eq!(back.rows.len(), 1);
+        assert_eq!(back.rows[0].compiled_median_ns, 400);
+    }
+}

@@ -1,0 +1,587 @@
+//! Flight-recorder trace analysis: structural validation of an exported
+//! Chrome trace-event file plus the critical-path / occupancy report
+//! behind `trace_report`.
+//!
+//! Everything works off the exporter's own structure — worker lanes
+//! (`PID_WORKERS`, one track per recording thread) and synthetic
+//! per-fragment lanes (`PID_FRAGMENTS`, tid = correlation id) — so no
+//! event `args` are ever introspected: fragment attribution is the lane
+//! the exporter mirrored the event onto.
+
+use qdb_telemetry::export::chrome::{ChromeEvent, ChromeTraceFile, PID_FRAGMENTS, PID_WORKERS};
+use std::collections::BTreeMap;
+
+/// The span name the pipeline wraps one whole fragment in.
+pub const FRAGMENT_SPAN: &str = "pipeline.fragment";
+/// Prefix of the per-stage pipeline spans (`pipeline.encode` … `pipeline.rmsd`).
+pub const STAGE_PREFIX: &str = "pipeline.";
+
+/// Groups the non-metadata events of `file` by `(pid, tid)`, preserving
+/// file order (which is ring order, i.e. timestamp order per track).
+pub fn lanes(file: &ChromeTraceFile) -> BTreeMap<(u32, u64), Vec<&ChromeEvent>> {
+    let mut out: BTreeMap<(u32, u64), Vec<&ChromeEvent>> = BTreeMap::new();
+    for ev in &file.traceEvents {
+        if ev.ph != "M" {
+            out.entry((ev.pid, ev.tid)).or_default().push(ev);
+        }
+    }
+    out
+}
+
+/// Structural validation of an exported trace. Returns human-readable
+/// problem strings; empty = valid. Checks, per ISSUE 5: balanced
+/// begin/end per lane, monotone per-lane timestamps, and drop
+/// accounting (file total == sum of per-track drops, per-track event
+/// counts match the metadata block). Lanes whose ring dropped events are
+/// exempt from the balance check — wraparound legitimately truncates
+/// span openings — as are fragment lanes when any source ring dropped.
+pub fn validate_trace(file: &ChromeTraceFile) -> Vec<String> {
+    let mut problems = Vec::new();
+
+    let track_drop_sum: u64 = file.qdb.tracks.iter().map(|t| t.dropped).sum();
+    if file.qdb.dropped != track_drop_sum {
+        problems.push(format!(
+            "drop accounting: file total {} != per-track sum {}",
+            file.qdb.dropped, track_drop_sum
+        ));
+    }
+
+    let lanes = lanes(file);
+    for track in &file.qdb.tracks {
+        let actual = lanes
+            .get(&(PID_WORKERS, track.tid))
+            .map_or(0, |evs| evs.len() as u64);
+        if actual != track.events {
+            problems.push(format!(
+                "track {} ({}): metadata says {} events, file has {}",
+                track.tid, track.thread, track.events, actual
+            ));
+        }
+    }
+
+    for ((pid, tid), events) in &lanes {
+        let lane = lane_label(*pid, *tid, file);
+        if *pid == PID_WORKERS && !file.qdb.tracks.iter().any(|t| t.tid == *tid) {
+            problems.push(format!("{lane}: not in the qdb metadata block"));
+        }
+
+        let mut last_ts = f64::NEG_INFINITY;
+        let mut regression_reported = false;
+        let mut stack: Vec<&str> = Vec::new();
+        let mut balanced = true;
+        for ev in events {
+            if ev.ts < last_ts && !regression_reported {
+                problems.push(format!(
+                    "{lane}: timestamp regression at {:?} ({} µs after {} µs)",
+                    ev.name, ev.ts, last_ts
+                ));
+                regression_reported = true; // one report per lane
+            }
+            last_ts = last_ts.max(ev.ts);
+            match ev.ph.as_str() {
+                "B" => stack.push(&ev.name),
+                "E" => match stack.pop() {
+                    Some(open) if open == ev.name => {}
+                    Some(open) => {
+                        balanced = false;
+                        problems.push(format!(
+                            "{lane}: end of {:?} closes open span {open:?}",
+                            ev.name
+                        ));
+                    }
+                    None => {
+                        balanced = false;
+                        problems.push(format!("{lane}: end of {:?} with no open span", ev.name));
+                    }
+                },
+                "i" => {
+                    if ev.s.as_deref() != Some("t") {
+                        problems.push(format!(
+                            "{lane}: instant {:?} missing thread scope",
+                            ev.name
+                        ));
+                    }
+                }
+                other => problems.push(format!("{lane}: unknown phase {other:?}")),
+            }
+        }
+        if balanced && !stack.is_empty() {
+            problems.push(format!("{lane}: {} span(s) never closed", stack.len()));
+        }
+        // Drop-tolerant lanes: truncated openings are expected, so retract
+        // balance complaints for them (timestamp/phase problems stand).
+        let dropped_here = match *pid {
+            PID_WORKERS => file
+                .qdb
+                .tracks
+                .iter()
+                .find(|t| t.tid == *tid)
+                .map_or(0, |t| t.dropped),
+            _ => file.qdb.dropped,
+        };
+        if dropped_here > 0 {
+            problems.retain(|p| {
+                !(p.starts_with(&lane)
+                    && (p.contains("closes open span")
+                        || p.contains("no open span")
+                        || p.contains("never closed")))
+            });
+        }
+    }
+    problems
+}
+
+fn lane_label(pid: u32, tid: u64, file: &ChromeTraceFile) -> String {
+    match pid {
+        PID_WORKERS => {
+            let thread = file
+                .qdb
+                .tracks
+                .iter()
+                .find(|t| t.tid == tid)
+                .map_or("?", |t| t.thread.as_str());
+            format!("worker lane {tid} ({thread})")
+        }
+        PID_FRAGMENTS => format!("fragment lane {tid}"),
+        other => format!("lane {other}:{tid}"),
+    }
+}
+
+/// Aggregate statistics for one span name.
+#[derive(Clone, Debug, Default)]
+pub struct StageStat {
+    /// Completed spans with this name.
+    pub count: u64,
+    /// Sum of span durations, µs.
+    pub total_us: f64,
+    /// Sum of durations minus time spent in child spans, µs.
+    pub self_us: f64,
+}
+
+/// One worker lane's utilization.
+#[derive(Clone, Debug)]
+pub struct WorkerStat {
+    /// Track id.
+    pub tid: u64,
+    /// Thread name from the metadata block.
+    pub thread: String,
+    /// Time covered by top-level spans, µs.
+    pub busy_us: f64,
+    /// `busy_us` over the trace wall time (0 when the wall is empty).
+    pub occupancy: f64,
+}
+
+/// One fragment lane's contribution to the critical path.
+#[derive(Clone, Debug)]
+pub struct FragmentPath {
+    /// Fragment correlation id (1-based build index).
+    pub fragment: u64,
+    /// Sum of this fragment's [`FRAGMENT_SPAN`] durations (retries add up), µs.
+    pub total_us: f64,
+    /// Per-stage durations inside this lane (`pipeline.encode` …), µs.
+    pub stages: BTreeMap<String, f64>,
+}
+
+/// The full analysis of one trace.
+#[derive(Clone, Debug)]
+pub struct TraceReport {
+    /// Span of timestamps across all lanes, µs.
+    pub wall_us: f64,
+    /// Per-span-name aggregates over the worker lanes.
+    pub stages: BTreeMap<String, StageStat>,
+    /// Instant counts per name over the worker lanes.
+    pub instants: BTreeMap<String, u64>,
+    /// Per-worker occupancy.
+    pub workers: Vec<WorkerStat>,
+    /// Per-fragment lanes, ordered by fragment id.
+    pub fragments: Vec<FragmentPath>,
+    /// Serial critical path: the sum of all fragments' pipeline spans, µs.
+    /// (The supervisor builds fragments sequentially, so the end-to-end
+    /// path of a build is every fragment's encode→…→rmsd chain laid
+    /// end to end.)
+    pub critical_path_us: f64,
+    /// The single longest fragment, µs.
+    pub slowest_fragment_us: f64,
+    /// Events dropped by ring wraparound (analysis is partial if nonzero).
+    pub dropped: u64,
+}
+
+struct Frame<'a> {
+    name: &'a str,
+    ts: f64,
+    child_us: f64,
+}
+
+/// Replays one lane's events, accumulating per-name span statistics.
+/// Returns `(stats, instants, busy_us)`; errors on unbalanced lanes.
+#[allow(clippy::type_complexity)]
+fn replay(
+    events: &[&ChromeEvent],
+) -> Result<(BTreeMap<String, StageStat>, BTreeMap<String, u64>, f64), String> {
+    let mut stats: BTreeMap<String, StageStat> = BTreeMap::new();
+    let mut instants: BTreeMap<String, u64> = BTreeMap::new();
+    let mut stack: Vec<Frame> = Vec::new();
+    let mut busy_us = 0.0;
+    for ev in events {
+        match ev.ph.as_str() {
+            "B" => stack.push(Frame {
+                name: &ev.name,
+                ts: ev.ts,
+                child_us: 0.0,
+            }),
+            "E" => {
+                let frame = stack
+                    .pop()
+                    .filter(|f| f.name == ev.name)
+                    .ok_or_else(|| format!("unbalanced end of {:?}", ev.name))?;
+                let dur = ev.ts - frame.ts;
+                let stat = stats.entry(ev.name.clone()).or_default();
+                stat.count += 1;
+                stat.total_us += dur;
+                stat.self_us += dur - frame.child_us;
+                match stack.last_mut() {
+                    Some(parent) => parent.child_us += dur,
+                    None => busy_us += dur,
+                }
+            }
+            "i" => *instants.entry(ev.name.clone()).or_default() += 1,
+            _ => {}
+        }
+    }
+    if let Some(open) = stack.last() {
+        return Err(format!("span {:?} never closed", open.name));
+    }
+    Ok((stats, instants, busy_us))
+}
+
+/// Analyzes a validated trace. Lanes that dropped events are replayed
+/// best-effort (their unbalanced spans are skipped rather than fatal).
+pub fn analyze(file: &ChromeTraceFile) -> Result<TraceReport, String> {
+    let lanes = lanes(file);
+    let mut min_ts = f64::INFINITY;
+    let mut max_ts = f64::NEG_INFINITY;
+    for events in lanes.values() {
+        for ev in events {
+            min_ts = min_ts.min(ev.ts);
+            max_ts = max_ts.max(ev.ts);
+        }
+    }
+    let wall_us = if max_ts > min_ts {
+        max_ts - min_ts
+    } else {
+        0.0
+    };
+
+    let mut stages: BTreeMap<String, StageStat> = BTreeMap::new();
+    let mut instants: BTreeMap<String, u64> = BTreeMap::new();
+    let mut workers = Vec::new();
+    let mut fragments = Vec::new();
+
+    for ((pid, tid), events) in &lanes {
+        let dropped_here = match *pid {
+            PID_WORKERS => file
+                .qdb
+                .tracks
+                .iter()
+                .find(|t| t.tid == *tid)
+                .map_or(0, |t| t.dropped),
+            _ => file.qdb.dropped,
+        };
+        let replayed = match replay(events) {
+            Ok(r) => r,
+            Err(e) if dropped_here > 0 => {
+                // Wraparound truncated this lane; salvage instants only.
+                let _ = e;
+                let mut inst = BTreeMap::new();
+                for ev in events.iter().filter(|e| e.ph == "i") {
+                    *inst.entry(ev.name.clone()).or_default() += 1;
+                }
+                (BTreeMap::new(), inst, 0.0)
+            }
+            Err(e) => return Err(format!("{}: {e}", lane_label(*pid, *tid, file))),
+        };
+        let (lane_stats, lane_instants, busy_us) = replayed;
+        match *pid {
+            PID_WORKERS => {
+                for (name, stat) in lane_stats {
+                    let agg = stages.entry(name).or_default();
+                    agg.count += stat.count;
+                    agg.total_us += stat.total_us;
+                    agg.self_us += stat.self_us;
+                }
+                for (name, n) in lane_instants {
+                    *instants.entry(name).or_default() += n;
+                }
+                workers.push(WorkerStat {
+                    tid: *tid,
+                    thread: file
+                        .qdb
+                        .tracks
+                        .iter()
+                        .find(|t| t.tid == *tid)
+                        .map_or_else(|| format!("thread-{tid}"), |t| t.thread.clone()),
+                    busy_us,
+                    occupancy: if wall_us > 0.0 {
+                        busy_us / wall_us
+                    } else {
+                        0.0
+                    },
+                });
+            }
+            PID_FRAGMENTS => {
+                let total_us = lane_stats.get(FRAGMENT_SPAN).map_or(0.0, |s| s.total_us);
+                let stage_breakdown = lane_stats
+                    .iter()
+                    .filter(|(name, _)| {
+                        name.starts_with(STAGE_PREFIX) && name.as_str() != FRAGMENT_SPAN
+                    })
+                    .map(|(name, stat)| (name.clone(), stat.total_us))
+                    .collect();
+                fragments.push(FragmentPath {
+                    fragment: *tid,
+                    total_us,
+                    stages: stage_breakdown,
+                });
+            }
+            _ => {}
+        }
+    }
+
+    let critical_path_us = fragments.iter().map(|f| f.total_us).sum();
+    let slowest_fragment_us = fragments.iter().map(|f| f.total_us).fold(0.0, f64::max);
+    Ok(TraceReport {
+        wall_us,
+        stages,
+        instants,
+        workers,
+        fragments,
+        critical_path_us,
+        slowest_fragment_us,
+        dropped: file.qdb.dropped,
+    })
+}
+
+fn ms(us: f64) -> f64 {
+    us / 1_000.0
+}
+
+fn pct(part: f64, whole: f64) -> f64 {
+    if whole > 0.0 {
+        100.0 * part / whole
+    } else {
+        0.0
+    }
+}
+
+/// Renders the report as the text `trace_report` prints.
+pub fn render_report(report: &TraceReport) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "wall {:.2} ms over {} worker lane(s) and {} fragment lane(s); {} event(s) dropped\n",
+        ms(report.wall_us),
+        report.workers.len(),
+        report.fragments.len(),
+        report.dropped
+    ));
+
+    out.push_str("\nper-stage (worker lanes; self = total minus child spans):\n");
+    let mut rows: Vec<(&String, &StageStat)> = report.stages.iter().collect();
+    rows.sort_by(|a, b| b.1.self_us.total_cmp(&a.1.self_us));
+    out.push_str(&format!(
+        "  {:<24} {:>7} {:>12} {:>12} {:>7}\n",
+        "span", "count", "total(ms)", "self(ms)", "self%"
+    ));
+    for (name, stat) in rows {
+        out.push_str(&format!(
+            "  {:<24} {:>7} {:>12.2} {:>12.2} {:>6.1}%\n",
+            name,
+            stat.count,
+            ms(stat.total_us),
+            ms(stat.self_us),
+            pct(stat.self_us, report.wall_us)
+        ));
+    }
+
+    if !report.instants.is_empty() {
+        out.push_str("\ninstants:\n");
+        for (name, n) in &report.instants {
+            out.push_str(&format!("  {name:<24} {n:>7}\n"));
+        }
+    }
+
+    out.push_str("\nworker occupancy:\n");
+    for w in &report.workers {
+        out.push_str(&format!(
+            "  lane {:<3} {:<18} busy {:>10.2} ms ({:>5.1}%)\n",
+            w.tid,
+            w.thread,
+            ms(w.busy_us),
+            100.0 * w.occupancy
+        ));
+    }
+
+    out.push_str(&format!(
+        "\ncritical path ({} fragment pipelines end to end): {:.2} ms ({:.1}% of wall)\n",
+        report.fragments.len(),
+        ms(report.critical_path_us),
+        pct(report.critical_path_us, report.wall_us)
+    ));
+    for f in &report.fragments {
+        let breakdown: Vec<String> = f
+            .stages
+            .iter()
+            .map(|(name, us)| {
+                format!(
+                    "{} {:.1}",
+                    name.strip_prefix(STAGE_PREFIX).unwrap_or(name),
+                    ms(*us)
+                )
+            })
+            .collect();
+        out.push_str(&format!(
+            "  fragment {:<3} {:>10.2} ms  [{}]\n",
+            f.fragment,
+            ms(f.total_us),
+            breakdown.join(", ")
+        ));
+    }
+    out.push_str(&format!(
+        "  slowest fragment: {:.2} ms\n",
+        ms(report.slowest_fragment_us)
+    ));
+    out
+}
+
+/// Invariant check for a complete (drop-free) trace: the serial critical
+/// path can't exceed the wall and can't be shorter than its own longest
+/// fragment. Returns problems; empty = holds.
+pub fn check_invariants(report: &TraceReport) -> Vec<String> {
+    let mut problems = Vec::new();
+    // Float slack: span edges are µs-rounded independently.
+    let slack = 1.0 + report.wall_us * 1e-9;
+    if report.critical_path_us > report.wall_us + slack {
+        problems.push(format!(
+            "critical path {:.1} µs exceeds wall {:.1} µs",
+            report.critical_path_us, report.wall_us
+        ));
+    }
+    if report.slowest_fragment_us > report.critical_path_us + slack {
+        problems.push(format!(
+            "slowest fragment {:.1} µs exceeds critical path {:.1} µs",
+            report.slowest_fragment_us, report.critical_path_us
+        ));
+    }
+    problems
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qdb_telemetry::export::chrome::chrome_trace;
+    use qdb_telemetry::trace::{correlate, TraceConfig, TraceRecorder};
+    use qdb_telemetry::EventKind;
+
+    /// Two sequential fragments with nested stage spans plus an
+    /// uncorrelated maintenance instant, all on one thread.
+    fn sample_file() -> ChromeTraceFile {
+        let rec = TraceRecorder::new(TraceConfig {
+            events_per_thread: 256,
+        });
+        for (frag, base) in [(1u64, 0u64), (2, 10_000)] {
+            let _c = correlate(frag);
+            rec.event(EventKind::Begin, FRAGMENT_SPAN, base + 1_000);
+            rec.event(EventKind::Begin, "pipeline.encode", base + 1_000);
+            rec.event(EventKind::End, "pipeline.encode", base + 2_000);
+            rec.event(EventKind::Begin, "pipeline.vqe", base + 2_000);
+            rec.event(EventKind::Instant, "supervisor.retry", base + 3_000);
+            rec.event(EventKind::End, "pipeline.vqe", base + 5_000);
+            rec.event(EventKind::End, FRAGMENT_SPAN, base + 6_000);
+        }
+        rec.event(EventKind::Instant, "store.fsync", 20_000);
+        chrome_trace(&rec.dump())
+    }
+
+    #[test]
+    fn sample_trace_validates_clean() {
+        assert_eq!(validate_trace(&sample_file()), Vec::<String>::new());
+    }
+
+    #[test]
+    fn validation_flags_imbalance_and_time_travel() {
+        let mut file = sample_file();
+        // Clone a begin event to the tail of its lane: now unbalanced AND
+        // (because its ts precedes the lane's last event) non-monotone.
+        let extra = file
+            .traceEvents
+            .iter()
+            .find(|e| e.ph == "B" && e.pid == PID_WORKERS)
+            .unwrap()
+            .clone();
+        file.traceEvents.push(extra);
+        // Keep the metadata's event counts honest.
+        file.qdb.tracks[0].events += 1;
+        let problems = validate_trace(&file);
+        assert!(
+            problems.iter().any(|p| p.contains("never closed")),
+            "{problems:?}"
+        );
+        assert!(
+            problems.iter().any(|p| p.contains("timestamp regression")),
+            "{problems:?}"
+        );
+    }
+
+    #[test]
+    fn validation_flags_drop_miscount() {
+        let mut file = sample_file();
+        file.qdb.dropped = 7; // no per-track drops to back it
+        let problems = validate_trace(&file);
+        assert!(
+            problems.iter().any(|p| p.contains("drop accounting")),
+            "{problems:?}"
+        );
+    }
+
+    #[test]
+    fn analysis_computes_self_time_occupancy_and_critical_path() {
+        let report = analyze(&sample_file()).unwrap();
+        // Wall: 1_000 ns → 20_000 ns = 19 µs.
+        assert!((report.wall_us - 19.0).abs() < 1e-9, "{}", report.wall_us);
+        // Each fragment span is 5 µs; encode 1 µs + vqe 3 µs nested, so
+        // fragment self time is 5 − 4 = 1 µs per fragment.
+        let frag = &report.stages[FRAGMENT_SPAN];
+        assert_eq!(frag.count, 2);
+        assert!((frag.total_us - 10.0).abs() < 1e-9);
+        assert!((frag.self_us - 2.0).abs() < 1e-9);
+        // Two fragment lanes of 5 µs each → 10 µs serial critical path,
+        // under the wall, at least the slowest (5 µs) fragment.
+        assert_eq!(report.fragments.len(), 2);
+        assert!((report.critical_path_us - 10.0).abs() < 1e-9);
+        assert!((report.slowest_fragment_us - 5.0).abs() < 1e-9);
+        assert_eq!(check_invariants(&report), Vec::<String>::new());
+        // Stage breakdown inside a fragment lane.
+        let stages = &report.fragments[0].stages;
+        assert!((stages["pipeline.encode"] - 1.0).abs() < 1e-9);
+        assert!((stages["pipeline.vqe"] - 3.0).abs() < 1e-9);
+        // The lone worker is busy 10 of 19 µs.
+        assert_eq!(report.workers.len(), 1);
+        assert!((report.workers[0].busy_us - 10.0).abs() < 1e-9);
+        // Instants counted; correlated one appears on the worker lane once.
+        assert_eq!(report.instants["supervisor.retry"], 2);
+        assert_eq!(report.instants["store.fsync"], 1);
+        // Render shape sanity.
+        let text = render_report(&report);
+        assert!(text.contains("critical path"));
+        assert!(text.contains("pipeline.vqe"));
+    }
+
+    #[test]
+    fn invariant_check_catches_impossible_paths() {
+        let mut report = analyze(&sample_file()).unwrap();
+        report.critical_path_us = report.wall_us * 2.0;
+        assert!(!check_invariants(&report).is_empty());
+        report.critical_path_us = 0.5;
+        report.slowest_fragment_us = 100.0;
+        assert!(!check_invariants(&report).is_empty());
+    }
+}

@@ -229,6 +229,10 @@ pub fn dock(receptor: &Structure, ligand: &Ligand, params: &DockParams, seed: u6
     let candidates: Vec<(Vec<Vec3>, f64)> = (0..params.exhaustiveness as u64)
         .into_par_iter()
         .flat_map_iter(|chain| {
+            // One span per Monte-Carlo chain, opened on the rayon worker
+            // that runs it — with a flight recorder installed these are
+            // the per-worker lanes of the dock stage.
+            let _chain_span = telemetry.span("dock.chain");
             let mut rng = ChaCha8Rng::seed_from_u64(
                 seed ^ (0x9E37_79B9_7F4A_7C15u64.wrapping_mul(chain + 1)),
             );

@@ -96,6 +96,10 @@ impl SimWorkspace {
             self.sv = Statevector::zero(n);
             self.scratch = Vec::new();
             self.metrics.workspace_qubits.set(n as i64);
+            // Reallocation is the event worth seeing on a timeline: a
+            // workspace bouncing between widths shows up as a stripe of
+            // these markers.
+            qdb_telemetry::global().instant("exec.resize");
         }
     }
 
@@ -115,6 +119,7 @@ impl SimWorkspace {
         if !self.tables.prepared_for(cc) {
             self.tables.prepare(cc);
             self.metrics.table_rebinds.inc();
+            qdb_telemetry::global().instant("exec.rebind");
         }
         self.metrics.runs.inc();
         cc.specialize(params, &mut self.tables);
@@ -141,6 +146,7 @@ impl SimWorkspace {
         if !self.tables.prepared_for(cc) {
             self.tables.prepare(cc);
             self.metrics.table_rebinds.inc();
+            qdb_telemetry::global().instant("exec.rebind");
         }
         self.metrics.runs.inc();
         cc.specialize(params, &mut self.tables);

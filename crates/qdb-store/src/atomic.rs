@@ -44,10 +44,13 @@ pub fn write_atomic(vfs: &dyn Vfs, path: &Path, bytes: &[u8]) -> Result<u32, Sto
     let tmp = tmp_path(path);
     vfs.write_all(&tmp, bytes)?;
     vfs.fsync_file(&tmp)?;
+    telemetry.instant("store.fsync");
     vfs.rename(&tmp, path)?;
     telemetry.counter("store.renames").inc();
+    telemetry.instant("store.rename");
     if let Some(parent) = path.parent() {
         vfs.fsync_dir(parent)?;
+        telemetry.instant("store.fsync");
     }
     telemetry.counter("store.writes").inc();
     telemetry.counter("store.bytes").add(bytes.len() as u64);

@@ -74,6 +74,7 @@ impl<'a> Journal<'a> {
         telemetry.counter("store.writes").inc();
         telemetry.counter("store.bytes").add(line.len() as u64);
         telemetry.counter("store.fsyncs").inc();
+        telemetry.instant("store.fsync");
         Ok(())
     }
 

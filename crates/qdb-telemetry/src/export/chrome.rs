@@ -1,0 +1,272 @@
+//! Chrome trace-event exporter: turns a [`TraceDump`] into the JSON
+//! object format Perfetto and `chrome://tracing` load directly.
+//!
+//! Layout: process 1 ("workers") carries one track per recording thread
+//! (rayon workers, the supervising main thread); process 2 ("fragments")
+//! carries one synthetic track per fragment — every event recorded under
+//! a nonzero correlation argument (see [`crate::trace::correlate`]) is
+//! mirrored onto the track of that fragment id, so a build's per-fragment
+//! pipelines read as parallel lanes even though the supervisor schedules
+//! them on one thread.
+//!
+//! The file keeps machine-checkable metadata under a `qdb` key (schema
+//! version, per-track drop counters) that Perfetto ignores but
+//! `validate_telemetry --trace` and `trace_report` rely on. Timestamps
+//! are microseconds (the trace-event contract); the raw nanosecond dump
+//! is the lossless archival format.
+//!
+//! Serialization sticks to plain named-field structs (no field renames,
+//! no skipped fields): optional members serialize as `null`, which the
+//! viewers ignore, and camelCase members (`traceEvents`) are literal
+//! field names.
+
+use crate::trace::{EventKind, TraceDump};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeSet;
+use std::path::Path;
+
+/// Process id of the per-thread tracks.
+pub const PID_WORKERS: u32 = 1;
+/// Process id of the synthetic per-fragment tracks.
+pub const PID_FRAGMENTS: u32 = 2;
+
+/// One trace-event entry (the subset of the Chrome schema we emit).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ChromeEvent {
+    /// Phase: `B` begin, `E` end, `i` instant, `M` metadata.
+    pub ph: String,
+    /// Process id ([`PID_WORKERS`] or [`PID_FRAGMENTS`]).
+    pub pid: u32,
+    /// Track id within the process.
+    pub tid: u64,
+    /// Timestamp in microseconds (0 on metadata events).
+    pub ts: f64,
+    /// Event name.
+    pub name: String,
+    /// Instant scope (`t` = thread), read by the viewer only for `i`.
+    pub s: Option<String>,
+    /// Arguments (fragment correlation id, metadata names).
+    pub args: Option<serde_json::Value>,
+}
+
+/// Per-track accounting mirrored into the `qdb` metadata block.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ChromeTrackMeta {
+    /// Track id (tid under [`PID_WORKERS`]).
+    pub tid: u64,
+    /// Thread name.
+    pub thread: String,
+    /// Events this track's ring dropped to wrap.
+    pub dropped: u64,
+    /// Events this track contributed.
+    pub events: u64,
+}
+
+/// The machine-checkable metadata block.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ChromeMeta {
+    /// Trace schema version (tracks [`TraceDump::VERSION`]).
+    pub version: u32,
+    /// Total events dropped across all rings.
+    pub dropped: u64,
+    /// Per-thread accounting.
+    pub tracks: Vec<ChromeTrackMeta>,
+}
+
+/// A whole Chrome-format trace file. The camelCase fields are part of
+/// the trace-event contract, hence the lint allowance.
+#[allow(non_snake_case)]
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ChromeTraceFile {
+    /// Viewer display unit.
+    pub displayTimeUnit: String,
+    /// QDockBank metadata (ignored by viewers).
+    pub qdb: ChromeMeta,
+    /// The event stream.
+    pub traceEvents: Vec<ChromeEvent>,
+}
+
+fn meta_event(pid: u32, tid: u64, what: &str, name: &str) -> ChromeEvent {
+    ChromeEvent {
+        ph: "M".to_string(),
+        pid,
+        tid,
+        ts: 0.0,
+        name: what.to_string(),
+        s: None,
+        args: Some(serde_json::json!({ "name": name })),
+    }
+}
+
+/// Renders `dump` as a Chrome trace-event file.
+pub fn chrome_trace(dump: &TraceDump) -> ChromeTraceFile {
+    let mut events = Vec::with_capacity(dump.num_events() * 2 + dump.tracks.len() + 4);
+    events.push(meta_event(PID_WORKERS, 0, "process_name", "workers"));
+    events.push(meta_event(PID_FRAGMENTS, 0, "process_name", "fragments"));
+    let mut fragment_ids: BTreeSet<u64> = BTreeSet::new();
+    for track in &dump.tracks {
+        events.push(meta_event(
+            PID_WORKERS,
+            track.track as u64,
+            "thread_name",
+            &track.thread,
+        ));
+        for ev in &track.events {
+            let Some(kind) = ev.event_kind() else {
+                continue;
+            };
+            let ph = match kind {
+                EventKind::Begin => "B",
+                EventKind::End => "E",
+                EventKind::Instant => "i",
+            };
+            let ts_us = ev.ts_ns as f64 / 1_000.0;
+            let scope = (kind == EventKind::Instant).then(|| "t".to_string());
+            let args = (ev.arg != 0).then(|| serde_json::json!({ "frag": ev.arg }));
+            events.push(ChromeEvent {
+                ph: ph.to_string(),
+                pid: PID_WORKERS,
+                tid: track.track as u64,
+                ts: ts_us,
+                name: ev.name.clone(),
+                s: scope.clone(),
+                args: args.clone(),
+            });
+            // Mirror correlated events onto the fragment lane. Correlated
+            // spans all open and close on the thread that set the
+            // correlation, so the mirrored lane nests exactly like the
+            // source slice.
+            if ev.arg != 0 {
+                fragment_ids.insert(ev.arg);
+                events.push(ChromeEvent {
+                    ph: ph.to_string(),
+                    pid: PID_FRAGMENTS,
+                    tid: ev.arg,
+                    ts: ts_us,
+                    name: ev.name.clone(),
+                    s: scope,
+                    args,
+                });
+            }
+        }
+    }
+    for frag in fragment_ids {
+        events.push(meta_event(
+            PID_FRAGMENTS,
+            frag,
+            "thread_name",
+            &format!("fragment-{frag}"),
+        ));
+    }
+    ChromeTraceFile {
+        displayTimeUnit: "ms".to_string(),
+        qdb: ChromeMeta {
+            version: dump.version,
+            dropped: dump.dropped(),
+            tracks: dump
+                .tracks
+                .iter()
+                .map(|t| ChromeTrackMeta {
+                    tid: t.track as u64,
+                    thread: t.thread.clone(),
+                    dropped: t.dropped,
+                    events: t.events.len() as u64,
+                })
+                .collect(),
+        },
+        traceEvents: events,
+    }
+}
+
+/// Writes `dump` to `path` in Chrome trace-event JSON.
+pub fn write_chrome_trace(path: &Path, dump: &TraceDump) -> std::io::Result<()> {
+    if let Some(parent) = path.parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent)?;
+        }
+    }
+    let file = chrome_trace(dump);
+    std::fs::write(
+        path,
+        serde_json::to_string_pretty(&file).expect("chrome trace serializes"),
+    )
+}
+
+/// Reads a Chrome-format trace back, rejecting unknown schema versions.
+pub fn read_chrome_trace(path: &Path) -> Result<ChromeTraceFile, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    let file: ChromeTraceFile = serde_json::from_str(&text).map_err(|e| e.to_string())?;
+    if file.qdb.version != TraceDump::VERSION {
+        return Err(format!(
+            "trace version {} unsupported (expected {})",
+            file.qdb.version,
+            TraceDump::VERSION
+        ));
+    }
+    Ok(file)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::{correlate, TraceConfig, TraceRecorder};
+
+    fn sample_dump() -> TraceDump {
+        let rec = TraceRecorder::new(TraceConfig {
+            events_per_thread: 64,
+        });
+        {
+            let _c = correlate(3);
+            rec.event(EventKind::Begin, "pipeline.fragment", 1_000);
+            rec.event(EventKind::Instant, "supervisor.retry", 1_500);
+            rec.event(EventKind::End, "pipeline.fragment", 2_000);
+        }
+        rec.event(EventKind::Instant, "store.fsync", 2_500);
+        rec.dump()
+    }
+
+    #[test]
+    fn chrome_export_mirrors_correlated_events_onto_fragment_tracks() {
+        let file = chrome_trace(&sample_dump());
+        assert_eq!(file.qdb.version, TraceDump::VERSION);
+        assert_eq!(file.qdb.dropped, 0);
+        let worker_events: Vec<_> = file
+            .traceEvents
+            .iter()
+            .filter(|e| e.pid == PID_WORKERS && e.ph != "M")
+            .collect();
+        assert_eq!(worker_events.len(), 4);
+        let frag_events: Vec<_> = file
+            .traceEvents
+            .iter()
+            .filter(|e| e.pid == PID_FRAGMENTS && e.ph != "M")
+            .collect();
+        assert_eq!(frag_events.len(), 3, "only correlated events mirror");
+        assert!(frag_events.iter().all(|e| e.tid == 3));
+        // µs conversion.
+        assert_eq!(worker_events[0].ts, 1.0);
+        // Fragment lane is named.
+        assert!(file
+            .traceEvents
+            .iter()
+            .any(|e| e.ph == "M" && e.pid == PID_FRAGMENTS && e.tid == 3));
+    }
+
+    #[test]
+    fn chrome_file_round_trips_through_disk() {
+        let dump = sample_dump();
+        let path = std::env::temp_dir().join(format!(
+            "qdb-chrome-trace-{}-{:?}.json",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        write_chrome_trace(&path, &dump).unwrap();
+        let back = read_chrome_trace(&path).unwrap();
+        assert_eq!(back.qdb.dropped, 0);
+        assert_eq!(
+            back.traceEvents.len(),
+            chrome_trace(&dump).traceEvents.len()
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+}

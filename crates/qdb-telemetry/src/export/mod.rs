@@ -1,6 +1,9 @@
 //! Snapshot exporters: JSON (machine, CI-diffable), Prometheus text
-//! exposition (scrapers), and a console tree (humans running examples).
+//! exposition (scrapers), a console tree (humans running examples), and
+//! Chrome trace-event JSON for flight-recorder dumps (Perfetto /
+//! `chrome://tracing`).
 
+pub mod chrome;
 pub mod console;
 pub mod json;
 pub mod prometheus;

@@ -1,24 +1,53 @@
 //! Prometheus text-exposition exporter.
 //!
 //! Dotted metric names become underscore-separated (`vqe.energy_evals` →
-//! `qdb_vqe_energy_evals`); histograms export as summaries with
-//! `quantile` labels plus `_sum`/`_count`/`_min`/`_max` series.
+//! `qdb_vqe_energy_evals`); runs of non-alphanumerics collapse to a
+//! single `_` and trailing separators are trimmed, so no exported name
+//! carries double or dangling underscores. Duration histograms gain a
+//! `_ns` suffix per the Prometheus base-unit naming conventions —
+//! histogram values are nanoseconds unless the source name already
+//! declares its unit (`supervisor.backoff_ms`, `store.write_us`).
+//! Histograms export as summaries with `quantile` labels plus
+//! `_sum`/`_count`/`_min`/`_max` series, and every family carries
+//! `# HELP`/`# TYPE` headers naming its dotted source metric.
 
 use crate::snapshot::Snapshot;
 use std::fmt::Write;
 
-/// Sanitizes a dotted metric name into a Prometheus identifier.
+/// Sanitizes a dotted metric name into a Prometheus identifier:
+/// consecutive non-alphanumerics collapse to one `_`, trailing
+/// separators are dropped.
 fn prom_name(name: &str) -> String {
     let mut out = String::with_capacity(name.len() + 4);
     out.push_str("qdb_");
+    let mut pending_sep = false;
     for ch in name.chars() {
         if ch.is_ascii_alphanumeric() {
+            if pending_sep && !out.ends_with('_') {
+                out.push('_');
+            }
+            pending_sep = false;
             out.push(ch);
         } else {
-            out.push('_');
+            pending_sep = true;
         }
     }
     out
+}
+
+/// Unit suffixes a metric name can already carry; anything else is a
+/// nanosecond duration by crate convention.
+const UNIT_SUFFIXES: [&str; 5] = ["_ns", "_us", "_ms", "_s", "_bytes"];
+
+/// Prometheus name of a duration histogram: `_ns`-suffixed unless the
+/// source name already declares its unit.
+fn prom_hist_name(name: &str) -> String {
+    let p = prom_name(name);
+    if UNIT_SUFFIXES.iter().any(|u| p.ends_with(u)) {
+        p
+    } else {
+        format!("{p}_ns")
+    }
 }
 
 /// Renders `snapshot` in the Prometheus text exposition format.
@@ -26,16 +55,22 @@ pub fn render(snapshot: &Snapshot) -> String {
     let mut out = String::new();
     for (name, value) in &snapshot.counters {
         let p = prom_name(name);
+        let _ = writeln!(out, "# HELP {p} QDockBank counter `{name}`.");
         let _ = writeln!(out, "# TYPE {p} counter");
         let _ = writeln!(out, "{p} {value}");
     }
     for (name, value) in &snapshot.gauges {
         let p = prom_name(name);
+        let _ = writeln!(out, "# HELP {p} QDockBank gauge `{name}`.");
         let _ = writeln!(out, "# TYPE {p} gauge");
         let _ = writeln!(out, "{p} {value}");
     }
     for (name, h) in &snapshot.histograms {
-        let p = prom_name(name);
+        let p = prom_hist_name(name);
+        let _ = writeln!(
+            out,
+            "# HELP {p} QDockBank distribution `{name}` (log-linear histogram summary)."
+        );
         let _ = writeln!(out, "# TYPE {p} summary");
         for (q, v) in [(0.5, h.p50), (0.9, h.p90), (0.99, h.p99)] {
             let _ = writeln!(out, "{p}{{quantile=\"{q}\"}} {v}");
@@ -62,11 +97,34 @@ mod tests {
             r.histogram("pipeline.vqe").record(v);
         }
         let text = render(&r.snapshot());
+        assert!(text.contains("# HELP qdb_vqe_energy_evals QDockBank counter `vqe.energy_evals`."));
         assert!(text.contains("# TYPE qdb_vqe_energy_evals counter"));
         assert!(text.contains("qdb_vqe_energy_evals 12"));
         assert!(text.contains("qdb_exec_workspace_qubits 22"));
-        assert!(text.contains("qdb_pipeline_vqe{quantile=\"0.5\"}"));
-        assert!(text.contains("qdb_pipeline_vqe_count 3"));
-        assert!(text.contains("qdb_pipeline_vqe_sum 60"));
+        // Duration histograms are `_ns`-suffixed.
+        assert!(text.contains("# TYPE qdb_pipeline_vqe_ns summary"));
+        assert!(text.contains("qdb_pipeline_vqe_ns{quantile=\"0.5\"}"));
+        assert!(text.contains("qdb_pipeline_vqe_ns_count 3"));
+        assert!(text.contains("qdb_pipeline_vqe_ns_sum 60"));
+    }
+
+    #[test]
+    fn histograms_with_declared_units_keep_them() {
+        let r = Registry::new();
+        r.histogram("supervisor.backoff_ms").record(10);
+        r.histogram("store.write_us").record(7);
+        let text = render(&r.snapshot());
+        assert!(text.contains("# TYPE qdb_supervisor_backoff_ms summary"));
+        assert!(!text.contains("qdb_supervisor_backoff_ms_ns"));
+        assert!(text.contains("qdb_store_write_us{quantile="));
+    }
+
+    #[test]
+    fn prom_name_collapses_and_trims_separators() {
+        assert_eq!(prom_name("a.b"), "qdb_a_b");
+        assert_eq!(prom_name("a..b"), "qdb_a_b");
+        assert_eq!(prom_name("a.-b."), "qdb_a_b");
+        assert_eq!(prom_name(".a"), "qdb_a");
+        assert_eq!(prom_name("trace.dropped"), "qdb_trace_dropped");
     }
 }

@@ -16,12 +16,18 @@
 //! * **clock abstraction** ([`Clock`]) — [`MonotonicClock`] in production,
 //!   [`ManualClock`] in tests, so deadline/backoff logic never needs a
 //!   real sleep to be tested.
+//! * **flight recorder** ([`trace`]) — bounded per-thread lock-free event
+//!   rings behind the same span machinery: install a [`TraceRecorder`]
+//!   on a registry and every span entry/exit and [`instant!`] marker
+//!   becomes a timestamped, correlation-tagged timeline event; strictly
+//!   one relaxed load per event site when no recorder is installed.
 //! * **exporters** ([`export`]) — schema-stable JSON snapshots (diffable
-//!   in CI), Prometheus text exposition, and a console tree.
+//!   in CI), Prometheus text exposition, a console tree, and Chrome
+//!   trace-event JSON (Perfetto / `chrome://tracing`) for recorder dumps.
 //!
 //! Metric names are dotted `stage.op` paths (`vqe.energy_evals`,
 //! `pipeline.dock`); histogram values are **nanoseconds** unless the name
-//! carries another unit (`supervisor.backoff_ms`). See DESIGN.md §9.
+//! carries another unit (`supervisor.backoff_ms`). See DESIGN.md §9/§11.
 
 pub mod clock;
 pub mod counter;
@@ -31,6 +37,7 @@ pub mod histogram;
 pub mod registry;
 pub mod snapshot;
 pub mod span;
+pub mod trace;
 
 pub use clock::{Clock, ManualClock, MonotonicClock};
 pub use counter::Counter;
@@ -39,6 +46,7 @@ pub use histogram::{Histogram, HistogramSnapshot};
 pub use registry::Registry;
 pub use snapshot::Snapshot;
 pub use span::{current_span, span_depth, SpanGuard};
+pub use trace::{EventKind, TraceConfig, TraceDump, TraceRecorder};
 
 use std::sync::OnceLock;
 
@@ -69,11 +77,15 @@ mod tests {
     }
 
     #[test]
-    fn sampled_span_skips_off_cycle_hits() {
+    fn sampled_span_skips_off_cycle_hits_but_counts_them() {
         for _ in 0..10 {
             let _g = span_sampled!("lib.test.sampled", 5);
         }
-        let count = global().snapshot().histograms["lib.test.sampled"].count;
+        let snap = global().snapshot();
+        let count = snap.histograms["lib.test.sampled"].count;
         assert_eq!(count, 2, "10 hits at 1-in-5 sampling record twice");
+        // The 8 skipped hits are accounted, so the true rate (count +
+        // skipped = 10) is reconstructible from a snapshot.
+        assert_eq!(snap.counters["lib.test.sampled.skipped"], 8);
     }
 }

@@ -16,8 +16,10 @@ use crate::gauge::Gauge;
 use crate::histogram::Histogram;
 use crate::snapshot::Snapshot;
 use crate::span::SpanGuard;
+use crate::trace::{EventKind, TraceRecorder};
 use parking_lot::RwLock;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 #[derive(Debug, Default)]
@@ -32,6 +34,11 @@ struct Maps {
 pub struct Registry {
     clock: Arc<dyn Clock>,
     maps: RwLock<Maps>,
+    /// Flight recorder, when installed. `tracing` mirrors `Some`-ness so
+    /// the span hot path can rule tracing out with one relaxed load (a
+    /// plain `mov`, no RMW) instead of a lock.
+    recorder: RwLock<Option<Arc<TraceRecorder>>>,
+    tracing: AtomicBool,
 }
 
 impl Default for Registry {
@@ -52,6 +59,8 @@ impl Registry {
         Self {
             clock,
             maps: RwLock::new(Maps::default()),
+            recorder: RwLock::new(None),
+            tracing: AtomicBool::new(false),
         }
     }
 
@@ -102,9 +111,62 @@ impl Registry {
 
     /// Opens a span named `name`: an RAII guard that, on drop, records the
     /// elapsed nanoseconds into the histogram of the same name. Spans nest
-    /// through a thread-local stack (see [`crate::span`]).
+    /// through a thread-local stack (see [`crate::span`]). With a flight
+    /// recorder installed, entry and exit also become trace events — at
+    /// the same clock readings the histogram uses.
     pub fn span(&self, name: &'static str) -> SpanGuard<'_> {
         SpanGuard::enter(self, name)
+    }
+
+    /// Installs a flight recorder: every span on this registry emits
+    /// begin/end events and [`instant`](Self::instant) markers record,
+    /// until [`take_recorder`](Self::take_recorder) detaches it. Ring
+    /// wrap is mirrored into this registry's `trace.dropped` counter.
+    pub fn install_recorder(&self, recorder: Arc<TraceRecorder>) {
+        recorder.bind_dropped_counter(self.counter("trace.dropped"));
+        *self.recorder.write() = Some(recorder);
+        self.tracing.store(true, Ordering::Release);
+    }
+
+    /// Detaches the installed recorder (if any) for dumping. Spans keep
+    /// timing into histograms; they just stop emitting events.
+    pub fn take_recorder(&self) -> Option<Arc<TraceRecorder>> {
+        self.tracing.store(false, Ordering::Release);
+        self.recorder.write().take()
+    }
+
+    /// The installed recorder, if any. Hot loops that emit hand-rolled
+    /// begin/end pairs (e.g. the VQE objective) fetch this once per run
+    /// so the recorder-absent path costs one relaxed load at fetch time
+    /// and nothing per event.
+    pub fn recorder(&self) -> Option<Arc<TraceRecorder>> {
+        if !self.tracing.load(Ordering::Relaxed) {
+            return None;
+        }
+        self.recorder.read().clone()
+    }
+
+    /// Records an instant event (no duration) on the installed recorder;
+    /// a no-op costing one relaxed load when none is installed. The
+    /// clock is read only when a recorder is listening.
+    #[inline]
+    pub fn instant(&self, name: &'static str) {
+        if self.tracing.load(Ordering::Relaxed) {
+            if let Some(rec) = self.recorder.read().as_deref() {
+                rec.event(EventKind::Instant, name, self.clock.now_ns());
+            }
+        }
+    }
+
+    /// Emits a span-edge trace event when a recorder is installed;
+    /// called by [`SpanGuard`] with the clock reading it already took.
+    #[inline]
+    pub(crate) fn trace_event(&self, kind: EventKind, name: &'static str, ts_ns: u64) {
+        if self.tracing.load(Ordering::Relaxed) {
+            if let Some(rec) = self.recorder.read().as_deref() {
+                rec.event(kind, name, ts_ns);
+            }
+        }
     }
 
     /// Merges every metric into one point-in-time [`Snapshot`], sorted by

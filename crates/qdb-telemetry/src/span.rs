@@ -14,6 +14,7 @@
 
 use crate::histogram::Histogram;
 use crate::registry::Registry;
+use crate::trace::EventKind;
 use std::cell::RefCell;
 use std::marker::PhantomData;
 use std::sync::Arc;
@@ -40,6 +41,7 @@ pub fn span_depth() -> usize {
 pub struct SpanGuard<'r> {
     registry: &'r Registry,
     hist: Arc<Histogram>,
+    name: &'static str,
     start_ns: u64,
     _not_send: PhantomData<*const ()>,
 }
@@ -48,10 +50,15 @@ impl<'r> SpanGuard<'r> {
     pub(crate) fn enter(registry: &'r Registry, name: &'static str) -> Self {
         let hist = registry.histogram(name);
         SPAN_STACK.with(|s| s.borrow_mut().push(name));
+        let start_ns = registry.clock().now_ns();
+        // Flight-recorder edge: a no-op costing one relaxed load when no
+        // recorder is installed; reuses the clock reading above.
+        registry.trace_event(EventKind::Begin, name, start_ns);
         Self {
             registry,
             hist,
-            start_ns: registry.clock().now_ns(),
+            name,
+            start_ns,
             _not_send: PhantomData,
         }
     }
@@ -59,8 +66,9 @@ impl<'r> SpanGuard<'r> {
 
 impl Drop for SpanGuard<'_> {
     fn drop(&mut self) {
-        let elapsed = self.registry.clock().now_ns().saturating_sub(self.start_ns);
-        self.hist.record(elapsed);
+        let now_ns = self.registry.clock().now_ns();
+        self.hist.record(now_ns.saturating_sub(self.start_ns));
+        self.registry.trace_event(EventKind::End, self.name, now_ns);
         SPAN_STACK.with(|s| {
             s.borrow_mut().pop();
         });
@@ -75,17 +83,38 @@ macro_rules! span {
     };
 }
 
+/// Records an instant event on the global registry's flight recorder
+/// (a no-op when none is installed): `instant!("supervisor.retry");`.
+#[macro_export]
+macro_rules! instant {
+    ($name:expr) => {
+        $crate::global().instant($name)
+    };
+}
+
 /// Opens a span on the global registry for every `$every`-th hit of this
-/// call site (per-site counter, shared across threads); other hits cost a
-/// single relaxed atomic increment. Binds an `Option<SpanGuard>`.
+/// call site (per-site counter, shared across threads). Binds an
+/// `Option<SpanGuard>`.
+///
+/// Skipped hits are not invisible: each one increments a sibling
+/// `<name>.skipped` counter, so consumers reconstruct the true event
+/// rate as `histogram.count + counter("<name>.skipped")` instead of
+/// under-reading a 1-in-N sample as the whole population. A skipped hit
+/// costs the site counter's relaxed increment, one `OnceLock` load, and
+/// the skipped counter's relaxed increment.
 #[macro_export]
 macro_rules! span_sampled {
     ($name:expr, $every:expr) => {{
         static SITE_HITS: ::std::sync::atomic::AtomicU64 = ::std::sync::atomic::AtomicU64::new(0);
+        static SKIPPED: ::std::sync::OnceLock<::std::sync::Arc<$crate::Counter>> =
+            ::std::sync::OnceLock::new();
         let hit = SITE_HITS.fetch_add(1, ::std::sync::atomic::Ordering::Relaxed);
         if hit % ($every as u64) == 0 {
             Some($crate::global().span($name))
         } else {
+            SKIPPED
+                .get_or_init(|| $crate::global().counter(&format!("{}.skipped", $name)))
+                .inc();
             None
         }
     }};

@@ -1,0 +1,640 @@
+//! Flight recorder: bounded, per-thread, lock-free event tracing.
+//!
+//! The metrics registry aggregates — a histogram can say `vqe.energy_eval`
+//! p99 without saying *when* each evaluation ran, on which rayon worker,
+//! or what the build's critical path was. The flight recorder keeps the
+//! timeline: every span entry/exit and every instant marker becomes a
+//! timestamped event in a **per-thread ring buffer**, cheap enough to
+//! leave on for a whole dataset build and bounded enough to never grow
+//! without limit (a wrapped ring overwrites its oldest events and counts
+//! every overwrite in an explicit drop counter).
+//!
+//! Design constraints, in order:
+//!
+//! 1. **Zero cost when off.** No recorder installed ⇒ the span hot path
+//!    pays exactly one relaxed `AtomicBool` load per event site (a plain
+//!    `mov` on x86, no RMW, no fence) and touches nothing else. The
+//!    perf-regression gate (`bench_gate`) holds this to within the
+//!    benchmark noise tolerance.
+//! 2. **Lock-free when on.** Each thread writes only its own ring; the
+//!    only locks are one short mutex at first-event thread registration
+//!    and a read lock per *new* static name (interning). Steady-state
+//!    recording is two relaxed stores and one release store per event.
+//! 3. **Deterministic under test.** Timestamps come from the owning
+//!    [`Registry`]'s [`Clock`](crate::Clock), so a
+//!    [`ManualClock`](crate::ManualClock) makes whole traces exactly
+//!    reproducible.
+//!
+//! Event names are interned `&'static str`s (16-bit ids inside the ring
+//! slots); each event carries a 46-bit correlation argument taken from a
+//! thread-local set by [`correlate`] — the supervisor tags every fragment
+//! with its build index so exporters can cut per-fragment tracks.
+//!
+//! Export goes two ways: [`TraceDump`] (versioned raw JSON, the archival
+//! format) and [`crate::export::chrome`] (Chrome trace-event JSON,
+//! loadable in Perfetto / `chrome://tracing`).
+
+use crate::counter::Counter;
+use parking_lot::{Mutex, RwLock};
+use serde::{Deserialize, Serialize};
+use std::cell::{Cell, RefCell};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, OnceLock};
+
+/// What one event marks.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EventKind {
+    /// A span opened.
+    Begin,
+    /// A span closed.
+    End,
+    /// A point event (retry, fault, fsync, …) with no duration.
+    Instant,
+}
+
+impl EventKind {
+    /// Wire name used in dump files (`"begin"` / `"end"` / `"instant"`).
+    pub const fn as_str(self) -> &'static str {
+        match self {
+            EventKind::Begin => "begin",
+            EventKind::End => "end",
+            EventKind::Instant => "instant",
+        }
+    }
+
+    /// Parses a wire name back; `None` for anything else.
+    pub fn from_wire(s: &str) -> Option<Self> {
+        match s {
+            "begin" => Some(EventKind::Begin),
+            "end" => Some(EventKind::End),
+            "instant" => Some(EventKind::Instant),
+            _ => None,
+        }
+    }
+
+    fn to_bits(self) -> u64 {
+        match self {
+            EventKind::Begin => 0,
+            EventKind::End => 1,
+            EventKind::Instant => 2,
+        }
+    }
+
+    fn from_bits(bits: u64) -> Self {
+        match bits {
+            0 => EventKind::Begin,
+            1 => EventKind::End,
+            _ => EventKind::Instant,
+        }
+    }
+}
+
+/// Slot packing: `kind` in bits 62–63, interned name id in bits 46–61,
+/// correlation argument in bits 0–45.
+const ARG_BITS: u32 = 46;
+const ARG_MASK: u64 = (1 << ARG_BITS) - 1;
+const NAME_BITS: u32 = 16;
+const NAME_MASK: u64 = (1 << NAME_BITS) - 1;
+
+fn pack(kind: EventKind, name_id: u16, arg: u64) -> u64 {
+    (kind.to_bits() << 62) | ((name_id as u64) << ARG_BITS) | (arg & ARG_MASK)
+}
+
+fn unpack(word: u64) -> (EventKind, u16, u64) {
+    (
+        EventKind::from_bits(word >> 62),
+        ((word >> ARG_BITS) & NAME_MASK) as u16,
+        word & ARG_MASK,
+    )
+}
+
+/// Recorder sizing.
+#[derive(Clone, Copy, Debug)]
+pub struct TraceConfig {
+    /// Ring capacity per thread, in events; rounded up to a power of two
+    /// (minimum 8). Each event is 16 bytes, so the default 2¹⁸ costs
+    /// 4 MiB per recording thread — roomy for a 55-fragment build at
+    /// ~25k span events while staying strictly bounded.
+    pub events_per_thread: usize,
+}
+
+impl Default for TraceConfig {
+    fn default() -> Self {
+        Self {
+            events_per_thread: 1 << 18,
+        }
+    }
+}
+
+/// One thread's ring: written only by its owning thread, read at dump
+/// time. Slots are atomics so a dump racing a straggler writer reads
+/// stale-but-initialized words, never undefined ones.
+struct ThreadRing {
+    track: u32,
+    thread_name: String,
+    capacity: usize,
+    /// Events ever written (the ring index is `head & (capacity - 1)`).
+    head: AtomicU64,
+    /// Events overwritten after the ring wrapped.
+    dropped: AtomicU64,
+    slots: Box<[Slot]>,
+}
+
+struct Slot {
+    ts_ns: AtomicU64,
+    word: AtomicU64,
+}
+
+impl ThreadRing {
+    fn new(track: u32, thread_name: String, capacity: usize) -> Self {
+        let slots = (0..capacity)
+            .map(|_| Slot {
+                ts_ns: AtomicU64::new(0),
+                word: AtomicU64::new(0),
+            })
+            .collect();
+        Self {
+            track,
+            thread_name,
+            capacity,
+            head: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+            slots,
+        }
+    }
+
+    /// Single-writer push; returns `true` when it overwrote (dropped) an
+    /// older event.
+    fn push(&self, ts_ns: u64, word: u64) -> bool {
+        let head = self.head.load(Ordering::Relaxed);
+        let slot = &self.slots[(head as usize) & (self.capacity - 1)];
+        slot.ts_ns.store(ts_ns, Ordering::Relaxed);
+        slot.word.store(word, Ordering::Relaxed);
+        self.head.store(head + 1, Ordering::Release);
+        if head >= self.capacity as u64 {
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+            true
+        } else {
+            false
+        }
+    }
+}
+
+/// Static-name intern table: names live for the program, ids fit a slot.
+#[derive(Default)]
+struct NameTable {
+    ids: HashMap<&'static str, u16>,
+    names: Vec<&'static str>,
+}
+
+/// Unique-per-process recorder ids let the thread-local ring cache detect
+/// that a *different* recorder has been installed since it was filled.
+static NEXT_RECORDER_ID: AtomicUsize = AtomicUsize::new(1);
+
+thread_local! {
+    /// This thread's ring in the recorder it last wrote to.
+    static THREAD_RING: RefCell<Option<(usize, Arc<ThreadRing>)>> = const { RefCell::new(None) };
+    /// Correlation argument stamped on every event this thread records.
+    static CURRENT_ARG: Cell<u64> = const { Cell::new(0) };
+}
+
+/// The flight recorder: a set of per-thread event rings plus the shared
+/// name intern table. Install on a [`Registry`] with
+/// [`Registry::install_recorder`](crate::Registry::install_recorder);
+/// spans and instants then stream into it until
+/// [`take_recorder`](crate::Registry::take_recorder) detaches it for
+/// [`dump`](TraceRecorder::dump)ing.
+pub struct TraceRecorder {
+    id: usize,
+    capacity: usize,
+    names: RwLock<NameTable>,
+    rings: Mutex<Vec<Arc<ThreadRing>>>,
+    /// `trace.dropped` handle, bound when installed on a registry so ring
+    /// wrap is visible in ordinary metric snapshots too.
+    dropped_counter: OnceLock<Arc<Counter>>,
+}
+
+impl std::fmt::Debug for TraceRecorder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TraceRecorder")
+            .field("id", &self.id)
+            .field("capacity", &self.capacity)
+            .field("tracks", &self.rings.lock().len())
+            .finish()
+    }
+}
+
+impl Default for TraceRecorder {
+    fn default() -> Self {
+        Self::new(TraceConfig::default())
+    }
+}
+
+impl TraceRecorder {
+    /// A recorder with `config` sizing.
+    pub fn new(config: TraceConfig) -> Self {
+        Self {
+            id: NEXT_RECORDER_ID.fetch_add(1, Ordering::Relaxed),
+            capacity: config.events_per_thread.max(8).next_power_of_two(),
+            names: RwLock::new(NameTable::default()),
+            rings: Mutex::new(Vec::new()),
+            dropped_counter: OnceLock::new(),
+        }
+    }
+
+    /// Binds the registry counter that mirrors ring-wrap drops
+    /// (idempotent; called by `Registry::install_recorder`).
+    pub(crate) fn bind_dropped_counter(&self, counter: Arc<Counter>) {
+        let _ = self.dropped_counter.set(counter);
+    }
+
+    /// Ring capacity per thread (post power-of-two rounding), in events.
+    pub fn capacity_per_thread(&self) -> usize {
+        self.capacity
+    }
+
+    fn intern(&self, name: &'static str) -> u16 {
+        if let Some(&id) = self.names.read().ids.get(name) {
+            return id;
+        }
+        let mut table = self.names.write();
+        if let Some(&id) = table.ids.get(name) {
+            return id;
+        }
+        if table.names.len() >= NAME_MASK as usize {
+            // Table saturated: fold everything new into id 0 rather than
+            // corrupting slot packing. 65k distinct static names means
+            // something is generating names; 0 maps to the first name
+            // interned, documented as best-effort.
+            return 0;
+        }
+        let id = table.names.len() as u16;
+        table.names.push(name);
+        table.ids.insert(name, id);
+        id
+    }
+
+    /// Records one event at an explicit timestamp. Callers that already
+    /// read the clock (the span guard) pass the same reading here, so
+    /// tracing adds no clock reads of its own.
+    pub fn event(&self, kind: EventKind, name: &'static str, ts_ns: u64) {
+        let word = pack(kind, self.intern(name), CURRENT_ARG.with(|a| a.get()));
+        THREAD_RING.with(|cell| {
+            let mut cached = cell.borrow_mut();
+            let stale = !matches!(cached.as_ref(), Some((id, _)) if *id == self.id);
+            if stale {
+                *cached = Some((self.id, self.register_current_thread()));
+            }
+            let (_, ring) = cached.as_ref().expect("cached just above");
+            if ring.push(ts_ns, word) {
+                if let Some(c) = self.dropped_counter.get() {
+                    c.inc();
+                }
+            }
+        });
+    }
+
+    fn register_current_thread(&self) -> Arc<ThreadRing> {
+        let mut rings = self.rings.lock();
+        let track = rings.len() as u32;
+        let name = std::thread::current()
+            .name()
+            .map(str::to_string)
+            .unwrap_or_else(|| format!("thread-{track}"));
+        let ring = Arc::new(ThreadRing::new(track, name, self.capacity));
+        rings.push(ring.clone());
+        ring
+    }
+
+    /// Total events dropped to ring wrap, across all threads.
+    pub fn dropped(&self) -> u64 {
+        self.rings
+            .lock()
+            .iter()
+            .map(|r| r.dropped.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// Drains every ring into a serializable [`TraceDump`]. Call at
+    /// quiescence (after the traced workload finished); a dump racing an
+    /// active writer may pair a timestamp with a neighbouring event's
+    /// payload but can never read uninitialized memory.
+    pub fn dump(&self) -> TraceDump {
+        let names = self.names.read();
+        let rings = self.rings.lock();
+        let tracks = rings
+            .iter()
+            .map(|ring| {
+                let head = ring.head.load(Ordering::Acquire);
+                let kept = head.min(ring.capacity as u64);
+                let mut events: Vec<RawEvent> = (head - kept..head)
+                    .map(|i| {
+                        let slot = &ring.slots[(i as usize) & (ring.capacity - 1)];
+                        let (kind, name_id, arg) = unpack(slot.word.load(Ordering::Acquire));
+                        RawEvent {
+                            ts_ns: slot.ts_ns.load(Ordering::Relaxed),
+                            kind: kind.as_str().to_string(),
+                            name: names
+                                .names
+                                .get(name_id as usize)
+                                .copied()
+                                .unwrap_or("?")
+                                .to_string(),
+                            arg,
+                        }
+                    })
+                    .collect();
+                // Ring order is push order, which can trail timestamp
+                // order: a site that times a region with its own clock
+                // reads pushes its begin/end pair at completion, after any
+                // instants recorded *inside* the region. The stable sort
+                // restores timeline order (ties keep push order, so an
+                // end at t still precedes an unrelated begin at t).
+                events.sort_by_key(|e| e.ts_ns);
+                TrackDump {
+                    track: ring.track,
+                    thread: ring.thread_name.clone(),
+                    dropped: ring.dropped.load(Ordering::Relaxed),
+                    events,
+                }
+            })
+            .collect();
+        TraceDump {
+            version: TraceDump::VERSION,
+            tracks,
+        }
+    }
+}
+
+/// Sets this thread's correlation argument for the guard's lifetime;
+/// every event the thread records while the guard lives carries it. The
+/// supervisor correlates each fragment's events with its 1-based build
+/// index (0 = uncorrelated), which the Chrome exporter turns into
+/// per-fragment tracks.
+pub fn correlate(arg: u64) -> CorrelationGuard {
+    let prev = CURRENT_ARG.with(|a| a.replace(arg & ARG_MASK));
+    CorrelationGuard {
+        prev,
+        _not_send: std::marker::PhantomData,
+    }
+}
+
+/// The correlation argument currently stamped on this thread's events.
+pub fn current_correlation() -> u64 {
+    CURRENT_ARG.with(|a| a.get())
+}
+
+/// RAII guard restoring the previous correlation argument on drop.
+#[derive(Debug)]
+pub struct CorrelationGuard {
+    prev: u64,
+    _not_send: std::marker::PhantomData<*const ()>,
+}
+
+impl Drop for CorrelationGuard {
+    fn drop(&mut self) {
+        CURRENT_ARG.with(|a| a.set(self.prev));
+    }
+}
+
+/// One decoded event of a dumped trace.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RawEvent {
+    /// Timestamp (registry-clock nanoseconds).
+    pub ts_ns: u64,
+    /// [`EventKind`] wire name (`"begin"` / `"end"` / `"instant"`); kept
+    /// as a string so the dump schema is plain JSON structs end to end.
+    pub kind: String,
+    /// Interned event name, resolved.
+    pub name: String,
+    /// Correlation argument (0 = none).
+    pub arg: u64,
+}
+
+impl RawEvent {
+    /// The typed event kind, `None` if the dump carried an unknown name.
+    pub fn event_kind(&self) -> Option<EventKind> {
+        EventKind::from_wire(&self.kind)
+    }
+}
+
+/// One thread's dumped ring.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TrackDump {
+    /// Track id (registration order).
+    pub track: u32,
+    /// OS thread name, or `thread-<track>` when unnamed.
+    pub thread: String,
+    /// Events this ring overwrote after wrapping.
+    pub dropped: u64,
+    /// Surviving events, oldest first; timestamps are nondecreasing.
+    pub events: Vec<RawEvent>,
+}
+
+/// The versioned raw export — everything the recorder held, losslessly.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceDump {
+    /// Schema version ([`TraceDump::VERSION`]).
+    pub version: u32,
+    /// Per-thread tracks, in registration order.
+    pub tracks: Vec<TrackDump>,
+}
+
+impl TraceDump {
+    /// Current raw-dump schema version.
+    pub const VERSION: u32 = 1;
+
+    /// Total events dropped across tracks.
+    pub fn dropped(&self) -> u64 {
+        self.tracks.iter().map(|t| t.dropped).sum()
+    }
+
+    /// Total surviving events across tracks.
+    pub fn num_events(&self) -> usize {
+        self.tracks.iter().map(|t| t.events.len()).sum()
+    }
+
+    /// Pretty JSON, schema-versioned.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("trace dump serializes")
+    }
+
+    /// Parses a dump, rejecting unknown versions.
+    pub fn from_json(json: &str) -> Result<Self, String> {
+        let dump: TraceDump = serde_json::from_str(json).map_err(|e| e.to_string())?;
+        if dump.version != Self::VERSION {
+            return Err(format!(
+                "trace dump version {} unsupported (expected {})",
+                dump.version,
+                Self::VERSION
+            ));
+        }
+        Ok(dump)
+    }
+
+    /// Writes the raw dump as JSON to `path`.
+    pub fn write(&self, path: &std::path::Path) -> std::io::Result<()> {
+        if let Some(parent) = path.parent() {
+            if !parent.as_os_str().is_empty() {
+                std::fs::create_dir_all(parent)?;
+            }
+        }
+        std::fs::write(path, self.to_json())
+    }
+
+    /// Reads a raw dump back from `path`.
+    pub fn read(path: &std::path::Path) -> Result<Self, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("{}: {e}", path.display()))?;
+        Self::from_json(&text)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::ManualClock;
+    use crate::registry::Registry;
+
+    fn recorder(capacity: usize) -> TraceRecorder {
+        TraceRecorder::new(TraceConfig {
+            events_per_thread: capacity,
+        })
+    }
+
+    #[test]
+    fn events_round_trip_through_packing() {
+        for kind in [EventKind::Begin, EventKind::End, EventKind::Instant] {
+            let word = pack(kind, 513, 0x3FFF_FFFF_FFFF);
+            assert_eq!(unpack(word), (kind, 513, 0x3FFF_FFFF_FFFF));
+        }
+    }
+
+    #[test]
+    fn recorder_keeps_events_in_order_with_names_resolved() {
+        let rec = recorder(64);
+        rec.event(EventKind::Begin, "a.outer", 10);
+        rec.event(EventKind::Instant, "a.mark", 20);
+        rec.event(EventKind::End, "a.outer", 30);
+        let dump = rec.dump();
+        assert_eq!(dump.version, TraceDump::VERSION);
+        assert_eq!(dump.tracks.len(), 1);
+        let events = &dump.tracks[0].events;
+        assert_eq!(events.len(), 3);
+        assert_eq!(events[0].name, "a.outer");
+        assert_eq!(events[0].event_kind(), Some(EventKind::Begin));
+        assert_eq!(events[1].name, "a.mark");
+        assert_eq!(events[2].event_kind(), Some(EventKind::End));
+        assert!(events.windows(2).all(|w| w[0].ts_ns <= w[1].ts_ns));
+        assert_eq!(dump.dropped(), 0);
+    }
+
+    #[test]
+    fn ring_wrap_drops_oldest_and_counts_them() {
+        let rec = recorder(8);
+        for i in 0..11u64 {
+            rec.event(EventKind::Instant, "tick", i);
+        }
+        let dump = rec.dump();
+        assert_eq!(dump.tracks[0].events.len(), 8);
+        assert_eq!(dump.tracks[0].dropped, 3);
+        assert_eq!(dump.dropped(), 3);
+        // The survivors are the *newest* 8.
+        assert_eq!(dump.tracks[0].events[0].ts_ns, 3);
+        assert_eq!(dump.tracks[0].events[7].ts_ns, 10);
+    }
+
+    #[test]
+    fn correlation_guard_nests_and_restores() {
+        let rec = recorder(64);
+        assert_eq!(current_correlation(), 0);
+        {
+            let _outer = correlate(7);
+            rec.event(EventKind::Instant, "outer", 1);
+            {
+                let _inner = correlate(9);
+                rec.event(EventKind::Instant, "inner", 2);
+            }
+            rec.event(EventKind::Instant, "outer-again", 3);
+        }
+        assert_eq!(current_correlation(), 0);
+        let events = &rec.dump().tracks[0].events;
+        assert_eq!(events[0].arg, 7);
+        assert_eq!(events[1].arg, 9);
+        assert_eq!(events[2].arg, 7);
+    }
+
+    #[test]
+    fn dump_round_trips_through_json() {
+        let rec = recorder(64);
+        rec.event(EventKind::Begin, "x", 5);
+        rec.event(EventKind::End, "x", 9);
+        let dump = rec.dump();
+        let back = TraceDump::from_json(&dump.to_json()).unwrap();
+        assert_eq!(back, dump);
+    }
+
+    #[test]
+    fn unknown_dump_version_rejected() {
+        let mut dump = TraceDump::default();
+        dump.version = 9;
+        assert!(TraceDump::from_json(&dump.to_json())
+            .unwrap_err()
+            .contains("9"));
+    }
+
+    #[test]
+    fn registry_spans_stream_into_an_installed_recorder() {
+        let clock = Arc::new(ManualClock::new());
+        let r = Registry::with_clock(clock.clone());
+        r.install_recorder(Arc::new(recorder(64)));
+        {
+            let _outer = r.span("t.outer");
+            clock.advance_ns(100);
+            {
+                let _inner = r.span("t.inner");
+                clock.advance_ns(50);
+            }
+            r.instant("t.mark");
+            clock.advance_ns(25);
+        }
+        let rec = r.take_recorder().expect("recorder installed");
+        let dump = rec.dump();
+        let events = &dump.tracks[0].events;
+        let seq: Vec<(&str, &str, u64)> = events
+            .iter()
+            .map(|e| (e.kind.as_str(), e.name.as_str(), e.ts_ns))
+            .collect();
+        assert_eq!(
+            seq,
+            vec![
+                ("begin", "t.outer", 0),
+                ("begin", "t.inner", 100),
+                ("end", "t.inner", 150),
+                ("instant", "t.mark", 150),
+                ("end", "t.outer", 175),
+            ]
+        );
+        // The histograms recorded the same durations the events bracket.
+        let snap = r.snapshot();
+        assert_eq!(snap.histograms["t.inner"].sum, 50);
+        assert_eq!(snap.histograms["t.outer"].sum, 175);
+        // Detached: later spans are not recorded.
+        {
+            let _late = r.span("t.late");
+        }
+        assert_eq!(rec.dump().num_events(), 5);
+    }
+
+    #[test]
+    fn ring_wrap_ticks_the_registry_drop_counter() {
+        let r = Registry::with_clock(Arc::new(ManualClock::new()));
+        r.install_recorder(Arc::new(recorder(8)));
+        for _ in 0..10 {
+            r.instant("w.tick");
+        }
+        let rec = r.take_recorder().unwrap();
+        assert_eq!(rec.dropped(), 2);
+        assert_eq!(r.snapshot().counters["trace.dropped"], 2);
+    }
+}

@@ -1,9 +1,16 @@
-//! Property tests for the telemetry histogram: merge commutativity,
-//! percentile monotonicity and bracketing, and no-loss recording under
-//! sharded concurrency.
+//! Property tests for the telemetry histogram (merge commutativity,
+//! percentile monotonicity and bracketing, no-loss recording under
+//! sharded concurrency) and the flight recorder (monotone per-thread
+//! timestamps, balanced begin/end, exact drop accounting, and
+//! ManualClock-deterministic agreement between the event stream and the
+//! span histograms).
 
 use proptest::prelude::*;
-use qdb_telemetry::{Histogram, HistogramSnapshot};
+use qdb_telemetry::trace::TraceConfig;
+use qdb_telemetry::{
+    EventKind, Histogram, HistogramSnapshot, ManualClock, Registry, TraceRecorder,
+};
+use std::collections::BTreeMap;
 use std::sync::Arc;
 
 fn snapshot_of(values: &[u64]) -> HistogramSnapshot {
@@ -109,5 +116,148 @@ proptest! {
         // And equals the single-threaded recording of the same values.
         let flat: Vec<u64> = per_thread.iter().flatten().copied().collect();
         prop_assert_eq!(s, snapshot_of(&flat));
+    }
+
+    /// Every thread's ring keeps its events in nondecreasing timestamp
+    /// order, keeps exactly `min(pushed, capacity)` of them, and accounts
+    /// for every overwritten event in its drop counter — for any mix of
+    /// thread counts, event counts, and (tiny) ring capacities.
+    #[test]
+    fn prop_recorder_rings_are_monotone_and_drop_accounted(
+        per_thread in proptest::collection::vec(
+            proptest::collection::vec(0u64..1_000, 1..40),
+            1..5,
+        ),
+        capacity in 1usize..40,
+    ) {
+        let rec = Arc::new(TraceRecorder::new(TraceConfig {
+            events_per_thread: capacity,
+        }));
+        let cap = rec.capacity_per_thread() as u64;
+        let handles: Vec<_> = per_thread
+            .iter()
+            .cloned()
+            .map(|increments| {
+                let rec = rec.clone();
+                std::thread::spawn(move || {
+                    let mut ts = 0u64;
+                    for (i, inc) in increments.iter().enumerate() {
+                        ts += inc;
+                        let kind = match i % 3 {
+                            0 => EventKind::Begin,
+                            1 => EventKind::End,
+                            _ => EventKind::Instant,
+                        };
+                        rec.event(kind, "prop.event", ts);
+                    }
+                })
+            })
+            .collect();
+        for handle in handles {
+            handle.join().unwrap();
+        }
+        let dump = rec.dump();
+        prop_assert_eq!(dump.tracks.len(), per_thread.len());
+        for track in &dump.tracks {
+            prop_assert!(
+                track.events.windows(2).all(|w| w[0].ts_ns <= w[1].ts_ns),
+                "track {} not monotone", track.track
+            );
+        }
+        // Each thread contributed one track; pushed = kept + dropped, and
+        // the ring keeps at most its capacity.
+        let mut pushed: Vec<u64> = dump
+            .tracks
+            .iter()
+            .map(|t| t.events.len() as u64 + t.dropped)
+            .collect();
+        pushed.sort_unstable();
+        let mut expected: Vec<u64> = per_thread.iter().map(|v| v.len() as u64).collect();
+        expected.sort_unstable();
+        prop_assert_eq!(pushed, expected);
+        for track in &dump.tracks {
+            let total = track.events.len() as u64 + track.dropped;
+            prop_assert_eq!(track.events.len() as u64, total.min(cap));
+            prop_assert_eq!(track.dropped, total.saturating_sub(cap));
+        }
+        prop_assert_eq!(
+            dump.dropped(),
+            dump.tracks.iter().map(|t| t.dropped).sum::<u64>()
+        );
+    }
+
+    /// End-to-end determinism under a ManualClock: arbitrarily nested
+    /// span programs leave a trace whose begin/end events balance (LIFO,
+    /// names matching), and whose per-name end-event count and bracketed
+    /// durations agree exactly with the registry histograms the same
+    /// spans recorded.
+    #[test]
+    fn prop_traced_spans_balance_and_match_histograms(
+        program in proptest::collection::vec(
+            (0usize..4, 1u64..1_000, any::<bool>()),
+            1..60,
+        ),
+    ) {
+        const NAMES: [&str; 4] = ["prop.a", "prop.b", "prop.c", "prop.d"];
+
+        fn nest(r: &Registry, clock: &ManualClock, chunk: &[(usize, u64, bool)]) {
+            if let Some(((idx, advance, mark), rest)) = chunk.split_first() {
+                let _g = r.span(NAMES[idx % NAMES.len()]);
+                clock.advance_ns(*advance);
+                if *mark {
+                    r.instant("prop.mark");
+                }
+                nest(r, clock, rest);
+            }
+        }
+
+        let clock = Arc::new(ManualClock::new());
+        let r = Registry::with_clock(clock.clone());
+        // Capacity far above anything 60 events can wrap: balance must hold.
+        r.install_recorder(Arc::new(TraceRecorder::new(TraceConfig {
+            events_per_thread: 1 << 12,
+        })));
+        for chunk in program.chunks(7) {
+            nest(&r, &clock, chunk);
+        }
+        let dump = r.take_recorder().expect("installed above").dump();
+        prop_assert_eq!(dump.dropped(), 0);
+        prop_assert_eq!(dump.tracks.len(), 1);
+        let events = &dump.tracks[0].events;
+        prop_assert!(events.windows(2).all(|w| w[0].ts_ns <= w[1].ts_ns));
+
+        // Replay: LIFO balance, per-name end counts, per-name duration sums.
+        let mut stack: Vec<(&str, u64)> = Vec::new();
+        let mut ends: BTreeMap<&str, u64> = BTreeMap::new();
+        let mut sums: BTreeMap<&str, u64> = BTreeMap::new();
+        let mut instants = 0u64;
+        for ev in events {
+            match ev.event_kind() {
+                Some(EventKind::Begin) => stack.push((&ev.name, ev.ts_ns)),
+                Some(EventKind::End) => {
+                    let (open, began) = stack.pop().expect("end without begin");
+                    prop_assert_eq!(open, ev.name.as_str(), "end closes wrong span");
+                    *ends.entry(open).or_default() += 1;
+                    *sums.entry(open).or_default() += ev.ts_ns - began;
+                }
+                Some(EventKind::Instant) => instants += 1,
+                None => prop_assert!(false, "unknown kind {:?}", ev.kind),
+            }
+        }
+        prop_assert!(stack.is_empty(), "{} spans never closed", stack.len());
+        prop_assert_eq!(
+            instants,
+            program.iter().filter(|(_, _, mark)| *mark).count() as u64
+        );
+        let snap = r.snapshot();
+        for name in NAMES {
+            let end_count = ends.get(name).copied().unwrap_or(0);
+            let hist = snap.histograms.get(name);
+            prop_assert_eq!(end_count, hist.map_or(0, |h| h.count));
+            prop_assert_eq!(
+                sums.get(name).copied().unwrap_or(0),
+                hist.map_or(0, |h| h.sum)
+            );
+        }
     }
 }

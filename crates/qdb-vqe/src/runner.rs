@@ -190,12 +190,15 @@ pub fn run_vqe_injected<F: FaultInjector>(
     injector.on_submit()?;
 
     // Telemetry handles fetched once per run; inside the hot loop each
-    // evaluation costs two clock reads and two relaxed atomic adds.
+    // evaluation costs two clock reads and two relaxed atomic adds. The
+    // flight recorder (if installed) is likewise fetched once, so each
+    // eval reuses the histogram's own clock readings as trace timestamps.
     let telemetry = qdb_telemetry::global();
     telemetry.counter("vqe.runs").inc();
     let m_energy_evals = telemetry.counter("vqe.energy_evals");
     let h_energy_eval = telemetry.histogram("vqe.energy_eval");
     let tel_clock = telemetry.clock().clone();
+    let recorder = telemetry.recorder();
 
     let ansatz = build_ansatz(ham, config.reps);
     let compiled = CompiledCircuit::compile(&ansatz);
@@ -281,7 +284,22 @@ pub fn run_vqe_injected<F: FaultInjector>(
             ),
         };
         m_energy_evals.inc();
-        h_energy_eval.record(tel_clock.now_ns().saturating_sub(eval_start_ns));
+        let eval_end_ns = tel_clock.now_ns();
+        h_energy_eval.record(eval_end_ns.saturating_sub(eval_start_ns));
+        // Both edges push at completion: fault paths above emit nothing,
+        // so begin/end stay balanced, and timestamps stay nondecreasing.
+        if let Some(rec) = recorder.as_deref() {
+            rec.event(
+                qdb_telemetry::EventKind::Begin,
+                "vqe.energy_eval",
+                eval_start_ns,
+            );
+            rec.event(
+                qdb_telemetry::EventKind::End,
+                "vqe.energy_eval",
+                eval_end_ns,
+            );
+        }
         let e = injector.observe_energy(eval, e);
         // Divergence guard: a NaN/∞ energy must never leak into the
         // history (and from there into `lowest_energy`/`highest_energy`
@@ -294,7 +312,10 @@ pub fn run_vqe_injected<F: FaultInjector>(
         e
     };
     let optimizer = Cobyla::with_budget(config.max_iters);
-    let result = optimizer.minimize(&mut objective, &x0);
+    let result = {
+        let _stage1 = telemetry.span("vqe.optimize");
+        optimizer.minimize(&mut objective, &x0)
+    };
     telemetry.counter("vqe.iterations").add(result.evals as u64);
     if let Some(e) = fault {
         return Err(e);
@@ -322,6 +343,7 @@ pub fn run_vqe_injected<F: FaultInjector>(
     // perturbation §5.2 leans on.
     let mut sample_rng = ChaCha8Rng::seed_from_u64(config.seed.wrapping_add(2));
     let sample_noise = config.sample_noise;
+    let stage2_span = telemetry.span("vqe.sample");
     let counts = if sample_noise.is_ideal() {
         if engine == EnergyEngine::Compiled {
             ws.run(&compiled, &result.x);
@@ -354,6 +376,7 @@ pub fn run_vqe_injected<F: FaultInjector>(
         }
         Counts::from_map(merged)
     };
+    drop(stage2_span);
 
     telemetry.counter("vqe.shots_sampled").add(counts.shots());
 

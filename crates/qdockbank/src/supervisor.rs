@@ -493,10 +493,12 @@ fn run_supervised(
     for attempt in 0..sup.max_attempts {
         if attempt > 0 {
             telemetry.counter("supervisor.retries").inc();
+            telemetry.instant("supervisor.retry");
             if let Some(deadline) = sup.fragment_deadline_ms {
                 let elapsed_ms = clock.elapsed_ms(started_ns);
                 if elapsed_ms > deadline {
                     telemetry.counter("supervisor.deadline_hits").inc();
+                    telemetry.instant("supervisor.deadline");
                     return (
                         Err(PipelineError::DeadlineExceeded { elapsed_ms }),
                         attempts,
@@ -509,6 +511,7 @@ fn run_supervised(
             attempt_config(&canonical, escalation, attempt, sup.degrade);
         if degradation.is_some() {
             telemetry.counter("supervisor.degradations").inc();
+            telemetry.instant("supervisor.degradation");
         }
         let mut injector = plan.injector(record.pdb_id, attempt);
         // The whole attempt — VQE, docking, entry write — is one
@@ -643,7 +646,11 @@ pub fn build_dataset_with(
         ..BuildSummary::default()
     };
 
-    for record in records {
+    for (index, record) in records.iter().enumerate() {
+        // Tag every event this fragment records — spans, retries, store
+        // fsyncs — with its 1-based build index, so the flight recorder's
+        // Chrome export cuts one track per fragment.
+        let _corr = qdb_telemetry::trace::correlate(index as u64 + 1);
         let started_ns = clock.now_ns();
         let entry_dir = root.join(record.group().name()).join(record.pdb_id);
         let report = if vfs.is_dir(&entry_dir) {
@@ -669,6 +676,7 @@ pub fn build_dataset_with(
                             telemetry
                                 .counter("supervisor.checkpoints_quarantined")
                                 .inc();
+                            telemetry.instant("supervisor.quarantine");
                             format!("{reason}; quarantined to {}", slot.display())
                         }
                         Err(qe) => format!("{reason}; quarantine failed: {qe}"),

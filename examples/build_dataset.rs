@@ -14,6 +14,9 @@
 //! cargo run --release --example build_dataset -- S out_dir --inject-faults 7
 //! # build only the first 2 fragments and dump a telemetry snapshot:
 //! cargo run --release --example build_dataset -- --fragments 2 --telemetry out.json
+//! # record a flight-recorder timeline (Chrome trace-event JSON, loadable
+//! # in Perfetto; the lossless raw dump lands next to it as *.raw.json):
+//! cargo run --release --example build_dataset -- --fragments 2 --trace trace.json
 //! # offline integrity check: verify every checksum, quarantine anything
 //! # corrupt, sweep stray tmp files, exit non-zero unless all entries pass:
 //! cargo run --release --example build_dataset -- S out_dir --fsck
@@ -34,6 +37,7 @@ fn main() {
     let mut fault_seed: Option<u64> = None;
     let mut fragment_cap: Option<usize> = None;
     let mut telemetry_path: Option<PathBuf> = None;
+    let mut trace_path: Option<PathBuf> = None;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
@@ -62,6 +66,14 @@ fn main() {
                     std::process::exit(1);
                 });
                 telemetry_path = Some(PathBuf::from(path));
+            }
+            "--trace" => {
+                i += 1;
+                let path = args.get(i).unwrap_or_else(|| {
+                    eprintln!("--trace needs an output path");
+                    std::process::exit(1);
+                });
+                trace_path = Some(PathBuf::from(path));
             }
             other => positional.push(other),
         }
@@ -154,6 +166,11 @@ fn main() {
     };
     let config = PipelineConfig::fast();
     let sup = SupervisorConfig::default();
+    if trace_path.is_some() {
+        qdb_telemetry::global()
+            .install_recorder(std::sync::Arc::new(qdb_telemetry::TraceRecorder::default()));
+        println!("flight recorder armed (bounded per-thread rings)");
+    }
     println!(
         "building {} fragments into {}{}",
         records.len(),
@@ -204,6 +221,29 @@ fn main() {
             snap.gauges.len(),
             snap.histograms.len(),
             path.display()
+        );
+    }
+    if let Some(path) = trace_path {
+        let rec = qdb_telemetry::global()
+            .take_recorder()
+            .expect("recorder installed above");
+        let dump = rec.dump();
+        if let Err(e) = qdb_telemetry::export::chrome::write_chrome_trace(&path, &dump) {
+            eprintln!("trace export failed: {e}");
+            std::process::exit(1);
+        }
+        let raw_path = path.with_extension("raw.json");
+        if let Err(e) = dump.write(&raw_path) {
+            eprintln!("raw trace dump failed: {e}");
+            std::process::exit(1);
+        }
+        println!(
+            "trace: {} events on {} track(s), {} dropped → {} (raw: {})",
+            dump.num_events(),
+            dump.tracks.len(),
+            dump.dropped(),
+            path.display(),
+            raw_path.display()
         );
     }
     if summary.failed > 0 {
