@@ -1,0 +1,192 @@
+//! Service-level latency/throughput report for a `qdb-serve` run.
+//!
+//! Reads the metrics snapshot the daemon writes on exit
+//! (`serve --telemetry out.json`) and renders the service's robustness
+//! ledger: admission accounting, queue-wait and execution latency
+//! distributions, and sustained throughput — the numbers a capacity
+//! plan or a perf regression hunt starts from.
+//!
+//! ```text
+//! cargo run --release -p qdb-bench --bin serve_report -- out.json
+//! ```
+//!
+//! Exits non-zero if the snapshot carries no service metrics at all
+//! (wrong file) or the admission accounting identity is broken.
+
+use qdb_telemetry::export::json::read_snapshot;
+use qdb_telemetry::{HistogramSnapshot, Snapshot};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn latency_line(name: &str, label: &str, h: &HistogramSnapshot) -> String {
+    format!(
+        "  {label:<22} n={:<6} p50={:<8} p90={:<8} p99={:<8} max={:<8} ({name})",
+        h.count, h.p50, h.p90, h.p99, h.max
+    )
+}
+
+fn report(snap: &Snapshot) -> Result<String, String> {
+    let count = |name: &str| snap.counters.get(name).copied().unwrap_or(0);
+    let submitted = count("serve.submitted");
+    if submitted == 0 && !snap.counters.keys().any(|k| k.starts_with("serve.")) {
+        return Err("snapshot carries no serve.* metrics — not a service run".to_string());
+    }
+    let admitted = count("serve.admitted");
+    let shed = count("serve.shed");
+    let cache_hits = count("serve.cache_hits");
+    let dedup_hits = count("serve.dedup_hits");
+    let completed = count("serve.completed");
+    let failed = count("serve.failed");
+    let accounted = admitted + shed + cache_hits + dedup_hits;
+    if accounted != submitted {
+        return Err(format!(
+            "admission accounting broken: admitted {admitted} + shed {shed} + cache_hits \
+             {cache_hits} + dedup_hits {dedup_hits} = {accounted} != submitted {submitted}"
+        ));
+    }
+    let mut out = String::new();
+    out.push_str("qdb-serve service report\n");
+    out.push_str("========================\n\n");
+    out.push_str("admission\n");
+    out.push_str(&format!(
+        "  submitted {submitted}, admitted {admitted}, shed {shed}, cache hits {cache_hits}, \
+         dedup hits {dedup_hits}\n"
+    ));
+    let served_free = cache_hits + dedup_hits;
+    if submitted > 0 {
+        out.push_str(&format!(
+            "  shed rate {:.1}%, served-without-execution {:.1}%\n",
+            100.0 * shed as f64 / submitted as f64,
+            100.0 * served_free as f64 / submitted as f64,
+        ));
+    }
+    out.push_str("\noutcomes\n");
+    out.push_str(&format!(
+        "  completed {completed}, failed {failed}, expired {}, cancelled {}, resumed {}\n",
+        count("serve.expired"),
+        count("serve.cancelled"),
+        count("serve.resumed"),
+    ));
+    out.push_str("\nlatency (ms except spans, which are ns)\n");
+    for (name, label) in [
+        ("serve.queue_wait_ms", "queue wait"),
+        ("serve.job_ms", "job execution"),
+        ("serve.submit", "submit span"),
+        ("serve.job", "job span"),
+    ] {
+        if let Some(h) = snap.histograms.get(name) {
+            out.push_str(&latency_line(name, label, h));
+            out.push('\n');
+        }
+    }
+    if let Some(job) = snap.histograms.get("serve.job_ms") {
+        if job.sum > 0 {
+            out.push_str(&format!(
+                "\nthroughput\n  {:.2} jobs/s of busy worker time ({} jobs over {} ms busy)\n",
+                1_000.0 * job.count as f64 / job.sum as f64,
+                job.count,
+                job.sum
+            ));
+        }
+    }
+    let reliability: Vec<String> = [
+        "serve.journal_recoveries",
+        "serve.journal_errors",
+        "serve.result_write_errors",
+        "serve.drains",
+        "serve.http_errors",
+    ]
+    .iter()
+    .filter_map(|name| {
+        let v = count(name);
+        (v > 0).then(|| format!("  {name} {v}"))
+    })
+    .collect();
+    if !reliability.is_empty() {
+        out.push_str("\nreliability events\n");
+        out.push_str(&reliability.join("\n"));
+        out.push('\n');
+    }
+    Ok(out)
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let Some(path) = args.next().map(PathBuf::from) else {
+        eprintln!("usage: serve_report <snapshot.json>");
+        return ExitCode::FAILURE;
+    };
+    let snap = match read_snapshot(&path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("FAIL: snapshot unreadable: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match report(&snap) {
+        Ok(text) => {
+            print!("{text}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("FAIL: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hist(count: u64, sum: u64) -> HistogramSnapshot {
+        HistogramSnapshot {
+            count,
+            sum,
+            min: 1,
+            max: 10,
+            p50: 2,
+            p90: 5,
+            p99: 9,
+            buckets: vec![(16, count)],
+        }
+    }
+
+    fn serve_snapshot() -> Snapshot {
+        let mut snap = Snapshot::default();
+        snap.counters.insert("serve.submitted".to_string(), 10);
+        snap.counters.insert("serve.admitted".to_string(), 6);
+        snap.counters.insert("serve.shed".to_string(), 2);
+        snap.counters.insert("serve.cache_hits".to_string(), 1);
+        snap.counters.insert("serve.dedup_hits".to_string(), 1);
+        snap.counters.insert("serve.completed".to_string(), 6);
+        snap.histograms
+            .insert("serve.job_ms".to_string(), hist(6, 600));
+        snap.histograms
+            .insert("serve.queue_wait_ms".to_string(), hist(6, 60));
+        snap
+    }
+
+    #[test]
+    fn balanced_snapshot_reports_cleanly() {
+        let text = report(&serve_snapshot()).unwrap();
+        assert!(text.contains("submitted 10, admitted 6, shed 2"));
+        assert!(text.contains("shed rate 20.0%"));
+        assert!(text.contains("10.00 jobs/s"));
+    }
+
+    #[test]
+    fn broken_accounting_fails() {
+        let mut snap = serve_snapshot();
+        snap.counters.insert("serve.shed".to_string(), 3);
+        let err = report(&snap).unwrap_err();
+        assert!(err.contains("accounting broken"), "{err}");
+    }
+
+    #[test]
+    fn non_service_snapshot_fails() {
+        let mut snap = Snapshot::default();
+        snap.counters.insert("vqe.runs".to_string(), 5);
+        assert!(report(&snap).is_err());
+    }
+}

@@ -69,6 +69,77 @@ const REQUIRED_HISTOGRAMS: &[&str] = &[
 /// Gauges every dataset build must set.
 const REQUIRED_GAUGES: &[&str] = &["exec.workspace_qubits"];
 
+/// Counters every `qdb-serve` run must tick (`--serve`). Shed, expired,
+/// and cache-hit counters are legitimately zero on a healthy smoke run
+/// and are deliberately not required; the accounting identity below
+/// covers them instead.
+const SERVE_REQUIRED_COUNTERS: &[&str] = &[
+    "serve.submitted",
+    "serve.admitted",
+    "serve.completed",
+    "serve.dedup_hits",
+    "serve.http_requests",
+];
+
+/// Histograms every `qdb-serve` run must record: the submit and job
+/// spans plus the queue-wait and execution latency distributions.
+const SERVE_REQUIRED_HISTOGRAMS: &[&str] = &[
+    "serve.submit",
+    "serve.job",
+    "serve.queue_wait_ms",
+    "serve.job_ms",
+];
+
+/// Gauges every `qdb-serve` run must set.
+const SERVE_REQUIRED_GAUGES: &[&str] = &["serve.queue_depth", "serve.inflight"];
+
+/// Service-mode checks: the required serve metrics plus the admission
+/// accounting identity
+/// `admitted + shed + cache_hits + dedup_hits == submitted`.
+fn validate_serve(snap: &Snapshot) -> Vec<String> {
+    let mut problems = Vec::new();
+    for name in SERVE_REQUIRED_COUNTERS {
+        match snap.counters.get(*name) {
+            None => problems.push(format!("serve counter {name} missing")),
+            Some(0) => problems.push(format!(
+                "serve counter {name} present but never incremented"
+            )),
+            Some(_) => {}
+        }
+    }
+    for name in SERVE_REQUIRED_GAUGES {
+        if !snap.gauges.contains_key(*name) {
+            problems.push(format!("serve gauge {name} missing"));
+        }
+    }
+    for name in SERVE_REQUIRED_HISTOGRAMS {
+        match snap.histograms.get(*name) {
+            None => problems.push(format!("serve histogram {name} missing")),
+            Some(h) if h.count == 0 => {
+                problems.push(format!("serve histogram {name} present but empty"))
+            }
+            Some(_) => {}
+        }
+    }
+    let count = |name: &str| snap.counters.get(name).copied().unwrap_or(0);
+    let accounted = count("serve.admitted")
+        + count("serve.shed")
+        + count("serve.cache_hits")
+        + count("serve.dedup_hits");
+    if accounted != count("serve.submitted") {
+        problems.push(format!(
+            "serve accounting broken: admitted {} + shed {} + cache_hits {} + dedup_hits {} \
+             != submitted {}",
+            count("serve.admitted"),
+            count("serve.shed"),
+            count("serve.cache_hits"),
+            count("serve.dedup_hits"),
+            count("serve.submitted")
+        ));
+    }
+    problems
+}
+
 fn validate(snap: &Snapshot) -> Vec<String> {
     let mut problems = Vec::new();
     for name in REQUIRED_COUNTERS {
@@ -138,9 +209,11 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut snapshot_path: Option<PathBuf> = None;
     let mut trace_arg: Option<PathBuf> = None;
+    let mut serve_mode = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
+            "--serve" => serve_mode = true,
             "--trace" => {
                 i += 1;
                 match args.get(i) {
@@ -160,7 +233,7 @@ fn main() -> ExitCode {
         i += 1;
     }
     let Some(path) = snapshot_path else {
-        eprintln!("usage: validate_telemetry <snapshot.json> [--trace <trace.json>]");
+        eprintln!("usage: validate_telemetry <snapshot.json> [--serve] [--trace <trace.json>]");
         return ExitCode::FAILURE;
     };
     let snap = match read_snapshot(&path) {
@@ -170,15 +243,22 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let mut problems = validate(&snap);
+    // `--serve` validates a service run (which may use a stub pipeline),
+    // so the service metric set replaces the dataset-build set.
+    let mut problems = if serve_mode {
+        validate_serve(&snap)
+    } else {
+        validate(&snap)
+    };
     if let Some(trace_path) = &trace_arg {
         match read_chrome_trace(trace_path) {
             Ok(file) => {
-                problems.extend(
+                let trace_problems = if serve_mode {
+                    qdb_bench::trace::validate_serve_trace(&file)
+                } else {
                     validate_trace(&file)
-                        .into_iter()
-                        .map(|p| format!("trace: {p}")),
-                );
+                };
+                problems.extend(trace_problems.into_iter().map(|p| format!("trace: {p}")));
             }
             Err(e) => problems.push(format!("trace unreadable: {e}")),
         }

@@ -15,6 +15,10 @@ use std::collections::BTreeMap;
 pub const FRAGMENT_SPAN: &str = "pipeline.fragment";
 /// Prefix of the per-stage pipeline spans (`pipeline.encode` … `pipeline.rmsd`).
 pub const STAGE_PREFIX: &str = "pipeline.";
+/// The spans the job service (`qdb-serve`) opens around every submission
+/// and every worker execution. A service trace that never opened these
+/// lost its instrumentation.
+pub const SERVE_SPANS: &[&str] = &["serve.submit", "serve.job"];
 
 /// Groups the non-metadata events of `file` by `(pid, tid)`, preserving
 /// file order (which is ring order, i.e. timestamp order per track).
@@ -126,6 +130,25 @@ pub fn validate_trace(file: &ChromeTraceFile) -> Vec<String> {
                         || p.contains("no open span")
                         || p.contains("never closed")))
             });
+        }
+    }
+    problems
+}
+
+/// Structural validation plus the service-layer span contract: every
+/// name in [`SERVE_SPANS`] must appear as an opened span somewhere in
+/// the trace. Use for traces recorded by the `qdb-serve` daemon.
+pub fn validate_serve_trace(file: &ChromeTraceFile) -> Vec<String> {
+    let mut problems = validate_trace(file);
+    for expected in SERVE_SPANS {
+        let seen = file
+            .traceEvents
+            .iter()
+            .any(|ev| ev.ph == "B" && ev.name == *expected);
+        if !seen {
+            problems.push(format!(
+                "service span {expected:?} never opened — serve instrumentation lost"
+            ));
         }
     }
     problems

@@ -1,0 +1,188 @@
+//! Admission control: a pure, lock-free-testable state machine.
+//!
+//! The service holds exactly one of these (under its state lock) and
+//! routes every admit/start/finish/drain transition through it, so the
+//! overload behavior is a small deterministic object the property tests
+//! can hammer without threads, sockets, or clocks:
+//!
+//! * the queue never exceeds `queue_cap`;
+//! * in-flight never exceeds `inflight_cap`;
+//! * `ready()` is false iff the queue is saturated or the service is
+//!   draining — exactly the `/readyz` contract;
+//! * once draining, nothing is admitted, ever.
+
+/// Admission decision for one submission.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Decision {
+    /// The job may join the queue.
+    Admit,
+    /// Load-shed: the client should retry after the hinted delay.
+    Shed {
+        /// `Retry-After` hint in seconds.
+        retry_after_s: u64,
+    },
+}
+
+/// Queue/in-flight accounting and the drain latch.
+#[derive(Clone, Debug)]
+pub struct Admission {
+    queue_cap: usize,
+    inflight_cap: usize,
+    queued: usize,
+    inflight: usize,
+    draining: bool,
+}
+
+impl Admission {
+    /// A fresh, empty, non-draining machine. Caps are clamped to ≥ 1.
+    pub fn new(queue_cap: usize, inflight_cap: usize) -> Self {
+        Self {
+            queue_cap: queue_cap.max(1),
+            inflight_cap: inflight_cap.max(1),
+            queued: 0,
+            inflight: 0,
+            draining: false,
+        }
+    }
+
+    /// Jobs currently queued (admitted, not yet started).
+    pub fn queued(&self) -> usize {
+        self.queued
+    }
+
+    /// Jobs currently executing.
+    pub fn inflight(&self) -> usize {
+        self.inflight
+    }
+
+    /// The queue bound.
+    pub fn queue_cap(&self) -> usize {
+        self.queue_cap
+    }
+
+    /// Whether the drain latch is set.
+    pub fn draining(&self) -> bool {
+        self.draining
+    }
+
+    /// Whether the queue is at its bound.
+    pub fn saturated(&self) -> bool {
+        self.queued >= self.queue_cap
+    }
+
+    /// The `/readyz` contract: ready iff not draining and not saturated.
+    pub fn ready(&self) -> bool {
+        !self.draining && !self.saturated()
+    }
+
+    /// Decides one submission; on `Admit` the job is counted as queued.
+    pub fn try_admit(&mut self) -> Decision {
+        if self.draining || self.saturated() {
+            // Hint scales with how much work stands in front of a retry:
+            // a full queue plus a busy pool means longer than a drain.
+            let backlog = self.queued + self.inflight;
+            return Decision::Shed {
+                retry_after_s: (1 + backlog as u64 / 4).min(30),
+            };
+        }
+        self.queued += 1;
+        Decision::Admit
+    }
+
+    /// A worker took a queued job. Returns false (and changes nothing)
+    /// if the pool is at its in-flight cap or the queue is empty.
+    pub fn try_start(&mut self) -> bool {
+        if self.queued == 0 || self.inflight >= self.inflight_cap {
+            return false;
+        }
+        self.queued -= 1;
+        self.inflight += 1;
+        true
+    }
+
+    /// A started job finished (any terminal state).
+    pub fn on_finish(&mut self) {
+        debug_assert!(self.inflight > 0, "finish without a matching start");
+        self.inflight = self.inflight.saturating_sub(1);
+    }
+
+    /// A queued job left the queue without starting (deadline expiry,
+    /// drain-time journaling).
+    pub fn on_evict(&mut self) {
+        debug_assert!(self.queued > 0, "evict from an empty queue");
+        self.queued = self.queued.saturating_sub(1);
+    }
+
+    /// Sets the drain latch: no further admissions. Idempotent,
+    /// irreversible for the lifetime of the process.
+    pub fn begin_drain(&mut self) {
+        self.draining = true;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn admits_until_the_bound_then_sheds() {
+        let mut a = Admission::new(2, 4);
+        assert_eq!(a.try_admit(), Decision::Admit);
+        assert_eq!(a.try_admit(), Decision::Admit);
+        assert!(a.saturated());
+        assert!(!a.ready());
+        assert!(matches!(a.try_admit(), Decision::Shed { .. }));
+        assert_eq!(a.queued(), 2, "shed must not grow the queue");
+    }
+
+    #[test]
+    fn start_finish_round_trip_frees_capacity() {
+        let mut a = Admission::new(1, 1);
+        assert_eq!(a.try_admit(), Decision::Admit);
+        assert!(!a.ready());
+        assert!(a.try_start());
+        assert!(a.ready(), "queue drained by start");
+        assert!(!a.try_start(), "no queued job left");
+        a.on_finish();
+        assert_eq!(a.inflight(), 0);
+    }
+
+    #[test]
+    fn inflight_cap_gates_start() {
+        let mut a = Admission::new(8, 1);
+        a.try_admit();
+        a.try_admit();
+        assert!(a.try_start());
+        assert!(!a.try_start(), "pool full");
+        a.on_finish();
+        assert!(a.try_start());
+    }
+
+    #[test]
+    fn draining_sheds_everything_and_flips_ready() {
+        let mut a = Admission::new(8, 2);
+        assert!(a.ready());
+        a.begin_drain();
+        assert!(!a.ready());
+        assert!(matches!(a.try_admit(), Decision::Shed { .. }));
+        assert!(a.draining());
+    }
+
+    #[test]
+    fn retry_after_grows_with_backlog_and_caps() {
+        let mut small = Admission::new(1, 1);
+        small.try_admit();
+        let Decision::Shed { retry_after_s: s1 } = small.try_admit() else {
+            panic!("saturated queue must shed");
+        };
+        let mut big = Admission::new(100, 1);
+        for _ in 0..100 {
+            big.try_admit();
+        }
+        let Decision::Shed { retry_after_s: s2 } = big.try_admit() else {
+            panic!("saturated queue must shed");
+        };
+        assert!(s2 > s1);
+        assert!(s2 <= 30);
+    }
+}

@@ -1,0 +1,165 @@
+//! The qdb-serve daemon: the QDockBank pipeline behind a job API.
+//!
+//! ```text
+//! serve --addr 127.0.0.1:8080 --root /tmp/qdb --workers 2 --queue-cap 16
+//! ```
+//!
+//! Flags:
+//!
+//! * `--addr HOST:PORT` — listen address (default `127.0.0.1:8080`;
+//!   port `0` picks a free port and prints it, for scripted clients);
+//! * `--root PATH` — dataset root (journal + result cache);
+//! * `--workers N` — worker threads / in-flight cap (default 2);
+//! * `--queue-cap N` — bounded queue depth (default 16);
+//! * `--drain-ms N` — graceful-drain budget on SIGTERM (default 30000);
+//! * `--deadline-ms N` — default per-job deadline (0 = none);
+//! * `--stub-runner` — serve a stub pipeline (CI smoke without VQE cost);
+//! * `--telemetry PATH` — write a metrics snapshot (JSON) on exit;
+//! * `--trace PATH` — record a flight-recorder timeline (Chrome trace).
+//!
+//! On SIGTERM/SIGINT: admission stops (`/readyz` flips to 503), in-flight
+//! and queued jobs get the drain budget to finish, the remainder is
+//! journaled as resumable, and the process exits 0 on a clean drain.
+
+use qdb_serve::runner::{JobRunner, PipelineRunner, StubRunner};
+use qdb_serve::server::{self, ServerConfig};
+use qdb_serve::service::{JobService, ServiceConfig};
+use qdb_store::StdVfs;
+use qdb_telemetry::MonotonicClock;
+use std::net::TcpListener;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+fn need(value: Option<String>, flag: &str) -> String {
+    value.unwrap_or_else(|| {
+        eprintln!("{flag} needs a value");
+        std::process::exit(2);
+    })
+}
+
+fn parse_u64(value: &str, flag: &str) -> u64 {
+    value.parse().unwrap_or_else(|_| {
+        eprintln!("{flag} needs an unsigned integer, got {value:?}");
+        std::process::exit(2);
+    })
+}
+
+fn main() {
+    let mut addr = "127.0.0.1:8080".to_string();
+    let mut root = PathBuf::from("qdb-serve-root");
+    let mut workers: usize = 2;
+    let mut queue_cap: usize = 16;
+    let mut drain_ms: u64 = 30_000;
+    let mut deadline_ms: u64 = 0;
+    let mut stub = false;
+    let mut telemetry_path: Option<PathBuf> = None;
+    let mut trace_path: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--addr" => addr = need(args.next(), "--addr"),
+            "--root" => root = PathBuf::from(need(args.next(), "--root")),
+            "--workers" => {
+                workers = parse_u64(&need(args.next(), "--workers"), "--workers") as usize
+            }
+            "--queue-cap" => {
+                queue_cap = parse_u64(&need(args.next(), "--queue-cap"), "--queue-cap") as usize
+            }
+            "--drain-ms" => drain_ms = parse_u64(&need(args.next(), "--drain-ms"), "--drain-ms"),
+            "--deadline-ms" => {
+                deadline_ms = parse_u64(&need(args.next(), "--deadline-ms"), "--deadline-ms")
+            }
+            "--stub-runner" => stub = true,
+            "--telemetry" => telemetry_path = Some(PathBuf::from(need(args.next(), "--telemetry"))),
+            "--trace" => trace_path = Some(PathBuf::from(need(args.next(), "--trace"))),
+            "--help" | "-h" => {
+                println!(
+                    "usage: serve [--addr HOST:PORT] [--root PATH] [--workers N] \
+                     [--queue-cap N] [--drain-ms N] [--deadline-ms N] \
+                     [--stub-runner] [--telemetry PATH] [--trace PATH]"
+                );
+                return;
+            }
+            other => {
+                eprintln!("unknown flag {other:?} (try --help)");
+                std::process::exit(2);
+            }
+        }
+    }
+    if trace_path.is_some() {
+        qdb_telemetry::global().install_recorder(Arc::new(qdb_telemetry::TraceRecorder::default()));
+    }
+    let runner: Arc<dyn JobRunner> = if stub {
+        Arc::new(StubRunner {
+            work_ms: 5,
+            fail: Vec::new(),
+        })
+    } else {
+        Arc::new(PipelineRunner::default())
+    };
+    let service = match JobService::open(
+        &root,
+        Arc::new(StdVfs),
+        Arc::new(MonotonicClock::new()),
+        runner,
+        ServiceConfig {
+            queue_cap,
+            workers,
+            drain_deadline_ms: drain_ms,
+            default_deadline_ms: deadline_ms,
+        },
+    ) {
+        Ok(s) => Arc::new(s),
+        Err(e) => {
+            eprintln!("cannot open service root {}: {e}", root.display());
+            std::process::exit(1);
+        }
+    };
+    let listener = match TcpListener::bind(&addr) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("cannot bind {addr}: {e}");
+            std::process::exit(1);
+        }
+    };
+    // Scripted clients parse this line for the actual port (addr :0).
+    match listener.local_addr() {
+        Ok(bound) => println!("qdb-serve listening on {bound} (root {})", root.display()),
+        Err(_) => println!("qdb-serve listening on {addr}"),
+    }
+    server::install_signal_handlers();
+    let report = match server::run(
+        listener,
+        Arc::clone(&service),
+        workers,
+        ServerConfig::default(),
+    ) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("server failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!(
+        "drained: {} finished, {} journaled as resumable, {} cancelled",
+        report.finished, report.journaled, report.cancelled
+    );
+    if let Some(path) = telemetry_path {
+        let snap = qdb_telemetry::global().snapshot();
+        if let Err(e) = qdb_telemetry::export::json::write_snapshot(&path, &snap) {
+            eprintln!("telemetry snapshot failed: {e}");
+            std::process::exit(1);
+        }
+        println!("telemetry snapshot → {}", path.display());
+    }
+    if let Some(path) = trace_path {
+        if let Some(rec) = qdb_telemetry::global().take_recorder() {
+            let dump = rec.dump();
+            if let Err(e) = qdb_telemetry::export::chrome::write_chrome_trace(&path, &dump) {
+                eprintln!("trace export failed: {e}");
+                std::process::exit(1);
+            }
+            println!("flight-recorder trace → {}", path.display());
+        }
+    }
+}

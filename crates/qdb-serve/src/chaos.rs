@@ -1,0 +1,231 @@
+//! Deterministic chaos for the service: a seeded plan of worker kills,
+//! store faults, duplicate submissions, submission delays, and queue
+//! saturation bursts.
+//!
+//! A [`ChaosPlan`] is pure data derived from a seed. Every decision is
+//! keyed `(seed, job, op)` through the same fnv1a + splitmix stream the
+//! pipeline's [`FaultPlan`] uses, so a failing chaos run replays
+//! *exactly* from its seed — same kills, same crash budgets, same
+//! duplicate storms — with no dependence on thread interleaving (tests
+//! drive the service synchronously on a `ManualClock`) or real entropy.
+//!
+//! The plan does not execute anything itself. It answers questions
+//! ("should this job's worker die on attempt 0?", "how many crash-vfs
+//! ops does this phase get?") that the chaos tests translate into
+//! `FaultPlan` targets, `CrashVfs` budgets, and submission schedules.
+
+use qdb_vqe::fault::{FaultKind, FaultPlan};
+
+fn fnv1a(bytes: &[u8], mut h: u64) -> u64 {
+    for b in bytes {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+fn splitmix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// The chaos operations a plan can schedule. Used as the `op` component
+/// of the `(seed, job, op)` decision key.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ChaosOp {
+    /// Kill the worker mid-job (a `FaultKind::Panic` in the backend).
+    WorkerKill,
+    /// Exhaust the store's crash budget partway through a write.
+    StoreFault,
+    /// Re-submit the same job while it is queued or running.
+    Duplicate,
+    /// Delay the submission by a virtual interval.
+    Delay,
+    /// Fire a burst of junk submissions to saturate the queue.
+    Saturate,
+}
+
+impl ChaosOp {
+    fn salt(self) -> u64 {
+        match self {
+            ChaosOp::WorkerKill => 0x4B49_4C4C,
+            ChaosOp::StoreFault => 0x5354_4F52,
+            ChaosOp::Duplicate => 0x4455_5045,
+            ChaosOp::Delay => 0x4445_4C41,
+            ChaosOp::Saturate => 0x5341_5455,
+        }
+    }
+}
+
+/// A seeded, replayable schedule of service-level chaos.
+#[derive(Clone, Debug)]
+pub struct ChaosPlan {
+    /// The seed every decision derives from.
+    pub seed: u64,
+    /// Probability a job's worker is killed on its first attempt.
+    pub worker_kill_rate: f64,
+    /// Probability a job's store writes run under a tight crash budget.
+    pub store_fault_rate: f64,
+    /// Probability a job is submitted twice.
+    pub duplicate_rate: f64,
+    /// Upper bound on per-job submission delay (virtual ms).
+    pub max_delay_ms: u64,
+}
+
+impl ChaosPlan {
+    /// The default mixture: every fault class enabled at rates high
+    /// enough that a handful of jobs exercises all of them.
+    pub fn new(seed: u64) -> Self {
+        Self {
+            seed,
+            worker_kill_rate: 0.4,
+            store_fault_rate: 0.3,
+            duplicate_rate: 0.5,
+            max_delay_ms: 50,
+        }
+    }
+
+    /// A plan that schedules nothing (rates zeroed) — the control arm.
+    pub fn calm(seed: u64) -> Self {
+        Self {
+            seed,
+            worker_kill_rate: 0.0,
+            store_fault_rate: 0.0,
+            duplicate_rate: 0.0,
+            max_delay_ms: 0,
+        }
+    }
+
+    /// The raw decision word for `(seed, job, op)`.
+    fn word(&self, job: &str, op: ChaosOp) -> u64 {
+        splitmix(self.seed ^ fnv1a(job.as_bytes(), 0xCBF2_9CE4_8422_2325) ^ op.salt())
+    }
+
+    /// Uniform draw in `[0, 1)` for `(seed, job, op)`.
+    fn unit(&self, job: &str, op: ChaosOp) -> f64 {
+        (self.word(job, op) >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Whether this job's worker dies mid-job (first attempt panics).
+    pub fn kills_worker(&self, job: &str) -> bool {
+        self.unit(job, ChaosOp::WorkerKill) < self.worker_kill_rate
+    }
+
+    /// Whether this job's store writes get a constrained crash budget.
+    pub fn faults_store(&self, job: &str) -> bool {
+        self.unit(job, ChaosOp::StoreFault) < self.store_fault_rate
+    }
+
+    /// The crash budget (ops before the injected crash) for a faulted
+    /// job. Deterministic in `[lo, hi]`; unused when
+    /// [`faults_store`](Self::faults_store) is false.
+    pub fn store_budget(&self, job: &str, lo: u64, hi: u64) -> u64 {
+        let (lo, hi) = (lo.min(hi), lo.max(hi));
+        lo + self.word(job, ChaosOp::StoreFault) % (hi - lo + 1)
+    }
+
+    /// How many *extra* times the job is submitted (0 = no duplicates).
+    pub fn duplicates(&self, job: &str) -> u64 {
+        if self.unit(job, ChaosOp::Duplicate) < self.duplicate_rate {
+            1 + self.word(job, ChaosOp::Duplicate) % 2
+        } else {
+            0
+        }
+    }
+
+    /// Virtual delay before the job is submitted (ms).
+    pub fn delay_ms(&self, job: &str) -> u64 {
+        if self.max_delay_ms == 0 {
+            return 0;
+        }
+        self.word(job, ChaosOp::Delay) % (self.max_delay_ms + 1)
+    }
+
+    /// Size of a queue-saturation burst for a named phase: enough junk
+    /// submissions to overrun `queue_cap` by a deterministic margin.
+    pub fn saturation_burst(&self, phase: &str, queue_cap: usize) -> usize {
+        queue_cap + 1 + (self.word(phase, ChaosOp::Saturate) % 4) as usize
+    }
+
+    /// Lowers the plan onto the pipeline's fault injector: every job the
+    /// plan kills gets a `Panic` target on its first attempt. The
+    /// supervisor's retry ladder then has to recover it.
+    pub fn fault_plan(&self, jobs: &[&str]) -> FaultPlan {
+        let mut plan = FaultPlan::none();
+        plan.seed = self.seed;
+        for job in jobs {
+            if self.kills_worker(job) {
+                plan = plan.with_target(job, FaultKind::Panic, 1);
+            }
+        }
+        plan
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decisions_are_deterministic_in_the_seed() {
+        let a = ChaosPlan::new(7);
+        let b = ChaosPlan::new(7);
+        for job in ["3ckz", "3eax", "1a2b"] {
+            assert_eq!(a.kills_worker(job), b.kills_worker(job));
+            assert_eq!(a.duplicates(job), b.duplicates(job));
+            assert_eq!(a.delay_ms(job), b.delay_ms(job));
+            assert_eq!(a.store_budget(job, 5, 40), b.store_budget(job, 5, 40));
+        }
+        assert_eq!(a.saturation_burst("p1", 4), b.saturation_burst("p1", 4));
+    }
+
+    #[test]
+    fn different_seeds_differ_somewhere() {
+        let a = ChaosPlan::new(1);
+        let b = ChaosPlan::new(2);
+        let jobs = ["3ckz", "3eax", "1a2b", "2xyz", "9q9q", "5f5f"];
+        let differs = jobs.iter().any(|j| {
+            a.kills_worker(j) != b.kills_worker(j)
+                || a.delay_ms(j) != b.delay_ms(j)
+                || a.duplicates(j) != b.duplicates(j)
+        });
+        assert!(differs, "two seeds produced identical chaos across 6 jobs");
+    }
+
+    #[test]
+    fn calm_plan_schedules_nothing() {
+        let plan = ChaosPlan::calm(99);
+        for job in ["3ckz", "3eax", "1a2b"] {
+            assert!(!plan.kills_worker(job));
+            assert!(!plan.faults_store(job));
+            assert_eq!(plan.duplicates(job), 0);
+            assert_eq!(plan.delay_ms(job), 0);
+        }
+    }
+
+    #[test]
+    fn budgets_stay_in_bounds() {
+        let plan = ChaosPlan::new(3);
+        for job in ["a", "b", "c", "d", "e"] {
+            let budget = plan.store_budget(job, 5, 40);
+            assert!((5..=40).contains(&budget), "budget {budget} out of range");
+        }
+        assert!(plan.saturation_burst("x", 4) > 4);
+    }
+
+    #[test]
+    fn fault_plan_targets_exactly_the_killed_jobs() {
+        let plan = ChaosPlan::new(11);
+        let jobs = ["3ckz", "3eax", "1a2b", "2xyz"];
+        let fp = plan.fault_plan(&jobs);
+        for job in jobs {
+            let targeted = fp
+                .targets
+                .iter()
+                .any(|t| t.job == job && t.kind == FaultKind::Panic);
+            assert_eq!(targeted, plan.kills_worker(job), "mismatch for {job}");
+        }
+    }
+}

@@ -1,0 +1,304 @@
+//! A deliberately small HTTP/1.1 implementation over raw streams.
+//!
+//! Just enough protocol for the job API — no external dependencies, no
+//! keep-alive, no chunked encoding — with the abuse guards a public
+//! listener needs:
+//!
+//! * the request head (request line + headers) is capped at
+//!   [`MAX_HEAD_BYTES`]; oversized heads get `431`;
+//! * bodies require `Content-Length` and are capped at
+//!   [`MAX_BODY_BYTES`]; oversized bodies get `413`;
+//! * the server sets socket read/write timeouts, so a slow-loris client
+//!   is disconnected instead of pinning a thread;
+//! * every response carries `Connection: close` — one exchange per
+//!   connection keeps the state machine trivial to audit.
+
+use std::io::{Read, Write};
+
+/// Upper bound on the request line plus all headers (bytes).
+pub const MAX_HEAD_BYTES: usize = 8 * 1024;
+
+/// Upper bound on a request body (bytes).
+pub const MAX_BODY_BYTES: usize = 64 * 1024;
+
+/// A parsed request: method, path, and raw body.
+#[derive(Clone, Debug)]
+pub struct Request {
+    /// `GET`, `POST`, ...
+    pub method: String,
+    /// Path with any query string stripped.
+    pub path: String,
+    /// Raw body bytes (empty unless `Content-Length` said otherwise).
+    pub body: Vec<u8>,
+}
+
+/// Why a request could not be read.
+#[derive(Debug)]
+pub enum HttpError {
+    /// Head exceeded [`MAX_HEAD_BYTES`] → `431`.
+    HeadTooLarge,
+    /// Body exceeded [`MAX_BODY_BYTES`] → `413`.
+    BodyTooLarge,
+    /// Syntactically broken request → `400`.
+    Malformed(String),
+    /// Body promised but not delivered (needs `Content-Length`) → `411`.
+    LengthRequired,
+    /// The socket failed or timed out (slow client) → drop.
+    Io(std::io::Error),
+}
+
+impl HttpError {
+    /// The status code this error maps to (0 = just drop the socket).
+    pub fn status(&self) -> u16 {
+        match self {
+            HttpError::HeadTooLarge => 431,
+            HttpError::BodyTooLarge => 413,
+            HttpError::Malformed(_) => 400,
+            HttpError::LengthRequired => 411,
+            HttpError::Io(_) => 0,
+        }
+    }
+}
+
+impl std::fmt::Display for HttpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HttpError::HeadTooLarge => write!(f, "request head exceeds {MAX_HEAD_BYTES} bytes"),
+            HttpError::BodyTooLarge => write!(f, "request body exceeds {MAX_BODY_BYTES} bytes"),
+            HttpError::Malformed(why) => write!(f, "malformed request: {why}"),
+            HttpError::LengthRequired => write!(f, "Content-Length required"),
+            HttpError::Io(e) => write!(f, "socket error: {e}"),
+        }
+    }
+}
+
+/// Reads one request from `stream`, enforcing the size limits. Socket
+/// timeouts surface as [`HttpError::Io`].
+pub fn read_request(stream: &mut dyn Read) -> Result<Request, HttpError> {
+    // Byte-at-a-time until CRLFCRLF: slow, but bounded by MAX_HEAD_BYTES
+    // and far below the cost of anything the handlers do.
+    let mut head = Vec::with_capacity(512);
+    let mut byte = [0u8; 1];
+    while !head.ends_with(b"\r\n\r\n") {
+        if head.len() >= MAX_HEAD_BYTES {
+            return Err(HttpError::HeadTooLarge);
+        }
+        match stream.read(&mut byte) {
+            Ok(0) => {
+                return Err(HttpError::Malformed(
+                    "connection closed mid-head".to_string(),
+                ))
+            }
+            Ok(_) => head.push(byte[0]),
+            Err(e) => return Err(HttpError::Io(e)),
+        }
+    }
+    let head_text = String::from_utf8_lossy(&head);
+    let mut lines = head_text.split("\r\n");
+    let request_line = lines.next().unwrap_or_default();
+    let mut parts = request_line.split_whitespace();
+    let method = parts
+        .next()
+        .ok_or_else(|| HttpError::Malformed("empty request line".to_string()))?
+        .to_string();
+    let target = parts
+        .next()
+        .ok_or_else(|| HttpError::Malformed("missing request target".to_string()))?;
+    if parts.next().is_none() {
+        return Err(HttpError::Malformed("missing HTTP version".to_string()));
+    }
+    let path = target.split('?').next().unwrap_or(target).to_string();
+    let mut content_length: Option<usize> = None;
+    for line in lines {
+        if line.is_empty() {
+            continue;
+        }
+        if let Some((name, value)) = line.split_once(':') {
+            if name.trim().eq_ignore_ascii_case("content-length") {
+                content_length = Some(value.trim().parse().map_err(|_| {
+                    HttpError::Malformed(format!("bad Content-Length {:?}", value.trim()))
+                })?);
+            }
+        }
+    }
+    let body = match (method.as_str(), content_length) {
+        ("POST" | "PUT", None) => return Err(HttpError::LengthRequired),
+        (_, None) | (_, Some(0)) => Vec::new(),
+        (_, Some(n)) if n > MAX_BODY_BYTES => return Err(HttpError::BodyTooLarge),
+        (_, Some(n)) => {
+            let mut body = vec![0u8; n];
+            stream.read_exact(&mut body).map_err(HttpError::Io)?;
+            body
+        }
+    };
+    Ok(Request { method, path, body })
+}
+
+/// A response ready to serialize.
+#[derive(Clone, Debug)]
+pub struct Response {
+    /// Status code.
+    pub status: u16,
+    /// Content type of the body.
+    pub content_type: &'static str,
+    /// Extra headers (name, value).
+    pub headers: Vec<(String, String)>,
+    /// Body bytes.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// A JSON response.
+    pub fn json(status: u16, body: String) -> Self {
+        Self {
+            status,
+            content_type: "application/json",
+            headers: Vec::new(),
+            body: body.into_bytes(),
+        }
+    }
+
+    /// A plain-text response.
+    pub fn text(status: u16, body: &str) -> Self {
+        Self {
+            status,
+            content_type: "text/plain; charset=utf-8",
+            headers: Vec::new(),
+            body: body.as_bytes().to_vec(),
+        }
+    }
+
+    /// A JSON error envelope: `{"error": "..."}`.
+    pub fn error(status: u16, message: &str) -> Self {
+        Self::json(status, format!("{{\"error\": {}}}", json_string(message)))
+    }
+
+    /// Adds a header.
+    pub fn with_header(mut self, name: &str, value: String) -> Self {
+        self.headers.push((name.to_string(), value));
+        self
+    }
+
+    /// Serializes onto `stream` (always `Connection: close`).
+    pub fn write(&self, stream: &mut dyn Write) -> std::io::Result<()> {
+        let reason = reason_phrase(self.status);
+        let mut head = format!(
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n",
+            self.status,
+            reason,
+            self.content_type,
+            self.body.len()
+        );
+        for (name, value) in &self.headers {
+            head.push_str(&format!("{name}: {value}\r\n"));
+        }
+        head.push_str("\r\n");
+        stream.write_all(head.as_bytes())?;
+        stream.write_all(&self.body)?;
+        stream.flush()
+    }
+}
+
+fn reason_phrase(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        202 => "Accepted",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        411 => "Length Required",
+        413 => "Payload Too Large",
+        422 => "Unprocessable Entity",
+        429 => "Too Many Requests",
+        431 => "Request Header Fields Too Large",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Response",
+    }
+}
+
+/// Minimal JSON string escaping for hand-built envelopes.
+pub fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn parses_a_get_with_query_string() {
+        let raw = b"GET /jobs/abc?verbose=1 HTTP/1.1\r\nHost: x\r\n\r\n";
+        let req = read_request(&mut Cursor::new(raw.to_vec())).unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/jobs/abc");
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn reads_exactly_content_length_bytes() {
+        let raw = b"POST /jobs HTTP/1.1\r\nContent-Length: 4\r\n\r\n{\"a\"extra";
+        let req = read_request(&mut Cursor::new(raw.to_vec())).unwrap();
+        assert_eq!(req.body, b"{\"a\"");
+    }
+
+    #[test]
+    fn post_without_length_is_411() {
+        let raw = b"POST /jobs HTTP/1.1\r\nHost: x\r\n\r\n";
+        let err = read_request(&mut Cursor::new(raw.to_vec())).unwrap_err();
+        assert_eq!(err.status(), 411);
+    }
+
+    #[test]
+    fn oversized_head_is_431() {
+        let mut raw = b"GET /jobs HTTP/1.1\r\nX-Pad: ".to_vec();
+        raw.extend(std::iter::repeat(b'a').take(MAX_HEAD_BYTES + 10));
+        let err = read_request(&mut Cursor::new(raw)).unwrap_err();
+        assert_eq!(err.status(), 431);
+    }
+
+    #[test]
+    fn oversized_body_is_413() {
+        let raw = format!(
+            "POST /jobs HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+            MAX_BODY_BYTES + 1
+        );
+        let err = read_request(&mut Cursor::new(raw.into_bytes())).unwrap_err();
+        assert_eq!(err.status(), 413);
+    }
+
+    #[test]
+    fn response_wire_format_is_complete() {
+        let mut out = Vec::new();
+        Response::json(429, "{}".to_string())
+            .with_header("Retry-After", "3".to_string())
+            .write(&mut out)
+            .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 429 Too Many Requests\r\n"));
+        assert!(text.contains("Retry-After: 3\r\n"));
+        assert!(text.contains("Connection: close\r\n"));
+        assert!(text.ends_with("\r\n\r\n{}"));
+    }
+
+    #[test]
+    fn json_string_escapes_controls() {
+        assert_eq!(json_string("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+    }
+}

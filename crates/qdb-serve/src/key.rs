@@ -1,0 +1,257 @@
+//! Job requests and content-addressed idempotency keys.
+//!
+//! A submission is identified by a hash of its *fully resolved*
+//! configuration — `(fragment, backend, preset, seed, docking_runs)` —
+//! so two requests that mean the same work get the same key regardless
+//! of which optional fields the client spelled out. The key doubles as
+//! the job id and the result-cache slot name; re-submitting identical
+//! work is a cache lookup, never a second simulation.
+//!
+//! The deadline is deliberately *excluded* from the key: "the same work,
+//! but I'm willing to wait less" must still hit the cache.
+
+use serde::{Deserialize, Serialize};
+
+/// A job submission as it arrives on the wire. Every field except the
+/// fragment is optional; defaults are resolved before hashing.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct JobRequest {
+    /// PDB id of the fragment to build (e.g. `"3ckz"`).
+    pub fragment: String,
+    /// Prediction backend. Only `"qdock"` is implemented today; the
+    /// field exists so future engines slot in behind the same queue and
+    /// key schema.
+    pub backend: Option<String>,
+    /// Pipeline preset: `"fast"` (default) or `"paper"`.
+    pub preset: Option<String>,
+    /// VQE seed; defaults to the canonical per-fragment seed (0 on the
+    /// wire means "canonical" too, since the canonical seed is never 0).
+    pub seed: Option<u64>,
+    /// Docking replicate count; defaults to the preset's.
+    pub docking_runs: Option<u64>,
+    /// Per-job wall-clock deadline in ms (queue wait + execution).
+    /// Not part of the content key.
+    pub deadline_ms: Option<u64>,
+}
+
+/// A request with every default filled in — the canonical form that gets
+/// hashed, journaled, and executed.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ResolvedRequest {
+    /// PDB id.
+    pub fragment: String,
+    /// Backend name (`"qdock"`).
+    pub backend: String,
+    /// Preset name (`"fast"` or `"paper"`).
+    pub preset: String,
+    /// VQE seed; 0 means the canonical per-fragment seed.
+    pub seed: u64,
+    /// Docking replicate count; 0 means the preset default.
+    pub docking_runs: u64,
+    /// Deadline in ms; 0 means none. Excluded from the content key.
+    pub deadline_ms: u64,
+}
+
+/// Why a request failed validation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RequestError {
+    /// The fragment id is not in the QDockBank set.
+    UnknownFragment(String),
+    /// The backend is not implemented.
+    UnknownBackend(String),
+    /// The preset is not recognized.
+    UnknownPreset(String),
+}
+
+impl std::fmt::Display for RequestError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RequestError::UnknownFragment(id) => write!(f, "unknown fragment {id:?}"),
+            RequestError::UnknownBackend(b) => {
+                write!(f, "unknown backend {b:?} (only \"qdock\" is implemented)")
+            }
+            RequestError::UnknownPreset(p) => {
+                write!(f, "unknown preset {p:?} (use \"fast\" or \"paper\")")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RequestError {}
+
+impl JobRequest {
+    /// Fills defaults and validates against the fragment table. The
+    /// result is the canonical request: hashing it yields the job key.
+    pub fn resolve(&self) -> Result<ResolvedRequest, RequestError> {
+        if qdockbank::fragment(&self.fragment).is_none() {
+            return Err(RequestError::UnknownFragment(self.fragment.clone()));
+        }
+        let backend = self.backend.clone().unwrap_or_else(|| "qdock".to_string());
+        if backend != "qdock" {
+            return Err(RequestError::UnknownBackend(backend));
+        }
+        let preset = self.preset.clone().unwrap_or_else(|| "fast".to_string());
+        if preset != "fast" && preset != "paper" {
+            return Err(RequestError::UnknownPreset(preset));
+        }
+        Ok(ResolvedRequest {
+            fragment: self.fragment.clone(),
+            backend,
+            preset,
+            seed: self.seed.unwrap_or(0),
+            docking_runs: self.docking_runs.unwrap_or(0),
+            deadline_ms: self.deadline_ms.unwrap_or(0),
+        })
+    }
+}
+
+fn fnv1a(bytes: &[u8], mut h: u64) -> u64 {
+    for b in bytes {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+fn splitmix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+impl ResolvedRequest {
+    /// The canonical string the key hashes. Field order is fixed and the
+    /// deadline is excluded — see the module docs.
+    fn canonical(&self) -> String {
+        format!(
+            "fragment={};backend={};preset={};seed={};docking_runs={}",
+            self.fragment, self.backend, self.preset, self.seed, self.docking_runs
+        )
+    }
+
+    /// The 128-bit content key: 32 lowercase hex characters, valid as a
+    /// [`qdb_store::cache`] slot name and used verbatim as the job id.
+    pub fn content_key(&self) -> String {
+        let canon = self.canonical();
+        let h1 = fnv1a(canon.as_bytes(), 0xCBF2_9CE4_8422_2325);
+        // Second lane: independent basis, decorrelated via splitmix, so
+        // the key is 128 bits even though fnv1a is 64.
+        let h2 = splitmix(fnv1a(canon.as_bytes(), 0x6C62_272E_07BB_0142) ^ h1.rotate_left(32));
+        format!("{h1:016x}{h2:016x}")
+    }
+
+    /// The VQE seed override for the supervisor ([`None`] = canonical).
+    pub fn seed_override(&self) -> Option<u64> {
+        (self.seed != 0).then_some(self.seed)
+    }
+
+    /// The deadline, if one was set.
+    pub fn deadline(&self) -> Option<u64> {
+        (self.deadline_ms != 0).then_some(self.deadline_ms)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qdb_store::is_content_key;
+
+    fn req(fragment: &str) -> JobRequest {
+        JobRequest {
+            fragment: fragment.to_string(),
+            ..JobRequest::default()
+        }
+    }
+
+    #[test]
+    fn defaults_resolve_and_key_is_well_formed() {
+        let r = req("3ckz").resolve().unwrap();
+        assert_eq!(r.backend, "qdock");
+        assert_eq!(r.preset, "fast");
+        assert_eq!(r.seed, 0);
+        let key = r.content_key();
+        assert!(is_content_key(&key), "not a valid cache key: {key}");
+    }
+
+    #[test]
+    fn spelled_out_defaults_hash_identically() {
+        let implicit = req("3ckz").resolve().unwrap();
+        let explicit = JobRequest {
+            fragment: "3ckz".to_string(),
+            backend: Some("qdock".to_string()),
+            preset: Some("fast".to_string()),
+            seed: Some(0),
+            docking_runs: Some(0),
+            deadline_ms: None,
+        }
+        .resolve()
+        .unwrap();
+        assert_eq!(implicit.content_key(), explicit.content_key());
+    }
+
+    #[test]
+    fn deadline_does_not_change_the_key() {
+        let without = req("3ckz").resolve().unwrap();
+        let with = JobRequest {
+            deadline_ms: Some(30_000),
+            ..req("3ckz")
+        }
+        .resolve()
+        .unwrap();
+        assert_eq!(without.content_key(), with.content_key());
+    }
+
+    #[test]
+    fn distinct_work_gets_distinct_keys() {
+        let base = req("3ckz").resolve().unwrap();
+        let other_fragment = req("3eax").resolve().unwrap();
+        let other_seed = JobRequest {
+            seed: Some(7),
+            ..req("3ckz")
+        }
+        .resolve()
+        .unwrap();
+        let other_preset = JobRequest {
+            preset: Some("paper".to_string()),
+            ..req("3ckz")
+        }
+        .resolve()
+        .unwrap();
+        let keys = [
+            base.content_key(),
+            other_fragment.content_key(),
+            other_seed.content_key(),
+            other_preset.content_key(),
+        ];
+        for (i, a) in keys.iter().enumerate() {
+            for b in keys.iter().skip(i + 1) {
+                assert_ne!(a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn validation_rejects_unknowns() {
+        assert!(matches!(
+            req("zzzz").resolve(),
+            Err(RequestError::UnknownFragment(_))
+        ));
+        assert!(matches!(
+            JobRequest {
+                backend: Some("qubo".to_string()),
+                ..req("3ckz")
+            }
+            .resolve(),
+            Err(RequestError::UnknownBackend(_))
+        ));
+        assert!(matches!(
+            JobRequest {
+                preset: Some("slow".to_string()),
+                ..req("3ckz")
+            }
+            .resolve(),
+            Err(RequestError::UnknownPreset(_))
+        ));
+    }
+}

@@ -1,0 +1,48 @@
+//! qdb-serve: a resilient async job service over the QDockBank pipeline.
+//!
+//! The service turns the batch dataset builder into an always-on job
+//! API with explicit robustness contracts:
+//!
+//! * **Admission control & backpressure** — a bounded queue plus an
+//!   in-flight cap ([`admission`]); submissions beyond the bound are shed
+//!   with `429` and a `Retry-After` hint instead of queuing unboundedly.
+//! * **Idempotency** — jobs are content-addressed ([`key`]): identical
+//!   work hashes to the same 128-bit key, deduplicates against in-memory
+//!   jobs and the on-disk result cache, and never runs the simulator
+//!   twice.
+//! * **Deadlines** — per-job wall-clock budgets that cover queue wait and
+//!   execution, enforced on the service [`Clock`](qdb_telemetry::Clock)
+//!   so tests exercise them virtually.
+//! * **Crash resumability** — a write-ahead journal ([`service`])
+//!   records every admission before it is visible; kill the process at
+//!   any point and the next open resumes unfinished jobs and re-serves
+//!   finished ones from the cache, byte-identically.
+//! * **Graceful drain** — `SIGTERM` stops admission (`/readyz` flips),
+//!   lets in-flight work finish within a drain budget, then cancels at
+//!   attempt boundaries and journals the rest as resumable.
+//! * **Deterministic chaos** — [`chaos::ChaosPlan`] schedules worker
+//!   kills, store faults, duplicate storms, and saturation bursts from a
+//!   seed, keyed `(seed, job, op)`, so every failure scenario replays.
+//!
+//! The crate is std-only over the existing qdb stack: the HTTP layer
+//! ([`http`], [`server`]) is a deliberately small hand-rolled HTTP/1.1
+//! on `TcpListener` with request-size limits and slow-client timeouts.
+
+#![warn(missing_docs)]
+
+pub mod admission;
+pub mod chaos;
+pub mod http;
+pub mod key;
+pub mod runner;
+pub mod server;
+pub mod service;
+
+pub use admission::{Admission, Decision};
+pub use chaos::ChaosPlan;
+pub use key::{JobRequest, RequestError, ResolvedRequest};
+pub use runner::{JobRunner, PipelineRunner, RunOutput, StubRunner};
+pub use service::{
+    DrainReport, JobService, JobStatus, JobView, ResultJson, ServiceConfig, Submission, WorkerTick,
+    RESULT_FILE, SERVE_JOURNAL,
+};

@@ -1,0 +1,180 @@
+//! The execution seam between the service and the pipeline.
+//!
+//! The service schedules [`JobRunner`]s; the production implementation
+//! ([`PipelineRunner`]) drives `qdockbank::run_job` — the same supervised
+//! retry/backoff/degradation ladder the batch builder uses — against the
+//! job's cache slot. Tests substitute [`StubRunner`] to exercise queueing,
+//! drain, and HTTP behavior without paying for a real VQE build.
+
+use crate::key::ResolvedRequest;
+use qdb_store::{EntryWriter, Vfs};
+use qdb_telemetry::Clock;
+use qdb_vqe::fault::FaultPlan;
+use qdockbank::supervisor::{run_job, JobUnit, SupervisorConfig};
+use qdockbank::{CancelToken, PipelineConfig, PipelineError};
+use std::path::Path;
+
+/// What a finished run hands back to the service.
+#[derive(Clone, Debug)]
+pub struct RunOutput {
+    /// Whether the winning attempt was seed-shifted or degraded.
+    pub degraded: bool,
+    /// Attempts spent.
+    pub attempts: u64,
+    /// Entry directory relative to the slot (e.g. `"S/3ckz"`).
+    pub entry_rel: String,
+}
+
+/// One job execution. Implementations must tolerate being called from
+/// any worker thread and must honor `cancel` at their own boundaries.
+pub trait JobRunner: Send + Sync {
+    /// Builds the job's artifacts under `slot` (the cache slot directory)
+    /// and returns a summary, or the typed error that exhausted it.
+    fn run(
+        &self,
+        request: &ResolvedRequest,
+        slot: &Path,
+        vfs: &dyn Vfs,
+        clock: &dyn Clock,
+        cancel: &CancelToken,
+        deadline_ms: Option<u64>,
+    ) -> Result<RunOutput, PipelineError>;
+}
+
+/// The production runner: full pipeline under the supervisor.
+pub struct PipelineRunner {
+    /// Retry/degradation policy template; the per-job deadline overrides
+    /// `fragment_deadline_ms` per call.
+    pub supervisor: SupervisorConfig,
+    /// Rehearsed-fault schedule threaded into every job
+    /// ([`FaultPlan::none`] in production; the chaos suite injects here).
+    pub faults: FaultPlan,
+}
+
+impl Default for PipelineRunner {
+    fn default() -> Self {
+        Self {
+            supervisor: SupervisorConfig::default(),
+            faults: FaultPlan::none(),
+        }
+    }
+}
+
+impl PipelineRunner {
+    fn pipeline_config(request: &ResolvedRequest) -> PipelineConfig {
+        let mut cfg = if request.preset == "paper" {
+            PipelineConfig::paper()
+        } else {
+            PipelineConfig::fast()
+        };
+        if request.docking_runs != 0 {
+            cfg.docking_runs = request.docking_runs as usize;
+        }
+        cfg
+    }
+}
+
+impl JobRunner for PipelineRunner {
+    fn run(
+        &self,
+        request: &ResolvedRequest,
+        slot: &Path,
+        vfs: &dyn Vfs,
+        clock: &dyn Clock,
+        cancel: &CancelToken,
+        deadline_ms: Option<u64>,
+    ) -> Result<RunOutput, PipelineError> {
+        let record = qdockbank::fragment(&request.fragment).ok_or_else(|| {
+            PipelineError::Decode(format!(
+                "fragment {:?} vanished from the table",
+                request.fragment
+            ))
+        })?;
+        let pipeline = Self::pipeline_config(request);
+        let mut supervisor = self.supervisor;
+        if let Some(deadline) = deadline_ms {
+            supervisor.fragment_deadline_ms = Some(match supervisor.fragment_deadline_ms {
+                Some(existing) => existing.min(deadline),
+                None => deadline,
+            });
+        }
+        let unit = JobUnit {
+            root: slot,
+            record,
+            pipeline: &pipeline,
+            supervisor: &supervisor,
+            faults: &self.faults,
+            seed_override: request.seed_override(),
+        };
+        let (outcome, attempts) = run_job(&unit, clock, vfs, cancel);
+        let files = outcome?;
+        let winning = attempts.last();
+        let degraded = winning
+            .map(|a| a.seed_shifted || a.degradation.is_some())
+            .unwrap_or(false);
+        let entry_rel = files
+            .dir
+            .strip_prefix(slot)
+            .map(|p| p.to_string_lossy().into_owned())
+            .unwrap_or_else(|_| format!("{}/{}", record.group().name(), record.pdb_id));
+        Ok(RunOutput {
+            degraded,
+            attempts: attempts.len() as u64,
+            entry_rel,
+        })
+    }
+}
+
+/// Test runner: sleeps `work_ms` on the service clock (virtual under
+/// `ManualClock`), honors cancellation, then commits a minimal artifact
+/// slot. Jobs whose fragment id appears in `fail` return a typed error
+/// instead.
+#[derive(Clone, Debug, Default)]
+pub struct StubRunner {
+    /// Virtual work per job (ms).
+    pub work_ms: u64,
+    /// Fragments that must fail with a decode error.
+    pub fail: Vec<String>,
+}
+
+impl JobRunner for StubRunner {
+    fn run(
+        &self,
+        request: &ResolvedRequest,
+        slot: &Path,
+        vfs: &dyn Vfs,
+        clock: &dyn Clock,
+        cancel: &CancelToken,
+        deadline_ms: Option<u64>,
+    ) -> Result<RunOutput, PipelineError> {
+        if cancel.is_cancelled() {
+            return Err(PipelineError::Cancelled);
+        }
+        if self.work_ms > 0 {
+            clock.sleep_ms(self.work_ms);
+        }
+        if let Some(deadline) = deadline_ms {
+            if self.work_ms > deadline {
+                return Err(PipelineError::DeadlineExceeded {
+                    elapsed_ms: self.work_ms,
+                });
+            }
+        }
+        if self.fail.iter().any(|f| f == &request.fragment) {
+            return Err(PipelineError::Decode(format!(
+                "stub failure for {}",
+                request.fragment
+            )));
+        }
+        let entry_rel = format!("stub/{}", request.fragment);
+        let dir = slot.join(&entry_rel);
+        let mut writer = EntryWriter::begin(vfs, &dir)?;
+        writer.put("structure.pdb", b"REMARK stub\nEND\n")?;
+        writer.commit()?;
+        Ok(RunOutput {
+            degraded: false,
+            attempts: 1,
+            entry_rel,
+        })
+    }
+}

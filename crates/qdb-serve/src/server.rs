@@ -1,0 +1,403 @@
+//! The TCP front end: routing, the accept loop, the worker pool, and
+//! the SIGTERM drain latch.
+//!
+//! Routing ([`handle`]) is a pure function from a parsed request to a
+//! response, so the endpoint contracts are unit-testable without
+//! sockets; the accept loop adds only transport concerns (timeouts,
+//! slow-client disconnects, the shutdown poll).
+
+use crate::http::{self, json_string, Request, Response};
+use crate::key::JobRequest;
+use crate::service::{JobService, JobStatus, JobView, Submission};
+use std::io::Write;
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Transport tuning for one listener.
+#[derive(Clone, Copy, Debug)]
+pub struct ServerConfig {
+    /// Per-socket read timeout (ms) — a slow client is cut off, not waited on.
+    pub read_timeout_ms: u64,
+    /// Per-socket write timeout (ms).
+    pub write_timeout_ms: u64,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            read_timeout_ms: 5_000,
+            write_timeout_ms: 5_000,
+        }
+    }
+}
+
+static SIGTERM_FLAG: AtomicBool = AtomicBool::new(false);
+
+extern "C" fn on_terminate(_signum: i32) {
+    // Only async-signal-safe work here: flip the latch, nothing else.
+    SIGTERM_FLAG.store(true, Ordering::SeqCst);
+}
+
+/// Installs SIGTERM/SIGINT handlers that flip the shutdown latch the
+/// accept loop polls. Raw `signal(2)` via the C runtime — no external
+/// crates — and idempotent.
+pub fn install_signal_handlers() {
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    unsafe {
+        signal(SIGTERM, on_terminate as *const () as usize);
+        signal(SIGINT, on_terminate as *const () as usize);
+    }
+}
+
+/// Whether the shutdown latch has flipped (SIGTERM/SIGINT arrived).
+pub fn shutdown_requested() -> bool {
+    SIGTERM_FLAG.load(Ordering::SeqCst)
+}
+
+/// Flips the shutdown latch programmatically (tests, embedders).
+pub fn request_shutdown() {
+    SIGTERM_FLAG.store(true, Ordering::SeqCst);
+}
+
+fn status_json(status: &JobStatus) -> String {
+    match status {
+        JobStatus::Completed { degraded, cached } => format!(
+            "\"status\": {}, \"degraded\": {}, \"cached\": {}",
+            json_string(status.name()),
+            degraded,
+            cached
+        ),
+        JobStatus::Failed { kind, message } => format!(
+            "\"status\": \"failed\", \"kind\": {}, \"message\": {}",
+            json_string(kind),
+            json_string(message)
+        ),
+        other => format!("\"status\": {}", json_string(other.name())),
+    }
+}
+
+fn job_json(view: &JobView) -> String {
+    let request = serde_json::to_string(&view.request).unwrap_or_else(|_| "null".to_string());
+    format!(
+        "{{\"job\": {}, {}, \"request\": {}}}",
+        json_string(&view.key),
+        status_json(&view.status),
+        request
+    )
+}
+
+/// Routes one request. Pure: all state lives in the service.
+pub fn handle(service: &JobService, req: &Request) -> Response {
+    match (req.method.as_str(), req.path.as_str()) {
+        ("GET", "/healthz") => Response::text(200, "ok\n"),
+        ("GET", "/readyz") => {
+            if service.ready() {
+                Response::text(200, "ready\n")
+            } else if service.draining() {
+                Response::text(503, "draining\n")
+            } else {
+                Response::text(503, "saturated\n")
+            }
+        }
+        ("GET", "/metrics") => {
+            let snapshot = qdb_telemetry::global().snapshot();
+            Response {
+                status: 200,
+                content_type: "text/plain; version=0.0.4",
+                headers: Vec::new(),
+                body: qdb_telemetry::export::prometheus::render(&snapshot).into_bytes(),
+            }
+        }
+        ("POST", "/jobs") => {
+            let body = String::from_utf8_lossy(&req.body);
+            let request: JobRequest = match serde_json::from_str(&body) {
+                Ok(r) => r,
+                Err(e) => return Response::error(400, &format!("invalid job request: {e}")),
+            };
+            match service.submit(&request) {
+                Submission::Accepted { key } => Response::json(
+                    202,
+                    format!("{{\"job\": {}, \"status\": \"queued\"}}", json_string(&key)),
+                ),
+                Submission::Deduplicated { key, status } => Response::json(
+                    200,
+                    format!(
+                        "{{\"job\": {}, {}, \"deduplicated\": true}}",
+                        json_string(&key),
+                        status_json(&status)
+                    ),
+                ),
+                Submission::CacheHit { key } => {
+                    let view = service.job(&key);
+                    let status = view
+                        .map(|v| status_json(&v.status))
+                        .unwrap_or_else(|| "\"status\": \"completed\"".to_string());
+                    Response::json(
+                        200,
+                        format!("{{\"job\": {}, {}}}", json_string(&key), status),
+                    )
+                }
+                Submission::Shed { retry_after_s } => {
+                    Response::error(429, "queue saturated or draining; retry later")
+                        .with_header("Retry-After", retry_after_s.to_string())
+                }
+                Submission::Invalid(e) => Response::error(422, &e.to_string()),
+            }
+        }
+        ("GET", path) if path.starts_with("/jobs/") => {
+            let rest = &path["/jobs/".len()..];
+            let (key, sub) = match rest.split_once('/') {
+                Some((k, s)) => (k, Some(s)),
+                None => (rest, None),
+            };
+            let Some(view) = service.job(key) else {
+                return Response::error(404, &format!("unknown job {key:?}"));
+            };
+            match sub {
+                None => Response::json(200, job_json(&view)),
+                Some("artifacts") => match service.artifacts(key) {
+                    Some(files) => {
+                        let names: Vec<String> = files
+                            .iter()
+                            .map(|(name, bytes)| {
+                                format!(
+                                    "{{\"name\": {}, \"bytes\": {}}}",
+                                    json_string(name),
+                                    bytes.len()
+                                )
+                            })
+                            .collect();
+                        Response::json(
+                            200,
+                            format!(
+                                "{{\"job\": {}, \"files\": [{}]}}",
+                                json_string(key),
+                                names.join(", ")
+                            ),
+                        )
+                    }
+                    None => Response::error(
+                        404,
+                        "no artifacts: job is not completed (or slot failed verification)",
+                    ),
+                },
+                Some(sub) if sub.starts_with("artifacts/") => {
+                    let rel = &sub["artifacts/".len()..];
+                    let file = service
+                        .artifacts(key)
+                        .and_then(|files| files.into_iter().find(|(name, _)| name == rel));
+                    match file {
+                        Some((_, bytes)) => Response {
+                            status: 200,
+                            content_type: "application/octet-stream",
+                            headers: Vec::new(),
+                            body: bytes,
+                        },
+                        None => Response::error(404, &format!("no artifact {rel:?}")),
+                    }
+                }
+                Some(other) => Response::error(404, &format!("unknown resource {other:?}")),
+            }
+        }
+        ("POST", _) | ("GET", _) => Response::error(404, "no such endpoint"),
+        _ => Response::error(405, "method not allowed"),
+    }
+}
+
+fn serve_connection(service: &JobService, mut stream: TcpStream, config: &ServerConfig) {
+    let telemetry = qdb_telemetry::global();
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(config.read_timeout_ms)));
+    let _ = stream.set_write_timeout(Some(Duration::from_millis(config.write_timeout_ms)));
+    let response = match http::read_request(&mut stream) {
+        Ok(req) => {
+            telemetry.counter("serve.http_requests").inc();
+            handle(service, &req)
+        }
+        Err(e) => {
+            telemetry.counter("serve.http_errors").inc();
+            let status = e.status();
+            if status == 0 {
+                // Slow or broken client: drop without a response.
+                let _ = stream.shutdown(std::net::Shutdown::Both);
+                return;
+            }
+            Response::error(status, &e.to_string())
+        }
+    };
+    if response.write(&mut stream).is_err() {
+        telemetry.counter("serve.http_errors").inc();
+    }
+    let _ = stream.flush();
+}
+
+/// Runs the service behind `listener` until the shutdown latch flips,
+/// then drains gracefully and returns the drain report.
+///
+/// Spawns `service`'s configured worker count; each worker loops
+/// [`JobService::run_next_job`]. The accept loop polls the latch between
+/// connections, so SIGTERM is honored within ~100 ms even when idle.
+pub fn run(
+    listener: TcpListener,
+    service: Arc<JobService>,
+    workers: usize,
+    config: ServerConfig,
+) -> std::io::Result<crate::service::DrainReport> {
+    listener.set_nonblocking(true)?;
+    let worker_handles: Vec<_> = (0..workers.max(1))
+        .map(|_| {
+            let service = Arc::clone(&service);
+            std::thread::spawn(move || {
+                while service.wait_for_work() {
+                    if service.run_next_job() == crate::service::WorkerTick::Idle {
+                        // Pool briefly over-subscribed; yield instead of spinning.
+                        std::thread::sleep(Duration::from_millis(5));
+                    }
+                }
+            })
+        })
+        .collect();
+    while !shutdown_requested() {
+        match listener.accept() {
+            Ok((stream, _addr)) => {
+                let service = Arc::clone(&service);
+                std::thread::spawn(move || serve_connection(&service, stream, &config));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(100));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(100)),
+        }
+    }
+    // Latch flipped: stop accepting (drop the listener), drain, join.
+    drop(listener);
+    let report = service.drain_blocking();
+    for handle in worker_handles {
+        let _ = handle.join();
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::StubRunner;
+    use crate::service::ServiceConfig;
+    use qdb_store::StdVfs;
+    use qdb_telemetry::ManualClock;
+    use std::path::Path;
+
+    fn service(root: &Path) -> JobService {
+        JobService::open(
+            root,
+            Arc::new(StdVfs),
+            Arc::new(ManualClock::new()),
+            Arc::new(StubRunner::default()),
+            ServiceConfig {
+                queue_cap: 2,
+                workers: 1,
+                ..ServiceConfig::default()
+            },
+        )
+        .unwrap()
+    }
+
+    fn get(path: &str) -> Request {
+        Request {
+            method: "GET".to_string(),
+            path: path.to_string(),
+            body: Vec::new(),
+        }
+    }
+
+    fn post(path: &str, body: &str) -> Request {
+        Request {
+            method: "POST".to_string(),
+            path: path.to_string(),
+            body: body.as_bytes().to_vec(),
+        }
+    }
+
+    #[test]
+    fn health_ready_and_metrics_endpoints_respond() {
+        let dir = std::env::temp_dir().join("qdb_serve_router_health");
+        let _ = std::fs::remove_dir_all(&dir);
+        let svc = service(&dir);
+        assert_eq!(handle(&svc, &get("/healthz")).status, 200);
+        assert_eq!(handle(&svc, &get("/readyz")).status, 200);
+        let metrics = handle(&svc, &get("/metrics"));
+        assert_eq!(metrics.status, 200);
+        assert!(String::from_utf8_lossy(&metrics.body).contains("qdb_serve_queue_depth"));
+    }
+
+    #[test]
+    fn submit_poll_and_artifact_round_trip() {
+        let dir = std::env::temp_dir().join("qdb_serve_router_round_trip");
+        let _ = std::fs::remove_dir_all(&dir);
+        let svc = service(&dir);
+        let accepted = handle(&svc, &post("/jobs", "{\"fragment\": \"3ckz\"}"));
+        assert_eq!(accepted.status, 202, "{:?}", accepted);
+        let body = String::from_utf8_lossy(&accepted.body).into_owned();
+        let key = body
+            .split('"')
+            .nth(3)
+            .expect("job key in response")
+            .to_string();
+        assert_eq!(svc.run_next_job(), crate::service::WorkerTick::Ran);
+        let polled = handle(&svc, &get(&format!("/jobs/{key}")));
+        assert_eq!(polled.status, 200);
+        assert!(String::from_utf8_lossy(&polled.body).contains("\"completed\""));
+        let manifest = handle(&svc, &get(&format!("/jobs/{key}/artifacts")));
+        assert_eq!(manifest.status, 200);
+        let raw = handle(
+            &svc,
+            &get(&format!("/jobs/{key}/artifacts/stub/3ckz/structure.pdb")),
+        );
+        assert_eq!(raw.status, 200);
+        assert!(String::from_utf8_lossy(&raw.body).contains("REMARK stub"));
+    }
+
+    #[test]
+    fn saturation_returns_429_with_retry_after_and_readyz_flips() {
+        let dir = std::env::temp_dir().join("qdb_serve_router_saturation");
+        let _ = std::fs::remove_dir_all(&dir);
+        let svc = service(&dir);
+        assert_eq!(
+            handle(&svc, &post("/jobs", "{\"fragment\": \"3ckz\"}")).status,
+            202
+        );
+        assert_eq!(
+            handle(&svc, &post("/jobs", "{\"fragment\": \"3eax\"}")).status,
+            202
+        );
+        let shed = handle(&svc, &post("/jobs", "{\"fragment\": \"3ibi\"}"));
+        assert_eq!(shed.status, 429);
+        assert!(shed.headers.iter().any(|(n, _)| n == "Retry-After"));
+        assert_eq!(handle(&svc, &get("/readyz")).status, 503);
+    }
+
+    #[test]
+    fn bad_requests_get_typed_errors() {
+        let dir = std::env::temp_dir().join("qdb_serve_router_bad");
+        let _ = std::fs::remove_dir_all(&dir);
+        let svc = service(&dir);
+        assert_eq!(handle(&svc, &post("/jobs", "not json")).status, 400);
+        assert_eq!(
+            handle(&svc, &post("/jobs", "{\"fragment\": \"zzzz\"}")).status,
+            422
+        );
+        assert_eq!(handle(&svc, &get("/jobs/deadbeef")).status, 404);
+        assert_eq!(handle(&svc, &get("/nope")).status, 404);
+        let req = Request {
+            method: "DELETE".to_string(),
+            path: "/jobs/x".to_string(),
+            body: Vec::new(),
+        };
+        assert_eq!(handle(&svc, &req).status, 405);
+    }
+}

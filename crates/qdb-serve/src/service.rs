@@ -1,0 +1,842 @@
+//! The job service: bounded queue, idempotent submission, result cache,
+//! deadlines, graceful drain, and a journal that makes all of it
+//! crash-resumable.
+//!
+//! Everything time-dependent goes through the service [`Clock`] and
+//! everything filesystem-dependent through its [`Vfs`], so the chaos
+//! suite drives the whole lifecycle — saturation, worker death,
+//! store faults, kill/restart — deterministically on a `ManualClock`
+//! and a `CrashVfs`, with no real sleeps and no real signals.
+//!
+//! ## State machine (per job)
+//!
+//! ```text
+//!   submit ──▶ queued ──▶ running ──▶ completed
+//!     │           │           │            ▲
+//!     │           │           └─▶ failed   │ (restart: journal replay
+//!     │           └─▶ expired (deadline)   │  re-reads done jobs from
+//!     └─▶ shed (saturated/draining)        │  the cache)
+//! ```
+//!
+//! The write-ahead journal (`serve.journal`) records `submit` before a
+//! job enters the queue and `done` after it reaches a terminal state; a
+//! job with a `submit` but no `done` is *resumable* and re-enters the
+//! queue when the service reopens the root.
+
+use crate::admission::{Admission, Decision};
+use crate::key::{JobRequest, RequestError, ResolvedRequest};
+use crate::runner::{JobRunner, RunOutput};
+use qdb_store::{ContentCache, Journal, StoreError, Vfs};
+use qdb_telemetry::Clock;
+use qdockbank::{CancelToken, PipelineError};
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, VecDeque};
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Condvar, Mutex};
+
+/// Service tuning knobs.
+#[derive(Clone, Debug)]
+pub struct ServiceConfig {
+    /// Bounded queue depth; submissions beyond it are shed with 429.
+    pub queue_cap: usize,
+    /// In-flight cap — normally the worker count.
+    pub workers: usize,
+    /// Budget for graceful drain before in-flight jobs are cancelled (ms).
+    pub drain_deadline_ms: u64,
+    /// Deadline applied to jobs that did not bring their own (ms, 0 = none).
+    pub default_deadline_ms: u64,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        Self {
+            queue_cap: 64,
+            workers: 2,
+            drain_deadline_ms: 30_000,
+            default_deadline_ms: 0,
+        }
+    }
+}
+
+/// Terminal and transitional job states, as reported by `GET /jobs/{id}`.
+#[derive(Clone, Debug, PartialEq)]
+pub enum JobStatus {
+    /// Admitted, waiting for a worker.
+    Queued,
+    /// A worker is executing it.
+    Running,
+    /// Artifacts are in the cache slot.
+    Completed {
+        /// Winning attempt was seed-shifted or degraded.
+        degraded: bool,
+        /// Result came from the cache (or a journal replay) rather than
+        /// an execution in this process.
+        cached: bool,
+    },
+    /// Exhausted, expired, or cancelled; `kind` is the
+    /// [`PipelineError::kind`] taxonomy.
+    Failed {
+        /// Stable cause identifier.
+        kind: String,
+        /// Human-readable detail.
+        message: String,
+    },
+}
+
+impl JobStatus {
+    /// Wire name for the status field.
+    pub fn name(&self) -> &'static str {
+        match self {
+            JobStatus::Queued => "queued",
+            JobStatus::Running => "running",
+            JobStatus::Completed { degraded: true, .. } => "completed-degraded",
+            JobStatus::Completed { .. } => "completed",
+            JobStatus::Failed { .. } => "failed",
+        }
+    }
+
+    /// Whether the job has reached a terminal state.
+    pub fn terminal(&self) -> bool {
+        matches!(self, JobStatus::Completed { .. } | JobStatus::Failed { .. })
+    }
+}
+
+/// What `submit` told the client.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Submission {
+    /// Newly admitted; the job id is the content key.
+    Accepted {
+        /// Job id.
+        key: String,
+    },
+    /// Idempotent replay of a key this process already tracks.
+    Deduplicated {
+        /// Job id.
+        key: String,
+        /// Its current status.
+        status: JobStatus,
+    },
+    /// Result served from the on-disk cache; no execution.
+    CacheHit {
+        /// Job id.
+        key: String,
+    },
+    /// Load-shed: retry after the hint.
+    Shed {
+        /// Seconds the client should wait.
+        retry_after_s: u64,
+    },
+    /// The request did not validate.
+    Invalid(RequestError),
+}
+
+/// One tracked job.
+#[derive(Clone, Debug)]
+struct JobEntry {
+    request: ResolvedRequest,
+    status: JobStatus,
+    enqueued_ns: u64,
+    ordinal: u64,
+    cancel: CancelToken,
+}
+
+/// A point-in-time public view of one job.
+#[derive(Clone, Debug)]
+pub struct JobView {
+    /// The job id (content key).
+    pub key: String,
+    /// The canonical request.
+    pub request: ResolvedRequest,
+    /// Current status.
+    pub status: JobStatus,
+}
+
+/// One line of `serve.journal`. Flat struct, `kind`-discriminated
+/// (`"submit"` or `"done"`), matching the manifest-journal idiom.
+#[derive(Serialize, Deserialize)]
+struct ServeEvent {
+    kind: String,
+    key: Option<String>,
+    request: Option<ResolvedRequest>,
+    status: Option<String>,
+}
+
+/// The service-written result summary in each cache slot.
+#[derive(Serialize, Deserialize)]
+pub struct ResultJson {
+    /// Job id.
+    pub key: String,
+    /// Fragment PDB id.
+    pub fragment: String,
+    /// Terminal status name (`"completed"` / `"completed-degraded"`).
+    pub status: String,
+    /// Attempts the supervisor spent.
+    pub attempts: u64,
+    /// Entry directory relative to the slot.
+    pub entry: String,
+}
+
+/// Name of the per-slot result summary.
+pub const RESULT_FILE: &str = "result.json";
+
+/// Name of the service journal under the root.
+pub const SERVE_JOURNAL: &str = "serve.journal";
+
+/// Outcome of [`JobService::run_next_job`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WorkerTick {
+    /// A job was taken and driven to a terminal state.
+    Ran,
+    /// Queue empty (or in-flight cap reached).
+    Idle,
+}
+
+/// Drain summary.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct DrainReport {
+    /// Jobs that reached a terminal state during the drain window.
+    pub finished: usize,
+    /// Queued jobs left journaled as resumable.
+    pub journaled: usize,
+    /// In-flight jobs cancelled at the drain deadline.
+    pub cancelled: usize,
+}
+
+struct State {
+    admission: Admission,
+    queue: VecDeque<String>,
+    jobs: HashMap<String, JobEntry>,
+    next_ordinal: u64,
+}
+
+/// The resilient job service. One instance per dataset root; share it
+/// across worker and listener threads via `Arc`.
+pub struct JobService {
+    root: PathBuf,
+    vfs: Arc<dyn Vfs + Send + Sync>,
+    clock: Arc<dyn Clock>,
+    runner: Arc<dyn JobRunner>,
+    cache: ContentCache,
+    config: ServiceConfig,
+    state: Mutex<State>,
+    work_ready: Condvar,
+}
+
+impl JobService {
+    /// Opens (or creates) a service over `root`, replaying the journal:
+    /// jobs with a terminal `done` event become cached entries; jobs
+    /// submitted but never finished re-enter the queue as resumable work.
+    pub fn open(
+        root: &Path,
+        vfs: Arc<dyn Vfs + Send + Sync>,
+        clock: Arc<dyn Clock>,
+        runner: Arc<dyn JobRunner>,
+        config: ServiceConfig,
+    ) -> Result<Self, StoreError> {
+        vfs.create_dir_all(root)?;
+        let telemetry = qdb_telemetry::global();
+        let mut state = State {
+            admission: Admission::new(config.queue_cap, config.workers),
+            queue: VecDeque::new(),
+            jobs: HashMap::new(),
+            next_ordinal: 1,
+        };
+        let journal = Journal::open(&*vfs, root.join(SERVE_JOURNAL));
+        if vfs.exists(journal.path()) {
+            let replay = journal.replay(true)?;
+            if replay.recovered() {
+                telemetry.counter("serve.journal_recoveries").inc();
+            }
+            // Last event wins per key: a submit without a later done is
+            // resumable; a done is a finished job whose artifacts live in
+            // the cache.
+            let mut last: HashMap<String, (ResolvedRequest, Option<String>)> = HashMap::new();
+            let mut order: Vec<String> = Vec::new();
+            for line in &replay.records {
+                let Ok(ev) = serde_json::from_str::<ServeEvent>(line) else {
+                    continue;
+                };
+                let Some(key) = ev.key else { continue };
+                match ev.kind.as_str() {
+                    "submit" => {
+                        if let Some(request) = ev.request {
+                            if !last.contains_key(&key) {
+                                order.push(key.clone());
+                            }
+                            last.insert(key, (request, None));
+                        }
+                    }
+                    "done" => {
+                        if let Some(slot) = last.get_mut(&key) {
+                            slot.1 = ev.status;
+                        }
+                    }
+                    _ => {}
+                }
+            }
+            let now_ns = clock.now_ns();
+            for key in order {
+                let (request, done) = last.remove(&key).expect("inserted above");
+                let ordinal = state.next_ordinal;
+                state.next_ordinal += 1;
+                match done {
+                    Some(status) => {
+                        let degraded = status == "completed-degraded";
+                        let job_status = if status.starts_with("completed") {
+                            JobStatus::Completed {
+                                degraded,
+                                cached: true,
+                            }
+                        } else {
+                            JobStatus::Failed {
+                                kind: status.clone(),
+                                message: format!("journaled terminal state: {status}"),
+                            }
+                        };
+                        state.jobs.insert(
+                            key,
+                            JobEntry {
+                                request,
+                                status: job_status,
+                                enqueued_ns: now_ns,
+                                ordinal,
+                                cancel: CancelToken::new(),
+                            },
+                        );
+                    }
+                    None => {
+                        // Resumable. Re-admit within the (possibly
+                        // smaller) queue bound; overflow is journaled as
+                        // failed so no job silently vanishes.
+                        match state.admission.try_admit() {
+                            Decision::Admit => {
+                                telemetry.counter("serve.resumed").inc();
+                                state.queue.push_back(key.clone());
+                                state.jobs.insert(
+                                    key,
+                                    JobEntry {
+                                        request,
+                                        status: JobStatus::Queued,
+                                        enqueued_ns: now_ns,
+                                        ordinal,
+                                        cancel: CancelToken::new(),
+                                    },
+                                );
+                            }
+                            Decision::Shed { .. } => {
+                                let msg =
+                                    "resumable job shed on restart: queue bound shrank".to_string();
+                                append_serve_event(
+                                    &*vfs,
+                                    root,
+                                    &ServeEvent {
+                                        kind: "done".to_string(),
+                                        key: Some(key.clone()),
+                                        request: None,
+                                        status: Some("failed/shed-on-restore".to_string()),
+                                    },
+                                )?;
+                                state.jobs.insert(
+                                    key,
+                                    JobEntry {
+                                        request,
+                                        status: JobStatus::Failed {
+                                            kind: "shed-on-restore".to_string(),
+                                            message: msg,
+                                        },
+                                        enqueued_ns: now_ns,
+                                        ordinal,
+                                        cancel: CancelToken::new(),
+                                    },
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        telemetry
+            .gauge("serve.queue_depth")
+            .set(state.queue.len() as i64);
+        telemetry.gauge("serve.inflight").set(0);
+        Ok(Self {
+            root: root.to_path_buf(),
+            vfs,
+            clock,
+            runner,
+            cache: ContentCache::new(root.join("cache")),
+            config,
+            state: Mutex::new(State {
+                next_ordinal: state.next_ordinal,
+                ..state
+            }),
+            work_ready: Condvar::new(),
+        })
+    }
+
+    /// The dataset root this service owns.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// The service clock (workers and tests share it).
+    pub fn clock(&self) -> &Arc<dyn Clock> {
+        &self.clock
+    }
+
+    /// The result cache.
+    pub fn cache(&self) -> &ContentCache {
+        &self.cache
+    }
+
+    /// The `/readyz` contract: true iff not draining and not saturated.
+    pub fn ready(&self) -> bool {
+        self.state.lock().unwrap().admission.ready()
+    }
+
+    /// Whether the drain latch is set.
+    pub fn draining(&self) -> bool {
+        self.state.lock().unwrap().admission.draining()
+    }
+
+    /// Current queue depth (for tests and reports).
+    pub fn queue_depth(&self) -> usize {
+        self.state.lock().unwrap().admission.queued()
+    }
+
+    /// Submits one job. Idempotent on the content key: identical work
+    /// deduplicates against tracked jobs and the on-disk cache before it
+    /// can ever reach the queue.
+    pub fn submit(&self, request: &JobRequest) -> Submission {
+        let telemetry = qdb_telemetry::global();
+        let _span = qdb_telemetry::span!("serve.submit");
+        let resolved = match request.resolve() {
+            Ok(r) => r,
+            Err(e) => {
+                telemetry.counter("serve.invalid").inc();
+                return Submission::Invalid(e);
+            }
+        };
+        telemetry.counter("serve.submitted").inc();
+        let key = resolved.content_key();
+        let mut state = self.state.lock().unwrap();
+        if let Some(entry) = state.jobs.get(&key) {
+            telemetry.counter("serve.dedup_hits").inc();
+            return Submission::Deduplicated {
+                key,
+                status: entry.status.clone(),
+            };
+        }
+        if let Some(_slot) = self.cache.lookup(&*self.vfs, &key, &[RESULT_FILE]) {
+            telemetry.counter("serve.cache_hits").inc();
+            let degraded = self
+                .read_result(&key)
+                .map(|r| r.status == "completed-degraded")
+                .unwrap_or(false);
+            let ordinal = state.next_ordinal;
+            state.next_ordinal += 1;
+            state.jobs.insert(
+                key.clone(),
+                JobEntry {
+                    request: resolved,
+                    status: JobStatus::Completed {
+                        degraded,
+                        cached: true,
+                    },
+                    enqueued_ns: self.clock.now_ns(),
+                    ordinal,
+                    cancel: CancelToken::new(),
+                },
+            );
+            return Submission::CacheHit { key };
+        }
+        match state.admission.try_admit() {
+            Decision::Shed { retry_after_s } => {
+                telemetry.counter("serve.shed").inc();
+                qdb_telemetry::instant!("serve.shed");
+                Submission::Shed { retry_after_s }
+            }
+            Decision::Admit => {
+                // WAL first: the submit event lands before the job is
+                // visible in the queue, so a crash after this point
+                // resumes the job instead of losing it.
+                let ev = ServeEvent {
+                    kind: "submit".to_string(),
+                    key: Some(key.clone()),
+                    request: Some(resolved.clone()),
+                    status: None,
+                };
+                if let Err(e) = append_serve_event(&*self.vfs, &self.root, &ev) {
+                    // Journal unwritable: refuse the job rather than
+                    // accept unresumable work.
+                    state.admission.on_evict();
+                    telemetry.counter("serve.journal_errors").inc();
+                    let _ = e;
+                    telemetry.counter("serve.shed").inc();
+                    return Submission::Shed { retry_after_s: 5 };
+                }
+                telemetry.counter("serve.admitted").inc();
+                let ordinal = state.next_ordinal;
+                state.next_ordinal += 1;
+                state.queue.push_back(key.clone());
+                state.jobs.insert(
+                    key.clone(),
+                    JobEntry {
+                        request: resolved,
+                        status: JobStatus::Queued,
+                        enqueued_ns: self.clock.now_ns(),
+                        ordinal,
+                        cancel: CancelToken::new(),
+                    },
+                );
+                telemetry
+                    .gauge("serve.queue_depth")
+                    .set(state.admission.queued() as i64);
+                self.work_ready.notify_one();
+                Submission::Accepted { key }
+            }
+        }
+    }
+
+    /// A point-in-time view of one job.
+    pub fn job(&self, key: &str) -> Option<JobView> {
+        let state = self.state.lock().unwrap();
+        state.jobs.get(key).map(|e| JobView {
+            key: key.to_string(),
+            request: e.request.clone(),
+            status: e.status.clone(),
+        })
+    }
+
+    /// Reads the slot's result summary for a terminal job.
+    pub fn read_result(&self, key: &str) -> Option<ResultJson> {
+        let slot = self.cache.slot(key);
+        let bytes = self.vfs.read(&slot.join(RESULT_FILE)).ok()?;
+        serde_json::from_str(&String::from_utf8_lossy(&bytes)).ok()
+    }
+
+    /// The artifact files of a completed job: `(relative name, bytes)`,
+    /// entry files first, result summary last.
+    pub fn artifacts(&self, key: &str) -> Option<Vec<(String, Vec<u8>)>> {
+        let result = self.read_result(key)?;
+        let slot = self.cache.slot(key);
+        let entry_dir = slot.join(&result.entry);
+        let mut files = Vec::new();
+        for path in self.vfs.read_dir(&entry_dir).ok()? {
+            let name = path.file_name()?.to_string_lossy().into_owned();
+            let bytes = self.vfs.read(&path).ok()?;
+            files.push((format!("{}/{}", result.entry, name), bytes));
+        }
+        let result_bytes = self.vfs.read(&slot.join(RESULT_FILE)).ok()?;
+        files.push((RESULT_FILE.to_string(), result_bytes));
+        Some(files)
+    }
+
+    /// Takes one queued job and drives it to a terminal state on the
+    /// calling thread. The worker pool loops this; deterministic tests
+    /// call it directly.
+    pub fn run_next_job(&self) -> WorkerTick {
+        let telemetry = qdb_telemetry::global();
+        let (key, request, cancel, ordinal, enqueued_ns) = {
+            let mut state = self.state.lock().unwrap();
+            if !state.admission.try_start() {
+                return WorkerTick::Idle;
+            }
+            let key = state
+                .queue
+                .pop_front()
+                .expect("try_start checked queued > 0");
+            telemetry
+                .gauge("serve.queue_depth")
+                .set(state.admission.queued() as i64);
+            telemetry
+                .gauge("serve.inflight")
+                .set(state.admission.inflight() as i64);
+            let entry = state.jobs.get_mut(&key).expect("queued job is tracked");
+            entry.status = JobStatus::Running;
+            (
+                key,
+                entry.request.clone(),
+                entry.cancel.clone(),
+                entry.ordinal,
+                entry.enqueued_ns,
+            )
+        };
+        let _corr = qdb_telemetry::trace::correlate(ordinal);
+        let queue_wait_ms = self.clock.elapsed_ms(enqueued_ns);
+        telemetry
+            .histogram("serve.queue_wait_ms")
+            .record(queue_wait_ms);
+
+        let deadline = match request.deadline() {
+            Some(d) => Some(d),
+            None => {
+                (self.config.default_deadline_ms != 0).then_some(self.config.default_deadline_ms)
+            }
+        };
+        // A job that aged out in the queue never starts: the deadline
+        // covers wait + execution.
+        if let Some(d) = deadline {
+            if queue_wait_ms >= d {
+                telemetry.counter("serve.expired").inc();
+                self.finish(
+                    &key,
+                    JobStatus::Failed {
+                        kind: "deadline-exceeded".to_string(),
+                        message: format!(
+                            "spent {queue_wait_ms} ms of a {d} ms deadline waiting in the queue"
+                        ),
+                    },
+                    None,
+                );
+                return WorkerTick::Ran;
+            }
+        }
+        let remaining = deadline.map(|d| d - queue_wait_ms);
+        let started_ns = self.clock.now_ns();
+        let outcome = {
+            let _span = qdb_telemetry::span!("serve.job");
+            self.runner.run(
+                &request,
+                &self.cache.slot(&key),
+                &*self.vfs,
+                &*self.clock,
+                &cancel,
+                remaining,
+            )
+        };
+        telemetry
+            .histogram("serve.job_ms")
+            .record(self.clock.elapsed_ms(started_ns));
+        match outcome {
+            Ok(output) => {
+                let status = JobStatus::Completed {
+                    degraded: output.degraded,
+                    cached: false,
+                };
+                self.finish(&key, status, Some(&output));
+            }
+            Err(e) => {
+                let status = if matches!(e, PipelineError::Cancelled) {
+                    // Cancelled at a drain boundary: leave the job
+                    // resumable (no done event) rather than failed.
+                    JobStatus::Queued
+                } else {
+                    JobStatus::Failed {
+                        kind: e.kind(),
+                        message: e.to_string(),
+                    }
+                };
+                if status == JobStatus::Queued {
+                    self.requeue_cancelled(&key);
+                } else {
+                    self.finish(&key, status, None);
+                }
+            }
+        }
+        WorkerTick::Ran
+    }
+
+    /// Commits a terminal state: result summary (completions), journal
+    /// `done` event, in-memory status, metrics.
+    fn finish(&self, key: &str, status: JobStatus, output: Option<&RunOutput>) {
+        let telemetry = qdb_telemetry::global();
+        if let (JobStatus::Completed { .. }, Some(output)) = (&status, output) {
+            // The slot already holds the committed entry; the summary is
+            // its own atomic commit so readers either see a complete
+            // result or none.
+            let request = {
+                let state = self.state.lock().unwrap();
+                state.jobs.get(key).map(|e| e.request.clone())
+            };
+            if let Some(request) = request {
+                let result = ResultJson {
+                    key: key.to_string(),
+                    fragment: request.fragment.clone(),
+                    status: status.name().to_string(),
+                    attempts: output.attempts,
+                    entry: output.entry_rel.clone(),
+                };
+                let write = self.cache.begin(&*self.vfs, key).and_then(|mut w| {
+                    let json =
+                        serde_json::to_string_pretty(&result).unwrap_or_else(|_| "{}".to_string());
+                    w.put(RESULT_FILE, json.as_bytes())?;
+                    w.commit()
+                });
+                if write.is_err() {
+                    telemetry.counter("serve.result_write_errors").inc();
+                    // The artifacts exist but the summary did not commit;
+                    // fail the job so the client retries instead of
+                    // fetching a slot the cache will not vouch for.
+                    return self.finish(
+                        key,
+                        JobStatus::Failed {
+                            kind: "store/result-write".to_string(),
+                            message: "result summary failed to commit".to_string(),
+                        },
+                        None,
+                    );
+                }
+            }
+        }
+        let done = ServeEvent {
+            kind: "done".to_string(),
+            key: Some(key.to_string()),
+            request: None,
+            status: Some(match &status {
+                JobStatus::Failed { kind, .. } => format!("failed/{kind}"),
+                other => other.name().to_string(),
+            }),
+        };
+        if append_serve_event(&*self.vfs, &self.root, &done).is_err() {
+            telemetry.counter("serve.journal_errors").inc();
+            // The in-memory state still advances; on restart the job
+            // replays as resumable and re-runs into the same slot.
+        }
+        match &status {
+            JobStatus::Completed { .. } => telemetry.counter("serve.completed").inc(),
+            JobStatus::Failed { .. } => telemetry.counter("serve.failed").inc(),
+            _ => {}
+        }
+        let mut state = self.state.lock().unwrap();
+        if let Some(entry) = state.jobs.get_mut(key) {
+            entry.status = status;
+        }
+        state.admission.on_finish();
+        telemetry
+            .gauge("serve.inflight")
+            .set(state.admission.inflight() as i64);
+        self.work_ready.notify_all();
+    }
+
+    /// A job cancelled mid-drain goes back to queued *bookkeeping* (its
+    /// submit event stays un-done in the journal, so the next process
+    /// resumes it), but not back into this process's queue.
+    fn requeue_cancelled(&self, key: &str) {
+        let telemetry = qdb_telemetry::global();
+        telemetry.counter("serve.cancelled").inc();
+        let mut state = self.state.lock().unwrap();
+        if let Some(entry) = state.jobs.get_mut(key) {
+            entry.status = JobStatus::Queued;
+        }
+        state.admission.on_finish();
+        telemetry
+            .gauge("serve.inflight")
+            .set(state.admission.inflight() as i64);
+        self.work_ready.notify_all();
+    }
+
+    /// Blocks the calling worker until work is available or the service
+    /// is draining. Returns false when the worker should exit.
+    pub fn wait_for_work(&self) -> bool {
+        let mut state = self.state.lock().unwrap();
+        loop {
+            if state.admission.draining() {
+                // Drain: keep working while the queue holds jobs.
+                return state.admission.queued() > 0;
+            }
+            if state.admission.queued() > 0 {
+                return true;
+            }
+            let (next, timeout) = self
+                .work_ready
+                .wait_timeout(state, std::time::Duration::from_millis(100))
+                .unwrap();
+            state = next;
+            let _ = timeout;
+        }
+    }
+
+    /// Sets the drain latch: `/readyz` flips false and every subsequent
+    /// submission sheds. Idempotent.
+    pub fn begin_drain(&self) {
+        let mut state = self.state.lock().unwrap();
+        state.admission.begin_drain();
+        qdb_telemetry::instant!("serve.drain");
+        qdb_telemetry::global().counter("serve.drains").inc();
+        self.work_ready.notify_all();
+    }
+
+    /// Cancels every in-flight job (tokens flip; jobs stop at their next
+    /// attempt boundary) and evicts the still-queued remainder, leaving
+    /// both journaled as resumable. Returns the drain report so far.
+    pub fn cancel_and_journal_pending(&self) -> DrainReport {
+        let mut report = DrainReport::default();
+        let mut state = self.state.lock().unwrap();
+        for entry in state.jobs.values() {
+            if entry.status == JobStatus::Running {
+                entry.cancel.cancel();
+                report.cancelled += 1;
+            }
+        }
+        while let Some(key) = state.queue.pop_front() {
+            state.admission.on_evict();
+            // Status stays Queued and no done event is written: the
+            // submit event alone makes the job resumable on restart.
+            let _ = key;
+            report.journaled += 1;
+        }
+        qdb_telemetry::global()
+            .gauge("serve.queue_depth")
+            .set(state.admission.queued() as i64);
+        report
+    }
+
+    /// Graceful drain for the threaded server: stop admitting, give
+    /// in-flight and queued jobs `drain_deadline_ms` (on the wall clock
+    /// used by the worker pool) to finish, then cancel what remains and
+    /// journal the rest as resumable.
+    pub fn drain_blocking(&self) -> DrainReport {
+        self.begin_drain();
+        let deadline_ms = self.config.drain_deadline_ms;
+        let start_ns = self.clock.now_ns();
+        let mut finished = 0usize;
+        loop {
+            {
+                let state = self.state.lock().unwrap();
+                if state.admission.queued() == 0 && state.admission.inflight() == 0 {
+                    let mut report = DrainReport::default();
+                    report.finished = finished;
+                    return report;
+                }
+            }
+            if self.clock.elapsed_ms(start_ns) >= deadline_ms {
+                break;
+            }
+            // Count completions as they land.
+            let state = self.state.lock().unwrap();
+            let before = state.admission.inflight() + state.admission.queued();
+            let (state, _) = self
+                .work_ready
+                .wait_timeout(state, std::time::Duration::from_millis(50))
+                .unwrap();
+            let after = state.admission.inflight() + state.admission.queued();
+            finished += before.saturating_sub(after);
+        }
+        let mut report = self.cancel_and_journal_pending();
+        report.finished = finished;
+        report
+    }
+
+    /// Snapshot of every tracked job (stable order by ordinal).
+    pub fn jobs_snapshot(&self) -> Vec<JobView> {
+        let state = self.state.lock().unwrap();
+        let mut entries: Vec<(&String, &JobEntry)> = state.jobs.iter().collect();
+        entries.sort_by_key(|(_, e)| e.ordinal);
+        entries
+            .into_iter()
+            .map(|(k, e)| JobView {
+                key: k.clone(),
+                request: e.request.clone(),
+                status: e.status.clone(),
+            })
+            .collect()
+    }
+}
+
+fn append_serve_event(vfs: &dyn Vfs, root: &Path, ev: &ServeEvent) -> Result<(), StoreError> {
+    let journal = Journal::open(vfs, root.join(SERVE_JOURNAL));
+    let line = serde_json::to_string(ev)
+        .map_err(|e| StoreError::from(std::io::Error::new(std::io::ErrorKind::InvalidData, e)))?;
+    journal.append(&line)
+}

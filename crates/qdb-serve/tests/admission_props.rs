@@ -1,0 +1,118 @@
+//! Property tests for the admission state machine — the overload
+//! contract, checked over arbitrary interleavings of submit / start /
+//! finish / evict / drain:
+//!
+//! * accepted + shed == submitted (no submission unaccounted for);
+//! * the queue never exceeds its bound, in-flight never exceeds its cap;
+//! * `ready()` is false iff the queue is saturated or draining.
+
+use proptest::prelude::*;
+use qdb_serve::admission::{Admission, Decision};
+
+/// One step of an adversarial schedule.
+#[derive(Clone, Copy, Debug)]
+enum Op {
+    Submit,
+    Start,
+    Finish,
+    Evict,
+    Drain,
+}
+
+fn op() -> impl Strategy<Value = Op> {
+    // Weighted by hand (the drain latch is rare, submits are common).
+    (0usize..13).prop_map(|n| match n {
+        0..=4 => Op::Submit,
+        5..=7 => Op::Start,
+        8..=10 => Op::Finish,
+        11 => Op::Evict,
+        _ => Op::Drain,
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn overload_invariants_hold_under_arbitrary_schedules(
+        queue_cap in 1usize..12,
+        inflight_cap in 1usize..6,
+        ops in proptest::collection::vec(op(), 1..200),
+    ) {
+        let mut a = Admission::new(queue_cap, inflight_cap);
+        let mut submitted = 0u64;
+        let mut accepted = 0u64;
+        let mut shed = 0u64;
+        for step in ops {
+            match step {
+                Op::Submit => {
+                    submitted += 1;
+                    match a.try_admit() {
+                        Decision::Admit => accepted += 1,
+                        Decision::Shed { retry_after_s } => {
+                            shed += 1;
+                            prop_assert!((1..=30).contains(&retry_after_s));
+                        }
+                    }
+                }
+                Op::Start => {
+                    let before = (a.queued(), a.inflight());
+                    let started = a.try_start();
+                    if started {
+                        prop_assert_eq!(a.queued(), before.0 - 1);
+                        prop_assert_eq!(a.inflight(), before.1 + 1);
+                    } else {
+                        prop_assert!(
+                            before.0 == 0 || before.1 >= inflight_cap,
+                            "start refused with work available and a free slot"
+                        );
+                    }
+                }
+                Op::Finish => {
+                    if a.inflight() > 0 {
+                        a.on_finish();
+                    }
+                }
+                Op::Evict => {
+                    if a.queued() > 0 {
+                        a.on_evict();
+                    }
+                }
+                Op::Drain => a.begin_drain(),
+            }
+            // The three ISSUE invariants, after every step.
+            prop_assert_eq!(accepted + shed, submitted);
+            prop_assert!(a.queued() <= queue_cap, "queue bound violated");
+            prop_assert!(a.inflight() <= inflight_cap, "in-flight cap violated");
+            prop_assert_eq!(
+                a.ready(),
+                !a.draining() && a.queued() < queue_cap,
+                "readyz contract violated"
+            );
+            if a.draining() {
+                let probe_shed = matches!(a.try_admit(), Decision::Shed { .. });
+                prop_assert!(probe_shed, "draining machine admitted a job");
+                // That probe was a real submission attempt; account for it.
+                submitted += 1;
+                shed += 1;
+            }
+        }
+    }
+
+    /// Shedding is stateless: a shed submission leaves every counter
+    /// exactly where it was.
+    #[test]
+    fn shed_has_no_side_effects(extra in 0usize..20) {
+        let mut a = Admission::new(2, 2);
+        while !a.saturated() {
+            let admitted = matches!(a.try_admit(), Decision::Admit);
+            prop_assert!(admitted, "unsaturated machine refused a job");
+        }
+        let snapshot = (a.queued(), a.inflight(), a.ready());
+        for _ in 0..extra {
+            let shed = matches!(a.try_admit(), Decision::Shed { .. });
+            prop_assert!(shed, "saturated machine admitted a job");
+            prop_assert_eq!((a.queued(), a.inflight(), a.ready()), snapshot);
+        }
+    }
+}

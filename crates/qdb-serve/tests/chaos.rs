@@ -1,0 +1,391 @@
+//! The deterministic chaos suite.
+//!
+//! Every scenario the ISSUE names — worker kills mid-job, store faults
+//! via `CrashVfs`, duplicate and delayed submissions, queue saturation,
+//! and kill-the-server-mid-build-then-restart — driven synchronously on
+//! a `ManualClock` from a seeded [`ChaosPlan`]. No real time, no real
+//! entropy, no thread races: a failing seed replays exactly.
+
+use qdb_serve::chaos::ChaosPlan;
+use qdb_serve::key::JobRequest;
+use qdb_serve::runner::{PipelineRunner, StubRunner};
+use qdb_serve::service::{JobService, JobStatus, ServiceConfig, Submission, WorkerTick};
+use qdb_store::{CrashVfs, StdVfs};
+use qdb_telemetry::{Clock, ManualClock};
+use qdockbank::supervisor::SupervisorConfig;
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("qdb-serve-chaos-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn request(fragment: &str) -> JobRequest {
+    JobRequest {
+        fragment: fragment.to_string(),
+        ..JobRequest::default()
+    }
+}
+
+fn stub_service(root: &Path, queue_cap: usize) -> JobService {
+    JobService::open(
+        root,
+        Arc::new(StdVfs),
+        Arc::new(ManualClock::new()),
+        Arc::new(StubRunner::default()),
+        ServiceConfig {
+            queue_cap,
+            workers: 1,
+            ..ServiceConfig::default()
+        },
+    )
+    .unwrap()
+}
+
+/// Every regular file under `root`, as relative path → bytes.
+fn tree_bytes(root: &Path) -> BTreeMap<String, Vec<u8>> {
+    fn walk(base: &Path, dir: &Path, out: &mut BTreeMap<String, Vec<u8>>) {
+        for entry in std::fs::read_dir(dir).unwrap() {
+            let path = entry.unwrap().path();
+            if path.is_dir() {
+                walk(base, &path, out);
+            } else {
+                let rel = path
+                    .strip_prefix(base)
+                    .unwrap()
+                    .to_string_lossy()
+                    .into_owned();
+                out.insert(rel, std::fs::read(&path).unwrap());
+            }
+        }
+    }
+    let mut out = BTreeMap::new();
+    if root.exists() {
+        walk(root, root, &mut out);
+    }
+    out
+}
+
+/// Worker killed mid-job: the chaos plan injects a backend panic on the
+/// job's first attempt; the supervisor's retry ladder recovers it (a
+/// single panic is transient, so the retry is clean — not degraded) and
+/// the attempt count proves the kill happened.
+#[test]
+fn worker_kill_mid_job_recovers_via_the_retry_ladder() {
+    let root = tmpdir("worker-kill");
+    let mut plan = ChaosPlan::new(17);
+    plan.worker_kill_rate = 1.0; // force the kill regardless of seed draw
+    assert!(plan.kills_worker("3ckz"));
+    let runner = PipelineRunner {
+        supervisor: SupervisorConfig::fast(),
+        faults: plan.fault_plan(&["3ckz"]),
+    };
+    let service = JobService::open(
+        &root,
+        Arc::new(StdVfs),
+        Arc::new(ManualClock::new()),
+        Arc::new(runner),
+        ServiceConfig::default(),
+    )
+    .unwrap();
+    let Submission::Accepted { key } = service.submit(&request("3ckz")) else {
+        panic!("submission must be admitted");
+    };
+    assert_eq!(service.run_next_job(), WorkerTick::Ran);
+    let view = service.job(&key).unwrap();
+    let JobStatus::Completed { degraded, cached } = view.status else {
+        panic!("killed worker must be recovered, got {:?}", view.status);
+    };
+    assert!(
+        !degraded,
+        "one transient panic retries cleanly; the ladder must not escalate"
+    );
+    assert!(!cached);
+    let result = service.read_result(&key).unwrap();
+    assert!(
+        result.attempts >= 2,
+        "first attempt died; expected at least one retry, saw {}",
+        result.attempts
+    );
+}
+
+/// Store fault: the vfs dies mid-build (torn write and all), the
+/// "process" restarts on the same root, the journal resumes the job, and
+/// the final artifacts are byte-identical to a never-crashed run.
+#[test]
+fn store_fault_crash_then_restart_resumes_byte_identical() {
+    // Reference: the same job on a healthy store.
+    let clean_root = tmpdir("store-fault-clean");
+    let clean = stub_service(&clean_root, 8);
+    let Submission::Accepted { key } = clean.submit(&request("3eax")) else {
+        panic!("reference submission must be admitted");
+    };
+    assert_eq!(clean.run_next_job(), WorkerTick::Ran);
+    let reference = tree_bytes(&clean_root.join("cache"));
+    assert!(!reference.is_empty());
+
+    // Measure the op count of a full run, then have chaos pick a crash
+    // point strictly inside the artifact-write phase.
+    let probe_root = tmpdir("store-fault-probe");
+    let probe_vfs = Arc::new(CrashVfs::new(usize::MAX));
+    {
+        let service = JobService::open(
+            &probe_root,
+            probe_vfs.clone(),
+            Arc::new(ManualClock::new()),
+            Arc::new(StubRunner::default()),
+            ServiceConfig {
+                queue_cap: 8,
+                workers: 1,
+                ..ServiceConfig::default()
+            },
+        )
+        .unwrap();
+        assert!(matches!(
+            service.submit(&request("3eax")),
+            Submission::Accepted { .. }
+        ));
+        assert_eq!(service.run_next_job(), WorkerTick::Ran);
+    }
+    let total_ops = probe_vfs.ops_used();
+    let submit_floor = total_ops / 2;
+    let plan = ChaosPlan::new(23);
+    let budget = plan.store_budget("3eax", submit_floor as u64, (total_ops - 2) as u64) as usize;
+
+    let crash_root = tmpdir("store-fault-crash");
+    let crash_vfs = Arc::new(CrashVfs::new(budget));
+    {
+        let service = JobService::open(
+            &crash_root,
+            crash_vfs.clone(),
+            Arc::new(ManualClock::new()),
+            Arc::new(StubRunner::default()),
+            ServiceConfig {
+                queue_cap: 8,
+                workers: 1,
+                ..ServiceConfig::default()
+            },
+        )
+        .unwrap();
+        assert!(
+            matches!(
+                service.submit(&request("3eax")),
+                Submission::Accepted { .. }
+            ),
+            "crash budget {budget} must land after admission"
+        );
+        // The worker hits the dead vfs somewhere inside the build.
+        let _ = service.run_next_job();
+        assert!(
+            crash_vfs.crashed(),
+            "budget {budget} of {total_ops} never hit"
+        );
+    }
+
+    // Restart on the same root with a healthy store: the journal's
+    // un-done submit resumes, the slot rebuilds.
+    let service = stub_service(&crash_root, 8);
+    let view = service.job(&key).unwrap_or_else(|| {
+        panic!("crashed job must be restored from the journal");
+    });
+    if view.status == JobStatus::Queued {
+        assert_eq!(service.run_next_job(), WorkerTick::Ran);
+    }
+    let view = service.job(&key).unwrap();
+    assert!(
+        matches!(view.status, JobStatus::Completed { .. }),
+        "resumed job must complete, got {:?}",
+        view.status
+    );
+    let rebuilt = tree_bytes(&crash_root.join("cache"));
+    assert_eq!(
+        reference, rebuilt,
+        "artifacts after crash+resume must be byte-identical to a clean run"
+    );
+}
+
+/// Saturation: a seeded burst overruns the queue bound; the overflow is
+/// shed (never enqueued), accepted + shed == submitted, and readiness
+/// flips false exactly while the queue is full.
+#[test]
+fn saturation_burst_sheds_the_overflow_deterministically() {
+    let root = tmpdir("saturation");
+    let queue_cap = 3;
+    let service = stub_service(&root, queue_cap);
+    let plan = ChaosPlan::new(41);
+    let burst = plan.saturation_burst("burst-1", queue_cap);
+    assert!(burst > queue_cap);
+    // Distinct seeds make distinct jobs, so dedup cannot mask shedding.
+    let mut accepted = 0usize;
+    let mut shed = 0usize;
+    for i in 0..burst {
+        let sub = service.submit(&JobRequest {
+            fragment: "3ckz".to_string(),
+            seed: Some(1 + i as u64),
+            ..JobRequest::default()
+        });
+        match sub {
+            Submission::Accepted { .. } => accepted += 1,
+            Submission::Shed { retry_after_s } => {
+                shed += 1;
+                assert!((1..=30).contains(&retry_after_s));
+            }
+            other => panic!("unexpected submission outcome {other:?}"),
+        }
+        assert!(service.queue_depth() <= queue_cap, "queue bound violated");
+        assert_eq!(
+            service.ready(),
+            service.queue_depth() < queue_cap,
+            "readyz must flip exactly at saturation"
+        );
+    }
+    assert_eq!(accepted, queue_cap);
+    assert_eq!(accepted + shed, burst);
+    while service.run_next_job() == WorkerTick::Ran {}
+    assert!(service.ready(), "draining the queue must restore readiness");
+}
+
+/// Duplicate and delayed submissions: the plan's duplicate storm always
+/// lands on the same job id, and virtual submission delays do not change
+/// job identity or outcome.
+#[test]
+fn duplicate_and_delayed_submissions_converge_on_one_job() {
+    let root = tmpdir("duplicates");
+    let clock = Arc::new(ManualClock::new());
+    let service = JobService::open(
+        &root,
+        Arc::new(StdVfs),
+        clock.clone() as Arc<dyn Clock>,
+        Arc::new(StubRunner::default()),
+        ServiceConfig {
+            queue_cap: 8,
+            workers: 1,
+            ..ServiceConfig::default()
+        },
+    )
+    .unwrap();
+    let mut plan = ChaosPlan::new(59);
+    plan.duplicate_rate = 1.0;
+    let fragment = "4mo4";
+    clock.advance_ms(plan.delay_ms(fragment));
+    let Submission::Accepted { key } = service.submit(&request(fragment)) else {
+        panic!("first submission must be admitted");
+    };
+    let dupes = plan.duplicates(fragment);
+    assert!(dupes >= 1);
+    for _ in 0..dupes {
+        clock.advance_ms(plan.delay_ms(fragment));
+        match service.submit(&request(fragment)) {
+            Submission::Deduplicated { key: k, .. } => assert_eq!(k, key),
+            other => panic!("duplicate must dedup, got {other:?}"),
+        }
+    }
+    assert_eq!(service.queue_depth(), 1, "duplicates must not enqueue");
+    assert_eq!(service.run_next_job(), WorkerTick::Ran);
+    assert!(matches!(
+        service.job(&key).unwrap().status,
+        JobStatus::Completed { .. }
+    ));
+}
+
+/// Kill the server mid-build, restart, resume from the journal: finished
+/// work is served from the cache, unfinished work re-runs, and the final
+/// tree is byte-identical to an uninterrupted run.
+#[test]
+fn kill_restart_resume_is_byte_identical_to_an_uninterrupted_run() {
+    let fragments = ["3ckz", "3eax", "3ibi"];
+    // Uninterrupted reference.
+    let ref_root = tmpdir("kill-ref");
+    {
+        let service = stub_service(&ref_root, 8);
+        for f in &fragments {
+            assert!(matches!(
+                service.submit(&request(f)),
+                Submission::Accepted { .. }
+            ));
+        }
+        while service.run_next_job() == WorkerTick::Ran {}
+    }
+    let reference = tree_bytes(&ref_root.join("cache"));
+
+    // Interrupted: run one job, then "kill" the process (drop, no drain).
+    let root = tmpdir("kill-resume");
+    let mut keys = Vec::new();
+    {
+        let service = stub_service(&root, 8);
+        for f in &fragments {
+            match service.submit(&request(f)) {
+                Submission::Accepted { key } => keys.push(key),
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        assert_eq!(service.run_next_job(), WorkerTick::Ran);
+        // Process dies here: no drain, no journal flush beyond the WAL.
+    }
+
+    // Restart: first job is a journaled completion, the rest resume.
+    let service = stub_service(&root, 8);
+    let statuses: Vec<JobStatus> = keys
+        .iter()
+        .map(|k| service.job(k).expect("journal restores every job").status)
+        .collect();
+    assert!(
+        matches!(statuses[0], JobStatus::Completed { cached: true, .. }),
+        "finished job must come back as a cached completion, got {:?}",
+        statuses[0]
+    );
+    assert_eq!(statuses[1], JobStatus::Queued);
+    assert_eq!(statuses[2], JobStatus::Queued);
+    while service.run_next_job() == WorkerTick::Ran {}
+    for key in &keys {
+        assert!(matches!(
+            service.job(key).unwrap().status,
+            JobStatus::Completed { .. }
+        ));
+    }
+    let resumed = tree_bytes(&root.join("cache"));
+    assert_eq!(
+        reference, resumed,
+        "kill+restart+resume must reproduce the uninterrupted tree byte-for-byte"
+    );
+
+    // And the journal now carries a done event for every job: a second
+    // restart re-serves everything from the cache without re-running.
+    let service = stub_service(&root, 8);
+    for key in &keys {
+        assert!(matches!(
+            service.job(key).unwrap().status,
+            JobStatus::Completed { cached: true, .. }
+        ));
+    }
+    assert_eq!(service.run_next_job(), WorkerTick::Idle);
+}
+
+/// Drain under load: admission stops, queued work finishes inside the
+/// drain budget, and the report accounts for every job.
+#[test]
+fn graceful_drain_finishes_queued_work_and_sheds_new_arrivals() {
+    let root = tmpdir("drain");
+    let service = stub_service(&root, 8);
+    for f in ["3ckz", "3eax"] {
+        assert!(matches!(
+            service.submit(&request(f)),
+            Submission::Accepted { .. }
+        ));
+    }
+    service.begin_drain();
+    assert!(!service.ready());
+    assert!(matches!(
+        service.submit(&request("3ibi")),
+        Submission::Shed { .. }
+    ));
+    // Workers keep draining the queue after the latch.
+    while service.run_next_job() == WorkerTick::Ran {}
+    assert_eq!(service.queue_depth(), 0);
+    let report = service.cancel_and_journal_pending();
+    assert_eq!(report.cancelled, 0, "nothing in flight at this point");
+    assert_eq!(report.journaled, 0, "queue already drained");
+}

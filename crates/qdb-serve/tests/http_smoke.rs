@@ -1,0 +1,125 @@
+//! End-to-end smoke over a real socket: a background server on port 0,
+//! a raw `TcpStream` client, and the SIGTERM-latch drain path.
+//!
+//! Own binary: `request_shutdown` flips a process-global latch, which
+//! must not leak into other test suites.
+
+use qdb_serve::runner::StubRunner;
+use qdb_serve::server::{self, ServerConfig};
+use qdb_serve::service::{JobService, ServiceConfig};
+use qdb_store::StdVfs;
+use qdb_telemetry::MonotonicClock;
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::Arc;
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("qdb-serve-http-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// One HTTP exchange over a fresh connection; returns the raw response.
+fn exchange(addr: std::net::SocketAddr, request: &str) -> String {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    stream.write_all(request.as_bytes()).unwrap();
+    let mut response = String::new();
+    stream.read_to_string(&mut response).unwrap();
+    response
+}
+
+#[test]
+fn socket_round_trip_submit_poll_fetch_and_drain() {
+    let root = tmpdir("round-trip");
+    let service = Arc::new(
+        JobService::open(
+            &root,
+            Arc::new(StdVfs),
+            Arc::new(MonotonicClock::new()),
+            Arc::new(StubRunner::default()),
+            ServiceConfig {
+                queue_cap: 4,
+                workers: 1,
+                drain_deadline_ms: 2_000,
+                ..ServiceConfig::default()
+            },
+        )
+        .unwrap(),
+    );
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let server_service = Arc::clone(&service);
+    let server_thread = std::thread::spawn(move || {
+        server::run(listener, server_service, 1, ServerConfig::default())
+    });
+
+    let health = exchange(addr, "GET /healthz HTTP/1.1\r\nHost: t\r\n\r\n");
+    assert!(health.starts_with("HTTP/1.1 200"), "{health}");
+
+    let body = "{\"fragment\": \"3ckz\"}";
+    let submit = exchange(
+        addr,
+        &format!(
+            "POST /jobs HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n{}",
+            body.len(),
+            body
+        ),
+    );
+    assert!(submit.starts_with("HTTP/1.1 202"), "{submit}");
+    let key = submit
+        .rsplit("\"job\": \"")
+        .next()
+        .and_then(|s| s.split('"').next())
+        .expect("job key in submit response")
+        .to_string();
+
+    // Poll until the background worker completes it (bounded wait).
+    let mut completed = false;
+    for _ in 0..100 {
+        let poll = exchange(
+            addr,
+            &format!("GET /jobs/{key} HTTP/1.1\r\nHost: t\r\n\r\n"),
+        );
+        assert!(poll.starts_with("HTTP/1.1 200"), "{poll}");
+        if poll.contains("\"completed\"") {
+            completed = true;
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(20));
+    }
+    assert!(completed, "job never completed over the socket");
+
+    let duplicate = exchange(
+        addr,
+        &format!(
+            "POST /jobs HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n{}",
+            body.len(),
+            body
+        ),
+    );
+    assert!(duplicate.starts_with("HTTP/1.1 200"), "{duplicate}");
+    assert!(duplicate.contains("\"deduplicated\": true"), "{duplicate}");
+
+    let artifact = exchange(
+        addr,
+        &format!("GET /jobs/{key}/artifacts/stub/3ckz/structure.pdb HTTP/1.1\r\nHost: t\r\n\r\n"),
+    );
+    assert!(artifact.starts_with("HTTP/1.1 200"), "{artifact}");
+    assert!(artifact.contains("REMARK stub"), "{artifact}");
+
+    let post_no_length = exchange(addr, "POST /jobs HTTP/1.1\r\nHost: t\r\n\r\n");
+    assert!(
+        post_no_length.starts_with("HTTP/1.1 411"),
+        "{post_no_length}"
+    );
+
+    // SIGTERM-equivalent: flip the latch, server drains and returns.
+    server::request_shutdown();
+    let report = server_thread
+        .join()
+        .expect("server thread must not panic")
+        .expect("drain must succeed");
+    assert_eq!(report.journaled, 0, "nothing should be left queued");
+    assert!(!service.ready(), "drained service must not report ready");
+}

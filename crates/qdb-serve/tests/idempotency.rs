@@ -1,0 +1,137 @@
+//! Idempotent submission must not re-run the simulator.
+//!
+//! This lives in its own test binary because it asserts on the global
+//! telemetry registry's `vqe.*` / `exec.*` counters: the duplicate
+//! submission — in-process dedup, cache hit after restart, and cache hit
+//! in a *fresh* service — must leave every pipeline-execution counter
+//! exactly where the first build put it.
+
+use qdb_serve::key::JobRequest;
+use qdb_serve::runner::PipelineRunner;
+use qdb_serve::service::{JobService, JobStatus, ServiceConfig, Submission, WorkerTick};
+use qdb_store::StdVfs;
+use qdb_telemetry::ManualClock;
+use qdockbank::supervisor::SupervisorConfig;
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("qdb-serve-idem-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn pipeline_service(root: &Path) -> JobService {
+    JobService::open(
+        root,
+        Arc::new(StdVfs),
+        Arc::new(ManualClock::new()),
+        Arc::new(PipelineRunner {
+            supervisor: SupervisorConfig::fast(),
+            faults: qdb_vqe::fault::FaultPlan::none(),
+        }),
+        ServiceConfig::default(),
+    )
+    .unwrap()
+}
+
+/// Counters that prove the simulator ran: everything under `vqe.` and
+/// `exec.`.
+fn execution_counters() -> BTreeMap<String, u64> {
+    qdb_telemetry::global()
+        .snapshot()
+        .counters
+        .into_iter()
+        .filter(|(name, _)| name.starts_with("vqe.") || name.starts_with("exec."))
+        .collect()
+}
+
+#[test]
+fn duplicate_submission_serves_the_cache_without_invoking_the_simulator() {
+    let root = tmpdir("dup");
+    let request = JobRequest {
+        fragment: "3ckz".to_string(),
+        ..JobRequest::default()
+    };
+
+    // First build: the simulator genuinely runs.
+    let service = pipeline_service(&root);
+    let Submission::Accepted { key } = service.submit(&request) else {
+        panic!("first submission must be admitted");
+    };
+    assert_eq!(service.run_next_job(), WorkerTick::Ran);
+    assert!(matches!(
+        service.job(&key).unwrap().status,
+        JobStatus::Completed { .. }
+    ));
+    let after_build = execution_counters();
+    assert!(
+        after_build.values().any(|&v| v > 0),
+        "the first build must actually exercise the pipeline (saw {after_build:?})"
+    );
+
+    // Duplicate into the live service: in-process dedup.
+    match service.submit(&request) {
+        Submission::Deduplicated { key: k, status } => {
+            assert_eq!(k, key);
+            assert!(matches!(status, JobStatus::Completed { .. }));
+        }
+        other => panic!("expected dedup, got {other:?}"),
+    }
+    assert_eq!(
+        execution_counters(),
+        after_build,
+        "in-process dedup must not touch the simulator"
+    );
+
+    // Duplicate into a *restarted* service: journal replay answers it.
+    let restarted = pipeline_service(&root);
+    match restarted.submit(&request) {
+        Submission::Deduplicated { key: k, status } => {
+            assert_eq!(k, key);
+            assert!(
+                matches!(status, JobStatus::Completed { cached: true, .. }),
+                "restart must restore the completion as cached, got {status:?}"
+            );
+        }
+        other => panic!("expected journal-backed dedup, got {other:?}"),
+    }
+    assert_eq!(
+        execution_counters(),
+        after_build,
+        "journal-backed dedup must not touch the simulator"
+    );
+
+    // Duplicate into a fresh service on the same root with the journal
+    // removed: the content-addressed cache itself answers it.
+    std::fs::remove_file(root.join(qdb_serve::service::SERVE_JOURNAL)).unwrap();
+    let fresh = pipeline_service(&root);
+    match fresh.submit(&request) {
+        Submission::CacheHit { key: k } => assert_eq!(k, key),
+        other => panic!("expected a cache hit, got {other:?}"),
+    }
+    assert_eq!(
+        execution_counters(),
+        after_build,
+        "a cache hit must not touch the simulator"
+    );
+    assert_eq!(
+        fresh.run_next_job(),
+        WorkerTick::Idle,
+        "a cache hit must enqueue nothing"
+    );
+
+    // The invariant the telemetry gate checks:
+    // admitted + shed + cache_hits + dedup_hits == submitted.
+    let counters = qdb_telemetry::global().snapshot().counters;
+    let get = |name: &str| counters.get(name).copied().unwrap_or(0);
+    assert_eq!(
+        get("serve.admitted")
+            + get("serve.shed")
+            + get("serve.cache_hits")
+            + get("serve.dedup_hits"),
+        get("serve.submitted"),
+        "submission accounting must balance: {counters:?}"
+    );
+}

@@ -1,0 +1,149 @@
+//! Content-addressed result cache.
+//!
+//! The service layer keys work by a hash of the fully-resolved request —
+//! identical submissions map to identical keys — and parks each result
+//! in its own slot directory under a cache root. This module owns the
+//! on-disk layout and the integrity-checked lookup; what goes *into* a
+//! slot (dataset entries, result summaries) is the caller's business, as
+//! long as the slot is committed through the [`EntryWriter`] protocol so
+//! a `CHECKSUMS` sidecar marks it complete.
+//!
+//! Layout: `<root>/<key[0..2]>/<key>/` — a two-hex-character fan-out so
+//! a large cache does not pile every slot into one directory.
+
+use crate::atomic::{verify_dir, EntryWriter};
+use crate::error::StoreError;
+use crate::vfs::Vfs;
+use std::path::{Path, PathBuf};
+
+/// A content key: 32 lowercase hex characters (128 bits).
+pub const KEY_LEN: usize = 32;
+
+/// Whether `key` is a well-formed content key. Keys are embedded in
+/// paths, so anything else is rejected before it touches the filesystem.
+pub fn is_content_key(key: &str) -> bool {
+    key.len() == KEY_LEN
+        && key
+            .bytes()
+            .all(|b| b.is_ascii_digit() || (b'a'..=b'f').contains(&b))
+}
+
+/// A content-addressed cache rooted at one directory.
+#[derive(Clone, Debug)]
+pub struct ContentCache {
+    root: PathBuf,
+}
+
+impl ContentCache {
+    /// A cache under `root` (created lazily on first insert).
+    pub fn new(root: impl Into<PathBuf>) -> Self {
+        Self { root: root.into() }
+    }
+
+    /// The cache root directory.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    /// The slot directory for `key`.
+    ///
+    /// # Panics
+    /// If `key` is not a well-formed content key (see [`is_content_key`]).
+    pub fn slot(&self, key: &str) -> PathBuf {
+        assert!(is_content_key(key), "malformed content key: {key:?}");
+        self.root.join(&key[..2]).join(key)
+    }
+
+    /// Integrity-checked lookup: returns the slot directory iff the slot
+    /// exists, carries a committed `CHECKSUMS` sidecar, every checksummed
+    /// file matches, and all of `required` are present. A torn or corrupt
+    /// slot reads as a miss — the caller recomputes and overwrites it.
+    pub fn lookup(&self, vfs: &dyn Vfs, key: &str, required: &[&str]) -> Option<PathBuf> {
+        let slot = self.slot(key);
+        if !vfs.is_dir(&slot) {
+            return None;
+        }
+        let telemetry = qdb_telemetry::global();
+        match verify_dir(vfs, &slot, required) {
+            Ok(()) => {
+                telemetry.counter("store.cache_lookup_hits").inc();
+                Some(slot)
+            }
+            Err(_) => {
+                telemetry.counter("store.cache_lookup_rejects").inc();
+                None
+            }
+        }
+    }
+
+    /// Opens a transactional writer for `key`'s slot. The slot becomes
+    /// visible to [`lookup`](ContentCache::lookup) only at `commit()`,
+    /// when the sidecar lands.
+    pub fn begin<'a>(&self, vfs: &'a dyn Vfs, key: &str) -> Result<EntryWriter<'a>, StoreError> {
+        EntryWriter::begin(vfs, &self.slot(key))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vfs::StdVfs;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("qdb-cache-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    const KEY: &str = "0123456789abcdef0123456789abcdef";
+
+    #[test]
+    fn key_validation_rejects_path_hazards() {
+        assert!(is_content_key(KEY));
+        assert!(!is_content_key("short"));
+        assert!(!is_content_key("0123456789ABCDEF0123456789ABCDEF"));
+        assert!(!is_content_key("../3456789abcdef0123456789abcdef0"));
+        assert!(!is_content_key(""));
+    }
+
+    #[test]
+    fn lookup_misses_until_commit_then_hits() {
+        let root = tmpdir("commit");
+        let cache = ContentCache::new(&root);
+        assert!(cache.lookup(&StdVfs, KEY, &["result.json"]).is_none());
+
+        let mut w = cache.begin(&StdVfs, KEY).unwrap();
+        w.put("result.json", b"{\"ok\":true}").unwrap();
+        // Uncommitted: files exist but no sidecar, still a miss.
+        assert!(cache.lookup(&StdVfs, KEY, &["result.json"]).is_none());
+        w.commit().unwrap();
+
+        let slot = cache.lookup(&StdVfs, KEY, &["result.json"]).unwrap();
+        assert_eq!(slot, cache.slot(KEY));
+        assert!(slot.starts_with(root.join(&KEY[..2])));
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn corrupt_slot_reads_as_miss() {
+        let root = tmpdir("corrupt");
+        let cache = ContentCache::new(&root);
+        let mut w = cache.begin(&StdVfs, KEY).unwrap();
+        w.put("result.json", b"{\"ok\":true}").unwrap();
+        w.commit().unwrap();
+        std::fs::write(cache.slot(KEY).join("result.json"), b"tampered").unwrap();
+        assert!(cache.lookup(&StdVfs, KEY, &["result.json"]).is_none());
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn missing_required_file_reads_as_miss() {
+        let root = tmpdir("required");
+        let cache = ContentCache::new(&root);
+        let mut w = cache.begin(&StdVfs, KEY).unwrap();
+        w.put("other.json", b"{}").unwrap();
+        w.commit().unwrap();
+        assert!(cache.lookup(&StdVfs, KEY, &["result.json"]).is_none());
+        let _ = std::fs::remove_dir_all(&root);
+    }
+}

@@ -12,7 +12,9 @@
 //! * [`journal`] — append-only self-checksummed line journal whose
 //!   recovery truncates to the longest valid prefix;
 //! * [`quarantine`] — corrupt entries are moved aside with a reason
-//!   file, never deleted.
+//!   file, never deleted;
+//! * [`cache`] — content-addressed slot directories with
+//!   integrity-checked lookup (the service layer's result cache).
 //!
 //! The invariant the whole crate exists for: **at every filesystem-
 //! operation boundary, a reader either sees no artifact or a complete,
@@ -24,6 +26,7 @@
 //! on the global [`qdb_telemetry`] registry.
 
 pub mod atomic;
+pub mod cache;
 pub mod checksum;
 pub mod error;
 pub mod journal;
@@ -33,6 +36,7 @@ pub mod vfs;
 pub use atomic::{
     read_sidecar, sweep_tmp_files, verify_dir, write_atomic, EntryWriter, SIDECAR, TMP_SUFFIX,
 };
+pub use cache::{is_content_key, ContentCache};
 pub use checksum::crc32c;
 pub use error::StoreError;
 pub use journal::{Journal, Replay};

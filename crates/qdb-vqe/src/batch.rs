@@ -57,6 +57,10 @@ pub fn run_batch_injected(
 ) -> Vec<VqeBatchResult> {
     assert!(workers >= 1, "need at least one worker");
     let num_jobs = jobs.len();
+    // Snapshot ids before dispatch: if a worker dies between popping a job
+    // and writing its slot, the backstop below still knows which job the
+    // empty slot belonged to.
+    let ids: Vec<String> = jobs.iter().map(|j| j.id.clone()).collect();
     let (tx, rx) = crossbeam::channel::unbounded::<(usize, VqeJob)>();
     for item in jobs.into_iter().enumerate() {
         tx.send(item).expect("queue open");
@@ -76,8 +80,11 @@ pub fn run_batch_injected(
                 // buffers only reallocate when the register width changes.
                 let mut ws = SimWorkspace::new(0);
                 while let Ok((index, job)) = rx.recv() {
-                    let mut injector = plan.injector(&job.id, 0);
+                    // Injector construction sits inside the isolation
+                    // boundary too: a fault plan that panics while being
+                    // instantiated fails this job, not the worker.
                     let outcome = match catch_unwind(AssertUnwindSafe(|| {
+                        let mut injector = plan.injector(&job.id, 0);
                         run_vqe_injected(&job.hamiltonian, &job.config, &mut ws, &mut injector)
                     })) {
                         Ok(result) => result,
@@ -101,11 +108,27 @@ pub fn run_batch_injected(
         }
     });
 
-    results
-        .into_inner()
-        .unwrap_or_else(|e| e.into_inner())
+    let slots = results.into_inner().unwrap_or_else(|e| e.into_inner());
+    fill_lost_slots(&ids, slots)
+}
+
+/// Converts the worker pool's slot vector into final results, turning any
+/// empty slot — a job popped from the queue whose worker died before the
+/// result write — into a typed per-job error instead of a batch-wide
+/// panic. No submitted job can be silently dropped.
+fn fill_lost_slots(ids: &[String], slots: Vec<Option<VqeBatchResult>>) -> Vec<VqeBatchResult> {
+    slots
         .into_iter()
-        .map(|r| r.expect("every job completed"))
+        .enumerate()
+        .map(|(index, slot)| {
+            slot.unwrap_or_else(|| VqeBatchResult {
+                id: ids[index].clone(),
+                outcome: Err(VqeError::Panicked(format!(
+                    "job {} lost by the worker pool between queue pop and result write",
+                    ids[index]
+                ))),
+            })
+        })
         .collect()
 }
 
@@ -184,6 +207,52 @@ mod tests {
             results[2].outcome.as_ref().unwrap().best_bitstring,
             clean.best_bitstring
         );
+    }
+
+    #[test]
+    fn every_submitted_job_appears_in_the_results_under_panics() {
+        // All three jobs panic; each must still come back, in order, as a
+        // typed error — none dropped, no batch-wide panic.
+        let plan = FaultPlan::none()
+            .with_target("a", FaultKind::Panic, usize::MAX)
+            .with_target("b", FaultKind::Panic, usize::MAX)
+            .with_target("c", FaultKind::Panic, usize::MAX);
+        let jobs = vec![
+            job("a", "VKDRS", 1),
+            job("b", "RYRDV", 2),
+            job("c", "NIGGF", 3),
+        ];
+        let results = run_batch_injected(jobs, 2, &plan);
+        assert_eq!(
+            results.iter().map(|r| r.id.as_str()).collect::<Vec<_>>(),
+            vec!["a", "b", "c"]
+        );
+        assert!(results
+            .iter()
+            .all(|r| matches!(r.outcome, Err(VqeError::Panicked(_)))));
+    }
+
+    #[test]
+    fn lost_slot_becomes_a_typed_error_not_a_panic() {
+        // Simulates a worker dying between queue pop and result write: the
+        // slot is still None when the pool shuts down.
+        let ids = vec!["ok".to_string(), "lost".to_string()];
+        let slots = vec![
+            Some(VqeBatchResult {
+                id: "ok".to_string(),
+                outcome: Err(VqeError::JobRejected),
+            }),
+            None,
+        ];
+        let results = fill_lost_slots(&ids, slots);
+        assert_eq!(results.len(), 2);
+        assert_eq!(results[1].id, "lost");
+        match &results[1].outcome {
+            Err(VqeError::Panicked(msg)) => {
+                assert!(msg.contains("lost"), "diagnostic names the job: {msg}")
+            }
+            other => panic!("expected a typed per-job error, got {other:?}"),
+        }
     }
 
     #[test]

@@ -32,6 +32,9 @@ pub enum PipelineError {
         /// Elapsed time when the deadline check fired (ms).
         elapsed_ms: u64,
     },
+    /// The job was cancelled at an attempt boundary (service drain or
+    /// client abort). Not a defect: the job is resumable as-is.
+    Cancelled,
     /// Every attempt — including the degradation ladder — failed; the
     /// boxed error is the final attempt's cause.
     RetriesExhausted {
@@ -52,6 +55,7 @@ impl PipelineError {
             PipelineError::Decode(_) => "decode".to_string(),
             PipelineError::Panicked(_) => "panic".to_string(),
             PipelineError::DeadlineExceeded { .. } => "deadline-exceeded".to_string(),
+            PipelineError::Cancelled => "cancelled".to_string(),
             PipelineError::RetriesExhausted { .. } => "retries-exhausted".to_string(),
         }
     }
@@ -68,6 +72,7 @@ impl PipelineError {
             PipelineError::Decode(_) => false,
             PipelineError::Panicked(_) => false,
             PipelineError::DeadlineExceeded { .. } => false,
+            PipelineError::Cancelled => false,
             PipelineError::RetriesExhausted { .. } => false,
         }
     }
@@ -83,6 +88,9 @@ impl fmt::Display for PipelineError {
             PipelineError::Panicked(msg) => write!(f, "fragment job panicked: {msg}"),
             PipelineError::DeadlineExceeded { elapsed_ms } => {
                 write!(f, "fragment deadline exceeded after {elapsed_ms} ms")
+            }
+            PipelineError::Cancelled => {
+                write!(f, "job cancelled at an attempt boundary")
             }
             PipelineError::RetriesExhausted { attempts, last } => {
                 write!(f, "all {attempts} attempts failed; last: {last}")

@@ -45,13 +45,16 @@ use qdb_vqe::runner::{EnergyEngine, VqeConfig};
 use serde::{Deserialize, Serialize};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 
 /// Retry/degradation policy for a supervised build.
 #[derive(Clone, Copy, Debug)]
 pub struct SupervisorConfig {
     /// Attempt budget per fragment (including degraded attempts).
     pub max_attempts: usize,
-    /// First retry delay; doubles per subsequent retry.
+    /// Minimum retry delay; the exponential ladder and jitter both grow
+    /// from here.
     pub base_backoff_ms: u64,
     /// Backoff ceiling.
     pub max_backoff_ms: u64,
@@ -61,6 +64,13 @@ pub struct SupervisorConfig {
     /// Whether repeated deterministic failures may degrade the run
     /// configuration (engine downgrade, reduced shots) instead of failing.
     pub degrade: bool,
+    /// Seed for decorrelated backoff jitter. Retries sleep a pseudo-random
+    /// span in `[base, min(cap, 3 × previous)]` drawn deterministically
+    /// from `(jitter_seed, job id, attempt)` — concurrent jobs retrying
+    /// after a shared outage desynchronize instead of stampeding the
+    /// backend in lockstep, while any fixed seed replays the exact same
+    /// schedule (tests stay deterministic).
+    pub jitter_seed: u64,
 }
 
 impl Default for SupervisorConfig {
@@ -71,6 +81,7 @@ impl Default for SupervisorConfig {
             max_backoff_ms: 2_000,
             fragment_deadline_ms: None,
             degrade: true,
+            jitter_seed: 0,
         }
     }
 }
@@ -432,6 +443,82 @@ fn splitmix(mut x: u64) -> u64 {
     x ^ (x >> 31)
 }
 
+fn fnv1a(s: &str) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for b in s.as_bytes() {
+        h ^= *b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Decorrelated-jitter backoff (the "decorrelated jitter" scheme):
+/// uniform in `[base, min(cap, 3 × previous)]`, drawn from a stream keyed
+/// on `(jitter_seed, job, attempt)` so the schedule is a pure function of
+/// its inputs. A zero base means "no sleeping" (test policy) and always
+/// yields zero.
+fn jittered_backoff(sup: &SupervisorConfig, job: &str, attempt: usize, prev_ms: u64) -> u64 {
+    if sup.base_backoff_ms == 0 {
+        return 0;
+    }
+    let lo = sup.base_backoff_ms.min(sup.max_backoff_ms);
+    let hi = prev_ms
+        .max(lo)
+        .saturating_mul(3)
+        .min(sup.max_backoff_ms)
+        .max(lo);
+    let draw = splitmix(
+        sup.jitter_seed
+            ^ fnv1a(job)
+            ^ (attempt as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            ^ 0x0B_AC0F_F0u64,
+    );
+    lo + draw % (hi - lo + 1)
+}
+
+/// Cooperative cancellation for a supervised job, checked at attempt
+/// boundaries (a cancelled job never starts another attempt; the attempt
+/// already running completes or fails on its own). Clones share one flag.
+#[derive(Clone, Debug, Default)]
+pub struct CancelToken(Arc<AtomicBool>);
+
+impl CancelToken {
+    /// A token that has not been cancelled.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Requests cancellation; all clones observe it.
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether cancellation has been requested.
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::SeqCst)
+    }
+}
+
+/// One supervised job: everything [`run_job`] needs to build a single
+/// fragment entry under a root. This is the unit the batch builder loops
+/// over and the unit `qdb-serve` schedules over a worker pool — extracted
+/// so both drive the identical retry/backoff/degradation ladder.
+pub struct JobUnit<'a> {
+    /// Dataset root the entry is written under (`root/<group>/<pdb_id>/`).
+    pub root: &'a Path,
+    /// The fragment to build.
+    pub record: &'a FragmentRecord,
+    /// Pipeline budgets.
+    pub pipeline: &'a PipelineConfig,
+    /// Retry/degradation policy.
+    pub supervisor: &'a SupervisorConfig,
+    /// Rehearsed-fault schedule ([`FaultPlan::none`] in production).
+    pub faults: &'a FaultPlan,
+    /// Overrides the canonical per-fragment VQE seed (service jobs carry
+    /// their seed in the request; `None` keeps `pdb_id_seed`).
+    pub seed_override: Option<u64>,
+}
+
 /// What one attempt runs with. Escalation `0..=1` keeps the canonical
 /// configuration (a deterministic *injected* fault is keyed to the
 /// attempt index, so a plain retry clears it without forfeiting
@@ -469,28 +556,40 @@ fn attempt_config(
     }
 }
 
-/// Runs one fragment under the retry/escalation policy, journaling every
-/// attempt. On success the dataset entry is already written under `root`.
-#[allow(clippy::too_many_arguments)]
-fn run_supervised(
-    root: &Path,
-    record: &FragmentRecord,
-    pipeline_cfg: &PipelineConfig,
-    sup: &SupervisorConfig,
-    plan: &FaultPlan,
+/// Runs one supervised job end to end: the retry/escalation ladder, the
+/// decorrelated-jitter backoff schedule, deadline checks, and cooperative
+/// cancellation — all at attempt boundaries. On success the dataset entry
+/// is already written (atomically, checksummed) under `unit.root`.
+///
+/// This is the unit of work the batch builder and the `qdb-serve` worker
+/// pool share: both get the identical policy because both call this.
+pub fn run_job(
+    unit: &JobUnit<'_>,
     clock: &dyn Clock,
     vfs: &dyn Vfs,
+    cancel: &CancelToken,
 ) -> (Result<FragmentFiles, PipelineError>, Vec<AttemptRecord>) {
     let telemetry = qdb_telemetry::global();
-    let canonical = pipeline_cfg.vqe_config(record);
+    let record = unit.record;
+    let sup = unit.supervisor;
+    let mut canonical = unit.pipeline.vqe_config(record);
+    if let Some(seed) = unit.seed_override {
+        canonical.seed = seed;
+    }
     let started_ns = clock.now_ns();
     let mut attempts: Vec<AttemptRecord> = Vec::new();
     // Consecutive deterministic (non-transient) failures; transient
     // failures retry in place without escalating.
     let mut escalation = 0usize;
     let mut last_err: Option<PipelineError> = None;
+    let mut prev_backoff_ms = 0u64;
 
     for attempt in 0..sup.max_attempts {
+        if cancel.is_cancelled() {
+            telemetry.counter("supervisor.cancelled").inc();
+            telemetry.instant("supervisor.cancel");
+            return (Err(PipelineError::Cancelled), attempts);
+        }
         if attempt > 0 {
             telemetry.counter("supervisor.retries").inc();
             telemetry.instant("supervisor.retry");
@@ -513,13 +612,13 @@ fn run_supervised(
             telemetry.counter("supervisor.degradations").inc();
             telemetry.instant("supervisor.degradation");
         }
-        let mut injector = plan.injector(record.pdb_id, attempt);
+        let mut injector = unit.faults.injector(record.pdb_id, attempt);
         // The whole attempt — VQE, docking, entry write — is one
         // isolated unit: a panic anywhere inside becomes a typed error
         // and a torn entry is overwritten by the next attempt.
         let outcome = catch_unwind(AssertUnwindSafe(|| {
-            let result = run_fragment_with(record, pipeline_cfg, &vqe_cfg, &mut injector)?;
-            write_fragment_entry_vfs(vfs, root, record, &result)
+            let result = run_fragment_with(record, unit.pipeline, &vqe_cfg, &mut injector)?;
+            write_fragment_entry_vfs(vfs, unit.root, record, &result)
         }))
         .unwrap_or_else(|payload| Err(PipelineError::Panicked(panic_message(payload.as_ref()))));
 
@@ -547,12 +646,11 @@ fn run_supervised(
                 if !e.is_transient() {
                     escalation += 1;
                 }
-                // Exponential backoff, capped; journaled even when the
-                // budget is exhausted so the manifest shows the full story.
-                let backoff = sup
-                    .base_backoff_ms
-                    .saturating_mul(1u64 << attempt.min(16))
-                    .min(sup.max_backoff_ms);
+                // Decorrelated-jitter backoff, capped; journaled even when
+                // the budget is exhausted so the manifest shows the full
+                // story.
+                let backoff = jittered_backoff(sup, record.pdb_id, attempt, prev_backoff_ms);
+                prev_backoff_ms = backoff;
                 rec.backoff_ms = backoff;
                 attempts.push(rec);
                 last_err = Some(e);
@@ -730,7 +828,15 @@ fn build_one(
     vfs: &dyn Vfs,
 ) -> FragmentReport {
     let telemetry = qdb_telemetry::global();
-    let (outcome, attempts) = run_supervised(root, record, pipeline_cfg, sup, plan, clock, vfs);
+    let unit = JobUnit {
+        root,
+        record,
+        pipeline: pipeline_cfg,
+        supervisor: sup,
+        faults: plan,
+        seed_override: None,
+    };
+    let (outcome, attempts) = run_job(&unit, clock, vfs, &CancelToken::new());
     let status = match &outcome {
         Ok(_) => {
             let winning = attempts.last().expect("success recorded an attempt");
@@ -980,5 +1086,101 @@ mod tests {
         // The failed fragment left no dataset entry behind.
         assert!(!root.join("S/3eax").is_dir());
         let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn jittered_backoff_is_bounded_and_deterministic() {
+        let sup = SupervisorConfig {
+            base_backoff_ms: 10,
+            max_backoff_ms: 2_000,
+            jitter_seed: 7,
+            ..SupervisorConfig::default()
+        };
+        let mut prev = 0u64;
+        for attempt in 0..12 {
+            let b = jittered_backoff(&sup, "3ckz", attempt, prev);
+            assert!(
+                b >= sup.base_backoff_ms,
+                "attempt {attempt}: {b} below base"
+            );
+            assert!(b <= sup.max_backoff_ms, "attempt {attempt}: {b} above cap");
+            let hi = prev.max(10).saturating_mul(3).min(sup.max_backoff_ms);
+            assert!(b <= hi.max(10), "attempt {attempt}: {b} above 3× previous");
+            // Same inputs, same draw: the schedule is replayable.
+            assert_eq!(b, jittered_backoff(&sup, "3ckz", attempt, prev));
+            prev = b;
+        }
+        // Different jobs (and different seeds) decorrelate.
+        let a = jittered_backoff(&sup, "3ckz", 1, 10);
+        let b = jittered_backoff(&sup, "3eax", 1, 10);
+        let other_seed = SupervisorConfig {
+            jitter_seed: 8,
+            ..sup
+        };
+        let c = jittered_backoff(&other_seed, "3ckz", 1, 10);
+        assert!(
+            a != b || a != c,
+            "jitter must not be a constant across jobs and seeds"
+        );
+    }
+
+    #[test]
+    fn zero_base_backoff_never_sleeps() {
+        let sup = SupervisorConfig::fast();
+        for attempt in 0..8 {
+            assert_eq!(jittered_backoff(&sup, "3ckz", attempt, 500), 0);
+        }
+    }
+
+    #[test]
+    fn cancelled_token_stops_the_job_at_the_attempt_boundary() {
+        let root = tmpdir("cancel");
+        let record = fragment("3ckz").unwrap();
+        let cancel = CancelToken::new();
+        cancel.cancel();
+        let unit = JobUnit {
+            root: &root,
+            record,
+            pipeline: &PipelineConfig::fast(),
+            supervisor: &SupervisorConfig::fast(),
+            faults: &FaultPlan::none(),
+            seed_override: None,
+        };
+        let (outcome, attempts) = run_job(&unit, &MonotonicClock::new(), &StdVfs, &cancel);
+        assert!(matches!(outcome, Err(PipelineError::Cancelled)));
+        assert!(attempts.is_empty(), "no attempt may start after cancel");
+        assert!(!root.join("S/3ckz").is_dir(), "nothing written");
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn seed_override_changes_the_artifacts_deterministically() {
+        let record = fragment("3ckz").unwrap();
+        let pipeline = PipelineConfig::fast();
+        let sup = SupervisorConfig::fast();
+        let plan = FaultPlan::none();
+        let build = |tag: &str, seed: Option<u64>| {
+            let root = tmpdir(tag);
+            let unit = JobUnit {
+                root: &root,
+                record,
+                pipeline: &pipeline,
+                supervisor: &sup,
+                faults: &plan,
+                seed_override: seed,
+            };
+            let (outcome, _) = run_job(&unit, &MonotonicClock::new(), &StdVfs, &CancelToken::new());
+            outcome.unwrap();
+            // metadata.json carries the optimization-energy envelope, which
+            // tracks the VQE seed directly (docking re-seeds off the pdb id).
+            let bytes = std::fs::read(root.join("S/3ckz/metadata.json")).unwrap();
+            let _ = std::fs::remove_dir_all(&root);
+            bytes
+        };
+        let canonical = build("seed-a", None);
+        let replay = build("seed-b", None);
+        assert_eq!(canonical, replay, "same seed, byte-identical artifacts");
+        let shifted = build("seed-c", Some(0xDEAD_BEEF));
+        assert_ne!(canonical, shifted, "override must actually steer the VQE");
     }
 }

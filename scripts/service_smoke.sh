@@ -1,0 +1,127 @@
+#!/usr/bin/env bash
+# End-to-end smoke gate for the qdb-serve daemon: start the server on a
+# two-fragment config, drive it with a scripted HTTP client (submit,
+# duplicate-submit, poll, fetch artifacts), SIGTERM it, and require a
+# clean drain plus a validating telemetry snapshot and trace.
+#
+#   cargo build --release -p qdb-serve -p qdb-bench
+#   scripts/service_smoke.sh
+#
+# Binaries can be overridden (the offline dev harness builds them
+# elsewhere): SERVE_BIN, VALIDATE_BIN, REPORT_BIN. FRAGMENTS overrides
+# the submitted fragment ids; STUB=1 serves the stub pipeline instead of
+# the real one (seconds instead of minutes on a slow machine).
+set -euo pipefail
+
+SERVE_BIN="${SERVE_BIN:-target/release/serve}"
+VALIDATE_BIN="${VALIDATE_BIN:-target/release/validate_telemetry}"
+REPORT_BIN="${REPORT_BIN:-target/release/serve_report}"
+FRAGMENTS="${FRAGMENTS:-3ckz 3eax}"
+POLL_BUDGET_S="${POLL_BUDGET_S:-120}"
+
+WORK="$(mktemp -d /tmp/qdb-serve-smoke.XXXXXX)"
+SERVER_PID=""
+cleanup() {
+  [ -n "$SERVER_PID" ] && kill -KILL "$SERVER_PID" 2>/dev/null || true
+  rm -rf "$WORK"
+}
+trap cleanup EXIT
+
+fail() {
+  echo "FAIL: $*" >&2
+  echo "--- server log ---" >&2
+  cat "$WORK/serve.log" >&2 || true
+  exit 1
+}
+
+STUB_FLAG=""
+[ "${STUB:-0}" = "1" ] && STUB_FLAG="--stub-runner"
+
+"$SERVE_BIN" --addr 127.0.0.1:0 --root "$WORK/root" --workers 2 \
+  --queue-cap 8 $STUB_FLAG \
+  --telemetry "$WORK/snap.json" --trace "$WORK/trace.json" \
+  >"$WORK/serve.log" 2>&1 &
+SERVER_PID=$!
+
+for _ in $(seq 1 100); do
+  grep -q "listening on" "$WORK/serve.log" 2>/dev/null && break
+  kill -0 "$SERVER_PID" 2>/dev/null || fail "server died before binding"
+  sleep 0.1
+done
+ADDR="$(sed -n 's/^qdb-serve listening on \([0-9.:]*\).*/\1/p' "$WORK/serve.log")"
+[ -n "$ADDR" ] && echo "server up at $ADDR" || fail "could not parse bound address"
+
+get() { curl -sf --max-time 10 "http://$ADDR$1"; }
+post() { curl -s --max-time 10 -X POST "http://$ADDR/jobs" -d "$1"; }
+json_field() { sed -n "s/.*\"$1\": *\"\([^\"]*\)\".*/\1/p"; }
+
+# Liveness and readiness before any load.
+[ "$(get /healthz)" = "ok" ] || fail "/healthz not ok"
+[ "$(get /readyz)" = "ready" ] || fail "/readyz not ready on an idle server"
+
+# Submit every fragment; remember the content-addressed job keys.
+KEYS=""
+for frag in $FRAGMENTS; do
+  body="$(post "{\"fragment\":\"$frag\"}")"
+  key="$(printf '%s' "$body" | json_field job)"
+  [ -n "$key" ] || fail "submit of $frag returned no job key: $body"
+  echo "submitted $frag → $key"
+  KEYS="$KEYS $key"
+done
+
+# A duplicate submission must join the existing job, not enqueue again.
+first_frag="${FRAGMENTS%% *}"
+first_key="${KEYS## }"; first_key="${first_key%% *}"
+dup="$(post "{\"fragment\":\"$first_frag\"}")"
+printf '%s' "$dup" | grep -q '"deduplicated": true' ||
+  fail "duplicate submit did not deduplicate: $dup"
+echo "duplicate submit of $first_frag deduplicated"
+
+# Poll to completion.
+deadline=$(($(date +%s) + POLL_BUDGET_S))
+for key in $KEYS; do
+  while :; do
+    status="$(get "/jobs/$key" | json_field status)"
+    case "$status" in
+      completed | completed-degraded) break ;;
+      failed) fail "job $key failed: $(get "/jobs/$key")" ;;
+    esac
+    [ "$(date +%s)" -lt "$deadline" ] || fail "job $key stuck at '$status'"
+    sleep 0.2
+  done
+  echo "job $key $status"
+done
+
+# A post-completion duplicate is served from the result cache.
+cached="$(post "{\"fragment\":\"$first_frag\"}")"
+printf '%s' "$cached" | grep -Eq '"(deduplicated|cached)": true' ||
+  fail "post-completion duplicate was not served from cache: $cached"
+echo "post-completion duplicate served from cache"
+
+# Fetch the artifact manifest and one artifact body.
+manifest="$(get "/jobs/$first_key/artifacts")"
+printf '%s' "$manifest" | grep -q '"files"' || fail "bad artifact manifest: $manifest"
+rel="$(printf '%s' "$manifest" | json_field name)"
+[ -n "$rel" ] || fail "artifact manifest lists no files: $manifest"
+size="$(get "/jobs/$first_key/artifacts/$rel" | wc -c)"
+[ "$size" -gt 0 ] || fail "artifact $rel came back empty"
+echo "fetched artifact $rel ($size bytes)"
+
+get /metrics | grep -q '^qdb_serve_submitted ' || fail "/metrics missing qdb_serve_submitted"
+
+# Graceful drain: SIGTERM must finish the work and exit 0.
+kill -TERM "$SERVER_PID"
+if ! wait "$SERVER_PID"; then
+  SERVER_PID=""
+  fail "server exited non-zero after SIGTERM"
+fi
+SERVER_PID=""
+grep -q '^drained:' "$WORK/serve.log" || fail "no drain report in server log"
+echo "drain: $(grep '^drained:' "$WORK/serve.log")"
+
+# The snapshot and trace the run left behind must pass the CI gates.
+"$VALIDATE_BIN" "$WORK/snap.json" --serve --trace "$WORK/trace.json" ||
+  fail "telemetry validation failed"
+"$REPORT_BIN" "$WORK/snap.json" || fail "service report failed"
+
+echo "service smoke: OK"

@@ -260,8 +260,13 @@ fn transiently_faulted_build_matches_fault_free_byte_for_byte() {
     assert_eq!(ckz.attempts[0].cause.as_deref(), Some("vqe/job-rejected"));
     assert_eq!(ckz.attempts[1].cause.as_deref(), Some("vqe/job-rejected"));
     assert!(ckz.attempts[0].transient && ckz.attempts[1].transient);
-    assert!(ckz.attempts[0].backoff_ms >= 1);
-    assert!(ckz.attempts[1].backoff_ms >= ckz.attempts[0].backoff_ms);
+    // Decorrelated jitter: each delay is uniform in
+    // [base, min(cap, 3 × previous)] — bounded, not monotone.
+    let (base, cap) = (sup.base_backoff_ms, sup.max_backoff_ms);
+    let first = ckz.attempts[0].backoff_ms;
+    let second = ckz.attempts[1].backoff_ms;
+    assert!((base..=cap.min(3 * base)).contains(&first), "{first}");
+    assert!((base..=cap.min(3 * first)).contains(&second), "{second}");
     assert_eq!(ckz.attempts[2].cause, None);
     assert_eq!(
         by_id("3eax").attempts[0].cause.as_deref(),

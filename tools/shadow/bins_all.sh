@@ -1,0 +1,37 @@
+#!/bin/bash
+# Compiles every example and qdb-bench/qdb-serve binary into $BINS.
+# Usage: bash tools/shadow/bins_all.sh
+set -u
+. "$(dirname "$0")/common.sh"
+BINS=${BINS:-/tmp/shadow/bins}
+mkdir -p "$BINS"
+fail=0
+
+for ex in "$REPO"/examples/*.rs; do
+    n=$(basename "$ex" .rs)
+    echo "example $n"
+    "$RUSTC" "${FLAGS[@]}" --crate-name "$n" \
+        $(extern_flags "$(deps_of qdockbank) qdockbank") \
+        -o "$BINS/ex_$n" "$ex" || { echo "FAILED: example $n"; fail=1; }
+done
+
+for bin in "$CRATES"/qdb-bench/src/bin/*.rs; do
+    n=$(basename "$bin" .rs)
+    echo "bench bin $n"
+    "$RUSTC" "${FLAGS[@]}" --crate-name "$n" \
+        $(extern_flags "$(deps_of qdb-bench) qdb_bench") \
+        -o "$BINS/bin_$n" "$bin" || { echo "FAILED: bin $n"; fail=1; }
+done
+
+if [ -d "$CRATES/qdb-serve/src/bin" ]; then
+    for bin in "$CRATES"/qdb-serve/src/bin/*.rs; do
+        n=$(basename "$bin" .rs)
+        echo "serve bin $n"
+        "$RUSTC" "${FLAGS[@]}" --crate-name "$n" \
+            $(extern_flags "$(deps_of qdb-serve) qdb_serve") \
+            -o "$BINS/bin_$n" "$bin" || { echo "FAILED: bin $n"; fail=1; }
+    done
+fi
+
+[ $fail -eq 0 ] && echo "SHADOW BINS: OK"
+exit $fail

@@ -1,0 +1,19 @@
+#!/bin/bash
+# Rebuilds every workspace crate rlib into $LIBS, in dependency order.
+# Usage: bash tools/shadow/build_all.sh [first-crate]
+# With an argument, starts the chain at that crate (everything upstream
+# is assumed current).
+set -u
+. "$(dirname "$0")/common.sh"
+
+start="${1:-}"
+started=0
+for c in $CRATE_ORDER; do
+    if [ -n "$start" ] && [ $started -eq 0 ]; then
+        [ "$c" = "$start" ] && started=1 || continue
+    fi
+    [ -d "$CRATES/$c" ] || continue
+    echo "building $c"
+    build_crate "$c" || { echo "FAILED: $c"; exit 1; }
+done
+echo "SHADOW BUILD: OK"

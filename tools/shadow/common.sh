@@ -1,0 +1,70 @@
+# Shared definitions for the shadow build harness.
+#
+# cargo cannot reach a registry in this container, so the workspace is
+# compiled with plain `rustc` against stub dependency rlibs prebuilt in
+# $LIBS (rand, rayon, serde, ... — see .claude/skills/verify/SKILL.md).
+# Source this file, then use build_crate / extern_flags / deps_of.
+
+LIBS=${LIBS:-/tmp/shadow/libs}
+REPO=${REPO:-/root/repo}
+CRATES="$REPO/crates"
+RUSTC=${RUSTC:-rustc}
+FLAGS=(--edition 2021 -O -L "$LIBS")
+
+# Direct dependencies of each crate (crate-name form), matching the
+# [dependencies] section of its Cargo.toml. Keep in sync when a manifest
+# changes.
+deps_of() {
+    case "$1" in
+        qdb-telemetry) echo "serde serde_json parking_lot" ;;
+        qdb-store)     echo "qdb_telemetry" ;;
+        qdb-quantum)   echo "qdb_telemetry rand rand_chacha rayon" ;;
+        qdb-lattice)   echo "qdb_quantum rayon" ;;
+        qdb-transpile) echo "qdb_quantum" ;;
+        qdb-optimize)  echo "rand rand_chacha" ;;
+        qdb-mol)       echo "rand rand_chacha" ;;
+        qdb-vqe)       echo "qdb_telemetry qdb_quantum qdb_transpile qdb_lattice qdb_optimize rand rand_chacha crossbeam" ;;
+        qdb-dock)      echo "qdb_telemetry qdb_mol rand rand_chacha rayon" ;;
+        qdb-baselines) echo "qdb_mol qdb_lattice rand rand_chacha" ;;
+        qdockbank)     echo "qdb_telemetry qdb_store qdb_quantum qdb_transpile qdb_lattice qdb_optimize qdb_vqe qdb_mol qdb_dock qdb_baselines serde serde_json parking_lot" ;;
+        qdb-serve)     echo "qdb_telemetry qdb_store qdb_vqe qdockbank serde serde_json" ;;
+        qdb-bench)     echo "qdb_telemetry qdb_quantum qdb_transpile qdb_lattice qdb_optimize qdb_vqe qdb_mol qdb_dock qdb_baselines qdockbank rand rand_chacha rayon serde serde_json" ;;
+        *) echo "" ;;
+    esac
+}
+
+# Build order respecting the dependency DAG above.
+CRATE_ORDER="qdb-telemetry qdb-store qdb-quantum qdb-optimize qdb-mol qdb-lattice qdb-transpile qdb-vqe qdb-dock qdb-baselines qdockbank qdb-serve qdb-bench"
+
+# extern_flags "qdb_telemetry rand" -> --extern qdb_telemetry=$LIBS/... ...
+extern_flags() {
+    local out="" dep
+    for dep in $1; do
+        if [ "$dep" = serde_derive ]; then
+            out="$out --extern serde_derive=$LIBS/libserde_derive.so"
+        else
+            out="$out --extern $dep=$LIBS/lib$dep.rlib"
+        fi
+    done
+    echo "$out"
+}
+
+crate_name() { echo "${1//-/_}"; }
+
+# build_crate qdb-store — compiles the crate's lib.rs into $LIBS.
+build_crate() {
+    local dir="$1" name
+    name=$(crate_name "$dir")
+    "$RUSTC" "${FLAGS[@]}" --crate-type rlib --crate-name "$name" \
+        $(extern_flags "$(deps_of "$dir")") \
+        --out-dir "$LIBS" "$CRATES/$dir/src/lib.rs" || return 1
+}
+
+# build_test qdb-store /path/out — unit-test binary for the crate's lib.rs.
+build_test() {
+    local dir="$1" out="$2" name
+    name=$(crate_name "$dir")
+    "$RUSTC" "${FLAGS[@]}" --test --crate-name "${name}_t" \
+        $(extern_flags "$(deps_of "$dir") proptest") \
+        -o "$out" "$CRATES/$dir/src/lib.rs" || return 1
+}

@@ -1,0 +1,52 @@
+#!/bin/bash
+# Compiles and runs every unit + integration test binary.
+# Usage: bash tools/shadow/test_all.sh [crate]   # e.g. qdb-serve
+set -u
+. "$(dirname "$0")/common.sh"
+TESTS=${TESTS:-/tmp/shadow/tests}
+mkdir -p "$TESTS"
+
+only="${1:-}"
+fail=0
+
+run() { echo "== $1"; "$2" -q || { echo "FAILED: $1"; fail=1; }; }
+
+for c in $CRATE_ORDER; do
+    [ -n "$only" ] && [ "$c" != "$only" ] && continue
+    [ -d "$CRATES/$c" ] || continue
+    name=$(crate_name "$c")
+    if build_test "$c" "$TESTS/${name}_t"; then
+        run "$c (unit)" "$TESTS/${name}_t"
+    else
+        echo "FAILED TO BUILD: $c unit tests"; fail=1
+    fi
+    # Integration tests: crates/<c>/tests/*.rs, plus the qdockbank suite
+    # that lives at the workspace root (tests/*.rs via [[test]] paths).
+    for t in "$CRATES/$c"/tests/*.rs; do
+        [ -e "$t" ] || continue
+        tn=$(basename "$t" .rs)
+        if "$RUSTC" "${FLAGS[@]}" --test --crate-name "$tn" \
+            $(extern_flags "$(deps_of "$c") $name proptest") \
+            -o "$TESTS/$tn" "$t"; then
+            run "$c/$tn" "$TESTS/$tn"
+        else
+            echo "FAILED TO BUILD: $c/$tn"; fail=1
+        fi
+    done
+    if [ "$c" = qdockbank ]; then
+        for t in "$REPO"/tests/*.rs; do
+            [ -e "$t" ] || continue
+            tn=$(basename "$t" .rs)
+            if "$RUSTC" "${FLAGS[@]}" --test --crate-name "$tn" \
+                $(extern_flags "$(deps_of "$c") $name proptest") \
+                -o "$TESTS/$tn" "$t"; then
+                run "qdockbank/$tn" "$TESTS/$tn"
+            else
+                echo "FAILED TO BUILD: qdockbank/$tn"; fail=1
+            fi
+        done
+    fi
+done
+
+[ $fail -eq 0 ] && echo "SHADOW TESTS: ALL PASSED" || echo "SHADOW TESTS: FAILURES"
+exit $fail
