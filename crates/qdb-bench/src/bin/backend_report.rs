@@ -1,0 +1,506 @@
+//! Cross-backend docking agreement report.
+//!
+//! Docks a fragment panel with the Vina-style engine and the QUBO pose
+//! generator *independently* over a shared seed schedule, then measures
+//! how much the two backends agree: RMSD between their best poses, the
+//! correlation of their per-seed best scores, and the QUBO win rate.
+//! It also exercises the `auto` fallback ladder end-to-end and — under
+//! `--chaos` — injects a QUBO fault to prove the Vina fallback engages
+//! and is recorded in telemetry.
+//!
+//! ```text
+//! cargo run --release -p qdb-bench --bin backend_report -- \
+//!     --fragments 3ckz,3eax --runs 3 --chaos \
+//!     --output backend_report.json --telemetry backend_telemetry.json
+//! ```
+//!
+//! Exits non-zero when any gate fails:
+//! - either backend fails to produce a finite-scored pose for a fragment,
+//! - the `auto` ladder errors even though a rung could have succeeded,
+//! - under `--chaos`, the injected QUBO fault does not fall back to Vina.
+
+use qdb_baselines::reference::{generate_reference, pdb_id_seed};
+use qdb_dock::backend::{DockBackend, DockContext, FaultInjectedBackend, VinaBackend};
+use qdb_dock::cluster::rmsd_upper_bound;
+use qdb_dock::dispatch::{DispatchPolicy, Dispatcher};
+use qdb_dock::engine::{DockParams, DockRun};
+use qdb_mol::geometry::Vec3;
+use qdb_mol::ligand::Ligand;
+use qdb_mol::structure::Structure;
+use qdb_qubo::QuboDockBackend;
+use qdb_telemetry::MonotonicClock;
+use qdockbank::pipeline::ligand_for;
+use qdockbank::{fragment, PipelineConfig};
+use serde::Serialize;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+/// Seed stride matching the dispatcher's replicate schedule.
+const SEED_STRIDE: u64 = 0x1000_0000_0001;
+
+/// Per-backend docking summary for one fragment.
+#[derive(Debug, Serialize)]
+struct BackendStats {
+    backend: String,
+    /// Best (lowest) affinity across all seeds.
+    best_affinity: f64,
+    /// Mean of the per-seed best affinities.
+    mean_best_affinity: f64,
+    /// Per-seed best affinities, in seed-schedule order.
+    per_seed_best: Vec<f64>,
+    /// Total poses returned across all seeds.
+    poses: usize,
+    /// True when every seed produced at least one finite-scored pose.
+    all_runs_finite: bool,
+}
+
+/// Cross-backend agreement numbers for one fragment.
+#[derive(Debug, Serialize)]
+struct Agreement {
+    /// RMSD (Å) between the two backends' overall best poses.
+    best_pose_rmsd: f64,
+    /// Pearson correlation of per-seed best affinities (NaN if degenerate).
+    score_correlation: f64,
+    /// Fraction of seeds where the QUBO best score beat (or tied) Vina's.
+    qubo_win_rate: f64,
+}
+
+/// `auto` ladder outcome for one fragment.
+#[derive(Debug, Serialize)]
+struct AutoOutcome {
+    ok: bool,
+    backend: String,
+    fallbacks: u64,
+    best_affinity: f64,
+}
+
+/// Chaos drill outcome: QUBO rung rigged to fail its first call.
+#[derive(Debug, Serialize)]
+struct ChaosOutcome {
+    ok: bool,
+    /// Backend that actually served the run (must be "vina").
+    served_by: String,
+    fallbacks: u64,
+}
+
+#[derive(Debug, Serialize)]
+struct FragmentReport {
+    pdb_id: String,
+    runs: usize,
+    vina: BackendStats,
+    qubo: BackendStats,
+    agreement: Agreement,
+    auto: AutoOutcome,
+    chaos: Option<ChaosOutcome>,
+    gates_passed: bool,
+}
+
+#[derive(Debug, Serialize)]
+struct Report {
+    schema_version: u32,
+    fragments: Vec<FragmentReport>,
+    all_gates_passed: bool,
+}
+
+/// Docks `runs` replicates with one backend over the shared seed
+/// schedule, collecting per-seed runs. Returns `None` per slot when the
+/// backend errored for that seed.
+fn dock_series(
+    backend: &dyn DockBackend,
+    receptor: &Structure,
+    ligand: &Ligand,
+    params: &DockParams,
+    base_seed: u64,
+    runs: usize,
+) -> Vec<Option<DockRun>> {
+    let clock = MonotonicClock::new();
+    (0..runs)
+        .map(|i| {
+            let seed = base_seed.wrapping_add(i as u64 * SEED_STRIDE);
+            let ctx = DockContext::unbounded(&clock);
+            backend.dock(receptor, ligand, params, seed, &ctx).ok()
+        })
+        .collect()
+}
+
+/// Best finite pose (lowest affinity) across a series of runs.
+fn best_pose(series: &[Option<DockRun>]) -> Option<(f64, Vec<Vec3>)> {
+    series
+        .iter()
+        .flatten()
+        .flat_map(|run| run.poses.iter())
+        .filter(|p| p.affinity.is_finite())
+        .map(|p| (p.affinity, p.coords.clone()))
+        .min_by(|a, b| a.0.total_cmp(&b.0))
+}
+
+fn backend_stats(name: &str, series: &[Option<DockRun>]) -> BackendStats {
+    let per_seed_best: Vec<f64> = series
+        .iter()
+        .map(|run| run.as_ref().map(|r| r.best_affinity()).unwrap_or(f64::NAN))
+        .collect();
+    let finite: Vec<f64> = per_seed_best
+        .iter()
+        .copied()
+        .filter(|a| a.is_finite())
+        .collect();
+    let poses = series.iter().flatten().map(|r| r.poses.len()).sum();
+    BackendStats {
+        backend: name.to_string(),
+        best_affinity: finite.iter().copied().fold(f64::INFINITY, f64::min),
+        mean_best_affinity: if finite.is_empty() {
+            f64::NAN
+        } else {
+            finite.iter().sum::<f64>() / finite.len() as f64
+        },
+        all_runs_finite: finite.len() == series.len() && !series.is_empty(),
+        per_seed_best,
+        poses,
+    }
+}
+
+/// Pearson correlation over pairs where both values are finite.
+fn pearson(a: &[f64], b: &[f64]) -> f64 {
+    let pairs: Vec<(f64, f64)> = a
+        .iter()
+        .zip(b)
+        .filter(|(x, y)| x.is_finite() && y.is_finite())
+        .map(|(&x, &y)| (x, y))
+        .collect();
+    let n = pairs.len() as f64;
+    if pairs.len() < 2 {
+        return f64::NAN;
+    }
+    let mx = pairs.iter().map(|p| p.0).sum::<f64>() / n;
+    let my = pairs.iter().map(|p| p.1).sum::<f64>() / n;
+    let (mut sxy, mut sxx, mut syy) = (0.0, 0.0, 0.0);
+    for (x, y) in &pairs {
+        sxy += (x - mx) * (y - my);
+        sxx += (x - mx) * (x - mx);
+        syy += (y - my) * (y - my);
+    }
+    if sxx <= 0.0 || syy <= 0.0 {
+        f64::NAN
+    } else {
+        sxy / (sxx * syy).sqrt()
+    }
+}
+
+fn report_fragment(pdb_id: &str, runs: usize, chaos: bool) -> Result<FragmentReport, String> {
+    let record = fragment(pdb_id).ok_or_else(|| format!("unknown fragment {pdb_id:?}"))?;
+    let reference = generate_reference(record.pdb_id, &record.sequence(), record.residue_start);
+    let ligand = ligand_for(record, &reference);
+    // Site-focused docking, mirroring the pipeline's evaluation protocol.
+    let mut params = PipelineConfig::fast().dock_params();
+    params.center = ligand.centroid();
+    params.box_size = Vec3::new(16.0, 16.0, 16.0);
+    params.local_only = true;
+    let receptor = &reference.structure;
+    let base_seed = pdb_id_seed(record.pdb_id) ^ 0x0D0C;
+
+    let vina = VinaBackend;
+    let qubo = QuboDockBackend::default();
+    let vina_series = dock_series(&vina, receptor, &ligand, &params, base_seed, runs);
+    let qubo_series = dock_series(&qubo, receptor, &ligand, &params, base_seed, runs);
+    let vina_stats = backend_stats("vina", &vina_series);
+    let qubo_stats = backend_stats("qubo", &qubo_series);
+
+    let agreement = match (best_pose(&vina_series), best_pose(&qubo_series)) {
+        (Some((_, vp)), Some((_, qp))) if vp.len() == qp.len() => {
+            let wins = vina_stats
+                .per_seed_best
+                .iter()
+                .zip(&qubo_stats.per_seed_best)
+                .filter(|(v, q)| v.is_finite() && q.is_finite())
+                .map(|(v, q)| u32::from(q <= v))
+                .sum::<u32>();
+            let paired = vina_stats
+                .per_seed_best
+                .iter()
+                .zip(&qubo_stats.per_seed_best)
+                .filter(|(v, q)| v.is_finite() && q.is_finite())
+                .count();
+            Agreement {
+                best_pose_rmsd: rmsd_upper_bound(&vp, &qp),
+                score_correlation: pearson(&vina_stats.per_seed_best, &qubo_stats.per_seed_best),
+                qubo_win_rate: if paired == 0 {
+                    f64::NAN
+                } else {
+                    wins as f64 / paired as f64
+                },
+            }
+        }
+        _ => Agreement {
+            best_pose_rmsd: f64::NAN,
+            score_correlation: f64::NAN,
+            qubo_win_rate: f64::NAN,
+        },
+    };
+
+    // The auto ladder must never error while a rung can succeed.
+    let clock = MonotonicClock::new();
+    let policy = DispatchPolicy {
+        per_backend_deadline_ms: None,
+    };
+    let ladder: Vec<&dyn DockBackend> = vec![&qubo, &vina];
+    let auto = match Dispatcher::new(ladder, &clock, policy)
+        .replicates(receptor, &ligand, &params, base_seed, runs)
+    {
+        Ok(d) => AutoOutcome {
+            ok: true,
+            backend: d.backend,
+            fallbacks: d.fallbacks,
+            best_affinity: d.outcome.best_affinity(),
+        },
+        Err(e) => {
+            eprintln!("  {pdb_id}: auto ladder failed: {e}");
+            AutoOutcome {
+                ok: false,
+                backend: String::new(),
+                fallbacks: 0,
+                best_affinity: f64::NAN,
+            }
+        }
+    };
+
+    // Chaos drill: first QUBO call fails, the ladder must recover on Vina.
+    let chaos_outcome = chaos.then(|| {
+        let flaky = FaultInjectedBackend::new(QuboDockBackend::default(), 1, true);
+        let ladder: Vec<&dyn DockBackend> = vec![&flaky, &vina];
+        match Dispatcher::new(ladder, &clock, policy).dock(receptor, &ligand, &params, base_seed) {
+            Ok(r) => ChaosOutcome {
+                ok: r.backend == "vina" && r.fallbacks >= 1,
+                served_by: r.backend.to_string(),
+                fallbacks: r.fallbacks,
+            },
+            Err(e) => {
+                eprintln!("  {pdb_id}: chaos dispatch failed outright: {e}");
+                ChaosOutcome {
+                    ok: false,
+                    served_by: String::new(),
+                    fallbacks: 0,
+                }
+            }
+        }
+    });
+
+    let gates_passed = vina_stats.all_runs_finite
+        && qubo_stats.all_runs_finite
+        && auto.ok
+        && chaos_outcome.as_ref().map(|c| c.ok).unwrap_or(true);
+    Ok(FragmentReport {
+        pdb_id: record.pdb_id.to_string(),
+        runs,
+        vina: vina_stats,
+        qubo: qubo_stats,
+        agreement,
+        auto,
+        chaos: chaos_outcome,
+        gates_passed,
+    })
+}
+
+fn render(report: &Report) -> String {
+    let mut out = String::new();
+    out.push_str("cross-backend docking agreement\n");
+    out.push_str("===============================\n");
+    for f in &report.fragments {
+        out.push_str(&format!(
+            "\n{} ({} runs/backend) — gates {}\n",
+            f.pdb_id,
+            f.runs,
+            if f.gates_passed { "PASS" } else { "FAIL" }
+        ));
+        for s in [&f.vina, &f.qubo] {
+            out.push_str(&format!(
+                "  {:<5} best {:>8.3}  mean-best {:>8.3}  poses {:<4} finite-runs {}\n",
+                s.backend,
+                s.best_affinity,
+                s.mean_best_affinity,
+                s.poses,
+                if s.all_runs_finite { "all" } else { "MISSING" }
+            ));
+        }
+        out.push_str(&format!(
+            "  agreement: best-pose rmsd {:.3} Å, score corr {:.3}, qubo win rate {:.2}\n",
+            f.agreement.best_pose_rmsd, f.agreement.score_correlation, f.agreement.qubo_win_rate
+        ));
+        out.push_str(&format!(
+            "  auto: backend {:?}, fallbacks {}, best {:.3}\n",
+            f.auto.backend, f.auto.fallbacks, f.auto.best_affinity
+        ));
+        if let Some(c) = &f.chaos {
+            out.push_str(&format!(
+                "  chaos: served by {:?} after {} fallback(s) — {}\n",
+                c.served_by,
+                c.fallbacks,
+                if c.ok { "recovered" } else { "NOT RECOVERED" }
+            ));
+        }
+    }
+    out.push_str(&format!(
+        "\noverall: {}\n",
+        if report.all_gates_passed {
+            "all gates passed"
+        } else {
+            "GATE FAILURES"
+        }
+    ));
+    out
+}
+
+struct Args {
+    fragments: Vec<String>,
+    runs: usize,
+    chaos: bool,
+    output: Option<PathBuf>,
+    telemetry: Option<PathBuf>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        fragments: vec!["3ckz".to_string(), "3eax".to_string()],
+        runs: 3,
+        chaos: false,
+        output: None,
+        telemetry: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("{name} requires a value"));
+        match flag.as_str() {
+            "--fragments" => {
+                args.fragments = value("--fragments")?
+                    .split(',')
+                    .map(|s| s.trim().to_string())
+                    .filter(|s| !s.is_empty())
+                    .collect();
+            }
+            "--runs" => {
+                args.runs = value("--runs")?
+                    .parse()
+                    .map_err(|e| format!("--runs: {e}"))?;
+            }
+            "--chaos" => args.chaos = true,
+            "--output" => args.output = Some(PathBuf::from(value("--output")?)),
+            "--telemetry" => args.telemetry = Some(PathBuf::from(value("--telemetry")?)),
+            other => {
+                return Err(format!(
+                    "unknown flag {other:?} (usage: backend_report [--fragments a,b] [--runs N] \
+                     [--chaos] [--output path] [--telemetry path])"
+                ))
+            }
+        }
+    }
+    if args.fragments.is_empty() {
+        return Err("--fragments needs at least one id".to_string());
+    }
+    if args.runs == 0 {
+        return Err("--runs must be at least 1".to_string());
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("FAIL: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut fragments = Vec::new();
+    for id in &args.fragments {
+        match report_fragment(id, args.runs, args.chaos) {
+            Ok(f) => fragments.push(f),
+            Err(e) => {
+                eprintln!("FAIL: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let report = Report {
+        schema_version: 1,
+        all_gates_passed: fragments.iter().all(|f| f.gates_passed),
+        fragments,
+    };
+    print!("{}", render(&report));
+    if let Some(path) = &args.output {
+        let json = serde_json::to_string_pretty(&report).expect("report serializes");
+        if let Err(e) = std::fs::write(path, json + "\n") {
+            eprintln!("FAIL: cannot write {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+        eprintln!("report written to {}", path.display());
+    }
+    if let Some(path) = &args.telemetry {
+        let snap = qdb_telemetry::global().snapshot();
+        if let Err(e) = qdb_telemetry::export::json::write_snapshot(path, &snap) {
+            eprintln!("FAIL: cannot write telemetry {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+        eprintln!("telemetry snapshot written to {}", path.display());
+    }
+    if report.all_gates_passed {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qdb_dock::cluster::ScoredPose;
+
+    fn run(affinities: &[f64]) -> DockRun {
+        DockRun {
+            seed: 0,
+            poses: affinities
+                .iter()
+                .map(|&a| ScoredPose {
+                    coords: vec![Vec3::new(a, 0.0, 0.0)],
+                    affinity: a,
+                    rmsd_lb: 0.0,
+                    rmsd_ub: 0.0,
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn backend_stats_flag_missing_runs() {
+        let ok = backend_stats("vina", &[Some(run(&[-5.0, -4.0])), Some(run(&[-6.0]))]);
+        assert!(ok.all_runs_finite);
+        assert_eq!(ok.best_affinity, -6.0);
+        assert_eq!(ok.poses, 3);
+        let gap = backend_stats("qubo", &[Some(run(&[-5.0])), None]);
+        assert!(!gap.all_runs_finite);
+        assert_eq!(gap.per_seed_best.len(), 2);
+        assert!(gap.per_seed_best[1].is_nan());
+    }
+
+    #[test]
+    fn best_pose_ignores_nonfinite_scores() {
+        let series = vec![Some(run(&[f64::NAN, -3.0])), Some(run(&[-7.0]))];
+        let (affinity, coords) = best_pose(&series).unwrap();
+        assert_eq!(affinity, -7.0);
+        assert_eq!(coords[0].x, -7.0);
+    }
+
+    #[test]
+    fn pearson_matches_hand_computation() {
+        let r = pearson(&[1.0, 2.0, 3.0], &[2.0, 4.0, 6.0]);
+        assert!((r - 1.0).abs() < 1e-12);
+        let anti = pearson(&[1.0, 2.0, 3.0], &[3.0, 2.0, 1.0]);
+        assert!((anti + 1.0).abs() < 1e-12);
+        assert!(pearson(&[1.0], &[2.0]).is_nan());
+        assert!(pearson(&[1.0, 1.0, 1.0], &[2.0, 3.0, 4.0]).is_nan());
+    }
+
+    #[test]
+    fn pearson_skips_nonfinite_pairs() {
+        let r = pearson(&[1.0, f64::NAN, 3.0, 4.0], &[2.0, 9.0, 6.0, 8.0]);
+        assert!((r - 1.0).abs() < 1e-12);
+    }
+}

@@ -36,6 +36,10 @@ const REQUIRED_COUNTERS: &[&str] = &[
     "dock.energy_evals",
     "dock.poses_generated",
     "dock.poses_reported",
+    // Backend dispatch seam: every evaluation routes through the ladder,
+    // and the default build runs on the Vina rung.
+    "dock.backend.dispatches",
+    "dock.backend.vina.runs",
     "supervisor.attempts",
     "supervisor.fragments_completed",
     // Artifact store: every build persists entries through the atomic
@@ -92,6 +96,61 @@ const SERVE_REQUIRED_HISTOGRAMS: &[&str] = &[
 
 /// Gauges every `qdb-serve` run must set.
 const SERVE_REQUIRED_GAUGES: &[&str] = &["serve.queue_depth", "serve.inflight"];
+
+/// Counters every `backend_report --chaos` run must tick (`--backends`):
+/// both rungs execute, the dispatcher routes at least one ladder, and the
+/// injected QUBO fault forces at least one recorded fallback.
+const BACKENDS_REQUIRED_COUNTERS: &[&str] = &[
+    "dock.backend.dispatches",
+    "dock.backend.vina.runs",
+    "dock.backend.qubo.runs",
+    "dock.backend.qubo.candidates",
+    "dock.backend.fallbacks",
+    "dock.runs",
+];
+
+/// Histograms every `backend_report` run must record.
+const BACKENDS_REQUIRED_HISTOGRAMS: &[&str] = &["dock.backend.qubo.anneal", "dock.chain"];
+
+/// Backend-agreement checks (`--backends`): the cross-backend metric set
+/// replaces the dataset-build set, the same way `--serve` does.
+fn validate_backends(snap: &Snapshot) -> Vec<String> {
+    let mut problems = Vec::new();
+    for name in BACKENDS_REQUIRED_COUNTERS {
+        match snap.counters.get(*name) {
+            None => problems.push(format!("backend counter {name} missing")),
+            Some(0) => problems.push(format!(
+                "backend counter {name} present but never incremented"
+            )),
+            Some(_) => {}
+        }
+    }
+    for name in BACKENDS_REQUIRED_HISTOGRAMS {
+        match snap.histograms.get(*name) {
+            None => problems.push(format!("backend histogram {name} missing")),
+            Some(h) if h.count == 0 => {
+                problems.push(format!("backend histogram {name} present but empty"))
+            }
+            Some(_) => {}
+        }
+    }
+    // Every fallback is a failed rung, so the ladder must have recorded at
+    // least as many backend errors as fallbacks.
+    let count = |name: &str| snap.counters.get(name).copied().unwrap_or(0);
+    let errors: u64 = snap
+        .counters
+        .iter()
+        .filter(|(k, _)| k.starts_with("dock.backend.") && k.ends_with(".errors"))
+        .map(|(_, v)| v)
+        .sum();
+    if errors < count("dock.backend.fallbacks") {
+        problems.push(format!(
+            "backend accounting broken: {} fallbacks but only {errors} backend errors",
+            count("dock.backend.fallbacks")
+        ));
+    }
+    problems
+}
 
 /// Service-mode checks: the required serve metrics plus the admission
 /// accounting identity
@@ -210,10 +269,12 @@ fn main() -> ExitCode {
     let mut snapshot_path: Option<PathBuf> = None;
     let mut trace_arg: Option<PathBuf> = None;
     let mut serve_mode = false;
+    let mut backends_mode = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--serve" => serve_mode = true,
+            "--backends" => backends_mode = true,
             "--trace" => {
                 i += 1;
                 match args.get(i) {
@@ -233,7 +294,9 @@ fn main() -> ExitCode {
         i += 1;
     }
     let Some(path) = snapshot_path else {
-        eprintln!("usage: validate_telemetry <snapshot.json> [--serve] [--trace <trace.json>]");
+        eprintln!(
+            "usage: validate_telemetry <snapshot.json> [--serve | --backends] [--trace <trace.json>]"
+        );
         return ExitCode::FAILURE;
     };
     let snap = match read_snapshot(&path) {
@@ -243,10 +306,13 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    // `--serve` validates a service run (which may use a stub pipeline),
-    // so the service metric set replaces the dataset-build set.
+    // `--serve` validates a service run (which may use a stub pipeline)
+    // and `--backends` a cross-backend agreement run, so those metric
+    // sets replace the dataset-build set.
     let mut problems = if serve_mode {
         validate_serve(&snap)
+    } else if backends_mode {
+        validate_backends(&snap)
     } else {
         validate(&snap)
     };
@@ -330,6 +396,61 @@ mod tests {
         let problems = validate(&r.snapshot());
         assert!(
             problems.iter().any(|p| p.contains("pipeline.dock missing")),
+            "{problems:?}"
+        );
+    }
+
+    fn backends_registry() -> Registry {
+        let r = Registry::new();
+        for name in BACKENDS_REQUIRED_COUNTERS {
+            r.counter(name).inc();
+        }
+        for name in BACKENDS_REQUIRED_HISTOGRAMS {
+            r.histogram(name).record(1_000);
+        }
+        r.counter("dock.backend.qubo.errors").inc();
+        r
+    }
+
+    #[test]
+    fn backends_snapshot_passes() {
+        assert!(validate_backends(&backends_registry().snapshot()).is_empty());
+    }
+
+    #[test]
+    fn backends_mode_requires_both_rungs_and_a_recorded_fallback() {
+        let snap = {
+            let mut s = backends_registry().snapshot();
+            s.counters.remove("dock.backend.qubo.runs");
+            s.counters.insert("dock.backend.fallbacks".into(), 0);
+            s
+        };
+        let problems = validate_backends(&snap);
+        assert!(
+            problems
+                .iter()
+                .any(|p| p.contains("dock.backend.qubo.runs missing")),
+            "{problems:?}"
+        );
+        assert!(
+            problems
+                .iter()
+                .any(|p| p.contains("dock.backend.fallbacks")),
+            "{problems:?}"
+        );
+    }
+
+    #[test]
+    fn backends_mode_checks_fallback_error_accounting() {
+        let snap = {
+            let mut s = backends_registry().snapshot();
+            s.counters.insert("dock.backend.qubo.errors".into(), 0);
+            s.counters.insert("dock.backend.fallbacks".into(), 3);
+            s
+        };
+        let problems = validate_backends(&snap);
+        assert!(
+            problems.iter().any(|p| p.contains("accounting broken")),
             "{problems:?}"
         );
     }

@@ -1,0 +1,386 @@
+//! The pluggable docking-backend seam.
+//!
+//! Every docking engine — the Vina-style Monte-Carlo engine in this
+//! crate, the QUBO pose generator in `qdb-qubo`, and whatever comes next
+//! — implements [`DockBackend`]: a cheap capability probe plus a seeded
+//! `dock` call that returns one [`DockRun`] or a typed [`BackendError`].
+//! The [`dispatch`](crate::dispatch) module stacks backends into a
+//! fallback ladder; this module defines the contract a single rung obeys.
+//!
+//! Backends are deterministic per `(seed, receptor, ligand, params)`:
+//! two calls with identical inputs return byte-identical poses. That is
+//! what makes cross-backend agreement (`qdb-bench backend_report`)
+//! measurable and content-addressed result caching sound.
+
+use crate::engine::{dock, DockParams, DockRun};
+use qdb_mol::ligand::Ligand;
+use qdb_mol::structure::Structure;
+use qdb_telemetry::Clock;
+
+/// Why a backend refused or failed a docking call. Each variant carries a
+/// stable [`kind`](BackendError::kind) and a transient classification the
+/// dispatcher and supervisor use to decide between retrying, falling back,
+/// and giving up.
+#[derive(Clone, Debug, PartialEq)]
+pub enum BackendError {
+    /// The capability probe failed: this backend cannot handle this
+    /// problem at all (wrong size, unsupported mode). Terminal for the
+    /// backend; the ladder moves on immediately.
+    Unavailable {
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// A transient fault (injected chaos, resource hiccup). A plain
+    /// retry of the same backend could succeed, but the ladder prefers
+    /// falling back over spinning.
+    Transient {
+        /// Human-readable detail.
+        message: String,
+    },
+    /// The backend ran but produced no finite-scored pose.
+    NoPoses,
+    /// The backend exceeded its per-backend deadline.
+    DeadlineExceeded {
+        /// Elapsed time when the violation was detected (ms).
+        elapsed_ms: u64,
+    },
+    /// A deterministic internal failure (bad formulation, solver bug).
+    Internal {
+        /// Human-readable detail.
+        message: String,
+    },
+}
+
+impl BackendError {
+    /// Short stable identifier (the error-taxonomy leaf).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            BackendError::Unavailable { .. } => "unavailable",
+            BackendError::Transient { .. } => "transient",
+            BackendError::NoPoses => "no-poses",
+            BackendError::DeadlineExceeded { .. } => "deadline-exceeded",
+            BackendError::Internal { .. } => "internal",
+        }
+    }
+
+    /// Whether retrying the *same* backend could plausibly succeed.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, BackendError::Transient { .. })
+    }
+}
+
+impl std::fmt::Display for BackendError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BackendError::Unavailable { reason } => write!(f, "backend unavailable: {reason}"),
+            BackendError::Transient { message } => write!(f, "transient backend fault: {message}"),
+            BackendError::NoPoses => write!(f, "backend produced no finite-scored poses"),
+            BackendError::DeadlineExceeded { elapsed_ms } => {
+                write!(f, "backend exceeded its deadline after {elapsed_ms} ms")
+            }
+            BackendError::Internal { message } => write!(f, "backend failed: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for BackendError {}
+
+/// Per-call execution context: the clock the deadline is measured on and
+/// the budget itself. Backends check [`expired`](DockContext::expired) at
+/// their own attempt boundaries (between chains, restarts, refinements) —
+/// cooperative cancellation, exactly like the supervisor's.
+#[derive(Clone, Copy, Debug)]
+pub struct DockContext<'a> {
+    /// Time source (production: monotonic; tests: manual).
+    pub clock: &'a dyn Clock,
+    /// Wall-clock budget for this backend call (ms); `None` = unbounded.
+    pub deadline_ms: Option<u64>,
+    /// `clock.now_ns()` at the moment the dispatcher handed over.
+    pub started_ns: u64,
+}
+
+impl<'a> DockContext<'a> {
+    /// An unbounded context starting now.
+    pub fn unbounded(clock: &'a dyn Clock) -> Self {
+        Self {
+            clock,
+            deadline_ms: None,
+            started_ns: clock.now_ns(),
+        }
+    }
+
+    /// Milliseconds spent so far.
+    pub fn elapsed_ms(&self) -> u64 {
+        self.clock.elapsed_ms(self.started_ns)
+    }
+
+    /// True when the deadline (if any) has passed.
+    pub fn expired(&self) -> bool {
+        self.deadline_ms
+            .map(|d| self.elapsed_ms() >= d)
+            .unwrap_or(false)
+    }
+
+    /// The typed error for an expired context.
+    pub fn deadline_error(&self) -> BackendError {
+        BackendError::DeadlineExceeded {
+            elapsed_ms: self.elapsed_ms(),
+        }
+    }
+}
+
+/// One docking engine behind the dispatch seam.
+pub trait DockBackend: Send + Sync {
+    /// Stable backend name — recorded in every result, job status, and
+    /// telemetry counter (`dock.backend.<name>.*`).
+    fn name(&self) -> &'static str;
+
+    /// Cheap capability check: can this backend handle this problem at
+    /// all? Runs before any grid is built; an `Err` moves the ladder on
+    /// without charging a full docking attempt.
+    fn probe(
+        &self,
+        receptor: &Structure,
+        ligand: &Ligand,
+        params: &DockParams,
+    ) -> Result<(), BackendError>;
+
+    /// One seeded docking run. Must be deterministic per
+    /// `(seed, receptor, ligand, params)` and should honor
+    /// `ctx.expired()` at internal attempt boundaries.
+    fn dock(
+        &self,
+        receptor: &Structure,
+        ligand: &Ligand,
+        params: &DockParams,
+        seed: u64,
+        ctx: &DockContext<'_>,
+    ) -> Result<DockRun, BackendError>;
+}
+
+/// Validates a run for the backend contract: at least one pose with a
+/// finite affinity. Shared by every backend's final check.
+pub fn require_finite_poses(run: DockRun) -> Result<DockRun, BackendError> {
+    if run.poses.iter().any(|p| p.affinity.is_finite()) {
+        Ok(run)
+    } else {
+        Err(BackendError::NoPoses)
+    }
+}
+
+/// The existing Vina-style Monte-Carlo engine, ported onto the seam.
+/// This is the ladder's reliable last rung: grids, MC chains, compass
+/// refinement, clustering — unchanged from [`crate::engine::dock`].
+#[derive(Clone, Copy, Debug, Default)]
+pub struct VinaBackend;
+
+impl DockBackend for VinaBackend {
+    fn name(&self) -> &'static str {
+        "vina"
+    }
+
+    fn probe(
+        &self,
+        _receptor: &Structure,
+        ligand: &Ligand,
+        params: &DockParams,
+    ) -> Result<(), BackendError> {
+        if ligand.num_atoms() == 0 {
+            return Err(BackendError::Unavailable {
+                reason: "empty ligand".to_string(),
+            });
+        }
+        if params.box_size.x <= 0.0 || params.box_size.y <= 0.0 || params.box_size.z <= 0.0 {
+            return Err(BackendError::Unavailable {
+                reason: "degenerate search box".to_string(),
+            });
+        }
+        Ok(())
+    }
+
+    fn dock(
+        &self,
+        receptor: &Structure,
+        ligand: &Ligand,
+        params: &DockParams,
+        seed: u64,
+        _ctx: &DockContext<'_>,
+    ) -> Result<DockRun, BackendError> {
+        require_finite_poses(dock(receptor, ligand, params, seed))
+    }
+}
+
+/// Deterministic fault injection for the ladder: wraps a backend and
+/// fails its first `fail_calls` dock calls with a rehearsed error. The
+/// probe passes through, so the chaos exercises the *fallback* path, not
+/// the probe path. Used by the dispatcher chaos tests and
+/// `backend_report --chaos`.
+pub struct FaultInjectedBackend<B> {
+    /// The wrapped backend.
+    pub inner: B,
+    /// How many dock calls fail before the inner backend is allowed to
+    /// run (`u64::MAX` = always fail).
+    pub fail_calls: u64,
+    /// Whether the injected error reads as transient.
+    pub transient: bool,
+    calls: std::sync::atomic::AtomicU64,
+}
+
+impl<B> FaultInjectedBackend<B> {
+    /// Wraps `inner` so its first `fail_calls` dock calls fail.
+    pub fn new(inner: B, fail_calls: u64, transient: bool) -> Self {
+        Self {
+            inner,
+            fail_calls,
+            transient,
+            calls: std::sync::atomic::AtomicU64::new(0),
+        }
+    }
+}
+
+impl<B: DockBackend> DockBackend for FaultInjectedBackend<B> {
+    fn name(&self) -> &'static str {
+        self.inner.name()
+    }
+
+    fn probe(
+        &self,
+        receptor: &Structure,
+        ligand: &Ligand,
+        params: &DockParams,
+    ) -> Result<(), BackendError> {
+        self.inner.probe(receptor, ligand, params)
+    }
+
+    fn dock(
+        &self,
+        receptor: &Structure,
+        ligand: &Ligand,
+        params: &DockParams,
+        seed: u64,
+        ctx: &DockContext<'_>,
+    ) -> Result<DockRun, BackendError> {
+        let call = self.calls.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+        if call < self.fail_calls {
+            let message = format!("injected fault (call {call} of {})", self.fail_calls);
+            return Err(if self.transient {
+                BackendError::Transient { message }
+            } else {
+                BackendError::Internal { message }
+            });
+        }
+        self.inner.dock(receptor, ligand, params, seed, ctx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::ScoredPose;
+    use qdb_mol::builder::{build_peptide, classify_side_chain, ResidueSpec};
+    use qdb_mol::geometry::Vec3;
+    use qdb_mol::ligand::generate_ligand;
+    use qdb_telemetry::ManualClock;
+
+    fn receptor() -> Structure {
+        let s = 3.8 / (3.0f64).sqrt();
+        let dirs = [
+            Vec3::new(1.0, 1.0, 1.0),
+            Vec3::new(1.0, -1.0, -1.0),
+            Vec3::new(-1.0, 1.0, -1.0),
+        ];
+        let mut p = Vec3::ZERO;
+        let mut trace = vec![p];
+        for i in 0..4 {
+            let d = dirs[i % 3] * if i % 2 == 0 { 1.0 } else { -1.0 };
+            p += d * s;
+            trace.push(p);
+        }
+        let specs: Vec<ResidueSpec> = "LKDSV"
+            .chars()
+            .enumerate()
+            .map(|(i, c)| ResidueSpec {
+                name: "UNK".into(),
+                seq_num: i as i32 + 1,
+                side_chain: classify_side_chain(c),
+            })
+            .collect();
+        let mut s = build_peptide(&trace, &specs);
+        s.center();
+        s
+    }
+
+    #[test]
+    fn vina_backend_matches_the_direct_engine() {
+        let rec = receptor();
+        let lig = generate_ligand(9, 12);
+        let params = DockParams::fast();
+        let clock = ManualClock::new();
+        let ctx = DockContext::unbounded(&clock);
+        let via_seam = VinaBackend.dock(&rec, &lig, &params, 3, &ctx).unwrap();
+        let direct = dock(&rec, &lig, &params, 3);
+        assert_eq!(via_seam.best_affinity(), direct.best_affinity());
+        assert_eq!(via_seam.poses.len(), direct.poses.len());
+    }
+
+    #[test]
+    fn probe_rejects_degenerate_inputs() {
+        let rec = receptor();
+        let lig = generate_ligand(9, 12);
+        let mut params = DockParams::fast();
+        params.box_size = Vec3::new(0.0, 10.0, 10.0);
+        let err = VinaBackend.probe(&rec, &lig, &params).unwrap_err();
+        assert_eq!(err.kind(), "unavailable");
+        assert!(!err.is_transient());
+    }
+
+    #[test]
+    fn finite_pose_contract_rejects_all_nan_runs() {
+        let run = DockRun {
+            seed: 1,
+            poses: vec![ScoredPose {
+                coords: vec![Vec3::ZERO],
+                affinity: f64::NAN,
+                rmsd_lb: 0.0,
+                rmsd_ub: 0.0,
+            }],
+        };
+        assert_eq!(
+            require_finite_poses(run).unwrap_err(),
+            BackendError::NoPoses
+        );
+    }
+
+    #[test]
+    fn fault_injection_fails_then_recovers() {
+        let rec = receptor();
+        let lig = generate_ligand(9, 12);
+        let params = DockParams::fast();
+        let clock = ManualClock::new();
+        let ctx = DockContext::unbounded(&clock);
+        let flaky = FaultInjectedBackend::new(VinaBackend, 2, true);
+        let e1 = flaky.dock(&rec, &lig, &params, 3, &ctx).unwrap_err();
+        assert_eq!(e1.kind(), "transient");
+        assert!(e1.is_transient());
+        let e2 = flaky.dock(&rec, &lig, &params, 3, &ctx).unwrap_err();
+        assert_eq!(e2.kind(), "transient");
+        let run = flaky.dock(&rec, &lig, &params, 3, &ctx).unwrap();
+        assert!(!run.poses.is_empty());
+    }
+
+    #[test]
+    fn deadline_context_expires_on_the_clock_seam() {
+        let clock = ManualClock::new();
+        let ctx = DockContext {
+            clock: &clock,
+            deadline_ms: Some(100),
+            started_ns: clock.now_ns(),
+        };
+        assert!(!ctx.expired());
+        clock.advance_ms(99);
+        assert!(!ctx.expired());
+        clock.advance_ms(1);
+        assert!(ctx.expired());
+        assert_eq!(ctx.deadline_error().kind(), "deadline-exceeded");
+    }
+}

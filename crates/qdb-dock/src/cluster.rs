@@ -46,17 +46,68 @@ pub struct ScoredPose {
     pub rmsd_ub: f64,
 }
 
+/// True when every atom of `a` is within `eps` of its counterpart in `b`
+/// (which implies RMSD ≤ `eps`). Bails at the first atom that moved, so
+/// distinct poses — the common case — cost one subtraction.
+fn within_epsilon(a: &[Vec3], b: &[Vec3], eps_sq: f64) -> bool {
+    a.len() == b.len() && a.iter().zip(b).all(|(x, y)| (*x - *y).norm_sq() <= eps_sq)
+}
+
+/// Max per-atom displacement treated as "the same pose" by the cheap
+/// pre-dedup pass. Far below any sensible cluster radius, so the pass
+/// only removes poses clustering would have removed anyway.
+const DEDUP_EPSILON: f64 = 0.05;
+
 /// Deduplicates poses: keeps the best-scoring representative of every
 /// cluster (clusters = poses within `min_rmsd` u.b. of a kept pose),
 /// sorts by affinity, truncates to `max_poses`, and fills the lb/ub
 /// columns relative to the top pose.
+///
+/// Poses with a non-finite affinity are dropped up front (counted in
+/// `dock.nonfinite_poses`) — a NaN score must never rank, let alone rank
+/// arbitrarily. Ranking uses `total_cmp`, so the ordering is total even
+/// if a new scoring term misbehaves.
 pub fn cluster_poses(
-    mut candidates: Vec<(Vec<Vec3>, f64)>,
+    candidates: Vec<(Vec<Vec3>, f64)>,
     min_rmsd: f64,
     max_poses: usize,
 ) -> Vec<ScoredPose> {
-    candidates.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
-    let mut kept: Vec<(Vec<Vec3>, f64)> = Vec::new();
+    let telemetry = qdb_telemetry::global();
+    let before = candidates.len();
+    let mut candidates: Vec<(Vec<Vec3>, f64)> = candidates
+        .into_iter()
+        .filter(|(_, affinity)| affinity.is_finite())
+        .collect();
+    let nonfinite = (before - candidates.len()) as u64;
+    if nonfinite > 0 {
+        telemetry.counter("dock.nonfinite_poses").add(nonfinite);
+    }
+    candidates.sort_by(|a, b| a.1.total_cmp(&b.1));
+
+    // Cheap epsilon pre-dedup: MC chains revisit the same minimum many
+    // times, and those byte-near-identical poses would each pay a full
+    // RMSD pass against the kept list below. Sorted order means the first
+    // representative seen is the best-scoring one.
+    let eps = DEDUP_EPSILON.min(min_rmsd * 0.5);
+    if eps > 0.0 {
+        let eps_sq = eps * eps;
+        let mut unique: Vec<(Vec<Vec3>, f64)> = Vec::with_capacity(candidates.len());
+        for (coords, affinity) in candidates {
+            if !unique
+                .iter()
+                .any(|(uc, _)| within_epsilon(uc, &coords, eps_sq))
+            {
+                unique.push((coords, affinity));
+            }
+        }
+        let removed = before as u64 - nonfinite - unique.len() as u64;
+        if removed > 0 {
+            telemetry.counter("dock.poses_deduped").add(removed);
+        }
+        candidates = unique;
+    }
+
+    let mut kept: Vec<(Vec<Vec3>, f64)> = Vec::with_capacity(max_poses.min(candidates.len()));
     for (coords, affinity) in candidates {
         let dup = kept
             .iter()
@@ -144,6 +195,44 @@ mod tests {
         assert_eq!(out[0].rmsd_lb, 0.0);
         assert_eq!(out[0].rmsd_ub, 0.0);
         assert!(out[1].rmsd_ub > 0.0);
+    }
+
+    #[test]
+    fn non_finite_scores_are_dropped_not_ranked() {
+        let candidates = vec![
+            (pose(0.0), f64::NAN),
+            (pose(3.0), -4.0),
+            (pose(6.0), f64::INFINITY),
+            (pose(9.0), -6.0),
+            (pose(12.0), f64::NEG_INFINITY),
+        ];
+        let out = cluster_poses(candidates, 1.0, 10);
+        assert_eq!(out.len(), 2, "only the finite poses survive");
+        assert_eq!(out[0].affinity, -6.0);
+        assert_eq!(out[1].affinity, -4.0);
+        assert!(out.iter().all(|p| p.affinity.is_finite()));
+    }
+
+    #[test]
+    fn all_nan_input_yields_no_poses_instead_of_panicking() {
+        let candidates = vec![(pose(0.0), f64::NAN), (pose(3.0), f64::NAN)];
+        assert!(cluster_poses(candidates, 1.0, 10).is_empty());
+    }
+
+    #[test]
+    fn epsilon_dedup_keeps_the_best_representative() {
+        // Three byte-near-identical poses plus one distinct: the epsilon
+        // pass collapses the near-identicals to their best-scoring member.
+        let candidates = vec![
+            (pose(0.0), -5.0),
+            (pose(0.004), -4.99),
+            (pose(0.008), -4.98),
+            (pose(9.0), -3.0),
+        ];
+        let out = cluster_poses(candidates, 1.0, 10);
+        assert_eq!(out.len(), 2);
+        assert_eq!(out[0].affinity, -5.0);
+        assert_eq!(out[1].affinity, -3.0);
     }
 
     #[test]

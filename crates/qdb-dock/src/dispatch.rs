@@ -1,0 +1,524 @@
+//! The `auto` docking dispatcher: a bioql-style fallback ladder.
+//!
+//! A [`Dispatcher`] owns an ordered ladder of [`DockBackend`]s and a
+//! [`Clock`]. Each dock request walks the ladder: probe the rung, run it
+//! under a per-backend deadline, and on any typed failure fall back to
+//! the next rung. The caller gets the first success — annotated with
+//! which backend produced it and how many rungs were burned — or, if
+//! every rung fails, a [`DispatchError`] carrying the full attempt
+//! history. `backend: auto` in the pipeline and job service is exactly
+//! the ladder `[qubo, vina]`.
+//!
+//! Deadlines run through the `Clock` seam, so ladder timing is testable
+//! with a `ManualClock`: no real sleeps, no flaky thresholds. A rung
+//! that exceeds its budget is abandoned even if it eventually returns a
+//! run — except on the final rung, where a late success beats no result.
+
+use crate::backend::{BackendError, DockBackend, DockContext};
+use crate::engine::{DockOutcome, DockParams, DockRun};
+use qdb_mol::ligand::Ligand;
+use qdb_mol::structure::Structure;
+use qdb_telemetry::Clock;
+
+/// Which backend (or ladder) a caller asked for. This is the value that
+/// flows through `PipelineConfig`, serve job requests, and idempotency
+/// keys.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum BackendChoice {
+    /// The Vina-style Monte-Carlo engine only.
+    #[default]
+    Vina,
+    /// The QUBO pose generator only.
+    Qubo,
+    /// The fallback ladder: QUBO first, Vina as the reliable last rung.
+    Auto,
+}
+
+impl BackendChoice {
+    /// Canonical lowercase name (what job requests and manifests use).
+    pub fn name(&self) -> &'static str {
+        match self {
+            BackendChoice::Vina => "vina",
+            BackendChoice::Qubo => "qubo",
+            BackendChoice::Auto => "auto",
+        }
+    }
+
+    /// Parses a request string. `"qdock"` is accepted as a legacy alias
+    /// for the Vina engine (the service's original backend label).
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "vina" | "qdock" => Some(BackendChoice::Vina),
+            "qubo" => Some(BackendChoice::Qubo),
+            "auto" => Some(BackendChoice::Auto),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for BackendChoice {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Ladder policy knobs.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct DispatchPolicy {
+    /// Wall-clock budget per backend attempt (ms); `None` = unbounded.
+    /// Measured on the dispatcher's clock and passed to the backend as
+    /// its [`DockContext`] deadline.
+    pub per_backend_deadline_ms: Option<u64>,
+}
+
+/// One rung's outcome in the attempt history.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BackendAttempt {
+    /// Backend name.
+    pub backend: &'static str,
+    /// `None` on success, otherwise the stable error kind.
+    pub error_kind: Option<&'static str>,
+    /// Whether the failure was classified transient.
+    pub transient: bool,
+    /// Wall-clock spent on this rung (ms, dispatcher clock).
+    pub elapsed_ms: u64,
+}
+
+/// A successful dispatch: the run plus its provenance.
+#[derive(Clone, Debug)]
+pub struct DispatchResult {
+    /// The winning run.
+    pub run: DockRun,
+    /// Backend that produced it.
+    pub backend: &'static str,
+    /// Rungs burned before the winner (0 = first choice succeeded).
+    pub fallbacks: u64,
+    /// Full per-rung history, winner included.
+    pub attempts: Vec<BackendAttempt>,
+}
+
+/// Every rung failed.
+#[derive(Clone, Debug)]
+pub struct DispatchError {
+    /// Full per-rung history.
+    pub attempts: Vec<BackendAttempt>,
+    /// The final rung's error (what the caller surfaces).
+    pub last: BackendError,
+}
+
+impl std::fmt::Display for DispatchError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "all {} docking backend(s) failed; last: {}",
+            self.attempts.len(),
+            self.last
+        )
+    }
+}
+
+impl std::error::Error for DispatchError {}
+
+/// Replicated dispatch (the paper's multi-seed protocol through the
+/// ladder). Each run walks the ladder independently, so a transient
+/// failure on one seed degrades only that seed.
+#[derive(Clone, Debug)]
+pub struct DispatchedReplicates {
+    /// All runs, in seed order (same seed schedule as
+    /// [`crate::engine::dock_replicates`]).
+    pub outcome: DockOutcome,
+    /// Aggregate backend label: the single backend name when every run
+    /// used the same rung, `"mixed"` otherwise.
+    pub backend: String,
+    /// Backend that produced each run, in seed order.
+    pub run_backends: Vec<&'static str>,
+    /// Total rungs burned across all runs.
+    pub fallbacks: u64,
+}
+
+/// The fallback ladder executor.
+pub struct Dispatcher<'a> {
+    ladder: Vec<&'a dyn DockBackend>,
+    clock: &'a dyn Clock,
+    policy: DispatchPolicy,
+}
+
+impl<'a> Dispatcher<'a> {
+    /// Builds a dispatcher over `ladder` (tried in order; must be
+    /// non-empty by the time `dock` is called).
+    pub fn new(
+        ladder: Vec<&'a dyn DockBackend>,
+        clock: &'a dyn Clock,
+        policy: DispatchPolicy,
+    ) -> Self {
+        Self {
+            ladder,
+            clock,
+            policy,
+        }
+    }
+
+    /// Walks the ladder once for a single seeded run.
+    pub fn dock(
+        &self,
+        receptor: &Structure,
+        ligand: &Ligand,
+        params: &DockParams,
+        seed: u64,
+    ) -> Result<DispatchResult, DispatchError> {
+        let telemetry = qdb_telemetry::global();
+        telemetry.counter("dock.backend.dispatches").inc();
+
+        let mut attempts: Vec<BackendAttempt> = Vec::with_capacity(self.ladder.len());
+        let mut last = BackendError::Unavailable {
+            reason: "empty backend ladder".to_string(),
+        };
+        let rungs = self.ladder.len();
+        for (rung, backend) in self.ladder.iter().enumerate() {
+            let started_ns = self.clock.now_ns();
+            let ctx = DockContext {
+                clock: self.clock,
+                deadline_ms: self.policy.per_backend_deadline_ms,
+                started_ns,
+            };
+            let result = backend
+                .probe(receptor, ligand, params)
+                .and_then(|()| backend.dock(receptor, ligand, params, seed, &ctx))
+                .and_then(|run| {
+                    // A rung that blew its budget is not trusted even if it
+                    // returned: the ladder exists to bound tail latency. The
+                    // final rung is the exception — a late success beats no
+                    // result.
+                    if ctx.expired() && rung + 1 < rungs {
+                        Err(ctx.deadline_error())
+                    } else {
+                        Ok(run)
+                    }
+                });
+            let elapsed_ms = self.clock.elapsed_ms(started_ns);
+            match result {
+                Ok(run) => {
+                    telemetry
+                        .counter(&format!("dock.backend.{}.runs", backend.name()))
+                        .inc();
+                    attempts.push(BackendAttempt {
+                        backend: backend.name(),
+                        error_kind: None,
+                        transient: false,
+                        elapsed_ms,
+                    });
+                    return Ok(DispatchResult {
+                        run,
+                        backend: backend.name(),
+                        fallbacks: rung as u64,
+                        attempts,
+                    });
+                }
+                Err(err) => {
+                    telemetry
+                        .counter(&format!("dock.backend.{}.errors", backend.name()))
+                        .inc();
+                    if rung + 1 < rungs {
+                        telemetry.counter("dock.backend.fallbacks").inc();
+                    }
+                    attempts.push(BackendAttempt {
+                        backend: backend.name(),
+                        error_kind: Some(err.kind()),
+                        transient: err.is_transient(),
+                        elapsed_ms,
+                    });
+                    last = err;
+                }
+            }
+        }
+        Err(DispatchError { attempts, last })
+    }
+
+    /// The paper's replicate protocol through the ladder: `num_runs`
+    /// independent dispatches with the same seed schedule as
+    /// [`crate::engine::dock_replicates`], so a pure-Vina ladder is
+    /// byte-identical to the legacy path. Fails only if *every* rung
+    /// fails for some seed.
+    pub fn replicates(
+        &self,
+        receptor: &Structure,
+        ligand: &Ligand,
+        params: &DockParams,
+        base_seed: u64,
+        num_runs: usize,
+    ) -> Result<DispatchedReplicates, DispatchError> {
+        let mut runs = Vec::with_capacity(num_runs);
+        let mut run_backends = Vec::with_capacity(num_runs);
+        let mut fallbacks = 0u64;
+        for i in 0..num_runs as u64 {
+            let seed = base_seed.wrapping_add(i * 0x1000_0000_0001);
+            let result = self.dock(receptor, ligand, params, seed)?;
+            fallbacks += result.fallbacks;
+            run_backends.push(result.backend);
+            runs.push(result.run);
+        }
+        let backend = match run_backends.first() {
+            Some(&first) if run_backends.iter().all(|&b| b == first) => first.to_string(),
+            Some(_) => "mixed".to_string(),
+            None => "none".to_string(),
+        };
+        Ok(DispatchedReplicates {
+            outcome: DockOutcome { runs },
+            backend,
+            run_backends,
+            fallbacks,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::{FaultInjectedBackend, VinaBackend};
+    use crate::cluster::ScoredPose;
+    use qdb_mol::builder::{build_peptide, classify_side_chain, ResidueSpec};
+    use qdb_mol::geometry::Vec3;
+    use qdb_mol::ligand::generate_ligand;
+    use qdb_telemetry::ManualClock;
+
+    /// A scripted backend: optionally advances the (manual) clock to
+    /// simulate work, then succeeds or fails.
+    struct StubBackend<'c> {
+        name: &'static str,
+        clock: &'c ManualClock,
+        advance_ms: u64,
+        fail: Option<BackendError>,
+    }
+
+    impl<'c> StubBackend<'c> {
+        fn ok(name: &'static str, clock: &'c ManualClock, advance_ms: u64) -> Self {
+            Self {
+                name,
+                clock,
+                advance_ms,
+                fail: None,
+            }
+        }
+
+        fn failing(name: &'static str, clock: &'c ManualClock, err: BackendError) -> Self {
+            Self {
+                name,
+                clock,
+                advance_ms: 0,
+                fail: Some(err),
+            }
+        }
+    }
+
+    impl DockBackend for StubBackend<'_> {
+        fn name(&self) -> &'static str {
+            self.name
+        }
+
+        fn probe(
+            &self,
+            _receptor: &Structure,
+            _ligand: &Ligand,
+            _params: &DockParams,
+        ) -> Result<(), BackendError> {
+            Ok(())
+        }
+
+        fn dock(
+            &self,
+            _receptor: &Structure,
+            _ligand: &Ligand,
+            _params: &DockParams,
+            seed: u64,
+            _ctx: &DockContext<'_>,
+        ) -> Result<DockRun, BackendError> {
+            self.clock.advance_ms(self.advance_ms);
+            if let Some(err) = &self.fail {
+                return Err(err.clone());
+            }
+            Ok(DockRun {
+                seed,
+                poses: vec![ScoredPose {
+                    coords: vec![Vec3::ZERO],
+                    affinity: -5.0,
+                    rmsd_lb: 0.0,
+                    rmsd_ub: 0.0,
+                }],
+            })
+        }
+    }
+
+    fn receptor() -> Structure {
+        let s = 3.8 / (3.0f64).sqrt();
+        let dirs = [
+            Vec3::new(1.0, 1.0, 1.0),
+            Vec3::new(1.0, -1.0, -1.0),
+            Vec3::new(-1.0, 1.0, -1.0),
+        ];
+        let mut p = Vec3::ZERO;
+        let mut trace = vec![p];
+        for i in 0..4 {
+            let d = dirs[i % 3] * if i % 2 == 0 { 1.0 } else { -1.0 };
+            p += d * s;
+            trace.push(p);
+        }
+        let specs: Vec<ResidueSpec> = "LKDSV"
+            .chars()
+            .enumerate()
+            .map(|(i, c)| ResidueSpec {
+                name: "UNK".into(),
+                seq_num: i as i32 + 1,
+                side_chain: classify_side_chain(c),
+            })
+            .collect();
+        let mut s = build_peptide(&trace, &specs);
+        s.center();
+        s
+    }
+
+    #[test]
+    fn choice_parsing_round_trips_and_accepts_the_legacy_alias() {
+        for c in [
+            BackendChoice::Vina,
+            BackendChoice::Qubo,
+            BackendChoice::Auto,
+        ] {
+            assert_eq!(BackendChoice::parse(c.name()), Some(c));
+        }
+        assert_eq!(BackendChoice::parse("qdock"), Some(BackendChoice::Vina));
+        assert_eq!(BackendChoice::parse("alphafold"), None);
+        assert_eq!(BackendChoice::default(), BackendChoice::Vina);
+    }
+
+    #[test]
+    fn first_rung_success_burns_no_fallbacks() {
+        let clock = ManualClock::new();
+        let first = StubBackend::ok("first", &clock, 1);
+        let second = StubBackend::ok("second", &clock, 1);
+        let d = Dispatcher::new(vec![&first, &second], &clock, DispatchPolicy::default());
+        let rec = receptor();
+        let lig = generate_ligand(9, 12);
+        let out = d.dock(&rec, &lig, &DockParams::fast(), 7).unwrap();
+        assert_eq!(out.backend, "first");
+        assert_eq!(out.fallbacks, 0);
+        assert_eq!(out.attempts.len(), 1);
+        assert_eq!(out.attempts[0].error_kind, None);
+    }
+
+    #[test]
+    fn failure_falls_back_in_ladder_order() {
+        let clock = ManualClock::new();
+        let flaky = StubBackend::failing(
+            "flaky",
+            &clock,
+            BackendError::Transient {
+                message: "hiccup".into(),
+            },
+        );
+        let solid = StubBackend::ok("solid", &clock, 1);
+        let d = Dispatcher::new(vec![&flaky, &solid], &clock, DispatchPolicy::default());
+        let rec = receptor();
+        let lig = generate_ligand(9, 12);
+        let out = d.dock(&rec, &lig, &DockParams::fast(), 7).unwrap();
+        assert_eq!(out.backend, "solid");
+        assert_eq!(out.fallbacks, 1);
+        assert_eq!(
+            out.attempts.iter().map(|a| a.backend).collect::<Vec<_>>(),
+            vec!["flaky", "solid"]
+        );
+        assert_eq!(out.attempts[0].error_kind, Some("transient"));
+        assert!(out.attempts[0].transient);
+    }
+
+    #[test]
+    fn deadline_violation_abandons_a_non_final_rung() {
+        let clock = ManualClock::new();
+        // "slow" takes 50 ms against a 20 ms budget; "fast" takes 1 ms.
+        let slow = StubBackend::ok("slow", &clock, 50);
+        let fast = StubBackend::ok("fast", &clock, 1);
+        let policy = DispatchPolicy {
+            per_backend_deadline_ms: Some(20),
+        };
+        let d = Dispatcher::new(vec![&slow, &fast], &clock, policy);
+        let rec = receptor();
+        let lig = generate_ligand(9, 12);
+        let out = d.dock(&rec, &lig, &DockParams::fast(), 7).unwrap();
+        assert_eq!(out.backend, "fast");
+        assert_eq!(out.fallbacks, 1);
+        assert_eq!(out.attempts[0].error_kind, Some("deadline-exceeded"));
+        assert_eq!(out.attempts[0].elapsed_ms, 50);
+    }
+
+    #[test]
+    fn late_success_on_the_final_rung_is_accepted() {
+        let clock = ManualClock::new();
+        let slow = StubBackend::ok("slow", &clock, 50);
+        let policy = DispatchPolicy {
+            per_backend_deadline_ms: Some(20),
+        };
+        let d = Dispatcher::new(vec![&slow], &clock, policy);
+        let rec = receptor();
+        let lig = generate_ligand(9, 12);
+        let out = d.dock(&rec, &lig, &DockParams::fast(), 7).unwrap();
+        assert_eq!(out.backend, "slow");
+        assert_eq!(out.fallbacks, 0);
+    }
+
+    #[test]
+    fn total_failure_preserves_the_attempt_history() {
+        let clock = ManualClock::new();
+        let a = StubBackend::failing(
+            "a",
+            &clock,
+            BackendError::Internal {
+                message: "bad formulation".into(),
+            },
+        );
+        let b = StubBackend::failing("b", &clock, BackendError::NoPoses);
+        let d = Dispatcher::new(vec![&a, &b], &clock, DispatchPolicy::default());
+        let rec = receptor();
+        let lig = generate_ligand(9, 12);
+        let err = d.dock(&rec, &lig, &DockParams::fast(), 7).unwrap_err();
+        assert_eq!(err.last, BackendError::NoPoses);
+        assert_eq!(err.attempts.len(), 2);
+        assert_eq!(err.attempts[0].error_kind, Some("internal"));
+        assert_eq!(err.attempts[1].error_kind, Some("no-poses"));
+    }
+
+    #[test]
+    fn vina_only_ladder_matches_legacy_replicates_exactly() {
+        let rec = receptor();
+        let lig = generate_ligand(9, 12);
+        let params = DockParams::fast();
+        let clock = ManualClock::new();
+        let vina = VinaBackend;
+        let d = Dispatcher::new(vec![&vina], &clock, DispatchPolicy::default());
+        let via_ladder = d.replicates(&rec, &lig, &params, 100, 3).unwrap();
+        let legacy = crate::engine::dock_replicates(&rec, &lig, &params, 100, 3);
+        assert_eq!(via_ladder.backend, "vina");
+        assert_eq!(via_ladder.fallbacks, 0);
+        assert_eq!(via_ladder.outcome.runs.len(), legacy.runs.len());
+        for (a, b) in via_ladder.outcome.runs.iter().zip(legacy.runs.iter()) {
+            assert_eq!(a.seed, b.seed);
+            assert_eq!(a.best_affinity(), b.best_affinity());
+        }
+    }
+
+    #[test]
+    fn chaos_on_one_seed_degrades_only_that_seed() {
+        let rec = receptor();
+        let lig = generate_ligand(9, 12);
+        let params = DockParams::fast();
+        let clock = ManualClock::new();
+        // First dock call through this rung fails; later calls succeed.
+        let flaky = FaultInjectedBackend::new(StubBackend::ok("qsim", &clock, 0), 1, true);
+        let vina = VinaBackend;
+        let ladder: Vec<&dyn DockBackend> = vec![&flaky, &vina];
+        let d = Dispatcher::new(ladder, &clock, DispatchPolicy::default());
+        let reps = d.replicates(&rec, &lig, &params, 100, 3).unwrap();
+        assert_eq!(reps.fallbacks, 1);
+        assert_eq!(reps.backend, "mixed");
+        assert_eq!(reps.run_backends, vec!["vina", "qsim", "qsim"]);
+        assert_eq!(reps.outcome.runs.len(), 3);
+    }
+}

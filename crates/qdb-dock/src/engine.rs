@@ -152,8 +152,10 @@ impl DockOutcome {
     }
 }
 
-/// Bond-path distances ≥ 4 pairs for the intramolecular term.
-fn intra_pairs(ligand: &Ligand) -> Vec<(usize, usize)> {
+/// Bond-path distances ≥ 4 pairs for the intramolecular term. Public so
+/// alternative backends (qdb-qubo) score poses with the identical
+/// intramolecular model.
+pub fn intra_pairs(ligand: &Ligand) -> Vec<(usize, usize)> {
     let n = ligand.num_atoms();
     // BFS bond-path distances over the tree.
     let mut adj = vec![Vec::new(); n];

@@ -6,8 +6,15 @@
 //! Monte-Carlo search with compass-search local refinement, pose
 //! clustering, and the paper's 20-seed replicated protocol with per-pose
 //! affinity and lb/ub RMSD reporting.
+//!
+//! The engine sits behind the pluggable [`backend`] seam: [`DockBackend`]
+//! is the contract every docking engine implements (this crate's Vina
+//! port, the QUBO pose generator in `qdb-qubo`), and [`dispatch`] stacks
+//! backends into the `auto` fallback ladder with per-backend deadlines.
 
+pub mod backend;
 pub mod cluster;
+pub mod dispatch;
 pub mod engine;
 pub mod grid;
 pub mod local;
@@ -17,7 +24,12 @@ pub mod scoring;
 pub mod search;
 pub mod types;
 
+pub use backend::{BackendError, DockBackend, DockContext, FaultInjectedBackend, VinaBackend};
 pub use cluster::{cluster_poses, rmsd_lower_bound, rmsd_upper_bound, ScoredPose};
+pub use dispatch::{
+    BackendAttempt, BackendChoice, DispatchError, DispatchPolicy, DispatchResult,
+    DispatchedReplicates, Dispatcher,
+};
 pub use engine::{dock, dock_replicates, DockOutcome, DockParams, DockRun};
 pub use grid::GridMaps;
 pub use pose::Pose;

@@ -89,7 +89,10 @@ pub fn mc_chain<F: FnMut(&Pose) -> f64>(
 ) -> Vec<(Pose, f64)> {
     let start = random_pose(params, num_torsions, rng);
     let (mut current, mut current_e) = refine(&start, &mut energy, params.refine_evals);
-    let mut accepted = vec![(current.clone(), current_e)];
+    // At most one acceptance per step plus the start pose; pre-sizing
+    // keeps the hot loop free of reallocation.
+    let mut accepted = Vec::with_capacity(params.steps + 1);
+    accepted.push((current.clone(), current_e));
 
     for _ in 0..params.steps {
         let proposal = mutate(&current, rng);
@@ -128,10 +131,12 @@ pub fn local_chain<F: FnMut(&Pose) -> f64>(
         start = start.nudge(d, rng.gen_range(-0.15..0.15));
     }
     let (mut current, mut current_e) = refine(&start, &mut energy, params.refine_evals);
-    let mut accepted = vec![(current.clone(), current_e)];
+    let walk_steps = params.steps.min(12);
+    let mut accepted = Vec::with_capacity(walk_steps + 1);
+    accepted.push((current.clone(), current_e));
     // A short conservative walk to sample pose variability around the
     // native site (feeds the lb/ub RMSD statistics).
-    for _ in 0..params.steps.min(12) {
+    for _ in 0..walk_steps {
         let dof = current.dof();
         let which = rng.gen_range(0..dof);
         let delta = if which < 3 {

@@ -1,13 +1,20 @@
 //! Property-based tests for the docking engine's scoring and clustering
-//! invariants.
+//! invariants, plus the backend dispatcher's ladder semantics.
 
 use proptest::prelude::*;
+use qdb_dock::backend::{BackendError, DockBackend, DockContext};
 use qdb_dock::cluster::{cluster_poses, rmsd_lower_bound, rmsd_upper_bound};
+use qdb_dock::dispatch::{DispatchPolicy, Dispatcher};
+use qdb_dock::engine::{DockParams, DockRun};
 use qdb_dock::pose::Pose;
 use qdb_dock::scoring::{affinity, pair_energy, pair_terms, CUTOFF};
 use qdb_dock::types::TypedAtom;
+use qdb_dock::ScoredPose;
+use qdb_mol::builder::{build_peptide, classify_side_chain, ResidueSpec};
 use qdb_mol::geometry::Vec3;
-use qdb_mol::ligand::generate_ligand;
+use qdb_mol::ligand::{generate_ligand, Ligand};
+use qdb_mol::structure::Structure;
+use qdb_telemetry::ManualClock;
 
 fn arb_atom() -> impl Strategy<Value = TypedAtom> {
     (
@@ -33,6 +40,93 @@ fn arb_cloud(n: usize) -> impl Strategy<Value = Vec<Vec3>> {
         (-10.0f64..10.0, -10.0f64..10.0, -10.0f64..10.0).prop_map(|(x, y, z)| Vec3::new(x, y, z)),
         n..=n,
     )
+}
+
+/// Stable names for up to five scripted ladder rungs.
+const RUNG_NAMES: [&str; 5] = ["rung0", "rung1", "rung2", "rung3", "rung4"];
+
+/// A scripted ladder rung: advances the manual clock to simulate work,
+/// then fails with the scripted error or returns a one-pose run.
+struct ScriptedBackend<'c> {
+    name: &'static str,
+    clock: &'c ManualClock,
+    advance_ms: u64,
+    fail: Option<BackendError>,
+}
+
+impl DockBackend for ScriptedBackend<'_> {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+
+    fn probe(
+        &self,
+        _receptor: &Structure,
+        _ligand: &Ligand,
+        _params: &DockParams,
+    ) -> Result<(), BackendError> {
+        Ok(())
+    }
+
+    fn dock(
+        &self,
+        _receptor: &Structure,
+        _ligand: &Ligand,
+        _params: &DockParams,
+        seed: u64,
+        _ctx: &DockContext<'_>,
+    ) -> Result<DockRun, BackendError> {
+        self.clock.advance_ms(self.advance_ms);
+        if let Some(err) = &self.fail {
+            return Err(err.clone());
+        }
+        Ok(DockRun {
+            seed,
+            poses: vec![ScoredPose {
+                coords: vec![Vec3::ZERO],
+                affinity: -4.0,
+                rmsd_lb: 0.0,
+                rmsd_ub: 0.0,
+            }],
+        })
+    }
+}
+
+/// `None` = the rung succeeds (2-in-5 odds); `Some(err)` = it fails
+/// with that error.
+fn arb_rung_failure() -> impl Strategy<Value = Option<BackendError>> {
+    (0u8..5).prop_map(|k| match k {
+        0 | 1 => None,
+        2 => Some(BackendError::Transient {
+            message: "injected".to_string(),
+        }),
+        3 => Some(BackendError::Internal {
+            message: "solver bug".to_string(),
+        }),
+        _ => Some(BackendError::NoPoses),
+    })
+}
+
+/// A minimal receptor/ligand pair for dispatcher tests (the scripted
+/// backends never actually look at it).
+fn tiny_problem() -> (Structure, Ligand) {
+    let trace = vec![
+        Vec3::ZERO,
+        Vec3::new(3.8, 0.0, 0.0),
+        Vec3::new(3.8, 3.8, 0.0),
+    ];
+    let specs: Vec<ResidueSpec> = "LKD"
+        .chars()
+        .enumerate()
+        .map(|(i, c)| ResidueSpec {
+            name: "UNK".into(),
+            seq_num: i as i32 + 1,
+            side_chain: classify_side_chain(c),
+        })
+        .collect();
+    let mut s = build_peptide(&trace, &specs);
+    s.center();
+    (s, generate_ligand(1, 8))
 }
 
 proptest! {
@@ -107,6 +201,125 @@ proptest! {
                     "kept poses too similar"
                 );
             }
+        }
+    }
+
+    /// Clustering never panics on non-finite scores and only finite
+    /// affinities survive, in sorted order — the NaN-safety satellite.
+    #[test]
+    fn clustering_survives_nonfinite_scores(
+        scores in proptest::collection::vec(
+            (0u8..7, -10.0f64..0.0).prop_map(|(k, v)| match k {
+                0 => f64::NAN,
+                1 => f64::INFINITY,
+                2 => f64::NEG_INFINITY,
+                _ => v,
+            }),
+            1..15,
+        ),
+    ) {
+        let candidates: Vec<(Vec<Vec3>, f64)> = scores
+            .iter()
+            .enumerate()
+            .map(|(i, &s)| {
+                let coords: Vec<Vec3> =
+                    (0..4).map(|j| Vec3::new(j as f64 + i as f64 * 5.0, 0.0, 0.0)).collect();
+                (coords, s)
+            })
+            .collect();
+        let finite = scores.iter().filter(|s| s.is_finite()).count();
+        let out = cluster_poses(candidates, 1.0, 20);
+        prop_assert_eq!(out.len(), finite, "exactly the finite poses survive");
+        prop_assert!(out.iter().all(|p| p.affinity.is_finite()));
+        for w in out.windows(2) {
+            prop_assert!(w[0].affinity <= w[1].affinity);
+        }
+    }
+
+    /// Ladder order: the dispatcher returns the first succeeding rung,
+    /// counts exactly the failed rungs before it as fallbacks, and
+    /// preserves each failure's kind and transient classification in the
+    /// attempt history.
+    #[test]
+    fn dispatcher_returns_the_first_succeeding_rung(
+        script in proptest::collection::vec(arb_rung_failure(), 1..5),
+    ) {
+        let clock = ManualClock::new();
+        let rungs: Vec<ScriptedBackend<'_>> = script
+            .iter()
+            .enumerate()
+            .map(|(i, fail)| ScriptedBackend {
+                name: RUNG_NAMES[i],
+                clock: &clock,
+                advance_ms: 1,
+                fail: fail.clone(),
+            })
+            .collect();
+        let ladder: Vec<&dyn DockBackend> = rungs.iter().map(|r| r as &dyn DockBackend).collect();
+        let d = Dispatcher::new(ladder, &clock, DispatchPolicy::default());
+        let (rec, lig) = tiny_problem();
+        let result = d.dock(&rec, &lig, &DockParams::fast(), 1);
+        match script.iter().position(|f| f.is_none()) {
+            Some(first_ok) => {
+                let out = result.expect("a succeeding rung exists");
+                prop_assert_eq!(out.backend, RUNG_NAMES[first_ok]);
+                prop_assert_eq!(out.fallbacks, first_ok as u64);
+                prop_assert_eq!(out.attempts.len(), first_ok + 1);
+                for (attempt, fail) in out.attempts.iter().zip(script.iter()) {
+                    prop_assert_eq!(attempt.error_kind, fail.as_ref().map(|e| e.kind()));
+                    prop_assert_eq!(
+                        attempt.transient,
+                        fail.as_ref().map(|e| e.is_transient()).unwrap_or(false)
+                    );
+                }
+            }
+            None => {
+                let err = result.expect_err("every rung fails");
+                prop_assert_eq!(err.attempts.len(), script.len());
+                prop_assert_eq!(&err.last, script.last().unwrap().as_ref().unwrap());
+                for (attempt, fail) in err.attempts.iter().zip(script.iter()) {
+                    prop_assert_eq!(attempt.error_kind, fail.as_ref().map(|e| e.kind()));
+                }
+            }
+        }
+    }
+
+    /// Deadlines: a non-final rung that overruns its budget is abandoned
+    /// (recorded as deadline-exceeded) even when it returns a run; the
+    /// final rung's late success is accepted. Measured entirely on the
+    /// ManualClock seam.
+    #[test]
+    fn dispatcher_respects_per_backend_deadlines(
+        durations in proptest::collection::vec(1u64..100, 1..4),
+        deadline in 1u64..100,
+    ) {
+        let clock = ManualClock::new();
+        let rungs: Vec<ScriptedBackend<'_>> = durations
+            .iter()
+            .enumerate()
+            .map(|(i, &ms)| ScriptedBackend {
+                name: RUNG_NAMES[i],
+                clock: &clock,
+                advance_ms: ms,
+                fail: None,
+            })
+            .collect();
+        let ladder: Vec<&dyn DockBackend> = rungs.iter().map(|r| r as &dyn DockBackend).collect();
+        let policy = DispatchPolicy { per_backend_deadline_ms: Some(deadline) };
+        let d = Dispatcher::new(ladder, &clock, policy);
+        let (rec, lig) = tiny_problem();
+        let out = d
+            .dock(&rec, &lig, &DockParams::fast(), 1)
+            .expect("every rung eventually succeeds");
+        // Winner = first rung within budget, or the last rung.
+        let winner = durations
+            .iter()
+            .position(|&ms| ms < deadline)
+            .unwrap_or(durations.len() - 1);
+        prop_assert_eq!(out.backend, RUNG_NAMES[winner]);
+        prop_assert_eq!(out.fallbacks, winner as u64);
+        for attempt in &out.attempts[..winner] {
+            prop_assert_eq!(attempt.error_kind, Some("deadline-exceeded"));
         }
     }
 

@@ -1,0 +1,508 @@
+//! QUBO pose generation (the QUBODock formulation) behind the
+//! [`DockBackend`] seam.
+//!
+//! The binding site is discretized into candidate poses — a translation
+//! lattice over the search box crossed with a small orientation set —
+//! and pose selection becomes a QUBO: linear terms are the grid-scored
+//! energies of each candidate, quadratic terms penalize selecting two
+//! poses that overlap (RMSD below a threshold), and an implicit
+//! cardinality term steers the sampler toward exactly `poses_per_run`
+//! picks. The seeded annealer selects a diverse low-energy subset, and
+//! each selected pose is then polished with the same compass-search local
+//! refinement and direct rescoring the Vina engine uses — so affinities
+//! from both backends live on the same scale.
+
+use crate::qubo::Qubo;
+use crate::sampler::{anneal, splitmix64, AnnealConfig};
+use qdb_dock::backend::{require_finite_poses, BackendError, DockBackend, DockContext};
+use qdb_dock::cluster::{cluster_poses, rmsd_upper_bound};
+use qdb_dock::engine::{intra_pairs, DockParams, DockRun};
+use qdb_dock::grid::GridMaps;
+use qdb_dock::local::refine;
+use qdb_dock::pose::Pose;
+use qdb_dock::scoring::{affinity, intermolecular, intramolecular};
+use qdb_dock::types::{retype_positions, type_ligand, type_receptor, AtomClass, TypedAtom};
+use qdb_mol::geometry::{Quat, Vec3};
+use qdb_mol::ligand::Ligand;
+use qdb_mol::structure::Structure;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// Grid energies are clamped to this band before entering the QUBO so a
+/// single clashing candidate cannot flatten the annealer's temperature
+/// scale.
+const LINEAR_CLAMP: f64 = 50.0;
+
+/// The QUBO docking backend.
+#[derive(Clone, Copy, Debug)]
+pub struct QuboDockBackend {
+    /// Annealer restarts (rayon-parallel, deterministic merge).
+    pub restarts: usize,
+    /// Annealer sweeps per restart.
+    pub sweeps: usize,
+    /// Tabu tenure (sweeps).
+    pub tabu_tenure: usize,
+    /// Penalty for selecting two overlapping poses.
+    pub overlap_weight: f64,
+    /// Weight of the `(Σx − k)²` cardinality term.
+    pub cardinality_weight: f64,
+    /// Translation lattice points per axis (global mode).
+    pub translations_per_axis: usize,
+    /// Orientations per translation (fixed set + seeded fills).
+    pub orientations: usize,
+    /// Probe cap on QUBO size.
+    pub max_vars: usize,
+}
+
+impl Default for QuboDockBackend {
+    fn default() -> Self {
+        Self {
+            restarts: 6,
+            sweeps: 150,
+            tabu_tenure: 6,
+            overlap_weight: 60.0,
+            cardinality_weight: 60.0,
+            translations_per_axis: 4,
+            orientations: 8,
+            max_vars: 4096,
+        }
+    }
+}
+
+/// Shoemake's uniform random unit quaternion.
+fn random_orientation<R: Rng>(rng: &mut R) -> Quat {
+    let u1: f64 = rng.gen();
+    let u2: f64 = rng.gen::<f64>() * std::f64::consts::TAU;
+    let u3: f64 = rng.gen::<f64>() * std::f64::consts::TAU;
+    let a = (1.0 - u1).sqrt();
+    let b = u1.sqrt();
+    Quat::from_components(a * u2.sin(), a * u2.cos(), b * u3.sin(), b * u3.cos())
+}
+
+impl QuboDockBackend {
+    fn orientation_set(&self, params: &DockParams, rng: &mut ChaCha8Rng) -> Vec<Quat> {
+        let axes = [
+            Vec3::new(1.0, 0.0, 0.0),
+            Vec3::new(0.0, 1.0, 0.0),
+            Vec3::new(0.0, 0.0, 1.0),
+        ];
+        let mut orientations = vec![Quat::IDENTITY];
+        if params.local_only {
+            // Small tilts around the native orientation.
+            for axis in axes {
+                for sign in [1.0, -1.0] {
+                    orientations.push(Quat::from_axis_angle(axis, sign * 0.25));
+                }
+            }
+        } else {
+            for axis in axes {
+                orientations.push(Quat::from_axis_angle(axis, std::f64::consts::FRAC_PI_2));
+            }
+            orientations.push(Quat::from_axis_angle(axes[0], std::f64::consts::PI));
+        }
+        while orientations.len() < self.orientations.max(1) {
+            orientations.push(if params.local_only {
+                // Seeded small perturbation instead of a full random spin.
+                let axis = Vec3::new(
+                    rng.gen_range(-1.0..1.0),
+                    rng.gen_range(-1.0..1.0),
+                    rng.gen_range(-1.0..1.0),
+                );
+                let axis = if axis.norm() < 1e-9 { axes[0] } else { axis };
+                Quat::from_axis_angle(axis, rng.gen_range(-0.3..0.3))
+            } else {
+                random_orientation(rng)
+            });
+        }
+        orientations.truncate(self.orientations.max(1));
+        orientations
+    }
+
+    fn candidate_count(&self, params: &DockParams) -> usize {
+        let per_axis = if params.local_only {
+            3
+        } else {
+            self.translations_per_axis.max(1)
+        };
+        per_axis.pow(3) * self.orientations.max(1)
+    }
+
+    /// The discrete pose set: translation lattice × orientation set, with
+    /// torsions at the template's rest angles (refinement explores them).
+    fn candidate_poses(
+        &self,
+        params: &DockParams,
+        native_center: Vec3,
+        n_rot: usize,
+        seed: u64,
+    ) -> Vec<Pose> {
+        let mut rng = ChaCha8Rng::seed_from_u64(splitmix64(seed ^ 0xD0C_BA2E));
+        let orientations = self.orientation_set(params, &mut rng);
+        let lattice = |extent: f64, k: usize| -> Vec<f64> {
+            if k <= 1 {
+                vec![0.0]
+            } else {
+                (0..k)
+                    .map(|i| -extent + 2.0 * extent * i as f64 / (k - 1) as f64)
+                    .collect()
+            }
+        };
+        let (center, per_axis, extents) = if params.local_only {
+            (native_center, 3usize, Vec3::new(1.8, 1.8, 1.8))
+        } else {
+            // Same centroid bounds as the MC engine's random placement.
+            (
+                params.center,
+                self.translations_per_axis.max(1),
+                params.box_size * 0.35,
+            )
+        };
+        let (xs, ys, zs) = (
+            lattice(extents.x, per_axis),
+            lattice(extents.y, per_axis),
+            lattice(extents.z, per_axis),
+        );
+        let mut poses = Vec::with_capacity(xs.len() * ys.len() * zs.len() * orientations.len());
+        for &ox in &xs {
+            for &oy in &ys {
+                for &oz in &zs {
+                    for &orientation in &orientations {
+                        poses.push(Pose {
+                            position: center + Vec3::new(ox, oy, oz),
+                            orientation,
+                            torsions: vec![0.0; n_rot],
+                        });
+                    }
+                }
+            }
+        }
+        poses
+    }
+}
+
+impl DockBackend for QuboDockBackend {
+    fn name(&self) -> &'static str {
+        "qubo"
+    }
+
+    fn probe(
+        &self,
+        _receptor: &Structure,
+        ligand: &Ligand,
+        params: &DockParams,
+    ) -> Result<(), BackendError> {
+        if ligand.num_atoms() == 0 {
+            return Err(BackendError::Unavailable {
+                reason: "empty ligand".to_string(),
+            });
+        }
+        if params.box_size.x <= 0.0 || params.box_size.y <= 0.0 || params.box_size.z <= 0.0 {
+            return Err(BackendError::Unavailable {
+                reason: "degenerate search box".to_string(),
+            });
+        }
+        let vars = self.candidate_count(params);
+        if vars > self.max_vars {
+            return Err(BackendError::Unavailable {
+                reason: format!("QUBO would need {vars} variables (cap {})", self.max_vars),
+            });
+        }
+        Ok(())
+    }
+
+    fn dock(
+        &self,
+        receptor: &Structure,
+        ligand: &Ligand,
+        params: &DockParams,
+        seed: u64,
+        ctx: &DockContext<'_>,
+    ) -> Result<DockRun, BackendError> {
+        let telemetry = qdb_telemetry::global();
+        telemetry.counter("dock.runs").inc();
+        let m_energy_evals = telemetry.counter("dock.energy_evals");
+
+        let receptor_atoms = type_receptor(receptor);
+        let ligand_template = type_ligand(ligand);
+        let pairs = intra_pairs(ligand);
+        let n_rot = ligand.num_rotatable();
+        let classes: Vec<AtomClass> = ligand_template.iter().map(|a| a.class()).collect();
+        let grids = params.use_grids.then(|| {
+            GridMaps::build(
+                &receptor_atoms,
+                &classes,
+                params.center,
+                params.box_size,
+                params.spacing,
+            )
+        });
+        if ctx.expired() {
+            return Err(ctx.deadline_error());
+        }
+
+        let eval_inter = |atoms: &[TypedAtom]| -> f64 {
+            match &grids {
+                Some(g) => g.ligand_energy(atoms),
+                None => intermolecular(atoms, &receptor_atoms),
+            }
+        };
+
+        // --- Discretize: candidate poses and their grid-scored energies.
+        let candidates = self.candidate_poses(params, ligand.centroid(), n_rot, seed);
+        let mut kept: Vec<(Pose, Vec<Vec3>, f64)> = Vec::with_capacity(candidates.len());
+        let mut nonfinite = 0u64;
+        for pose in candidates {
+            let coords = pose.apply(ligand);
+            let atoms = retype_positions(&ligand_template, &coords);
+            m_energy_evals.inc();
+            let e = eval_inter(&atoms);
+            if e.is_finite() {
+                kept.push((pose, coords, e.clamp(-LINEAR_CLAMP, LINEAR_CLAMP)));
+            } else {
+                nonfinite += 1;
+            }
+        }
+        if nonfinite > 0 {
+            telemetry
+                .counter("dock.backend.qubo.nonfinite_candidates")
+                .add(nonfinite);
+        }
+        if kept.is_empty() {
+            return Err(BackendError::Internal {
+                message: "no finite-energy candidate poses on the grid".to_string(),
+            });
+        }
+        telemetry
+            .counter("dock.backend.qubo.candidates")
+            .add(kept.len() as u64);
+        if ctx.expired() {
+            return Err(ctx.deadline_error());
+        }
+
+        // --- Assemble the QUBO: energies linear, overlaps quadratic,
+        // cardinality implicit.
+        let n = kept.len();
+        let k = params.poses_per_run.clamp(1, n);
+        let overlap_rmsd = (2.0 * params.min_rmsd).max(1.5);
+        let mut q = Qubo::new(n);
+        for (i, (_, _, e)) in kept.iter().enumerate() {
+            q.add_linear(i, *e);
+        }
+        for i in 0..n {
+            for j in (i + 1)..n {
+                if rmsd_upper_bound(&kept[i].1, &kept[j].1) < overlap_rmsd {
+                    q.add_pair(i, j, self.overlap_weight);
+                }
+            }
+        }
+        q.set_cardinality(k, self.cardinality_weight);
+        if ctx.expired() {
+            return Err(ctx.deadline_error());
+        }
+
+        // --- Sample.
+        let cfg = AnnealConfig {
+            restarts: self.restarts,
+            sweeps: self.sweeps,
+            tabu_tenure: self.tabu_tenure,
+            seed,
+            ..Default::default()
+        };
+        let samples = {
+            let _anneal_span = telemetry.span("dock.backend.qubo.anneal");
+            anneal(&q, &cfg)
+        };
+        telemetry
+            .counter("dock.backend.qubo.anneal_restarts")
+            .add(cfg.restarts as u64);
+        let best = samples.first().ok_or_else(|| BackendError::Internal {
+            message: "annealer returned no samples".to_string(),
+        })?;
+        let mut selected: Vec<usize> = best
+            .bits
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &on)| on.then_some(i))
+            .collect();
+        if selected.is_empty() {
+            // Degenerate sample (can only happen with a hostile config):
+            // fall back to the k best linear terms so the run still
+            // reports poses.
+            let mut order: Vec<usize> = (0..n).collect();
+            order.sort_by(|&a, &b| kept[a].2.total_cmp(&kept[b].2));
+            selected = order.into_iter().take(k).collect();
+        }
+
+        // --- Refine winners with the shared local search and rescore with
+        // the direct (interpolation-free) energy, exactly as the engine
+        // does.
+        let mut scored: Vec<(Vec<Vec3>, f64)> = Vec::with_capacity(selected.len());
+        for idx in selected {
+            if ctx.expired() {
+                return Err(ctx.deadline_error());
+            }
+            let energy_of = |p: &Pose| {
+                m_energy_evals.inc();
+                let coords = p.apply(ligand);
+                let atoms = retype_positions(&ligand_template, &coords);
+                eval_inter(&atoms) + intramolecular(&atoms, &pairs)
+            };
+            let (refined, _) = refine(&kept[idx].0, energy_of, params.refine_evals);
+            let coords = refined.apply(ligand);
+            let atoms = retype_positions(&ligand_template, &coords);
+            let e_inter = intermolecular(&atoms, &receptor_atoms);
+            scored.push((coords, affinity(e_inter, n_rot)));
+        }
+        telemetry
+            .counter("dock.poses_generated")
+            .add(scored.len() as u64);
+        let poses = cluster_poses(scored, params.min_rmsd, params.poses_per_run);
+        telemetry
+            .counter("dock.poses_reported")
+            .add(poses.len() as u64);
+        require_finite_poses(DockRun { seed, poses })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qdb_mol::builder::{build_peptide, classify_side_chain, ResidueSpec};
+    use qdb_mol::ligand::generate_ligand;
+    use qdb_telemetry::{Clock, ManualClock};
+
+    fn receptor(seq: &str) -> Structure {
+        let s = 3.8 / (3.0f64).sqrt();
+        let dirs = [
+            Vec3::new(1.0, 1.0, 1.0),
+            Vec3::new(1.0, -1.0, -1.0),
+            Vec3::new(-1.0, 1.0, -1.0),
+        ];
+        let mut p = Vec3::ZERO;
+        let mut trace = vec![p];
+        for i in 0..seq.len() - 1 {
+            let d = dirs[i % 3] * if i % 2 == 0 { 1.0 } else { -1.0 };
+            p += d * s;
+            trace.push(p);
+        }
+        let specs: Vec<ResidueSpec> = seq
+            .chars()
+            .enumerate()
+            .map(|(i, c)| ResidueSpec {
+                name: "UNK".into(),
+                seq_num: i as i32 + 1,
+                side_chain: classify_side_chain(c),
+            })
+            .collect();
+        let mut s = build_peptide(&trace, &specs);
+        s.center();
+        s
+    }
+
+    fn fast_backend() -> QuboDockBackend {
+        QuboDockBackend {
+            restarts: 3,
+            sweeps: 60,
+            translations_per_axis: 3,
+            orientations: 4,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn qubo_docking_produces_finite_scored_poses() {
+        let rec = receptor("LKDSVI");
+        let lig = generate_ligand(42, 14);
+        let params = DockParams::fast();
+        let clock = ManualClock::new();
+        let ctx = DockContext::unbounded(&clock);
+        let run = fast_backend().dock(&rec, &lig, &params, 7, &ctx).unwrap();
+        assert!(!run.poses.is_empty());
+        assert!(run.poses.iter().all(|p| p.affinity.is_finite()));
+        assert!(
+            run.best_affinity() < 0.0,
+            "refined pocket poses should bind, got {}",
+            run.best_affinity()
+        );
+    }
+
+    #[test]
+    fn qubo_docking_is_byte_deterministic_per_seed() {
+        let rec = receptor("LKDSV");
+        let lig = generate_ligand(9, 12);
+        let params = DockParams::fast();
+        let clock = ManualClock::new();
+        let ctx = DockContext::unbounded(&clock);
+        let backend = fast_backend();
+        let a = backend.dock(&rec, &lig, &params, 3, &ctx).unwrap();
+        let b = backend.dock(&rec, &lig, &params, 3, &ctx).unwrap();
+        assert_eq!(a.poses.len(), b.poses.len());
+        for (pa, pb) in a.poses.iter().zip(b.poses.iter()) {
+            assert_eq!(pa.coords, pb.coords, "coords must match bit-for-bit");
+            assert_eq!(pa.affinity.to_bits(), pb.affinity.to_bits());
+        }
+        // A different seed must still produce a valid, finite run. (It
+        // may legitimately converge to the same optimum — the sampler's
+        // greedy polish pulls every restart toward the pocket minimum —
+        // so byte-equality across seeds is not asserted either way.)
+        let c = backend.dock(&rec, &lig, &params, 4, &ctx).unwrap();
+        assert!(!c.poses.is_empty());
+        assert!(c.poses.iter().all(|p| p.affinity.is_finite()));
+    }
+
+    #[test]
+    fn expired_deadline_is_detected_cooperatively() {
+        let rec = receptor("LKDSV");
+        let lig = generate_ligand(9, 12);
+        let params = DockParams::fast();
+        let clock = ManualClock::new();
+        let ctx = DockContext {
+            clock: &clock,
+            deadline_ms: Some(10),
+            started_ns: clock.now_ns(),
+        };
+        clock.advance_ms(11);
+        let err = fast_backend()
+            .dock(&rec, &lig, &params, 3, &ctx)
+            .unwrap_err();
+        assert_eq!(err.kind(), "deadline-exceeded");
+    }
+
+    #[test]
+    fn probe_caps_the_qubo_size() {
+        let rec = receptor("LKDSV");
+        let lig = generate_ligand(9, 12);
+        let params = DockParams::fast();
+        let mut backend = fast_backend();
+        backend.max_vars = 10;
+        let err = backend.probe(&rec, &lig, &params).unwrap_err();
+        assert_eq!(err.kind(), "unavailable");
+    }
+
+    #[test]
+    fn local_mode_keeps_candidates_near_the_native_site() {
+        let rec = receptor("LKDSVI");
+        let mut lig = generate_ligand(42, 14);
+        let c = lig.centroid();
+        lig.translate(-c);
+        lig.translate(Vec3::new(4.0, 0.0, 0.0));
+        let mut params = DockParams::fast();
+        params.local_only = true;
+        params.center = lig.centroid();
+        let clock = ManualClock::new();
+        let ctx = DockContext::unbounded(&clock);
+        let run = fast_backend().dock(&rec, &lig, &params, 5, &ctx).unwrap();
+        assert!(!run.poses.is_empty());
+        for pose in &run.poses {
+            let centroid = pose
+                .coords
+                .iter()
+                .fold(Vec3::ZERO, |acc, &p| acc + p / pose.coords.len() as f64);
+            assert!(
+                centroid.distance(lig.centroid()) < 8.0,
+                "local-mode pose wandered {:.1} Å",
+                centroid.distance(lig.centroid())
+            );
+        }
+    }
+}

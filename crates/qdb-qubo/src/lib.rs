@@ -1,0 +1,21 @@
+//! # qdb-qubo
+//!
+//! QUBO-based ligand pose generation (the QUBODock formulation): the
+//! binding site is discretized into candidate poses, pose selection is
+//! written as a quadratic unconstrained binary optimization — grid-scored
+//! linear terms, pose-overlap quadratic penalties, an implicit
+//! cardinality term — and solved with a seeded simulated-annealing/tabu
+//! sampler whose rayon-parallel restarts merge deterministically. Winning
+//! samples are refined with `qdb-dock`'s local search and rescored with
+//! the direct Vina energy, making the backend drop-in comparable with the
+//! Monte-Carlo engine behind the same [`DockBackend`] seam.
+//!
+//! [`DockBackend`]: qdb_dock::backend::DockBackend
+
+pub mod backend;
+pub mod qubo;
+pub mod sampler;
+
+pub use backend::QuboDockBackend;
+pub use qubo::Qubo;
+pub use sampler::{anneal, AnnealConfig, Sample};

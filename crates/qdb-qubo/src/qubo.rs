@@ -1,0 +1,171 @@
+//! The QUBO model: minimize `x^T Q x` over binary `x`.
+//!
+//! Stored as linear terms plus a sparse symmetric pair list, with an
+//! optional *implicit* cardinality penalty `B (Σx − k)²`. Keeping the
+//! cardinality term implicit matters: expanded, it couples every pair of
+//! variables and would densify the adjacency from O(overlaps) to O(n²);
+//! tracked via the ones-count it costs O(1) per flip instead.
+
+/// A quadratic unconstrained binary optimization instance.
+#[derive(Clone, Debug)]
+pub struct Qubo {
+    n: usize,
+    linear: Vec<f64>,
+    /// Unique upper-triangle couplings `(i, j, w)` with `i < j`.
+    pairs: Vec<(u32, u32, f64)>,
+    /// Both-direction adjacency for O(deg) flip deltas.
+    adj: Vec<Vec<(u32, f64)>>,
+    /// Implicit `weight · (Σx − k)²` term.
+    cardinality: Option<(usize, f64)>,
+}
+
+impl Qubo {
+    /// An empty instance over `n` binary variables.
+    pub fn new(n: usize) -> Self {
+        Self {
+            n,
+            linear: vec![0.0; n],
+            pairs: Vec::new(),
+            adj: vec![Vec::new(); n],
+            cardinality: None,
+        }
+    }
+
+    /// Number of variables.
+    pub fn num_vars(&self) -> usize {
+        self.n
+    }
+
+    /// Number of explicit pair couplings.
+    pub fn num_pairs(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// Adds `w · x_i` (accumulates).
+    pub fn add_linear(&mut self, i: usize, w: f64) {
+        self.linear[i] += w;
+    }
+
+    /// Adds `w · x_i x_j` for `i ≠ j` (accumulates as a new entry).
+    pub fn add_pair(&mut self, i: usize, j: usize, w: f64) {
+        assert_ne!(i, j, "diagonal terms are linear (x² = x)");
+        let (a, b) = if i < j { (i, j) } else { (j, i) };
+        self.pairs.push((a as u32, b as u32, w));
+        self.adj[a].push((b as u32, w));
+        self.adj[b].push((a as u32, w));
+    }
+
+    /// Sets the implicit cardinality penalty `weight · (Σx − k)²`.
+    pub fn set_cardinality(&mut self, k: usize, weight: f64) {
+        self.cardinality = Some((k, weight));
+    }
+
+    /// The cardinality penalty, if set.
+    pub fn cardinality(&self) -> Option<(usize, f64)> {
+        self.cardinality
+    }
+
+    /// Full objective for an assignment (the brute-force reference the
+    /// incremental flip deltas are property-tested against).
+    pub fn energy(&self, bits: &[bool]) -> f64 {
+        assert_eq!(bits.len(), self.n);
+        let mut e = 0.0;
+        for (i, &on) in bits.iter().enumerate() {
+            if on {
+                e += self.linear[i];
+            }
+        }
+        for &(i, j, w) in &self.pairs {
+            if bits[i as usize] && bits[j as usize] {
+                e += w;
+            }
+        }
+        if let Some((k, weight)) = self.cardinality {
+            let ones = bits.iter().filter(|&&b| b).count() as f64;
+            let d = ones - k as f64;
+            e += weight * d * d;
+        }
+        e
+    }
+
+    /// Energy change from flipping variable `i`, given the current
+    /// assignment and its ones-count. O(deg(i)).
+    pub fn flip_delta(&self, bits: &[bool], ones: usize, i: usize) -> f64 {
+        let sign = if bits[i] { -1.0 } else { 1.0 };
+        let mut neighbor_sum = 0.0;
+        for &(j, w) in &self.adj[i] {
+            if bits[j as usize] {
+                neighbor_sum += w;
+            }
+        }
+        let mut delta = sign * (self.linear[i] + neighbor_sum);
+        if let Some((k, weight)) = self.cardinality {
+            let m = ones as f64 - k as f64;
+            let m_new = m + sign;
+            delta += weight * (m_new * m_new - m * m);
+        }
+        delta
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn energy_counts_active_terms() {
+        let mut q = Qubo::new(3);
+        q.add_linear(0, -2.0);
+        q.add_linear(2, 1.0);
+        q.add_pair(0, 1, 3.0);
+        q.add_pair(0, 2, -1.0);
+        assert_eq!(q.energy(&[false, false, false]), 0.0);
+        assert_eq!(q.energy(&[true, false, false]), -2.0);
+        assert_eq!(q.energy(&[true, true, false]), 1.0);
+        assert_eq!(q.energy(&[true, false, true]), -2.0);
+    }
+
+    #[test]
+    fn cardinality_penalizes_deviation_quadratically() {
+        let mut q = Qubo::new(4);
+        q.set_cardinality(2, 10.0);
+        assert_eq!(q.energy(&[false; 4]), 40.0);
+        assert_eq!(q.energy(&[true, true, false, false]), 0.0);
+        assert_eq!(q.energy(&[true, true, true, false]), 10.0);
+        assert_eq!(q.energy(&[true; 4]), 40.0);
+    }
+
+    #[test]
+    fn flip_delta_matches_energy_difference() {
+        let mut q = Qubo::new(4);
+        q.add_linear(0, -1.5);
+        q.add_linear(3, 0.5);
+        q.add_pair(0, 1, 2.0);
+        q.add_pair(1, 2, -0.7);
+        q.add_pair(2, 3, 1.1);
+        q.set_cardinality(2, 5.0);
+        let mut bits = vec![true, false, true, false];
+        let ones = 2;
+        for i in 0..4 {
+            let before = q.energy(&bits);
+            let delta = q.flip_delta(&bits, ones, i);
+            bits[i] = !bits[i];
+            let after = q.energy(&bits);
+            bits[i] = !bits[i];
+            assert!(
+                (after - before - delta).abs() < 1e-12,
+                "flip {i}: delta {delta} vs true {}",
+                after - before
+            );
+        }
+    }
+
+    #[test]
+    fn accumulated_pairs_sum() {
+        let mut q = Qubo::new(2);
+        q.add_pair(0, 1, 1.0);
+        q.add_pair(1, 0, 2.0);
+        assert_eq!(q.energy(&[true, true]), 3.0);
+        assert_eq!(q.num_pairs(), 2);
+    }
+}

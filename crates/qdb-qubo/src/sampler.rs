@@ -1,0 +1,281 @@
+//! Seeded simulated-annealing / tabu sampler for [`Qubo`] instances.
+//!
+//! Restarts run rayon-parallel, each on its own `ChaCha8Rng` derived from
+//! `(seed, restart)` via SplitMix64, and the per-restart winners are
+//! merged with a total-order sort by `(energy, restart)` — so the sampler
+//! is deterministic regardless of worker scheduling: same seed, same
+//! instance ⇒ byte-identical samples.
+//!
+//! Within a restart: geometric temperature schedule, sequential variable
+//! sweeps, Metropolis acceptance, and a tabu tenure per variable with the
+//! standard aspiration exception (a tabu flip is allowed when it beats
+//! the restart's best energy).
+
+use crate::qubo::Qubo;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use rayon::prelude::*;
+
+/// Sampler configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct AnnealConfig {
+    /// Independent restarts (rayon-parallel).
+    pub restarts: usize,
+    /// Full variable sweeps per restart.
+    pub sweeps: usize,
+    /// Initial Metropolis temperature.
+    pub t_init: f64,
+    /// Final temperature (geometric schedule).
+    pub t_final: f64,
+    /// Sweeps a flipped variable stays tabu.
+    pub tabu_tenure: usize,
+    /// Master seed; each restart derives its own stream.
+    pub seed: u64,
+}
+
+impl Default for AnnealConfig {
+    fn default() -> Self {
+        Self {
+            restarts: 8,
+            sweeps: 200,
+            t_init: 8.0,
+            t_final: 0.05,
+            tabu_tenure: 6,
+            seed: 0,
+        }
+    }
+}
+
+/// One restart's best assignment.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Sample {
+    /// The assignment.
+    pub bits: Vec<bool>,
+    /// Its exact energy (recomputed from scratch, not the incremental
+    /// accumulator, so float drift cannot leak into results).
+    pub energy: f64,
+    /// Which restart produced it.
+    pub restart: usize,
+}
+
+/// SplitMix64 — decorrelates per-restart seeds.
+pub(crate) fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn initial_bits(q: &Qubo, rng: &mut ChaCha8Rng) -> Vec<bool> {
+    let n = q.num_vars();
+    match q.cardinality() {
+        // Start feasible: exactly k ones at random positions.
+        Some((k, _)) => {
+            // Fisher-Yates with the restart's own stream (no SliceRandom,
+            // keeps the dependency surface to plain `Rng`).
+            let mut idx: Vec<usize> = (0..n).collect();
+            for i in (1..n).rev() {
+                let j = rng.gen_range(0..i + 1);
+                idx.swap(i, j);
+            }
+            let mut bits = vec![false; n];
+            for &i in idx.iter().take(k.min(n)) {
+                bits[i] = true;
+            }
+            bits
+        }
+        None => (0..n).map(|_| rng.gen::<bool>()).collect(),
+    }
+}
+
+fn run_restart(q: &Qubo, cfg: &AnnealConfig, restart: usize) -> Sample {
+    let n = q.num_vars();
+    let mut rng =
+        ChaCha8Rng::seed_from_u64(splitmix64(cfg.seed ^ (restart as u64).wrapping_mul(0x9E37)));
+    let mut bits = initial_bits(q, &mut rng);
+    let mut ones = bits.iter().filter(|&&b| b).count();
+    let mut energy = q.energy(&bits);
+    let mut best_bits = bits.clone();
+    let mut best_energy = energy;
+    // Sweep index at which each variable was last flipped (for tenure).
+    let mut last_flip = vec![usize::MAX; n];
+
+    let sweeps = cfg.sweeps.max(1);
+    let ratio = if cfg.t_init > 0.0 {
+        (cfg.t_final.max(1e-9) / cfg.t_init).max(1e-12)
+    } else {
+        1.0
+    };
+    for sweep in 0..sweeps {
+        let frac = sweep as f64 / sweeps.max(2).saturating_sub(1) as f64;
+        let temp = cfg.t_init * ratio.powf(frac);
+        for i in 0..n {
+            let delta = q.flip_delta(&bits, ones, i);
+            let tabu =
+                last_flip[i] != usize::MAX && sweep.saturating_sub(last_flip[i]) < cfg.tabu_tenure;
+            let aspires = energy + delta < best_energy - 1e-12;
+            if tabu && !aspires {
+                continue;
+            }
+            let accept = delta <= 0.0 || (temp > 0.0 && rng.gen::<f64>() < (-delta / temp).exp());
+            if accept {
+                bits[i] = !bits[i];
+                ones = if bits[i] { ones + 1 } else { ones - 1 };
+                energy += delta;
+                last_flip[i] = sweep;
+                if energy < best_energy - 1e-12 {
+                    best_energy = energy;
+                    best_bits.copy_from_slice(&bits);
+                }
+            }
+        }
+    }
+    polish(q, &mut best_bits);
+    Sample {
+        energy: q.energy(&best_bits),
+        bits: best_bits,
+        restart,
+    }
+}
+
+/// Deterministic greedy descent on a restart's winner: single-flip
+/// descent, plus best-improving 1↔0 swaps on cardinality-constrained
+/// instances — a swap keeps the constraint feasible, where the two
+/// single flips composing it would each pay the penalty barrier and be
+/// rejected. Runs to a local optimum under both move classes.
+fn polish(q: &Qubo, bits: &mut [bool]) {
+    let n = bits.len();
+    let mut ones = bits.iter().filter(|&&b| b).count();
+    loop {
+        let mut improved = false;
+        for i in 0..n {
+            if q.flip_delta(bits, ones, i) < -1e-12 {
+                bits[i] = !bits[i];
+                ones = if bits[i] { ones + 1 } else { ones - 1 };
+                improved = true;
+            }
+        }
+        if !improved && q.cardinality().is_some() {
+            let mut best: Option<(usize, usize, f64)> = None;
+            for i in 0..n {
+                if !bits[i] {
+                    continue;
+                }
+                let d1 = q.flip_delta(bits, ones, i);
+                bits[i] = false;
+                for j in 0..n {
+                    if bits[j] || j == i {
+                        continue;
+                    }
+                    let total = d1 + q.flip_delta(bits, ones - 1, j);
+                    if total < best.map(|(_, _, d)| d).unwrap_or(-1e-12) {
+                        best = Some((i, j, total));
+                    }
+                }
+                bits[i] = true;
+            }
+            if let Some((i, j, _)) = best {
+                bits[i] = false;
+                bits[j] = true;
+                improved = true;
+            }
+        }
+        if !improved {
+            break;
+        }
+    }
+}
+
+/// Runs all restarts and returns their winners sorted best-first by
+/// `(energy, restart)` — a total order, so ties break deterministically.
+pub fn anneal(q: &Qubo, cfg: &AnnealConfig) -> Vec<Sample> {
+    let mut samples: Vec<Sample> = (0..cfg.restarts.max(1))
+        .into_par_iter()
+        .map(|r| run_restart(q, cfg, r))
+        .collect();
+    samples.sort_by(|a, b| {
+        a.energy
+            .total_cmp(&b.energy)
+            .then(a.restart.cmp(&b.restart))
+    });
+    samples
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> Qubo {
+        // Optimum: pick the two negative-linear, non-conflicting vars.
+        let mut q = Qubo::new(6);
+        for i in 0..6 {
+            q.add_linear(i, if i % 2 == 0 { -2.0 } else { 1.0 });
+        }
+        q.add_pair(0, 2, 10.0); // conflict between two attractive vars
+        q.set_cardinality(2, 8.0);
+        q
+    }
+
+    #[test]
+    fn anneal_is_seed_deterministic() {
+        let q = toy();
+        let cfg = AnnealConfig {
+            seed: 42,
+            ..Default::default()
+        };
+        let a = anneal(&q, &cfg);
+        let b = anneal(&q, &cfg);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn anneal_finds_the_toy_optimum() {
+        let q = toy();
+        let cfg = AnnealConfig {
+            seed: 7,
+            ..Default::default()
+        };
+        let best = &anneal(&q, &cfg)[0];
+        // Exhaustive check over all 64 assignments.
+        let mut true_best = f64::INFINITY;
+        for mask in 0u32..64 {
+            let bits: Vec<bool> = (0..6).map(|i| mask >> i & 1 == 1).collect();
+            true_best = true_best.min(q.energy(&bits));
+        }
+        assert!(
+            (best.energy - true_best).abs() < 1e-9,
+            "anneal {} vs exhaustive {}",
+            best.energy,
+            true_best
+        );
+    }
+
+    #[test]
+    fn samples_are_sorted_best_first() {
+        let q = toy();
+        let cfg = AnnealConfig {
+            restarts: 5,
+            seed: 3,
+            ..Default::default()
+        };
+        let samples = anneal(&q, &cfg);
+        assert_eq!(samples.len(), 5);
+        for w in samples.windows(2) {
+            assert!(w[0].energy <= w[1].energy);
+        }
+    }
+
+    #[test]
+    fn reported_energy_is_exact_not_accumulated() {
+        let q = toy();
+        let cfg = AnnealConfig {
+            seed: 11,
+            sweeps: 50,
+            ..Default::default()
+        };
+        for s in anneal(&q, &cfg) {
+            assert_eq!(s.energy, q.energy(&s.bits));
+        }
+    }
+}

@@ -18,9 +18,9 @@ use serde::{Deserialize, Serialize};
 pub struct JobRequest {
     /// PDB id of the fragment to build (e.g. `"3ckz"`).
     pub fragment: String,
-    /// Prediction backend. Only `"qdock"` is implemented today; the
-    /// field exists so future engines slot in behind the same queue and
-    /// key schema.
+    /// Docking backend: `"vina"` (default), `"qubo"`, or `"auto"` (the
+    /// qubo→vina fallback ladder). `"qdock"` is accepted as a legacy
+    /// alias for `"vina"` and canonicalizes to it before hashing.
     pub backend: Option<String>,
     /// Pipeline preset: `"fast"` (default) or `"paper"`.
     pub preset: Option<String>,
@@ -40,7 +40,7 @@ pub struct JobRequest {
 pub struct ResolvedRequest {
     /// PDB id.
     pub fragment: String,
-    /// Backend name (`"qdock"`).
+    /// Backend name (`"vina"`, `"qubo"`, or `"auto"`).
     pub backend: String,
     /// Preset name (`"fast"` or `"paper"`).
     pub preset: String,
@@ -68,7 +68,10 @@ impl std::fmt::Display for RequestError {
         match self {
             RequestError::UnknownFragment(id) => write!(f, "unknown fragment {id:?}"),
             RequestError::UnknownBackend(b) => {
-                write!(f, "unknown backend {b:?} (only \"qdock\" is implemented)")
+                write!(
+                    f,
+                    "unknown backend {b:?} (use \"vina\", \"qubo\", or \"auto\")"
+                )
             }
             RequestError::UnknownPreset(p) => {
                 write!(f, "unknown preset {p:?} (use \"fast\" or \"paper\")")
@@ -86,10 +89,11 @@ impl JobRequest {
         if qdockbank::fragment(&self.fragment).is_none() {
             return Err(RequestError::UnknownFragment(self.fragment.clone()));
         }
-        let backend = self.backend.clone().unwrap_or_else(|| "qdock".to_string());
-        if backend != "qdock" {
-            return Err(RequestError::UnknownBackend(backend));
-        }
+        let raw = self.backend.clone().unwrap_or_else(|| "vina".to_string());
+        let backend = match qdockbank::BackendChoice::parse(&raw) {
+            Some(choice) => choice.name().to_string(),
+            None => return Err(RequestError::UnknownBackend(raw)),
+        };
         let preset = self.preset.clone().unwrap_or_else(|| "fast".to_string());
         if preset != "fast" && preset != "paper" {
             return Err(RequestError::UnknownPreset(preset));
@@ -167,7 +171,7 @@ mod tests {
     #[test]
     fn defaults_resolve_and_key_is_well_formed() {
         let r = req("3ckz").resolve().unwrap();
-        assert_eq!(r.backend, "qdock");
+        assert_eq!(r.backend, "vina");
         assert_eq!(r.preset, "fast");
         assert_eq!(r.seed, 0);
         let key = r.content_key();
@@ -179,7 +183,7 @@ mod tests {
         let implicit = req("3ckz").resolve().unwrap();
         let explicit = JobRequest {
             fragment: "3ckz".to_string(),
-            backend: Some("qdock".to_string()),
+            backend: Some("vina".to_string()),
             preset: Some("fast".to_string()),
             seed: Some(0),
             docking_runs: Some(0),
@@ -218,16 +222,50 @@ mod tests {
         }
         .resolve()
         .unwrap();
+        let other_backend = JobRequest {
+            backend: Some("qubo".to_string()),
+            ..req("3ckz")
+        }
+        .resolve()
+        .unwrap();
         let keys = [
             base.content_key(),
             other_fragment.content_key(),
             other_seed.content_key(),
             other_preset.content_key(),
+            other_backend.content_key(),
         ];
         for (i, a) in keys.iter().enumerate() {
             for b in keys.iter().skip(i + 1) {
                 assert_ne!(a, b);
             }
+        }
+    }
+
+    #[test]
+    fn backend_names_canonicalize_before_hashing() {
+        // The legacy alias means the same work as the explicit default.
+        for spelling in ["qdock", "vina"] {
+            let r = JobRequest {
+                backend: Some(spelling.to_string()),
+                ..req("3ckz")
+            }
+            .resolve()
+            .unwrap();
+            assert_eq!(r.backend, "vina");
+            assert_eq!(
+                r.content_key(),
+                req("3ckz").resolve().unwrap().content_key()
+            );
+        }
+        for name in ["qubo", "auto"] {
+            let r = JobRequest {
+                backend: Some(name.to_string()),
+                ..req("3ckz")
+            }
+            .resolve()
+            .unwrap();
+            assert_eq!(r.backend, name);
         }
     }
 
@@ -239,7 +277,7 @@ mod tests {
         ));
         assert!(matches!(
             JobRequest {
-                backend: Some("qubo".to_string()),
+                backend: Some("annealer9".to_string()),
                 ..req("3ckz")
             }
             .resolve(),

@@ -21,6 +21,10 @@ pub struct RunOutput {
     pub degraded: bool,
     /// Attempts spent.
     pub attempts: u64,
+    /// Docking backend choice the winning attempt ran with ("vina",
+    /// "qubo", "auto") — the supervisor's deep degradation rungs can
+    /// force this down to "vina" from a fancier request.
+    pub backend: String,
     /// Entry directory relative to the slot (e.g. `"S/3ckz"`).
     pub entry_rel: String,
 }
@@ -70,6 +74,11 @@ impl PipelineRunner {
         if request.docking_runs != 0 {
             cfg.docking_runs = request.docking_runs as usize;
         }
+        // The request backend is already canonical ("vina"/"qubo"/"auto");
+        // an unparsable value cannot reach here past resolve().
+        if let Some(choice) = qdockbank::BackendChoice::parse(&request.backend) {
+            cfg.dock_backend = choice;
+        }
         cfg
     }
 }
@@ -112,6 +121,9 @@ impl JobRunner for PipelineRunner {
         let degraded = winning
             .map(|a| a.seed_shifted || a.degradation.is_some())
             .unwrap_or(false);
+        let backend = winning
+            .and_then(|a| a.dock_backend.clone())
+            .unwrap_or_else(|| request.backend.clone());
         let entry_rel = files
             .dir
             .strip_prefix(slot)
@@ -120,6 +132,7 @@ impl JobRunner for PipelineRunner {
         Ok(RunOutput {
             degraded,
             attempts: attempts.len() as u64,
+            backend,
             entry_rel,
         })
     }
@@ -174,6 +187,7 @@ impl JobRunner for StubRunner {
         Ok(RunOutput {
             degraded: false,
             attempts: 1,
+            backend: request.backend.clone(),
             entry_rel,
         })
     }

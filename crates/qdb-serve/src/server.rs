@@ -85,9 +85,10 @@ fn status_json(status: &JobStatus) -> String {
 fn job_json(view: &JobView) -> String {
     let request = serde_json::to_string(&view.request).unwrap_or_else(|_| "null".to_string());
     format!(
-        "{{\"job\": {}, {}, \"request\": {}}}",
+        "{{\"job\": {}, {}, \"backend\": {}, \"request\": {}}}",
         json_string(&view.key),
         status_json(&view.status),
+        json_string(&view.request.backend),
         request
     )
 }

@@ -172,6 +172,9 @@ pub struct ResultJson {
     pub status: String,
     /// Attempts the supervisor spent.
     pub attempts: u64,
+    /// Docking backend choice the winning attempt ran with. `None` in
+    /// summaries written before backends existed (the Vina engine).
+    pub backend: Option<String>,
     /// Entry directory relative to the slot.
     pub entry: String,
 }
@@ -655,6 +658,7 @@ impl JobService {
                     fragment: request.fragment.clone(),
                     status: status.name().to_string(),
                     attempts: output.attempts,
+                    backend: Some(output.backend.clone()),
                     entry: output.entry_rel.clone(),
                 };
                 let write = self.cache.begin(&*self.vfs, key).and_then(|mut w| {

@@ -110,8 +110,28 @@ pub struct DockingJson {
     pub mean_rmsd_lb: f64,
     /// Mean pose-RMSD upper bound.
     pub mean_rmsd_ub: f64,
+    /// Docking backend that produced the runs ("vina", "qubo", or
+    /// "mixed" when the auto ladder switched rungs between seeds).
+    /// `None` on entries written before backends existed, meaning the
+    /// then-only Vina engine — read through [`DockingJson::backend`].
+    pub backend: Option<String>,
+    /// Ladder rungs burned across all runs (0 = first choice always
+    /// succeeded). `None` on pre-backend entries, meaning zero.
+    pub fallbacks: Option<u64>,
     /// Per-run details.
     pub runs: Vec<RunJson>,
+}
+
+impl DockingJson {
+    /// Backend label, normalizing pre-backend entries to "vina".
+    pub fn backend(&self) -> &str {
+        self.backend.as_deref().unwrap_or("vina")
+    }
+
+    /// Fallback count, normalizing pre-backend entries to zero.
+    pub fn fallbacks(&self) -> u64 {
+        self.fallbacks.unwrap_or(0)
+    }
 }
 
 /// Builds the metadata JSON for a fragment result.
@@ -147,6 +167,8 @@ pub fn docking_json(record: &FragmentRecord, result: &FragmentResult) -> Docking
         best_affinity: outcome.best_affinity(),
         mean_rmsd_lb: outcome.mean_rmsd_lb(),
         mean_rmsd_ub: outcome.mean_rmsd_ub(),
+        backend: Some(result.qdock.dock_backend.clone()),
+        fallbacks: Some(result.qdock.dock_fallbacks),
         runs: outcome
             .runs
             .iter()
@@ -507,6 +529,27 @@ mod tests {
             }
         }
         assert!(dock.best_affinity <= dock.mean_best_affinity);
+        assert_eq!(dock.backend(), "vina");
+        assert_eq!(dock.fallbacks(), 0);
+    }
+
+    #[test]
+    fn docking_json_backend_fields_default_for_legacy_entries() {
+        // Entries written before the backend seam existed lack both
+        // fields; decoding must supply the historical truth ("vina", 0).
+        let text = r#"{
+            "pdb_id": "3ckz", "num_runs": 1,
+            "mean_best_affinity": -5.0, "best_affinity": -5.0,
+            "mean_rmsd_lb": 0.1, "mean_rmsd_ub": 0.2,
+            "runs": [{"seed": 7, "poses": [
+                {"rank": 0, "affinity": -5.0, "rmsd_lb": 0.0, "rmsd_ub": 0.0}
+            ]}]
+        }"#;
+        let back: DockingJson = serde_json::from_str(text).unwrap();
+        assert_eq!(back.backend, None);
+        assert_eq!(back.fallbacks, None);
+        assert_eq!(back.backend(), "vina");
+        assert_eq!(back.fallbacks(), 0);
     }
 
     #[test]

@@ -25,6 +25,15 @@ pub enum PipelineError {
     /// An on-disk artifact exists but does not decode (corrupt JSON/PDB)
     /// or does not validate against the fragment manifest.
     Decode(String),
+    /// Every rung of the docking backend ladder failed for some seed.
+    Dock {
+        /// The final rung's stable error kind (backend taxonomy leaf).
+        kind: String,
+        /// Human-readable summary of the ladder's attempt history.
+        message: String,
+        /// Whether the final rung's failure was transient.
+        transient: bool,
+    },
     /// The fragment job panicked (isolated via `catch_unwind`).
     Panicked(String),
     /// The fragment exceeded its wall-clock deadline.
@@ -53,6 +62,7 @@ impl PipelineError {
             PipelineError::Io(_) => "io".to_string(),
             PipelineError::Store(e) => format!("store/{}", e.kind()),
             PipelineError::Decode(_) => "decode".to_string(),
+            PipelineError::Dock { kind, .. } => format!("dock/{kind}"),
             PipelineError::Panicked(_) => "panic".to_string(),
             PipelineError::DeadlineExceeded { .. } => "deadline-exceeded".to_string(),
             PipelineError::Cancelled => "cancelled".to_string(),
@@ -70,6 +80,7 @@ impl PipelineError {
             PipelineError::Io(_) => true,
             PipelineError::Store(e) => e.is_transient(),
             PipelineError::Decode(_) => false,
+            PipelineError::Dock { transient, .. } => *transient,
             PipelineError::Panicked(_) => false,
             PipelineError::DeadlineExceeded { .. } => false,
             PipelineError::Cancelled => false,
@@ -85,6 +96,9 @@ impl fmt::Display for PipelineError {
             PipelineError::Io(e) => write!(f, "dataset I/O failed: {e}"),
             PipelineError::Store(e) => write!(f, "artifact store rejected the entry: {e}"),
             PipelineError::Decode(msg) => write!(f, "artifact failed to decode: {msg}"),
+            PipelineError::Dock { message, .. } => {
+                write!(f, "docking backend ladder failed: {message}")
+            }
             PipelineError::Panicked(msg) => write!(f, "fragment job panicked: {msg}"),
             PipelineError::DeadlineExceeded { elapsed_ms } => {
                 write!(f, "fragment deadline exceeded after {elapsed_ms} ms")
@@ -132,6 +146,16 @@ impl From<StoreError> for PipelineError {
 impl From<serde_json::Error> for PipelineError {
     fn from(e: serde_json::Error) -> Self {
         PipelineError::Decode(e.to_string())
+    }
+}
+
+impl From<qdb_dock::dispatch::DispatchError> for PipelineError {
+    fn from(e: qdb_dock::dispatch::DispatchError) -> Self {
+        PipelineError::Dock {
+            kind: e.last.kind().to_string(),
+            message: e.to_string(),
+            transient: e.last.is_transient(),
+        }
     }
 }
 

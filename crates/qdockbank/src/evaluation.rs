@@ -35,14 +35,14 @@ impl FragmentComparison {
             &qdock.reference,
             &qdock.ligand,
             config,
-        );
+        )?;
         let af3 = run_baseline(
             record,
             AfModel::Af3,
             &qdock.reference,
             &qdock.ligand,
             config,
-        );
+        )?;
         Ok(Self {
             record,
             qdock,

@@ -43,6 +43,7 @@ pub use evaluation::{compare_fragments, interaction_coverage, win_rates, Fragmen
 pub use fragments::{all_fragments, fragment, fragments_in, FragmentRecord, Group};
 pub use fsck::{fsck_dataset, FsckEntry, FsckReport, FsckStatus};
 pub use pipeline::{run_fragment, FragmentResult, PipelineConfig, Preset};
+pub use qdb_dock::dispatch::BackendChoice;
 pub use supervisor::{
     build_dataset, build_dataset_with, has_manifest, journal_path, load_manifest, run_job,
     AttemptRecord, BuildSummary, CancelToken, FragmentReport, JobUnit, Manifest, RunRecord,

@@ -6,7 +6,9 @@ use crate::error::PipelineError;
 use crate::fragments::{FragmentRecord, Group};
 use qdb_baselines::alphafold::{predict, AfModel};
 use qdb_baselines::reference::{generate_reference, pdb_id_seed, specs_for, ReferenceStructure};
-use qdb_dock::engine::{dock_replicates, DockOutcome, DockParams};
+use qdb_dock::backend::{DockBackend, VinaBackend};
+use qdb_dock::dispatch::{BackendChoice, DispatchPolicy, Dispatcher};
+use qdb_dock::engine::{DockOutcome, DockParams};
 use qdb_lattice::coords::CaTrace;
 use qdb_lattice::hamiltonian::{EnergyScale, FoldingHamiltonian};
 use qdb_lattice::Lambdas;
@@ -17,6 +19,8 @@ use qdb_mol::ligand::{generate_ligand, Ligand};
 use qdb_mol::structure::Structure;
 use qdb_quantum::exec::SimWorkspace;
 use qdb_quantum::noise::NoiseModel;
+use qdb_qubo::QuboDockBackend;
+use qdb_telemetry::MonotonicClock;
 use qdb_transpile::basis::lower_to_native;
 use qdb_transpile::coupling::CouplingMap;
 use qdb_transpile::margin::transpile_with_margin;
@@ -44,6 +48,12 @@ pub struct PipelineConfig {
     pub docking_runs: usize,
     /// Whether VQE runs under the Eagle noise model.
     pub noisy: bool,
+    /// Which docking backend (or the `auto` fallback ladder) evaluates
+    /// structures. The ligand's native fit always uses the Vina engine
+    /// directly, so every backend docks the identical ligand.
+    pub dock_backend: BackendChoice,
+    /// Per-backend wall-clock budget inside the ladder (ms); 0 = none.
+    pub dock_deadline_ms: u64,
 }
 
 impl PipelineConfig {
@@ -53,6 +63,8 @@ impl PipelineConfig {
             preset: Preset::Paper,
             docking_runs: 20,
             noisy: true,
+            dock_backend: BackendChoice::Vina,
+            dock_deadline_ms: 0,
         }
     }
 
@@ -62,6 +74,8 @@ impl PipelineConfig {
             preset: Preset::Fast,
             docking_runs: 5,
             noisy: false,
+            dock_backend: BackendChoice::Vina,
+            dock_deadline_ms: 0,
         }
     }
 
@@ -150,6 +164,12 @@ pub struct PredictionEval {
     pub ca_rmsd: f64,
     /// Replicated docking outcome.
     pub docking: DockOutcome,
+    /// Backend that produced the docking runs (`"mixed"` if the ladder
+    /// switched rungs between seeds).
+    pub dock_backend: String,
+    /// Ladder rungs burned across all docking runs (0 = first choice
+    /// always succeeded).
+    pub dock_fallbacks: u64,
 }
 
 impl PredictionEval {
@@ -328,7 +348,7 @@ pub fn evaluate_structure(
     ligand: &Ligand,
     config: &PipelineConfig,
     seed: u64,
-) -> PredictionEval {
+) -> Result<PredictionEval, PipelineError> {
     let rmsd_span = qdb_telemetry::span!("pipeline.rmsd");
     let sup = superpose(&trace, &reference.trace);
     let rmsd = sup.rmsd;
@@ -345,16 +365,32 @@ pub fn evaluate_structure(
     params.center = ligand.centroid();
     params.box_size = Vec3::new(16.0, 16.0, 16.0);
     params.local_only = true;
-    let docking = {
-        let _s = qdb_telemetry::span!("pipeline.dock");
-        dock_replicates(&structure, ligand, &params, seed, config.docking_runs)
+    // The backend ladder: the requested engine, with Vina as the
+    // reliable last rung under `auto` (the bioql fallback shape).
+    let vina = VinaBackend;
+    let qubo = QuboDockBackend::default();
+    let ladder: Vec<&dyn DockBackend> = match config.dock_backend {
+        BackendChoice::Vina => vec![&vina],
+        BackendChoice::Qubo => vec![&qubo],
+        BackendChoice::Auto => vec![&qubo, &vina],
     };
-    PredictionEval {
+    let clock = MonotonicClock::new();
+    let policy = DispatchPolicy {
+        per_backend_deadline_ms: (config.dock_deadline_ms > 0).then_some(config.dock_deadline_ms),
+    };
+    let dispatcher = Dispatcher::new(ladder, &clock, policy);
+    let dispatched = {
+        let _s = qdb_telemetry::span!("pipeline.dock");
+        dispatcher.replicates(&structure, ligand, &params, seed, config.docking_runs)?
+    };
+    Ok(PredictionEval {
         trace,
         structure,
         ca_rmsd: rmsd,
-        docking,
-    }
+        docking: dispatched.outcome,
+        dock_backend: dispatched.backend,
+        dock_fallbacks: dispatched.fallbacks,
+    })
 }
 
 /// Runs a baseline predictor for a fragment.
@@ -364,7 +400,7 @@ pub fn run_baseline(
     reference: &ReferenceStructure,
     ligand: &Ligand,
     config: &PipelineConfig,
-) -> PredictionEval {
+) -> Result<PredictionEval, PipelineError> {
     let seq = record.sequence();
     let prediction = predict(model, record.pdb_id, &seq, record.residue_start, reference);
     let seed = pdb_id_seed(record.pdb_id)
@@ -409,7 +445,7 @@ pub fn run_fragment_with<F: FaultInjector>(
         &ligand,
         config,
         pdb_id_seed(record.pdb_id) ^ 0x0D0C,
-    );
+    )?;
     Ok(FragmentResult {
         pdb_id: record.pdb_id.to_string(),
         group: record.group(),
@@ -468,8 +504,10 @@ mod tests {
         let seq = record.sequence();
         let reference = generate_reference(record.pdb_id, &seq, record.residue_start);
         let ligand = ligand_for(record, &reference);
-        let af2 = run_baseline(record, AfModel::Af2, &reference, &ligand, &config);
-        let af3 = run_baseline(record, AfModel::Af3, &reference, &ligand, &config);
+        let af2 = run_baseline(record, AfModel::Af2, &reference, &ligand, &config)
+            .expect("af2 docking succeeds");
+        let af3 = run_baseline(record, AfModel::Af3, &reference, &ligand, &config)
+            .expect("af3 docking succeeds");
         assert!(af2.ca_rmsd > 0.0);
         assert!(af3.ca_rmsd > 0.0);
         assert_ne!(af2.ca_rmsd, af3.ca_rmsd);
@@ -487,6 +525,45 @@ mod tests {
             .unwrap_err();
         assert_eq!(err.kind(), "vqe/job-rejected");
         assert!(err.is_transient());
+    }
+
+    #[test]
+    fn qubo_and_auto_backends_flow_through_the_pipeline() {
+        let record = fragment("3ckz").unwrap();
+        let mut config = PipelineConfig::fast();
+        config.docking_runs = 2;
+        config.dock_backend = BackendChoice::Qubo;
+        let seq = record.sequence();
+        let reference = generate_reference(record.pdb_id, &seq, record.residue_start);
+        let ligand = ligand_for(record, &reference);
+        let qubo = evaluate_structure(
+            reference.trace.clone(),
+            reference.structure.clone(),
+            &reference,
+            &ligand,
+            &config,
+            7,
+        )
+        .expect("qubo backend succeeds");
+        assert_eq!(qubo.dock_backend, "qubo");
+        assert_eq!(qubo.dock_fallbacks, 0);
+        assert_eq!(qubo.docking.runs.len(), 2);
+        assert!(qubo.affinity().is_finite());
+
+        // Auto resolves to the QUBO rung when it is healthy.
+        config.dock_backend = BackendChoice::Auto;
+        let auto = evaluate_structure(
+            reference.trace.clone(),
+            reference.structure.clone(),
+            &reference,
+            &ligand,
+            &config,
+            7,
+        )
+        .expect("auto ladder succeeds");
+        assert_eq!(auto.dock_backend, "qubo");
+        assert_eq!(auto.dock_fallbacks, 0);
+        assert_eq!(auto.affinity(), qubo.affinity());
     }
 
     #[test]

@@ -37,6 +37,7 @@ use crate::dataset::{validate_entry_vfs, write_fragment_entry_vfs, FragmentFiles
 use crate::error::PipelineError;
 use crate::fragments::FragmentRecord;
 use crate::pipeline::{run_fragment_with, PipelineConfig};
+use qdb_dock::dispatch::BackendChoice;
 use qdb_store::{quarantine_entry, Journal, StdVfs, Vfs};
 use qdb_telemetry::{Clock, MonotonicClock};
 use qdb_vqe::error::panic_message;
@@ -111,6 +112,9 @@ pub struct AttemptRecord {
     /// Degradation rung applied, if any ("seed-shift", "engine-direct",
     /// "reduced-shots").
     pub degradation: Option<String>,
+    /// Docking backend choice this attempt ran with ("vina", "qubo",
+    /// "auto"). `None` in journals written before backends existed.
+    pub dock_backend: Option<String>,
     /// Failure cause (`PipelineError::kind`), or `None` if the attempt
     /// succeeded.
     pub cause: Option<String>,
@@ -523,34 +527,37 @@ pub struct JobUnit<'a> {
 /// configuration (a deterministic *injected* fault is keyed to the
 /// attempt index, so a plain retry clears it without forfeiting
 /// byte-identity); escalation 2 shifts the seed; 3+ walks the
-/// degradation ladder.
+/// degradation ladder. The final `bool` forces the docking backend down
+/// to plain Vina on the deep rungs: a deterministic failure that
+/// survives a seed shift may live in the QUBO stage, and the reliable
+/// backend is the one that has built every pre-backend dataset.
 fn attempt_config(
     canonical: &VqeConfig,
     escalation: usize,
     attempt: usize,
     degrade: bool,
-) -> (VqeConfig, bool, Option<String>) {
+) -> (VqeConfig, bool, Option<String>, bool) {
     let mut cfg = canonical.clone();
     match escalation {
-        0 | 1 => (cfg, false, None),
+        0 | 1 => (cfg, false, None, false),
         2 => {
             cfg.seed ^= splitmix(attempt as u64 + 1);
-            (cfg, true, Some("seed-shift".to_string()))
+            (cfg, true, Some("seed-shift".to_string()), false)
         }
         3 if degrade => {
             cfg.engine = EnergyEngine::Direct;
-            (cfg, false, Some("engine-direct".to_string()))
+            (cfg, false, Some("engine-direct".to_string()), true)
         }
         _ => {
             if degrade {
                 cfg.engine = EnergyEngine::Direct;
                 cfg.shots = (canonical.shots / 4).max(1_000);
                 cfg.sample_trajectories = canonical.sample_trajectories.min(10).max(1);
-                (cfg, false, Some("reduced-shots".to_string()))
+                (cfg, false, Some("reduced-shots".to_string()), true)
             } else {
                 // Degradation disabled: keep seed-shifting with fresh salt.
                 cfg.seed ^= splitmix(attempt as u64 + 1);
-                (cfg, true, Some("seed-shift".to_string()))
+                (cfg, true, Some("seed-shift".to_string()), false)
             }
         }
     }
@@ -606,18 +613,24 @@ pub fn run_job(
             }
         }
         telemetry.counter("supervisor.attempts").inc();
-        let (vqe_cfg, seed_shifted, degradation) =
+        let (vqe_cfg, seed_shifted, degradation, force_vina) =
             attempt_config(&canonical, escalation, attempt, sup.degrade);
         if degradation.is_some() {
             telemetry.counter("supervisor.degradations").inc();
             telemetry.instant("supervisor.degradation");
+        }
+        let mut pipeline_cfg = *unit.pipeline;
+        if force_vina && pipeline_cfg.dock_backend != BackendChoice::Vina {
+            pipeline_cfg.dock_backend = BackendChoice::Vina;
+            telemetry.counter("supervisor.dock_degradations").inc();
+            telemetry.instant("supervisor.dock_degradation");
         }
         let mut injector = unit.faults.injector(record.pdb_id, attempt);
         // The whole attempt — VQE, docking, entry write — is one
         // isolated unit: a panic anywhere inside becomes a typed error
         // and a torn entry is overwritten by the next attempt.
         let outcome = catch_unwind(AssertUnwindSafe(|| {
-            let result = run_fragment_with(record, unit.pipeline, &vqe_cfg, &mut injector)?;
+            let result = run_fragment_with(record, &pipeline_cfg, &vqe_cfg, &mut injector)?;
             write_fragment_entry_vfs(vfs, unit.root, record, &result)
         }))
         .unwrap_or_else(|payload| Err(PipelineError::Panicked(panic_message(payload.as_ref()))));
@@ -631,6 +644,7 @@ pub fn run_job(
             shots: vqe_cfg.shots,
             seed_shifted,
             degradation,
+            dock_backend: Some(pipeline_cfg.dock_backend.name().to_string()),
             cause: None,
             transient: false,
             backoff_ms: 0,
@@ -900,6 +914,7 @@ mod tests {
                         shots: 40_000,
                         seed_shifted: false,
                         degradation: None,
+                        dock_backend: Some("vina".into()),
                         cause: None,
                         transient: false,
                         backoff_ms: 0,
@@ -1010,32 +1025,36 @@ mod tests {
     #[test]
     fn escalation_ladder_shapes_the_attempt_config() {
         let canonical = VqeConfig::fast(42);
-        let (c0, s0, d0) = attempt_config(&canonical, 0, 0, true);
+        let (c0, s0, d0, f0) = attempt_config(&canonical, 0, 0, true);
         assert_eq!(c0.seed, canonical.seed);
-        assert!(!s0 && d0.is_none());
-        let (c1, s1, d1) = attempt_config(&canonical, 1, 1, true);
+        assert!(!s0 && d0.is_none() && !f0);
+        let (c1, s1, d1, f1) = attempt_config(&canonical, 1, 1, true);
         assert_eq!(c1.seed, canonical.seed);
         assert!(
-            !s1 && d1.is_none(),
+            !s1 && d1.is_none() && !f1,
             "first deterministic failure retries plainly"
         );
-        let (c2, s2, d2) = attempt_config(&canonical, 2, 2, true);
+        let (c2, s2, d2, f2) = attempt_config(&canonical, 2, 2, true);
         assert_ne!(c2.seed, canonical.seed);
         assert!(s2);
         assert_eq!(d2.as_deref(), Some("seed-shift"));
-        let (c3, _, d3) = attempt_config(&canonical, 3, 3, true);
+        assert!(!f2, "a seed shift keeps the requested docking backend");
+        let (c3, _, d3, f3) = attempt_config(&canonical, 3, 3, true);
         assert_eq!(c3.engine, EnergyEngine::Direct);
         assert_eq!(c3.shots, canonical.shots);
         assert_eq!(d3.as_deref(), Some("engine-direct"));
-        let (c4, _, d4) = attempt_config(&canonical, 4, 4, true);
+        assert!(f3, "deep rungs force the Vina docking backend");
+        let (c4, _, d4, f4) = attempt_config(&canonical, 4, 4, true);
         assert_eq!(c4.engine, EnergyEngine::Direct);
         assert!(c4.shots < canonical.shots);
         assert_eq!(d4.as_deref(), Some("reduced-shots"));
+        assert!(f4);
         // With degradation off, escalation keeps seed-shifting instead.
-        let (c4n, s4n, d4n) = attempt_config(&canonical, 4, 4, false);
+        let (c4n, s4n, d4n, f4n) = attempt_config(&canonical, 4, 4, false);
         assert_eq!(c4n.engine, canonical.engine);
         assert!(s4n);
         assert_eq!(d4n.as_deref(), Some("seed-shift"));
+        assert!(!f4n, "degradation off never swaps the backend");
     }
 
     #[test]

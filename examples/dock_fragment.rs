@@ -3,15 +3,43 @@
 //!
 //! ```text
 //! cargo run --release --example dock_fragment -- 4mo4
+//! cargo run --release --example dock_fragment -- 4mo4 --backend qubo
 //! ```
+//!
+//! `--backend` selects the docking engine: `vina` (default), `qubo`, or
+//! `auto` (QUBO with the Vina engine as the fallback rung).
 
 use qdockbank::fragments::fragment;
 use qdockbank::pipeline::{run_fragment, PipelineConfig};
+use qdockbank::BackendChoice;
 
 fn main() {
-    let id = std::env::args()
-        .nth(1)
-        .unwrap_or_else(|| "4mo4".to_string());
+    let mut id = "4mo4".to_string();
+    let mut backend = BackendChoice::Vina;
+    let mut args = std::env::args().skip(1);
+    let mut saw_id = false;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--backend" => {
+                let raw = args.next().unwrap_or_default();
+                backend = match BackendChoice::parse(&raw) {
+                    Some(choice) => choice,
+                    None => {
+                        eprintln!("unknown backend {raw:?} (use \"vina\", \"qubo\", or \"auto\")");
+                        std::process::exit(1);
+                    }
+                };
+            }
+            other if !saw_id => {
+                id = other.to_string();
+                saw_id = true;
+            }
+            other => {
+                eprintln!("usage: dock_fragment [pdb_id] [--backend vina|qubo|auto] ({other:?}?)");
+                std::process::exit(1);
+            }
+        }
+    }
     let record = match fragment(&id) {
         Some(r) => r,
         None => {
@@ -20,11 +48,13 @@ fn main() {
         }
     };
     println!(
-        "docking {} ({}) against its synthetic native ligand",
+        "docking {} ({}) against its synthetic native ligand [backend: {backend}]",
         record.pdb_id, record.sequence
     );
 
-    let result = run_fragment(record, &PipelineConfig::fast()).expect("fault-free run");
+    let mut config = PipelineConfig::fast();
+    config.dock_backend = backend;
+    let result = run_fragment(record, &config).expect("fault-free run");
     for run in &result.qdock.docking.runs {
         println!("\nrun seed {}:", run.seed);
         println!(
@@ -42,7 +72,11 @@ fn main() {
         }
     }
     println!(
-        "\nmean best affinity over {} runs: {:.2} kcal/mol",
+        "\nserved by backend {:?} ({} fallback(s))",
+        result.qdock.dock_backend, result.qdock.dock_fallbacks
+    );
+    println!(
+        "mean best affinity over {} runs: {:.2} kcal/mol",
         result.qdock.docking.runs.len(),
         result.qdock.affinity()
     );

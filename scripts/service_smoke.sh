@@ -77,6 +77,15 @@ printf '%s' "$dup" | grep -q '"deduplicated": true' ||
   fail "duplicate submit did not deduplicate: $dup"
 echo "duplicate submit of $first_frag deduplicated"
 
+# A qubo-backend submission is distinct work (its backend is part of the
+# job key), so it must enqueue a new job rather than deduplicate.
+qubo_body="$(post "{\"fragment\":\"$first_frag\",\"backend\":\"qubo\"}")"
+qubo_key="$(printf '%s' "$qubo_body" | json_field job)"
+[ -n "$qubo_key" ] || fail "qubo submit returned no job key: $qubo_body"
+[ "$qubo_key" != "$first_key" ] || fail "qubo submit deduplicated against the vina job"
+echo "submitted $first_frag (backend=qubo) → $qubo_key"
+KEYS="$KEYS $qubo_key"
+
 # Poll to completion.
 deadline=$(($(date +%s) + POLL_BUDGET_S))
 for key in $KEYS; do
@@ -91,6 +100,15 @@ for key in $KEYS; do
   done
   echo "job $key $status"
 done
+
+# Backend provenance round-trips into the job status JSON.
+qubo_status="$(get "/jobs/$qubo_key")"
+printf '%s' "$qubo_status" | grep -q '"backend": "qubo"' ||
+  fail "qubo job status lost its backend label: $qubo_status"
+vina_status="$(get "/jobs/$first_key")"
+printf '%s' "$vina_status" | grep -q '"backend": "vina"' ||
+  fail "vina job status lost its backend label: $vina_status"
+echo "backend labels round-tripped (vina + qubo)"
 
 # A post-completion duplicate is served from the result cache.
 cached="$(post "{\"fragment\":\"$first_frag\"}")"

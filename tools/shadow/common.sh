@@ -25,16 +25,17 @@ deps_of() {
         qdb-mol)       echo "rand rand_chacha" ;;
         qdb-vqe)       echo "qdb_telemetry qdb_quantum qdb_transpile qdb_lattice qdb_optimize rand rand_chacha crossbeam" ;;
         qdb-dock)      echo "qdb_telemetry qdb_mol rand rand_chacha rayon" ;;
+        qdb-qubo)      echo "qdb_telemetry qdb_mol qdb_dock rand rand_chacha rayon" ;;
         qdb-baselines) echo "qdb_mol qdb_lattice rand rand_chacha" ;;
-        qdockbank)     echo "qdb_telemetry qdb_store qdb_quantum qdb_transpile qdb_lattice qdb_optimize qdb_vqe qdb_mol qdb_dock qdb_baselines serde serde_json parking_lot" ;;
+        qdockbank)     echo "qdb_telemetry qdb_store qdb_quantum qdb_transpile qdb_lattice qdb_optimize qdb_vqe qdb_mol qdb_dock qdb_qubo qdb_baselines serde serde_json parking_lot" ;;
         qdb-serve)     echo "qdb_telemetry qdb_store qdb_vqe qdockbank serde serde_json" ;;
-        qdb-bench)     echo "qdb_telemetry qdb_quantum qdb_transpile qdb_lattice qdb_optimize qdb_vqe qdb_mol qdb_dock qdb_baselines qdockbank rand rand_chacha rayon serde serde_json" ;;
+        qdb-bench)     echo "qdb_telemetry qdb_quantum qdb_transpile qdb_lattice qdb_optimize qdb_vqe qdb_mol qdb_dock qdb_qubo qdb_baselines qdockbank rand rand_chacha rayon serde serde_json" ;;
         *) echo "" ;;
     esac
 }
 
 # Build order respecting the dependency DAG above.
-CRATE_ORDER="qdb-telemetry qdb-store qdb-quantum qdb-optimize qdb-mol qdb-lattice qdb-transpile qdb-vqe qdb-dock qdb-baselines qdockbank qdb-serve qdb-bench"
+CRATE_ORDER="qdb-telemetry qdb-store qdb-quantum qdb-optimize qdb-mol qdb-lattice qdb-transpile qdb-vqe qdb-dock qdb-qubo qdb-baselines qdockbank qdb-serve qdb-bench"
 
 # extern_flags "qdb_telemetry rand" -> --extern qdb_telemetry=$LIBS/... ...
 extern_flags() {
