@@ -14,6 +14,8 @@
 //! ```text
 //! cargo run --release -p qdb-bench --bin validate_telemetry -- out.json
 //! cargo run --release -p qdb-bench --bin validate_telemetry -- out.json --trace trace.json
+//! # sharded build: the dataset-build set plus the lease/shard counters
+//! cargo run --release -p qdb-bench --bin validate_telemetry -- out.json --shards
 //! ```
 
 use qdb_bench::trace::validate_trace;
@@ -111,6 +113,65 @@ const BACKENDS_REQUIRED_COUNTERS: &[&str] = &[
 
 /// Histograms every `backend_report` run must record.
 const BACKENDS_REQUIRED_HISTOGRAMS: &[&str] = &["dock.backend.qubo.anneal", "dock.chain"];
+
+/// Counters every *sharded* dataset build must tick (`--shards`), on top
+/// of the full dataset-build set: the lease protocol ran (claims granted,
+/// heartbeats renewed, shards released) and the shard supervisor drove
+/// fragments to per-shard completion and a finalize merge.
+/// `store.lease.steals` / `.fenced` / `.held_rejections` are legitimately
+/// zero on an uncontended single-worker build and are deliberately not
+/// required; the accounting identities below cover them instead.
+const SHARDS_REQUIRED_COUNTERS: &[&str] = &[
+    "store.lease.acquires",
+    "store.lease.renews",
+    "store.lease.releases",
+    "supervisor.shard.claims",
+    "supervisor.shard.fragments",
+    "supervisor.shard.done",
+    "supervisor.shard.finalized",
+];
+
+/// Sharded-build checks (`--shards`): the lease/shard metric set is
+/// *added* to the dataset-build set — a sharded build runs the whole
+/// pipeline and must emit everything a plain build does.
+fn validate_shards(snap: &Snapshot) -> Vec<String> {
+    let mut problems = Vec::new();
+    for name in SHARDS_REQUIRED_COUNTERS {
+        match snap.counters.get(*name) {
+            None => problems.push(format!("shard counter {name} missing")),
+            Some(0) => problems.push(format!(
+                "shard counter {name} present but never incremented"
+            )),
+            Some(_) => {}
+        }
+    }
+    let count = |name: &str| snap.counters.get(name).copied().unwrap_or(0);
+    // Every shard completion came from a granted claim, and every claim
+    // came from a successful lease acquisition.
+    if count("supervisor.shard.done") > count("supervisor.shard.claims") {
+        problems.push(format!(
+            "shard accounting broken: {} shards done but only {} claims",
+            count("supervisor.shard.done"),
+            count("supervisor.shard.claims")
+        ));
+    }
+    if count("supervisor.shard.claims") > count("store.lease.acquires") {
+        problems.push(format!(
+            "shard accounting broken: {} claims but only {} lease acquisitions",
+            count("supervisor.shard.claims"),
+            count("store.lease.acquires")
+        ));
+    }
+    // A worker only releases what it acquired.
+    if count("store.lease.releases") > count("store.lease.acquires") {
+        problems.push(format!(
+            "lease accounting broken: {} releases but only {} acquisitions",
+            count("store.lease.releases"),
+            count("store.lease.acquires")
+        ));
+    }
+    problems
+}
 
 /// Backend-agreement checks (`--backends`): the cross-backend metric set
 /// replaces the dataset-build set, the same way `--serve` does.
@@ -270,11 +331,13 @@ fn main() -> ExitCode {
     let mut trace_arg: Option<PathBuf> = None;
     let mut serve_mode = false;
     let mut backends_mode = false;
+    let mut shards_mode = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--serve" => serve_mode = true,
             "--backends" => backends_mode = true,
+            "--shards" => shards_mode = true,
             "--trace" => {
                 i += 1;
                 match args.get(i) {
@@ -295,7 +358,8 @@ fn main() -> ExitCode {
     }
     let Some(path) = snapshot_path else {
         eprintln!(
-            "usage: validate_telemetry <snapshot.json> [--serve | --backends] [--trace <trace.json>]"
+            "usage: validate_telemetry <snapshot.json> [--serve | --backends] [--shards] \
+             [--trace <trace.json>]"
         );
         return ExitCode::FAILURE;
     };
@@ -316,6 +380,11 @@ fn main() -> ExitCode {
     } else {
         validate(&snap)
     };
+    // `--shards` is additive: a sharded build is a dataset build plus the
+    // lease/shard coordination layer.
+    if shards_mode {
+        problems.extend(validate_shards(&snap));
+    }
     if let Some(trace_path) = &trace_arg {
         match read_chrome_trace(trace_path) {
             Ok(file) => {
@@ -451,6 +520,59 @@ mod tests {
         let problems = validate_backends(&snap);
         assert!(
             problems.iter().any(|p| p.contains("accounting broken")),
+            "{problems:?}"
+        );
+    }
+
+    fn shards_registry() -> Registry {
+        let r = Registry::new();
+        for name in SHARDS_REQUIRED_COUNTERS {
+            r.counter(name).inc();
+        }
+        r
+    }
+
+    #[test]
+    fn shards_snapshot_passes() {
+        assert!(validate_shards(&shards_registry().snapshot()).is_empty());
+    }
+
+    #[test]
+    fn shards_mode_requires_the_lease_protocol_to_have_run() {
+        let snap = {
+            let mut s = shards_registry().snapshot();
+            s.counters.remove("store.lease.renews");
+            s.counters.insert("supervisor.shard.finalized".into(), 0);
+            s
+        };
+        let problems = validate_shards(&snap);
+        assert!(
+            problems
+                .iter()
+                .any(|p| p.contains("store.lease.renews missing")),
+            "{problems:?}"
+        );
+        assert!(
+            problems
+                .iter()
+                .any(|p| p.contains("supervisor.shard.finalized")),
+            "{problems:?}"
+        );
+    }
+
+    #[test]
+    fn shards_mode_checks_claim_accounting() {
+        let snap = {
+            let mut s = shards_registry().snapshot();
+            s.counters.insert("supervisor.shard.done".into(), 5);
+            s.counters.insert("supervisor.shard.claims".into(), 2);
+            s
+        };
+        let problems = validate_shards(&snap);
+        assert!(
+            problems
+                .iter()
+                .any(|p| p.contains("5 shards done but only 2 claims")),
             "{problems:?}"
         );
     }

@@ -12,6 +12,7 @@
 //! object per line); serialization stays with the caller so this crate
 //! keeps zero dependencies.
 
+use crate::atomic::write_atomic;
 use crate::checksum::{crc32c, format_crc, parse_crc};
 use crate::error::StoreError;
 use crate::vfs::Vfs;
@@ -57,14 +58,7 @@ impl<'a> Journal<'a> {
     /// The payload must be a single line; embedded newlines would let one
     /// record masquerade as two.
     pub fn append(&self, payload: &str) -> Result<(), StoreError> {
-        debug_assert!(
-            !payload.contains('\n'),
-            "journal payloads must be single-line"
-        );
-        let mut line = format_crc(crc32c(payload.as_bytes()));
-        line.push(' ');
-        line.push_str(payload);
-        line.push('\n');
+        let line = render_line(payload);
         if let Some(parent) = self.path.parent() {
             self.vfs.create_dir_all(parent)?;
         }
@@ -118,6 +112,38 @@ impl<'a> Journal<'a> {
             repaired,
         })
     }
+
+    /// Replaces the journal's entire contents with `payloads`, atomically.
+    ///
+    /// This is the compaction primitive: the caller replays, reduces the
+    /// history to its live residue, and rewrites. The new journal is built
+    /// in full and lands via the atomic-write protocol (tmp → fsync →
+    /// rename → fsync dir), so a crash mid-compaction leaves the old
+    /// journal fully intact — never a half-truncated one. Returns the new
+    /// on-disk size in bytes.
+    pub fn rewrite(&self, payloads: &[String]) -> Result<usize, StoreError> {
+        let mut contents = String::new();
+        for payload in payloads {
+            contents.push_str(&render_line(payload));
+        }
+        write_atomic(self.vfs, &self.path, contents.as_bytes())?;
+        qdb_telemetry::global()
+            .counter("store.journal.rewrites")
+            .inc();
+        Ok(contents.len())
+    }
+}
+
+fn render_line(payload: &str) -> String {
+    debug_assert!(
+        !payload.contains('\n'),
+        "journal payloads must be single-line"
+    );
+    let mut line = format_crc(crc32c(payload.as_bytes()));
+    line.push(' ');
+    line.push_str(payload);
+    line.push('\n');
+    line
 }
 
 fn parse_line(line: &[u8]) -> Option<String> {
@@ -200,6 +226,26 @@ mod tests {
         let replay = j.replay(false).unwrap();
         assert_eq!(replay.records, vec!["keep-1"]);
         assert!(replay.recovered() && !replay.repaired);
+        let _ = std::fs::remove_dir_all(path.parent().unwrap());
+    }
+
+    #[test]
+    fn rewrite_replaces_history_atomically() {
+        let path = tmpfile("rewrite");
+        let j = Journal::open(&StdVfs, path.clone());
+        for i in 0..50 {
+            j.append(&format!("event-{i}")).unwrap();
+        }
+        let before = StdVfs.read(&path).unwrap().len();
+        let live = vec!["event-48".to_string(), "event-49".to_string()];
+        let after = j.rewrite(&live).unwrap();
+        assert!(after < before, "compaction must shrink the journal");
+        let replay = j.replay(false).unwrap();
+        assert_eq!(replay.records, live);
+        assert!(!replay.recovered(), "rewritten journal is clean");
+        // And it is still appendable afterwards.
+        j.append("event-50").unwrap();
+        assert_eq!(j.replay(false).unwrap().records.len(), 3);
         let _ = std::fs::remove_dir_all(path.parent().unwrap());
     }
 }

@@ -1,0 +1,849 @@
+//! Durable shard leases with fencing tokens.
+//!
+//! A sharded dataset build spreads its fragment list over N shards, each
+//! owned by at most one worker process at a time. Ownership is a lease
+//! file under `<root>/leases/shard-<k>.lease`. Claims go through an
+//! exclusive create (`O_EXCL`, [`Vfs::create_new`]) so the *filesystem*
+//! arbitrates racing claimants — exactly one wins; renewals and releases
+//! by the established holder go through the same atomic overwrite
+//! protocol as every other artifact (tmp → fsync → rename → fsync dir),
+//! so a lease is never torn — a reader sees the old lease, the new
+//! lease, or (before first acquisition) none.
+//!
+//! Correctness rests on two mechanisms, deliberately separated:
+//!
+//! * **Heartbeat deadlines** (liveness): every lease carries an
+//!   `expires_ns` deadline on the [`Clock`] seam. A holder renews it at
+//!   work boundaries; a lease past its deadline is claimable by any live
+//!   worker. Deadlines only decide *when* takeover is allowed — they are
+//!   never trusted to decide *who may write*.
+//! * **Fencing tokens** (safety): every acquisition — first claim, steal
+//!   of an expired lease, or re-acquisition by a restarted worker —
+//!   bumps a monotone `token`. A writer must present its token before
+//!   every journal append ([`LeaseManager::check`]); the append is
+//!   rejected unless the on-disk lease still names exactly that
+//!   `(owner, token)` pair. A zombie worker that lost its lease while
+//!   stalled therefore cannot corrupt the journal no matter how alive it
+//!   feels: its token is stale the moment a successor acquires.
+//!
+//! Deadlines are compared on whatever clock the caller supplies:
+//! [`ManualClock`](qdb_telemetry::ManualClock) in the deterministic chaos
+//! suites, [`WallClock`](qdb_telemetry::WallClock) in real multi-process
+//! builds (per-process monotonic epochs are meaningless across workers).
+//!
+//! Telemetry: `store.lease.acquires`, `.renews`, `.releases`, `.steals`,
+//! `.fenced`, `.held_rejections`, `.corrupt_reclaimed`, `.swept` counters
+//! on the global registry.
+
+use crate::atomic::write_atomic;
+use crate::checksum::{crc32c, format_crc, parse_crc};
+use crate::error::StoreError;
+use crate::vfs::Vfs;
+use qdb_telemetry::Clock;
+use std::fmt;
+use std::path::{Path, PathBuf};
+
+/// Directory under the dataset root holding one lease file per shard.
+pub const LEASE_DIR: &str = "leases";
+
+/// A parsed on-disk lease record.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LeaseState {
+    /// Shard index this lease governs.
+    pub shard: usize,
+    /// Fencing token; bumped on every acquisition, constant across
+    /// renewals.
+    pub token: u64,
+    /// Worker id of the holder.
+    pub owner: String,
+    /// Clock reading at acquisition (ns).
+    pub acquired_ns: u64,
+    /// Heartbeat deadline (ns): past this, the lease is claimable.
+    pub expires_ns: u64,
+    /// Whether the holder released cleanly (the file is kept so the
+    /// token history survives; the next acquisition still bumps it).
+    pub released: bool,
+}
+
+/// What [`LeaseManager::inspect`] found for one shard.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum LeaseView {
+    /// No lease file: the shard has never been claimed.
+    Free,
+    /// Live lease: unreleased, deadline not passed.
+    Held(LeaseState),
+    /// Unreleased but past its heartbeat deadline: claimable.
+    Expired(LeaseState),
+    /// Cleanly released: claimable.
+    Released(LeaseState),
+    /// Unreadable or checksum-invalid lease file: claimable (the token
+    /// is salvaged best-effort so monotonicity survives where possible).
+    Corrupt {
+        /// Why the file was rejected.
+        detail: String,
+        /// Best-effort token salvage for the next acquisition's bump.
+        salvaged_token: u64,
+    },
+}
+
+impl LeaseView {
+    /// Short label for reports: "free", "held", "expired", "released",
+    /// or "corrupt".
+    pub fn label(&self) -> &'static str {
+        match self {
+            LeaseView::Free => "free",
+            LeaseView::Held(_) => "held",
+            LeaseView::Expired(_) => "expired",
+            LeaseView::Released(_) => "released",
+            LeaseView::Corrupt { .. } => "corrupt",
+        }
+    }
+
+    /// Whether an acquisition may proceed against this view.
+    pub fn claimable(&self) -> bool {
+        !matches!(self, LeaseView::Held(_))
+    }
+}
+
+/// A lease held in memory by the worker that acquired it. The on-disk
+/// file is the authority; this is the worker's claim ticket, validated
+/// by [`LeaseManager::check`] before every fenced write.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Lease {
+    /// Shard index.
+    pub shard: usize,
+    /// Fencing token this acquisition was granted.
+    pub token: u64,
+    /// Worker id the token was granted to.
+    pub owner: String,
+    /// Deadline as of the last acquire/renew (ns).
+    pub expires_ns: u64,
+}
+
+/// Lease-protocol failures.
+#[derive(Debug)]
+pub enum LeaseError {
+    /// The shard is held by a live (unexpired) lease of another worker.
+    Held {
+        /// Shard index.
+        shard: usize,
+        /// Current holder.
+        owner: String,
+        /// Milliseconds until the holder's deadline passes.
+        remaining_ms: u64,
+    },
+    /// The presented token is stale: the on-disk lease no longer names
+    /// this `(owner, token)` pair. The caller's shard was stolen (or
+    /// released and re-claimed); it must stop writing immediately.
+    Fenced {
+        /// Shard index.
+        shard: usize,
+        /// Token the writer presented.
+        presented: u64,
+        /// Current on-disk holder and token, if readable.
+        current: Option<(String, u64)>,
+    },
+    /// Underlying store failure.
+    Store(StoreError),
+}
+
+impl LeaseError {
+    /// Short stable identifier ("lease-held", "lease-fenced", or the
+    /// wrapped store kind).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            LeaseError::Held { .. } => "lease-held",
+            LeaseError::Fenced { .. } => "lease-fenced",
+            LeaseError::Store(e) => e.kind(),
+        }
+    }
+}
+
+impl fmt::Display for LeaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LeaseError::Held {
+                shard,
+                owner,
+                remaining_ms,
+            } => write!(
+                f,
+                "shard {shard} lease held by {owner:?} for another {remaining_ms} ms"
+            ),
+            LeaseError::Fenced {
+                shard,
+                presented,
+                current,
+            } => match current {
+                Some((owner, token)) => write!(
+                    f,
+                    "shard {shard} fencing rejected token {presented}: \
+                     lease now held by {owner:?} with token {token}"
+                ),
+                None => write!(
+                    f,
+                    "shard {shard} fencing rejected token {presented}: lease unreadable"
+                ),
+            },
+            LeaseError::Store(e) => write!(f, "lease store operation failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for LeaseError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            LeaseError::Store(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<StoreError> for LeaseError {
+    fn from(e: StoreError) -> Self {
+        LeaseError::Store(e)
+    }
+}
+
+/// One shard's line in a [`LeaseManager::sweep`] report.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LeaseSweepEntry {
+    /// Shard index parsed from the file name (`None` for a file whose
+    /// name does not parse — always removed as orphaned).
+    pub shard: Option<usize>,
+    /// State label at sweep time ("held", "expired", "released",
+    /// "corrupt", or "orphaned" for an out-of-plan shard index).
+    pub status: String,
+    /// Holder, when the file was readable.
+    pub owner: Option<String>,
+    /// Token, when the file was readable.
+    pub token: Option<u64>,
+    /// Whether the sweep removed the file.
+    pub removed: bool,
+}
+
+/// What a lease sweep found and cleaned.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct LeaseSweep {
+    /// Every lease file examined, in shard order.
+    pub entries: Vec<LeaseSweepEntry>,
+    /// Files removed (expired, released, corrupt, or orphaned).
+    pub removed: usize,
+}
+
+/// Manages the lease files of one dataset root on explicit [`Vfs`] and
+/// [`Clock`] seams.
+pub struct LeaseManager<'a> {
+    vfs: &'a dyn Vfs,
+    clock: &'a dyn Clock,
+    dir: PathBuf,
+    ttl_ms: u64,
+}
+
+impl<'a> LeaseManager<'a> {
+    /// A manager for the leases under `<root>/leases/` granting
+    /// `ttl_ms`-millisecond heartbeat deadlines.
+    pub fn new(vfs: &'a dyn Vfs, clock: &'a dyn Clock, root: &Path, ttl_ms: u64) -> Self {
+        Self {
+            vfs,
+            clock,
+            dir: root.join(LEASE_DIR),
+            ttl_ms: ttl_ms.max(1),
+        }
+    }
+
+    /// The lease TTL granted on acquire/renew (ms).
+    pub fn ttl_ms(&self) -> u64 {
+        self.ttl_ms
+    }
+
+    /// On-disk path of one shard's lease file.
+    pub fn lease_path(&self, shard: usize) -> PathBuf {
+        self.dir.join(format!("shard-{shard}.lease"))
+    }
+
+    /// Reads one shard's lease state as of the manager's clock.
+    pub fn inspect(&self, shard: usize) -> LeaseView {
+        let path = self.lease_path(shard);
+        if !self.vfs.exists(&path) {
+            return LeaseView::Free;
+        }
+        let bytes = match self.vfs.read(&path) {
+            Ok(b) => b,
+            Err(e) => {
+                return LeaseView::Corrupt {
+                    detail: format!("unreadable: {e}"),
+                    salvaged_token: 0,
+                }
+            }
+        };
+        match parse_lease(&bytes) {
+            Ok(state) => {
+                if state.released {
+                    LeaseView::Released(state)
+                } else if self.clock.now_ns() > state.expires_ns {
+                    LeaseView::Expired(state)
+                } else {
+                    LeaseView::Held(state)
+                }
+            }
+            Err((detail, salvaged_token)) => LeaseView::Corrupt {
+                detail,
+                salvaged_token,
+            },
+        }
+    }
+
+    /// Acquires the shard for `owner`, bumping the fencing token.
+    ///
+    /// Succeeds against a free, released, expired, or corrupt lease —
+    /// and against the caller's *own* live lease (a restarted worker
+    /// re-claims its shard; the bump fences its previous incarnation).
+    /// Fails with [`LeaseError::Held`] while another worker's lease is
+    /// live, or when a concurrent claimant wins the race for a claimable
+    /// shard.
+    ///
+    /// Claims are arbitrated by the filesystem: stale debris (expired,
+    /// released, or corrupt lease file) is removed and the new lease is
+    /// written with an exclusive create ([`Vfs::create_new`]), so of two
+    /// workers racing for the same shard exactly one observes the create
+    /// succeed — a read-check-then-overwrite would let both "win". The
+    /// one overwrite left is re-acquisition of the caller's own live
+    /// lease, which no other worker may claim. Any residual interleaving
+    /// (a thief un-linking a just-written winner between its own inspect
+    /// and create) can at worst duplicate compute, never corrupt state:
+    /// the journal fence re-reads the lease before every append and the
+    /// loser's `(owner, token)` no longer matches.
+    pub fn acquire(&self, shard: usize, owner: &str) -> Result<Lease, LeaseError> {
+        let telemetry = qdb_telemetry::global();
+        let view = self.inspect(shard);
+        let prior_token = match &view {
+            LeaseView::Free => 0,
+            LeaseView::Released(s) | LeaseView::Expired(s) => s.token,
+            LeaseView::Held(s) if s.owner == owner => s.token,
+            LeaseView::Held(s) => {
+                telemetry.counter("store.lease.held_rejections").inc();
+                return Err(LeaseError::Held {
+                    shard,
+                    owner: s.owner.clone(),
+                    remaining_ms: s.expires_ns.saturating_sub(self.clock.now_ns()) / 1_000_000,
+                });
+            }
+            LeaseView::Corrupt { salvaged_token, .. } => *salvaged_token,
+        };
+        let now = self.clock.now_ns();
+        let state = LeaseState {
+            shard,
+            token: prior_token + 1,
+            owner: owner.to_string(),
+            acquired_ns: now,
+            expires_ns: now.saturating_add(self.ttl_ms.saturating_mul(1_000_000)),
+            released: false,
+        };
+        if matches!(view, LeaseView::Held(_)) {
+            // Own live lease: peers are locked out by the Held rejection
+            // above, so the token bump may simply overwrite.
+            self.write_state(&state)?;
+        } else {
+            let path = self.lease_path(shard);
+            self.vfs
+                .create_dir_all(&self.dir)
+                .map_err(StoreError::from)?;
+            if !matches!(view, LeaseView::Free) {
+                match self.vfs.remove_file(&path) {
+                    Ok(()) => {}
+                    Err(e) if e.kind() == std::io::ErrorKind::NotFound => {}
+                    Err(e) => return Err(LeaseError::Store(StoreError::from(e))),
+                }
+            }
+            let won = self
+                .vfs
+                .create_new(&path, render_lease(&state).as_bytes())
+                .map_err(StoreError::from)?;
+            if !won {
+                // A concurrent claimant's exclusive create landed first.
+                telemetry.counter("store.lease.held_rejections").inc();
+                let (cur_owner, remaining_ms) = match self.inspect(shard) {
+                    LeaseView::Held(s) | LeaseView::Expired(s) | LeaseView::Released(s) => {
+                        let left = s.expires_ns.saturating_sub(self.clock.now_ns());
+                        (s.owner, left / 1_000_000)
+                    }
+                    _ => ("<unknown>".to_string(), 0),
+                };
+                return Err(LeaseError::Held {
+                    shard,
+                    owner: cur_owner,
+                    remaining_ms,
+                });
+            }
+        }
+        match &view {
+            LeaseView::Expired(s) if s.owner != owner => {
+                telemetry.counter("store.lease.steals").inc();
+                telemetry.instant("store.lease.steal");
+            }
+            LeaseView::Corrupt { .. } => {
+                telemetry.counter("store.lease.corrupt_reclaimed").inc();
+            }
+            _ => {}
+        }
+        telemetry.counter("store.lease.acquires").inc();
+        telemetry.instant("store.lease.acquire");
+        Ok(Lease {
+            shard,
+            token: state.token,
+            owner: state.owner,
+            expires_ns: state.expires_ns,
+        })
+    }
+
+    /// Heartbeat: extends the deadline of a lease this worker still
+    /// holds. The token is unchanged. Fails with [`LeaseError::Fenced`]
+    /// if the lease was stolen (or otherwise re-acquired) since.
+    pub fn renew(&self, lease: &mut Lease) -> Result<(), LeaseError> {
+        let state = self.current_or_fenced(lease)?;
+        let now = self.clock.now_ns();
+        let renewed = LeaseState {
+            expires_ns: now.saturating_add(self.ttl_ms.saturating_mul(1_000_000)),
+            ..state
+        };
+        self.write_state(&renewed)?;
+        lease.expires_ns = renewed.expires_ns;
+        let telemetry = qdb_telemetry::global();
+        telemetry.counter("store.lease.renews").inc();
+        Ok(())
+    }
+
+    /// Releases a lease this worker still holds. The file is rewritten
+    /// as released (not deleted) so the token history survives for the
+    /// next acquisition's bump.
+    pub fn release(&self, lease: &Lease) -> Result<(), LeaseError> {
+        let state = self.current_or_fenced(lease)?;
+        self.write_state(&LeaseState {
+            released: true,
+            ..state
+        })?;
+        qdb_telemetry::global()
+            .counter("store.lease.releases")
+            .inc();
+        Ok(())
+    }
+
+    /// The fencing check: verifies the on-disk lease still names exactly
+    /// this `(owner, token)` pair. Callers run this before every journal
+    /// append; a stale writer gets [`LeaseError::Fenced`], never a
+    /// successful write.
+    ///
+    /// Deliberately ignores expiry: an expired-but-unstolen lease still
+    /// has a unique writer (deadlines gate takeover, tokens gate
+    /// writes). The holder's next renew restores the deadline.
+    pub fn check(&self, lease: &Lease) -> Result<(), LeaseError> {
+        self.current_or_fenced(lease).map(|_| ())
+    }
+
+    fn current_or_fenced(&self, lease: &Lease) -> Result<LeaseState, LeaseError> {
+        let fenced = |current: Option<(String, u64)>| {
+            qdb_telemetry::global().counter("store.lease.fenced").inc();
+            qdb_telemetry::global().instant("store.lease.fenced");
+            Err(LeaseError::Fenced {
+                shard: lease.shard,
+                presented: lease.token,
+                current,
+            })
+        };
+        match self.inspect(lease.shard) {
+            LeaseView::Held(s) | LeaseView::Expired(s) => {
+                if s.token == lease.token && s.owner == lease.owner {
+                    Ok(s)
+                } else {
+                    fenced(Some((s.owner, s.token)))
+                }
+            }
+            LeaseView::Released(s) => fenced(Some((s.owner, s.token))),
+            LeaseView::Free | LeaseView::Corrupt { .. } => fenced(None),
+        }
+    }
+
+    /// Scans every lease file under the root: expired, released,
+    /// corrupt, and (given a plan size) orphaned files are removed;
+    /// live leases are reported and kept. This is fsck's lease pass.
+    pub fn sweep(&self, num_shards: Option<usize>) -> Result<LeaseSweep, StoreError> {
+        let mut report = LeaseSweep::default();
+        if !self.vfs.is_dir(&self.dir) {
+            return Ok(report);
+        }
+        for path in self.vfs.read_dir(&self.dir)? {
+            let shard = parse_lease_file_name(&path);
+            let orphaned = match (shard, num_shards) {
+                (None, _) => true,
+                (Some(k), Some(n)) => k >= n,
+                (Some(_), None) => false,
+            };
+            let view = match shard {
+                Some(k) => self.inspect(k),
+                None => LeaseView::Corrupt {
+                    detail: "unparseable lease file name".to_string(),
+                    salvaged_token: 0,
+                },
+            };
+            let (owner, token) = match &view {
+                LeaseView::Held(s) | LeaseView::Expired(s) | LeaseView::Released(s) => {
+                    (Some(s.owner.clone()), Some(s.token))
+                }
+                _ => (None, None),
+            };
+            let status = if orphaned { "orphaned" } else { view.label() }.to_string();
+            let removed = orphaned || !matches!(view, LeaseView::Held(_));
+            if removed {
+                self.vfs.remove_file(&path)?;
+                report.removed += 1;
+                qdb_telemetry::global().counter("store.lease.swept").inc();
+            }
+            report.entries.push(LeaseSweepEntry {
+                shard,
+                status,
+                owner,
+                token,
+                removed,
+            });
+        }
+        report.entries.sort_by_key(|e| e.shard);
+        Ok(report)
+    }
+
+    fn write_state(&self, state: &LeaseState) -> Result<(), StoreError> {
+        self.vfs.create_dir_all(&self.dir)?;
+        write_atomic(
+            self.vfs,
+            &self.lease_path(state.shard),
+            render_lease(state).as_bytes(),
+        )?;
+        Ok(())
+    }
+}
+
+fn parse_lease_file_name(path: &Path) -> Option<usize> {
+    let name = path.file_name()?.to_str()?;
+    name.strip_prefix("shard-")?
+        .strip_suffix(".lease")?
+        .parse()
+        .ok()
+}
+
+/// Renders a lease file: a CRC32C header line over the key-value payload
+/// that follows. The atomic write protocol already rules out torn lease
+/// files; the checksum additionally catches bit rot and hand edits.
+fn render_lease(state: &LeaseState) -> String {
+    let payload = format!(
+        "shard {}\ntoken {}\nowner {}\nacquired_ns {}\nexpires_ns {}\nreleased {}\n",
+        state.shard,
+        state.token,
+        state.owner,
+        state.acquired_ns,
+        state.expires_ns,
+        u8::from(state.released),
+    );
+    format!(
+        "crc32c {}\n{payload}",
+        format_crc(crc32c(payload.as_bytes()))
+    )
+}
+
+/// Parses a lease file; `Err` carries a reason plus the best-effort
+/// token salvage (so a corrupt file's reclaim still bumps past it).
+fn parse_lease(bytes: &[u8]) -> Result<LeaseState, (String, u64)> {
+    let text = std::str::from_utf8(bytes).map_err(|_| ("not valid UTF-8".to_string(), 0))?;
+    let salvage = || {
+        text.lines()
+            .find_map(|l| l.strip_prefix("token "))
+            .and_then(|t| t.trim().parse().ok())
+            .unwrap_or(0)
+    };
+    let Some((header, payload)) = text.split_once('\n') else {
+        return Err(("missing checksum header".to_string(), salvage()));
+    };
+    let expected = header
+        .strip_prefix("crc32c ")
+        .and_then(parse_crc)
+        .ok_or_else(|| ("malformed checksum header".to_string(), salvage()))?;
+    if crc32c(payload.as_bytes()) != expected {
+        return Err(("checksum mismatch".to_string(), salvage()));
+    }
+    let field = |key: &str| -> Result<&str, (String, u64)> {
+        payload
+            .lines()
+            .find_map(|l| l.strip_prefix(key).and_then(|r| r.strip_prefix(' ')))
+            .ok_or_else(|| (format!("missing field {key:?}"), salvage()))
+    };
+    let num = |key: &str| -> Result<u64, (String, u64)> {
+        field(key)?
+            .trim()
+            .parse()
+            .map_err(|_| (format!("unparseable field {key:?}"), salvage()))
+    };
+    Ok(LeaseState {
+        shard: num("shard")? as usize,
+        token: num("token")?,
+        owner: field("owner")?.to_string(),
+        acquired_ns: num("acquired_ns")?,
+        expires_ns: num("expires_ns")?,
+        released: num("released")? != 0,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vfs::StdVfs;
+    use qdb_telemetry::ManualClock;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("qdb-lease-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn acquire_renew_release_round_trip() {
+        let root = tmpdir("rt");
+        let clock = ManualClock::new();
+        let m = LeaseManager::new(&StdVfs, &clock, &root, 1_000);
+        let mut lease = m.acquire(0, "w0").unwrap();
+        assert_eq!(lease.token, 1);
+        assert!(matches!(m.inspect(0), LeaseView::Held(_)));
+        m.check(&lease).unwrap();
+
+        clock.advance_ms(600);
+        m.renew(&mut lease).unwrap();
+        assert_eq!(lease.token, 1, "renewal never bumps the token");
+        clock.advance_ms(600);
+        // Without the renewal this would be past the original deadline.
+        assert!(matches!(m.inspect(0), LeaseView::Held(_)));
+        m.release(&lease).unwrap();
+        assert!(matches!(m.inspect(0), LeaseView::Released(_)));
+        // Released leases are claimable and the token keeps climbing.
+        let next = m.acquire(0, "w1").unwrap();
+        assert_eq!(next.token, 2);
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn live_lease_of_another_worker_rejects_acquisition() {
+        let root = tmpdir("held");
+        let clock = ManualClock::new();
+        let m = LeaseManager::new(&StdVfs, &clock, &root, 1_000);
+        m.acquire(3, "w0").unwrap();
+        let err = m.acquire(3, "w1").unwrap_err();
+        let LeaseError::Held {
+            shard,
+            owner,
+            remaining_ms,
+        } = err
+        else {
+            panic!("expected Held, got {err}");
+        };
+        assert_eq!((shard, owner.as_str()), (3, "w0"));
+        assert!(remaining_ms <= 1_000);
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn expired_lease_is_stolen_with_a_bumped_token() {
+        let root = tmpdir("steal");
+        let clock = ManualClock::new();
+        let m = LeaseManager::new(&StdVfs, &clock, &root, 1_000);
+        let stale = m.acquire(0, "w0").unwrap();
+        clock.advance_ms(1_001);
+        assert!(matches!(m.inspect(0), LeaseView::Expired(_)));
+        let stolen = m.acquire(0, "w1").unwrap();
+        assert_eq!(stolen.token, 2);
+        // The zombie's every move is now fenced.
+        assert!(matches!(
+            m.check(&stale),
+            Err(LeaseError::Fenced { presented: 1, .. })
+        ));
+        let mut stale_mut = stale.clone();
+        assert!(m.renew(&mut stale_mut).is_err());
+        assert!(m.release(&stale).is_err());
+        // And the thief's lease is fully operational.
+        m.check(&stolen).unwrap();
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn restarted_owner_reacquires_and_fences_its_past_self() {
+        let root = tmpdir("restart");
+        let clock = ManualClock::new();
+        let m = LeaseManager::new(&StdVfs, &clock, &root, 1_000);
+        let first_life = m.acquire(0, "w0").unwrap();
+        // Same worker id, new process: allowed even while live, but the
+        // bump fences the previous incarnation's in-memory lease.
+        let second_life = m.acquire(0, "w0").unwrap();
+        assert_eq!(second_life.token, 2);
+        assert!(m.check(&first_life).is_err());
+        m.check(&second_life).unwrap();
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn expired_but_unstolen_lease_still_passes_the_fencing_check() {
+        let root = tmpdir("grace");
+        let clock = ManualClock::new();
+        let m = LeaseManager::new(&StdVfs, &clock, &root, 1_000);
+        let mut lease = m.acquire(0, "w0").unwrap();
+        clock.advance_ms(5_000);
+        // Nobody stole it: the token is still uniquely ours, writes are
+        // safe, and a renew restores the deadline.
+        m.check(&lease).unwrap();
+        m.renew(&mut lease).unwrap();
+        assert!(matches!(m.inspect(0), LeaseView::Held(_)));
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn corrupt_lease_is_reclaimable_and_salvages_the_token() {
+        let root = tmpdir("corrupt");
+        let clock = ManualClock::new();
+        let m = LeaseManager::new(&StdVfs, &clock, &root, 1_000);
+        m.acquire(0, "w0").unwrap();
+        // Flip a payload byte: the checksum header no longer matches.
+        let path = m.lease_path(0);
+        let mut bytes = std::fs::read(&path).unwrap();
+        let off = bytes.len() - 3;
+        bytes[off] ^= 0x01;
+        std::fs::write(&path, &bytes).unwrap();
+        let LeaseView::Corrupt { salvaged_token, .. } = m.inspect(0) else {
+            panic!("flip must corrupt the lease");
+        };
+        assert_eq!(salvaged_token, 1, "token line salvaged from the wreck");
+        let lease = m.acquire(0, "w1").unwrap();
+        assert_eq!(lease.token, 2, "reclaim bumps past the salvage");
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn sweep_cleans_everything_but_live_leases() {
+        let root = tmpdir("sweep");
+        let clock = ManualClock::new();
+        let m = LeaseManager::new(&StdVfs, &clock, &root, 1_000);
+        // shard 0: released; shard 1: live; shard 2: expired;
+        // shard 7: orphaned under a 4-shard plan; plus a corrupt file.
+        let l0 = m.acquire(0, "w0").unwrap();
+        m.release(&l0).unwrap();
+        m.acquire(1, "w1").unwrap();
+        m.acquire(2, "w2").unwrap();
+        m.acquire(7, "w7").unwrap();
+        clock.advance_ms(1_001);
+        let mut keep_alive = m.acquire(1, "w1").unwrap();
+        m.renew(&mut keep_alive).unwrap();
+        std::fs::write(root.join(LEASE_DIR).join("shard-3.lease"), b"junk").unwrap();
+
+        let report = m.sweep(Some(4)).unwrap();
+        assert_eq!(report.entries.len(), 5);
+        assert_eq!(report.removed, 4);
+        let by_shard = |k: usize| report.entries.iter().find(|e| e.shard == Some(k)).unwrap();
+        assert_eq!(by_shard(0).status, "released");
+        assert!(by_shard(0).removed);
+        assert_eq!(by_shard(1).status, "held");
+        assert!(!by_shard(1).removed);
+        assert_eq!(by_shard(2).status, "expired");
+        assert!(by_shard(2).removed);
+        assert_eq!(by_shard(3).status, "corrupt");
+        assert_eq!(by_shard(7).status, "orphaned");
+        // Only the live lease file survives on disk.
+        assert!(m.lease_path(1).exists());
+        for k in [0, 2, 3, 7] {
+            assert!(!m.lease_path(k).exists(), "shard {k} should be swept");
+        }
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn losing_the_exclusive_create_race_reads_as_held() {
+        /// StdVfs, except every exclusive create loses: models a peer
+        /// whose claim lands between our inspect and our create.
+        struct AlwaysBeaten;
+        impl Vfs for AlwaysBeaten {
+            fn read(&self, p: &Path) -> std::io::Result<Vec<u8>> {
+                StdVfs.read(p)
+            }
+            fn write_all(&self, p: &Path, b: &[u8]) -> std::io::Result<()> {
+                StdVfs.write_all(p, b)
+            }
+            fn append(&self, p: &Path, b: &[u8]) -> std::io::Result<()> {
+                StdVfs.append(p, b)
+            }
+            fn fsync_file(&self, p: &Path) -> std::io::Result<()> {
+                StdVfs.fsync_file(p)
+            }
+            fn fsync_dir(&self, p: &Path) -> std::io::Result<()> {
+                StdVfs.fsync_dir(p)
+            }
+            fn rename(&self, a: &Path, b: &Path) -> std::io::Result<()> {
+                StdVfs.rename(a, b)
+            }
+            fn create_new(&self, p: &Path, _b: &[u8]) -> std::io::Result<bool> {
+                // The peer's lease is what we then re-inspect.
+                StdVfs.write_all(
+                    p,
+                    render_lease(&LeaseState {
+                        shard: 0,
+                        token: 9,
+                        owner: "peer".to_string(),
+                        acquired_ns: 0,
+                        expires_ns: u64::MAX,
+                        released: false,
+                    })
+                    .as_bytes(),
+                )?;
+                Ok(false)
+            }
+            fn create_dir_all(&self, p: &Path) -> std::io::Result<()> {
+                StdVfs.create_dir_all(p)
+            }
+            fn remove_file(&self, p: &Path) -> std::io::Result<()> {
+                StdVfs.remove_file(p)
+            }
+            fn set_len(&self, p: &Path, n: u64) -> std::io::Result<()> {
+                StdVfs.set_len(p, n)
+            }
+            fn exists(&self, p: &Path) -> bool {
+                StdVfs.exists(p)
+            }
+            fn is_dir(&self, p: &Path) -> bool {
+                StdVfs.is_dir(p)
+            }
+            fn read_dir(&self, p: &Path) -> std::io::Result<Vec<PathBuf>> {
+                StdVfs.read_dir(p)
+            }
+        }
+
+        let root = tmpdir("race");
+        let clock = ManualClock::new();
+        let m = LeaseManager::new(&AlwaysBeaten, &clock, &root, 1_000);
+        let err = m.acquire(0, "w0").unwrap_err();
+        let LeaseError::Held { shard, owner, .. } = err else {
+            panic!("lost race must read as Held, got {err}");
+        };
+        assert_eq!((shard, owner.as_str()), (0, "peer"));
+        // The peer's lease file is untouched by the loser.
+        let on_disk = parse_lease(&std::fs::read(m.lease_path(0)).unwrap()).unwrap();
+        assert_eq!((on_disk.owner.as_str(), on_disk.token), ("peer", 9));
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn lease_file_round_trips_bytes() {
+        let state = LeaseState {
+            shard: 5,
+            token: 42,
+            owner: "worker with spaces".to_string(),
+            acquired_ns: 123,
+            expires_ns: 456,
+            released: false,
+        };
+        let back = parse_lease(render_lease(&state).as_bytes()).unwrap();
+        assert_eq!(back, state);
+    }
+}

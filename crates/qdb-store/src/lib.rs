@@ -14,7 +14,10 @@
 //! * [`quarantine`] — corrupt entries are moved aside with a reason
 //!   file, never deleted;
 //! * [`cache`] — content-addressed slot directories with
-//!   integrity-checked lookup (the service layer's result cache).
+//!   integrity-checked lookup (the service layer's result cache);
+//! * [`lease`] — durable shard leases with monotone fencing tokens and
+//!   heartbeat deadlines, the coordination layer for multi-process
+//!   sharded builds.
 //!
 //! The invariant the whole crate exists for: **at every filesystem-
 //! operation boundary, a reader either sees no artifact or a complete,
@@ -22,14 +25,16 @@
 //!
 //! Telemetry: `store.writes`, `store.bytes`, `store.fsyncs`,
 //! `store.renames`, `store.checksum_failures`, `store.recoveries`,
-//! `store.quarantines` counters and the `store.write_us` histogram, all
-//! on the global [`qdb_telemetry`] registry.
+//! `store.quarantines`, `store.lease.*` counters and the
+//! `store.write_us` histogram, all on the global [`qdb_telemetry`]
+//! registry.
 
 pub mod atomic;
 pub mod cache;
 pub mod checksum;
 pub mod error;
 pub mod journal;
+pub mod lease;
 pub mod quarantine;
 pub mod vfs;
 
@@ -40,5 +45,8 @@ pub use cache::{is_content_key, ContentCache};
 pub use checksum::crc32c;
 pub use error::StoreError;
 pub use journal::{Journal, Replay};
+pub use lease::{
+    Lease, LeaseError, LeaseManager, LeaseState, LeaseSweep, LeaseSweepEntry, LeaseView, LEASE_DIR,
+};
 pub use quarantine::{quarantine_entry, QUARANTINE_DIR};
 pub use vfs::{CrashVfs, StdVfs, Vfs};

@@ -28,6 +28,13 @@ pub trait Vfs: Sync {
     fn fsync_dir(&self, path: &Path) -> io::Result<()>;
     /// Atomically renames a file or directory.
     fn rename(&self, from: &Path, to: &Path) -> io::Result<()>;
+    /// Creates `path` exclusively (`O_EXCL`) and writes all of `bytes`,
+    /// then fsyncs the file. Returns `false` — writing nothing — if the
+    /// path already exists. This is the one primitive whose win/lose
+    /// outcome the *filesystem* arbitrates, which is what cross-process
+    /// mutual exclusion (lease claims) needs; everything else here is
+    /// last-writer-wins.
+    fn create_new(&self, path: &Path, bytes: &[u8]) -> io::Result<bool>;
     /// Recursively creates a directory.
     fn create_dir_all(&self, path: &Path) -> io::Result<()>;
     /// Removes a file.
@@ -83,6 +90,21 @@ impl Vfs for StdVfs {
 
     fn rename(&self, from: &Path, to: &Path) -> io::Result<()> {
         fs::rename(from, to)
+    }
+
+    fn create_new(&self, path: &Path, bytes: &[u8]) -> io::Result<bool> {
+        let mut f = match fs::OpenOptions::new()
+            .write(true)
+            .create_new(true)
+            .open(path)
+        {
+            Ok(f) => f,
+            Err(e) if e.kind() == io::ErrorKind::AlreadyExists => return Ok(false),
+            Err(e) => return Err(e),
+        };
+        f.write_all(bytes)?;
+        f.sync_all()?;
+        Ok(true)
     }
 
     fn create_dir_all(&self, path: &Path) -> io::Result<()> {
@@ -227,6 +249,23 @@ impl Vfs for CrashVfs {
         self.inner.rename(from, to)
     }
 
+    fn create_new(&self, path: &Path, bytes: &[u8]) -> io::Result<bool> {
+        // A torn exclusive create is possible for real (power loss after
+        // open, before the write lands): model it the same way as a torn
+        // write — the file exists with a half prefix.
+        if self.dead.load(Ordering::Relaxed) {
+            return Err(self.crash_error());
+        }
+        let n = self.ops.fetch_add(1, Ordering::Relaxed);
+        if n >= self.budget {
+            self.dead.store(true, Ordering::Relaxed);
+            let torn = &bytes[..bytes.len() / 2];
+            let _ = self.inner.create_new(path, torn);
+            return Err(self.crash_error());
+        }
+        self.inner.create_new(path, bytes)
+    }
+
     fn create_dir_all(&self, path: &Path) -> io::Result<()> {
         self.charge()?;
         self.inner.create_dir_all(path)
@@ -293,6 +332,20 @@ mod tests {
         assert!(!v.exists(&p) && v.exists(&q));
         assert_eq!(v.read_dir(&dir).unwrap(), vec![q.clone()]);
         v.remove_file(&q).unwrap();
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn create_new_is_exclusive() {
+        let dir = tmpdir("excl");
+        let v = StdVfs;
+        let p = dir.join("claim");
+        assert!(v.create_new(&p, b"first").unwrap(), "fresh path: created");
+        assert!(
+            !v.create_new(&p, b"second").unwrap(),
+            "existing path: lost the race, nothing written"
+        );
+        assert_eq!(v.read(&p).unwrap(), b"first");
         let _ = fs::remove_dir_all(&dir);
     }
 

@@ -1,0 +1,215 @@
+//! Property tests for the lease state machine: under arbitrary schedules
+//! of acquire/renew/release/expiry interleaved across several workers on
+//! one virtual clock, the safety invariants hold —
+//!
+//! 1. at most one lease passes the fencing check at any virtual time,
+//! 2. fencing tokens are strictly monotone across acquisitions,
+//! 3. stealing an expired lease always succeeds.
+
+use proptest::prelude::*;
+use qdb_store::{Lease, LeaseError, LeaseManager, LeaseView, StdVfs};
+use qdb_telemetry::{Clock, ManualClock};
+use std::path::PathBuf;
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "qdb-lease-props-{tag}-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+const TTL_MS: u64 = 1_000;
+const WORKERS: usize = 3;
+
+/// One step of a schedule: which worker acts, what it tries, and how far
+/// virtual time advances first.
+#[derive(Clone, Debug)]
+struct Step {
+    worker: usize,
+    /// 0 = acquire, 1 = renew, 2 = release, 3 = no-op (time only).
+    action: u8,
+    advance_ms: u64,
+}
+
+fn steps(max: usize) -> impl Strategy<Value = Vec<Step>> {
+    proptest::collection::vec(
+        (0usize..WORKERS, 0u8..4, 0u64..2_500).prop_map(|(worker, action, advance_ms)| Step {
+            worker,
+            action,
+            advance_ms,
+        }),
+        1..max,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Run an arbitrary schedule and check every safety invariant after
+    /// every step.
+    #[test]
+    fn prop_lease_state_machine_invariants(schedule in steps(40)) {
+        let root = tmpdir("sm");
+        let clock = ManualClock::new();
+        let m = LeaseManager::new(&StdVfs, &clock, &root, TTL_MS);
+        // Each simulated worker's view of the lease it thinks it holds.
+        let mut held: Vec<Option<Lease>> = vec![None; WORKERS];
+        let mut last_token = 0u64;
+
+        for (i, step) in schedule.iter().enumerate() {
+            clock.advance_ms(step.advance_ms);
+            let owner = format!("w{}", step.worker);
+            match step.action {
+                0 => {
+                    let view_before = m.inspect(0);
+                    match m.acquire(0, &owner) {
+                        Ok(lease) => {
+                            // Invariant 2: strictly monotone tokens.
+                            prop_assert!(
+                                lease.token > last_token,
+                                "step {i}: token {} not above {last_token}",
+                                lease.token
+                            );
+                            last_token = lease.token;
+                            // Acquisition is only legal against a
+                            // claimable view or the worker's own lease.
+                            match &view_before {
+                                LeaseView::Held(s) => prop_assert_eq!(&s.owner, &owner),
+                                _ => prop_assert!(view_before.claimable()),
+                            }
+                            held[step.worker] = Some(lease);
+                        }
+                        Err(LeaseError::Held { .. }) => {
+                            // Invariant 3: a live-holder rejection is
+                            // only possible while the lease is truly
+                            // unexpired — steal-after-expiry never
+                            // bounces.
+                            let LeaseView::Held(s) = view_before else {
+                                prop_assert!(false, "step {i}: Held error against claimable view");
+                                unreachable!();
+                            };
+                            prop_assert!(s.owner != owner);
+                            prop_assert!(clock.now_ns() <= s.expires_ns);
+                        }
+                        Err(e) => {
+                            prop_assert!(false, "step {i}: unexpected acquire error {e}");
+                            unreachable!();
+                        }
+                    }
+                }
+                1 => {
+                    if let Some(lease) = held[step.worker].as_mut() {
+                        // Renew never changes the token, whether it
+                        // succeeds (still holder) or fences (stolen).
+                        let before = lease.token;
+                        let _ = m.renew(lease);
+                        prop_assert_eq!(lease.token, before);
+                    }
+                }
+                2 => {
+                    if let Some(lease) = held[step.worker].take() {
+                        // Release either succeeds or was already fenced;
+                        // both leave the worker with nothing.
+                        let _ = m.release(&lease);
+                    }
+                }
+                _ => {}
+            }
+
+            // Invariant 1: at most one in-memory lease passes the
+            // fencing check at this instant.
+            let valid: Vec<usize> = (0..WORKERS)
+                .filter(|&w| {
+                    held[w]
+                        .as_ref()
+                        .is_some_and(|l| m.check(l).is_ok())
+                })
+                .collect();
+            prop_assert!(
+                valid.len() <= 1,
+                "step {i}: workers {valid:?} all hold check-valid leases"
+            );
+            // And that one valid lease, if any, matches the on-disk view.
+            if let Some(&w) = valid.first() {
+                let lease = held[w].as_ref().unwrap();
+                match m.inspect(0) {
+                    LeaseView::Held(s) | LeaseView::Expired(s) => {
+                        prop_assert_eq!(s.token, lease.token);
+                        prop_assert_eq!(&s.owner, &lease.owner);
+                    }
+                    other => {
+                        prop_assert!(false, "step {i}: check-valid lease but view {other:?}");
+                        unreachable!();
+                    }
+                }
+            }
+        }
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    /// Whatever schedule ran before, once the current lease's deadline
+    /// has passed, any worker's steal succeeds — expiry always unblocks.
+    #[test]
+    fn prop_steal_after_expiry_always_succeeds(
+        schedule in steps(25),
+        thief in 0usize..WORKERS,
+    ) {
+        let root = tmpdir("steal");
+        let clock = ManualClock::new();
+        let m = LeaseManager::new(&StdVfs, &clock, &root, TTL_MS);
+        for step in &schedule {
+            clock.advance_ms(step.advance_ms);
+            let owner = format!("w{}", step.worker);
+            let _ = match step.action {
+                0 => m.acquire(0, &owner).map(|_| ()),
+                _ => Ok(()),
+            };
+        }
+        // Push time past any deadline the schedule could have written.
+        clock.advance_ms(TTL_MS + 1);
+        prop_assert!(m.inspect(0).claimable(), "expired lease must be claimable");
+        let owner = format!("w{thief}");
+        let lease = m.acquire(0, &owner);
+        prop_assert!(lease.is_ok(), "steal after expiry failed: {:?}", lease.err().map(|e| e.to_string()));
+        prop_assert!(m.check(&lease.unwrap()).is_ok());
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    /// Tokens observed on disk across any schedule form a strictly
+    /// increasing sequence — no reuse, no rollback, even through
+    /// release/re-acquire and steal cycles.
+    #[test]
+    fn prop_on_disk_tokens_never_regress(schedule in steps(40)) {
+        let root = tmpdir("mono");
+        let clock = ManualClock::new();
+        let m = LeaseManager::new(&StdVfs, &clock, &root, TTL_MS);
+        let mut last_seen = 0u64;
+        for (i, step) in schedule.iter().enumerate() {
+            clock.advance_ms(step.advance_ms);
+            let owner = format!("w{}", step.worker);
+            if step.action == 0 {
+                let _ = m.acquire(0, &owner);
+            }
+            match m.inspect(0) {
+                LeaseView::Held(s) | LeaseView::Expired(s) | LeaseView::Released(s) => {
+                    prop_assert!(
+                        s.token >= last_seen,
+                        "step {i}: on-disk token regressed {last_seen} -> {}",
+                        s.token
+                    );
+                    last_seen = s.token;
+                }
+                LeaseView::Free => {}
+                LeaseView::Corrupt { .. } => {
+                    prop_assert!(false, "step {i}: lease corrupt without injected corruption");
+                    unreachable!();
+                }
+            }
+        }
+        let _ = std::fs::remove_dir_all(&root);
+    }
+}

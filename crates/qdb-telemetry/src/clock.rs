@@ -59,6 +59,34 @@ impl Clock for MonotonicClock {
     }
 }
 
+/// Wall-clock time: nanoseconds since the UNIX epoch.
+///
+/// [`MonotonicClock`] epochs are per-process (the moment of
+/// construction), which is exactly wrong for state shared *between*
+/// processes — a shard-lease deadline written by one worker must be
+/// comparable in another worker started minutes later. `WallClock` gives
+/// every process the same epoch. The price is that wall time can step
+/// under NTP; lease TTLs are seconds-scale, so small steps only shift a
+/// takeover by the step size, never corrupt anything (fencing tokens,
+/// not clocks, are the correctness mechanism).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct WallClock;
+
+impl Clock for WallClock {
+    fn now_ns(&self) -> u64 {
+        std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_nanos() as u64)
+            .unwrap_or(0)
+    }
+
+    fn sleep_ms(&self, ms: u64) {
+        if ms > 0 {
+            std::thread::sleep(std::time::Duration::from_millis(ms));
+        }
+    }
+}
+
 /// Virtual time for tests: starts at zero, only moves when told to.
 ///
 /// `sleep_ms` advances the clock instead of blocking, so retry/backoff
@@ -106,6 +134,19 @@ impl Clock for ManualClock {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn wall_clock_shares_the_unix_epoch() {
+        // Two independently constructed wall clocks agree, which is the
+        // whole point: cross-process lease deadlines stay comparable.
+        let a = WallClock.now_ns();
+        let b = WallClock.now_ns();
+        assert!(b >= a);
+        assert!(
+            a > 1_577_836_800_000_000_000,
+            "epoch must be UNIX, not boot"
+        );
+    }
 
     #[test]
     fn monotonic_clock_advances() {

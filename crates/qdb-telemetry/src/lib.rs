@@ -39,7 +39,7 @@ pub mod snapshot;
 pub mod span;
 pub mod trace;
 
-pub use clock::{Clock, ManualClock, MonotonicClock};
+pub use clock::{Clock, ManualClock, MonotonicClock, WallClock};
 pub use counter::Counter;
 pub use gauge::Gauge;
 pub use histogram::{Histogram, HistogramSnapshot};

@@ -7,7 +7,7 @@
 //! retried once and then seed-shifted or degraded, and exhausted jobs
 //! become diagnosable `manifest.json` entries instead of panics.
 
-use qdb_store::StoreError;
+use qdb_store::{LeaseError, StoreError};
 use qdb_vqe::error::VqeError;
 use std::fmt;
 use std::io;
@@ -44,6 +44,16 @@ pub enum PipelineError {
     /// The job was cancelled at an attempt boundary (service drain or
     /// client abort). Not a defect: the job is resumable as-is.
     Cancelled,
+    /// Shard-lease coordination refused the operation: the lease is held
+    /// by another live worker, or this worker's fencing token went stale
+    /// (its shard was stolen). The worker must stop writing the shard;
+    /// the shard itself remains buildable by whoever holds the lease.
+    Lease {
+        /// Shard the lease governs.
+        shard: usize,
+        /// The underlying lease-protocol failure, rendered.
+        detail: String,
+    },
     /// Every attempt — including the degradation ladder — failed; the
     /// boxed error is the final attempt's cause.
     RetriesExhausted {
@@ -66,6 +76,7 @@ impl PipelineError {
             PipelineError::Panicked(_) => "panic".to_string(),
             PipelineError::DeadlineExceeded { .. } => "deadline-exceeded".to_string(),
             PipelineError::Cancelled => "cancelled".to_string(),
+            PipelineError::Lease { .. } => "shard/lease".to_string(),
             PipelineError::RetriesExhausted { .. } => "retries-exhausted".to_string(),
         }
     }
@@ -84,6 +95,9 @@ impl PipelineError {
             PipelineError::Panicked(_) => false,
             PipelineError::DeadlineExceeded { .. } => false,
             PipelineError::Cancelled => false,
+            // A held or stolen lease never clears by retrying the same
+            // write; the claim loop, not the retry ladder, handles it.
+            PipelineError::Lease { .. } => false,
             PipelineError::RetriesExhausted { .. } => false,
         }
     }
@@ -105,6 +119,9 @@ impl fmt::Display for PipelineError {
             }
             PipelineError::Cancelled => {
                 write!(f, "job cancelled at an attempt boundary")
+            }
+            PipelineError::Lease { shard, detail } => {
+                write!(f, "shard {shard} lease coordination failed: {detail}")
             }
             PipelineError::RetriesExhausted { attempts, last } => {
                 write!(f, "all {attempts} attempts failed; last: {last}")
@@ -140,6 +157,20 @@ impl From<io::Error> for PipelineError {
 impl From<StoreError> for PipelineError {
     fn from(e: StoreError) -> Self {
         PipelineError::Store(e)
+    }
+}
+
+impl From<LeaseError> for PipelineError {
+    fn from(e: LeaseError) -> Self {
+        let detail = e.to_string();
+        match e {
+            // A store failure underneath the lease file is an ordinary
+            // store error; keep its transience classification.
+            LeaseError::Store(inner) => PipelineError::Store(inner),
+            LeaseError::Held { shard, .. } | LeaseError::Fenced { shard, .. } => {
+                PipelineError::Lease { shard, detail }
+            }
+        }
     }
 }
 

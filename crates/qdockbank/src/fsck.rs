@@ -5,13 +5,19 @@
 //! (no entry directory), or **corrupt** (validation failed). Corrupt
 //! entries are moved to `quarantine/` with a reason file so the evidence
 //! survives and the slot is clean for the next build; stray `*.tmp`
-//! files left by a killed build are swept. The report is pure data — the
-//! CLI renders it and turns "anything not ok" into a non-zero exit.
+//! files left by a killed build are swept. Sharded roots get a lease
+//! pass on top: orphaned, expired, released, and corrupt lease files
+//! are cleaned out (live ones reported and kept), and every entry is
+//! annotated with the shard/worker that journaled it. The report is
+//! pure data — the CLI renders it and turns "anything not ok" into a
+//! non-zero exit.
 
 use crate::dataset::validate_entry_vfs;
 use crate::error::PipelineError;
 use crate::fragments::FragmentRecord;
-use qdb_store::{quarantine_entry, sweep_tmp_files, StdVfs, Vfs};
+use crate::shard::{shard_ownership_vfs, ShardStamp};
+use qdb_store::{quarantine_entry, sweep_tmp_files, LeaseManager, LeaseSweepEntry, StdVfs, Vfs};
+use qdb_telemetry::WallClock;
 use std::path::{Path, PathBuf};
 
 /// Outcome of checking one fragment's dataset entry.
@@ -50,6 +56,9 @@ pub struct FsckEntry {
     pub group: String,
     /// What fsck found.
     pub status: FsckStatus,
+    /// Which shard/worker last journaled this fragment (`None` for
+    /// single-process builds, whose journals carry no stamps).
+    pub built_by: Option<ShardStamp>,
 }
 
 /// The whole fsck run.
@@ -59,6 +68,12 @@ pub struct FsckReport {
     pub entries: Vec<FsckEntry>,
     /// Stray `*.tmp` files removed from the dataset tree.
     pub swept_tmp: usize,
+    /// Every lease file found under the root, with its state at scan
+    /// time and whether the sweep removed it.
+    pub leases: Vec<LeaseSweepEntry>,
+    /// Lease files removed (orphaned, expired, released, or corrupt;
+    /// live leases are kept).
+    pub leases_removed: usize,
 }
 
 impl FsckReport {
@@ -104,6 +119,7 @@ pub fn fsck_dataset_vfs(
 ) -> Result<FsckReport, PipelineError> {
     let telemetry = qdb_telemetry::global();
     let mut report = FsckReport::default();
+    let ownership = shard_ownership_vfs(vfs, root)?;
     for record in records {
         let group = record.group().name();
         let entry_dir = root.join(group).join(record.pdb_id);
@@ -136,6 +152,7 @@ pub fn fsck_dataset_vfs(
             pdb_id: record.pdb_id.to_string(),
             group: group.to_string(),
             status,
+            built_by: ownership.get(record.pdb_id).cloned(),
         });
     }
     // Stray tmp files can also sit beside entries (group dirs, root).
@@ -146,6 +163,16 @@ pub fn fsck_dataset_vfs(
             report.swept_tmp += sweep_tmp_files(vfs, &dir)?;
         }
     }
+    // Lease pass: a crashed sharded build leaves lease files behind;
+    // expired/released/corrupt/orphaned ones are debris (sweep them),
+    // live ones mean a worker may still be running (report, keep). The
+    // TTL here only shapes the expired/live split of the report — fsck
+    // runs on wall-clock time like the workers that wrote the leases.
+    let clock = WallClock;
+    let manager = LeaseManager::new(vfs, &clock, root, 30_000);
+    let sweep = manager.sweep(None)?;
+    report.leases = sweep.entries;
+    report.leases_removed = sweep.removed;
     Ok(report)
 }
 
@@ -202,6 +229,49 @@ mod tests {
         assert!(slot.join("REASON.txt").exists());
         // The corrupt slot is clean for the next build.
         assert!(!root.join("S/3eax").exists());
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn lease_debris_is_swept_and_shard_ownership_is_reported() {
+        use crate::shard::{build_dataset_sharded_with, ShardConfig};
+        use crate::supervisor::SupervisorConfig;
+        use qdb_telemetry::ManualClock;
+        use qdb_vqe::fault::FaultPlan;
+
+        let root = tmpdir("leases");
+        let record = fragment("3ckz").unwrap();
+        let clock = ManualClock::new();
+        build_dataset_sharded_with(
+            &root,
+            &[record],
+            &PipelineConfig::fast(),
+            &SupervisorConfig::fast(),
+            &FaultPlan::none(),
+            &ShardConfig::new(1, "w0"),
+            &clock,
+            &StdVfs,
+        )
+        .unwrap();
+        // The worker released its lease, but the file is kept on disk for
+        // token history — that is exactly the debris fsck cleans.
+        assert!(root.join("leases/shard-0.lease").exists());
+
+        let report = fsck_dataset(&root, &[record]).unwrap();
+        assert!(report.clean());
+        let stamp = report.entries[0].built_by.as_ref().expect("stamped entry");
+        assert_eq!(stamp.shard, 0);
+        assert_eq!(stamp.owner, "w0");
+        assert!(stamp.token >= 1);
+        assert_eq!(report.leases.len(), 1);
+        assert_eq!(report.leases[0].status, "released");
+        assert_eq!(report.leases_removed, 1);
+        assert!(!root.join("leases/shard-0.lease").exists());
+
+        // A second fsck finds nothing left to sweep.
+        let again = fsck_dataset(&root, &[record]).unwrap();
+        assert!(again.leases.is_empty());
+        assert_eq!(again.leases_removed, 0);
         let _ = std::fs::remove_dir_all(&root);
     }
 

@@ -24,7 +24,12 @@
 //! fragment job is panic-isolated, retried with exponential backoff,
 //! degraded when retries keep failing, checkpointed on disk, and
 //! journaled in the `manifest.journal` write-ahead log — so a killed or
-//! faulted build resumes instead of restarting. Persistence itself goes
+//! faulted build resumes instead of restarting. Multi-process builds
+//! partition the fragment list into shards ([`shard`]) coordinated by
+//! crash-safe, fencing-token-guarded leases: a dead worker's shard is
+//! stolen and resumed, a zombie's stale writes are rejected, and a
+//! finalize step merges the shards and writes a `dataset_card.json`
+//! summary artifact. Persistence itself goes
 //! through the crash-consistent `qdb-store` layer: atomic checksummed
 //! writes, a per-entry `CHECKSUMS` commit record, quarantine for
 //! anything that fails validation, and an offline [`fsck`] scan.
@@ -36,6 +41,7 @@ pub mod fragments;
 pub mod fsck;
 pub mod pipeline;
 pub mod report;
+pub mod shard;
 pub mod supervisor;
 
 pub use error::PipelineError;
@@ -44,8 +50,14 @@ pub use fragments::{all_fragments, fragment, fragments_in, FragmentRecord, Group
 pub use fsck::{fsck_dataset, FsckEntry, FsckReport, FsckStatus};
 pub use pipeline::{run_fragment, FragmentResult, PipelineConfig, Preset};
 pub use qdb_dock::dispatch::BackendChoice;
+pub use shard::{
+    build_dataset_sharded, build_dataset_sharded_with, dataset_card_path, finalize_sharded,
+    finalize_sharded_with, load_sharded_manifest_vfs, shard_journal_path, shard_ownership_vfs,
+    DatasetCard, ShardConfig, ShardPlan, ShardProvenance, ShardStamp, ShardWorkerSummary,
+    StatSummary,
+};
 pub use supervisor::{
-    build_dataset, build_dataset_with, has_manifest, journal_path, load_manifest, run_job,
-    AttemptRecord, BuildSummary, CancelToken, FragmentReport, JobUnit, Manifest, RunRecord,
-    SupervisorConfig,
+    build_dataset, build_dataset_with, compact_manifest, compact_manifest_vfs, has_manifest,
+    journal_path, load_manifest, run_job, AttemptRecord, BuildSummary, CancelToken,
+    CompactionReport, FragmentReport, JobUnit, Manifest, RunRecord, SupervisorConfig,
 };

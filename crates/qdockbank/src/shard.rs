@@ -1,0 +1,902 @@
+//! Multi-process sharded dataset builds with crash-safe lease
+//! coordination.
+//!
+//! [`supervisor`](crate::supervisor) makes one process fault-tolerant;
+//! this module spreads a build over N independent worker *processes*
+//! without giving up any of its guarantees. The pieces:
+//!
+//! * **shard planner** ([`ShardPlan`]) — a deterministic round-robin
+//!   partition of the fragment list into N shards, the same in every
+//!   process, so shard k means the same fragments everywhere;
+//! * **lease claim loop** ([`build_dataset_sharded_with`]) — each worker
+//!   walks the shards, claims whichever is free (or expired — a dead
+//!   worker's shard is stolen after its heartbeat deadline passes) via
+//!   [`LeaseManager`], and builds it; a takeover resumes from the
+//!   checkpoint on disk, quarantining torn entries through the existing
+//!   validation path, so no fragment is ever computed twice;
+//! * **fenced journal writer** ([`ShardJournalWriter`]) — every append
+//!   to a shard's journal re-validates the worker's fencing token
+//!   against the on-disk lease first; a zombie writer whose shard was
+//!   stolen gets [`PipelineError::Lease`], never a successful write, so
+//!   a stalled process resurfacing cannot corrupt the journal;
+//! * **finalize** ([`finalize_sharded_with`]) — once every shard journal
+//!   carries its `shard-done` marker, the per-shard state merges into
+//!   the root `manifest.journal` and a [`DatasetCard`] summary artifact
+//!   is written atomically.
+//!
+//! Shard journals are owner-stamped: every record carries the writing
+//! shard, worker id, and fencing token, so the provenance of every
+//! fragment survives into the merged manifest and the dataset card.
+//!
+//! Telemetry: `supervisor.shard.claims`, `.fragments`, `.done`, `.lost`,
+//! `.wait_rounds`, `.finalized` counters; each fragment's spans land on
+//! a per-shard flight-recorder lane (`(shard+1)·10⁶ + build index`).
+//!
+//! Clocks: production workers run on
+//! [`WallClock`](qdb_telemetry::WallClock) — lease deadlines written by
+//! one process must be comparable in another, which per-process
+//! monotonic epochs are not. Tests share one
+//! [`ManualClock`](qdb_telemetry::ManualClock) between simulated
+//! workers.
+
+use crate::dataset::load_fragment_entry_vfs;
+use crate::error::PipelineError;
+use crate::fragments::FragmentRecord;
+use crate::pipeline::PipelineConfig;
+use crate::supervisor::{
+    append_event, journal_path, manifest_from_events, supervise_fragment, BuildSummary,
+    FragmentReport, Manifest, ManifestEvent, SupervisorConfig,
+};
+use qdb_store::{write_atomic, Journal, Lease, LeaseError, LeaseManager, StdVfs, Vfs};
+use qdb_telemetry::{Clock, WallClock};
+use qdb_vqe::fault::FaultPlan;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+/// How a worker participates in a sharded build.
+#[derive(Clone, Debug)]
+pub struct ShardConfig {
+    /// Total shards the fragment list is partitioned into.
+    pub num_shards: usize,
+    /// This worker's id, stamped into leases and journal records.
+    pub worker_id: String,
+    /// Lease heartbeat TTL (ms): a worker silent for longer forfeits its
+    /// shard to any live peer.
+    pub lease_ttl_ms: u64,
+    /// Claim-loop rounds to wait on shards held by live peers before
+    /// giving up on them (they are someone else's work; the finalize
+    /// step is the completeness gate, not the worker).
+    pub max_wait_rounds: usize,
+}
+
+impl ShardConfig {
+    /// A worker configuration with production defaults: 30 s TTL,
+    /// bounded waiting.
+    pub fn new(num_shards: usize, worker_id: impl Into<String>) -> Self {
+        Self {
+            num_shards: num_shards.max(1),
+            worker_id: worker_id.into(),
+            lease_ttl_ms: 30_000,
+            max_wait_rounds: 16,
+        }
+    }
+}
+
+/// Deterministic partition of a fragment list into shards.
+///
+/// Round-robin by list index: shard k owns records `k, k+N, k+2N, …`.
+/// Every process computes the identical plan from the identical record
+/// list — the plan needs no coordination, only the leases do.
+#[derive(Clone, Debug)]
+pub struct ShardPlan {
+    num_shards: usize,
+    len: usize,
+}
+
+impl ShardPlan {
+    /// Plans `len` records over `num_shards` shards.
+    pub fn new(num_shards: usize, len: usize) -> Self {
+        Self {
+            num_shards: num_shards.max(1),
+            len,
+        }
+    }
+
+    /// Total shards.
+    pub fn num_shards(&self) -> usize {
+        self.num_shards
+    }
+
+    /// Which shard owns the record at `index`.
+    pub fn shard_of(&self, index: usize) -> usize {
+        index % self.num_shards
+    }
+
+    /// The `(global_index)` list of records shard `k` owns.
+    pub fn indices_of(&self, shard: usize) -> Vec<usize> {
+        (shard..self.len).step_by(self.num_shards).collect()
+    }
+}
+
+/// Path of one shard's build journal under a dataset root.
+pub fn shard_journal_path(root: &Path, shard: usize) -> PathBuf {
+    root.join(format!("shard-{shard}.journal"))
+}
+
+/// Path of the dataset-card summary artifact under a dataset root.
+pub fn dataset_card_path(root: &Path) -> PathBuf {
+    root.join("dataset_card.json")
+}
+
+/// A fenced writer for one shard's journal: every append first
+/// re-validates the holder's fencing token against the on-disk lease,
+/// so a write from a stale token is rejected *before* any bytes land.
+pub struct ShardJournalWriter<'a> {
+    journal: Journal<'a>,
+    manager: &'a LeaseManager<'a>,
+    lease: Lease,
+}
+
+impl<'a> ShardJournalWriter<'a> {
+    /// A writer for `lease.shard`'s journal under `root`, fenced by
+    /// `lease`.
+    pub fn new(vfs: &'a dyn Vfs, root: &Path, manager: &'a LeaseManager<'a>, lease: Lease) -> Self {
+        Self {
+            journal: Journal::open(vfs, shard_journal_path(root, lease.shard)),
+            manager,
+            lease,
+        }
+    }
+
+    /// The lease this writer is fenced by.
+    pub fn lease(&self) -> &Lease {
+        &self.lease
+    }
+
+    /// The fencing check alone (no write): cheap enough to run before
+    /// starting expensive work the writer would only journal afterwards.
+    pub fn check(&self) -> Result<(), PipelineError> {
+        self.manager.check(&self.lease)?;
+        Ok(())
+    }
+
+    /// Extends the lease's heartbeat deadline (token unchanged).
+    pub fn renew(&mut self) -> Result<(), PipelineError> {
+        self.manager.renew(&mut self.lease)?;
+        Ok(())
+    }
+
+    fn append(&self, ev: ManifestEvent) -> Result<(), PipelineError> {
+        self.manager.check(&self.lease)?;
+        append_event(
+            &self.journal,
+            &ev.stamped(self.lease.shard, &self.lease.owner, self.lease.token),
+        )
+    }
+
+    /// Appends a run marker (`resumed` = this journal already had
+    /// records, i.e. a takeover or restart).
+    pub fn append_run(&self, resumed: bool) -> Result<(), PipelineError> {
+        self.append(ManifestEvent::run(resumed))
+    }
+
+    /// Appends one owner-stamped fragment report.
+    pub fn append_fragment(&self, report: &FragmentReport) -> Result<(), PipelineError> {
+        self.append(ManifestEvent::fragment(report))
+    }
+
+    /// Appends an owner-stamped note (fenced like everything else — this
+    /// is the zombie-writer test's probe surface).
+    pub fn append_note(&self, text: &str) -> Result<(), PipelineError> {
+        self.append(ManifestEvent::note(text.to_string()))
+    }
+
+    /// Appends the shard's completion marker; finalize requires one per
+    /// shard.
+    pub fn append_done(&self) -> Result<(), PipelineError> {
+        self.append(ManifestEvent::shard_done())
+    }
+}
+
+/// One worker's outcome from a sharded build.
+#[derive(Clone, Debug, Default)]
+pub struct ShardWorkerSummary {
+    /// Shards this worker completed (claimed, built, marked done).
+    pub shards_built: Vec<usize>,
+    /// Shards lost mid-build to a fencing rejection (stolen after the
+    /// worker stalled past its deadline).
+    pub shards_lost: usize,
+    /// Aggregate fragment counts over the shards this worker built.
+    pub build: BuildSummary,
+}
+
+impl ShardWorkerSummary {
+    /// Fragments with a usable entry on disk after this worker's shards.
+    pub fn usable(&self) -> usize {
+        self.build.usable()
+    }
+}
+
+/// Replays one shard journal's events (empty if the journal is absent).
+fn shard_events(
+    vfs: &dyn Vfs,
+    root: &Path,
+    shard: usize,
+) -> Result<Vec<ManifestEvent>, PipelineError> {
+    let journal = Journal::open(vfs, shard_journal_path(root, shard));
+    if !vfs.exists(journal.path()) {
+        return Ok(Vec::new());
+    }
+    let replay = journal.replay(false)?;
+    Ok(replay
+        .records
+        .iter()
+        .filter_map(|p| serde_json::from_str::<ManifestEvent>(p).ok())
+        .collect())
+}
+
+/// Whether shard `k`'s journal carries a completion marker.
+fn shard_is_done(vfs: &dyn Vfs, root: &Path, shard: usize) -> Result<bool, PipelineError> {
+    Ok(shard_events(vfs, root, shard)?
+        .iter()
+        .any(|ev| ev.kind == "shard-done"))
+}
+
+/// Runs one worker of a sharded build on [`WallClock`] + the real
+/// filesystem — the production entry point behind
+/// `build_dataset --shards N --worker-id W`.
+pub fn build_dataset_sharded(
+    root: &Path,
+    records: &[&FragmentRecord],
+    pipeline_cfg: &PipelineConfig,
+    sup: &SupervisorConfig,
+    plan: &FaultPlan,
+    shard_cfg: &ShardConfig,
+) -> Result<ShardWorkerSummary, PipelineError> {
+    build_dataset_sharded_with(
+        root,
+        records,
+        pipeline_cfg,
+        sup,
+        plan,
+        shard_cfg,
+        &WallClock,
+        &StdVfs,
+    )
+}
+
+/// One worker's claim loop over every shard of the plan, on explicit
+/// [`Clock`] and [`Vfs`] seams (the chaos sweep kills workers by
+/// substituting a `CrashVfs` and steals their shards on a shared
+/// `ManualClock`).
+///
+/// The loop visits each shard: already-done shards are skipped, shards
+/// held by a live peer are left alone, and anything claimable — free,
+/// released, expired (dead worker), or corrupt — is acquired and built.
+/// Building a shard resumes from the on-disk checkpoint exactly like a
+/// single-process resume, so a takeover recomputes nothing the dead
+/// worker finished. A worker that loses its lease mid-shard (fenced)
+/// abandons that shard and moves on; whoever stole it finishes it. The
+/// worker returns when every shard is done or only live-held shards
+/// remain after `max_wait_rounds` rounds of waiting.
+#[allow(clippy::too_many_arguments)]
+pub fn build_dataset_sharded_with(
+    root: &Path,
+    records: &[&FragmentRecord],
+    pipeline_cfg: &PipelineConfig,
+    sup: &SupervisorConfig,
+    plan: &FaultPlan,
+    shard_cfg: &ShardConfig,
+    clock: &dyn Clock,
+    vfs: &dyn Vfs,
+) -> Result<ShardWorkerSummary, PipelineError> {
+    let telemetry = qdb_telemetry::global();
+    vfs.create_dir_all(root)?;
+    let shard_plan = ShardPlan::new(shard_cfg.num_shards, records.len());
+    let manager = LeaseManager::new(vfs, clock, root, shard_cfg.lease_ttl_ms);
+    let mut out = ShardWorkerSummary {
+        build: BuildSummary {
+            manifest_path: journal_path(root),
+            ..BuildSummary::default()
+        },
+        ..ShardWorkerSummary::default()
+    };
+    let mut idle_rounds = 0usize;
+    loop {
+        let mut progressed = false;
+        let mut all_done = true;
+        for shard in 0..shard_plan.num_shards() {
+            if out.shards_built.contains(&shard) || shard_is_done(vfs, root, shard)? {
+                continue;
+            }
+            all_done = false;
+            let lease = match manager.acquire(shard, &shard_cfg.worker_id) {
+                Ok(lease) => lease,
+                Err(LeaseError::Held { .. }) => continue, // a live peer's work
+                Err(e) => return Err(e.into()),
+            };
+            telemetry.counter("supervisor.shard.claims").inc();
+            telemetry.instant("supervisor.shard.claim");
+            let mut writer = ShardJournalWriter::new(vfs, root, &manager, lease);
+            match build_shard(
+                root,
+                records,
+                &shard_plan,
+                shard,
+                pipeline_cfg,
+                sup,
+                plan,
+                clock,
+                vfs,
+                &mut writer,
+                &mut out.build,
+            ) {
+                Ok(()) => {
+                    progressed = true;
+                    out.shards_built.push(shard);
+                    telemetry.counter("supervisor.shard.done").inc();
+                    // Release is a courtesy to waiting peers; losing the
+                    // lease after the done marker costs nothing.
+                    match manager.release(writer.lease()) {
+                        Err(LeaseError::Store(e)) => return Err(e.into()),
+                        _ => {}
+                    }
+                }
+                Err(PipelineError::Lease { shard, detail }) => {
+                    // Stolen mid-shard: the thief owns it now. Not fatal
+                    // for this worker — move on to other shards.
+                    telemetry.counter("supervisor.shard.lost").inc();
+                    telemetry.instant("supervisor.shard.lost");
+                    out.shards_lost += 1;
+                    let _ = (shard, detail);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        if all_done {
+            break;
+        }
+        if progressed {
+            idle_rounds = 0;
+            continue;
+        }
+        // Nothing claimable this round: every remaining shard is held by
+        // a live peer. Wait a fraction of the TTL (so an expiry is
+        // noticed promptly) for a bounded number of rounds.
+        idle_rounds += 1;
+        telemetry.counter("supervisor.shard.wait_rounds").inc();
+        if idle_rounds >= shard_cfg.max_wait_rounds {
+            break;
+        }
+        clock.sleep_ms((shard_cfg.lease_ttl_ms / 4).max(1));
+    }
+    Ok(out)
+}
+
+/// Builds every fragment of one claimed shard: fenced check before each
+/// fragment's work, fenced append after, heartbeat renewal between
+/// fragments, completion marker at the end.
+#[allow(clippy::too_many_arguments)]
+fn build_shard(
+    root: &Path,
+    records: &[&FragmentRecord],
+    shard_plan: &ShardPlan,
+    shard: usize,
+    pipeline_cfg: &PipelineConfig,
+    sup: &SupervisorConfig,
+    plan: &FaultPlan,
+    clock: &dyn Clock,
+    vfs: &dyn Vfs,
+    writer: &mut ShardJournalWriter<'_>,
+    summary: &mut BuildSummary,
+) -> Result<(), PipelineError> {
+    let telemetry = qdb_telemetry::global();
+    // Repair any torn tail a previous owner's crash left behind (we hold
+    // the lease, so the truncation is fenced by construction), then mark
+    // this ownership stint.
+    let journal = Journal::open(vfs, shard_journal_path(root, shard));
+    let resumed = vfs.exists(journal.path()) && !journal.replay(true)?.records.is_empty();
+    writer.append_run(resumed)?;
+    for global_index in shard_plan.indices_of(shard) {
+        let record = records[global_index];
+        // One flight-recorder lane per (shard, fragment): shard k's
+        // events land in the (k+1)·10⁶ band, offset by build index.
+        let _corr = qdb_telemetry::trace::correlate(
+            (shard as u64 + 1) * 1_000_000 + global_index as u64 + 1,
+        );
+        // Fence before the expensive part: a stolen shard stops burning
+        // compute at the next fragment boundary, not the next append.
+        writer.check()?;
+        let report = supervise_fragment(root, record, pipeline_cfg, sup, plan, summary, clock, vfs);
+        writer.append_fragment(&report)?;
+        telemetry.counter("supervisor.shard.fragments").inc();
+        writer.renew()?;
+    }
+    writer.append_done()
+}
+
+/// Per-shard provenance recorded in the dataset card.
+#[derive(Clone, Debug, Serialize, Deserialize, PartialEq, Eq)]
+pub struct ShardProvenance {
+    /// Shard index.
+    pub shard: usize,
+    /// Worker that wrote the shard's completion marker.
+    pub owner: String,
+    /// Fencing token the completion was written under.
+    pub token: u64,
+    /// Fragment reports in the shard's journal.
+    pub fragments: usize,
+}
+
+/// Min/mean/max over one per-entry statistic.
+#[derive(Clone, Debug, Default, Serialize, Deserialize, PartialEq)]
+pub struct StatSummary {
+    /// Values observed (0 = the fields below are meaningless zeros).
+    pub count: usize,
+    /// Minimum.
+    pub min: f64,
+    /// Mean.
+    pub mean: f64,
+    /// Maximum.
+    pub max: f64,
+}
+
+impl StatSummary {
+    fn of(values: &[f64]) -> Self {
+        if values.is_empty() {
+            return Self::default();
+        }
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        let mut sum = 0.0;
+        for &v in values {
+            min = min.min(v);
+            max = max.max(v);
+            sum += v;
+        }
+        Self {
+            count: values.len(),
+            min,
+            mean: sum / values.len() as f64,
+            max,
+        }
+    }
+}
+
+/// The `dataset_card.json` summary artifact written by finalize: what is
+/// in the dataset, where its numbers sit, and which worker built what.
+#[derive(Clone, Debug, Serialize, Deserialize, PartialEq)]
+pub struct DatasetCard {
+    /// Card schema version (1).
+    pub schema_version: u32,
+    /// Valid entries on disk.
+    pub entries: usize,
+    /// Entries the build plan called for.
+    pub expected: usize,
+    /// Entry count per length group (S/M/L).
+    pub groups: BTreeMap<String, usize>,
+    /// Entry count per docking backend.
+    pub backends: BTreeMap<String, usize>,
+    /// Mean-best-affinity distribution over entries (kcal/mol).
+    pub affinity: StatSummary,
+    /// Cα-RMSD distribution over entries (Å).
+    pub ca_rmsd: StatSummary,
+    /// Planned fragments with no valid entry ("group/pdb_id").
+    pub missing: Vec<String>,
+    /// Which shard/worker/token produced each slice of the build (empty
+    /// for a single-process build).
+    pub shards: Vec<ShardProvenance>,
+}
+
+/// Summarizes the on-disk dataset under `root` for `records` into a
+/// [`DatasetCard`] (without writing it).
+pub fn build_dataset_card_vfs(
+    vfs: &dyn Vfs,
+    root: &Path,
+    records: &[&FragmentRecord],
+    shards: Vec<ShardProvenance>,
+) -> DatasetCard {
+    let mut card = DatasetCard {
+        schema_version: 1,
+        entries: 0,
+        expected: records.len(),
+        groups: BTreeMap::new(),
+        backends: BTreeMap::new(),
+        affinity: StatSummary::default(),
+        ca_rmsd: StatSummary::default(),
+        missing: Vec::new(),
+        shards,
+    };
+    let mut affinities = Vec::new();
+    let mut rmsds = Vec::new();
+    for record in records {
+        let group = record.group().name();
+        match load_fragment_entry_vfs(vfs, root, group, record.pdb_id) {
+            Ok(entry) => {
+                card.entries += 1;
+                *card.groups.entry(group.to_string()).or_insert(0) += 1;
+                *card
+                    .backends
+                    .entry(entry.docking.backend().to_string())
+                    .or_insert(0) += 1;
+                affinities.push(entry.docking.mean_best_affinity);
+                rmsds.push(entry.metadata.ca_rmsd);
+            }
+            Err(_) => card.missing.push(format!("{group}/{}", record.pdb_id)),
+        }
+    }
+    card.affinity = StatSummary::of(&affinities);
+    card.ca_rmsd = StatSummary::of(&rmsds);
+    card
+}
+
+/// [`finalize_sharded_with`] on the real filesystem.
+pub fn finalize_sharded(
+    root: &Path,
+    records: &[&FragmentRecord],
+    num_shards: usize,
+) -> Result<DatasetCard, PipelineError> {
+    finalize_sharded_with(&StdVfs, root, records, num_shards)
+}
+
+/// Merges a completed sharded build into one dataset view.
+///
+/// Requires every shard journal to carry its `shard-done` marker —
+/// finalize is the completeness gate, and it refuses a build any shard
+/// of which is still (or forever) unfinished. On success the root
+/// `manifest.journal` gains the merged run (every shard's latest
+/// fragment reports, stamps intact) and `dataset_card.json` is written
+/// atomically. Idempotent: re-running appends another merged run and
+/// rewrites the same card.
+pub fn finalize_sharded_with(
+    vfs: &dyn Vfs,
+    root: &Path,
+    records: &[&FragmentRecord],
+    num_shards: usize,
+) -> Result<DatasetCard, PipelineError> {
+    let telemetry = qdb_telemetry::global();
+    let num_shards = num_shards.max(1);
+    let mut provenance = Vec::new();
+    let mut merged: Vec<ManifestEvent> = Vec::new();
+    for shard in 0..num_shards {
+        let events = shard_events(vfs, root, shard)?;
+        let Some(done) = events.iter().find(|ev| ev.kind == "shard-done") else {
+            return Err(PipelineError::Decode(format!(
+                "finalize: shard {shard} has no shard-done marker \
+                 ({} journal event(s) present)",
+                events.len()
+            )));
+        };
+        let (done_owner, done_token) = (done.owner.clone().unwrap_or_default(), done.token);
+        // Latest report per fragment, in first-seen order: a takeover
+        // may have journaled the same fragment twice (failed, then
+        // checkpointed/completed by the next owner).
+        let mut order: Vec<String> = Vec::new();
+        let mut latest: BTreeMap<String, ManifestEvent> = BTreeMap::new();
+        let mut count = 0usize;
+        for ev in events {
+            if ev.kind == "fragment" {
+                if let Some(report) = &ev.fragment {
+                    count += 1;
+                    if !latest.contains_key(&report.pdb_id) {
+                        order.push(report.pdb_id.clone());
+                    }
+                    latest.insert(report.pdb_id.clone(), ev);
+                }
+            }
+        }
+        provenance.push(ShardProvenance {
+            shard,
+            owner: done_owner,
+            token: done_token.unwrap_or(0),
+            fragments: count,
+        });
+        for pdb_id in &order {
+            merged.push(latest.remove(pdb_id).expect("keyed by order"));
+        }
+    }
+
+    let main = Journal::open(vfs, journal_path(root));
+    append_event(&main, &ManifestEvent::run(vfs.exists(main.path())))?;
+    let merged_count = merged.len();
+    for ev in merged {
+        append_event(&main, &ev)?;
+    }
+    append_event(
+        &main,
+        &ManifestEvent::note(format!(
+            "shards-merged: {num_shards} shard(s), {merged_count} fragment report(s)"
+        )),
+    )?;
+
+    let card = build_dataset_card_vfs(vfs, root, records, provenance);
+    let rendered = serde_json::to_string_pretty(&card)?;
+    write_atomic(vfs, &dataset_card_path(root), rendered.as_bytes())?;
+    telemetry.counter("supervisor.shard.finalized").inc();
+    telemetry.instant("supervisor.shard.finalize");
+    Ok(card)
+}
+
+/// Loads the merged view of a sharded build's journals: every shard's
+/// events folded into one [`Manifest`], shard order then journal order.
+/// Works on an unfinished build (missing `shard-done` markers are fine);
+/// useful for progress reporting and fsck, not a completeness gate.
+pub fn load_sharded_manifest_vfs(
+    vfs: &dyn Vfs,
+    root: &Path,
+    num_shards: usize,
+) -> Result<Manifest, PipelineError> {
+    let mut payloads = Vec::new();
+    for shard in 0..num_shards.max(1) {
+        let journal = Journal::open(vfs, shard_journal_path(root, shard));
+        if !vfs.exists(journal.path()) {
+            continue;
+        }
+        payloads.extend(journal.replay(false)?.records);
+    }
+    Ok(manifest_from_events(&payloads))
+}
+
+/// Which shard/worker last journaled each fragment, from every build
+/// journal under `root` (per-shard journals and the merged manifest).
+/// Single-process journals carry no stamps and contribute nothing.
+pub fn shard_ownership_vfs(
+    vfs: &dyn Vfs,
+    root: &Path,
+) -> Result<BTreeMap<String, ShardStamp>, PipelineError> {
+    let mut journals = vec![journal_path(root)];
+    if vfs.is_dir(root) {
+        let mut shard_journals: Vec<PathBuf> = vfs
+            .read_dir(root)?
+            .into_iter()
+            .filter(|p| {
+                p.file_name()
+                    .and_then(|n| n.to_str())
+                    .is_some_and(|n| n.starts_with("shard-") && n.ends_with(".journal"))
+            })
+            .collect();
+        shard_journals.sort();
+        journals.extend(shard_journals);
+    }
+    let mut out = BTreeMap::new();
+    for path in journals {
+        if !vfs.exists(&path) {
+            continue;
+        }
+        for payload in Journal::open(vfs, path).replay(false)?.records {
+            let Ok(ev) = serde_json::from_str::<ManifestEvent>(&payload) else {
+                continue;
+            };
+            if ev.kind != "fragment" {
+                continue;
+            }
+            let (Some(report), Some(shard), Some(owner)) = (&ev.fragment, ev.shard, &ev.owner)
+            else {
+                continue;
+            };
+            out.insert(
+                report.pdb_id.clone(),
+                ShardStamp {
+                    shard,
+                    owner: owner.clone(),
+                    token: ev.token.unwrap_or(0),
+                },
+            );
+        }
+    }
+    Ok(out)
+}
+
+/// The provenance stamp a journal record carries.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ShardStamp {
+    /// Shard the record belongs to.
+    pub shard: usize,
+    /// Worker that wrote it.
+    pub owner: String,
+    /// Fencing token the write was made under.
+    pub token: u64,
+}
+
+/// Verifies no fragment was *computed* twice across a sharded build:
+/// counts, per pdb id, how many journaled reports did real work
+/// ("completed" / "completed-degraded" — a "checkpointed" report is a
+/// validated skip). Returns the offenders (empty = the invariant held).
+pub fn double_build_offenders_vfs(
+    vfs: &dyn Vfs,
+    root: &Path,
+    num_shards: usize,
+) -> Result<Vec<String>, PipelineError> {
+    let mut computed: BTreeMap<String, usize> = BTreeMap::new();
+    for shard in 0..num_shards.max(1) {
+        for ev in shard_events(vfs, root, shard)? {
+            if ev.kind != "fragment" {
+                continue;
+            }
+            let Some(report) = &ev.fragment else { continue };
+            if report.status.starts_with("completed") {
+                *computed.entry(report.pdb_id.clone()).or_insert(0) += 1;
+            }
+        }
+    }
+    Ok(computed
+        .into_iter()
+        .filter(|(_, n)| *n > 1)
+        .map(|(id, _)| id)
+        .collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fragments::fragment;
+    use qdb_telemetry::ManualClock;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("qdb-shard-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn shard_plan_is_a_deterministic_partition() {
+        let plan = ShardPlan::new(3, 8);
+        assert_eq!(plan.indices_of(0), vec![0, 3, 6]);
+        assert_eq!(plan.indices_of(1), vec![1, 4, 7]);
+        assert_eq!(plan.indices_of(2), vec![2, 5]);
+        // Every index lands in exactly one shard.
+        let mut seen = vec![false; 8];
+        for k in 0..3 {
+            for i in plan.indices_of(k) {
+                assert_eq!(plan.shard_of(i), k);
+                assert!(!seen[i], "index {i} planned twice");
+                seen[i] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+        // Zero shards degrades to one, never divides by zero.
+        assert_eq!(ShardPlan::new(0, 4).num_shards(), 1);
+    }
+
+    #[test]
+    fn single_worker_builds_all_shards_and_finalize_writes_the_card() {
+        let root = tmpdir("solo");
+        let records = [fragment("3ckz").unwrap(), fragment("3eax").unwrap()];
+        let clock = ManualClock::new();
+        let cfg = ShardConfig {
+            lease_ttl_ms: 60_000,
+            ..ShardConfig::new(2, "w0")
+        };
+        let out = build_dataset_sharded_with(
+            &root,
+            &records,
+            &PipelineConfig::fast(),
+            &SupervisorConfig::fast(),
+            &FaultPlan::none(),
+            &cfg,
+            &clock,
+            &StdVfs,
+        )
+        .unwrap();
+        assert_eq!(out.shards_built, vec![0, 1]);
+        assert_eq!(out.build.completed, 2);
+        assert_eq!(out.shards_lost, 0);
+        for shard in 0..2 {
+            assert!(shard_is_done(&StdVfs, &root, shard).unwrap());
+        }
+
+        let card = finalize_sharded(&root, &records, 2).unwrap();
+        assert_eq!(card.entries, 2);
+        assert_eq!(card.expected, 2);
+        assert_eq!(card.groups.get("S"), Some(&2));
+        assert!(card.missing.is_empty());
+        assert_eq!(card.shards.len(), 2);
+        assert!(card
+            .shards
+            .iter()
+            .all(|p| p.owner == "w0" && p.fragments == 1));
+        assert_eq!(card.affinity.count, 2);
+        assert!(card.affinity.min <= card.affinity.mean);
+        assert!(card.affinity.mean <= card.affinity.max);
+        assert!(dataset_card_path(&root).exists());
+        // The card round-trips through its JSON artifact.
+        let back: DatasetCard =
+            serde_json::from_str(&std::fs::read_to_string(dataset_card_path(&root)).unwrap())
+                .unwrap();
+        assert_eq!(back, card);
+
+        // The merged manifest carries the stamped reports.
+        let ownership = shard_ownership_vfs(&StdVfs, &root).unwrap();
+        assert_eq!(ownership.len(), 2);
+        assert_eq!(ownership["3ckz"].owner, "w0");
+        assert!(double_build_offenders_vfs(&StdVfs, &root, 2)
+            .unwrap()
+            .is_empty());
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn finalize_refuses_an_incomplete_shard() {
+        let root = tmpdir("incomplete");
+        let records = [fragment("3ckz").unwrap()];
+        // Shard 0 journal exists without a done marker; shard 1 absent.
+        let clock = ManualClock::new();
+        let manager = LeaseManager::new(&StdVfs, &clock, &root, 1_000);
+        let lease = manager.acquire(0, "w0").unwrap();
+        let writer = ShardJournalWriter::new(&StdVfs, &root, &manager, lease);
+        writer.append_run(false).unwrap();
+        let err = finalize_sharded(&root, &records, 2).unwrap_err();
+        assert!(err.to_string().contains("shard-done"), "{err}");
+        assert!(
+            !dataset_card_path(&root).exists(),
+            "no card for an incomplete build"
+        );
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn fenced_writer_cannot_touch_the_journal() {
+        let root = tmpdir("fenced");
+        let clock = ManualClock::new();
+        let manager = LeaseManager::new(&StdVfs, &clock, &root, 1_000);
+        let zombie_lease = manager.acquire(0, "w0").unwrap();
+        let zombie = ShardJournalWriter::new(&StdVfs, &root, &manager, zombie_lease);
+        zombie.append_run(false).unwrap();
+        let bytes_before = std::fs::read(shard_journal_path(&root, 0)).unwrap();
+
+        // w0 stalls past its deadline; w1 steals the shard.
+        clock.advance_ms(1_001);
+        let thief_lease = manager.acquire(0, "w1").unwrap();
+
+        // Every move of the zombie is rejected, and the journal is
+        // byte-for-byte untouched by the attempts.
+        assert!(matches!(
+            zombie.append_note("zombie write"),
+            Err(PipelineError::Lease { shard: 0, .. })
+        ));
+        assert!(zombie.check().is_err());
+        assert_eq!(
+            std::fs::read(shard_journal_path(&root, 0)).unwrap(),
+            bytes_before
+        );
+
+        // The thief's writer works.
+        let thief = ShardJournalWriter::new(&StdVfs, &root, &manager, thief_lease);
+        thief.append_note("takeover").unwrap();
+        assert!(std::fs::read(shard_journal_path(&root, 0)).unwrap().len() > bytes_before.len());
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn worker_waits_out_live_peers_within_bounded_rounds() {
+        let root = tmpdir("bounded");
+        let records = [fragment("3ckz").unwrap()];
+        let clock = ManualClock::new();
+        // A "peer" holds the only shard with a generous TTL.
+        let manager = LeaseManager::new(&StdVfs, &clock, &root, 1_000_000);
+        manager.acquire(0, "peer").unwrap();
+        let cfg = ShardConfig {
+            lease_ttl_ms: 1_000_000,
+            max_wait_rounds: 3,
+            ..ShardConfig::new(1, "w1")
+        };
+        let out = build_dataset_sharded_with(
+            &root,
+            &records,
+            &PipelineConfig::fast(),
+            &SupervisorConfig::fast(),
+            &FaultPlan::none(),
+            &cfg,
+            &clock,
+            &StdVfs,
+        )
+        .unwrap();
+        // The worker gave up without building or erroring: the shard is
+        // the live peer's problem, finalize is the completeness gate.
+        assert!(out.shards_built.is_empty());
+        assert_eq!(out.build.completed, 0);
+        let _ = std::fs::remove_dir_all(&root);
+    }
+}

@@ -169,44 +169,81 @@ struct LegacyManifest {
     runs: Vec<RunRecord>,
 }
 
-/// One line of the `manifest.journal` write-ahead log. A flat struct
-/// rather than an enum so each line is a self-describing JSON object;
-/// exactly one of the payload fields is set, selected by `kind`
-/// (`"run"`, `"fragment"`, or `"note"`).
+/// One line of a build journal write-ahead log. A flat struct rather
+/// than an enum so each line is a self-describing JSON object; exactly
+/// one of the payload fields is set, selected by `kind` (`"run"`,
+/// `"fragment"`, `"note"`, or `"shard-done"`). Sharded builds stamp
+/// every record with the writing shard, its worker id, and the fencing
+/// token the append was made under; single-process journals leave the
+/// stamps `None` (and parse older journals the same way).
 #[derive(Serialize, Deserialize)]
-struct ManifestEvent {
-    kind: String,
-    resumed: Option<bool>,
-    fragment: Option<FragmentReport>,
-    note: Option<String>,
+pub(crate) struct ManifestEvent {
+    pub(crate) kind: String,
+    pub(crate) resumed: Option<bool>,
+    pub(crate) fragment: Option<FragmentReport>,
+    pub(crate) note: Option<String>,
+    pub(crate) shard: Option<usize>,
+    pub(crate) owner: Option<String>,
+    pub(crate) token: Option<u64>,
 }
 
 impl ManifestEvent {
-    fn run(resumed: bool) -> Self {
+    pub(crate) fn run(resumed: bool) -> Self {
         Self {
             kind: "run".to_string(),
             resumed: Some(resumed),
             fragment: None,
             note: None,
+            shard: None,
+            owner: None,
+            token: None,
         }
     }
 
-    fn fragment(report: &FragmentReport) -> Self {
+    pub(crate) fn fragment(report: &FragmentReport) -> Self {
         Self {
             kind: "fragment".to_string(),
             resumed: None,
             fragment: Some(report.clone()),
             note: None,
+            shard: None,
+            owner: None,
+            token: None,
         }
     }
 
-    fn note(text: String) -> Self {
+    pub(crate) fn note(text: String) -> Self {
         Self {
             kind: "note".to_string(),
             resumed: None,
             fragment: None,
             note: Some(text),
+            shard: None,
+            owner: None,
+            token: None,
         }
+    }
+
+    /// A `"shard-done"` completion marker: the finalize step requires one
+    /// per shard before it will merge.
+    pub(crate) fn shard_done() -> Self {
+        Self {
+            kind: "shard-done".to_string(),
+            resumed: None,
+            fragment: None,
+            note: None,
+            shard: None,
+            owner: None,
+            token: None,
+        }
+    }
+
+    /// Stamps this event with the writing shard's provenance.
+    pub(crate) fn stamped(mut self, shard: usize, owner: &str, token: u64) -> Self {
+        self.shard = Some(shard);
+        self.owner = Some(owner.to_string());
+        self.token = Some(token);
+        self
     }
 }
 
@@ -247,7 +284,7 @@ pub fn has_manifest(root: &Path) -> bool {
     journal_path(root).exists() || legacy_manifest_path(root).exists()
 }
 
-fn append_event(journal: &Journal<'_>, ev: &ManifestEvent) -> Result<(), PipelineError> {
+pub(crate) fn append_event(journal: &Journal<'_>, ev: &ManifestEvent) -> Result<(), PipelineError> {
     journal.append(&serde_json::to_string(ev)?)?;
     Ok(())
 }
@@ -256,7 +293,7 @@ fn append_event(journal: &Journal<'_>, ev: &ManifestEvent) -> Result<(), Pipelin
 /// whose JSON does not decode (a schema from a future version, say) is
 /// skipped rather than fatal: the journal's job is to never brick a
 /// resume.
-fn manifest_from_events(payloads: &[String]) -> Manifest {
+pub(crate) fn manifest_from_events(payloads: &[String]) -> Manifest {
     let mut manifest = Manifest::default();
     for payload in payloads {
         let Ok(ev) = serde_json::from_str::<ManifestEvent>(payload) else {
@@ -392,7 +429,7 @@ pub fn load_manifest_vfs(vfs: &dyn Vfs, root: &Path) -> Result<Manifest, Pipelin
 /// Opens the journal for a build: repairs a torn tail in place, migrates
 /// a legacy `manifest.json` root onto the journal, and journals every
 /// recovery as a `manifest-recovered` note.
-fn open_build_journal<'a>(
+pub(crate) fn open_build_journal<'a>(
     vfs: &'a dyn Vfs,
     root: &Path,
 ) -> Result<(Manifest, Journal<'a>), PipelineError> {
@@ -745,7 +782,6 @@ pub fn build_dataset_with(
     clock: &dyn Clock,
     vfs: &dyn Vfs,
 ) -> Result<BuildSummary, PipelineError> {
-    let telemetry = qdb_telemetry::global();
     let (mut manifest, journal) = open_build_journal(vfs, root)?;
     let resumed = !manifest.runs.is_empty();
     append_event(&journal, &ManifestEvent::run(resumed))?;
@@ -763,69 +799,97 @@ pub fn build_dataset_with(
         // fsyncs — with its 1-based build index, so the flight recorder's
         // Chrome export cuts one track per fragment.
         let _corr = qdb_telemetry::trace::correlate(index as u64 + 1);
-        let started_ns = clock.now_ns();
-        let entry_dir = root.join(record.group().name()).join(record.pdb_id);
-        let report = if vfs.is_dir(&entry_dir) {
-            match validate_entry_vfs(vfs, root, record) {
-                Ok(()) => {
-                    summary.checkpointed += 1;
-                    telemetry.counter("supervisor.fragments_checkpointed").inc();
-                    FragmentReport {
-                        pdb_id: record.pdb_id.to_string(),
-                        group: record.group().name().to_string(),
-                        status: "checkpointed".to_string(),
-                        attempts: Vec::new(),
-                        elapsed_ms: clock.elapsed_ms(started_ns),
-                        note: None,
-                    }
-                }
-                Err(e) => {
-                    // Torn or corrupt checkpoint: preserve the evidence in
-                    // quarantine, rebuild the slot, and say why.
-                    let reason = format!("checkpoint rejected: {e}");
-                    let note = match quarantine_entry(vfs, root, &entry_dir, &reason) {
-                        Ok(slot) => {
-                            telemetry
-                                .counter("supervisor.checkpoints_quarantined")
-                                .inc();
-                            telemetry.instant("supervisor.quarantine");
-                            format!("{reason}; quarantined to {}", slot.display())
-                        }
-                        Err(qe) => format!("{reason}; quarantine failed: {qe}"),
-                    };
-                    build_one(
-                        root,
-                        record,
-                        pipeline_cfg,
-                        sup,
-                        plan,
-                        &mut summary,
-                        started_ns,
-                        Some(note),
-                        clock,
-                        vfs,
-                    )
-                }
-            }
-        } else {
-            build_one(
-                root,
-                record,
-                pipeline_cfg,
-                sup,
-                plan,
-                &mut summary,
-                started_ns,
-                None,
-                clock,
-                vfs,
-            )
-        };
+        let report = supervise_fragment(
+            root,
+            record,
+            pipeline_cfg,
+            sup,
+            plan,
+            &mut summary,
+            clock,
+            vfs,
+        );
         append_event(&journal, &ManifestEvent::fragment(&report))?;
         let run = manifest.runs.last_mut().expect("run pushed above");
         run.fragments.push(report);
     }
     Ok(summary)
+}
+
+/// Builds one fragment's entry under the checkpoint/quarantine policy:
+/// a valid entry already on disk is kept (status "checkpointed"), a torn
+/// or corrupt one is quarantined and its slot rebuilt, anything else runs
+/// the full supervised retry ladder. This is the per-fragment unit shared
+/// by the single-process batch loop and the sharded worker loop.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn supervise_fragment(
+    root: &Path,
+    record: &FragmentRecord,
+    pipeline_cfg: &PipelineConfig,
+    sup: &SupervisorConfig,
+    plan: &FaultPlan,
+    summary: &mut BuildSummary,
+    clock: &dyn Clock,
+    vfs: &dyn Vfs,
+) -> FragmentReport {
+    let telemetry = qdb_telemetry::global();
+    let started_ns = clock.now_ns();
+    let entry_dir = root.join(record.group().name()).join(record.pdb_id);
+    if vfs.is_dir(&entry_dir) {
+        match validate_entry_vfs(vfs, root, record) {
+            Ok(()) => {
+                summary.checkpointed += 1;
+                telemetry.counter("supervisor.fragments_checkpointed").inc();
+                return FragmentReport {
+                    pdb_id: record.pdb_id.to_string(),
+                    group: record.group().name().to_string(),
+                    status: "checkpointed".to_string(),
+                    attempts: Vec::new(),
+                    elapsed_ms: clock.elapsed_ms(started_ns),
+                    note: None,
+                };
+            }
+            Err(e) => {
+                // Torn or corrupt checkpoint: preserve the evidence in
+                // quarantine, rebuild the slot, and say why.
+                let reason = format!("checkpoint rejected: {e}");
+                let note = match quarantine_entry(vfs, root, &entry_dir, &reason) {
+                    Ok(slot) => {
+                        telemetry
+                            .counter("supervisor.checkpoints_quarantined")
+                            .inc();
+                        telemetry.instant("supervisor.quarantine");
+                        format!("{reason}; quarantined to {}", slot.display())
+                    }
+                    Err(qe) => format!("{reason}; quarantine failed: {qe}"),
+                };
+                return build_one(
+                    root,
+                    record,
+                    pipeline_cfg,
+                    sup,
+                    plan,
+                    summary,
+                    started_ns,
+                    Some(note),
+                    clock,
+                    vfs,
+                );
+            }
+        }
+    }
+    build_one(
+        root,
+        record,
+        pipeline_cfg,
+        sup,
+        plan,
+        summary,
+        started_ns,
+        None,
+        clock,
+        vfs,
+    )
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -883,6 +947,132 @@ fn build_one(
         elapsed_ms: clock.elapsed_ms(started_ns),
         note,
     }
+}
+
+/// Outcome of compacting one build journal.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CompactionReport {
+    /// The journal compacted.
+    pub path: PathBuf,
+    /// Valid events replayed before compaction.
+    pub events_before: usize,
+    /// Events in the compacted journal (including the compaction note).
+    pub events_after: usize,
+    /// Journal size before (bytes, after tail repair).
+    pub bytes_before: usize,
+    /// Journal size after (bytes).
+    pub bytes_after: usize,
+}
+
+/// [`compact_manifest_vfs`] on the real filesystem.
+pub fn compact_manifest(root: &Path) -> Result<Vec<CompactionReport>, PipelineError> {
+    compact_manifest_vfs(&StdVfs, root)
+}
+
+/// Compacts every build journal under `root` — `manifest.journal` plus
+/// any per-shard `shard-<k>.journal` — down to its live residue.
+///
+/// Journals are append-only across resume cycles, so a root that has been
+/// built, crashed, and resumed many times carries the full attempt
+/// history of every cycle. Compaction replays the journal, keeps only
+/// what a future resume or finalize actually reads — the *latest*
+/// fragment report per pdb id (provenance stamps intact), one run marker,
+/// and any `shard-done` marker — and rewrites the file atomically
+/// (a crash mid-compaction leaves the old journal whole). History is
+/// summarized in a `journal-compacted` note rather than silently dropped.
+pub fn compact_manifest_vfs(
+    vfs: &dyn Vfs,
+    root: &Path,
+) -> Result<Vec<CompactionReport>, PipelineError> {
+    let mut targets = vec![journal_path(root)];
+    if vfs.is_dir(root) {
+        let mut shard_journals: Vec<PathBuf> = vfs
+            .read_dir(root)?
+            .into_iter()
+            .filter(|p| {
+                p.file_name()
+                    .and_then(|n| n.to_str())
+                    .is_some_and(|n| n.starts_with("shard-") && n.ends_with(".journal"))
+            })
+            .collect();
+        shard_journals.sort();
+        targets.extend(shard_journals);
+    }
+    let mut reports = Vec::new();
+    for path in targets {
+        if !vfs.exists(&path) {
+            continue;
+        }
+        reports.push(compact_journal(vfs, &path)?);
+    }
+    Ok(reports)
+}
+
+fn compact_journal(vfs: &dyn Vfs, path: &Path) -> Result<CompactionReport, PipelineError> {
+    let journal = Journal::open(vfs, path.to_path_buf());
+    let replay = journal.replay(true)?;
+    let bytes_before = vfs.read(path)?.len();
+
+    // Reduce the history to its live residue: the latest report per
+    // fragment (order of first appearance), whether any run marker and
+    // completion marker existed, and how many events are summarized away.
+    let mut order: Vec<String> = Vec::new();
+    let mut latest: std::collections::BTreeMap<String, ManifestEvent> =
+        std::collections::BTreeMap::new();
+    let mut run_event: Option<ManifestEvent> = None;
+    let mut done_event: Option<ManifestEvent> = None;
+    for payload in &replay.records {
+        let Ok(ev) = serde_json::from_str::<ManifestEvent>(payload) else {
+            continue;
+        };
+        match ev.kind.as_str() {
+            "run" => run_event = Some(ev),
+            "fragment" => {
+                if let Some(report) = &ev.fragment {
+                    if !latest.contains_key(&report.pdb_id) {
+                        order.push(report.pdb_id.clone());
+                    }
+                    latest.insert(report.pdb_id.clone(), ev);
+                }
+            }
+            "shard-done" => done_event = Some(ev),
+            _ => {}
+        }
+    }
+
+    let mut compacted: Vec<ManifestEvent> = Vec::new();
+    if let Some(ev) = run_event {
+        compacted.push(ev);
+    }
+    for pdb_id in &order {
+        compacted.push(latest.remove(pdb_id).expect("keyed by order"));
+    }
+    if let Some(ev) = done_event {
+        compacted.push(ev);
+    }
+    compacted.push(ManifestEvent::note(format!(
+        "journal-compacted: {} event(s) reduced to {}",
+        replay.records.len(),
+        compacted.len()
+    )));
+
+    let mut payloads = Vec::with_capacity(compacted.len());
+    for ev in &compacted {
+        payloads.push(serde_json::to_string(ev)?);
+    }
+    let bytes_after = journal.rewrite(&payloads)?;
+    let telemetry = qdb_telemetry::global();
+    telemetry.counter("supervisor.compactions").inc();
+    telemetry
+        .counter("supervisor.compaction_bytes_reclaimed")
+        .add(bytes_before.saturating_sub(bytes_after) as u64);
+    Ok(CompactionReport {
+        path: path.to_path_buf(),
+        events_before: replay.records.len(),
+        events_after: compacted.len(),
+        bytes_before,
+        bytes_after,
+    })
 }
 
 #[cfg(test)]
@@ -1104,6 +1294,65 @@ mod tests {
         assert!(bad.note.as_deref().unwrap().contains("attempts failed"));
         // The failed fragment left no dataset entry behind.
         assert!(!root.join("S/3eax").is_dir());
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn compaction_round_trips_the_live_state() {
+        let root = tmpdir("compact");
+        let record = fragment("3ckz").unwrap();
+        // Three build cycles: the first computes, the resumes checkpoint —
+        // and each appends a run marker plus a fragment report.
+        for _ in 0..3 {
+            build_dataset(
+                &root,
+                &[record],
+                &PipelineConfig::fast(),
+                &SupervisorConfig::fast(),
+                &FaultPlan::none(),
+            )
+            .unwrap();
+        }
+        let before = load_manifest(&root).unwrap();
+        assert_eq!(before.runs.len(), 3);
+        let bytes_before = std::fs::read(journal_path(&root)).unwrap().len();
+
+        let reports = compact_manifest(&root).unwrap();
+        assert_eq!(reports.len(), 1, "one journal under this root");
+        assert_eq!(reports[0].events_before, 6);
+        assert!(
+            reports[0].bytes_after < bytes_before,
+            "compaction must shrink"
+        );
+        assert_eq!(
+            std::fs::read(journal_path(&root)).unwrap().len(),
+            reports[0].bytes_after
+        );
+
+        // The live residue survives: one run, the *latest* report, a note
+        // saying what was summarized away.
+        let after = load_manifest(&root).unwrap();
+        assert_eq!(after.runs.len(), 1);
+        assert_eq!(after.runs[0].fragments.len(), 1);
+        let last_report = before.runs.last().unwrap().fragments.last().unwrap();
+        assert_eq!(&after.runs[0].fragments[0], last_report);
+        assert!(after
+            .notes
+            .iter()
+            .any(|n| n.starts_with("journal-compacted: 6 event(s)")));
+
+        // And the compacted journal is still a working WAL: a resume
+        // appends to it and checkpoints off the preserved state.
+        let summary = build_dataset(
+            &root,
+            &[record],
+            &PipelineConfig::fast(),
+            &SupervisorConfig::fast(),
+            &FaultPlan::none(),
+        )
+        .unwrap();
+        assert_eq!(summary.checkpointed, 1);
+        assert_eq!(load_manifest(&root).unwrap().runs.len(), 2);
         let _ = std::fs::remove_dir_all(&root);
     }
 

@@ -18,15 +18,27 @@
 //! # in Perfetto; the lossless raw dump lands next to it as *.raw.json):
 //! cargo run --release --example build_dataset -- --fragments 2 --trace trace.json
 //! # offline integrity check: verify every checksum, quarantine anything
-//! # corrupt, sweep stray tmp files, exit non-zero unless all entries pass:
+//! # corrupt, sweep stray tmp files AND stale lease files, report which
+//! # shard/worker built each entry, exit non-zero unless all entries pass:
 //! cargo run --release --example build_dataset -- S out_dir --fsck
+//! # multi-process sharded build: start one worker per terminal/machine
+//! # against the same root; leases coordinate who builds which shard,
+//! # dead workers are stolen from, and the last worker finalizes the
+//! # merge and writes dataset_card.json:
+//! cargo run --release --example build_dataset -- S out_dir --shards 4 --worker-id w0
+//! cargo run --release --example build_dataset -- S out_dir --shards 4 --worker-id w1
+//! # compact an old root's journals down to their live residue:
+//! cargo run --release --example build_dataset -- S out_dir --compact
 //! ```
 
 use qdb_vqe::fault::FaultPlan;
 use qdockbank::fragments::{all_fragments, fragments_in, Group};
 use qdockbank::fsck::{fsck_dataset, FsckStatus};
 use qdockbank::pipeline::PipelineConfig;
-use qdockbank::supervisor::{build_dataset, has_manifest, load_manifest, SupervisorConfig};
+use qdockbank::shard::{build_dataset_sharded, finalize_sharded, ShardConfig};
+use qdockbank::supervisor::{
+    build_dataset, compact_manifest, has_manifest, load_manifest, SupervisorConfig,
+};
 use std::path::PathBuf;
 
 fn main() {
@@ -34,6 +46,9 @@ fn main() {
     let mut positional: Vec<&str> = Vec::new();
     let mut resume = false;
     let mut fsck = false;
+    let mut compact = false;
+    let mut shards: Option<usize> = None;
+    let mut worker_id: Option<String> = None;
     let mut fault_seed: Option<u64> = None;
     let mut fragment_cap: Option<usize> = None;
     let mut telemetry_path: Option<PathBuf> = None;
@@ -43,6 +58,23 @@ fn main() {
         match args[i].as_str() {
             "--resume" => resume = true,
             "--fsck" => fsck = true,
+            "--compact" => compact = true,
+            "--shards" => {
+                i += 1;
+                let n = args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| {
+                    eprintln!("--shards needs a shard count");
+                    std::process::exit(1);
+                });
+                shards = Some(n);
+            }
+            "--worker-id" => {
+                i += 1;
+                let id = args.get(i).unwrap_or_else(|| {
+                    eprintln!("--worker-id needs a name");
+                    std::process::exit(1);
+                });
+                worker_id = Some(id.clone());
+            }
             "--inject-faults" => {
                 i += 1;
                 let seed = args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| {
@@ -114,12 +146,19 @@ fn main() {
             }
         };
         for entry in &report.entries {
+            // Shard-ownership provenance from the journal stamps, when
+            // the root was built sharded.
+            let built_by = entry
+                .built_by
+                .as_ref()
+                .map(|s| format!(" [shard {} by {}, token {}]", s.shard, s.owner, s.token))
+                .unwrap_or_default();
             match &entry.status {
                 FsckStatus::Ok => {
-                    println!("  {}/{} — ok", entry.group, entry.pdb_id);
+                    println!("  {}/{} — ok{built_by}", entry.group, entry.pdb_id);
                 }
                 FsckStatus::Missing => {
-                    println!("  {}/{} — missing", entry.group, entry.pdb_id);
+                    println!("  {}/{} — missing{built_by}", entry.group, entry.pdb_id);
                 }
                 FsckStatus::Corrupt {
                     reason,
@@ -130,25 +169,71 @@ fn main() {
                         .map(|p| format!("; quarantined to {}", p.display()))
                         .unwrap_or_default();
                     println!(
-                        "  {}/{} — corrupt ({reason}{dest})",
+                        "  {}/{} — corrupt ({reason}{dest}){built_by}",
                         entry.group, entry.pdb_id
                     );
                 }
             }
         }
+        for lease in &report.leases {
+            let shard = lease
+                .shard
+                .map(|k| format!("shard {k}"))
+                .unwrap_or_else(|| "unparseable".to_string());
+            let owner = lease.owner.as_deref().unwrap_or("?");
+            let fate = if lease.removed { "swept" } else { "live, kept" };
+            println!("  lease {shard} — {} (owner {owner}; {fate})", lease.status);
+        }
         println!(
-            "fsck: {} ok, {} corrupt, {} missing, {} stray tmp file(s) swept",
+            "fsck: {} ok, {} corrupt, {} missing, {} stray tmp file(s) swept, \
+             {} stale lease file(s) swept",
             report.ok(),
             report.corrupt(),
             report.missing(),
-            report.swept_tmp
+            report.swept_tmp,
+            report.leases_removed
         );
         std::process::exit(if report.clean() { 0 } else { 2 });
     }
 
+    // --compact: squash append-only journals down to their live residue.
+    if compact {
+        let reports = match compact_manifest(&out) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("compaction aborted: {e}");
+                std::process::exit(1);
+            }
+        };
+        if reports.is_empty() {
+            println!("compact: no journals under {}", out.display());
+        }
+        for r in &reports {
+            println!(
+                "  {} — {} event(s) → {}, {} bytes → {}",
+                r.path.display(),
+                r.events_before,
+                r.events_after,
+                r.bytes_before,
+                r.bytes_after
+            );
+        }
+        let reclaimed: usize = reports
+            .iter()
+            .map(|r| r.bytes_before.saturating_sub(r.bytes_after))
+            .sum();
+        println!(
+            "compact: {} journal(s), {} byte(s) reclaimed",
+            reports.len(),
+            reclaimed
+        );
+        std::process::exit(0);
+    }
+
     // A fresh (non-resume) build refuses to silently absorb prior state:
-    // what's on disk might be from a different configuration.
-    if !resume && has_manifest(&out) {
+    // what's on disk might be from a different configuration. Sharded
+    // workers are exempt — joining an in-progress root is their job.
+    if !resume && shards.is_none() && has_manifest(&out) {
         eprintln!(
             "{} already holds a build journal; pass --resume to continue it \
              or choose a fresh output directory",
@@ -171,6 +256,65 @@ fn main() {
             .install_recorder(std::sync::Arc::new(qdb_telemetry::TraceRecorder::default()));
         println!("flight recorder armed (bounded per-thread rings)");
     }
+    // --shards N --worker-id W: one worker of a multi-process build.
+    // Start the same command in N terminals (or machines sharing the
+    // filesystem); leases decide who builds what, crashed workers are
+    // stolen from after their heartbeat deadline, and whichever worker
+    // finds the build complete finalizes the merge + dataset card.
+    if let Some(num_shards) = shards {
+        let worker = worker_id.unwrap_or_else(|| format!("worker-{}", std::process::id()));
+        let cfg = ShardConfig::new(num_shards, worker.as_str());
+        println!(
+            "sharded build: {} fragments over {num_shards} shard(s), worker {worker}",
+            records.len()
+        );
+        let ws = match build_dataset_sharded(&out, &records, &config, &sup, &plan, &cfg) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("worker {worker} aborted: {e}");
+                std::process::exit(1);
+            }
+        };
+        println!(
+            "worker {worker}: shards {:?} built ({} lost mid-build) — {} completed, \
+             {} degraded, {} checkpointed, {} failed",
+            ws.shards_built,
+            ws.shards_lost,
+            ws.build.completed,
+            ws.build.degraded,
+            ws.build.checkpointed,
+            ws.build.failed
+        );
+        match finalize_sharded(&out, &records, num_shards) {
+            Ok(card) => {
+                for p in &card.shards {
+                    println!(
+                        "  shard {} — {} fragment report(s) by {} (token {})",
+                        p.shard, p.fragments, p.owner, p.token
+                    );
+                }
+                println!(
+                    "finalized: {}/{} entries ({} missing), affinity mean {:.2} kcal/mol, \
+                     Cα-RMSD mean {:.2} Å — card at {}",
+                    card.entries,
+                    card.expected,
+                    card.missing.len(),
+                    card.affinity.mean,
+                    card.ca_rmsd.mean,
+                    qdockbank::shard::dataset_card_path(&out).display()
+                );
+            }
+            Err(e) => {
+                // Not an error for this worker: another worker still
+                // holds unfinished shards. The last one to finish will
+                // finalize successfully.
+                println!("finalize deferred: {e}");
+            }
+        }
+        export_observability(telemetry_path, trace_path);
+        std::process::exit(if ws.build.failed > 0 { 2 } else { 0 });
+    }
+
     println!(
         "building {} fragments into {}{}",
         records.len(),
@@ -209,6 +353,28 @@ fn main() {
         summary.failed,
         summary.manifest_path.display()
     );
+    // A summary card for single-process builds too (no shard
+    // provenance, but the same entry-count/distribution artifact).
+    let card =
+        qdockbank::shard::build_dataset_card_vfs(&qdb_store::StdVfs, &out, &records, Vec::new());
+    match serde_json::to_string_pretty(&card) {
+        Ok(rendered) => {
+            let path = qdockbank::shard::dataset_card_path(&out);
+            match qdb_store::write_atomic(&qdb_store::StdVfs, &path, rendered.as_bytes()) {
+                Ok(_) => println!("dataset card → {}", path.display()),
+                Err(e) => eprintln!("dataset card write failed: {e}"),
+            }
+        }
+        Err(e) => eprintln!("dataset card render failed: {e}"),
+    }
+    export_observability(telemetry_path, trace_path);
+    if summary.failed > 0 {
+        std::process::exit(2);
+    }
+}
+
+/// Dumps the telemetry snapshot and/or flight-recorder trace, if asked.
+fn export_observability(telemetry_path: Option<PathBuf>, trace_path: Option<PathBuf>) {
     if let Some(path) = telemetry_path {
         let snap = qdb_telemetry::global().snapshot();
         if let Err(e) = qdb_telemetry::export::json::write_snapshot(&path, &snap) {
@@ -245,8 +411,5 @@ fn main() {
             path.display(),
             raw_path.display()
         );
-    }
-    if summary.failed > 0 {
-        std::process::exit(2);
     }
 }

@@ -1,0 +1,239 @@
+//! Multi-process sharded build driver: real child processes, real leases.
+//!
+//! The chaos sweep (`tests/shard_chaos_sweep.rs`) proves the takeover
+//! protocol under a simulated clock; this example exercises the same
+//! machinery with actual OS processes on the wall clock. The driver
+//! re-execs itself (`current_exe`) once per worker, all pointed at one
+//! dataset root; the shard leases do the coordination — no pipes, no
+//! shared memory, just the filesystem.
+//!
+//! ```text
+//! # two worker processes over four shards, three fragments:
+//! cargo run --release --example shard_build -- out_dir --workers 2 --shards 4
+//! # kill drill: worker 0 is killed mid-build (simulated crash at a
+//! # filesystem op), then a fresh worker steals its shards and finishes:
+//! cargo run --release --example shard_build -- out_dir --drill
+//! ```
+//!
+//! Exit code 0 means every shard finished, finalize merged them, and the
+//! dataset card was written.
+
+use qdb_store::{CrashVfs, StdVfs};
+use qdb_telemetry::WallClock;
+use qdb_vqe::fault::FaultPlan;
+use qdockbank::fragments::{fragments_in, Group};
+use qdockbank::pipeline::PipelineConfig;
+use qdockbank::shard::{
+    build_dataset_sharded_with, dataset_card_path, finalize_sharded, ShardConfig,
+};
+use qdockbank::supervisor::SupervisorConfig;
+use std::path::PathBuf;
+use std::process::Command;
+
+/// Short TTL so a drill's takeover happens in about a second of real
+/// time; production builds would use the `ShardConfig::new` default.
+const TTL_MS: u64 = 1_500;
+
+fn worker_config(num_shards: usize, worker: &str) -> ShardConfig {
+    ShardConfig {
+        lease_ttl_ms: TTL_MS,
+        max_wait_rounds: 8,
+        ..ShardConfig::new(num_shards, worker)
+    }
+}
+
+/// Child-process role: build shards of `root` as one worker, then exit.
+/// `QDB_SHARD_KILL_AFTER=<n>` arms a simulated crash at filesystem op
+/// n+1 — the process exits 3 "mid-write", exactly like a kill -9 would
+/// look to the other workers.
+fn run_worker(root: &PathBuf, num_shards: usize, worker: &str, fragments: usize) -> i32 {
+    let mut records = fragments_in(Group::S);
+    records.truncate(fragments);
+    let config = PipelineConfig::fast();
+    let sup = SupervisorConfig {
+        max_attempts: 1,
+        ..SupervisorConfig::fast()
+    };
+    let cfg = worker_config(num_shards, worker);
+    let kill_after: Option<usize> = std::env::var("QDB_SHARD_KILL_AFTER")
+        .ok()
+        .and_then(|s| s.parse().ok());
+    let result = match kill_after {
+        Some(budget) => {
+            let vfs = CrashVfs::new(budget);
+            let r = build_dataset_sharded_with(
+                root,
+                &records,
+                &config,
+                &sup,
+                &FaultPlan::none(),
+                &cfg,
+                &WallClock,
+                &vfs,
+            );
+            if vfs.crashed() {
+                eprintln!("worker {worker}: simulated crash at fs op {}", budget + 1);
+                return 3;
+            }
+            r
+        }
+        None => build_dataset_sharded_with(
+            root,
+            &records,
+            &config,
+            &sup,
+            &FaultPlan::none(),
+            &cfg,
+            &WallClock,
+            &StdVfs,
+        ),
+    };
+    match result {
+        Ok(ws) => {
+            println!(
+                "worker {worker}: shards {:?} built, {} usable fragment(s), {} lost",
+                ws.shards_built,
+                ws.usable(),
+                ws.shards_lost
+            );
+            0
+        }
+        Err(e) => {
+            eprintln!("worker {worker}: {e}");
+            1
+        }
+    }
+}
+
+fn spawn_worker(
+    root: &PathBuf,
+    num_shards: usize,
+    worker: &str,
+    fragments: usize,
+    kill_after: Option<usize>,
+) -> std::process::Child {
+    let exe = std::env::current_exe().expect("current_exe");
+    let mut cmd = Command::new(exe);
+    cmd.arg("--worker")
+        .arg(root)
+        .arg(num_shards.to_string())
+        .arg(worker)
+        .arg(fragments.to_string());
+    match kill_after {
+        Some(n) => {
+            cmd.env("QDB_SHARD_KILL_AFTER", n.to_string());
+        }
+        None => {
+            cmd.env_remove("QDB_SHARD_KILL_AFTER");
+        }
+    }
+    cmd.spawn().expect("spawn worker process")
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+
+    // Child role: shard_build --worker <root> <shards> <id> <fragments>
+    if args.first().map(String::as_str) == Some("--worker") {
+        let root = PathBuf::from(args.get(1).expect("worker root"));
+        let num_shards: usize = args.get(2).and_then(|s| s.parse().ok()).expect("shards");
+        let worker = args.get(3).expect("worker id").clone();
+        let fragments: usize = args.get(4).and_then(|s| s.parse().ok()).expect("fragments");
+        std::process::exit(run_worker(&root, num_shards, &worker, fragments));
+    }
+
+    // Driver role.
+    let mut out = PathBuf::from("qdockbank_sharded");
+    let mut workers = 2usize;
+    let mut num_shards = 2usize;
+    let mut fragments = 3usize;
+    let mut drill = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--workers" => {
+                i += 1;
+                workers = args.get(i).and_then(|s| s.parse().ok()).unwrap_or(2);
+            }
+            "--shards" => {
+                i += 1;
+                num_shards = args.get(i).and_then(|s| s.parse().ok()).unwrap_or(2);
+            }
+            "--fragments" => {
+                i += 1;
+                fragments = args.get(i).and_then(|s| s.parse().ok()).unwrap_or(3);
+            }
+            "--drill" => drill = true,
+            other => out = PathBuf::from(other),
+        }
+        i += 1;
+    }
+    let mut records = fragments_in(Group::S);
+    records.truncate(fragments);
+
+    if drill {
+        // Phase 1: a doomed worker crashes partway through the build.
+        println!("drill: spawning doomed worker w-doomed (killed mid-build)");
+        let status = spawn_worker(&out, num_shards, "w-doomed", fragments, Some(40))
+            .wait()
+            .expect("wait doomed worker");
+        println!("drill: doomed worker exited with {status}");
+        // Phase 2: a fresh worker joins, waits out the dead worker's
+        // lease TTL, steals the shards, and finishes the build.
+        println!("drill: spawning rescue worker w-rescue");
+        let status = spawn_worker(&out, num_shards, "w-rescue", fragments, None)
+            .wait()
+            .expect("wait rescue worker");
+        if !status.success() {
+            eprintln!("rescue worker failed: {status}");
+            std::process::exit(1);
+        }
+    } else {
+        println!(
+            "spawning {workers} worker process(es) over {num_shards} shard(s), \
+             {} fragment(s), root {}",
+            records.len(),
+            out.display()
+        );
+        let children: Vec<_> = (0..workers)
+            .map(|w| spawn_worker(&out, num_shards, &format!("w{w}"), fragments, None))
+            .collect();
+        let mut failed = false;
+        for (w, mut child) in children.into_iter().enumerate() {
+            let status = child.wait().expect("wait worker");
+            if !status.success() {
+                eprintln!("worker w{w} failed: {status}");
+                failed = true;
+            }
+        }
+        if failed {
+            std::process::exit(1);
+        }
+    }
+
+    // Every worker is done: finalize must succeed and write the card.
+    match finalize_sharded(&out, &records, num_shards) {
+        Ok(card) => {
+            for p in &card.shards {
+                println!(
+                    "  shard {} — {} fragment report(s) by {} (token {})",
+                    p.shard, p.fragments, p.owner, p.token
+                );
+            }
+            println!(
+                "finalized: {}/{} entries, card at {}",
+                card.entries,
+                card.expected,
+                dataset_card_path(&out).display()
+            );
+            if card.entries != card.expected {
+                eprintln!("missing entries: {:?}", card.missing);
+                std::process::exit(2);
+            }
+        }
+        Err(e) => {
+            eprintln!("finalize failed: {e}");
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,283 @@
+//! Deterministic chaos sweep over a *sharded* dataset build.
+//!
+//! Worker A runs a two-shard build through a [`CrashVfs`] that kills the
+//! "process" at the N-th filesystem operation, for a sweep of N covering
+//! the whole build — lease writes, journal appends, entry writes, fsyncs,
+//! checkpoint reads. After each kill, virtual time advances past worker
+//! A's lease deadline and worker B (a fresh process on the real
+//! filesystem) joins the same root: it must steal A's expired leases,
+//! resume A's shards from their checkpoints, and finish the build. The
+//! finalize step must then merge the shards, and the resulting dataset
+//! must be **byte-identical** to an uninterrupted single-process build —
+//! with no fragment computed twice across the shard journals.
+//!
+//! A separate test pins the fencing guarantee: a zombie worker whose
+//! shard was stolen cannot append to the shard journal at all — the
+//! stale-token write is rejected before any bytes land.
+//!
+//! By default the sweep samples ~10 evenly-spaced crash points so the
+//! test stays CI-cheap; set `QDB_SHARD_SWEEP=full` to sweep every
+//! operation (the CI chaos-job configuration).
+
+use qdb_store::{CrashVfs, LeaseManager, StdVfs};
+use qdb_telemetry::ManualClock;
+use qdb_vqe::fault::FaultPlan;
+use qdockbank::dataset::{validate_entry, ENTRY_FILES};
+use qdockbank::fragments::{fragment, FragmentRecord};
+use qdockbank::fsck::fsck_dataset;
+use qdockbank::pipeline::PipelineConfig;
+use qdockbank::shard::{
+    build_dataset_sharded_with, double_build_offenders_vfs, finalize_sharded, shard_journal_path,
+    ShardConfig, ShardJournalWriter,
+};
+use qdockbank::supervisor::{build_dataset_with, SupervisorConfig};
+use std::path::{Path, PathBuf};
+
+const NUM_SHARDS: usize = 2;
+const TTL_MS: u64 = 5_000;
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("qdb-shard-sweep-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn entry_bytes(root: &Path, record: &FragmentRecord) -> Vec<(String, Vec<u8>)> {
+    let dir = root.join(record.group().name()).join(record.pdb_id);
+    ENTRY_FILES
+        .iter()
+        .map(|name| {
+            (
+                name.to_string(),
+                std::fs::read(dir.join(name)).unwrap_or_else(|e| panic!("{name}: {e}")),
+            )
+        })
+        .collect()
+}
+
+fn shard_cfg(worker: &str) -> ShardConfig {
+    ShardConfig {
+        lease_ttl_ms: TTL_MS,
+        max_wait_rounds: 4,
+        ..ShardConfig::new(NUM_SHARDS, worker)
+    }
+}
+
+#[test]
+fn every_kill_point_is_taken_over_and_converges_to_the_reference_build() {
+    let config = PipelineConfig {
+        docking_runs: 2,
+        ..PipelineConfig::fast()
+    };
+    // One attempt per fragment: a dead vfs must not be retried against —
+    // recovery belongs to the worker that steals the shard.
+    let sup = SupervisorConfig {
+        max_attempts: 1,
+        ..SupervisorConfig::fast()
+    };
+    let clean = FaultPlan::none();
+    let records = [
+        fragment("3ckz").unwrap(),
+        fragment("3eax").unwrap(),
+        fragment("4mo4").unwrap(),
+    ];
+
+    // Uninterrupted single-process reference build: the bar every
+    // crashed-and-stolen sharded build must match byte for byte.
+    let ref_root = tmpdir("reference");
+    let ref_clock = ManualClock::new();
+    let ref_summary = build_dataset_with(
+        &ref_root, &records, &config, &sup, &clean, &ref_clock, &StdVfs,
+    )
+    .unwrap();
+    assert_eq!(ref_summary.usable(), records.len());
+    let reference: Vec<_> = records.iter().map(|r| entry_bytes(&ref_root, r)).collect();
+
+    // Probe: how many filesystem operations does one full sharded
+    // single-worker build spend?
+    let total = {
+        let root = tmpdir("probe");
+        let clock = ManualClock::new();
+        let vfs = CrashVfs::new(usize::MAX);
+        build_dataset_sharded_with(
+            &root,
+            &records,
+            &config,
+            &sup,
+            &clean,
+            &shard_cfg("probe"),
+            &clock,
+            &vfs,
+        )
+        .unwrap();
+        let n = vfs.ops_used();
+        let _ = std::fs::remove_dir_all(&root);
+        n
+    };
+    assert!(
+        total > 30,
+        "a sharded 3-fragment build must span many fs ops"
+    );
+
+    let full = std::env::var("QDB_SHARD_SWEEP").as_deref() == Ok("full");
+    let points: Vec<usize> = if full {
+        (0..total).collect()
+    } else {
+        let stride = (total / 10).max(1);
+        let mut pts: Vec<usize> = (0..total).step_by(stride).collect();
+        if *pts.last().unwrap() != total - 1 {
+            pts.push(total - 1);
+        }
+        pts
+    };
+    println!(
+        "shard chaos sweep: {} of {total} filesystem ops",
+        points.len()
+    );
+
+    for &budget in &points {
+        let root = tmpdir(&format!("kill-{budget}"));
+        // Both workers share one virtual clock — the cross-process wall
+        // clock of the simulation.
+        let clock = ManualClock::new();
+
+        // Worker A: dies at filesystem op `budget + 1`, mid-anything.
+        let vfs = CrashVfs::new(budget);
+        let doomed = build_dataset_sharded_with(
+            &root,
+            &records,
+            &config,
+            &sup,
+            &clean,
+            &shard_cfg("wA"),
+            &clock,
+            &vfs,
+        );
+        assert!(vfs.crashed(), "budget {budget} < {total} must crash");
+        drop(doomed);
+
+        // A's heartbeat deadline passes; worker B joins the same root,
+        // steals whatever A held, and finishes the build.
+        clock.advance_ms(TTL_MS + 1);
+        let b = build_dataset_sharded_with(
+            &root,
+            &records,
+            &config,
+            &sup,
+            &clean,
+            &shard_cfg("wB"),
+            &clock,
+            &StdVfs,
+        )
+        .unwrap_or_else(|e| panic!("takeover after kill at op {budget} failed: {e}"));
+        assert_eq!(
+            b.build.failed, 0,
+            "kill at op {budget}: takeover left failures"
+        );
+
+        // Finalize merges the shards and writes the card; it refusing
+        // would mean a shard never got its done marker.
+        let card = finalize_sharded(&root, &records, NUM_SHARDS)
+            .unwrap_or_else(|e| panic!("finalize after kill at op {budget} failed: {e}"));
+        assert_eq!(
+            card.entries,
+            records.len(),
+            "kill at op {budget}: card missing entries ({:?})",
+            card.missing
+        );
+        assert!(card.missing.is_empty());
+        assert_eq!(card.shards.len(), NUM_SHARDS);
+
+        // No fragment was computed twice: every pdb id has at most one
+        // "completed"-status report across all shard journals (takeover
+        // resumes are journaled as "checkpointed").
+        let offenders = double_build_offenders_vfs(&StdVfs, &root, NUM_SHARDS).unwrap();
+        assert!(
+            offenders.is_empty(),
+            "kill at op {budget}: fragments computed twice: {offenders:?}"
+        );
+
+        // The dataset is byte-identical to the uninterrupted
+        // single-process build.
+        for (record, reference) in records.iter().zip(&reference) {
+            validate_entry(&root, record)
+                .unwrap_or_else(|e| panic!("kill at op {budget}: {} invalid: {e}", record.pdb_id));
+            assert_eq!(
+                &entry_bytes(&root, record),
+                reference,
+                "kill at op {budget}: {} differs from the reference build",
+                record.pdb_id
+            );
+        }
+
+        // And fsck agrees: entries clean, every entry stamped with the
+        // worker that journaled it, lease debris swept.
+        let report = fsck_dataset(&root, &records).unwrap();
+        assert!(
+            report.clean(),
+            "kill at op {budget}: fsck found {} corrupt / {} missing",
+            report.corrupt(),
+            report.missing()
+        );
+        for entry in &report.entries {
+            let stamp = entry.built_by.as_ref().unwrap_or_else(|| {
+                panic!("kill at op {budget}: {} has no shard stamp", entry.pdb_id)
+            });
+            assert!(
+                stamp.owner == "wA" || stamp.owner == "wB",
+                "kill at op {budget}: {} stamped by {:?}",
+                entry.pdb_id,
+                stamp.owner
+            );
+        }
+
+        let _ = std::fs::remove_dir_all(&root);
+    }
+    let _ = std::fs::remove_dir_all(&ref_root);
+}
+
+#[test]
+fn zombie_worker_with_a_stale_token_cannot_corrupt_the_journal() {
+    let root = tmpdir("zombie");
+    let clock = ManualClock::new();
+    let manager = LeaseManager::new(&StdVfs, &clock, &root, TTL_MS);
+
+    // Worker A claims shard 0 and journals normally...
+    let lease_a = manager.acquire(0, "wA").unwrap();
+    let mut zombie = ShardJournalWriter::new(&StdVfs, &root, &manager, lease_a);
+    zombie.append_run(false).unwrap();
+    zombie.append_note("wA was here").unwrap();
+    let journal = shard_journal_path(&root, 0);
+    let bytes_before = std::fs::read(&journal).unwrap();
+
+    // ...then stalls past its deadline (GC pause, scheduler starvation,
+    // network partition — the classic zombie). Worker B steals the shard.
+    clock.advance_ms(TTL_MS + 1);
+    let lease_b = manager.acquire(0, "wB").unwrap();
+
+    // The zombie resurfaces and tries everything it has. Every move is
+    // rejected — and, crucially, *before* any bytes land.
+    assert!(zombie.check().is_err(), "stale token must fail the fence");
+    assert!(zombie.renew().is_err(), "a stolen lease cannot be renewed");
+    assert!(zombie.append_note("zombie strikes back").is_err());
+    assert!(
+        zombie.append_done().is_err(),
+        "a zombie cannot mark a shard done"
+    );
+    assert_eq!(
+        std::fs::read(&journal).unwrap(),
+        bytes_before,
+        "zombie writes must leave the journal byte-for-byte untouched"
+    );
+
+    // The thief's writer works, and the journal stays replayable.
+    let thief = ShardJournalWriter::new(&StdVfs, &root, &manager, lease_b);
+    thief.append_note("wB took over").unwrap();
+    let replay = qdb_store::Journal::open(&StdVfs, journal)
+        .replay(false)
+        .unwrap();
+    assert!(!replay.recovered(), "journal is clean after the attack");
+    assert_eq!(replay.records.len(), 3, "run + wA note + wB note");
+    let _ = std::fs::remove_dir_all(&root);
+}
