@@ -1,0 +1,174 @@
+//! Fleet report over a sharded build root: merges every worker's
+//! flight-recorder dump under `telemetry/` into one Perfetto-loadable
+//! `fleet_trace.json`, validates the merged trace structurally, checks
+//! the merged telemetry identities (fleet counters ≡ the sum of every
+//! worker's flushed deltas; the stored `fleet_telemetry.json` ≡ the
+//! journal merge), and prints per-worker occupancy, shard skew with the
+//! straggler named, and the cross-worker critical path.
+//!
+//! ```text
+//! cargo run --release -p qdb-bench --bin fleet_report -- <root> [--out trace.json]
+//! ```
+//!
+//! Exit codes: 0 = report printed and every gate held; 1 = a gate
+//! failed (unreadable/invalid traces, identity violation); 2 = usage.
+
+use qdb_bench::fleet::{
+    analyze_fleet, check_fleet_invariants, collect_worker_traces, render_fleet_report,
+    FLEET_TRACE_FILE,
+};
+use qdb_bench::trace::validate_trace;
+use qdb_store::StdVfs;
+use qdb_telemetry::export::chrome::{merge_chrome_traces, write_chrome_trace_file};
+use qdb_telemetry::FleetSnapshot;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut root: Option<PathBuf> = None;
+    let mut out_path: Option<PathBuf> = None;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--out" => {
+                i += 1;
+                match args.get(i) {
+                    Some(p) => out_path = Some(PathBuf::from(p)),
+                    None => {
+                        eprintln!("--out needs a path");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+            other if root.is_none() => root = Some(PathBuf::from(other)),
+            other => {
+                eprintln!("unexpected argument {other:?}");
+                return ExitCode::from(2);
+            }
+        }
+        i += 1;
+    }
+    let Some(root) = root else {
+        eprintln!("usage: fleet_report <build-root> [--out trace.json]");
+        return ExitCode::from(2);
+    };
+    let mut problems: Vec<String> = Vec::new();
+
+    // 1. Merge every worker's trace into one fleet file.
+    let parts = match collect_worker_traces(&root) {
+        Ok(p) => p,
+        Err(e) => {
+            eprintln!("FAIL: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if parts.is_empty() {
+        eprintln!(
+            "FAIL: no worker traces under {}/telemetry (run workers with a flight recorder)",
+            root.display()
+        );
+        return ExitCode::FAILURE;
+    }
+    let merged = match merge_chrome_traces(&parts) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("FAIL: trace merge: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    for p in validate_trace(&merged) {
+        problems.push(format!("merged trace: {p}"));
+    }
+    let out_path = out_path.unwrap_or_else(|| root.join(FLEET_TRACE_FILE));
+    if let Err(e) = write_chrome_trace_file(&out_path, &merged) {
+        problems.push(format!("cannot write {}: {e}", out_path.display()));
+    }
+
+    // 2. Telemetry identities over the durable journals.
+    let fleet = match qdb_store::merge_worker_deltas(&StdVfs, &root) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("FAIL: worker telemetry journals unreadable: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if fleet.workers.is_empty() {
+        problems.push("no worker telemetry journals under telemetry/".to_string());
+    }
+    for p in fleet.identity_problems() {
+        problems.push(format!("telemetry identity: {p}"));
+    }
+    let stored_path = qdb_store::fleet_telemetry_path(&root);
+    if stored_path.exists() {
+        match qdb_store::read_fleet_snapshot(&StdVfs, &root) {
+            Ok(stored) => {
+                if stored != fleet {
+                    problems.push(
+                        "fleet_telemetry.json does not equal the merge of the worker journals"
+                            .to_string(),
+                    );
+                }
+            }
+            Err(e) => problems.push(format!("fleet_telemetry.json unreadable: {e}")),
+        }
+    }
+
+    // 3. The fleet analysis proper.
+    let ids: Vec<String> = parts.iter().map(|(id, _)| id.clone()).collect();
+    let report = match analyze_fleet(&merged, &ids) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("FAIL: fleet analysis: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if report.dropped == 0 {
+        problems.extend(check_fleet_invariants(&report));
+    }
+
+    print!("{}", render_fleet_report(&report));
+    println!(
+        "\ntelemetry: {} worker(s), {} flush(es), {} fleet counter(s)",
+        fleet.workers.len(),
+        fleet.total_flushes(),
+        fleet.counters.len()
+    );
+    summarize_fleet_counters(&fleet);
+    println!("merged trace → {}", out_path.display());
+
+    if problems.is_empty() {
+        println!(
+            "OK: merged trace valid, telemetry identities hold across {} worker(s)",
+            fleet.workers.len()
+        );
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("FAIL: {} problem(s):", problems.len());
+        for p in &problems {
+            eprintln!("  - {p}");
+        }
+        ExitCode::FAILURE
+    }
+}
+
+/// Prints the headline counters with their per-worker decomposition —
+/// the "counters sum exactly" surface, human-readable.
+fn summarize_fleet_counters(fleet: &FleetSnapshot) {
+    for key in [
+        "supervisor.shard.fragments",
+        "supervisor.shard.done",
+        "supervisor.shard.lost",
+        "store.writes",
+    ] {
+        let Some(total) = fleet.counters.get(key) else {
+            continue;
+        };
+        let breakdown: Vec<String> = fleet
+            .workers
+            .iter()
+            .filter_map(|(id, totals)| totals.counters.get(key).map(|v| format!("{id} {v}")))
+            .collect();
+        println!("  {key} = {total} ({})", breakdown.join(" + "));
+    }
+}

@@ -11,18 +11,29 @@
 //! monotone per-lane timestamps, and drop accounting (see
 //! [`qdb_bench::trace::validate_trace`]).
 //!
+//! With `--fleet` the positional argument is a *sharded build root*
+//! instead of a snapshot file: the per-worker telemetry journals under
+//! `telemetry/` are replayed (schema versions, strictly monotone
+//! per-worker sequence numbers), merged, checked against the merge
+//! identities (fleet counters ≡ Σ worker deltas), and compared to the
+//! stored `fleet_telemetry.json`.
+//!
 //! ```text
 //! cargo run --release -p qdb-bench --bin validate_telemetry -- out.json
 //! cargo run --release -p qdb-bench --bin validate_telemetry -- out.json --trace trace.json
 //! # sharded build: the dataset-build set plus the lease/shard counters
 //! cargo run --release -p qdb-bench --bin validate_telemetry -- out.json --shards
+//! # fleet mode: validate the durable journals under a build root
+//! cargo run --release -p qdb-bench --bin validate_telemetry -- dataset/ --fleet
 //! ```
 
 use qdb_bench::trace::validate_trace;
+use qdb_store::StdVfs;
 use qdb_telemetry::export::chrome::read_chrome_trace;
 use qdb_telemetry::export::json::read_snapshot;
-use qdb_telemetry::Snapshot;
-use std::path::PathBuf;
+use qdb_telemetry::{FleetSnapshot, Snapshot, WorkerDelta};
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
 /// Counters every dataset build must tick at least once.
@@ -325,6 +336,73 @@ fn validate(snap: &Snapshot) -> Vec<String> {
     problems
 }
 
+/// Journal-shape checks over the raw worker deltas: schema versions and
+/// strictly monotone per-worker sequence numbers (a duplicate or a gap
+/// means a flush was double-counted or lost).
+fn validate_delta_sequences(deltas: &[WorkerDelta]) -> Vec<String> {
+    let mut problems = Vec::new();
+    let mut last_seq: BTreeMap<&str, u64> = BTreeMap::new();
+    for delta in deltas {
+        if delta.version != WorkerDelta::VERSION {
+            problems.push(format!(
+                "worker {} delta seq {} has schema v{}, expected v{}",
+                delta.worker_id,
+                delta.seq,
+                delta.version,
+                WorkerDelta::VERSION
+            ));
+        }
+        if let Some(prev) = last_seq.get(delta.worker_id.as_str()) {
+            if delta.seq <= *prev {
+                problems.push(format!(
+                    "worker {} sequence not monotone: seq {} after seq {prev}",
+                    delta.worker_id, delta.seq
+                ));
+            }
+        }
+        last_seq.insert(&delta.worker_id, delta.seq);
+    }
+    problems
+}
+
+/// Fleet-mode checks (`--fleet`): replay the durable per-worker journals
+/// under `root/telemetry/`, merge them, and hold the merge identities.
+fn validate_fleet(root: &Path) -> Vec<String> {
+    let deltas = match qdb_store::read_worker_deltas(&StdVfs, root) {
+        Ok(d) => d,
+        Err(e) => return vec![format!("worker journals unreadable: {e}")],
+    };
+    if deltas.is_empty() {
+        return vec![format!(
+            "no worker telemetry journals under {}/telemetry",
+            root.display()
+        )];
+    }
+    let mut problems = validate_delta_sequences(&deltas);
+    let fleet = FleetSnapshot::from_deltas(&deltas);
+    problems.extend(
+        fleet
+            .identity_problems()
+            .into_iter()
+            .map(|p| format!("merge identity: {p}")),
+    );
+    let stored_path = qdb_store::fleet_telemetry_path(root);
+    if stored_path.exists() {
+        match qdb_store::read_fleet_snapshot(&StdVfs, root) {
+            Ok(stored) => {
+                if stored != fleet {
+                    problems.push(
+                        "fleet_telemetry.json does not equal the merge of the worker journals"
+                            .to_string(),
+                    );
+                }
+            }
+            Err(e) => problems.push(format!("fleet_telemetry.json unreadable: {e}")),
+        }
+    }
+    problems
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut snapshot_path: Option<PathBuf> = None;
@@ -332,12 +410,14 @@ fn main() -> ExitCode {
     let mut serve_mode = false;
     let mut backends_mode = false;
     let mut shards_mode = false;
+    let mut fleet_mode = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
             "--serve" => serve_mode = true,
             "--backends" => backends_mode = true,
             "--shards" => shards_mode = true,
+            "--fleet" => fleet_mode = true,
             "--trace" => {
                 i += 1;
                 match args.get(i) {
@@ -359,10 +439,32 @@ fn main() -> ExitCode {
     let Some(path) = snapshot_path else {
         eprintln!(
             "usage: validate_telemetry <snapshot.json> [--serve | --backends] [--shards] \
-             [--trace <trace.json>]"
+             [--trace <trace.json>]\n       validate_telemetry <build-root> --fleet"
         );
         return ExitCode::FAILURE;
     };
+    // `--fleet` takes a build root, not a snapshot file: validate the
+    // durable worker journals and their merge, then exit.
+    if fleet_mode {
+        let problems = validate_fleet(&path);
+        return if problems.is_empty() {
+            let deltas = qdb_store::read_worker_deltas(&StdVfs, &path).unwrap_or_default();
+            let fleet = FleetSnapshot::from_deltas(&deltas);
+            println!(
+                "OK: {} — {} flush(es) from {} worker(s) replay cleanly, merge identities hold",
+                path.display(),
+                fleet.total_flushes(),
+                fleet.workers.len()
+            );
+            ExitCode::SUCCESS
+        } else {
+            eprintln!("FAIL: {} problem(s) in {}:", problems.len(), path.display());
+            for p in &problems {
+                eprintln!("  - {p}");
+            }
+            ExitCode::FAILURE
+        };
+    }
     let snap = match read_snapshot(&path) {
         Ok(s) => s,
         Err(e) => {
@@ -573,6 +675,41 @@ mod tests {
             problems
                 .iter()
                 .any(|p| p.contains("5 shards done but only 2 claims")),
+            "{problems:?}"
+        );
+    }
+
+    fn delta(worker: &str, seq: u64) -> WorkerDelta {
+        WorkerDelta {
+            version: WorkerDelta::VERSION,
+            worker_id: worker.to_string(),
+            seq,
+            flushed_at_ms: seq,
+            kind: "periodic".to_string(),
+            delta: Registry::new().snapshot(),
+        }
+    }
+
+    #[test]
+    fn fleet_sequences_must_be_strictly_monotone_per_worker() {
+        assert!(
+            validate_delta_sequences(&[delta("a", 0), delta("a", 1), delta("b", 0)]).is_empty()
+        );
+        let problems =
+            validate_delta_sequences(&[delta("a", 0), delta("b", 0), delta("a", 1), delta("a", 1)]);
+        assert!(
+            problems.iter().any(|p| p.contains("not monotone")),
+            "{problems:?}"
+        );
+    }
+
+    #[test]
+    fn fleet_schema_version_is_checked() {
+        let mut bad = delta("a", 0);
+        bad.version = 99;
+        let problems = validate_delta_sequences(&[bad]);
+        assert!(
+            problems.iter().any(|p| p.contains("schema v99")),
             "{problems:?}"
         );
     }

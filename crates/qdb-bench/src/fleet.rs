@@ -1,0 +1,354 @@
+//! Fleet-level trace analysis: merge every worker's flight-recorder
+//! dump under a build root into one Perfetto-loadable file, then read
+//! fleet structure out of it — per-worker occupancy, per-shard load
+//! with straggler ranking, and the cross-worker critical path.
+//!
+//! Attribution never parses event `args`: worker lanes carry their
+//! owner in the merged track's `<worker>/<thread>` name, and fragment
+//! lanes carry `(worker index + 1, correlation arg)` in the tid, whose
+//! fragment field still encodes the shard band
+//! (`(shard+1)·10⁶ + build index`, see `qdockbank::shard`).
+
+use crate::trace::{analyze, TraceReport};
+use qdb_telemetry::export::chrome::{read_chrome_trace, split_fleet_fragment_tid, ChromeTraceFile};
+use qdb_telemetry::trace::lane_fragment;
+use std::collections::{BTreeMap, BTreeSet};
+use std::path::{Path, PathBuf};
+
+/// Filename prefix of per-worker trace dumps under `telemetry/`.
+pub const TRACE_PREFIX: &str = "trace-";
+
+/// Default filename the merged fleet trace is written to under a root.
+pub const FLEET_TRACE_FILE: &str = "fleet_trace.json";
+
+/// Reads every per-worker trace dump under `root/telemetry/` as
+/// `(worker id, trace)` pairs, sorted by worker id. A missing
+/// directory is an empty fleet, not an error.
+pub fn collect_worker_traces(root: &Path) -> Result<Vec<(String, ChromeTraceFile)>, String> {
+    let dir = root.join(qdb_store::TELEMETRY_DIR);
+    let entries = match std::fs::read_dir(&dir) {
+        Ok(e) => e,
+        Err(_) => return Ok(Vec::new()),
+    };
+    let mut paths: Vec<PathBuf> = entries.filter_map(|e| e.ok()).map(|e| e.path()).collect();
+    paths.sort();
+    let mut out = Vec::new();
+    for path in paths {
+        let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
+            continue;
+        };
+        let Some(worker) = name
+            .strip_prefix(TRACE_PREFIX)
+            .and_then(|s| s.strip_suffix(".json"))
+        else {
+            continue;
+        };
+        let file = read_chrome_trace(&path).map_err(|e| format!("{}: {e}", path.display()))?;
+        out.push((worker.to_string(), file));
+    }
+    Ok(out)
+}
+
+/// One worker's share of a merged fleet trace.
+#[derive(Clone, Debug)]
+pub struct FleetWorkerStat {
+    /// Worker id (from the merged process/track names).
+    pub worker: String,
+    /// Thread lanes this worker contributed.
+    pub lanes: usize,
+    /// Time covered by its top-level spans, µs, summed over its lanes.
+    pub busy_us: f64,
+    /// `busy_us` over the fleet wall (0 when the wall is empty).
+    pub occupancy: f64,
+    /// Fragment lanes attributed to this worker.
+    pub fragments: usize,
+    /// Sum of its fragments' pipeline spans, µs — the worker's serial
+    /// chain (each worker builds its fragments sequentially).
+    pub fragment_us: f64,
+}
+
+/// One shard's fragment-time total across the fleet.
+#[derive(Clone, Debug)]
+pub struct ShardLoad {
+    /// Shard index (decoded from the fragment lane band).
+    pub shard: u64,
+    /// Worker(s) whose lanes carried the shard's fragments (more than
+    /// one after a mid-shard steal), `+`-joined.
+    pub workers: String,
+    /// Fragments journaled on this shard's lanes.
+    pub fragments: usize,
+    /// Sum of the shard's fragment pipeline spans, µs.
+    pub total_us: f64,
+}
+
+/// The fleet-level analysis of a merged trace.
+#[derive(Clone, Debug)]
+pub struct FleetReport {
+    /// Span of timestamps across all merged lanes, µs.
+    pub wall_us: f64,
+    /// Per-worker stats, sorted by worker id.
+    pub workers: Vec<FleetWorkerStat>,
+    /// Per-shard load, slowest first — `shards[0]` is the straggler.
+    pub shards: Vec<ShardLoad>,
+    /// Straggler skew: slowest shard's total over the mean shard total
+    /// (1.0 = perfectly balanced; 0.0 when no shard bands were seen).
+    pub skew: f64,
+    /// Cross-worker critical path, µs: workers run concurrently, so the
+    /// fleet's end-to-end lower bound is the slowest worker's serial
+    /// fragment chain.
+    pub critical_path_us: f64,
+    /// Events dropped by ring wraparound across all inputs.
+    pub dropped: u64,
+}
+
+/// Analyzes a merged fleet trace. `worker_ids` is the merge input order
+/// (worker `i` of the merge owns fragment lanes packed with index
+/// `i + 1`); lane owners are cross-checked against the track names.
+pub fn analyze_fleet(file: &ChromeTraceFile, worker_ids: &[String]) -> Result<FleetReport, String> {
+    let report: TraceReport = analyze(file)?;
+    let mut workers: BTreeMap<String, FleetWorkerStat> = BTreeMap::new();
+    let stat_for = |map: &mut BTreeMap<String, FleetWorkerStat>, id: &str| {
+        map.entry(id.to_string())
+            .or_insert_with(|| FleetWorkerStat {
+                worker: id.to_string(),
+                lanes: 0,
+                busy_us: 0.0,
+                occupancy: 0.0,
+                fragments: 0,
+                fragment_us: 0.0,
+            });
+    };
+    for id in worker_ids {
+        stat_for(&mut workers, id);
+    }
+    // Worker lanes: a merged track is named "<worker>/<thread>" (worker
+    // ids are sanitized filenames, so the first '/' is the separator).
+    for lane in &report.workers {
+        let owner = lane.thread.split('/').next().unwrap_or("").to_string();
+        stat_for(&mut workers, &owner);
+        let stat = workers.get_mut(&owner).expect("inserted above");
+        stat.lanes += 1;
+        stat.busy_us += lane.busy_us;
+    }
+    // Fragment lanes: worker index from the tid packing, shard from the
+    // correlation arg's fragment band.
+    let mut shard_loads: BTreeMap<u64, (BTreeSet<String>, usize, f64)> = BTreeMap::new();
+    for frag in &report.fragments {
+        let (index_plus_one, arg) = split_fleet_fragment_tid(frag.fragment);
+        let owner = if index_plus_one >= 1 {
+            worker_ids
+                .get(index_plus_one as usize - 1)
+                .cloned()
+                .unwrap_or_else(|| format!("worker-{index_plus_one}"))
+        } else {
+            // Unmerged single-process file: everything is one worker.
+            worker_ids
+                .first()
+                .cloned()
+                .unwrap_or_else(|| "worker".to_string())
+        };
+        stat_for(&mut workers, &owner);
+        let stat = workers.get_mut(&owner).expect("inserted above");
+        stat.fragments += 1;
+        stat.fragment_us += frag.total_us;
+        let field = lane_fragment(arg);
+        if field > 1_000_000 {
+            let shard = field / 1_000_000 - 1;
+            let load = shard_loads
+                .entry(shard)
+                .or_insert_with(|| (BTreeSet::new(), 0, 0.0));
+            load.0.insert(owner);
+            load.1 += 1;
+            load.2 += frag.total_us;
+        }
+    }
+
+    let wall_us = report.wall_us;
+    let mut worker_stats: Vec<FleetWorkerStat> = workers.into_values().collect();
+    for w in &mut worker_stats {
+        w.occupancy = if wall_us > 0.0 {
+            w.busy_us / wall_us
+        } else {
+            0.0
+        };
+    }
+    let critical_path_us = worker_stats
+        .iter()
+        .map(|w| w.fragment_us)
+        .fold(0.0, f64::max);
+
+    let mut shards: Vec<ShardLoad> = shard_loads
+        .into_iter()
+        .map(|(shard, (owners, fragments, total_us))| ShardLoad {
+            shard,
+            workers: owners.into_iter().collect::<Vec<_>>().join("+"),
+            fragments,
+            total_us,
+        })
+        .collect();
+    shards.sort_by(|a, b| {
+        b.total_us
+            .total_cmp(&a.total_us)
+            .then(a.shard.cmp(&b.shard))
+    });
+    let skew = if shards.is_empty() {
+        0.0
+    } else {
+        let mean = shards.iter().map(|s| s.total_us).sum::<f64>() / shards.len() as f64;
+        if mean > 0.0 {
+            shards[0].total_us / mean
+        } else {
+            0.0
+        }
+    };
+
+    Ok(FleetReport {
+        wall_us,
+        workers: worker_stats,
+        shards,
+        skew,
+        critical_path_us,
+        dropped: file.qdb.dropped,
+    })
+}
+
+fn ms(us: f64) -> f64 {
+    us / 1_000.0
+}
+
+/// Renders the fleet report as the text `fleet_report` prints.
+pub fn render_fleet_report(report: &FleetReport) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "fleet wall {:.2} ms over {} worker(s), {} shard band(s); {} event(s) dropped\n",
+        ms(report.wall_us),
+        report.workers.len(),
+        report.shards.len(),
+        report.dropped
+    ));
+
+    out.push_str("\nworker occupancy:\n");
+    for w in &report.workers {
+        out.push_str(&format!(
+            "  {:<16} {} lane(s)  busy {:>10.2} ms ({:>5.1}%)  {} fragment(s) / {:>10.2} ms serial\n",
+            w.worker,
+            w.lanes,
+            ms(w.busy_us),
+            100.0 * w.occupancy,
+            w.fragments,
+            ms(w.fragment_us)
+        ));
+    }
+
+    if !report.shards.is_empty() {
+        out.push_str("\nshard load (slowest first):\n");
+        for s in &report.shards {
+            out.push_str(&format!(
+                "  shard {:<3} {:<16} {} fragment(s) {:>10.2} ms\n",
+                s.shard,
+                s.workers,
+                s.fragments,
+                ms(s.total_us)
+            ));
+        }
+        let straggler = &report.shards[0];
+        out.push_str(&format!(
+            "  straggler: shard {} ({}, {:.2} ms, {:.2}x the mean shard)\n",
+            straggler.shard,
+            straggler.workers,
+            ms(straggler.total_us),
+            report.skew
+        ));
+    }
+
+    out.push_str(&format!(
+        "\ncross-worker critical path (slowest worker's serial chain): {:.2} ms\n",
+        ms(report.critical_path_us)
+    ));
+    out
+}
+
+/// Fleet invariants over a drop-free merged trace: no worker's serial
+/// chain exceeds the wall, and the straggler shard fits inside some
+/// worker's chain. Returns problems; empty = holds.
+pub fn check_fleet_invariants(report: &FleetReport) -> Vec<String> {
+    let mut problems = Vec::new();
+    let slack = 1.0 + report.wall_us * 1e-9;
+    if report.critical_path_us > report.wall_us + slack {
+        problems.push(format!(
+            "critical path {:.1} µs exceeds fleet wall {:.1} µs",
+            report.critical_path_us, report.wall_us
+        ));
+    }
+    if let Some(straggler) = report.shards.first() {
+        let total_chain: f64 = report.workers.iter().map(|w| w.fragment_us).sum();
+        if straggler.total_us > total_chain + slack {
+            problems.push(format!(
+                "straggler shard {} ({:.1} µs) exceeds every worker chain combined ({:.1} µs)",
+                straggler.shard, straggler.total_us, total_chain
+            ));
+        }
+    }
+    problems
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::{validate_trace, FRAGMENT_SPAN};
+    use qdb_telemetry::export::chrome::{chrome_trace, merge_chrome_traces};
+    use qdb_telemetry::trace::{correlate, pack_lane, worker_ordinal, TraceConfig, TraceRecorder};
+    use qdb_telemetry::EventKind;
+
+    /// One worker's recording: `shards` fragment builds, `span_us` µs of
+    /// pipeline span each, on that worker's packed lanes.
+    fn worker_trace(worker_id: &str, shards: &[(u64, u64)]) -> ChromeTraceFile {
+        let rec = TraceRecorder::new(TraceConfig {
+            events_per_thread: 256,
+        });
+        let ordinal = worker_ordinal(worker_id);
+        let mut ts = 0u64;
+        for &(shard, span_us) in shards {
+            let lane = pack_lane(ordinal, (shard + 1) * 1_000_000 + 1);
+            let _c = correlate(lane);
+            rec.event(EventKind::Begin, FRAGMENT_SPAN, ts * 1_000);
+            rec.event(EventKind::End, FRAGMENT_SPAN, (ts + span_us) * 1_000);
+            ts += span_us + 1;
+        }
+        chrome_trace(&rec.dump())
+    }
+
+    #[test]
+    fn fleet_analysis_ranks_the_straggler_and_attributes_workers() {
+        let parts = vec![
+            ("w0".to_string(), worker_trace("w0", &[(0, 5), (2, 4)])),
+            ("w1".to_string(), worker_trace("w1", &[(1, 30)])),
+        ];
+        let merged = merge_chrome_traces(&parts).unwrap();
+        assert_eq!(validate_trace(&merged), Vec::<String>::new());
+        let ids: Vec<String> = parts.iter().map(|(id, _)| id.clone()).collect();
+        let report = analyze_fleet(&merged, &ids).unwrap();
+
+        assert_eq!(report.workers.len(), 2);
+        let w0 = report.workers.iter().find(|w| w.worker == "w0").unwrap();
+        let w1 = report.workers.iter().find(|w| w.worker == "w1").unwrap();
+        assert_eq!(w0.fragments, 2);
+        assert_eq!(w1.fragments, 1);
+        assert!((w0.fragment_us - 9.0).abs() < 1e-9, "{}", w0.fragment_us);
+        assert!((w1.fragment_us - 30.0).abs() < 1e-9, "{}", w1.fragment_us);
+
+        // Shard 1 (w1's 30 µs) is the straggler, ahead of shards 0 and 2.
+        assert_eq!(report.shards.len(), 3);
+        assert_eq!(report.shards[0].shard, 1);
+        assert_eq!(report.shards[0].workers, "w1");
+        assert!(report.skew > 1.5, "{}", report.skew);
+
+        // The fleet's critical path is w1's serial chain.
+        assert!((report.critical_path_us - 30.0).abs() < 1e-9);
+        assert_eq!(check_fleet_invariants(&report), Vec::<String>::new());
+
+        let text = render_fleet_report(&report);
+        assert!(text.contains("straggler: shard 1"), "{text}");
+        assert!(text.contains("w1"), "{text}");
+    }
+}

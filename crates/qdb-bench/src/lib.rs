@@ -4,6 +4,7 @@
 //! DESIGN.md §4) plus Criterion performance benches. This library holds
 //! the shared driver code.
 
+pub mod fleet;
 pub mod perf;
 pub mod trace;
 

@@ -3,10 +3,13 @@
 //! behind `trace_report`.
 //!
 //! Everything works off the exporter's own structure — worker lanes
-//! (`PID_WORKERS`, one track per recording thread) and synthetic
-//! per-fragment lanes (`PID_FRAGMENTS`, tid = correlation id) — so no
-//! event `args` are ever introspected: fragment attribution is the lane
-//! the exporter mirrored the event onto.
+//! (`PID_WORKERS` in a single-process export, one re-pid'd process per
+//! worker in a fleet merge; one track per recording thread) and
+//! synthetic per-fragment lanes (`PID_FRAGMENTS`, tid = correlation
+//! id) — so no event `args` are ever introspected: fragment attribution
+//! is the lane the exporter mirrored the event onto. Any lane whose pid
+//! is not `PID_FRAGMENTS` is worker-class; tracks are matched by
+//! `(pid, tid)` so merged traces with colliding tids stay distinct.
 
 use qdb_telemetry::export::chrome::{ChromeEvent, ChromeTraceFile, PID_FRAGMENTS, PID_WORKERS};
 use std::collections::BTreeMap;
@@ -53,7 +56,7 @@ pub fn validate_trace(file: &ChromeTraceFile) -> Vec<String> {
     let lanes = lanes(file);
     for track in &file.qdb.tracks {
         let actual = lanes
-            .get(&(PID_WORKERS, track.tid))
+            .get(&(track.pid, track.tid))
             .map_or(0, |evs| evs.len() as u64);
         if actual != track.events {
             problems.push(format!(
@@ -65,7 +68,13 @@ pub fn validate_trace(file: &ChromeTraceFile) -> Vec<String> {
 
     for ((pid, tid), events) in &lanes {
         let lane = lane_label(*pid, *tid, file);
-        if *pid == PID_WORKERS && !file.qdb.tracks.iter().any(|t| t.tid == *tid) {
+        if *pid != PID_FRAGMENTS
+            && !file
+                .qdb
+                .tracks
+                .iter()
+                .any(|t| t.pid == *pid && t.tid == *tid)
+        {
             problems.push(format!("{lane}: not in the qdb metadata block"));
         }
 
@@ -114,14 +123,14 @@ pub fn validate_trace(file: &ChromeTraceFile) -> Vec<String> {
         }
         // Drop-tolerant lanes: truncated openings are expected, so retract
         // balance complaints for them (timestamp/phase problems stand).
-        let dropped_here = match *pid {
-            PID_WORKERS => file
-                .qdb
+        let dropped_here = if *pid == PID_FRAGMENTS {
+            file.qdb.dropped
+        } else {
+            file.qdb
                 .tracks
                 .iter()
-                .find(|t| t.tid == *tid)
-                .map_or(0, |t| t.dropped),
-            _ => file.qdb.dropped,
+                .find(|t| t.pid == *pid && t.tid == *tid)
+                .map_or(0, |t| t.dropped)
         };
         if dropped_here > 0 {
             problems.retain(|p| {
@@ -155,18 +164,19 @@ pub fn validate_serve_trace(file: &ChromeTraceFile) -> Vec<String> {
 }
 
 fn lane_label(pid: u32, tid: u64, file: &ChromeTraceFile) -> String {
-    match pid {
-        PID_WORKERS => {
-            let thread = file
-                .qdb
-                .tracks
-                .iter()
-                .find(|t| t.tid == tid)
-                .map_or("?", |t| t.thread.as_str());
-            format!("worker lane {tid} ({thread})")
-        }
-        PID_FRAGMENTS => format!("fragment lane {tid}"),
-        other => format!("lane {other}:{tid}"),
+    if pid == PID_FRAGMENTS {
+        return format!("fragment lane {tid}");
+    }
+    let thread = file
+        .qdb
+        .tracks
+        .iter()
+        .find(|t| t.pid == pid && t.tid == tid)
+        .map_or("?", |t| t.thread.as_str());
+    if pid == PID_WORKERS {
+        format!("worker lane {tid} ({thread})")
+    } else {
+        format!("worker lane {pid}:{tid} ({thread})")
     }
 }
 
@@ -301,14 +311,14 @@ pub fn analyze(file: &ChromeTraceFile) -> Result<TraceReport, String> {
     let mut fragments = Vec::new();
 
     for ((pid, tid), events) in &lanes {
-        let dropped_here = match *pid {
-            PID_WORKERS => file
-                .qdb
+        let dropped_here = if *pid == PID_FRAGMENTS {
+            file.qdb.dropped
+        } else {
+            file.qdb
                 .tracks
                 .iter()
-                .find(|t| t.tid == *tid)
-                .map_or(0, |t| t.dropped),
-            _ => file.qdb.dropped,
+                .find(|t| t.pid == *pid && t.tid == *tid)
+                .map_or(0, |t| t.dropped)
         };
         let replayed = match replay(events) {
             Ok(r) => r,
@@ -324,49 +334,45 @@ pub fn analyze(file: &ChromeTraceFile) -> Result<TraceReport, String> {
             Err(e) => return Err(format!("{}: {e}", lane_label(*pid, *tid, file))),
         };
         let (lane_stats, lane_instants, busy_us) = replayed;
-        match *pid {
-            PID_WORKERS => {
-                for (name, stat) in lane_stats {
-                    let agg = stages.entry(name).or_default();
-                    agg.count += stat.count;
-                    agg.total_us += stat.total_us;
-                    agg.self_us += stat.self_us;
-                }
-                for (name, n) in lane_instants {
-                    *instants.entry(name).or_default() += n;
-                }
-                workers.push(WorkerStat {
-                    tid: *tid,
-                    thread: file
-                        .qdb
-                        .tracks
-                        .iter()
-                        .find(|t| t.tid == *tid)
-                        .map_or_else(|| format!("thread-{tid}"), |t| t.thread.clone()),
-                    busy_us,
-                    occupancy: if wall_us > 0.0 {
-                        busy_us / wall_us
-                    } else {
-                        0.0
-                    },
-                });
+        if *pid == PID_FRAGMENTS {
+            let total_us = lane_stats.get(FRAGMENT_SPAN).map_or(0.0, |s| s.total_us);
+            let stage_breakdown = lane_stats
+                .iter()
+                .filter(|(name, _)| {
+                    name.starts_with(STAGE_PREFIX) && name.as_str() != FRAGMENT_SPAN
+                })
+                .map(|(name, stat)| (name.clone(), stat.total_us))
+                .collect();
+            fragments.push(FragmentPath {
+                fragment: *tid,
+                total_us,
+                stages: stage_breakdown,
+            });
+        } else {
+            for (name, stat) in lane_stats {
+                let agg = stages.entry(name).or_default();
+                agg.count += stat.count;
+                agg.total_us += stat.total_us;
+                agg.self_us += stat.self_us;
             }
-            PID_FRAGMENTS => {
-                let total_us = lane_stats.get(FRAGMENT_SPAN).map_or(0.0, |s| s.total_us);
-                let stage_breakdown = lane_stats
+            for (name, n) in lane_instants {
+                *instants.entry(name).or_default() += n;
+            }
+            workers.push(WorkerStat {
+                tid: *tid,
+                thread: file
+                    .qdb
+                    .tracks
                     .iter()
-                    .filter(|(name, _)| {
-                        name.starts_with(STAGE_PREFIX) && name.as_str() != FRAGMENT_SPAN
-                    })
-                    .map(|(name, stat)| (name.clone(), stat.total_us))
-                    .collect();
-                fragments.push(FragmentPath {
-                    fragment: *tid,
-                    total_us,
-                    stages: stage_breakdown,
-                });
-            }
-            _ => {}
+                    .find(|t| t.pid == *pid && t.tid == *tid)
+                    .map_or_else(|| format!("thread-{tid}"), |t| t.thread.clone()),
+                busy_us,
+                occupancy: if wall_us > 0.0 {
+                    busy_us / wall_us
+                } else {
+                    0.0
+                },
+            });
         }
     }
 

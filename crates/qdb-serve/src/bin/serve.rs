@@ -15,7 +15,12 @@
 //! * `--deadline-ms N` — default per-job deadline (0 = none);
 //! * `--stub-runner` — serve a stub pipeline (CI smoke without VQE cost);
 //! * `--telemetry PATH` — write a metrics snapshot (JSON) on exit;
-//! * `--trace PATH` — record a flight-recorder timeline (Chrome trace).
+//! * `--trace PATH` — record a flight-recorder timeline (Chrome trace);
+//! * `--worker-id ID` — fleet identity: labels every `/metrics` sample
+//!   with `worker="ID"` and journals durable snapshot deltas to
+//!   `ROOT/telemetry/ID.telemetry.journal`;
+//! * `--flush-ms N` — telemetry flush period with `--worker-id`
+//!   (default 2000).
 //!
 //! On SIGTERM/SIGINT: admission stops (`/readyz` flips to 503), in-flight
 //! and queued jobs get the drain budget to finish, the remainder is
@@ -28,6 +33,7 @@ use qdb_store::StdVfs;
 use qdb_telemetry::MonotonicClock;
 use std::net::TcpListener;
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
 fn need(value: Option<String>, flag: &str) -> String {
@@ -54,6 +60,8 @@ fn main() {
     let mut stub = false;
     let mut telemetry_path: Option<PathBuf> = None;
     let mut trace_path: Option<PathBuf> = None;
+    let mut worker_id: Option<String> = None;
+    let mut flush_ms: u64 = 2_000;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -72,11 +80,14 @@ fn main() {
             "--stub-runner" => stub = true,
             "--telemetry" => telemetry_path = Some(PathBuf::from(need(args.next(), "--telemetry"))),
             "--trace" => trace_path = Some(PathBuf::from(need(args.next(), "--trace"))),
+            "--worker-id" => worker_id = Some(need(args.next(), "--worker-id")),
+            "--flush-ms" => flush_ms = parse_u64(&need(args.next(), "--flush-ms"), "--flush-ms"),
             "--help" | "-h" => {
                 println!(
                     "usage: serve [--addr HOST:PORT] [--root PATH] [--workers N] \
                      [--queue-cap N] [--drain-ms N] [--deadline-ms N] \
-                     [--stub-runner] [--telemetry PATH] [--trace PATH]"
+                     [--stub-runner] [--telemetry PATH] [--trace PATH] \
+                     [--worker-id ID] [--flush-ms N]"
                 );
                 return;
             }
@@ -107,6 +118,7 @@ fn main() {
             workers,
             drain_deadline_ms: drain_ms,
             default_deadline_ms: deadline_ms,
+            worker_id: worker_id.clone(),
         },
     ) {
         Ok(s) => Arc::new(s),
@@ -128,6 +140,42 @@ fn main() {
         Err(_) => println!("qdb-serve listening on {addr}"),
     }
     server::install_signal_handlers();
+    // Fleet telemetry: with a worker identity, a dedicated thread owns
+    // this process's snapshot journal and flushes registry deltas
+    // periodically plus once on the way out, so a merge sees the final
+    // counters even if the process is about to exit.
+    let flush_stop = Arc::new(AtomicBool::new(false));
+    let flush_thread = worker_id.clone().map(|id| {
+        let stop = Arc::clone(&flush_stop);
+        let root = root.clone();
+        let period_ms = flush_ms.max(100);
+        std::thread::spawn(move || {
+            let vfs = StdVfs;
+            let clock = qdb_telemetry::WallClock;
+            let registry = qdb_telemetry::global();
+            let mut flusher = match qdb_store::WorkerFlusher::open(&vfs, &root, &id) {
+                Ok(f) => f,
+                Err(e) => {
+                    eprintln!("telemetry journal unavailable for worker {id:?}: {e}");
+                    return;
+                }
+            };
+            let _ = flusher.flush(registry, &clock, "start");
+            let mut slept = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                std::thread::sleep(std::time::Duration::from_millis(50));
+                slept += 50;
+                if slept < period_ms {
+                    continue;
+                }
+                slept = 0;
+                if flusher.flush(registry, &clock, "periodic").is_err() {
+                    registry.counter("telemetry.flush_errors").inc();
+                }
+            }
+            let _ = flusher.flush(registry, &clock, "exit");
+        })
+    });
     let report = match server::run(
         listener,
         Arc::clone(&service),
@@ -140,6 +188,10 @@ fn main() {
             std::process::exit(1);
         }
     };
+    flush_stop.store(true, Ordering::Relaxed);
+    if let Some(handle) = flush_thread {
+        let _ = handle.join();
+    }
     println!(
         "drained: {} finished, {} journaled as resumable, {} cancelled",
         report.finished, report.journaled, report.cancelled

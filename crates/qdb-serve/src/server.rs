@@ -108,11 +108,15 @@ pub fn handle(service: &JobService, req: &Request) -> Response {
         }
         ("GET", "/metrics") => {
             let snapshot = qdb_telemetry::global().snapshot();
+            let rendered = qdb_telemetry::export::prometheus::render_with_worker(
+                &snapshot,
+                service.worker_id(),
+            );
             Response {
                 status: 200,
                 content_type: "text/plain; version=0.0.4",
                 headers: Vec::new(),
-                body: qdb_telemetry::export::prometheus::render(&snapshot).into_bytes(),
+                body: rendered.into_bytes(),
             }
         }
         ("POST", "/jobs") => {
@@ -334,6 +338,32 @@ mod tests {
         let metrics = handle(&svc, &get("/metrics"));
         assert_eq!(metrics.status, 200);
         assert!(String::from_utf8_lossy(&metrics.body).contains("qdb_serve_queue_depth"));
+    }
+
+    #[test]
+    fn metrics_carry_the_configured_worker_label() {
+        let dir = std::env::temp_dir().join("qdb_serve_router_worker_label");
+        let _ = std::fs::remove_dir_all(&dir);
+        let svc = JobService::open(
+            &dir,
+            Arc::new(StdVfs),
+            Arc::new(ManualClock::new()),
+            Arc::new(StubRunner::default()),
+            ServiceConfig {
+                queue_cap: 2,
+                workers: 1,
+                worker_id: Some("srv-7".to_string()),
+                ..ServiceConfig::default()
+            },
+        )
+        .unwrap();
+        let metrics = handle(&svc, &get("/metrics"));
+        assert_eq!(metrics.status, 200);
+        let body = String::from_utf8_lossy(&metrics.body);
+        assert!(
+            body.contains("qdb_serve_queue_depth{worker=\"srv-7\"}"),
+            "every sample is labeled with the worker id:\n{body}"
+        );
     }
 
     #[test]

@@ -45,6 +45,10 @@ pub struct ServiceConfig {
     pub drain_deadline_ms: u64,
     /// Deadline applied to jobs that did not bring their own (ms, 0 = none).
     pub default_deadline_ms: u64,
+    /// Stable worker identity for fleet observability: labels every
+    /// `/metrics` sample and names this process's durable telemetry
+    /// journal (`None` = unlabeled single-process service).
+    pub worker_id: Option<String>,
 }
 
 impl Default for ServiceConfig {
@@ -54,6 +58,7 @@ impl Default for ServiceConfig {
             workers: 2,
             drain_deadline_ms: 30_000,
             default_deadline_ms: 0,
+            worker_id: None,
         }
     }
 }
@@ -380,6 +385,11 @@ impl JobService {
     /// The dataset root this service owns.
     pub fn root(&self) -> &Path {
         &self.root
+    }
+
+    /// The worker identity this service labels its telemetry with.
+    pub fn worker_id(&self) -> Option<&str> {
+        self.config.worker_id.as_deref()
     }
 
     /// The service clock (workers and tests share it).

@@ -36,6 +36,7 @@ pub mod error;
 pub mod journal;
 pub mod lease;
 pub mod quarantine;
+pub mod telemetry_journal;
 pub mod vfs;
 
 pub use atomic::{
@@ -49,4 +50,10 @@ pub use lease::{
     Lease, LeaseError, LeaseManager, LeaseState, LeaseSweep, LeaseSweepEntry, LeaseView, LEASE_DIR,
 };
 pub use quarantine::{quarantine_entry, QUARANTINE_DIR};
+pub use telemetry_journal::{
+    fleet_telemetry_path, merge_worker_deltas, read_fleet_snapshot, read_worker_deltas,
+    sanitize_worker_id, telemetry_dir, worker_journal_path, worker_trace_path,
+    write_fleet_snapshot, WorkerFlusher, FLEET_TELEMETRY_FILE, TELEMETRY_DIR,
+    TELEMETRY_JOURNAL_SUFFIX,
+};
 pub use vfs::{CrashVfs, StdVfs, Vfs};

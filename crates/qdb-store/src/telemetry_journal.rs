@@ -1,0 +1,347 @@
+//! Durable per-worker telemetry: the snapshot journal under a build root.
+//!
+//! Process-local registries vanish with their process; a fleet build
+//! cannot afford that. Each worker owns one append-only
+//! [`Journal`] at `telemetry/<worker>.telemetry.journal` and flushes
+//! [`WorkerDelta`]s into it — monotone-sequence-numbered, worker-id-
+//! stamped deltas of its registry (see
+//! [`Snapshot::delta_since`](qdb_telemetry::Snapshot::delta_since)) —
+//! through the same checksummed write+fsync path every other store
+//! artifact uses. A crash after a flush can therefore cost at most the
+//! metrics recorded *since* that flush, never the journal itself: replay
+//! truncates a torn tail to the longest valid prefix, exactly like the
+//! manifest journal.
+//!
+//! Reading the fleet back is [`read_worker_deltas`] (scan the directory,
+//! replay every journal, parse and order the deltas) followed by
+//! [`qdb_telemetry::FleetSnapshot::from_deltas`]; the merged result
+//! lands in `fleet_telemetry.json` via the atomic-write protocol.
+
+use crate::error::StoreError;
+use crate::journal::Journal;
+use crate::vfs::Vfs;
+use qdb_telemetry::{Clock, FleetSnapshot, Registry, Snapshot, WorkerDelta};
+use std::path::{Path, PathBuf};
+
+/// Directory under the build root holding per-worker telemetry.
+pub const TELEMETRY_DIR: &str = "telemetry";
+
+/// Suffix of every per-worker delta journal in [`TELEMETRY_DIR`].
+pub const TELEMETRY_JOURNAL_SUFFIX: &str = ".telemetry.journal";
+
+/// File the merged fleet snapshot is written to, under the build root.
+pub const FLEET_TELEMETRY_FILE: &str = "fleet_telemetry.json";
+
+/// The build root's telemetry directory.
+pub fn telemetry_dir(root: &Path) -> PathBuf {
+    root.join(TELEMETRY_DIR)
+}
+
+/// A worker id reduced to filesystem-safe characters (anything outside
+/// `[A-Za-z0-9._-]` becomes `_`; empty ids become `worker`).
+pub fn sanitize_worker_id(worker_id: &str) -> String {
+    if worker_id.is_empty() {
+        return "worker".to_string();
+    }
+    worker_id
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || matches!(c, '.' | '_' | '-') {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect()
+}
+
+/// Path of one worker's delta journal.
+pub fn worker_journal_path(root: &Path, worker_id: &str) -> PathBuf {
+    telemetry_dir(root).join(format!(
+        "{}{TELEMETRY_JOURNAL_SUFFIX}",
+        sanitize_worker_id(worker_id)
+    ))
+}
+
+/// Path of one worker's Chrome-format trace-ring dump.
+pub fn worker_trace_path(root: &Path, worker_id: &str) -> PathBuf {
+    telemetry_dir(root).join(format!("trace-{}.json", sanitize_worker_id(worker_id)))
+}
+
+/// Path of the merged fleet snapshot.
+pub fn fleet_telemetry_path(root: &Path) -> PathBuf {
+    root.join(FLEET_TELEMETRY_FILE)
+}
+
+/// The stateful flush side: owns one worker's journal, remembers the
+/// last flushed snapshot, and appends only what changed.
+///
+/// Sequence numbers are monotone per worker id **across process lives**:
+/// opening replays the journal (repairing a torn tail) and resumes past
+/// the highest sequence found, so a restarted worker extends its history
+/// instead of reusing numbers. The previous-snapshot baseline starts
+/// empty on open — a new process's registry starts from zero, so its
+/// first delta is its full registry, which is exactly the increment the
+/// new life contributed.
+pub struct WorkerFlusher<'a> {
+    journal: Journal<'a>,
+    worker_id: String,
+    next_seq: u64,
+    prev: Snapshot,
+}
+
+impl<'a> WorkerFlusher<'a> {
+    /// Opens (creating on first flush) the journal for `worker_id` under
+    /// `root`, resuming the sequence past any existing records.
+    pub fn open(vfs: &'a dyn Vfs, root: &Path, worker_id: &str) -> Result<Self, StoreError> {
+        let journal = Journal::open(vfs, worker_journal_path(root, worker_id));
+        let replay = journal.replay(true)?;
+        let next_seq = replay
+            .records
+            .iter()
+            .filter_map(|line| WorkerDelta::from_line(line).ok())
+            .map(|d| d.seq + 1)
+            .max()
+            .unwrap_or(0);
+        Ok(Self {
+            journal,
+            worker_id: worker_id.to_string(),
+            next_seq,
+            prev: Snapshot::default(),
+        })
+    }
+
+    /// The worker id this flusher stamps on every delta.
+    pub fn worker_id(&self) -> &str {
+        &self.worker_id
+    }
+
+    /// Sequence number the next flushed delta will carry.
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Flushes the registry's delta since the previous flush, stamped
+    /// `kind` and timestamped from `clock` (wall milliseconds). Returns
+    /// `Ok(false)` without touching disk when the delta is empty and
+    /// `kind` is `"periodic"` — idle heartbeats don't grow the journal —
+    /// while every other kind appends even an empty delta, so lifecycle
+    /// markers (`"start"`, `"exit"`, `"error"`) always leave a record.
+    pub fn flush(
+        &mut self,
+        registry: &Registry,
+        clock: &dyn Clock,
+        kind: &str,
+    ) -> Result<bool, StoreError> {
+        let snap = registry.snapshot();
+        let delta = snap.delta_since(&self.prev);
+        if delta.is_empty() && kind == "periodic" {
+            return Ok(false);
+        }
+        let record = WorkerDelta {
+            version: WorkerDelta::VERSION,
+            worker_id: self.worker_id.clone(),
+            seq: self.next_seq,
+            flushed_at_ms: clock.now_ns() / 1_000_000,
+            kind: kind.to_string(),
+            delta,
+        };
+        self.journal.append(&record.to_line())?;
+        self.prev = snap;
+        self.next_seq += 1;
+        Ok(true)
+    }
+}
+
+/// Replays every worker journal under `root` and returns all valid
+/// deltas, ordered by `(worker id, seq)`. A missing telemetry directory
+/// reads as an empty fleet; lines that fail to parse (future versions)
+/// are skipped — the journal's checksum framing already dropped torn or
+/// corrupt tails during each file's replay.
+pub fn read_worker_deltas(vfs: &dyn Vfs, root: &Path) -> Result<Vec<WorkerDelta>, StoreError> {
+    let dir = telemetry_dir(root);
+    if !vfs.exists(&dir) {
+        return Ok(Vec::new());
+    }
+    let mut deltas = Vec::new();
+    let mut paths = vfs.read_dir(&dir)?;
+    paths.sort();
+    for path in paths {
+        let Some(name) = path.file_name().and_then(|n| n.to_str()) else {
+            continue;
+        };
+        if !name.ends_with(TELEMETRY_JOURNAL_SUFFIX) {
+            continue;
+        }
+        let replay = Journal::open(vfs, path.clone()).replay(false)?;
+        deltas.extend(
+            replay
+                .records
+                .iter()
+                .filter_map(|line| WorkerDelta::from_line(line).ok()),
+        );
+    }
+    deltas.sort_by(|a, b| (&a.worker_id, a.seq).cmp(&(&b.worker_id, b.seq)));
+    Ok(deltas)
+}
+
+/// Merges every worker journal under `root` into one fleet snapshot.
+pub fn merge_worker_deltas(vfs: &dyn Vfs, root: &Path) -> Result<FleetSnapshot, StoreError> {
+    Ok(FleetSnapshot::from_deltas(&read_worker_deltas(vfs, root)?))
+}
+
+/// Writes the merged fleet snapshot to `fleet_telemetry.json` under
+/// `root` via the atomic-write/CRC protocol.
+pub fn write_fleet_snapshot(
+    vfs: &dyn Vfs,
+    root: &Path,
+    fleet: &FleetSnapshot,
+) -> Result<(), StoreError> {
+    crate::atomic::write_atomic(vfs, &fleet_telemetry_path(root), fleet.to_json().as_bytes())
+        .map(|_crc| ())
+}
+
+/// Reads a previously written fleet snapshot back.
+pub fn read_fleet_snapshot(vfs: &dyn Vfs, root: &Path) -> Result<FleetSnapshot, StoreError> {
+    let bytes = vfs.read(&fleet_telemetry_path(root))?;
+    let text = String::from_utf8_lossy(&bytes);
+    FleetSnapshot::from_json(&text)
+        .map_err(|e| StoreError::Io(std::io::Error::new(std::io::ErrorKind::InvalidData, e)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vfs::StdVfs;
+    use qdb_telemetry::ManualClock;
+
+    fn tmproot(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("qdb-telem-journal-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn flush_read_merge_round_trip() {
+        let root = tmproot("rt");
+        let clock = ManualClock::new();
+        let registry = Registry::new();
+        let mut flusher = WorkerFlusher::open(&StdVfs, &root, "w0").unwrap();
+
+        registry.counter("fragments").add(3);
+        registry.gauge("depth").set(5);
+        registry.histogram("h").record(1_000);
+        clock.advance_ms(10);
+        assert!(flusher.flush(&registry, &clock, "shard").unwrap());
+
+        registry.counter("fragments").add(2);
+        clock.advance_ms(10);
+        assert!(flusher.flush(&registry, &clock, "exit").unwrap());
+
+        let deltas = read_worker_deltas(&StdVfs, &root).unwrap();
+        assert_eq!(deltas.len(), 2);
+        assert_eq!(deltas[0].seq, 0);
+        assert_eq!(deltas[1].seq, 1);
+        assert_eq!(deltas[0].delta.counters["fragments"], 3);
+        assert_eq!(deltas[1].delta.counters["fragments"], 2);
+        assert_eq!(deltas[1].flushed_at_ms, 20);
+        // Second delta omits the unchanged gauge and histogram.
+        assert!(deltas[1].delta.gauges.is_empty());
+        assert!(deltas[1].delta.histograms.is_empty());
+
+        let fleet = merge_worker_deltas(&StdVfs, &root).unwrap();
+        assert_eq!(fleet.counters["fragments"], 5);
+        assert_eq!(fleet.gauges["depth"].value, 5);
+        assert_eq!(fleet.histograms["h"].count, 1);
+        assert!(fleet.identity_problems().is_empty());
+
+        write_fleet_snapshot(&StdVfs, &root, &fleet).unwrap();
+        assert_eq!(read_fleet_snapshot(&StdVfs, &root).unwrap(), fleet);
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn empty_periodic_flushes_skip_but_lifecycle_kinds_append() {
+        let root = tmproot("idle");
+        let clock = ManualClock::new();
+        let registry = Registry::new();
+        let mut flusher = WorkerFlusher::open(&StdVfs, &root, "w0").unwrap();
+        assert!(flusher.flush(&registry, &clock, "start").unwrap());
+        assert!(!flusher.flush(&registry, &clock, "periodic").unwrap());
+        assert!(flusher.flush(&registry, &clock, "exit").unwrap());
+        let deltas = read_worker_deltas(&StdVfs, &root).unwrap();
+        let kinds: Vec<&str> = deltas.iter().map(|d| d.kind.as_str()).collect();
+        assert_eq!(kinds, ["start", "exit"]);
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn restarted_worker_resumes_its_sequence() {
+        let root = tmproot("resume");
+        let clock = ManualClock::new();
+        {
+            let registry = Registry::new();
+            registry.counter("c").inc();
+            let mut flusher = WorkerFlusher::open(&StdVfs, &root, "wA").unwrap();
+            flusher.flush(&registry, &clock, "start").unwrap();
+            flusher.flush(&registry, &clock, "exit").unwrap();
+        }
+        // Same worker id, new process life: fresh registry, resumed seq.
+        let registry = Registry::new();
+        registry.counter("c").add(4);
+        let mut flusher = WorkerFlusher::open(&StdVfs, &root, "wA").unwrap();
+        assert_eq!(flusher.next_seq(), 2);
+        flusher.flush(&registry, &clock, "exit").unwrap();
+        let deltas = read_worker_deltas(&StdVfs, &root).unwrap();
+        assert_eq!(
+            deltas.iter().map(|d| d.seq).collect::<Vec<_>>(),
+            vec![0, 1, 2]
+        );
+        // Both lives' counter increments sum in the merge.
+        let fleet = FleetSnapshot::from_deltas(&deltas);
+        assert_eq!(fleet.counters["c"], 5);
+        assert_eq!(fleet.workers["wA"].flushes, 3);
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn torn_tail_costs_only_the_unflushed_delta() {
+        let root = tmproot("torn");
+        let clock = ManualClock::new();
+        let registry = Registry::new();
+        let mut flusher = WorkerFlusher::open(&StdVfs, &root, "w0").unwrap();
+        registry.counter("c").add(7);
+        flusher.flush(&registry, &clock, "shard").unwrap();
+        // A torn half-line after the valid record (crash mid-append).
+        let path = worker_journal_path(&root, "w0");
+        StdVfs.append(&path, b"deadbeef {\"vers").unwrap();
+        let deltas = read_worker_deltas(&StdVfs, &root).unwrap();
+        assert_eq!(deltas.len(), 1);
+        assert_eq!(deltas[0].delta.counters["c"], 7);
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn multiple_workers_merge_and_ids_sanitize() {
+        let root = tmproot("multi");
+        let clock = ManualClock::new();
+        for (id, n) in [("w/0", 2u64), ("w 1", 3)] {
+            let registry = Registry::new();
+            registry.counter("frags").add(n);
+            let mut flusher = WorkerFlusher::open(&StdVfs, &root, id).unwrap();
+            flusher.flush(&registry, &clock, "exit").unwrap();
+        }
+        assert_eq!(sanitize_worker_id("w/0"), "w_0");
+        assert_eq!(sanitize_worker_id(""), "worker");
+        let fleet = merge_worker_deltas(&StdVfs, &root).unwrap();
+        assert_eq!(fleet.counters["frags"], 5);
+        assert_eq!(fleet.workers.len(), 2);
+        assert!(
+            fleet.workers.contains_key("w/0"),
+            "ids stay unsanitized in data"
+        );
+        let _ = std::fs::remove_dir_all(&root);
+    }
+}

@@ -52,7 +52,10 @@ pub struct ChromeEvent {
 /// Per-track accounting mirrored into the `qdb` metadata block.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct ChromeTrackMeta {
-    /// Track id (tid under [`PID_WORKERS`]).
+    /// Process id the track's events carry ([`PID_WORKERS`] in a
+    /// single-process export; a per-worker pid in a fleet merge).
+    pub pid: u32,
+    /// Track id within its process.
     pub tid: u64,
     /// Thread name.
     pub thread: String,
@@ -167,6 +170,7 @@ pub fn chrome_trace(dump: &TraceDump) -> ChromeTraceFile {
                 .tracks
                 .iter()
                 .map(|t| ChromeTrackMeta {
+                    pid: PID_WORKERS,
                     tid: t.track as u64,
                     thread: t.thread.clone(),
                     dropped: t.dropped,
@@ -178,18 +182,126 @@ pub fn chrome_trace(dump: &TraceDump) -> ChromeTraceFile {
     }
 }
 
-/// Writes `dump` to `path` in Chrome trace-event JSON.
-pub fn write_chrome_trace(path: &Path, dump: &TraceDump) -> std::io::Result<()> {
+/// First per-worker process id a fleet merge assigns (worker `i` of the
+/// merge input gets pid `PID_FLEET_BASE + i`).
+pub const PID_FLEET_BASE: u32 = 100;
+
+/// A merged fragment lane's tid packs `(worker index + 1, original tid)`
+/// so fragment lanes from different workers never collide; this undoes
+/// the packing. Returns `(worker index + 1, original fragment tid)` —
+/// the first element is 0 for lanes of an unmerged single-process file.
+pub fn split_fleet_fragment_tid(tid: u64) -> (u64, u64) {
+    use crate::trace::{ARG_BITS, ARG_MASK};
+    (tid >> ARG_BITS, tid & ARG_MASK)
+}
+
+fn pack_fleet_fragment_tid(worker_index: usize, tid: u64) -> u64 {
+    use crate::trace::{ARG_BITS, ARG_MASK};
+    ((worker_index as u64 + 1) << ARG_BITS) | (tid & ARG_MASK)
+}
+
+/// Merges per-worker Chrome traces into one fleet file with distinct
+/// per-process tracks: worker `i`'s thread lanes move to pid
+/// [`PID_FLEET_BASE`]` + i` under a `worker:<id>` process name, and its
+/// fragment lanes stay under [`PID_FRAGMENTS`] with tids repacked via
+/// `(worker index + 1, tid)` so lanes from different workers never
+/// collide. Track metadata is concatenated with each track's final pid,
+/// and drop counters sum, so the merged file still satisfies the
+/// per-track event accounting that trace validation checks. All inputs
+/// must share the current schema version; inputs must be single-process
+/// exports (not already-merged fleet files).
+pub fn merge_chrome_traces(parts: &[(String, ChromeTraceFile)]) -> Result<ChromeTraceFile, String> {
+    if parts.is_empty() {
+        return Err("no worker traces to merge".to_string());
+    }
+    let mut events: Vec<ChromeEvent> = Vec::new();
+    let mut tracks: Vec<ChromeTrackMeta> = Vec::new();
+    let mut dropped = 0u64;
+    events.push(meta_event(PID_FRAGMENTS, 0, "process_name", "fragments"));
+    for (idx, (worker_id, file)) in parts.iter().enumerate() {
+        if file.qdb.version != TraceDump::VERSION {
+            return Err(format!(
+                "worker {worker_id}: trace version {} unsupported (expected {})",
+                file.qdb.version,
+                TraceDump::VERSION
+            ));
+        }
+        if file.qdb.tracks.iter().any(|t| t.pid != PID_WORKERS) {
+            return Err(format!(
+                "worker {worker_id}: input is already a merged fleet trace"
+            ));
+        }
+        let pid = PID_FLEET_BASE + idx as u32;
+        events.push(meta_event(
+            pid,
+            0,
+            "process_name",
+            &format!("worker:{worker_id}"),
+        ));
+        dropped += file.qdb.dropped;
+        for t in &file.qdb.tracks {
+            tracks.push(ChromeTrackMeta {
+                pid,
+                tid: t.tid,
+                thread: format!("{worker_id}/{}", t.thread),
+                dropped: t.dropped,
+                events: t.events,
+            });
+        }
+        for ev in &file.traceEvents {
+            if ev.pid == PID_FRAGMENTS {
+                let tid = pack_fleet_fragment_tid(idx, ev.tid);
+                if ev.ph == "M" {
+                    if ev.name == "thread_name" {
+                        events.push(meta_event(
+                            PID_FRAGMENTS,
+                            tid,
+                            "thread_name",
+                            &format!("{worker_id}/fragment-{}", ev.tid),
+                        ));
+                    }
+                    continue;
+                }
+                let mut e = ev.clone();
+                e.tid = tid;
+                events.push(e);
+            } else {
+                if ev.ph == "M" && ev.name == "process_name" {
+                    continue; // replaced by the worker:<id> process meta
+                }
+                let mut e = ev.clone();
+                e.pid = pid;
+                events.push(e);
+            }
+        }
+    }
+    Ok(ChromeTraceFile {
+        displayTimeUnit: "ms".to_string(),
+        qdb: ChromeMeta {
+            version: TraceDump::VERSION,
+            dropped,
+            tracks,
+        },
+        traceEvents: events,
+    })
+}
+
+/// Writes an in-memory Chrome trace file to `path`.
+pub fn write_chrome_trace_file(path: &Path, file: &ChromeTraceFile) -> std::io::Result<()> {
     if let Some(parent) = path.parent() {
         if !parent.as_os_str().is_empty() {
             std::fs::create_dir_all(parent)?;
         }
     }
-    let file = chrome_trace(dump);
     std::fs::write(
         path,
-        serde_json::to_string_pretty(&file).expect("chrome trace serializes"),
+        serde_json::to_string_pretty(file).expect("chrome trace serializes"),
     )
+}
+
+/// Writes `dump` to `path` in Chrome trace-event JSON.
+pub fn write_chrome_trace(path: &Path, dump: &TraceDump) -> std::io::Result<()> {
+    write_chrome_trace_file(path, &chrome_trace(dump))
 }
 
 /// Reads a Chrome-format trace back, rejecting unknown schema versions.
@@ -250,6 +362,58 @@ mod tests {
             .traceEvents
             .iter()
             .any(|e| e.ph == "M" && e.pid == PID_FRAGMENTS && e.tid == 3));
+    }
+
+    #[test]
+    fn fleet_merge_keeps_processes_distinct_and_accounting_intact() {
+        let a = chrome_trace(&sample_dump());
+        let b = chrome_trace(&sample_dump());
+        let non_meta = |f: &ChromeTraceFile| f.traceEvents.iter().filter(|e| e.ph != "M").count();
+        let merged =
+            merge_chrome_traces(&[("w0".to_string(), a.clone()), ("w1".to_string(), b.clone())])
+                .unwrap();
+        // Every non-meta event survives the merge.
+        assert_eq!(non_meta(&merged), non_meta(&a) + non_meta(&b));
+        // Worker lanes land on distinct per-process pids with process names.
+        let pids: BTreeSet<u32> = merged
+            .traceEvents
+            .iter()
+            .filter(|e| e.ph != "M" && e.pid != PID_FRAGMENTS)
+            .map(|e| e.pid)
+            .collect();
+        assert_eq!(pids, BTreeSet::from([PID_FLEET_BASE, PID_FLEET_BASE + 1]));
+        for (pid, id) in [(PID_FLEET_BASE, "w0"), (PID_FLEET_BASE + 1, "w1")] {
+            let want = serde_json::json!({ "name": format!("worker:{id}") });
+            assert!(merged.traceEvents.iter().any(|e| e.ph == "M"
+                && e.pid == pid
+                && e.name == "process_name"
+                && e.args.as_ref() == Some(&want)));
+        }
+        // Fragment lanes from different workers never collide: both inputs
+        // used fragment tid 3, the merged file carries two distinct tids
+        // that unpack back to (worker index + 1, 3).
+        let frag_tids: BTreeSet<u64> = merged
+            .traceEvents
+            .iter()
+            .filter(|e| e.ph != "M" && e.pid == PID_FRAGMENTS)
+            .map(|e| e.tid)
+            .collect();
+        assert_eq!(frag_tids.len(), 2);
+        let unpacked: BTreeSet<(u64, u64)> = frag_tids
+            .iter()
+            .map(|&t| split_fleet_fragment_tid(t))
+            .collect();
+        assert_eq!(unpacked, BTreeSet::from([(1, 3), (2, 3)]));
+        // Track metadata concatenates with per-track pids; drops sum.
+        assert_eq!(
+            merged.qdb.tracks.len(),
+            a.qdb.tracks.len() + b.qdb.tracks.len()
+        );
+        assert!(merged.qdb.tracks.iter().all(|t| t.pid >= PID_FLEET_BASE));
+        assert_eq!(merged.qdb.dropped, a.qdb.dropped + b.qdb.dropped);
+        // A merged file refuses to merge again; an empty merge refuses too.
+        assert!(merge_chrome_traces(&[("again".to_string(), merged)]).is_err());
+        assert!(merge_chrome_traces(&[]).is_err());
     }
 
     #[test]

@@ -10,8 +10,21 @@
 //! Histograms export as summaries with `quantile` labels plus
 //! `_sum`/`_count`/`_min`/`_max` series, and every family carries
 //! `# HELP`/`# TYPE` headers naming its dotted source metric.
+//!
+//! Exposition is family-first: every distinct `(kind, source metric)`
+//! pair resolves to exactly one exported family name before anything is
+//! rendered, and all samples of a family — including per-worker labeled
+//! samples when multiple snapshots are rendered together — are grouped
+//! under a single `# HELP`/`# TYPE` block, as the exposition format
+//! requires. When sanitization makes two different source metrics (or a
+//! counter and a gauge of the same name) land on one identifier, the
+//! later family (in deterministic kind-then-name order) gets a numeric
+//! `_2`, `_3`, … suffix instead of silently colliding — so merging
+//! snapshots from workers with disjoint metric sets can never emit two
+//! conflicting `# TYPE` lines for one name.
 
 use crate::snapshot::Snapshot;
+use std::collections::BTreeSet;
 use std::fmt::Write;
 
 /// Sanitizes a dotted metric name into a Prometheus identifier:
@@ -50,37 +63,115 @@ fn prom_hist_name(name: &str) -> String {
     }
 }
 
-/// Renders `snapshot` in the Prometheus text exposition format.
-pub fn render(snapshot: &Snapshot) -> String {
-    let mut out = String::new();
-    for (name, value) in &snapshot.counters {
-        let p = prom_name(name);
-        let _ = writeln!(out, "# HELP {p} QDockBank counter `{name}`.");
-        let _ = writeln!(out, "# TYPE {p} counter");
-        let _ = writeln!(out, "{p} {value}");
+/// Metric kinds, in exposition order.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+enum Kind {
+    Counter,
+    Gauge,
+    Summary,
+}
+
+/// Resolves every `(kind, source)` pair present in `parts` to a unique
+/// exported family name, deterministically suffixing collisions.
+fn assign_families(parts: &[(Option<&str>, &Snapshot)]) -> Vec<(String, Kind, String)> {
+    let mut pairs: BTreeSet<(Kind, &str)> = BTreeSet::new();
+    for (_, snap) in parts {
+        pairs.extend(snap.counters.keys().map(|n| (Kind::Counter, n.as_str())));
+        pairs.extend(snap.gauges.keys().map(|n| (Kind::Gauge, n.as_str())));
+        pairs.extend(snap.histograms.keys().map(|n| (Kind::Summary, n.as_str())));
     }
-    for (name, value) in &snapshot.gauges {
-        let p = prom_name(name);
-        let _ = writeln!(out, "# HELP {p} QDockBank gauge `{name}`.");
-        let _ = writeln!(out, "# TYPE {p} gauge");
-        let _ = writeln!(out, "{p} {value}");
-    }
-    for (name, h) in &snapshot.histograms {
-        let p = prom_hist_name(name);
-        let _ = writeln!(
-            out,
-            "# HELP {p} QDockBank distribution `{name}` (log-linear histogram summary)."
-        );
-        let _ = writeln!(out, "# TYPE {p} summary");
-        for (q, v) in [(0.5, h.p50), (0.9, h.p90), (0.99, h.p99)] {
-            let _ = writeln!(out, "{p}{{quantile=\"{q}\"}} {v}");
+    let mut taken: BTreeSet<String> = BTreeSet::new();
+    let mut families = Vec::with_capacity(pairs.len());
+    for (kind, source) in pairs {
+        let base = match kind {
+            Kind::Summary => prom_hist_name(source),
+            _ => prom_name(source),
+        };
+        let mut name = base.clone();
+        let mut n = 2;
+        while taken.contains(&name) {
+            name = format!("{base}_{n}");
+            n += 1;
         }
-        let _ = writeln!(out, "{p}_sum {}", h.sum);
-        let _ = writeln!(out, "{p}_count {}", h.count);
-        let _ = writeln!(out, "{p}_min {}", h.min);
-        let _ = writeln!(out, "{p}_max {}", h.max);
+        taken.insert(name.clone());
+        families.push((name, kind, source.to_string()));
+    }
+    families
+}
+
+fn label_suffix(worker: Option<&str>) -> String {
+    worker
+        .map(|w| format!("{{worker=\"{w}\"}}"))
+        .unwrap_or_default()
+}
+
+/// Renders one or more snapshots in the Prometheus text exposition
+/// format. Each entry pairs an optional worker id with its snapshot;
+/// when the id is set, every sample from that snapshot carries a
+/// `worker="<id>"` label. Families are resolved across all entries
+/// first, so snapshots with disjoint (or colliding) metric sets share
+/// one header per family.
+pub fn render_workers(parts: &[(Option<&str>, &Snapshot)]) -> String {
+    let mut out = String::new();
+    for (p, kind, source) in assign_families(parts) {
+        match kind {
+            Kind::Counter => {
+                let _ = writeln!(out, "# HELP {p} QDockBank counter `{source}`.");
+                let _ = writeln!(out, "# TYPE {p} counter");
+                for (worker, snap) in parts {
+                    if let Some(v) = snap.counters.get(&source) {
+                        let _ = writeln!(out, "{p}{} {v}", label_suffix(*worker));
+                    }
+                }
+            }
+            Kind::Gauge => {
+                let _ = writeln!(out, "# HELP {p} QDockBank gauge `{source}`.");
+                let _ = writeln!(out, "# TYPE {p} gauge");
+                for (worker, snap) in parts {
+                    if let Some(v) = snap.gauges.get(&source) {
+                        let _ = writeln!(out, "{p}{} {v}", label_suffix(*worker));
+                    }
+                }
+            }
+            Kind::Summary => {
+                let _ = writeln!(
+                    out,
+                    "# HELP {p} QDockBank distribution `{source}` (log-linear histogram summary)."
+                );
+                let _ = writeln!(out, "# TYPE {p} summary");
+                for (worker, snap) in parts {
+                    let Some(h) = snap.histograms.get(&source) else {
+                        continue;
+                    };
+                    for (q, v) in [(0.5, h.p50), (0.9, h.p90), (0.99, h.p99)] {
+                        let labels = match worker {
+                            Some(w) => format!("{{quantile=\"{q}\",worker=\"{w}\"}}"),
+                            None => format!("{{quantile=\"{q}\"}}"),
+                        };
+                        let _ = writeln!(out, "{p}{labels} {v}");
+                    }
+                    let suffix = label_suffix(*worker);
+                    let _ = writeln!(out, "{p}_sum{suffix} {}", h.sum);
+                    let _ = writeln!(out, "{p}_count{suffix} {}", h.count);
+                    let _ = writeln!(out, "{p}_min{suffix} {}", h.min);
+                    let _ = writeln!(out, "{p}_max{suffix} {}", h.max);
+                }
+            }
+        }
     }
     out
+}
+
+/// Renders `snapshot` in the Prometheus text exposition format.
+pub fn render(snapshot: &Snapshot) -> String {
+    render_workers(&[(None, snapshot)])
+}
+
+/// Renders `snapshot` with an optional `worker="<id>"` label on every
+/// sample — what a serving process with a configured worker id exposes
+/// on `/metrics`, so a fleet-level scrape can tell its workers apart.
+pub fn render_with_worker(snapshot: &Snapshot, worker: Option<&str>) -> String {
+    render_workers(&[(worker, snapshot)])
 }
 
 #[cfg(test)]
@@ -126,5 +217,69 @@ mod tests {
         assert_eq!(prom_name("a.-b."), "qdb_a_b");
         assert_eq!(prom_name(".a"), "qdb_a");
         assert_eq!(prom_name("trace.dropped"), "qdb_trace_dropped");
+    }
+
+    #[test]
+    fn worker_label_lands_on_every_sample() {
+        let r = Registry::new();
+        r.counter("jobs.done").add(4);
+        r.gauge("queue.depth").set(2);
+        r.histogram("serve.job").record(500);
+        let text = render_with_worker(&r.snapshot(), Some("w0"));
+        assert!(text.contains("qdb_jobs_done{worker=\"w0\"} 4"));
+        assert!(text.contains("qdb_queue_depth{worker=\"w0\"} 2"));
+        assert!(text.contains("qdb_serve_job_ns{quantile=\"0.5\",worker=\"w0\"}"));
+        assert!(text.contains("qdb_serve_job_ns_count{worker=\"w0\"} 1"));
+        // Headers never carry labels.
+        assert!(text.contains("# TYPE qdb_jobs_done counter\n"));
+    }
+
+    #[test]
+    fn disjoint_worker_sets_share_one_header_per_family() {
+        let a = Registry::new();
+        a.counter("fragments").add(3);
+        a.counter("only.a").inc();
+        let b = Registry::new();
+        b.counter("fragments").add(5);
+        b.gauge("only.b").set(7);
+        let (sa, sb) = (a.snapshot(), b.snapshot());
+        let text = render_workers(&[(Some("wA"), &sa), (Some("wB"), &sb)]);
+        // One TYPE header for the shared family, both labeled samples under it.
+        assert_eq!(text.matches("# TYPE qdb_fragments counter").count(), 1);
+        let idx = text.find("# TYPE qdb_fragments counter").unwrap();
+        let tail = &text[idx..];
+        let block: &str = tail.split("# HELP").next().unwrap();
+        assert!(block.contains("qdb_fragments{worker=\"wA\"} 3"));
+        assert!(block.contains("qdb_fragments{worker=\"wB\"} 5"));
+        // Disjoint metrics render once each, correctly labeled.
+        assert!(text.contains("qdb_only_a{worker=\"wA\"} 1"));
+        assert!(text.contains("qdb_only_b{worker=\"wB\"} 7"));
+    }
+
+    #[test]
+    fn sanitize_and_cross_kind_collisions_get_deterministic_suffixes() {
+        // Two source counters sanitize to the same identifier...
+        let a = Registry::new();
+        a.counter("a.b").add(1);
+        let b = Registry::new();
+        b.counter("a..b").add(2);
+        // ...and a gauge shares the name with a counter on another worker.
+        b.gauge("a.b").set(9);
+        let (sa, sb) = (a.snapshot(), b.snapshot());
+        let text = render_workers(&[(Some("w0"), &sa), (Some("w1"), &sb)]);
+        // Every family keeps exactly one TYPE line and no name hosts two kinds.
+        assert_eq!(text.matches("# TYPE qdb_a_b counter\n").count(), 1);
+        assert_eq!(text.matches("# TYPE qdb_a_b_2 counter\n").count(), 1);
+        assert_eq!(text.matches("# TYPE qdb_a_b_3 gauge\n").count(), 1);
+        // Assignment follows deterministic kind-then-source order: the
+        // source `a..b` sorts before `a.b`, so it keeps the base name.
+        assert!(text.contains("qdb_a_b{worker=\"w1\"} 2"));
+        assert!(text.contains("qdb_a_b_2{worker=\"w0\"} 1"));
+        assert!(text.contains("qdb_a_b_3{worker=\"w1\"} 9"));
+        // Deterministic: rendering again gives the same assignment.
+        assert_eq!(
+            text,
+            render_workers(&[(Some("w0"), &sa), (Some("w1"), &sb)])
+        );
     }
 }

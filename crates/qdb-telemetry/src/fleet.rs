@@ -1,0 +1,419 @@
+//! Fleet merge: combining per-worker telemetry deltas across processes.
+//!
+//! A single registry [`Snapshot`](crate::Snapshot) is process-local; a
+//! sharded build or a serving pool is a *fleet* of processes, each
+//! flushing [`WorkerDelta`]s (monotone-sequence-numbered, worker-id-
+//! stamped registry deltas) into durable journals under the build root.
+//! This module owns the pure merge math — reading and writing the
+//! journals lives in `qdb-store`, which depends on this crate.
+//!
+//! Merge semantics, per metric kind:
+//!
+//! * **Counters sum.** Each delta carries how much a counter advanced
+//!   since the worker's previous flush, so folding every delta of every
+//!   worker gives the exact fleet total: addition over `u64` is a
+//!   commutative monoid and deltas partition each worker's increments.
+//! * **Gauges are last-writer-wins by timestamp.** Every gauge value is
+//!   stamped `(flushed_at_ms, worker_id, seq)` and the merge keeps the
+//!   lexicographically largest stamp — a total order (ties on wall time
+//!   break by worker id, then sequence number), so the result is
+//!   independent of merge order.
+//! * **Histograms merge bucket-wise** via
+//!   [`HistogramSnapshot::merge`]: bucket counts add, so total count is
+//!   preserved exactly, and because every recorded value still sits in
+//!   the same log-linear bucket after the merge, quantile estimates keep
+//!   the structural ≤ 1/32 relative-error bound (see
+//!   [`HistogramSnapshot::diff_since`] for why per-worker delta chains
+//!   reassemble exactly).
+//!
+//! All three are per-key commutative monoids with
+//! [`FleetSnapshot::empty`] as identity, which is what makes the fleet
+//! snapshot well-defined no matter how many workers flushed, in what
+//! order their journals are read, or how partial merges are grouped —
+//! properties locked down by proptests in `tests/properties.rs`.
+
+use crate::histogram::HistogramSnapshot;
+use crate::snapshot::Snapshot;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// One durably flushed registry delta: what a worker's metrics did
+/// between its previous flush and this one.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WorkerDelta {
+    /// Schema version ([`WorkerDelta::VERSION`]).
+    pub version: u32,
+    /// The flushing worker's id (stable across that worker's flushes).
+    pub worker_id: String,
+    /// Monotone per-worker flush sequence number (0-based; survives a
+    /// same-id restart because the flusher resumes past the journal).
+    pub seq: u64,
+    /// Wall-clock flush time in milliseconds (the build's clock), used
+    /// as the gauge last-writer stamp.
+    pub flushed_at_ms: u64,
+    /// Why the flush happened: `"start"`, `"shard"`, `"periodic"`,
+    /// `"exit"`, or `"error"` (free-form for forward compatibility).
+    pub kind: String,
+    /// The registry delta itself (see [`Snapshot::delta_since`]).
+    pub delta: Snapshot,
+}
+
+impl WorkerDelta {
+    /// Current schema version.
+    pub const VERSION: u32 = 1;
+
+    /// Compact single-line JSON — the journal payload format.
+    pub fn to_line(&self) -> String {
+        serde_json::to_string(self).expect("worker delta serializes")
+    }
+
+    /// Parses a journal payload line, rejecting unknown versions.
+    pub fn from_line(line: &str) -> Result<Self, String> {
+        let delta: WorkerDelta = serde_json::from_str(line).map_err(|e| e.to_string())?;
+        if delta.version != Self::VERSION {
+            return Err(format!(
+                "worker delta version {} unsupported (expected {})",
+                delta.version,
+                Self::VERSION
+            ));
+        }
+        Ok(delta)
+    }
+}
+
+/// A gauge value plus the stamp that decides last-writer-wins merges.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StampedGauge {
+    /// The gauge reading.
+    pub value: i64,
+    /// Flush wall time of the delta that carried it.
+    pub at_ms: u64,
+    /// Worker that flushed it.
+    pub worker: String,
+    /// That worker's flush sequence number.
+    pub seq: u64,
+}
+
+impl StampedGauge {
+    /// The total-order merge key: `(at_ms, worker, seq)`, lexicographic.
+    fn stamp(&self) -> (u64, &str, u64) {
+        (self.at_ms, self.worker.as_str(), self.seq)
+    }
+}
+
+/// Per-worker accounting inside a [`FleetSnapshot`]: how many deltas the
+/// worker flushed and what its counters summed to — the receipts behind
+/// the merge-identity check (fleet counters ≡ Σ per-worker counters).
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WorkerTotals {
+    /// Deltas absorbed from this worker.
+    pub flushes: u64,
+    /// Highest flush sequence number seen.
+    pub last_seq: u64,
+    /// Latest flush wall time seen.
+    pub last_flushed_at_ms: u64,
+    /// Sum of this worker's counter deltas, by metric name.
+    pub counters: BTreeMap<String, u64>,
+}
+
+/// The merged, fleet-wide view of every worker's flushed deltas.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FleetSnapshot {
+    /// Schema version ([`FleetSnapshot::VERSION`]).
+    pub version: u32,
+    /// Fleet counter totals (sum across workers).
+    pub counters: BTreeMap<String, u64>,
+    /// Fleet gauge readings (last writer by stamp).
+    pub gauges: BTreeMap<String, StampedGauge>,
+    /// Fleet histograms (bucket-wise merge).
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+    /// Per-worker receipts, keyed by worker id.
+    pub workers: BTreeMap<String, WorkerTotals>,
+}
+
+impl Default for FleetSnapshot {
+    fn default() -> Self {
+        Self::empty()
+    }
+}
+
+impl FleetSnapshot {
+    /// Current schema version.
+    pub const VERSION: u32 = 1;
+
+    /// The merge identity: absorbing or merging into it changes nothing.
+    pub fn empty() -> Self {
+        Self {
+            version: Self::VERSION,
+            counters: BTreeMap::new(),
+            gauges: BTreeMap::new(),
+            histograms: BTreeMap::new(),
+            workers: BTreeMap::new(),
+        }
+    }
+
+    /// Folds one worker delta into the fleet view.
+    pub fn absorb_delta(&mut self, d: &WorkerDelta) {
+        for (name, &v) in &d.delta.counters {
+            *self.counters.entry(name.clone()).or_insert(0) += v;
+        }
+        for (name, &value) in &d.delta.gauges {
+            let candidate = StampedGauge {
+                value,
+                at_ms: d.flushed_at_ms,
+                worker: d.worker_id.clone(),
+                seq: d.seq,
+            };
+            match self.gauges.get(name) {
+                Some(current) if current.stamp() >= candidate.stamp() => {}
+                _ => {
+                    self.gauges.insert(name.clone(), candidate);
+                }
+            }
+        }
+        for (name, hist) in &d.delta.histograms {
+            match self.histograms.get_mut(name) {
+                Some(current) => *current = current.merge(hist),
+                None => {
+                    self.histograms
+                        .insert(name.clone(), HistogramSnapshot::empty().merge(hist));
+                }
+            }
+        }
+        let totals = self.workers.entry(d.worker_id.clone()).or_default();
+        totals.flushes += 1;
+        totals.last_seq = totals.last_seq.max(d.seq);
+        totals.last_flushed_at_ms = totals.last_flushed_at_ms.max(d.flushed_at_ms);
+        for (name, &v) in &d.delta.counters {
+            *totals.counters.entry(name.clone()).or_insert(0) += v;
+        }
+    }
+
+    /// Builds a fleet snapshot from a batch of deltas (any order).
+    pub fn from_deltas<'a>(deltas: impl IntoIterator<Item = &'a WorkerDelta>) -> Self {
+        let mut fleet = Self::empty();
+        for d in deltas {
+            fleet.absorb_delta(d);
+        }
+        fleet
+    }
+
+    /// Merges two fleet views (commutative, associative,
+    /// [`empty`](Self::empty)-identity): counters and per-worker receipt
+    /// counters sum, histograms merge bucket-wise, gauges keep the newer
+    /// stamp, worker receipts combine per id.
+    pub fn merge(&self, other: &Self) -> Self {
+        let mut out = self.clone();
+        for (name, &v) in &other.counters {
+            *out.counters.entry(name.clone()).or_insert(0) += v;
+        }
+        for (name, gauge) in &other.gauges {
+            match out.gauges.get(name) {
+                Some(current) if current.stamp() >= gauge.stamp() => {}
+                _ => {
+                    out.gauges.insert(name.clone(), gauge.clone());
+                }
+            }
+        }
+        for (name, hist) in &other.histograms {
+            match out.histograms.get_mut(name) {
+                Some(current) => *current = current.merge(hist),
+                None => {
+                    out.histograms
+                        .insert(name.clone(), HistogramSnapshot::empty().merge(hist));
+                }
+            }
+        }
+        for (id, theirs) in &other.workers {
+            let totals = out.workers.entry(id.clone()).or_default();
+            totals.flushes += theirs.flushes;
+            totals.last_seq = totals.last_seq.max(theirs.last_seq);
+            totals.last_flushed_at_ms = totals.last_flushed_at_ms.max(theirs.last_flushed_at_ms);
+            for (name, &v) in &theirs.counters {
+                *totals.counters.entry(name.clone()).or_insert(0) += v;
+            }
+        }
+        out
+    }
+
+    /// Checks the merge identity that every consumer gates on: each fleet
+    /// counter must equal the sum of the per-worker receipt counters, key
+    /// for key. Returns human-readable problems (empty = identity holds).
+    pub fn identity_problems(&self) -> Vec<String> {
+        let mut summed: BTreeMap<&str, u64> = BTreeMap::new();
+        for totals in self.workers.values() {
+            for (name, &v) in &totals.counters {
+                *summed.entry(name.as_str()).or_insert(0) += v;
+            }
+        }
+        let mut problems = Vec::new();
+        for (name, &total) in &self.counters {
+            let per_worker = summed.remove(name.as_str()).unwrap_or(0);
+            if per_worker != total {
+                problems.push(format!(
+                    "counter {name}: fleet total {total} != per-worker sum {per_worker}"
+                ));
+            }
+        }
+        for (name, v) in summed {
+            problems.push(format!(
+                "counter {name}: per-worker sum {v} missing from fleet totals"
+            ));
+        }
+        problems
+    }
+
+    /// Total deltas absorbed across all workers.
+    pub fn total_flushes(&self) -> u64 {
+        self.workers.values().map(|w| w.flushes).sum()
+    }
+
+    /// Pretty JSON, keys sorted.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("fleet snapshot serializes")
+    }
+
+    /// Parses a fleet snapshot, rejecting unknown versions.
+    pub fn from_json(json: &str) -> Result<Self, String> {
+        let fleet: FleetSnapshot = serde_json::from_str(json).map_err(|e| e.to_string())?;
+        if fleet.version != Self::VERSION {
+            return Err(format!(
+                "fleet snapshot version {} unsupported (expected {})",
+                fleet.version,
+                Self::VERSION
+            ));
+        }
+        Ok(fleet)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::Registry;
+
+    fn delta(worker: &str, seq: u64, at_ms: u64, build: impl FnOnce(&Registry)) -> WorkerDelta {
+        let r = Registry::new();
+        build(&r);
+        WorkerDelta {
+            version: WorkerDelta::VERSION,
+            worker_id: worker.to_string(),
+            seq,
+            flushed_at_ms: at_ms,
+            kind: "shard".to_string(),
+            delta: r.snapshot().delta_since(&Snapshot::default()),
+        }
+    }
+
+    #[test]
+    fn delta_chain_reassembles_the_cumulative_snapshot() {
+        let r = Registry::new();
+        r.counter("c").add(3);
+        r.histogram("h").record(100);
+        let first = r.snapshot();
+        let d1 = first.delta_since(&Snapshot::default());
+        r.counter("c").add(4);
+        r.gauge("g").set(-7);
+        r.histogram("h").record(9_999);
+        let second = r.snapshot();
+        let d2 = second.delta_since(&first);
+
+        assert_eq!(d1.counters["c"], 3);
+        assert_eq!(d2.counters["c"], 4);
+        assert_eq!(d2.gauges["g"], -7);
+        // Counters and histogram contents reassemble exactly.
+        let rebuilt = d1.histograms["h"].merge(&d2.histograms["h"]);
+        assert_eq!(rebuilt, second.histograms["h"]);
+        // An idle interval produces an empty delta.
+        assert!(second.delta_since(&second).is_empty());
+    }
+
+    #[test]
+    fn fleet_counters_sum_and_identity_holds() {
+        let a = delta("wA", 0, 10, |r| {
+            r.counter("fragments").add(5);
+            r.counter("only_a").inc();
+        });
+        let b = delta("wB", 0, 11, |r| r.counter("fragments").add(7));
+        let fleet = FleetSnapshot::from_deltas([&a, &b]);
+        assert_eq!(fleet.counters["fragments"], 12);
+        assert_eq!(fleet.counters["only_a"], 1);
+        assert_eq!(fleet.workers["wA"].counters["fragments"], 5);
+        assert_eq!(fleet.workers["wB"].counters["fragments"], 7);
+        assert!(fleet.identity_problems().is_empty());
+        assert_eq!(fleet.total_flushes(), 2);
+
+        let mut broken = fleet.clone();
+        *broken.counters.get_mut("fragments").unwrap() += 1;
+        assert_eq!(broken.identity_problems().len(), 1);
+    }
+
+    #[test]
+    fn gauges_keep_the_newest_stamp_regardless_of_order() {
+        let older = delta("wB", 3, 100, |r| r.gauge("depth").set(10));
+        let newer = delta("wA", 1, 200, |r| r.gauge("depth").set(4));
+        let forward = FleetSnapshot::from_deltas([&older, &newer]);
+        let backward = FleetSnapshot::from_deltas([&newer, &older]);
+        assert_eq!(forward, backward);
+        assert_eq!(forward.gauges["depth"].value, 4);
+        assert_eq!(forward.gauges["depth"].worker, "wA");
+        // Wall-time tie: worker id breaks it deterministically.
+        let tie_a = delta("wA", 0, 100, |r| r.gauge("tie").set(1));
+        let tie_b = delta("wB", 0, 100, |r| r.gauge("tie").set(2));
+        let merged = FleetSnapshot::from_deltas([&tie_b, &tie_a]);
+        assert_eq!(merged.gauges["tie"].value, 2);
+    }
+
+    #[test]
+    fn merge_is_commutative_associative_with_empty_identity() {
+        let parts = [
+            delta("wA", 0, 1, |r| {
+                r.counter("x").add(2);
+                r.histogram("h").record(50);
+            }),
+            delta("wB", 0, 2, |r| {
+                r.counter("x").add(3);
+                r.gauge("g").set(9);
+            }),
+            delta("wA", 1, 3, |r| r.histogram("h").record(5_000)),
+        ];
+        let [f0, f1, f2] = [
+            FleetSnapshot::from_deltas([&parts[0]]),
+            FleetSnapshot::from_deltas([&parts[1]]),
+            FleetSnapshot::from_deltas([&parts[2]]),
+        ];
+        assert_eq!(f0.merge(&f1), f1.merge(&f0));
+        assert_eq!(f0.merge(&f1).merge(&f2), f0.merge(&f1.merge(&f2)));
+        assert_eq!(FleetSnapshot::empty().merge(&f0), f0);
+        assert_eq!(f0.merge(&FleetSnapshot::empty()), f0);
+        // And batch-building equals pairwise merging.
+        assert_eq!(
+            FleetSnapshot::from_deltas(parts.iter()),
+            f0.merge(&f1).merge(&f2)
+        );
+    }
+
+    #[test]
+    fn json_round_trip_and_version_gates() {
+        let d = delta("w0", 0, 5, |r| {
+            r.counter("c").inc();
+            r.gauge("g").set(3);
+            r.histogram("h").record(123);
+        });
+        let back = WorkerDelta::from_line(&d.to_line()).unwrap();
+        assert_eq!(back, d);
+        let fleet = FleetSnapshot::from_deltas([&d]);
+        assert_eq!(FleetSnapshot::from_json(&fleet.to_json()).unwrap(), fleet);
+
+        let mut bad = d.clone();
+        bad.version = 99;
+        assert!(WorkerDelta::from_line(&bad.to_line())
+            .unwrap_err()
+            .contains("99"));
+        let mut bad_fleet = fleet.clone();
+        bad_fleet.version = 99;
+        assert!(FleetSnapshot::from_json(&bad_fleet.to_json())
+            .unwrap_err()
+            .contains("99"));
+    }
+}

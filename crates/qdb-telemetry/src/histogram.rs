@@ -235,6 +235,37 @@ impl HistogramSnapshot {
         }
     }
 
+    /// The delta of this snapshot relative to an earlier snapshot of the
+    /// **same histogram in the same process life** (`prev`).
+    ///
+    /// Buckets only ever grow, so the delta is the bucket-wise difference;
+    /// count and sum subtract likewise. `min`/`max` carry the *cumulative*
+    /// bounds at flush time rather than per-interval bounds: min is
+    /// nonincreasing and max nondecreasing over a histogram's life, so
+    /// [`merge`](Self::merge)-folding every delta of one worker reproduces
+    /// the final cumulative snapshot **exactly** (buckets/count/sum by
+    /// additivity, min/max because the last delta carries the final
+    /// bounds and merge takes min-of-mins / max-of-maxes). Each individual
+    /// delta's own percentiles stay valid bounds: any value recorded in
+    /// the interval lies within the cumulative `[min, max]`, so the
+    /// quantile clamp never moves a bucket bound past a real value.
+    pub fn diff_since(&self, prev: &Self) -> Self {
+        let earlier: std::collections::BTreeMap<u32, u64> = prev.buckets.iter().copied().collect();
+        let buckets: Vec<(u32, u64)> = self
+            .buckets
+            .iter()
+            .map(|&(i, c)| (i, c.saturating_sub(earlier.get(&i).copied().unwrap_or(0))))
+            .filter(|&(_, c)| c > 0)
+            .collect();
+        Self::assemble(
+            self.count.saturating_sub(prev.count),
+            self.sum.wrapping_sub(prev.sum),
+            self.min,
+            self.max,
+            buckets,
+        )
+    }
+
     /// Merges two snapshots (commutative and associative; percentiles are
     /// recomputed from the combined buckets).
     pub fn merge(&self, other: &Self) -> Self {

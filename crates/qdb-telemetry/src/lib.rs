@@ -32,6 +32,7 @@
 pub mod clock;
 pub mod counter;
 pub mod export;
+pub mod fleet;
 pub mod gauge;
 pub mod histogram;
 pub mod registry;
@@ -41,6 +42,7 @@ pub mod trace;
 
 pub use clock::{Clock, ManualClock, MonotonicClock, WallClock};
 pub use counter::Counter;
+pub use fleet::{FleetSnapshot, StampedGauge, WorkerDelta, WorkerTotals};
 pub use gauge::Gauge;
 pub use histogram::{Histogram, HistogramSnapshot};
 pub use registry::Registry;

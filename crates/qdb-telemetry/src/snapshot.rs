@@ -46,6 +46,51 @@ impl Snapshot {
     pub fn to_json(&self) -> String {
         serde_json::to_string_pretty(self).expect("snapshot serializes")
     }
+
+    /// Whether the snapshot carries no metrics at all.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+
+    /// The delta of this (cumulative) snapshot since an earlier snapshot
+    /// of the **same registry in the same process life**.
+    ///
+    /// Counters keep only the keys that advanced (by how much they
+    /// advanced); gauges keep only the keys whose value changed (at their
+    /// absolute current reading — gauge merge is last-writer-wins, so an
+    /// omitted gauge correctly leaves the previous flush's value in
+    /// force); histograms keep only the keys whose count grew, diffed via
+    /// [`HistogramSnapshot::diff_since`]. Merging every delta a worker
+    /// ever flushed reproduces its final cumulative snapshot.
+    pub fn delta_since(&self, prev: &Snapshot) -> Snapshot {
+        let mut delta = Snapshot {
+            version: Self::VERSION,
+            ..Snapshot::default()
+        };
+        for (name, &total) in &self.counters {
+            let d = total.saturating_sub(prev.counters.get(name).copied().unwrap_or(0));
+            if d > 0 {
+                delta.counters.insert(name.clone(), d);
+            }
+        }
+        for (name, &value) in &self.gauges {
+            if prev.gauges.get(name) != Some(&value) {
+                delta.gauges.insert(name.clone(), value);
+            }
+        }
+        for (name, hist) in &self.histograms {
+            let before_count = prev.histograms.get(name).map_or(0, |h| h.count);
+            if hist.count <= before_count {
+                continue;
+            }
+            let diffed = match prev.histograms.get(name) {
+                Some(before) => hist.diff_since(before),
+                None => hist.clone(),
+            };
+            delta.histograms.insert(name.clone(), diffed);
+        }
+        delta
+    }
 }
 
 #[cfg(test)]

@@ -92,10 +92,58 @@ impl EventKind {
 
 /// Slot packing: `kind` in bits 62–63, interned name id in bits 46–61,
 /// correlation argument in bits 0–45.
-const ARG_BITS: u32 = 46;
-const ARG_MASK: u64 = (1 << ARG_BITS) - 1;
+pub const ARG_BITS: u32 = 46;
+/// Mask selecting the correlation argument of a packed slot word.
+pub const ARG_MASK: u64 = (1 << ARG_BITS) - 1;
 const NAME_BITS: u32 = 16;
 const NAME_MASK: u64 = (1 << NAME_BITS) - 1;
+
+/// Bits of a correlation argument carrying the fragment field (low bits).
+pub const LANE_FRAGMENT_BITS: u32 = 32;
+/// Mask selecting the fragment field of a correlation argument.
+pub const LANE_FRAGMENT_MASK: u64 = (1 << LANE_FRAGMENT_BITS) - 1;
+/// Bits of a correlation argument carrying the worker ordinal (bits
+/// 32..46 — 14 bits, so ordinals range `0..16384`).
+pub const LANE_WORKER_BITS: u32 = ARG_BITS - LANE_FRAGMENT_BITS;
+/// Largest worker ordinal a correlation argument can carry.
+pub const LANE_WORKER_MAX: u64 = (1 << LANE_WORKER_BITS) - 1;
+
+/// Packs a `(worker ordinal, fragment field)` pair into one correlation
+/// argument so events from different processes stay attributable after a
+/// fleet merge: the worker ordinal lands in bits 32..46 and the fragment
+/// field in bits 0..32. Ordinal 0 means "unattributed" and reproduces the
+/// legacy single-process encoding bit for bit (the fragment field alone),
+/// so existing traces decode unchanged.
+pub fn pack_lane(worker_ordinal: u64, fragment: u64) -> u64 {
+    ((worker_ordinal & LANE_WORKER_MAX) << LANE_FRAGMENT_BITS) | (fragment & LANE_FRAGMENT_MASK)
+}
+
+/// The worker ordinal packed into a correlation argument (0 = none).
+pub fn lane_worker(arg: u64) -> u64 {
+    (arg >> LANE_FRAGMENT_BITS) & LANE_WORKER_MAX
+}
+
+/// The fragment field packed into a correlation argument.
+pub fn lane_fragment(arg: u64) -> u64 {
+    arg & LANE_FRAGMENT_MASK
+}
+
+/// A stable nonzero ordinal for a worker-id string, derived by FNV-1a
+/// folded to [`LANE_WORKER_BITS`] bits. Deterministic across processes
+/// (two runs of worker `"w0"` always pack the same lanes) and nonzero so
+/// an attributed lane is never mistaken for the legacy encoding; distinct
+/// ids can collide in principle (14-bit space), which merges their lanes
+/// in a trace view but never corrupts metric accounting (snapshots are
+/// keyed by the full worker-id string).
+pub fn worker_ordinal(worker_id: &str) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in worker_id.bytes() {
+        hash ^= byte as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    let folded = (hash ^ (hash >> 32) ^ (hash >> 14)) & LANE_WORKER_MAX;
+    folded.max(1)
+}
 
 fn pack(kind: EventKind, name_id: u16, arg: u64) -> u64 {
     (kind.to_bits() << 62) | ((name_id as u64) << ARG_BITS) | (arg & ARG_MASK)
@@ -507,6 +555,24 @@ mod tests {
         for kind in [EventKind::Begin, EventKind::End, EventKind::Instant] {
             let word = pack(kind, 513, 0x3FFF_FFFF_FFFF);
             assert_eq!(unpack(word), (kind, 513, 0x3FFF_FFFF_FFFF));
+        }
+    }
+
+    #[test]
+    fn lane_packing_round_trips_and_preserves_legacy_encoding() {
+        let arg = pack_lane(0x3A7, 1_000_042);
+        assert_eq!(lane_worker(arg), 0x3A7);
+        assert_eq!(lane_fragment(arg), 1_000_042);
+        assert!(arg <= ARG_MASK, "packed lanes must fit the slot arg field");
+        // Ordinal 0 is bit-identical to the legacy fragment-only encoding.
+        assert_eq!(pack_lane(0, 77), 77);
+        assert_eq!(lane_worker(77), 0);
+        // Ordinals are deterministic, nonzero, and in range.
+        assert_eq!(worker_ordinal("w0"), worker_ordinal("w0"));
+        assert_ne!(worker_ordinal("w0"), worker_ordinal("w1"));
+        for id in ["", "w0", "w-doomed", "a-much-longer-worker-name"] {
+            let ord = worker_ordinal(id);
+            assert!((1..=LANE_WORKER_MAX).contains(&ord));
         }
     }
 

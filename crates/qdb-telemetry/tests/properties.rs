@@ -1,14 +1,16 @@
 //! Property tests for the telemetry histogram (merge commutativity,
 //! percentile monotonicity and bracketing, no-loss recording under
-//! sharded concurrency) and the flight recorder (monotone per-thread
+//! sharded concurrency), the flight recorder (monotone per-thread
 //! timestamps, balanced begin/end, exact drop accounting, and
 //! ManualClock-deterministic agreement between the event stream and the
-//! span histograms).
+//! span histograms), and the fleet merge (commutative monoid over
+//! worker deltas with count-exact, quantile-bounded histogram folding).
 
 use proptest::prelude::*;
 use qdb_telemetry::trace::TraceConfig;
 use qdb_telemetry::{
-    EventKind, Histogram, HistogramSnapshot, ManualClock, Registry, TraceRecorder,
+    EventKind, FleetSnapshot, Histogram, HistogramSnapshot, ManualClock, Registry, TraceRecorder,
+    WorkerDelta,
 };
 use std::collections::BTreeMap;
 use std::sync::Arc;
@@ -19,6 +21,54 @@ fn snapshot_of(values: &[u64]) -> HistogramSnapshot {
         h.record(v);
     }
     h.snapshot()
+}
+
+/// Generated payload for one flushed worker delta.
+type DeltaSpec = (
+    usize,             // worker index
+    u64,               // flush seq
+    u64,               // flush wall ms
+    Vec<(usize, u64)>, // counter bumps (name index, amount)
+    Vec<(usize, i64)>, // gauge sets (name index, value)
+    Vec<u64>,          // histogram samples
+);
+
+fn delta_of(spec: &DeltaSpec) -> WorkerDelta {
+    const WORKERS: [&str; 3] = ["w0", "w1", "w2"];
+    const NAMES: [&str; 3] = ["m.a", "m.b", "m.c"];
+    let (widx, seq, at_ms, counters, gauges, samples) = spec;
+    let r = Registry::new();
+    for (n, v) in counters {
+        r.counter(NAMES[n % NAMES.len()]).add(*v);
+    }
+    for (n, v) in gauges {
+        r.gauge(NAMES[n % NAMES.len()]).set(*v);
+    }
+    for v in samples {
+        r.histogram("m.h").record(*v);
+    }
+    WorkerDelta {
+        version: WorkerDelta::VERSION,
+        worker_id: WORKERS[widx % WORKERS.len()].to_string(),
+        seq: *seq,
+        flushed_at_ms: *at_ms,
+        kind: "periodic".to_string(),
+        delta: r.snapshot(),
+    }
+}
+
+fn delta_specs(max: usize) -> impl Strategy<Value = Vec<DeltaSpec>> {
+    proptest::collection::vec(
+        (
+            0usize..3,
+            0u64..1_000,
+            0u64..10_000,
+            proptest::collection::vec((0usize..3, 0u64..1_000), 0..4),
+            proptest::collection::vec((0usize..3, -1_000i64..1_000), 0..3),
+            proptest::collection::vec(1u64..1_000_000_000, 0..6),
+        ),
+        1..max,
+    )
 }
 
 proptest! {
@@ -183,6 +233,88 @@ proptest! {
         prop_assert_eq!(
             dump.dropped(),
             dump.tracks.iter().map(|t| t.dropped).sum::<u64>()
+        );
+    }
+
+    /// The fleet merge is a commutative monoid: merging partial fleet
+    /// views commutes, associates, has `FleetSnapshot::empty` as the
+    /// identity, and any grouping or ordering of the same worker deltas
+    /// reaches the same fleet snapshot — so readers may fold journals in
+    /// whatever order the filesystem hands them out.
+    #[test]
+    fn prop_fleet_merge_is_a_commutative_monoid(specs in delta_specs(12)) {
+        // Unique per-delta sequence numbers, as the journal guarantees:
+        // a duplicated (worker, seq, at_ms) stamp with two different
+        // gauge values would make last-writer-wins genuinely ambiguous.
+        let deltas: Vec<WorkerDelta> = specs
+            .iter()
+            .enumerate()
+            .map(|(i, spec)| {
+                let mut d = delta_of(spec);
+                d.seq = i as u64;
+                d
+            })
+            .collect();
+        // Partition the deltas three ways and build partial views.
+        let group = |rem: usize| {
+            FleetSnapshot::from_deltas(
+                deltas.iter().enumerate().filter(|(i, _)| i % 3 == rem).map(|(_, d)| d),
+            )
+        };
+        let (f0, f1, f2) = (group(0), group(1), group(2));
+        prop_assert_eq!(f0.merge(&f1), f1.merge(&f0));
+        prop_assert_eq!(f0.merge(&f1).merge(&f2), f0.merge(&f1.merge(&f2)));
+        let empty = FleetSnapshot::empty();
+        prop_assert_eq!(empty.merge(&f0), f0.clone());
+        prop_assert_eq!(f0.merge(&empty), f0.clone());
+
+        // One-shot fold, grouped fold, and reversed-order fold all agree.
+        let whole = FleetSnapshot::from_deltas(&deltas);
+        prop_assert_eq!(&whole, &f0.merge(&f1).merge(&f2));
+        let reversed = FleetSnapshot::from_deltas(deltas.iter().rev());
+        prop_assert_eq!(&whole, &reversed);
+
+        // The merged view satisfies the identity every consumer gates on.
+        prop_assert_eq!(whole.identity_problems(), Vec::<String>::new());
+        prop_assert_eq!(whole.total_flushes(), deltas.len() as u64);
+    }
+
+    /// Fleet histogram folding is lossless in count and bounded in
+    /// quantile error: merging per-worker partitions of a sample stream
+    /// equals recording the stream whole, total count is preserved
+    /// exactly, and the merged median overshoots the exact combined
+    /// median by at most the bucket's 1/32 relative width.
+    #[test]
+    fn prop_fleet_histogram_merge_preserves_count_and_quantile_bound(
+        per_worker in proptest::collection::vec(
+            proptest::collection::vec(1u64..1_000_000_000, 1..60),
+            1..4,
+        ),
+    ) {
+        let deltas: Vec<WorkerDelta> = per_worker
+            .iter()
+            .enumerate()
+            .map(|(w, samples)| {
+                delta_of(&(w, 0, w as u64, Vec::new(), Vec::new(), samples.clone()))
+            })
+            .collect();
+        let fleet = FleetSnapshot::from_deltas(&deltas);
+        let merged = &fleet.histograms["m.h"];
+
+        let mut all: Vec<u64> = per_worker.iter().flatten().copied().collect();
+        prop_assert_eq!(merged.count, all.len() as u64);
+        prop_assert_eq!(merged.sum, all.iter().sum::<u64>());
+        // Bucket-wise merge of partitions ≡ one histogram fed the stream.
+        prop_assert_eq!(merged, &snapshot_of(&all));
+
+        all.sort_unstable();
+        let exact_p50 = all[(all.len() - 1) / 2];
+        prop_assert!(merged.p50 >= exact_p50, "merged estimate below exact median");
+        let bound = exact_p50 + exact_p50 / 32 + 1;
+        prop_assert!(
+            merged.p50 <= bound,
+            "merged p50 {} above error bound {} (exact {})",
+            merged.p50, bound, exact_p50
         );
     }
 

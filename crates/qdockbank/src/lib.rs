@@ -53,8 +53,8 @@ pub use qdb_dock::dispatch::BackendChoice;
 pub use shard::{
     build_dataset_sharded, build_dataset_sharded_with, dataset_card_path, finalize_sharded,
     finalize_sharded_with, load_sharded_manifest_vfs, shard_journal_path, shard_ownership_vfs,
-    DatasetCard, ShardConfig, ShardPlan, ShardProvenance, ShardStamp, ShardWorkerSummary,
-    StatSummary,
+    DatasetCard, FleetBuildStats, ShardConfig, ShardPlan, ShardProvenance, ShardStamp,
+    ShardWorkerSummary, StatSummary,
 };
 pub use supervisor::{
     build_dataset, build_dataset_with, compact_manifest, compact_manifest_vfs, has_manifest,

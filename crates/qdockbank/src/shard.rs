@@ -21,8 +21,9 @@
 //!   a stalled process resurfacing cannot corrupt the journal;
 //! * **finalize** ([`finalize_sharded_with`]) — once every shard journal
 //!   carries its `shard-done` marker, the per-shard state merges into
-//!   the root `manifest.journal` and a [`DatasetCard`] summary artifact
-//!   is written atomically.
+//!   the root `manifest.journal`, the workers' telemetry journals merge
+//!   into `fleet_telemetry.json`, and a [`DatasetCard`] summary
+//!   artifact (fleet stats included) is written atomically.
 //!
 //! Shard journals are owner-stamped: every record carries the writing
 //! shard, worker id, and fencing token, so the provenance of every
@@ -30,7 +31,18 @@
 //!
 //! Telemetry: `supervisor.shard.claims`, `.fragments`, `.done`, `.lost`,
 //! `.wait_rounds`, `.finalized` counters; each fragment's spans land on
-//! a per-shard flight-recorder lane (`(shard+1)·10⁶ + build index`).
+//! a per-worker, per-shard flight-recorder lane
+//! ([`pack_lane`](qdb_telemetry::trace::pack_lane) — the worker's FNV
+//! ordinal in the high bits, `(shard+1)·10⁶ + build index` in the
+//! fragment field). Every worker additionally journals
+//! monotone-sequenced registry snapshot deltas to its own file under
+//! `telemetry/` (a `start` flush at entry, a `shard` flush after every
+//! shard outcome, an `exit`/`error` flush on the way out — all through
+//! the store's checksummed append path, all non-fatal on error) and, if
+//! a flight recorder is installed, dumps its event ring to
+//! `telemetry/trace-<worker>.json`. Finalize merges every worker's
+//! deltas into `fleet_telemetry.json` and rolls the fleet stats into
+//! the dataset card.
 //!
 //! Clocks: production workers run on
 //! [`WallClock`](qdb_telemetry::WallClock) — lease deadlines written by
@@ -47,8 +59,11 @@ use crate::supervisor::{
     append_event, journal_path, manifest_from_events, supervise_fragment, BuildSummary,
     FragmentReport, Manifest, ManifestEvent, SupervisorConfig,
 };
-use qdb_store::{write_atomic, Journal, Lease, LeaseError, LeaseManager, StdVfs, Vfs};
-use qdb_telemetry::{Clock, WallClock};
+use qdb_store::{
+    merge_worker_deltas, worker_trace_path, write_atomic, write_fleet_snapshot, Journal, Lease,
+    LeaseError, LeaseManager, StdVfs, Vfs, WorkerFlusher,
+};
+use qdb_telemetry::{Clock, FleetSnapshot, WallClock};
 use qdb_vqe::fault::FaultPlan;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
@@ -291,8 +306,77 @@ pub fn build_dataset_sharded_with(
     clock: &dyn Clock,
     vfs: &dyn Vfs,
 ) -> Result<ShardWorkerSummary, PipelineError> {
-    let telemetry = qdb_telemetry::global();
     vfs.create_dir_all(root)?;
+    // Durable per-worker telemetry: a snapshot-delta journal under
+    // `telemetry/`. Failing to open it is never fatal — observability
+    // must not take down a build (and after a simulated crash the vfs
+    // rejects every operation, open included).
+    let mut flusher = WorkerFlusher::open(vfs, root, &shard_cfg.worker_id).ok();
+    flush_telemetry(&mut flusher, clock, "start");
+    let result = claim_shards(
+        root,
+        records,
+        pipeline_cfg,
+        sup,
+        plan,
+        shard_cfg,
+        clock,
+        vfs,
+        &mut flusher,
+    );
+    // Final flush on every exit path, the supervisor-failure one
+    // included — the kill-and-rescue drill's guarantee that a victim's
+    // last completed work stays visible to the fleet merge.
+    flush_telemetry(
+        &mut flusher,
+        clock,
+        if result.is_ok() { "exit" } else { "error" },
+    );
+    dump_worker_trace(root, &shard_cfg.worker_id);
+    result
+}
+
+/// Appends the global registry's delta-since-last-flush to this
+/// worker's telemetry journal. Never fails the build: errors are
+/// counted (`telemetry.flush_errors`) and otherwise swallowed, so the
+/// error/crash paths can flush too.
+fn flush_telemetry(flusher: &mut Option<WorkerFlusher<'_>>, clock: &dyn Clock, kind: &str) {
+    if let Some(f) = flusher.as_mut() {
+        if f.flush(qdb_telemetry::global(), clock, kind).is_err() {
+            qdb_telemetry::global()
+                .counter("telemetry.flush_errors")
+                .inc();
+        }
+    }
+}
+
+/// Dumps the installed flight recorder's rings (if any) to this
+/// worker's `telemetry/trace-<worker>.json`, best-effort. Straight to
+/// the real filesystem: recorders are only installed in real runs, and
+/// a trace is diagnostic, not an integrity artifact.
+fn dump_worker_trace(root: &Path, worker_id: &str) {
+    let Some(recorder) = qdb_telemetry::global().recorder() else {
+        return;
+    };
+    let path = worker_trace_path(root, worker_id);
+    let _ = qdb_telemetry::export::chrome::write_chrome_trace(&path, &recorder.dump());
+}
+
+/// The claim loop proper, split out so the caller can bracket it with
+/// telemetry flushes on every exit path.
+#[allow(clippy::too_many_arguments)]
+fn claim_shards(
+    root: &Path,
+    records: &[&FragmentRecord],
+    pipeline_cfg: &PipelineConfig,
+    sup: &SupervisorConfig,
+    plan: &FaultPlan,
+    shard_cfg: &ShardConfig,
+    clock: &dyn Clock,
+    vfs: &dyn Vfs,
+    flusher: &mut Option<WorkerFlusher<'_>>,
+) -> Result<ShardWorkerSummary, PipelineError> {
+    let telemetry = qdb_telemetry::global();
     let shard_plan = ShardPlan::new(shard_cfg.num_shards, records.len());
     let manager = LeaseManager::new(vfs, clock, root, shard_cfg.lease_ttl_ms);
     let mut out = ShardWorkerSummary {
@@ -336,6 +420,7 @@ pub fn build_dataset_sharded_with(
                     progressed = true;
                     out.shards_built.push(shard);
                     telemetry.counter("supervisor.shard.done").inc();
+                    flush_telemetry(flusher, clock, "shard");
                     // Release is a courtesy to waiting peers; losing the
                     // lease after the done marker costs nothing.
                     match manager.release(writer.lease()) {
@@ -350,6 +435,7 @@ pub fn build_dataset_sharded_with(
                     telemetry.instant("supervisor.shard.lost");
                     out.shards_lost += 1;
                     let _ = (shard, detail);
+                    flush_telemetry(flusher, clock, "shard");
                 }
                 Err(e) => return Err(e),
             }
@@ -398,13 +484,18 @@ fn build_shard(
     let journal = Journal::open(vfs, shard_journal_path(root, shard));
     let resumed = vfs.exists(journal.path()) && !journal.replay(true)?.records.is_empty();
     writer.append_run(resumed)?;
+    let worker = qdb_telemetry::trace::worker_ordinal(&writer.lease().owner);
     for global_index in shard_plan.indices_of(shard) {
         let record = records[global_index];
-        // One flight-recorder lane per (shard, fragment): shard k's
-        // events land in the (k+1)·10⁶ band, offset by build index.
-        let _corr = qdb_telemetry::trace::correlate(
+        // One flight-recorder lane per (worker, shard, fragment): the
+        // worker's FNV ordinal in the high lane bits, shard k's events
+        // in the (k+1)·10⁶ band of the fragment field, offset by build
+        // index — a merged fleet trace keeps every worker's fragments
+        // apart without renumbering anything.
+        let _corr = qdb_telemetry::trace::correlate(qdb_telemetry::trace::pack_lane(
+            worker,
             (shard as u64 + 1) * 1_000_000 + global_index as u64 + 1,
-        );
+        ));
         // Fence before the expensive part: a stolen shard stops burning
         // compute at the next fragment boundary, not the next append.
         writer.check()?;
@@ -464,6 +555,43 @@ impl StatSummary {
     }
 }
 
+/// Fleet-level telemetry rolled into the dataset card by finalize:
+/// which workers flushed durable snapshots during the build, and the
+/// headline counters summed across all of them.
+///
+/// In-process counter values come from the global registry, so within
+/// one test process the sums can exceed what a single build did; across
+/// real worker processes (one registry each) they are exact, and the
+/// full merged snapshot with per-worker receipts lives next door in
+/// `fleet_telemetry.json`.
+#[derive(Clone, Debug, Default, Serialize, Deserialize, PartialEq, Eq)]
+pub struct FleetBuildStats {
+    /// Worker ids that contributed at least one telemetry flush.
+    pub workers: Vec<String>,
+    /// Snapshot flushes summed over all workers.
+    pub flushes: u64,
+    /// `supervisor.shard.fragments` summed over all workers.
+    pub fragments: u64,
+    /// `supervisor.shard.done` summed over all workers.
+    pub shards_done: u64,
+    /// `supervisor.shard.lost` summed over all workers.
+    pub shards_lost: u64,
+}
+
+impl FleetBuildStats {
+    /// Summarizes a merged [`FleetSnapshot`].
+    pub fn of(fleet: &FleetSnapshot) -> Self {
+        let get = |key: &str| fleet.counters.get(key).copied().unwrap_or(0);
+        Self {
+            workers: fleet.workers.keys().cloned().collect(),
+            flushes: fleet.total_flushes(),
+            fragments: get("supervisor.shard.fragments"),
+            shards_done: get("supervisor.shard.done"),
+            shards_lost: get("supervisor.shard.lost"),
+        }
+    }
+}
+
 /// The `dataset_card.json` summary artifact written by finalize: what is
 /// in the dataset, where its numbers sit, and which worker built what.
 #[derive(Clone, Debug, Serialize, Deserialize, PartialEq)]
@@ -487,6 +615,9 @@ pub struct DatasetCard {
     /// Which shard/worker/token produced each slice of the build (empty
     /// for a single-process build).
     pub shards: Vec<ShardProvenance>,
+    /// Fleet telemetry rolled up from the workers' durable snapshot
+    /// journals (`None` when no worker flushed any).
+    pub fleet: Option<FleetBuildStats>,
 }
 
 /// Summarizes the on-disk dataset under `root` for `records` into a
@@ -496,6 +627,7 @@ pub fn build_dataset_card_vfs(
     root: &Path,
     records: &[&FragmentRecord],
     shards: Vec<ShardProvenance>,
+    fleet: Option<FleetBuildStats>,
 ) -> DatasetCard {
     let mut card = DatasetCard {
         schema_version: 1,
@@ -507,6 +639,7 @@ pub fn build_dataset_card_vfs(
         ca_rmsd: StatSummary::default(),
         missing: Vec::new(),
         shards,
+        fleet,
     };
     let mut affinities = Vec::new();
     let mut rmsds = Vec::new();
@@ -546,9 +679,11 @@ pub fn finalize_sharded(
 /// finalize is the completeness gate, and it refuses a build any shard
 /// of which is still (or forever) unfinished. On success the root
 /// `manifest.journal` gains the merged run (every shard's latest
-/// fragment reports, stamps intact) and `dataset_card.json` is written
-/// atomically. Idempotent: re-running appends another merged run and
-/// rewrites the same card.
+/// fragment reports, stamps intact), every worker's telemetry deltas
+/// merge into `fleet_telemetry.json`, and
+/// `dataset_card.json` — fleet stats included — is written atomically.
+/// Idempotent: re-running appends another merged run and rewrites the
+/// same card.
 pub fn finalize_sharded_with(
     vfs: &dyn Vfs,
     root: &Path,
@@ -610,7 +745,17 @@ pub fn finalize_sharded_with(
         )),
     )?;
 
-    let card = build_dataset_card_vfs(vfs, root, records, provenance);
+    // Fold every worker's flushed telemetry deltas into one fleet
+    // snapshot artifact, and roll its headline numbers into the card.
+    let fleet_snapshot = merge_worker_deltas(vfs, root)?;
+    let fleet = if fleet_snapshot.workers.is_empty() {
+        None
+    } else {
+        write_fleet_snapshot(vfs, root, &fleet_snapshot)?;
+        Some(FleetBuildStats::of(&fleet_snapshot))
+    };
+
+    let card = build_dataset_card_vfs(vfs, root, records, provenance, fleet);
     let rendered = serde_json::to_string_pretty(&card)?;
     write_atomic(vfs, &dataset_card_path(root), rendered.as_bytes())?;
     telemetry.counter("supervisor.shard.finalized").inc();
@@ -806,6 +951,19 @@ mod tests {
             serde_json::from_str(&std::fs::read_to_string(dataset_card_path(&root)).unwrap())
                 .unwrap();
         assert_eq!(back, card);
+
+        // The worker journaled durable telemetry, finalize merged it,
+        // and the card carries the roll-up. Counter totals come off the
+        // process-global registry (shared by every test in this
+        // binary), so assert presence and lower bounds, not equality.
+        let fleet_snap = qdb_store::read_fleet_snapshot(&StdVfs, &root).unwrap();
+        assert!(fleet_snap.workers.contains_key("w0"));
+        assert!(fleet_snap.identity_problems().is_empty());
+        let fleet = card.fleet.as_ref().expect("card carries fleet stats");
+        assert_eq!(fleet.workers, vec!["w0".to_string()]);
+        assert!(fleet.flushes >= 3, "start + 2 shard flushes at least");
+        assert!(fleet.fragments >= 2);
+        assert!(fleet.shards_done >= 2);
 
         // The merged manifest carries the stamped reports.
         let ownership = shard_ownership_vfs(&StdVfs, &root).unwrap();

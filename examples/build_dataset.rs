@@ -355,8 +355,13 @@ fn main() {
     );
     // A summary card for single-process builds too (no shard
     // provenance, but the same entry-count/distribution artifact).
-    let card =
-        qdockbank::shard::build_dataset_card_vfs(&qdb_store::StdVfs, &out, &records, Vec::new());
+    let card = qdockbank::shard::build_dataset_card_vfs(
+        &qdb_store::StdVfs,
+        &out,
+        &records,
+        Vec::new(),
+        None,
+    );
     match serde_json::to_string_pretty(&card) {
         Ok(rendered) => {
             let path = qdockbank::shard::dataset_card_path(&out);

@@ -10,15 +10,21 @@
 //! ```text
 //! # two worker processes over four shards, three fragments:
 //! cargo run --release --example shard_build -- out_dir --workers 2 --shards 4
+//! # same, with a flight recorder in every child (per-worker dumps land
+//! # in out_dir/telemetry/trace-<worker>.json, ready for fleet_report):
+//! cargo run --release --example shard_build -- out_dir --workers 2 --trace
 //! # kill drill: worker 0 is killed mid-build (simulated crash at a
 //! # filesystem op), then a fresh worker steals its shards and finishes:
 //! cargo run --release --example shard_build -- out_dir --drill
 //! ```
 //!
 //! Exit code 0 means every shard finished, finalize merged them, and the
-//! dataset card was written.
+//! dataset card was written. In `--drill` mode the driver additionally
+//! asserts the merged `fleet_telemetry.json` still carries the killed
+//! worker's last flushed snapshot (exit 4 if the victim vanished).
 
 use qdb_store::{CrashVfs, StdVfs};
+use qdb_telemetry::trace::{TraceConfig, TraceRecorder};
 use qdb_telemetry::WallClock;
 use qdb_vqe::fault::FaultPlan;
 use qdockbank::fragments::{fragments_in, Group};
@@ -45,8 +51,17 @@ fn worker_config(num_shards: usize, worker: &str) -> ShardConfig {
 /// Child-process role: build shards of `root` as one worker, then exit.
 /// `QDB_SHARD_KILL_AFTER=<n>` arms a simulated crash at filesystem op
 /// n+1 — the process exits 3 "mid-write", exactly like a kill -9 would
-/// look to the other workers.
+/// look to the other workers. `QDB_SHARD_TRACE=1` installs a flight
+/// recorder whose dump the shard layer writes to
+/// `telemetry/trace-<worker>.json` on the way out.
 fn run_worker(root: &PathBuf, num_shards: usize, worker: &str, fragments: usize) -> i32 {
+    if std::env::var("QDB_SHARD_TRACE").as_deref() == Ok("1") {
+        qdb_telemetry::global().install_recorder(std::sync::Arc::new(TraceRecorder::new(
+            TraceConfig {
+                events_per_thread: 4_096,
+            },
+        )));
+    }
     let mut records = fragments_in(Group::S);
     records.truncate(fragments);
     let config = PipelineConfig::fast();
@@ -111,6 +126,7 @@ fn spawn_worker(
     worker: &str,
     fragments: usize,
     kill_after: Option<usize>,
+    trace: bool,
 ) -> std::process::Child {
     let exe = std::env::current_exe().expect("current_exe");
     let mut cmd = Command::new(exe);
@@ -126,6 +142,11 @@ fn spawn_worker(
         None => {
             cmd.env_remove("QDB_SHARD_KILL_AFTER");
         }
+    }
+    if trace {
+        cmd.env("QDB_SHARD_TRACE", "1");
+    } else {
+        cmd.env_remove("QDB_SHARD_TRACE");
     }
     cmd.spawn().expect("spawn worker process")
 }
@@ -148,9 +169,11 @@ fn main() {
     let mut num_shards = 2usize;
     let mut fragments = 3usize;
     let mut drill = false;
+    let mut trace = false;
     let mut i = 0;
     while i < args.len() {
         match args[i].as_str() {
+            "--trace" => trace = true,
             "--workers" => {
                 i += 1;
                 workers = args.get(i).and_then(|s| s.parse().ok()).unwrap_or(2);
@@ -174,14 +197,14 @@ fn main() {
     if drill {
         // Phase 1: a doomed worker crashes partway through the build.
         println!("drill: spawning doomed worker w-doomed (killed mid-build)");
-        let status = spawn_worker(&out, num_shards, "w-doomed", fragments, Some(40))
+        let status = spawn_worker(&out, num_shards, "w-doomed", fragments, Some(40), trace)
             .wait()
             .expect("wait doomed worker");
         println!("drill: doomed worker exited with {status}");
         // Phase 2: a fresh worker joins, waits out the dead worker's
         // lease TTL, steals the shards, and finishes the build.
         println!("drill: spawning rescue worker w-rescue");
-        let status = spawn_worker(&out, num_shards, "w-rescue", fragments, None)
+        let status = spawn_worker(&out, num_shards, "w-rescue", fragments, None, trace)
             .wait()
             .expect("wait rescue worker");
         if !status.success() {
@@ -196,7 +219,7 @@ fn main() {
             out.display()
         );
         let children: Vec<_> = (0..workers)
-            .map(|w| spawn_worker(&out, num_shards, &format!("w{w}"), fragments, None))
+            .map(|w| spawn_worker(&out, num_shards, &format!("w{w}"), fragments, None, trace))
             .collect();
         let mut failed = false;
         for (w, mut child) in children.into_iter().enumerate() {
@@ -230,10 +253,45 @@ fn main() {
                 eprintln!("missing entries: {:?}", card.missing);
                 std::process::exit(2);
             }
+            if let Some(fleet) = &card.fleet {
+                println!(
+                    "fleet: {} worker(s) {:?}, {} flush(es), {} fragment build(s)",
+                    fleet.workers.len(),
+                    fleet.workers,
+                    fleet.flushes,
+                    fleet.fragments
+                );
+            }
         }
         Err(e) => {
             eprintln!("finalize failed: {e}");
             std::process::exit(2);
+        }
+    }
+
+    // Drill post-condition: the victim was killed mid-build, but its
+    // journal flushes survived the crash — the merged fleet telemetry
+    // must still carry its last flushed snapshot.
+    if drill {
+        match qdb_store::read_fleet_snapshot(&StdVfs, &out) {
+            Ok(fleet) if fleet.workers.contains_key("w-doomed") => {
+                println!(
+                    "drill: victim w-doomed's last flushed snapshot is in the fleet merge \
+                     ({} flush(es) survived)",
+                    fleet.workers["w-doomed"].flushes
+                );
+            }
+            Ok(fleet) => {
+                eprintln!(
+                    "drill: victim w-doomed missing from fleet telemetry (got {:?})",
+                    fleet.workers.keys().collect::<Vec<_>>()
+                );
+                std::process::exit(4);
+            }
+            Err(e) => {
+                eprintln!("drill: fleet telemetry unreadable after rescue: {e}");
+                std::process::exit(4);
+            }
         }
     }
 }

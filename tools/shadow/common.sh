@@ -29,7 +29,7 @@ deps_of() {
         qdb-baselines) echo "qdb_mol qdb_lattice rand rand_chacha" ;;
         qdockbank)     echo "qdb_telemetry qdb_store qdb_quantum qdb_transpile qdb_lattice qdb_optimize qdb_vqe qdb_mol qdb_dock qdb_qubo qdb_baselines serde serde_json parking_lot" ;;
         qdb-serve)     echo "qdb_telemetry qdb_store qdb_vqe qdockbank serde serde_json" ;;
-        qdb-bench)     echo "qdb_telemetry qdb_quantum qdb_transpile qdb_lattice qdb_optimize qdb_vqe qdb_mol qdb_dock qdb_qubo qdb_baselines qdockbank rand rand_chacha rayon serde serde_json" ;;
+        qdb-bench)     echo "qdb_telemetry qdb_store qdb_quantum qdb_transpile qdb_lattice qdb_optimize qdb_vqe qdb_mol qdb_dock qdb_qubo qdb_baselines qdockbank rand rand_chacha rayon serde serde_json" ;;
         *) echo "" ;;
     esac
 }
